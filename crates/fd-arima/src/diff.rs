@@ -1,0 +1,229 @@
+//! Differencing and integration — the "I" of ARIMA.
+//!
+//! `∇ Z_t = Z_t − Z_{t−1}`; applying `∇` `d` times turns an integrated
+//! series into the (hopefully stationary) series the ARMA core models.
+//! Forecasts made on the differenced scale are mapped back with
+//! [`integrate_one_step`] / [`Differencer`].
+
+/// Applies the difference operator `d` times.
+///
+/// The output has `series.len() − d` elements. Returns an empty vector when
+/// the series is too short to difference.
+///
+/// ```
+/// use fd_arima::difference;
+/// assert_eq!(difference(&[1.0, 4.0, 9.0, 16.0], 1), vec![3.0, 5.0, 7.0]);
+/// assert_eq!(difference(&[1.0, 4.0, 9.0, 16.0], 2), vec![2.0, 2.0]);
+/// ```
+pub fn difference(series: &[f64], d: usize) -> Vec<f64> {
+    let mut out: Vec<f64> = series.to_vec();
+    for _ in 0..d {
+        if out.len() < 2 {
+            return Vec::new();
+        }
+        out = out.windows(2).map(|w| w[1] - w[0]).collect();
+    }
+    out
+}
+
+/// Reconstructs the next *level* forecast from a forecast on the
+/// `d`-times-differenced scale, given the last `d` observed levels (most
+/// recent last).
+///
+/// For `d = 0` this is the forecast itself; for `d = 1`,
+/// `x̂_{t+1} = x_t + ẑ_{t+1}`; for `d = 2`,
+/// `x̂_{t+1} = 2·x_t − x_{t−1} + ẑ_{t+1}`; in general the inverse binomial
+/// expansion of `(1 − B)^d`.
+///
+/// # Panics
+///
+/// Panics if fewer than `d` recent levels are provided.
+pub fn integrate_one_step(diff_forecast: f64, recent_levels: &[f64], d: usize) -> f64 {
+    assert!(
+        recent_levels.len() >= d,
+        "need {d} recent levels, got {}",
+        recent_levels.len()
+    );
+    // x̂_{t+1} = ẑ_{t+1} − Σ_{k=1..d} (-1)^k C(d, k) x_{t+1−k}
+    let n = recent_levels.len();
+    let mut acc = diff_forecast;
+    let mut binom: f64 = 1.0; // C(d, 0)
+    for k in 1..=d {
+        binom = binom * (d - k + 1) as f64 / k as f64;
+        let sign = if k % 2 == 1 { 1.0 } else { -1.0 };
+        acc += sign * binom * recent_levels[n - k];
+    }
+    acc
+}
+
+/// Streaming differencer: feeds levels in, emits the `d`-times-differenced
+/// value once enough history has accumulated, and integrates forecasts back
+/// to the level scale.
+#[derive(Debug, Clone)]
+pub struct Differencer {
+    d: usize,
+    /// Last `d` levels, most recent last.
+    recent: Vec<f64>,
+}
+
+impl Differencer {
+    /// Creates a streaming differencer of order `d`.
+    pub fn new(d: usize) -> Self {
+        Self {
+            d,
+            recent: Vec::with_capacity(d),
+        }
+    }
+
+    /// The differencing order.
+    pub fn order(&self) -> usize {
+        self.d
+    }
+
+    /// Pushes a new level; returns the `d`-differenced value when available
+    /// (i.e. after `d` previous levels have been seen).
+    pub fn push(&mut self, level: f64) -> Option<f64> {
+        if self.d == 0 {
+            return Some(level);
+        }
+        if self.recent.len() < self.d {
+            self.recent.push(level);
+            return None;
+        }
+        // z = Σ_{k=0..d} (-1)^k C(d,k) x_{t-k}
+        let mut z = level;
+        let mut binom: f64 = 1.0;
+        let n = self.recent.len();
+        for k in 1..=self.d {
+            binom = binom * (self.d - k + 1) as f64 / k as f64;
+            let sign = if k % 2 == 1 { -1.0 } else { 1.0 };
+            z += sign * binom * self.recent[n - k];
+        }
+        self.recent.remove(0);
+        self.recent.push(level);
+        Some(z)
+    }
+
+    /// Maps a forecast on the differenced scale back to the level scale.
+    ///
+    /// Returns `None` until `d` levels have been observed.
+    pub fn integrate(&self, diff_forecast: f64) -> Option<f64> {
+        if self.recent.len() < self.d {
+            return None;
+        }
+        Some(integrate_one_step(diff_forecast, &self.recent, self.d))
+    }
+
+    /// `true` once enough levels have been seen to emit differenced values.
+    pub fn is_primed(&self) -> bool {
+        self.recent.len() >= self.d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn difference_orders() {
+        let xs = [2.0, 4.0, 7.0, 11.0, 16.0];
+        assert_eq!(difference(&xs, 0), xs.to_vec());
+        assert_eq!(difference(&xs, 1), vec![2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(difference(&xs, 2), vec![1.0, 1.0, 1.0]);
+        assert_eq!(difference(&xs, 5), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn integrate_inverts_difference_d1() {
+        let xs = [10.0, 12.0, 15.0, 19.0];
+        let z = difference(&xs, 1);
+        // Forecast z = 5.0 after the series: level forecast = 19 + 5 = 24.
+        assert_eq!(integrate_one_step(5.0, &xs, 1), 24.0);
+        assert_eq!(z, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn integrate_inverts_difference_d2() {
+        let xs = [1.0, 4.0, 9.0, 16.0]; // second difference constant = 2
+        // ẑ = 2 ⇒ x̂ = 2·16 − 9 + 2 = 25 (the next square).
+        assert_eq!(integrate_one_step(2.0, &xs, 2), 25.0);
+    }
+
+    #[test]
+    fn integrate_d0_is_identity() {
+        assert_eq!(integrate_one_step(7.5, &[], 0), 7.5);
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let xs: Vec<f64> = (0..20).map(|i| (i as f64).powi(2) + (i as f64 * 0.7).sin()).collect();
+        for d in 0..=3usize {
+            let batch = difference(&xs, d);
+            let mut st = Differencer::new(d);
+            let streamed: Vec<f64> = xs.iter().filter_map(|&x| st.push(x)).collect();
+            assert_eq!(streamed.len(), batch.len(), "d={d}");
+            for (a, b) in streamed.iter().zip(&batch) {
+                assert!((a - b).abs() < 1e-9, "d={d}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_integration_round_trips() {
+        let xs = [5.0, 8.0, 12.0, 17.0, 23.0];
+        let mut st = Differencer::new(1);
+        let mut last_z = None;
+        for &x in &xs {
+            last_z = st.push(x).or(last_z);
+        }
+        // If the next differenced value were 7, the next level is 23 + 7.
+        assert_eq!(st.integrate(7.0), Some(30.0));
+        assert!(st.is_primed());
+        assert!(last_z.is_some());
+    }
+
+    #[test]
+    fn unprimed_integration_is_none() {
+        let st = Differencer::new(2);
+        assert_eq!(st.integrate(1.0), None);
+        assert!(!st.is_primed());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Differencing reduces length by exactly d (when possible).
+        #[test]
+        fn difference_length(xs in proptest::collection::vec(-1e3f64..1e3, 0..50), d in 0usize..4) {
+            let out = difference(&xs, d);
+            if xs.len() > d {
+                prop_assert_eq!(out.len(), xs.len() - d);
+            } else if d > 0 {
+                prop_assert!(out.len() <= 1 || out.is_empty());
+            }
+        }
+
+        /// Push-then-integrate reproduces the next observed level exactly
+        /// when the "forecast" equals the actually observed difference.
+        #[test]
+        fn integrate_is_inverse(
+            xs in proptest::collection::vec(-1e3f64..1e3, 4..30),
+            d in 0usize..3,
+        ) {
+            let mut st = Differencer::new(d);
+            for &x in &xs[..xs.len() - 1] {
+                st.push(x);
+            }
+            if st.is_primed() {
+                let mut probe = st.clone();
+                let z_next = probe.push(*xs.last().unwrap()).unwrap();
+                let reconstructed = st.integrate(z_next).unwrap();
+                prop_assert!((reconstructed - xs.last().unwrap()).abs() < 1e-6);
+            }
+        }
+    }
+}

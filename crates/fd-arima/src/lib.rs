@@ -1,0 +1,44 @@
+//! Time-series substrate: AR/MA/ARIMA estimation, one-step forecasting, and
+//! model selection.
+//!
+//! The paper's most accurate predictor is `ARIMA(2,1,1)`, identified with the
+//! RPS toolkit by searching `(p, d, q) ∈ [0,10]³` for the minimum mean-square
+//! one-step prediction error, then re-fit every 1000 observations during the
+//! experiment. This crate is the Rust stand-in for that toolkit:
+//!
+//! * [`diff`] — differencing/integration (the "I" in ARIMA);
+//! * [`ar`] — autocovariance and Yule–Walker (Levinson–Durbin) AR fitting;
+//! * [`linalg`] — the small dense least-squares solver used by the
+//!   Hannan–Rissanen second stage;
+//! * [`model`] — [`ArimaSpec`], [`ArimaModel`]: fitting (Hannan–Rissanen)
+//!   and one-step forecasting;
+//! * [`forecaster`] — [`OnlineArima`]: streaming observe/predict with
+//!   periodic refit, as the experiments use it;
+//! * [`select`] — grid search over `(p, d, q)` minimising held-out one-step
+//!   msqerr (regenerates the paper's Table 2 choice).
+//!
+//! # Example
+//!
+//! ```
+//! use fd_arima::{ArimaSpec, OnlineArima};
+//!
+//! let mut forecaster = OnlineArima::new(ArimaSpec::new(2, 1, 1), 500);
+//! for i in 0..600 {
+//!     forecaster.observe(200.0 + (i as f64 * 0.1).sin());
+//! }
+//! let next = forecaster.predict_next();
+//! assert!((next - 200.0).abs() < 5.0);
+//! ```
+
+pub mod ar;
+pub mod diff;
+pub mod forecaster;
+pub mod linalg;
+pub mod model;
+pub mod select;
+
+pub use ar::{autocovariance, fit_ar_yule_walker, levinson_durbin};
+pub use diff::{difference, integrate_one_step, Differencer};
+pub use forecaster::OnlineArima;
+pub use model::{ArimaError, ArimaModel, ArimaSpec};
+pub use select::{select_best_model, select_best_model_by, SelectionCriterion, SelectionReport, SelectionResult};

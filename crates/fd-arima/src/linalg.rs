@@ -1,0 +1,233 @@
+//! Small dense linear algebra for the estimation routines.
+//!
+//! The systems solved here are tiny (order `p + q + 1 ≤ ~25`), so plain
+//! Gaussian elimination with partial pivoting and a ridge-regularised
+//! normal-equation least squares are entirely adequate.
+
+// Index-based loops mirror the textbook elimination formulas; iterator
+// rewrites would obscure the row/column structure.
+#![allow(clippy::needless_range_loop)]
+
+/// Solves `A·x = b` in place by Gaussian elimination with partial pivoting.
+///
+/// Returns `None` if the matrix is (numerically) singular.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `b`'s length does not match.
+pub fn solve_linear(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
+    let n = a.len();
+    assert_eq!(b.len(), n, "dimension mismatch");
+    for row in a.iter() {
+        assert_eq!(row.len(), n, "matrix is not square");
+    }
+
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("NaN in linear system")
+            })
+            .expect("non-empty range");
+        if a[pivot_row][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+
+        let pivot = a[col][col];
+        for row in (col + 1)..n {
+            let factor = a[row][col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// Ordinary least squares `min ‖X·β − y‖²` via ridge-regularised normal
+/// equations (`XᵀX + λI`), robust to collinear regressors.
+///
+/// `rows` are the regressor rows of `X`; every row must have the same length.
+/// Returns `None` when there are no rows or the system cannot be solved.
+///
+/// # Panics
+///
+/// Panics if row lengths are inconsistent or `y` does not match `rows`.
+pub fn least_squares(rows: &[Vec<f64>], y: &[f64], ridge: f64) -> Option<Vec<f64>> {
+    let m = rows.len();
+    if m == 0 {
+        return None;
+    }
+    assert_eq!(y.len(), m, "y length mismatch");
+    let k = rows[0].len();
+    for r in rows {
+        assert_eq!(r.len(), k, "inconsistent row length");
+    }
+    if k == 0 {
+        return Some(Vec::new());
+    }
+
+    // Normal equations: (XᵀX + λI) β = Xᵀ y.
+    let mut xtx = vec![vec![0.0; k]; k];
+    let mut xty = vec![0.0; k];
+    for (row, &yi) in rows.iter().zip(y) {
+        for i in 0..k {
+            xty[i] += row[i] * yi;
+            for j in i..k {
+                xtx[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    for i in 0..k {
+        for j in 0..i {
+            xtx[i][j] = xtx[j][i];
+        }
+        xtx[i][i] += ridge;
+    }
+    solve_linear(&mut xtx, &mut xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let mut b = vec![3.0, -4.0];
+        assert_eq!(solve_linear(&mut a, &mut b).unwrap(), vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn solves_general_system() {
+        // 2x + y = 5; x - y = 1  =>  x = 2, y = 1
+        let mut a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let mut b = vec![5.0, 1.0];
+        let x = solve_linear(&mut a, &mut b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // First pivot would be zero without row swap.
+        let mut a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let mut b = vec![2.0, 3.0];
+        let x = solve_linear(&mut a, &mut b).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let mut a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        let mut b = vec![1.0, 2.0];
+        assert!(solve_linear(&mut a, &mut b).is_none());
+    }
+
+    #[test]
+    fn three_by_three() {
+        let mut a = vec![
+            vec![3.0, 2.0, -1.0],
+            vec![2.0, -2.0, 4.0],
+            vec![-1.0, 0.5, -1.0],
+        ];
+        let mut b = vec![1.0, -2.0, 0.0];
+        let x = solve_linear(&mut a, &mut b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] + 2.0).abs() < 1e-9);
+        assert!((x[2] + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_line() {
+        // y = 2 + 3x, exactly.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![1.0, i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| 2.0 + 3.0 * i as f64).collect();
+        let beta = least_squares(&rows, &y, 0.0).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-9);
+        assert!((beta[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_overdetermined_noisy() {
+        // y = 1 + 0.5x with alternating ±0.1 noise: OLS averages it out.
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![1.0, i as f64]).collect();
+        let y: Vec<f64> = (0..100)
+            .map(|i| 1.0 + 0.5 * i as f64 + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let beta = least_squares(&rows, &y, 0.0).unwrap();
+        assert!((beta[0] - 1.0).abs() < 0.05, "intercept={}", beta[0]);
+        assert!((beta[1] - 0.5).abs() < 0.001, "slope={}", beta[1]);
+    }
+
+    #[test]
+    fn ridge_handles_collinearity() {
+        // Second regressor is an exact copy of the first: the unregularised
+        // normal equations are singular; ridge resolves it.
+        let rows: Vec<Vec<f64>> = (1..20).map(|i| vec![i as f64, i as f64]).collect();
+        let y: Vec<f64> = (1..20).map(|i| 2.0 * i as f64).collect();
+        assert!(least_squares(&rows, &y, 0.0).is_none());
+        let beta = least_squares(&rows, &y, 1e-6).unwrap();
+        // Ridge splits the weight across the duplicated columns.
+        assert!((beta[0] + beta[1] - 2.0).abs() < 1e-3, "{beta:?}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(least_squares(&[], &[], 0.0).is_none());
+        let beta = least_squares(&[vec![], vec![]], &[1.0, 2.0], 0.0).unwrap();
+        assert!(beta.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// For random well-conditioned diagonally-dominant systems, the
+        /// residual of the returned solution is tiny.
+        #[test]
+        fn solution_satisfies_system(
+            seedvals in proptest::collection::vec(-5.0f64..5.0, 9),
+            b in proptest::collection::vec(-10.0f64..10.0, 3),
+        ) {
+            let mut a: Vec<Vec<f64>> = (0..3)
+                .map(|i| (0..3).map(|j| seedvals[i * 3 + j]).collect())
+                .collect();
+            // Make diagonally dominant to guarantee solvability.
+            for i in 0..3 {
+                let row_sum: f64 = a[i].iter().map(|v| v.abs()).sum();
+                a[i][i] = row_sum + 1.0;
+            }
+            let a_copy = a.clone();
+            let mut b_copy = b.clone();
+            let x = solve_linear(&mut a, &mut b_copy).expect("dominant system solvable");
+            for i in 0..3 {
+                let lhs: f64 = (0..3).map(|j| a_copy[i][j] * x[j]).sum();
+                prop_assert!((lhs - b[i]).abs() < 1e-6, "row {i}: {lhs} vs {}", b[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Ablation benches for the design choices called out in DESIGN.md: how the
+//! tunables (WINMEAN window, LPF β, ARIMA refit interval) move the runtime
+//! cost. (Their *accuracy* impact is reported by
+//! `cargo run -p fd-experiments --bin ablations`.)
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_arima::ArimaSpec;
+use fd_core::predictor::{ArimaPredictor, Lpf, Predictor, WinMean};
+use fd_net::{DelayTrace, WanProfile};
+use fd_sim::SimDuration;
+
+fn delays(n: usize) -> Vec<f64> {
+    DelayTrace::record(&WanProfile::italy_japan(), n, SimDuration::from_secs(1), 13).delays_ms()
+}
+
+fn bench_winmean_window(c: &mut Criterion) {
+    let data = delays(4_096);
+    let mut group = c.benchmark_group("ablation_winmean_window");
+    for window in [2usize, 10, 50, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            let mut p = WinMean::new(w);
+            let mut i = 0;
+            b.iter(|| {
+                p.observe(data[i % data.len()]);
+                i += 1;
+                black_box(p.predict())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_lpf_beta(c: &mut Criterion) {
+    let data = delays(4_096);
+    let mut group = c.benchmark_group("ablation_lpf_beta");
+    for beta in [0.05f64, 0.125, 0.5] {
+        group.bench_with_input(BenchmarkId::from_parameter(beta), &beta, |b, &beta| {
+            let mut p = Lpf::new(beta);
+            let mut i = 0;
+            b.iter(|| {
+                p.observe(data[i % data.len()]);
+                i += 1;
+                black_box(p.predict())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_arima_refit_interval(c: &mut Criterion) {
+    // Whole-trace pass: the refit interval trades amortised cost against
+    // adaptivity (accuracy side in the `ablations` binary).
+    let data = delays(3_000);
+    let mut group = c.benchmark_group("ablation_arima_refit");
+    group.sample_size(10);
+    for refit in [250usize, 1_000, 4_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(refit), &refit, |b, &refit| {
+            b.iter(|| {
+                let mut p = ArimaPredictor::new(ArimaSpec::new(2, 1, 1), refit);
+                for &d in &data {
+                    p.observe(d);
+                }
+                black_box(p.predict())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_winmean_window,
+    bench_lpf_beta,
+    bench_arima_refit_interval
+);
+criterion_main!(benches);

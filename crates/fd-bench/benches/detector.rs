@@ -1,0 +1,82 @@
+//! Failure-detector step costs: a single heartbeat through one detector,
+//! through each margin type, and through the full 30-detector monitor (the
+//! multiplexed configuration of the experiments).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fd_core::{all_combinations, ConfidenceMargin, JacobsonMargin, SafetyMargin};
+use fd_sim::{SimDuration, SimTime};
+
+fn bench_margin_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("margin_update");
+    group.bench_function("SM_CI", |b| {
+        let mut m = ConfidenceMargin::new(2.0);
+        let mut i = 0u64;
+        b.iter(|| {
+            m.update(200.0 + (i % 13) as f64, (i % 7) as f64 - 3.0);
+            i += 1;
+            black_box(m.margin())
+        });
+    });
+    group.bench_function("SM_JAC", |b| {
+        let mut m = JacobsonMargin::new(2.0);
+        let mut i = 0u64;
+        b.iter(|| {
+            m.update(200.0 + (i % 13) as f64, (i % 7) as f64 - 3.0);
+            i += 1;
+            black_box(m.margin())
+        });
+    });
+    group.finish();
+}
+
+fn bench_detector_heartbeat(c: &mut Criterion) {
+    let eta = SimDuration::from_secs(1);
+    let mut group = c.benchmark_group("detector_heartbeat");
+
+    // The paper's recommended cheap combination.
+    group.bench_function("LAST+SM_JAC", |b| {
+        let combo = &all_combinations()[9]; // LAST × JAC_low
+        let mut fd = combo.build(eta);
+        let mut seq = 0u64;
+        b.iter(|| {
+            let arrival = SimTime::ZERO + eta * seq + SimDuration::from_millis(200);
+            black_box(fd.on_heartbeat(seq, arrival));
+            seq += 1;
+        });
+    });
+
+    // All 30 detectors fed the same heartbeat — one monitor step.
+    group.bench_function("all_30_multiplexed", |b| {
+        let mut detectors: Vec<_> = all_combinations().iter().map(|c| c.build(eta)).collect();
+        // Warm the ARIMA detectors past their first fit.
+        for seq in 0..512u64 {
+            let arrival = SimTime::ZERO + eta * seq + SimDuration::from_millis(200);
+            for fd in &mut detectors {
+                fd.on_heartbeat(seq, arrival);
+            }
+        }
+        let mut seq = 512u64;
+        b.iter(|| {
+            let arrival = SimTime::ZERO + eta * seq + SimDuration::from_millis(200);
+            for fd in &mut detectors {
+                black_box(fd.on_heartbeat(seq, arrival));
+            }
+            seq += 1;
+        });
+    });
+    group.finish();
+}
+
+fn bench_detector_check(c: &mut Criterion) {
+    let eta = SimDuration::from_secs(1);
+    c.bench_function("detector_check", |b| {
+        let combo = &all_combinations()[9];
+        let mut fd = combo.build(eta);
+        fd.on_heartbeat(0, SimTime::from_millis(200));
+        let now = SimTime::from_millis(500); // before the deadline
+        b.iter(|| black_box(fd.check(now)));
+    });
+}
+
+criterion_group!(benches, bench_margin_update, bench_detector_heartbeat, bench_detector_check);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Per-observation cost of each predictor.
+//!
+//! The paper's final remarks: "all the calculation methods seen have
+//! constant execution complexity, O(1), though different complexity for the
+//! realization". These benches quantify the constants.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_arima::ArimaSpec;
+use fd_core::predictor::{ArimaPredictor, Last, Lpf, Mean, Predictor, WinMean};
+use fd_net::{DelayTrace, WanProfile};
+use fd_sim::SimDuration;
+
+fn delays(n: usize) -> Vec<f64> {
+    DelayTrace::record(&WanProfile::italy_japan(), n, SimDuration::from_secs(1), 7).delays_ms()
+}
+
+fn bench_observe_predict(c: &mut Criterion) {
+    let data = delays(4_096);
+    let mut group = c.benchmark_group("predictor_step");
+    group.bench_function("LAST", |b| {
+        let mut p = Last::new();
+        let mut i = 0;
+        b.iter(|| {
+            p.observe(data[i % data.len()]);
+            i += 1;
+            black_box(p.predict())
+        });
+    });
+    group.bench_function("MEAN", |b| {
+        let mut p = Mean::new();
+        let mut i = 0;
+        b.iter(|| {
+            p.observe(data[i % data.len()]);
+            i += 1;
+            black_box(p.predict())
+        });
+    });
+    group.bench_function("WINMEAN(10)", |b| {
+        let mut p = WinMean::new(10);
+        let mut i = 0;
+        b.iter(|| {
+            p.observe(data[i % data.len()]);
+            i += 1;
+            black_box(p.predict())
+        });
+    });
+    group.bench_function("LPF(1/8)", |b| {
+        let mut p = Lpf::new(0.125);
+        let mut i = 0;
+        b.iter(|| {
+            p.observe(data[i % data.len()]);
+            i += 1;
+            black_box(p.predict())
+        });
+    });
+    // ARIMA's amortised step: the refit every 1000 observations is inside.
+    group.bench_function("ARIMA(2,1,1)-amortised", |b| {
+        let mut p = ArimaPredictor::new(ArimaSpec::new(2, 1, 1), 1_000);
+        // Warm past the first fit so the steady-state cost is measured.
+        for &d in &data {
+            p.observe(d);
+        }
+        let mut i = 0;
+        b.iter(|| {
+            p.observe(data[i % data.len()]);
+            i += 1;
+            black_box(p.predict())
+        });
+    });
+    group.finish();
+}
+
+fn bench_batch_accuracy_run(c: &mut Criterion) {
+    // The cost of the whole Table 3 scoring pass per predictor, scaled down.
+    let data = delays(2_000);
+    let mut group = c.benchmark_group("table3_scoring_pass");
+    group.sample_size(10);
+    for name in ["LAST", "MEAN", "WINMEAN", "LPF", "ARIMA"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
+            b.iter(|| {
+                let mut p: Box<dyn Predictor> = match *name {
+                    "LAST" => Box::new(Last::new()),
+                    "MEAN" => Box::new(Mean::new()),
+                    "WINMEAN" => Box::new(WinMean::new(10)),
+                    "LPF" => Box::new(Lpf::new(0.125)),
+                    _ => Box::new(ArimaPredictor::new(ArimaSpec::new(2, 1, 1), 1_000)),
+                };
+                let preds = fd_core::predictor::one_step_predictions(&mut *p, &data);
+                black_box(preds.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_observe_predict, bench_batch_accuracy_run);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Runtime substrate costs: layer dispatch, event-queue throughput and a
+//! consensus decision round.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fd_consensus::{run_consensus_experiment, ConsensusSetup};
+use fd_runtime::{Context, Layer, Message, Process, ProcessId};
+use fd_sim::{EventQueue, SimDuration, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop", |b| {
+        let mut q = EventQueue::with_capacity(1024);
+        let mut i = 0u64;
+        b.iter(|| {
+            // Keep a rolling population of ~512 events.
+            q.push(SimTime::from_micros(i % 1_000), i);
+            i += 1;
+            if q.len() > 512 {
+                black_box(q.pop());
+            }
+        });
+    });
+}
+
+fn bench_layer_dispatch(c: &mut Criterion) {
+    // A 4-layer pass-through stack: the per-message routing overhead of the
+    // Neko-style runtime.
+    struct Transparent;
+    impl Layer for Transparent {}
+    struct Sink {
+        count: u64,
+    }
+    impl Layer for Sink {
+        fn on_deliver(&mut self, _ctx: &mut Context, _msg: Message) {
+            self.count += 1;
+        }
+    }
+    c.bench_function("layer_stack_delivery_4deep", |b| {
+        let mut p = Process::new(ProcessId(0))
+            .with_layer(Transparent)
+            .with_layer(Transparent)
+            .with_layer(Transparent)
+            .with_layer(Sink { count: 0 });
+        let msg = Message::heartbeat(ProcessId(1), ProcessId(0), 0, SimTime::ZERO);
+        b.iter(|| black_box(p.deliver_from_network(SimTime::ZERO, msg.clone())));
+    });
+}
+
+fn bench_consensus_round(c: &mut Criterion) {
+    // One full failure-free consensus execution (3 processes, WAN links).
+    let mut group = c.benchmark_group("consensus");
+    group.sample_size(10);
+    group.bench_function("failure_free_3_processes", |b| {
+        b.iter(|| {
+            let setup = ConsensusSetup {
+                horizon: SimDuration::from_secs(10),
+                ..ConsensusSetup::default_wan(1)
+            };
+            black_box(run_consensus_experiment(&setup).deciders())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_layer_dispatch, bench_consensus_round);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! End-to-end costs: simulation-engine throughput and scaled-down runs of
+//! every experiment (one bench per paper table/figure).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fd_experiments::{
+    arima_selection_experiment, predictor_accuracy_experiment, run_qos_experiment,
+    run_qos_single, AccuracyParams, ExperimentParams, Metric,
+};
+use fd_net::{DelayTrace, WanProfile};
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    // One QoS run at small scale: measures engine + 30 detectors together.
+    let profile = WanProfile::italy_japan();
+    let params = ExperimentParams {
+        num_cycles: 300,
+        ..ExperimentParams::quick()
+    };
+    let mut group = c.benchmark_group("sim_engine");
+    group.sample_size(10);
+    group.bench_function("qos_run_300_cycles_30_detectors", |b| {
+        b.iter(|| black_box(run_qos_single(&profile, &params, 0).0.len()));
+    });
+    group.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let profile = WanProfile::italy_japan();
+    let params = AccuracyParams {
+        n_one_way: 3_000,
+        ..AccuracyParams::quick()
+    };
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("table3_predictor_accuracy_3k", |b| {
+        b.iter(|| black_box(predictor_accuracy_experiment(&profile, &params)));
+    });
+    group.finish();
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let profile = WanProfile::italy_japan();
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("table4_link_characterisation_10k", |b| {
+        b.iter(|| {
+            let trace = DelayTrace::record(
+                &profile,
+                10_000,
+                fd_sim::SimDuration::from_secs(1),
+                11,
+            );
+            black_box(trace.characteristics())
+        });
+    });
+    group.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let profile = WanProfile::italy_japan();
+    let params = AccuracyParams {
+        n_one_way: 1_500,
+        ..AccuracyParams::quick()
+    };
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("table2_arima_identification_small", |b| {
+        b.iter(|| black_box(arima_selection_experiment(&profile, &params, 2, 1, 1)));
+    });
+    group.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    // The full Figures 4–8 pipeline at reduced scale (all five figures share
+    // one experiment, exactly as in the paper).
+    let profile = WanProfile::italy_japan();
+    let params = ExperimentParams {
+        num_cycles: 400,
+        runs: 1,
+        ..ExperimentParams::quick()
+    };
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("figures4to8_one_run_400_cycles", |b| {
+        b.iter(|| {
+            let results = run_qos_experiment(&profile, &params);
+            for m in Metric::all() {
+                black_box(results.figure(m));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_throughput,
+    bench_table2,
+    bench_table3,
+    bench_table4,
+    bench_figures
+);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Benchmark-only crate: see the `benches/` directory.
+//!
+//! * `predictors` — per-observation cost of each predictor (the paper's
+//!   O(1) complexity remark) and ARIMA refit cost;
+//! * `detector` — failure-detector step cost, alone and 30-multiplexed;
+//! * `arima` — fit cost by order and window length, selection grid cost;
+//! * `simulation` — simulation-engine throughput and scaled end-to-end
+//!   experiment runs (one per table/figure);
+//! * `ablation` — parameter sweeps behind the design choices (WINMEAN
+//!   window, LPF β, ARIMA refit interval, margin parameters).

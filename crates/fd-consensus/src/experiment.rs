@@ -1,0 +1,278 @@
+//! The FD-QoS → consensus-QoS experiment.
+//!
+//! `n` consensus participants run over a full mesh of WAN links, each
+//! heartbeating to every other and monitoring coordinators with the
+//! configured predictor × margin combination. Optionally the round-0
+//! coordinator is crashed at a scripted instant, so the decision latency
+//! directly exposes the failure detector's detection time — the dependency
+//! studied by Coccoli et al. (the paper's reference \[6\]).
+
+use fd_core::Combination;
+use fd_experiments::{HeartbeaterLayer, SimCrashLayer};
+use fd_net::WanProfile;
+use fd_runtime::{Process, ProcessId, SimEngine};
+use fd_sim::{SeedTree, SimDuration, SimTime};
+use fd_stat::EventLog;
+
+use crate::layer::ConsensusLayer;
+use crate::metrics::{decided_values, decision_latencies, max_rounds};
+
+/// Configuration of one consensus run.
+#[derive(Debug, Clone)]
+pub struct ConsensusSetup {
+    /// Number of participants (≥ 2; tolerance is ⌈n/2⌉−1 crashes).
+    pub n: u16,
+    /// The failure-detector combination every participant uses.
+    pub fd_combo: Combination,
+    /// Heartbeat period.
+    pub eta: SimDuration,
+    /// The link profile of every directed pair.
+    pub profile: WanProfile,
+    /// If set, crash the round-0 coordinator (p0) at this offset, fail-stop.
+    pub crash_coordinator_after: Option<SimDuration>,
+    /// Delay before the protocol's first round (heartbeats run from time 0,
+    /// warming the failure detectors).
+    pub start_after: SimDuration,
+    /// Simulation horizon.
+    pub horizon: SimDuration,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl ConsensusSetup {
+    /// A 3-process WAN setup with the paper's recommended detector.
+    pub fn default_wan(seed: u64) -> Self {
+        ConsensusSetup {
+            n: 3,
+            fd_combo: Combination::new(
+                fd_core::PredictorKind::Last,
+                fd_core::MarginKind::Jac { phi: 2.0 },
+            ),
+            eta: SimDuration::from_secs(1),
+            profile: WanProfile::italy_japan(),
+            crash_coordinator_after: None,
+            start_after: SimDuration::ZERO,
+            horizon: SimDuration::from_secs(120),
+            seed,
+        }
+    }
+}
+
+/// The outcome of a consensus run.
+#[derive(Debug, Clone)]
+pub struct ConsensusOutcome {
+    /// The decided value per deciding process.
+    pub decisions: std::collections::BTreeMap<ProcessId, u64>,
+    /// First decision instant per deciding process.
+    pub latencies: std::collections::BTreeMap<ProcessId, SimTime>,
+    /// Highest round reached per process.
+    pub rounds: std::collections::BTreeMap<ProcessId, u64>,
+    /// The full event log (for further analysis).
+    pub log: EventLog,
+    /// The initial values, indexed by process.
+    pub initial_values: Vec<u64>,
+    /// Total messages placed on the links (heartbeats + protocol).
+    pub messages_sent: u64,
+}
+
+impl ConsensusOutcome {
+    /// Uniform agreement: no two processes decided differently.
+    pub fn agreement(&self) -> bool {
+        let mut values = self.decisions.values();
+        match values.next() {
+            None => true,
+            Some(first) => values.all(|v| v == first),
+        }
+    }
+
+    /// Validity: every decision is one of the initial values.
+    pub fn validity(&self) -> bool {
+        self.decisions
+            .values()
+            .all(|v| self.initial_values.contains(v))
+    }
+
+    /// The latest decision instant among deciders, if any decided.
+    pub fn last_decision(&self) -> Option<SimTime> {
+        self.latencies.values().max().copied()
+    }
+
+    /// Number of processes that decided.
+    pub fn deciders(&self) -> usize {
+        self.decisions.len()
+    }
+}
+
+/// Runs one consensus execution and extracts its outcome.
+///
+/// Process `i` proposes value `100 + i`; every pair of processes is
+/// connected by an independently seeded instance of the profile's link.
+pub fn run_consensus_experiment(setup: &ConsensusSetup) -> ConsensusOutcome {
+    let n = setup.n;
+    assert!(n >= 2, "consensus needs at least two processes");
+    let seeds = SeedTree::new(setup.seed).subtree("consensus");
+    let peers: Vec<ProcessId> = (0..n).map(ProcessId).collect();
+    let initial_values: Vec<u64> = (0..n).map(|i| 100 + u64::from(i)).collect();
+
+    let mut engine = SimEngine::new();
+    for &me in &peers {
+        let mut proc = Process::new(me);
+        if me == ProcessId(0) {
+            if let Some(after) = setup.crash_coordinator_after {
+                proc = proc.with_layer(SimCrashLayer::once_at(after, None));
+            }
+        }
+        for &other in &peers {
+            if other != me {
+                proc = proc.with_layer(HeartbeaterLayer::new(other, setup.eta));
+            }
+        }
+        proc = proc.with_layer(
+            ConsensusLayer::new(
+                me,
+                peers.clone(),
+                initial_values[me.0 as usize],
+                setup.fd_combo,
+                setup.eta,
+            )
+            .with_start_delay(setup.start_after),
+        );
+        engine.add_process(proc);
+    }
+    for &a in &peers {
+        for &b in &peers {
+            if a != b {
+                let label = format!("link-{}-{}", a.0, b.0);
+                engine.set_link(a, b, setup.profile.link(seeds.rng(&label)));
+            }
+        }
+    }
+
+    engine.run_until(SimTime::ZERO + setup.horizon);
+    let mut messages_sent = 0;
+    for &a in &peers {
+        for &b in &peers {
+            if a != b {
+                messages_sent += engine.link_stats(a, b).map_or(0, |s| s.sent);
+            }
+        }
+    }
+    let log = engine.into_event_log();
+    ConsensusOutcome {
+        decisions: decided_values(&log),
+        latencies: decision_latencies(&log),
+        rounds: max_rounds(&log),
+        initial_values,
+        messages_sent,
+        log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_free_run_decides_quickly_in_round_zero() {
+        let setup = ConsensusSetup::default_wan(1);
+        let outcome = run_consensus_experiment(&setup);
+        assert_eq!(outcome.deciders(), 3, "{:?}", outcome.decisions);
+        assert!(outcome.agreement());
+        assert!(outcome.validity());
+        assert!(outcome.messages_sent > 0);
+        // Round 0 suffices without failures.
+        assert!(outcome.rounds.values().all(|&r| r == 0), "{:?}", outcome.rounds);
+        // A couple of WAN round trips: well under two seconds.
+        let last = outcome.last_decision().unwrap();
+        assert!(last < SimTime::from_secs(2), "decided at {last}");
+    }
+
+    #[test]
+    fn coordinator_crash_is_survived() {
+        let setup = ConsensusSetup {
+            crash_coordinator_after: Some(SimDuration::from_millis(350)),
+            ..ConsensusSetup::default_wan(2)
+        };
+        let outcome = run_consensus_experiment(&setup);
+        // The two survivors are a majority of 3: they must decide and agree.
+        let survivors = [ProcessId(1), ProcessId(2)];
+        for p in survivors {
+            assert!(outcome.decisions.contains_key(&p), "{p} undecided: {:?}", outcome.decisions);
+        }
+        assert!(outcome.agreement());
+        assert!(outcome.validity());
+        // At least one rotation happened.
+        assert!(outcome.rounds.values().any(|&r| r >= 1), "{:?}", outcome.rounds);
+    }
+
+    #[test]
+    fn crash_after_decision_changes_nothing() {
+        let setup = ConsensusSetup {
+            crash_coordinator_after: Some(SimDuration::from_secs(60)),
+            ..ConsensusSetup::default_wan(3)
+        };
+        let outcome = run_consensus_experiment(&setup);
+        assert_eq!(outcome.deciders(), 3);
+        assert!(outcome.agreement());
+        assert!(outcome.rounds.values().all(|&r| r == 0));
+    }
+
+    #[test]
+    fn five_processes_survive_two_crashes_worth_of_rotation() {
+        // Only p0 crashes here, but with n = 5 the protocol tolerates it
+        // comfortably and all four survivors decide.
+        let setup = ConsensusSetup {
+            n: 5,
+            crash_coordinator_after: Some(SimDuration::from_millis(200)),
+            ..ConsensusSetup::default_wan(4)
+        };
+        let outcome = run_consensus_experiment(&setup);
+        assert!(outcome.deciders() >= 4, "{:?}", outcome.decisions);
+        assert!(outcome.agreement());
+        assert!(outcome.validity());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let setup = ConsensusSetup::default_wan(5);
+        let a = run_consensus_experiment(&setup);
+        let b = run_consensus_experiment(&setup);
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.latencies, b.latencies);
+    }
+
+    #[test]
+    fn faster_detector_decides_faster_after_coordinator_crash() {
+        // The headline relation of the paper's reference [6]: detector delay
+        // flows through to consensus latency. Heartbeats warm the detectors
+        // for 30 s; the coordinator crashes just before the protocol starts,
+        // so the first round stalls on failure detection. Same predictor,
+        // different margins: the tighter margin decides no later.
+        let base = ConsensusSetup {
+            crash_coordinator_after: Some(SimDuration::from_millis(29_500)),
+            start_after: SimDuration::from_secs(30),
+            ..ConsensusSetup::default_wan(6)
+        };
+        let fast = ConsensusSetup {
+            fd_combo: Combination::new(
+                fd_core::PredictorKind::Last,
+                fd_core::MarginKind::Jac { phi: 1.0 },
+            ),
+            ..base.clone()
+        };
+        let slow = ConsensusSetup {
+            fd_combo: Combination::new(
+                fd_core::PredictorKind::Last,
+                fd_core::MarginKind::Ci { gamma: 3.31 },
+            ),
+            ..base
+        };
+        let a = run_consensus_experiment(&fast);
+        let b = run_consensus_experiment(&slow);
+        let la = a.last_decision().expect("fast decided");
+        let lb = b.last_decision().expect("slow decided");
+        assert!(la <= lb, "fast {la} vs slow {lb}");
+        // And both decide within a couple of ηs of the crash-start.
+        assert!(la < SimTime::from_secs(35), "la={la}");
+    }
+}

@@ -1,0 +1,612 @@
+//! The consensus protocol as a runtime layer.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fd_core::{Combination, FailureDetector};
+use fd_runtime::{Context, Layer, Message, MessageKind, ProcessId, TimerId};
+use fd_sim::{SimDuration, SimTime};
+use fd_stat::EventKind;
+
+use crate::metrics::{APP_DECIDED, APP_ROUND};
+use crate::wire::ConsensusMsg;
+
+const TIMER_TICK: TimerId = 0;
+const TIMER_START: TimerId = 1;
+/// How many extra Decide floods a decided process performs on later ticks.
+const DECIDE_REBROADCASTS: u32 = 3;
+
+/// A participant in rotating-coordinator consensus.
+///
+/// Stack it above the heartbeater layers of its process; it consumes
+/// heartbeats into its per-peer failure detectors and `Data` messages into
+/// the protocol.
+pub struct ConsensusLayer {
+    me: ProcessId,
+    peers: Vec<ProcessId>,
+    majority: usize,
+    initial: u64,
+
+    estimate: u64,
+    ts: u64,
+    round: u64,
+    decided: Option<u64>,
+    decide_floods_left: u32,
+
+    // Round-local state.
+    estimates: BTreeMap<ProcessId, (u64, u64)>,
+    acks: BTreeSet<ProcessId>,
+    proposal: Option<u64>,
+    nacked: bool,
+    adopted: bool,
+    round_deadline: Option<SimTime>,
+
+    fds: BTreeMap<ProcessId, FailureDetector>,
+    tick: SimDuration,
+    round_timeout: SimDuration,
+    start_delay: SimDuration,
+    started: bool,
+    rounds_started: u64,
+}
+
+impl std::fmt::Debug for ConsensusLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConsensusLayer")
+            .field("me", &self.me)
+            .field("round", &self.round)
+            .field("estimate", &self.estimate)
+            .field("decided", &self.decided)
+            .field("rounds_started", &self.rounds_started)
+            .finish()
+    }
+}
+
+impl ConsensusLayer {
+    /// Creates a participant.
+    ///
+    /// * `peers` — every participant including `me` (same list everywhere);
+    /// * `initial` — this process's proposed value;
+    /// * `fd_combo` — the predictor × margin combination used to monitor the
+    ///   coordinators (`eta` must match the heartbeat period in use);
+    /// * `eta` — the heartbeat period of the accompanying heartbeaters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peers` does not contain `me` or has fewer than 2 entries.
+    pub fn new(
+        me: ProcessId,
+        peers: Vec<ProcessId>,
+        initial: u64,
+        fd_combo: Combination,
+        eta: SimDuration,
+    ) -> Self {
+        assert!(peers.len() >= 2, "consensus needs at least two processes");
+        assert!(peers.contains(&me), "peers must include this process");
+        let fds = peers
+            .iter()
+            .filter(|&&p| p != me)
+            .map(|&p| (p, fd_combo.build(eta)))
+            .collect();
+        let majority = peers.len() / 2 + 1;
+        Self {
+            me,
+            peers,
+            majority,
+            initial,
+            estimate: initial,
+            ts: 0,
+            round: 0,
+            decided: None,
+            decide_floods_left: 0,
+            estimates: BTreeMap::new(),
+            acks: BTreeSet::new(),
+            proposal: None,
+            nacked: false,
+            adopted: false,
+            round_deadline: None,
+            fds,
+            start_delay: SimDuration::ZERO,
+            started: false,
+            tick: SimDuration::from_millis(100),
+            // Long enough for several round trips on a WAN; short enough to
+            // recover promptly from the stuck-round corner cases.
+            round_timeout: SimDuration::from_secs(8),
+            rounds_started: 0,
+        }
+    }
+
+    /// Overrides the protocol tick (retransmission/FD-poll period).
+    pub fn with_tick(mut self, tick: SimDuration) -> Self {
+        self.tick = tick;
+        self
+    }
+
+    /// Overrides the stuck-round timeout.
+    pub fn with_round_timeout(mut self, timeout: SimDuration) -> Self {
+        self.round_timeout = timeout;
+        self
+    }
+
+    /// Delays the start of the protocol (heartbeats flow immediately, so
+    /// the failure detectors warm up before the first round).
+    pub fn with_start_delay(mut self, delay: SimDuration) -> Self {
+        self.start_delay = delay;
+        self
+    }
+
+    /// The decided value, if any.
+    pub fn decided(&self) -> Option<u64> {
+        self.decided
+    }
+
+    /// The current round.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// This process's initial proposal.
+    pub fn initial(&self) -> u64 {
+        self.initial
+    }
+
+    fn coordinator(&self, round: u64) -> ProcessId {
+        self.peers[(round % self.peers.len() as u64) as usize]
+    }
+
+    fn send_msg(&self, ctx: &mut Context, to: ProcessId, msg: ConsensusMsg) {
+        ctx.send(Message::data(self.me, to, 0, ctx.now(), msg.encode()));
+    }
+
+    fn broadcast(&self, ctx: &mut Context, msg: ConsensusMsg) {
+        for &p in &self.peers {
+            if p != self.me {
+                self.send_msg(ctx, p, msg);
+            }
+        }
+    }
+
+    fn decide(&mut self, ctx: &mut Context, value: u64) {
+        if self.decided.is_some() {
+            return;
+        }
+        self.decided = Some(value);
+        self.decide_floods_left = DECIDE_REBROADCASTS;
+        ctx.emit(EventKind::App { code: APP_DECIDED, value });
+        self.broadcast(ctx, ConsensusMsg::Decide { value });
+    }
+
+    fn send_estimate(&mut self, ctx: &mut Context) {
+        let coord = self.coordinator(self.round);
+        let est = ConsensusMsg::Estimate {
+            round: self.round,
+            value: self.estimate,
+            ts: self.ts,
+        };
+        if coord == self.me {
+            self.estimates.insert(self.me, (self.estimate, self.ts));
+            self.try_propose(ctx);
+        } else {
+            self.send_msg(ctx, coord, est);
+        }
+    }
+
+    fn advance_round(&mut self, ctx: &mut Context, new_round: u64) {
+        debug_assert!(new_round > self.round || self.rounds_started == 0);
+        self.round = new_round;
+        self.rounds_started += 1;
+        self.estimates.clear();
+        self.acks.clear();
+        self.proposal = None;
+        self.nacked = false;
+        self.adopted = false;
+        self.round_deadline = Some(ctx.now() + self.round_timeout);
+        ctx.emit(EventKind::App { code: APP_ROUND, value: new_round });
+        self.send_estimate(ctx);
+    }
+
+    /// Coordinator: propose once a majority of estimates is in.
+    fn try_propose(&mut self, ctx: &mut Context) {
+        if self.proposal.is_some()
+            || self.decided.is_some()
+            || self.coordinator(self.round) != self.me
+            || self.estimates.len() < self.majority
+        {
+            return;
+        }
+        let (&value, _) = self
+            .estimates
+            .values()
+            .map(|(v, t)| (v, t))
+            .max_by_key(|&(_, t)| *t)
+            .expect("majority is non-empty");
+        self.proposal = Some(value);
+        // The coordinator adopts its own proposal and acks it.
+        self.estimate = value;
+        self.ts = self.round;
+        self.acks.insert(self.me);
+        self.broadcast(ctx, ConsensusMsg::Propose { round: self.round, value });
+        self.try_decide(ctx);
+    }
+
+    /// Coordinator: decide once a majority of acks is in.
+    fn try_decide(&mut self, ctx: &mut Context) {
+        if self.decided.is_some() {
+            return;
+        }
+        if let Some(value) = self.proposal {
+            if self.acks.len() >= self.majority {
+                self.decide(ctx, value);
+            }
+        }
+    }
+
+    fn on_consensus_msg(&mut self, ctx: &mut Context, from: ProcessId, msg: ConsensusMsg) {
+        // A decided process answers everything with the decision.
+        if let Some(value) = self.decided {
+            if !matches!(msg, ConsensusMsg::Decide { .. }) {
+                self.send_msg(ctx, from, ConsensusMsg::Decide { value });
+            }
+            return;
+        }
+
+        // Fast-forward when the cluster has moved past this process.
+        let msg_round = match msg {
+            ConsensusMsg::Estimate { round, .. }
+            | ConsensusMsg::Propose { round, .. }
+            | ConsensusMsg::Ack { round }
+            | ConsensusMsg::Nack { round } => Some(round),
+            ConsensusMsg::Decide { .. } => None,
+        };
+        if let Some(r) = msg_round {
+            if r > self.round {
+                self.advance_round(ctx, r);
+            }
+        }
+
+        match msg {
+            ConsensusMsg::Estimate { round, value, ts } => {
+                if round == self.round && self.coordinator(round) == self.me {
+                    self.estimates.insert(from, (value, ts));
+                    self.try_propose(ctx);
+                }
+            }
+            ConsensusMsg::Propose { round, value } => {
+                if round == self.round && from == self.coordinator(round) && !self.nacked {
+                    self.estimate = value;
+                    self.ts = round;
+                    self.adopted = true;
+                    self.send_msg(ctx, from, ConsensusMsg::Ack { round });
+                }
+            }
+            ConsensusMsg::Ack { round } => {
+                if round == self.round && self.coordinator(round) == self.me {
+                    self.acks.insert(from);
+                    self.try_decide(ctx);
+                }
+            }
+            ConsensusMsg::Nack { round } => {
+                if round == self.round && self.coordinator(round) == self.me {
+                    // This round is burnt; rotate.
+                    self.advance_round(ctx, round + 1);
+                }
+            }
+            ConsensusMsg::Decide { value } => self.decide(ctx, value),
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut Context) {
+        let now = ctx.now();
+
+        if let Some(value) = self.decided {
+            if self.decide_floods_left > 0 {
+                self.decide_floods_left -= 1;
+                self.broadcast(ctx, ConsensusMsg::Decide { value });
+                ctx.set_timer(self.tick, TIMER_TICK);
+            }
+            // Once the floods are spent, the layer goes quiet.
+            return;
+        }
+
+        // Poll the failure detectors.
+        for fd in self.fds.values_mut() {
+            fd.check(now);
+        }
+
+        let coord = self.coordinator(self.round);
+        let coord_suspected = coord != self.me
+            && self.fds.get(&coord).is_some_and(|fd| fd.is_suspecting());
+        let timed_out = self.round_deadline.is_some_and(|d| now >= d);
+
+        if coord_suspected || timed_out {
+            if coord != self.me && !self.nacked {
+                self.send_msg(ctx, coord, ConsensusMsg::Nack { round: self.round });
+            }
+            self.advance_round(ctx, self.round + 1);
+        } else {
+            // Retransmit the current phase's messages (UDP-style links).
+            self.send_estimate(ctx);
+            if let Some(value) = self.proposal {
+                self.broadcast(ctx, ConsensusMsg::Propose { round: self.round, value });
+            }
+            if self.adopted && coord != self.me {
+                self.send_msg(ctx, coord, ConsensusMsg::Ack { round: self.round });
+            }
+        }
+
+        ctx.set_timer(self.tick, TIMER_TICK);
+    }
+}
+
+impl ConsensusLayer {
+    fn start_protocol(&mut self, ctx: &mut Context) {
+        self.started = true;
+        self.round_deadline = Some(ctx.now() + self.round_timeout);
+        ctx.emit(EventKind::App { code: APP_ROUND, value: 0 });
+        self.send_estimate(ctx);
+        ctx.set_timer(self.tick, TIMER_TICK);
+    }
+}
+
+impl Layer for ConsensusLayer {
+    fn on_start(&mut self, ctx: &mut Context) {
+        if self.start_delay.is_zero() {
+            self.start_protocol(ctx);
+        } else {
+            ctx.set_timer(self.start_delay, TIMER_START);
+        }
+    }
+
+    fn on_deliver(&mut self, ctx: &mut Context, msg: Message) {
+        match msg.kind {
+            MessageKind::Heartbeat => {
+                if let Some(fd) = self.fds.get_mut(&msg.from) {
+                    fd.on_heartbeat(msg.seq, ctx.now());
+                }
+            }
+            MessageKind::Data(ref payload) => {
+                if !self.started {
+                    // Another participant started earlier: join in.
+                    self.start_protocol(ctx);
+                }
+                if let Some(cmsg) = ConsensusMsg::decode(payload) {
+                    self.on_consensus_msg(ctx, msg.from, cmsg);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context, id: TimerId) {
+        match id {
+            TIMER_TICK => self.on_tick(ctx),
+            TIMER_START
+                if !self.started => {
+                    self.start_protocol(ctx);
+                }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "consensus"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::{MarginKind, PredictorKind};
+
+    fn combo() -> Combination {
+        Combination::new(PredictorKind::Last, MarginKind::Jac { phi: 2.0 })
+    }
+
+    fn layer(me: u16, n: u16, initial: u64) -> ConsensusLayer {
+        let peers: Vec<ProcessId> = (0..n).map(ProcessId).collect();
+        ConsensusLayer::new(
+            ProcessId(me),
+            peers,
+            initial,
+            combo(),
+            SimDuration::from_millis(200),
+        )
+    }
+
+    fn drain(ctx: &mut Context) -> Vec<fd_runtime::Action> {
+        ctx.take_actions()
+    }
+
+    fn sent_consensus(actions: &[fd_runtime::Action]) -> Vec<(ProcessId, ConsensusMsg)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                fd_runtime::Action::Send(m) => match &m.kind {
+                    MessageKind::Data(p) => ConsensusMsg::decode(p).map(|c| (m.to, c)),
+                    MessageKind::Heartbeat => None,
+                },
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn participant_sends_estimate_to_coordinator_on_start() {
+        let mut l = layer(1, 3, 42);
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(1));
+        l.on_start(&mut ctx);
+        let sent = sent_consensus(&drain(&mut ctx));
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].0, ProcessId(0)); // coord(0) = p0
+        assert!(matches!(
+            sent[0].1,
+            ConsensusMsg::Estimate { round: 0, value: 42, ts: 0 }
+        ));
+    }
+
+    #[test]
+    fn coordinator_proposes_after_majority_estimates() {
+        let mut l = layer(0, 3, 10);
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
+        l.on_start(&mut ctx); // records its own estimate (1 of 2 needed)
+        drain(&mut ctx);
+        // Second estimate arrives with a higher timestamp: its value wins.
+        let mut ctx = Context::new(SimTime::from_millis(10), ProcessId(0));
+        l.on_consensus_msg(
+            &mut ctx,
+            ProcessId(1),
+            ConsensusMsg::Estimate { round: 0, value: 77, ts: 3 },
+        );
+        let sent = sent_consensus(&drain(&mut ctx));
+        let proposes: Vec<_> = sent
+            .iter()
+            .filter(|(_, m)| matches!(m, ConsensusMsg::Propose { round: 0, value: 77 }))
+            .collect();
+        assert_eq!(proposes.len(), 2, "proposal broadcast to both peers: {sent:?}");
+        assert_eq!(l.estimate, 77);
+    }
+
+    #[test]
+    fn coordinator_decides_after_majority_acks() {
+        let mut l = layer(0, 3, 10);
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
+        l.on_start(&mut ctx);
+        drain(&mut ctx);
+        let mut ctx = Context::new(SimTime::from_millis(10), ProcessId(0));
+        l.on_consensus_msg(
+            &mut ctx,
+            ProcessId(1),
+            ConsensusMsg::Estimate { round: 0, value: 10, ts: 0 },
+        );
+        drain(&mut ctx);
+        // Coordinator self-acked at proposal time; one more ack = majority.
+        let mut ctx = Context::new(SimTime::from_millis(20), ProcessId(0));
+        l.on_consensus_msg(&mut ctx, ProcessId(1), ConsensusMsg::Ack { round: 0 });
+        let actions = drain(&mut ctx);
+        assert_eq!(l.decided(), Some(10));
+        let decided_events = actions
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a,
+                    fd_runtime::Action::Emit(EventKind::App { code, .. }) if *code == APP_DECIDED
+                )
+            })
+            .count();
+        assert_eq!(decided_events, 1);
+    }
+
+    #[test]
+    fn participant_adopts_and_acks_proposal() {
+        let mut l = layer(1, 3, 5);
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(1));
+        l.on_start(&mut ctx);
+        drain(&mut ctx);
+        let mut ctx = Context::new(SimTime::from_millis(5), ProcessId(1));
+        l.on_consensus_msg(
+            &mut ctx,
+            ProcessId(0),
+            ConsensusMsg::Propose { round: 0, value: 99 },
+        );
+        let sent = sent_consensus(&drain(&mut ctx));
+        assert!(sent
+            .iter()
+            .any(|(to, m)| *to == ProcessId(0) && matches!(m, ConsensusMsg::Ack { round: 0 })));
+        assert_eq!(l.estimate, 99);
+        assert_eq!(l.ts, 0);
+    }
+
+    #[test]
+    fn proposal_from_non_coordinator_is_ignored() {
+        let mut l = layer(1, 3, 5);
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(1));
+        l.on_start(&mut ctx);
+        drain(&mut ctx);
+        let mut ctx = Context::new(SimTime::from_millis(5), ProcessId(1));
+        // p2 is not coord of round 0.
+        l.on_consensus_msg(
+            &mut ctx,
+            ProcessId(2),
+            ConsensusMsg::Propose { round: 0, value: 99 },
+        );
+        assert_eq!(l.estimate, 5, "estimate unchanged");
+        assert!(sent_consensus(&drain(&mut ctx)).is_empty());
+    }
+
+    #[test]
+    fn nack_rotates_the_coordinator() {
+        let mut l = layer(0, 3, 10);
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
+        l.on_start(&mut ctx);
+        drain(&mut ctx);
+        let mut ctx = Context::new(SimTime::from_millis(5), ProcessId(0));
+        l.on_consensus_msg(&mut ctx, ProcessId(2), ConsensusMsg::Nack { round: 0 });
+        assert_eq!(l.round(), 1);
+        // The new round's estimate goes to coord(1) = p1.
+        let sent = sent_consensus(&drain(&mut ctx));
+        assert!(sent
+            .iter()
+            .any(|(to, m)| *to == ProcessId(1) && matches!(m, ConsensusMsg::Estimate { round: 1, .. })));
+    }
+
+    #[test]
+    fn higher_round_messages_fast_forward() {
+        let mut l = layer(2, 3, 1);
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(2));
+        l.on_start(&mut ctx);
+        drain(&mut ctx);
+        let mut ctx = Context::new(SimTime::from_millis(5), ProcessId(2));
+        // Round 2's coordinator is p2 itself: an estimate for round 2 both
+        // fast-forwards and registers.
+        l.on_consensus_msg(
+            &mut ctx,
+            ProcessId(0),
+            ConsensusMsg::Estimate { round: 2, value: 8, ts: 1 },
+        );
+        assert_eq!(l.round(), 2);
+    }
+
+    #[test]
+    fn decided_process_answers_with_decision() {
+        let mut l = layer(1, 3, 5);
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(1));
+        l.on_start(&mut ctx);
+        drain(&mut ctx);
+        let mut ctx = Context::new(SimTime::from_millis(5), ProcessId(1));
+        l.on_consensus_msg(&mut ctx, ProcessId(0), ConsensusMsg::Decide { value: 123 });
+        drain(&mut ctx);
+        assert_eq!(l.decided(), Some(123));
+        // A late estimate gets the decision back.
+        let mut ctx = Context::new(SimTime::from_millis(10), ProcessId(1));
+        l.on_consensus_msg(
+            &mut ctx,
+            ProcessId(2),
+            ConsensusMsg::Estimate { round: 0, value: 1, ts: 0 },
+        );
+        let sent = sent_consensus(&drain(&mut ctx));
+        assert!(sent
+            .iter()
+            .any(|(to, m)| *to == ProcessId(2) && matches!(m, ConsensusMsg::Decide { value: 123 })));
+    }
+
+    #[test]
+    fn round_timeout_forces_progress() {
+        let mut l = layer(1, 3, 5).with_round_timeout(SimDuration::from_secs(2));
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(1));
+        l.on_start(&mut ctx);
+        drain(&mut ctx);
+        // Nothing happens for 3 s; the tick notices the stuck round.
+        let mut ctx = Context::new(SimTime::from_secs(3), ProcessId(1));
+        l.on_tick(&mut ctx);
+        assert_eq!(l.round(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_process_rejected() {
+        let _ = ConsensusLayer::new(
+            ProcessId(0),
+            vec![ProcessId(0)],
+            1,
+            combo(),
+            SimDuration::from_secs(1),
+        );
+    }
+}

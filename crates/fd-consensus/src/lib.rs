@@ -1,0 +1,41 @@
+//! Rotating-coordinator consensus on top of the failure detectors.
+//!
+//! The paper motivates failure-detector QoS through its impact on upper
+//! layers and cites Coccoli, Urbán, Bondavalli & Schiper (DSN 2002), who
+//! measured "the relation between accuracy and delay of the failure detector
+//! and the QoS of a typical consensus algorithm that uses it". This crate
+//! closes that loop inside the reproduction: a Chandra–Toueg-style
+//! rotating-coordinator consensus runs over the same layered runtime, driven
+//! by the same predictor+margin failure detectors, so the FD's `T_D` and
+//! `P_A` translate directly into decision latency and wasted rounds.
+//!
+//! The protocol (crash-stop, `f < n/2`, ◇S-style detector per process):
+//!
+//! 1. every process sends its timestamped estimate to the round's
+//!    coordinator (`coord(r) = r mod n`);
+//! 2. the coordinator collects a majority of estimates, adopts the one with
+//!    the highest timestamp and broadcasts it as the round's proposal;
+//! 3. a participant either adopts + ACKs the proposal, or — if its failure
+//!    detector suspects the coordinator — NACKs and moves to the next round;
+//! 4. a majority of ACKs lets the coordinator decide and (reliably, by
+//!    re-flooding) broadcast the decision.
+//!
+//! Messages ride UDP-like lossy links, so every protocol message is
+//! periodically retransmitted until it becomes obsolete; handling is
+//! idempotent.
+//!
+//! [`metrics::decision_latencies`] extracts the per-process decision times
+//! from the event log (recorded as [`fd_stat::EventKind::App`] events), and
+//! [`experiment::run_consensus_experiment`] measures decision latency under
+//! a coordinator crash for a configurable failure detector — the
+//! FD-QoS → consensus-QoS curve.
+
+pub mod experiment;
+pub mod layer;
+pub mod metrics;
+pub mod wire;
+
+pub use experiment::{run_consensus_experiment, ConsensusOutcome, ConsensusSetup};
+pub use layer::ConsensusLayer;
+pub use metrics::{decision_latencies, decided_values, APP_DECIDED, APP_ROUND};
+pub use wire::ConsensusMsg;

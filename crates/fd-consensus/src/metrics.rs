@@ -1,0 +1,72 @@
+//! Extraction of consensus QoS from the event log.
+
+use std::collections::BTreeMap;
+
+use fd_sim::SimTime;
+use fd_stat::{EventKind, EventLog, ProcessId};
+
+/// Application-event code: a process decided; `value` is the decided value.
+pub const APP_DECIDED: u32 = 1;
+/// Application-event code: a process entered a round; `value` is the round.
+pub const APP_ROUND: u32 = 2;
+
+/// The first decision instant of every process that decided.
+pub fn decision_latencies(log: &EventLog) -> BTreeMap<ProcessId, SimTime> {
+    let mut out = BTreeMap::new();
+    for e in log {
+        if let EventKind::App { code: APP_DECIDED, .. } = e.kind {
+            out.entry(e.process).or_insert(e.at);
+        }
+    }
+    out
+}
+
+/// The decided value of every process that decided.
+pub fn decided_values(log: &EventLog) -> BTreeMap<ProcessId, u64> {
+    let mut out = BTreeMap::new();
+    for e in log {
+        if let EventKind::App { code: APP_DECIDED, value } = e.kind {
+            out.entry(e.process).or_insert(value);
+        }
+    }
+    out
+}
+
+/// The highest round each process reached (how many coordinator rotations
+/// the execution burnt — the cost of false suspicions).
+pub fn max_rounds(log: &EventLog) -> BTreeMap<ProcessId, u64> {
+    let mut out: BTreeMap<ProcessId, u64> = BTreeMap::new();
+    for e in log {
+        if let EventKind::App { code: APP_ROUND, value } = e.kind {
+            let entry = out.entry(e.process).or_insert(0);
+            *entry = (*entry).max(value);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extraction_takes_first_decision_and_max_round() {
+        let mut log = EventLog::new();
+        let p = ProcessId(0);
+        log.record(SimTime::from_secs(1), p, EventKind::App { code: APP_ROUND, value: 0 });
+        log.record(SimTime::from_secs(2), p, EventKind::App { code: APP_ROUND, value: 3 });
+        log.record(SimTime::from_secs(3), p, EventKind::App { code: APP_DECIDED, value: 9 });
+        log.record(SimTime::from_secs(4), p, EventKind::App { code: APP_DECIDED, value: 9 });
+        assert_eq!(decision_latencies(&log)[&p], SimTime::from_secs(3));
+        assert_eq!(decided_values(&log)[&p], 9);
+        assert_eq!(max_rounds(&log)[&p], 3);
+    }
+
+    #[test]
+    fn empty_log_yields_empty_maps() {
+        let log = EventLog::new();
+        assert!(decision_latencies(&log).is_empty());
+        assert!(decided_values(&log).is_empty());
+        assert!(max_rounds(&log).is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! Encoding of the consensus protocol messages as `Data` payloads.
+
+use bytes::{Buf, BufMut};
+
+/// A consensus protocol message. `round` is the rotating-coordinator round;
+/// `ts` is the round in which the carried estimate was last adopted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsensusMsg {
+    /// Phase 1: a participant's current estimate, sent to the coordinator.
+    Estimate {
+        /// Round this estimate is offered for.
+        round: u64,
+        /// The proposed value.
+        value: u64,
+        /// Round in which the sender last adopted this value.
+        ts: u64,
+    },
+    /// Phase 2: the coordinator's proposal for the round.
+    Propose {
+        /// The proposing round.
+        round: u64,
+        /// The proposed value.
+        value: u64,
+    },
+    /// Phase 3 (positive): the participant adopted the proposal.
+    Ack {
+        /// The acknowledged round.
+        round: u64,
+    },
+    /// Phase 3 (negative): the participant suspects the coordinator.
+    Nack {
+        /// The refused round.
+        round: u64,
+    },
+    /// Phase 4: the decision, re-flooded by every receiver once.
+    Decide {
+        /// The decided value.
+        value: u64,
+    },
+}
+
+const TAG_ESTIMATE: u8 = 1;
+const TAG_PROPOSE: u8 = 2;
+const TAG_ACK: u8 = 3;
+const TAG_NACK: u8 = 4;
+const TAG_DECIDE: u8 = 5;
+
+impl ConsensusMsg {
+    /// Encodes into a payload for a `Data` message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(1 + 3 * 8);
+        match *self {
+            ConsensusMsg::Estimate { round, value, ts } => {
+                buf.put_u8(TAG_ESTIMATE);
+                buf.put_u64(round);
+                buf.put_u64(value);
+                buf.put_u64(ts);
+            }
+            ConsensusMsg::Propose { round, value } => {
+                buf.put_u8(TAG_PROPOSE);
+                buf.put_u64(round);
+                buf.put_u64(value);
+            }
+            ConsensusMsg::Ack { round } => {
+                buf.put_u8(TAG_ACK);
+                buf.put_u64(round);
+            }
+            ConsensusMsg::Nack { round } => {
+                buf.put_u8(TAG_NACK);
+                buf.put_u64(round);
+            }
+            ConsensusMsg::Decide { value } => {
+                buf.put_u8(TAG_DECIDE);
+                buf.put_u64(value);
+            }
+        }
+        buf
+    }
+
+    /// Decodes a payload; `None` for anything malformed (e.g. traffic from
+    /// another protocol sharing the link).
+    pub fn decode(mut data: &[u8]) -> Option<ConsensusMsg> {
+        if data.is_empty() {
+            return None;
+        }
+        let tag = data.get_u8();
+        let need = match tag {
+            TAG_ESTIMATE => 24,
+            TAG_PROPOSE => 16,
+            TAG_ACK | TAG_NACK | TAG_DECIDE => 8,
+            _ => return None,
+        };
+        if data.remaining() < need {
+            return None;
+        }
+        Some(match tag {
+            TAG_ESTIMATE => ConsensusMsg::Estimate {
+                round: data.get_u64(),
+                value: data.get_u64(),
+                ts: data.get_u64(),
+            },
+            TAG_PROPOSE => ConsensusMsg::Propose {
+                round: data.get_u64(),
+                value: data.get_u64(),
+            },
+            TAG_ACK => ConsensusMsg::Ack { round: data.get_u64() },
+            TAG_NACK => ConsensusMsg::Nack { round: data.get_u64() },
+            TAG_DECIDE => ConsensusMsg::Decide { value: data.get_u64() },
+            _ => unreachable!("tag validated above"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let msgs = [
+            ConsensusMsg::Estimate { round: 3, value: 42, ts: 1 },
+            ConsensusMsg::Propose { round: 9, value: 7 },
+            ConsensusMsg::Ack { round: 11 },
+            ConsensusMsg::Nack { round: 0 },
+            ConsensusMsg::Decide { value: u64::MAX },
+        ];
+        for m in msgs {
+            assert_eq!(ConsensusMsg::decode(&m.encode()), Some(m));
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert_eq!(ConsensusMsg::decode(&[]), None);
+        assert_eq!(ConsensusMsg::decode(&[99, 0, 0]), None);
+        assert_eq!(ConsensusMsg::decode(&[TAG_ESTIMATE, 1, 2]), None); // short
+        // The pull-monitoring request byte is not a consensus message.
+        assert_eq!(ConsensusMsg::decode(&[0x50]), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn any_estimate_round_trips(round: u64, value: u64, ts: u64) {
+            let m = ConsensusMsg::Estimate { round, value, ts };
+            prop_assert_eq!(ConsensusMsg::decode(&m.encode()), Some(m));
+        }
+
+        #[test]
+        fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..40)) {
+            let _ = ConsensusMsg::decode(&data);
+        }
+    }
+}

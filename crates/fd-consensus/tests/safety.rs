@@ -1,0 +1,97 @@
+//! Safety and liveness of the consensus protocol under chaos: lossy volatile
+//! links, random crash instants, different cluster sizes and detectors.
+//! Agreement and validity must hold in *every* execution; termination of the
+//! correct majority must hold within the horizon.
+
+use fd_consensus::{run_consensus_experiment, ConsensusSetup};
+use fd_core::{Combination, MarginKind, PredictorKind};
+use fd_net::WanProfile;
+use fd_sim::SimDuration;
+use proptest::prelude::*;
+
+fn combo_for(idx: usize) -> Combination {
+    let combos = [
+        Combination::new(PredictorKind::Last, MarginKind::Jac { phi: 1.0 }),
+        Combination::new(PredictorKind::Mean, MarginKind::Ci { gamma: 2.0 }),
+        Combination::new(PredictorKind::WinMean { window: 10 }, MarginKind::Jac { phi: 4.0 }),
+        Combination::new(PredictorKind::Lpf { beta: 0.125 }, MarginKind::Ci { gamma: 1.0 }),
+    ];
+    combos[idx % combos.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Whatever the crash instant, link volatility and detector choice:
+    /// agreement, validity, and majority termination.
+    #[test]
+    fn agreement_validity_termination(
+        seed in 0u64..10_000,
+        n in 3u16..6,
+        crash_ms in 0u64..40_000,
+        combo_idx in 0usize..4,
+        congested in proptest::bool::ANY,
+    ) {
+        let profile = if congested {
+            WanProfile::congested_wan()
+        } else {
+            WanProfile::italy_japan()
+        };
+        let setup = ConsensusSetup {
+            n,
+            fd_combo: combo_for(combo_idx),
+            profile,
+            crash_coordinator_after: Some(SimDuration::from_millis(crash_ms)),
+            start_after: SimDuration::from_secs(5),
+            horizon: SimDuration::from_secs(240),
+            seed,
+            ..ConsensusSetup::default_wan(seed)
+        };
+        let outcome = run_consensus_experiment(&setup);
+        prop_assert!(outcome.agreement(), "split brain: {:?}", outcome.decisions);
+        prop_assert!(outcome.validity(), "invented value: {:?}", outcome.decisions);
+        // All n−1 survivors decide (p0 may or may not, depending on when it
+        // crashed relative to its decision).
+        prop_assert!(
+            outcome.deciders() >= usize::from(n) - 1,
+            "only {}/{} decided: {:?}",
+            outcome.deciders(),
+            n,
+            outcome.decisions
+        );
+    }
+
+    /// Without failures, every process decides the coordinator's majority
+    /// pick in round 0, on every link profile.
+    #[test]
+    fn failure_free_round_zero(seed in 0u64..10_000, n in 2u16..6) {
+        let setup = ConsensusSetup {
+            n,
+            crash_coordinator_after: None,
+            ..ConsensusSetup::default_wan(seed)
+        };
+        let outcome = run_consensus_experiment(&setup);
+        prop_assert_eq!(outcome.deciders(), usize::from(n));
+        prop_assert!(outcome.agreement());
+        prop_assert!(outcome.validity());
+    }
+}
+
+#[test]
+fn decision_is_a_proposed_value_even_after_rotations() {
+    // Deterministic spot-check: the decided value must come from the initial
+    // values even when the crash forces coordinator rotation (the locked
+    // estimate mechanism).
+    let setup = ConsensusSetup {
+        n: 5,
+        crash_coordinator_after: Some(SimDuration::from_millis(700)),
+        start_after: SimDuration::from_millis(500),
+        horizon: SimDuration::from_secs(120),
+        ..ConsensusSetup::default_wan(77)
+    };
+    let outcome = run_consensus_experiment(&setup);
+    assert!(outcome.deciders() >= 4);
+    assert!(outcome.agreement());
+    let v = *outcome.decisions.values().next().unwrap();
+    assert!(outcome.initial_values.contains(&v), "decided {v}");
+}

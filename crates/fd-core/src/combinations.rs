@@ -1,0 +1,305 @@
+//! The registry of the paper's 30 predictor × safety-margin combinations.
+//!
+//! Five predictors (`LAST`, `MEAN`, `WINMEAN(10)`, `LPF(1/8)`,
+//! `ARIMA(2,1,1)`; Table 2) crossed with six margins (`SM_CI` with
+//! γ ∈ {1, 2, 3.31}, `SM_JAC` with φ ∈ {1, 2, 4}; Table 1) give the 30
+//! failure detectors the experiments compare side by side.
+
+use fd_arima::ArimaSpec;
+use fd_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::detector::FailureDetector;
+use crate::margin::{ConfidenceMargin, JacobsonMargin, RtoMargin, SafetyMargin};
+use crate::predictor::{ArimaPredictor, Last, Lpf, Mean, Predictor, WinMean};
+
+/// Which predictor a combination uses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PredictorKind {
+    /// `LAST`.
+    Last,
+    /// `MEAN`.
+    Mean,
+    /// `WINMEAN(window)`.
+    WinMean {
+        /// Window size `N`.
+        window: usize,
+    },
+    /// `LPF(beta)`.
+    Lpf {
+        /// Smoothing factor β.
+        beta: f64,
+    },
+    /// `ARIMA(p,d,q)` refit every `refit_every` observations.
+    Arima {
+        /// AR order.
+        p: usize,
+        /// Differencing order.
+        d: usize,
+        /// MA order.
+        q: usize,
+        /// Refit period (`N_Arima`).
+        refit_every: usize,
+    },
+}
+
+impl PredictorKind {
+    /// The paper's Table 2 parameterisation of this predictor family.
+    pub fn paper_default(family: &str) -> Option<PredictorKind> {
+        match family {
+            "LAST" => Some(PredictorKind::Last),
+            "MEAN" => Some(PredictorKind::Mean),
+            "WINMEAN" => Some(PredictorKind::WinMean { window: 10 }),
+            "LPF" => Some(PredictorKind::Lpf { beta: 0.125 }),
+            "ARIMA" => Some(PredictorKind::Arima {
+                p: 2,
+                d: 1,
+                q: 1,
+                refit_every: 1000,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Instantiates the predictor.
+    pub fn build(&self) -> Box<dyn Predictor> {
+        match *self {
+            PredictorKind::Last => Box::new(Last::new()),
+            PredictorKind::Mean => Box::new(Mean::new()),
+            PredictorKind::WinMean { window } => Box::new(WinMean::new(window)),
+            PredictorKind::Lpf { beta } => Box::new(Lpf::new(beta)),
+            PredictorKind::Arima { p, d, q, refit_every } => {
+                Box::new(ArimaPredictor::new(ArimaSpec::new(p, d, q), refit_every))
+            }
+        }
+    }
+
+    /// The predictor's label.
+    pub fn label(&self) -> String {
+        self.build().name()
+    }
+
+    /// The five paper predictors in the paper's plotting order.
+    pub fn paper_set() -> Vec<PredictorKind> {
+        vec![
+            PredictorKind::Arima {
+                p: 2,
+                d: 1,
+                q: 1,
+                refit_every: 1000,
+            },
+            PredictorKind::Last,
+            PredictorKind::Lpf { beta: 0.125 },
+            PredictorKind::Mean,
+            PredictorKind::WinMean { window: 10 },
+        ]
+    }
+}
+
+/// Which safety margin a combination uses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MarginKind {
+    /// `SM_CI(gamma)`.
+    Ci {
+        /// The γ multiplier.
+        gamma: f64,
+    },
+    /// `SM_JAC(phi)` with α = 1/4.
+    Jac {
+        /// The φ multiplier.
+        phi: f64,
+    },
+    /// `SM_RTO(k)` — the full Jacobson/Karels estimator (`μ̂ + k·d̂`), the
+    /// Bertier-style extension beyond the paper's two families.
+    Rto {
+        /// The deviation multiplier (TCP uses 4).
+        k: f64,
+    },
+}
+
+impl MarginKind {
+    /// Instantiates the margin.
+    pub fn build(&self) -> Box<dyn SafetyMargin> {
+        match *self {
+            MarginKind::Ci { gamma } => Box::new(ConfidenceMargin::new(gamma)),
+            MarginKind::Jac { phi } => Box::new(JacobsonMargin::new(phi)),
+            MarginKind::Rto { k } => Box::new(RtoMargin::new(k)),
+        }
+    }
+
+    /// The margin's label.
+    pub fn label(&self) -> String {
+        self.build().name()
+    }
+
+    /// The six paper margins in the paper's x-axis order:
+    /// `CI_low, CI_med, CI_high, JAC_low, JAC_med, JAC_high` (Table 1).
+    pub fn paper_set() -> Vec<MarginKind> {
+        vec![
+            MarginKind::Ci { gamma: ConfidenceMargin::GAMMA_LOW },
+            MarginKind::Ci { gamma: ConfidenceMargin::GAMMA_MED },
+            MarginKind::Ci { gamma: ConfidenceMargin::GAMMA_HIGH },
+            MarginKind::Jac { phi: JacobsonMargin::PHI_LOW },
+            MarginKind::Jac { phi: JacobsonMargin::PHI_MED },
+            MarginKind::Jac { phi: JacobsonMargin::PHI_HIGH },
+        ]
+    }
+
+    /// Short axis label as in the paper's figures, e.g. `"CI_med"`.
+    pub fn axis_label(&self) -> String {
+        match *self {
+            MarginKind::Ci { gamma } => {
+                let level = if gamma <= 1.0 {
+                    "low"
+                } else if gamma <= 2.0 {
+                    "med"
+                } else {
+                    "high"
+                };
+                format!("CI_{level}")
+            }
+            MarginKind::Jac { phi } => {
+                let level = if phi <= 1.0 {
+                    "low"
+                } else if phi <= 2.0 {
+                    "med"
+                } else {
+                    "high"
+                };
+                format!("JAC_{level}")
+            }
+            MarginKind::Rto { k } => format!("RTO_{k}"),
+        }
+    }
+}
+
+/// One predictor × margin combination.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Combination {
+    /// The predictor.
+    pub predictor: PredictorKind,
+    /// The safety margin.
+    pub margin: MarginKind,
+}
+
+impl Combination {
+    /// Creates a combination.
+    pub fn new(predictor: PredictorKind, margin: MarginKind) -> Self {
+        Self { predictor, margin }
+    }
+
+    /// The combination's label, e.g. `"ARIMA(2,1,1)+SM_CI(2)"`.
+    pub fn label(&self) -> String {
+        format!("{}+{}", self.predictor.label(), self.margin.label())
+    }
+
+    /// Builds the ready-to-run failure detector with heartbeat period `eta`.
+    pub fn build(&self, eta: SimDuration) -> FailureDetector {
+        FailureDetector::from_boxed(
+            self.label(),
+            self.predictor.build(),
+            self.margin.build(),
+            eta,
+        )
+    }
+}
+
+/// All 30 combinations of the paper, predictors × margins, margins varying
+/// fastest (matching the figures' x-axis layout).
+pub fn all_combinations() -> Vec<Combination> {
+    let mut combos = Vec::with_capacity(30);
+    for predictor in PredictorKind::paper_set() {
+        for margin in MarginKind::paper_set() {
+            combos.push(Combination::new(predictor, margin));
+        }
+    }
+    combos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_thirty_combinations() {
+        let combos = all_combinations();
+        assert_eq!(combos.len(), 30);
+        // All labels distinct.
+        let mut labels: Vec<String> = combos.iter().map(|c| c.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 30);
+    }
+
+    #[test]
+    fn paper_sets_have_expected_members() {
+        let preds = PredictorKind::paper_set();
+        assert_eq!(preds.len(), 5);
+        let margins = MarginKind::paper_set();
+        assert_eq!(margins.len(), 6);
+        assert_eq!(margins[0].axis_label(), "CI_low");
+        assert_eq!(margins[2].axis_label(), "CI_high");
+        assert_eq!(margins[3].axis_label(), "JAC_low");
+        assert_eq!(margins[5].axis_label(), "JAC_high");
+    }
+
+    #[test]
+    fn labels_follow_paper_notation() {
+        let c = Combination::new(
+            PredictorKind::Arima { p: 2, d: 1, q: 1, refit_every: 1000 },
+            MarginKind::Ci { gamma: 3.31 },
+        );
+        assert_eq!(c.label(), "ARIMA(2,1,1)+SM_CI(3.31)");
+        let c2 = Combination::new(PredictorKind::Last, MarginKind::Jac { phi: 4.0 });
+        assert_eq!(c2.label(), "LAST+SM_JAC(4)");
+    }
+
+    #[test]
+    fn paper_default_lookup() {
+        assert_eq!(
+            PredictorKind::paper_default("WINMEAN"),
+            Some(PredictorKind::WinMean { window: 10 })
+        );
+        assert_eq!(PredictorKind::paper_default("NOPE"), None);
+        let arima = PredictorKind::paper_default("ARIMA").unwrap();
+        assert_eq!(arima.label(), "ARIMA(2,1,1)");
+    }
+
+    #[test]
+    fn built_detectors_work() {
+        use fd_sim::SimTime;
+        let eta = SimDuration::from_secs(1);
+        for combo in all_combinations() {
+            let mut fd = combo.build(eta);
+            fd.on_heartbeat(0, SimTime::from_millis(200));
+            assert!(fd.next_deadline().is_some(), "{}", combo.label());
+            assert!(!fd.is_suspecting());
+        }
+    }
+
+    #[test]
+    fn gamma_phi_values_match_table1() {
+        let margins = MarginKind::paper_set();
+        let expect = [
+            ("CI", 1.0),
+            ("CI", 2.0),
+            ("CI", 3.31),
+            ("JAC", 1.0),
+            ("JAC", 2.0),
+            ("JAC", 4.0),
+        ];
+        for (m, (family, value)) in margins.iter().zip(expect) {
+            match m {
+                MarginKind::Ci { gamma } => {
+                    assert_eq!(family, "CI");
+                    assert_eq!(*gamma, value);
+                }
+                MarginKind::Jac { phi } => {
+                    assert_eq!(family, "JAC");
+                    assert_eq!(*phi, value);
+                }
+                MarginKind::Rto { .. } => panic!("RTO is not in the paper set"),
+            }
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! The freshness-point state machine of the modular push-style failure
+//! detector (Section 2.3).
+//!
+//! The monitored process sends heartbeat `m_i` at `σ_i = i·η`. When the
+//! monitor receives a *fresh* heartbeat (larger sequence than any seen), it
+//! computes the next freshness point
+//!
+//! ```text
+//! τ_{k+1} = σ_{k+1} + pred_{k+1} + sm_{k+1}
+//! ```
+//!
+//! and trusts the process until `τ_{k+1}` passes without a fresher
+//! heartbeat, at which point it suspects; the suspicion ends with the next
+//! fresh heartbeat. Delay observations are taken from *every* received
+//! heartbeat (the `obs` list may be unordered w.r.t. sequence numbers, as in
+//! the paper), but only fresh heartbeats refresh trust.
+
+use std::fmt;
+
+use fd_sim::{SimDuration, SimTime};
+
+use crate::margin::SafetyMargin;
+use crate::predictor::Predictor;
+
+/// The detector's current opinion of the monitored process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdOutput {
+    /// The process is believed alive.
+    Trust,
+    /// The process is suspected to have crashed.
+    Suspect,
+}
+
+/// An edge of the detector's output, as produced by
+/// [`FailureDetector::on_heartbeat`] / [`FailureDetector::check`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdTransition {
+    /// Trust → Suspect (a freshness point expired).
+    StartSuspect,
+    /// Suspect → Trust (a fresh heartbeat arrived: the suspicion was either
+    /// a mistake being corrected or a restore being noticed).
+    EndSuspect,
+}
+
+/// A modular push-style failure detector = predictor + safety margin.
+///
+/// ```
+/// use fd_core::{FailureDetector, JacobsonMargin, Last};
+/// use fd_sim::{SimDuration, SimTime};
+///
+/// let eta = SimDuration::from_secs(1);
+/// let mut fd = FailureDetector::new("demo", Last::new(), JacobsonMargin::new(2.0), eta);
+///
+/// // Heartbeats 0 and 1 arrive ~200 ms after their send times.
+/// fd.on_heartbeat(0, SimTime::from_millis(200));
+/// fd.on_heartbeat(1, SimTime::from_millis(1_210));
+/// assert!(!fd.is_suspecting());
+///
+/// // The freshness point τ_2 = 2η + pred + sm; nothing arrives → suspect.
+/// let deadline = fd.next_deadline().unwrap();
+/// assert!(fd.check(deadline).is_some());
+/// assert!(fd.is_suspecting());
+///
+/// // Heartbeat 2 finally arrives: the mistake is corrected.
+/// assert!(fd.on_heartbeat(2, SimTime::from_millis(2_400)).is_some());
+/// assert!(!fd.is_suspecting());
+/// ```
+pub struct FailureDetector {
+    name: String,
+    predictor: Box<dyn Predictor>,
+    margin: Box<dyn SafetyMargin>,
+    eta: SimDuration,
+    highest_seq: Option<u64>,
+    next_freshness: Option<SimTime>,
+    suspecting: bool,
+    heartbeats: u64,
+    stale_heartbeats: u64,
+}
+
+impl fmt::Debug for FailureDetector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FailureDetector")
+            .field("name", &self.name)
+            .field("eta", &self.eta)
+            .field("highest_seq", &self.highest_seq)
+            .field("next_freshness", &self.next_freshness)
+            .field("suspecting", &self.suspecting)
+            .field("heartbeats", &self.heartbeats)
+            .finish()
+    }
+}
+
+impl FailureDetector {
+    /// Creates a detector from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta` is zero.
+    pub fn new(
+        name: impl Into<String>,
+        predictor: impl Predictor + 'static,
+        margin: impl SafetyMargin + 'static,
+        eta: SimDuration,
+    ) -> Self {
+        Self::from_boxed(name, Box::new(predictor), Box::new(margin), eta)
+    }
+
+    /// Creates a detector from boxed parts (used by the combination
+    /// registry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta` is zero.
+    pub fn from_boxed(
+        name: impl Into<String>,
+        predictor: Box<dyn Predictor>,
+        margin: Box<dyn SafetyMargin>,
+        eta: SimDuration,
+    ) -> Self {
+        assert!(!eta.is_zero(), "heartbeat period must be positive");
+        Self {
+            name: name.into(),
+            predictor,
+            margin,
+            eta,
+            highest_seq: None,
+            next_freshness: None,
+            suspecting: false,
+            heartbeats: 0,
+            stale_heartbeats: 0,
+        }
+    }
+
+    /// The detector's label, e.g. `"LAST+SM_JAC(1)"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The heartbeat period η.
+    pub fn eta(&self) -> SimDuration {
+        self.eta
+    }
+
+    /// The detector's current output.
+    pub fn output(&self) -> FdOutput {
+        if self.suspecting {
+            FdOutput::Suspect
+        } else {
+            FdOutput::Trust
+        }
+    }
+
+    /// `true` while the detector suspects the monitored process.
+    pub fn is_suspecting(&self) -> bool {
+        self.suspecting
+    }
+
+    /// The next freshness point `τ_{k+1}`, if a heartbeat has been seen.
+    /// The monitor should call [`FailureDetector::check`] at (or after)
+    /// this instant.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.next_freshness
+    }
+
+    /// Heartbeats received so far (fresh + stale).
+    pub fn heartbeats(&self) -> u64 {
+        self.heartbeats
+    }
+
+    /// Heartbeats that arrived out of order (did not advance freshness).
+    pub fn stale_heartbeats(&self) -> u64 {
+        self.stale_heartbeats
+    }
+
+    /// The current time-out component `δ = pred + sm` in milliseconds.
+    pub fn current_timeout_ms(&self) -> f64 {
+        self.predictor.predict() + self.margin.margin()
+    }
+
+    /// The predictor's current forecast in milliseconds.
+    pub fn predicted_delay_ms(&self) -> f64 {
+        self.predictor.predict()
+    }
+
+    /// The current safety margin in milliseconds.
+    pub fn margin_ms(&self) -> f64 {
+        self.margin.margin()
+    }
+
+    /// Handles the arrival of heartbeat `seq` at global time `arrival`.
+    ///
+    /// Returns `Some(FdTransition::EndSuspect)` if the heartbeat corrected
+    /// an ongoing suspicion, `None` otherwise.
+    pub fn on_heartbeat(&mut self, seq: u64, arrival: SimTime) -> Option<FdTransition> {
+        self.heartbeats += 1;
+
+        // Observed transmission delay: obs_j = Arr_i − σ_i. With
+        // synchronised clocks this is non-negative; clamp defensively for
+        // the real engine where residual NTP offset may leak through.
+        let sigma = SimTime::ZERO + self.eta * seq;
+        let delay_ms = arrival
+            .checked_duration_since(sigma)
+            .map_or(0.0, |d| d.as_millis_f64());
+
+        // err_k = obs_n − pred_k uses the prediction that was in force
+        // before this observation.
+        let err = delay_ms - self.predictor.predict();
+        self.predictor.observe(delay_ms);
+        self.margin.update(delay_ms, err);
+
+        let fresh = self.highest_seq.is_none_or(|h| seq > h);
+        if !fresh {
+            self.stale_heartbeats += 1;
+            return None;
+        }
+        self.highest_seq = Some(seq);
+
+        // τ_{k+1} = σ_{k+1} + pred_{k+1} + sm_{k+1}.
+        let delta = SimDuration::from_millis_f64(self.current_timeout_ms().max(0.0));
+        let sigma_next = SimTime::ZERO + self.eta * (seq + 1);
+        self.next_freshness = Some(sigma_next + delta);
+
+        if self.suspecting {
+            self.suspecting = false;
+            Some(FdTransition::EndSuspect)
+        } else {
+            None
+        }
+    }
+
+    /// Evaluates the freshness condition at time `now`.
+    ///
+    /// Returns `Some(FdTransition::StartSuspect)` if the detector begins
+    /// suspecting at this instant, `None` otherwise (already suspecting,
+    /// deadline not yet reached, or no heartbeat seen yet).
+    pub fn check(&mut self, now: SimTime) -> Option<FdTransition> {
+        if self.suspecting {
+            return None;
+        }
+        match self.next_freshness {
+            Some(deadline) if now >= deadline => {
+                self.suspecting = true;
+                Some(FdTransition::StartSuspect)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::margin::{ConstantMargin, JacobsonMargin};
+    use crate::predictor::Last;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    /// LAST + CONST(100ms): deadline after heartbeat i at delay 200ms is
+    /// (i+1)·η + 200 + 100.
+    fn simple_fd() -> FailureDetector {
+        FailureDetector::new("t", Last::new(), ConstantMargin::new(100.0), ms(1000))
+    }
+
+    #[test]
+    fn no_suspicion_before_first_heartbeat() {
+        let mut fd = simple_fd();
+        assert_eq!(fd.check(secs(100)), None);
+        assert_eq!(fd.output(), FdOutput::Trust);
+        assert_eq!(fd.next_deadline(), None);
+    }
+
+    #[test]
+    fn deadline_is_freshness_point() {
+        let mut fd = simple_fd();
+        fd.on_heartbeat(0, SimTime::from_millis(200));
+        // τ_1 = 1·η + pred(=200) + sm(=100) = 1300ms.
+        assert_eq!(fd.next_deadline(), Some(SimTime::from_millis(1300)));
+        assert_eq!(fd.check(SimTime::from_millis(1299)), None);
+        assert_eq!(
+            fd.check(SimTime::from_millis(1300)),
+            Some(FdTransition::StartSuspect)
+        );
+        assert!(fd.is_suspecting());
+    }
+
+    #[test]
+    fn fresh_heartbeat_corrects_mistake() {
+        let mut fd = simple_fd();
+        fd.on_heartbeat(0, SimTime::from_millis(200));
+        fd.check(SimTime::from_millis(1300));
+        assert!(fd.is_suspecting());
+        let tr = fd.on_heartbeat(1, SimTime::from_millis(1400));
+        assert_eq!(tr, Some(FdTransition::EndSuspect));
+        assert_eq!(fd.output(), FdOutput::Trust);
+        // New deadline: 2·η + 400 (LAST saw delay 400) + 100 = 2500ms.
+        assert_eq!(fd.next_deadline(), Some(SimTime::from_millis(2500)));
+    }
+
+    #[test]
+    fn check_is_idempotent_while_suspecting() {
+        let mut fd = simple_fd();
+        fd.on_heartbeat(0, SimTime::from_millis(200));
+        assert_eq!(fd.check(secs(10)), Some(FdTransition::StartSuspect));
+        assert_eq!(fd.check(secs(11)), None);
+        assert_eq!(fd.check(secs(12)), None);
+    }
+
+    #[test]
+    fn stale_heartbeat_updates_predictor_not_freshness() {
+        let mut fd = simple_fd();
+        fd.on_heartbeat(5, SimTime::from_millis(5_200));
+        let deadline = fd.next_deadline();
+        // Reordered older heartbeat: delay observed (predictor sees it) but
+        // the freshness point is untouched and no transition fires.
+        let tr = fd.on_heartbeat(3, SimTime::from_millis(5_250));
+        assert_eq!(tr, None);
+        assert_eq!(fd.next_deadline(), deadline);
+        assert_eq!(fd.stale_heartbeats(), 1);
+        assert_eq!(fd.heartbeats(), 2);
+        // LAST now predicts the stale delay (3 sent at 3s, arrived 5.25s).
+        assert_eq!(fd.predicted_delay_ms(), 2_250.0);
+    }
+
+    #[test]
+    fn lost_heartbeats_do_not_clear_suspicion() {
+        let mut fd = simple_fd();
+        fd.on_heartbeat(0, SimTime::from_millis(200));
+        fd.check(secs(60));
+        assert!(fd.is_suspecting());
+        // Time passes; still no heartbeat: remains suspecting (permanent
+        // detection of a crash).
+        assert_eq!(fd.check(secs(120)), None);
+        assert!(fd.is_suspecting());
+    }
+
+    #[test]
+    fn gap_in_sequence_still_refreshes() {
+        let mut fd = simple_fd();
+        fd.on_heartbeat(0, SimTime::from_millis(200));
+        fd.check(secs(5));
+        assert!(fd.is_suspecting());
+        // Heartbeats 1..=4 lost; 5 arrives and clears the suspicion.
+        let tr = fd.on_heartbeat(5, SimTime::from_millis(5_180));
+        assert_eq!(tr, Some(FdTransition::EndSuspect));
+        // τ_6 = 6·η + 180 + 100.
+        assert_eq!(fd.next_deadline(), Some(SimTime::from_millis(6_280)));
+    }
+
+    #[test]
+    fn adaptive_margin_widens_after_errors() {
+        let mut fd = FailureDetector::new(
+            "jac",
+            Last::new(),
+            JacobsonMargin::new(4.0),
+            ms(1000),
+        );
+        fd.on_heartbeat(0, SimTime::from_millis(200));
+        let m0 = fd.margin_ms();
+        // A big delay jump is a big prediction error for LAST.
+        fd.on_heartbeat(1, SimTime::from_millis(1_000) + ms(320));
+        assert!(fd.margin_ms() > m0);
+        assert!(fd.current_timeout_ms() >= fd.predicted_delay_ms());
+    }
+
+    #[test]
+    fn negative_apparent_delay_clamps_to_zero() {
+        let mut fd = simple_fd();
+        // Heartbeat 5 "arrives" before its send time (clock skew).
+        fd.on_heartbeat(5, SimTime::from_millis(4_900));
+        assert_eq!(fd.predicted_delay_ms(), 0.0);
+        // Deadline still computed sanely: 6·η + 0 + 100.
+        assert_eq!(fd.next_deadline(), Some(SimTime::from_millis(6_100)));
+    }
+
+    #[test]
+    #[should_panic(expected = "heartbeat period must be positive")]
+    fn zero_eta_rejected() {
+        let _ = FailureDetector::new("x", Last::new(), ConstantMargin::new(1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn debug_and_name() {
+        let fd = simple_fd();
+        assert_eq!(fd.name(), "t");
+        assert!(format!("{fd:?}").contains("FailureDetector"));
+        assert_eq!(fd.eta(), ms(1000));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::margin::JacobsonMargin;
+    use crate::predictor::WinMean;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Freshness points strictly increase with fresh heartbeats, and the
+        /// detector's transitions alternate Start/End.
+        #[test]
+        fn freshness_monotone_and_transitions_alternate(
+            delays in proptest::collection::vec(0u64..2_000, 1..100),
+        ) {
+            let eta = SimDuration::from_millis(1_000);
+            let mut fd = FailureDetector::new(
+                "prop",
+                WinMean::new(5),
+                JacobsonMargin::new(2.0),
+                eta,
+            );
+            let mut last_deadline: Option<SimTime> = None;
+            let mut last_transition: Option<FdTransition> = None;
+            for (i, &d) in delays.iter().enumerate() {
+                let seq = i as u64;
+                let arrival = SimTime::ZERO + eta * seq + SimDuration::from_millis(d);
+                // Let time advance to the arrival; the monitor checks first.
+                if let Some(tr) = fd.check(arrival) {
+                    prop_assert_ne!(Some(tr), last_transition);
+                    last_transition = Some(tr);
+                }
+                if let Some(tr) = fd.on_heartbeat(seq, arrival) {
+                    prop_assert_ne!(Some(tr), last_transition);
+                    last_transition = Some(tr);
+                }
+                let deadline = fd.next_deadline().expect("deadline after heartbeat");
+                if let Some(prev) = last_deadline {
+                    prop_assert!(deadline > prev, "deadline must advance");
+                }
+                // τ_{k+1} is never before the next send time σ_{k+1}.
+                prop_assert!(deadline >= SimTime::ZERO + eta * (seq + 1));
+                last_deadline = Some(deadline);
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! The NFD-E baseline of Chen, Toueg and Aguilera (DSN 2000).
+//!
+//! NFD-E estimates the expected arrival time of the next heartbeat as the
+//! average of shifted past arrivals — exactly the `MEAN` predictor on the
+//! one-way delays — and adds a *constant* safety margin `α` derived offline
+//! from the QoS requirements and a probabilistic characterisation of the
+//! network. The paper presents its modular detector as an extension of
+//! NFD-E (and of Bertier et al.'s adaptive variant), so the baseline is
+//! provided here for comparison experiments.
+
+use fd_sim::SimDuration;
+
+use crate::detector::FailureDetector;
+use crate::margin::ConstantMargin;
+use crate::predictor::Mean;
+
+/// Builds an NFD-E detector: `MEAN` predictor + constant margin `alpha_ms`.
+///
+/// # Panics
+///
+/// Panics if `eta` is zero or `alpha_ms` is negative/not finite.
+pub fn nfd_e(alpha_ms: f64, eta: SimDuration) -> FailureDetector {
+    FailureDetector::new(
+        format!("NFD-E(α={alpha_ms}ms)"),
+        Mean::new(),
+        ConstantMargin::new(alpha_ms),
+        eta,
+    )
+}
+
+/// Chooses the constant margin `α` for a *worst-case detection time* target
+/// `T_D^U`, following Chen et al.'s configuration rule.
+///
+/// NFD-E's detection time is bounded by `η + α + (delay variability)`: a
+/// crash right after a heartbeat is noticed one period plus the margin after
+/// the (mean-predicted) arrival. Solving for `α`:
+///
+/// ```text
+/// α = T_D^U − η − (mean one-way delay)
+/// ```
+///
+/// Returns `None` when the target is infeasible (smaller than `η + mean
+/// delay`, which no constant-margin detector can achieve).
+pub fn alpha_for_detection_target(
+    td_u_target_ms: f64,
+    eta: SimDuration,
+    mean_delay_ms: f64,
+) -> Option<f64> {
+    let alpha = td_u_target_ms - eta.as_millis_f64() - mean_delay_ms;
+    (alpha >= 0.0).then_some(alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_sim::SimTime;
+
+    #[test]
+    fn nfd_e_behaves_like_mean_plus_constant() {
+        let eta = SimDuration::from_secs(1);
+        let mut fd = nfd_e(500.0, eta);
+        fd.on_heartbeat(0, SimTime::from_millis(200));
+        fd.on_heartbeat(1, SimTime::from_millis(1_300)); // delay 300, mean 250
+        // τ_2 = 2·η + 250 + 500 = 2750ms.
+        assert_eq!(fd.next_deadline(), Some(SimTime::from_millis(2_750)));
+        assert!(fd.name().starts_with("NFD-E"));
+    }
+
+    #[test]
+    fn margin_is_constant_over_time() {
+        let eta = SimDuration::from_secs(1);
+        let mut fd = nfd_e(350.0, eta);
+        for i in 0..50u64 {
+            let arrival = SimTime::from_millis(i * 1_000 + 150 + (i % 7) * 20);
+            fd.on_heartbeat(i, arrival);
+            assert_eq!(fd.margin_ms(), 350.0);
+        }
+    }
+
+    #[test]
+    fn alpha_configuration_rule() {
+        let eta = SimDuration::from_secs(1);
+        // Target 2s detection with 200ms mean delay: α = 2000 − 1000 − 200.
+        assert_eq!(alpha_for_detection_target(2_000.0, eta, 200.0), Some(800.0));
+        // Infeasible target.
+        assert_eq!(alpha_for_detection_target(900.0, eta, 200.0), None);
+        // Boundary: exactly feasible with zero margin.
+        assert_eq!(alpha_for_detection_target(1_200.0, eta, 200.0), Some(0.0));
+    }
+
+    #[test]
+    fn detection_time_respects_configured_bound() {
+        // Empirically: with constant delays equal to the mean, the detection
+        // time after a crash never exceeds η + α + delay.
+        let eta = SimDuration::from_secs(1);
+        let alpha = alpha_for_detection_target(2_000.0, eta, 200.0).unwrap();
+        let mut fd = nfd_e(alpha, eta);
+        for i in 0..10u64 {
+            fd.on_heartbeat(i, SimTime::from_millis(i * 1_000 + 200));
+        }
+        // Crash right after heartbeat 9 (worst case: just after a send).
+        let deadline = fd.next_deadline().unwrap();
+        let crash_at = SimTime::from_millis(9_000);
+        let td_ms = deadline.duration_since(crash_at).as_millis_f64();
+        assert!(td_ms <= 2_000.0 + 1.0, "T_D = {td_ms}ms");
+    }
+}

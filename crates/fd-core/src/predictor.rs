@@ -1,0 +1,515 @@
+//! The delay predictors of Section 3.1.
+//!
+//! Every predictor consumes the list `obs = [obs_1 … obs_n]` of observed
+//! one-way heartbeat delays (in milliseconds) and forecasts the next one.
+//! The paper's five choices:
+//!
+//! | predictor  | forecast `pred_{k+1}` |
+//! |------------|------------------------|
+//! | `LAST`     | `obs_n` |
+//! | `MEAN`     | mean of all observations |
+//! | `WINMEAN(N)` | mean of the last `N` observations (= MEAN while `n < N`) |
+//! | `LPF(β)`   | `(1−β)·pred_k + β·obs_n` (exponential smoothing) |
+//! | `ARIMA(p,d,q)` | one-step Box–Jenkins forecast, refit every `N_Arima` |
+//!
+//! All per-observation updates are `O(1)` in the length of the observation
+//! list (the paper's final-remarks complexity claim); ARIMA's periodic refit
+//! is amortised.
+
+use std::collections::VecDeque;
+
+use fd_arima::{ArimaSpec, OnlineArima};
+
+/// A one-step forecaster of heartbeat transmission delays (milliseconds).
+///
+/// Implementations return 0.0 from [`Predictor::predict`] before the first
+/// observation (the cold-start time-out is then just the safety margin).
+pub trait Predictor: Send {
+    /// Consumes the delay of a newly received heartbeat.
+    fn observe(&mut self, delay_ms: f64);
+
+    /// Forecasts the delay of the next heartbeat.
+    fn predict(&self) -> f64;
+
+    /// The predictor's label, e.g. `"WINMEAN(10)"`.
+    fn name(&self) -> String;
+
+    /// Number of observations consumed so far.
+    fn observations(&self) -> u64;
+}
+
+impl<T: Predictor + ?Sized> Predictor for Box<T> {
+    fn observe(&mut self, delay_ms: f64) {
+        (**self).observe(delay_ms)
+    }
+    fn predict(&self) -> f64 {
+        (**self).predict()
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn observations(&self) -> u64 {
+        (**self).observations()
+    }
+}
+
+/// `LAST`: the forecast is the most recent observation.
+///
+/// ```
+/// use fd_core::{Last, Predictor};
+/// let mut p = Last::new();
+/// p.observe(197.0);
+/// p.observe(203.5);
+/// assert_eq!(p.predict(), 203.5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Last {
+    last: f64,
+    n: u64,
+}
+
+impl Last {
+    /// Creates the predictor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Predictor for Last {
+    fn observe(&mut self, delay_ms: f64) {
+        self.last = delay_ms;
+        self.n += 1;
+    }
+    fn predict(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.last
+        }
+    }
+    fn name(&self) -> String {
+        "LAST".to_owned()
+    }
+    fn observations(&self) -> u64 {
+        self.n
+    }
+}
+
+/// `MEAN`: the forecast is the running mean of all observations.
+///
+/// ```
+/// use fd_core::{Mean, Predictor};
+/// let mut p = Mean::new();
+/// for obs in [190.0, 200.0, 210.0] {
+///     p.observe(obs);
+/// }
+/// assert_eq!(p.predict(), 200.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Mean {
+    mean: f64,
+    n: u64,
+}
+
+impl Mean {
+    /// Creates the predictor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Predictor for Mean {
+    fn observe(&mut self, delay_ms: f64) {
+        self.n += 1;
+        self.mean += (delay_ms - self.mean) / self.n as f64;
+    }
+    fn predict(&self) -> f64 {
+        self.mean
+    }
+    fn name(&self) -> String {
+        "MEAN".to_owned()
+    }
+    fn observations(&self) -> u64 {
+        self.n
+    }
+}
+
+/// `WINMEAN(N)`: the forecast is the mean of the last `N` observations;
+/// identical to `MEAN` while fewer than `N` observations exist.
+///
+/// ```
+/// use fd_core::{Predictor, WinMean};
+/// let mut p = WinMean::new(2);
+/// for obs in [100.0, 201.0, 203.0] {
+///     p.observe(obs);
+/// }
+/// assert_eq!(p.predict(), 202.0); // the first observation fell out
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WinMean {
+    window: VecDeque<f64>,
+    capacity: usize,
+    sum: f64,
+    n: u64,
+}
+
+impl WinMean {
+    /// Creates the predictor with window size `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        Self {
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+            sum: 0.0,
+            n: 0,
+        }
+    }
+
+    /// The configured window size.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl Predictor for WinMean {
+    fn observe(&mut self, delay_ms: f64) {
+        if self.window.len() == self.capacity {
+            self.sum -= self.window.pop_front().expect("non-empty window");
+        }
+        self.window.push_back(delay_ms);
+        self.sum += delay_ms;
+        self.n += 1;
+    }
+    fn predict(&self) -> f64 {
+        if self.window.is_empty() {
+            0.0
+        } else {
+            self.sum / self.window.len() as f64
+        }
+    }
+    fn name(&self) -> String {
+        format!("WINMEAN({})", self.capacity)
+    }
+    fn observations(&self) -> u64 {
+        self.n
+    }
+}
+
+/// `LPF(β)`: exponential smoothing
+/// `pred_{k+1} = pred_k + β·(obs_n − pred_k)`.
+///
+/// The first observation initialises the filter (`pred_1 = obs_1`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lpf {
+    beta: f64,
+    pred: f64,
+    n: u64,
+}
+
+impl Lpf {
+    /// Creates the filter with smoothing factor `beta` (paper uses 1/8).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < beta <= 1`.
+    pub fn new(beta: f64) -> Self {
+        assert!(beta > 0.0 && beta <= 1.0, "beta out of (0, 1]: {beta}");
+        Self {
+            beta,
+            pred: 0.0,
+            n: 0,
+        }
+    }
+
+    /// The smoothing factor.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+impl Predictor for Lpf {
+    fn observe(&mut self, delay_ms: f64) {
+        if self.n == 0 {
+            self.pred = delay_ms;
+        } else {
+            self.pred += self.beta * (delay_ms - self.pred);
+        }
+        self.n += 1;
+    }
+    fn predict(&self) -> f64 {
+        self.pred
+    }
+    fn name(&self) -> String {
+        format!("LPF({})", self.beta)
+    }
+    fn observations(&self) -> u64 {
+        self.n
+    }
+}
+
+/// `ARIMA(p,d,q)`: one-step Box–Jenkins forecast, re-estimated every
+/// `refit_every` observations (the paper's `N_Arima = 1000`).
+///
+/// Falls back to `LAST` behaviour until the first successful fit.
+#[derive(Debug, Clone)]
+pub struct ArimaPredictor {
+    inner: OnlineArima,
+}
+
+impl ArimaPredictor {
+    /// Creates the predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `refit_every` is zero.
+    pub fn new(spec: ArimaSpec, refit_every: usize) -> Self {
+        Self {
+            inner: OnlineArima::new(spec, refit_every),
+        }
+    }
+
+    /// The paper's configuration: `ARIMA(2,1,1)` refit every 1000
+    /// observations (Table 2).
+    pub fn paper_default() -> Self {
+        Self::new(ArimaSpec::new(2, 1, 1), 1000)
+    }
+
+    /// The underlying online forecaster.
+    pub fn inner(&self) -> &OnlineArima {
+        &self.inner
+    }
+}
+
+impl Predictor for ArimaPredictor {
+    fn observe(&mut self, delay_ms: f64) {
+        self.inner.observe(delay_ms);
+    }
+    fn predict(&self) -> f64 {
+        // Delays are non-negative; a (rare) negative forecast on the level
+        // scale is clamped.
+        self.inner.predict_next().max(0.0)
+    }
+    fn name(&self) -> String {
+        let s = self.inner.spec();
+        format!("ARIMA({},{},{})", s.p, s.d, s.q)
+    }
+    fn observations(&self) -> u64 {
+        self.inner.observed() as u64
+    }
+}
+
+/// Runs a predictor over a delay series, returning the one-step forecasts:
+/// `out[t]` is the prediction of `series[t]` made before observing it.
+///
+/// This is the exact procedure of the paper's accuracy experiment: the
+/// prediction error sequence is `series[t] − out[t]` and its mean square is
+/// the `msqerr` of Table 3.
+pub fn one_step_predictions(predictor: &mut dyn Predictor, series: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(series.len());
+    for &x in series {
+        out.push(predictor.predict());
+        predictor.observe(x);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_tracks_latest() {
+        let mut p = Last::new();
+        assert_eq!(p.predict(), 0.0);
+        p.observe(5.0);
+        p.observe(7.0);
+        assert_eq!(p.predict(), 7.0);
+        assert_eq!(p.observations(), 2);
+        assert_eq!(p.name(), "LAST");
+    }
+
+    #[test]
+    fn mean_is_running_mean() {
+        let mut p = Mean::new();
+        for x in [2.0, 4.0, 6.0] {
+            p.observe(x);
+        }
+        assert!((p.predict() - 4.0).abs() < 1e-12);
+        assert_eq!(p.name(), "MEAN");
+    }
+
+    #[test]
+    fn winmean_equals_mean_until_window_fills() {
+        let mut w = WinMean::new(3);
+        let mut m = Mean::new();
+        for x in [1.0, 2.0] {
+            w.observe(x);
+            m.observe(x);
+        }
+        assert_eq!(w.predict(), m.predict());
+        // Window full: only the last 3 count.
+        for x in [3.0, 10.0] {
+            w.observe(x);
+        }
+        assert!((w.predict() - 5.0).abs() < 1e-12); // (2 + 3 + 10) / 3
+        assert_eq!(w.capacity(), 3);
+        assert_eq!(w.name(), "WINMEAN(3)");
+    }
+
+    #[test]
+    fn winmean_sliding_window_is_exact() {
+        let mut w = WinMean::new(2);
+        for x in [10.0, 20.0, 30.0, 40.0] {
+            w.observe(x);
+        }
+        assert!((w.predict() - 35.0).abs() < 1e-12);
+        assert_eq!(w.observations(), 4);
+    }
+
+    #[test]
+    fn lpf_recurrence() {
+        let mut p = Lpf::new(0.125);
+        p.observe(100.0); // initialises to the first observation
+        assert_eq!(p.predict(), 100.0);
+        p.observe(108.0);
+        assert!((p.predict() - 101.0).abs() < 1e-12); // 100 + (108-100)/8
+        assert_eq!(p.name(), "LPF(0.125)");
+        assert_eq!(p.beta(), 0.125);
+    }
+
+    #[test]
+    fn lpf_beta_one_is_last() {
+        let mut lpf = Lpf::new(1.0);
+        let mut last = Last::new();
+        for x in [3.0, 9.0, 1.0, 4.5] {
+            lpf.observe(x);
+            last.observe(x);
+            assert_eq!(lpf.predict(), last.predict());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beta out of")]
+    fn lpf_rejects_zero_beta() {
+        let _ = Lpf::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn winmean_rejects_zero_window() {
+        let _ = WinMean::new(0);
+    }
+
+    #[test]
+    fn arima_predictor_cold_start_is_last() {
+        let mut p = ArimaPredictor::paper_default();
+        p.observe(200.0);
+        assert_eq!(p.predict(), 200.0);
+        assert_eq!(p.name(), "ARIMA(2,1,1)");
+    }
+
+    #[test]
+    fn arima_predictor_never_negative() {
+        let mut p = ArimaPredictor::new(ArimaSpec::new(1, 1, 0), 50);
+        // Steeply decreasing series would extrapolate below zero.
+        for i in 0..300 {
+            p.observe(300.0 - i as f64);
+        }
+        assert!(p.predict() >= 0.0);
+    }
+
+    #[test]
+    fn one_step_predictions_align() {
+        let mut p = Last::new();
+        let series = [1.0, 2.0, 3.0];
+        let preds = one_step_predictions(&mut p, &series);
+        assert_eq!(preds, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn mean_beats_last_on_iid_noise() {
+        use fd_sim::DetRng;
+        let mut rng = DetRng::seed_from(55);
+        let series: Vec<f64> = (0..5_000).map(|_| rng.normal(200.0, 5.0)).collect();
+        let mut mean = Mean::new();
+        let mut last = Last::new();
+        let pm = one_step_predictions(&mut mean, &series);
+        let pl = one_step_predictions(&mut last, &series);
+        let err = |p: &[f64]| -> f64 {
+            series[10..]
+                .iter()
+                .zip(&p[10..])
+                .map(|(o, f)| (o - f) * (o - f))
+                .sum()
+        };
+        // For i.i.d. noise LAST has twice the msqerr of MEAN.
+        assert!(err(&pm) < 0.7 * err(&pl));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// WINMEAN stays within [min, max] of its window.
+        #[test]
+        fn winmean_bounded(xs in proptest::collection::vec(0.0f64..1e4, 1..100), cap in 1usize..20) {
+            let mut p = WinMean::new(cap);
+            for &x in &xs {
+                p.observe(x);
+            }
+            let start = xs.len().saturating_sub(cap);
+            let win = &xs[start..];
+            let lo = win.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = win.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(p.predict() >= lo - 1e-9 && p.predict() <= hi + 1e-9);
+        }
+
+        /// LPF stays within [min, max] of the whole history.
+        #[test]
+        fn lpf_bounded(xs in proptest::collection::vec(0.0f64..1e4, 1..100), beta in 0.01f64..1.0) {
+            let mut p = Lpf::new(beta);
+            for &x in &xs {
+                p.observe(x);
+            }
+            let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(p.predict() >= lo - 1e-9 && p.predict() <= hi + 1e-9);
+        }
+
+        /// MEAN is permutation invariant.
+        #[test]
+        fn mean_permutation_invariant(mut xs in proptest::collection::vec(0.0f64..1e4, 1..50)) {
+            let mut a = Mean::new();
+            for &x in &xs {
+                a.observe(x);
+            }
+            xs.reverse();
+            let mut b = Mean::new();
+            for &x in &xs {
+                b.observe(x);
+            }
+            prop_assert!((a.predict() - b.predict()).abs() < 1e-6);
+        }
+
+        /// one_step_predictions has the causal alignment: out[t] does not
+        /// depend on series[t..].
+        #[test]
+        fn predictions_are_causal(xs in proptest::collection::vec(0.0f64..1e3, 2..40)) {
+            let mut full = WinMean::new(5);
+            let preds_full = one_step_predictions(&mut full, &xs);
+            let cut = xs.len() / 2;
+            let mut prefix = WinMean::new(5);
+            let preds_prefix = one_step_predictions(&mut prefix, &xs[..cut]);
+            for t in 0..cut {
+                prop_assert_eq!(preds_full[t], preds_prefix[t]);
+            }
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Pull-style failure detection (Section 2.2 of the paper).
+//!
+//! In pull style the *monitor* interrogates the monitored process ("are you
+//! alive?") and detects a crash when the response does not arrive within the
+//! time-out. The paper notes that for continuous monitoring "push-style
+//! permits to obtain the same quality of detection with half messages
+//! exchanged"; this module provides the pull detector so that claim can be
+//! demonstrated experimentally (see the `push_vs_pull` integration test and
+//! the `generalisation` experiments).
+//!
+//! The same predictor/safety-margin modularity applies, but on **round-trip
+//! times**: the time-out for request `k` is `rtt_pred_k + sm_k`.
+
+use fd_sim::{SimDuration, SimTime};
+
+use crate::detector::FdTransition;
+use crate::margin::SafetyMargin;
+use crate::predictor::Predictor;
+
+/// A pull-style crash failure detector: request/response with an adaptive
+/// round-trip time-out.
+pub struct PullFailureDetector {
+    name: String,
+    predictor: Box<dyn Predictor>,
+    margin: Box<dyn SafetyMargin>,
+    period: SimDuration,
+    next_seq: u64,
+    outstanding: Option<Outstanding>,
+    suspecting: bool,
+    requests: u64,
+    responses: u64,
+    stale_responses: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Outstanding {
+    seq: u64,
+    sent_at: SimTime,
+    deadline: SimTime,
+}
+
+impl std::fmt::Debug for PullFailureDetector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PullFailureDetector")
+            .field("name", &self.name)
+            .field("period", &self.period)
+            .field("outstanding", &self.outstanding)
+            .field("suspecting", &self.suspecting)
+            .field("requests", &self.requests)
+            .field("responses", &self.responses)
+            .finish()
+    }
+}
+
+impl PullFailureDetector {
+    /// Creates a pull detector interrogating every `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(
+        name: impl Into<String>,
+        predictor: impl Predictor + 'static,
+        margin: impl SafetyMargin + 'static,
+        period: SimDuration,
+    ) -> Self {
+        assert!(!period.is_zero(), "interrogation period must be positive");
+        Self {
+            name: name.into(),
+            predictor: Box::new(predictor),
+            margin: Box::new(margin),
+            period,
+            next_seq: 0,
+            outstanding: None,
+            suspecting: false,
+            requests: 0,
+            responses: 0,
+            stale_responses: 0,
+        }
+    }
+
+    /// The detector's label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The interrogation period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// `true` while the detector suspects the monitored process.
+    pub fn is_suspecting(&self) -> bool {
+        self.suspecting
+    }
+
+    /// Requests issued so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Responses consumed so far (matching the outstanding request).
+    pub fn responses(&self) -> u64 {
+        self.responses
+    }
+
+    /// Responses that arrived after their time-out or out of order.
+    pub fn stale_responses(&self) -> u64 {
+        self.stale_responses
+    }
+
+    /// The time-out deadline of the outstanding request, if any.
+    pub fn deadline(&self) -> Option<SimTime> {
+        self.outstanding.map(|o| o.deadline)
+    }
+
+    /// Issues the next interrogation request at local time `now`; returns
+    /// its sequence number. The caller sends the request and schedules a
+    /// [`PullFailureDetector::check`] at [`PullFailureDetector::deadline`].
+    ///
+    /// If a request is still outstanding (no response, no expiry yet), it is
+    /// superseded: pull monitoring only ever waits for the newest request.
+    pub fn issue_request(&mut self, now: SimTime) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.requests += 1;
+        let timeout_ms = (self.predictor.predict() + self.margin.margin()).max(0.0);
+        // Cold start: without any RTT observation the time-out is one period.
+        let timeout = if self.predictor.observations() == 0 {
+            self.period
+        } else {
+            SimDuration::from_millis_f64(timeout_ms)
+        };
+        self.outstanding = Some(Outstanding {
+            seq,
+            sent_at: now,
+            deadline: now + timeout,
+        });
+        seq
+    }
+
+    /// Consumes the response to request `seq`, observed at `now`.
+    ///
+    /// Returns `Some(FdTransition::EndSuspect)` if it corrected an ongoing
+    /// suspicion.
+    pub fn on_response(&mut self, seq: u64, now: SimTime) -> Option<FdTransition> {
+        let Some(out) = self.outstanding else {
+            self.stale_responses += 1;
+            return None;
+        };
+        if out.seq != seq {
+            self.stale_responses += 1;
+            return None;
+        }
+        self.responses += 1;
+        let rtt_ms = now.duration_since(out.sent_at).as_millis_f64();
+        let err = rtt_ms - self.predictor.predict();
+        self.predictor.observe(rtt_ms);
+        self.margin.update(rtt_ms, err);
+        self.outstanding = None;
+        if self.suspecting {
+            self.suspecting = false;
+            Some(FdTransition::EndSuspect)
+        } else {
+            None
+        }
+    }
+
+    /// Evaluates the time-out at `now`.
+    pub fn check(&mut self, now: SimTime) -> Option<FdTransition> {
+        if self.suspecting {
+            return None;
+        }
+        match self.outstanding {
+            Some(out) if now >= out.deadline => {
+                self.suspecting = true;
+                Some(FdTransition::StartSuspect)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::margin::ConstantMargin;
+    use crate::predictor::Last;
+
+    fn detector() -> PullFailureDetector {
+        PullFailureDetector::new(
+            "pull",
+            Last::new(),
+            ConstantMargin::new(100.0),
+            SimDuration::from_secs(1),
+        )
+    }
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn cold_start_timeout_is_one_period() {
+        let mut fd = detector();
+        let seq = fd.issue_request(SimTime::ZERO);
+        assert_eq!(seq, 0);
+        assert_eq!(fd.deadline(), Some(SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn response_observes_rtt_and_sets_next_timeout() {
+        let mut fd = detector();
+        let seq = fd.issue_request(SimTime::ZERO);
+        fd.on_response(seq, ms(400)); // RTT 400 ms
+        let seq2 = fd.issue_request(SimTime::from_secs(1));
+        assert_eq!(seq2, 1);
+        // timeout = LAST(400) + 100 margin.
+        assert_eq!(fd.deadline(), Some(SimTime::from_millis(1_500)));
+        assert_eq!(fd.responses(), 1);
+    }
+
+    #[test]
+    fn timeout_starts_suspicion_response_corrects_it() {
+        let mut fd = detector();
+        let seq = fd.issue_request(SimTime::ZERO);
+        fd.on_response(seq, ms(400));
+        let seq2 = fd.issue_request(SimTime::from_secs(1));
+        assert_eq!(fd.check(ms(1_499)), None);
+        assert_eq!(fd.check(ms(1_500)), Some(FdTransition::StartSuspect));
+        assert!(fd.is_suspecting());
+        // Late response corrects the mistake.
+        assert_eq!(fd.on_response(seq2, ms(1_900)), Some(FdTransition::EndSuspect));
+        assert!(!fd.is_suspecting());
+    }
+
+    #[test]
+    fn wrong_seq_responses_are_stale() {
+        let mut fd = detector();
+        let _ = fd.issue_request(SimTime::ZERO);
+        assert_eq!(fd.on_response(99, ms(100)), None);
+        assert_eq!(fd.stale_responses(), 1);
+        // Response after supersession is stale too.
+        let _ = fd.issue_request(SimTime::from_secs(1));
+        assert_eq!(fd.on_response(0, ms(1_100)), None);
+        assert_eq!(fd.stale_responses(), 2);
+    }
+
+    #[test]
+    fn check_without_outstanding_request_is_noop() {
+        let mut fd = detector();
+        assert_eq!(fd.check(SimTime::from_secs(100)), None);
+        assert!(!fd.is_suspecting());
+    }
+
+    #[test]
+    fn suspicion_persists_until_a_response() {
+        let mut fd = detector();
+        let _ = fd.issue_request(SimTime::ZERO);
+        fd.check(SimTime::from_secs(2));
+        assert!(fd.is_suspecting());
+        // New requests while suspecting do not clear the suspicion.
+        let seq = fd.issue_request(SimTime::from_secs(2));
+        assert!(fd.is_suspecting());
+        assert_eq!(fd.on_response(seq, SimTime::from_secs(3)), Some(FdTransition::EndSuspect));
+    }
+
+    #[test]
+    fn request_counter_tracks_message_cost() {
+        // Pull costs two messages per cycle (request + response): the
+        // counters expose that for the paper's push-vs-pull comparison.
+        let mut fd = detector();
+        for i in 0..10u64 {
+            let seq = fd.issue_request(SimTime::from_secs(i));
+            fd.on_response(seq, SimTime::from_secs(i) + SimDuration::from_millis(300));
+        }
+        assert_eq!(fd.requests(), 10);
+        assert_eq!(fd.responses(), 10);
+        // Total messages = requests + responses = 2 × cycles, vs 1 × for push.
+    }
+}

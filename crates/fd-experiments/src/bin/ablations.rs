@@ -1,0 +1,121 @@
+//! Accuracy ablations of the design choices DESIGN.md calls out: how the
+//! predictor tunables move `msqerr`, and how the safety-margin parameters
+//! move the QoS metrics (interpolating the paper's low/med/high levels).
+//!
+//! ```text
+//! cargo run --release -p fd-experiments --bin ablations [-- --quick]
+//! ```
+
+use fd_arima::ArimaSpec;
+use fd_core::combinations::Combination;
+use fd_core::predictor::{one_step_predictions, ArimaPredictor, Lpf, WinMean};
+use fd_core::{MarginKind, PredictorKind};
+use fd_experiments::{ExperimentParams, Metric};
+use fd_net::{DelayTrace, WanProfile};
+use fd_stat::mean_squared_error;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let profile = WanProfile::italy_japan();
+    let n = if quick { 8_000 } else { 40_000 };
+    let trace = DelayTrace::record(&profile, n, fd_sim::SimDuration::from_secs(1), 0xAB1A);
+    let delays = trace.delays_ms();
+    let warmup = 200;
+    let score = |preds: &[f64]| mean_squared_error(&delays[warmup..], &preds[warmup..]);
+
+    println!("Ablation 1 — WINMEAN window size (paper: N = 10)");
+    println!("{:<10} {:>14}", "N", "msqerr (ms²)");
+    for window in [2usize, 5, 10, 25, 50, 200] {
+        let mut p = WinMean::new(window);
+        let preds = one_step_predictions(&mut p, &delays);
+        println!("{window:<10} {:>14.3}", score(&preds));
+    }
+
+    println!("\nAblation 2 — LPF smoothing factor (paper: β = 1/8)");
+    println!("{:<10} {:>14}", "β", "msqerr (ms²)");
+    for beta in [0.03125f64, 0.0625, 0.125, 0.25, 0.5, 1.0] {
+        let mut p = Lpf::new(beta);
+        let preds = one_step_predictions(&mut p, &delays);
+        println!("{beta:<10} {:>14.3}", score(&preds));
+    }
+
+    println!("\nAblation 3 — ARIMA refit interval (paper: N_Arima = 1000)");
+    println!("{:<10} {:>14}", "N_Arima", "msqerr (ms²)");
+    for refit in [250usize, 500, 1_000, 2_000, 5_000] {
+        let mut p = ArimaPredictor::new(ArimaSpec::new(2, 1, 1), refit);
+        let preds = one_step_predictions(&mut p, &delays);
+        println!("{refit:<10} {:>14.3}", score(&preds));
+    }
+
+    println!("\nAblation 4 — safety-margin level vs QoS (LAST predictor)");
+    let params = ExperimentParams {
+        num_cycles: if quick { 1_000 } else { 4_000 },
+        runs: if quick { 2 } else { 4 },
+        ..ExperimentParams::paper()
+    };
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>10}",
+        "margin", "T_D (ms)", "T_M (ms)", "T_MR (ms)", "P_A"
+    );
+    for margin in [
+        MarginKind::Ci { gamma: 0.5 },
+        MarginKind::Ci { gamma: 1.0 },
+        MarginKind::Ci { gamma: 2.0 },
+        MarginKind::Ci { gamma: 3.31 },
+        MarginKind::Ci { gamma: 5.0 },
+        MarginKind::Jac { phi: 0.5 },
+        MarginKind::Jac { phi: 1.0 },
+        MarginKind::Jac { phi: 2.0 },
+        MarginKind::Jac { phi: 4.0 },
+        MarginKind::Jac { phi: 8.0 },
+    ] {
+        // One-detector experiment: rebuild the grid machinery by hand.
+        let results = run_margin_probe(&profile, &params, margin);
+        println!(
+            "{:<16} {:>12.1} {:>12.1} {:>12.1} {:>10.5}",
+            Combination::new(PredictorKind::Last, margin).label(),
+            results.0,
+            results.1,
+            results.2,
+            results.3
+        );
+    }
+}
+
+/// Runs the quick QoS experiment and pulls one (T_D, T_M, T_MR, P_A) row for
+/// `LAST + margin` out of a single-combination experiment.
+fn run_margin_probe(
+    profile: &WanProfile,
+    params: &ExperimentParams,
+    margin: MarginKind,
+) -> (f64, f64, f64, f64) {
+    use fd_runtime::{Process, ProcessId, SimEngine};
+    use fd_experiments::{HeartbeaterLayer, MonitorLayer, SimCrashLayer};
+    use fd_sim::{SeedTree, SimTime};
+
+    let mut pooled = fd_stat::QosMetrics::default();
+    for run in 0..params.runs {
+        let seeds = SeedTree::new(params.seed).subtree(&format!("ablation-{run}"));
+        let fd = Combination::new(PredictorKind::Last, margin).build(params.eta);
+        let mut engine = SimEngine::new();
+        engine.add_process(Process::new(ProcessId(0)).with_layer(MonitorLayer::new(vec![fd])));
+        engine.add_process(
+            Process::new(ProcessId(1))
+                .with_layer(SimCrashLayer::new(params.mttc, params.ttr, seeds.rng("crash")))
+                .with_layer(
+                    HeartbeaterLayer::new(ProcessId(0), params.eta)
+                        .with_max_cycles(params.num_cycles),
+                ),
+        );
+        engine.set_link(ProcessId(1), ProcessId(0), profile.link(seeds.rng("link")));
+        let end = SimTime::ZERO + params.run_duration();
+        engine.run_until(end);
+        pooled.merge(&fd_stat::extract_metrics(engine.event_log(), 0, end));
+    }
+    (
+        Metric::Td.of(&pooled).unwrap_or(f64::NAN),
+        Metric::Tm.of(&pooled).unwrap_or(f64::NAN),
+        Metric::Tmr.of(&pooled).unwrap_or(f64::NAN),
+        Metric::Pa.of(&pooled).unwrap_or(f64::NAN),
+    )
+}

@@ -1,0 +1,70 @@
+//! Fits a synthetic link profile to a measured delay trace and verifies the
+//! fit by regenerating and re-characterising.
+//!
+//! ```text
+//! cargo run --release -p fd-experiments --bin calibrate -- --trace PATH.csv [--name NAME]
+//! ```
+//!
+//! Without `--trace`, a demonstration trace is recorded from the built-in
+//! Italy–Japan profile and re-fitted.
+
+use fd_net::{calibrate_profile, DelayTrace, WanProfile};
+use fd_sim::SimDuration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args
+        .iter()
+        .position(|a| a == "--name")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "calibrated".to_owned());
+    let trace = match args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(path) => DelayTrace::load_csv(path).unwrap_or_else(|e| {
+            eprintln!("cannot load trace '{path}': {e}");
+            std::process::exit(2);
+        }),
+        None => {
+            eprintln!("no --trace given: recording 30k heartbeats from the built-in profile …");
+            DelayTrace::record(
+                &WanProfile::italy_japan(),
+                30_000,
+                SimDuration::from_secs(1),
+                0xCAFE,
+            )
+        }
+    };
+
+    let Some((profile, diag)) = calibrate_profile(&trace, &name) else {
+        eprintln!("trace too short to calibrate (need ≥ 100 delivered samples)");
+        std::process::exit(1);
+    };
+
+    println!("diagnostics:");
+    println!("  floor            {:.1} ms", diag.floor_ms);
+    println!("  spike threshold  {:.1} ms (fraction {:.4})", diag.spike_threshold_ms, diag.spike_fraction);
+    println!("  body mean/var    {:.1} ms / {:.1} ms²", diag.body_mean_ms, diag.body_var_ms2);
+    println!("  lag-1 autocorr   {:.3}", diag.lag1);
+
+    println!("\nfitted profile: {profile:#?}");
+
+    // Verification: regenerate and compare Table-4 style characteristics.
+    let original = trace.characteristics().expect("non-empty trace");
+    let regenerated = DelayTrace::record(&profile, trace.len().max(5_000), SimDuration::from_secs(1), 7)
+        .characteristics()
+        .expect("non-empty regeneration");
+    println!("\nverification (original vs regenerated):");
+    println!("  mean  {:.1} vs {:.1} ms", original.mean_ms, regenerated.mean_ms);
+    println!("  std   {:.1} vs {:.1} ms", original.std_ms, regenerated.std_ms);
+    println!("  min   {:.1} vs {:.1} ms", original.min_ms, regenerated.min_ms);
+    println!("  max   {:.1} vs {:.1} ms", original.max_ms, regenerated.max_ms);
+    println!(
+        "  loss  {:.3}% vs {:.3}%",
+        original.loss_probability * 100.0,
+        regenerated.loss_probability * 100.0
+    );
+}

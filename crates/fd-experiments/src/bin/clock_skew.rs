@@ -1,0 +1,99 @@
+//! Quantifies the paper's synchronised-clock assumption (offset_pq = 0,
+//! ρ_pq = 0, enforced with NTP in the paper's setup).
+//!
+//! Two findings this experiment demonstrates:
+//!
+//! * a **constant offset** is invisible to adaptive push detectors — the
+//!   heartbeat schedule and the freshness points both live on relative
+//!   time-outs, so every QoS metric is bit-identical across offsets;
+//! * **clock drift** is not: a drifting monitored clock stretches or
+//!   shrinks the inter-heartbeat period in true time, so the observed
+//!   "delays" trend without bound. Tracking predictors follow the trend
+//!   cheaply; `MEAN` lags it, and `SM_CI`'s variance estimate balloons on
+//!   the trending history — detection times inflate by hundreds of ms while
+//!   fast-clock drift (delays clamped toward 0) stalls detection for every
+//!   detector by the accumulated skew.
+//!
+//! ```text
+//! cargo run --release -p fd-experiments --bin clock_skew
+//! ```
+
+use fd_core::combinations::Combination;
+use fd_core::{MarginKind, PredictorKind};
+use fd_experiments::{HeartbeaterLayer, MonitorLayer, SimCrashLayer};
+use fd_net::WanProfile;
+use fd_runtime::{ClockModel, Process, ProcessId, SimEngine};
+use fd_sim::{SeedTree, SimTime};
+use fd_stat::{extract_metrics, QosMetrics};
+
+fn run_with_clock(clock: ClockModel) -> Vec<(String, QosMetrics)> {
+    let profile = WanProfile::italy_japan();
+    let params = fd_experiments::ExperimentParams {
+        num_cycles: 3_000,
+        ..fd_experiments::ExperimentParams::paper()
+    };
+    let seeds = SeedTree::new(params.seed).subtree("skew");
+    let detectors = vec![
+        Combination::new(PredictorKind::Last, MarginKind::Jac { phi: 2.0 }).build(params.eta),
+        Combination::new(PredictorKind::Mean, MarginKind::Ci { gamma: 2.0 }).build(params.eta),
+    ];
+    let labels: Vec<String> = detectors.iter().map(|d| d.name().to_owned()).collect();
+    let mut engine = SimEngine::new();
+    engine.add_process(Process::new(ProcessId(0)).with_layer(MonitorLayer::new(detectors)));
+    engine.add_process(
+        Process::new(ProcessId(1))
+            .with_layer(SimCrashLayer::new(params.mttc, params.ttr, seeds.rng("crash")))
+            .with_layer(
+                HeartbeaterLayer::new(ProcessId(0), params.eta).with_max_cycles(params.num_cycles),
+            ),
+    );
+    engine.set_clock(ProcessId(1), clock);
+    engine.set_link(ProcessId(1), ProcessId(0), profile.link(seeds.rng("link")));
+    let end = SimTime::ZERO + params.run_duration();
+    engine.run_until(end);
+    labels
+        .into_iter()
+        .enumerate()
+        .map(|(i, l)| (l, extract_metrics(engine.event_log(), i as u32, end)))
+        .collect()
+}
+
+fn print_rows(tag: &str, rows: &[(String, QosMetrics)]) {
+    for (label, m) in rows {
+        println!(
+            "{tag:<16} {label:<20} {:>10.1} {:>10} {:>10.5}",
+            m.mean_td().unwrap_or(f64::NAN),
+            m.mistake_durations_ms.len(),
+            m.query_accuracy().unwrap_or(f64::NAN),
+        );
+    }
+}
+
+fn main() {
+    println!(
+        "{:<16} {:<20} {:>10} {:>10} {:>10}",
+        "clock", "detector", "T_D (ms)", "mistakes", "P_A"
+    );
+
+    // Constant offsets: QoS must be identical (the invariance finding).
+    let baseline = run_with_clock(ClockModel::synchronized());
+    print_rows("offset +0ms", &baseline);
+    let offset = run_with_clock(ClockModel::with_offset_us(250_000));
+    print_rows("offset +250ms", &offset);
+    let invariant = baseline
+        .iter()
+        .zip(&offset)
+        .all(|((_, a), (_, b))| a == b);
+    println!("constant offset invariance: {}", if invariant { "CONFIRMED" } else { "BROKEN" });
+
+    // Drift: the monitored clock runs fast (its η shrinks in true time →
+    // observed delays drift downward) or slow (delays drift upward).
+    println!();
+    for drift_ppm in [-2_000.0f64, -200.0, 200.0, 2_000.0] {
+        let rows = run_with_clock(ClockModel::new(0, drift_ppm));
+        print_rows(&format!("drift {drift_ppm:+}ppm"), &rows);
+    }
+    println!("\n(the paper's NTP setup keeps |drift| well below 100 ppm: inside that envelope");
+    println!(" both detectors behave as in the synchronised case; beyond it MEAN+SM_CI's");
+    println!(" detection time inflates first, and strong fast-clock drift stalls everyone)");
+}

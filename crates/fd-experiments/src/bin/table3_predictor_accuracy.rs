@@ -1,0 +1,41 @@
+//! Regenerates the paper's Table 3: predictor accuracy (msqerr) over
+//! `N_one_way = 100 000` one-way heartbeat delays on the Italy–Japan link.
+//!
+//! ```text
+//! cargo run --release -p fd-experiments --bin table3_predictor_accuracy [-- --quick] [--profile NAME]
+//! ```
+
+use fd_experiments::{predictor_accuracy_experiment, AccuracyParams};
+use fd_net::WanProfile;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let profile = match args
+        .iter()
+        .position(|a| a == "--profile")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        Some("lan") => WanProfile::lan(),
+        Some("congested-wan") => WanProfile::congested_wan(),
+        Some("mobile") => WanProfile::mobile(),
+        Some("italy-japan") | None => WanProfile::italy_japan(),
+        Some(other) => {
+            eprintln!("unknown profile '{other}' (italy-japan|lan|congested-wan|mobile)");
+            std::process::exit(2);
+        }
+    };
+    let params = if quick {
+        AccuracyParams::quick()
+    } else {
+        AccuracyParams::paper()
+    };
+    eprintln!(
+        "collecting {} one-way delays on '{}' …",
+        params.n_one_way, profile.name
+    );
+    let table = predictor_accuracy_experiment(&profile, &params);
+    println!("Table 3 — Predictor accuracy");
+    print!("{table}");
+}

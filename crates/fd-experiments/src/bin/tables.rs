@@ -1,0 +1,50 @@
+//! Prints the experiment's constant tables (the paper's Tables 1, 2 and 5).
+//!
+//! ```text
+//! cargo run -p fd-experiments --bin tables
+//! ```
+
+use fd_core::{MarginKind, PredictorKind};
+use fd_experiments::ExperimentParams;
+
+fn main() {
+    println!("Table 1 — Safety margin parameters");
+    println!("{:<10} {:>8}    {:<10} {:>8}", "SM_CI", "γ", "SM_JAC", "φ");
+    let labels = ["low", "med", "high"];
+    let margins = MarginKind::paper_set();
+    for (i, label) in labels.iter().enumerate() {
+        let MarginKind::Ci { gamma } = margins[i] else {
+            unreachable!("first three are CI");
+        };
+        let MarginKind::Jac { phi } = margins[i + 3] else {
+            unreachable!("last three are JAC");
+        };
+        println!("γ_{label:<8} {gamma:>8}    φ_{label:<8} {phi:>8}");
+    }
+
+    println!("\nTable 2 — Predictor parameters");
+    println!("{:<12} Parameters", "Predictor");
+    for kind in PredictorKind::paper_set() {
+        let params = match kind {
+            PredictorKind::Arima { p, d, q, refit_every } => {
+                format!("p = {p}, d = {d}, q = {q} (refit every {refit_every} obs)")
+            }
+            PredictorKind::Lpf { beta } => format!("β = {beta}"),
+            PredictorKind::WinMean { window } => format!("N = {window}"),
+            PredictorKind::Last | PredictorKind::Mean => "—".to_owned(),
+        };
+        println!("{:<12} {params}", kind.label());
+    }
+
+    println!("\nTable 5 — Experiment parameters");
+    let p = ExperimentParams::paper();
+    println!("NumCycles   {}", p.num_cycles);
+    println!("MTTC        {}", p.mttc);
+    println!("TTR         {}", p.ttr);
+    println!("η           {}", p.eta);
+    println!("runs        {}", p.runs);
+    println!(
+        "(expected T_D samples per run ≈ {:.1}, as in the paper's Section 5.2)",
+        p.expected_td_samples()
+    );
+}

@@ -1,0 +1,140 @@
+//! Experiment parameters (the paper's Table 5 and Section 5.1).
+
+use fd_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the QoS experiment (Table 5).
+///
+/// The paper's values: η = 1 s, MTTC = 300 s, TTR = 30 s, 13 runs, and a
+/// number of cycles chosen so that `N_TD ≈ NumCycles·η/(MTTC+TTR) ≈ 30`
+/// detection-time samples are collected per run — i.e. `NumCycles ≈ 10 000`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentParams {
+    /// Heartbeat period η.
+    pub eta: SimDuration,
+    /// Heartbeat cycles per run (`NumCycles`).
+    pub num_cycles: u64,
+    /// Mean time to crash; actual time-to-crash is uniform in
+    /// `[MTTC/2, 3·MTTC/2]`.
+    pub mttc: SimDuration,
+    /// Constant time to repair.
+    pub ttr: SimDuration,
+    /// Number of independent runs (the paper uses 13).
+    pub runs: usize,
+    /// Root seed; run `r` derives its streams from `seed ⊕ r`.
+    pub seed: u64,
+    /// Also evaluate the NFD-E constant-margin baseline alongside the 30
+    /// paper combinations (an extension experiment).
+    pub include_nfd_baseline: bool,
+}
+
+impl Default for ExperimentParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl ExperimentParams {
+    /// The paper's Table 5 configuration.
+    pub fn paper() -> Self {
+        ExperimentParams {
+            eta: SimDuration::from_secs(1),
+            num_cycles: 10_000,
+            mttc: SimDuration::from_secs(300),
+            ttr: SimDuration::from_secs(30),
+            runs: 13,
+            seed: 0xD5_2005,
+            include_nfd_baseline: false,
+        }
+    }
+
+    /// A scaled-down configuration for tests and benches: same ratios,
+    /// shorter run.
+    pub fn quick() -> Self {
+        ExperimentParams {
+            eta: SimDuration::from_secs(1),
+            num_cycles: 600,
+            mttc: SimDuration::from_secs(60),
+            ttr: SimDuration::from_secs(10),
+            runs: 2,
+            seed: 7,
+            include_nfd_baseline: false,
+        }
+    }
+
+    /// Total virtual duration of one run.
+    pub fn run_duration(&self) -> SimDuration {
+        self.eta * self.num_cycles
+    }
+
+    /// Expected number of detection-time samples per run,
+    /// `NumCycles·η/(MTTC+TTR)`.
+    pub fn expected_td_samples(&self) -> f64 {
+        self.run_duration().as_secs_f64() / (self.mttc + self.ttr).as_secs_f64()
+    }
+}
+
+/// Parameters of the predictor-accuracy experiment (Section 5.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyParams {
+    /// Number of one-way delay observations (`N_one_way`, paper: 100 000).
+    pub n_one_way: usize,
+    /// Heartbeat period while collecting.
+    pub eta: SimDuration,
+    /// Seed of the collection run.
+    pub seed: u64,
+}
+
+impl Default for AccuracyParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl AccuracyParams {
+    /// The paper's configuration: 100 000 one-way delays.
+    pub fn paper() -> Self {
+        AccuracyParams {
+            n_one_way: 100_000,
+            eta: SimDuration::from_secs(1),
+            seed: 0xACC_2005,
+        }
+    }
+
+    /// A scaled-down configuration for tests.
+    pub fn quick() -> Self {
+        AccuracyParams {
+            n_one_way: 5_000,
+            eta: SimDuration::from_secs(1),
+            seed: 11,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameters_match_table5() {
+        let p = ExperimentParams::paper();
+        assert_eq!(p.eta, SimDuration::from_secs(1));
+        assert_eq!(p.mttc, SimDuration::from_secs(300));
+        assert_eq!(p.ttr, SimDuration::from_secs(30));
+        assert_eq!(p.runs, 13);
+        // N_TD ≈ 30 per run, as stated in Section 5.2.
+        let n_td = p.expected_td_samples();
+        assert!((n_td - 30.0).abs() < 1.0, "N_TD = {n_td}");
+    }
+
+    #[test]
+    fn run_duration_is_cycles_times_eta() {
+        let p = ExperimentParams::paper();
+        assert_eq!(p.run_duration(), SimDuration::from_secs(10_000));
+    }
+
+    #[test]
+    fn accuracy_paper_collects_100k() {
+        assert_eq!(AccuracyParams::paper().n_one_way, 100_000);
+    }
+}

@@ -1,0 +1,250 @@
+//! Configuring a detector to meet QoS requirements.
+//!
+//! Chen, Toueg and Aguilera's NFD-E is configured *offline*: given QoS
+//! requirements — an upper bound `T_D^U` on detection time, a lower bound
+//! `T_MR^L` on mistake recurrence and an upper bound `T_M^U` on mistake
+//! duration — plus a probabilistic characterisation of the network, their
+//! procedure computes the heartbeat period η and the constant margin α.
+//!
+//! The paper under reproduction uses that idea as its baseline ("a failure
+//! detector with constant time-out is very useful in applications where
+//! specific QoS requirements such as a maximum detection time T_D^U need to
+//! be always guaranteed"). This module implements the configuration step
+//! **by simulation over the calibrated link model** instead of closed-form
+//! network assumptions: candidate (η, α) pairs are derived from the
+//! requirements, then verified against a simulated run, and the first
+//! verified candidate with the largest η (fewest messages) is returned.
+
+use fd_net::WanProfile;
+use fd_runtime::{Process, ProcessId, SimEngine};
+use fd_sim::{SeedTree, SimDuration, SimTime};
+use fd_stat::{extract_metrics, QosMetrics, Summary};
+use serde::{Deserialize, Serialize};
+
+use crate::layers::{HeartbeaterLayer, MonitorLayer, SimCrashLayer};
+
+/// The QoS requirements of Chen et al.'s configuration problem.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosRequirements {
+    /// Upper bound on the detection time, ms.
+    pub td_upper_ms: f64,
+    /// Lower bound on the mean mistake recurrence time, ms.
+    pub tmr_lower_ms: f64,
+    /// Upper bound on the mean mistake duration, ms.
+    pub tm_upper_ms: f64,
+}
+
+/// A configured constant-margin (NFD-E style) detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Heartbeat period η.
+    pub eta: SimDuration,
+    /// Constant safety margin α in ms.
+    pub alpha_ms: f64,
+}
+
+/// The configuration result: the chosen parameters and the QoS measured
+/// during verification.
+#[derive(Debug, Clone)]
+pub struct ConfiguredDetector {
+    /// The accepted configuration.
+    pub config: DetectorConfig,
+    /// Metrics of the verification run.
+    pub verified: QosMetrics,
+}
+
+/// Searches for an (η, α) configuration meeting `req` on `profile`.
+///
+/// Candidate periods are `T_D^U / k` for `k ∈ 2..=6` (larger η first: fewer
+/// messages); for each, the margin is what remains of the detection budget
+/// after one period and the link's 99.9th delay percentile. Each candidate
+/// is verified by simulation (crash injection for `T_D^U`, the same run's
+/// up-periods for the accuracy bounds).
+///
+/// Returns `None` when no candidate satisfies all three requirements —
+/// e.g. a detection bound tighter than one network delay, or accuracy
+/// bounds the link's loss rate cannot meet at any margin.
+pub fn configure_nfd(
+    profile: &WanProfile,
+    req: &QosRequirements,
+    seed: u64,
+) -> Option<ConfiguredDetector> {
+    // Characterise the link once: the margin budget needs a delay quantile.
+    let trace = fd_net::DelayTrace::record(profile, 4_000, SimDuration::from_secs(1), seed);
+    let delays = trace.delays_ms();
+    let p999 = Summary::percentile(&delays, 99.9)?;
+    let mean_delay = delays.iter().sum::<f64>() / delays.len() as f64;
+
+    for k in 2..=6u32 {
+        let eta_ms = req.td_upper_ms / f64::from(k);
+        if eta_ms < 1.0 {
+            break;
+        }
+        let eta = SimDuration::from_millis_f64(eta_ms);
+        // Detection budget: a crash right after a send is noticed at most
+        // η + delay + α later (freshness point of the next heartbeat).
+        let alpha_ms = req.td_upper_ms - eta_ms - p999;
+        if alpha_ms < 0.0 {
+            continue;
+        }
+        let config = DetectorConfig { eta, alpha_ms };
+        let verified = verify(profile, config, mean_delay, seed);
+        let meets_td = verified
+            .td_upper()
+            .is_some_and(|tdu| tdu <= req.td_upper_ms)
+            && verified.undetected_crashes == 0;
+        let meets_tmr = verified
+            .mean_tmr()
+            .map_or(verified.mistake_durations_ms.len() <= 1, |tmr| {
+                tmr >= req.tmr_lower_ms
+            });
+        let meets_tm = verified
+            .mean_tm()
+            .is_none_or(|tm| tm <= req.tm_upper_ms);
+        if meets_td && meets_tmr && meets_tm {
+            return Some(ConfiguredDetector { config, verified });
+        }
+    }
+    None
+}
+
+/// Verification run: the configured detector against the profile with crash
+/// injection, long enough to collect both detection and accuracy samples.
+fn verify(
+    profile: &WanProfile,
+    config: DetectorConfig,
+    mean_delay_ms: f64,
+    seed: u64,
+) -> QosMetrics {
+    let seeds = SeedTree::new(seed).subtree("nfd-config");
+    let fd = fd_core::nfd::nfd_e(config.alpha_ms, config.eta);
+    let _ = mean_delay_ms;
+    let mut engine = SimEngine::new();
+    engine.add_process(Process::new(ProcessId(0)).with_layer(MonitorLayer::new(vec![fd])));
+    // Crash cycle scaled to the heartbeat period so several detections are
+    // observed within a bounded number of cycles.
+    let mttc = config.eta * 120;
+    let ttr = config.eta * 20;
+    let cycles: u64 = 2_000;
+    engine.add_process(
+        Process::new(ProcessId(1))
+            .with_layer(SimCrashLayer::new(mttc, ttr, seeds.rng("crash")))
+            .with_layer(HeartbeaterLayer::new(ProcessId(0), config.eta).with_max_cycles(cycles)),
+    );
+    engine.set_link(ProcessId(1), ProcessId(0), profile.link(seeds.rng("link")));
+    let end = SimTime::ZERO + config.eta * cycles;
+    engine.run_until(end);
+    extract_metrics(engine.event_log(), 0, end)
+}
+
+/// Convenience check: does an already-verified outcome satisfy requirements?
+pub fn satisfies(req: &QosRequirements, m: &QosMetrics) -> bool {
+    m.undetected_crashes == 0
+        && m.td_upper().is_some_and(|t| t <= req.td_upper_ms)
+        && m.mean_tmr().is_none_or(|t| t >= req.tmr_lower_ms)
+        && m.mean_tm().is_none_or(|t| t <= req.tm_upper_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasible_requirements_are_configured_and_verified() {
+        let profile = WanProfile::italy_japan();
+        let req = QosRequirements {
+            td_upper_ms: 4_000.0,
+            tmr_lower_ms: 10_000.0,
+            tm_upper_ms: 3_000.0,
+        };
+        let outcome = configure_nfd(&profile, &req, 42).expect("feasible");
+        assert!(outcome.config.alpha_ms > 0.0);
+        assert!(outcome.config.eta.as_millis() >= 500);
+        assert!(satisfies(&req, &outcome.verified), "{:?}", outcome.verified);
+        // Preference for the largest period: η = T_D^U / 2 when it works.
+        assert_eq!(outcome.config.eta, SimDuration::from_millis(2_000));
+    }
+
+    #[test]
+    fn infeasible_detection_bound_is_rejected() {
+        // T_D^U below a single one-way delay can never be met.
+        let profile = WanProfile::italy_japan();
+        let req = QosRequirements {
+            td_upper_ms: 150.0,
+            tmr_lower_ms: 0.0,
+            tm_upper_ms: f64::MAX,
+        };
+        assert!(configure_nfd(&profile, &req, 43).is_none());
+    }
+
+    #[test]
+    fn tighter_detection_bound_gives_smaller_period() {
+        let profile = WanProfile::italy_japan();
+        let loose = configure_nfd(
+            &profile,
+            &QosRequirements {
+                td_upper_ms: 8_000.0,
+                tmr_lower_ms: 5_000.0,
+                tm_upper_ms: 5_000.0,
+            },
+            44,
+        )
+        .expect("loose feasible");
+        let tight = configure_nfd(
+            &profile,
+            &QosRequirements {
+                td_upper_ms: 1_500.0,
+                tmr_lower_ms: 5_000.0,
+                tm_upper_ms: 5_000.0,
+            },
+            44,
+        )
+        .expect("tight feasible");
+        assert!(tight.config.eta < loose.config.eta);
+        assert!(tight.config.alpha_ms < loose.config.alpha_ms);
+    }
+
+    #[test]
+    fn impossible_accuracy_bound_is_rejected() {
+        // A mistake-recurrence floor of ten hours cannot be met on a lossy
+        // link at any margin the detection budget allows.
+        let profile = WanProfile::congested_wan();
+        let req = QosRequirements {
+            td_upper_ms: 3_000.0,
+            tmr_lower_ms: 36_000_000.0,
+            tm_upper_ms: 1_000.0,
+        };
+        assert!(configure_nfd(&profile, &req, 45).is_none());
+    }
+
+    #[test]
+    fn configuration_is_deterministic() {
+        let profile = WanProfile::italy_japan();
+        let req = QosRequirements {
+            td_upper_ms: 5_000.0,
+            tmr_lower_ms: 10_000.0,
+            tm_upper_ms: 4_000.0,
+        };
+        let a = configure_nfd(&profile, &req, 46).unwrap();
+        let b = configure_nfd(&profile, &req, 46).unwrap();
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.verified, b.verified);
+    }
+
+    #[test]
+    fn satisfies_is_consistent_with_bounds() {
+        let req = QosRequirements {
+            td_upper_ms: 1_000.0,
+            tmr_lower_ms: 100.0,
+            tm_upper_ms: 100.0,
+        };
+        let mut m = QosMetrics {
+            detection_times_ms: vec![900.0],
+            total_crashes: 1,
+            ..QosMetrics::default()
+        };
+        assert!(satisfies(&req, &m));
+        m.detection_times_ms.push(1_100.0);
+        assert!(!satisfies(&req, &m));
+    }
+}

@@ -1,0 +1,46 @@
+//! The DSN'05 experiments: layers, runners and report formatting.
+//!
+//! This crate assembles the substrates into the paper's experimental
+//! architecture (its Figure 3):
+//!
+//! ```text
+//!   Monitored (p1, "Italy")            Monitor (p0, "Japan")
+//!   ┌───────────────────┐              ┌─────────────────────────┐
+//!   │  Heartbeater (η)  │              │ Monitor: 30 multiplexed │
+//!   ├───────────────────┤              │ failure detectors       │
+//!   │  SimCrash         │              └───────────┬─────────────┘
+//!   └─────────┬─────────┘                          │
+//!             └────────── WAN link model ──────────┘
+//! ```
+//!
+//! * [`layers`] — `HeartbeaterLayer`, `SimCrashLayer` (MTTC/TTR crash
+//!   injection), `MonitorLayer` (all failure detectors fed identically, the
+//!   multiplexer role);
+//! * [`config`] — the paper's Table 5 parameters;
+//! * [`accuracy`] — the predictor-accuracy experiment (Tables 2 and 3);
+//! * [`qos`] — the 13-run QoS experiment behind Figures 4–8;
+//! * [`report`] — figure/table text rendering.
+//!
+//! Binaries under `src/bin/` regenerate each table and figure; see
+//! `EXPERIMENTS.md` at the repository root for paper-vs-measured results.
+
+pub mod accuracy;
+pub mod config;
+pub mod configurator;
+pub mod layers;
+pub mod pull_layers;
+pub mod qos;
+pub mod report;
+
+pub use accuracy::{
+    arima_selection_experiment, predictor_accuracy_experiment, AccuracyRow, AccuracyTable,
+};
+pub use config::{AccuracyParams, ExperimentParams};
+pub use configurator::{configure_nfd, ConfiguredDetector, DetectorConfig, QosRequirements};
+pub use layers::{HeartbeaterLayer, MonitorLayer, SimCrashLayer};
+pub use pull_layers::{PullMonitorLayer, ResponderLayer};
+pub use qos::{
+    run_qos_experiment, run_qos_experiment_on_trace, run_qos_single, run_qos_single_with_link,
+    ExperimentResults, Metric,
+};
+pub use report::FigureTable;

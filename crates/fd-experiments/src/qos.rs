@@ -1,0 +1,430 @@
+//! The QoS experiment behind Figures 4–8.
+//!
+//! Thirteen independent runs (Section 5.2), each `NumCycles` heartbeat
+//! cycles long, with SimCrash injecting crashes on the monitored process and
+//! all 30 failure detectors multiplexed on the monitor. Per detector, the
+//! runs' `T_D`, `T_M`, `T_MR` samples are pooled and the derived `T_D^U`
+//! and `P_A` computed.
+
+use fd_core::{all_combinations, nfd, Combination, FailureDetector};
+use fd_net::WanProfile;
+use fd_runtime::{Process, ProcessId, SimEngine};
+use fd_sim::{SeedTree, SimTime};
+use fd_stat::{extract_metrics, EventLog, QosMetrics, QosReport};
+use serde::{Deserialize, Serialize};
+
+use crate::config::ExperimentParams;
+use crate::layers::{HeartbeaterLayer, MonitorLayer, SimCrashLayer};
+use crate::report::FigureTable;
+
+/// The five QoS quantities the paper plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Mean detection time (Figure 4).
+    Td,
+    /// Maximum observed detection time (Figure 5).
+    TdUpper,
+    /// Mean mistake duration (Figure 6).
+    Tm,
+    /// Mean mistake recurrence time (Figure 7).
+    Tmr,
+    /// Query accuracy probability (Figure 8).
+    Pa,
+}
+
+impl Metric {
+    /// Extracts this metric's scalar from pooled samples.
+    pub fn of(&self, m: &QosMetrics) -> Option<f64> {
+        match self {
+            Metric::Td => m.mean_td(),
+            Metric::TdUpper => m.td_upper(),
+            Metric::Tm => m.mean_tm(),
+            Metric::Tmr => m.mean_tmr(),
+            Metric::Pa => m.query_accuracy(),
+        }
+    }
+
+    /// The paper figure number this metric reproduces.
+    pub fn figure_number(&self) -> u32 {
+        match self {
+            Metric::Td => 4,
+            Metric::TdUpper => 5,
+            Metric::Tm => 6,
+            Metric::Tmr => 7,
+            Metric::Pa => 8,
+        }
+    }
+
+    /// Display title, e.g. `"T_D (ms)"`.
+    pub fn title(&self) -> &'static str {
+        match self {
+            Metric::Td => "Delay metric T_D (ms)",
+            Metric::TdUpper => "Delay metric T_D^U (ms)",
+            Metric::Tm => "Accuracy metric T_M (ms)",
+            Metric::Tmr => "Accuracy metric T_MR (ms)",
+            Metric::Pa => "Accuracy metric P_A",
+        }
+    }
+
+    /// `true` if smaller values are better for this metric.
+    pub fn smaller_is_better(&self) -> bool {
+        matches!(self, Metric::Td | Metric::TdUpper | Metric::Tm)
+    }
+
+    /// All five, in figure order.
+    pub fn all() -> [Metric; 5] {
+        [Metric::Td, Metric::TdUpper, Metric::Tm, Metric::Tmr, Metric::Pa]
+    }
+}
+
+/// The pooled outcome of a QoS experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResults {
+    /// The 30 paper combinations, index-aligned with `labels`/`metrics`.
+    pub combos: Vec<Combination>,
+    /// Detector labels (combinations first, then any baseline).
+    pub labels: Vec<String>,
+    /// Pooled metric samples per detector.
+    pub metrics: Vec<QosMetrics>,
+    /// The parameters used.
+    pub params: ExperimentParams,
+    /// The link profile used.
+    pub profile: WanProfile,
+}
+
+impl ExperimentResults {
+    /// One [`QosReport`] per detector.
+    pub fn reports(&self) -> Vec<QosReport> {
+        self.labels
+            .iter()
+            .zip(&self.metrics)
+            .map(|(l, m)| QosReport::from_metrics(l.clone(), m))
+            .collect()
+    }
+
+    /// The figure table (predictor rows × margin columns) for a metric,
+    /// covering the 30 grid combinations.
+    pub fn figure(&self, metric: Metric) -> FigureTable {
+        FigureTable::from_results(self, metric)
+    }
+
+    /// The metric value of the detector at `idx`.
+    pub fn value(&self, idx: usize, metric: Metric) -> Option<f64> {
+        self.metrics.get(idx).and_then(|m| metric.of(m))
+    }
+
+    /// Index of a detector by its full label.
+    pub fn index_of(&self, label: &str) -> Option<usize> {
+        self.labels.iter().position(|l| l == label)
+    }
+
+    /// A per-detector statistical report: means with 95% confidence
+    /// intervals and sample counts — the uncertainty the paper's figures
+    /// omit.
+    pub fn detail_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<26} {:>18} {:>6} {:>18} {:>6} {:>12} {:>9}",
+            "detector", "T_D ms (95% CI)", "n", "T_M ms (95% CI)", "n", "T_MR ms", "P_A"
+        );
+        for (label, m) in self.labels.iter().zip(&self.metrics) {
+            let ci = |xs: &[f64]| {
+                fd_stat::Summary::confidence_interval(xs, 0.95)
+                    .map_or("-".to_owned(), |c| format!("{:.0} ± {:.0}", c.mean, c.half_width))
+            };
+            let _ = writeln!(
+                out,
+                "{:<26} {:>18} {:>6} {:>18} {:>6} {:>12} {:>9}",
+                label,
+                ci(&m.detection_times_ms),
+                m.detection_times_ms.len(),
+                ci(&m.mistake_durations_ms),
+                m.mistake_durations_ms.len(),
+                m.mean_tmr().map_or("-".to_owned(), |t| format!("{t:.0}")),
+                m.query_accuracy().map_or("-".to_owned(), |p| format!("{p:.5}")),
+            );
+        }
+        out
+    }
+}
+
+/// Builds the detector set for one run: the 30 paper combinations plus,
+/// optionally, the NFD-E baseline.
+fn build_detectors(params: &ExperimentParams, profile: &WanProfile) -> (Vec<Combination>, Vec<FailureDetector>, Vec<String>) {
+    let combos = all_combinations();
+    let mut detectors: Vec<FailureDetector> =
+        combos.iter().map(|c| c.build(params.eta)).collect();
+    if params.include_nfd_baseline {
+        // Configure NFD-E for a 2η worst-case detection target, the natural
+        // "one missed heartbeat" requirement.
+        let alpha = nfd::alpha_for_detection_target(
+            2.0 * params.eta.as_millis_f64(),
+            params.eta,
+            profile.nominal_mean_ms(),
+        )
+        .unwrap_or(0.0);
+        detectors.push(nfd::nfd_e(alpha, params.eta));
+    }
+    let labels = detectors.iter().map(|d| d.name().to_owned()).collect();
+    (combos, detectors, labels)
+}
+
+/// Runs one experiment run with the given run index, returning the event
+/// log, run-end time and detector labels.
+pub fn run_qos_single(
+    profile: &WanProfile,
+    params: &ExperimentParams,
+    run_idx: usize,
+) -> (EventLog, SimTime, Vec<String>) {
+    let seeds = SeedTree::new(params.seed).subtree(&format!("run-{run_idx}"));
+    let (_combos, detectors, labels) = build_detectors(params, profile);
+    let link = profile.link(seeds.rng("link"));
+    run_single_with_link(params, detectors, labels, link, seeds.rng("crash"))
+}
+
+/// Runs one experiment run over an explicit link model (the
+/// bring-your-own-trace path): crash injection and detectors as usual, but
+/// the delays/losses come from `link` — typically
+/// [`fd_net::DelayTrace::replay_link`] of a trace measured on a real
+/// network.
+pub fn run_qos_single_with_link(
+    params: &ExperimentParams,
+    link: fd_net::LinkModel,
+    run_idx: usize,
+) -> (EventLog, SimTime, Vec<String>) {
+    let seeds = SeedTree::new(params.seed).subtree(&format!("trace-run-{run_idx}"));
+    // The detector set does not depend on the profile unless the NFD-E
+    // baseline is requested, whose α needs a mean-delay estimate.
+    let (_combos, detectors, labels) = build_detectors(params, &WanProfile::italy_japan());
+    run_single_with_link(params, detectors, labels, link, seeds.rng("crash"))
+}
+
+fn run_single_with_link(
+    params: &ExperimentParams,
+    detectors: Vec<FailureDetector>,
+    labels: Vec<String>,
+    link: fd_net::LinkModel,
+    crash_rng: fd_sim::DetRng,
+) -> (EventLog, SimTime, Vec<String>) {
+    let mut engine = SimEngine::new();
+    engine.add_process(Process::new(ProcessId(0)).with_layer(MonitorLayer::new(detectors)));
+    engine.add_process(
+        Process::new(ProcessId(1))
+            .with_layer(SimCrashLayer::new(params.mttc, params.ttr, crash_rng))
+            .with_layer(
+                HeartbeaterLayer::new(ProcessId(0), params.eta)
+                    .with_max_cycles(params.num_cycles),
+            ),
+    );
+    engine.set_link(ProcessId(1), ProcessId(0), link);
+
+    let run_end = SimTime::ZERO + params.run_duration();
+    engine.run_until(run_end);
+    (engine.into_event_log(), run_end, labels)
+}
+
+/// The full QoS experiment driven by a recorded delay trace instead of a
+/// synthetic profile: each run replays the trace's delays and losses (crash
+/// schedules still vary across runs).
+pub fn run_qos_experiment_on_trace(
+    trace: &fd_net::DelayTrace,
+    params: &ExperimentParams,
+) -> ExperimentResults {
+    let (combos, _, labels) = build_detectors(params, &WanProfile::italy_japan());
+    let n_detectors = labels.len();
+    let mut pooled = vec![QosMetrics::default(); n_detectors];
+    for run_idx in 0..params.runs {
+        let (log, run_end, _) =
+            run_qos_single_with_link(params, trace.replay_link(), run_idx);
+        for (idx, pool) in pooled.iter_mut().enumerate() {
+            pool.merge(&extract_metrics(&log, idx as u32, run_end));
+        }
+    }
+    ExperimentResults {
+        combos,
+        labels,
+        metrics: pooled,
+        params: params.clone(),
+        profile: WanProfile::italy_japan(),
+    }
+}
+
+/// Runs the full experiment: `params.runs` independent runs (in parallel
+/// threads), metrics pooled per detector.
+pub fn run_qos_experiment(profile: &WanProfile, params: &ExperimentParams) -> ExperimentResults {
+    let (combos, _, labels) = build_detectors(params, profile);
+    let n_detectors = labels.len();
+
+    let handles: Vec<_> = (0..params.runs)
+        .map(|run_idx| {
+            let profile = profile.clone();
+            let params = params.clone();
+            std::thread::spawn(move || {
+                let (log, run_end, _) = run_qos_single(&profile, &params, run_idx);
+                (0..n_detectors)
+                    .map(|idx| extract_metrics(&log, idx as u32, run_end))
+                    .collect::<Vec<QosMetrics>>()
+            })
+        })
+        .collect();
+
+    let mut pooled = vec![QosMetrics::default(); n_detectors];
+    for h in handles {
+        let run_metrics = h.join().expect("experiment run panicked");
+        for (pool, m) in pooled.iter_mut().zip(&run_metrics) {
+            pool.merge(m);
+        }
+    }
+
+    ExperimentResults {
+        combos,
+        labels,
+        metrics: pooled,
+        params: params.clone(),
+        profile: profile.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_results() -> ExperimentResults {
+        let profile = WanProfile::italy_japan();
+        let params = ExperimentParams::quick();
+        run_qos_experiment(&profile, &params)
+    }
+
+    #[test]
+    fn thirty_detectors_all_measured() {
+        let results = quick_results();
+        assert_eq!(results.labels.len(), 30);
+        assert_eq!(results.metrics.len(), 30);
+        for (label, m) in results.labels.iter().zip(&results.metrics) {
+            // quick(): 600 s per run, MTTC 60 s / TTR 10 s → ~8 crashes/run,
+            // 2 runs. Every detector must have seen them.
+            assert!(m.total_crashes >= 10, "{label}: {} crashes", m.total_crashes);
+            assert!(
+                !m.detection_times_ms.is_empty(),
+                "{label}: no detections"
+            );
+        }
+    }
+
+    #[test]
+    fn detection_times_are_sane() {
+        let results = quick_results();
+        for (label, m) in results.labels.iter().zip(&results.metrics) {
+            let td = m.mean_td().unwrap();
+            // η = 1 s, delays ≈ 200 ms: mean T_D sits between 0 and ~3 s for
+            // every sane detector.
+            assert!(td > 0.0 && td < 5_000.0, "{label}: T_D = {td}ms");
+            let tdu = m.td_upper().unwrap();
+            assert!(tdu >= td, "{label}");
+        }
+    }
+
+    #[test]
+    fn pa_values_are_probabilities() {
+        let results = quick_results();
+        for (label, m) in results.labels.iter().zip(&results.metrics) {
+            if let Some(pa) = m.query_accuracy() {
+                assert!((0.0..=1.0).contains(&pa), "{label}: P_A = {pa}");
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let profile = WanProfile::italy_japan();
+        let params = ExperimentParams::quick();
+        let (log_a, _, _) = run_qos_single(&profile, &params, 0);
+        let (log_b, _, _) = run_qos_single(&profile, &params, 0);
+        assert_eq!(log_a.len(), log_b.len());
+        for (a, b) in log_a.iter().zip(log_b.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn different_runs_differ() {
+        let profile = WanProfile::italy_japan();
+        let params = ExperimentParams::quick();
+        let (log_a, _, _) = run_qos_single(&profile, &params, 0);
+        let (log_b, _, _) = run_qos_single(&profile, &params, 1);
+        let a: Vec<_> = log_a.iter().map(|e| e.at).collect();
+        let b: Vec<_> = log_b.iter().map(|e| e.at).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn baseline_is_appended_when_requested() {
+        let profile = WanProfile::italy_japan();
+        let params = ExperimentParams {
+            include_nfd_baseline: true,
+            runs: 1,
+            ..ExperimentParams::quick()
+        };
+        let results = run_qos_experiment(&profile, &params);
+        assert_eq!(results.labels.len(), 31);
+        assert!(results.labels[30].starts_with("NFD-E"));
+        assert!(results.index_of(&results.labels[30]).unwrap() == 30);
+        // The baseline also detects crashes.
+        assert!(!results.metrics[30].detection_times_ms.is_empty());
+    }
+
+    #[test]
+    fn metric_accessors() {
+        assert_eq!(Metric::Td.figure_number(), 4);
+        assert_eq!(Metric::Pa.figure_number(), 8);
+        assert!(Metric::Tm.smaller_is_better());
+        assert!(!Metric::Tmr.smaller_is_better());
+        assert_eq!(Metric::all().len(), 5);
+        assert!(Metric::TdUpper.title().contains("T_D^U"));
+    }
+
+    #[test]
+    fn trace_replay_experiment_detects_crashes() {
+        let profile = WanProfile::italy_japan();
+        let trace =
+            fd_net::DelayTrace::record(&profile, 700, fd_sim::SimDuration::from_secs(1), 3);
+        let params = ExperimentParams {
+            num_cycles: 600,
+            runs: 2,
+            ..ExperimentParams::quick()
+        };
+        let results = run_qos_experiment_on_trace(&trace, &params);
+        assert_eq!(results.labels.len(), 30);
+        for (label, m) in results.labels.iter().zip(&results.metrics) {
+            assert!(m.total_crashes >= 10, "{label}");
+            assert!(!m.detection_times_ms.is_empty(), "{label}");
+        }
+        // Crash schedules differ per run, so pooled counts exceed one run's.
+        let (log, run_end, _) =
+            run_qos_single_with_link(&params, trace.replay_link(), 0);
+        let single = extract_metrics(&log, 0, run_end);
+        assert!(results.metrics[0].total_crashes > single.total_crashes);
+    }
+
+    #[test]
+    fn detail_report_lists_every_detector() {
+        let results = quick_results();
+        let report = results.detail_report();
+        for label in &results.labels {
+            assert!(report.contains(label.as_str()), "missing {label}");
+        }
+        assert!(report.contains("95% CI"));
+    }
+
+    #[test]
+    fn reports_align_with_labels() {
+        let results = quick_results();
+        let reports = results.reports();
+        assert_eq!(reports.len(), results.labels.len());
+        for (r, l) in reports.iter().zip(&results.labels) {
+            assert_eq!(&r.detector, l);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Text rendering of the paper's figures and tables.
+//!
+//! The paper's Figures 4–8 plot one series per predictor over the six safety
+//! margins (`CI_low … JAC_high` on the x-axis). [`FigureTable`] is the text
+//! equivalent: a predictor × margin matrix of the metric.
+
+use std::fmt;
+
+use fd_core::{MarginKind, PredictorKind};
+use serde::{Deserialize, Serialize};
+
+use crate::qos::{ExperimentResults, Metric};
+
+/// A predictor × margin matrix of one QoS metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureTable {
+    /// E.g. `"Figure 4 — Delay metric T_D (ms)"`.
+    pub title: String,
+    /// Column headers (`CI_low` … `JAC_high`).
+    pub margin_labels: Vec<String>,
+    /// `(predictor label, one value per margin)`; `None` = not measurable
+    /// in the experiment (e.g. no mistakes at all).
+    pub rows: Vec<(String, Vec<Option<f64>>)>,
+    /// Whether smaller values are better (direction of the paper's arrow).
+    pub smaller_is_better: bool,
+}
+
+impl FigureTable {
+    /// Builds the table for `metric` from experiment results. The 30 grid
+    /// combinations are arranged predictor-major in the paper's order; any
+    /// extra detectors (baselines) are omitted here and appear only in
+    /// [`ExperimentResults::reports`].
+    pub fn from_results(results: &ExperimentResults, metric: Metric) -> FigureTable {
+        let margins = MarginKind::paper_set();
+        let margin_labels: Vec<String> = margins.iter().map(|m| m.axis_label()).collect();
+        let mut rows = Vec::new();
+        for predictor in PredictorKind::paper_set() {
+            let mut values = Vec::with_capacity(margins.len());
+            for margin in &margins {
+                let idx = results
+                    .combos
+                    .iter()
+                    .position(|c| c.predictor == predictor && c.margin == *margin);
+                values.push(idx.and_then(|i| results.value(i, metric)));
+            }
+            rows.push((predictor.label(), values));
+        }
+        FigureTable {
+            title: format!("Figure {} — {}", metric.figure_number(), metric.title()),
+            margin_labels,
+            rows,
+            smaller_is_better: metric.smaller_is_better(),
+        }
+    }
+
+    /// The value for (predictor prefix, margin label), if present.
+    pub fn value(&self, predictor_prefix: &str, margin_label: &str) -> Option<f64> {
+        let col = self.margin_labels.iter().position(|m| m == margin_label)?;
+        let row = self
+            .rows
+            .iter()
+            .find(|(p, _)| p.starts_with(predictor_prefix))?;
+        row.1[col]
+    }
+
+    /// The best (per `smaller_is_better`) combination in the grid.
+    pub fn best(&self) -> Option<(String, String, f64)> {
+        let mut best: Option<(String, String, f64)> = None;
+        for (p, values) in &self.rows {
+            for (m, v) in self.margin_labels.iter().zip(values) {
+                let Some(v) = *v else { continue };
+                let better = match &best {
+                    None => true,
+                    Some((_, _, b)) => {
+                        if self.smaller_is_better {
+                            v < *b
+                        } else {
+                            v > *b
+                        }
+                    }
+                };
+                if better {
+                    best = Some((p.clone(), m.clone(), v));
+                }
+            }
+        }
+        best
+    }
+
+    /// The worst combination in the grid.
+    pub fn worst(&self) -> Option<(String, String, f64)> {
+        let inverted = FigureTable {
+            smaller_is_better: !self.smaller_is_better,
+            ..self.clone()
+        };
+        inverted.best()
+    }
+}
+
+impl fmt::Display for FigureTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        write!(f, "{:<16}", "predictor")?;
+        for m in &self.margin_labels {
+            write!(f, " {m:>10}")?;
+        }
+        writeln!(f)?;
+        for (p, values) in &self.rows {
+            write!(f, "{p:<16}")?;
+            for v in values {
+                match v {
+                    Some(v) if v.abs() < 10.0 => write!(f, " {v:>10.4}")?,
+                    Some(v) => write!(f, " {v:>10.1}")?,
+                    None => write!(f, " {:>10}", "-")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        writeln!(
+            f,
+            "({} is better)",
+            if self.smaller_is_better { "lower" } else { "higher" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> FigureTable {
+        FigureTable {
+            title: "Figure 4 — T_D".to_owned(),
+            margin_labels: vec!["CI_low".into(), "JAC_low".into()],
+            rows: vec![
+                ("ARIMA(2,1,1)".into(), vec![Some(500.0), Some(400.0)]),
+                ("MEAN".into(), vec![Some(900.0), None]),
+            ],
+            smaller_is_better: true,
+        }
+    }
+
+    #[test]
+    fn value_lookup() {
+        let t = sample_table();
+        assert_eq!(t.value("ARIMA", "JAC_low"), Some(400.0));
+        assert_eq!(t.value("MEAN", "JAC_low"), None);
+        assert_eq!(t.value("MEAN", "CI_low"), Some(900.0));
+        assert_eq!(t.value("NOPE", "CI_low"), None);
+        assert_eq!(t.value("MEAN", "NOPE"), None);
+    }
+
+    #[test]
+    fn best_and_worst_respect_direction() {
+        let t = sample_table();
+        let (p, m, v) = t.best().unwrap();
+        assert_eq!((p.as_str(), m.as_str(), v), ("ARIMA(2,1,1)", "JAC_low", 400.0));
+        let (p, _, v) = t.worst().unwrap();
+        assert_eq!((p.as_str(), v), ("MEAN", 900.0));
+
+        let higher = FigureTable {
+            smaller_is_better: false,
+            ..sample_table()
+        };
+        assert_eq!(higher.best().unwrap().2, 900.0);
+    }
+
+    #[test]
+    fn display_renders_dashes_for_missing() {
+        let t = sample_table();
+        let s = t.to_string();
+        assert!(s.contains("Figure 4"));
+        assert!(s.contains('-'));
+        assert!(s.contains("lower is better"));
+        assert!(s.contains("CI_low") && s.contains("JAC_low"));
+    }
+}

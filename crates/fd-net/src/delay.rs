@@ -1,0 +1,672 @@
+//! One-way transmission-delay models.
+//!
+//! A [`DelayModel`] produces the one-way delay of each message handed to the
+//! link. Models receive the current virtual time so that non-stationary
+//! behaviour (diurnal drift, congestion epochs) can be expressed, and draw
+//! randomness from an externally-owned deterministic stream.
+
+use fd_sim::{DetRng, SimDuration, SimTime};
+
+/// A source of one-way message delays.
+///
+/// Implementations must be deterministic given the RNG stream: the simulation
+/// replays bit-for-bit under the same seed.
+pub trait DelayModel: Send {
+    /// Samples the delay of a message entering the link at `now`.
+    fn sample(&mut self, now: SimTime, rng: &mut DetRng) -> SimDuration;
+
+    /// A short human-readable description, e.g. `"shifted-gamma(192+8ms)"`.
+    fn describe(&self) -> String;
+}
+
+impl<T: DelayModel + ?Sized> DelayModel for Box<T> {
+    fn sample(&mut self, now: SimTime, rng: &mut DetRng) -> SimDuration {
+        (**self).sample(now, rng)
+    }
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+/// A *signed* delay component summed inside a [`CompositeDelay`].
+///
+/// Unlike [`DelayModel`], a component may be negative (jitter below the
+/// queueing mean, the trough of a diurnal oscillation); only the composite
+/// total is clamped to the propagation floor.
+pub trait DelayComponent: Send {
+    /// Samples the component's contribution in milliseconds.
+    fn sample_ms(&mut self, now: SimTime, rng: &mut DetRng) -> f64;
+
+    /// A short human-readable description.
+    fn describe_component(&self) -> String;
+}
+
+/// A fixed delay — useful for tests and for idealised links.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantDelay {
+    delay: SimDuration,
+}
+
+impl ConstantDelay {
+    /// Creates a model that always returns `delay`.
+    pub fn new(delay: SimDuration) -> Self {
+        Self { delay }
+    }
+}
+
+impl DelayModel for ConstantDelay {
+    fn sample(&mut self, _now: SimTime, _rng: &mut DetRng) -> SimDuration {
+        self.delay
+    }
+    fn describe(&self) -> String {
+        format!("constant({})", self.delay)
+    }
+}
+
+/// Uniformly distributed delay over `[lo, hi]` milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformDelay {
+    lo_ms: f64,
+    hi_ms: f64,
+}
+
+impl UniformDelay {
+    /// Creates a uniform delay on `[lo_ms, hi_ms]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo_ms > hi_ms` or either bound is negative.
+    pub fn new(lo_ms: f64, hi_ms: f64) -> Self {
+        assert!(0.0 <= lo_ms && lo_ms <= hi_ms, "invalid bounds [{lo_ms}, {hi_ms}]");
+        Self { lo_ms, hi_ms }
+    }
+}
+
+impl DelayModel for UniformDelay {
+    fn sample(&mut self, _now: SimTime, rng: &mut DetRng) -> SimDuration {
+        SimDuration::from_millis_f64(rng.uniform(self.lo_ms, self.hi_ms))
+    }
+    fn describe(&self) -> String {
+        format!("uniform({}..{}ms)", self.lo_ms, self.hi_ms)
+    }
+}
+
+/// Normal delay truncated below at `floor_ms` (resampled symmetric clamp).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedNormalDelay {
+    mean_ms: f64,
+    std_ms: f64,
+    floor_ms: f64,
+}
+
+impl TruncatedNormalDelay {
+    /// Creates a truncated normal delay model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_ms` is negative or `floor_ms` is negative.
+    pub fn new(mean_ms: f64, std_ms: f64, floor_ms: f64) -> Self {
+        assert!(std_ms >= 0.0 && floor_ms >= 0.0, "invalid parameters");
+        Self {
+            mean_ms,
+            std_ms,
+            floor_ms,
+        }
+    }
+}
+
+impl DelayModel for TruncatedNormalDelay {
+    fn sample(&mut self, _now: SimTime, rng: &mut DetRng) -> SimDuration {
+        let d = rng.normal(self.mean_ms, self.std_ms).max(self.floor_ms);
+        SimDuration::from_millis_f64(d)
+    }
+    fn describe(&self) -> String {
+        format!(
+            "trunc-normal(μ={}ms, σ={}ms, ≥{}ms)",
+            self.mean_ms, self.std_ms, self.floor_ms
+        )
+    }
+}
+
+/// A propagation floor plus Gamma-distributed queueing delay — the classical
+/// shape of Internet one-way delays (hard minimum, right-skewed tail).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShiftedGammaDelay {
+    floor_ms: f64,
+    shape: f64,
+    scale_ms: f64,
+}
+
+impl ShiftedGammaDelay {
+    /// Creates `floor + Gamma(shape, scale)` (milliseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive except `floor_ms`, which may
+    /// be zero.
+    pub fn new(floor_ms: f64, shape: f64, scale_ms: f64) -> Self {
+        assert!(floor_ms >= 0.0 && shape > 0.0 && scale_ms > 0.0, "invalid parameters");
+        Self {
+            floor_ms,
+            shape,
+            scale_ms,
+        }
+    }
+
+    /// The mean delay of this model in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.floor_ms + self.shape * self.scale_ms
+    }
+}
+
+impl DelayModel for ShiftedGammaDelay {
+    fn sample(&mut self, _now: SimTime, rng: &mut DetRng) -> SimDuration {
+        SimDuration::from_millis_f64(self.floor_ms + rng.gamma(self.shape, self.scale_ms))
+    }
+    fn describe(&self) -> String {
+        format!(
+            "shifted-gamma({}ms + Γ({}, {}ms))",
+            self.floor_ms, self.shape, self.scale_ms
+        )
+    }
+}
+
+/// AR(1)-correlated jitter around zero: `x_t = ρ·x_{t−1} + ε_t`,
+/// `ε ~ N(0, σ)`. Real WAN delays are autocorrelated; this is the component
+/// that separates history-exploiting predictors (ARIMA) from memoryless ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ar1JitterDelay {
+    rho: f64,
+    sigma_ms: f64,
+    state_ms: f64,
+}
+
+impl Ar1JitterDelay {
+    /// Creates AR(1) jitter with coefficient `rho` and innovation σ `sigma_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `|rho| < 1` and `sigma_ms >= 0`.
+    pub fn new(rho: f64, sigma_ms: f64) -> Self {
+        assert!(rho.abs() < 1.0, "AR(1) requires |rho| < 1, got {rho}");
+        assert!(sigma_ms >= 0.0, "negative sigma");
+        Self {
+            rho,
+            sigma_ms,
+            state_ms: 0.0,
+        }
+    }
+
+    /// The stationary standard deviation `σ/√(1−ρ²)`.
+    pub fn stationary_std_ms(&self) -> f64 {
+        self.sigma_ms / (1.0 - self.rho * self.rho).sqrt()
+    }
+}
+
+impl Ar1JitterDelay {
+    /// Advances the chain and returns the (possibly negative) jitter value.
+    fn step(&mut self, rng: &mut DetRng) -> f64 {
+        self.state_ms = self.rho * self.state_ms + rng.normal(0.0, self.sigma_ms);
+        self.state_ms
+    }
+}
+
+impl DelayModel for Ar1JitterDelay {
+    fn sample(&mut self, _now: SimTime, rng: &mut DetRng) -> SimDuration {
+        // Used alone the jitter must still be a valid (non-negative) delay;
+        // inside a CompositeDelay the signed component path is used instead.
+        let v = self.step(rng);
+        SimDuration::from_millis_f64(v.max(0.0))
+    }
+    fn describe(&self) -> String {
+        format!("ar1(ρ={}, σ={}ms)", self.rho, self.sigma_ms)
+    }
+}
+
+impl DelayComponent for Ar1JitterDelay {
+    fn sample_ms(&mut self, _now: SimTime, rng: &mut DetRng) -> f64 {
+        self.step(rng)
+    }
+    fn describe_component(&self) -> String {
+        DelayModel::describe(self)
+    }
+}
+
+/// Slow sinusoidal drift of the mean delay — the diurnal load pattern the
+/// paper mentions ("the network can be congested in peak hours").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftDelay {
+    amplitude_ms: f64,
+    period: SimDuration,
+    phase: f64,
+}
+
+impl DriftDelay {
+    /// Creates a sinusoidal drift of ±`amplitude_ms` with the given period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the amplitude is negative or the period is zero.
+    pub fn new(amplitude_ms: f64, period: SimDuration) -> Self {
+        assert!(amplitude_ms >= 0.0, "negative amplitude");
+        assert!(!period.is_zero(), "zero period");
+        Self {
+            amplitude_ms,
+            period,
+            phase: 0.0,
+        }
+    }
+
+    /// Sets the phase offset in radians.
+    pub fn with_phase(mut self, phase: f64) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// The drift value at `now` in milliseconds (can be negative; composite
+    /// models add it to a floor).
+    pub fn value_at(&self, now: SimTime) -> f64 {
+        let frac = now.as_secs_f64() / self.period.as_secs_f64();
+        self.amplitude_ms * (std::f64::consts::TAU * frac + self.phase).sin()
+    }
+}
+
+impl DelayModel for DriftDelay {
+    fn sample(&mut self, now: SimTime, _rng: &mut DetRng) -> SimDuration {
+        SimDuration::from_millis_f64((self.value_at(now)).max(0.0))
+    }
+    fn describe(&self) -> String {
+        format!("drift(±{}ms / {})", self.amplitude_ms, self.period)
+    }
+}
+
+impl DelayComponent for DriftDelay {
+    fn sample_ms(&mut self, now: SimTime, _rng: &mut DetRng) -> f64 {
+        self.value_at(now)
+    }
+    fn describe_component(&self) -> String {
+        DelayModel::describe(self)
+    }
+}
+
+/// Rare additive congestion spikes: with probability `p` per message, add
+/// `Uniform(lo_ms, hi_ms)`. Produces the long right tail (paper's 340 ms max
+/// against a 200 ms mean).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpikeDelay {
+    p: f64,
+    lo_ms: f64,
+    hi_ms: f64,
+}
+
+impl SpikeDelay {
+    /// Creates a spike overlay.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p <= 1` and `0 <= lo_ms <= hi_ms`.
+    pub fn new(p: f64, lo_ms: f64, hi_ms: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "invalid probability {p}");
+        assert!(0.0 <= lo_ms && lo_ms <= hi_ms, "invalid spike range");
+        Self { p, lo_ms, hi_ms }
+    }
+}
+
+impl DelayModel for SpikeDelay {
+    fn sample(&mut self, _now: SimTime, rng: &mut DetRng) -> SimDuration {
+        if rng.chance(self.p) {
+            SimDuration::from_millis_f64(rng.uniform(self.lo_ms, self.hi_ms))
+        } else {
+            SimDuration::ZERO
+        }
+    }
+    fn describe(&self) -> String {
+        format!("spikes(p={}, {}..{}ms)", self.p, self.lo_ms, self.hi_ms)
+    }
+}
+
+/// Sum of signed components over a hard floor: the delay is
+/// `max(floor, floor + Σ components)`.
+///
+/// This is how the Italy–Japan profile is assembled: propagation floor +
+/// gamma queueing + fast and slow AR(1) jitter + diurnal drift + rare
+/// spikes.
+pub struct CompositeDelay {
+    floor_ms: f64,
+    components: Vec<Box<dyn DelayComponent>>,
+}
+
+impl std::fmt::Debug for CompositeDelay {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompositeDelay")
+            .field("floor_ms", &self.floor_ms)
+            .field("components", &self.describe())
+            .finish()
+    }
+}
+
+impl CompositeDelay {
+    /// Creates a composite with the given propagation floor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the floor is negative.
+    pub fn new(floor_ms: f64) -> Self {
+        assert!(floor_ms >= 0.0, "negative floor");
+        Self {
+            floor_ms,
+            components: Vec::new(),
+        }
+    }
+
+    /// Adds a component whose sampled value is added on top of the floor.
+    pub fn with(mut self, component: impl DelayComponent + 'static) -> Self {
+        self.components.push(Box::new(component));
+        self
+    }
+
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+}
+
+impl DelayModel for CompositeDelay {
+    fn sample(&mut self, now: SimTime, rng: &mut DetRng) -> SimDuration {
+        let mut total = self.floor_ms;
+        for c in &mut self.components {
+            total += c.sample_ms(now, rng);
+        }
+        SimDuration::from_millis_f64(total.max(self.floor_ms))
+    }
+    fn describe(&self) -> String {
+        let parts: Vec<String> = self
+            .components
+            .iter()
+            .map(|c| c.describe_component())
+            .collect();
+        format!("composite({}ms + {})", self.floor_ms, parts.join(" + "))
+    }
+}
+
+/// Markov-modulated congestion epochs: a two-state chain (Normal/Congested)
+/// adds an elevated, noisy delay component while congested. Unlike
+/// [`SpikeDelay`]'s single-message spikes, epochs persist for many messages
+/// — the "network can be congested in peak hours" behaviour of real WANs at
+/// a shorter time scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CongestionEpochDelay {
+    /// P(Normal → Congested) per message.
+    p_enter: f64,
+    /// P(Congested → Normal) per message.
+    p_exit: f64,
+    /// Mean extra delay while congested (ms).
+    extra_mean_ms: f64,
+    /// Std of the extra delay while congested (ms).
+    extra_std_ms: f64,
+    congested: bool,
+}
+
+impl CongestionEpochDelay {
+    /// Creates the epoch model, starting in the Normal state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probabilities are outside `[0, 1]` or the extra-delay
+    /// parameters are negative.
+    pub fn new(p_enter: f64, p_exit: f64, extra_mean_ms: f64, extra_std_ms: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_enter), "invalid p_enter {p_enter}");
+        assert!((0.0..=1.0).contains(&p_exit), "invalid p_exit {p_exit}");
+        assert!(
+            extra_mean_ms >= 0.0 && extra_std_ms >= 0.0,
+            "negative congestion parameters"
+        );
+        Self {
+            p_enter,
+            p_exit,
+            extra_mean_ms,
+            extra_std_ms,
+            congested: false,
+        }
+    }
+
+    /// `true` while an epoch is in force.
+    pub fn is_congested(&self) -> bool {
+        self.congested
+    }
+
+    /// The long-run fraction of time spent congested.
+    pub fn steady_state_fraction(&self) -> f64 {
+        let denom = self.p_enter + self.p_exit;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.p_enter / denom
+        }
+    }
+
+    fn step(&mut self, rng: &mut DetRng) -> f64 {
+        if self.congested {
+            if rng.chance(self.p_exit) {
+                self.congested = false;
+            }
+        } else if rng.chance(self.p_enter) {
+            self.congested = true;
+        }
+        if self.congested {
+            rng.normal(self.extra_mean_ms, self.extra_std_ms).max(0.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+impl DelayModel for CongestionEpochDelay {
+    fn sample(&mut self, _now: SimTime, rng: &mut DetRng) -> SimDuration {
+        SimDuration::from_millis_f64(self.step(rng))
+    }
+    fn describe(&self) -> String {
+        format!(
+            "congestion-epochs(p={}/{}, +{}±{}ms)",
+            self.p_enter, self.p_exit, self.extra_mean_ms, self.extra_std_ms
+        )
+    }
+}
+
+impl DelayComponent for CongestionEpochDelay {
+    fn sample_ms(&mut self, _now: SimTime, rng: &mut DetRng) -> f64 {
+        self.step(rng)
+    }
+    fn describe_component(&self) -> String {
+        DelayModel::describe(self)
+    }
+}
+
+/// Non-negative delay models are trivially also signed components.
+macro_rules! nonnegative_component {
+    ($($ty:ty),* $(,)?) => {$(
+        impl DelayComponent for $ty {
+            fn sample_ms(&mut self, now: SimTime, rng: &mut DetRng) -> f64 {
+                DelayModel::sample(self, now, rng).as_millis_f64()
+            }
+            fn describe_component(&self) -> String {
+                DelayModel::describe(self)
+            }
+        }
+    )*};
+}
+nonnegative_component!(
+    ConstantDelay,
+    UniformDelay,
+    TruncatedNormalDelay,
+    ShiftedGammaDelay,
+    SpikeDelay,
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_stat::RunningStats;
+
+    fn sample_many(model: &mut dyn DelayModel, n: usize, seed: u64) -> RunningStats {
+        let mut rng = DetRng::seed_from(seed);
+        let mut stats = RunningStats::new();
+        for i in 0..n {
+            let now = SimTime::from_millis(i as u64 * 10);
+            stats.push(model.sample(now, &mut rng).as_millis_f64());
+        }
+        stats
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut m = ConstantDelay::new(SimDuration::from_millis(100));
+        let s = sample_many(&mut m, 100, 1);
+        assert_eq!(s.min(), 100.0);
+        assert_eq!(s.max(), 100.0);
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut m = UniformDelay::new(10.0, 20.0);
+        let s = sample_many(&mut m, 5_000, 2);
+        assert!(s.min() >= 10.0 && s.max() <= 20.0);
+        assert!((s.mean() - 15.0).abs() < 0.2, "mean={}", s.mean());
+    }
+
+    #[test]
+    fn truncated_normal_respects_floor() {
+        let mut m = TruncatedNormalDelay::new(5.0, 10.0, 3.0);
+        let s = sample_many(&mut m, 5_000, 3);
+        assert!(s.min() >= 3.0);
+    }
+
+    #[test]
+    fn shifted_gamma_moments() {
+        let mut m = ShiftedGammaDelay::new(192.0, 1.3, 6.7);
+        assert!((m.mean_ms() - (192.0 + 1.3 * 6.7)).abs() < 1e-12);
+        let s = sample_many(&mut m, 20_000, 4);
+        assert!((s.mean() - m.mean_ms()).abs() < 0.3, "mean={}", s.mean());
+        assert!(s.min() >= 192.0);
+    }
+
+    #[test]
+    fn ar1_is_autocorrelated() {
+        let mut m = Ar1JitterDelay::new(0.8, 2.0);
+        let mut rng = DetRng::seed_from(5);
+        let xs: Vec<f64> = (0..20_000)
+            .map(|i| m.sample(SimTime::from_millis(i), &mut rng).as_millis_f64())
+            .collect();
+        // Lag-1 autocorrelation of the positive-clamped series is still
+        // strongly positive for rho = 0.8.
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        let cov = xs
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f64>()
+            / (xs.len() - 1) as f64;
+        assert!(cov / var > 0.5, "lag-1 autocorr = {}", cov / var);
+    }
+
+    #[test]
+    fn ar1_stationary_std() {
+        let m = Ar1JitterDelay::new(0.6, 4.0);
+        assert!((m.stationary_std_ms() - 4.0 / (1.0 - 0.36f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drift_is_periodic_and_bounded() {
+        let d = DriftDelay::new(5.0, SimDuration::from_secs(100));
+        let quarter = SimTime::from_secs(25);
+        assert!((d.value_at(quarter) - 5.0).abs() < 1e-9);
+        assert!((d.value_at(SimTime::from_secs(100)) - d.value_at(SimTime::ZERO)).abs() < 1e-9);
+        for s in 0..200 {
+            assert!(d.value_at(SimTime::from_secs(s)).abs() <= 5.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn spikes_are_rare_and_in_range() {
+        let mut m = SpikeDelay::new(0.01, 50.0, 150.0);
+        let mut rng = DetRng::seed_from(6);
+        let mut spike_count = 0;
+        for i in 0..50_000u64 {
+            let d = m.sample(SimTime::from_millis(i), &mut rng).as_millis_f64();
+            if d > 0.0 {
+                spike_count += 1;
+                assert!((50.0..=150.0).contains(&d));
+            }
+        }
+        let freq = spike_count as f64 / 50_000.0;
+        assert!((freq - 0.01).abs() < 0.003, "spike freq = {freq}");
+    }
+
+    #[test]
+    fn congestion_epochs_persist() {
+        let mut m = CongestionEpochDelay::new(0.01, 0.1, 40.0, 5.0);
+        let mut rng = DetRng::seed_from(17);
+        let samples: Vec<f64> = (0..50_000u64)
+            .map(|i| m.sample(SimTime::from_millis(i), &mut rng).as_millis_f64())
+            .collect();
+        // Fraction of congested messages matches the chain's steady state.
+        let frac = samples.iter().filter(|&&s| s > 0.0).count() as f64 / samples.len() as f64;
+        let expect = m.steady_state_fraction();
+        assert!((frac - expect).abs() < 0.03, "frac={frac}, expect={expect}");
+        // Epochs are bursts: a congested message is usually followed by
+        // another congested one (P(exit) = 0.1 → ~90% continuation).
+        let continuations = samples
+            .windows(2)
+            .filter(|w| w[0] > 0.0 && w[1] > 0.0)
+            .count() as f64;
+        let congested = samples.iter().filter(|&&s| s > 0.0).count() as f64;
+        assert!(continuations / congested > 0.75, "{}", continuations / congested);
+    }
+
+    #[test]
+    fn congestion_epoch_magnitude() {
+        let mut m = CongestionEpochDelay::new(0.5, 0.5, 100.0, 1.0);
+        let mut rng = DetRng::seed_from(18);
+        for i in 0..5_000u64 {
+            let s = m.sample(SimTime::from_millis(i), &mut rng).as_millis_f64();
+            assert!(s == 0.0 || s > 80.0, "ambiguous sample {s}");
+        }
+        assert!((m.steady_state_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composite_never_goes_below_floor() {
+        let mut m = CompositeDelay::new(192.0)
+            .with(Ar1JitterDelay::new(0.7, 3.0))
+            .with(ShiftedGammaDelay::new(0.0, 1.5, 4.0))
+            .with(SpikeDelay::new(0.005, 30.0, 140.0));
+        assert_eq!(m.component_count(), 3);
+        let s = sample_many(&mut m, 20_000, 7);
+        assert!(s.min() >= 192.0);
+        assert!(s.mean() > 192.0);
+    }
+
+    #[test]
+    fn describe_mentions_components() {
+        let m = CompositeDelay::new(10.0).with(ConstantDelay::new(SimDuration::from_millis(5)));
+        assert!(m.describe().contains("composite"));
+        assert!(m.describe().contains("constant"));
+    }
+
+    #[test]
+    fn same_seed_same_series() {
+        let mk = || {
+            CompositeDelay::new(100.0)
+                .with(Ar1JitterDelay::new(0.7, 3.0))
+                .with(SpikeDelay::new(0.01, 10.0, 20.0))
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let mut ra = DetRng::seed_from(9);
+        let mut rb = DetRng::seed_from(9);
+        for i in 0..1_000 {
+            let now = SimTime::from_millis(i);
+            assert_eq!(a.sample(now, &mut ra), b.sample(now, &mut rb));
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Network substrate: WAN delay/loss models, link profiles, delay traces and
+//! the heartbeat wire format.
+//!
+//! The DSN'05 experiments ran over a real Italy→Japan Internet path whose
+//! characteristics are given in the paper's Table 4 (mean one-way delay
+//! ≈ 200 ms, σ ≈ 7.6 ms, min 192 ms, max 340 ms, 18 hops, loss < 1%). That
+//! physical link is not reproducible, so this crate provides:
+//!
+//! * composable **delay models** ([`delay`]) — constant, uniform, truncated
+//!   normal, shifted gamma, AR(1)-correlated jitter, slow sinusoidal drift
+//!   (diurnal load), and rare congestion spikes;
+//! * **loss models** ([`loss`]) — Bernoulli and Gilbert–Elliott bursty loss;
+//! * a **link** abstraction combining them ([`link`]);
+//! * calibrated **profiles** ([`profile`]), in particular
+//!   [`profile::WanProfile::italy_japan`] matching Table 4;
+//! * **delay traces** ([`trace`]) — record, persist, replay and characterise
+//!   observed one-way delays (regenerates Table 4);
+//! * the **heartbeat wire format** ([`wire`]) used by the real-UDP engine.
+
+pub mod calibrate;
+pub mod delay;
+pub mod link;
+pub mod loss;
+pub mod profile;
+pub mod trace;
+pub mod wire;
+
+pub use calibrate::{calibrate_profile, CalibrationDiagnostics};
+pub use delay::{
+    Ar1JitterDelay, CompositeDelay, CongestionEpochDelay, ConstantDelay, DelayComponent,
+    DelayModel, DriftDelay, ShiftedGammaDelay, SpikeDelay, TruncatedNormalDelay, UniformDelay,
+};
+pub use link::{LinkModel, LinkStats, Transmission};
+pub use loss::{BernoulliLoss, GilbertElliottLoss, LossModel, NoLoss};
+pub use profile::WanProfile;
+pub use trace::{DelayTrace, LinkCharacteristics, TraceReplayDelay, TraceReplayLoss};
+pub use wire::{Heartbeat, WireError};

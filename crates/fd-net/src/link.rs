@@ -1,0 +1,199 @@
+//! A unidirectional fair-lossy link: delay model + loss model + statistics.
+
+use fd_sim::{DetRng, SimDuration, SimTime};
+
+use crate::delay::DelayModel;
+use crate::loss::LossModel;
+
+/// The outcome of handing one message to the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transmission {
+    /// The message will be delivered after the given one-way delay.
+    Delivered(SimDuration),
+    /// The message was dropped by the link.
+    Lost,
+}
+
+impl Transmission {
+    /// The delivery delay, or `None` if lost.
+    pub fn delay(self) -> Option<SimDuration> {
+        match self {
+            Transmission::Delivered(d) => Some(d),
+            Transmission::Lost => None,
+        }
+    }
+
+    /// `true` if the message was dropped.
+    pub fn is_lost(self) -> bool {
+        matches!(self, Transmission::Lost)
+    }
+}
+
+/// Counters maintained by a [`LinkModel`] across a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages handed to the link.
+    pub sent: u64,
+    /// Messages the link will deliver.
+    pub delivered: u64,
+    /// Messages dropped.
+    pub lost: u64,
+}
+
+impl LinkStats {
+    /// Observed loss fraction (0 if nothing was sent).
+    pub fn loss_fraction(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.lost as f64 / self.sent as f64
+        }
+    }
+}
+
+/// A unidirectional link combining a delay model and a loss model, with its
+/// own deterministic random stream.
+///
+/// ```
+/// use fd_net::{ConstantDelay, LinkModel, NoLoss};
+/// use fd_sim::{DetRng, SimDuration, SimTime};
+///
+/// let mut link = LinkModel::new(
+///     ConstantDelay::new(SimDuration::from_millis(100)),
+///     NoLoss,
+///     DetRng::seed_from(1),
+/// );
+/// let tx = link.transmit(SimTime::ZERO);
+/// assert_eq!(tx.delay(), Some(SimDuration::from_millis(100)));
+/// ```
+pub struct LinkModel {
+    delay: Box<dyn DelayModel>,
+    loss: Box<dyn LossModel>,
+    rng: DetRng,
+    stats: LinkStats,
+}
+
+impl std::fmt::Debug for LinkModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LinkModel")
+            .field("delay", &self.delay.describe())
+            .field("loss", &self.loss.describe())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl LinkModel {
+    /// Creates a link from its delay model, loss model and random stream.
+    pub fn new(
+        delay: impl DelayModel + 'static,
+        loss: impl LossModel + 'static,
+        rng: DetRng,
+    ) -> Self {
+        Self {
+            delay: Box::new(delay),
+            loss: Box::new(loss),
+            rng,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Creates a link from boxed models (useful when models are built
+    /// dynamically from a profile).
+    pub fn from_boxed(delay: Box<dyn DelayModel>, loss: Box<dyn LossModel>, rng: DetRng) -> Self {
+        Self {
+            delay,
+            loss,
+            rng,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Hands one message to the link at time `now`.
+    pub fn transmit(&mut self, now: SimTime) -> Transmission {
+        self.stats.sent += 1;
+        // Always sample the delay, even for lost messages, so that loss does
+        // not perturb the delay stream (keeps runs comparable across loss
+        // configurations under the same seed).
+        let delay = self.delay.sample(now, &mut self.rng);
+        if self.loss.is_lost(now, &mut self.rng) {
+            self.stats.lost += 1;
+            Transmission::Lost
+        } else {
+            self.stats.delivered += 1;
+            Transmission::Delivered(delay)
+        }
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Human-readable description of the configured models.
+    pub fn describe(&self) -> String {
+        format!("{} | {}", self.delay.describe(), self.loss.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::UniformDelay;
+    use crate::loss::BernoulliLoss;
+
+    #[test]
+    fn transmit_counts_and_delivers() {
+        let mut link = LinkModel::new(
+            UniformDelay::new(5.0, 10.0),
+            BernoulliLoss::new(0.2),
+            DetRng::seed_from(11),
+        );
+        let mut delivered = 0;
+        for i in 0..10_000u64 {
+            match link.transmit(SimTime::from_millis(i)) {
+                Transmission::Delivered(d) => {
+                    delivered += 1;
+                    let ms = d.as_millis_f64();
+                    assert!((5.0..=10.0).contains(&ms));
+                }
+                Transmission::Lost => {}
+            }
+        }
+        let s = link.stats();
+        assert_eq!(s.sent, 10_000);
+        assert_eq!(s.delivered, delivered);
+        assert_eq!(s.delivered + s.lost, s.sent);
+        assert!((s.loss_fraction() - 0.2).abs() < 0.02);
+    }
+
+    #[test]
+    fn loss_fraction_of_idle_link_is_zero() {
+        let link = LinkModel::new(
+            UniformDelay::new(1.0, 2.0),
+            BernoulliLoss::new(0.5),
+            DetRng::seed_from(1),
+        );
+        assert_eq!(link.stats().loss_fraction(), 0.0);
+    }
+
+    #[test]
+    fn transmission_accessors() {
+        assert!(Transmission::Lost.is_lost());
+        assert_eq!(Transmission::Lost.delay(), None);
+        let d = SimDuration::from_millis(3);
+        assert!(!Transmission::Delivered(d).is_lost());
+        assert_eq!(Transmission::Delivered(d).delay(), Some(d));
+    }
+
+    #[test]
+    fn describe_includes_both_models() {
+        let link = LinkModel::new(
+            UniformDelay::new(1.0, 2.0),
+            BernoulliLoss::new(0.1),
+            DetRng::seed_from(1),
+        );
+        let d = link.describe();
+        assert!(d.contains("uniform") && d.contains("bernoulli"), "{d}");
+    }
+}

@@ -1,0 +1,236 @@
+//! Message-loss models for fair-lossy links.
+//!
+//! The paper's system model is a *fair lossy* link — messages can be dropped
+//! but never duplicated or forged (the UDP behaviour). WAN loss is bursty,
+//! which the Gilbert–Elliott two-state chain captures.
+
+use fd_sim::{DetRng, SimTime};
+
+/// Decides, per message, whether the link drops it.
+pub trait LossModel: Send {
+    /// Returns `true` if the message entering the link at `now` is lost.
+    fn is_lost(&mut self, now: SimTime, rng: &mut DetRng) -> bool;
+
+    /// A short human-readable description.
+    fn describe(&self) -> String;
+
+    /// The long-run loss probability of this model, if known analytically.
+    fn steady_state_loss(&self) -> Option<f64> {
+        None
+    }
+}
+
+impl<T: LossModel + ?Sized> LossModel for Box<T> {
+    fn is_lost(&mut self, now: SimTime, rng: &mut DetRng) -> bool {
+        (**self).is_lost(now, rng)
+    }
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+    fn steady_state_loss(&self) -> Option<f64> {
+        (**self).steady_state_loss()
+    }
+}
+
+/// A lossless link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoLoss;
+
+impl LossModel for NoLoss {
+    fn is_lost(&mut self, _now: SimTime, _rng: &mut DetRng) -> bool {
+        false
+    }
+    fn describe(&self) -> String {
+        "no-loss".to_owned()
+    }
+    fn steady_state_loss(&self) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+/// Independent (Bernoulli) loss with probability `p` per message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BernoulliLoss {
+    p: f64,
+}
+
+impl BernoulliLoss {
+    /// Creates i.i.d. loss with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p <= 1`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "invalid probability {p}");
+        Self { p }
+    }
+}
+
+impl LossModel for BernoulliLoss {
+    fn is_lost(&mut self, _now: SimTime, rng: &mut DetRng) -> bool {
+        rng.chance(self.p)
+    }
+    fn describe(&self) -> String {
+        format!("bernoulli(p={})", self.p)
+    }
+    fn steady_state_loss(&self) -> Option<f64> {
+        Some(self.p)
+    }
+}
+
+/// Gilbert–Elliott bursty loss: a two-state Markov chain (Good/Bad) with
+/// per-state loss probabilities. Captures the loss bursts of congested WAN
+/// paths, which i.i.d. loss cannot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliottLoss {
+    /// P(Good → Bad) per message.
+    p_gb: f64,
+    /// P(Bad → Good) per message.
+    p_bg: f64,
+    /// Loss probability while in Good.
+    loss_good: f64,
+    /// Loss probability while in Bad.
+    loss_bad: f64,
+    in_bad: bool,
+}
+
+impl GilbertElliottLoss {
+    /// Creates a Gilbert–Elliott chain starting in the Good state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability lies outside `[0, 1]`.
+    pub fn new(p_gb: f64, p_bg: f64, loss_good: f64, loss_bad: f64) -> Self {
+        for (name, p) in [
+            ("p_gb", p_gb),
+            ("p_bg", p_bg),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "invalid {name}: {p}");
+        }
+        Self {
+            p_gb,
+            p_bg,
+            loss_good,
+            loss_bad,
+            in_bad: false,
+        }
+    }
+
+    /// `true` if the chain is currently in the Bad (bursty) state.
+    pub fn in_bad_state(&self) -> bool {
+        self.in_bad
+    }
+}
+
+impl LossModel for GilbertElliottLoss {
+    fn is_lost(&mut self, _now: SimTime, rng: &mut DetRng) -> bool {
+        // Transition first, then sample loss in the (possibly new) state.
+        if self.in_bad {
+            if rng.chance(self.p_bg) {
+                self.in_bad = false;
+            }
+        } else if rng.chance(self.p_gb) {
+            self.in_bad = true;
+        }
+        let p = if self.in_bad { self.loss_bad } else { self.loss_good };
+        rng.chance(p)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "gilbert-elliott(p_gb={}, p_bg={}, loss={}/{})",
+            self.p_gb, self.p_bg, self.loss_good, self.loss_bad
+        )
+    }
+
+    fn steady_state_loss(&self) -> Option<f64> {
+        let denom = self.p_gb + self.p_bg;
+        if denom == 0.0 {
+            // The chain never leaves its initial (Good) state.
+            return Some(self.loss_good);
+        }
+        let pi_bad = self.p_gb / denom;
+        Some((1.0 - pi_bad) * self.loss_good + pi_bad * self.loss_bad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loss_freq(model: &mut dyn LossModel, n: usize, seed: u64) -> f64 {
+        let mut rng = DetRng::seed_from(seed);
+        let lost = (0..n)
+            .filter(|&i| model.is_lost(SimTime::from_millis(i as u64), &mut rng))
+            .count();
+        lost as f64 / n as f64
+    }
+
+    #[test]
+    fn no_loss_never_drops() {
+        assert_eq!(loss_freq(&mut NoLoss, 10_000, 1), 0.0);
+        assert_eq!(NoLoss.steady_state_loss(), Some(0.0));
+    }
+
+    #[test]
+    fn bernoulli_matches_p() {
+        let mut m = BernoulliLoss::new(0.05);
+        let f = loss_freq(&mut m, 100_000, 2);
+        assert!((f - 0.05).abs() < 0.005, "freq={f}");
+        assert_eq!(m.steady_state_loss(), Some(0.05));
+    }
+
+    #[test]
+    fn gilbert_elliott_matches_steady_state() {
+        let mut m = GilbertElliottLoss::new(0.01, 0.2, 0.001, 0.2);
+        let expect = m.steady_state_loss().unwrap();
+        let f = loss_freq(&mut m, 200_000, 3);
+        assert!((f - expect).abs() < 0.01, "freq={f}, expect={expect}");
+    }
+
+    #[test]
+    fn gilbert_elliott_produces_bursts() {
+        // Compare the probability of consecutive losses against i.i.d. loss
+        // of the same rate: GE must be burstier.
+        let mut ge = GilbertElliottLoss::new(0.02, 0.3, 0.0, 0.5);
+        let mut rng = DetRng::seed_from(4);
+        let outcomes: Vec<bool> = (0..200_000u64)
+            .map(|i| ge.is_lost(SimTime::from_millis(i), &mut rng))
+            .collect();
+        let rate = outcomes.iter().filter(|&&l| l).count() as f64 / outcomes.len() as f64;
+        let consecutive = outcomes.windows(2).filter(|w| w[0] && w[1]).count() as f64
+            / (outcomes.len() - 1) as f64;
+        assert!(
+            consecutive > 2.0 * rate * rate,
+            "consecutive={consecutive}, iid-expected={}",
+            rate * rate
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_degenerate_chain() {
+        let m = GilbertElliottLoss::new(0.0, 0.0, 0.01, 0.9);
+        assert_eq!(m.steady_state_loss(), Some(0.01));
+        assert!(!m.in_bad_state());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid probability")]
+    fn bernoulli_rejects_bad_p() {
+        let _ = BernoulliLoss::new(1.5);
+    }
+
+    #[test]
+    fn determinism_under_same_seed() {
+        let mut a = GilbertElliottLoss::new(0.05, 0.2, 0.01, 0.4);
+        let mut b = a;
+        let mut ra = DetRng::seed_from(9);
+        let mut rb = DetRng::seed_from(9);
+        for i in 0..5_000u64 {
+            let now = SimTime::from_millis(i);
+            assert_eq!(a.is_lost(now, &mut ra), b.is_lost(now, &mut rb));
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! Recording, persisting, characterising and replaying delay traces.
+//!
+//! The paper's predictor-accuracy experiment (Table 3) collects the one-way
+//! delays of 100 000 heartbeats and feeds them to each predictor; Table 4
+//! characterises the link from the same kind of observations. [`DelayTrace`]
+//! is that artefact: a sequence of per-heartbeat outcomes (delivered with a
+//! delay, or lost), which can be summarised ([`LinkCharacteristics`]),
+//! persisted as CSV, and replayed as a [`DelayModel`].
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+use fd_sim::{DetRng, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::delay::DelayModel;
+use crate::profile::WanProfile;
+
+/// Outcome of one heartbeat in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Heartbeat sequence number (send order).
+    pub seq: u64,
+    /// One-way delay in ms, or `None` if the message was lost.
+    pub delay_ms: Option<f64>,
+}
+
+/// A recorded sequence of heartbeat outcomes on a link.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DelayTrace {
+    entries: Vec<TraceEntry>,
+}
+
+/// Summary of a link as the paper's Table 4 reports it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkCharacteristics {
+    /// Mean one-way delay (ms).
+    pub mean_ms: f64,
+    /// Sample standard deviation of the delay (ms).
+    pub std_ms: f64,
+    /// Minimum observed delay (ms).
+    pub min_ms: f64,
+    /// Maximum observed delay (ms).
+    pub max_ms: f64,
+    /// Fraction of heartbeats lost.
+    pub loss_probability: f64,
+    /// Number of delivered heartbeats the statistics are over.
+    pub delivered: usize,
+    /// Total heartbeats sent.
+    pub sent: usize,
+}
+
+impl fmt::Display for LinkCharacteristics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mean one-way delay      {:>10.1} ms", self.mean_ms)?;
+        writeln!(f, "Standard deviation      {:>10.1} ms", self.std_ms)?;
+        writeln!(f, "Maximum one-way delay   {:>10.1} ms", self.max_ms)?;
+        writeln!(f, "Minimum one-way delay   {:>10.1} ms", self.min_ms)?;
+        writeln!(f, "Loss probability        {:>10.3} %", self.loss_probability * 100.0)?;
+        write!(f, "Heartbeats (delivered/sent)  {}/{}", self.delivered, self.sent)
+    }
+}
+
+impl DelayTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a delivered heartbeat with its one-way delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delay is negative or not finite.
+    pub fn push_delivered(&mut self, seq: u64, delay_ms: f64) {
+        assert!(delay_ms.is_finite() && delay_ms >= 0.0, "invalid delay {delay_ms}");
+        self.entries.push(TraceEntry {
+            seq,
+            delay_ms: Some(delay_ms),
+        });
+    }
+
+    /// Records a lost heartbeat.
+    pub fn push_lost(&mut self, seq: u64) {
+        self.entries.push(TraceEntry { seq, delay_ms: None });
+    }
+
+    /// All entries in send order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of entries (sent heartbeats).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The delays of delivered heartbeats, in send order.
+    pub fn delays_ms(&self) -> Vec<f64> {
+        self.entries.iter().filter_map(|e| e.delay_ms).collect()
+    }
+
+    /// Generates a trace of `n` heartbeats sent every `eta` over `profile`.
+    ///
+    /// This is the synthetic equivalent of the paper's 100 000-heartbeat
+    /// collection run.
+    pub fn record(profile: &WanProfile, n: usize, eta: SimDuration, seed: u64) -> DelayTrace {
+        let mut delay = profile.delay_model();
+        let mut loss = profile.loss_model();
+        let mut delay_rng = DetRng::seed_from(seed);
+        let mut loss_rng = DetRng::seed_from(seed.wrapping_add(0x9e37_79b9));
+        let mut trace = DelayTrace::new();
+        for i in 0..n {
+            let now = SimTime::ZERO + eta * i as u64;
+            let d = delay.sample(now, &mut delay_rng);
+            if loss.is_lost(now, &mut loss_rng) {
+                trace.push_lost(i as u64);
+            } else {
+                trace.push_delivered(i as u64, d.as_millis_f64());
+            }
+        }
+        trace
+    }
+
+    /// Computes the Table 4 style characterisation.
+    ///
+    /// Returns `None` if no heartbeat was delivered.
+    pub fn characteristics(&self) -> Option<LinkCharacteristics> {
+        let delays = self.delays_ms();
+        if delays.is_empty() {
+            return None;
+        }
+        let n = delays.len() as f64;
+        let mean = delays.iter().sum::<f64>() / n;
+        let var = delays.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>()
+            / (n - 1.0).max(1.0);
+        let min = delays.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = delays.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some(LinkCharacteristics {
+            mean_ms: mean,
+            std_ms: var.sqrt(),
+            min_ms: min,
+            max_ms: max,
+            loss_probability: (self.entries.len() - delays.len()) as f64
+                / self.entries.len() as f64,
+            delivered: delays.len(),
+            sent: self.entries.len(),
+        })
+    }
+
+    /// Writes the trace as CSV (`seq,delay_ms` with empty delay for losses).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the file.
+    pub fn save_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut out = io::BufWriter::new(fs::File::create(path)?);
+        writeln!(out, "seq,delay_ms")?;
+        for e in &self.entries {
+            match e.delay_ms {
+                Some(d) => writeln!(out, "{},{:.6}", e.seq, d)?,
+                None => writeln!(out, "{},", e.seq)?,
+            }
+        }
+        out.flush()
+    }
+
+    /// Reads a trace previously written by [`DelayTrace::save_csv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error for unreadable files, or `InvalidData` for rows
+    /// that do not parse.
+    pub fn load_csv(path: impl AsRef<Path>) -> io::Result<DelayTrace> {
+        let content = fs::read_to_string(path)?;
+        let mut trace = DelayTrace::new();
+        for (lineno, line) in content.lines().enumerate() {
+            if lineno == 0 && line.starts_with("seq") {
+                continue;
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (seq_s, delay_s) = line.split_once(',').ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad row {lineno}: {line}"))
+            })?;
+            let seq: u64 = seq_s.trim().parse().map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad seq at {lineno}: {e}"))
+            })?;
+            let delay_s = delay_s.trim();
+            if delay_s.is_empty() {
+                trace.push_lost(seq);
+            } else {
+                let d: f64 = delay_s.parse().map_err(|e| {
+                    io::Error::new(io::ErrorKind::InvalidData, format!("bad delay at {lineno}: {e}"))
+                })?;
+                trace.push_delivered(seq, d);
+            }
+        }
+        Ok(trace)
+    }
+}
+
+impl FromIterator<f64> for DelayTrace {
+    /// Builds an all-delivered trace from raw delays.
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut trace = DelayTrace::new();
+        for (i, d) in iter.into_iter().enumerate() {
+            trace.push_delivered(i as u64, d);
+        }
+        trace
+    }
+}
+
+/// Replays a recorded trace's delivered delays as a [`DelayModel`], cycling
+/// when exhausted. Losses in the trace are skipped — pair it with a loss
+/// model if loss replay is also wanted.
+#[derive(Debug, Clone)]
+pub struct TraceReplayDelay {
+    delays_ms: Vec<f64>,
+    idx: usize,
+}
+
+impl TraceReplayDelay {
+    /// Creates a replay model from a trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace contains no delivered heartbeats.
+    pub fn new(trace: &DelayTrace) -> Self {
+        let delays_ms = trace.delays_ms();
+        assert!(!delays_ms.is_empty(), "cannot replay an empty trace");
+        Self { delays_ms, idx: 0 }
+    }
+}
+
+impl DelayModel for TraceReplayDelay {
+    fn sample(&mut self, _now: SimTime, _rng: &mut DetRng) -> SimDuration {
+        let d = self.delays_ms[self.idx];
+        self.idx = (self.idx + 1) % self.delays_ms.len();
+        SimDuration::from_millis_f64(d)
+    }
+    fn describe(&self) -> String {
+        format!("trace-replay({} delays)", self.delays_ms.len())
+    }
+}
+
+/// Replays a recorded trace's loss pattern as a [`LossModel`](crate::loss::LossModel): entry `k` of
+/// the trace decides the fate of the `k`-th transmitted message, cycling
+/// when exhausted. Pair with [`TraceReplayDelay`] for full trace-driven
+/// experiments — but note the pairing caveat: [`TraceReplayDelay`] skips
+/// lost entries, so drive the *loss* model from the same trace to keep the
+/// two streams aligned with the original timeline.
+#[derive(Debug, Clone)]
+pub struct TraceReplayLoss {
+    lost: Vec<bool>,
+    idx: usize,
+}
+
+impl TraceReplayLoss {
+    /// Creates a loss replay from a trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn new(trace: &DelayTrace) -> Self {
+        assert!(!trace.is_empty(), "cannot replay an empty trace");
+        Self {
+            lost: trace.entries().iter().map(|e| e.delay_ms.is_none()).collect(),
+            idx: 0,
+        }
+    }
+}
+
+impl crate::loss::LossModel for TraceReplayLoss {
+    fn is_lost(&mut self, _now: SimTime, _rng: &mut DetRng) -> bool {
+        let lost = self.lost[self.idx];
+        self.idx = (self.idx + 1) % self.lost.len();
+        lost
+    }
+    fn describe(&self) -> String {
+        format!("trace-replay-loss({} entries)", self.lost.len())
+    }
+    fn steady_state_loss(&self) -> Option<f64> {
+        Some(self.lost.iter().filter(|&&l| l).count() as f64 / self.lost.len() as f64)
+    }
+}
+
+impl DelayTrace {
+    /// Builds a replay [`LinkModel`](crate::link::LinkModel) that reproduces
+    /// this trace's delays *and* loss pattern in their original order.
+    ///
+    /// The link samples a delay for every transmission, including dropped
+    /// ones, so the delay stream here is full-length: lost entries carry a
+    /// placeholder (the previous delivered delay), which the loss model
+    /// discards in the same step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace has no delivered entries.
+    pub fn replay_link(&self) -> crate::link::LinkModel {
+        let mut last = self
+            .entries
+            .iter()
+            .find_map(|e| e.delay_ms)
+            .expect("trace has no delivered entries");
+        let full: DelayTrace = self
+            .entries
+            .iter()
+            .map(|e| {
+                if let Some(d) = e.delay_ms {
+                    last = d;
+                }
+                last
+            })
+            .collect();
+        crate::link::LinkModel::new(
+            TraceReplayDelay::new(&full),
+            TraceReplayLoss::new(self),
+            DetRng::seed_from(0), // replay is deterministic; rng unused
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_characterise() {
+        let profile = WanProfile::italy_japan();
+        let trace = DelayTrace::record(&profile, 5_000, SimDuration::from_secs(1), 99);
+        assert_eq!(trace.len(), 5_000);
+        let ch = trace.characteristics().unwrap();
+        assert!(ch.mean_ms > 192.0 && ch.mean_ms < 210.0, "mean={}", ch.mean_ms);
+        assert!(ch.min_ms >= 192.0);
+        assert!(ch.loss_probability < 0.03, "loss={}", ch.loss_probability);
+        assert_eq!(ch.sent, 5_000);
+        assert_eq!(ch.delivered + (ch.loss_probability * 5_000.0).round() as usize, 5_000);
+    }
+
+    #[test]
+    fn empty_trace_has_no_characteristics() {
+        assert!(DelayTrace::new().characteristics().is_none());
+        assert!(DelayTrace::new().is_empty());
+    }
+
+    #[test]
+    fn all_lost_trace_has_no_characteristics() {
+        let mut t = DelayTrace::new();
+        t.push_lost(0);
+        t.push_lost(1);
+        assert!(t.characteristics().is_none());
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let mut t = DelayTrace::new();
+        t.push_delivered(0, 200.5);
+        t.push_lost(1);
+        t.push_delivered(2, 195.25);
+        let path = std::env::temp_dir().join("fdqos_trace_roundtrip.csv");
+        t.save_csv(&path).unwrap();
+        let loaded = DelayTrace::load_csv(&path).unwrap();
+        assert_eq!(t, loaded);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = std::env::temp_dir().join("fdqos_trace_garbage.csv");
+        std::fs::write(&path, "seq,delay_ms\nnot-a-number,1.0\n").unwrap();
+        let err = DelayTrace::load_csv(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn replay_cycles_in_order() {
+        let t: DelayTrace = [10.0, 20.0, 30.0].into_iter().collect();
+        let mut replay = TraceReplayDelay::new(&t);
+        let mut rng = DetRng::seed_from(1);
+        let take: Vec<f64> = (0..7)
+            .map(|i| replay.sample(SimTime::from_secs(i), &mut rng).as_millis_f64())
+            .collect();
+        assert_eq!(take, vec![10.0, 20.0, 30.0, 10.0, 20.0, 30.0, 10.0]);
+    }
+
+    #[test]
+    fn replay_skips_losses() {
+        let mut t = DelayTrace::new();
+        t.push_delivered(0, 5.0);
+        t.push_lost(1);
+        t.push_delivered(2, 7.0);
+        let mut replay = TraceReplayDelay::new(&t);
+        let mut rng = DetRng::seed_from(1);
+        let a = replay.sample(SimTime::ZERO, &mut rng).as_millis_f64();
+        let b = replay.sample(SimTime::ZERO, &mut rng).as_millis_f64();
+        assert_eq!((a, b), (5.0, 7.0));
+    }
+
+    #[test]
+    fn trace_replay_loss_reproduces_the_pattern() {
+        let mut t = DelayTrace::new();
+        t.push_delivered(0, 5.0);
+        t.push_lost(1);
+        t.push_delivered(2, 7.0);
+        let mut loss = TraceReplayLoss::new(&t);
+        let mut rng = DetRng::seed_from(1);
+        use crate::loss::LossModel as _;
+        let pattern: Vec<bool> = (0..6)
+            .map(|i| loss.is_lost(SimTime::from_secs(i), &mut rng))
+            .collect();
+        assert_eq!(pattern, vec![false, true, false, false, true, false]);
+        assert!((loss.steady_state_loss().unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replay_link_reproduces_delays_and_losses_in_order() {
+        let profile = WanProfile::italy_japan();
+        let original = DelayTrace::record(&profile, 2_000, SimDuration::from_secs(1), 9);
+        let mut link = original.replay_link();
+        let mut replayed = DelayTrace::new();
+        for (i, _) in original.entries().iter().enumerate() {
+            match link.transmit(SimTime::from_secs(i as u64)).delay() {
+                Some(d) => replayed.push_delivered(i as u64, d.as_millis_f64()),
+                None => replayed.push_lost(i as u64),
+            }
+        }
+        // Same loss positions and (to quantisation) same delivered delays.
+        for (a, b) in original.entries().iter().zip(replayed.entries()) {
+            match (a.delay_ms, b.delay_ms) {
+                (Some(x), Some(y)) => assert!((x - y).abs() < 1e-3, "{x} vs {y}"),
+                (None, None) => {}
+                other => panic!("loss pattern diverged: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn characteristics_display_is_table4_like() {
+        let t: DelayTrace = [200.0, 210.0, 195.0].into_iter().collect();
+        let ch = t.characteristics().unwrap();
+        let s = ch.to_string();
+        assert!(s.contains("Mean one-way delay"));
+        assert!(s.contains("Loss probability"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid delay")]
+    fn negative_delay_rejected() {
+        let mut t = DelayTrace::new();
+        t.push_delivered(0, -1.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! The heartbeat wire format used by the real-UDP engine.
+//!
+//! A heartbeat datagram carries a magic tag, a format version, the sender's
+//! process id, the heartbeat sequence number `i` and the send timestamp
+//! `σ_i` in microseconds of the (NTP-synchronised) global clock. All fields
+//! are big-endian.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fd_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Magic tag identifying fdqos heartbeats (`"FDQS"`).
+const MAGIC: u32 = 0x4644_5153;
+/// Current wire version.
+const VERSION: u8 = 1;
+/// Encoded size in bytes: magic(4) + version(1) + sender(2) + seq(8) + ts(8).
+pub const HEARTBEAT_WIRE_SIZE: usize = 23;
+
+/// A decoded heartbeat message `m_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Heartbeat {
+    /// Sender process id.
+    pub sender: u16,
+    /// Sequence number `i` (the sender's cycle count).
+    pub seq: u64,
+    /// Send time `σ_i` on the global clock.
+    pub sent_at: SimTime,
+}
+
+/// Errors decoding a heartbeat datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The datagram is shorter than [`HEARTBEAT_WIRE_SIZE`].
+    Truncated {
+        /// Bytes actually present.
+        len: usize,
+    },
+    /// The magic tag does not match.
+    BadMagic {
+        /// The tag found.
+        found: u32,
+    },
+    /// The version is not supported.
+    BadVersion {
+        /// The version found.
+        found: u8,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { len } => {
+                write!(f, "datagram truncated: {len} bytes, need {HEARTBEAT_WIRE_SIZE}")
+            }
+            WireError::BadMagic { found } => write!(f, "bad magic tag {found:#010x}"),
+            WireError::BadVersion { found } => write!(f, "unsupported wire version {found}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl Heartbeat {
+    /// Creates a heartbeat.
+    pub fn new(sender: u16, seq: u64, sent_at: SimTime) -> Self {
+        Self { sender, seq, sent_at }
+    }
+
+    /// Encodes into a fresh buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(HEARTBEAT_WIRE_SIZE);
+        buf.put_u32(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u16(self.sender);
+        buf.put_u64(self.seq);
+        buf.put_u64(self.sent_at.as_micros());
+        buf.freeze()
+    }
+
+    /// Decodes from a received datagram.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the datagram is truncated, carries the
+    /// wrong magic tag, or an unsupported version.
+    pub fn decode(mut data: &[u8]) -> Result<Heartbeat, WireError> {
+        if data.len() < HEARTBEAT_WIRE_SIZE {
+            return Err(WireError::Truncated { len: data.len() });
+        }
+        let magic = data.get_u32();
+        if magic != MAGIC {
+            return Err(WireError::BadMagic { found: magic });
+        }
+        let version = data.get_u8();
+        if version != VERSION {
+            return Err(WireError::BadVersion { found: version });
+        }
+        let sender = data.get_u16();
+        let seq = data.get_u64();
+        let sent_at = SimTime::from_micros(data.get_u64());
+        Ok(Heartbeat { sender, seq, sent_at })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let hb = Heartbeat::new(7, 123_456, SimTime::from_micros(987_654_321));
+        let bytes = hb.encode();
+        assert_eq!(bytes.len(), HEARTBEAT_WIRE_SIZE);
+        assert_eq!(Heartbeat::decode(&bytes).unwrap(), hb);
+    }
+
+    #[test]
+    fn truncated_is_rejected() {
+        let hb = Heartbeat::new(1, 2, SimTime::from_secs(3));
+        let bytes = hb.encode();
+        let err = Heartbeat::decode(&bytes[..10]).unwrap_err();
+        assert_eq!(err, WireError::Truncated { len: 10 });
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let hb = Heartbeat::new(1, 2, SimTime::from_secs(3));
+        let mut bytes = hb.encode().to_vec();
+        bytes[0] ^= 0xff;
+        assert!(matches!(Heartbeat::decode(&bytes), Err(WireError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let hb = Heartbeat::new(1, 2, SimTime::from_secs(3));
+        let mut bytes = hb.encode().to_vec();
+        bytes[4] = 99;
+        assert_eq!(
+            Heartbeat::decode(&bytes),
+            Err(WireError::BadVersion { found: 99 })
+        );
+    }
+
+    #[test]
+    fn max_values_round_trip() {
+        let hb = Heartbeat::new(u16::MAX, u64::MAX, SimTime::MAX);
+        assert_eq!(Heartbeat::decode(&hb.encode()).unwrap(), hb);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn any_heartbeat_round_trips(sender: u16, seq: u64, micros: u64) {
+            let hb = Heartbeat::new(sender, seq, SimTime::from_micros(micros));
+            prop_assert_eq!(Heartbeat::decode(&hb.encode()).unwrap(), hb);
+        }
+
+        #[test]
+        fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = Heartbeat::decode(&data);
+        }
+    }
+}

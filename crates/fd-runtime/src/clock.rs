@@ -1,0 +1,168 @@
+//! Per-process clock models and NTP-style offset estimation.
+//!
+//! The paper *assumes* synchronised clocks (`offset_pq = 0`, `ρ_pq = 0`) and
+//! enforces the assumption with NTP against two stratum servers. The
+//! simulation engine makes the assumption explicit: every process owns a
+//! [`ClockModel`] mapping global (true) time to its local clock, and
+//! [`estimate_ntp_offset`] implements the classical four-timestamp offset
+//! estimator so the assumption can be *established* rather than merely
+//! asserted.
+
+use fd_sim::{SimDuration, SimTime};
+
+/// An affine clock: `local(t) = t + offset + drift_ppm·10⁻⁶·t`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockModel {
+    /// Constant offset in microseconds (positive = local clock ahead).
+    pub offset_us: i64,
+    /// Linear drift in parts per million.
+    pub drift_ppm: f64,
+}
+
+impl Default for ClockModel {
+    fn default() -> Self {
+        Self::synchronized()
+    }
+}
+
+impl ClockModel {
+    /// A perfectly synchronised clock (the paper's operating assumption).
+    pub const fn synchronized() -> Self {
+        Self {
+            offset_us: 0,
+            drift_ppm: 0.0,
+        }
+    }
+
+    /// A clock with a constant offset.
+    pub const fn with_offset_us(offset_us: i64) -> Self {
+        Self {
+            offset_us,
+            drift_ppm: 0.0,
+        }
+    }
+
+    /// A clock with offset and drift.
+    pub const fn new(offset_us: i64, drift_ppm: f64) -> Self {
+        Self { offset_us, drift_ppm }
+    }
+
+    /// Maps global time to this process's local clock reading.
+    ///
+    /// Saturates at zero: a local clock cannot show negative time.
+    pub fn local_time(&self, global: SimTime) -> SimTime {
+        let g = global.as_micros() as i128;
+        let drift = (g as f64 * self.drift_ppm * 1e-6) as i128;
+        let local = g + self.offset_us as i128 + drift;
+        SimTime::from_micros(local.clamp(0, u64::MAX as i128) as u64)
+    }
+
+    /// Converts a duration measured on the local clock to true (global)
+    /// duration, undoing drift.
+    pub fn global_duration(&self, local: SimDuration) -> SimDuration {
+        if self.drift_ppm == 0.0 {
+            return local;
+        }
+        let scale = 1.0 / (1.0 + self.drift_ppm * 1e-6);
+        SimDuration::from_micros((local.as_micros() as f64 * scale).round() as u64)
+    }
+}
+
+/// The classical NTP offset estimator from one request/response exchange.
+///
+/// * `t0` — client clock when the request left;
+/// * `t1` — server clock when the request arrived;
+/// * `t2` — server clock when the response left;
+/// * `t3` — client clock when the response arrived.
+///
+/// Returns the estimated offset of the *client* clock relative to the server
+/// in microseconds (positive = client ahead), which is exact when the path
+/// is symmetric: `θ = ((t1 − t0) + (t2 − t3)) / 2` estimates `server −
+/// client`, so the client-ahead offset is its negation.
+pub fn estimate_ntp_offset(t0: SimTime, t1: SimTime, t2: SimTime, t3: SimTime) -> i64 {
+    let t0 = t0.as_micros() as i128;
+    let t1 = t1.as_micros() as i128;
+    let t2 = t2.as_micros() as i128;
+    let t3 = t3.as_micros() as i128;
+    let theta = ((t1 - t0) + (t2 - t3)) / 2;
+    (-theta) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synchronized_clock_is_identity() {
+        let c = ClockModel::synchronized();
+        let t = SimTime::from_secs(1234);
+        assert_eq!(c.local_time(t), t);
+        assert_eq!(c.global_duration(SimDuration::from_secs(5)), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn offset_shifts_local_time() {
+        let ahead = ClockModel::with_offset_us(2_000_000);
+        assert_eq!(
+            ahead.local_time(SimTime::from_secs(10)),
+            SimTime::from_secs(12)
+        );
+        let behind = ClockModel::with_offset_us(-3_000_000);
+        assert_eq!(
+            behind.local_time(SimTime::from_secs(10)),
+            SimTime::from_secs(7)
+        );
+    }
+
+    #[test]
+    fn negative_local_time_saturates_at_zero() {
+        let behind = ClockModel::with_offset_us(-5_000_000);
+        assert_eq!(behind.local_time(SimTime::from_secs(1)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn drift_accumulates() {
+        // 100 ppm over 10000 s = 1 s ahead.
+        let c = ClockModel::new(0, 100.0);
+        let local = c.local_time(SimTime::from_secs(10_000));
+        assert_eq!(local, SimTime::from_secs(10_001));
+    }
+
+    #[test]
+    fn global_duration_undoes_drift() {
+        let c = ClockModel::new(0, 100.0);
+        let local = SimDuration::from_secs(10_001);
+        let global = c.global_duration(local);
+        let err = global.as_micros() as i64 - 10_000_000_000i64;
+        assert!(err.abs() <= 2_000, "err={err}us"); // within rounding
+    }
+
+    #[test]
+    fn ntp_offset_exact_on_symmetric_path() {
+        // Client 500 ms ahead of server; one-way delay 100 ms each way.
+        // Global: request leaves at 0, arrives 0.1; response leaves 0.1,
+        // arrives 0.2.
+        let client = ClockModel::with_offset_us(500_000);
+        let server = ClockModel::synchronized();
+        let t0 = client.local_time(SimTime::from_millis(0));
+        let t1 = server.local_time(SimTime::from_millis(100));
+        let t2 = server.local_time(SimTime::from_millis(100));
+        let t3 = client.local_time(SimTime::from_millis(200));
+        assert_eq!(estimate_ntp_offset(t0, t1, t2, t3), 500_000);
+    }
+
+    #[test]
+    fn ntp_offset_error_bounded_by_asymmetry() {
+        // Asymmetric path: 150 ms out, 50 ms back. The classical bound is
+        // |error| ≤ (out − back)/2 = 50 ms.
+        let client = ClockModel::with_offset_us(-200_000);
+        let server = ClockModel::synchronized();
+        let t0 = client.local_time(SimTime::from_millis(0));
+        let t1 = server.local_time(SimTime::from_millis(150));
+        let t2 = server.local_time(SimTime::from_millis(150));
+        let t3 = client.local_time(SimTime::from_millis(200));
+        let est = estimate_ntp_offset(t0, t1, t2, t3);
+        let err = (est - (-200_000)).abs();
+        assert!(err <= 50_000, "err={err}us");
+    }
+}

@@ -1,0 +1,179 @@
+//! The layer abstraction: Neko's building block.
+//!
+//! A [`Layer`] intercepts messages travelling **down** (toward the network,
+//! `on_send`) and **up** (from the network, `on_deliver`), can schedule
+//! timers, and emits NekoStat events. Layers never call each other directly:
+//! they enqueue [`Action`]s on their [`Context`], and the [`crate::Process`]
+//! runtime routes each action to the adjacent layer (or to the engine). This
+//! keeps layers independent, testable and engine-agnostic — the same layer
+//! runs under [`crate::SimEngine`] and [`crate::RealEngine`].
+
+use fd_sim::{SimDuration, SimTime};
+use fd_stat::{EventKind, ProcessId};
+
+use crate::message::Message;
+
+/// Identifies one timer of one layer (layer-chosen namespace).
+pub type TimerId = u64;
+
+/// An effect requested by a layer while handling a callback.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Route the message downward (toward the network). From the bottom
+    /// layer this hands the message to the engine's network.
+    Send(Message),
+    /// Route the message upward (toward the application). From the top
+    /// layer this is dropped.
+    Deliver(Message),
+    /// Request a timer callback after `delay`.
+    SetTimer {
+        /// Delay from now.
+        delay: SimDuration,
+        /// Layer-chosen identifier passed back to `on_timer`.
+        id: TimerId,
+    },
+    /// Record a NekoStat event for this process.
+    Emit(EventKind),
+}
+
+/// The callback context handed to a layer: the local clock, identity, and
+/// the action queue.
+#[derive(Debug)]
+pub struct Context {
+    now: SimTime,
+    process: ProcessId,
+    actions: Vec<Action>,
+}
+
+impl Context {
+    /// Creates a context for one callback invocation.
+    pub fn new(now: SimTime, process: ProcessId) -> Self {
+        Self {
+            now,
+            process,
+            actions: Vec::new(),
+        }
+    }
+
+    /// The current time on this process's clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This process's id.
+    pub fn process(&self) -> ProcessId {
+        self.process
+    }
+
+    /// Sends a message toward the network (through the layers below).
+    pub fn send(&mut self, msg: Message) {
+        self.actions.push(Action::Send(msg));
+    }
+
+    /// Delivers a message toward the application (through the layers above).
+    pub fn deliver(&mut self, msg: Message) {
+        self.actions.push(Action::Deliver(msg));
+    }
+
+    /// Schedules a timer callback on this layer after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, id: TimerId) {
+        self.actions.push(Action::SetTimer { delay, id });
+    }
+
+    /// Records a NekoStat event.
+    pub fn emit(&mut self, kind: EventKind) {
+        self.actions.push(Action::Emit(kind));
+    }
+
+    /// Drains the accumulated actions (used by the process runtime).
+    pub fn take_actions(&mut self) -> Vec<Action> {
+        std::mem::take(&mut self.actions)
+    }
+}
+
+/// One layer of a process stack.
+///
+/// Default implementations forward messages transparently in both
+/// directions, so a layer only overrides the direction(s) it intercepts.
+pub trait Layer: Send {
+    /// Called once when the engine starts, bottom layer first.
+    fn on_start(&mut self, _ctx: &mut Context) {}
+
+    /// A message from an upper layer travelling toward the network.
+    fn on_send(&mut self, ctx: &mut Context, msg: Message) {
+        ctx.send(msg);
+    }
+
+    /// A message from the network (or a lower layer) travelling upward.
+    fn on_deliver(&mut self, ctx: &mut Context, msg: Message) {
+        ctx.deliver(msg);
+    }
+
+    /// A timer set by this layer has fired.
+    fn on_timer(&mut self, _ctx: &mut Context, _id: TimerId) {}
+
+    /// The layer's name for diagnostics.
+    fn name(&self) -> &str {
+        "layer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageKind;
+
+    struct Tag;
+    impl Layer for Tag {
+        fn on_deliver(&mut self, ctx: &mut Context, mut msg: Message) {
+            if let MessageKind::Data(ref mut d) = msg.kind {
+                d.push(0xAA);
+            }
+            ctx.deliver(msg);
+        }
+        fn name(&self) -> &str {
+            "tag"
+        }
+    }
+
+    #[test]
+    fn context_collects_actions_in_order() {
+        let mut ctx = Context::new(SimTime::from_secs(1), ProcessId(3));
+        assert_eq!(ctx.now(), SimTime::from_secs(1));
+        assert_eq!(ctx.process(), ProcessId(3));
+        ctx.set_timer(SimDuration::from_secs(2), 9);
+        ctx.emit(EventKind::Crash);
+        let actions = ctx.take_actions();
+        assert_eq!(actions.len(), 2);
+        assert!(matches!(actions[0], Action::SetTimer { id: 9, .. }));
+        assert!(matches!(actions[1], Action::Emit(EventKind::Crash)));
+        // Drained.
+        assert!(ctx.take_actions().is_empty());
+    }
+
+    #[test]
+    fn default_layer_is_transparent() {
+        struct Passive;
+        impl Layer for Passive {}
+        let mut layer = Passive;
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
+        let msg = Message::heartbeat(ProcessId(0), ProcessId(1), 1, SimTime::ZERO);
+        layer.on_send(&mut ctx, msg.clone());
+        layer.on_deliver(&mut ctx, msg.clone());
+        let actions = ctx.take_actions();
+        assert_eq!(actions, vec![Action::Send(msg.clone()), Action::Deliver(msg)]);
+        assert_eq!(layer.name(), "layer");
+    }
+
+    #[test]
+    fn overriding_layer_transforms_messages() {
+        let mut layer = Tag;
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
+        let msg = Message::data(ProcessId(0), ProcessId(1), 0, SimTime::ZERO, vec![1]);
+        layer.on_deliver(&mut ctx, msg);
+        match ctx.take_actions().pop().unwrap() {
+            Action::Deliver(m) => assert_eq!(m.kind, MessageKind::Data(vec![1, 0xAA])),
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Neko analog: layered distributed processes that run **unchanged** on a
+//! simulated network or on a real UDP network.
+//!
+//! The paper builds its experiments on the Neko framework, whose defining
+//! property is that the *same algorithm code* executes either inside a
+//! discrete-event simulation or on a real network, selected by
+//! configuration. This crate reproduces that architecture:
+//!
+//! * a process is a stack of [`Layer`]s ([`layer`], [`process`]); messages
+//!   travel *down* through `on_send` to the network and *up* through
+//!   `on_deliver` from it; layers schedule timers and emit NekoStat-style
+//!   events;
+//! * [`SimEngine`] runs a set of processes over [`fd_net`] link models inside
+//!   a deterministic [`fd_sim`] event loop;
+//! * [`RealEngine`] runs the *same* processes in threads, exchanging real
+//!   UDP datagrams (heartbeat wire format from [`fd_net::wire`]);
+//! * [`clock`] models per-process clock offset/drift and provides the
+//!   NTP-style offset estimator that justifies the paper's synchronised-clock
+//!   assumption.
+//!
+//! The experiment layers themselves (Heartbeater, SimCrash, MultiPlexer,
+//! Monitor) live in the `fd-experiments` crate.
+
+pub mod clock;
+pub mod layer;
+pub mod message;
+pub mod multiplexer;
+pub mod ntp;
+pub mod process;
+pub mod real_engine;
+pub mod sim_engine;
+
+pub use clock::{estimate_ntp_offset, ClockModel};
+pub use layer::{Action, Context, Layer, TimerId};
+pub use message::{Message, MessageKind};
+pub use multiplexer::MultiplexerLayer;
+pub use ntp::{NtpClientLayer, NtpSample, NtpServerLayer};
+pub use process::Process;
+pub use real_engine::{RealEngine, RealEngineConfig};
+pub use sim_engine::SimEngine;
+
+pub use fd_stat::ProcessId;

@@ -1,0 +1,73 @@
+//! Messages exchanged between processes.
+
+use fd_sim::SimTime;
+use fd_stat::ProcessId;
+
+/// What a message carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MessageKind {
+    /// A heartbeat `m_seq` from the monitored process.
+    Heartbeat,
+    /// Opaque application data (simulation engine only; the real engine's
+    /// wire format carries heartbeats).
+    Data(Vec<u8>),
+}
+
+/// A message travelling through the layer stacks and the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sending process.
+    pub from: ProcessId,
+    /// Destination process.
+    pub to: ProcessId,
+    /// Sequence number (the heartbeat cycle number `i`).
+    pub seq: u64,
+    /// Send time `σ_i` on the sender's clock.
+    pub sent_at: SimTime,
+    /// Payload discriminator.
+    pub kind: MessageKind,
+}
+
+impl Message {
+    /// Creates a heartbeat message.
+    pub fn heartbeat(from: ProcessId, to: ProcessId, seq: u64, sent_at: SimTime) -> Self {
+        Self {
+            from,
+            to,
+            seq,
+            sent_at,
+            kind: MessageKind::Heartbeat,
+        }
+    }
+
+    /// Creates a data message.
+    pub fn data(from: ProcessId, to: ProcessId, seq: u64, sent_at: SimTime, payload: Vec<u8>) -> Self {
+        Self {
+            from,
+            to,
+            seq,
+            sent_at,
+            kind: MessageKind::Data(payload),
+        }
+    }
+
+    /// `true` if this is a heartbeat.
+    pub fn is_heartbeat(&self) -> bool {
+        matches!(self.kind, MessageKind::Heartbeat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let hb = Message::heartbeat(ProcessId(1), ProcessId(0), 7, SimTime::from_secs(7));
+        assert!(hb.is_heartbeat());
+        assert_eq!(hb.seq, 7);
+        let d = Message::data(ProcessId(0), ProcessId(1), 0, SimTime::ZERO, vec![1, 2]);
+        assert!(!d.is_heartbeat());
+        assert_eq!(d.kind, MessageKind::Data(vec![1, 2]));
+    }
+}

@@ -1,0 +1,244 @@
+//! The MultiPlexer layer of the paper's experimental architecture.
+//!
+//! "When it receives a new message from the network, it immediately forwards
+//! the message to all the components at the upper level. This layer permits
+//! to feed directly the different failure detectors, guaranteeing that they
+//! perceive identical network conditions, and thus is the basis to fairly
+//! compare their QoS."
+//!
+//! [`MultiplexerLayer`] owns its child components (each a [`Layer`]) and
+//! fans every delivery out to all of them. Children act as top layers: what
+//! they deliver upward is consumed; what they send goes down to the network;
+//! their timers are namespaced so each child keeps its own timer ids.
+
+use crate::layer::{Action, Context, Layer, TimerId};
+use crate::message::Message;
+
+/// How many low bits of a [`TimerId`] remain for the child's own ids.
+const CHILD_TIMER_BITS: u32 = 48;
+const CHILD_TIMER_MASK: u64 = (1 << CHILD_TIMER_BITS) - 1;
+
+/// Fans deliveries out to a set of child components so they all observe the
+/// identical message stream.
+pub struct MultiplexerLayer {
+    children: Vec<Box<dyn Layer>>,
+    fanned_out: u64,
+}
+
+impl std::fmt::Debug for MultiplexerLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiplexerLayer")
+            .field("children", &self.children.len())
+            .field("fanned_out", &self.fanned_out)
+            .finish()
+    }
+}
+
+impl MultiplexerLayer {
+    /// Creates an empty multiplexer.
+    pub fn new() -> Self {
+        Self {
+            children: Vec::new(),
+            fanned_out: 0,
+        }
+    }
+
+    /// Adds a child component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 2¹⁶ children are added (timer namespace limit).
+    pub fn with_child(mut self, child: impl Layer + 'static) -> Self {
+        assert!(self.children.len() < (1 << 16), "too many multiplexer children");
+        self.children.push(Box::new(child));
+        self
+    }
+
+    /// Number of children.
+    pub fn child_count(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Messages fanned out so far (deliveries × children).
+    pub fn fanned_out(&self) -> u64 {
+        self.fanned_out
+    }
+
+    /// Mutable access to a child, for post-run extraction.
+    pub fn child_mut(&mut self, idx: usize) -> &mut dyn Layer {
+        &mut *self.children[idx]
+    }
+
+    /// Re-tags a child's actions into the parent context: deliveries are
+    /// consumed (children are top components), sends pass down, timers are
+    /// namespaced.
+    fn absorb_child_actions(ctx: &mut Context, child_idx: usize, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send(m) => ctx.send(m),
+                Action::Deliver(_) => {} // children are the top: consumed
+                Action::SetTimer { delay, id } => {
+                    assert!(
+                        id <= CHILD_TIMER_MASK,
+                        "child timer id {id} exceeds the multiplexer namespace"
+                    );
+                    ctx.set_timer(delay, ((child_idx as u64) << CHILD_TIMER_BITS) | id);
+                }
+                Action::Emit(kind) => ctx.emit(kind),
+            }
+        }
+    }
+}
+
+impl Default for MultiplexerLayer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for MultiplexerLayer {
+    fn on_start(&mut self, ctx: &mut Context) {
+        for (idx, child) in self.children.iter_mut().enumerate() {
+            let mut child_ctx = Context::new(ctx.now(), ctx.process());
+            child.on_start(&mut child_ctx);
+            Self::absorb_child_actions(ctx, idx, child_ctx.take_actions());
+        }
+    }
+
+    fn on_deliver(&mut self, ctx: &mut Context, msg: Message) {
+        for (idx, child) in self.children.iter_mut().enumerate() {
+            self.fanned_out += 1;
+            let mut child_ctx = Context::new(ctx.now(), ctx.process());
+            child.on_deliver(&mut child_ctx, msg.clone());
+            Self::absorb_child_actions(ctx, idx, child_ctx.take_actions());
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context, id: TimerId) {
+        let child_idx = (id >> CHILD_TIMER_BITS) as usize;
+        if child_idx >= self.children.len() {
+            return;
+        }
+        let mut child_ctx = Context::new(ctx.now(), ctx.process());
+        self.children[child_idx].on_timer(&mut child_ctx, id & CHILD_TIMER_MASK);
+        Self::absorb_child_actions(ctx, child_idx, child_ctx.take_actions());
+    }
+
+    fn name(&self) -> &str {
+        "multiplexer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_sim::{SimDuration, SimTime};
+    use fd_stat::{EventKind, ProcessId};
+
+    struct Probe {
+        delivered: Vec<u64>,
+        ticks: Vec<TimerId>,
+    }
+    impl Probe {
+        fn new() -> Self {
+            Self {
+                delivered: Vec::new(),
+                ticks: Vec::new(),
+            }
+        }
+    }
+    impl Layer for Probe {
+        fn on_start(&mut self, ctx: &mut Context) {
+            ctx.set_timer(SimDuration::from_secs(1), 5);
+        }
+        fn on_deliver(&mut self, ctx: &mut Context, msg: Message) {
+            self.delivered.push(msg.seq);
+            ctx.emit(EventKind::Received { seq: msg.seq });
+            ctx.deliver(msg); // must be swallowed by the multiplexer
+        }
+        fn on_timer(&mut self, _ctx: &mut Context, id: TimerId) {
+            self.ticks.push(id);
+        }
+        fn name(&self) -> &str {
+            "probe"
+        }
+    }
+
+    fn hb(seq: u64) -> Message {
+        Message::heartbeat(ProcessId(1), ProcessId(0), seq, SimTime::ZERO)
+    }
+
+    #[test]
+    fn all_children_see_every_delivery() {
+        let mut mux = MultiplexerLayer::new()
+            .with_child(Probe::new())
+            .with_child(Probe::new())
+            .with_child(Probe::new());
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
+        mux.on_deliver(&mut ctx, hb(7));
+        mux.on_deliver(&mut ctx, hb(8));
+        assert_eq!(mux.fanned_out(), 6);
+        for i in 0..3 {
+            let child = mux.child_mut(i);
+            // Downcast via the Probe-specific behaviour: we can't downcast a
+            // dyn Layer without Any, so check through emitted events instead.
+            let _ = child;
+        }
+        // Each child emitted one Received per message: 3 children × 2 msgs.
+        let emits = ctx
+            .take_actions()
+            .into_iter()
+            .filter(|a| matches!(a, Action::Emit(EventKind::Received { .. })))
+            .count();
+        assert_eq!(emits, 6);
+    }
+
+    #[test]
+    fn child_upward_deliveries_are_consumed() {
+        let mut mux = MultiplexerLayer::new().with_child(Probe::new());
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
+        mux.on_deliver(&mut ctx, hb(1));
+        let deliveries = ctx
+            .take_actions()
+            .into_iter()
+            .filter(|a| matches!(a, Action::Deliver(_)))
+            .count();
+        assert_eq!(deliveries, 0);
+    }
+
+    #[test]
+    fn timers_are_namespaced_and_routed_back() {
+        let mut mux = MultiplexerLayer::new()
+            .with_child(Probe::new())
+            .with_child(Probe::new());
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
+        mux.on_start(&mut ctx);
+        let timer_ids: Vec<TimerId> = ctx
+            .take_actions()
+            .into_iter()
+            .filter_map(|a| match a {
+                Action::SetTimer { id, .. } => Some(id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(timer_ids.len(), 2);
+        assert_ne!(timer_ids[0], timer_ids[1]); // namespaced per child
+
+        // Route one back: only the owning child ticks.
+        let mut ctx2 = Context::new(SimTime::from_secs(1), ProcessId(0));
+        mux.on_timer(&mut ctx2, timer_ids[1]);
+        // Child 1 got id 5 back (the namespace stripped).
+        // (Behavioural check via another fire: unknown child index ignored.)
+        mux.on_timer(&mut ctx2, u64::MAX);
+    }
+
+    #[test]
+    fn empty_multiplexer_is_inert() {
+        let mut mux = MultiplexerLayer::default();
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
+        mux.on_deliver(&mut ctx, hb(0));
+        assert!(ctx.take_actions().is_empty());
+        assert_eq!(mux.child_count(), 0);
+        assert_eq!(mux.name(), "multiplexer");
+    }
+}

@@ -1,0 +1,410 @@
+//! A process: a bottom-to-top stack of layers plus the intra-process action
+//! router.
+//!
+//! The router resolves each layer's queued [`Action`]s: `Send` from layer
+//! `i` goes to layer `i−1`'s `on_send` (from layer 0 it leaves toward the
+//! network); `Deliver` from layer `i` goes to layer `i+1`'s `on_deliver`
+//! (from the top layer it is dropped — the application has consumed it).
+//! Timer requests and event emissions bubble out to the engine as
+//! [`Effect`]s.
+
+use fd_sim::{SimDuration, SimTime};
+use fd_stat::{EventKind, ProcessId};
+
+use crate::layer::{Action, Context, Layer, TimerId};
+use crate::message::Message;
+
+/// An engine-visible effect produced while a process handled a callback.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Effect {
+    /// The bottom layer handed a message to the network.
+    ToNetwork(Message),
+    /// A layer requested a timer.
+    Timer {
+        /// The requesting layer's index in the stack.
+        layer: usize,
+        /// Delay from now.
+        delay: SimDuration,
+        /// Layer-chosen id.
+        id: TimerId,
+    },
+    /// A layer emitted a NekoStat event.
+    Event(EventKind),
+}
+
+/// A stack of layers forming one process of the distributed system.
+pub struct Process {
+    id: ProcessId,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Process {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        f.debug_struct("Process")
+            .field("id", &self.id)
+            .field("layers", &names)
+            .finish()
+    }
+}
+
+/// A pending intra-process dispatch.
+enum Job {
+    SendVia { layer: usize, msg: Message },
+    DeliverVia { layer: usize, msg: Message },
+}
+
+impl Process {
+    /// Creates a process with the given id and an empty stack.
+    pub fn new(id: ProcessId) -> Self {
+        Self {
+            id,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Pushes a layer on top of the stack (bottom layer first). Returns
+    /// `self` for chaining.
+    pub fn with_layer(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// The process id.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Number of layers in the stack.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Mutable access to a layer (for tests and result extraction), downcast
+    /// by the caller.
+    pub fn layer_mut(&mut self, idx: usize) -> &mut dyn Layer {
+        &mut *self.layers[idx]
+    }
+
+    /// Runs all `on_start` callbacks, bottom layer first.
+    pub fn start(&mut self, now: SimTime) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        for i in 0..self.layers.len() {
+            let mut ctx = Context::new(now, self.id);
+            self.layers[i].on_start(&mut ctx);
+            self.route(i, ctx.take_actions(), now, &mut effects);
+        }
+        effects
+    }
+
+    /// Handles a message arriving from the network (enters at the bottom
+    /// layer's `on_deliver`).
+    pub fn deliver_from_network(&mut self, now: SimTime, msg: Message) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        if self.layers.is_empty() {
+            return effects;
+        }
+        let mut ctx = Context::new(now, self.id);
+        self.layers[0].on_deliver(&mut ctx, msg);
+        self.route(0, ctx.take_actions(), now, &mut effects);
+        effects
+    }
+
+    /// Handles a timer previously requested by `layer`.
+    pub fn timer_fired(&mut self, now: SimTime, layer: usize, id: TimerId) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        if layer >= self.layers.len() {
+            return effects;
+        }
+        let mut ctx = Context::new(now, self.id);
+        self.layers[layer].on_timer(&mut ctx, id);
+        self.route(layer, ctx.take_actions(), now, &mut effects);
+        effects
+    }
+
+    /// Routes actions produced by `origin_layer` until the intra-process
+    /// queue drains, accumulating engine-visible effects.
+    fn route(
+        &mut self,
+        origin_layer: usize,
+        actions: Vec<Action>,
+        now: SimTime,
+        effects: &mut Vec<Effect>,
+    ) {
+        let mut jobs: Vec<Job> = Vec::new();
+        self.enqueue(origin_layer, actions, now, effects, &mut jobs);
+        // Depth-first-ish processing keeps per-message ordering intuitive.
+        while !jobs.is_empty() {
+            let job = jobs.remove(0);
+            match job {
+                Job::SendVia { layer, msg } => {
+                    let mut ctx = Context::new(now, self.id);
+                    self.layers[layer].on_send(&mut ctx, msg);
+                    self.enqueue(layer, ctx.take_actions(), now, effects, &mut jobs);
+                }
+                Job::DeliverVia { layer, msg } => {
+                    let mut ctx = Context::new(now, self.id);
+                    self.layers[layer].on_deliver(&mut ctx, msg);
+                    self.enqueue(layer, ctx.take_actions(), now, effects, &mut jobs);
+                }
+            }
+        }
+    }
+
+    /// Converts one layer's actions into jobs for adjacent layers or
+    /// engine effects.
+    fn enqueue(
+        &mut self,
+        layer: usize,
+        actions: Vec<Action>,
+        _now: SimTime,
+        effects: &mut Vec<Effect>,
+        jobs: &mut Vec<Job>,
+    ) {
+        for action in actions {
+            match action {
+                Action::Send(msg) => {
+                    if layer == 0 {
+                        effects.push(Effect::ToNetwork(msg));
+                    } else {
+                        jobs.push(Job::SendVia { layer: layer - 1, msg });
+                    }
+                }
+                Action::Deliver(msg) => {
+                    if layer + 1 >= self.layers.len() {
+                        // Above the top layer: consumed by the application.
+                    } else {
+                        jobs.push(Job::DeliverVia { layer: layer + 1, msg });
+                    }
+                }
+                Action::SetTimer { delay, id } => {
+                    effects.push(Effect::Timer { layer, delay, id });
+                }
+                Action::Emit(kind) => effects.push(Effect::Event(kind)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::message::MessageKind;
+    use proptest::prelude::*;
+
+    /// A layer that forwards in both directions, counting traffic.
+    struct Counting {
+        up: u64,
+        down: u64,
+    }
+    impl Layer for Counting {
+        fn on_send(&mut self, ctx: &mut Context, msg: Message) {
+            self.down += 1;
+            ctx.send(msg);
+        }
+        fn on_deliver(&mut self, ctx: &mut Context, msg: Message) {
+            self.up += 1;
+            ctx.deliver(msg);
+        }
+    }
+
+    /// Top layer that echoes every k-th delivery back down.
+    struct EchoEvery {
+        k: u64,
+        seen: u64,
+    }
+    impl Layer for EchoEvery {
+        fn on_deliver(&mut self, ctx: &mut Context, msg: Message) {
+            self.seen += 1;
+            if self.k > 0 && self.seen.is_multiple_of(self.k) {
+                ctx.send(Message::data(msg.to, msg.from, msg.seq, ctx.now(), vec![]));
+            }
+        }
+    }
+
+    proptest! {
+        /// For any stack depth and any delivery count, every message passes
+        /// every transparent layer exactly once per direction, and replies
+        /// reach the network exactly as often as the top layer emits them.
+        #[test]
+        fn routing_is_exactly_once(depth in 1usize..6, deliveries in 1u64..50, k in 1u64..5) {
+            let mut p = Process::new(ProcessId(0));
+            for _ in 0..depth {
+                p = p.with_layer(Counting { up: 0, down: 0 });
+            }
+            p = p.with_layer(EchoEvery { k, seen: 0 });
+            let mut to_network = 0u64;
+            for seq in 0..deliveries {
+                let msg = Message::heartbeat(ProcessId(1), ProcessId(0), seq, SimTime::ZERO);
+                for e in p.deliver_from_network(SimTime::ZERO, msg) {
+                    if matches!(e, Effect::ToNetwork(m) if matches!(m.kind, MessageKind::Data(_))) {
+                        to_network += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(to_network, deliveries / k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageKind;
+
+    /// Bottom layer that counts what passes through.
+    struct Counter {
+        sends: u32,
+        delivers: u32,
+    }
+    impl Layer for Counter {
+        fn on_send(&mut self, ctx: &mut Context, msg: Message) {
+            self.sends += 1;
+            ctx.send(msg);
+        }
+        fn on_deliver(&mut self, ctx: &mut Context, msg: Message) {
+            self.delivers += 1;
+            ctx.deliver(msg);
+        }
+        fn name(&self) -> &str {
+            "counter"
+        }
+    }
+
+    /// Top layer that replies to every delivered message.
+    struct Echo;
+    impl Layer for Echo {
+        fn on_deliver(&mut self, ctx: &mut Context, msg: Message) {
+            let reply = Message::data(msg.to, msg.from, msg.seq + 1, ctx.now(), vec![]);
+            ctx.send(reply);
+        }
+        fn name(&self) -> &str {
+            "echo"
+        }
+    }
+
+    /// Layer that drops everything in both directions.
+    struct Blackhole;
+    impl Layer for Blackhole {
+        fn on_send(&mut self, _ctx: &mut Context, _msg: Message) {}
+        fn on_deliver(&mut self, _ctx: &mut Context, _msg: Message) {}
+        fn name(&self) -> &str {
+            "blackhole"
+        }
+    }
+
+    fn hb(seq: u64) -> Message {
+        Message::heartbeat(ProcessId(1), ProcessId(0), seq, SimTime::ZERO)
+    }
+
+    #[test]
+    fn delivery_reaches_top_and_reply_travels_down() {
+        let mut p = Process::new(ProcessId(0))
+            .with_layer(Counter { sends: 0, delivers: 0 })
+            .with_layer(Echo);
+        let effects = p.deliver_from_network(SimTime::from_secs(1), hb(5));
+        // The Echo reply must come out of the bottom as a network message.
+        assert_eq!(effects.len(), 1);
+        match &effects[0] {
+            Effect::ToNetwork(m) => {
+                assert_eq!(m.seq, 6);
+                assert_eq!(m.kind, MessageKind::Data(vec![]));
+            }
+            other => panic!("unexpected effect {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blackhole_layer_stops_traffic() {
+        let mut p = Process::new(ProcessId(0))
+            .with_layer(Counter { sends: 0, delivers: 0 })
+            .with_layer(Blackhole)
+            .with_layer(Echo);
+        let effects = p.deliver_from_network(SimTime::ZERO, hb(1));
+        assert!(effects.is_empty());
+    }
+
+    #[test]
+    fn top_delivery_is_consumed() {
+        struct Up;
+        impl Layer for Up {
+            fn on_deliver(&mut self, ctx: &mut Context, msg: Message) {
+                ctx.deliver(msg); // top layer delivering further up: dropped
+            }
+        }
+        let mut p = Process::new(ProcessId(0)).with_layer(Up);
+        let effects = p.deliver_from_network(SimTime::ZERO, hb(1));
+        assert!(effects.is_empty());
+    }
+
+    #[test]
+    fn timers_and_events_bubble_out_with_layer_index() {
+        struct Ticker;
+        impl Layer for Ticker {
+            fn on_start(&mut self, ctx: &mut Context) {
+                ctx.set_timer(SimDuration::from_secs(1), 42);
+                ctx.emit(EventKind::Sent { seq: 0 });
+            }
+        }
+        let mut p = Process::new(ProcessId(2))
+            .with_layer(Counter { sends: 0, delivers: 0 })
+            .with_layer(Ticker);
+        let effects = p.start(SimTime::ZERO);
+        assert_eq!(
+            effects,
+            vec![
+                Effect::Timer {
+                    layer: 1,
+                    delay: SimDuration::from_secs(1),
+                    id: 42
+                },
+                Effect::Event(EventKind::Sent { seq: 0 }),
+            ]
+        );
+    }
+
+    #[test]
+    fn timer_routes_to_requesting_layer() {
+        struct OnTick {
+            ticks: u32,
+        }
+        impl Layer for OnTick {
+            fn on_timer(&mut self, ctx: &mut Context, id: TimerId) {
+                self.ticks += 1;
+                ctx.send(Message::heartbeat(
+                    ctx.process(),
+                    ProcessId(9),
+                    id,
+                    ctx.now(),
+                ));
+            }
+        }
+        let mut p = Process::new(ProcessId(1))
+            .with_layer(Counter { sends: 0, delivers: 0 })
+            .with_layer(OnTick { ticks: 0 });
+        let effects = p.timer_fired(SimTime::from_secs(3), 1, 77);
+        assert_eq!(effects.len(), 1);
+        match &effects[0] {
+            Effect::ToNetwork(m) => assert_eq!(m.seq, 77),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Firing a timer for an out-of-range layer is a no-op.
+        assert!(p.timer_fired(SimTime::from_secs(4), 9, 1).is_empty());
+    }
+
+    #[test]
+    fn empty_process_swallows_deliveries() {
+        let mut p = Process::new(ProcessId(0));
+        assert!(p.deliver_from_network(SimTime::ZERO, hb(0)).is_empty());
+        assert_eq!(p.layer_count(), 0);
+    }
+
+    #[test]
+    fn debug_lists_layer_names() {
+        let p = Process::new(ProcessId(0))
+            .with_layer(Counter { sends: 0, delivers: 0 })
+            .with_layer(Echo);
+        let dbg = format!("{p:?}");
+        assert!(dbg.contains("counter") && dbg.contains("echo"), "{dbg}");
+    }
+}

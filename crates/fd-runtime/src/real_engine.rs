@@ -1,0 +1,357 @@
+//! The real-network engine: the same layered processes, executed in threads
+//! and exchanging real UDP datagrams.
+//!
+//! This is Neko's second half: after validating an algorithm in simulation,
+//! the identical [`Process`] stacks run over actual sockets. Heartbeats are
+//! encoded with the wire format of [`fd_net::wire`]; `Data` messages exist
+//! only in simulation and are counted as undeliverable here.
+//!
+//! Time is the wall clock relative to the engine's start instant, so all
+//! processes of one engine share a synchronised clock (the in-process
+//! equivalent of the paper's NTP setup; distributed deployments would pair
+//! this with [`crate::clock`]).
+
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fd_net::wire::{Heartbeat, HEARTBEAT_WIRE_SIZE};
+use fd_sim::SimTime;
+use fd_stat::{EventLog, ProcessId};
+use parking_lot::Mutex;
+
+use crate::layer::TimerId;
+use crate::message::{Message, MessageKind};
+use crate::process::{Effect, Process};
+
+/// Configuration of a real-network run.
+#[derive(Debug, Clone)]
+pub struct RealEngineConfig {
+    /// One UDP bind address per process, indexed by process id.
+    pub addrs: Vec<SocketAddr>,
+}
+
+impl RealEngineConfig {
+    /// Binds every process to a distinct OS-assigned localhost port.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if probing sockets cannot be bound.
+    pub fn localhost(n: usize) -> std::io::Result<RealEngineConfig> {
+        // Bind throwaway sockets to reserve distinct ports, record them,
+        // then drop; a tiny race is acceptable for tests and examples.
+        let mut addrs = Vec::with_capacity(n);
+        let mut probes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let sock = UdpSocket::bind("127.0.0.1:0")?;
+            addrs.push(sock.local_addr()?);
+            probes.push(sock);
+        }
+        drop(probes);
+        Ok(RealEngineConfig { addrs })
+    }
+}
+
+/// Counters of one real-engine run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RealRunStats {
+    /// Datagrams sent.
+    pub sent: u64,
+    /// Datagrams received and decoded.
+    pub received: u64,
+    /// Datagrams that failed to decode.
+    pub decode_errors: u64,
+    /// `Data` messages dropped (unsupported on the wire).
+    pub undeliverable: u64,
+}
+
+/// Runs layered processes over real UDP sockets.
+pub struct RealEngine {
+    processes: Vec<Process>,
+    config: RealEngineConfig,
+}
+
+impl std::fmt::Debug for RealEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RealEngine")
+            .field("processes", &self.processes.len())
+            .field("addrs", &self.config.addrs)
+            .finish()
+    }
+}
+
+impl RealEngine {
+    /// Creates an engine from processes (consecutive ids from 0) and their
+    /// socket configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids are not consecutive or the address list is shorter than
+    /// the process list.
+    pub fn new(processes: Vec<Process>, config: RealEngineConfig) -> Self {
+        for (i, p) in processes.iter().enumerate() {
+            assert_eq!(p.id().0 as usize, i, "process ids must be consecutive");
+        }
+        assert!(
+            config.addrs.len() >= processes.len(),
+            "need one address per process"
+        );
+        Self { processes, config }
+    }
+
+    /// Runs all processes for `duration` of wall-clock time, then shuts
+    /// down.
+    ///
+    /// Returns the processes (for post-run state extraction), the merged
+    /// event log (globally timestamped, time-ordered) and per-process run
+    /// counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if a socket cannot be bound.
+    pub fn run_for(
+        self,
+        duration: Duration,
+    ) -> std::io::Result<(Vec<Process>, EventLog, Vec<RealRunStats>)> {
+        let epoch = Instant::now();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let log = Arc::new(Mutex::new(EventLog::new()));
+        let addrs = Arc::new(self.config.addrs.clone());
+
+        let mut handles = Vec::new();
+        for process in self.processes {
+            let pid = process.id();
+            let socket = UdpSocket::bind(addrs[pid.0 as usize])?;
+            let shutdown = Arc::clone(&shutdown);
+            let log = Arc::clone(&log);
+            let addrs = Arc::clone(&addrs);
+            handles.push(std::thread::spawn(move || {
+                run_process(process, socket, epoch, duration, shutdown, log, addrs)
+            }));
+        }
+
+        std::thread::sleep(duration);
+        shutdown.store(true, Ordering::SeqCst);
+
+        let mut processes = Vec::new();
+        let mut stats = Vec::new();
+        for h in handles {
+            let (p, s) = h.join().expect("process thread panicked");
+            processes.push(p);
+            stats.push(s);
+        }
+        processes.sort_by_key(|p| p.id());
+        let log = Arc::try_unwrap(log)
+            .expect("all threads joined")
+            .into_inner();
+        Ok((processes, log, stats))
+    }
+}
+
+/// Maximum blocking interval so the shutdown flag is observed promptly.
+const POLL_CAP: Duration = Duration::from_millis(20);
+
+#[allow(clippy::too_many_arguments)]
+fn run_process(
+    mut process: Process,
+    socket: UdpSocket,
+    epoch: Instant,
+    duration: Duration,
+    shutdown: Arc<AtomicBool>,
+    log: Arc<Mutex<EventLog>>,
+    addrs: Arc<Vec<SocketAddr>>,
+) -> (Process, RealRunStats) {
+    let pid = process.id();
+    let mut stats = RealRunStats::default();
+    // (deadline, layer, id) min-ordering via sorted Vec; timer counts are
+    // tiny (a handful per process).
+    let mut timers: Vec<(SimTime, usize, TimerId)> = Vec::new();
+    let mut buf = [0u8; HEARTBEAT_WIRE_SIZE + 64];
+
+    let now_fn = |epoch: Instant| SimTime::from_micros(epoch.elapsed().as_micros() as u64);
+
+    let effects = process.start(now_fn(epoch));
+    apply(
+        pid, effects, &socket, &addrs, &log, epoch, &mut timers, &mut stats,
+    );
+
+    let end = epoch + duration;
+    while !shutdown.load(Ordering::SeqCst) && Instant::now() < end {
+        // Fire due timers.
+        let now = now_fn(epoch);
+        timers.sort_by_key(|t| t.0);
+        while let Some(&(deadline, layer, id)) = timers.first() {
+            if deadline > now {
+                break;
+            }
+            timers.remove(0);
+            let effects = process.timer_fired(now_fn(epoch), layer, id);
+            apply(
+                pid, effects, &socket, &addrs, &log, epoch, &mut timers, &mut stats,
+            );
+        }
+
+        // Block on the socket until the next timer (capped for shutdown
+        // responsiveness).
+        let wait = timers
+            .first()
+            .map(|&(deadline, _, _)| {
+                Duration::from_micros(
+                    deadline
+                        .as_micros()
+                        .saturating_sub(now_fn(epoch).as_micros()),
+                )
+            })
+            .unwrap_or(POLL_CAP)
+            .clamp(Duration::from_micros(100), POLL_CAP);
+        socket
+            .set_read_timeout(Some(wait))
+            .expect("set_read_timeout");
+
+        match socket.recv_from(&mut buf) {
+            Ok((len, _src)) => match Heartbeat::decode(&buf[..len]) {
+                Ok(hb) => {
+                    stats.received += 1;
+                    let msg = Message::heartbeat(
+                        ProcessId(hb.sender),
+                        pid,
+                        hb.seq,
+                        hb.sent_at,
+                    );
+                    let effects = process.deliver_from_network(now_fn(epoch), msg);
+                    apply(
+                        pid, effects, &socket, &addrs, &log, epoch, &mut timers, &mut stats,
+                    );
+                }
+                Err(_) => stats.decode_errors += 1,
+            },
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+    }
+
+    (process, stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn apply(
+    pid: ProcessId,
+    effects: Vec<Effect>,
+    socket: &UdpSocket,
+    addrs: &[SocketAddr],
+    log: &Mutex<EventLog>,
+    epoch: Instant,
+    timers: &mut Vec<(SimTime, usize, TimerId)>,
+    stats: &mut RealRunStats,
+) {
+    for effect in effects {
+        match effect {
+            Effect::ToNetwork(msg) => match msg.kind {
+                MessageKind::Heartbeat => {
+                    let hb = Heartbeat::new(msg.from.0, msg.seq, msg.sent_at);
+                    if let Some(&addr) = addrs.get(msg.to.0 as usize) {
+                        if socket.send_to(&hb.encode(), addr).is_ok() {
+                            stats.sent += 1;
+                        }
+                    }
+                }
+                MessageKind::Data(_) => stats.undeliverable += 1,
+            },
+            Effect::Timer { layer, delay, id } => {
+                let now = SimTime::from_micros(epoch.elapsed().as_micros() as u64);
+                timers.push((now + delay, layer, id));
+            }
+            Effect::Event(kind) => {
+                // Timestamp under the lock so the merged log stays ordered.
+                let mut guard = log.lock();
+                let now = SimTime::from_micros(epoch.elapsed().as_micros() as u64);
+                guard.record(now, pid, kind);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Context, Layer};
+    use fd_sim::SimDuration;
+    use fd_stat::EventKind;
+
+    struct Beater {
+        to: ProcessId,
+        period: SimDuration,
+        seq: u64,
+    }
+    impl Layer for Beater {
+        fn on_start(&mut self, ctx: &mut Context) {
+            ctx.set_timer(SimDuration::ZERO, 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Context, _id: u64) {
+            ctx.emit(EventKind::Sent { seq: self.seq });
+            ctx.send(Message::heartbeat(ctx.process(), self.to, self.seq, ctx.now()));
+            self.seq += 1;
+            ctx.set_timer(self.period, 0);
+        }
+        fn name(&self) -> &str {
+            "beater"
+        }
+    }
+
+    struct Sink;
+    impl Layer for Sink {
+        fn on_deliver(&mut self, ctx: &mut Context, msg: Message) {
+            ctx.emit(EventKind::Received { seq: msg.seq });
+        }
+        fn name(&self) -> &str {
+            "sink"
+        }
+    }
+
+    #[test]
+    fn heartbeats_flow_over_real_udp() {
+        let config = RealEngineConfig::localhost(2).expect("localhost sockets");
+        let monitor = Process::new(ProcessId(0)).with_layer(Sink);
+        let monitored = Process::new(ProcessId(1)).with_layer(Beater {
+            to: ProcessId(0),
+            period: SimDuration::from_millis(50),
+            seq: 0,
+        });
+        let engine = RealEngine::new(vec![monitor, monitored], config);
+        let (_procs, log, stats) = engine.run_for(Duration::from_millis(600)).expect("run");
+
+        let sent = log
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Sent { .. }))
+            .count();
+        let received = log
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Received { .. }))
+            .count();
+        assert!(sent >= 8, "sent={sent}");
+        // Localhost UDP: the vast majority arrives.
+        assert!(received >= sent / 2, "received={received} of {sent}");
+        assert!(stats[1].sent >= 8);
+        assert!(stats[0].received >= sent as u64 / 2);
+        assert_eq!(stats[0].decode_errors, 0);
+    }
+
+    #[test]
+    fn log_is_time_ordered_across_threads() {
+        let config = RealEngineConfig::localhost(2).expect("localhost sockets");
+        let monitor = Process::new(ProcessId(0)).with_layer(Sink);
+        let monitored = Process::new(ProcessId(1)).with_layer(Beater {
+            to: ProcessId(0),
+            period: SimDuration::from_millis(20),
+            seq: 0,
+        });
+        let engine = RealEngine::new(vec![monitor, monitored], config);
+        let (_p, log, _s) = engine.run_for(Duration::from_millis(300)).expect("run");
+        let times: Vec<_> = log.iter().map(|e| e.at).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert!(!times.is_empty());
+    }
+}

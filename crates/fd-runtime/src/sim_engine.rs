@@ -1,0 +1,385 @@
+//! The simulation engine: runs layered processes over [`fd_net`] link models
+//! inside a deterministic discrete-event loop.
+
+use std::collections::HashMap;
+
+use fd_net::LinkModel;
+use fd_sim::{SimTime, Simulator};
+use fd_stat::{EventLog, ProcessId};
+
+use crate::clock::ClockModel;
+use crate::layer::TimerId;
+use crate::message::Message;
+use crate::process::{Effect, Process};
+
+/// Events of the engine's discrete-event loop.
+#[derive(Debug, Clone)]
+enum EngineEvent {
+    Delivery { to: ProcessId, msg: Message },
+    Timer { process: ProcessId, layer: usize, id: TimerId },
+}
+
+/// A deterministic simulation of a set of processes connected by
+/// unidirectional [`LinkModel`]s.
+///
+/// Processes are added with consecutive ids starting at 0; links are
+/// configured per directed pair. Messages to pairs with no configured link
+/// are dropped (and counted).
+pub struct SimEngine {
+    sim: Simulator<EngineEvent>,
+    processes: Vec<Process>,
+    clocks: Vec<ClockModel>,
+    links: HashMap<(u16, u16), LinkModel>,
+    log: EventLog,
+    started: bool,
+    dropped_unrouted: u64,
+}
+
+impl std::fmt::Debug for SimEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimEngine")
+            .field("processes", &self.processes.len())
+            .field("links", &self.links.len())
+            .field("now", &self.sim.now())
+            .field("events_processed", &self.sim.processed())
+            .finish()
+    }
+}
+
+impl Default for SimEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimEngine {
+    /// Creates an empty engine at time zero.
+    pub fn new() -> Self {
+        Self {
+            sim: Simulator::new(),
+            processes: Vec::new(),
+            clocks: Vec::new(),
+            links: HashMap::new(),
+            log: EventLog::new(),
+            started: false,
+            dropped_unrouted: 0,
+        }
+    }
+
+    /// Adds a process with a synchronised clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process's id is not the next consecutive index, or if
+    /// the engine has already started.
+    pub fn add_process(&mut self, process: Process) {
+        assert!(!self.started, "cannot add processes after start");
+        assert_eq!(
+            process.id().0 as usize,
+            self.processes.len(),
+            "process ids must be consecutive from 0"
+        );
+        self.processes.push(process);
+        self.clocks.push(ClockModel::synchronized());
+    }
+
+    /// Overrides the clock model of a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process does not exist.
+    pub fn set_clock(&mut self, pid: ProcessId, clock: ClockModel) {
+        self.clocks[pid.0 as usize] = clock;
+    }
+
+    /// Configures the unidirectional link `from → to`.
+    pub fn set_link(&mut self, from: ProcessId, to: ProcessId, link: LinkModel) {
+        self.links.insert((from.0, to.0), link);
+    }
+
+    /// The current virtual (global) time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The NekoStat event log accumulated so far.
+    pub fn event_log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Consumes the engine, returning the final event log.
+    pub fn into_event_log(self) -> EventLog {
+        self.log
+    }
+
+    /// Messages dropped because no link was configured for their pair.
+    pub fn dropped_unrouted(&self) -> u64 {
+        self.dropped_unrouted
+    }
+
+    /// Mutable access to a process (for post-run extraction of layer state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process does not exist.
+    pub fn process_mut(&mut self, pid: ProcessId) -> &mut Process {
+        &mut self.processes[pid.0 as usize]
+    }
+
+    /// Observed statistics of a configured link, if present.
+    pub fn link_stats(&self, from: ProcessId, to: ProcessId) -> Option<fd_net::LinkStats> {
+        self.links.get(&(from.0, to.0)).map(|l| l.stats())
+    }
+
+    /// Runs the simulation until virtual time `horizon` (inclusive for
+    /// events scheduled exactly at the horizon).
+    ///
+    /// The first call also starts every process (`on_start`, bottom-up).
+    pub fn run_until(&mut self, horizon: SimTime) {
+        if !self.started {
+            self.started = true;
+            for idx in 0..self.processes.len() {
+                let pid = self.processes[idx].id();
+                let local_now = self.clocks[idx].local_time(self.sim.now());
+                let effects = self.processes[idx].start(local_now);
+                self.apply_effects(pid, effects);
+            }
+        }
+        while let Some((_, event)) = self.sim.next_event_before(horizon) {
+            match event {
+                EngineEvent::Delivery { to, msg } => {
+                    let idx = to.0 as usize;
+                    if idx >= self.processes.len() {
+                        continue;
+                    }
+                    let local_now = self.clocks[idx].local_time(self.sim.now());
+                    let effects = self.processes[idx].deliver_from_network(local_now, msg);
+                    self.apply_effects(to, effects);
+                }
+                EngineEvent::Timer { process, layer, id } => {
+                    let idx = process.0 as usize;
+                    let local_now = self.clocks[idx].local_time(self.sim.now());
+                    let effects = self.processes[idx].timer_fired(local_now, layer, id);
+                    self.apply_effects(process, effects);
+                }
+            }
+        }
+    }
+
+    /// Applies the engine-visible effects of one process callback.
+    fn apply_effects(&mut self, pid: ProcessId, effects: Vec<Effect>) {
+        let now = self.sim.now();
+        for effect in effects {
+            match effect {
+                Effect::ToNetwork(msg) => {
+                    let key = (msg.from.0, msg.to.0);
+                    match self.links.get_mut(&key) {
+                        Some(link) => {
+                            if let Some(delay) = link.transmit(now).delay() {
+                                let to = msg.to;
+                                self.sim
+                                    .schedule_at(now + delay, EngineEvent::Delivery { to, msg });
+                            }
+                        }
+                        None => self.dropped_unrouted += 1,
+                    }
+                }
+                Effect::Timer { layer, delay, id } => {
+                    let global_delay = self.clocks[pid.0 as usize].global_duration(delay);
+                    self.sim.schedule_at(
+                        now + global_delay,
+                        EngineEvent::Timer {
+                            process: pid,
+                            layer,
+                            id,
+                        },
+                    );
+                }
+                Effect::Event(kind) => self.log.record(now, pid, kind),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Context, Layer};
+    use fd_net::{ConstantDelay, NoLoss};
+    use fd_sim::{DetRng, SimDuration};
+    use fd_stat::EventKind;
+
+    /// Sends one heartbeat per second, forever.
+    struct Beater {
+        to: ProcessId,
+        period: SimDuration,
+        seq: u64,
+    }
+    impl Layer for Beater {
+        fn on_start(&mut self, ctx: &mut Context) {
+            ctx.set_timer(SimDuration::ZERO, 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Context, _id: u64) {
+            ctx.emit(EventKind::Sent { seq: self.seq });
+            ctx.send(Message::heartbeat(ctx.process(), self.to, self.seq, ctx.now()));
+            self.seq += 1;
+            ctx.set_timer(self.period, 0);
+        }
+        fn name(&self) -> &str {
+            "beater"
+        }
+    }
+
+    /// Records received heartbeats as events.
+    struct Sink;
+    impl Layer for Sink {
+        fn on_deliver(&mut self, ctx: &mut Context, msg: Message) {
+            ctx.emit(EventKind::Received { seq: msg.seq });
+        }
+        fn name(&self) -> &str {
+            "sink"
+        }
+    }
+
+    fn two_process_engine(delay_ms: u64) -> SimEngine {
+        let mut engine = SimEngine::new();
+        engine.add_process(Process::new(ProcessId(0)).with_layer(Sink));
+        engine.add_process(Process::new(ProcessId(1)).with_layer(Beater {
+            to: ProcessId(0),
+            period: SimDuration::from_secs(1),
+            seq: 0,
+        }));
+        engine.set_link(
+            ProcessId(1),
+            ProcessId(0),
+            LinkModel::new(
+                ConstantDelay::new(SimDuration::from_millis(delay_ms)),
+                NoLoss,
+                DetRng::seed_from(1),
+            ),
+        );
+        engine
+    }
+
+    #[test]
+    fn heartbeats_flow_end_to_end() {
+        let mut engine = two_process_engine(200);
+        engine.run_until(SimTime::from_secs(10));
+        let log = engine.event_log();
+        let sent = log
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Sent { .. }))
+            .count();
+        let received = log
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Received { .. }))
+            .count();
+        // Sends at 0..=10s inclusive horizon boundaries: 11 sends; the last
+        // (at 10s) delivers at 10.2s, beyond the horizon.
+        assert_eq!(sent, 11);
+        assert_eq!(received, 10);
+    }
+
+    #[test]
+    fn delivery_is_delayed_by_the_link() {
+        let mut engine = two_process_engine(250);
+        engine.run_until(SimTime::from_secs(2));
+        let log = engine.event_log();
+        let first_recv = log
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Received { seq: 0 }))
+            .expect("first heartbeat received");
+        assert_eq!(first_recv.at, SimTime::from_millis(250));
+        assert_eq!(first_recv.process, ProcessId(0));
+    }
+
+    #[test]
+    fn unrouted_messages_are_counted_not_delivered() {
+        let mut engine = SimEngine::new();
+        engine.add_process(Process::new(ProcessId(0)).with_layer(Sink));
+        engine.add_process(Process::new(ProcessId(1)).with_layer(Beater {
+            to: ProcessId(0),
+            period: SimDuration::from_secs(1),
+            seq: 0,
+        }));
+        // No link configured.
+        engine.run_until(SimTime::from_secs(5));
+        assert!(engine.dropped_unrouted() > 0);
+        let received = engine
+            .event_log()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Received { .. }))
+            .count();
+        assert_eq!(received, 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            let mut engine = two_process_engine(100);
+            engine.run_until(SimTime::from_secs(30));
+            engine
+                .event_log()
+                .iter()
+                .map(|e| (e.at, e.kind))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn run_until_is_resumable() {
+        let mut engine = two_process_engine(100);
+        engine.run_until(SimTime::from_secs(3));
+        let mid = engine.event_log().len();
+        engine.run_until(SimTime::from_secs(6));
+        assert!(engine.event_log().len() > mid);
+        assert_eq!(engine.now(), SimTime::from_secs(6));
+    }
+
+    #[test]
+    fn clock_offset_shifts_local_timestamps() {
+        let mut engine = SimEngine::new();
+        engine.add_process(Process::new(ProcessId(0)).with_layer(Sink));
+        engine.add_process(Process::new(ProcessId(1)).with_layer(Beater {
+            to: ProcessId(0),
+            period: SimDuration::from_secs(1),
+            seq: 0,
+        }));
+        engine.set_clock(ProcessId(1), ClockModel::with_offset_us(5_000_000));
+        engine.set_link(
+            ProcessId(1),
+            ProcessId(0),
+            LinkModel::new(
+                ConstantDelay::new(SimDuration::from_millis(100)),
+                NoLoss,
+                DetRng::seed_from(2),
+            ),
+        );
+        engine.run_until(SimTime::from_secs(2));
+        // Event log timestamps are global regardless of local clocks.
+        let first_sent = engine
+            .event_log()
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Sent { seq: 0 }))
+            .unwrap();
+        assert_eq!(first_sent.at, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive")]
+    fn non_consecutive_process_ids_rejected() {
+        let mut engine = SimEngine::new();
+        engine.add_process(Process::new(ProcessId(3)));
+    }
+
+    #[test]
+    fn link_stats_are_queryable() {
+        let mut engine = two_process_engine(100);
+        engine.run_until(SimTime::from_secs(5));
+        let stats = engine.link_stats(ProcessId(1), ProcessId(0)).unwrap();
+        assert!(stats.sent >= 5);
+        assert_eq!(stats.lost, 0);
+        assert!(engine.link_stats(ProcessId(0), ProcessId(1)).is_none());
+    }
+}

@@ -1,0 +1,203 @@
+//! Deterministic discrete-event simulation substrate.
+//!
+//! This crate is the simulation kernel underneath the `fd-runtime` layered
+//! process runtime (the Rust analog of the Neko framework used in the DSN'05
+//! paper). It provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-microsecond virtual time, so that
+//!   event ordering is exact and runs are bit-for-bit reproducible;
+//! * [`EventQueue`] — a stable priority queue of timestamped events (ties are
+//!   broken by insertion order, never by heap internals);
+//! * [`Simulator`] — a minimal run loop owning a virtual clock and the queue;
+//! * [`rng`] — seedable, splittable random-number streams so that every model
+//!   (delay, loss, crash injection) draws from an independent deterministic
+//!   stream.
+//!
+//! # Example
+//!
+//! ```
+//! use fd_sim::{SimDuration, Simulator};
+//!
+//! let mut sim = Simulator::new();
+//! let mut fired = Vec::new();
+//! sim.schedule_in(SimDuration::from_millis(5), 1u32);
+//! sim.schedule_in(SimDuration::from_millis(2), 2u32);
+//! while let Some((at, ev)) = sim.next_event() {
+//!     fired.push((at.as_millis(), ev));
+//! }
+//! assert_eq!(fired, vec![(2, 2), (5, 1)]);
+//! ```
+
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::{DetRng, SeedTree};
+pub use time::{SimDuration, SimTime};
+
+/// A minimal discrete-event run loop: a virtual clock plus an [`EventQueue`].
+///
+/// Higher layers (the `fd-runtime` engine) drive this by scheduling events
+/// and repeatedly calling [`Simulator::next_event`], which advances the clock
+/// to the timestamp of the popped event.
+#[derive(Debug, Clone)]
+pub struct Simulator<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Default for Simulator<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulator<E> {
+    /// Creates an empty simulator with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Self {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at absolute virtual time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before the current clock), which would
+    /// break the causality of the simulation.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at}, now={}",
+            self.now
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Schedules `event` after the given delay from the current clock.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Pops the next event, advancing the virtual clock to its timestamp.
+    ///
+    /// Returns `None` when the queue is empty (simulation has quiesced).
+    pub fn next_event(&mut self) -> Option<(SimTime, E)> {
+        let (at, ev) = self.queue.pop()?;
+        debug_assert!(at >= self.now, "queue returned an event from the past");
+        self.now = at;
+        self.processed += 1;
+        Some((at, ev))
+    }
+
+    /// Pops the next event only if it is scheduled at or before `horizon`.
+    ///
+    /// The clock never advances past `horizon`; if the next event lies beyond
+    /// it, the clock is moved to `horizon` and `None` is returned. This is how
+    /// bounded experiment runs terminate.
+    pub fn next_event_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        match self.queue.peek_time() {
+            Some(at) if at <= horizon => self.next_event(),
+            _ => {
+                if horizon > self.now {
+                    self.now = horizon;
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_come_out_in_time_order() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_millis(30), "c");
+        sim.schedule_at(SimTime::from_millis(10), "a");
+        sim.schedule_at(SimTime::from_millis(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| sim.next_event()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(sim.now(), SimTime::from_millis(30));
+        assert_eq!(sim.processed(), 3);
+    }
+
+    #[test]
+    fn equal_timestamps_preserve_insertion_order() {
+        let mut sim = Simulator::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            sim.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| sim.next_event()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_to_event_time() {
+        let mut sim = Simulator::new();
+        sim.schedule_in(SimDuration::from_secs(2), ());
+        let (at, _) = sim.next_event().unwrap();
+        assert_eq!(at, SimTime::from_secs(2));
+        assert_eq!(sim.now(), at);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_secs(5), ());
+        sim.next_event();
+        sim.schedule_at(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn horizon_bounds_the_clock() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_secs(10), ());
+        let horizon = SimTime::from_secs(3);
+        assert!(sim.next_event_before(horizon).is_none());
+        assert_eq!(sim.now(), horizon);
+        assert_eq!(sim.pending(), 1);
+        // The event is still deliverable with a later horizon.
+        assert!(sim.next_event_before(SimTime::from_secs(20)).is_some());
+    }
+
+    #[test]
+    fn horizon_is_inclusive() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_secs(3), ());
+        assert!(sim.next_event_before(SimTime::from_secs(3)).is_some());
+    }
+
+    #[test]
+    fn next_event_before_never_moves_clock_backwards() {
+        let mut sim = Simulator::<()>::new();
+        sim.schedule_at(SimTime::from_secs(5), ());
+        sim.next_event();
+        assert!(sim.next_event_before(SimTime::from_secs(1)).is_none());
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+}

@@ -1,0 +1,276 @@
+//! Deterministic, splittable random-number streams.
+//!
+//! Every stochastic model in an experiment (delay sampling, loss sampling,
+//! crash injection, …) must draw from its *own* stream so that adding a new
+//! model does not perturb the draws of existing ones. [`SeedTree`] derives
+//! independent child seeds from a root seed and a label; [`DetRng`] is the
+//! concrete reproducible generator.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random-number generator seeded explicitly.
+///
+/// Thin wrapper around [`rand::rngs::SmallRng`] that remembers its seed so
+/// experiment reports can record it.
+///
+/// ```
+/// use fd_sim::DetRng;
+/// use rand::Rng;
+/// let mut a = DetRng::seed_from(42);
+/// let mut b = DetRng::seed_from(42);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    seed: u64,
+    inner: SmallRng,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        Self {
+            seed,
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Samples a standard-normal variate via Box–Muller.
+    ///
+    /// `rand_distr` is not among the approved dependencies, so the normal
+    /// transform lives here.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Box–Muller: u1 in (0,1], u2 in [0,1).
+        let u1: f64 = 1.0 - self.inner.gen::<f64>();
+        let u2: f64 = self.inner.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Samples `Normal(mean, std)`.
+    pub fn normal(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.standard_normal()
+    }
+
+    /// Samples `Exp(1/mean)` (an exponential with the given mean).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0 && mean.is_finite(), "invalid exponential mean: {mean}");
+        let u: f64 = 1.0 - self.inner.gen::<f64>();
+        -mean * u.ln()
+    }
+
+    /// Samples a Gamma(shape, scale) variate (Marsaglia–Tsang for shape ≥ 1,
+    /// boosted for shape < 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not strictly positive and finite.
+    pub fn gamma(&mut self, shape: f64, scale: f64) -> f64 {
+        assert!(
+            shape > 0.0 && shape.is_finite() && scale > 0.0 && scale.is_finite(),
+            "invalid gamma parameters: shape={shape}, scale={scale}"
+        );
+        if shape < 1.0 {
+            // Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+            let u: f64 = 1.0 - self.inner.gen::<f64>();
+            return self.gamma(shape + 1.0, scale) * u.powf(1.0 / shape);
+        }
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = self.standard_normal();
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u: f64 = 1.0 - self.inner.gen::<f64>();
+            if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+                return d * v * scale;
+            }
+        }
+    }
+
+    /// Samples a log-normal with the given *underlying* normal parameters.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Samples `Uniform(lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "uniform bounds inverted: [{lo}, {hi}]");
+        lo + (hi - lo) * self.inner.gen::<f64>()
+    }
+
+    /// Returns `true` with probability `p` (clamped to [0, 1]).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen::<f64>() < p.clamp(0.0, 1.0)
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+/// Derives independent child seeds from a root seed and a textual label.
+///
+/// Seed derivation is a fixed FNV-1a-style hash of the label mixed with the
+/// root, so that streams are stable across runs and across code reordering.
+///
+/// ```
+/// use fd_sim::SeedTree;
+/// let tree = SeedTree::new(7);
+/// assert_eq!(tree.rng("delay").seed(), SeedTree::new(7).rng("delay").seed());
+/// assert_ne!(tree.rng("delay").seed(), tree.rng("loss").seed());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedTree {
+    root: u64,
+}
+
+impl SeedTree {
+    /// Creates a seed tree rooted at `root`.
+    pub const fn new(root: u64) -> Self {
+        Self { root }
+    }
+
+    /// The root seed.
+    pub const fn root(&self) -> u64 {
+        self.root
+    }
+
+    /// Derives the child seed for `label`.
+    pub fn child_seed(&self, label: &str) -> u64 {
+        // FNV-1a over the label, then a splitmix64 finaliser mixing in root.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut z = h ^ self.root.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Creates a [`DetRng`] on the stream named `label`.
+    pub fn rng(&self, label: &str) -> DetRng {
+        DetRng::seed_from(self.child_seed(label))
+    }
+
+    /// Creates a subtree: useful for per-run nesting, e.g.
+    /// `tree.subtree("run-3").rng("loss")`.
+    pub fn subtree(&self, label: &str) -> SeedTree {
+        SeedTree::new(self.child_seed(label))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::seed_from(123);
+        let mut b = DetRng::seed_from(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_labels_different_streams() {
+        let tree = SeedTree::new(1);
+        assert_ne!(tree.child_seed("a"), tree.child_seed("b"));
+        assert_ne!(tree.subtree("x").child_seed("a"), tree.child_seed("a"));
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = DetRng::seed_from(5);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.25, "var={var}");
+    }
+
+    #[test]
+    fn exponential_mean_is_plausible() {
+        let mut rng = DetRng::seed_from(6);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.15, "mean={mean}");
+    }
+
+    #[test]
+    fn gamma_moments_are_plausible() {
+        let mut rng = DetRng::seed_from(7);
+        let (shape, scale) = (4.0, 2.5);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gamma(shape, scale)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - shape * scale).abs() < 0.3, "mean={mean}");
+        assert!((var - shape * scale * scale).abs() < 2.5, "var={var}");
+    }
+
+    #[test]
+    fn gamma_small_shape_is_positive() {
+        let mut rng = DetRng::seed_from(8);
+        for _ in 0..5_000 {
+            assert!(rng.gamma(0.5, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = DetRng::seed_from(9);
+        for _ in 0..5_000 {
+            let x = rng.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = DetRng::seed_from(10);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        // Out-of-range p is clamped rather than panicking.
+        assert!(rng.chance(2.0));
+        assert!(!rng.chance(-1.0));
+    }
+
+    #[test]
+    fn chance_frequency_matches_p() {
+        let mut rng = DetRng::seed_from(11);
+        let hits = (0..50_000).filter(|_| rng.chance(0.3)).count();
+        let freq = hits as f64 / 50_000.0;
+        assert!((freq - 0.3).abs() < 0.01, "freq={freq}");
+    }
+}

@@ -1,0 +1,381 @@
+//! The distributed-event vocabulary of the experiments.
+//!
+//! These are exactly the events the paper's `FD StatHandler` receives:
+//! `Sent(m_i)`, `Received(m_i)`, `StartSuspect`, `EndSuspect`, `Crash` — plus
+//! `Restore`, which SimCrash implicitly produces when the monitored process
+//! comes back after `TTR`.
+
+use std::fmt;
+
+use fd_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Identifies one process of the distributed system (e.g. Monitor = 0,
+/// Monitored = 1).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ProcessId(pub u16);
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// What happened. `detector` fields identify which of the multiplexed failure
+/// detectors produced the suspicion event (the paper runs 30 side by side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Heartbeat `m_seq` handed to the network by the monitored process.
+    Sent { seq: u64 },
+    /// Heartbeat `m_seq` delivered to the monitor.
+    Received { seq: u64 },
+    /// Detector `detector` began suspecting the monitored process.
+    StartSuspect { detector: u32 },
+    /// Detector `detector` stopped suspecting (a fresh heartbeat arrived).
+    EndSuspect { detector: u32 },
+    /// SimCrash crashed the monitored process.
+    Crash,
+    /// SimCrash restored the monitored process after `TTR`.
+    Restore,
+    /// A user-defined application event (NekoStat's "quantities of interest
+    /// specified by the user"): `code` identifies the quantity, `value`
+    /// carries its sample. Used e.g. by the consensus study to record
+    /// decisions and round numbers.
+    App {
+        /// Application-defined quantity code.
+        code: u32,
+        /// Application-defined sample value.
+        value: u64,
+    },
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::Sent { seq } => write!(f, "Sent(m{seq})"),
+            EventKind::Received { seq } => write!(f, "Received(m{seq})"),
+            EventKind::StartSuspect { detector } => write!(f, "StartSuspect[{detector}]"),
+            EventKind::EndSuspect { detector } => write!(f, "EndSuspect[{detector}]"),
+            EventKind::Crash => write!(f, "Crash"),
+            EventKind::Restore => write!(f, "Restore"),
+            EventKind::App { code, value } => write!(f, "App[{code}]({value})"),
+        }
+    }
+}
+
+/// A timestamped event observed on some process.
+///
+/// Timestamps refer to the synchronized global clock — the paper enforces
+/// this with NTP on both hosts; the simulation engine provides it natively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Global time at which the event occurred.
+    pub at: SimTime,
+    /// Process on which the event was observed.
+    pub process: ProcessId,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Convenience constructor.
+    pub fn new(at: SimTime, process: ProcessId, kind: EventKind) -> Self {
+        Self { at, process, kind }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {} on {}", self.kind, self.at, self.process)
+    }
+}
+
+/// An append-only, time-ordered log of events.
+///
+/// Events must be appended in non-decreasing time order (the simulation engine
+/// guarantees this; the real engine timestamps on arrival).
+///
+/// ```
+/// use fd_sim::SimTime;
+/// use fd_stat::{EventKind, EventLog, ProcessId};
+///
+/// let mut log = EventLog::new();
+/// log.record(SimTime::from_secs(1), ProcessId(1), EventKind::Sent { seq: 0 });
+/// log.record(SimTime::from_secs(2), ProcessId(0), EventKind::Received { seq: 0 });
+/// assert_eq!(log.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EventLog {
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the last recorded event (out-of-order append).
+    pub fn record(&mut self, at: SimTime, process: ProcessId, kind: EventKind) {
+        if let Some(last) = self.events.last() {
+            assert!(
+                at >= last.at,
+                "out-of-order event: {at} after {} already recorded",
+                last.at
+            );
+        }
+        self.events.push(Event::new(at, process, kind));
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All events, in time order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Iterates over events in time order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// The events produced by a specific detector (its suspicion edges).
+    pub fn detector_events(&self, detector: u32) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| {
+            matches!(
+                e.kind,
+                EventKind::StartSuspect { detector: d } | EventKind::EndSuspect { detector: d }
+                if d == detector
+            )
+        })
+    }
+
+    /// The crash/restore events (the ground truth for T_D extraction).
+    pub fn crash_events(&self) -> impl Iterator<Item = &Event> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Crash | EventKind::Restore))
+    }
+}
+
+impl EventLog {
+    /// Writes the log as CSV (`time_us,process,kind,arg`), the NekoStat-style
+    /// artefact an experiment campaign archives for offline analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the file.
+    pub fn save_csv(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(out, "time_us,process,kind,arg")?;
+        for e in &self.events {
+            let (kind, arg) = match e.kind {
+                EventKind::Sent { seq } => ("sent".to_owned(), seq),
+                EventKind::Received { seq } => ("received".to_owned(), seq),
+                EventKind::StartSuspect { detector } => {
+                    ("start_suspect".to_owned(), u64::from(detector))
+                }
+                EventKind::EndSuspect { detector } => ("end_suspect".to_owned(), u64::from(detector)),
+                EventKind::Crash => ("crash".to_owned(), 0),
+                EventKind::Restore => ("restore".to_owned(), 0),
+                EventKind::App { code, value } => (format!("app{code}"), value),
+            };
+            writeln!(out, "{},{},{kind},{arg}", e.at.as_micros(), e.process.0)?;
+        }
+        out.flush()
+    }
+
+    /// Reads a log previously written by [`EventLog::save_csv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error for unreadable files, or `InvalidData` for rows
+    /// that do not parse.
+    pub fn load_csv(path: impl AsRef<std::path::Path>) -> std::io::Result<EventLog> {
+        let content = std::fs::read_to_string(path)?;
+        let bad = |line: usize, what: &str| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad event row {line}: {what}"),
+            )
+        };
+        let mut log = EventLog::new();
+        for (lineno, line) in content.lines().enumerate() {
+            if lineno == 0 && line.starts_with("time_us") {
+                continue;
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.split(',');
+            let at = parts
+                .next()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .ok_or_else(|| bad(lineno, "time"))?;
+            let process = parts
+                .next()
+                .and_then(|v| v.trim().parse::<u16>().ok())
+                .ok_or_else(|| bad(lineno, "process"))?;
+            let kind = parts.next().ok_or_else(|| bad(lineno, "kind"))?.trim();
+            let arg = parts
+                .next()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .ok_or_else(|| bad(lineno, "arg"))?;
+            let kind = match kind {
+                "sent" => EventKind::Sent { seq: arg },
+                "received" => EventKind::Received { seq: arg },
+                "start_suspect" => EventKind::StartSuspect { detector: arg as u32 },
+                "end_suspect" => EventKind::EndSuspect { detector: arg as u32 },
+                "crash" => EventKind::Crash,
+                "restore" => EventKind::Restore,
+                other => match other.strip_prefix("app").and_then(|c| c.parse::<u32>().ok()) {
+                    Some(code) => EventKind::App { code, value: arg },
+                    None => return Err(bad(lineno, other)),
+                },
+            };
+            log.record(SimTime::from_micros(at), ProcessId(process), kind);
+        }
+        Ok(log)
+    }
+}
+
+impl<'a> IntoIterator for &'a EventLog {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl FromIterator<Event> for EventLog {
+    /// Builds a log from events that are already in time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the events are not sorted by time.
+    fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Self {
+        let mut log = EventLog::new();
+        for e in iter {
+            log.record(e.at, e.process, e.kind);
+        }
+        log
+    }
+}
+
+impl Extend<Event> for EventLog {
+    fn extend<I: IntoIterator<Item = Event>>(&mut self, iter: I) {
+        for e in iter {
+            self.record(e.at, e.process, e.kind);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut log = EventLog::new();
+        log.record(t(1), ProcessId(0), EventKind::Crash);
+        log.record(t(1), ProcessId(0), EventKind::Restore); // equal time is fine
+        log.record(t(2), ProcessId(1), EventKind::Sent { seq: 7 });
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.events()[2].kind, EventKind::Sent { seq: 7 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order")]
+    fn rejects_out_of_order() {
+        let mut log = EventLog::new();
+        log.record(t(5), ProcessId(0), EventKind::Crash);
+        log.record(t(4), ProcessId(0), EventKind::Restore);
+    }
+
+    #[test]
+    fn detector_filter_selects_only_that_detector() {
+        let mut log = EventLog::new();
+        log.record(t(1), ProcessId(0), EventKind::StartSuspect { detector: 3 });
+        log.record(t(2), ProcessId(0), EventKind::StartSuspect { detector: 4 });
+        log.record(t(3), ProcessId(0), EventKind::EndSuspect { detector: 3 });
+        let seen: Vec<_> = log.detector_events(3).map(|e| e.kind).collect();
+        assert_eq!(
+            seen,
+            vec![
+                EventKind::StartSuspect { detector: 3 },
+                EventKind::EndSuspect { detector: 3 }
+            ]
+        );
+    }
+
+    #[test]
+    fn crash_filter_selects_crash_and_restore() {
+        let mut log = EventLog::new();
+        log.record(t(1), ProcessId(1), EventKind::Sent { seq: 0 });
+        log.record(t(2), ProcessId(1), EventKind::Crash);
+        log.record(t(3), ProcessId(1), EventKind::Restore);
+        assert_eq!(log.crash_events().count(), 2);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let base = vec![
+            Event::new(t(1), ProcessId(0), EventKind::Crash),
+            Event::new(t(2), ProcessId(0), EventKind::Restore),
+        ];
+        let mut log: EventLog = base.into_iter().collect();
+        log.extend([Event::new(t(3), ProcessId(0), EventKind::Crash)]);
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn csv_round_trip_covers_every_kind() {
+        let mut log = EventLog::new();
+        log.record(t(1), ProcessId(1), EventKind::Sent { seq: 3 });
+        log.record(t(2), ProcessId(0), EventKind::Received { seq: 3 });
+        log.record(t(3), ProcessId(0), EventKind::StartSuspect { detector: 7 });
+        log.record(t(4), ProcessId(0), EventKind::EndSuspect { detector: 7 });
+        log.record(t(5), ProcessId(1), EventKind::Crash);
+        log.record(t(6), ProcessId(1), EventKind::Restore);
+        let path = std::env::temp_dir().join("fdqos_eventlog_roundtrip.csv");
+        log.save_csv(&path).unwrap();
+        let loaded = EventLog::load_csv(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(log.events(), loaded.events());
+    }
+
+    #[test]
+    fn csv_load_rejects_garbage() {
+        let path = std::env::temp_dir().join("fdqos_eventlog_garbage.csv");
+        std::fs::write(&path, "time_us,process,kind,arg\n1,0,frobnicate,0\n").unwrap();
+        let err = EventLog::load_csv(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = Event::new(t(1), ProcessId(2), EventKind::StartSuspect { detector: 9 });
+        assert_eq!(e.to_string(), "StartSuspect[9] @ 1.000000s on p2");
+        assert_eq!(EventKind::Sent { seq: 3 }.to_string(), "Sent(m3)");
+    }
+}

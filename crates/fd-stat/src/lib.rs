@@ -1,0 +1,26 @@
+//! NekoStat analog: event collection and QoS metric extraction.
+//!
+//! The DSN'05 experiments instrument the distributed execution with typed
+//! events (`Sent`, `Received`, `StartSuspect`, `EndSuspect`, `Crash`,
+//! `Restore`) and derive from them the three base QoS metrics of
+//! Chen–Toueg–Aguilera:
+//!
+//! * **T_D** — detection time: crash → start of *permanent* suspicion;
+//! * **T_M** — mistake duration: erroneous suspicion → its correction;
+//! * **T_MR** — mistake recurrence time: between two successive mistakes;
+//!
+//! plus the derived **T_D^U** (maximum observed detection time) and
+//! **P_A = (T_MR − T_M)/T_MR** (query accuracy probability).
+//!
+//! This crate provides the event vocabulary ([`event`]), descriptive
+//! statistics ([`summary`]), and the extraction of QoS metrics from event
+//! streams ([`metrics`]) — the role NekoStat's `StatHandler` classes play in
+//! the paper's architecture.
+
+pub mod event;
+pub mod metrics;
+pub mod summary;
+
+pub use event::{Event, EventKind, EventLog, ProcessId};
+pub use metrics::{extract_metrics, FdStatHandler, QosMetrics, QosReport, SuspicionEpisode};
+pub use summary::{autocorrelation, mean_squared_error, ConfidenceInterval, Histogram, RunningStats, Summary};

@@ -1,0 +1,682 @@
+//! Extraction of the QoS metrics from event streams.
+//!
+//! Mirrors the paper's `FD StatHandler`: it receives `Crash`, `Restore`,
+//! `StartSuspect`, `EndSuspect` events for one detector and produces samples
+//! of the base metrics:
+//!
+//! * **T_D**: for each crash at `c` (restored at `r`), the *permanent*
+//!   suspicion is the suspicion episode still active at `r`; `T_D = max(0,
+//!   start − c)`. A crash with no episode active at restore time is counted
+//!   as undetected (it contributes no sample — completeness violation).
+//! * **T_M**: duration of each *mistake*, i.e. a suspicion episode that began
+//!   while the monitored process was up and is not the permanent detection of
+//!   a crash.
+//! * **T_MR**: spacing between the starts of two successive mistakes,
+//!   counted only when no crash interval lies between them (the classical
+//!   accuracy metrics are defined over failure-free stretches).
+//!
+//! Derived metrics: `T_D^U = max T_D` and `P_A = (T̄_MR − T̄_M)/T̄_MR`.
+
+use fd_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Event, EventKind, EventLog};
+use crate::summary::Summary;
+
+/// One suspicion interval of a detector. `end == None` means the suspicion
+/// was still in force when the run terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuspicionEpisode {
+    /// When the detector started suspecting.
+    pub start: SimTime,
+    /// When it stopped, if it did before the end of the run.
+    pub end: Option<SimTime>,
+}
+
+impl SuspicionEpisode {
+    /// `true` if the episode is in force at instant `t`. An open episode
+    /// (no `end`) stays in force through the end of the run.
+    fn active_at(&self, t: SimTime) -> bool {
+        self.start <= t && self.end.is_none_or(|e| t < e)
+    }
+}
+
+/// A crash interval `[crash, restore)`; `restore == None` if the run ended
+/// while still down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct CrashInterval {
+    crash: SimTime,
+    restore: Option<SimTime>,
+}
+
+/// The QoS metric samples extracted for one detector over one (or several,
+/// after [`QosMetrics::merge`]) experiment runs. All samples in milliseconds.
+///
+/// ```
+/// use fd_stat::QosMetrics;
+/// let m = QosMetrics {
+///     detection_times_ms: vec![800.0, 1_200.0],
+///     mistake_durations_ms: vec![50.0],
+///     mistake_recurrences_ms: vec![10_000.0],
+///     undetected_crashes: 0,
+///     total_crashes: 2,
+/// };
+/// assert_eq!(m.mean_td(), Some(1_000.0));
+/// assert_eq!(m.td_upper(), Some(1_200.0));
+/// assert_eq!(m.query_accuracy(), Some(0.995));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QosMetrics {
+    /// T_D samples: one per detected crash.
+    pub detection_times_ms: Vec<f64>,
+    /// T_M samples: one per completed mistake.
+    pub mistake_durations_ms: Vec<f64>,
+    /// T_MR samples: one per eligible pair of successive mistakes.
+    pub mistake_recurrences_ms: Vec<f64>,
+    /// Crashes with no suspicion in force at restore time.
+    pub undetected_crashes: usize,
+    /// Total crashes injected.
+    pub total_crashes: usize,
+}
+
+impl QosMetrics {
+    /// Mean detection time `T_D`, if any crash was detected.
+    pub fn mean_td(&self) -> Option<f64> {
+        mean(&self.detection_times_ms)
+    }
+
+    /// Maximum observed detection time `T_D^U`, if any crash was detected.
+    pub fn td_upper(&self) -> Option<f64> {
+        self.detection_times_ms
+            .iter()
+            .copied()
+            .fold(None, |acc, x| Some(acc.map_or(x, |m: f64| m.max(x))))
+    }
+
+    /// Mean mistake duration `T_M`, if any mistake occurred.
+    pub fn mean_tm(&self) -> Option<f64> {
+        mean(&self.mistake_durations_ms)
+    }
+
+    /// Mean mistake recurrence time `T_MR`, if at least two mistakes occurred
+    /// within an up period.
+    pub fn mean_tmr(&self) -> Option<f64> {
+        mean(&self.mistake_recurrences_ms)
+    }
+
+    /// Query accuracy probability `P_A = (T̄_MR − T̄_M)/T̄_MR`.
+    ///
+    /// A detector that made no mistakes has `P_A = 1`. Returns `None` when
+    /// mistakes occurred but no recurrence sample exists (a single mistake in
+    /// the whole run), since the ratio is then undefined.
+    pub fn query_accuracy(&self) -> Option<f64> {
+        if self.mistake_durations_ms.is_empty() {
+            return Some(1.0);
+        }
+        let tm = self.mean_tm()?;
+        let tmr = self.mean_tmr()?;
+        Some(((tmr - tm) / tmr).clamp(0.0, 1.0))
+    }
+
+    /// Summary of the T_D samples.
+    pub fn td_summary(&self) -> Option<Summary> {
+        Summary::of(&self.detection_times_ms)
+    }
+
+    /// Summary of the T_M samples.
+    pub fn tm_summary(&self) -> Option<Summary> {
+        Summary::of(&self.mistake_durations_ms)
+    }
+
+    /// Summary of the T_MR samples.
+    pub fn tmr_summary(&self) -> Option<Summary> {
+        Summary::of(&self.mistake_recurrences_ms)
+    }
+
+    /// Folds another run's samples into this one (the paper aggregates 13
+    /// independent runs per configuration).
+    pub fn merge(&mut self, other: &QosMetrics) {
+        self.detection_times_ms
+            .extend_from_slice(&other.detection_times_ms);
+        self.mistake_durations_ms
+            .extend_from_slice(&other.mistake_durations_ms);
+        self.mistake_recurrences_ms
+            .extend_from_slice(&other.mistake_recurrences_ms);
+        self.undetected_crashes += other.undetected_crashes;
+        self.total_crashes += other.total_crashes;
+    }
+}
+
+fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Human-readable roll-up of one detector's QoS over an experiment, used by
+/// the figure-regeneration binaries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QosReport {
+    /// Detector label, e.g. `"ARIMA(2,1,1)+SM_CI(1.0)"`.
+    pub detector: String,
+    /// Mean detection time in ms (Figure 4), if measurable.
+    pub td_ms: Option<f64>,
+    /// Max detection time in ms (Figure 5), if measurable.
+    pub td_upper_ms: Option<f64>,
+    /// Mean mistake duration in ms (Figure 6), if measurable.
+    pub tm_ms: Option<f64>,
+    /// Mean mistake recurrence in ms (Figure 7), if measurable.
+    pub tmr_ms: Option<f64>,
+    /// Query accuracy probability (Figure 8), if measurable.
+    pub pa: Option<f64>,
+    /// Detected / total crashes.
+    pub detected_crashes: usize,
+    /// Total crashes injected.
+    pub total_crashes: usize,
+    /// Number of mistakes observed.
+    pub mistakes: usize,
+}
+
+impl QosReport {
+    /// Builds a report from extracted metrics.
+    pub fn from_metrics(detector: impl Into<String>, m: &QosMetrics) -> Self {
+        QosReport {
+            detector: detector.into(),
+            td_ms: m.mean_td(),
+            td_upper_ms: m.td_upper(),
+            tm_ms: m.mean_tm(),
+            tmr_ms: m.mean_tmr(),
+            pa: m.query_accuracy(),
+            detected_crashes: m.total_crashes - m.undetected_crashes,
+            total_crashes: m.total_crashes,
+            mistakes: m.mistake_durations_ms.len(),
+        }
+    }
+}
+
+/// Streaming accumulator turning one detector's events into [`QosMetrics`].
+///
+/// Feed it every event of the run (it filters by detector id) and call
+/// [`FdStatHandler::finish`] with the run-end time.
+///
+/// ```
+/// use fd_sim::SimTime;
+/// use fd_stat::{Event, EventKind, FdStatHandler, ProcessId};
+///
+/// let mut h = FdStatHandler::new(0);
+/// let p = ProcessId(0);
+/// let ev = |s, k| Event::new(SimTime::from_secs(s), p, k);
+/// h.on_event(&ev(10, EventKind::Crash));
+/// h.on_event(&ev(11, EventKind::StartSuspect { detector: 0 }));
+/// h.on_event(&ev(40, EventKind::Restore));
+/// h.on_event(&ev(41, EventKind::EndSuspect { detector: 0 }));
+/// let m = h.finish(SimTime::from_secs(100));
+/// assert_eq!(m.detection_times_ms, vec![1_000.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FdStatHandler {
+    detector: u32,
+    episodes: Vec<SuspicionEpisode>,
+    open_episode: Option<SimTime>,
+    crashes: Vec<CrashInterval>,
+    down: bool,
+}
+
+impl FdStatHandler {
+    /// Creates a handler for the detector with the given id.
+    pub fn new(detector: u32) -> Self {
+        Self {
+            detector,
+            episodes: Vec::new(),
+            open_episode: None,
+            crashes: Vec::new(),
+            down: false,
+        }
+    }
+
+    /// The detector id this handler is following.
+    pub fn detector(&self) -> u32 {
+        self.detector
+    }
+
+    /// Consumes one event (events for other detectors are ignored).
+    pub fn on_event(&mut self, event: &Event) {
+        match event.kind {
+            EventKind::StartSuspect { detector } if detector == self.detector
+                // Duplicate starts are idempotent: keep the earliest.
+                && self.open_episode.is_none() => {
+                    self.open_episode = Some(event.at);
+                }
+            EventKind::EndSuspect { detector } if detector == self.detector => {
+                if let Some(start) = self.open_episode.take() {
+                    self.episodes.push(SuspicionEpisode {
+                        start,
+                        end: Some(event.at),
+                    });
+                }
+            }
+            EventKind::Crash
+                if !self.down => {
+                    self.down = true;
+                    self.crashes.push(CrashInterval {
+                        crash: event.at,
+                        restore: None,
+                    });
+                }
+            EventKind::Restore
+                if self.down => {
+                    self.down = false;
+                    if let Some(last) = self.crashes.last_mut() {
+                        last.restore = Some(event.at);
+                    }
+                }
+            _ => {}
+        }
+    }
+
+    /// Closes the run at `run_end` and computes the metric samples.
+    pub fn finish(mut self, run_end: SimTime) -> QosMetrics {
+        if let Some(start) = self.open_episode.take() {
+            self.episodes.push(SuspicionEpisode { start, end: None });
+        }
+        compute_metrics(&self.crashes, &self.episodes, run_end)
+    }
+}
+
+/// Extracts one detector's metrics from a complete [`EventLog`].
+pub fn extract_metrics(log: &EventLog, detector: u32, run_end: SimTime) -> QosMetrics {
+    let mut handler = FdStatHandler::new(detector);
+    for e in log {
+        handler.on_event(e);
+    }
+    handler.finish(run_end)
+}
+
+fn compute_metrics(
+    crashes: &[CrashInterval],
+    episodes: &[SuspicionEpisode],
+    run_end: SimTime,
+) -> QosMetrics {
+    let mut metrics = QosMetrics {
+        total_crashes: crashes.len(),
+        ..QosMetrics::default()
+    };
+
+    // --- Detection times: the episode active at restore time is the
+    // permanent suspicion for that crash.
+    let mut detection_episode_idx = Vec::new();
+    for ci in crashes {
+        let restore = ci.restore.unwrap_or(run_end);
+        let found = episodes
+            .iter()
+            .enumerate()
+            .find(|(_, ep)| ep.active_at(restore));
+        match found {
+            Some((idx, ep)) => {
+                detection_episode_idx.push(idx);
+                let td = ep
+                    .start
+                    .checked_duration_since(ci.crash)
+                    .map_or(0.0, |d| d.as_millis_f64());
+                metrics.detection_times_ms.push(td);
+            }
+            None => metrics.undetected_crashes += 1,
+        }
+    }
+
+    // --- Mistakes: episodes that start while the process is up and are not
+    // the permanent detection of any crash. Episodes that *start* during a
+    // crash interval are correct suspicions, not mistakes.
+    let started_while_down = |t: SimTime| {
+        crashes
+            .iter()
+            .any(|ci| t >= ci.crash && t < ci.restore.unwrap_or(run_end))
+    };
+    let mut mistake_starts = Vec::new();
+    for (idx, ep) in episodes.iter().enumerate() {
+        if detection_episode_idx.contains(&idx) || started_while_down(ep.start) {
+            continue;
+        }
+        // An open mistake at run end is truncated: no duration sample.
+        if let Some(end) = ep.end {
+            metrics
+                .mistake_durations_ms
+                .push(end.duration_since(ep.start).as_millis_f64());
+        }
+        mistake_starts.push(ep.start);
+    }
+
+    // --- Recurrences: successive mistake starts with no crash in between.
+    for pair in mistake_starts.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        let crash_between = crashes.iter().any(|ci| ci.crash >= a && ci.crash < b);
+        if !crash_between {
+            metrics
+                .mistake_recurrences_ms
+                .push(b.duration_since(a).as_millis_f64());
+        }
+    }
+
+    metrics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ProcessId;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn ev(s: u64, kind: EventKind) -> Event {
+        Event::new(secs(s), ProcessId(0), kind)
+    }
+
+    fn run(events: &[Event], end: u64) -> QosMetrics {
+        let mut h = FdStatHandler::new(0);
+        for e in events {
+            h.on_event(e);
+        }
+        h.finish(secs(end))
+    }
+
+    #[test]
+    fn simple_detection() {
+        let m = run(
+            &[
+                ev(100, EventKind::Crash),
+                ev(102, EventKind::StartSuspect { detector: 0 }),
+                ev(130, EventKind::Restore),
+                ev(131, EventKind::EndSuspect { detector: 0 }),
+            ],
+            300,
+        );
+        assert_eq!(m.detection_times_ms, vec![2_000.0]);
+        assert_eq!(m.total_crashes, 1);
+        assert_eq!(m.undetected_crashes, 0);
+        assert!(m.mistake_durations_ms.is_empty());
+        assert_eq!(m.query_accuracy(), Some(1.0));
+    }
+
+    #[test]
+    fn mistakes_and_recurrence() {
+        let m = run(
+            &[
+                ev(10, EventKind::StartSuspect { detector: 0 }),
+                ev(12, EventKind::EndSuspect { detector: 0 }),
+                ev(50, EventKind::StartSuspect { detector: 0 }),
+                ev(53, EventKind::EndSuspect { detector: 0 }),
+            ],
+            100,
+        );
+        assert_eq!(m.mistake_durations_ms, vec![2_000.0, 3_000.0]);
+        assert_eq!(m.mistake_recurrences_ms, vec![40_000.0]);
+        assert_eq!(m.mean_tm(), Some(2_500.0));
+        assert_eq!(m.mean_tmr(), Some(40_000.0));
+        let pa = m.query_accuracy().unwrap();
+        assert!((pa - (40_000.0 - 2_500.0) / 40_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undetected_crash_is_counted() {
+        let m = run(&[ev(100, EventKind::Crash), ev(130, EventKind::Restore)], 300);
+        assert_eq!(m.undetected_crashes, 1);
+        assert_eq!(m.total_crashes, 1);
+        assert!(m.detection_times_ms.is_empty());
+        assert_eq!(m.mean_td(), None);
+    }
+
+    #[test]
+    fn suspicion_already_active_at_crash_gives_zero_td() {
+        // A false positive in progress when the crash hits, persisting
+        // through restore: detection time is clamped to 0.
+        let m = run(
+            &[
+                ev(90, EventKind::StartSuspect { detector: 0 }),
+                ev(100, EventKind::Crash),
+                ev(130, EventKind::Restore),
+                ev(131, EventKind::EndSuspect { detector: 0 }),
+            ],
+            300,
+        );
+        assert_eq!(m.detection_times_ms, vec![0.0]);
+        // The episode is the detection, so it is not also a mistake.
+        assert!(m.mistake_durations_ms.is_empty());
+    }
+
+    #[test]
+    fn in_flight_heartbeat_interrupts_then_permanent_detection() {
+        // Crash at 100; a heartbeat already in flight ends the first
+        // suspicion; the second one is the permanent detection.
+        let m = run(
+            &[
+                ev(100, EventKind::Crash),
+                ev(101, EventKind::StartSuspect { detector: 0 }),
+                ev(102, EventKind::EndSuspect { detector: 0 }), // in-flight hb
+                ev(104, EventKind::StartSuspect { detector: 0 }),
+                ev(130, EventKind::Restore),
+                ev(131, EventKind::EndSuspect { detector: 0 }),
+            ],
+            300,
+        );
+        assert_eq!(m.detection_times_ms, vec![4_000.0]);
+        // The short in-crash episode is a correct suspicion, not a mistake.
+        assert!(m.mistake_durations_ms.is_empty());
+    }
+
+    #[test]
+    fn recurrence_pairs_spanning_a_crash_are_skipped() {
+        let m = run(
+            &[
+                ev(10, EventKind::StartSuspect { detector: 0 }),
+                ev(11, EventKind::EndSuspect { detector: 0 }),
+                ev(50, EventKind::Crash),
+                ev(51, EventKind::StartSuspect { detector: 0 }),
+                ev(80, EventKind::Restore),
+                ev(81, EventKind::EndSuspect { detector: 0 }),
+                ev(120, EventKind::StartSuspect { detector: 0 }),
+                ev(121, EventKind::EndSuspect { detector: 0 }),
+            ],
+            300,
+        );
+        assert_eq!(m.mistake_durations_ms.len(), 2);
+        assert!(m.mistake_recurrences_ms.is_empty());
+    }
+
+    #[test]
+    fn open_episode_at_run_end_detects_unrestored_crash() {
+        let m = run(
+            &[
+                ev(100, EventKind::Crash),
+                ev(103, EventKind::StartSuspect { detector: 0 }),
+            ],
+            200,
+        );
+        assert_eq!(m.detection_times_ms, vec![3_000.0]);
+        assert_eq!(m.undetected_crashes, 0);
+    }
+
+    #[test]
+    fn open_mistake_at_run_end_is_truncated() {
+        let m = run(&[ev(150, EventKind::StartSuspect { detector: 0 })], 200);
+        assert!(m.mistake_durations_ms.is_empty());
+        assert!(m.detection_times_ms.is_empty());
+    }
+
+    #[test]
+    fn other_detectors_events_are_ignored() {
+        let m = run(
+            &[
+                ev(10, EventKind::StartSuspect { detector: 7 }),
+                ev(11, EventKind::EndSuspect { detector: 7 }),
+            ],
+            100,
+        );
+        assert!(m.mistake_durations_ms.is_empty());
+        assert_eq!(m.query_accuracy(), Some(1.0));
+    }
+
+    #[test]
+    fn multiple_crashes_multiple_detections() {
+        let m = run(
+            &[
+                ev(100, EventKind::Crash),
+                ev(101, EventKind::StartSuspect { detector: 0 }),
+                ev(130, EventKind::Restore),
+                ev(131, EventKind::EndSuspect { detector: 0 }),
+                ev(400, EventKind::Crash),
+                ev(403, EventKind::StartSuspect { detector: 0 }),
+                ev(430, EventKind::Restore),
+                ev(431, EventKind::EndSuspect { detector: 0 }),
+            ],
+            600,
+        );
+        assert_eq!(m.detection_times_ms, vec![1_000.0, 3_000.0]);
+        assert_eq!(m.td_upper(), Some(3_000.0));
+        assert_eq!(m.mean_td(), Some(2_000.0));
+    }
+
+    #[test]
+    fn merge_concatenates_samples() {
+        let mut a = run(
+            &[
+                ev(10, EventKind::StartSuspect { detector: 0 }),
+                ev(12, EventKind::EndSuspect { detector: 0 }),
+            ],
+            100,
+        );
+        let b = run(
+            &[
+                ev(100, EventKind::Crash),
+                ev(101, EventKind::StartSuspect { detector: 0 }),
+                ev(130, EventKind::Restore),
+                ev(131, EventKind::EndSuspect { detector: 0 }),
+            ],
+            300,
+        );
+        a.merge(&b);
+        assert_eq!(a.detection_times_ms.len(), 1);
+        assert_eq!(a.mistake_durations_ms.len(), 1);
+        assert_eq!(a.total_crashes, 1);
+    }
+
+    #[test]
+    fn extract_from_event_log() {
+        let mut log = EventLog::new();
+        log.record(secs(5), ProcessId(0), EventKind::StartSuspect { detector: 2 });
+        log.record(secs(6), ProcessId(0), EventKind::EndSuspect { detector: 2 });
+        let m = extract_metrics(&log, 2, secs(100));
+        assert_eq!(m.mistake_durations_ms, vec![1_000.0]);
+    }
+
+    #[test]
+    fn report_fields_line_up() {
+        let m = run(
+            &[
+                ev(10, EventKind::StartSuspect { detector: 0 }),
+                ev(11, EventKind::EndSuspect { detector: 0 }),
+                ev(100, EventKind::Crash),
+                ev(102, EventKind::StartSuspect { detector: 0 }),
+                ev(130, EventKind::Restore),
+                ev(131, EventKind::EndSuspect { detector: 0 }),
+            ],
+            300,
+        );
+        let r = QosReport::from_metrics("LAST+SM_JAC(1)", &m);
+        assert_eq!(r.detector, "LAST+SM_JAC(1)");
+        assert_eq!(r.td_ms, Some(2_000.0));
+        assert_eq!(r.detected_crashes, 1);
+        assert_eq!(r.total_crashes, 1);
+        assert_eq!(r.mistakes, 1);
+        assert_eq!(r.tm_ms, Some(1_000.0));
+        assert_eq!(r.tmr_ms, None); // single mistake, no recurrence sample
+        assert_eq!(r.pa, None);
+    }
+
+    #[test]
+    fn duplicate_start_suspect_is_idempotent() {
+        let m = run(
+            &[
+                ev(10, EventKind::StartSuspect { detector: 0 }),
+                ev(12, EventKind::StartSuspect { detector: 0 }),
+                ev(15, EventKind::EndSuspect { detector: 0 }),
+            ],
+            100,
+        );
+        assert_eq!(m.mistake_durations_ms, vec![5_000.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::event::ProcessId;
+    use proptest::prelude::*;
+
+    // Generates a random but well-formed alternating event schedule and
+    // checks the structural invariants of the extracted metrics.
+    proptest! {
+        #[test]
+        fn metric_invariants(
+            gaps in proptest::collection::vec(1u64..50, 1..60),
+            crash_every in 5usize..15,
+        ) {
+            let mut t = 0u64;
+            let mut events = Vec::new();
+            let mut suspecting = false;
+            let mut down = false;
+            for (i, g) in gaps.iter().enumerate() {
+                t += g;
+                let at = SimTime::from_secs(t);
+                if i % crash_every == crash_every - 1 && !down {
+                    events.push(Event::new(at, ProcessId(0), EventKind::Crash));
+                    down = true;
+                } else if down {
+                    events.push(Event::new(at, ProcessId(0), EventKind::Restore));
+                    down = false;
+                } else if suspecting {
+                    events.push(Event::new(at, ProcessId(0), EventKind::EndSuspect { detector: 0 }));
+                    suspecting = false;
+                } else {
+                    events.push(Event::new(at, ProcessId(0), EventKind::StartSuspect { detector: 0 }));
+                    suspecting = true;
+                }
+            }
+            let run_end = SimTime::from_secs(t + 100);
+            let mut h = FdStatHandler::new(0);
+            for e in &events {
+                h.on_event(e);
+            }
+            let m = h.finish(run_end);
+
+            for &td in &m.detection_times_ms {
+                prop_assert!(td >= 0.0);
+            }
+            for &tm in &m.mistake_durations_ms {
+                prop_assert!(tm > 0.0);
+            }
+            for &tmr in &m.mistake_recurrences_ms {
+                prop_assert!(tmr > 0.0);
+            }
+            prop_assert!(m.undetected_crashes <= m.total_crashes);
+            prop_assert_eq!(
+                m.detection_times_ms.len() + m.undetected_crashes,
+                m.total_crashes
+            );
+            // At most one recurrence per pair of consecutive mistakes.
+            prop_assert!(
+                m.mistake_recurrences_ms.len()
+                    < m.mistake_durations_ms.len().max(1) + 1
+            );
+            if let Some(pa) = m.query_accuracy() {
+                prop_assert!((0.0..=1.0).contains(&pa));
+            }
+            if let (Some(mean), Some(upper)) = (m.mean_td(), m.td_upper()) {
+                prop_assert!(mean <= upper + 1e-9);
+            }
+        }
+    }
+}

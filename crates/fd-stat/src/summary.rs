@@ -1,0 +1,659 @@
+//! Descriptive statistics used by the experiment reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean/variance via Welford's algorithm, plus min/max.
+///
+/// This is the accumulator behind `SM_CI`'s running estimates and behind the
+/// experiment summaries; it is numerically stable for long runs.
+///
+/// ```
+/// use fd_stat::RunningStats;
+/// let mut s = RunningStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 5.0);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// The sample mean (0 if no observations).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance with Bessel's correction (0 for n < 2).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population variance (0 for n == 0).
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Sum of squared deviations from the mean, `Σ (x_i − x̄)²`.
+    ///
+    /// `SM_CI` uses this directly in its denominator.
+    pub fn sum_sq_dev(&self) -> f64 {
+        self.m2
+    }
+
+    /// Smallest observation (`+∞` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = RunningStats::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// A two-sided confidence interval for a mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Point estimate (the sample mean).
+    pub mean: f64,
+    /// Half-width of the interval.
+    pub half_width: f64,
+    /// The confidence level used, e.g. 0.95.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Lower bound of the interval.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound of the interval.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// `true` if `x` lies inside the interval.
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo() && x <= self.hi()
+    }
+}
+
+/// Full descriptive summary of a batch of observations.
+///
+/// This is what each figure row of the reproduction reports: the paper plots
+/// per-detector means of `T_D`, `T_M`, `T_MR` over the 13 runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Summarises a batch of observations.
+    ///
+    /// Returns `None` for an empty batch — an experiment with no samples has
+    /// no summary, and callers must decide what that means for the metric.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        let stats: RunningStats = values.iter().copied().collect();
+        Some(Summary {
+            n: values.len(),
+            mean: stats.mean(),
+            std: stats.sample_std(),
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty"),
+            median: percentile_of_sorted(&sorted, 50.0),
+            p95: percentile_of_sorted(&sorted, 95.0),
+            p99: percentile_of_sorted(&sorted, 99.0),
+        })
+    }
+
+    /// An arbitrary percentile in `[0, 100]` of the same batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+        Some(percentile_of_sorted(&sorted, p))
+    }
+
+    /// Normal-approximation confidence interval for the mean at `level`
+    /// (e.g. 0.95). Valid for reasonably large n; the experiments collect
+    /// hundreds of samples per metric.
+    pub fn confidence_interval(values: &[f64], level: f64) -> Option<ConfidenceInterval> {
+        if values.is_empty() {
+            return None;
+        }
+        let stats: RunningStats = values.iter().copied().collect();
+        let z = z_for_level(level);
+        let half = z * stats.sample_std() / (values.len() as f64).sqrt();
+        Some(ConfidenceInterval {
+            mean: stats.mean(),
+            half_width: half,
+            level,
+        })
+    }
+}
+
+/// Linear-interpolated percentile of an already-sorted slice.
+fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Standard-normal quantile for the usual confidence levels; falls back to a
+/// rational approximation (Acklam) for other levels.
+fn z_for_level(level: f64) -> f64 {
+    match level {
+        l if (l - 0.90).abs() < 1e-9 => 1.6448536269514722,
+        l if (l - 0.95).abs() < 1e-9 => 1.959963984540054,
+        l if (l - 0.99).abs() < 1e-9 => 2.5758293035489004,
+        l => {
+            assert!(l > 0.0 && l < 1.0, "confidence level out of range: {l}");
+            normal_quantile(0.5 + l / 2.0)
+        }
+    }
+}
+
+/// Acklam's rational approximation to the standard-normal quantile.
+fn normal_quantile(p: f64) -> f64 {
+    debug_assert!(p > 0.0 && p < 1.0);
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` with out-of-range counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "invalid histogram range [{lo}, {hi})");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo) / (self.hi - self.lo) * self.bins.len() as f64) as usize;
+            let last = self.bins.len() - 1;
+            self.bins[idx.min(last)] += 1;
+        }
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The `(lo, hi)` bounds of bin `i`.
+    pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// Sample autocorrelation of a series at lags `0..=max_lag` (`out[0] == 1`).
+///
+/// This is the diagnostic behind the link-model calibration: the lag-1
+/// autocorrelation of the one-way delays decides whether `LAST` or `MEAN` is
+/// the better naive predictor (crossover at ρ₁ = 0.5), and the decay shape
+/// is what ARIMA exploits.
+///
+/// Returns an empty vector for series with fewer than two observations or
+/// zero variance.
+///
+/// ```
+/// use fd_stat::autocorrelation;
+/// let alternating: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+/// let acf = autocorrelation(&alternating, 2);
+/// assert_eq!(acf[0], 1.0);
+/// assert!(acf[1] < -0.9); // perfectly anti-correlated at lag 1
+/// assert!(acf[2] > 0.9);
+/// ```
+pub fn autocorrelation(series: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = series.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|x| (x - mean) * (x - mean)).sum();
+    if var == 0.0 {
+        return Vec::new();
+    }
+    (0..=max_lag.min(n - 1))
+        .map(|lag| {
+            series
+                .iter()
+                .zip(&series[lag..])
+                .map(|(a, b)| (a - mean) * (b - mean))
+                .sum::<f64>()
+                / var
+        })
+        .collect()
+}
+
+/// The mean squared error between observed and predicted series — the
+/// accuracy metric (`msqerr`) of the paper's Table 3.
+///
+/// Only index pairs present in both slices are compared.
+///
+/// # Panics
+///
+/// Panics if either slice is empty.
+pub fn mean_squared_error(observed: &[f64], predicted: &[f64]) -> f64 {
+    let n = observed.len().min(predicted.len());
+    assert!(n > 0, "mean_squared_error on empty series");
+    observed
+        .iter()
+        .zip(predicted)
+        .take(n)
+        .map(|(o, p)| (o - p) * (o - p))
+        .sum::<f64>()
+        / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [1.0, 2.5, -3.0, 7.25, 0.0, 4.5];
+        let s: RunningStats = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var =
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.sample_variance() - var).abs() < 1e-12);
+        assert_eq!(s.min(), -3.0);
+        assert_eq!(s.max(), 7.25);
+        assert_eq!(s.count(), 6);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 10.0).collect();
+        let (left, right) = xs.split_at(20);
+        let mut a: RunningStats = left.iter().copied().collect();
+        let b: RunningStats = right.iter().copied().collect();
+        a.merge(&b);
+        let all: RunningStats = xs.iter().copied().collect();
+        assert!((a.mean() - all.mean()).abs() < 1e-10);
+        assert!((a.sample_variance() - all.sample_variance()).abs() < 1e-10);
+        assert_eq!(a.count(), all.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: RunningStats = [1.0, 2.0].iter().copied().collect();
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+        let mut empty = RunningStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn summary_of_known_batch() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 2.5);
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::percentile(&[], 50.0).is_none());
+        assert!(Summary::confidence_interval(&[], 0.95).is_none());
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(Summary::percentile(&xs, 0.0).unwrap(), 10.0);
+        assert_eq!(Summary::percentile(&xs, 100.0).unwrap(), 40.0);
+        assert!((Summary::percentile(&xs, 50.0).unwrap() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_interval_contains_mean() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ci = Summary::confidence_interval(&xs, 0.95).unwrap();
+        assert!(ci.contains(ci.mean));
+        assert!(ci.half_width > 0.0);
+        assert_eq!(ci.level, 0.95);
+        assert!(ci.lo() < ci.hi());
+    }
+
+    #[test]
+    fn normal_quantile_is_symmetric_and_accurate() {
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-4);
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.025) + normal_quantile(0.975)).abs() < 1e-6);
+        // Tail region exercises the p < p_low branch.
+        assert!((normal_quantile(0.001) + 3.0902).abs() < 1e-3);
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.extend([0.5, 1.5, 2.5, 9.99, -1.0, 10.0, 42.0]);
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.bin_bounds(0), (0.0, 2.0));
+        assert_eq!(h.bin_bounds(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn autocorrelation_of_iid_noise_decays() {
+        // A pseudo-random but deterministic sequence.
+        let xs: Vec<f64> = (0..5_000u64)
+            .map(|i| ((i.wrapping_mul(2654435761) >> 7) % 1000) as f64)
+            .collect();
+        let acf = autocorrelation(&xs, 3);
+        assert_eq!(acf[0], 1.0);
+        assert!(acf[1].abs() < 0.1, "lag1 = {}", acf[1]);
+    }
+
+    #[test]
+    fn autocorrelation_degenerate_cases() {
+        assert!(autocorrelation(&[], 3).is_empty());
+        assert!(autocorrelation(&[1.0], 3).is_empty());
+        assert!(autocorrelation(&[5.0; 10], 3).is_empty()); // zero variance
+        // max_lag clamped to n-1.
+        let acf = autocorrelation(&[1.0, 2.0, 3.0], 10);
+        assert_eq!(acf.len(), 3);
+    }
+
+    #[test]
+    fn msqerr_of_perfect_prediction_is_zero() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(mean_squared_error(&xs, &xs), 0.0);
+    }
+
+    #[test]
+    fn msqerr_known_value() {
+        let obs = [1.0, 2.0, 3.0];
+        let pred = [2.0, 2.0, 1.0];
+        // errors: 1, 0, 2 -> msq = (1 + 0 + 4) / 3
+        assert!((mean_squared_error(&obs, &pred) - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn msqerr_uses_common_prefix() {
+        let obs = [1.0, 2.0, 3.0, 100.0];
+        let pred = [1.0, 2.0, 3.0];
+        assert_eq!(mean_squared_error(&obs, &pred), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Welford never returns negative variance and min <= mean <= max.
+        #[test]
+        fn welford_invariants(xs in proptest::collection::vec(-1e6f64..1e6, 1..300)) {
+            let s: RunningStats = xs.iter().copied().collect();
+            prop_assert!(s.sample_variance() >= 0.0);
+            prop_assert!(s.min() <= s.mean() + 1e-9);
+            prop_assert!(s.mean() <= s.max() + 1e-9);
+        }
+
+        /// Merging a split equals processing the whole, wherever we split.
+        #[test]
+        fn merge_associativity(
+            xs in proptest::collection::vec(-1e3f64..1e3, 2..100),
+            split_frac in 0.0f64..1.0,
+        ) {
+            let split = ((xs.len() as f64 * split_frac) as usize).min(xs.len());
+            let mut a: RunningStats = xs[..split].iter().copied().collect();
+            let b: RunningStats = xs[split..].iter().copied().collect();
+            a.merge(&b);
+            let whole: RunningStats = xs.iter().copied().collect();
+            prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
+            prop_assert!((a.sum_sq_dev() - whole.sum_sq_dev()).abs() < 1e-3);
+        }
+
+        /// Percentiles are monotone in p and bounded by min/max.
+        #[test]
+        fn percentile_monotone(xs in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+            let p25 = Summary::percentile(&xs, 25.0).unwrap();
+            let p50 = Summary::percentile(&xs, 50.0).unwrap();
+            let p75 = Summary::percentile(&xs, 75.0).unwrap();
+            let s = Summary::of(&xs).unwrap();
+            prop_assert!(s.min <= p25 + 1e-9);
+            prop_assert!(p25 <= p50 + 1e-9);
+            prop_assert!(p50 <= p75 + 1e-9);
+            prop_assert!(p75 <= s.max + 1e-9);
+        }
+
+        /// Histogram never loses observations.
+        #[test]
+        fn histogram_conserves_count(xs in proptest::collection::vec(-50.0f64..150.0, 0..200)) {
+            let mut h = Histogram::new(0.0, 100.0, 10);
+            h.extend(xs.iter().copied());
+            prop_assert_eq!(h.total(), xs.len() as u64);
+        }
+
+        /// msqerr is non-negative and zero iff series match on the prefix.
+        #[test]
+        fn msqerr_nonnegative(
+            obs in proptest::collection::vec(-1e3f64..1e3, 1..100),
+        ) {
+            let shifted: Vec<f64> = obs.iter().map(|x| x + 1.0).collect();
+            prop_assert!(mean_squared_error(&obs, &obs) == 0.0);
+            prop_assert!((mean_squared_error(&obs, &shifted) - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Quickstart: monitor one process over a simulated WAN link and watch the
+//! failure detector's output change as the process crashes and recovers.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use fdqos::core::combinations::Combination;
+use fdqos::core::{MarginKind, PredictorKind};
+use fdqos::experiments::{HeartbeaterLayer, MonitorLayer, SimCrashLayer};
+use fdqos::net::WanProfile;
+use fdqos::runtime::{Process, ProcessId, SimEngine};
+use fdqos::sim::{DetRng, SimDuration, SimTime};
+use fdqos::stat::{extract_metrics, EventKind};
+
+fn main() {
+    // The paper's overall winner: LAST predictor + Jacobson safety margin.
+    let eta = SimDuration::from_secs(1);
+    let combo = Combination::new(PredictorKind::Last, MarginKind::Jac { phi: 2.0 });
+    let detector = combo.build(eta);
+    println!("detector: {}", detector.name());
+
+    // Monitor (process 0) and monitored (process 1, crashing every ~60 s).
+    let mut engine = SimEngine::new();
+    engine.add_process(Process::new(ProcessId(0)).with_layer(MonitorLayer::new(vec![detector])));
+    engine.add_process(
+        Process::new(ProcessId(1))
+            .with_layer(SimCrashLayer::new(
+                SimDuration::from_secs(60),
+                SimDuration::from_secs(10),
+                DetRng::seed_from(7),
+            ))
+            .with_layer(HeartbeaterLayer::new(ProcessId(0), eta)),
+    );
+
+    // An Italy→Japan WAN link (≈ 200 ms one-way, < 1% bursty loss).
+    let profile = WanProfile::italy_japan();
+    engine.set_link(ProcessId(1), ProcessId(0), profile.link(DetRng::seed_from(8)));
+
+    // Five minutes of virtual time.
+    let end = SimTime::from_secs(300);
+    engine.run_until(end);
+
+    // Timeline of what happened.
+    println!("\ntimeline:");
+    for event in engine.event_log().iter() {
+        match event.kind {
+            EventKind::Crash => println!("  {:>10}  process crashed", event.at.to_string()),
+            EventKind::Restore => println!("  {:>10}  process restored", event.at.to_string()),
+            EventKind::StartSuspect { .. } => {
+                println!("  {:>10}  detector suspects", event.at.to_string())
+            }
+            EventKind::EndSuspect { .. } => {
+                println!("  {:>10}  detector trusts again", event.at.to_string())
+            }
+            _ => {}
+        }
+    }
+
+    // And the QoS numbers the paper reports.
+    let metrics = extract_metrics(engine.event_log(), 0, end);
+    println!("\nQoS over {end}:");
+    println!(
+        "  crashes: {} (detected {})",
+        metrics.total_crashes,
+        metrics.total_crashes - metrics.undetected_crashes
+    );
+    if let Some(td) = metrics.mean_td() {
+        println!("  mean detection time T_D   = {td:.0} ms");
+    }
+    if let Some(tdu) = metrics.td_upper() {
+        println!("  max detection time  T_D^U = {tdu:.0} ms");
+    }
+    println!("  mistakes: {}", metrics.mistake_durations_ms.len());
+    if let Some(pa) = metrics.query_accuracy() {
+        println!("  query accuracy      P_A   = {pa:.5}");
+    }
+}

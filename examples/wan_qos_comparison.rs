@@ -1,0 +1,40 @@
+//! Compare all 30 predictor × safety-margin combinations on a WAN link —
+//! a scaled-down rendition of the paper's Figures 4–8 — and print the
+//! trade-off the paper's conclusions describe.
+//!
+//! ```text
+//! cargo run --release --example wan_qos_comparison
+//! ```
+
+use fdqos::experiments::{run_qos_experiment, ExperimentParams, Metric};
+use fdqos::net::WanProfile;
+
+fn main() {
+    let profile = WanProfile::italy_japan();
+    let params = ExperimentParams {
+        num_cycles: 2_000,
+        runs: 3,
+        ..ExperimentParams::paper()
+    };
+    eprintln!(
+        "running {} runs x {} cycles over '{}' (30 detectors)…",
+        params.runs, params.num_cycles, profile.name
+    );
+    let results = run_qos_experiment(&profile, &params);
+
+    for metric in Metric::all() {
+        println!("{}", results.figure(metric));
+    }
+
+    // The paper's headline trade-off: nothing is best at both delay and
+    // accuracy.
+    let td = results.figure(Metric::Td);
+    let pa = results.figure(Metric::Pa);
+    let (td_p, td_m, td_v) = td.best().expect("measured T_D");
+    let (pa_p, pa_m, pa_v) = pa.best().expect("measured P_A");
+    println!("fastest detection : {td_p} + {td_m} (T_D = {td_v:.1} ms)");
+    println!("most accurate     : {pa_p} + {pa_m} (P_A = {pa_v:.5})");
+    if (td_p.as_str(), td_m.as_str()) != (pa_p.as_str(), pa_m.as_str()) {
+        println!("→ as the paper concludes: no combination wins both.");
+    }
+}

@@ -1,0 +1,9 @@
+//! Facade crate re-exporting the whole fdqos workspace.
+pub use fd_arima as arima;
+pub use fd_consensus as consensus;
+pub use fd_core as core;
+pub use fd_experiments as experiments;
+pub use fd_net as net;
+pub use fd_runtime as runtime;
+pub use fd_sim as sim;
+pub use fd_stat as stat;

@@ -1,0 +1,110 @@
+//! Integration tests of the Section 5.1 pipeline: trace recording, link
+//! characterisation (Table 4), predictor accuracy (Table 3) and ARIMA
+//! identification (Table 2).
+
+use fdqos::arima::{select_best_model, ArimaSpec};
+use fdqos::experiments::accuracy::accuracy_table_for_delays;
+use fdqos::experiments::{predictor_accuracy_experiment, AccuracyParams};
+use fdqos::net::{DelayTrace, TraceReplayDelay, WanProfile};
+use fdqos::sim::{DetRng, SimDuration, SimTime};
+use fdqos::net::DelayModel;
+
+#[test]
+fn table4_characteristics_match_the_paper_shape() {
+    let profile = WanProfile::italy_japan();
+    let trace = DelayTrace::record(&profile, 30_000, SimDuration::from_secs(1), 0xACC);
+    let ch = trace.characteristics().unwrap();
+    // The paper's live link: mean ≈ 200, σ ≈ 7.6, min 192, max 340, loss < 1%.
+    assert!((ch.mean_ms - 198.0).abs() < 5.0, "mean {}", ch.mean_ms);
+    assert!(ch.std_ms > 4.0 && ch.std_ms < 11.0, "std {}", ch.std_ms);
+    assert!(ch.min_ms >= 192.0, "min {}", ch.min_ms);
+    assert!(ch.max_ms > 250.0 && ch.max_ms < 420.0, "max {}", ch.max_ms);
+    assert!(ch.loss_probability < 0.01, "loss {}", ch.loss_probability);
+}
+
+#[test]
+fn table3_headline_findings_hold() {
+    let profile = WanProfile::italy_japan();
+    let params = AccuracyParams {
+        n_one_way: 20_000,
+        ..AccuracyParams::paper()
+    };
+    let table = predictor_accuracy_experiment(&profile, &params);
+    // Paper: ARIMA most accurate; WINMEAN < MEAN < LAST among the rest.
+    assert_eq!(table.rank_of("ARIMA"), Some(0), "{table}");
+    let winmean = table.rank_of("WINMEAN").unwrap();
+    let mean = table.rank_of("MEAN").unwrap();
+    let last = table.rank_of("LAST").unwrap();
+    assert!(winmean < mean, "{table}");
+    assert!(mean < last, "{table}");
+}
+
+#[test]
+fn accuracy_on_replayed_trace_equals_original() {
+    // A predictor only sees the delay sequence, so replaying a recorded
+    // trace must reproduce the accuracy table exactly.
+    let profile = WanProfile::italy_japan();
+    let trace = DelayTrace::record(&profile, 3_000, SimDuration::from_secs(1), 5);
+    let original = accuracy_table_for_delays(&trace.delays_ms(), "orig");
+
+    let mut replay = TraceReplayDelay::new(&trace);
+    let mut rng = DetRng::seed_from(99); // replay ignores the rng
+    let delivered = trace.delays_ms().len();
+    let replayed: Vec<f64> = (0..delivered)
+        .map(|i| replay.sample(SimTime::from_secs(i as u64), &mut rng).as_millis_f64())
+        .collect();
+    let again = accuracy_table_for_delays(&replayed, "replay");
+
+    for (a, b) in original.rows.iter().zip(&again.rows) {
+        assert_eq!(a.predictor, b.predictor);
+        // Microsecond quantisation in SimDuration makes this approximate.
+        assert!((a.msqerr - b.msqerr).abs() < 0.05, "{} vs {}", a.msqerr, b.msqerr);
+    }
+}
+
+#[test]
+fn csv_persistence_round_trips_through_the_pipeline() {
+    let profile = WanProfile::italy_japan();
+    let trace = DelayTrace::record(&profile, 2_000, SimDuration::from_secs(1), 6);
+    let path = std::env::temp_dir().join("fdqos_itest_trace.csv");
+    trace.save_csv(&path).unwrap();
+    let loaded = DelayTrace::load_csv(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(trace, loaded);
+    assert_eq!(
+        trace.characteristics().unwrap(),
+        loaded.characteristics().unwrap()
+    );
+}
+
+#[test]
+fn arima_identification_prefers_structured_models() {
+    let profile = WanProfile::italy_japan();
+    let trace = DelayTrace::record(&profile, 8_000, SimDuration::from_secs(1), 7);
+    let report = select_best_model(&trace.delays_ms(), 2, 1, 1).unwrap();
+    // The white-noise-around-a-constant model must not win on a correlated
+    // WAN trace.
+    assert_ne!(report.best.spec, ArimaSpec::new(0, 0, 0), "{:?}", report.best);
+    let mean_model = report
+        .ranked
+        .iter()
+        .find(|r| r.spec == ArimaSpec::new(0, 0, 0))
+        .unwrap();
+    assert!(report.best.msqerr < mean_model.msqerr);
+}
+
+#[test]
+fn profiles_differ_in_difficulty() {
+    // The generalisation profiles must actually be harder than the baseline:
+    // higher predictor error on congested/mobile links.
+    let params = AccuracyParams {
+        n_one_way: 6_000,
+        ..AccuracyParams::quick()
+    };
+    let base = predictor_accuracy_experiment(&WanProfile::italy_japan(), &params);
+    let congested = predictor_accuracy_experiment(&WanProfile::congested_wan(), &params);
+    let mobile = predictor_accuracy_experiment(&WanProfile::mobile(), &params);
+    let best = |t: &fdqos::experiments::AccuracyTable| t.rows[0].msqerr;
+    assert!(best(&congested) > 3.0 * best(&base));
+    assert!(best(&mobile) > 3.0 * best(&base));
+}

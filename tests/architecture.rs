@@ -1,0 +1,257 @@
+//! Tests of the paper-literal experimental architecture (its Figure 3): a
+//! MultiPlexer layer feeding independent detector components, plus the
+//! engine behaviours the architecture relies on (message reordering, stale
+//! heartbeats, multi-process monitoring).
+
+use fdqos::core::{ConstantMargin, FailureDetector, Last, WinMean, JacobsonMargin};
+use fdqos::experiments::{HeartbeaterLayer, MonitorLayer, SimCrashLayer};
+use fdqos::net::{LinkModel, TruncatedNormalDelay, NoLoss, WanProfile};
+use fdqos::runtime::{
+    Context, Layer, Message, MultiplexerLayer, Process, ProcessId, SimEngine, TimerId,
+};
+use fdqos::sim::{DetRng, SimDuration, SimTime};
+use fdqos::stat::{extract_metrics, EventKind};
+
+/// One failure detector wrapped as a multiplexer child component, emitting
+/// suspicion edges under its own detector id.
+struct FdComponent {
+    id: u32,
+    fd: FailureDetector,
+}
+
+impl Layer for FdComponent {
+    fn on_deliver(&mut self, ctx: &mut Context, msg: Message) {
+        if !msg.is_heartbeat() {
+            return;
+        }
+        let before = self.fd.next_deadline();
+        if let Some(fdqos::core::FdTransition::EndSuspect) = self.fd.on_heartbeat(msg.seq, ctx.now()) {
+            ctx.emit(EventKind::EndSuspect { detector: self.id });
+        }
+        if self.fd.next_deadline() != before {
+            if let Some(deadline) = self.fd.next_deadline() {
+                let delay = deadline
+                    .checked_duration_since(ctx.now())
+                    .unwrap_or(SimDuration::ZERO);
+                ctx.set_timer(delay, 0);
+            }
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context, _id: TimerId) {
+        if let Some(fdqos::core::FdTransition::StartSuspect) = self.fd.check(ctx.now()) {
+            ctx.emit(EventKind::StartSuspect { detector: self.id });
+        }
+    }
+    fn name(&self) -> &str {
+        "fd-component"
+    }
+}
+
+fn identical_fd() -> FailureDetector {
+    FailureDetector::new(
+        "mux-fd",
+        Last::new(),
+        ConstantMargin::new(100.0),
+        SimDuration::from_secs(1),
+    )
+}
+
+#[test]
+fn multiplexed_identical_detectors_agree_exactly() {
+    // The MultiPlexer guarantee: identical components fed the identical
+    // stream produce identical suspicion histories.
+    let mux = MultiplexerLayer::new()
+        .with_child(FdComponent { id: 0, fd: identical_fd() })
+        .with_child(FdComponent { id: 1, fd: identical_fd() })
+        .with_child(FdComponent { id: 2, fd: identical_fd() });
+    let mut engine = SimEngine::new();
+    engine.add_process(Process::new(ProcessId(0)).with_layer(mux));
+    engine.add_process(
+        Process::new(ProcessId(1))
+            .with_layer(SimCrashLayer::new(
+                SimDuration::from_secs(60),
+                SimDuration::from_secs(10),
+                DetRng::seed_from(5),
+            ))
+            .with_layer(HeartbeaterLayer::new(ProcessId(0), SimDuration::from_secs(1))),
+    );
+    engine.set_link(
+        ProcessId(1),
+        ProcessId(0),
+        WanProfile::italy_japan().link(DetRng::seed_from(6)),
+    );
+    let end = SimTime::from_secs(600);
+    engine.run_until(end);
+
+    let histories: Vec<Vec<(SimTime, bool)>> = (0..3u32)
+        .map(|d| {
+            engine
+                .event_log()
+                .iter()
+                .filter_map(|e| match e.kind {
+                    EventKind::StartSuspect { detector } if detector == d => Some((e.at, true)),
+                    EventKind::EndSuspect { detector } if detector == d => Some((e.at, false)),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect();
+    assert!(!histories[0].is_empty(), "some suspicion activity expected");
+    assert_eq!(histories[0], histories[1]);
+    assert_eq!(histories[1], histories[2]);
+}
+
+#[test]
+fn multiplexed_different_detectors_diverge() {
+    // Different margins behind the same multiplexer must behave differently
+    // while still seeing the same stream.
+    let tight = FailureDetector::new(
+        "tight",
+        WinMean::new(5),
+        JacobsonMargin::new(1.0),
+        SimDuration::from_secs(1),
+    );
+    let loose = FailureDetector::new(
+        "loose",
+        WinMean::new(5),
+        ConstantMargin::new(2_000.0),
+        SimDuration::from_secs(1),
+    );
+    let mux = MultiplexerLayer::new()
+        .with_child(FdComponent { id: 0, fd: tight })
+        .with_child(FdComponent { id: 1, fd: loose });
+    let mut engine = SimEngine::new();
+    engine.add_process(Process::new(ProcessId(0)).with_layer(mux));
+    engine.add_process(
+        Process::new(ProcessId(1))
+            .with_layer(HeartbeaterLayer::new(ProcessId(0), SimDuration::from_secs(1))),
+    );
+    // Lossy-ish volatile link to provoke mistakes on the tight detector.
+    engine.set_link(
+        ProcessId(1),
+        ProcessId(0),
+        WanProfile::congested_wan().link(DetRng::seed_from(7)),
+    );
+    let end = SimTime::from_secs(900);
+    engine.run_until(end);
+    let m_tight = extract_metrics(engine.event_log(), 0, end);
+    let m_loose = extract_metrics(engine.event_log(), 1, end);
+    assert!(
+        m_tight.mistake_durations_ms.len() > m_loose.mistake_durations_ms.len(),
+        "tight {} vs loose {}",
+        m_tight.mistake_durations_ms.len(),
+        m_loose.mistake_durations_ms.len()
+    );
+}
+
+#[test]
+fn reordered_heartbeats_are_observed_but_do_not_regress_freshness() {
+    // With η = 10 ms and delay σ ≫ η, messages overtake each other on the
+    // link; the detector must consume the stale ones as delay observations
+    // without ever moving its freshness point backwards.
+    let eta = SimDuration::from_millis(10);
+    let fd = FailureDetector::new("r", Last::new(), ConstantMargin::new(500.0), eta);
+    let mut engine = SimEngine::new();
+    engine.add_process(Process::new(ProcessId(0)).with_layer(MonitorLayer::new(vec![fd])));
+    engine.add_process(
+        Process::new(ProcessId(1)).with_layer(HeartbeaterLayer::new(ProcessId(0), eta)),
+    );
+    engine.set_link(
+        ProcessId(1),
+        ProcessId(0),
+        LinkModel::new(
+            TruncatedNormalDelay::new(50.0, 30.0, 1.0),
+            NoLoss,
+            DetRng::seed_from(8),
+        ),
+    );
+    engine.run_until(SimTime::from_secs(30));
+
+    // Reordering actually happened…
+    let monitor = engine.process_mut(ProcessId(0));
+    let layer = monitor.layer_mut(0);
+    assert_eq!(layer.name(), "monitor");
+    // …observable through the Received sequence in the log.
+    let seqs: Vec<u64> = engine
+        .event_log()
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Received { seq } => Some(seq),
+            _ => None,
+        })
+        .collect();
+    assert!(seqs.len() > 2_000, "received {}", seqs.len());
+    let out_of_order = seqs.windows(2).filter(|w| w[1] < w[0]).count();
+    assert!(out_of_order > 50, "expected real reordering, got {out_of_order}");
+    // The detector never got stuck suspecting the (alive) process.
+    let m = extract_metrics(engine.event_log(), 0, SimTime::from_secs(30));
+    assert_eq!(m.total_crashes, 0);
+    for pair in m
+        .mistake_durations_ms
+        .iter()
+        .zip(m.mistake_recurrences_ms.iter())
+    {
+        assert!(pair.0.is_finite() && pair.1.is_finite());
+    }
+}
+
+#[test]
+fn one_monitor_watches_two_senders_independently() {
+    // Two monitored processes, one monitor process with two source-filtered
+    // monitor layers; only the crashing sender's detector fires.
+    let eta = SimDuration::from_secs(1);
+    let fd_a = FailureDetector::new("a", Last::new(), ConstantMargin::new(150.0), eta);
+    let fd_b = FailureDetector::new("b", Last::new(), ConstantMargin::new(150.0), eta);
+    let mut engine = SimEngine::new();
+    engine.add_process(
+        Process::new(ProcessId(0))
+            .with_layer(MonitorLayer::new(vec![fd_a]).for_source(ProcessId(1)))
+            .with_layer(
+                MonitorLayer::new(vec![fd_b])
+                    .for_source(ProcessId(2))
+                    .with_detector_base(1),
+            ),
+    );
+    engine.add_process(
+        Process::new(ProcessId(1))
+            .with_layer(SimCrashLayer::new(
+                SimDuration::from_secs(50),
+                SimDuration::from_secs(10),
+                DetRng::seed_from(9),
+            ))
+            .with_layer(HeartbeaterLayer::new(ProcessId(0), eta)),
+    );
+    engine.add_process(
+        Process::new(ProcessId(2)).with_layer(HeartbeaterLayer::new(ProcessId(0), eta)),
+    );
+    for (p, s) in [(1u16, 20u64), (2, 21)] {
+        engine.set_link(
+            ProcessId(p),
+            ProcessId(0),
+            LinkModel::new(
+                TruncatedNormalDelay::new(100.0, 5.0, 50.0),
+                NoLoss,
+                DetRng::seed_from(s),
+            ),
+        );
+    }
+    let end = SimTime::from_secs(400);
+    engine.run_until(end);
+    // fd_a (detector id 0) watches the crashing p1; fd_b (detector id 1)
+    // watches the healthy p2 through the pass-through monitor stack.
+    let m_a = extract_metrics(engine.event_log(), 0, end);
+    assert!(m_a.total_crashes >= 3);
+    assert_eq!(m_a.undetected_crashes, 0);
+    let m_b = extract_metrics(engine.event_log(), 1, end);
+    // p2 never crashes: its detector must make no suspicions at all on a
+    // constant lossless link. (Crash events in the log belong to p1; for
+    // detector 1 they are ground truth of the *wrong* process, so check the
+    // raw suspicion stream instead.)
+    let b_suspicions = engine
+        .event_log()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::StartSuspect { detector: 1 }))
+        .count();
+    assert_eq!(b_suspicions, 0, "healthy sender wrongly suspected");
+    let _ = m_b;
+}

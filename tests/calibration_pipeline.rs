@@ -1,0 +1,64 @@
+//! End-to-end calibration workflow: record a trace on one link, fit a
+//! profile to it, and run the QoS experiment on the *fitted* link — the
+//! "measure once, simulate forever" path a downstream user would take.
+
+use fdqos::experiments::{run_qos_experiment, ExperimentParams};
+use fdqos::net::{calibrate_profile, DelayTrace, WanProfile};
+use fdqos::sim::SimDuration;
+
+#[test]
+fn fitted_profile_supports_the_full_experiment() {
+    let measured = DelayTrace::record(
+        &WanProfile::italy_japan(),
+        8_000,
+        SimDuration::from_secs(1),
+        0xF17,
+    );
+    let (fitted, _) = calibrate_profile(&measured, "fitted-link").expect("calibratable");
+
+    let params = ExperimentParams {
+        num_cycles: 600,
+        runs: 2,
+        ..ExperimentParams::quick()
+    };
+    let results = run_qos_experiment(&fitted, &params);
+    assert_eq!(results.labels.len(), 30);
+    for (label, m) in results.labels.iter().zip(&results.metrics) {
+        assert!(m.total_crashes >= 10, "{label}");
+        assert_eq!(
+            m.detection_times_ms.len() + m.undetected_crashes,
+            m.total_crashes,
+            "{label}"
+        );
+        if let Some(pa) = m.query_accuracy() {
+            assert!((0.0..=1.0).contains(&pa), "{label}: {pa}");
+        }
+    }
+}
+
+#[test]
+fn fit_quality_carries_qos_shape() {
+    // The headline orderings survive the measure→fit→simulate round trip:
+    // detection times on the fitted link stay within the same regime as on
+    // the original (sub-second differences, same η-dominated scale).
+    let measured = DelayTrace::record(
+        &WanProfile::italy_japan(),
+        10_000,
+        SimDuration::from_secs(1),
+        0xF18,
+    );
+    let (fitted, _) = calibrate_profile(&measured, "fitted-link").expect("calibratable");
+    let params = ExperimentParams {
+        num_cycles: 1_000,
+        runs: 2,
+        ..ExperimentParams::quick()
+    };
+    let original = run_qos_experiment(&WanProfile::italy_japan(), &params);
+    let refit = run_qos_experiment(&fitted, &params);
+    let td_orig = original.metrics[0].mean_td().unwrap();
+    let td_fit = refit.metrics[0].mean_td().unwrap();
+    assert!(
+        (td_orig - td_fit).abs() < 150.0,
+        "T_D regime shifted: {td_orig} vs {td_fit}"
+    );
+}

@@ -1,0 +1,177 @@
+//! End-to-end semantics of crash injection and detection on controlled
+//! links, spanning fd-core, fd-runtime, fd-experiments and fd-stat.
+
+use fdqos::core::{ConstantMargin, FailureDetector, Last};
+use fdqos::experiments::{HeartbeaterLayer, MonitorLayer, SimCrashLayer};
+use fdqos::net::{ConstantDelay, LinkModel, NoLoss, BernoulliLoss};
+use fdqos::runtime::{Process, ProcessId, SimEngine};
+use fdqos::sim::{DetRng, SimDuration, SimTime};
+use fdqos::stat::{extract_metrics, EventKind};
+
+fn engine_with(
+    mttc_s: u64,
+    ttr_s: u64,
+    delay_ms: u64,
+    loss: f64,
+    margin_ms: f64,
+    seed: u64,
+) -> SimEngine {
+    let eta = SimDuration::from_secs(1);
+    let fd = FailureDetector::new("itest", Last::new(), ConstantMargin::new(margin_ms), eta);
+    let mut engine = SimEngine::new();
+    engine.add_process(Process::new(ProcessId(0)).with_layer(MonitorLayer::new(vec![fd])));
+    engine.add_process(
+        Process::new(ProcessId(1))
+            .with_layer(SimCrashLayer::new(
+                SimDuration::from_secs(mttc_s),
+                SimDuration::from_secs(ttr_s),
+                DetRng::seed_from(seed),
+            ))
+            .with_layer(HeartbeaterLayer::new(ProcessId(0), eta)),
+    );
+    engine.set_link(
+        ProcessId(1),
+        ProcessId(0),
+        LinkModel::new(
+            ConstantDelay::new(SimDuration::from_millis(delay_ms)),
+            BernoulliLoss::new(loss),
+            DetRng::seed_from(seed + 1),
+        ),
+    );
+    engine
+}
+
+#[test]
+fn perfect_link_every_crash_detected_no_mistakes() {
+    let mut engine = engine_with(120, 15, 200, 0.0, 150.0, 1);
+    let end = SimTime::from_secs(1_800);
+    engine.run_until(end);
+    let m = extract_metrics(engine.event_log(), 0, end);
+    assert!(m.total_crashes >= 8, "crashes={}", m.total_crashes);
+    assert_eq!(m.undetected_crashes, 0);
+    assert!(m.mistake_durations_ms.is_empty());
+    assert_eq!(m.query_accuracy(), Some(1.0));
+    // Every T_D is bounded by η + delay + margin.
+    for &td in &m.detection_times_ms {
+        assert!(td <= 1_000.0 + 200.0 + 150.0 + 1.0, "T_D = {td}");
+    }
+}
+
+#[test]
+fn lossy_link_causes_mistakes_but_all_crashes_still_detected() {
+    // 10% loss: missing heartbeats trigger false suspicions corrected by the
+    // following heartbeat.
+    let mut engine = engine_with(200, 20, 100, 0.10, 50.0, 2);
+    let end = SimTime::from_secs(2_000);
+    engine.run_until(end);
+    let m = extract_metrics(engine.event_log(), 0, end);
+    assert_eq!(m.undetected_crashes, 0, "completeness must hold");
+    assert!(
+        m.mistake_durations_ms.len() > 20,
+        "10% loss must cause many mistakes, got {}",
+        m.mistake_durations_ms.len()
+    );
+    // Mistakes last about one heartbeat period (until the next arrival).
+    let mean_tm = m.mean_tm().unwrap();
+    assert!(mean_tm < 2_500.0, "T_M = {mean_tm}");
+    let pa = m.query_accuracy().unwrap();
+    assert!(pa < 1.0 && pa > 0.5, "P_A = {pa}");
+}
+
+#[test]
+fn crash_isolates_both_directions() {
+    // The SimCrash layer must drop traffic *from* the crashed process: the
+    // monitor receives nothing between crash and restore (modulo in-flight).
+    let mut engine = engine_with(100, 30, 50, 0.0, 100.0, 3);
+    let end = SimTime::from_secs(600);
+    engine.run_until(end);
+    let log = engine.event_log();
+    let crash = log
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::Crash))
+        .expect("a crash happened")
+        .at;
+    let restore = log
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::Restore) && e.at > crash)
+        .expect("a restore happened")
+        .at;
+    let in_flight_horizon = crash + SimDuration::from_millis(50);
+    for e in log.iter() {
+        if let EventKind::Received { .. } = e.kind {
+            let during_crash = e.at > in_flight_horizon && e.at < restore;
+            assert!(!during_crash, "received at {} inside crash [{crash}, {restore}]", e.at);
+        }
+    }
+}
+
+#[test]
+fn suspicion_edges_alternate_per_detector() {
+    let mut engine = engine_with(90, 10, 150, 0.05, 30.0, 4);
+    let end = SimTime::from_secs(1_200);
+    engine.run_until(end);
+    let mut suspecting = false;
+    for e in engine.event_log().iter() {
+        match e.kind {
+            EventKind::StartSuspect { detector: 0 } => {
+                assert!(!suspecting, "double StartSuspect at {}", e.at);
+                suspecting = true;
+            }
+            EventKind::EndSuspect { detector: 0 } => {
+                assert!(suspecting, "EndSuspect without StartSuspect at {}", e.at);
+                suspecting = false;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn larger_margin_trades_accuracy_for_delay() {
+    // The paper's core trade-off, demonstrated end-to-end: a larger constant
+    // margin yields fewer/shorter mistakes but longer detection times.
+    let run = |margin: f64| {
+        let mut engine = engine_with(150, 20, 100, 0.08, margin, 5);
+        let end = SimTime::from_secs(3_000);
+        engine.run_until(end);
+        extract_metrics(engine.event_log(), 0, end)
+    };
+    let tight = run(20.0);
+    let loose = run(1_200.0);
+    assert!(
+        loose.mean_td().unwrap() > tight.mean_td().unwrap(),
+        "detection slower with bigger margin"
+    );
+    // A margin larger than η + delay (1.2 s > 1.1 s) means a single lost
+    // heartbeat no longer triggers suspicion: the following heartbeat
+    // arrives at σ_{k+1} + η + delay, before τ_{k+1} = σ_{k+1} + delay + sm.
+    assert!(
+        loose.mistake_durations_ms.len() < tight.mistake_durations_ms.len() / 4,
+        "tight={} loose={}",
+        tight.mistake_durations_ms.len(),
+        loose.mistake_durations_ms.len()
+    );
+}
+
+#[test]
+fn no_heartbeats_no_suspicion() {
+    // A monitor with no incoming link never produces output transitions.
+    let eta = SimDuration::from_secs(1);
+    let fd = FailureDetector::new("idle", Last::new(), ConstantMargin::new(10.0), eta);
+    let mut engine = SimEngine::new();
+    engine.add_process(Process::new(ProcessId(0)).with_layer(MonitorLayer::new(vec![fd])));
+    engine.add_process(
+        Process::new(ProcessId(1)).with_layer(HeartbeaterLayer::new(ProcessId(0), eta)),
+    );
+    // No link configured: all heartbeats drop.
+    engine.run_until(SimTime::from_secs(100));
+    assert_eq!(
+        engine
+            .event_log()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::StartSuspect { .. }))
+            .count(),
+        0
+    );
+    let _ = NoLoss; // keep the import exercised for the doc example
+}

@@ -1,0 +1,94 @@
+//! Black-box checks of the freshness-point semantics of Section 2.3 against
+//! hand-computed schedules — the definitional core of the paper's detector,
+//! exercised through the public API only.
+
+use fdqos::core::{ConstantMargin, FailureDetector, FdOutput, FdTransition, Last, Mean};
+use fdqos::sim::{SimDuration, SimTime};
+
+fn ms(v: u64) -> SimTime {
+    SimTime::from_millis(v)
+}
+
+#[test]
+fn freshness_point_formula_matches_the_paper() {
+    // τ_{i+1} = σ_{i+1} + pred_{i+1} + sm_{i+1}, σ_i = i·η.
+    let eta = SimDuration::from_millis(750);
+    let mut fd = FailureDetector::new("t", Last::new(), ConstantMargin::new(60.0), eta);
+    // m_4 sent at σ_4 = 3000 ms arrives at 3130 ms: delay 130 ms.
+    fd.on_heartbeat(4, ms(3_130));
+    // τ_5 = 5·750 + 130 + 60 = 3940 ms.
+    assert_eq!(fd.next_deadline(), Some(ms(3_940)));
+    assert_eq!(fd.predicted_delay_ms(), 130.0);
+    assert_eq!(fd.margin_ms(), 60.0);
+    assert_eq!(fd.current_timeout_ms(), 190.0);
+}
+
+#[test]
+fn suspicion_interval_is_closed_open_per_paper() {
+    // "p suspects q if, at time t ∈ [τ_i, τ_{i+1}], it has not received a
+    // heartbeat with timestamp k ≥ i": the left endpoint suspects.
+    let eta = SimDuration::from_secs(1);
+    let mut fd = FailureDetector::new("t", Last::new(), ConstantMargin::new(0.0), eta);
+    fd.on_heartbeat(0, ms(100));
+    let tau1 = fd.next_deadline().unwrap();
+    assert_eq!(tau1, ms(1_100));
+    assert_eq!(fd.check(ms(1_099)), None);
+    assert_eq!(fd.check(tau1), Some(FdTransition::StartSuspect));
+}
+
+#[test]
+fn mean_predictor_detector_matches_manual_computation() {
+    // Delays 100, 200, 300 → running means 100, 150, 200.
+    let eta = SimDuration::from_secs(1);
+    let mut fd = FailureDetector::new("m", Mean::new(), ConstantMargin::new(10.0), eta);
+    fd.on_heartbeat(0, ms(100));
+    assert_eq!(fd.next_deadline(), Some(ms(1_000 + 100 + 10)));
+    fd.on_heartbeat(1, ms(1_200));
+    assert_eq!(fd.next_deadline(), Some(ms(2_000 + 150 + 10)));
+    fd.on_heartbeat(2, ms(2_300));
+    assert_eq!(fd.next_deadline(), Some(ms(3_000 + 200 + 10)));
+}
+
+#[test]
+fn late_heartbeat_after_deadline_still_counts_as_fresh() {
+    // A heartbeat that arrives after its own freshness point expired must
+    // still refresh trust (it carries timestamp k ≥ i).
+    let eta = SimDuration::from_secs(1);
+    let mut fd = FailureDetector::new("t", Last::new(), ConstantMargin::new(50.0), eta);
+    fd.on_heartbeat(0, ms(100));
+    assert!(fd.check(ms(5_000)).is_some());
+    assert_eq!(fd.output(), FdOutput::Suspect);
+    // m_1 arrives four seconds late.
+    assert_eq!(fd.on_heartbeat(1, ms(5_050)), Some(FdTransition::EndSuspect));
+    assert_eq!(fd.output(), FdOutput::Trust);
+    // τ_2 = 2000 + (5050−1000) + 50 = 6100 ms: the huge observed delay
+    // inflates the next prediction — exactly LAST's behaviour.
+    assert_eq!(fd.next_deadline(), Some(ms(6_100)));
+}
+
+#[test]
+fn sequence_gaps_count_from_the_freshest_heartbeat() {
+    // After receiving m_7, the relevant freshness point is τ_8 regardless of
+    // how many earlier heartbeats were lost.
+    let eta = SimDuration::from_secs(1);
+    let mut fd = FailureDetector::new("t", Last::new(), ConstantMargin::new(25.0), eta);
+    fd.on_heartbeat(2, ms(2_150));
+    fd.on_heartbeat(7, ms(7_175));
+    assert_eq!(fd.next_deadline(), Some(ms(8_000 + 175 + 25)));
+    assert_eq!(fd.heartbeats(), 2);
+    assert_eq!(fd.stale_heartbeats(), 0);
+}
+
+#[test]
+fn duplicate_sequence_is_stale() {
+    let eta = SimDuration::from_secs(1);
+    let mut fd = FailureDetector::new("t", Last::new(), ConstantMargin::new(25.0), eta);
+    fd.on_heartbeat(3, ms(3_100));
+    let deadline = fd.next_deadline();
+    // The same heartbeat delivered again (e.g. network duplication is
+    // excluded by the fair-lossy model, but a retransmitting upper layer
+    // could do this): observed, but freshness untouched.
+    assert_eq!(fd.on_heartbeat(3, ms(3_200)), None);
+    assert_eq!(fd.next_deadline(), deadline);
+    assert_eq!(fd.stale_heartbeats(), 1);
+}

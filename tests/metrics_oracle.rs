@@ -1,0 +1,124 @@
+//! Cross-validation of the QoS metric extraction against an independent
+//! brute-force oracle.
+//!
+//! `fd_stat::extract_metrics` is the measurement instrument behind every
+//! figure of the reproduction, so its correctness is checked here against a
+//! second, deliberately naive implementation that works directly on
+//! explicit interval lists rather than a streaming handler.
+
+use fdqos::sim::SimTime;
+use fdqos::stat::{extract_metrics, Event, EventKind, EventLog, ProcessId};
+use proptest::prelude::*;
+
+/// The brute-force oracle: builds interval lists and classifies them.
+fn oracle(
+    crashes: &[(u64, u64)],        // [start, end) seconds
+    episodes: &[(u64, Option<u64>)], // start, optional end
+    run_end_s: u64,
+) -> (Vec<f64>, Vec<f64>, usize) {
+    // Detection: for each crash, the episode active at restore time.
+    let active_at = |t: u64, (s, e): (u64, Option<u64>)| s <= t && e.is_none_or(|e| t < e);
+    let mut detections = Vec::new();
+    let mut detection_idx = Vec::new();
+    let mut undetected = 0;
+    for &(c, r) in crashes {
+        match episodes.iter().position(|&ep| active_at(r, ep)) {
+            Some(i) => {
+                detection_idx.push(i);
+                detections.push((episodes[i].0.saturating_sub(c) * 1_000) as f64);
+            }
+            None => undetected += 1,
+        }
+    }
+    // Mistakes: closed episodes starting while up, excluding detections.
+    let down_at = |t: u64| crashes.iter().any(|&(c, r)| t >= c && t < r);
+    let mut mistakes = Vec::new();
+    for (i, &(s, e)) in episodes.iter().enumerate() {
+        if detection_idx.contains(&i) || down_at(s) {
+            continue;
+        }
+        if let Some(e) = e {
+            mistakes.push(((e - s) * 1_000) as f64);
+        }
+    }
+    let _ = run_end_s;
+    (detections, mistakes, undetected)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Streaming extraction and the brute-force oracle agree on T_D samples,
+    /// T_M samples and the undetected count for arbitrary well-formed
+    /// schedules.
+    #[test]
+    fn extraction_matches_oracle(
+        crash_gaps in proptest::collection::vec(10u64..40, 0..4),
+        episode_gaps in proptest::collection::vec(1u64..25, 1..12),
+        leave_open in proptest::bool::ANY,
+    ) {
+        // Build non-overlapping crash intervals.
+        let mut crashes = Vec::new();
+        let mut t = 17u64;
+        for g in &crash_gaps {
+            let c = t + g;
+            let r = c + 8;
+            crashes.push((c, r));
+            t = r + 5;
+        }
+        let run_end_s = t + 200;
+
+        // Build alternating suspicion episodes.
+        let mut episodes: Vec<(u64, Option<u64>)> = Vec::new();
+        let mut t = 3u64;
+        let mut start: Option<u64> = None;
+        for g in &episode_gaps {
+            t += g;
+            match start {
+                None => start = Some(t),
+                Some(s) => {
+                    episodes.push((s, Some(t)));
+                    start = None;
+                }
+            }
+        }
+        if let Some(s) = start {
+            if leave_open {
+                episodes.push((s, None));
+            }
+        }
+
+        // Interleave into a time-ordered event log.
+        let mut events: Vec<Event> = Vec::new();
+        let p = ProcessId(0);
+        for &(c, r) in &crashes {
+            events.push(Event::new(SimTime::from_secs(c), p, EventKind::Crash));
+            events.push(Event::new(SimTime::from_secs(r), p, EventKind::Restore));
+        }
+        for &(s, e) in &episodes {
+            events.push(Event::new(
+                SimTime::from_secs(s),
+                p,
+                EventKind::StartSuspect { detector: 0 },
+            ));
+            if let Some(e) = e {
+                events.push(Event::new(
+                    SimTime::from_secs(e),
+                    p,
+                    EventKind::EndSuspect { detector: 0 },
+                ));
+            }
+        }
+        events.sort_by_key(|e| e.at);
+        let log: EventLog = events.into_iter().collect();
+
+        let m = extract_metrics(&log, 0, SimTime::from_secs(run_end_s));
+        let (td_oracle, tm_oracle, undetected_oracle) =
+            oracle(&crashes, &episodes, run_end_s);
+
+        prop_assert_eq!(&m.detection_times_ms, &td_oracle);
+        prop_assert_eq!(&m.mistake_durations_ms, &tm_oracle);
+        prop_assert_eq!(m.undetected_crashes, undetected_oracle);
+        prop_assert_eq!(m.total_crashes, crashes.len());
+    }
+}

@@ -1,0 +1,148 @@
+//! The paper's push-vs-pull comparison (Section 2.2), measured end-to-end:
+//! for continuous monitoring, push achieves comparable detection QoS with
+//! half the messages.
+
+use fdqos::core::{ConstantMargin, FailureDetector, Last, PullFailureDetector};
+use fdqos::experiments::{
+    HeartbeaterLayer, MonitorLayer, PullMonitorLayer, ResponderLayer, SimCrashLayer,
+};
+use fdqos::net::{ConstantDelay, LinkModel, NoLoss};
+use fdqos::runtime::{Process, ProcessId, SimEngine};
+use fdqos::sim::{DetRng, SimDuration, SimTime};
+use fdqos::stat::{extract_metrics, QosMetrics};
+
+const PERIOD_S: u64 = 1;
+const DELAY_MS: u64 = 100;
+const HORIZON_S: u64 = 900;
+
+fn link(seed: u64) -> LinkModel {
+    LinkModel::new(
+        ConstantDelay::new(SimDuration::from_millis(DELAY_MS)),
+        NoLoss,
+        DetRng::seed_from(seed),
+    )
+}
+
+fn crash_layer(seed: u64) -> SimCrashLayer {
+    SimCrashLayer::new(
+        SimDuration::from_secs(100),
+        SimDuration::from_secs(20),
+        DetRng::seed_from(seed),
+    )
+}
+
+/// Runs push monitoring; returns (metrics, messages on the wire).
+fn run_push(seed: u64) -> (QosMetrics, u64) {
+    let eta = SimDuration::from_secs(PERIOD_S);
+    let fd = FailureDetector::new("push", Last::new(), ConstantMargin::new(100.0), eta);
+    let mut engine = SimEngine::new();
+    engine.add_process(Process::new(ProcessId(0)).with_layer(MonitorLayer::new(vec![fd])));
+    engine.add_process(
+        Process::new(ProcessId(1))
+            .with_layer(crash_layer(seed))
+            .with_layer(HeartbeaterLayer::new(ProcessId(0), eta)),
+    );
+    engine.set_link(ProcessId(1), ProcessId(0), link(seed + 10));
+    let end = SimTime::from_secs(HORIZON_S);
+    engine.run_until(end);
+    let messages = engine.link_stats(ProcessId(1), ProcessId(0)).unwrap().sent;
+    (extract_metrics(engine.event_log(), 0, end), messages)
+}
+
+/// Runs pull monitoring with the same period; returns (metrics, messages).
+fn run_pull(seed: u64) -> (QosMetrics, u64) {
+    let period = SimDuration::from_secs(PERIOD_S);
+    let fd = PullFailureDetector::new("pull", Last::new(), ConstantMargin::new(100.0), period);
+    let mut engine = SimEngine::new();
+    engine.add_process(
+        Process::new(ProcessId(0)).with_layer(PullMonitorLayer::new(fd, ProcessId(1))),
+    );
+    engine.add_process(
+        Process::new(ProcessId(1))
+            .with_layer(crash_layer(seed))
+            .with_layer(ResponderLayer::new()),
+    );
+    engine.set_link(ProcessId(1), ProcessId(0), link(seed + 10));
+    engine.set_link(ProcessId(0), ProcessId(1), link(seed + 11));
+    let end = SimTime::from_secs(HORIZON_S);
+    engine.run_until(end);
+    let to_monitor = engine.link_stats(ProcessId(1), ProcessId(0)).unwrap().sent;
+    let to_target = engine.link_stats(ProcessId(0), ProcessId(1)).unwrap().sent;
+    (
+        extract_metrics(engine.event_log(), 0, end),
+        to_monitor + to_target,
+    )
+}
+
+#[test]
+fn pull_uses_about_twice_the_messages() {
+    let (_, push_msgs) = run_push(1);
+    let (_, pull_msgs) = run_pull(1);
+    let ratio = pull_msgs as f64 / push_msgs as f64;
+    // Requests keep flowing while crashed (responses don't), so the ratio is
+    // slightly below 2 only because push heartbeats pause during crashes.
+    assert!(
+        (1.6..=2.4).contains(&ratio),
+        "pull/push message ratio = {ratio} ({pull_msgs}/{push_msgs})"
+    );
+}
+
+#[test]
+fn both_styles_detect_every_crash() {
+    let (push, _) = run_push(2);
+    let (pull, _) = run_pull(2);
+    assert!(push.total_crashes >= 5);
+    assert!(pull.total_crashes >= 5);
+    assert_eq!(push.undetected_crashes, 0);
+    assert_eq!(pull.undetected_crashes, 0);
+}
+
+#[test]
+fn detection_quality_is_comparable() {
+    // Same period, same link: mean detection times are within the same
+    // order (pull waits for a missing *response*, push for a missing
+    // heartbeat; both are bounded by the period + RTT + margin).
+    let (push, _) = run_push(3);
+    let (pull, _) = run_pull(3);
+    let td_push = push.mean_td().unwrap();
+    let td_pull = pull.mean_td().unwrap();
+    assert!(
+        (td_pull - td_push).abs() < 1_000.0,
+        "push {td_push} vs pull {td_pull}"
+    );
+    // Neither style makes mistakes on a perfect constant link.
+    assert!(push.mistake_durations_ms.is_empty());
+    assert!(pull.mistake_durations_ms.is_empty());
+}
+
+#[test]
+fn rto_margin_runs_in_the_full_detector() {
+    // The Bertier-style RTO margin (extension beyond the paper's families)
+    // composes with the push detector and adapts like SM_JAC.
+    use fdqos::core::combinations::Combination;
+    use fdqos::core::{MarginKind, PredictorKind};
+    let eta = SimDuration::from_secs(1);
+    let combo = Combination::new(PredictorKind::Last, MarginKind::Rto { k: 4.0 });
+    assert_eq!(combo.label(), "LAST+SM_RTO(4)");
+    let fd = combo.build(eta);
+
+    let mut engine = SimEngine::new();
+    engine.add_process(Process::new(ProcessId(0)).with_layer(MonitorLayer::new(vec![fd])));
+    engine.add_process(
+        Process::new(ProcessId(1))
+            .with_layer(crash_layer(7))
+            .with_layer(HeartbeaterLayer::new(ProcessId(0), eta)),
+    );
+    engine.set_link(
+        ProcessId(1),
+        ProcessId(0),
+        fdqos::net::WanProfile::italy_japan().link(DetRng::seed_from(77)),
+    );
+    let end = SimTime::from_secs(900);
+    engine.run_until(end);
+    let m = extract_metrics(engine.event_log(), 0, end);
+    assert_eq!(m.undetected_crashes, 0);
+    if let Some(pa) = m.query_accuracy() {
+        assert!((0.0..=1.0).contains(&pa));
+    }
+}

@@ -1,0 +1,135 @@
+//! Integration tests of the full QoS experiment pipeline (Figures 4–8 at
+//! reduced scale): 30 detectors, crash injection, metric extraction,
+//! figure-table construction.
+
+use fdqos::experiments::{run_qos_experiment, run_qos_single, ExperimentParams, Metric};
+use fdqos::net::WanProfile;
+use fdqos::stat::extract_metrics;
+
+fn quick_params() -> ExperimentParams {
+    ExperimentParams {
+        num_cycles: 600,
+        runs: 2,
+        ..ExperimentParams::quick()
+    }
+}
+
+#[test]
+fn figures_cover_the_full_grid() {
+    let results = run_qos_experiment(&WanProfile::italy_japan(), &quick_params());
+    for metric in Metric::all() {
+        let fig = results.figure(metric);
+        assert_eq!(fig.rows.len(), 5, "five predictors");
+        assert_eq!(fig.margin_labels.len(), 6, "six margins");
+        for (p, values) in &fig.rows {
+            assert_eq!(values.len(), 6, "{p}");
+            if matches!(metric, Metric::Td | Metric::TdUpper) {
+                // Detection metrics must be measurable for every combo.
+                assert!(values.iter().all(|v| v.is_some()), "{p}: {values:?}");
+            }
+        }
+        assert!(fig.title.contains(&format!("Figure {}", metric.figure_number())));
+    }
+}
+
+#[test]
+fn td_upper_dominates_td_for_every_combination() {
+    let results = run_qos_experiment(&WanProfile::italy_japan(), &quick_params());
+    for (i, label) in results.labels.iter().enumerate() {
+        let td = results.value(i, Metric::Td).unwrap();
+        let tdu = results.value(i, Metric::TdUpper).unwrap();
+        assert!(tdu >= td, "{label}: T_D^U {tdu} < mean T_D {td}");
+    }
+}
+
+#[test]
+fn larger_gamma_means_longer_detection_and_longer_tmr() {
+    // Within the SM_CI family the margin grows with γ; since the margin is
+    // predictor-independent, every predictor's T_D must grow monotonically
+    // across CI_low → CI_med → CI_high.
+    let results = run_qos_experiment(&WanProfile::italy_japan(), &quick_params());
+    let fig = results.figure(Metric::Td);
+    for (p, values) in &fig.rows {
+        let (lo, med, hi) = (values[0].unwrap(), values[1].unwrap(), values[2].unwrap());
+        assert!(lo < med && med < hi, "{p}: {lo} {med} {hi}");
+    }
+}
+
+#[test]
+fn all_runs_pool_their_samples() {
+    let profile = WanProfile::italy_japan();
+    let params = quick_params();
+    let pooled = run_qos_experiment(&profile, &params);
+
+    // Reconstruct run 0's metrics and confirm the pool is strictly bigger.
+    let (log, run_end, _) = run_qos_single(&profile, &params, 0);
+    let single = extract_metrics(&log, 0, run_end);
+    assert!(
+        pooled.metrics[0].detection_times_ms.len() > single.detection_times_ms.len(),
+        "pooled {} vs single {}",
+        pooled.metrics[0].detection_times_ms.len(),
+        single.detection_times_ms.len()
+    );
+    assert!(pooled.metrics[0].total_crashes > single.total_crashes);
+}
+
+#[test]
+fn experiment_is_reproducible_end_to_end() {
+    let profile = WanProfile::italy_japan();
+    let params = quick_params();
+    let a = run_qos_experiment(&profile, &params);
+    let b = run_qos_experiment(&profile, &params);
+    assert_eq!(a.labels, b.labels);
+    for (ma, mb) in a.metrics.iter().zip(&b.metrics) {
+        assert_eq!(ma, mb);
+    }
+}
+
+#[test]
+fn changing_the_seed_changes_the_outcome() {
+    let profile = WanProfile::italy_japan();
+    let params = quick_params();
+    let other = ExperimentParams {
+        seed: params.seed + 1,
+        ..params.clone()
+    };
+    let a = run_qos_experiment(&profile, &params);
+    let b = run_qos_experiment(&profile, &other);
+    assert_ne!(a.metrics[0], b.metrics[0]);
+}
+
+#[test]
+fn figure_value_lookup_matches_results() {
+    let results = run_qos_experiment(&WanProfile::italy_japan(), &quick_params());
+    let fig = results.figure(Metric::Td);
+    let idx = results
+        .labels
+        .iter()
+        .position(|l| l.starts_with("LAST+SM_JAC(1)"))
+        .expect("LAST+SM_JAC(1) exists");
+    assert_eq!(
+        fig.value("LAST", "JAC_low"),
+        results.value(idx, Metric::Td)
+    );
+}
+
+#[test]
+fn detection_times_scale_with_eta() {
+    // Halving the heartbeat period roughly halves detection time (the
+    // dominant term is the wait for the next freshness point).
+    let profile = WanProfile::italy_japan();
+    let slow = quick_params();
+    let fast = ExperimentParams {
+        eta: fdqos::sim::SimDuration::from_millis(500),
+        num_cycles: 1_200,
+        ..quick_params()
+    };
+    let a = run_qos_experiment(&profile, &slow);
+    let b = run_qos_experiment(&profile, &fast);
+    let td_slow = a.value(0, Metric::Td).unwrap();
+    let td_fast = b.value(0, Metric::Td).unwrap();
+    assert!(
+        td_fast < 0.8 * td_slow,
+        "η/2 should cut T_D markedly: slow={td_slow}, fast={td_fast}"
+    );
+}

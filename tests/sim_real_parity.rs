@@ -1,0 +1,101 @@
+//! The Neko property: the same layer stacks run on the simulation engine and
+//! on the real UDP engine. These tests run the identical code under both and
+//! check the behaviours agree structurally (exact timing obviously differs).
+
+use std::time::Duration;
+
+use fdqos::core::combinations::Combination;
+use fdqos::core::{MarginKind, PredictorKind};
+use fdqos::experiments::{HeartbeaterLayer, MonitorLayer};
+use fdqos::net::{ConstantDelay, LinkModel, NoLoss};
+use fdqos::runtime::{Process, ProcessId, RealEngine, RealEngineConfig, SimEngine};
+use fdqos::sim::{DetRng, SimDuration, SimTime};
+use fdqos::stat::{EventKind, EventLog};
+
+fn stacks(eta: SimDuration) -> Vec<Process> {
+    let detectors = vec![
+        Combination::new(PredictorKind::Last, MarginKind::Jac { phi: 2.0 }).build(eta),
+        Combination::new(PredictorKind::Mean, MarginKind::Ci { gamma: 2.0 }).build(eta),
+    ];
+    vec![
+        Process::new(ProcessId(0)).with_layer(MonitorLayer::new(detectors)),
+        Process::new(ProcessId(1)).with_layer(HeartbeaterLayer::new(ProcessId(0), eta)),
+    ]
+}
+
+fn count(log: &EventLog, pred: impl Fn(&EventKind) -> bool) -> usize {
+    log.iter().filter(|e| pred(&e.kind)).count()
+}
+
+#[test]
+fn same_stack_runs_on_both_engines() {
+    let eta = SimDuration::from_millis(50);
+
+    // --- Simulated run: 2 virtual seconds over a near-ideal link.
+    let mut procs = stacks(eta).into_iter();
+    let mut engine = SimEngine::new();
+    engine.add_process(procs.next().unwrap());
+    engine.add_process(procs.next().unwrap());
+    engine.set_link(
+        ProcessId(1),
+        ProcessId(0),
+        LinkModel::new(
+            ConstantDelay::new(SimDuration::from_micros(200)),
+            NoLoss,
+            DetRng::seed_from(1),
+        ),
+    );
+    engine.run_until(SimTime::from_secs(2));
+    let sim_log = engine.into_event_log();
+
+    // --- Real run: 2 wall seconds over localhost UDP.
+    let config = RealEngineConfig::localhost(2).expect("bind localhost");
+    let real = RealEngine::new(stacks(eta), config);
+    let (_p, real_log, stats) = real.run_for(Duration::from_secs(2)).expect("real run");
+
+    // Both runs send roughly duration/η heartbeats and deliver almost all.
+    let sim_sent = count(&sim_log, |k| matches!(k, EventKind::Sent { .. }));
+    let real_sent = count(&real_log, |k| matches!(k, EventKind::Sent { .. }));
+    assert!((35..=45).contains(&sim_sent), "sim sent {sim_sent}");
+    assert!((30..=48).contains(&real_sent), "real sent {real_sent}");
+
+    let sim_recv = count(&sim_log, |k| matches!(k, EventKind::Received { .. }));
+    let real_recv = count(&real_log, |k| matches!(k, EventKind::Received { .. }));
+    assert!(sim_recv >= sim_sent - 1, "sim delivered {sim_recv}/{sim_sent}");
+    assert!(
+        real_recv >= real_sent / 2,
+        "real delivered {real_recv}/{real_sent}"
+    );
+    assert_eq!(stats[0].decode_errors, 0);
+
+    // Neither run should leave a detector permanently suspecting a live
+    // process: suspicion edges must balance within one.
+    for log in [&sim_log, &real_log] {
+        for d in 0..2u32 {
+            let starts = count(log, |k| matches!(k, EventKind::StartSuspect { detector } if *detector == d));
+            let ends = count(log, |k| matches!(k, EventKind::EndSuspect { detector } if *detector == d));
+            assert!(starts.abs_diff(ends) <= 1, "detector {d}: {starts} starts vs {ends} ends");
+        }
+    }
+}
+
+#[test]
+fn real_engine_returns_processes_in_id_order() {
+    let eta = SimDuration::from_millis(100);
+    let config = RealEngineConfig::localhost(2).expect("bind localhost");
+    let engine = RealEngine::new(stacks(eta), config);
+    let (procs, _log, stats) = engine.run_for(Duration::from_millis(300)).expect("run");
+    assert_eq!(procs.len(), 2);
+    assert_eq!(procs[0].id(), ProcessId(0));
+    assert_eq!(procs[1].id(), ProcessId(1));
+    assert_eq!(stats.len(), 2);
+}
+
+#[test]
+fn localhost_config_assigns_distinct_ports() {
+    let config = RealEngineConfig::localhost(5).expect("bind localhost");
+    let mut ports: Vec<u16> = config.addrs.iter().map(|a| a.port()).collect();
+    ports.sort_unstable();
+    ports.dedup();
+    assert_eq!(ports.len(), 5, "ports must be distinct");
+}

@@ -1,0 +1,55 @@
+//! Streaming-vs-batch equivalence of the NekoStat handler: feeding events
+//! one at a time through `FdStatHandler` must equal offline extraction from
+//! the complete log, whatever the interleaving of detectors.
+
+use fdqos::sim::SimTime;
+use fdqos::stat::{extract_metrics, EventKind, EventLog, FdStatHandler, ProcessId};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn streaming_equals_batch_for_every_detector(
+        steps in proptest::collection::vec((0u64..3, 1u64..30), 1..80),
+        n_detectors in 1u32..4,
+    ) {
+        // Build a multi-detector log: step kind 0 = crash/restore toggles,
+        // 1..=2 = suspicion toggles of detector (kind-1) % n.
+        let mut log = EventLog::new();
+        let p = ProcessId(0);
+        let mut t = 0u64;
+        let mut down = false;
+        let mut suspecting = vec![false; n_detectors as usize];
+        for &(kind, gap) in &steps {
+            t += gap;
+            let at = SimTime::from_secs(t);
+            if kind == 0 {
+                if down {
+                    log.record(at, p, EventKind::Restore);
+                } else {
+                    log.record(at, p, EventKind::Crash);
+                }
+                down = !down;
+            } else {
+                let d = (kind - 1) as u32 % n_detectors;
+                let s = &mut suspecting[d as usize];
+                if *s {
+                    log.record(at, p, EventKind::EndSuspect { detector: d });
+                } else {
+                    log.record(at, p, EventKind::StartSuspect { detector: d });
+                }
+                *s = !*s;
+            }
+        }
+        let run_end = SimTime::from_secs(t + 50);
+
+        for d in 0..n_detectors {
+            let batch = extract_metrics(&log, d, run_end);
+            let mut handler = FdStatHandler::new(d);
+            for e in &log {
+                handler.on_event(e);
+            }
+            let streamed = handler.finish(run_end);
+            prop_assert_eq!(batch, streamed, "detector {}", d);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests across the whole stack: random workloads through the
+//! full simulation must preserve the failure-detector invariants.
+
+use fdqos::core::combinations::Combination;
+use fdqos::core::{MarginKind, PredictorKind};
+use fdqos::experiments::{HeartbeaterLayer, MonitorLayer, SimCrashLayer};
+use fdqos::net::{LinkModel, ShiftedGammaDelay, BernoulliLoss};
+use fdqos::runtime::{Process, ProcessId, SimEngine};
+use fdqos::sim::{DetRng, SimDuration, SimTime};
+use fdqos::stat::{extract_metrics, EventKind};
+use proptest::prelude::*;
+
+fn run_system(
+    seed: u64,
+    mttc_s: u64,
+    ttr_s: u64,
+    loss: f64,
+    delay_floor_ms: f64,
+    horizon_s: u64,
+) -> (fdqos::stat::EventLog, SimTime, usize) {
+    let eta = SimDuration::from_secs(1);
+    let detectors = vec![
+        Combination::new(PredictorKind::Last, MarginKind::Jac { phi: 2.0 }).build(eta),
+        Combination::new(PredictorKind::WinMean { window: 5 }, MarginKind::Ci { gamma: 2.0 })
+            .build(eta),
+    ];
+    let n = detectors.len();
+    let mut engine = SimEngine::new();
+    engine.add_process(Process::new(ProcessId(0)).with_layer(MonitorLayer::new(detectors)));
+    engine.add_process(
+        Process::new(ProcessId(1))
+            .with_layer(SimCrashLayer::new(
+                SimDuration::from_secs(mttc_s),
+                SimDuration::from_secs(ttr_s),
+                DetRng::seed_from(seed),
+            ))
+            .with_layer(HeartbeaterLayer::new(ProcessId(0), eta)),
+    );
+    engine.set_link(
+        ProcessId(1),
+        ProcessId(0),
+        LinkModel::new(
+            ShiftedGammaDelay::new(delay_floor_ms, 1.5, 5.0),
+            BernoulliLoss::new(loss),
+            DetRng::seed_from(seed + 1),
+        ),
+    );
+    let end = SimTime::from_secs(horizon_s);
+    engine.run_until(end);
+    (engine.into_event_log(), end, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the workload, the extracted QoS metrics satisfy their
+    /// structural invariants for every detector.
+    #[test]
+    fn metrics_invariants_under_random_workloads(
+        seed in 0u64..1_000,
+        mttc_s in 30u64..120,
+        ttr_s in 5u64..20,
+        loss in 0.0f64..0.15,
+        floor in 1.0f64..300.0,
+    ) {
+        let (log, end, n) = run_system(seed, mttc_s, ttr_s, loss, floor, 400);
+        for d in 0..n as u32 {
+            let m = extract_metrics(&log, d, end);
+            prop_assert!(m.undetected_crashes <= m.total_crashes);
+            prop_assert_eq!(
+                m.detection_times_ms.len() + m.undetected_crashes,
+                m.total_crashes
+            );
+            for &td in &m.detection_times_ms {
+                prop_assert!(td >= 0.0 && td.is_finite());
+                // Detection can never take longer than the repair interval
+                // plus slack (the permanent suspicion starts before restore).
+                prop_assert!(td <= (ttr_s as f64 + mttc_s as f64 * 1.5 + 2.0) * 1_000.0);
+            }
+            for &tm in &m.mistake_durations_ms {
+                // Zero-length mistakes are possible: a deadline expiring at
+                // the very instant the correcting heartbeat arrives.
+                prop_assert!(tm >= 0.0 && tm.is_finite());
+            }
+            for &tmr in &m.mistake_recurrences_ms {
+                prop_assert!(tmr >= 0.0 && tmr.is_finite());
+            }
+            if let Some(pa) = m.query_accuracy() {
+                prop_assert!((0.0..=1.0).contains(&pa));
+            }
+        }
+    }
+
+    /// Suspicion edges strictly alternate for each detector in the log.
+    #[test]
+    fn edges_alternate(seed in 0u64..500) {
+        let (log, _, n) = run_system(seed, 60, 10, 0.05, 100.0, 300);
+        let mut state = vec![false; n];
+        for e in log.iter() {
+            match e.kind {
+                EventKind::StartSuspect { detector } => {
+                    let s = &mut state[detector as usize];
+                    prop_assert!(!*s, "double start at {}", e.at);
+                    *s = true;
+                }
+                EventKind::EndSuspect { detector } => {
+                    let s = &mut state[detector as usize];
+                    prop_assert!(*s, "end without start at {}", e.at);
+                    *s = false;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The event log is globally time-ordered and crash/restore alternate.
+    #[test]
+    fn log_is_ordered_and_crashes_alternate(seed in 0u64..500) {
+        let (log, _, _) = run_system(seed, 50, 8, 0.02, 50.0, 300);
+        let mut last = SimTime::ZERO;
+        let mut down = false;
+        for e in log.iter() {
+            prop_assert!(e.at >= last);
+            last = e.at;
+            match e.kind {
+                EventKind::Crash => {
+                    prop_assert!(!down);
+                    down = true;
+                }
+                EventKind::Restore => {
+                    prop_assert!(down);
+                    down = false;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Determinism: identical parameters give bit-identical logs.
+    #[test]
+    fn full_system_determinism(seed in 0u64..200) {
+        let (a, _, _) = run_system(seed, 45, 6, 0.08, 120.0, 200);
+        let (b, _, _) = run_system(seed, 45, 6, 0.08, 120.0, 200);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(x, y);
+        }
+    }
+}
