@@ -83,8 +83,7 @@ pub fn fit_ar_yule_walker(series: &[f64], order: usize) -> Option<(f64, Vec<f64>
     if series.len() <= order || order == 0 {
         if order == 0 && !series.is_empty() {
             let mean = series.iter().sum::<f64>() / series.len() as f64;
-            let var = series.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-                / series.len() as f64;
+            let var = series.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / series.len() as f64;
             return Some((mean, Vec::new(), var));
         }
         return None;

@@ -145,7 +145,7 @@ mod tests {
     #[test]
     fn integrate_inverts_difference_d2() {
         let xs = [1.0, 4.0, 9.0, 16.0]; // second difference constant = 2
-        // ẑ = 2 ⇒ x̂ = 2·16 − 9 + 2 = 25 (the next square).
+                                        // ẑ = 2 ⇒ x̂ = 2·16 − 9 + 2 = 25 (the next square).
         assert_eq!(integrate_one_step(2.0, &xs, 2), 25.0);
     }
 
@@ -156,7 +156,9 @@ mod tests {
 
     #[test]
     fn streaming_matches_batch() {
-        let xs: Vec<f64> = (0..20).map(|i| (i as f64).powi(2) + (i as f64 * 0.7).sin()).collect();
+        let xs: Vec<f64> = (0..20)
+            .map(|i| (i as f64).powi(2) + (i as f64 * 0.7).sin())
+            .collect();
         for d in 0..=3usize {
             let batch = difference(&xs, d);
             let mut st = Differencer::new(d);

@@ -89,10 +89,7 @@ impl OnlineArima {
         // large enough. "Large enough" is more than the bare algebraic
         // minimum: coefficient estimates from a few dozen points are
         // unstable enough to be worse than the LAST fallback.
-        let first_fit_at = self
-            .spec
-            .min_series_len()
-            .max(self.refit_every.min(300));
+        let first_fit_at = self.spec.min_series_len().max(self.refit_every.min(300));
         let due = self.observed.is_multiple_of(self.refit_every)
             || (self.model.is_none() && self.window.len() == first_fit_at);
         if due && self.window.len() >= first_fit_at {
@@ -113,9 +110,7 @@ impl OnlineArima {
     /// Falls back to the last observation before the first fit, and to 0.0
     /// if nothing has been observed at all.
     pub fn predict_next(&self) -> f64 {
-        self.state
-            .predict_next(self.model.as_ref())
-            .unwrap_or(0.0)
+        self.state.predict_next(self.model.as_ref()).unwrap_or(0.0)
     }
 }
 

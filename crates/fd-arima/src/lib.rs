@@ -41,4 +41,6 @@ pub use ar::{autocovariance, fit_ar_yule_walker, levinson_durbin};
 pub use diff::{difference, integrate_one_step, Differencer};
 pub use forecaster::OnlineArima;
 pub use model::{ArimaError, ArimaModel, ArimaSpec};
-pub use select::{select_best_model, select_best_model_by, SelectionCriterion, SelectionReport, SelectionResult};
+pub use select::{
+    select_best_model, select_best_model_by, SelectionCriterion, SelectionReport, SelectionResult,
+};

@@ -147,8 +147,7 @@ impl ArimaModel {
 
         // Stage 1: long AR for innovation estimates.
         let m = spec.long_ar_order().min(z.len() / 4);
-        let (c_ar, phi_ar, _) =
-            fit_ar_yule_walker(&z, m).ok_or(ArimaError::Singular)?;
+        let (c_ar, phi_ar, _) = fit_ar_yule_walker(&z, m).ok_or(ArimaError::Singular)?;
         let innovations = ar_residuals(&z, c_ar, &phi_ar);
 
         // Stage 2: OLS of z_t on [1, z_{t-1..t-p}, a_{t-1..t-q}].
@@ -541,7 +540,9 @@ mod tests {
 
     #[test]
     fn mean_model_p0d0q0() {
-        let xs: Vec<f64> = (0..100).map(|i| 5.0 + if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| 5.0 + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let m = ArimaModel::fit(&xs, ArimaSpec::new(0, 0, 0)).unwrap();
         assert!((m.intercept() - 5.0).abs() < 1e-9);
         assert!((m.sigma2() - 1.0).abs() < 1e-9);
@@ -576,7 +577,11 @@ mod tests {
             xs.push(next);
         }
         let m = ArimaModel::fit(&xs, ArimaSpec::new(0, 1, 0)).unwrap();
-        assert!((m.intercept() - 0.5).abs() < 0.01, "drift={}", m.intercept());
+        assert!(
+            (m.intercept() - 0.5).abs() < 0.01,
+            "drift={}",
+            m.intercept()
+        );
         // One-step forecasts should track the walk closely.
         let f = m.one_step_forecasts(&xs);
         let errs: f64 = xs

@@ -67,7 +67,13 @@ pub fn select_best_model(
     d_max: usize,
     q_max: usize,
 ) -> Option<SelectionReport> {
-    select_best_model_by(series, p_max, d_max, q_max, SelectionCriterion::HoldoutMsqErr)
+    select_best_model_by(
+        series,
+        p_max,
+        d_max,
+        q_max,
+        SelectionCriterion::HoldoutMsqErr,
+    )
 }
 
 /// As [`select_best_model`], but with an explicit scoring criterion.
@@ -86,7 +92,10 @@ pub fn select_best_model_by(
     q_max: usize,
     criterion: SelectionCriterion,
 ) -> Option<SelectionReport> {
-    assert!(!series.is_empty(), "cannot select a model for an empty series");
+    assert!(
+        !series.is_empty(),
+        "cannot select a model for an empty series"
+    );
     let split = (series.len() * 3) / 5;
     let train = &series[..split];
     let mut ranked = Vec::new();
@@ -125,7 +134,11 @@ pub fn select_best_model_by(
                     SelectionCriterion::Bic => nf * msqerr.max(1e-300).ln() + k * nf.ln(),
                 };
                 if msqerr.is_finite() && score.is_finite() {
-                    ranked.push(SelectionResult { spec, msqerr, score });
+                    ranked.push(SelectionResult {
+                        spec,
+                        msqerr,
+                        score,
+                    });
                 } else {
                     failed += 1;
                 }
@@ -135,7 +148,11 @@ pub fn select_best_model_by(
 
     ranked.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("finite score"));
     let best = ranked.first()?.clone();
-    Some(SelectionReport { best, ranked, failed })
+    Some(SelectionReport {
+        best,
+        ranked,
+        failed,
+    })
 }
 
 #[cfg(test)]
@@ -165,7 +182,11 @@ mod tests {
             .iter()
             .find(|r| r.spec == ArimaSpec::new(0, 0, 0))
             .unwrap();
-        assert!(best < mean_model.msqerr, "best {best} vs mean {}", mean_model.msqerr);
+        assert!(
+            best < mean_model.msqerr,
+            "best {best} vs mean {}",
+            mean_model.msqerr
+        );
         assert!(report.best.spec.p >= 1, "best spec = {}", report.best.spec);
     }
 
@@ -202,8 +223,12 @@ mod tests {
             select_best_model_by(&xs, 3, 0, 2, SelectionCriterion::HoldoutMsqErr).unwrap();
         let bic = select_best_model_by(&xs, 3, 0, 2, SelectionCriterion::Bic).unwrap();
         let order = |s: &SelectionResult| s.spec.p + s.spec.q;
-        assert!(order(&bic.best) <= order(&holdout.best),
-            "bic={} holdout={}", bic.best.spec, holdout.best.spec);
+        assert!(
+            order(&bic.best) <= order(&holdout.best),
+            "bic={} holdout={}",
+            bic.best.spec,
+            holdout.best.spec
+        );
         // White noise: BIC should land on (0,0,0) or very close.
         assert!(order(&bic.best) <= 1, "bic picked {}", bic.best.spec);
     }
@@ -218,7 +243,11 @@ mod tests {
             SelectionCriterion::Bic,
         ] {
             let report = select_best_model_by(&xs, 3, 0, 1, criterion).unwrap();
-            assert!(report.best.spec.p >= 1, "{criterion:?} picked {}", report.best.spec);
+            assert!(
+                report.best.spec.p >= 1,
+                "{criterion:?} picked {}",
+                report.best.spec
+            );
         }
     }
 
@@ -249,7 +278,10 @@ mod tests {
             .find(|r| r.spec == ArimaSpec::new(0, 1, 0))
             .unwrap();
         assert!(report.best.msqerr <= rw.msqerr + 1e-9);
-        assert!(rw.msqerr < 1.1 * report.best.msqerr, "rw barely worse at most");
+        assert!(
+            rw.msqerr < 1.1 * report.best.msqerr,
+            "rw barely worse at most"
+        );
         // …and the d=0 mean model must be catastrophically worse.
         let mean_model = report
             .ranked

@@ -1,9 +1,10 @@
 //! Failure-detector step costs: a single heartbeat through one detector,
-//! through each margin type, and through the full 30-detector monitor (the
-//! multiplexed configuration of the experiments).
+//! through each margin type, through the full 30-detector monitor (the
+//! multiplexed configuration of the experiments), and through the
+//! shared-computation [`DetectorBank`] that replaces the boxed loop.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use fd_core::{all_combinations, ConfidenceMargin, JacobsonMargin, SafetyMargin};
+use fd_core::{all_combinations, ConfidenceMargin, DetectorBank, JacobsonMargin, SafetyMargin};
 use fd_sim::{SimDuration, SimTime};
 
 fn bench_margin_update(c: &mut Criterion) {
@@ -67,6 +68,72 @@ fn bench_detector_heartbeat(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_detector_bank(c: &mut Criterion) {
+    let eta = SimDuration::from_secs(1);
+    let mut group = c.benchmark_group("detector_bank");
+
+    // The tentpole comparison: one heartbeat through all 30 combinations.
+    // `boxed_30_step` runs 30 independent detectors (ARIMA observed 6×,
+    // Welford 3× per γ family); `bank_30_step` runs the shared-computation
+    // bank (5 distinct predictors, one Welford core). Both are warmed past
+    // the ARIMA first fit so the steady state is measured.
+    group.bench_function("boxed_30_step", |b| {
+        let mut detectors: Vec<_> = all_combinations().iter().map(|c| c.build(eta)).collect();
+        for seq in 0..512u64 {
+            let arrival = SimTime::ZERO + eta * seq + SimDuration::from_millis(200);
+            for fd in &mut detectors {
+                fd.on_heartbeat(seq, arrival);
+            }
+        }
+        let mut seq = 512u64;
+        b.iter(|| {
+            let arrival = SimTime::ZERO + eta * seq + SimDuration::from_millis(200);
+            for fd in &mut detectors {
+                black_box(fd.on_heartbeat(seq, arrival));
+            }
+            seq += 1;
+        });
+    });
+    group.bench_function("bank_30_step", |b| {
+        let mut bank = DetectorBank::paper_grid(eta);
+        for seq in 0..512u64 {
+            let arrival = SimTime::ZERO + eta * seq + SimDuration::from_millis(200);
+            bank.observe_heartbeat(seq, arrival);
+        }
+        let mut seq = 512u64;
+        b.iter(|| {
+            let arrival = SimTime::ZERO + eta * seq + SimDuration::from_millis(200);
+            black_box(bank.observe_heartbeat(seq, arrival));
+            seq += 1;
+        });
+    });
+
+    // The scaling point of the refactor: a monitor watching 1000 sources,
+    // each with its own 30-combination bank, advancing one heartbeat cycle.
+    group.sample_size(10);
+    group.bench_function("bank_1000_sources_cycle", |b| {
+        let mut banks: Vec<DetectorBank> =
+            (0..1_000).map(|_| DetectorBank::paper_grid(eta)).collect();
+        // A short warmup only: 1000 ARIMA first fits at seq 300 would
+        // otherwise dominate setup. The steady pre-fit path is what scales.
+        for seq in 0..64u64 {
+            let arrival = SimTime::ZERO + eta * seq + SimDuration::from_millis(200);
+            for bank in &mut banks {
+                bank.observe_heartbeat(seq, arrival);
+            }
+        }
+        let mut seq = 64u64;
+        b.iter(|| {
+            let arrival = SimTime::ZERO + eta * seq + SimDuration::from_millis(200);
+            for bank in &mut banks {
+                black_box(bank.observe_heartbeat(seq, arrival));
+            }
+            seq += 1;
+        });
+    });
+    group.finish();
+}
+
 fn bench_detector_check(c: &mut Criterion) {
     let eta = SimDuration::from_secs(1);
     c.bench_function("detector_check", |b| {
@@ -78,5 +145,11 @@ fn bench_detector_check(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_margin_update, bench_detector_heartbeat, bench_detector_check);
+criterion_group!(
+    benches,
+    bench_margin_update,
+    bench_detector_heartbeat,
+    bench_detector_bank,
+    bench_detector_check
+);
 criterion_main!(benches);

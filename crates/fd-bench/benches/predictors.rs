@@ -7,6 +7,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use fd_arima::ArimaSpec;
 use fd_core::predictor::{ArimaPredictor, Last, Lpf, Mean, Predictor, WinMean};
+use fd_core::PredictorKind;
 use fd_net::{DelayTrace, WanProfile};
 use fd_sim::SimDuration;
 
@@ -76,15 +77,10 @@ fn bench_batch_accuracy_run(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3_scoring_pass");
     group.sample_size(10);
     for name in ["LAST", "MEAN", "WINMEAN", "LPF", "ARIMA"] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
+        let kind = PredictorKind::paper_default(name).expect("paper predictor family");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &kind, |b, kind| {
             b.iter(|| {
-                let mut p: Box<dyn Predictor> = match *name {
-                    "LAST" => Box::new(Last::new()),
-                    "MEAN" => Box::new(Mean::new()),
-                    "WINMEAN" => Box::new(WinMean::new(10)),
-                    "LPF" => Box::new(Lpf::new(0.125)),
-                    _ => Box::new(ArimaPredictor::new(ArimaSpec::new(2, 1, 1), 1_000)),
-                };
+                let mut p: Box<dyn Predictor> = kind.build();
                 let preds = fd_core::predictor::one_step_predictions(&mut *p, &data);
                 black_box(preds.len())
             });

@@ -61,5 +61,10 @@ fn bench_consensus_round(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_layer_dispatch, bench_consensus_round);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_layer_dispatch,
+    bench_consensus_round
+);
 criterion_main!(benches);

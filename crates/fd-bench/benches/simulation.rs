@@ -3,8 +3,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fd_experiments::{
-    arima_selection_experiment, predictor_accuracy_experiment, run_qos_experiment,
-    run_qos_single, AccuracyParams, ExperimentParams, Metric,
+    arima_selection_experiment, predictor_accuracy_experiment, run_qos_experiment, run_qos_single,
+    AccuracyParams, ExperimentParams, Metric,
 };
 use fd_net::{DelayTrace, WanProfile};
 
@@ -43,12 +43,7 @@ fn bench_table4(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("table4_link_characterisation_10k", |b| {
         b.iter(|| {
-            let trace = DelayTrace::record(
-                &profile,
-                10_000,
-                fd_sim::SimDuration::from_secs(1),
-                11,
-            );
+            let trace = DelayTrace::record(&profile, 10_000, fd_sim::SimDuration::from_secs(1), 11);
             black_box(trace.characteristics())
         });
     });

@@ -21,7 +21,12 @@ fn main() {
         Combination::new(PredictorKind::Last, MarginKind::Ci { gamma: 1.0 }),
         Combination::new(PredictorKind::Last, MarginKind::Ci { gamma: 3.31 }),
         Combination::new(
-            PredictorKind::Arima { p: 2, d: 1, q: 1, refit_every: 1000 },
+            PredictorKind::Arima {
+                p: 2,
+                d: 1,
+                q: 1,
+                refit_every: 1000,
+            },
             MarginKind::Ci { gamma: 3.31 },
         ),
         Combination::new(PredictorKind::Mean, MarginKind::Ci { gamma: 3.31 }),

@@ -181,7 +181,11 @@ mod tests {
         assert!(outcome.validity());
         assert!(outcome.messages_sent > 0);
         // Round 0 suffices without failures.
-        assert!(outcome.rounds.values().all(|&r| r == 0), "{:?}", outcome.rounds);
+        assert!(
+            outcome.rounds.values().all(|&r| r == 0),
+            "{:?}",
+            outcome.rounds
+        );
         // A couple of WAN round trips: well under two seconds.
         let last = outcome.last_decision().unwrap();
         assert!(last < SimTime::from_secs(2), "decided at {last}");
@@ -197,12 +201,20 @@ mod tests {
         // The two survivors are a majority of 3: they must decide and agree.
         let survivors = [ProcessId(1), ProcessId(2)];
         for p in survivors {
-            assert!(outcome.decisions.contains_key(&p), "{p} undecided: {:?}", outcome.decisions);
+            assert!(
+                outcome.decisions.contains_key(&p),
+                "{p} undecided: {:?}",
+                outcome.decisions
+            );
         }
         assert!(outcome.agreement());
         assert!(outcome.validity());
         // At least one rotation happened.
-        assert!(outcome.rounds.values().any(|&r| r >= 1), "{:?}", outcome.rounds);
+        assert!(
+            outcome.rounds.values().any(|&r| r >= 1),
+            "{:?}",
+            outcome.rounds
+        );
     }
 
     #[test]

@@ -170,7 +170,10 @@ impl ConsensusLayer {
         }
         self.decided = Some(value);
         self.decide_floods_left = DECIDE_REBROADCASTS;
-        ctx.emit(EventKind::App { code: APP_DECIDED, value });
+        ctx.emit(EventKind::App {
+            code: APP_DECIDED,
+            value,
+        });
         self.broadcast(ctx, ConsensusMsg::Decide { value });
     }
 
@@ -199,7 +202,10 @@ impl ConsensusLayer {
         self.nacked = false;
         self.adopted = false;
         self.round_deadline = Some(ctx.now() + self.round_timeout);
-        ctx.emit(EventKind::App { code: APP_ROUND, value: new_round });
+        ctx.emit(EventKind::App {
+            code: APP_ROUND,
+            value: new_round,
+        });
         self.send_estimate(ctx);
     }
 
@@ -223,7 +229,13 @@ impl ConsensusLayer {
         self.estimate = value;
         self.ts = self.round;
         self.acks.insert(self.me);
-        self.broadcast(ctx, ConsensusMsg::Propose { round: self.round, value });
+        self.broadcast(
+            ctx,
+            ConsensusMsg::Propose {
+                round: self.round,
+                value,
+            },
+        );
         self.try_decide(ctx);
     }
 
@@ -312,8 +324,8 @@ impl ConsensusLayer {
         }
 
         let coord = self.coordinator(self.round);
-        let coord_suspected = coord != self.me
-            && self.fds.get(&coord).is_some_and(|fd| fd.is_suspecting());
+        let coord_suspected =
+            coord != self.me && self.fds.get(&coord).is_some_and(|fd| fd.is_suspecting());
         let timed_out = self.round_deadline.is_some_and(|d| now >= d);
 
         if coord_suspected || timed_out {
@@ -325,7 +337,13 @@ impl ConsensusLayer {
             // Retransmit the current phase's messages (UDP-style links).
             self.send_estimate(ctx);
             if let Some(value) = self.proposal {
-                self.broadcast(ctx, ConsensusMsg::Propose { round: self.round, value });
+                self.broadcast(
+                    ctx,
+                    ConsensusMsg::Propose {
+                        round: self.round,
+                        value,
+                    },
+                );
             }
             if self.adopted && coord != self.me {
                 self.send_msg(ctx, coord, ConsensusMsg::Ack { round: self.round });
@@ -340,7 +358,10 @@ impl ConsensusLayer {
     fn start_protocol(&mut self, ctx: &mut Context) {
         self.started = true;
         self.round_deadline = Some(ctx.now() + self.round_timeout);
-        ctx.emit(EventKind::App { code: APP_ROUND, value: 0 });
+        ctx.emit(EventKind::App {
+            code: APP_ROUND,
+            value: 0,
+        });
         self.send_estimate(ctx);
         ctx.set_timer(self.tick, TIMER_TICK);
     }
@@ -377,10 +398,9 @@ impl Layer for ConsensusLayer {
     fn on_timer(&mut self, ctx: &mut Context, id: TimerId) {
         match id {
             TIMER_TICK => self.on_tick(ctx),
-            TIMER_START
-                if !self.started => {
-                    self.start_protocol(ctx);
-                }
+            TIMER_START if !self.started => {
+                self.start_protocol(ctx);
+            }
             _ => {}
         }
     }
@@ -437,7 +457,11 @@ mod tests {
         assert_eq!(sent[0].0, ProcessId(0)); // coord(0) = p0
         assert!(matches!(
             sent[0].1,
-            ConsensusMsg::Estimate { round: 0, value: 42, ts: 0 }
+            ConsensusMsg::Estimate {
+                round: 0,
+                value: 42,
+                ts: 0
+            }
         ));
     }
 
@@ -452,14 +476,30 @@ mod tests {
         l.on_consensus_msg(
             &mut ctx,
             ProcessId(1),
-            ConsensusMsg::Estimate { round: 0, value: 77, ts: 3 },
+            ConsensusMsg::Estimate {
+                round: 0,
+                value: 77,
+                ts: 3,
+            },
         );
         let sent = sent_consensus(&drain(&mut ctx));
         let proposes: Vec<_> = sent
             .iter()
-            .filter(|(_, m)| matches!(m, ConsensusMsg::Propose { round: 0, value: 77 }))
+            .filter(|(_, m)| {
+                matches!(
+                    m,
+                    ConsensusMsg::Propose {
+                        round: 0,
+                        value: 77
+                    }
+                )
+            })
             .collect();
-        assert_eq!(proposes.len(), 2, "proposal broadcast to both peers: {sent:?}");
+        assert_eq!(
+            proposes.len(),
+            2,
+            "proposal broadcast to both peers: {sent:?}"
+        );
         assert_eq!(l.estimate, 77);
     }
 
@@ -473,7 +513,11 @@ mod tests {
         l.on_consensus_msg(
             &mut ctx,
             ProcessId(1),
-            ConsensusMsg::Estimate { round: 0, value: 10, ts: 0 },
+            ConsensusMsg::Estimate {
+                round: 0,
+                value: 10,
+                ts: 0,
+            },
         );
         drain(&mut ctx);
         // Coordinator self-acked at proposal time; one more ack = majority.
@@ -503,7 +547,10 @@ mod tests {
         l.on_consensus_msg(
             &mut ctx,
             ProcessId(0),
-            ConsensusMsg::Propose { round: 0, value: 99 },
+            ConsensusMsg::Propose {
+                round: 0,
+                value: 99,
+            },
         );
         let sent = sent_consensus(&drain(&mut ctx));
         assert!(sent
@@ -524,7 +571,10 @@ mod tests {
         l.on_consensus_msg(
             &mut ctx,
             ProcessId(2),
-            ConsensusMsg::Propose { round: 0, value: 99 },
+            ConsensusMsg::Propose {
+                round: 0,
+                value: 99,
+            },
         );
         assert_eq!(l.estimate, 5, "estimate unchanged");
         assert!(sent_consensus(&drain(&mut ctx)).is_empty());
@@ -543,7 +593,8 @@ mod tests {
         let sent = sent_consensus(&drain(&mut ctx));
         assert!(sent
             .iter()
-            .any(|(to, m)| *to == ProcessId(1) && matches!(m, ConsensusMsg::Estimate { round: 1, .. })));
+            .any(|(to, m)| *to == ProcessId(1)
+                && matches!(m, ConsensusMsg::Estimate { round: 1, .. })));
     }
 
     #[test]
@@ -558,7 +609,11 @@ mod tests {
         l.on_consensus_msg(
             &mut ctx,
             ProcessId(0),
-            ConsensusMsg::Estimate { round: 2, value: 8, ts: 1 },
+            ConsensusMsg::Estimate {
+                round: 2,
+                value: 8,
+                ts: 1,
+            },
         );
         assert_eq!(l.round(), 2);
     }
@@ -578,12 +633,18 @@ mod tests {
         l.on_consensus_msg(
             &mut ctx,
             ProcessId(2),
-            ConsensusMsg::Estimate { round: 0, value: 1, ts: 0 },
+            ConsensusMsg::Estimate {
+                round: 0,
+                value: 1,
+                ts: 0,
+            },
         );
         let sent = sent_consensus(&drain(&mut ctx));
-        assert!(sent
-            .iter()
-            .any(|(to, m)| *to == ProcessId(2) && matches!(m, ConsensusMsg::Decide { value: 123 })));
+        assert!(
+            sent.iter()
+                .any(|(to, m)| *to == ProcessId(2)
+                    && matches!(m, ConsensusMsg::Decide { value: 123 }))
+        );
     }
 
     #[test]

@@ -37,5 +37,5 @@ pub mod wire;
 
 pub use experiment::{run_consensus_experiment, ConsensusOutcome, ConsensusSetup};
 pub use layer::ConsensusLayer;
-pub use metrics::{decision_latencies, decided_values, APP_DECIDED, APP_ROUND};
+pub use metrics::{decided_values, decision_latencies, APP_DECIDED, APP_ROUND};
 pub use wire::ConsensusMsg;

@@ -14,7 +14,10 @@ pub const APP_ROUND: u32 = 2;
 pub fn decision_latencies(log: &EventLog) -> BTreeMap<ProcessId, SimTime> {
     let mut out = BTreeMap::new();
     for e in log {
-        if let EventKind::App { code: APP_DECIDED, .. } = e.kind {
+        if let EventKind::App {
+            code: APP_DECIDED, ..
+        } = e.kind
+        {
             out.entry(e.process).or_insert(e.at);
         }
     }
@@ -25,7 +28,11 @@ pub fn decision_latencies(log: &EventLog) -> BTreeMap<ProcessId, SimTime> {
 pub fn decided_values(log: &EventLog) -> BTreeMap<ProcessId, u64> {
     let mut out = BTreeMap::new();
     for e in log {
-        if let EventKind::App { code: APP_DECIDED, value } = e.kind {
+        if let EventKind::App {
+            code: APP_DECIDED,
+            value,
+        } = e.kind
+        {
             out.entry(e.process).or_insert(value);
         }
     }
@@ -37,7 +44,11 @@ pub fn decided_values(log: &EventLog) -> BTreeMap<ProcessId, u64> {
 pub fn max_rounds(log: &EventLog) -> BTreeMap<ProcessId, u64> {
     let mut out: BTreeMap<ProcessId, u64> = BTreeMap::new();
     for e in log {
-        if let EventKind::App { code: APP_ROUND, value } = e.kind {
+        if let EventKind::App {
+            code: APP_ROUND,
+            value,
+        } = e.kind
+        {
             let entry = out.entry(e.process).or_insert(0);
             *entry = (*entry).max(value);
         }
@@ -53,10 +64,38 @@ mod tests {
     fn extraction_takes_first_decision_and_max_round() {
         let mut log = EventLog::new();
         let p = ProcessId(0);
-        log.record(SimTime::from_secs(1), p, EventKind::App { code: APP_ROUND, value: 0 });
-        log.record(SimTime::from_secs(2), p, EventKind::App { code: APP_ROUND, value: 3 });
-        log.record(SimTime::from_secs(3), p, EventKind::App { code: APP_DECIDED, value: 9 });
-        log.record(SimTime::from_secs(4), p, EventKind::App { code: APP_DECIDED, value: 9 });
+        log.record(
+            SimTime::from_secs(1),
+            p,
+            EventKind::App {
+                code: APP_ROUND,
+                value: 0,
+            },
+        );
+        log.record(
+            SimTime::from_secs(2),
+            p,
+            EventKind::App {
+                code: APP_ROUND,
+                value: 3,
+            },
+        );
+        log.record(
+            SimTime::from_secs(3),
+            p,
+            EventKind::App {
+                code: APP_DECIDED,
+                value: 9,
+            },
+        );
+        log.record(
+            SimTime::from_secs(4),
+            p,
+            EventKind::App {
+                code: APP_DECIDED,
+                value: 9,
+            },
+        );
         assert_eq!(decision_latencies(&log)[&p], SimTime::from_secs(3));
         assert_eq!(decided_values(&log)[&p], 9);
         assert_eq!(max_rounds(&log)[&p], 3);

@@ -103,9 +103,15 @@ impl ConsensusMsg {
                 round: data.get_u64(),
                 value: data.get_u64(),
             },
-            TAG_ACK => ConsensusMsg::Ack { round: data.get_u64() },
-            TAG_NACK => ConsensusMsg::Nack { round: data.get_u64() },
-            TAG_DECIDE => ConsensusMsg::Decide { value: data.get_u64() },
+            TAG_ACK => ConsensusMsg::Ack {
+                round: data.get_u64(),
+            },
+            TAG_NACK => ConsensusMsg::Nack {
+                round: data.get_u64(),
+            },
+            TAG_DECIDE => ConsensusMsg::Decide {
+                value: data.get_u64(),
+            },
             _ => unreachable!("tag validated above"),
         })
     }
@@ -118,7 +124,11 @@ mod tests {
     #[test]
     fn round_trips() {
         let msgs = [
-            ConsensusMsg::Estimate { round: 3, value: 42, ts: 1 },
+            ConsensusMsg::Estimate {
+                round: 3,
+                value: 42,
+                ts: 1,
+            },
             ConsensusMsg::Propose { round: 9, value: 7 },
             ConsensusMsg::Ack { round: 11 },
             ConsensusMsg::Nack { round: 0 },
@@ -134,7 +144,7 @@ mod tests {
         assert_eq!(ConsensusMsg::decode(&[]), None);
         assert_eq!(ConsensusMsg::decode(&[99, 0, 0]), None);
         assert_eq!(ConsensusMsg::decode(&[TAG_ESTIMATE, 1, 2]), None); // short
-        // The pull-monitoring request byte is not a consensus message.
+                                                                       // The pull-monitoring request byte is not a consensus message.
         assert_eq!(ConsensusMsg::decode(&[0x50]), None);
     }
 }

@@ -13,8 +13,14 @@ fn combo_for(idx: usize) -> Combination {
     let combos = [
         Combination::new(PredictorKind::Last, MarginKind::Jac { phi: 1.0 }),
         Combination::new(PredictorKind::Mean, MarginKind::Ci { gamma: 2.0 }),
-        Combination::new(PredictorKind::WinMean { window: 10 }, MarginKind::Jac { phi: 4.0 }),
-        Combination::new(PredictorKind::Lpf { beta: 0.125 }, MarginKind::Ci { gamma: 1.0 }),
+        Combination::new(
+            PredictorKind::WinMean { window: 10 },
+            MarginKind::Jac { phi: 4.0 },
+        ),
+        Combination::new(
+            PredictorKind::Lpf { beta: 0.125 },
+            MarginKind::Ci { gamma: 1.0 },
+        ),
     ];
     combos[idx % combos.len()]
 }

@@ -1,0 +1,628 @@
+//! The shared-computation detector bank behind the 30-combination monitor.
+//!
+//! The paper's experiments run every predictor × margin combination
+//! simultaneously so all of them perceive identical network conditions. As
+//! independent [`FailureDetector`](crate::FailureDetector)s that costs 30
+//! virtual-dispatch predictor updates and 30 margin updates per heartbeat —
+//! even though the grid contains only **5 distinct predictors**, the three
+//! `SM_CI(γ)` margins differ **only by the γ factor** (one shared Welford
+//! statistic suffices), and the `SM_JAC(φ)` / `SM_RTO(k)` recursions are
+//! φ/k-independent per error stream.
+//!
+//! [`DetectorBank`] exploits exactly that structure:
+//!
+//! * each **distinct** predictor is updated once per heartbeat (ARIMA fits
+//!   and refits once, not once per margin variant), via enum dispatch
+//!   ([`PredictorState`]) instead of `Box<dyn Predictor>`;
+//! * one [`CiCore`] serves every `SM_CI(γ)` combination (γ at read time);
+//! * one [`JacCore`] / [`RtoCore`] per distinct predictor serves every
+//!   `SM_JAC(φ)` / `SM_RTO(k)` combination over that predictor's error
+//!   stream (φ/k at read time);
+//! * the per-combination state (freshness point, suspicion flag) is laid
+//!   out struct-of-arrays and updated in one tight loop.
+//!
+//! The arithmetic is arranged to be **bit-identical** to the boxed
+//! single-detector path: the differential property test
+//! `tests/bank_differential.rs` drives both implementations on shared random
+//! heartbeat/loss/crash schedules and asserts identical transition
+//! sequences, deadlines and suspicion flags for all 30 combinations.
+
+use fd_arima::ArimaSpec;
+use fd_sim::{SimDuration, SimTime};
+
+use crate::combinations::{Combination, MarginKind, PredictorKind};
+use crate::detector::FdTransition;
+use crate::margin::{CiCore, JacCore, RtoCore};
+use crate::predictor::{ArimaPredictor, Last, Lpf, Mean, Predictor, WinMean};
+
+/// Enum-dispatched predictor state, mirroring [`PredictorKind`].
+///
+/// Holds the same concrete predictor structs the boxed path uses, so the
+/// floating-point trajectories are identical; only the dispatch differs.
+// A bank holds at most one state per *distinct* predictor (five for the
+// paper grid); keeping ARIMA inline trades a few hundred bytes for zero
+// pointer chasing in the per-heartbeat observe loop.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum PredictorState {
+    /// `LAST`.
+    Last(Last),
+    /// `MEAN`.
+    Mean(Mean),
+    /// `WINMEAN(N)`.
+    WinMean(WinMean),
+    /// `LPF(β)`.
+    Lpf(Lpf),
+    /// `ARIMA(p,d,q)` with periodic refit.
+    Arima(ArimaPredictor),
+}
+
+impl PredictorState {
+    /// Instantiates the state machine for a [`PredictorKind`].
+    pub fn from_kind(kind: PredictorKind) -> Self {
+        match kind {
+            PredictorKind::Last => PredictorState::Last(Last::new()),
+            PredictorKind::Mean => PredictorState::Mean(Mean::new()),
+            PredictorKind::WinMean { window } => PredictorState::WinMean(WinMean::new(window)),
+            PredictorKind::Lpf { beta } => PredictorState::Lpf(Lpf::new(beta)),
+            PredictorKind::Arima {
+                p,
+                d,
+                q,
+                refit_every,
+            } => PredictorState::Arima(ArimaPredictor::new(ArimaSpec::new(p, d, q), refit_every)),
+        }
+    }
+
+    /// Consumes one delay observation.
+    pub fn observe(&mut self, delay_ms: f64) {
+        match self {
+            PredictorState::Last(p) => p.observe(delay_ms),
+            PredictorState::Mean(p) => p.observe(delay_ms),
+            PredictorState::WinMean(p) => p.observe(delay_ms),
+            PredictorState::Lpf(p) => p.observe(delay_ms),
+            PredictorState::Arima(p) => p.observe(delay_ms),
+        }
+    }
+
+    /// The current one-step forecast.
+    pub fn predict(&self) -> f64 {
+        match self {
+            PredictorState::Last(p) => p.predict(),
+            PredictorState::Mean(p) => p.predict(),
+            PredictorState::WinMean(p) => p.predict(),
+            PredictorState::Lpf(p) => p.predict(),
+            PredictorState::Arima(p) => p.predict(),
+        }
+    }
+
+    /// Observations consumed so far.
+    pub fn observations(&self) -> u64 {
+        match self {
+            PredictorState::Last(p) => p.observations(),
+            PredictorState::Mean(p) => p.observations(),
+            PredictorState::WinMean(p) => p.observations(),
+            PredictorState::Lpf(p) => p.observations(),
+            PredictorState::Arima(p) => p.observations(),
+        }
+    }
+
+    /// The underlying ARIMA predictor, if this is the ARIMA variant
+    /// (observation/refit counters for diagnostics and tests).
+    pub fn as_arima(&self) -> Option<&ArimaPredictor> {
+        match self {
+            PredictorState::Arima(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// A suspect/trust edge of one bank combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankTransition {
+    /// Index of the combination (position in the slice the bank was built
+    /// from).
+    pub combo: usize,
+    /// The edge.
+    pub transition: FdTransition,
+}
+
+/// Per-distinct-predictor shared margin state: the error-stream-driven
+/// cores, allocated only when some combination actually reads them.
+#[derive(Debug, Clone, Default)]
+struct ErrorCores {
+    jac: Option<JacCore>,
+    rto: Option<RtoCore>,
+}
+
+/// The shared-computation, enum-dispatch engine running many
+/// predictor × margin combinations over one heartbeat stream.
+///
+/// ```
+/// use fd_core::bank::DetectorBank;
+/// use fd_core::all_combinations;
+/// use fd_sim::{SimDuration, SimTime};
+///
+/// let eta = SimDuration::from_secs(1);
+/// let mut bank = DetectorBank::new(&all_combinations(), eta);
+/// assert_eq!(bank.len(), 30);
+/// assert_eq!(bank.distinct_predictor_count(), 5);
+///
+/// // Heartbeat m_0 arrives after 200 ms: every combination gets a deadline.
+/// assert!(bank.observe_heartbeat(0, SimTime::from_millis(200)));
+/// assert!(bank.next_deadline(0).is_some());
+///
+/// // Nothing arrives for a long time: every combination starts suspecting.
+/// let started = bank.check_at(SimTime::from_secs(60)).len();
+/// assert_eq!(started, 30);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetectorBank {
+    eta: SimDuration,
+    combos: Vec<Combination>,
+    /// Distinct predictors, each updated once per heartbeat.
+    predictors: Vec<PredictorState>,
+    /// `pred_of_combo[i]` = index into `predictors` for combination `i`.
+    pred_of_combo: Vec<usize>,
+    /// One Welford core shared by every `SM_CI(γ)` combination (the CI
+    /// margin depends only on the observation stream).
+    ci: CiCore,
+    /// Per distinct predictor: the φ/k-independent error-stream cores.
+    error_cores: Vec<ErrorCores>,
+    /// Scratch: post-observation prediction per distinct predictor.
+    predictions: Vec<f64>,
+    // Struct-of-arrays per-combination state.
+    next_freshness: Vec<Option<SimTime>>,
+    suspecting: Vec<bool>,
+    // Freshness bookkeeping depends only on the sequence stream, so it is
+    // shared by all combinations.
+    highest_seq: Option<u64>,
+    heartbeats: u64,
+    stale_heartbeats: u64,
+    transitions: Vec<BankTransition>,
+}
+
+impl DetectorBank {
+    /// Builds a bank over the given combinations with heartbeat period
+    /// `eta`. Duplicate predictors across combinations are collapsed into
+    /// one state machine each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta` is zero.
+    pub fn new(combos: &[Combination], eta: SimDuration) -> Self {
+        assert!(!eta.is_zero(), "heartbeat period must be positive");
+        let mut predictors: Vec<PredictorState> = Vec::new();
+        let mut kinds: Vec<PredictorKind> = Vec::new();
+        let mut pred_of_combo = Vec::with_capacity(combos.len());
+        for combo in combos {
+            let p_idx = match kinds.iter().position(|k| *k == combo.predictor) {
+                Some(i) => i,
+                None => {
+                    kinds.push(combo.predictor);
+                    predictors.push(PredictorState::from_kind(combo.predictor));
+                    predictors.len() - 1
+                }
+            };
+            pred_of_combo.push(p_idx);
+        }
+        let mut error_cores = vec![ErrorCores::default(); predictors.len()];
+        for combo in combos {
+            let p_idx = kinds
+                .iter()
+                .position(|k| *k == combo.predictor)
+                .expect("predictor registered above");
+            match combo.margin {
+                MarginKind::Ci { .. } => {}
+                MarginKind::Jac { phi: _ } => {
+                    error_cores[p_idx]
+                        .jac
+                        .get_or_insert_with(|| JacCore::new(0.25));
+                }
+                MarginKind::Rto { k: _ } => {
+                    error_cores[p_idx].rto.get_or_insert_with(RtoCore::new);
+                }
+            }
+        }
+        let n = combos.len();
+        Self {
+            eta,
+            combos: combos.to_vec(),
+            predictions: vec![0.0; predictors.len()],
+            predictors,
+            pred_of_combo,
+            ci: CiCore::new(),
+            error_cores,
+            next_freshness: vec![None; n],
+            suspecting: vec![false; n],
+            highest_seq: None,
+            heartbeats: 0,
+            stale_heartbeats: 0,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Builds the bank over the paper's full 30-combination grid.
+    pub fn paper_grid(eta: SimDuration) -> Self {
+        Self::new(&crate::combinations::all_combinations(), eta)
+    }
+
+    /// Number of combinations.
+    pub fn len(&self) -> usize {
+        self.combos.len()
+    }
+
+    /// `true` if the bank has no combinations.
+    pub fn is_empty(&self) -> bool {
+        self.combos.is_empty()
+    }
+
+    /// The heartbeat period η.
+    pub fn eta(&self) -> SimDuration {
+        self.eta
+    }
+
+    /// The combinations, in index order.
+    pub fn combos(&self) -> &[Combination] {
+        &self.combos
+    }
+
+    /// The combination labels, in index order (e.g. `"LAST+SM_JAC(2)"`).
+    pub fn labels(&self) -> Vec<String> {
+        self.combos.iter().map(|c| c.label()).collect()
+    }
+
+    /// Number of distinct predictor state machines (5 for the paper grid).
+    pub fn distinct_predictor_count(&self) -> usize {
+        self.predictors.len()
+    }
+
+    /// The distinct predictor states (diagnostics, tests).
+    pub fn predictor_states(&self) -> &[PredictorState] {
+        &self.predictors
+    }
+
+    /// Heartbeats observed so far (fresh + stale), shared by all
+    /// combinations.
+    pub fn heartbeats(&self) -> u64 {
+        self.heartbeats
+    }
+
+    /// Heartbeats that arrived out of order (did not advance freshness).
+    pub fn stale_heartbeats(&self) -> u64 {
+        self.stale_heartbeats
+    }
+
+    /// The next freshness point `τ_{k+1}` of combination `idx`.
+    pub fn next_deadline(&self, idx: usize) -> Option<SimTime> {
+        self.next_freshness[idx]
+    }
+
+    /// `true` while combination `idx` suspects the monitored process.
+    pub fn is_suspecting(&self, idx: usize) -> bool {
+        self.suspecting[idx]
+    }
+
+    /// The current forecast feeding combination `idx`, in milliseconds.
+    pub fn predicted_delay_ms(&self, idx: usize) -> f64 {
+        self.predictions[self.pred_of_combo[idx]]
+    }
+
+    /// The current safety margin of combination `idx`, in milliseconds.
+    pub fn margin_ms(&self, idx: usize) -> f64 {
+        let p_idx = self.pred_of_combo[idx];
+        match self.combos[idx].margin {
+            MarginKind::Ci { gamma } => self.ci.margin(gamma),
+            MarginKind::Jac { phi } => self.error_cores[p_idx]
+                .jac
+                .expect("JacCore allocated for Jac combo")
+                .margin(phi),
+            MarginKind::Rto { k } => self.error_cores[p_idx]
+                .rto
+                .expect("RtoCore allocated for Rto combo")
+                .margin(k),
+        }
+    }
+
+    /// The current time-out component `δ = pred + sm` of combination `idx`.
+    pub fn current_timeout_ms(&self, idx: usize) -> f64 {
+        self.predicted_delay_ms(idx) + self.margin_ms(idx)
+    }
+
+    /// The transitions produced by the most recent
+    /// [`observe_heartbeat`](Self::observe_heartbeat) or
+    /// [`check_at`](Self::check_at) call, in combination-index order.
+    pub fn transitions(&self) -> &[BankTransition] {
+        &self.transitions
+    }
+
+    /// Handles the arrival of heartbeat `seq` at global time `arrival` for
+    /// **all** combinations at once: each distinct predictor observes the
+    /// delay once, the shared margin cores advance once per error stream,
+    /// and the 30 freshness points are refreshed in one loop.
+    ///
+    /// Returns `true` if the heartbeat was fresh (advanced the shared
+    /// freshness bookkeeping). `EndSuspect` edges are collected in
+    /// [`transitions`](Self::transitions), ordered by combination index.
+    pub fn observe_heartbeat(&mut self, seq: u64, arrival: SimTime) -> bool {
+        self.transitions.clear();
+        self.heartbeats += 1;
+
+        // Observed transmission delay, clamped exactly like the boxed path.
+        let sigma = SimTime::ZERO + self.eta * seq;
+        let delay_ms = arrival
+            .checked_duration_since(sigma)
+            .map_or(0.0, |d| d.as_millis_f64());
+
+        // Each DISTINCT predictor: one error, one observe (ARIMA refits
+        // once here, not once per margin variant), one error-core advance.
+        for (p_idx, predictor) in self.predictors.iter_mut().enumerate() {
+            let err = delay_ms - predictor.predict();
+            predictor.observe(delay_ms);
+            let cores = &mut self.error_cores[p_idx];
+            if let Some(jac) = cores.jac.as_mut() {
+                jac.update(err);
+            }
+            if let Some(rto) = cores.rto.as_mut() {
+                rto.update(err);
+            }
+            self.predictions[p_idx] = predictor.predict();
+        }
+        // The CI margin depends only on the observation stream: one Welford
+        // update serves every SM_CI(γ) combination.
+        self.ci.update(delay_ms);
+
+        let fresh = self.highest_seq.is_none_or(|h| seq > h);
+        if !fresh {
+            self.stale_heartbeats += 1;
+            return false;
+        }
+        self.highest_seq = Some(seq);
+
+        // Fan out: 30 freshness points and suspicion edges, one tight loop.
+        let sigma_next = SimTime::ZERO + self.eta * (seq + 1);
+        for idx in 0..self.combos.len() {
+            let timeout_ms = self.current_timeout_ms(idx);
+            let delta = SimDuration::from_millis_f64(timeout_ms.max(0.0));
+            self.next_freshness[idx] = Some(sigma_next + delta);
+            if self.suspecting[idx] {
+                self.suspecting[idx] = false;
+                self.transitions.push(BankTransition {
+                    combo: idx,
+                    transition: FdTransition::EndSuspect,
+                });
+            }
+        }
+        true
+    }
+
+    /// Evaluates the freshness condition of **every** combination at `now`.
+    ///
+    /// Returns the `StartSuspect` edges fired at this instant, ordered by
+    /// combination index (also available via
+    /// [`transitions`](Self::transitions)).
+    pub fn check_at(&mut self, now: SimTime) -> &[BankTransition] {
+        self.transitions.clear();
+        for idx in 0..self.combos.len() {
+            if self.suspecting[idx] {
+                continue;
+            }
+            if let Some(deadline) = self.next_freshness[idx] {
+                if now >= deadline {
+                    self.suspecting[idx] = true;
+                    self.transitions.push(BankTransition {
+                        combo: idx,
+                        transition: FdTransition::StartSuspect,
+                    });
+                }
+            }
+        }
+        &self.transitions
+    }
+
+    /// Evaluates the freshness condition of one combination at `now` (the
+    /// per-deadline timer path of the monitor layer).
+    pub fn check_one(&mut self, idx: usize, now: SimTime) -> Option<FdTransition> {
+        if self.suspecting[idx] {
+            return None;
+        }
+        match self.next_freshness[idx] {
+            Some(deadline) if now >= deadline => {
+                self.suspecting[idx] = true;
+                Some(FdTransition::StartSuspect)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combinations::all_combinations;
+    use fd_arima::OnlineArima;
+
+    fn eta() -> SimDuration {
+        SimDuration::from_secs(1)
+    }
+
+    fn arrival(seq: u64, delay_ms: u64) -> SimTime {
+        SimTime::ZERO + eta() * seq + SimDuration::from_millis(delay_ms)
+    }
+
+    #[test]
+    fn paper_grid_has_five_distinct_predictors() {
+        let bank = DetectorBank::paper_grid(eta());
+        assert_eq!(bank.len(), 30);
+        assert_eq!(bank.distinct_predictor_count(), 5);
+        assert_eq!(bank.labels().len(), 30);
+        assert!(!bank.is_empty());
+        assert_eq!(bank.eta(), eta());
+    }
+
+    #[test]
+    fn bank_matches_boxed_on_fixed_schedule() {
+        let combos = all_combinations();
+        let mut bank = DetectorBank::new(&combos, eta());
+        let mut boxed: Vec<_> = combos.iter().map(|c| c.build(eta())).collect();
+        let delays = [200u64, 220, 190, 1_950, 240, 200, 3_000, 210];
+        for (i, &d) in delays.iter().enumerate() {
+            let seq = i as u64;
+            let at = arrival(seq, d);
+            // Monitor order: deadlines first, then the heartbeat.
+            for (idx, fd) in boxed.iter_mut().enumerate() {
+                let a = fd.check(at);
+                let b = bank.check_one(idx, at);
+                assert_eq!(a, b, "check mismatch at step {i} combo {idx}");
+            }
+            let boxed_ends: Vec<usize> = boxed
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(idx, fd)| fd.on_heartbeat(seq, at).map(|_| idx))
+                .collect();
+            bank.observe_heartbeat(seq, at);
+            let bank_ends: Vec<usize> = bank.transitions().iter().map(|t| t.combo).collect();
+            assert_eq!(boxed_ends, bank_ends, "EndSuspect mismatch at step {i}");
+            for (idx, fd) in boxed.iter().enumerate() {
+                assert_eq!(
+                    fd.next_deadline(),
+                    bank.next_deadline(idx),
+                    "deadline mismatch at step {i} combo {idx} ({})",
+                    fd.name()
+                );
+                assert_eq!(fd.is_suspecting(), bank.is_suspecting(idx));
+            }
+        }
+    }
+
+    #[test]
+    fn stale_heartbeats_update_predictors_but_not_freshness() {
+        let mut bank = DetectorBank::paper_grid(eta());
+        assert!(bank.observe_heartbeat(5, arrival(5, 200)));
+        let deadlines: Vec<_> = (0..bank.len()).map(|i| bank.next_deadline(i)).collect();
+        assert!(!bank.observe_heartbeat(3, arrival(3, 2_250)));
+        assert_eq!(bank.stale_heartbeats(), 1);
+        assert_eq!(bank.heartbeats(), 2);
+        for idx in 0..bank.len() {
+            assert_eq!(bank.next_deadline(idx), deadlines[idx]);
+        }
+        // But every distinct predictor saw both observations.
+        for p in bank.predictor_states() {
+            assert_eq!(p.observations(), 2);
+        }
+    }
+
+    /// The single-ARIMA-refit invariant, asserted by counters: with all six
+    /// ARIMA × margin combinations in the bank, the ARIMA model observes
+    /// each heartbeat ONCE and refits on the same schedule as a directly
+    /// driven `OnlineArima` — while six boxed detectors observe 6× and
+    /// refit 6×.
+    #[test]
+    fn arima_observes_and_refits_once_per_heartbeat() {
+        let arima = PredictorKind::Arima {
+            p: 2,
+            d: 1,
+            q: 1,
+            refit_every: 100,
+        };
+        let combos: Vec<Combination> = MarginKind::paper_set()
+            .into_iter()
+            .map(|m| Combination::new(arima, m))
+            .collect();
+        assert_eq!(combos.len(), 6);
+        let mut bank = DetectorBank::new(&combos, eta());
+        let mut boxed: Vec<_> = combos.iter().map(|c| c.build(eta())).collect();
+        let mut reference = OnlineArima::new(ArimaSpec::new(2, 1, 1), 100);
+
+        let n = 350u64;
+        for seq in 0..n {
+            let delay = 200 + (seq * 37) % 50;
+            let at = arrival(seq, delay);
+            bank.observe_heartbeat(seq, at);
+            for fd in &mut boxed {
+                fd.on_heartbeat(seq, at);
+            }
+            let sigma = SimTime::ZERO + eta() * seq;
+            reference.observe(at.checked_duration_since(sigma).unwrap().as_millis_f64());
+        }
+
+        assert_eq!(bank.distinct_predictor_count(), 1);
+        let bank_arima = bank.predictor_states()[0]
+            .as_arima()
+            .expect("ARIMA predictor state")
+            .inner();
+        // The bank observed each heartbeat once and refit on schedule …
+        assert_eq!(bank_arima.observed() as u64, n);
+        assert_eq!(bank_arima.refits(), reference.refits());
+        assert!(bank_arima.refits() >= 3, "refits={}", bank_arima.refits());
+        // … while the boxed path fed six private ARIMA models, each
+        // observing (and refitting over) the full stream.
+        let boxed_total: u64 = boxed.iter().map(|fd| fd.predictor_observations()).sum();
+        assert_eq!(boxed_total, 6 * n);
+    }
+
+    /// The shared-Welford γ-scaling invariant: the three `SM_CI(γ)` margins
+    /// read one core and differ exactly by γ.
+    #[test]
+    fn shared_welford_gamma_scaling() {
+        let combos: Vec<Combination> = [1.0, 2.0, 3.31]
+            .iter()
+            .map(|&gamma| Combination::new(PredictorKind::Last, MarginKind::Ci { gamma }))
+            .collect();
+        let mut bank = DetectorBank::new(&combos, eta());
+        for seq in 0..20u64 {
+            let delay = 180 + (seq * 53) % 80;
+            bank.observe_heartbeat(seq, arrival(seq, delay));
+        }
+        let m1 = bank.margin_ms(0);
+        let m2 = bank.margin_ms(1);
+        let m331 = bank.margin_ms(2);
+        assert!(m1 > 0.0);
+        // Bit-exact scaling: the values come from one core, γ applied last.
+        assert_eq!((1.0 * m1 / 1.0).to_bits(), m1.to_bits());
+        assert_eq!(m2.to_bits(), (2.0 * (m1 / 1.0)).to_bits());
+        assert_eq!(m331.to_bits(), (3.31 * (m1 / 1.0)).to_bits());
+        // And they match three independent boxed margins bit for bit.
+        let boxed: Vec<_> = combos.iter().map(|c| c.build(eta())).collect();
+        let mut check = DetectorBank::new(&combos, eta());
+        let mut boxed = boxed;
+        for seq in 0..20u64 {
+            let delay = 180 + (seq * 53) % 80;
+            let at = arrival(seq, delay);
+            check.observe_heartbeat(seq, at);
+            for fd in &mut boxed {
+                fd.on_heartbeat(seq, at);
+            }
+        }
+        for (idx, fd) in boxed.iter().enumerate() {
+            assert_eq!(fd.margin_ms().to_bits(), check.margin_ms(idx).to_bits());
+        }
+    }
+
+    #[test]
+    fn check_at_fires_all_expired_combos_in_index_order() {
+        let mut bank = DetectorBank::paper_grid(eta());
+        bank.observe_heartbeat(0, arrival(0, 200));
+        let fired = bank.check_at(SimTime::from_secs(120)).to_vec();
+        assert_eq!(fired.len(), 30);
+        for (i, t) in fired.iter().enumerate() {
+            assert_eq!(t.combo, i);
+            assert_eq!(t.transition, FdTransition::StartSuspect);
+        }
+        // Idempotent while suspecting.
+        assert!(bank.check_at(SimTime::from_secs(121)).is_empty());
+        // A fresh heartbeat ends every suspicion, in index order.
+        bank.observe_heartbeat(1, SimTime::from_secs(121));
+        let ends = bank.transitions();
+        assert_eq!(ends.len(), 30);
+        assert!(ends
+            .iter()
+            .all(|t| t.transition == FdTransition::EndSuspect));
+    }
+
+    #[test]
+    #[should_panic(expected = "heartbeat period must be positive")]
+    fn zero_eta_rejected() {
+        let _ = DetectorBank::new(&all_combinations(), SimDuration::ZERO);
+    }
+}

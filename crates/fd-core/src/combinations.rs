@@ -68,9 +68,12 @@ impl PredictorKind {
             PredictorKind::Mean => Box::new(Mean::new()),
             PredictorKind::WinMean { window } => Box::new(WinMean::new(window)),
             PredictorKind::Lpf { beta } => Box::new(Lpf::new(beta)),
-            PredictorKind::Arima { p, d, q, refit_every } => {
-                Box::new(ArimaPredictor::new(ArimaSpec::new(p, d, q), refit_every))
-            }
+            PredictorKind::Arima {
+                p,
+                d,
+                q,
+                refit_every,
+            } => Box::new(ArimaPredictor::new(ArimaSpec::new(p, d, q), refit_every)),
         }
     }
 
@@ -136,12 +139,24 @@ impl MarginKind {
     /// `CI_low, CI_med, CI_high, JAC_low, JAC_med, JAC_high` (Table 1).
     pub fn paper_set() -> Vec<MarginKind> {
         vec![
-            MarginKind::Ci { gamma: ConfidenceMargin::GAMMA_LOW },
-            MarginKind::Ci { gamma: ConfidenceMargin::GAMMA_MED },
-            MarginKind::Ci { gamma: ConfidenceMargin::GAMMA_HIGH },
-            MarginKind::Jac { phi: JacobsonMargin::PHI_LOW },
-            MarginKind::Jac { phi: JacobsonMargin::PHI_MED },
-            MarginKind::Jac { phi: JacobsonMargin::PHI_HIGH },
+            MarginKind::Ci {
+                gamma: ConfidenceMargin::GAMMA_LOW,
+            },
+            MarginKind::Ci {
+                gamma: ConfidenceMargin::GAMMA_MED,
+            },
+            MarginKind::Ci {
+                gamma: ConfidenceMargin::GAMMA_HIGH,
+            },
+            MarginKind::Jac {
+                phi: JacobsonMargin::PHI_LOW,
+            },
+            MarginKind::Jac {
+                phi: JacobsonMargin::PHI_MED,
+            },
+            MarginKind::Jac {
+                phi: JacobsonMargin::PHI_HIGH,
+            },
         ]
     }
 
@@ -246,7 +261,12 @@ mod tests {
     #[test]
     fn labels_follow_paper_notation() {
         let c = Combination::new(
-            PredictorKind::Arima { p: 2, d: 1, q: 1, refit_every: 1000 },
+            PredictorKind::Arima {
+                p: 2,
+                d: 1,
+                q: 1,
+                refit_every: 1000,
+            },
             MarginKind::Ci { gamma: 3.31 },
         );
         assert_eq!(c.label(), "ARIMA(2,1,1)+SM_CI(3.31)");

@@ -182,6 +182,12 @@ impl FailureDetector {
         self.predictor.predict()
     }
 
+    /// Observations consumed by this detector's private predictor. In a
+    /// bank, detectors sharing a predictor share this count instead.
+    pub fn predictor_observations(&self) -> u64 {
+        self.predictor.observations()
+    }
+
     /// The current safety margin in milliseconds.
     pub fn margin_ms(&self) -> f64 {
         self.margin.margin()
@@ -354,12 +360,7 @@ mod tests {
 
     #[test]
     fn adaptive_margin_widens_after_errors() {
-        let mut fd = FailureDetector::new(
-            "jac",
-            Last::new(),
-            JacobsonMargin::new(4.0),
-            ms(1000),
-        );
+        let mut fd = FailureDetector::new("jac", Last::new(), JacobsonMargin::new(4.0), ms(1000));
         fd.on_heartbeat(0, SimTime::from_millis(200));
         let m0 = fd.margin_ms();
         // A big delay jump is a big prediction error for LAST.
@@ -381,7 +382,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "heartbeat period must be positive")]
     fn zero_eta_rejected() {
-        let _ = FailureDetector::new("x", Last::new(), ConstantMargin::new(1.0), SimDuration::ZERO);
+        let _ = FailureDetector::new(
+            "x",
+            Last::new(),
+            ConstantMargin::new(1.0),
+            SimDuration::ZERO,
+        );
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! * [`margin`] — the two adaptive safety-margin families (`SM_CI(γ)`,
 //!   `SM_JAC(φ)`) plus the constant margin of the NFD-E baseline;
 //! * [`detector`] — the freshness-point state machine;
+//! * [`bank`] — the shared-computation [`DetectorBank`]: all 30
+//!   combinations behind one batched engine, each distinct predictor
+//!   updated once per heartbeat and the margin cores shared;
 //! * [`combinations`] — the registry of the paper's 30 predictor × margin
 //!   combinations;
 //! * [`nfd`] — the Chen–Toueg–Aguilera NFD-E baseline the paper extends.
@@ -39,6 +42,7 @@
 //! assert!(fd.is_suspecting());
 //! ```
 
+pub mod bank;
 pub mod combinations;
 pub mod detector;
 pub mod margin;
@@ -46,9 +50,13 @@ pub mod nfd;
 pub mod predictor;
 pub mod pull;
 
+pub use bank::{BankTransition, DetectorBank, PredictorState};
 pub use combinations::{all_combinations, Combination, MarginKind, PredictorKind};
 pub use detector::{FailureDetector, FdOutput, FdTransition};
-pub use margin::{ConfidenceMargin, ConstantMargin, JacobsonMargin, RtoMargin, SafetyMargin};
+pub use margin::{
+    CiCore, ConfidenceMargin, ConstantMargin, JacCore, JacobsonMargin, RtoCore, RtoMargin,
+    SafetyMargin,
+};
 pub use nfd::nfd_e;
 pub use predictor::{ArimaPredictor, Last, Lpf, Mean, Predictor, WinMean};
 pub use pull::PullFailureDetector;

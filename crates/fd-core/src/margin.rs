@@ -15,6 +15,129 @@
 
 use fd_stat::RunningStats;
 
+/// The γ-independent state of `SM_CI`: the Welford statistics of the
+/// observed delays plus the last `σ̂·sqrt(1 + 1/n + dev²/ssd)` factor.
+///
+/// The CI margin is `γ × (that factor)`, so the three paper variants
+/// (γ ∈ {1, 2, 3.31}) — and in fact every `SM_CI(γ)` watching the same
+/// heartbeat stream — can share ONE core and apply their γ at read time.
+/// [`ConfidenceMargin`] delegates to this core; the
+/// [`DetectorBank`](crate::bank::DetectorBank) keeps a single core for all
+/// its CI combinations.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CiCore {
+    stats: RunningStats,
+    sigma: f64,
+    inner_sqrt: f64,
+}
+
+impl CiCore {
+    /// Creates an empty core.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes one delay observation.
+    pub fn update(&mut self, obs_ms: f64) {
+        self.stats.push(obs_ms);
+        let n = self.stats.count();
+        if n < 2 {
+            self.sigma = 0.0;
+            self.inner_sqrt = 0.0;
+            return;
+        }
+        let dev = obs_ms - self.stats.mean();
+        let ssd = self.stats.sum_sq_dev();
+        let inner = 1.0 + 1.0 / n as f64 + if ssd > 0.0 { dev * dev / ssd } else { 0.0 };
+        self.sigma = self.stats.sample_std();
+        self.inner_sqrt = inner.sqrt();
+    }
+
+    /// The margin for a given γ. Zero before two observations.
+    pub fn margin(&self, gamma: f64) -> f64 {
+        // Left-associated exactly like the historical single-margin code
+        // ((γ·σ)·sqrt), so shared and per-margin paths are bit-identical.
+        gamma * self.sigma * self.inner_sqrt
+    }
+
+    /// Observations consumed so far.
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+}
+
+/// The φ-independent state of `SM_JAC`: the unscaled smoothed deviation
+/// `base_{k+1} = base_k + α·(|err_k| − base_k)`.
+///
+/// The margin is `φ × base`, so every `SM_JAC(φ)` driven by the same
+/// prediction-error stream (i.e. the same predictor) can share one core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JacCore {
+    alpha: f64,
+    base: f64,
+}
+
+impl JacCore {
+    /// Creates a core with gain `alpha` (the paper uses 1/4).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha <= 1`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of (0, 1]: {alpha}");
+        Self { alpha, base: 0.0 }
+    }
+
+    /// Consumes one prediction error.
+    pub fn update(&mut self, prediction_error_ms: f64) {
+        self.base += self.alpha * (prediction_error_ms.abs() - self.base);
+    }
+
+    /// The margin for a given φ.
+    pub fn margin(&self, phi: f64) -> f64 {
+        phi * self.base
+    }
+}
+
+/// The k-independent state of `SM_RTO`: smoothed signed error `μ̂` and
+/// smoothed absolute deviation `d̂`. The margin is `max(μ̂ + k·d̂, 0)`, so
+/// every `SM_RTO(k)` over the same error stream shares one core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RtoCore {
+    gain: f64,
+    mu: f64,
+    dev: f64,
+}
+
+impl RtoCore {
+    /// Creates a core with the classical 1/8 mean gain (deviation gain 1/4).
+    pub fn new() -> Self {
+        Self {
+            gain: 0.125,
+            mu: 0.0,
+            dev: 0.0,
+        }
+    }
+
+    /// Consumes one prediction error.
+    pub fn update(&mut self, prediction_error_ms: f64) {
+        let err = prediction_error_ms;
+        self.dev += 2.0 * self.gain * ((err - self.mu).abs() - self.dev);
+        self.mu += self.gain * (err - self.mu);
+    }
+
+    /// The margin for a given deviation multiplier `k` (never negative).
+    pub fn margin(&self, k: f64) -> f64 {
+        (self.mu + k * self.dev).max(0.0)
+    }
+}
+
+impl Default for RtoCore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// An adaptive (or constant) safety margin over heartbeat delays.
 pub trait SafetyMargin: Send {
     /// Consumes a new observation: the observed delay and the error of the
@@ -55,8 +178,7 @@ impl<T: SafetyMargin + ?Sized> SafetyMargin for Box<T> {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConfidenceMargin {
     gamma: f64,
-    stats: RunningStats,
-    current: f64,
+    core: CiCore,
 }
 
 impl ConfidenceMargin {
@@ -69,8 +191,7 @@ impl ConfidenceMargin {
         assert!(gamma > 0.0, "gamma must be positive, got {gamma}");
         Self {
             gamma,
-            stats: RunningStats::new(),
-            current: 0.0,
+            core: CiCore::new(),
         }
     }
 
@@ -89,21 +210,11 @@ impl ConfidenceMargin {
 
 impl SafetyMargin for ConfidenceMargin {
     fn update(&mut self, obs_ms: f64, _prediction_error_ms: f64) {
-        self.stats.push(obs_ms);
-        let n = self.stats.count();
-        if n < 2 {
-            self.current = 0.0;
-            return;
-        }
-        let sigma = self.stats.sample_std();
-        let dev = obs_ms - self.stats.mean();
-        let ssd = self.stats.sum_sq_dev();
-        let inner = 1.0 + 1.0 / n as f64 + if ssd > 0.0 { dev * dev / ssd } else { 0.0 };
-        self.current = self.gamma * sigma * inner.sqrt();
+        self.core.update(obs_ms);
     }
 
     fn margin(&self) -> f64 {
-        self.current
+        self.core.margin(self.gamma)
     }
 
     fn name(&self) -> String {
@@ -128,8 +239,7 @@ impl SafetyMargin for ConfidenceMargin {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JacobsonMargin {
     phi: f64,
-    alpha: f64,
-    sm: f64,
+    core: JacCore,
 }
 
 impl JacobsonMargin {
@@ -149,8 +259,10 @@ impl JacobsonMargin {
     /// Panics unless `phi > 0` and `0 < alpha <= 1`.
     pub fn with_alpha(phi: f64, alpha: f64) -> Self {
         assert!(phi > 0.0, "phi must be positive, got {phi}");
-        assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of (0, 1]: {alpha}");
-        Self { phi, alpha, sm: 0.0 }
+        Self {
+            phi,
+            core: JacCore::new(alpha),
+        }
     }
 
     /// The φ multiplier.
@@ -168,15 +280,13 @@ impl JacobsonMargin {
 
 impl SafetyMargin for JacobsonMargin {
     fn update(&mut self, _obs_ms: f64, prediction_error_ms: f64) {
-        // sm_{k+1} = φ · (sm_k + α·(|err_k| − sm_k)); the recursion state is
-        // the *unscaled* smoothed deviation, as in Jacobson's RTO.
-        let base = self.sm / self.phi;
-        let smoothed = base + self.alpha * (prediction_error_ms.abs() - base);
-        self.sm = self.phi * smoothed;
+        // sm_{k+1} = φ · (base_k + α·(|err_k| − base_k)); the recursion state
+        // is the *unscaled* smoothed deviation, as in Jacobson's RTO.
+        self.core.update(prediction_error_ms);
     }
 
     fn margin(&self) -> f64 {
-        self.sm
+        self.core.margin(self.phi)
     }
 
     fn name(&self) -> String {
@@ -193,9 +303,7 @@ impl SafetyMargin for JacobsonMargin {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RtoMargin {
     k: f64,
-    gain: f64,
-    mu: f64,
-    dev: f64,
+    core: RtoCore,
 }
 
 impl RtoMargin {
@@ -209,9 +317,7 @@ impl RtoMargin {
         assert!(k > 0.0, "k must be positive, got {k}");
         Self {
             k,
-            gain: 0.125,
-            mu: 0.0,
-            dev: 0.0,
+            core: RtoCore::new(),
         }
     }
 
@@ -223,15 +329,13 @@ impl RtoMargin {
 
 impl SafetyMargin for RtoMargin {
     fn update(&mut self, _obs_ms: f64, prediction_error_ms: f64) {
-        let err = prediction_error_ms;
-        self.dev += 2.0 * self.gain * ((err - self.mu).abs() - self.dev);
-        self.mu += self.gain * (err - self.mu);
+        self.core.update(prediction_error_ms);
     }
 
     fn margin(&self) -> f64 {
         // A persistent negative error (over-prediction) must not drive the
         // margin negative: the time-out would precede the prediction itself.
-        (self.mu + self.k * self.dev).max(0.0)
+        self.core.margin(self.k)
     }
 
     fn name(&self) -> String {
@@ -300,7 +404,11 @@ mod tests {
         let sigma = (ssd / (n - 1.0)).sqrt();
         let last_dev = obs[obs.len() - 1] - mean;
         let expect = 2.0 * sigma * (1.0 + 1.0 / n + last_dev * last_dev / ssd).sqrt();
-        assert!((m.margin() - expect).abs() < 1e-9, "{} vs {expect}", m.margin());
+        assert!(
+            (m.margin() - expect).abs() < 1e-9,
+            "{} vs {expect}",
+            m.margin()
+        );
     }
 
     #[test]
@@ -457,6 +565,68 @@ mod tests {
     #[should_panic(expected = "phi must be positive")]
     fn jac_rejects_nonpositive_phi() {
         let _ = JacobsonMargin::new(-1.0);
+    }
+
+    /// One shared [`CiCore`] with γ applied at read time is bit-identical to
+    /// three independent `ConfidenceMargin`s — the invariant the
+    /// `DetectorBank` relies on to collapse the three `SM_CI(γ)` variants.
+    #[test]
+    fn ci_core_shared_across_gammas_is_bit_identical() {
+        let gammas = [1.0, 2.0, 3.31];
+        let mut core = CiCore::new();
+        let mut boxed: Vec<ConfidenceMargin> =
+            gammas.iter().map(|&g| ConfidenceMargin::new(g)).collect();
+        let obs = [200.0, 195.5, 207.25, 199.0, 212.125, 203.0, 198.75];
+        for (step, &o) in obs.iter().enumerate() {
+            core.update(o);
+            for m in &mut boxed {
+                m.update(o, f64::NAN); // error argument must be irrelevant
+            }
+            for (&g, m) in gammas.iter().zip(&boxed) {
+                assert_eq!(
+                    core.margin(g).to_bits(),
+                    m.margin().to_bits(),
+                    "step {step}, gamma {g}"
+                );
+            }
+        }
+        assert_eq!(core.count(), obs.len() as u64);
+    }
+
+    /// One shared [`JacCore`] with φ applied at read time is bit-identical
+    /// to independent `JacobsonMargin`s over the same error stream.
+    #[test]
+    fn jac_core_shared_across_phis_is_bit_identical() {
+        let phis = [1.0, 2.0, 4.0];
+        let mut core = JacCore::new(0.25);
+        let mut boxed: Vec<JacobsonMargin> = phis.iter().map(|&p| JacobsonMargin::new(p)).collect();
+        for e in [5.0, -3.25, 8.5, 0.0, -7.75, 2.125, 9.0] {
+            core.update(e);
+            for m in &mut boxed {
+                m.update(f64::NAN, e);
+            }
+            for (&p, m) in phis.iter().zip(&boxed) {
+                assert_eq!(core.margin(p).to_bits(), m.margin().to_bits(), "phi {p}");
+            }
+        }
+    }
+
+    /// One shared [`RtoCore`] with k applied at read time matches
+    /// independent `RtoMargin`s bit for bit.
+    #[test]
+    fn rto_core_shared_across_ks_is_bit_identical() {
+        let ks = [1.0, 2.0, 4.0];
+        let mut core = RtoCore::new();
+        let mut boxed: Vec<RtoMargin> = ks.iter().map(|&k| RtoMargin::new(k)).collect();
+        for e in [3.0, -4.5, 6.25, -1.0, 2.0, -10.0] {
+            core.update(e);
+            for m in &mut boxed {
+                m.update(f64::NAN, e);
+            }
+            for (&k, m) in ks.iter().zip(&boxed) {
+                assert_eq!(core.margin(k).to_bits(), m.margin().to_bits(), "k {k}");
+            }
+        }
     }
 }
 

@@ -61,7 +61,7 @@ mod tests {
         let mut fd = nfd_e(500.0, eta);
         fd.on_heartbeat(0, SimTime::from_millis(200));
         fd.on_heartbeat(1, SimTime::from_millis(1_300)); // delay 300, mean 250
-        // τ_2 = 2·η + 250 + 500 = 2750ms.
+                                                         // τ_2 = 2·η + 250 + 500 = 2750ms.
         assert_eq!(fd.next_deadline(), Some(SimTime::from_millis(2_750)));
         assert!(fd.name().starts_with("NFD-E"));
     }

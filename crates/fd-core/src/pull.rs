@@ -230,7 +230,10 @@ mod tests {
         assert_eq!(fd.check(ms(1_500)), Some(FdTransition::StartSuspect));
         assert!(fd.is_suspecting());
         // Late response corrects the mistake.
-        assert_eq!(fd.on_response(seq2, ms(1_900)), Some(FdTransition::EndSuspect));
+        assert_eq!(
+            fd.on_response(seq2, ms(1_900)),
+            Some(FdTransition::EndSuspect)
+        );
         assert!(!fd.is_suspecting());
     }
 
@@ -262,7 +265,10 @@ mod tests {
         // New requests while suspecting do not clear the suspicion.
         let seq = fd.issue_request(SimTime::from_secs(2));
         assert!(fd.is_suspecting());
-        assert_eq!(fd.on_response(seq, SimTime::from_secs(3)), Some(FdTransition::EndSuspect));
+        assert_eq!(
+            fd.on_response(seq, SimTime::from_secs(3)),
+            Some(FdTransition::EndSuspect)
+        );
     }
 
     #[test]

@@ -62,7 +62,11 @@ impl AccuracyTable {
 
 impl fmt::Display for AccuracyTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Predictor accuracy on '{}' ({} scored observations)", self.profile, self.scored)?;
+        writeln!(
+            f,
+            "Predictor accuracy on '{}' ({} scored observations)",
+            self.profile, self.scored
+        )?;
         writeln!(f, "{:<16} {:>14}", "Predictor", "msqerr (ms²)")?;
         for row in &self.rows {
             writeln!(f, "{:<16} {:>14.3}", row.predictor, row.msqerr)?;

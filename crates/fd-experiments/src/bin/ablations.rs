@@ -89,8 +89,8 @@ fn run_margin_probe(
     params: &ExperimentParams,
     margin: MarginKind,
 ) -> (f64, f64, f64, f64) {
-    use fd_runtime::{Process, ProcessId, SimEngine};
     use fd_experiments::{HeartbeaterLayer, MonitorLayer, SimCrashLayer};
+    use fd_runtime::{Process, ProcessId, SimEngine};
     use fd_sim::{SeedTree, SimTime};
 
     let mut pooled = fd_stat::QosMetrics::default();
@@ -101,7 +101,11 @@ fn run_margin_probe(
         engine.add_process(Process::new(ProcessId(0)).with_layer(MonitorLayer::new(vec![fd])));
         engine.add_process(
             Process::new(ProcessId(1))
-                .with_layer(SimCrashLayer::new(params.mttc, params.ttr, seeds.rng("crash")))
+                .with_layer(SimCrashLayer::new(
+                    params.mttc,
+                    params.ttr,
+                    seeds.rng("crash"),
+                ))
                 .with_layer(
                     HeartbeaterLayer::new(ProcessId(0), params.eta)
                         .with_max_cycles(params.num_cycles),

@@ -46,22 +46,45 @@ fn main() {
 
     println!("diagnostics:");
     println!("  floor            {:.1} ms", diag.floor_ms);
-    println!("  spike threshold  {:.1} ms (fraction {:.4})", diag.spike_threshold_ms, diag.spike_fraction);
-    println!("  body mean/var    {:.1} ms / {:.1} ms²", diag.body_mean_ms, diag.body_var_ms2);
+    println!(
+        "  spike threshold  {:.1} ms (fraction {:.4})",
+        diag.spike_threshold_ms, diag.spike_fraction
+    );
+    println!(
+        "  body mean/var    {:.1} ms / {:.1} ms²",
+        diag.body_mean_ms, diag.body_var_ms2
+    );
     println!("  lag-1 autocorr   {:.3}", diag.lag1);
 
     println!("\nfitted profile: {profile:#?}");
 
     // Verification: regenerate and compare Table-4 style characteristics.
     let original = trace.characteristics().expect("non-empty trace");
-    let regenerated = DelayTrace::record(&profile, trace.len().max(5_000), SimDuration::from_secs(1), 7)
-        .characteristics()
-        .expect("non-empty regeneration");
+    let regenerated = DelayTrace::record(
+        &profile,
+        trace.len().max(5_000),
+        SimDuration::from_secs(1),
+        7,
+    )
+    .characteristics()
+    .expect("non-empty regeneration");
     println!("\nverification (original vs regenerated):");
-    println!("  mean  {:.1} vs {:.1} ms", original.mean_ms, regenerated.mean_ms);
-    println!("  std   {:.1} vs {:.1} ms", original.std_ms, regenerated.std_ms);
-    println!("  min   {:.1} vs {:.1} ms", original.min_ms, regenerated.min_ms);
-    println!("  max   {:.1} vs {:.1} ms", original.max_ms, regenerated.max_ms);
+    println!(
+        "  mean  {:.1} vs {:.1} ms",
+        original.mean_ms, regenerated.mean_ms
+    );
+    println!(
+        "  std   {:.1} vs {:.1} ms",
+        original.std_ms, regenerated.std_ms
+    );
+    println!(
+        "  min   {:.1} vs {:.1} ms",
+        original.min_ms, regenerated.min_ms
+    );
+    println!(
+        "  max   {:.1} vs {:.1} ms",
+        original.max_ms, regenerated.max_ms
+    );
     println!(
         "  loss  {:.3}% vs {:.3}%",
         original.loss_probability * 100.0,

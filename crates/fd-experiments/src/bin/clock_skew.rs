@@ -42,7 +42,11 @@ fn run_with_clock(clock: ClockModel) -> Vec<(String, QosMetrics)> {
     engine.add_process(Process::new(ProcessId(0)).with_layer(MonitorLayer::new(detectors)));
     engine.add_process(
         Process::new(ProcessId(1))
-            .with_layer(SimCrashLayer::new(params.mttc, params.ttr, seeds.rng("crash")))
+            .with_layer(SimCrashLayer::new(
+                params.mttc,
+                params.ttr,
+                seeds.rng("crash"),
+            ))
             .with_layer(
                 HeartbeaterLayer::new(ProcessId(0), params.eta).with_max_cycles(params.num_cycles),
             ),
@@ -80,11 +84,11 @@ fn main() {
     print_rows("offset +0ms", &baseline);
     let offset = run_with_clock(ClockModel::with_offset_us(250_000));
     print_rows("offset +250ms", &offset);
-    let invariant = baseline
-        .iter()
-        .zip(&offset)
-        .all(|((_, a), (_, b))| a == b);
-    println!("constant offset invariance: {}", if invariant { "CONFIRMED" } else { "BROKEN" });
+    let invariant = baseline.iter().zip(&offset).all(|((_, a), (_, b))| a == b);
+    println!(
+        "constant offset invariance: {}",
+        if invariant { "CONFIRMED" } else { "BROKEN" }
+    );
 
     // Drift: the monitored clock runs fast (its η shrinks in true time →
     // observed delays drift downward) or slow (delays drift upward).

@@ -8,8 +8,8 @@
 
 use fd_core::{MarginKind, PredictorKind};
 use fd_experiments::{
-    arima_selection_experiment, predictor_accuracy_experiment, run_qos_experiment,
-    AccuracyParams, ExperimentParams, Metric,
+    arima_selection_experiment, predictor_accuracy_experiment, run_qos_experiment, AccuracyParams,
+    ExperimentParams, Metric,
 };
 use fd_net::{DelayTrace, WanProfile};
 
@@ -76,13 +76,21 @@ fn main() {
 
     // --- Table 4.
     eprintln!("[3/4] link characterisation …");
-    let trace = DelayTrace::record(&profile, table3_params.n_one_way, table3_params.eta, table3_params.seed);
+    let trace = DelayTrace::record(
+        &profile,
+        table3_params.n_one_way,
+        table3_params.eta,
+        table3_params.seed,
+    );
     println!("\nTable 4 — WAN connection characteristics");
     println!("{}", trace.characteristics().expect("non-empty trace"));
     println!("Number of hops          {:>10}", profile.hops);
 
     // --- Figures 4–8.
-    eprintln!("[4/4] QoS experiment ({} runs × {} cycles) …", params.runs, params.num_cycles);
+    eprintln!(
+        "[4/4] QoS experiment ({} runs × {} cycles) …",
+        params.runs, params.num_cycles
+    );
     let results = run_qos_experiment(&profile, &params);
     println!();
     for m in Metric::all() {

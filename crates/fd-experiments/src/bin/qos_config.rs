@@ -34,7 +34,10 @@ fn main() {
     match configure_nfd(&profile, &req, 0xC0F1) {
         Some(outcome) => {
             println!("\nconfigured NFD-E detector:");
-            println!("  η = {}   α = {:.1} ms", outcome.config.eta, outcome.config.alpha_ms);
+            println!(
+                "  η = {}   α = {:.1} ms",
+                outcome.config.eta, outcome.config.alpha_ms
+            );
             println!("\nverified by simulation:");
             println!(
                 "  T_D^U = {:.0} ms   (crashes {}/{} detected)",

@@ -29,9 +29,7 @@ fn main() {
         n_one_way: n,
         ..AccuracyParams::paper()
     };
-    eprintln!(
-        "searching ARIMA orders in [0..{p_max}]x[0..{d_max}]x[0..{q_max}] over {n} delays …"
-    );
+    eprintln!("searching ARIMA orders in [0..{p_max}]x[0..{d_max}]x[0..{q_max}] over {n} delays …");
     match arima_selection_experiment(&profile, &params, p_max, d_max, q_max) {
         Some(report) => {
             println!("Table 2 — ARIMA order selection (RPS-toolkit analog)");

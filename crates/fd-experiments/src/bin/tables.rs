@@ -26,7 +26,12 @@ fn main() {
     println!("{:<12} Parameters", "Predictor");
     for kind in PredictorKind::paper_set() {
         let params = match kind {
-            PredictorKind::Arima { p, d, q, refit_every } => {
+            PredictorKind::Arima {
+                p,
+                d,
+                q,
+                refit_every,
+            } => {
                 format!("p = {p}, d = {d}, q = {q} (refit every {refit_every} obs)")
             }
             PredictorKind::Lpf { beta } => format!("β = {beta}"),

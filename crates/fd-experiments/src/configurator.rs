@@ -98,9 +98,7 @@ pub fn configure_nfd(
             .map_or(verified.mistake_durations_ms.len() <= 1, |tmr| {
                 tmr >= req.tmr_lower_ms
             });
-        let meets_tm = verified
-            .mean_tm()
-            .is_none_or(|tm| tm <= req.tm_upper_ms);
+        let meets_tm = verified.mean_tm().is_none_or(|tm| tm <= req.tm_upper_ms);
         if meets_td && meets_tmr && meets_tm {
             return Some(ConfiguredDetector { config, verified });
         }

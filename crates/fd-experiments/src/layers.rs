@@ -1,10 +1,9 @@
 //! The experiment layers of the paper's architecture (its Figure 3).
 
-use fd_core::FailureDetector;
-use fd_runtime::{Context, Layer, Message, ProcessId, TimerId};
-use fd_sim::{DetRng, SimDuration};
-#[cfg(test)]
-use fd_sim::SimTime;
+use fd_core::bank::DetectorBank;
+use fd_core::{Combination, FailureDetector};
+use fd_runtime::{BatchedLayer, Context, Layer, Message, ProcessId, TimerId};
+use fd_sim::{DetRng, SimDuration, SimTime};
 use fd_stat::EventKind;
 
 /// Sends heartbeat `m_i` to the monitor every η, with `σ_i = i·η`.
@@ -59,7 +58,12 @@ impl Layer for HeartbeaterLayer {
             }
         }
         ctx.emit(EventKind::Sent { seq: self.seq });
-        ctx.send(Message::heartbeat(ctx.process(), self.to, self.seq, ctx.now()));
+        ctx.send(Message::heartbeat(
+            ctx.process(),
+            self.to,
+            self.seq,
+            ctx.now(),
+        ));
         self.seq += 1;
         ctx.set_timer(self.eta, 0);
     }
@@ -112,7 +116,10 @@ impl SimCrashLayer {
     ///
     /// Panics if `mttc` or `ttr` is zero.
     pub fn new(mttc: SimDuration, ttr: SimDuration, rng: DetRng) -> Self {
-        assert!(!mttc.is_zero() && !ttr.is_zero(), "MTTC and TTR must be positive");
+        assert!(
+            !mttc.is_zero() && !ttr.is_zero(),
+            "MTTC and TTR must be positive"
+        );
         Self {
             schedule: CrashSchedule::Recurring { mttc, ttr, rng },
             crashed: false,
@@ -231,36 +238,84 @@ impl Layer for SimCrashLayer {
 /// detector at the same instant, so all 30 perceive identical network
 /// conditions. Suspicion edges are emitted as `StartSuspect`/`EndSuspect`
 /// events tagged with the detector index.
+///
+/// Two detector populations coexist behind one index space:
+///
+/// * a [`DetectorBank`] holding the predictor × margin grid (built with
+///   [`MonitorLayer::banked`]): each heartbeat updates every **distinct**
+///   predictor once and shares the margin cores — the fast path used by the
+///   QoS experiments;
+/// * boxed [`FailureDetector`]s (built with [`MonitorLayer::new`] or
+///   appended with [`MonitorLayer::with_extra_detector`]): the compatibility
+///   path for detectors outside the grid, e.g. the NFD-E baseline.
+///
+/// Bank combinations occupy indices `0..bank.len()`, extras follow. The
+/// emitted events and armed timers are identical between the two paths —
+/// the differential tests below assert byte-identical event logs.
 pub struct MonitorLayer {
-    detectors: Vec<FailureDetector>,
+    bank: DetectorBank,
+    extras: Vec<FailureDetector>,
     source: Option<ProcessId>,
     detector_base: u32,
     received: u64,
+    /// Scratch: bank deadlines before an observation (re-arm decisions).
+    deadline_scratch: Vec<Option<SimTime>>,
 }
 
 impl std::fmt::Debug for MonitorLayer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MonitorLayer")
-            .field("detectors", &self.detectors.len())
+            .field("bank", &self.bank.len())
+            .field("extras", &self.extras.len())
             .field("received", &self.received)
             .finish()
     }
 }
 
 impl MonitorLayer {
-    /// Creates the monitor over the given detectors.
+    /// Creates the monitor over boxed detectors (the compatibility path:
+    /// every detector keeps its own predictor + margin).
     ///
     /// # Panics
     ///
     /// Panics if no detector is supplied.
     pub fn new(detectors: Vec<FailureDetector>) -> Self {
         assert!(!detectors.is_empty(), "monitor needs at least one detector");
+        let eta = detectors[0].eta();
         Self {
-            detectors,
+            bank: DetectorBank::new(&[], eta),
+            extras: detectors,
             source: None,
             detector_base: 0,
             received: 0,
+            deadline_scratch: Vec::new(),
         }
+    }
+
+    /// Creates the monitor over a [`DetectorBank`] of combinations (the
+    /// shared-computation path: distinct predictors updated once per
+    /// heartbeat, margin cores shared).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `combos` is empty or `eta` is zero.
+    pub fn banked(combos: &[Combination], eta: SimDuration) -> Self {
+        assert!(!combos.is_empty(), "monitor needs at least one detector");
+        Self {
+            bank: DetectorBank::new(combos, eta),
+            extras: Vec::new(),
+            source: None,
+            detector_base: 0,
+            received: 0,
+            deadline_scratch: Vec::new(),
+        }
+    }
+
+    /// Appends a boxed detector after the bank combinations (e.g. the NFD-E
+    /// baseline, which is not a predictor × margin combination).
+    pub fn with_extra_detector(mut self, fd: FailureDetector) -> Self {
+        self.extras.push(fd);
+        self
     }
 
     /// Offsets the detector ids used in emitted events, so several
@@ -280,9 +335,11 @@ impl MonitorLayer {
     }
 
     /// The detectors' labels, in index order (index = detector id in the
-    /// emitted events).
+    /// emitted events): bank combinations first, then extras.
     pub fn labels(&self) -> Vec<String> {
-        self.detectors.iter().map(|d| d.name().to_owned()).collect()
+        let mut labels = self.bank.labels();
+        labels.extend(self.extras.iter().map(|d| d.name().to_owned()));
+        labels
     }
 
     /// Heartbeats received so far.
@@ -290,70 +347,158 @@ impl MonitorLayer {
         self.received
     }
 
-    /// Access to a detector (diagnostics, tests).
+    /// Total number of detectors (bank combinations + extras).
+    pub fn detector_count(&self) -> usize {
+        self.bank.len() + self.extras.len()
+    }
+
+    /// The underlying bank (diagnostics, tests).
+    pub fn bank(&self) -> &DetectorBank {
+        &self.bank
+    }
+
+    /// Access to a boxed detector (diagnostics, tests). `idx` is the global
+    /// detector index; bank combinations have no boxed representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` addresses a bank combination — use
+    /// [`bank`](Self::bank) for those.
     pub fn detector(&self, idx: usize) -> &FailureDetector {
-        &self.detectors[idx]
+        assert!(
+            idx >= self.bank.len(),
+            "detector {idx} lives in the bank; use MonitorLayer::bank()"
+        );
+        &self.extras[idx - self.bank.len()]
     }
 
-    /// Arms the freshness-point timer of detector `idx`.
-    fn arm_deadline(&self, ctx: &mut Context, idx: usize) {
-        if let Some(deadline) = self.detectors[idx].next_deadline() {
-            let delay = deadline
-                .checked_duration_since(ctx.now())
-                .unwrap_or(SimDuration::ZERO);
-            ctx.set_timer(delay, idx as TimerId);
+    /// `true` if detector `idx` (bank or extra) currently suspects.
+    pub fn is_suspecting(&self, idx: usize) -> bool {
+        if idx < self.bank.len() {
+            self.bank.is_suspecting(idx)
+        } else {
+            self.extras[idx - self.bank.len()].is_suspecting()
         }
     }
-}
 
-impl Layer for MonitorLayer {
-    fn on_deliver(&mut self, ctx: &mut Context, msg: Message) {
-        if !msg.is_heartbeat() {
-            // Non-heartbeat traffic is none of the monitor's business.
-            ctx.deliver(msg);
-            return;
-        }
-        if let Some(source) = self.source {
-            if msg.from != source {
-                ctx.deliver(msg);
-                return;
+    /// The heartbeat arrival path shared by the owned and by-reference
+    /// delivery entry points. Event and timer order is identical to the
+    /// historical per-detector loop: per index ascending, the `EndSuspect`
+    /// emit (if any) then the re-armed timer (if the deadline moved).
+    fn handle_heartbeat(&mut self, ctx: &mut Context, seq: u64) {
+        self.received += 1;
+        ctx.emit(EventKind::Received { seq });
+        let now = ctx.now();
+
+        let n_bank = self.bank.len();
+        if n_bank > 0 {
+            self.deadline_scratch.clear();
+            for idx in 0..n_bank {
+                self.deadline_scratch.push(self.bank.next_deadline(idx));
+            }
+            self.bank.observe_heartbeat(seq, now);
+            let mut ends = self.bank.transitions().iter().peekable();
+            for idx in 0..n_bank {
+                if ends.next_if(|t| t.combo == idx).is_some() {
+                    ctx.emit(EventKind::EndSuspect {
+                        detector: self.detector_base + idx as u32,
+                    });
+                }
+                // Re-arm only when the freshness point moved (fresh
+                // heartbeat).
+                if self.bank.next_deadline(idx) != self.deadline_scratch[idx] {
+                    if let Some(deadline) = self.bank.next_deadline(idx) {
+                        let delay = deadline
+                            .checked_duration_since(now)
+                            .unwrap_or(SimDuration::ZERO);
+                        ctx.set_timer(delay, idx as TimerId);
+                    }
+                }
             }
         }
-        self.received += 1;
-        ctx.emit(EventKind::Received { seq: msg.seq });
-        let now = ctx.now();
-        for idx in 0..self.detectors.len() {
-            let was_deadline = self.detectors[idx].next_deadline();
-            if let Some(fd_core::FdTransition::EndSuspect) =
-                self.detectors[idx].on_heartbeat(msg.seq, now)
-            {
+
+        for (i, fd) in self.extras.iter_mut().enumerate() {
+            let idx = n_bank + i;
+            let was_deadline = fd.next_deadline();
+            if let Some(fd_core::FdTransition::EndSuspect) = fd.on_heartbeat(seq, now) {
                 ctx.emit(EventKind::EndSuspect {
                     detector: self.detector_base + idx as u32,
                 });
             }
-            // Re-arm only when the freshness point moved (fresh heartbeat).
-            if self.detectors[idx].next_deadline() != was_deadline {
-                self.arm_deadline(ctx, idx);
+            if fd.next_deadline() != was_deadline {
+                if let Some(deadline) = fd.next_deadline() {
+                    let delay = deadline
+                        .checked_duration_since(now)
+                        .unwrap_or(SimDuration::ZERO);
+                    ctx.set_timer(delay, idx as TimerId);
+                }
             }
         }
-        // The monitor is a tap, not a sink: upper layers still see the
-        // heartbeat (e.g. a second monitor watching a different sender).
-        ctx.deliver(msg);
     }
 
-    fn on_timer(&mut self, ctx: &mut Context, id: TimerId) {
+    /// The freshness-point timer path shared by both layer flavours.
+    fn handle_timer(&mut self, ctx: &mut Context, id: TimerId) {
         let idx = id as usize;
-        if idx >= self.detectors.len() {
-            return;
-        }
-        if let Some(fd_core::FdTransition::StartSuspect) = self.detectors[idx].check(ctx.now()) {
+        let n_bank = self.bank.len();
+        let fired = if idx < n_bank {
+            self.bank.check_one(idx, ctx.now())
+        } else if let Some(fd) = self.extras.get_mut(idx - n_bank) {
+            fd.check(ctx.now())
+        } else {
+            None
+        };
+        if let Some(fd_core::FdTransition::StartSuspect) = fired {
             ctx.emit(EventKind::StartSuspect {
                 detector: self.detector_base + idx as u32,
             });
         }
     }
 
+    /// `true` if this heartbeat is for us (heartbeat kind + source filter).
+    fn accepts(&self, msg: &Message) -> bool {
+        msg.is_heartbeat() && self.source.is_none_or(|s| msg.from == s)
+    }
+}
+
+impl Layer for MonitorLayer {
+    fn on_deliver(&mut self, ctx: &mut Context, msg: Message) {
+        if !self.accepts(&msg) {
+            // Non-heartbeat traffic (or another sender's heartbeats) is none
+            // of the monitor's business.
+            ctx.deliver(msg);
+            return;
+        }
+        self.handle_heartbeat(ctx, msg.seq);
+        // The monitor is a tap, not a sink: upper layers still see the
+        // heartbeat (e.g. a second monitor watching a different sender).
+        ctx.deliver(msg);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context, id: TimerId) {
+        self.handle_timer(ctx, id);
+    }
+
     fn name(&self) -> &str {
+        "monitor"
+    }
+}
+
+/// As a multiplexer child, the monitor consumes deliveries by reference:
+/// it is a top component there (nothing above it to re-deliver to), so the
+/// per-child `Message` clone of the fan-out path would be pure overhead.
+impl BatchedLayer for MonitorLayer {
+    fn on_deliver_ref(&mut self, ctx: &mut Context, msg: &Message) {
+        if !self.accepts(msg) {
+            return;
+        }
+        self.handle_heartbeat(ctx, msg.seq);
+    }
+
+    fn on_timer_batched(&mut self, ctx: &mut Context, id: TimerId) {
+        self.handle_timer(ctx, id);
+    }
+
+    fn batched_name(&self) -> &str {
         "monitor"
     }
 }
@@ -362,8 +507,8 @@ impl Layer for MonitorLayer {
 mod tests {
     use super::*;
     use fd_core::{ConstantMargin, Last};
-    use fd_runtime::{Process, SimEngine};
     use fd_net::{ConstantDelay, LinkModel, NoLoss};
+    use fd_runtime::{Process, SimEngine};
 
     fn fixed_fd(name: &str) -> FailureDetector {
         FailureDetector::new(
@@ -386,7 +531,10 @@ mod tests {
                     SimDuration::from_secs(ttr_s),
                     DetRng::seed_from(seed),
                 ))
-                .with_layer(HeartbeaterLayer::new(ProcessId(0), SimDuration::from_secs(1))),
+                .with_layer(HeartbeaterLayer::new(
+                    ProcessId(0),
+                    SimDuration::from_secs(1),
+                )),
         );
         engine.set_link(
             ProcessId(1),
@@ -402,8 +550,8 @@ mod tests {
 
     #[test]
     fn heartbeater_counts_and_stops_at_max() {
-        let mut hb = HeartbeaterLayer::new(ProcessId(0), SimDuration::from_secs(1))
-            .with_max_cycles(3);
+        let mut hb =
+            HeartbeaterLayer::new(ProcessId(0), SimDuration::from_secs(1)).with_max_cycles(3);
         let mut ctx = Context::new(SimTime::ZERO, ProcessId(1));
         hb.on_start(&mut ctx);
         for _ in 0..5 {
@@ -424,8 +572,14 @@ mod tests {
         sc.on_timer(&mut ctx, TIMER_CRASH);
         assert!(sc.is_crashed());
         // Messages in both directions are swallowed while crashed.
-        sc.on_send(&mut ctx, Message::heartbeat(ProcessId(1), ProcessId(0), 0, SimTime::ZERO));
-        sc.on_deliver(&mut ctx, Message::heartbeat(ProcessId(0), ProcessId(1), 0, SimTime::ZERO));
+        sc.on_send(
+            &mut ctx,
+            Message::heartbeat(ProcessId(1), ProcessId(0), 0, SimTime::ZERO),
+        );
+        sc.on_deliver(
+            &mut ctx,
+            Message::heartbeat(ProcessId(0), ProcessId(1), 0, SimTime::ZERO),
+        );
         assert_eq!(sc.dropped(), 2);
         sc.on_timer(&mut ctx, TIMER_RESTORE);
         assert!(!sc.is_crashed());
@@ -479,15 +633,17 @@ mod tests {
     #[test]
     fn monitor_feeds_all_detectors_identically() {
         let mut engine = SimEngine::new();
-        engine.add_process(Process::new(ProcessId(0)).with_layer(MonitorLayer::new(vec![
-            fixed_fd("a"),
-            fixed_fd("b"),
-            fixed_fd("c"),
-        ])));
         engine.add_process(
-            Process::new(ProcessId(1))
-                .with_layer(HeartbeaterLayer::new(ProcessId(0), SimDuration::from_secs(1))),
+            Process::new(ProcessId(0)).with_layer(MonitorLayer::new(vec![
+                fixed_fd("a"),
+                fixed_fd("b"),
+                fixed_fd("c"),
+            ])),
         );
+        engine.add_process(Process::new(ProcessId(1)).with_layer(HeartbeaterLayer::new(
+            ProcessId(0),
+            SimDuration::from_secs(1),
+        )));
         engine.set_link(
             ProcessId(1),
             ProcessId(0),
@@ -523,6 +679,117 @@ mod tests {
     #[should_panic(expected = "at least one detector")]
     fn empty_monitor_rejected() {
         let _ = MonitorLayer::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one detector")]
+    fn empty_banked_monitor_rejected() {
+        let _ = MonitorLayer::banked(&[], SimDuration::from_secs(1));
+    }
+
+    /// Builds the two-process experiment around a given monitor and returns
+    /// the full event log: the comparison target for the banked/boxed and
+    /// fan-out/batched differential tests.
+    fn run_to_log(monitor_process: Process, secs: u64) -> Vec<fd_stat::Event> {
+        let mut engine = SimEngine::new();
+        engine.add_process(monitor_process);
+        engine.add_process(
+            Process::new(ProcessId(1))
+                .with_layer(SimCrashLayer::new(
+                    SimDuration::from_secs(45),
+                    SimDuration::from_secs(8),
+                    DetRng::seed_from(7),
+                ))
+                .with_layer(HeartbeaterLayer::new(
+                    ProcessId(0),
+                    SimDuration::from_secs(1),
+                )),
+        );
+        engine.set_link(
+            ProcessId(1),
+            ProcessId(0),
+            fd_net::WanProfile::italy_japan().link(DetRng::seed_from(11)),
+        );
+        engine.run_until(SimTime::from_secs(secs));
+        engine.into_event_log().iter().cloned().collect()
+    }
+
+    /// The tentpole switch-over guarantee at the layer level: the banked
+    /// monitor and the historical boxed-loop monitor produce **identical**
+    /// event logs (same events, same timestamps, same order) over the full
+    /// 30-combination grid plus a boxed extra, on a lossy WAN link with
+    /// crash injection.
+    #[test]
+    fn banked_and_boxed_monitors_produce_identical_event_logs() {
+        let eta = SimDuration::from_secs(1);
+        let combos = fd_core::all_combinations();
+        let boxed = MonitorLayer::new(combos.iter().map(|c| c.build(eta)).collect())
+            .with_extra_detector(fixed_fd("extra"));
+        let banked = MonitorLayer::banked(&combos, eta).with_extra_detector(fixed_fd("extra"));
+        assert_eq!(boxed.labels().len(), 31);
+        assert_eq!(banked.labels(), {
+            let mut l: Vec<String> = combos.iter().map(|c| c.label()).collect();
+            l.push("extra".to_owned());
+            l
+        });
+
+        let log_boxed = run_to_log(Process::new(ProcessId(0)).with_layer(boxed), 300);
+        let log_banked = run_to_log(Process::new(ProcessId(0)).with_layer(banked), 300);
+        assert_eq!(log_boxed.len(), log_banked.len());
+        for (a, b) in log_boxed.iter().zip(&log_banked) {
+            assert_eq!(a, b);
+        }
+        // The run exercised suspicions, not just heartbeats.
+        let starts = log_banked
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::StartSuspect { .. }))
+            .count();
+        assert!(starts > 0, "no suspicions in the differential window");
+    }
+
+    /// The fd-runtime batched-child path: a banked monitor behind
+    /// `with_batched_child` (deliveries by reference, no clone) behaves
+    /// identically to the same monitor as an owned fan-out child.
+    #[test]
+    fn batched_multiplexer_child_matches_fanout_child() {
+        use fd_runtime::MultiplexerLayer;
+        let eta = SimDuration::from_secs(1);
+        let combos = fd_core::all_combinations();
+        let fanout = MultiplexerLayer::new().with_child(MonitorLayer::banked(&combos, eta));
+        let batched =
+            MultiplexerLayer::new().with_batched_child(MonitorLayer::banked(&combos, eta));
+
+        let log_fanout = run_to_log(Process::new(ProcessId(0)).with_layer(fanout), 200);
+        let log_batched = run_to_log(Process::new(ProcessId(0)).with_layer(batched), 200);
+        assert_eq!(log_fanout.len(), log_batched.len());
+        for (a, b) in log_fanout.iter().zip(&log_batched) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn banked_monitor_exposes_bank_state() {
+        let combos = fd_core::all_combinations();
+        let mut layer = MonitorLayer::banked(&combos, SimDuration::from_secs(1))
+            .with_extra_detector(fixed_fd("x"));
+        assert_eq!(layer.detector_count(), 31);
+        assert_eq!(layer.bank().distinct_predictor_count(), 5);
+        let mut ctx = Context::new(SimTime::from_millis(200), ProcessId(0));
+        layer.on_deliver(
+            &mut ctx,
+            Message::heartbeat(ProcessId(1), ProcessId(0), 0, SimTime::ZERO),
+        );
+        assert_eq!(layer.received(), 1);
+        assert_eq!(layer.bank().heartbeats(), 1);
+        assert_eq!(layer.detector(30).heartbeats(), 1);
+        assert!(!layer.is_suspecting(0) && !layer.is_suspecting(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "lives in the bank")]
+    fn detector_accessor_rejects_bank_indices() {
+        let layer = MonitorLayer::banked(&fd_core::all_combinations(), SimDuration::from_secs(1));
+        let _ = layer.detector(0);
     }
 
     #[test]

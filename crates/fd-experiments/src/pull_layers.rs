@@ -150,12 +150,7 @@ mod tests {
 
     fn pull_engine(seed: u64) -> SimEngine {
         let period = SimDuration::from_secs(1);
-        let fd = PullFailureDetector::new(
-            "pull",
-            Last::new(),
-            ConstantMargin::new(100.0),
-            period,
-        );
+        let fd = PullFailureDetector::new("pull", Last::new(), ConstantMargin::new(100.0), period);
         let mut engine = SimEngine::new();
         engine.add_process(
             Process::new(fd_stat::ProcessId(0))

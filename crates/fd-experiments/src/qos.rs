@@ -2,11 +2,12 @@
 //!
 //! Thirteen independent runs (Section 5.2), each `NumCycles` heartbeat
 //! cycles long, with SimCrash injecting crashes on the monitored process and
-//! all 30 failure detectors multiplexed on the monitor. Per detector, the
+//! all 30 combinations driven by one shared-computation
+//! [`fd_core::DetectorBank`] on the monitor. Per detector, the
 //! runs' `T_D`, `T_M`, `T_MR` samples are pooled and the derived `T_D^U`
 //! and `P_A` computed.
 
-use fd_core::{all_combinations, nfd, Combination, FailureDetector};
+use fd_core::{all_combinations, nfd, Combination};
 use fd_net::WanProfile;
 use fd_runtime::{Process, ProcessId, SimEngine};
 use fd_sim::{SeedTree, SimTime};
@@ -73,7 +74,13 @@ impl Metric {
 
     /// All five, in figure order.
     pub fn all() -> [Metric; 5] {
-        [Metric::Td, Metric::TdUpper, Metric::Tm, Metric::Tmr, Metric::Pa]
+        [
+            Metric::Td,
+            Metric::TdUpper,
+            Metric::Tm,
+            Metric::Tmr,
+            Metric::Pa,
+        ]
     }
 }
 
@@ -131,8 +138,9 @@ impl ExperimentResults {
         );
         for (label, m) in self.labels.iter().zip(&self.metrics) {
             let ci = |xs: &[f64]| {
-                fd_stat::Summary::confidence_interval(xs, 0.95)
-                    .map_or("-".to_owned(), |c| format!("{:.0} ± {:.0}", c.mean, c.half_width))
+                fd_stat::Summary::confidence_interval(xs, 0.95).map_or("-".to_owned(), |c| {
+                    format!("{:.0} ± {:.0}", c.mean, c.half_width)
+                })
             };
             let _ = writeln!(
                 out,
@@ -143,19 +151,23 @@ impl ExperimentResults {
                 ci(&m.mistake_durations_ms),
                 m.mistake_durations_ms.len(),
                 m.mean_tmr().map_or("-".to_owned(), |t| format!("{t:.0}")),
-                m.query_accuracy().map_or("-".to_owned(), |p| format!("{p:.5}")),
+                m.query_accuracy()
+                    .map_or("-".to_owned(), |p| format!("{p:.5}")),
             );
         }
         out
     }
 }
 
-/// Builds the detector set for one run: the 30 paper combinations plus,
-/// optionally, the NFD-E baseline.
-fn build_detectors(params: &ExperimentParams, profile: &WanProfile) -> (Vec<Combination>, Vec<FailureDetector>, Vec<String>) {
+/// Builds the monitor for one run: the 30 paper combinations driven by one
+/// shared-computation [`fd_core::DetectorBank`] plus, optionally, the NFD-E
+/// baseline as a boxed extra detector.
+fn build_monitor(
+    params: &ExperimentParams,
+    profile: &WanProfile,
+) -> (Vec<Combination>, MonitorLayer) {
     let combos = all_combinations();
-    let mut detectors: Vec<FailureDetector> =
-        combos.iter().map(|c| c.build(params.eta)).collect();
+    let mut monitor = MonitorLayer::banked(&combos, params.eta);
     if params.include_nfd_baseline {
         // Configure NFD-E for a 2η worst-case detection target, the natural
         // "one missed heartbeat" requirement.
@@ -165,10 +177,9 @@ fn build_detectors(params: &ExperimentParams, profile: &WanProfile) -> (Vec<Comb
             profile.nominal_mean_ms(),
         )
         .unwrap_or(0.0);
-        detectors.push(nfd::nfd_e(alpha, params.eta));
+        monitor = monitor.with_extra_detector(nfd::nfd_e(alpha, params.eta));
     }
-    let labels = detectors.iter().map(|d| d.name().to_owned()).collect();
-    (combos, detectors, labels)
+    (combos, monitor)
 }
 
 /// Runs one experiment run with the given run index, returning the event
@@ -179,9 +190,9 @@ pub fn run_qos_single(
     run_idx: usize,
 ) -> (EventLog, SimTime, Vec<String>) {
     let seeds = SeedTree::new(params.seed).subtree(&format!("run-{run_idx}"));
-    let (_combos, detectors, labels) = build_detectors(params, profile);
+    let (_combos, monitor) = build_monitor(params, profile);
     let link = profile.link(seeds.rng("link"));
-    run_single_with_link(params, detectors, labels, link, seeds.rng("crash"))
+    run_single_with_link(params, monitor, link, seeds.rng("crash"))
 }
 
 /// Runs one experiment run over an explicit link model (the
@@ -197,25 +208,24 @@ pub fn run_qos_single_with_link(
     let seeds = SeedTree::new(params.seed).subtree(&format!("trace-run-{run_idx}"));
     // The detector set does not depend on the profile unless the NFD-E
     // baseline is requested, whose α needs a mean-delay estimate.
-    let (_combos, detectors, labels) = build_detectors(params, &WanProfile::italy_japan());
-    run_single_with_link(params, detectors, labels, link, seeds.rng("crash"))
+    let (_combos, monitor) = build_monitor(params, &WanProfile::italy_japan());
+    run_single_with_link(params, monitor, link, seeds.rng("crash"))
 }
 
 fn run_single_with_link(
     params: &ExperimentParams,
-    detectors: Vec<FailureDetector>,
-    labels: Vec<String>,
+    monitor: MonitorLayer,
     link: fd_net::LinkModel,
     crash_rng: fd_sim::DetRng,
 ) -> (EventLog, SimTime, Vec<String>) {
+    let labels = monitor.labels();
     let mut engine = SimEngine::new();
-    engine.add_process(Process::new(ProcessId(0)).with_layer(MonitorLayer::new(detectors)));
+    engine.add_process(Process::new(ProcessId(0)).with_layer(monitor));
     engine.add_process(
         Process::new(ProcessId(1))
             .with_layer(SimCrashLayer::new(params.mttc, params.ttr, crash_rng))
             .with_layer(
-                HeartbeaterLayer::new(ProcessId(0), params.eta)
-                    .with_max_cycles(params.num_cycles),
+                HeartbeaterLayer::new(ProcessId(0), params.eta).with_max_cycles(params.num_cycles),
             ),
     );
     engine.set_link(ProcessId(1), ProcessId(0), link);
@@ -232,12 +242,12 @@ pub fn run_qos_experiment_on_trace(
     trace: &fd_net::DelayTrace,
     params: &ExperimentParams,
 ) -> ExperimentResults {
-    let (combos, _, labels) = build_detectors(params, &WanProfile::italy_japan());
+    let (combos, monitor) = build_monitor(params, &WanProfile::italy_japan());
+    let labels = monitor.labels();
     let n_detectors = labels.len();
     let mut pooled = vec![QosMetrics::default(); n_detectors];
     for run_idx in 0..params.runs {
-        let (log, run_end, _) =
-            run_qos_single_with_link(params, trace.replay_link(), run_idx);
+        let (log, run_end, _) = run_qos_single_with_link(params, trace.replay_link(), run_idx);
         for (idx, pool) in pooled.iter_mut().enumerate() {
             pool.merge(&extract_metrics(&log, idx as u32, run_end));
         }
@@ -254,7 +264,8 @@ pub fn run_qos_experiment_on_trace(
 /// Runs the full experiment: `params.runs` independent runs (in parallel
 /// threads), metrics pooled per detector.
 pub fn run_qos_experiment(profile: &WanProfile, params: &ExperimentParams) -> ExperimentResults {
-    let (combos, _, labels) = build_detectors(params, profile);
+    let (combos, monitor) = build_monitor(params, profile);
+    let labels = monitor.labels();
     let n_detectors = labels.len();
 
     let handles: Vec<_> = (0..params.runs)
@@ -305,11 +316,12 @@ mod tests {
         for (label, m) in results.labels.iter().zip(&results.metrics) {
             // quick(): 600 s per run, MTTC 60 s / TTR 10 s → ~8 crashes/run,
             // 2 runs. Every detector must have seen them.
-            assert!(m.total_crashes >= 10, "{label}: {} crashes", m.total_crashes);
             assert!(
-                !m.detection_times_ms.is_empty(),
-                "{label}: no detections"
+                m.total_crashes >= 10,
+                "{label}: {} crashes",
+                m.total_crashes
             );
+            assert!(!m.detection_times_ms.is_empty(), "{label}: no detections");
         }
     }
 
@@ -388,8 +400,7 @@ mod tests {
     #[test]
     fn trace_replay_experiment_detects_crashes() {
         let profile = WanProfile::italy_japan();
-        let trace =
-            fd_net::DelayTrace::record(&profile, 700, fd_sim::SimDuration::from_secs(1), 3);
+        let trace = fd_net::DelayTrace::record(&profile, 700, fd_sim::SimDuration::from_secs(1), 3);
         let params = ExperimentParams {
             num_cycles: 600,
             runs: 2,
@@ -402,8 +413,7 @@ mod tests {
             assert!(!m.detection_times_ms.is_empty(), "{label}");
         }
         // Crash schedules differ per run, so pooled counts exceed one run's.
-        let (log, run_end, _) =
-            run_qos_single_with_link(&params, trace.replay_link(), 0);
+        let (log, run_end, _) = run_qos_single_with_link(&params, trace.replay_link(), 0);
         let single = extract_metrics(&log, 0, run_end);
         assert!(results.metrics[0].total_crashes > single.total_crashes);
     }

@@ -119,7 +119,11 @@ impl fmt::Display for FigureTable {
         writeln!(
             f,
             "({} is better)",
-            if self.smaller_is_better { "lower" } else { "higher" }
+            if self.smaller_is_better {
+                "lower"
+            } else {
+                "higher"
+            }
         )
     }
 }
@@ -154,7 +158,10 @@ mod tests {
     fn best_and_worst_respect_direction() {
         let t = sample_table();
         let (p, m, v) = t.best().unwrap();
-        assert_eq!((p.as_str(), m.as_str(), v), ("ARIMA(2,1,1)", "JAC_low", 400.0));
+        assert_eq!(
+            (p.as_str(), m.as_str(), v),
+            ("ARIMA(2,1,1)", "JAC_low", 400.0)
+        );
         let (p, _, v) = t.worst().unwrap();
         assert_eq!((p.as_str(), v), ("MEAN", 900.0));
 

@@ -54,7 +54,10 @@ pub struct CalibrationDiagnostics {
 ///
 /// Returns `None` if the trace has fewer than 100 delivered samples (too few
 /// for stable moments).
-pub fn calibrate_profile(trace: &DelayTrace, name: &str) -> Option<(WanProfile, CalibrationDiagnostics)> {
+pub fn calibrate_profile(
+    trace: &DelayTrace,
+    name: &str,
+) -> Option<(WanProfile, CalibrationDiagnostics)> {
     let delays = trace.delays_ms();
     if delays.len() < 100 {
         return None;
@@ -181,14 +184,23 @@ mod tests {
 
         let a = roundtrip_stats(&original, 20_000, 1);
         let b = roundtrip_stats(&fitted, 20_000, 1);
-        assert!((a.mean() - b.mean()).abs() < 2.0, "mean {} vs {}", a.mean(), b.mean());
+        assert!(
+            (a.mean() - b.mean()).abs() < 2.0,
+            "mean {} vs {}",
+            a.mean(),
+            b.mean()
+        );
         assert!(
             (a.sample_std() - b.sample_std()).abs() < 2.5,
             "std {} vs {}",
             a.sample_std(),
             b.sample_std()
         );
-        assert!((fitted.floor_ms - 192.0).abs() < 2.0, "floor {}", fitted.floor_ms);
+        assert!(
+            (fitted.floor_ms - 192.0).abs() < 2.0,
+            "floor {}",
+            fitted.floor_ms
+        );
         assert!(diag.spike_fraction > 0.0005 && diag.spike_fraction < 0.02);
         assert!(diag.lag1 > 0.1, "lag1 {}", diag.lag1);
     }
@@ -216,9 +228,7 @@ mod tests {
     #[test]
     fn spikeless_trace_fits_without_spikes() {
         // A clean low-jitter series: the spike component must vanish.
-        let t: DelayTrace = (0..2_000)
-            .map(|i| 100.0 + ((i % 7) as f64) * 0.1)
-            .collect();
+        let t: DelayTrace = (0..2_000).map(|i| 100.0 + ((i % 7) as f64) * 0.1).collect();
         let (p, d) = calibrate_profile(&t, "clean").unwrap();
         assert_eq!(d.spike_fraction, 0.0);
         assert_eq!(p.spike_p, 0.0);

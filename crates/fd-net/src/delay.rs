@@ -77,7 +77,10 @@ impl UniformDelay {
     ///
     /// Panics if `lo_ms > hi_ms` or either bound is negative.
     pub fn new(lo_ms: f64, hi_ms: f64) -> Self {
-        assert!(0.0 <= lo_ms && lo_ms <= hi_ms, "invalid bounds [{lo_ms}, {hi_ms}]");
+        assert!(
+            0.0 <= lo_ms && lo_ms <= hi_ms,
+            "invalid bounds [{lo_ms}, {hi_ms}]"
+        );
         Self { lo_ms, hi_ms }
     }
 }
@@ -145,7 +148,10 @@ impl ShiftedGammaDelay {
     /// Panics if any parameter is non-positive except `floor_ms`, which may
     /// be zero.
     pub fn new(floor_ms: f64, shape: f64, scale_ms: f64) -> Self {
-        assert!(floor_ms >= 0.0 && shape > 0.0 && scale_ms > 0.0, "invalid parameters");
+        assert!(
+            floor_ms >= 0.0 && shape > 0.0 && scale_ms > 0.0,
+            "invalid parameters"
+        );
         Self {
             floor_ms,
             shape,
@@ -620,7 +626,11 @@ mod tests {
             .filter(|w| w[0] > 0.0 && w[1] > 0.0)
             .count() as f64;
         let congested = samples.iter().filter(|&&s| s > 0.0).count() as f64;
-        assert!(continuations / congested > 0.75, "{}", continuations / congested);
+        assert!(
+            continuations / congested > 0.75,
+            "{}",
+            continuations / congested
+        );
     }
 
     #[test]

@@ -134,7 +134,11 @@ impl LossModel for GilbertElliottLoss {
         } else if rng.chance(self.p_gb) {
             self.in_bad = true;
         }
-        let p = if self.in_bad { self.loss_bad } else { self.loss_good };
+        let p = if self.in_bad {
+            self.loss_bad
+        } else {
+            self.loss_good
+        };
         rng.chance(p)
     }
 

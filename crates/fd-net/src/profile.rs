@@ -9,7 +9,9 @@
 use fd_sim::{DetRng, SimDuration};
 use serde::{Deserialize, Serialize};
 
-use crate::delay::{Ar1JitterDelay, CompositeDelay, DelayModel, DriftDelay, ShiftedGammaDelay, SpikeDelay};
+use crate::delay::{
+    Ar1JitterDelay, CompositeDelay, DelayModel, DriftDelay, ShiftedGammaDelay, SpikeDelay,
+};
 use crate::link::LinkModel;
 use crate::loss::{GilbertElliottLoss, LossModel};
 
@@ -184,14 +186,20 @@ impl WanProfile {
             composite = composite.with(Ar1JitterDelay::new(self.ar1_rho, self.ar1_sigma_ms));
         }
         if self.slow_ar1_sigma_ms > 0.0 {
-            composite =
-                composite.with(Ar1JitterDelay::new(self.slow_ar1_rho, self.slow_ar1_sigma_ms));
+            composite = composite.with(Ar1JitterDelay::new(
+                self.slow_ar1_rho,
+                self.slow_ar1_sigma_ms,
+            ));
         }
         if self.drift_amplitude_ms > 0.0 {
             composite = composite.with(DriftDelay::new(self.drift_amplitude_ms, self.drift_period));
         }
         if self.spike_p > 0.0 {
-            composite = composite.with(SpikeDelay::new(self.spike_p, self.spike_lo_ms, self.spike_hi_ms));
+            composite = composite.with(SpikeDelay::new(
+                self.spike_p,
+                self.spike_lo_ms,
+                self.spike_hi_ms,
+            ));
         }
         Box::new(composite)
     }
@@ -219,9 +227,14 @@ impl WanProfile {
 
     /// The long-run loss probability of the profile's loss chain.
     pub fn nominal_loss(&self) -> f64 {
-        GilbertElliottLoss::new(self.loss_p_gb, self.loss_p_bg, self.loss_good, self.loss_bad)
-            .steady_state_loss()
-            .expect("GE loss has closed-form steady state")
+        GilbertElliottLoss::new(
+            self.loss_p_gb,
+            self.loss_p_bg,
+            self.loss_good,
+            self.loss_bad,
+        )
+        .steady_state_loss()
+        .expect("GE loss has closed-form steady state")
     }
 }
 
@@ -250,7 +263,11 @@ mod tests {
         let s = sample_profile(&p, 50_000, 42);
         // Table 4: mean ≈ 200 ms, σ ≈ 7.6 ms, min 192 ms, max 340 ms.
         assert!((s.mean() - 198.0).abs() < 4.0, "mean={}", s.mean());
-        assert!(s.sample_std() > 4.0 && s.sample_std() < 12.0, "std={}", s.sample_std());
+        assert!(
+            s.sample_std() > 4.0 && s.sample_std() < 12.0,
+            "std={}",
+            s.sample_std()
+        );
         assert!(s.min() >= 192.0, "min={}", s.min());
         assert!(s.max() < 420.0, "max={}", s.max());
         assert!(s.max() > 230.0, "max={} (spikes expected)", s.max());

@@ -58,8 +58,16 @@ impl fmt::Display for LinkCharacteristics {
         writeln!(f, "Standard deviation      {:>10.1} ms", self.std_ms)?;
         writeln!(f, "Maximum one-way delay   {:>10.1} ms", self.max_ms)?;
         writeln!(f, "Minimum one-way delay   {:>10.1} ms", self.min_ms)?;
-        writeln!(f, "Loss probability        {:>10.3} %", self.loss_probability * 100.0)?;
-        write!(f, "Heartbeats (delivered/sent)  {}/{}", self.delivered, self.sent)
+        writeln!(
+            f,
+            "Loss probability        {:>10.3} %",
+            self.loss_probability * 100.0
+        )?;
+        write!(
+            f,
+            "Heartbeats (delivered/sent)  {}/{}",
+            self.delivered, self.sent
+        )
     }
 }
 
@@ -75,7 +83,10 @@ impl DelayTrace {
     ///
     /// Panics if the delay is negative or not finite.
     pub fn push_delivered(&mut self, seq: u64, delay_ms: f64) {
-        assert!(delay_ms.is_finite() && delay_ms >= 0.0, "invalid delay {delay_ms}");
+        assert!(
+            delay_ms.is_finite() && delay_ms >= 0.0,
+            "invalid delay {delay_ms}"
+        );
         self.entries.push(TraceEntry {
             seq,
             delay_ms: Some(delay_ms),
@@ -84,7 +95,10 @@ impl DelayTrace {
 
     /// Records a lost heartbeat.
     pub fn push_lost(&mut self, seq: u64) {
-        self.entries.push(TraceEntry { seq, delay_ms: None });
+        self.entries.push(TraceEntry {
+            seq,
+            delay_ms: None,
+        });
     }
 
     /// All entries in send order.
@@ -139,8 +153,7 @@ impl DelayTrace {
         }
         let n = delays.len() as f64;
         let mean = delays.iter().sum::<f64>() / n;
-        let var = delays.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>()
-            / (n - 1.0).max(1.0);
+        let var = delays.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / (n - 1.0).max(1.0);
         let min = delays.iter().copied().fold(f64::INFINITY, f64::min);
         let max = delays.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         Some(LinkCharacteristics {
@@ -189,17 +202,26 @@ impl DelayTrace {
                 continue;
             }
             let (seq_s, delay_s) = line.split_once(',').ok_or_else(|| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("bad row {lineno}: {line}"))
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad row {lineno}: {line}"),
+                )
             })?;
             let seq: u64 = seq_s.trim().parse().map_err(|e| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("bad seq at {lineno}: {e}"))
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad seq at {lineno}: {e}"),
+                )
             })?;
             let delay_s = delay_s.trim();
             if delay_s.is_empty() {
                 trace.push_lost(seq);
             } else {
                 let d: f64 = delay_s.parse().map_err(|e| {
-                    io::Error::new(io::ErrorKind::InvalidData, format!("bad delay at {lineno}: {e}"))
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad delay at {lineno}: {e}"),
+                    )
                 })?;
                 trace.push_delivered(seq, d);
             }
@@ -273,7 +295,11 @@ impl TraceReplayLoss {
     pub fn new(trace: &DelayTrace) -> Self {
         assert!(!trace.is_empty(), "cannot replay an empty trace");
         Self {
-            lost: trace.entries().iter().map(|e| e.delay_ms.is_none()).collect(),
+            lost: trace
+                .entries()
+                .iter()
+                .map(|e| e.delay_ms.is_none())
+                .collect(),
             idx: 0,
         }
     }
@@ -339,11 +365,18 @@ mod tests {
         let trace = DelayTrace::record(&profile, 5_000, SimDuration::from_secs(1), 99);
         assert_eq!(trace.len(), 5_000);
         let ch = trace.characteristics().unwrap();
-        assert!(ch.mean_ms > 192.0 && ch.mean_ms < 210.0, "mean={}", ch.mean_ms);
+        assert!(
+            ch.mean_ms > 192.0 && ch.mean_ms < 210.0,
+            "mean={}",
+            ch.mean_ms
+        );
         assert!(ch.min_ms >= 192.0);
         assert!(ch.loss_probability < 0.03, "loss={}", ch.loss_probability);
         assert_eq!(ch.sent, 5_000);
-        assert_eq!(ch.delivered + (ch.loss_probability * 5_000.0).round() as usize, 5_000);
+        assert_eq!(
+            ch.delivered + (ch.loss_probability * 5_000.0).round() as usize,
+            5_000
+        );
     }
 
     #[test]
@@ -389,7 +422,11 @@ mod tests {
         let mut replay = TraceReplayDelay::new(&t);
         let mut rng = DetRng::seed_from(1);
         let take: Vec<f64> = (0..7)
-            .map(|i| replay.sample(SimTime::from_secs(i), &mut rng).as_millis_f64())
+            .map(|i| {
+                replay
+                    .sample(SimTime::from_secs(i), &mut rng)
+                    .as_millis_f64()
+            })
             .collect();
         assert_eq!(take, vec![10.0, 20.0, 30.0, 10.0, 20.0, 30.0, 10.0]);
     }

@@ -51,7 +51,10 @@ impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WireError::Truncated { len } => {
-                write!(f, "datagram truncated: {len} bytes, need {HEARTBEAT_WIRE_SIZE}")
+                write!(
+                    f,
+                    "datagram truncated: {len} bytes, need {HEARTBEAT_WIRE_SIZE}"
+                )
             }
             WireError::BadMagic { found } => write!(f, "bad magic tag {found:#010x}"),
             WireError::BadVersion { found } => write!(f, "unsupported wire version {found}"),
@@ -64,7 +67,11 @@ impl std::error::Error for WireError {}
 impl Heartbeat {
     /// Creates a heartbeat.
     pub fn new(sender: u16, seq: u64, sent_at: SimTime) -> Self {
-        Self { sender, seq, sent_at }
+        Self {
+            sender,
+            seq,
+            sent_at,
+        }
     }
 
     /// Encodes into a fresh buffer.
@@ -99,7 +106,11 @@ impl Heartbeat {
         let sender = data.get_u16();
         let seq = data.get_u64();
         let sent_at = SimTime::from_micros(data.get_u64());
-        Ok(Heartbeat { sender, seq, sent_at })
+        Ok(Heartbeat {
+            sender,
+            seq,
+            sent_at,
+        })
     }
 }
 
@@ -129,7 +140,10 @@ mod tests {
         let hb = Heartbeat::new(1, 2, SimTime::from_secs(3));
         let mut bytes = hb.encode().to_vec();
         bytes[0] ^= 0xff;
-        assert!(matches!(Heartbeat::decode(&bytes), Err(WireError::BadMagic { .. })));
+        assert!(matches!(
+            Heartbeat::decode(&bytes),
+            Err(WireError::BadMagic { .. })
+        ));
     }
 
     #[test]

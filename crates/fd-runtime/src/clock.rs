@@ -44,7 +44,10 @@ impl ClockModel {
 
     /// A clock with offset and drift.
     pub const fn new(offset_us: i64, drift_ppm: f64) -> Self {
-        Self { offset_us, drift_ppm }
+        Self {
+            offset_us,
+            drift_ppm,
+        }
     }
 
     /// Maps global time to this process's local clock reading.
@@ -97,7 +100,10 @@ mod tests {
         let c = ClockModel::synchronized();
         let t = SimTime::from_secs(1234);
         assert_eq!(c.local_time(t), t);
-        assert_eq!(c.global_duration(SimDuration::from_secs(5)), SimDuration::from_secs(5));
+        assert_eq!(
+            c.global_duration(SimDuration::from_secs(5)),
+            SimDuration::from_secs(5)
+        );
     }
 
     #[test]

@@ -118,6 +118,33 @@ pub trait Layer: Send {
     }
 }
 
+/// A layer that can consume deliveries **by reference**, for fan-out parents
+/// like [`crate::MultiplexerLayer`] that would otherwise clone the message
+/// once per child.
+///
+/// A batched child acts as a top component: it never forwards the message
+/// upward (there is nothing above it), so it does not need ownership. Layers
+/// that internally multiplex many consumers (e.g. a monitor driving a
+/// [`DetectorBank`](https://docs.rs/fd-core)-style engine) implement this in
+/// addition to [`Layer`] and are registered via
+/// [`crate::MultiplexerLayer::with_batched_child`].
+pub trait BatchedLayer: Send {
+    /// Called once when the engine starts.
+    fn on_start_batched(&mut self, _ctx: &mut Context) {}
+
+    /// A message from the network, by reference — the parent keeps
+    /// ownership, the child must not expect to re-deliver it upward.
+    fn on_deliver_ref(&mut self, ctx: &mut Context, msg: &Message);
+
+    /// A timer set by this layer has fired.
+    fn on_timer_batched(&mut self, _ctx: &mut Context, _id: TimerId) {}
+
+    /// The layer's name for diagnostics.
+    fn batched_name(&self) -> &str {
+        "batched-layer"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,7 +188,10 @@ mod tests {
         layer.on_send(&mut ctx, msg.clone());
         layer.on_deliver(&mut ctx, msg.clone());
         let actions = ctx.take_actions();
-        assert_eq!(actions, vec![Action::Send(msg.clone()), Action::Deliver(msg)]);
+        assert_eq!(
+            actions,
+            vec![Action::Send(msg.clone()), Action::Deliver(msg)]
+        );
         assert_eq!(layer.name(), "layer");
     }
 

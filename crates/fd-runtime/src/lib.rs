@@ -31,7 +31,7 @@ pub mod real_engine;
 pub mod sim_engine;
 
 pub use clock::{estimate_ntp_offset, ClockModel};
-pub use layer::{Action, Context, Layer, TimerId};
+pub use layer::{Action, BatchedLayer, Context, Layer, TimerId};
 pub use message::{Message, MessageKind};
 pub use multiplexer::MultiplexerLayer;
 pub use ntp::{NtpClientLayer, NtpSample, NtpServerLayer};

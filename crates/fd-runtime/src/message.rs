@@ -41,7 +41,13 @@ impl Message {
     }
 
     /// Creates a data message.
-    pub fn data(from: ProcessId, to: ProcessId, seq: u64, sent_at: SimTime, payload: Vec<u8>) -> Self {
+    pub fn data(
+        from: ProcessId,
+        to: ProcessId,
+        seq: u64,
+        sent_at: SimTime,
+        payload: Vec<u8>,
+    ) -> Self {
         Self {
             from,
             to,

@@ -11,17 +11,34 @@
 //! they deliver upward is consumed; what they send goes down to the network;
 //! their timers are namespaced so each child keeps its own timer ids.
 
-use crate::layer::{Action, Context, Layer, TimerId};
+use crate::layer::{Action, BatchedLayer, Context, Layer, TimerId};
 use crate::message::Message;
 
 /// How many low bits of a [`TimerId`] remain for the child's own ids.
 const CHILD_TIMER_BITS: u32 = 48;
 const CHILD_TIMER_MASK: u64 = (1 << CHILD_TIMER_BITS) - 1;
 
+/// One multiplexer child: either a plain [`Layer`] that receives an owned
+/// clone of each delivery, or a [`BatchedLayer`] that consumes deliveries
+/// by reference (no per-child clone — the path used by banked monitors).
+enum Child {
+    Fanout(Box<dyn Layer>),
+    Batched(Box<dyn BatchedLayer>),
+}
+
+impl Child {
+    fn name(&self) -> &str {
+        match self {
+            Child::Fanout(l) => l.name(),
+            Child::Batched(l) => l.batched_name(),
+        }
+    }
+}
+
 /// Fans deliveries out to a set of child components so they all observe the
 /// identical message stream.
 pub struct MultiplexerLayer {
-    children: Vec<Box<dyn Layer>>,
+    children: Vec<Child>,
     fanned_out: u64,
 }
 
@@ -49,8 +66,29 @@ impl MultiplexerLayer {
     ///
     /// Panics if more than 2¹⁶ children are added (timer namespace limit).
     pub fn with_child(mut self, child: impl Layer + 'static) -> Self {
-        assert!(self.children.len() < (1 << 16), "too many multiplexer children");
-        self.children.push(Box::new(child));
+        assert!(
+            self.children.len() < (1 << 16),
+            "too many multiplexer children"
+        );
+        self.children.push(Child::Fanout(Box::new(child)));
+        self
+    }
+
+    /// Adds a batched child: it receives each delivery **by reference**
+    /// instead of an owned clone. This is the fast path for children that
+    /// internally multiplex many consumers (e.g. a monitor layer driving a
+    /// detector bank), where the per-child `Message` clone of the fan-out
+    /// path would be pure overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 2¹⁶ children are added (timer namespace limit).
+    pub fn with_batched_child(mut self, child: impl BatchedLayer + 'static) -> Self {
+        assert!(
+            self.children.len() < (1 << 16),
+            "too many multiplexer children"
+        );
+        self.children.push(Child::Batched(Box::new(child)));
         self
     }
 
@@ -64,9 +102,26 @@ impl MultiplexerLayer {
         self.fanned_out
     }
 
-    /// Mutable access to a child, for post-run extraction.
+    /// The diagnostic name of the child at `idx` (fan-out or batched).
+    pub fn child_name(&self, idx: usize) -> &str {
+        self.children[idx].name()
+    }
+
+    /// Mutable access to a fan-out child, for post-run extraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the child at `idx` was added with
+    /// [`with_batched_child`](Self::with_batched_child) — batched children
+    /// are not `dyn Layer`; keep a typed handle if you need post-run access.
     pub fn child_mut(&mut self, idx: usize) -> &mut dyn Layer {
-        &mut *self.children[idx]
+        match &mut self.children[idx] {
+            Child::Fanout(l) => &mut **l,
+            Child::Batched(l) => panic!(
+                "child {idx} ({}) is batched; use a typed handle for post-run access",
+                l.batched_name()
+            ),
+        }
     }
 
     /// Re-tags a child's actions into the parent context: deliveries are
@@ -100,7 +155,10 @@ impl Layer for MultiplexerLayer {
     fn on_start(&mut self, ctx: &mut Context) {
         for (idx, child) in self.children.iter_mut().enumerate() {
             let mut child_ctx = Context::new(ctx.now(), ctx.process());
-            child.on_start(&mut child_ctx);
+            match child {
+                Child::Fanout(l) => l.on_start(&mut child_ctx),
+                Child::Batched(l) => l.on_start_batched(&mut child_ctx),
+            }
             Self::absorb_child_actions(ctx, idx, child_ctx.take_actions());
         }
     }
@@ -109,7 +167,10 @@ impl Layer for MultiplexerLayer {
         for (idx, child) in self.children.iter_mut().enumerate() {
             self.fanned_out += 1;
             let mut child_ctx = Context::new(ctx.now(), ctx.process());
-            child.on_deliver(&mut child_ctx, msg.clone());
+            match child {
+                Child::Fanout(l) => l.on_deliver(&mut child_ctx, msg.clone()),
+                Child::Batched(l) => l.on_deliver_ref(&mut child_ctx, &msg),
+            }
             Self::absorb_child_actions(ctx, idx, child_ctx.take_actions());
         }
     }
@@ -120,7 +181,10 @@ impl Layer for MultiplexerLayer {
             return;
         }
         let mut child_ctx = Context::new(ctx.now(), ctx.process());
-        self.children[child_idx].on_timer(&mut child_ctx, id & CHILD_TIMER_MASK);
+        match &mut self.children[child_idx] {
+            Child::Fanout(l) => l.on_timer(&mut child_ctx, id & CHILD_TIMER_MASK),
+            Child::Batched(l) => l.on_timer_batched(&mut child_ctx, id & CHILD_TIMER_MASK),
+        }
         Self::absorb_child_actions(ctx, child_idx, child_ctx.take_actions());
     }
 
@@ -230,6 +294,88 @@ mod tests {
         // Child 1 got id 5 back (the namespace stripped).
         // (Behavioural check via another fire: unknown child index ignored.)
         mux.on_timer(&mut ctx2, u64::MAX);
+    }
+
+    /// A batched probe: counts deliveries it saw by reference and arms a
+    /// timer on start, like a banked monitor would.
+    struct BatchedProbe {
+        seen: Vec<u64>,
+    }
+    impl BatchedLayer for BatchedProbe {
+        fn on_start_batched(&mut self, ctx: &mut Context) {
+            ctx.set_timer(SimDuration::from_secs(2), 7);
+        }
+        fn on_deliver_ref(&mut self, ctx: &mut Context, msg: &Message) {
+            self.seen.push(msg.seq);
+            ctx.emit(EventKind::Received { seq: msg.seq });
+        }
+        fn on_timer_batched(&mut self, ctx: &mut Context, id: TimerId) {
+            ctx.emit(EventKind::StartSuspect {
+                detector: id as u32,
+            });
+        }
+        fn batched_name(&self) -> &str {
+            "batched-probe"
+        }
+    }
+
+    #[test]
+    fn batched_children_see_deliveries_without_clone() {
+        let mut mux = MultiplexerLayer::new()
+            .with_child(Probe::new())
+            .with_batched_child(BatchedProbe { seen: Vec::new() });
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
+        mux.on_deliver(&mut ctx, hb(3));
+        mux.on_deliver(&mut ctx, hb(4));
+        assert_eq!(mux.fanned_out(), 4);
+        assert_eq!(mux.child_count(), 2);
+        assert_eq!(mux.child_name(0), "probe");
+        assert_eq!(mux.child_name(1), "batched-probe");
+        // Both the fan-out and the batched child emitted one Received each.
+        let emits = ctx
+            .take_actions()
+            .into_iter()
+            .filter(|a| matches!(a, Action::Emit(EventKind::Received { .. })))
+            .count();
+        assert_eq!(emits, 4);
+    }
+
+    #[test]
+    fn batched_child_timers_are_namespaced_and_routed_back() {
+        let mut mux = MultiplexerLayer::new()
+            .with_child(Probe::new())
+            .with_batched_child(BatchedProbe { seen: Vec::new() });
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
+        mux.on_start(&mut ctx);
+        let timer_ids: Vec<TimerId> = ctx
+            .take_actions()
+            .into_iter()
+            .filter_map(|a| match a {
+                Action::SetTimer { id, .. } => Some(id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(timer_ids.len(), 2);
+        // The batched child's timer carries its child index in the high bits
+        // and fires back with the namespace stripped (id 7 → detector 7).
+        let mut ctx2 = Context::new(SimTime::from_secs(2), ProcessId(0));
+        mux.on_timer(&mut ctx2, timer_ids[1]);
+        let fired: Vec<_> = ctx2
+            .take_actions()
+            .into_iter()
+            .filter_map(|a| match a {
+                Action::Emit(EventKind::StartSuspect { detector }) => Some(detector),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fired, vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is batched")]
+    fn child_mut_rejects_batched_children() {
+        let mut mux = MultiplexerLayer::new().with_batched_child(BatchedProbe { seen: Vec::new() });
+        let _ = mux.child_mut(0);
     }
 
     #[test]

@@ -118,7 +118,13 @@ impl Layer for NtpClientLayer {
         let mut payload = Vec::with_capacity(9);
         payload.push(NTP_REQUEST);
         put_u64(&mut payload, ctx.now().as_micros()); // t0
-        ctx.send(Message::data(ctx.process(), self.server, 0, ctx.now(), payload));
+        ctx.send(Message::data(
+            ctx.process(),
+            self.server,
+            0,
+            ctx.now(),
+            payload,
+        ));
         ctx.set_timer(self.period, TIMER_POLL);
     }
 
@@ -140,14 +146,18 @@ impl Layer for NtpClientLayer {
         };
         let t3 = ctx.now();
         let t0 = SimTime::from_micros(t0);
-        let offset = estimate_ntp_offset(t0, SimTime::from_micros(t1), SimTime::from_micros(t2), t3);
+        let offset =
+            estimate_ntp_offset(t0, SimTime::from_micros(t1), SimTime::from_micros(t2), t3);
         let rtt = t3
             .checked_duration_since(t0)
             .map_or(u64::MAX, |d| d.as_micros());
         if self.window.len() == self.window_size {
             self.window.pop_front();
         }
-        self.window.push_back(NtpSample { offset_us: offset, rtt_us: rtt });
+        self.window.push_back(NtpSample {
+            offset_us: offset,
+            rtt_us: rtt,
+        });
         self.exchanges += 1;
     }
 
@@ -337,8 +347,14 @@ mod tests {
     fn min_rtt_filter_prefers_the_cleanest_sample() {
         let mut client = NtpClientLayer::new(ProcessId(1), SimDuration::from_secs(1));
         // Two synthetic samples: a noisy high-RTT one and a clean one.
-        client.window.push_back(NtpSample { offset_us: 9_999, rtt_us: 400_000 });
-        client.window.push_back(NtpSample { offset_us: 100, rtt_us: 80_000 });
+        client.window.push_back(NtpSample {
+            offset_us: 9_999,
+            rtt_us: 400_000,
+        });
+        client.window.push_back(NtpSample {
+            offset_us: 100,
+            rtt_us: 80_000,
+        });
         assert_eq!(client.estimated_offset_us(), Some(100));
     }
 
@@ -349,7 +365,13 @@ mod tests {
         // Foreign data passes up untouched.
         client.on_deliver(
             &mut ctx,
-            Message::data(ProcessId(1), ProcessId(0), 0, fd_sim::SimTime::ZERO, vec![0x42]),
+            Message::data(
+                ProcessId(1),
+                ProcessId(0),
+                0,
+                fd_sim::SimTime::ZERO,
+                vec![0x42],
+            ),
         );
         let passed = ctx
             .take_actions()

@@ -167,14 +167,20 @@ impl Process {
                     if layer == 0 {
                         effects.push(Effect::ToNetwork(msg));
                     } else {
-                        jobs.push(Job::SendVia { layer: layer - 1, msg });
+                        jobs.push(Job::SendVia {
+                            layer: layer - 1,
+                            msg,
+                        });
                     }
                 }
                 Action::Deliver(msg) => {
                     if layer + 1 >= self.layers.len() {
                         // Above the top layer: consumed by the application.
                     } else {
-                        jobs.push(Job::DeliverVia { layer: layer + 1, msg });
+                        jobs.push(Job::DeliverVia {
+                            layer: layer + 1,
+                            msg,
+                        });
                     }
                 }
                 Action::SetTimer { delay, id } => {
@@ -300,7 +306,10 @@ mod tests {
     #[test]
     fn delivery_reaches_top_and_reply_travels_down() {
         let mut p = Process::new(ProcessId(0))
-            .with_layer(Counter { sends: 0, delivers: 0 })
+            .with_layer(Counter {
+                sends: 0,
+                delivers: 0,
+            })
             .with_layer(Echo);
         let effects = p.deliver_from_network(SimTime::from_secs(1), hb(5));
         // The Echo reply must come out of the bottom as a network message.
@@ -317,7 +326,10 @@ mod tests {
     #[test]
     fn blackhole_layer_stops_traffic() {
         let mut p = Process::new(ProcessId(0))
-            .with_layer(Counter { sends: 0, delivers: 0 })
+            .with_layer(Counter {
+                sends: 0,
+                delivers: 0,
+            })
             .with_layer(Blackhole)
             .with_layer(Echo);
         let effects = p.deliver_from_network(SimTime::ZERO, hb(1));
@@ -347,7 +359,10 @@ mod tests {
             }
         }
         let mut p = Process::new(ProcessId(2))
-            .with_layer(Counter { sends: 0, delivers: 0 })
+            .with_layer(Counter {
+                sends: 0,
+                delivers: 0,
+            })
             .with_layer(Ticker);
         let effects = p.start(SimTime::ZERO);
         assert_eq!(
@@ -380,7 +395,10 @@ mod tests {
             }
         }
         let mut p = Process::new(ProcessId(1))
-            .with_layer(Counter { sends: 0, delivers: 0 })
+            .with_layer(Counter {
+                sends: 0,
+                delivers: 0,
+            })
             .with_layer(OnTick { ticks: 0 });
         let effects = p.timer_fired(SimTime::from_secs(3), 1, 77);
         assert_eq!(effects.len(), 1);
@@ -402,7 +420,10 @@ mod tests {
     #[test]
     fn debug_lists_layer_names() {
         let p = Process::new(ProcessId(0))
-            .with_layer(Counter { sends: 0, delivers: 0 })
+            .with_layer(Counter {
+                sends: 0,
+                delivers: 0,
+            })
             .with_layer(Echo);
         let dbg = format!("{p:?}");
         assert!(dbg.contains("counter") && dbg.contains("echo"), "{dbg}");

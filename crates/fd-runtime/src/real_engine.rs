@@ -173,7 +173,14 @@ fn run_process(
 
     let effects = process.start(now_fn(epoch));
     apply(
-        pid, effects, &socket, &addrs, &log, epoch, &mut timers, &mut stats,
+        pid,
+        effects,
+        &socket,
+        &addrs,
+        &log,
+        epoch,
+        &mut timers,
+        &mut stats,
     );
 
     let end = epoch + duration;
@@ -188,7 +195,14 @@ fn run_process(
             timers.remove(0);
             let effects = process.timer_fired(now_fn(epoch), layer, id);
             apply(
-                pid, effects, &socket, &addrs, &log, epoch, &mut timers, &mut stats,
+                pid,
+                effects,
+                &socket,
+                &addrs,
+                &log,
+                epoch,
+                &mut timers,
+                &mut stats,
             );
         }
 
@@ -213,15 +227,17 @@ fn run_process(
             Ok((len, _src)) => match Heartbeat::decode(&buf[..len]) {
                 Ok(hb) => {
                     stats.received += 1;
-                    let msg = Message::heartbeat(
-                        ProcessId(hb.sender),
-                        pid,
-                        hb.seq,
-                        hb.sent_at,
-                    );
+                    let msg = Message::heartbeat(ProcessId(hb.sender), pid, hb.seq, hb.sent_at);
                     let effects = process.deliver_from_network(now_fn(epoch), msg);
                     apply(
-                        pid, effects, &socket, &addrs, &log, epoch, &mut timers, &mut stats,
+                        pid,
+                        effects,
+                        &socket,
+                        &addrs,
+                        &log,
+                        epoch,
+                        &mut timers,
+                        &mut stats,
                     );
                 }
                 Err(_) => stats.decode_errors += 1,
@@ -292,7 +308,12 @@ mod tests {
         }
         fn on_timer(&mut self, ctx: &mut Context, _id: u64) {
             ctx.emit(EventKind::Sent { seq: self.seq });
-            ctx.send(Message::heartbeat(ctx.process(), self.to, self.seq, ctx.now()));
+            ctx.send(Message::heartbeat(
+                ctx.process(),
+                self.to,
+                self.seq,
+                ctx.now(),
+            ));
             self.seq += 1;
             ctx.set_timer(self.period, 0);
         }

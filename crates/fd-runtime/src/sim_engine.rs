@@ -15,8 +15,15 @@ use crate::process::{Effect, Process};
 /// Events of the engine's discrete-event loop.
 #[derive(Debug, Clone)]
 enum EngineEvent {
-    Delivery { to: ProcessId, msg: Message },
-    Timer { process: ProcessId, layer: usize, id: TimerId },
+    Delivery {
+        to: ProcessId,
+        msg: Message,
+    },
+    Timer {
+        process: ProcessId,
+        layer: usize,
+        id: TimerId,
+    },
 }
 
 /// A deterministic simulation of a set of processes connected by
@@ -221,7 +228,12 @@ mod tests {
         }
         fn on_timer(&mut self, ctx: &mut Context, _id: u64) {
             ctx.emit(EventKind::Sent { seq: self.seq });
-            ctx.send(Message::heartbeat(ctx.process(), self.to, self.seq, ctx.now()));
+            ctx.send(Message::heartbeat(
+                ctx.process(),
+                self.to,
+                self.seq,
+                ctx.now(),
+            ));
             self.seq += 1;
             ctx.set_timer(self.period, 0);
         }

@@ -138,7 +138,9 @@ mod tests {
         sim.schedule_at(SimTime::from_millis(30), "c");
         sim.schedule_at(SimTime::from_millis(10), "a");
         sim.schedule_at(SimTime::from_millis(20), "b");
-        let order: Vec<_> = std::iter::from_fn(|| sim.next_event()).map(|(_, e)| e).collect();
+        let order: Vec<_> = std::iter::from_fn(|| sim.next_event())
+            .map(|(_, e)| e)
+            .collect();
         assert_eq!(order, vec!["a", "b", "c"]);
         assert_eq!(sim.now(), SimTime::from_millis(30));
         assert_eq!(sim.processed(), 3);
@@ -151,7 +153,9 @@ mod tests {
         for i in 0..100 {
             sim.schedule_at(t, i);
         }
-        let order: Vec<_> = std::iter::from_fn(|| sim.next_event()).map(|(_, e)| e).collect();
+        let order: Vec<_> = std::iter::from_fn(|| sim.next_event())
+            .map(|(_, e)| e)
+            .collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 

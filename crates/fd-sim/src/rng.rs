@@ -63,7 +63,10 @@ impl DetRng {
     ///
     /// Panics if `mean` is not strictly positive and finite.
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        assert!(mean > 0.0 && mean.is_finite(), "invalid exponential mean: {mean}");
+        assert!(
+            mean > 0.0 && mean.is_finite(),
+            "invalid exponential mean: {mean}"
+        );
         let u: f64 = 1.0 - self.inner.gen::<f64>();
         -mean * u.ln()
     }

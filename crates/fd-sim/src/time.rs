@@ -146,7 +146,10 @@ impl SimDuration {
     ///
     /// Panics if `millis` is negative or not finite.
     pub fn from_millis_f64(millis: f64) -> Self {
-        assert!(millis.is_finite() && millis >= 0.0, "invalid duration: {millis}");
+        assert!(
+            millis.is_finite() && millis >= 0.0,
+            "invalid duration: {millis}"
+        );
         SimDuration((millis * MICROS_PER_MILLI as f64).round() as u64)
     }
 
@@ -308,7 +311,10 @@ mod tests {
 
     #[test]
     fn saturating_add_caps_at_max() {
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
     }
 
     #[test]

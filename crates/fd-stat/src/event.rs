@@ -190,7 +190,9 @@ impl EventLog {
                 EventKind::StartSuspect { detector } => {
                     ("start_suspect".to_owned(), u64::from(detector))
                 }
-                EventKind::EndSuspect { detector } => ("end_suspect".to_owned(), u64::from(detector)),
+                EventKind::EndSuspect { detector } => {
+                    ("end_suspect".to_owned(), u64::from(detector))
+                }
                 EventKind::Crash => ("crash".to_owned(), 0),
                 EventKind::Restore => ("restore".to_owned(), 0),
                 EventKind::App { code, value } => (format!("app{code}"), value),
@@ -239,11 +241,18 @@ impl EventLog {
             let kind = match kind {
                 "sent" => EventKind::Sent { seq: arg },
                 "received" => EventKind::Received { seq: arg },
-                "start_suspect" => EventKind::StartSuspect { detector: arg as u32 },
-                "end_suspect" => EventKind::EndSuspect { detector: arg as u32 },
+                "start_suspect" => EventKind::StartSuspect {
+                    detector: arg as u32,
+                },
+                "end_suspect" => EventKind::EndSuspect {
+                    detector: arg as u32,
+                },
                 "crash" => EventKind::Crash,
                 "restore" => EventKind::Restore,
-                other => match other.strip_prefix("app").and_then(|c| c.parse::<u32>().ok()) {
+                other => match other
+                    .strip_prefix("app")
+                    .and_then(|c| c.parse::<u32>().ok())
+                {
                     Some(code) => EventKind::App { code, value: arg },
                     None => return Err(bad(lineno, other)),
                 },

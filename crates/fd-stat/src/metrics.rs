@@ -244,11 +244,13 @@ impl FdStatHandler {
     /// Consumes one event (events for other detectors are ignored).
     pub fn on_event(&mut self, event: &Event) {
         match event.kind {
-            EventKind::StartSuspect { detector } if detector == self.detector
+            EventKind::StartSuspect { detector }
+                if detector == self.detector
                 // Duplicate starts are idempotent: keep the earliest.
-                && self.open_episode.is_none() => {
-                    self.open_episode = Some(event.at);
-                }
+                && self.open_episode.is_none() =>
+            {
+                self.open_episode = Some(event.at);
+            }
             EventKind::EndSuspect { detector } if detector == self.detector => {
                 if let Some(start) = self.open_episode.take() {
                     self.episodes.push(SuspicionEpisode {
@@ -257,21 +259,19 @@ impl FdStatHandler {
                     });
                 }
             }
-            EventKind::Crash
-                if !self.down => {
-                    self.down = true;
-                    self.crashes.push(CrashInterval {
-                        crash: event.at,
-                        restore: None,
-                    });
+            EventKind::Crash if !self.down => {
+                self.down = true;
+                self.crashes.push(CrashInterval {
+                    crash: event.at,
+                    restore: None,
+                });
+            }
+            EventKind::Restore if self.down => {
+                self.down = false;
+                if let Some(last) = self.crashes.last_mut() {
+                    last.restore = Some(event.at);
                 }
-            EventKind::Restore
-                if self.down => {
-                    self.down = false;
-                    if let Some(last) = self.crashes.last_mut() {
-                        last.restore = Some(event.at);
-                    }
-                }
+            }
             _ => {}
         }
     }
@@ -422,7 +422,10 @@ mod tests {
 
     #[test]
     fn undetected_crash_is_counted() {
-        let m = run(&[ev(100, EventKind::Crash), ev(130, EventKind::Restore)], 300);
+        let m = run(
+            &[ev(100, EventKind::Crash), ev(130, EventKind::Restore)],
+            300,
+        );
         assert_eq!(m.undetected_crashes, 1);
         assert_eq!(m.total_crashes, 1);
         assert!(m.detection_times_ms.is_empty());
@@ -566,7 +569,11 @@ mod tests {
     #[test]
     fn extract_from_event_log() {
         let mut log = EventLog::new();
-        log.record(secs(5), ProcessId(0), EventKind::StartSuspect { detector: 2 });
+        log.record(
+            secs(5),
+            ProcessId(0),
+            EventKind::StartSuspect { detector: 2 },
+        );
         log.record(secs(6), ProcessId(0), EventKind::EndSuspect { detector: 2 });
         let m = extract_metrics(&log, 2, secs(100));
         assert_eq!(m.mistake_durations_ms, vec![1_000.0]);

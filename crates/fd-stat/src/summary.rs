@@ -463,8 +463,7 @@ mod tests {
         let xs = [1.0, 2.5, -3.0, 7.25, 0.0, 4.5];
         let s: RunningStats = xs.iter().copied().collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var =
-            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((s.mean() - mean).abs() < 1e-12);
         assert!((s.sample_variance() - var).abs() < 1e-12);
         assert_eq!(s.min(), -3.0);
@@ -568,7 +567,7 @@ mod tests {
         assert!(autocorrelation(&[], 3).is_empty());
         assert!(autocorrelation(&[1.0], 3).is_empty());
         assert!(autocorrelation(&[5.0; 10], 3).is_empty()); // zero variance
-        // max_lag clamped to n-1.
+                                                            // max_lag clamped to n-1.
         let acf = autocorrelation(&[1.0, 2.0, 3.0], 10);
         assert_eq!(acf.len(), 3);
     }

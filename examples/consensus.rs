@@ -40,7 +40,11 @@ fn main() {
         match e.kind {
             EventKind::Crash => println!("  {:>12}  {} crashed", e.at.to_string(), e.process),
             EventKind::App { code, value } if code == fdqos::consensus::APP_ROUND => {
-                println!("  {:>12}  {} entered round {value}", e.at.to_string(), e.process)
+                println!(
+                    "  {:>12}  {} entered round {value}",
+                    e.at.to_string(),
+                    e.process
+                )
             }
             EventKind::App { code, value } if code == fdqos::consensus::APP_DECIDED => {
                 println!("  {:>12}  {} DECIDED {value}", e.at.to_string(), e.process)
@@ -49,7 +53,11 @@ fn main() {
         }
     }
 
-    println!("\nagreement: {}   validity: {}", outcome.agreement(), outcome.validity());
+    println!(
+        "\nagreement: {}   validity: {}",
+        outcome.agreement(),
+        outcome.validity()
+    );
     if let Some(last) = outcome.last_decision() {
         println!(
             "all survivors decided {:.1} ms after the crash",

@@ -34,7 +34,12 @@ impl MembershipLayer {
         // Accuracy matters most for membership, so use the paper's accuracy
         // recommendation: a good predictor with an error-independent margin.
         let combo = Combination::new(
-            PredictorKind::Arima { p: 2, d: 1, q: 1, refit_every: 1000 },
+            PredictorKind::Arima {
+                p: 2,
+                d: 1,
+                q: 1,
+                refit_every: 1000,
+            },
             MarginKind::Ci { gamma: 3.31 },
         );
         let detectors = members.iter().map(|&m| (m, combo.build(eta))).collect();
@@ -98,9 +103,7 @@ fn main() {
     let members = [ProcessId(1), ProcessId(2), ProcessId(3)];
 
     let mut engine = SimEngine::new();
-    engine.add_process(
-        Process::new(ProcessId(0)).with_layer(MembershipLayer::new(&members, eta)),
-    );
+    engine.add_process(Process::new(ProcessId(0)).with_layer(MembershipLayer::new(&members, eta)));
 
     // Members 1 and 2 are stable; member 3 crashes around t ≈ 60–180 s.
     for &m in &members {
@@ -118,11 +121,19 @@ fn main() {
     // Each member reaches the coordinator over its own WAN path.
     for (i, &m) in members.iter().enumerate() {
         let profile = WanProfile::italy_japan();
-        engine.set_link(m, ProcessId(0), profile.link(DetRng::seed_from(100 + i as u64)));
+        engine.set_link(
+            m,
+            ProcessId(0),
+            profile.link(DetRng::seed_from(100 + i as u64)),
+        );
     }
 
     println!("membership over {} members, η = {eta}:", members.len());
-    println!("  {:>10}  view #0   {:?}", "0s", members.iter().map(|m| m.to_string()).collect::<Vec<_>>());
+    println!(
+        "  {:>10}  view #0   {:?}",
+        "0s",
+        members.iter().map(|m| m.to_string()).collect::<Vec<_>>()
+    );
     engine.run_until(SimTime::from_secs(400));
 
     let crashes = engine

@@ -35,7 +35,11 @@ fn main() {
 
     // An Italy→Japan WAN link (≈ 200 ms one-way, < 1% bursty loss).
     let profile = WanProfile::italy_japan();
-    engine.set_link(ProcessId(1), ProcessId(0), profile.link(DetRng::seed_from(8)));
+    engine.set_link(
+        ProcessId(1),
+        ProcessId(0),
+        profile.link(DetRng::seed_from(8)),
+    );
 
     // Five minutes of virtual time.
     let end = SimTime::from_secs(300);

@@ -22,7 +22,11 @@ fn main() -> std::io::Result<()> {
     trace.save_csv(&path)?;
     let reloaded = DelayTrace::load_csv(&path)?;
     assert_eq!(trace, reloaded);
-    println!("trace saved to {} ({} heartbeats)", path.display(), reloaded.len());
+    println!(
+        "trace saved to {} ({} heartbeats)",
+        path.display(),
+        reloaded.len()
+    );
 
     // 3. Characterise the link (the paper's Table 4).
     let ch = reloaded.characteristics().expect("non-empty trace");

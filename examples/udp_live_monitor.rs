@@ -20,15 +20,17 @@ fn main() -> std::io::Result<()> {
     let eta = SimDuration::from_millis(50);
     let detectors = vec![
         Combination::new(PredictorKind::Last, MarginKind::Jac { phi: 2.0 }).build(eta),
-        Combination::new(PredictorKind::WinMean { window: 10 }, MarginKind::Ci { gamma: 2.0 })
-            .build(eta),
+        Combination::new(
+            PredictorKind::WinMean { window: 10 },
+            MarginKind::Ci { gamma: 2.0 },
+        )
+        .build(eta),
         Combination::new(PredictorKind::Mean, MarginKind::Ci { gamma: 3.31 }).build(eta),
     ];
     let labels: Vec<String> = detectors.iter().map(|d| d.name().to_owned()).collect();
 
     let monitor = Process::new(ProcessId(0)).with_layer(MonitorLayer::new(detectors));
-    let monitored =
-        Process::new(ProcessId(1)).with_layer(HeartbeaterLayer::new(ProcessId(0), eta));
+    let monitored = Process::new(ProcessId(1)).with_layer(HeartbeaterLayer::new(ProcessId(0), eta));
 
     let config = RealEngineConfig::localhost(2)?;
     println!("monitor  at {}", config.addrs[0]);

@@ -5,9 +5,9 @@
 use fdqos::arima::{select_best_model, ArimaSpec};
 use fdqos::experiments::accuracy::accuracy_table_for_delays;
 use fdqos::experiments::{predictor_accuracy_experiment, AccuracyParams};
+use fdqos::net::DelayModel;
 use fdqos::net::{DelayTrace, TraceReplayDelay, WanProfile};
 use fdqos::sim::{DetRng, SimDuration, SimTime};
-use fdqos::net::DelayModel;
 
 #[test]
 fn table4_characteristics_match_the_paper_shape() {
@@ -51,14 +51,23 @@ fn accuracy_on_replayed_trace_equals_original() {
     let mut rng = DetRng::seed_from(99); // replay ignores the rng
     let delivered = trace.delays_ms().len();
     let replayed: Vec<f64> = (0..delivered)
-        .map(|i| replay.sample(SimTime::from_secs(i as u64), &mut rng).as_millis_f64())
+        .map(|i| {
+            replay
+                .sample(SimTime::from_secs(i as u64), &mut rng)
+                .as_millis_f64()
+        })
         .collect();
     let again = accuracy_table_for_delays(&replayed, "replay");
 
     for (a, b) in original.rows.iter().zip(&again.rows) {
         assert_eq!(a.predictor, b.predictor);
         // Microsecond quantisation in SimDuration makes this approximate.
-        assert!((a.msqerr - b.msqerr).abs() < 0.05, "{} vs {}", a.msqerr, b.msqerr);
+        assert!(
+            (a.msqerr - b.msqerr).abs() < 0.05,
+            "{} vs {}",
+            a.msqerr,
+            b.msqerr
+        );
     }
 }
 
@@ -84,7 +93,12 @@ fn arima_identification_prefers_structured_models() {
     let report = select_best_model(&trace.delays_ms(), 2, 1, 1).unwrap();
     // The white-noise-around-a-constant model must not win on a correlated
     // WAN trace.
-    assert_ne!(report.best.spec, ArimaSpec::new(0, 0, 0), "{:?}", report.best);
+    assert_ne!(
+        report.best.spec,
+        ArimaSpec::new(0, 0, 0),
+        "{:?}",
+        report.best
+    );
     let mean_model = report
         .ranked
         .iter()

@@ -3,9 +3,9 @@
 //! engine behaviours the architecture relies on (message reordering, stale
 //! heartbeats, multi-process monitoring).
 
-use fdqos::core::{ConstantMargin, FailureDetector, Last, WinMean, JacobsonMargin};
+use fdqos::core::{ConstantMargin, FailureDetector, JacobsonMargin, Last, WinMean};
 use fdqos::experiments::{HeartbeaterLayer, MonitorLayer, SimCrashLayer};
-use fdqos::net::{LinkModel, TruncatedNormalDelay, NoLoss, WanProfile};
+use fdqos::net::{LinkModel, NoLoss, TruncatedNormalDelay, WanProfile};
 use fdqos::runtime::{
     Context, Layer, Message, MultiplexerLayer, Process, ProcessId, SimEngine, TimerId,
 };
@@ -25,7 +25,9 @@ impl Layer for FdComponent {
             return;
         }
         let before = self.fd.next_deadline();
-        if let Some(fdqos::core::FdTransition::EndSuspect) = self.fd.on_heartbeat(msg.seq, ctx.now()) {
+        if let Some(fdqos::core::FdTransition::EndSuspect) =
+            self.fd.on_heartbeat(msg.seq, ctx.now())
+        {
             ctx.emit(EventKind::EndSuspect { detector: self.id });
         }
         if self.fd.next_deadline() != before {
@@ -61,9 +63,18 @@ fn multiplexed_identical_detectors_agree_exactly() {
     // The MultiPlexer guarantee: identical components fed the identical
     // stream produce identical suspicion histories.
     let mux = MultiplexerLayer::new()
-        .with_child(FdComponent { id: 0, fd: identical_fd() })
-        .with_child(FdComponent { id: 1, fd: identical_fd() })
-        .with_child(FdComponent { id: 2, fd: identical_fd() });
+        .with_child(FdComponent {
+            id: 0,
+            fd: identical_fd(),
+        })
+        .with_child(FdComponent {
+            id: 1,
+            fd: identical_fd(),
+        })
+        .with_child(FdComponent {
+            id: 2,
+            fd: identical_fd(),
+        });
     let mut engine = SimEngine::new();
     engine.add_process(Process::new(ProcessId(0)).with_layer(mux));
     engine.add_process(
@@ -73,7 +84,10 @@ fn multiplexed_identical_detectors_agree_exactly() {
                 SimDuration::from_secs(10),
                 DetRng::seed_from(5),
             ))
-            .with_layer(HeartbeaterLayer::new(ProcessId(0), SimDuration::from_secs(1))),
+            .with_layer(HeartbeaterLayer::new(
+                ProcessId(0),
+                SimDuration::from_secs(1),
+            )),
     );
     engine.set_link(
         ProcessId(1),
@@ -122,10 +136,10 @@ fn multiplexed_different_detectors_diverge() {
         .with_child(FdComponent { id: 1, fd: loose });
     let mut engine = SimEngine::new();
     engine.add_process(Process::new(ProcessId(0)).with_layer(mux));
-    engine.add_process(
-        Process::new(ProcessId(1))
-            .with_layer(HeartbeaterLayer::new(ProcessId(0), SimDuration::from_secs(1))),
-    );
+    engine.add_process(Process::new(ProcessId(1)).with_layer(HeartbeaterLayer::new(
+        ProcessId(0),
+        SimDuration::from_secs(1),
+    )));
     // Lossy-ish volatile link to provoke mistakes on the tight detector.
     engine.set_link(
         ProcessId(1),
@@ -182,7 +196,10 @@ fn reordered_heartbeats_are_observed_but_do_not_regress_freshness() {
         .collect();
     assert!(seqs.len() > 2_000, "received {}", seqs.len());
     let out_of_order = seqs.windows(2).filter(|w| w[1] < w[0]).count();
-    assert!(out_of_order > 50, "expected real reordering, got {out_of_order}");
+    assert!(
+        out_of_order > 50,
+        "expected real reordering, got {out_of_order}"
+    );
     // The detector never got stuck suspecting the (alive) process.
     let m = extract_metrics(engine.event_log(), 0, SimTime::from_secs(30));
     assert_eq!(m.total_crashes, 0);

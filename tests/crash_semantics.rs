@@ -3,7 +3,7 @@
 
 use fdqos::core::{ConstantMargin, FailureDetector, Last};
 use fdqos::experiments::{HeartbeaterLayer, MonitorLayer, SimCrashLayer};
-use fdqos::net::{ConstantDelay, LinkModel, NoLoss, BernoulliLoss};
+use fdqos::net::{BernoulliLoss, ConstantDelay, LinkModel, NoLoss};
 use fdqos::runtime::{Process, ProcessId, SimEngine};
 use fdqos::sim::{DetRng, SimDuration, SimTime};
 use fdqos::stat::{extract_metrics, EventKind};
@@ -100,7 +100,11 @@ fn crash_isolates_both_directions() {
     for e in log.iter() {
         if let EventKind::Received { .. } = e.kind {
             let during_crash = e.at > in_flight_horizon && e.at < restore;
-            assert!(!during_crash, "received at {} inside crash [{crash}, {restore}]", e.at);
+            assert!(
+                !during_crash,
+                "received at {} inside crash [{crash}, {restore}]",
+                e.at
+            );
         }
     }
 }

@@ -59,7 +59,10 @@ fn late_heartbeat_after_deadline_still_counts_as_fresh() {
     assert!(fd.check(ms(5_000)).is_some());
     assert_eq!(fd.output(), FdOutput::Suspect);
     // m_1 arrives four seconds late.
-    assert_eq!(fd.on_heartbeat(1, ms(5_050)), Some(FdTransition::EndSuspect));
+    assert_eq!(
+        fd.on_heartbeat(1, ms(5_050)),
+        Some(FdTransition::EndSuspect)
+    );
     assert_eq!(fd.output(), FdOutput::Trust);
     // τ_2 = 2000 + (5050−1000) + 50 = 6100 ms: the huge observed delay
     // inflates the next prediction — exactly LAST's behaviour.

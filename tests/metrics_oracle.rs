@@ -12,7 +12,7 @@ use proptest::prelude::*;
 
 /// The brute-force oracle: builds interval lists and classifies them.
 fn oracle(
-    crashes: &[(u64, u64)],        // [start, end) seconds
+    crashes: &[(u64, u64)],          // [start, end) seconds
     episodes: &[(u64, Option<u64>)], // start, optional end
     run_end_s: u64,
 ) -> (Vec<f64>, Vec<f64>, usize) {

@@ -28,7 +28,9 @@ fn figures_cover_the_full_grid() {
                 assert!(values.iter().all(|v| v.is_some()), "{p}: {values:?}");
             }
         }
-        assert!(fig.title.contains(&format!("Figure {}", metric.figure_number())));
+        assert!(fig
+            .title
+            .contains(&format!("Figure {}", metric.figure_number())));
     }
 }
 
@@ -107,10 +109,7 @@ fn figure_value_lookup_matches_results() {
         .iter()
         .position(|l| l.starts_with("LAST+SM_JAC(1)"))
         .expect("LAST+SM_JAC(1) exists");
-    assert_eq!(
-        fig.value("LAST", "JAC_low"),
-        results.value(idx, Metric::Td)
-    );
+    assert_eq!(fig.value("LAST", "JAC_low"), results.value(idx, Metric::Td));
 }
 
 #[test]

@@ -61,7 +61,10 @@ fn same_stack_runs_on_both_engines() {
 
     let sim_recv = count(&sim_log, |k| matches!(k, EventKind::Received { .. }));
     let real_recv = count(&real_log, |k| matches!(k, EventKind::Received { .. }));
-    assert!(sim_recv >= sim_sent - 1, "sim delivered {sim_recv}/{sim_sent}");
+    assert!(
+        sim_recv >= sim_sent - 1,
+        "sim delivered {sim_recv}/{sim_sent}"
+    );
     assert!(
         real_recv >= real_sent / 2,
         "real delivered {real_recv}/{real_sent}"
@@ -72,9 +75,18 @@ fn same_stack_runs_on_both_engines() {
     // process: suspicion edges must balance within one.
     for log in [&sim_log, &real_log] {
         for d in 0..2u32 {
-            let starts = count(log, |k| matches!(k, EventKind::StartSuspect { detector } if *detector == d));
-            let ends = count(log, |k| matches!(k, EventKind::EndSuspect { detector } if *detector == d));
-            assert!(starts.abs_diff(ends) <= 1, "detector {d}: {starts} starts vs {ends} ends");
+            let starts = count(
+                log,
+                |k| matches!(k, EventKind::StartSuspect { detector } if *detector == d),
+            );
+            let ends = count(
+                log,
+                |k| matches!(k, EventKind::EndSuspect { detector } if *detector == d),
+            );
+            assert!(
+                starts.abs_diff(ends) <= 1,
+                "detector {d}: {starts} starts vs {ends} ends"
+            );
         }
     }
 }

@@ -4,7 +4,7 @@
 use fdqos::core::combinations::Combination;
 use fdqos::core::{MarginKind, PredictorKind};
 use fdqos::experiments::{HeartbeaterLayer, MonitorLayer, SimCrashLayer};
-use fdqos::net::{LinkModel, ShiftedGammaDelay, BernoulliLoss};
+use fdqos::net::{BernoulliLoss, LinkModel, ShiftedGammaDelay};
 use fdqos::runtime::{Process, ProcessId, SimEngine};
 use fdqos::sim::{DetRng, SimDuration, SimTime};
 use fdqos::stat::{extract_metrics, EventKind};
@@ -21,8 +21,11 @@ fn run_system(
     let eta = SimDuration::from_secs(1);
     let detectors = vec![
         Combination::new(PredictorKind::Last, MarginKind::Jac { phi: 2.0 }).build(eta),
-        Combination::new(PredictorKind::WinMean { window: 5 }, MarginKind::Ci { gamma: 2.0 })
-            .build(eta),
+        Combination::new(
+            PredictorKind::WinMean { window: 5 },
+            MarginKind::Ci { gamma: 2.0 },
+        )
+        .build(eta),
     ];
     let n = detectors.len();
     let mut engine = SimEngine::new();
