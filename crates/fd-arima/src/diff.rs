@@ -118,6 +118,19 @@ impl Differencer {
     pub fn is_primed(&self) -> bool {
         self.recent.len() >= self.d
     }
+
+    /// The retained recent levels (at most `d`, most recent last).
+    pub fn recent(&self) -> &[f64] {
+        &self.recent
+    }
+
+    /// Rebuilds a streaming differencer from its order and retained levels.
+    ///
+    /// Returns `None` if more than `d` levels are supplied — that state is
+    /// unreachable by [`Differencer::push`] and cannot be restored.
+    pub fn from_recent(d: usize, recent: Vec<f64>) -> Option<Self> {
+        (recent.len() <= d).then_some(Self { d, recent })
+    }
 }
 
 #[cfg(test)]

@@ -112,6 +112,110 @@ impl OnlineArima {
     pub fn predict_next(&self) -> f64 {
         self.state.predict_next(self.model.as_ref()).unwrap_or(0.0)
     }
+
+    /// Captures the complete streaming state as plain data.
+    ///
+    /// Restoring via [`OnlineArima::from_snapshot`] is bit-exact: the
+    /// restored forecaster consumes further observations and produces
+    /// forecasts identical to the original, including refit schedules.
+    pub fn snapshot(&self) -> ArimaSnapshot {
+        let (diff_recent, recent_z, recent_innov, pending_diff_forecast, last_level) =
+            self.state.raw_parts();
+        ArimaSnapshot {
+            spec: self.spec,
+            refit_every: self.refit_every,
+            window: self.window.clone(),
+            model: self.model.as_ref().map(|m| {
+                (
+                    m.intercept(),
+                    m.phi().to_vec(),
+                    m.psi().to_vec(),
+                    m.sigma2(),
+                )
+            }),
+            diff_recent,
+            recent_z,
+            recent_innov,
+            pending_diff_forecast,
+            last_level,
+            observed: self.observed,
+            refits: self.refits,
+            failed_fits: self.failed_fits,
+        }
+    }
+
+    /// Rebuilds a forecaster from a snapshot.
+    ///
+    /// Returns `None` if the snapshot is internally inconsistent (zero
+    /// refit interval, oversized fit window, coefficient/order mismatch, or
+    /// histories longer than the spec allows).
+    pub fn from_snapshot(s: ArimaSnapshot) -> Option<OnlineArima> {
+        if s.refit_every == 0 {
+            return None;
+        }
+        let max_window = (WINDOW_FACTOR * s.refit_every).max(s.spec.min_series_len());
+        if s.window.len() > max_window {
+            return None;
+        }
+        let model = match s.model {
+            Some((intercept, phi, psi, sigma2)) => {
+                Some(ArimaModel::from_parts(s.spec, intercept, phi, psi, sigma2)?)
+            }
+            None => None,
+        };
+        let state = ArimaState::from_raw_parts(
+            s.spec,
+            s.diff_recent,
+            s.recent_z,
+            s.recent_innov,
+            s.pending_diff_forecast,
+            s.last_level,
+        )?;
+        Some(OnlineArima {
+            spec: s.spec,
+            refit_every: s.refit_every,
+            window: s.window,
+            max_window,
+            model,
+            state,
+            observed: s.observed,
+            refits: s.refits,
+            failed_fits: s.failed_fits,
+        })
+    }
+}
+
+/// A plain-data image of an [`OnlineArima`]'s complete streaming state,
+/// produced by [`OnlineArima::snapshot`].
+///
+/// Every field is public so callers (the detector-bank checkpoint codec)
+/// can serialize it in whatever format they need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArimaSnapshot {
+    /// The model order.
+    pub spec: ArimaSpec,
+    /// Refit interval in observations.
+    pub refit_every: usize,
+    /// The sliding fit window, oldest first.
+    pub window: Vec<f64>,
+    /// `(intercept, phi, psi, sigma2)` of the fitted model, if any.
+    pub model: Option<(f64, Vec<f64>, Vec<f64>, f64)>,
+    /// Levels retained by the streaming differencer (at most `spec.d`).
+    pub diff_recent: Vec<f64>,
+    /// Recent differenced values, most recent last.
+    pub recent_z: Vec<f64>,
+    /// Recent innovations, most recent last.
+    pub recent_innov: Vec<f64>,
+    /// The forecast pending from the last observation, if any.
+    pub pending_diff_forecast: Option<f64>,
+    /// The last observed level, if any.
+    pub last_level: Option<f64>,
+    /// Observations consumed so far.
+    pub observed: usize,
+    /// Successful refits so far.
+    pub refits: usize,
+    /// Failed fit attempts so far.
+    pub failed_fits: usize,
 }
 
 #[cfg(test)]
@@ -213,5 +317,40 @@ mod tests {
     #[should_panic(expected = "refit_every must be positive")]
     fn zero_refit_rejected() {
         let _ = OnlineArima::new(ArimaSpec::new(1, 0, 0), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_exact() {
+        let mut rng = DetRng::seed_from(47);
+        let mut f = OnlineArima::new(ArimaSpec::new(2, 1, 1), 300);
+        for _ in 0..900 {
+            f.observe(120.0 + 15.0 * rng.standard_normal());
+        }
+        assert!(f.model().is_some(), "fit should have happened");
+        let mut restored = OnlineArima::from_snapshot(f.snapshot()).unwrap();
+        // Identical inputs after restore must give bit-identical forecasts,
+        // including through the next scheduled refit.
+        for _ in 0..700 {
+            let x = 120.0 + 15.0 * rng.standard_normal();
+            f.observe(x);
+            restored.observe(x);
+            assert_eq!(f.predict_next().to_bits(), restored.predict_next().to_bits());
+        }
+        assert_eq!(f.refits(), restored.refits());
+        assert_eq!(f.observed(), restored.observed());
+    }
+
+    #[test]
+    fn snapshot_rejects_inconsistent_state() {
+        let f = OnlineArima::new(ArimaSpec::new(1, 0, 0), 100);
+        let mut s = f.snapshot();
+        s.refit_every = 0;
+        assert!(OnlineArima::from_snapshot(s).is_none());
+        let mut s = f.snapshot();
+        s.model = Some((0.0, vec![0.5, 0.1], Vec::new(), 1.0)); // phi order mismatch
+        assert!(OnlineArima::from_snapshot(s).is_none());
+        let mut s = f.snapshot();
+        s.recent_z = vec![0.0; 50]; // longer than p.max(1)
+        assert!(OnlineArima::from_snapshot(s).is_none());
     }
 }

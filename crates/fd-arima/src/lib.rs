@@ -39,8 +39,8 @@ pub mod select;
 
 pub use ar::{autocovariance, fit_ar_yule_walker, levinson_durbin};
 pub use diff::{difference, integrate_one_step, Differencer};
-pub use forecaster::OnlineArima;
-pub use model::{ArimaError, ArimaModel, ArimaSpec};
+pub use forecaster::{ArimaSnapshot, OnlineArima};
+pub use model::{ArimaError, ArimaModel, ArimaSpec, ArimaState};
 pub use select::{
     select_best_model, select_best_model_by, SelectionCriterion, SelectionReport, SelectionResult,
 };

@@ -268,6 +268,28 @@ impl ArimaModel {
         })
     }
 
+    /// Rebuilds a fitted model from coefficients captured via the getters.
+    ///
+    /// Returns `None` if the coefficient vectors do not match the spec's
+    /// orders (`phi.len() != p` or `psi.len() != q`). No invertibility or
+    /// stationarity check is re-run: the parts are trusted to come from a
+    /// previously fitted model, so restore is bit-exact.
+    pub fn from_parts(
+        spec: ArimaSpec,
+        intercept: f64,
+        phi: Vec<f64>,
+        psi: Vec<f64>,
+        sigma2: f64,
+    ) -> Option<ArimaModel> {
+        (phi.len() == spec.p && psi.len() == spec.q).then_some(ArimaModel {
+            spec,
+            intercept,
+            phi,
+            psi,
+            sigma2,
+        })
+    }
+
     /// The order specification of this model.
     pub fn spec(&self) -> ArimaSpec {
         self.spec
@@ -503,6 +525,48 @@ impl ArimaState {
     /// The last observed level, if any.
     pub fn last_level(&self) -> Option<f64> {
         self.last_level
+    }
+
+    /// The complete streaming state as plain data:
+    /// `(diff_recent, recent_z, recent_innov, pending_diff_forecast,
+    /// last_level)`, each history most recent last.
+    ///
+    /// Together with [`ArimaState::from_raw_parts`] this supports bit-exact
+    /// checkpoint/restore of a live forecast recursion.
+    pub fn raw_parts(&self) -> (Vec<f64>, Vec<f64>, Vec<f64>, Option<f64>, Option<f64>) {
+        (
+            self.differencer.recent().to_vec(),
+            self.recent_z.iter().copied().collect(),
+            self.recent_innov.iter().copied().collect(),
+            self.pending_diff_forecast,
+            self.last_level,
+        )
+    }
+
+    /// Rebuilds streaming state from [`ArimaState::raw_parts`] output.
+    ///
+    /// Returns `None` if any history is longer than the spec allows — such
+    /// state is unreachable by [`ArimaState::observe`].
+    pub fn from_raw_parts(
+        spec: ArimaSpec,
+        diff_recent: Vec<f64>,
+        recent_z: Vec<f64>,
+        recent_innov: Vec<f64>,
+        pending_diff_forecast: Option<f64>,
+        last_level: Option<f64>,
+    ) -> Option<ArimaState> {
+        if recent_z.len() > spec.p.max(1) || recent_innov.len() > spec.q.max(1) {
+            return None;
+        }
+        let differencer = Differencer::from_recent(spec.d, diff_recent)?;
+        Some(ArimaState {
+            spec,
+            differencer,
+            recent_z: recent_z.into(),
+            recent_innov: recent_innov.into(),
+            pending_diff_forecast,
+            last_level,
+        })
     }
 }
 

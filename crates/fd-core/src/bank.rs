@@ -34,6 +34,7 @@ use crate::combinations::{Combination, MarginKind, PredictorKind};
 use crate::detector::FdTransition;
 use crate::margin::{CiCore, JacCore, RtoCore};
 use crate::predictor::{ArimaPredictor, Last, Lpf, Mean, Predictor, WinMean};
+use crate::snapshot::{BankSnapshot, PredictorSnapshot, SnapshotError};
 
 /// Enum-dispatched predictor state, mirroring [`PredictorKind`].
 ///
@@ -434,6 +435,178 @@ impl DetectorBank {
             _ => None,
         }
     }
+
+    /// Captures the bank's complete mutable state.
+    ///
+    /// Restoring the snapshot into a bank built over the same combinations
+    /// (via [`DetectorBank::restore`]) is **bit-exact**: the restored bank
+    /// produces transitions, deadlines and margins identical to an
+    /// uncrashed bank fed the same subsequent heartbeats. Serialize with
+    /// [`BankSnapshot::to_bytes`].
+    pub fn snapshot(&self) -> BankSnapshot {
+        let predictors = self
+            .predictors
+            .iter()
+            .map(|p| match p {
+                PredictorState::Last(p) => {
+                    let (last, n) = p.raw_parts();
+                    PredictorSnapshot::Last { last, n }
+                }
+                PredictorState::Mean(p) => {
+                    let (mean, n) = p.raw_parts();
+                    PredictorSnapshot::Mean { mean, n }
+                }
+                PredictorState::WinMean(p) => {
+                    let (window, capacity, sum, n) = p.raw_parts();
+                    PredictorSnapshot::WinMean {
+                        window,
+                        capacity,
+                        sum,
+                        n,
+                    }
+                }
+                PredictorState::Lpf(p) => {
+                    let (beta, pred, n) = p.raw_parts();
+                    PredictorSnapshot::Lpf { beta, pred, n }
+                }
+                PredictorState::Arima(p) => PredictorSnapshot::Arima(p.snapshot()),
+            })
+            .collect();
+        let error_cores = self
+            .error_cores
+            .iter()
+            .map(|c| {
+                (
+                    c.jac.as_ref().map(|j| j.raw_parts()),
+                    c.rto.as_ref().map(|r| r.raw_parts()),
+                )
+            })
+            .collect();
+        let (stats, sigma, inner_sqrt) = self.ci.raw_parts();
+        BankSnapshot {
+            eta_us: self.eta.as_micros(),
+            n_combos: self.combos.len(),
+            predictors,
+            ci: (stats, sigma, inner_sqrt),
+            error_cores,
+            predictions: self.predictions.clone(),
+            next_freshness_us: self
+                .next_freshness
+                .iter()
+                .map(|nf| nf.map(|t| t.as_micros()))
+                .collect(),
+            suspecting: self.suspecting.clone(),
+            highest_seq: self.highest_seq,
+            heartbeats: self.heartbeats,
+            stale_heartbeats: self.stale_heartbeats,
+        }
+    }
+
+    /// Replaces this bank's mutable state with a snapshot's.
+    ///
+    /// The bank must have been built over the **same** combinations and η
+    /// as the snapshotted one; any shape or parameter mismatch is rejected
+    /// with [`SnapshotError::Mismatch`] and leaves the bank untouched.
+    pub fn restore(&mut self, snapshot: &BankSnapshot) -> Result<(), SnapshotError> {
+        if snapshot.eta_us != self.eta.as_micros() {
+            return Err(SnapshotError::Mismatch("heartbeat period"));
+        }
+        if snapshot.n_combos != self.combos.len()
+            || snapshot.next_freshness_us.len() != self.combos.len()
+            || snapshot.suspecting.len() != self.combos.len()
+        {
+            return Err(SnapshotError::Mismatch("combination count"));
+        }
+        if snapshot.predictors.len() != self.predictors.len()
+            || snapshot.error_cores.len() != self.predictors.len()
+            || snapshot.predictions.len() != self.predictors.len()
+        {
+            return Err(SnapshotError::Mismatch("distinct predictor count"));
+        }
+        let mut predictors = Vec::with_capacity(self.predictors.len());
+        for (current, snap) in self.predictors.iter().zip(&snapshot.predictors) {
+            predictors.push(restore_predictor(current, snap)?);
+        }
+        let mut error_cores = Vec::with_capacity(self.error_cores.len());
+        for (current, (jac, rto)) in self.error_cores.iter().zip(&snapshot.error_cores) {
+            if current.jac.is_some() != jac.is_some() || current.rto.is_some() != rto.is_some() {
+                return Err(SnapshotError::Mismatch("error-core allocation"));
+            }
+            let jac = match jac {
+                Some((alpha, base)) => Some(
+                    JacCore::from_raw_parts(*alpha, *base)
+                        .ok_or(SnapshotError::Invalid("jacobson alpha"))?,
+                ),
+                None => None,
+            };
+            let rto = rto.map(|(gain, mu, dev)| RtoCore::from_raw_parts(gain, mu, dev));
+            error_cores.push(ErrorCores { jac, rto });
+        }
+        self.predictors = predictors;
+        self.error_cores = error_cores;
+        self.ci = CiCore::from_raw_parts(snapshot.ci.0, snapshot.ci.1, snapshot.ci.2);
+        self.predictions = snapshot.predictions.clone();
+        self.next_freshness = snapshot
+            .next_freshness_us
+            .iter()
+            .map(|nf| nf.map(SimTime::from_micros))
+            .collect();
+        self.suspecting = snapshot.suspecting.clone();
+        self.highest_seq = snapshot.highest_seq;
+        self.heartbeats = snapshot.heartbeats;
+        self.stale_heartbeats = snapshot.stale_heartbeats;
+        self.transitions.clear();
+        Ok(())
+    }
+}
+
+/// Rebuilds one predictor state from its snapshot, validating that both
+/// the variant and its configuration parameters match the bank's.
+fn restore_predictor(
+    current: &PredictorState,
+    snap: &PredictorSnapshot,
+) -> Result<PredictorState, SnapshotError> {
+    match (current, snap) {
+        (PredictorState::Last(_), PredictorSnapshot::Last { last, n }) => {
+            Ok(PredictorState::Last(Last::from_raw_parts(*last, *n)))
+        }
+        (PredictorState::Mean(_), PredictorSnapshot::Mean { mean, n }) => {
+            Ok(PredictorState::Mean(Mean::from_raw_parts(*mean, *n)))
+        }
+        (
+            PredictorState::WinMean(cur),
+            PredictorSnapshot::WinMean {
+                window,
+                capacity,
+                sum,
+                n,
+            },
+        ) => {
+            if cur.capacity() != *capacity {
+                return Err(SnapshotError::Mismatch("window capacity"));
+            }
+            WinMean::from_raw_parts(window.clone(), *capacity, *sum, *n)
+                .map(PredictorState::WinMean)
+                .ok_or(SnapshotError::Invalid("window state"))
+        }
+        (PredictorState::Lpf(cur), PredictorSnapshot::Lpf { beta, pred, n }) => {
+            if cur.beta().to_bits() != beta.to_bits() {
+                return Err(SnapshotError::Mismatch("smoothing factor"));
+            }
+            Lpf::from_raw_parts(*beta, *pred, *n)
+                .map(PredictorState::Lpf)
+                .ok_or(SnapshotError::Invalid("lpf state"))
+        }
+        (PredictorState::Arima(cur), PredictorSnapshot::Arima(a)) => {
+            if cur.inner().spec() != a.spec {
+                return Err(SnapshotError::Mismatch("arima spec"));
+            }
+            ArimaPredictor::from_snapshot(a.clone())
+                .map(PredictorState::Arima)
+                .ok_or(SnapshotError::Invalid("arima state"))
+        }
+        _ => Err(SnapshotError::Mismatch("predictor kind")),
+    }
 }
 
 #[cfg(test)]
@@ -624,5 +797,66 @@ mod tests {
     #[should_panic(expected = "heartbeat period must be positive")]
     fn zero_eta_rejected() {
         let _ = DetectorBank::new(&all_combinations(), SimDuration::ZERO);
+    }
+
+    /// Warm restart is bit-exact: a bank restored mid-run from a
+    /// serialized snapshot continues identically to the uncrashed original
+    /// for every combination — deadlines, margins, suspicion flags and
+    /// transition sequences.
+    #[test]
+    fn snapshot_restore_continues_bit_identically() {
+        let combos = all_combinations();
+        let mut original = DetectorBank::new(&combos, eta());
+        for seq in 0..25u64 {
+            let delay = 150 + (seq * 71) % 120;
+            original.observe_heartbeat(seq, arrival(seq, delay));
+        }
+        // Serialize through the byte format — the restored bank sees only
+        // what would survive a real crash.
+        let bytes = original.snapshot().to_bytes();
+        let snap = crate::snapshot::BankSnapshot::from_bytes(&bytes).unwrap();
+        let mut restored = DetectorBank::new(&combos, eta());
+        restored.restore(&snap).unwrap();
+
+        for seq in 25..60u64 {
+            // A gap at seq 40 exercises suspicion edges on both banks.
+            if seq == 40 {
+                let late = arrival(seq, 30_000);
+                let a = original.check_at(late).to_vec();
+                let b = restored.check_at(late).to_vec();
+                assert_eq!(a, b);
+                continue;
+            }
+            let delay = 150 + (seq * 71) % 120;
+            let at = arrival(seq, delay);
+            original.observe_heartbeat(seq, at);
+            restored.observe_heartbeat(seq, at);
+            assert_eq!(original.transitions(), restored.transitions());
+            for idx in 0..combos.len() {
+                assert_eq!(original.next_deadline(idx), restored.next_deadline(idx));
+                assert_eq!(
+                    original.margin_ms(idx).to_bits(),
+                    restored.margin_ms(idx).to_bits(),
+                    "margin mismatch combo {idx}"
+                );
+                assert_eq!(original.is_suspecting(idx), restored.is_suspecting(idx));
+            }
+        }
+        assert_eq!(original.heartbeats(), restored.heartbeats());
+        assert_eq!(original.stale_heartbeats(), restored.stale_heartbeats());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_bank() {
+        let snap = DetectorBank::paper_grid(eta()).snapshot();
+        // Different combination count.
+        let mut small = DetectorBank::new(&all_combinations()[..4], eta());
+        assert!(small.restore(&snap).is_err());
+        // Different eta.
+        let mut other_eta = DetectorBank::paper_grid(SimDuration::from_millis(500));
+        assert!(other_eta.restore(&snap).is_err());
+        // Matching bank accepts it.
+        let mut ok = DetectorBank::paper_grid(eta());
+        assert!(ok.restore(&snap).is_ok());
     }
 }

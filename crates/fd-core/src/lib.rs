@@ -49,8 +49,10 @@ pub mod margin;
 pub mod nfd;
 pub mod predictor;
 pub mod pull;
+pub mod snapshot;
 
 pub use bank::{BankTransition, DetectorBank, PredictorState};
+pub use snapshot::{BankSnapshot, SnapshotError};
 pub use combinations::{all_combinations, Combination, MarginKind, PredictorKind};
 pub use detector::{FailureDetector, FdOutput, FdTransition};
 pub use margin::{

@@ -64,6 +64,20 @@ impl CiCore {
     pub fn count(&self) -> u64 {
         self.stats.count()
     }
+
+    /// The raw state `(stats, sigma, inner_sqrt)` for checkpoint/restore.
+    pub fn raw_parts(&self) -> (RunningStats, f64, f64) {
+        (self.stats, self.sigma, self.inner_sqrt)
+    }
+
+    /// Rebuilds the core from [`CiCore::raw_parts`] output.
+    pub fn from_raw_parts(stats: RunningStats, sigma: f64, inner_sqrt: f64) -> Self {
+        Self {
+            stats,
+            sigma,
+            inner_sqrt,
+        }
+    }
 }
 
 /// The φ-independent state of `SM_JAC`: the unscaled smoothed deviation
@@ -97,6 +111,18 @@ impl JacCore {
     pub fn margin(&self, phi: f64) -> f64 {
         phi * self.base
     }
+
+    /// The raw state `(alpha, base)` for checkpoint/restore.
+    pub fn raw_parts(&self) -> (f64, f64) {
+        (self.alpha, self.base)
+    }
+
+    /// Rebuilds the core from [`JacCore::raw_parts`] output.
+    ///
+    /// Returns `None` if `alpha` is outside `(0, 1]`.
+    pub fn from_raw_parts(alpha: f64, base: f64) -> Option<Self> {
+        (alpha > 0.0 && alpha <= 1.0).then_some(Self { alpha, base })
+    }
 }
 
 /// The k-independent state of `SM_RTO`: smoothed signed error `μ̂` and
@@ -129,6 +155,16 @@ impl RtoCore {
     /// The margin for a given deviation multiplier `k` (never negative).
     pub fn margin(&self, k: f64) -> f64 {
         (self.mu + k * self.dev).max(0.0)
+    }
+
+    /// The raw state `(gain, mu, dev)` for checkpoint/restore.
+    pub fn raw_parts(&self) -> (f64, f64, f64) {
+        (self.gain, self.mu, self.dev)
+    }
+
+    /// Rebuilds the core from [`RtoCore::raw_parts`] output.
+    pub fn from_raw_parts(gain: f64, mu: f64, dev: f64) -> Self {
+        Self { gain, mu, dev }
     }
 }
 

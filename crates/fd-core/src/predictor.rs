@@ -73,6 +73,16 @@ impl Last {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// The raw state `(last, n)` for checkpoint/restore.
+    pub fn raw_parts(&self) -> (f64, u64) {
+        (self.last, self.n)
+    }
+
+    /// Rebuilds the predictor from [`Last::raw_parts`] output.
+    pub fn from_raw_parts(last: f64, n: u64) -> Self {
+        Self { last, n }
+    }
 }
 
 impl Predictor for Last {
@@ -115,6 +125,16 @@ impl Mean {
     /// Creates the predictor.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The raw state `(mean, n)` for checkpoint/restore.
+    pub fn raw_parts(&self) -> (f64, u64) {
+        (self.mean, self.n)
+    }
+
+    /// Rebuilds the predictor from [`Mean::raw_parts`] output.
+    pub fn from_raw_parts(mean: f64, n: u64) -> Self {
+        Self { mean, n }
     }
 }
 
@@ -173,6 +193,30 @@ impl WinMean {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+
+    /// The raw state `(window oldest-first, capacity, sum, n)` for
+    /// checkpoint/restore.
+    pub fn raw_parts(&self) -> (Vec<f64>, usize, f64, u64) {
+        (
+            self.window.iter().copied().collect(),
+            self.capacity,
+            self.sum,
+            self.n,
+        )
+    }
+
+    /// Rebuilds the predictor from [`WinMean::raw_parts`] output.
+    ///
+    /// Returns `None` for state unreachable by [`Predictor::observe`]
+    /// (zero capacity or an overfull window).
+    pub fn from_raw_parts(window: Vec<f64>, capacity: usize, sum: f64, n: u64) -> Option<Self> {
+        (capacity > 0 && window.len() <= capacity).then_some(Self {
+            window: window.into(),
+            capacity,
+            sum,
+            n,
+        })
+    }
 }
 
 impl Predictor for WinMean {
@@ -229,6 +273,18 @@ impl Lpf {
     pub fn beta(&self) -> f64 {
         self.beta
     }
+
+    /// The raw state `(beta, pred, n)` for checkpoint/restore.
+    pub fn raw_parts(&self) -> (f64, f64, u64) {
+        (self.beta, self.pred, self.n)
+    }
+
+    /// Rebuilds the filter from [`Lpf::raw_parts`] output.
+    ///
+    /// Returns `None` if `beta` is outside `(0, 1]`.
+    pub fn from_raw_parts(beta: f64, pred: f64, n: u64) -> Option<Self> {
+        (beta > 0.0 && beta <= 1.0).then_some(Self { beta, pred, n })
+    }
 }
 
 impl Predictor for Lpf {
@@ -281,6 +337,19 @@ impl ArimaPredictor {
     /// The underlying online forecaster.
     pub fn inner(&self) -> &OnlineArima {
         &self.inner
+    }
+
+    /// Captures the full streaming state for checkpoint/restore.
+    pub fn snapshot(&self) -> fd_arima::ArimaSnapshot {
+        self.inner.snapshot()
+    }
+
+    /// Rebuilds the predictor from a snapshot, or `None` if the snapshot
+    /// is internally inconsistent.
+    pub fn from_snapshot(s: fd_arima::ArimaSnapshot) -> Option<Self> {
+        Some(Self {
+            inner: OnlineArima::from_snapshot(s)?,
+        })
     }
 }
 

@@ -1,0 +1,578 @@
+//! Checkpoint/restore of a live [`DetectorBank`](crate::bank::DetectorBank).
+//!
+//! A [`BankSnapshot`] is a plain-data image of everything a bank needs to
+//! continue a heartbeat stream **bit-identically** after a monitor crash:
+//! the five distinct predictor states (including the full ARIMA window,
+//! model coefficients and innovation recursion), the shared Welford
+//! [`CiCore`](crate::margin::CiCore), the per-predictor
+//! [`JacCore`](crate::margin::JacCore)/[`RtoCore`](crate::margin::RtoCore)
+//! error cores, and the per-combination freshness points and suspicion
+//! flags.
+//!
+//! The serialized form is a versioned, hand-rolled little-endian byte
+//! format: every `f64` is stored via [`f64::to_bits`], so a decode→encode
+//! round trip is exact and a restored bank's floating-point trajectory is
+//! the original's. No textual format (JSON, CSV) can guarantee that.
+//!
+//! The snapshot does **not** store the combination grid itself — that is
+//! configuration, not state. [`DetectorBank::restore`] validates that the
+//! snapshot's shape (η, combination count, predictor kinds and parameters)
+//! matches the bank it is being restored into and rejects mismatches with
+//! [`SnapshotError::Mismatch`].
+
+use std::fmt;
+
+use fd_arima::{ArimaSnapshot, ArimaSpec};
+use fd_stat::RunningStats;
+
+/// Errors from [`BankSnapshot::from_bytes`] and
+/// [`DetectorBank::restore`](crate::bank::DetectorBank::restore).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The byte stream ended before the snapshot was complete.
+    Truncated,
+    /// The leading magic bytes are not `FDBK`.
+    BadMagic,
+    /// The format version is newer than this build understands.
+    UnsupportedVersion(u8),
+    /// An enum tag byte was out of range.
+    BadTag(u8),
+    /// Bytes remained after the snapshot was fully decoded.
+    TrailingBytes(usize),
+    /// A decoded value is inconsistent (e.g. an overfull window).
+    Invalid(&'static str),
+    /// The snapshot does not fit the bank it is being restored into.
+    Mismatch(&'static str),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadMagic => write!(f, "bad snapshot magic"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v}")
+            }
+            SnapshotError::BadTag(t) => write!(f, "bad snapshot tag {t}"),
+            SnapshotError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after snapshot")
+            }
+            SnapshotError::Invalid(what) => write!(f, "invalid snapshot field: {what}"),
+            SnapshotError::Mismatch(what) => {
+                write!(f, "snapshot does not match bank: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Image of one distinct predictor's state, mirroring
+/// [`PredictorState`](crate::bank::PredictorState).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum PredictorSnapshot {
+    Last {
+        last: f64,
+        n: u64,
+    },
+    Mean {
+        mean: f64,
+        n: u64,
+    },
+    WinMean {
+        window: Vec<f64>,
+        capacity: usize,
+        sum: f64,
+        n: u64,
+    },
+    Lpf {
+        beta: f64,
+        pred: f64,
+        n: u64,
+    },
+    Arima(ArimaSnapshot),
+}
+
+/// A complete, restorable image of a
+/// [`DetectorBank`](crate::bank::DetectorBank)'s mutable state.
+///
+/// Produced by [`DetectorBank::snapshot`](crate::bank::DetectorBank::snapshot),
+/// consumed by [`DetectorBank::restore`](crate::bank::DetectorBank::restore),
+/// and serialized with [`BankSnapshot::to_bytes`] /
+/// [`BankSnapshot::from_bytes`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankSnapshot {
+    pub(crate) eta_us: u64,
+    pub(crate) n_combos: usize,
+    pub(crate) predictors: Vec<PredictorSnapshot>,
+    /// `(stats, sigma, inner_sqrt)` of the shared CI core.
+    pub(crate) ci: (RunningStats, f64, f64),
+    /// Per distinct predictor: `(jac (alpha, base), rto (gain, mu, dev))`.
+    pub(crate) error_cores: Vec<(Option<(f64, f64)>, Option<(f64, f64, f64)>)>,
+    pub(crate) predictions: Vec<f64>,
+    pub(crate) next_freshness_us: Vec<Option<u64>>,
+    pub(crate) suspecting: Vec<bool>,
+    pub(crate) highest_seq: Option<u64>,
+    pub(crate) heartbeats: u64,
+    pub(crate) stale_heartbeats: u64,
+}
+
+const MAGIC: &[u8; 4] = b"FDBK";
+const VERSION: u8 = 1;
+
+const TAG_LAST: u8 = 0;
+const TAG_MEAN: u8 = 1;
+const TAG_WINMEAN: u8 = 2;
+const TAG_LPF: u8 = 3;
+const TAG_ARIMA: u8 = 4;
+
+impl BankSnapshot {
+    /// Heartbeats the snapshotted bank had observed (fresh + stale).
+    pub fn heartbeats(&self) -> u64 {
+        self.heartbeats
+    }
+
+    /// Number of combinations the snapshotted bank ran.
+    pub fn combo_count(&self) -> usize {
+        self.n_combos
+    }
+
+    /// Serializes to the compact versioned byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(MAGIC);
+        w.u8(VERSION);
+        w.u64(self.eta_us);
+        w.u64(self.n_combos as u64);
+        w.u64(self.predictors.len() as u64);
+        for p in &self.predictors {
+            match p {
+                PredictorSnapshot::Last { last, n } => {
+                    w.u8(TAG_LAST);
+                    w.f64(*last);
+                    w.u64(*n);
+                }
+                PredictorSnapshot::Mean { mean, n } => {
+                    w.u8(TAG_MEAN);
+                    w.f64(*mean);
+                    w.u64(*n);
+                }
+                PredictorSnapshot::WinMean {
+                    window,
+                    capacity,
+                    sum,
+                    n,
+                } => {
+                    w.u8(TAG_WINMEAN);
+                    w.u64(*capacity as u64);
+                    w.vec_f64(window);
+                    w.f64(*sum);
+                    w.u64(*n);
+                }
+                PredictorSnapshot::Lpf { beta, pred, n } => {
+                    w.u8(TAG_LPF);
+                    w.f64(*beta);
+                    w.f64(*pred);
+                    w.u64(*n);
+                }
+                PredictorSnapshot::Arima(a) => {
+                    w.u8(TAG_ARIMA);
+                    write_arima(&mut w, a);
+                }
+            }
+        }
+        let (n, mean, m2, min, max) = self.ci.0.raw_parts();
+        w.u64(n);
+        w.f64(mean);
+        w.f64(m2);
+        w.f64(min);
+        w.f64(max);
+        w.f64(self.ci.1);
+        w.f64(self.ci.2);
+        for (jac, rto) in &self.error_cores {
+            match jac {
+                Some((alpha, base)) => {
+                    w.u8(1);
+                    w.f64(*alpha);
+                    w.f64(*base);
+                }
+                None => w.u8(0),
+            }
+            match rto {
+                Some((gain, mu, dev)) => {
+                    w.u8(1);
+                    w.f64(*gain);
+                    w.f64(*mu);
+                    w.f64(*dev);
+                }
+                None => w.u8(0),
+            }
+        }
+        w.vec_f64(&self.predictions);
+        for nf in &self.next_freshness_us {
+            w.opt_u64(*nf);
+        }
+        for s in &self.suspecting {
+            w.u8(*s as u8);
+        }
+        w.opt_u64(self.highest_seq);
+        w.u64(self.heartbeats);
+        w.u64(self.stale_heartbeats);
+        w.buf
+    }
+
+    /// Deserializes a snapshot produced by [`BankSnapshot::to_bytes`].
+    ///
+    /// Never panics on malformed input: truncated, corrupted or
+    /// version-skewed bytes yield a [`SnapshotError`].
+    pub fn from_bytes(data: &[u8]) -> Result<BankSnapshot, SnapshotError> {
+        let mut r = Reader::new(data);
+        if r.bytes(4)? != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.u8()?;
+        if version != VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let eta_us = r.u64()?;
+        let n_combos = r.len()?;
+        let n_predictors = r.len()?;
+        let mut predictors = Vec::with_capacity(n_predictors.min(64));
+        for _ in 0..n_predictors {
+            let tag = r.u8()?;
+            predictors.push(match tag {
+                TAG_LAST => PredictorSnapshot::Last {
+                    last: r.f64()?,
+                    n: r.u64()?,
+                },
+                TAG_MEAN => PredictorSnapshot::Mean {
+                    mean: r.f64()?,
+                    n: r.u64()?,
+                },
+                TAG_WINMEAN => PredictorSnapshot::WinMean {
+                    capacity: r.len()?,
+                    window: r.vec_f64()?,
+                    sum: r.f64()?,
+                    n: r.u64()?,
+                },
+                TAG_LPF => PredictorSnapshot::Lpf {
+                    beta: r.f64()?,
+                    pred: r.f64()?,
+                    n: r.u64()?,
+                },
+                TAG_ARIMA => PredictorSnapshot::Arima(read_arima(&mut r)?),
+                t => return Err(SnapshotError::BadTag(t)),
+            });
+        }
+        let ci_stats = {
+            let n = r.u64()?;
+            let mean = r.f64()?;
+            let m2 = r.f64()?;
+            let min = r.f64()?;
+            let max = r.f64()?;
+            RunningStats::from_raw_parts(n, mean, m2, min, max)
+        };
+        let ci = (ci_stats, r.f64()?, r.f64()?);
+        let mut error_cores = Vec::with_capacity(n_predictors.min(64));
+        for _ in 0..n_predictors {
+            let jac = match r.u8()? {
+                0 => None,
+                1 => Some((r.f64()?, r.f64()?)),
+                t => return Err(SnapshotError::BadTag(t)),
+            };
+            let rto = match r.u8()? {
+                0 => None,
+                1 => Some((r.f64()?, r.f64()?, r.f64()?)),
+                t => return Err(SnapshotError::BadTag(t)),
+            };
+            error_cores.push((jac, rto));
+        }
+        let predictions = r.vec_f64()?;
+        let mut next_freshness_us = Vec::with_capacity(n_combos.min(1024));
+        for _ in 0..n_combos {
+            next_freshness_us.push(r.opt_u64()?);
+        }
+        let mut suspecting = Vec::with_capacity(n_combos.min(1024));
+        for _ in 0..n_combos {
+            suspecting.push(match r.u8()? {
+                0 => false,
+                1 => true,
+                t => return Err(SnapshotError::BadTag(t)),
+            });
+        }
+        let highest_seq = r.opt_u64()?;
+        let heartbeats = r.u64()?;
+        let stale_heartbeats = r.u64()?;
+        if r.remaining() > 0 {
+            return Err(SnapshotError::TrailingBytes(r.remaining()));
+        }
+        if predictions.len() != n_predictors {
+            return Err(SnapshotError::Invalid("prediction count"));
+        }
+        Ok(BankSnapshot {
+            eta_us,
+            n_combos,
+            predictors,
+            ci,
+            error_cores,
+            predictions,
+            next_freshness_us,
+            suspecting,
+            highest_seq,
+            heartbeats,
+            stale_heartbeats,
+        })
+    }
+}
+
+fn write_arima(w: &mut Writer, a: &ArimaSnapshot) {
+    w.u64(a.spec.p as u64);
+    w.u64(a.spec.d as u64);
+    w.u64(a.spec.q as u64);
+    w.u64(a.refit_every as u64);
+    w.vec_f64(&a.window);
+    match &a.model {
+        Some((intercept, phi, psi, sigma2)) => {
+            w.u8(1);
+            w.f64(*intercept);
+            w.vec_f64(phi);
+            w.vec_f64(psi);
+            w.f64(*sigma2);
+        }
+        None => w.u8(0),
+    }
+    w.vec_f64(&a.diff_recent);
+    w.vec_f64(&a.recent_z);
+    w.vec_f64(&a.recent_innov);
+    w.opt_f64(a.pending_diff_forecast);
+    w.opt_f64(a.last_level);
+    w.u64(a.observed as u64);
+    w.u64(a.refits as u64);
+    w.u64(a.failed_fits as u64);
+}
+
+fn read_arima(r: &mut Reader<'_>) -> Result<ArimaSnapshot, SnapshotError> {
+    let p = r.len()?;
+    let d = r.len()?;
+    let q = r.len()?;
+    let spec = ArimaSpec::new(p, d, q);
+    let refit_every = r.len()?;
+    let window = r.vec_f64()?;
+    let model = match r.u8()? {
+        0 => None,
+        1 => {
+            let intercept = r.f64()?;
+            let phi = r.vec_f64()?;
+            let psi = r.vec_f64()?;
+            let sigma2 = r.f64()?;
+            Some((intercept, phi, psi, sigma2))
+        }
+        t => return Err(SnapshotError::BadTag(t)),
+    };
+    Ok(ArimaSnapshot {
+        spec,
+        refit_every,
+        window,
+        model,
+        diff_recent: r.vec_f64()?,
+        recent_z: r.vec_f64()?,
+        recent_innov: r.vec_f64()?,
+        pending_diff_forecast: r.opt_f64()?,
+        last_level: r.opt_f64()?,
+        observed: r.len()?,
+        refits: r.len()?,
+        failed_fits: r.len()?,
+    })
+}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn vec_f64(&mut self, v: &[f64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.f64(x);
+        }
+    }
+    fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.u64(x);
+            }
+            None => self.u8(0),
+        }
+    }
+    fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.f64(x);
+            }
+            None => self.u8(0),
+        }
+    }
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated);
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.bytes(1)?[0])
+    }
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    /// A u64 that must fit in usize (lengths, counters).
+    fn len(&mut self) -> Result<usize, SnapshotError> {
+        usize::try_from(self.u64()?).map_err(|_| SnapshotError::Invalid("length overflows usize"))
+    }
+    fn vec_f64(&mut self) -> Result<Vec<f64>, SnapshotError> {
+        let n = self.len()?;
+        // A length claim beyond the bytes actually present is corruption;
+        // reject before allocating.
+        if n > self.remaining() / 8 {
+            return Err(SnapshotError::Truncated);
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+    fn opt_u64(&mut self) -> Result<Option<u64>, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            t => Err(SnapshotError::BadTag(t)),
+        }
+    }
+    fn opt_f64(&mut self) -> Result<Option<f64>, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f64()?)),
+            t => Err(SnapshotError::BadTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bank::DetectorBank;
+    use crate::combinations::all_combinations;
+    use fd_sim::{SimDuration, SimTime};
+
+    fn sample_bank() -> DetectorBank {
+        let eta = SimDuration::from_secs(1);
+        let mut bank = DetectorBank::new(&all_combinations(), eta);
+        for seq in 0..40u64 {
+            let delay = 180 + (seq * 53) % 90;
+            let at = SimTime::ZERO + eta * seq + SimDuration::from_millis(delay);
+            bank.observe_heartbeat(seq, at);
+        }
+        bank
+    }
+
+    #[test]
+    fn byte_round_trip_is_exact() {
+        let snap = sample_bank().snapshot();
+        let bytes = snap.to_bytes();
+        let back = BankSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(snap, back);
+        assert_eq!(back.heartbeats(), 40);
+        assert_eq!(back.combo_count(), 30);
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let bytes = sample_bank().snapshot().to_bytes();
+        for cut in 0..bytes.len() {
+            let err = BankSnapshot::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated | SnapshotError::BadMagic
+                ),
+                "cut={cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected_or_decodes_cleanly() {
+        // Flipping any single byte must never panic; it either errors or
+        // yields some decoded snapshot (corrupted floats decode fine — the
+        // format cannot checksum those without a cost the hot path rejects).
+        let bytes = sample_bank().snapshot().to_bytes();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xA5;
+            let _ = BankSnapshot::from_bytes(&bad);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = sample_bank().snapshot().to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            BankSnapshot::from_bytes(&bytes).unwrap_err(),
+            SnapshotError::TrailingBytes(1)
+        );
+    }
+
+    #[test]
+    fn version_skew_rejected() {
+        let mut bytes = sample_bank().snapshot().to_bytes();
+        bytes[4] = 99;
+        assert_eq!(
+            BankSnapshot::from_bytes(&bytes).unwrap_err(),
+            SnapshotError::UnsupportedVersion(99)
+        );
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(SnapshotError::Truncated.to_string().contains("truncated"));
+        assert!(SnapshotError::Mismatch("eta").to_string().contains("eta"));
+    }
+}

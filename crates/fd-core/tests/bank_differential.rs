@@ -122,6 +122,80 @@ fn run_differential(schedule: &Schedule, check_jitter_ms: u32) -> Result<(), Tes
     Ok(())
 }
 
+/// Drives a bank through `schedule[..split]`, round-trips it through
+/// `snapshot() → to_bytes() → from_bytes() → restore()` into a freshly built
+/// bank, then runs both through the rest of the schedule asserting
+/// bit-identical behaviour at every step — the warm-restart guarantee the
+/// supervisor relies on. Every third delivered heartbeat is re-observed one
+/// cycle later, so the stale/reordering path crosses the snapshot too.
+fn run_snapshot_differential(
+    schedule: &Schedule,
+    split: usize,
+    check_jitter_ms: u32,
+) -> Result<(), TestCaseError> {
+    let eta = SimDuration::from_millis(1_000);
+    let combos = combos_under_test();
+    let mut original = DetectorBank::new(&combos, eta);
+    let split = split.min(schedule.len());
+
+    let mut feed = |bank: &mut DetectorBank, i: usize, cycle: &Option<u32>| {
+        let seq = i as u64;
+        let sigma = SimTime::ZERO + eta * seq;
+        let check_now = sigma + SimDuration::from_millis(u64::from(check_jitter_ms));
+        let mut trace: Vec<(usize, Option<FdTransition>)> = Vec::new();
+        for idx in 0..bank.len() {
+            trace.push((idx, bank.check_one(idx, check_now)));
+        }
+        if let Some(delay_ms) = cycle {
+            let arrival = sigma + SimDuration::from_millis(u64::from(*delay_ms));
+            bank.observe_heartbeat(seq, arrival);
+            // A duplicate of an earlier heartbeat arrives out of order.
+            if seq >= 3 && seq.is_multiple_of(3) {
+                bank.observe_heartbeat(seq - 3, arrival + SimDuration::from_millis(1));
+            }
+        }
+        trace
+    };
+
+    for (i, cycle) in schedule.iter().enumerate().take(split) {
+        feed(&mut original, i, cycle);
+    }
+
+    // The warm-restart round trip, through the full wire format.
+    let bytes = original.snapshot().to_bytes();
+    let snap = fd_core::snapshot::BankSnapshot::from_bytes(&bytes)
+        .expect("snapshot must round-trip through bytes");
+    let mut restored = DetectorBank::new(&combos, eta);
+    restored
+        .restore(&snap)
+        .expect("snapshot must restore into a matching bank");
+
+    for (i, cycle) in schedule.iter().enumerate().skip(split) {
+        let a = feed(&mut original, i, cycle);
+        let b = feed(&mut restored, i, cycle);
+        prop_assert_eq!(a, b, "transition divergence at step {}", i);
+        for idx in 0..original.len() {
+            prop_assert_eq!(
+                original.next_deadline(idx),
+                restored.next_deadline(idx),
+                "deadline divergence: step {}, combo {}",
+                i,
+                idx
+            );
+            prop_assert_eq!(
+                original.is_suspecting(idx),
+                restored.is_suspecting(idx),
+                "suspicion divergence: step {}, combo {}",
+                i,
+                idx
+            );
+        }
+        prop_assert_eq!(original.heartbeats(), restored.heartbeats());
+        prop_assert_eq!(original.stale_heartbeats(), restored.stale_heartbeats());
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -134,6 +208,18 @@ proptest! {
         jitter in 0u32..1_000,
     ) {
         run_differential(&schedule, jitter)?;
+    }
+
+    /// The warm-restart invariant: a bank restored from a byte-serialised
+    /// snapshot continues bit-identically to the bank that never stopped,
+    /// wherever the snapshot is taken in a random lossy/reordered schedule.
+    #[test]
+    fn snapshot_roundtrip_is_bit_identical(
+        schedule in schedule_strategy(),
+        split in 0usize..80,
+        jitter in 0u32..1_000,
+    ) {
+        run_snapshot_differential(&schedule, split, jitter)?;
     }
 }
 

@@ -1,0 +1,111 @@
+//! Runs the 30-detector grid under the chaos fault-schedule matrix and
+//! prints the QoS degradation of each schedule against the quiet baseline.
+//!
+//! ```text
+//! chaos_qos [--smoke] [--runs N] [--cycles N] [--seed N]
+//! ```
+//!
+//! `--smoke` is the CI configuration: one short run per schedule, enough to
+//! prove every fault family injects, nothing panics, and corrupted or
+//! duplicated heartbeats are counted and dropped.
+
+use fd_experiments::chaos_qos::{format_report, run_chaos_qos, schedule_matrix, ChaosRunReport};
+use fd_experiments::ExperimentParams;
+use fd_sim::SimDuration;
+
+fn arg_value(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    let mut params = if smoke {
+        ExperimentParams {
+            num_cycles: 240,
+            runs: 1,
+            mttc: SimDuration::from_secs(60),
+            ttr: SimDuration::from_secs(10),
+            ..ExperimentParams::quick()
+        }
+    } else {
+        ExperimentParams {
+            num_cycles: 2_000,
+            runs: 5,
+            ..ExperimentParams::paper()
+        }
+    };
+    if let Some(r) = arg_value(&args, "--runs") {
+        params.runs = r as usize;
+    }
+    if let Some(c) = arg_value(&args, "--cycles") {
+        params.num_cycles = c;
+    }
+    if let Some(s) = arg_value(&args, "--seed") {
+        params.seed = s;
+    }
+
+    let matrix = schedule_matrix(params.run_duration());
+    eprintln!(
+        "chaos matrix: {} schedules × {} runs × {} cycles (η = {}) …",
+        matrix.len(),
+        params.runs,
+        params.num_cycles,
+        params.eta,
+    );
+
+    let mut reports: Vec<ChaosRunReport> = Vec::new();
+    for schedule in &matrix {
+        eprintln!("  running '{}' …", schedule.name);
+        let report = run_chaos_qos(&params, schedule);
+        let c = &report.counters;
+        eprintln!(
+            "    stalls={} steps={} dup={} decode-fail={} corrupt-drop={} \
+             jitter={} crashes={} failed-restarts={} dropped={}",
+            c.stalls,
+            c.clock_steps,
+            c.duplicates,
+            c.decode_failures,
+            c.corrupt_dropped,
+            c.jitter_delays,
+            c.monitor_crashes,
+            c.failed_restarts,
+            c.dropped_while_down,
+        );
+        reports.push(report);
+    }
+
+    println!("{}", format_report(&reports));
+
+    if smoke {
+        // CI gate: every non-baseline schedule must actually have injected
+        // faults, and every schedule must still detect crashes.
+        let mut ok = true;
+        for r in &reports {
+            let c = &r.counters;
+            let injected = c.stalls
+                + c.clock_steps
+                + c.duplicates
+                + c.decode_failures
+                + c.corrupt_dropped
+                + c.jitter_delays
+                + c.monitor_crashes;
+            if r.schedule_name != "baseline" && injected == 0 {
+                eprintln!("SMOKE FAIL: '{}' injected nothing", r.schedule_name);
+                ok = false;
+            }
+            if r.metrics.iter().all(|m| m.detection_times_ms.is_empty()) {
+                eprintln!("SMOKE FAIL: '{}' detected nothing", r.schedule_name);
+                ok = false;
+            }
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+        eprintln!("smoke OK: all schedules injected and detected");
+    }
+}

@@ -73,7 +73,10 @@ fn main() {
                 params.runs,
                 params.num_cycles,
             );
-            run_qos_experiment_on_trace(&trace, &params)
+            run_qos_experiment_on_trace(&trace, &params).unwrap_or_else(|e| {
+                eprintln!("cannot replay trace '{path}': {e}");
+                std::process::exit(2);
+            })
         }
         None => {
             let profile = WanProfile::italy_japan();

@@ -1,0 +1,564 @@
+//! The chaos QoS experiment: the 30-detector grid under injected faults.
+//!
+//! The paper measures QoS on a well-behaved (if lossy) WAN path. This
+//! experiment asks what the same detectors do when the *infrastructure*
+//! misbehaves: the monitor process freezes or crashes, its clock steps,
+//! heartbeats are duplicated or corrupted on the wire, the sender's rate
+//! jitters. Each named [`ChaosSchedule`] turns exactly one fault family on,
+//! so the QoS degradation relative to the quiet baseline is attributable.
+//!
+//! The monitor stack is `ChaosLayer(SupervisorLayer(MonitorLayer))`: the
+//! chaos wrapper injects stalls and clock steps, the supervisor consumes the
+//! plan's crash events and restarts the monitor warm (from a
+//! [`fd_core::DetectorBank`] snapshot) or cold. The sender carries a
+//! [`ChaosLink`] below its heartbeater for the wire-level faults.
+
+use fd_core::all_combinations;
+use fd_net::WanProfile;
+use fd_runtime::chaos::{
+    CHAOS_EVENT_CLOCK_STEP, CHAOS_EVENT_CORRUPT_DROPPED, CHAOS_EVENT_DECODE_FAILED,
+    CHAOS_EVENT_DUPLICATE, CHAOS_EVENT_RATE_JITTER, CHAOS_EVENT_STALL,
+};
+use fd_runtime::supervisor::{
+    SUPERVISOR_EVENT_CRASH, SUPERVISOR_EVENT_DROPPED, SUPERVISOR_EVENT_RECOVERED_COLD,
+    SUPERVISOR_EVENT_RECOVERED_WARM, SUPERVISOR_EVENT_RESTART_FAILED,
+};
+use fd_runtime::{
+    ChaosLayer, ChaosLink, FaultKind, FaultPlan, Process, ProcessId, RestartMode, SimEngine,
+    SupervisorLayer,
+};
+use fd_sim::{SeedTree, SimDuration, SimTime};
+use fd_stat::{extract_metrics, EventKind, EventLog, QosMetrics};
+
+use crate::config::ExperimentParams;
+use crate::layers::{HeartbeaterLayer, MonitorLayer, SimCrashLayer};
+
+/// One named fault schedule of the chaos matrix.
+#[derive(Debug, Clone)]
+pub struct ChaosSchedule {
+    /// Schedule name, e.g. `"corruption"`.
+    pub name: &'static str,
+    /// Faults applied to the monitor process: stalls, clock steps and
+    /// crashes (the latter consumed by the supervisor).
+    pub monitor_plan: FaultPlan,
+    /// Faults applied to the heartbeat path on the sender: duplication,
+    /// corruption, rate jitter.
+    pub link_plan: FaultPlan,
+    /// How a crashed monitor is brought back.
+    pub restart_mode: RestartMode,
+}
+
+impl ChaosSchedule {
+    /// A schedule with no faults anywhere (the comparison baseline).
+    pub fn baseline() -> Self {
+        ChaosSchedule {
+            name: "baseline",
+            monitor_plan: FaultPlan::new(),
+            link_plan: FaultPlan::new(),
+            restart_mode: RestartMode::Warm,
+        }
+    }
+}
+
+/// The fault-schedule matrix over a run of length `horizon`: a quiet
+/// baseline plus one schedule per fault family. Fault instants are placed at
+/// fixed fractions of the horizon so every run length exercises every fault.
+pub fn schedule_matrix(horizon: SimDuration) -> Vec<ChaosSchedule> {
+    let frac = |num: u64, den: u64| {
+        SimDuration::from_micros(horizon.as_micros() * num / den)
+    };
+
+    let stalls = {
+        let mut plan = FaultPlan::new();
+        for k in 1..=3u64 {
+            plan = plan.with(
+                frac(k, 4),
+                FaultKind::Stall {
+                    duration: SimDuration::from_secs(5),
+                },
+            );
+        }
+        plan
+    };
+
+    let clock_steps = FaultPlan::new()
+        .with(frac(1, 4), FaultKind::ClockStep { delta_us: 150_000 })
+        .with(frac(2, 4), FaultKind::ClockStep { delta_us: -250_000 })
+        .with(frac(3, 4), FaultKind::ClockStep { delta_us: 400_000 });
+
+    let duplication = FaultPlan::new()
+        .with(
+            frac(1, 4),
+            FaultKind::Duplicate {
+                duration: frac(1, 8),
+                copies: 2,
+            },
+        )
+        .with(
+            frac(5, 8),
+            FaultKind::Duplicate {
+                duration: frac(1, 8),
+                copies: 1,
+            },
+        );
+
+    let corruption = FaultPlan::new()
+        .with(
+            frac(1, 4),
+            FaultKind::Corrupt {
+                duration: frac(1, 8),
+                probability: 0.3,
+            },
+        )
+        .with(
+            frac(5, 8),
+            FaultKind::Corrupt {
+                duration: frac(1, 8),
+                probability: 0.3,
+            },
+        );
+
+    let jitter = FaultPlan::new().with(
+        frac(1, 3),
+        FaultKind::RateJitter {
+            duration: frac(1, 4),
+            max_extra: SimDuration::from_millis(400),
+        },
+    );
+
+    let crashes = FaultPlan::new()
+        .with(
+            frac(1, 3),
+            FaultKind::Crash {
+                down_for: SimDuration::from_secs(10),
+            },
+        )
+        .with(
+            frac(2, 3),
+            FaultKind::Crash {
+                down_for: SimDuration::from_secs(10),
+            },
+        );
+
+    vec![
+        ChaosSchedule::baseline(),
+        ChaosSchedule {
+            name: "monitor-stalls",
+            monitor_plan: stalls,
+            link_plan: FaultPlan::new(),
+            restart_mode: RestartMode::Warm,
+        },
+        ChaosSchedule {
+            name: "clock-steps",
+            monitor_plan: clock_steps,
+            link_plan: FaultPlan::new(),
+            restart_mode: RestartMode::Warm,
+        },
+        ChaosSchedule {
+            name: "duplication",
+            monitor_plan: FaultPlan::new(),
+            link_plan: duplication,
+            restart_mode: RestartMode::Warm,
+        },
+        ChaosSchedule {
+            name: "corruption",
+            monitor_plan: FaultPlan::new(),
+            link_plan: corruption,
+            restart_mode: RestartMode::Warm,
+        },
+        ChaosSchedule {
+            name: "rate-jitter",
+            monitor_plan: FaultPlan::new(),
+            link_plan: jitter,
+            restart_mode: RestartMode::Warm,
+        },
+        ChaosSchedule {
+            name: "monitor-crash-warm",
+            monitor_plan: crashes.clone(),
+            link_plan: FaultPlan::new(),
+            restart_mode: RestartMode::Warm,
+        },
+        ChaosSchedule {
+            name: "monitor-crash-cold",
+            monitor_plan: crashes,
+            link_plan: FaultPlan::new(),
+            restart_mode: RestartMode::Cold,
+        },
+    ]
+}
+
+/// Fault-injection telemetry recovered from the event log after a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosCounters {
+    /// Monitor stalls that started.
+    pub stalls: u64,
+    /// Clock steps applied to the monitor.
+    pub clock_steps: u64,
+    /// Extra heartbeat copies delivered.
+    pub duplicates: u64,
+    /// Corrupted heartbeats that failed to decode (counted and dropped).
+    pub decode_failures: u64,
+    /// Corrupted heartbeats that decoded to different content (dropped).
+    pub corrupt_dropped: u64,
+    /// Outgoing heartbeats delayed by rate jitter.
+    pub jitter_delays: u64,
+    /// Monitor crashes injected by the supervisor.
+    pub monitor_crashes: u64,
+    /// Restart attempts that failed (backoff then retried).
+    pub failed_restarts: u64,
+    /// Messages and timers dropped while the monitor was down.
+    pub dropped_while_down: u64,
+    /// Per-recovery crash→recovery times (µs) for warm restarts.
+    pub warm_recoveries_us: Vec<u64>,
+    /// Per-recovery crash→recovery times (µs) for cold restarts.
+    pub cold_recoveries_us: Vec<u64>,
+}
+
+impl ChaosCounters {
+    /// Reads the chaos/supervisor telemetry out of a run's event log.
+    pub fn from_log(log: &EventLog) -> ChaosCounters {
+        let mut c = ChaosCounters::default();
+        let mut last_dropped = 0u64;
+        for e in log {
+            let EventKind::App { code, value } = e.kind else {
+                continue;
+            };
+            match code {
+                CHAOS_EVENT_STALL => c.stalls += 1,
+                CHAOS_EVENT_CLOCK_STEP => c.clock_steps += 1,
+                CHAOS_EVENT_DUPLICATE => c.duplicates += 1,
+                CHAOS_EVENT_DECODE_FAILED => c.decode_failures += 1,
+                CHAOS_EVENT_CORRUPT_DROPPED => c.corrupt_dropped += 1,
+                CHAOS_EVENT_RATE_JITTER => c.jitter_delays += 1,
+                SUPERVISOR_EVENT_CRASH => c.monitor_crashes += 1,
+                SUPERVISOR_EVENT_RESTART_FAILED => c.failed_restarts += 1,
+                SUPERVISOR_EVENT_RECOVERED_WARM => c.warm_recoveries_us.push(value),
+                SUPERVISOR_EVENT_RECOVERED_COLD => c.cold_recoveries_us.push(value),
+                // Emitted cumulatively at each recovery; keep the last.
+                SUPERVISOR_EVENT_DROPPED => last_dropped = value,
+                _ => {}
+            }
+        }
+        c.dropped_while_down = last_dropped;
+        c
+    }
+
+    /// Folds another run's counters into this one.
+    pub fn merge(&mut self, other: &ChaosCounters) {
+        self.stalls += other.stalls;
+        self.clock_steps += other.clock_steps;
+        self.duplicates += other.duplicates;
+        self.decode_failures += other.decode_failures;
+        self.corrupt_dropped += other.corrupt_dropped;
+        self.jitter_delays += other.jitter_delays;
+        self.monitor_crashes += other.monitor_crashes;
+        self.failed_restarts += other.failed_restarts;
+        self.dropped_while_down += other.dropped_while_down;
+        self.warm_recoveries_us
+            .extend_from_slice(&other.warm_recoveries_us);
+        self.cold_recoveries_us
+            .extend_from_slice(&other.cold_recoveries_us);
+    }
+
+    /// Mean recovery time in ms over warm and cold recoveries combined.
+    pub fn mean_recovery_ms(&self) -> Option<f64> {
+        let all: Vec<u64> = self
+            .warm_recoveries_us
+            .iter()
+            .chain(&self.cold_recoveries_us)
+            .copied()
+            .collect();
+        if all.is_empty() {
+            return None;
+        }
+        Some(all.iter().sum::<u64>() as f64 / all.len() as f64 / 1_000.0)
+    }
+}
+
+/// Pooled result of one schedule: per-detector QoS plus fault telemetry.
+#[derive(Debug, Clone)]
+pub struct ChaosRunReport {
+    /// Which schedule produced this.
+    pub schedule_name: String,
+    /// Detector labels, index-aligned with `metrics`.
+    pub labels: Vec<String>,
+    /// Per-detector QoS samples pooled over all runs.
+    pub metrics: Vec<QosMetrics>,
+    /// Fault telemetry summed over all runs.
+    pub counters: ChaosCounters,
+}
+
+impl ChaosRunReport {
+    /// Grid mean of the per-detector mean detection times (ms).
+    pub fn grid_mean_td(&self) -> Option<f64> {
+        grid_mean(self.metrics.iter().map(QosMetrics::mean_td))
+    }
+
+    /// Grid mean of the per-detector query accuracies.
+    pub fn grid_mean_pa(&self) -> Option<f64> {
+        grid_mean(self.metrics.iter().map(QosMetrics::query_accuracy))
+    }
+}
+
+fn grid_mean(values: impl Iterator<Item = Option<f64>>) -> Option<f64> {
+    let xs: Vec<f64> = values.flatten().collect();
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Runs one schedule: `params.runs` independent runs of the 30-detector grid
+/// on the Italy–Japan WAN profile with the schedule's faults injected,
+/// QoS pooled per detector and fault telemetry summed.
+pub fn run_chaos_qos(params: &ExperimentParams, schedule: &ChaosSchedule) -> ChaosRunReport {
+    let combos = all_combinations();
+    let labels: Vec<String> = combos.iter().map(|c| c.label()).collect();
+    let mut pooled = vec![QosMetrics::default(); labels.len()];
+    let mut counters = ChaosCounters::default();
+    let run_end = SimTime::ZERO + params.run_duration();
+
+    for run_idx in 0..params.runs {
+        // Seeds depend on the run index only, NOT the schedule name: every
+        // schedule sees the same WAN weather and crash schedule, so the
+        // degradation against the baseline is attributable to the injected
+        // faults alone (and warm vs cold differ only in restart mode).
+        let seeds = SeedTree::new(params.seed).subtree(&format!("chaos-run-{run_idx}"));
+
+        let monitor = MonitorLayer::banked(&combos, params.eta);
+        let supervised = SupervisorLayer::new(
+            monitor,
+            &schedule.monitor_plan,
+            schedule.restart_mode,
+            seeds.rng("supervisor"),
+        );
+        let chaotic = ChaosLayer::new(supervised, schedule.monitor_plan.clone());
+
+        // The wire-fault injector is split across the two ends of the link:
+        // corruption and duplication act on deliveries (the monitor's
+        // receive path), rate jitter on sends (the heartbeater's transmit
+        // path). Both ends get the same plan; each only reacts to the
+        // windows its traffic direction can see.
+        let mut engine = SimEngine::new();
+        engine.add_process(
+            Process::new(ProcessId(0))
+                .with_layer(ChaosLink::new(
+                    schedule.link_plan.clone(),
+                    seeds.rng("link-chaos-rx"),
+                ))
+                .with_layer(chaotic),
+        );
+        engine.add_process(
+            Process::new(ProcessId(1))
+                .with_layer(SimCrashLayer::new(
+                    params.mttc,
+                    params.ttr,
+                    seeds.rng("crash"),
+                ))
+                .with_layer(ChaosLink::new(
+                    schedule.link_plan.clone(),
+                    seeds.rng("link-chaos-tx"),
+                ))
+                .with_layer(
+                    HeartbeaterLayer::new(ProcessId(0), params.eta)
+                        .with_max_cycles(params.num_cycles),
+                ),
+        );
+        engine.set_link(
+            ProcessId(1),
+            ProcessId(0),
+            WanProfile::italy_japan().link(seeds.rng("wan")),
+        );
+        engine.run_until(run_end);
+
+        let log = engine.into_event_log();
+        counters.merge(&ChaosCounters::from_log(&log));
+        for (idx, pool) in pooled.iter_mut().enumerate() {
+            pool.merge(&extract_metrics(&log, idx as u32, run_end));
+        }
+    }
+
+    ChaosRunReport {
+        schedule_name: schedule.name.to_owned(),
+        labels,
+        metrics: pooled,
+        counters,
+    }
+}
+
+/// Renders the degradation table: one row per schedule, grid-mean `T_D` and
+/// `P_A` with their deltas against the baseline row, injected-fault counts
+/// and (for the crash schedules) mean monitor recovery time.
+pub fn format_report(reports: &[ChaosRunReport]) -> String {
+    use std::fmt::Write as _;
+
+    let baseline_td = reports
+        .iter()
+        .find(|r| r.schedule_name == "baseline")
+        .and_then(ChaosRunReport::grid_mean_td);
+    let baseline_pa = reports
+        .iter()
+        .find(|r| r.schedule_name == "baseline")
+        .and_then(ChaosRunReport::grid_mean_pa);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<20} {:>10} {:>9} {:>9} {:>10} {:>8} {:>12}",
+        "schedule", "T_D (ms)", "ΔT_D", "P_A", "ΔP_A", "faults", "recovery(ms)"
+    );
+    for r in reports {
+        let td = r.grid_mean_td();
+        let pa = r.grid_mean_pa();
+        let dtd = match (td, baseline_td) {
+            (Some(t), Some(b)) => format!("{:+.1}", t - b),
+            _ => "-".to_owned(),
+        };
+        let dpa = match (pa, baseline_pa) {
+            (Some(p), Some(b)) => format!("{:+.4}", p - b),
+            _ => "-".to_owned(),
+        };
+        let c = &r.counters;
+        let faults = c.stalls
+            + c.clock_steps
+            + c.duplicates
+            + c.decode_failures
+            + c.corrupt_dropped
+            + c.jitter_delays
+            + c.monitor_crashes;
+        let recovery = c
+            .mean_recovery_ms()
+            .map_or("-".to_owned(), |ms| format!("{ms:.0}"));
+        let _ = writeln!(
+            out,
+            "{:<20} {:>10} {:>9} {:>9} {:>10} {:>8} {:>12}",
+            r.schedule_name,
+            td.map_or("-".to_owned(), |t| format!("{t:.1}")),
+            dtd,
+            pa.map_or("-".to_owned(), |p| format!("{p:.4}")),
+            dpa,
+            faults,
+            recovery,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_params() -> ExperimentParams {
+        ExperimentParams {
+            num_cycles: 240,
+            runs: 1,
+            mttc: SimDuration::from_secs(60),
+            ttr: SimDuration::from_secs(10),
+            ..ExperimentParams::quick()
+        }
+    }
+
+    #[test]
+    fn matrix_covers_every_fault_family() {
+        let matrix = schedule_matrix(SimDuration::from_secs(240));
+        let names: Vec<&str> = matrix.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            [
+                "baseline",
+                "monitor-stalls",
+                "clock-steps",
+                "duplication",
+                "corruption",
+                "rate-jitter",
+                "monitor-crash-warm",
+                "monitor-crash-cold",
+            ]
+        );
+        let baseline = &matrix[0];
+        assert!(baseline.monitor_plan.is_empty() && baseline.link_plan.is_empty());
+        for s in &matrix[1..] {
+            assert!(
+                !s.monitor_plan.is_empty() || !s.link_plan.is_empty(),
+                "{} injects nothing",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_schedule_counts_and_drops_but_still_detects() {
+        let params = smoke_params();
+        let matrix = schedule_matrix(params.run_duration());
+        let corruption = matrix.iter().find(|s| s.name == "corruption").unwrap();
+        let report = run_chaos_qos(&params, corruption);
+        assert_eq!(report.labels.len(), 30);
+        let c = &report.counters;
+        assert!(
+            c.decode_failures + c.corrupt_dropped > 0,
+            "corruption windows must corrupt something"
+        );
+        // Detection still works for every detector.
+        for (label, m) in report.labels.iter().zip(&report.metrics) {
+            assert!(m.total_crashes > 0, "{label}");
+            assert!(!m.detection_times_ms.is_empty(), "{label}");
+        }
+    }
+
+    #[test]
+    fn crash_schedules_report_recovery_times() {
+        let params = smoke_params();
+        let matrix = schedule_matrix(params.run_duration());
+        let warm = matrix.iter().find(|s| s.name == "monitor-crash-warm").unwrap();
+        let cold = matrix.iter().find(|s| s.name == "monitor-crash-cold").unwrap();
+
+        let warm_report = run_chaos_qos(&params, warm);
+        let cold_report = run_chaos_qos(&params, cold);
+
+        assert_eq!(warm_report.counters.monitor_crashes, 2);
+        assert_eq!(warm_report.counters.warm_recoveries_us.len(), 2);
+        assert!(warm_report.counters.cold_recoveries_us.is_empty());
+
+        assert_eq!(cold_report.counters.monitor_crashes, 2);
+        assert_eq!(cold_report.counters.cold_recoveries_us.len(), 2);
+        assert!(cold_report.counters.warm_recoveries_us.is_empty());
+
+        // 10 s outage, restart succeeds on the first attempt.
+        for &us in warm_report
+            .counters
+            .warm_recoveries_us
+            .iter()
+            .chain(&cold_report.counters.cold_recoveries_us)
+        {
+            assert_eq!(us, 10_000_000);
+        }
+    }
+
+    #[test]
+    fn baseline_matches_the_plain_qos_pipeline() {
+        // With no faults anywhere, the chaos harness must reproduce the
+        // plain two-process experiment event-for-event — the wrappers are
+        // transparent when quiet.
+        let params = smoke_params();
+        let report = run_chaos_qos(&params, &ChaosSchedule::baseline());
+        let c = &report.counters;
+        assert_eq!(*c, ChaosCounters::default());
+        for m in &report.metrics {
+            assert!(m.total_crashes > 0);
+        }
+    }
+
+    #[test]
+    fn report_table_lists_every_schedule() {
+        let params = smoke_params();
+        let matrix = schedule_matrix(params.run_duration());
+        let reports: Vec<ChaosRunReport> = matrix[..2]
+            .iter()
+            .map(|s| run_chaos_qos(&params, s))
+            .collect();
+        let table = format_report(&reports);
+        assert!(table.contains("baseline"));
+        assert!(table.contains("monitor-stalls"));
+        assert!(table.contains("T_D"));
+    }
+}

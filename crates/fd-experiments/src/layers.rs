@@ -1,8 +1,9 @@
 //! The experiment layers of the paper's architecture (its Figure 3).
 
 use fd_core::bank::DetectorBank;
+use fd_core::snapshot::BankSnapshot;
 use fd_core::{Combination, FailureDetector};
-use fd_runtime::{BatchedLayer, Context, Layer, Message, ProcessId, TimerId};
+use fd_runtime::{BatchedLayer, Context, Layer, Message, ProcessId, Recoverable, TimerId};
 use fd_sim::{DetRng, SimDuration, SimTime};
 use fd_stat::EventKind;
 
@@ -503,6 +504,55 @@ impl BatchedLayer for MonitorLayer {
     }
 }
 
+/// Crash-recovery support: a banked monitor checkpoints its
+/// [`DetectorBank`] into the compact `fd-core` snapshot format, so a
+/// [`fd_runtime::SupervisorLayer`] can warm-restart it bit-identically.
+///
+/// Only pure-bank monitors are checkpointable: boxed extras have no
+/// serialised form, so a monitor carrying extras returns `None` from
+/// [`checkpoint`](Recoverable::checkpoint) and the supervisor falls back to
+/// a cold restart. A cold [`reset`](Recoverable::reset) rebuilds the bank
+/// from its own combination registry; extras (if any) are left as they are.
+impl Recoverable for MonitorLayer {
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        if self.bank.is_empty() || !self.extras.is_empty() {
+            return None;
+        }
+        Some(self.bank.snapshot().to_bytes())
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> Result<(), String> {
+        let snap = BankSnapshot::from_bytes(snapshot).map_err(|e| e.to_string())?;
+        self.bank.restore(&snap).map_err(|e| e.to_string())
+    }
+
+    fn reset(&mut self) {
+        let combos = self.bank.combos().to_vec();
+        let eta = self.bank.eta();
+        self.bank = DetectorBank::new(&combos, eta);
+    }
+
+    fn rearm(&mut self, ctx: &mut Context) {
+        let now = ctx.now();
+        for idx in 0..self.bank.len() {
+            if let Some(deadline) = self.bank.next_deadline(idx) {
+                let delay = deadline
+                    .checked_duration_since(now)
+                    .unwrap_or(SimDuration::ZERO);
+                ctx.set_timer(delay, idx as TimerId);
+            }
+        }
+        for (i, fd) in self.extras.iter().enumerate() {
+            if let Some(deadline) = fd.next_deadline() {
+                let delay = deadline
+                    .checked_duration_since(now)
+                    .unwrap_or(SimDuration::ZERO);
+                ctx.set_timer(delay, (self.bank.len() + i) as TimerId);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -790,6 +840,80 @@ mod tests {
     fn detector_accessor_rejects_bank_indices() {
         let layer = MonitorLayer::banked(&fd_core::all_combinations(), SimDuration::from_secs(1));
         let _ = layer.detector(0);
+    }
+
+    /// A supervised banked monitor with a quiet crash plan behaves exactly
+    /// like the bare monitor: the supervisor is a transparent wrapper.
+    #[test]
+    fn quiet_supervisor_is_transparent() {
+        use fd_runtime::{FaultPlan, RestartMode, SupervisorLayer};
+        let eta = SimDuration::from_secs(1);
+        let combos = fd_core::all_combinations();
+        let bare = MonitorLayer::banked(&combos, eta);
+        let supervised = SupervisorLayer::new(
+            MonitorLayer::banked(&combos, eta),
+            &FaultPlan::new(),
+            RestartMode::Warm,
+            DetRng::seed_from(21),
+        );
+        let log_bare = run_to_log(Process::new(ProcessId(0)).with_layer(bare), 200);
+        let log_sup = run_to_log(Process::new(ProcessId(0)).with_layer(supervised), 200);
+        assert_eq!(log_bare, log_sup);
+    }
+
+    /// End-to-end monitor crash-recovery: the monitor process crashes
+    /// mid-run, misses heartbeats while down, warm-restarts from its
+    /// checkpoint and keeps detecting afterwards.
+    #[test]
+    fn supervised_monitor_recovers_warm_and_keeps_detecting() {
+        use fd_runtime::supervisor::{
+            SUPERVISOR_EVENT_CRASH, SUPERVISOR_EVENT_RECOVERED_WARM,
+        };
+        use fd_runtime::{FaultKind, FaultPlan, RestartMode, SupervisorLayer};
+        let eta = SimDuration::from_secs(1);
+        let combos = fd_core::all_combinations();
+        let plan = FaultPlan::new().with(
+            SimDuration::from_secs(60),
+            FaultKind::Crash {
+                down_for: SimDuration::from_secs(10),
+            },
+        );
+        let supervised = SupervisorLayer::new(
+            MonitorLayer::banked(&combos, eta),
+            &plan,
+            RestartMode::Warm,
+            DetRng::seed_from(22),
+        );
+        let log = run_to_log(Process::new(ProcessId(0)).with_layer(supervised), 300);
+
+        let crashes: Vec<u64> = log
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::App { code, value } if code == SUPERVISOR_EVENT_CRASH => Some(value),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(crashes, vec![1]);
+        let recoveries: Vec<u64> = log
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::App { code, value } if code == SUPERVISOR_EVENT_RECOVERED_WARM => {
+                    Some(value)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(recoveries.len(), 1, "exactly one warm recovery");
+        assert_eq!(recoveries[0], 10_000_000, "recovery after the 10 s outage");
+
+        // The monitor kept receiving and detecting after the restart.
+        let received_after = log
+            .iter()
+            .filter(|e| {
+                e.at > SimTime::from_secs(75) && matches!(e.kind, EventKind::Received { .. })
+            })
+            .count();
+        assert!(received_after > 0, "no heartbeats processed after recovery");
     }
 
     #[test]

@@ -19,12 +19,16 @@
 //! * [`config`] — the paper's Table 5 parameters;
 //! * [`accuracy`] — the predictor-accuracy experiment (Tables 2 and 3);
 //! * [`qos`] — the 13-run QoS experiment behind Figures 4–8;
+//! * [`chaos_qos`] — the same grid under injected faults (monitor stalls,
+//!   clock steps, duplication, corruption, rate jitter, monitor crashes with
+//!   warm/cold restart), reporting QoS degradation against the baseline;
 //! * [`report`] — figure/table text rendering.
 //!
 //! Binaries under `src/bin/` regenerate each table and figure; see
 //! `EXPERIMENTS.md` at the repository root for paper-vs-measured results.
 
 pub mod accuracy;
+pub mod chaos_qos;
 pub mod config;
 pub mod configurator;
 pub mod layers;
@@ -34,6 +38,9 @@ pub mod report;
 
 pub use accuracy::{
     arima_selection_experiment, predictor_accuracy_experiment, AccuracyRow, AccuracyTable,
+};
+pub use chaos_qos::{
+    run_chaos_qos, schedule_matrix, ChaosCounters, ChaosRunReport, ChaosSchedule,
 };
 pub use config::{AccuracyParams, ExperimentParams};
 pub use configurator::{configure_nfd, ConfiguredDetector, DetectorConfig, QosRequirements};

@@ -238,27 +238,32 @@ fn run_single_with_link(
 /// The full QoS experiment driven by a recorded delay trace instead of a
 /// synthetic profile: each run replays the trace's delays and losses (crash
 /// schedules still vary across runs).
+///
+/// # Errors
+///
+/// Returns [`fd_net::EmptyTraceError`] if the trace has no delivered entries
+/// to replay.
 pub fn run_qos_experiment_on_trace(
     trace: &fd_net::DelayTrace,
     params: &ExperimentParams,
-) -> ExperimentResults {
+) -> Result<ExperimentResults, fd_net::EmptyTraceError> {
     let (combos, monitor) = build_monitor(params, &WanProfile::italy_japan());
     let labels = monitor.labels();
     let n_detectors = labels.len();
     let mut pooled = vec![QosMetrics::default(); n_detectors];
     for run_idx in 0..params.runs {
-        let (log, run_end, _) = run_qos_single_with_link(params, trace.replay_link(), run_idx);
+        let (log, run_end, _) = run_qos_single_with_link(params, trace.replay_link()?, run_idx);
         for (idx, pool) in pooled.iter_mut().enumerate() {
             pool.merge(&extract_metrics(&log, idx as u32, run_end));
         }
     }
-    ExperimentResults {
+    Ok(ExperimentResults {
         combos,
         labels,
         metrics: pooled,
         params: params.clone(),
         profile: WanProfile::italy_japan(),
-    }
+    })
 }
 
 /// Runs the full experiment: `params.runs` independent runs (in parallel
@@ -406,14 +411,14 @@ mod tests {
             runs: 2,
             ..ExperimentParams::quick()
         };
-        let results = run_qos_experiment_on_trace(&trace, &params);
+        let results = run_qos_experiment_on_trace(&trace, &params).unwrap();
         assert_eq!(results.labels.len(), 30);
         for (label, m) in results.labels.iter().zip(&results.metrics) {
             assert!(m.total_crashes >= 10, "{label}");
             assert!(!m.detection_times_ms.is_empty(), "{label}");
         }
         // Crash schedules differ per run, so pooled counts exceed one run's.
-        let (log, run_end, _) = run_qos_single_with_link(&params, trace.replay_link(), 0);
+        let (log, run_end, _) = run_qos_single_with_link(&params, trace.replay_link().unwrap(), 0);
         let single = extract_metrics(&log, 0, run_end);
         assert!(results.metrics[0].total_crashes > single.total_crashes);
     }

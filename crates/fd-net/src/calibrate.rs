@@ -65,7 +65,7 @@ pub fn calibrate_profile(
 
     // Robust centre and scale.
     let mut sorted = delays.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite delays"));
+    sorted.sort_by(f64::total_cmp);
     let median = sorted[sorted.len() / 2];
     let q1 = sorted[sorted.len() / 4];
     let q3 = sorted[3 * sorted.len() / 4];

@@ -33,5 +33,5 @@ pub use delay::{
 pub use link::{LinkModel, LinkStats, Transmission};
 pub use loss::{BernoulliLoss, GilbertElliottLoss, LossModel, NoLoss};
 pub use profile::WanProfile;
-pub use trace::{DelayTrace, LinkCharacteristics, TraceReplayDelay, TraceReplayLoss};
+pub use trace::{DelayTrace, EmptyTraceError, LinkCharacteristics, TraceReplayDelay, TraceReplayLoss};
 pub use wire::{Heartbeat, WireError};

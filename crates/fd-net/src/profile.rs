@@ -234,7 +234,9 @@ impl WanProfile {
             self.loss_bad,
         )
         .steady_state_loss()
-        .expect("GE loss has closed-form steady state")
+        // GilbertElliottLoss always has a closed-form steady state; 0.0 keeps
+        // this total if that ever changes.
+        .unwrap_or(0.0)
     }
 }
 

@@ -33,6 +33,19 @@ pub struct DelayTrace {
     entries: Vec<TraceEntry>,
 }
 
+/// Error from [`DelayTrace::replay_link`]: the trace has no delivered
+/// entries, so there is no delay stream to replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptyTraceError;
+
+impl fmt::Display for EmptyTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace has no delivered entries to replay")
+    }
+}
+
+impl std::error::Error for EmptyTraceError {}
+
 /// Summary of a link as the paper's Table 4 reports it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LinkCharacteristics {
@@ -190,7 +203,7 @@ impl DelayTrace {
     /// # Errors
     ///
     /// Returns an I/O error for unreadable files, or `InvalidData` for rows
-    /// that do not parse.
+    /// that do not parse or carry a non-finite or negative delay.
     pub fn load_csv(path: impl AsRef<Path>) -> io::Result<DelayTrace> {
         let content = fs::read_to_string(path)?;
         let mut trace = DelayTrace::new();
@@ -223,6 +236,12 @@ impl DelayTrace {
                         format!("bad delay at {lineno}: {e}"),
                     )
                 })?;
+                if !d.is_finite() || d < 0.0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad delay at {lineno}: {d} is not a finite non-negative value"),
+                    ));
+                }
                 trace.push_delivered(seq, d);
             }
         }
@@ -328,15 +347,15 @@ impl DelayTrace {
     /// placeholder (the previous delivered delay), which the loss model
     /// discards in the same step.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the trace has no delivered entries.
-    pub fn replay_link(&self) -> crate::link::LinkModel {
+    /// Returns [`EmptyTraceError`] if the trace has no delivered entries.
+    pub fn replay_link(&self) -> Result<crate::link::LinkModel, EmptyTraceError> {
         let mut last = self
             .entries
             .iter()
             .find_map(|e| e.delay_ms)
-            .expect("trace has no delivered entries");
+            .ok_or(EmptyTraceError)?;
         let full: DelayTrace = self
             .entries
             .iter()
@@ -347,11 +366,11 @@ impl DelayTrace {
                 last
             })
             .collect();
-        crate::link::LinkModel::new(
+        Ok(crate::link::LinkModel::new(
             TraceReplayDelay::new(&full),
             TraceReplayLoss::new(self),
             DetRng::seed_from(0), // replay is deterministic; rng unused
-        )
+        ))
     }
 }
 
@@ -464,7 +483,7 @@ mod tests {
     fn replay_link_reproduces_delays_and_losses_in_order() {
         let profile = WanProfile::italy_japan();
         let original = DelayTrace::record(&profile, 2_000, SimDuration::from_secs(1), 9);
-        let mut link = original.replay_link();
+        let mut link = original.replay_link().unwrap();
         let mut replayed = DelayTrace::new();
         for (i, _) in original.entries().iter().enumerate() {
             match link.transmit(SimTime::from_secs(i as u64)).delay() {
@@ -492,9 +511,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid delay")]
-    fn negative_delay_rejected() {
+    fn load_rejects_negative_and_nonfinite_delays() {
+        let path = std::env::temp_dir().join("fdqos_trace_bad_delays.csv");
+        for bad in ["0,-1.0\n", "0,NaN\n", "0,inf\n", "0,-inf\n"] {
+            std::fs::write(&path, format!("seq,delay_ms\n{bad}")).unwrap();
+            let err = DelayTrace::load_csv(&path).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "input {bad:?}");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn replay_of_undelivered_trace_is_a_typed_error() {
         let mut t = DelayTrace::new();
-        t.push_delivered(0, -1.0);
+        t.push_lost(0);
+        t.push_lost(1);
+        assert_eq!(t.replay_link().unwrap_err(), EmptyTraceError);
+        assert_eq!(DelayTrace::new().replay_link().unwrap_err(), EmptyTraceError);
     }
 }

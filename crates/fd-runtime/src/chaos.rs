@@ -1,0 +1,975 @@
+//! Fault injection across the layer stack.
+//!
+//! The paper measures QoS on a live wide-area network, where the monitor is
+//! exposed to far more than message loss: operating-system scheduling stalls
+//! freeze the monitor and release its timers in a burst, clocks step when
+//! NTP re-synchronises, datagrams are duplicated or corrupted in flight, and
+//! senders jitter their emission rate under load. This module reproduces
+//! those conditions *deterministically*, so that robustness experiments are
+//! replayable:
+//!
+//! * [`FaultPlan`] — a scripted (or seeded-random) schedule of
+//!   [`FaultKind`]s with absolute activation offsets;
+//! * [`ChaosLayer`] — wraps any [`Layer`] and injects **process-level**
+//!   faults: stalls (deliveries and timer fires are held and released in a
+//!   burst, like a GC pause) and clock steps (a cumulative offset applied to
+//!   the wrapped layer's view of `Context::now`);
+//! * [`ChaosLink`] — an in-stack layer injecting **wire-level** faults:
+//!   heartbeat duplication, byte-level corruption (through the real
+//!   [`fd_net::wire`] encoder/decoder, so corruption is detected — or not —
+//!   exactly as it would be on a real UDP socket), and sender-rate jitter.
+//!
+//! Every injected fault is emitted as an [`EventKind::App`] event with one
+//! of the `CHAOS_EVENT_*` codes, so experiments can count injections and
+//! correlate QoS degradation from the event log alone (layers are not
+//! reachable once an engine run completes).
+//!
+//! Scheduled *monitor crashes* ([`FaultKind::Crash`]) are part of the plan
+//! but are not handled here: [`crate::SupervisorLayer`] consumes them via
+//! [`FaultPlan::crash_events`].
+
+use fd_net::wire::Heartbeat;
+use fd_sim::{DetRng, SimDuration, SimTime};
+use fd_stat::EventKind;
+
+use crate::layer::{Action, Context, Layer, TimerId};
+use crate::message::Message;
+
+/// App-event code: a stall began (value = stall duration in µs).
+pub const CHAOS_EVENT_STALL: u32 = 0xC4A0_0001;
+/// App-event code: the clock stepped (value = `delta_us as u64`, two's
+/// complement for negative steps).
+pub const CHAOS_EVENT_CLOCK_STEP: u32 = 0xC4A0_0002;
+/// App-event code: a heartbeat was duplicated (value = its sequence number).
+pub const CHAOS_EVENT_DUPLICATE: u32 = 0xC4A0_0003;
+/// App-event code: a corrupted heartbeat failed to decode and was dropped
+/// (value = the original sequence number).
+pub const CHAOS_EVENT_DECODE_FAILED: u32 = 0xC4A0_0004;
+/// App-event code: a corrupted heartbeat still decoded but no longer matched
+/// what was sent, and was dropped (value = the original sequence number).
+pub const CHAOS_EVENT_CORRUPT_DROPPED: u32 = 0xC4A0_0005;
+/// App-event code: an outgoing heartbeat was delayed by sender-rate jitter
+/// (value = the extra delay in µs).
+pub const CHAOS_EVENT_RATE_JITTER: u32 = 0xC4A0_0006;
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Freeze the wrapped layer for `duration`: deliveries and timer fires
+    /// are held and released in a single burst when the stall ends (a
+    /// GC-pause / scheduler-preemption model).
+    Stall {
+        /// How long the layer stays frozen.
+        duration: SimDuration,
+    },
+    /// Step the wrapped layer's clock by `delta_us` (cumulative across
+    /// steps; the skewed clock saturates at zero).
+    ClockStep {
+        /// Signed step in microseconds.
+        delta_us: i64,
+    },
+    /// For `duration`, deliver `copies` extra copies of every heartbeat.
+    Duplicate {
+        /// Window length.
+        duration: SimDuration,
+        /// Extra copies per heartbeat.
+        copies: u32,
+    },
+    /// For `duration`, corrupt each heartbeat with the given probability:
+    /// the heartbeat is run through the real wire encoder, 1–3 random bits
+    /// are flipped, and the result is decoded again.
+    Corrupt {
+        /// Window length.
+        duration: SimDuration,
+        /// Per-heartbeat corruption probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// For `duration`, delay each outgoing message by a uniform random
+    /// extra amount in `[0, max_extra]`.
+    RateJitter {
+        /// Window length.
+        duration: SimDuration,
+        /// Largest extra delay.
+        max_extra: SimDuration,
+    },
+    /// Crash the supervised layer, keeping it down for `down_for` before
+    /// restart attempts begin. Consumed by [`crate::SupervisorLayer`], not
+    /// by [`ChaosLayer`]/[`ChaosLink`].
+    Crash {
+        /// Outage length before the first restart attempt.
+        down_for: SimDuration,
+    },
+}
+
+/// One scheduled fault: `kind` activates `at` after the run starts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Activation offset from the start of the run.
+    pub at: SimDuration,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults.
+///
+/// Plans are either scripted ([`FaultPlan::new`] + [`FaultPlan::with`]) or
+/// seeded-random ([`FaultPlan::random`]); either way the schedule is fixed
+/// before the run starts, so experiments replay bit-identically.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Creates an empty (quiet) plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one scheduled fault, keeping the schedule sorted by activation
+    /// time (stable: same-instant faults keep insertion order).
+    pub fn with(mut self, at: SimDuration, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at, kind });
+        self.events.sort_by_key(|e| e.at);
+        self
+    }
+
+    /// Generates a random plan: fault activations form a Poisson-like
+    /// process with mean gap `mean_gap` over `[0, horizon]`, each drawing a
+    /// kind uniformly from `menu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `menu` is empty or `mean_gap` is zero.
+    pub fn random(seed: u64, horizon: SimDuration, menu: &[FaultKind], mean_gap: SimDuration) -> Self {
+        assert!(!menu.is_empty(), "fault menu must not be empty");
+        assert!(!mean_gap.is_zero(), "mean fault gap must be positive");
+        let mut rng = DetRng::seed_from(seed);
+        let mut events = Vec::new();
+        let mut t = 0.0_f64;
+        loop {
+            t += rng.exponential(mean_gap.as_secs_f64());
+            if t > horizon.as_secs_f64() {
+                break;
+            }
+            let idx = (rng.uniform(0.0, menu.len() as f64) as usize).min(menu.len() - 1);
+            events.push(FaultEvent {
+                at: SimDuration::from_secs_f64(t),
+                kind: menu[idx].clone(),
+            });
+        }
+        Self { events }
+    }
+
+    /// The scheduled faults, sorted by activation time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// `true` if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scheduled monitor crashes, as `(at, down_for)` pairs — the part
+    /// of the plan consumed by [`crate::SupervisorLayer`].
+    pub fn crash_events(&self) -> Vec<(SimDuration, SimDuration)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::Crash { down_for } => Some((e.at, down_for)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Timer-id namespace claimed by chaos wrappers: ids with the top bit set
+/// belong to the wrapper, everything below passes through to the wrapped
+/// layer untouched.
+const CHAOS_TIMER_NS: u64 = 1 << 63;
+/// The stall-end timer (inside the chaos namespace).
+const CHAOS_STALL_END: u64 = CHAOS_TIMER_NS | (1 << 62);
+/// Largest timer id a wrapped layer may use.
+const CHAOS_CHILD_MAX: u64 = CHAOS_TIMER_NS - 1;
+
+/// A callback withheld from the wrapped layer during a stall.
+#[derive(Debug)]
+enum Held {
+    Deliver(Message),
+    Send(Message),
+    Timer(TimerId),
+}
+
+/// Wraps a [`Layer`] and injects process-level faults from a [`FaultPlan`]:
+/// stalls and clock steps. Wire-level faults in the plan are ignored here
+/// (use [`ChaosLink`]); crashes are ignored too (use
+/// [`crate::SupervisorLayer`]).
+///
+/// The wrapper is transparent when no fault is active: deliveries, sends,
+/// timers and emitted events pass through unchanged. During a stall, every
+/// delivery and timer fire addressed to the wrapped layer — and every send
+/// passing down through the wrapper — is buffered, then replayed in arrival
+/// order when the stall ends, all observing the stall-end clock: exactly the
+/// burst of late timers a real monitor sees after a GC pause.
+pub struct ChaosLayer {
+    child: Box<dyn Layer>,
+    plan: FaultPlan,
+    clock_offset_us: i64,
+    stalled_until: Option<SimTime>,
+    held: Vec<Held>,
+    stalls: u64,
+    clock_steps: u64,
+    released: u64,
+}
+
+impl std::fmt::Debug for ChaosLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosLayer")
+            .field("child", &self.child.name())
+            .field("events", &self.plan.events().len())
+            .field("stalled_until", &self.stalled_until)
+            .field("held", &self.held.len())
+            .finish()
+    }
+}
+
+impl ChaosLayer {
+    /// Wraps `child` under the given plan.
+    pub fn new(child: impl Layer + 'static, plan: FaultPlan) -> Self {
+        Self {
+            child: Box::new(child),
+            plan,
+            clock_offset_us: 0,
+            stalled_until: None,
+            held: Vec::new(),
+            stalls: 0,
+            clock_steps: 0,
+            released: 0,
+        }
+    }
+
+    /// Stalls injected so far.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Clock steps injected so far.
+    pub fn clock_steps(&self) -> u64 {
+        self.clock_steps
+    }
+
+    /// Callbacks released from stall buffers so far.
+    pub fn released(&self) -> u64 {
+        self.released
+    }
+
+    /// `true` while a stall is holding the wrapped layer frozen.
+    pub fn is_stalled(&self) -> bool {
+        self.stalled_until.is_some()
+    }
+
+    /// The wrapped layer, for post-run inspection.
+    pub fn child_mut(&mut self) -> &mut dyn Layer {
+        &mut *self.child
+    }
+
+    /// The wrapped layer's view of the clock: real time plus the cumulative
+    /// step offset, saturating at zero.
+    fn skewed(&self, now: SimTime) -> SimTime {
+        let t = now.as_micros() as i64;
+        SimTime::from_micros(t.saturating_add(self.clock_offset_us).max(0) as u64)
+    }
+
+    /// Runs one child callback and replays its actions into the parent
+    /// context. Timers pass through unchanged (the child must stay below the
+    /// chaos namespace); deliveries continue upward, sends downward.
+    fn with_child(&mut self, ctx: &mut Context, f: impl FnOnce(&mut dyn Layer, &mut Context)) {
+        let mut child_ctx = Context::new(self.skewed(ctx.now()), ctx.process());
+        f(&mut *self.child, &mut child_ctx);
+        for action in child_ctx.take_actions() {
+            match action {
+                Action::Send(m) => ctx.send(m),
+                Action::Deliver(m) => ctx.deliver(m),
+                Action::SetTimer { delay, id } => {
+                    assert!(
+                        id <= CHAOS_CHILD_MAX,
+                        "wrapped layer timer id {id} collides with the chaos namespace"
+                    );
+                    ctx.set_timer(delay, id);
+                }
+                Action::Emit(kind) => ctx.emit(kind),
+            }
+        }
+    }
+
+    /// Replays everything buffered during a stall, in arrival order.
+    fn release_held(&mut self, ctx: &mut Context) {
+        let held = std::mem::take(&mut self.held);
+        self.released += held.len() as u64;
+        for h in held {
+            match h {
+                Held::Deliver(m) => self.with_child(ctx, |c, cx| c.on_deliver(cx, m)),
+                Held::Send(m) => ctx.send(m),
+                Held::Timer(id) => self.with_child(ctx, |c, cx| c.on_timer(cx, id)),
+            }
+        }
+    }
+
+    /// Applies a scheduled fault (wire-level and crash kinds are not ours).
+    fn apply(&mut self, ctx: &mut Context, kind: FaultKind) {
+        match kind {
+            FaultKind::Stall { duration } => {
+                self.stalls += 1;
+                ctx.emit(EventKind::App {
+                    code: CHAOS_EVENT_STALL,
+                    value: duration.as_micros(),
+                });
+                let end = ctx.now().saturating_add(duration);
+                // Overlapping stalls merge into the longest one.
+                if self.stalled_until.is_none_or(|u| end > u) {
+                    self.stalled_until = Some(end);
+                    ctx.set_timer(duration, CHAOS_STALL_END);
+                }
+            }
+            FaultKind::ClockStep { delta_us } => {
+                self.clock_steps += 1;
+                self.clock_offset_us = self.clock_offset_us.saturating_add(delta_us);
+                ctx.emit(EventKind::App {
+                    code: CHAOS_EVENT_CLOCK_STEP,
+                    value: delta_us as u64,
+                });
+            }
+            FaultKind::Duplicate { .. }
+            | FaultKind::Corrupt { .. }
+            | FaultKind::RateJitter { .. }
+            | FaultKind::Crash { .. } => {}
+        }
+    }
+}
+
+impl Layer for ChaosLayer {
+    fn on_start(&mut self, ctx: &mut Context) {
+        self.with_child(ctx, |c, cx| c.on_start(cx));
+        for (k, ev) in self.plan.events().iter().enumerate() {
+            if matches!(
+                ev.kind,
+                FaultKind::Stall { .. } | FaultKind::ClockStep { .. }
+            ) {
+                ctx.set_timer(ev.at, CHAOS_TIMER_NS | k as u64);
+            }
+        }
+    }
+
+    fn on_send(&mut self, ctx: &mut Context, msg: Message) {
+        if self.stalled_until.is_some() {
+            self.held.push(Held::Send(msg));
+        } else {
+            ctx.send(msg);
+        }
+    }
+
+    fn on_deliver(&mut self, ctx: &mut Context, msg: Message) {
+        if self.stalled_until.is_some() {
+            self.held.push(Held::Deliver(msg));
+        } else {
+            self.with_child(ctx, |c, cx| c.on_deliver(cx, msg));
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context, id: TimerId) {
+        if id & CHAOS_TIMER_NS == 0 {
+            // A wrapped-layer timer.
+            if self.stalled_until.is_some() {
+                self.held.push(Held::Timer(id));
+            } else {
+                self.with_child(ctx, |c, cx| c.on_timer(cx, id));
+            }
+            return;
+        }
+        if id == CHAOS_STALL_END {
+            // A stale end timer from a merged shorter stall fires early:
+            // only the end of the *longest* stall releases.
+            if self.stalled_until.is_some_and(|u| ctx.now() >= u) {
+                self.stalled_until = None;
+                self.release_held(ctx);
+            }
+            return;
+        }
+        let idx = (id & !CHAOS_TIMER_NS) as usize;
+        if let Some(ev) = self.plan.events().get(idx) {
+            let kind = ev.kind.clone();
+            self.apply(ctx, kind);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "chaos"
+    }
+}
+
+/// Jitter re-send timers live above the schedule-timer range.
+const LINK_JITTER_BASE: u64 = 1 << 32;
+
+/// In-stack wire-fault injector: heartbeat duplication, byte-level
+/// corruption, and sender-rate jitter, each active inside scheduled windows
+/// of a [`FaultPlan`].
+///
+/// Corruption is physical: the heartbeat is serialised with the real
+/// [`fd_net::wire`] encoder, 1–3 random bits are flipped, and the bytes are
+/// decoded again. A decode failure is counted and the message dropped —
+/// exactly what [`crate::RealEngine`]'s receive path does with a mangled
+/// datagram. A corrupted heartbeat that still decodes (the flips landed in
+/// the sequence/timestamp fields, which no checksum protects) is counted
+/// separately and also dropped, so detectors never observe fabricated
+/// sequence numbers.
+pub struct ChaosLink {
+    plan: FaultPlan,
+    rng: DetRng,
+    dup_until: Option<(SimTime, u32)>,
+    corrupt_until: Option<(SimTime, f64)>,
+    jitter_until: Option<(SimTime, SimDuration)>,
+    pending: Vec<(TimerId, Message)>,
+    next_jitter_timer: u64,
+    duplicated: u64,
+    decode_failed: u64,
+    corrupted_dropped: u64,
+    delayed: u64,
+}
+
+impl std::fmt::Debug for ChaosLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosLink")
+            .field("events", &self.plan.events().len())
+            .field("duplicated", &self.duplicated)
+            .field("decode_failed", &self.decode_failed)
+            .field("corrupted_dropped", &self.corrupted_dropped)
+            .field("delayed", &self.delayed)
+            .finish()
+    }
+}
+
+impl ChaosLink {
+    /// Creates the injector with its own deterministic random stream.
+    pub fn new(plan: FaultPlan, rng: DetRng) -> Self {
+        Self {
+            plan,
+            rng,
+            dup_until: None,
+            corrupt_until: None,
+            jitter_until: None,
+            pending: Vec::new(),
+            next_jitter_timer: 0,
+            duplicated: 0,
+            decode_failed: 0,
+            corrupted_dropped: 0,
+            delayed: 0,
+        }
+    }
+
+    /// Extra heartbeat copies delivered so far.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Corrupted heartbeats that failed to decode (counted and dropped).
+    pub fn decode_failed(&self) -> u64 {
+        self.decode_failed
+    }
+
+    /// Corrupted heartbeats that decoded to different contents (counted and
+    /// dropped).
+    pub fn corrupted_dropped(&self) -> u64 {
+        self.corrupted_dropped
+    }
+
+    /// Outgoing messages delayed by rate jitter so far.
+    pub fn delayed(&self) -> u64 {
+        self.delayed
+    }
+
+    /// Reads a window: active value while `now` is inside it, `None` after
+    /// it lapses.
+    fn window<T: Copy>(slot: &mut Option<(SimTime, T)>, now: SimTime) -> Option<T> {
+        match *slot {
+            Some((until, v)) if now < until => Some(v),
+            Some(_) => {
+                *slot = None;
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Runs `msg` through encode → bit flips → decode. Returns the decoded
+    /// heartbeat if the corruption went undetected, `None` on decode failure.
+    fn corrupt(&mut self, msg: &Message) -> Result<Heartbeat, ()> {
+        let original = Heartbeat::new(msg.from.0, msg.seq, msg.sent_at);
+        let mut bytes = original.encode().to_vec();
+        let flips = 1 + (self.rng.uniform(0.0, 3.0) as usize).min(2);
+        for _ in 0..flips {
+            let pos = (self.rng.uniform(0.0, bytes.len() as f64) as usize).min(bytes.len() - 1);
+            let bit = (self.rng.uniform(0.0, 8.0) as u32).min(7);
+            bytes[pos] ^= 1 << bit;
+        }
+        Heartbeat::decode(&bytes).map_err(|_| ())
+    }
+}
+
+impl Layer for ChaosLink {
+    fn on_start(&mut self, ctx: &mut Context) {
+        for (k, ev) in self.plan.events().iter().enumerate() {
+            if matches!(
+                ev.kind,
+                FaultKind::Duplicate { .. } | FaultKind::Corrupt { .. } | FaultKind::RateJitter { .. }
+            ) {
+                ctx.set_timer(ev.at, k as u64);
+            }
+        }
+    }
+
+    fn on_send(&mut self, ctx: &mut Context, msg: Message) {
+        if let Some(max_extra) = Self::window(&mut self.jitter_until, ctx.now()) {
+            let extra = self.rng.uniform(0.0, max_extra.as_secs_f64());
+            let extra = SimDuration::from_secs_f64(extra);
+            if !extra.is_zero() {
+                self.delayed += 1;
+                ctx.emit(EventKind::App {
+                    code: CHAOS_EVENT_RATE_JITTER,
+                    value: extra.as_micros(),
+                });
+                let id = LINK_JITTER_BASE + self.next_jitter_timer;
+                self.next_jitter_timer += 1;
+                self.pending.push((id, msg));
+                ctx.set_timer(extra, id);
+                return;
+            }
+        }
+        ctx.send(msg);
+    }
+
+    fn on_deliver(&mut self, ctx: &mut Context, msg: Message) {
+        let now = ctx.now();
+        if msg.is_heartbeat() {
+            if let Some(probability) = Self::window(&mut self.corrupt_until, now) {
+                if self.rng.chance(probability) {
+                    match self.corrupt(&msg) {
+                        Err(()) => {
+                            self.decode_failed += 1;
+                            ctx.emit(EventKind::App {
+                                code: CHAOS_EVENT_DECODE_FAILED,
+                                value: msg.seq,
+                            });
+                            return;
+                        }
+                        Ok(decoded) => {
+                            let original = Heartbeat::new(msg.from.0, msg.seq, msg.sent_at);
+                            if decoded != original {
+                                self.corrupted_dropped += 1;
+                                ctx.emit(EventKind::App {
+                                    code: CHAOS_EVENT_CORRUPT_DROPPED,
+                                    value: msg.seq,
+                                });
+                                return;
+                            }
+                            // The flips cancelled out: the wire saw noise,
+                            // the receiver saw a pristine heartbeat.
+                        }
+                    }
+                }
+            }
+            if let Some(copies) = Self::window(&mut self.dup_until, now) {
+                for _ in 0..copies {
+                    self.duplicated += 1;
+                    ctx.emit(EventKind::App {
+                        code: CHAOS_EVENT_DUPLICATE,
+                        value: msg.seq,
+                    });
+                    ctx.deliver(msg.clone());
+                }
+            }
+        }
+        ctx.deliver(msg);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context, id: TimerId) {
+        if id >= LINK_JITTER_BASE {
+            if let Some(pos) = self.pending.iter().position(|(t, _)| *t == id) {
+                let (_, msg) = self.pending.remove(pos);
+                ctx.send(msg);
+            }
+            return;
+        }
+        let Some(ev) = self.plan.events().get(id as usize) else {
+            return;
+        };
+        let now = ctx.now();
+        match ev.kind {
+            FaultKind::Duplicate { duration, copies } => {
+                self.dup_until = Some((now.saturating_add(duration), copies));
+            }
+            FaultKind::Corrupt {
+                duration,
+                probability,
+            } => {
+                self.corrupt_until = Some((now.saturating_add(duration), probability.clamp(0.0, 1.0)));
+            }
+            FaultKind::RateJitter { duration, max_extra } => {
+                self.jitter_until = Some((now.saturating_add(duration), max_extra));
+            }
+            FaultKind::Stall { .. } | FaultKind::ClockStep { .. } | FaultKind::Crash { .. } => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "chaos-link"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_stat::ProcessId;
+
+    fn hb(seq: u64) -> Message {
+        Message::heartbeat(ProcessId(1), ProcessId(0), seq, SimTime::from_secs(seq))
+    }
+
+    /// Records every callback with the clock it observed, into state shared
+    /// with the test (the wrapper owns the layer, so the test keeps a
+    /// handle).
+    #[derive(Default)]
+    struct Tape {
+        deliveries: Vec<(u64, SimTime)>,
+        ticks: Vec<(TimerId, SimTime)>,
+    }
+    #[derive(Clone, Default)]
+    struct Recorder {
+        tape: std::sync::Arc<std::sync::Mutex<Tape>>,
+    }
+    impl Recorder {
+        fn deliveries(&self) -> Vec<(u64, SimTime)> {
+            self.tape.lock().unwrap().deliveries.clone()
+        }
+        fn ticks(&self) -> Vec<(TimerId, SimTime)> {
+            self.tape.lock().unwrap().ticks.clone()
+        }
+    }
+    impl Layer for Recorder {
+        fn on_deliver(&mut self, ctx: &mut Context, msg: Message) {
+            self.tape.lock().unwrap().deliveries.push((msg.seq, ctx.now()));
+            ctx.deliver(msg);
+        }
+        fn on_timer(&mut self, ctx: &mut Context, id: TimerId) {
+            self.tape.lock().unwrap().ticks.push((id, ctx.now()));
+        }
+        fn name(&self) -> &str {
+            "recorder"
+        }
+    }
+
+    fn timer_delays(actions: &[Action]) -> Vec<(SimDuration, TimerId)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::SetTimer { delay, id } => Some((*delay, *id)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plan_is_sorted_and_filters_crashes() {
+        let plan = FaultPlan::new()
+            .with(
+                SimDuration::from_secs(9),
+                FaultKind::ClockStep { delta_us: 5 },
+            )
+            .with(
+                SimDuration::from_secs(2),
+                FaultKind::Crash {
+                    down_for: SimDuration::from_secs(3),
+                },
+            )
+            .with(
+                SimDuration::from_secs(4),
+                FaultKind::Stall {
+                    duration: SimDuration::from_secs(1),
+                },
+            );
+        let ats: Vec<u64> = plan.events().iter().map(|e| e.at.as_micros()).collect();
+        assert!(ats.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(
+            plan.crash_events(),
+            vec![(SimDuration::from_secs(2), SimDuration::from_secs(3))]
+        );
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn random_plan_is_deterministic_and_bounded() {
+        let menu = [
+            FaultKind::Stall {
+                duration: SimDuration::from_millis(500),
+            },
+            FaultKind::ClockStep { delta_us: -2_000 },
+        ];
+        let horizon = SimDuration::from_secs(600);
+        let a = FaultPlan::random(11, horizon, &menu, SimDuration::from_secs(60));
+        let b = FaultPlan::random(11, horizon, &menu, SimDuration::from_secs(60));
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "600 s at a 60 s mean gap should fault");
+        assert!(a.events().iter().all(|e| e.at <= horizon));
+        let c = FaultPlan::random(12, horizon, &menu, SimDuration::from_secs(60));
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn stall_holds_and_releases_in_a_burst() {
+        let plan = FaultPlan::new().with(
+            SimDuration::from_secs(1),
+            FaultKind::Stall {
+                duration: SimDuration::from_secs(2),
+            },
+        );
+        let rec = Recorder::default();
+        let mut chaos = ChaosLayer::new(rec.clone(), plan);
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
+        chaos.on_start(&mut ctx);
+        let timers = timer_delays(&ctx.take_actions());
+        assert_eq!(timers.len(), 1);
+        let (delay, stall_id) = timers[0];
+        assert_eq!(delay, SimDuration::from_secs(1));
+
+        // The stall begins at t = 1 s.
+        let mut ctx = Context::new(SimTime::from_secs(1), ProcessId(0));
+        chaos.on_timer(&mut ctx, stall_id);
+        assert!(chaos.is_stalled());
+        let actions = ctx.take_actions();
+        let ends = timer_delays(&actions);
+        assert_eq!(ends, vec![(SimDuration::from_secs(2), CHAOS_STALL_END)]);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Emit(EventKind::App { code, .. }) if *code == CHAOS_EVENT_STALL)));
+
+        // Frozen: deliveries and child timers are held, sends are held too.
+        let mut ctx = Context::new(SimTime::from_millis(1_500), ProcessId(0));
+        chaos.on_deliver(&mut ctx, hb(7));
+        chaos.on_timer(&mut ctx, 3);
+        chaos.on_send(&mut ctx, hb(8));
+        assert!(ctx.take_actions().is_empty());
+        assert!(rec.deliveries().is_empty());
+
+        // The stall ends at t = 3 s: everything replays at the end clock.
+        let mut ctx = Context::new(SimTime::from_secs(3), ProcessId(0));
+        chaos.on_timer(&mut ctx, CHAOS_STALL_END);
+        assert!(!chaos.is_stalled());
+        assert_eq!(chaos.released(), 3);
+        let actions = ctx.take_actions();
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Send(m) if m.seq == 8)));
+        assert_eq!(rec.deliveries(), vec![(7, SimTime::from_secs(3))]);
+        assert_eq!(rec.ticks(), vec![(3, SimTime::from_secs(3))]);
+        assert_eq!(chaos.stalls(), 1);
+    }
+
+    #[test]
+    fn clock_steps_accumulate_and_saturate() {
+        let plan = FaultPlan::new()
+            .with(
+                SimDuration::from_secs(1),
+                FaultKind::ClockStep {
+                    delta_us: -3_000_000,
+                },
+            )
+            .with(
+                SimDuration::from_secs(2),
+                FaultKind::ClockStep { delta_us: 500_000 },
+            );
+        let rec = Recorder::default();
+        let mut chaos = ChaosLayer::new(rec.clone(), plan);
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
+        chaos.on_start(&mut ctx);
+        let timers = timer_delays(&ctx.take_actions());
+        assert_eq!(timers.len(), 2);
+
+        // Apply the −3 s step; a delivery at t = 2 s observes max(0, −1 s).
+        let mut ctx = Context::new(SimTime::from_secs(1), ProcessId(0));
+        chaos.on_timer(&mut ctx, timers[0].1);
+        let mut ctx = Context::new(SimTime::from_secs(2), ProcessId(0));
+        chaos.on_deliver(&mut ctx, hb(1));
+        assert_eq!(rec.deliveries(), vec![(1, SimTime::ZERO)]);
+
+        // Apply the +0.5 s step; a delivery at t = 4 s observes 1.5 s.
+        let mut ctx = Context::new(SimTime::from_secs(2), ProcessId(0));
+        chaos.on_timer(&mut ctx, timers[1].1);
+        let mut ctx = Context::new(SimTime::from_secs(4), ProcessId(0));
+        chaos.on_deliver(&mut ctx, hb(2));
+        assert_eq!(rec.deliveries()[1], (2, SimTime::from_millis(1_500)));
+        assert_eq!(chaos.clock_steps(), 2);
+    }
+
+    #[test]
+    fn chaos_layer_is_transparent_when_quiet() {
+        let rec = Recorder::default();
+        let mut chaos = ChaosLayer::new(rec.clone(), FaultPlan::new());
+        let mut ctx = Context::new(SimTime::from_secs(5), ProcessId(0));
+        chaos.on_start(&mut ctx);
+        assert!(ctx.take_actions().is_empty());
+        chaos.on_deliver(&mut ctx, hb(1));
+        chaos.on_send(&mut ctx, hb(2));
+        chaos.on_timer(&mut ctx, 9);
+        let actions = ctx.take_actions();
+        // Delivery passes up, send passes down.
+        assert!(actions.iter().any(|a| matches!(a, Action::Deliver(m) if m.seq == 1)));
+        assert!(actions.iter().any(|a| matches!(a, Action::Send(m) if m.seq == 2)));
+        assert_eq!(rec.deliveries(), vec![(1, SimTime::from_secs(5))]);
+        assert_eq!(rec.ticks(), vec![(9, SimTime::from_secs(5))]);
+        assert_eq!(chaos.name(), "chaos");
+        assert_eq!(chaos.child_mut().name(), "recorder");
+    }
+
+    #[test]
+    fn duplicate_window_copies_heartbeats_then_lapses() {
+        let plan = FaultPlan::new().with(
+            SimDuration::from_secs(1),
+            FaultKind::Duplicate {
+                duration: SimDuration::from_secs(2),
+                copies: 2,
+            },
+        );
+        let mut link = ChaosLink::new(plan, DetRng::seed_from(3));
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
+        link.on_start(&mut ctx);
+        let timers = timer_delays(&ctx.take_actions());
+        assert_eq!(timers.len(), 1);
+
+        let mut ctx = Context::new(SimTime::from_secs(1), ProcessId(0));
+        link.on_timer(&mut ctx, timers[0].1);
+        // Inside the window: one original + two copies.
+        let mut ctx = Context::new(SimTime::from_secs(2), ProcessId(0));
+        link.on_deliver(&mut ctx, hb(4));
+        let delivers = ctx
+            .take_actions()
+            .iter()
+            .filter(|a| matches!(a, Action::Deliver(_)))
+            .count();
+        assert_eq!(delivers, 3);
+        assert_eq!(link.duplicated(), 2);
+        // After the window: untouched.
+        let mut ctx = Context::new(SimTime::from_secs(4), ProcessId(0));
+        link.on_deliver(&mut ctx, hb(5));
+        let delivers = ctx
+            .take_actions()
+            .iter()
+            .filter(|a| matches!(a, Action::Deliver(_)))
+            .count();
+        assert_eq!(delivers, 1);
+        assert_eq!(link.duplicated(), 2);
+    }
+
+    #[test]
+    fn corruption_counts_and_drops_without_panicking() {
+        let plan = FaultPlan::new().with(
+            SimDuration::ZERO,
+            FaultKind::Corrupt {
+                duration: SimDuration::from_secs(1_000),
+                probability: 1.0,
+            },
+        );
+        let mut link = ChaosLink::new(plan, DetRng::seed_from(17));
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
+        link.on_start(&mut ctx);
+        let timers = timer_delays(&ctx.take_actions());
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
+        link.on_timer(&mut ctx, timers[0].1);
+
+        let mut delivered = 0u64;
+        for seq in 0..200 {
+            let mut ctx = Context::new(SimTime::from_secs(seq + 1), ProcessId(0));
+            link.on_deliver(&mut ctx, hb(seq));
+            delivered += ctx
+                .take_actions()
+                .iter()
+                .filter(|a| matches!(a, Action::Deliver(_)))
+                .count() as u64;
+        }
+        // Every heartbeat was corrupted, dropped or survived a cancelling
+        // double-flip; the books must balance and most must be dropped.
+        assert_eq!(
+            delivered + link.decode_failed() + link.corrupted_dropped(),
+            200
+        );
+        assert!(link.decode_failed() > 0, "some flips must hit magic/version");
+        assert!(
+            link.corrupted_dropped() > 0,
+            "some flips must hit unprotected fields"
+        );
+        assert!(delivered < 20, "cancelling flips must be rare: {delivered}");
+    }
+
+    #[test]
+    fn rate_jitter_delays_sends_via_timers() {
+        let plan = FaultPlan::new().with(
+            SimDuration::ZERO,
+            FaultKind::RateJitter {
+                duration: SimDuration::from_secs(100),
+                max_extra: SimDuration::from_millis(400),
+            },
+        );
+        let mut link = ChaosLink::new(plan, DetRng::seed_from(9));
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(1));
+        link.on_start(&mut ctx);
+        let timers = timer_delays(&ctx.take_actions());
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(1));
+        link.on_timer(&mut ctx, timers[0].1);
+
+        let mut ctx = Context::new(SimTime::from_secs(1), ProcessId(1));
+        link.on_send(&mut ctx, hb(3));
+        let actions = ctx.take_actions();
+        // The send is withheld and a re-send timer armed instead.
+        assert!(!actions.iter().any(|a| matches!(a, Action::Send(_))));
+        let resend = timer_delays(&actions);
+        assert_eq!(resend.len(), 1);
+        assert!(resend[0].0 <= SimDuration::from_millis(400));
+        assert_eq!(link.delayed(), 1);
+
+        let mut ctx = Context::new(SimTime::from_secs(2), ProcessId(1));
+        link.on_timer(&mut ctx, resend[0].1);
+        let actions = ctx.take_actions();
+        assert!(actions.iter().any(|a| matches!(a, Action::Send(m) if m.seq == 3)));
+        // The same timer firing twice does not resurrect the message.
+        let mut ctx = Context::new(SimTime::from_secs(3), ProcessId(1));
+        link.on_timer(&mut ctx, resend[0].1);
+        assert!(ctx.take_actions().is_empty());
+        assert_eq!(link.name(), "chaos-link");
+    }
+
+    #[test]
+    fn same_seed_same_chaos() {
+        let plan = FaultPlan::new().with(
+            SimDuration::ZERO,
+            FaultKind::Corrupt {
+                duration: SimDuration::from_secs(1_000),
+                probability: 0.5,
+            },
+        );
+        let run = |seed: u64| {
+            let mut link = ChaosLink::new(plan.clone(), DetRng::seed_from(seed));
+            let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
+            link.on_start(&mut ctx);
+            let timers = timer_delays(&ctx.take_actions());
+            let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
+            link.on_timer(&mut ctx, timers[0].1);
+            for seq in 0..100 {
+                let mut ctx = Context::new(SimTime::from_secs(seq + 1), ProcessId(0));
+                link.on_deliver(&mut ctx, hb(seq));
+            }
+            (link.decode_failed(), link.corrupted_dropped())
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

@@ -16,11 +16,16 @@
 //!   UDP datagrams (heartbeat wire format from [`fd_net::wire`]);
 //! * [`clock`] models per-process clock offset/drift and provides the
 //!   NTP-style offset estimator that justifies the paper's synchronised-clock
-//!   assumption.
+//!   assumption;
+//! * [`chaos`] injects deterministic faults (monitor stalls, clock steps,
+//!   duplication, wire corruption, sender-rate jitter) across the stack, and
+//!   [`supervisor`] restarts a crashed [`supervisor::Recoverable`] monitor
+//!   warm (from checkpoint) or cold, with exponential backoff.
 //!
 //! The experiment layers themselves (Heartbeater, SimCrash, MultiPlexer,
 //! Monitor) live in the `fd-experiments` crate.
 
+pub mod chaos;
 pub mod clock;
 pub mod layer;
 pub mod message;
@@ -29,7 +34,9 @@ pub mod ntp;
 pub mod process;
 pub mod real_engine;
 pub mod sim_engine;
+pub mod supervisor;
 
+pub use chaos::{ChaosLayer, ChaosLink, FaultEvent, FaultKind, FaultPlan};
 pub use clock::{estimate_ntp_offset, ClockModel};
 pub use layer::{Action, BatchedLayer, Context, Layer, TimerId};
 pub use message::{Message, MessageKind};
@@ -38,5 +45,6 @@ pub use ntp::{NtpClientLayer, NtpSample, NtpServerLayer};
 pub use process::Process;
 pub use real_engine::{RealEngine, RealEngineConfig};
 pub use sim_engine::SimEngine;
+pub use supervisor::{Recoverable, RestartMode, SupervisorLayer};
 
 pub use fd_stat::ProcessId;

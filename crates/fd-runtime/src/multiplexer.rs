@@ -18,6 +18,10 @@ use crate::message::Message;
 const CHILD_TIMER_BITS: u32 = 48;
 const CHILD_TIMER_MASK: u64 = (1 << CHILD_TIMER_BITS) - 1;
 
+/// App-event code: a multiplexer child panicked and was poisoned (value =
+/// the child's index). Emitted once, at the failing callback.
+pub const MUX_EVENT_CHILD_POISONED: u32 = 0xC4A0_0020;
+
 /// One multiplexer child: either a plain [`Layer`] that receives an owned
 /// clone of each delivery, or a [`BatchedLayer`] that consumes deliveries
 /// by reference (no per-child clone — the path used by banked monitors).
@@ -37,9 +41,16 @@ impl Child {
 
 /// Fans deliveries out to a set of child components so they all observe the
 /// identical message stream.
+///
+/// A child that panics during a callback is **poisoned**: the panic is
+/// caught, the child's partial actions for that callback are discarded, and
+/// the child is skipped from then on. Siblings keep running — one faulty
+/// detector must not take the whole monitor down.
 pub struct MultiplexerLayer {
     children: Vec<Child>,
+    poisoned: Vec<bool>,
     fanned_out: u64,
+    poisoned_count: u64,
 }
 
 impl std::fmt::Debug for MultiplexerLayer {
@@ -47,6 +58,7 @@ impl std::fmt::Debug for MultiplexerLayer {
         f.debug_struct("MultiplexerLayer")
             .field("children", &self.children.len())
             .field("fanned_out", &self.fanned_out)
+            .field("poisoned", &self.poisoned_count)
             .finish()
     }
 }
@@ -56,7 +68,9 @@ impl MultiplexerLayer {
     pub fn new() -> Self {
         Self {
             children: Vec::new(),
+            poisoned: Vec::new(),
             fanned_out: 0,
+            poisoned_count: 0,
         }
     }
 
@@ -71,6 +85,7 @@ impl MultiplexerLayer {
             "too many multiplexer children"
         );
         self.children.push(Child::Fanout(Box::new(child)));
+        self.poisoned.push(false);
         self
     }
 
@@ -89,6 +104,7 @@ impl MultiplexerLayer {
             "too many multiplexer children"
         );
         self.children.push(Child::Batched(Box::new(child)));
+        self.poisoned.push(false);
         self
     }
 
@@ -100,6 +116,16 @@ impl MultiplexerLayer {
     /// Messages fanned out so far (deliveries × children).
     pub fn fanned_out(&self) -> u64 {
         self.fanned_out
+    }
+
+    /// `true` if the child at `idx` panicked and is being skipped.
+    pub fn is_poisoned(&self, idx: usize) -> bool {
+        self.poisoned[idx]
+    }
+
+    /// Number of children poisoned so far.
+    pub fn poisoned_children(&self) -> u64 {
+        self.poisoned_count
     }
 
     /// The diagnostic name of the child at `idx` (fan-out or batched).
@@ -121,6 +147,41 @@ impl MultiplexerLayer {
                 "child {idx} ({}) is batched; use a typed handle for post-run access",
                 l.batched_name()
             ),
+        }
+    }
+
+    /// Runs one callback on the child at `idx` behind a panic guard. On a
+    /// panic the child is poisoned — skipped from then on, its partial
+    /// actions discarded, the event logged — and siblings are unaffected.
+    ///
+    /// `&mut dyn Layer` is not `UnwindSafe` (a caught panic could leave the
+    /// child in a broken state), which is precisely why the child is never
+    /// called again afterwards: `AssertUnwindSafe` is sound here because the
+    /// poisoned flag makes the possibly-inconsistent state unreachable.
+    fn run_child_guarded(
+        &mut self,
+        ctx: &mut Context,
+        idx: usize,
+        f: impl FnOnce(&mut Child, &mut Context),
+    ) {
+        if self.poisoned[idx] {
+            return;
+        }
+        let child = &mut self.children[idx];
+        let mut child_ctx = Context::new(ctx.now(), ctx.process());
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            f(child, &mut child_ctx);
+        }));
+        match outcome {
+            Ok(()) => Self::absorb_child_actions(ctx, idx, child_ctx.take_actions()),
+            Err(_) => {
+                self.poisoned[idx] = true;
+                self.poisoned_count += 1;
+                ctx.emit(fd_stat::EventKind::App {
+                    code: MUX_EVENT_CHILD_POISONED,
+                    value: idx as u64,
+                });
+            }
         }
     }
 
@@ -153,25 +214,24 @@ impl Default for MultiplexerLayer {
 
 impl Layer for MultiplexerLayer {
     fn on_start(&mut self, ctx: &mut Context) {
-        for (idx, child) in self.children.iter_mut().enumerate() {
-            let mut child_ctx = Context::new(ctx.now(), ctx.process());
-            match child {
-                Child::Fanout(l) => l.on_start(&mut child_ctx),
-                Child::Batched(l) => l.on_start_batched(&mut child_ctx),
-            }
-            Self::absorb_child_actions(ctx, idx, child_ctx.take_actions());
+        for idx in 0..self.children.len() {
+            self.run_child_guarded(ctx, idx, |child, child_ctx| match child {
+                Child::Fanout(l) => l.on_start(child_ctx),
+                Child::Batched(l) => l.on_start_batched(child_ctx),
+            });
         }
     }
 
     fn on_deliver(&mut self, ctx: &mut Context, msg: Message) {
-        for (idx, child) in self.children.iter_mut().enumerate() {
-            self.fanned_out += 1;
-            let mut child_ctx = Context::new(ctx.now(), ctx.process());
-            match child {
-                Child::Fanout(l) => l.on_deliver(&mut child_ctx, msg.clone()),
-                Child::Batched(l) => l.on_deliver_ref(&mut child_ctx, &msg),
+        for idx in 0..self.children.len() {
+            if self.poisoned[idx] {
+                continue;
             }
-            Self::absorb_child_actions(ctx, idx, child_ctx.take_actions());
+            self.fanned_out += 1;
+            self.run_child_guarded(ctx, idx, |child, child_ctx| match child {
+                Child::Fanout(l) => l.on_deliver(child_ctx, msg.clone()),
+                Child::Batched(l) => l.on_deliver_ref(child_ctx, &msg),
+            });
         }
     }
 
@@ -180,12 +240,10 @@ impl Layer for MultiplexerLayer {
         if child_idx >= self.children.len() {
             return;
         }
-        let mut child_ctx = Context::new(ctx.now(), ctx.process());
-        match &mut self.children[child_idx] {
-            Child::Fanout(l) => l.on_timer(&mut child_ctx, id & CHILD_TIMER_MASK),
-            Child::Batched(l) => l.on_timer_batched(&mut child_ctx, id & CHILD_TIMER_MASK),
-        }
-        Self::absorb_child_actions(ctx, child_idx, child_ctx.take_actions());
+        self.run_child_guarded(ctx, child_idx, |child, child_ctx| match child {
+            Child::Fanout(l) => l.on_timer(child_ctx, id & CHILD_TIMER_MASK),
+            Child::Batched(l) => l.on_timer_batched(child_ctx, id & CHILD_TIMER_MASK),
+        });
     }
 
     fn name(&self) -> &str {
@@ -369,6 +427,71 @@ mod tests {
             })
             .collect();
         assert_eq!(fired, vec![7]);
+    }
+
+    /// A child that panics on a given sequence number.
+    struct Grenade {
+        fuse: u64,
+    }
+    impl Layer for Grenade {
+        fn on_deliver(&mut self, ctx: &mut Context, msg: Message) {
+            assert!(msg.seq != self.fuse, "boom at seq {}", msg.seq);
+            ctx.emit(EventKind::Received { seq: msg.seq });
+        }
+        fn name(&self) -> &str {
+            "grenade"
+        }
+    }
+
+    #[test]
+    fn panicking_child_is_poisoned_and_siblings_survive() {
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep the test output clean
+        let mut mux = MultiplexerLayer::new()
+            .with_child(Probe::new())
+            .with_child(Grenade { fuse: 1 })
+            .with_child(Probe::new());
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
+        mux.on_deliver(&mut ctx, hb(0));
+        assert_eq!(mux.poisoned_children(), 0);
+
+        // seq 1 detonates child 1; the parent does not panic.
+        mux.on_deliver(&mut ctx, hb(1));
+        std::panic::set_hook(prev_hook);
+        assert_eq!(mux.poisoned_children(), 1);
+        assert!(!mux.is_poisoned(0) && mux.is_poisoned(1) && !mux.is_poisoned(2));
+
+        // Subsequent deliveries skip the poisoned child but feed siblings.
+        mux.on_deliver(&mut ctx, hb(2));
+        let actions = ctx.take_actions();
+        let received: Vec<u64> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Emit(EventKind::Received { seq }) => Some(*seq),
+                _ => None,
+            })
+            .collect();
+        // seq 0: all 3 children; seq 1: probes only (grenade died before
+        // emitting); seq 2: probes only.
+        assert_eq!(received, vec![0, 0, 0, 1, 1, 2, 2]);
+        // The poisoning itself is visible in the event stream.
+        let poisoned: Vec<u64> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Emit(EventKind::App { code, value })
+                    if *code == MUX_EVENT_CHILD_POISONED =>
+                {
+                    Some(*value)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(poisoned, vec![1]);
+
+        // Timers routed to the poisoned child are ignored, siblings' fire.
+        let mut ctx2 = Context::new(SimTime::from_secs(1), ProcessId(0));
+        mux.on_timer(&mut ctx2, (1_u64 << CHILD_TIMER_BITS) | 3);
+        assert!(ctx2.take_actions().is_empty());
     }
 
     #[test]

@@ -64,6 +64,10 @@ pub struct RealRunStats {
     pub decode_errors: u64,
     /// `Data` messages dropped (unsupported on the wire).
     pub undeliverable: u64,
+    /// Socket operations (send, receive, timeout configuration) that failed
+    /// with an I/O error. Counted and survived, never fatal: a lossy or
+    /// flaky socket degrades QoS, it does not abort the experiment.
+    pub socket_errors: u64,
 }
 
 /// Runs layered processes over real UDP sockets.
@@ -109,7 +113,10 @@ impl RealEngine {
     ///
     /// # Errors
     ///
-    /// Returns an I/O error if a socket cannot be bound.
+    /// Returns an I/O error if a socket cannot be bound, or if a process
+    /// thread panicked (its partial results are discarded; the panic itself
+    /// is contained to that thread and surfaced as a typed error rather
+    /// than propagated).
     pub fn run_for(
         self,
         duration: Duration,
@@ -136,21 +143,38 @@ impl RealEngine {
 
         let mut processes = Vec::new();
         let mut stats = Vec::new();
+        let mut lost_threads = 0usize;
         for h in handles {
-            let (p, s) = h.join().expect("process thread panicked");
-            processes.push(p);
-            stats.push(s);
+            match h.join() {
+                Ok((p, s)) => {
+                    processes.push(p);
+                    stats.push(s);
+                }
+                Err(_) => lost_threads += 1,
+            }
         }
         processes.sort_by_key(|p| p.id());
-        let log = Arc::try_unwrap(log)
-            .expect("all threads joined")
-            .into_inner();
+        // A panicked thread dropped its log handle during unwinding, so the
+        // unwrap normally succeeds; take the contents either way.
+        let log = match Arc::try_unwrap(log) {
+            Ok(mutex) => mutex.into_inner(),
+            Err(arc) => std::mem::take(&mut *arc.lock()),
+        };
+        if lost_threads > 0 {
+            return Err(std::io::Error::other(format!(
+                "{lost_threads} process thread(s) panicked during the run"
+            )));
+        }
         Ok((processes, log, stats))
     }
 }
 
 /// Maximum blocking interval so the shutdown flag is observed promptly.
 const POLL_CAP: Duration = Duration::from_millis(20);
+
+/// How many receive errors in a row we tolerate before concluding the socket
+/// is unrecoverable and stopping the process loop.
+const MAX_CONSECUTIVE_RECV_ERRORS: u32 = 100;
 
 #[allow(clippy::too_many_arguments)]
 fn run_process(
@@ -168,6 +192,7 @@ fn run_process(
     // tiny (a handful per process).
     let mut timers: Vec<(SimTime, usize, TimerId)> = Vec::new();
     let mut buf = [0u8; HEARTBEAT_WIRE_SIZE + 64];
+    let mut consecutive_recv_errors = 0u32;
 
     let now_fn = |epoch: Instant| SimTime::from_micros(epoch.elapsed().as_micros() as u64);
 
@@ -219,13 +244,17 @@ fn run_process(
             })
             .unwrap_or(POLL_CAP)
             .clamp(Duration::from_micros(100), POLL_CAP);
-        socket
-            .set_read_timeout(Some(wait))
-            .expect("set_read_timeout");
+        if socket.set_read_timeout(Some(wait)).is_err() {
+            // Degrade to a plain sleep; the next iteration retries the socket.
+            stats.socket_errors += 1;
+            std::thread::sleep(wait);
+            continue;
+        }
 
         match socket.recv_from(&mut buf) {
             Ok((len, _src)) => match Heartbeat::decode(&buf[..len]) {
                 Ok(hb) => {
+                    consecutive_recv_errors = 0;
                     stats.received += 1;
                     let msg = Message::heartbeat(ProcessId(hb.sender), pid, hb.seq, hb.sent_at);
                     let effects = process.deliver_from_network(now_fn(epoch), msg);
@@ -244,8 +273,21 @@ fn run_process(
             },
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut => {}
-            Err(_) => break,
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                consecutive_recv_errors = 0;
+            }
+            Err(_) => {
+                // A transient receive error (e.g. ICMP port-unreachable
+                // surfacing as ECONNREFUSED on some platforms) must not kill
+                // the monitor; only a persistently broken socket ends the loop.
+                stats.socket_errors += 1;
+                consecutive_recv_errors += 1;
+                if consecutive_recv_errors > MAX_CONSECUTIVE_RECV_ERRORS {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
         }
     }
 
@@ -269,8 +311,9 @@ fn apply(
                 MessageKind::Heartbeat => {
                     let hb = Heartbeat::new(msg.from.0, msg.seq, msg.sent_at);
                     if let Some(&addr) = addrs.get(msg.to.0 as usize) {
-                        if socket.send_to(&hb.encode(), addr).is_ok() {
-                            stats.sent += 1;
+                        match socket.send_to(&hb.encode(), addr) {
+                            Ok(_) => stats.sent += 1,
+                            Err(_) => stats.socket_errors += 1,
                         }
                     }
                 }

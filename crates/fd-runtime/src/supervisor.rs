@@ -1,0 +1,606 @@
+//! Monitor crash-recovery: supervised restart of a recoverable layer.
+//!
+//! A monitor on a real wide-area deployment is itself a process that
+//! crashes: the machine reboots, the JVM dies, the operator restarts the
+//! service. The QoS the paper measures silently assumes the monitor lives
+//! forever. This module drops that assumption:
+//!
+//! * [`Recoverable`] — a [`Layer`] whose state can be checkpointed to bytes
+//!   and restored, or rebuilt from scratch;
+//! * [`SupervisorLayer`] — wraps a `Recoverable` child and executes
+//!   scheduled monitor crashes ([`FaultKind::Crash`] entries of a
+//!   [`FaultPlan`]): while down, all traffic and timers addressed to the
+//!   child are dropped (and counted); after the outage, restart attempts
+//!   proceed under exponential backoff until one succeeds, at which point
+//!   the child is either **warm-restarted** from the checkpoint taken at
+//!   the crash instant (modelling continuously persisted detector state) or
+//!   **cold-restarted** from scratch, and re-arms its own timers.
+//!
+//! Recovery telemetry is emitted as [`EventKind::App`] events
+//! (`SUPERVISOR_EVENT_*`), so experiments measure recovery time and message
+//! loss from the event log alone.
+
+use fd_sim::{DetRng, SimDuration, SimTime};
+use fd_stat::EventKind;
+
+use crate::chaos::FaultPlan;
+use crate::layer::{Action, Context, Layer, TimerId};
+use crate::message::Message;
+
+/// App-event code: the supervised layer crashed (value = crash ordinal,
+/// starting at 1).
+pub const SUPERVISOR_EVENT_CRASH: u32 = 0xC4A0_0010;
+/// App-event code: a restart attempt failed (value = the attempt number).
+pub const SUPERVISOR_EVENT_RESTART_FAILED: u32 = 0xC4A0_0011;
+/// App-event code: the layer recovered from checkpoint (value = recovery
+/// time in µs, crash to recovery).
+pub const SUPERVISOR_EVENT_RECOVERED_WARM: u32 = 0xC4A0_0012;
+/// App-event code: the layer recovered from scratch (value = recovery time
+/// in µs, crash to recovery).
+pub const SUPERVISOR_EVENT_RECOVERED_COLD: u32 = 0xC4A0_0013;
+/// App-event code: callbacks dropped during the outage just ended (value =
+/// the count of dropped deliveries + timer fires).
+pub const SUPERVISOR_EVENT_DROPPED: u32 = 0xC4A0_0014;
+
+/// A layer whose state survives a crash of its host.
+///
+/// The contract mirrors `DetectorBank::snapshot`/`restore` in `fd-core`: a
+/// checkpoint taken at time `t` and restored into a matching layer must make
+/// it continue **bit-identically** to one that never crashed, given the same
+/// subsequent inputs.
+pub trait Recoverable: Layer {
+    /// Serialises the recoverable state, or `None` if this instance cannot
+    /// be checkpointed (the supervisor then falls back to a cold restart).
+    fn checkpoint(&self) -> Option<Vec<u8>>;
+
+    /// Restores state from a checkpoint. On error the layer must be left
+    /// usable (the supervisor falls back to [`reset`](Self::reset)).
+    fn restore(&mut self, snapshot: &[u8]) -> Result<(), String>;
+
+    /// Rebuilds the layer from scratch (a cold restart).
+    fn reset(&mut self);
+
+    /// Re-arms timers after a restart (warm or cold). Called once the state
+    /// is in place; the layer schedules whatever timers its current state
+    /// requires.
+    fn rearm(&mut self, _ctx: &mut Context) {}
+}
+
+/// How the supervisor brings the child back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartMode {
+    /// Restore from the checkpoint taken at the crash instant; falls back
+    /// to cold if no checkpoint exists or restoring fails.
+    Warm,
+    /// Rebuild from scratch.
+    Cold,
+}
+
+/// Timer-id namespace claimed by the supervisor (bit 62; bit 63 stays free
+/// for an enclosing [`crate::ChaosLayer`]).
+const SUP_TIMER_NS: u64 = 1 << 62;
+/// The restart-attempt timer.
+const SUP_RESTART: u64 = SUP_TIMER_NS | (1 << 61);
+/// Largest timer id the supervised child may use.
+const SUP_CHILD_MAX: u64 = SUP_TIMER_NS - 1;
+/// Exponential backoff stops doubling after this many failed attempts.
+const MAX_BACKOFF_DOUBLINGS: u32 = 16;
+
+/// Wraps a [`Recoverable`] layer and executes the scheduled crashes of a
+/// [`FaultPlan`], restarting the child with exponential backoff.
+pub struct SupervisorLayer {
+    child: Box<dyn Recoverable>,
+    crashes: Vec<(SimDuration, SimDuration)>,
+    mode: RestartMode,
+    backoff_base: SimDuration,
+    restart_success_prob: f64,
+    forced_failures: u32,
+    rng: DetRng,
+
+    down_since: Option<SimTime>,
+    attempt: u32,
+    checkpoint: Option<Vec<u8>>,
+    dropped_while_down: u64,
+    crashes_injected: u64,
+    restarts: u64,
+}
+
+impl std::fmt::Debug for SupervisorLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SupervisorLayer")
+            .field("child", &self.child.name())
+            .field("mode", &self.mode)
+            .field("down_since", &self.down_since)
+            .field("crashes_injected", &self.crashes_injected)
+            .field("restarts", &self.restarts)
+            .finish()
+    }
+}
+
+impl SupervisorLayer {
+    /// Supervises `child` under the crash schedule of `plan` (its
+    /// [`FaultKind::Crash`](crate::chaos::FaultKind::Crash) entries; all
+    /// other fault kinds are ignored here).
+    pub fn new(child: impl Recoverable + 'static, plan: &FaultPlan, mode: RestartMode, rng: DetRng) -> Self {
+        Self {
+            child: Box::new(child),
+            crashes: plan.crash_events(),
+            mode,
+            backoff_base: SimDuration::from_millis(100),
+            restart_success_prob: 1.0,
+            forced_failures: 0,
+            rng,
+            down_since: None,
+            attempt: 0,
+            checkpoint: None,
+            dropped_while_down: 0,
+            crashes_injected: 0,
+            restarts: 0,
+        }
+    }
+
+    /// Sets the base of the exponential restart backoff (default 100 ms):
+    /// attempt `k` (after the first) waits `base · 2^(k−1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero.
+    pub fn with_backoff(mut self, base: SimDuration) -> Self {
+        assert!(!base.is_zero(), "backoff base must be positive");
+        self.backoff_base = base;
+        self
+    }
+
+    /// Sets the per-attempt restart success probability (default 1.0),
+    /// clamped to `[0, 1]`. Drawn from the supervisor's own seeded stream,
+    /// so runs stay reproducible.
+    pub fn with_restart_success_prob(mut self, p: f64) -> Self {
+        self.restart_success_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Forces the first `n` restart attempts after every crash to fail
+    /// deterministically — the scripted way to exercise backoff.
+    pub fn with_forced_failures(mut self, n: u32) -> Self {
+        self.forced_failures = n;
+        self
+    }
+
+    /// `true` while the child is crashed.
+    pub fn is_down(&self) -> bool {
+        self.down_since.is_some()
+    }
+
+    /// Crashes injected so far.
+    pub fn crashes_injected(&self) -> u64 {
+        self.crashes_injected
+    }
+
+    /// Successful restarts so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Deliveries and timer fires dropped while down, cumulative.
+    pub fn dropped_while_down(&self) -> u64 {
+        self.dropped_while_down
+    }
+
+    /// The supervised layer, for post-run inspection.
+    pub fn child_mut(&mut self) -> &mut dyn Recoverable {
+        &mut *self.child
+    }
+
+    /// Runs one child callback and replays its actions into the parent
+    /// context, validating the timer namespace.
+    fn with_child(&mut self, ctx: &mut Context, f: impl FnOnce(&mut dyn Recoverable, &mut Context)) {
+        let mut child_ctx = Context::new(ctx.now(), ctx.process());
+        f(&mut *self.child, &mut child_ctx);
+        for action in child_ctx.take_actions() {
+            match action {
+                Action::Send(m) => ctx.send(m),
+                Action::Deliver(m) => ctx.deliver(m),
+                Action::SetTimer { delay, id } => {
+                    assert!(
+                        id <= SUP_CHILD_MAX,
+                        "supervised layer timer id {id} collides with the supervisor namespace"
+                    );
+                    ctx.set_timer(delay, id);
+                }
+                Action::Emit(kind) => ctx.emit(kind),
+            }
+        }
+    }
+
+    fn crash(&mut self, ctx: &mut Context, down_for: SimDuration) {
+        self.crashes_injected += 1;
+        ctx.emit(EventKind::App {
+            code: SUPERVISOR_EVENT_CRASH,
+            value: self.crashes_injected,
+        });
+        if self.mode == RestartMode::Warm {
+            // The crash-instant checkpoint models continuously persisted
+            // detector state (a write-ahead snapshot), so a warm restart
+            // resumes exactly where the crash cut the monitor off.
+            self.checkpoint = self.child.checkpoint();
+        }
+        self.down_since = Some(ctx.now());
+        self.attempt = 0;
+        ctx.set_timer(down_for, SUP_RESTART);
+    }
+
+    fn try_restart(&mut self, ctx: &mut Context) {
+        self.attempt += 1;
+        let forced_fail = self.attempt <= self.forced_failures;
+        if forced_fail || !self.rng.chance(self.restart_success_prob) {
+            ctx.emit(EventKind::App {
+                code: SUPERVISOR_EVENT_RESTART_FAILED,
+                value: u64::from(self.attempt),
+            });
+            let doublings = (self.attempt - 1).min(MAX_BACKOFF_DOUBLINGS);
+            let backoff = self
+                .backoff_base
+                .as_micros()
+                .saturating_mul(1_u64 << doublings);
+            ctx.set_timer(SimDuration::from_micros(backoff), SUP_RESTART);
+            return;
+        }
+
+        let warm = self.mode == RestartMode::Warm
+            && self
+                .checkpoint
+                .take()
+                .is_some_and(|cp| self.child.restore(&cp).is_ok());
+        if !warm {
+            self.child.reset();
+        }
+        self.with_child(ctx, |c, cx| c.rearm(cx));
+
+        let down_since = self.down_since.take().unwrap_or(ctx.now());
+        let recovery = ctx.now().duration_since(down_since);
+        ctx.emit(EventKind::App {
+            code: if warm {
+                SUPERVISOR_EVENT_RECOVERED_WARM
+            } else {
+                SUPERVISOR_EVENT_RECOVERED_COLD
+            },
+            value: recovery.as_micros(),
+        });
+        ctx.emit(EventKind::App {
+            code: SUPERVISOR_EVENT_DROPPED,
+            value: self.dropped_while_down,
+        });
+        self.restarts += 1;
+    }
+}
+
+impl Layer for SupervisorLayer {
+    fn on_start(&mut self, ctx: &mut Context) {
+        self.with_child(ctx, |c, cx| c.on_start(cx));
+        for (k, (at, _)) in self.crashes.iter().enumerate() {
+            ctx.set_timer(*at, SUP_TIMER_NS | k as u64);
+        }
+    }
+
+    fn on_send(&mut self, ctx: &mut Context, msg: Message) {
+        if self.down_since.is_some() {
+            self.dropped_while_down += 1;
+        } else {
+            ctx.send(msg);
+        }
+    }
+
+    fn on_deliver(&mut self, ctx: &mut Context, msg: Message) {
+        if self.down_since.is_some() {
+            self.dropped_while_down += 1;
+        } else {
+            self.with_child(ctx, |c, cx| c.on_deliver(cx, msg));
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context, id: TimerId) {
+        if id & SUP_TIMER_NS == 0 {
+            if self.down_since.is_some() {
+                // The crashed child's timers fire into the void.
+                self.dropped_while_down += 1;
+            } else {
+                self.with_child(ctx, |c, cx| c.on_timer(cx, id));
+            }
+            return;
+        }
+        if id == SUP_RESTART {
+            if self.down_since.is_some() {
+                self.try_restart(ctx);
+            }
+            return;
+        }
+        let idx = (id & !SUP_TIMER_NS) as usize;
+        if let Some(&(_, down_for)) = self.crashes.get(idx) {
+            // A crash landing while already down merges into the outage.
+            if self.down_since.is_none() {
+                self.crash(ctx, down_for);
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "supervisor"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::FaultKind;
+    use fd_stat::ProcessId;
+
+    /// A trivially recoverable layer: counts deliveries, checkpoints the
+    /// count, and arms one timer on rearm.
+    struct Cell {
+        value: u64,
+        rearmed: u32,
+    }
+    impl Cell {
+        fn new() -> Self {
+            Self {
+                value: 0,
+                rearmed: 0,
+            }
+        }
+    }
+    impl Layer for Cell {
+        fn on_deliver(&mut self, ctx: &mut Context, msg: Message) {
+            self.value += 1;
+            ctx.deliver(msg);
+        }
+        fn name(&self) -> &str {
+            "cell"
+        }
+    }
+    impl Recoverable for Cell {
+        fn checkpoint(&self) -> Option<Vec<u8>> {
+            Some(self.value.to_le_bytes().to_vec())
+        }
+        fn restore(&mut self, snapshot: &[u8]) -> Result<(), String> {
+            let bytes: [u8; 8] = snapshot.try_into().map_err(|_| "bad length".to_owned())?;
+            self.value = u64::from_le_bytes(bytes);
+            Ok(())
+        }
+        fn reset(&mut self) {
+            self.value = 0;
+        }
+        fn rearm(&mut self, ctx: &mut Context) {
+            self.rearmed += 1;
+            ctx.set_timer(SimDuration::from_secs(1), 7);
+        }
+    }
+
+    /// A cell that cannot checkpoint (forces cold fallback).
+    struct Amnesiac(Cell);
+    impl Layer for Amnesiac {
+        fn on_deliver(&mut self, ctx: &mut Context, msg: Message) {
+            self.0.on_deliver(ctx, msg);
+        }
+        fn name(&self) -> &str {
+            "amnesiac"
+        }
+    }
+    impl Recoverable for Amnesiac {
+        fn checkpoint(&self) -> Option<Vec<u8>> {
+            None
+        }
+        fn restore(&mut self, _snapshot: &[u8]) -> Result<(), String> {
+            Err("unreachable".to_owned())
+        }
+        fn reset(&mut self) {
+            self.0.reset();
+        }
+    }
+
+    fn hb(seq: u64) -> Message {
+        Message::heartbeat(ProcessId(1), ProcessId(0), seq, SimTime::from_secs(seq))
+    }
+
+    fn crash_plan(at_s: u64, down_s: u64) -> FaultPlan {
+        FaultPlan::new().with(
+            SimDuration::from_secs(at_s),
+            FaultKind::Crash {
+                down_for: SimDuration::from_secs(down_s),
+            },
+        )
+    }
+
+    fn timers(actions: &[Action]) -> Vec<(SimDuration, TimerId)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::SetTimer { delay, id } => Some((*delay, *id)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn app_events(actions: &[Action]) -> Vec<(u32, u64)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Emit(EventKind::App { code, value }) => Some((*code, *value)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Drives one crash/outage/restart cycle and returns the recovery
+    /// events.
+    fn run_cycle(mode: RestartMode) -> (SupervisorLayer, Vec<(u32, u64)>) {
+        let mut sup = SupervisorLayer::new(Cell::new(), &crash_plan(10, 5), mode, DetRng::seed_from(1));
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
+        sup.on_start(&mut ctx);
+        let start_timers = timers(&ctx.take_actions());
+        assert_eq!(start_timers.len(), 1, "one crash scheduled");
+
+        // Three heartbeats reach the child before the crash.
+        for seq in 0..3 {
+            let mut ctx = Context::new(SimTime::from_secs(seq + 1), ProcessId(0));
+            sup.on_deliver(&mut ctx, hb(seq));
+        }
+
+        // Crash at t = 10 s.
+        let mut ctx = Context::new(SimTime::from_secs(10), ProcessId(0));
+        sup.on_timer(&mut ctx, start_timers[0].1);
+        assert!(sup.is_down());
+        let actions = ctx.take_actions();
+        assert_eq!(app_events(&actions), vec![(SUPERVISOR_EVENT_CRASH, 1)]);
+        let restart = timers(&actions);
+        assert_eq!(restart, vec![(SimDuration::from_secs(5), SUP_RESTART)]);
+
+        // Down: deliveries, sends and child timers are dropped.
+        let mut ctx = Context::new(SimTime::from_secs(12), ProcessId(0));
+        sup.on_deliver(&mut ctx, hb(3));
+        sup.on_send(&mut ctx, hb(4));
+        sup.on_timer(&mut ctx, 7);
+        assert!(ctx.take_actions().is_empty());
+        assert_eq!(sup.dropped_while_down(), 3);
+
+        // Restart at t = 15 s succeeds on the first attempt.
+        let mut ctx = Context::new(SimTime::from_secs(15), ProcessId(0));
+        sup.on_timer(&mut ctx, SUP_RESTART);
+        assert!(!sup.is_down());
+        let actions = ctx.take_actions();
+        // rearm armed the child's deadline timer (id passes unchanged).
+        assert_eq!(timers(&actions), vec![(SimDuration::from_secs(1), 7)]);
+        (sup, app_events(&actions))
+    }
+
+    #[test]
+    fn warm_restart_restores_the_checkpoint() {
+        let (mut sup, events) = run_cycle(RestartMode::Warm);
+        assert_eq!(
+            events,
+            vec![
+                (SUPERVISOR_EVENT_RECOVERED_WARM, 5_000_000),
+                (SUPERVISOR_EVENT_DROPPED, 3),
+            ]
+        );
+        assert_eq!(sup.restarts(), 1);
+        assert_eq!(sup.crashes_injected(), 1);
+        // The checkpointed delivery count survived the crash.
+        let mut ctx = Context::new(SimTime::from_secs(16), ProcessId(0));
+        sup.on_deliver(&mut ctx, hb(5));
+        assert_eq!(sup.child_mut().checkpoint().unwrap(), 4u64.to_le_bytes());
+        assert_eq!(sup.name(), "supervisor");
+    }
+
+    #[test]
+    fn cold_restart_rebuilds_from_scratch() {
+        let (mut sup, events) = run_cycle(RestartMode::Cold);
+        assert_eq!(
+            events,
+            vec![
+                (SUPERVISOR_EVENT_RECOVERED_COLD, 5_000_000),
+                (SUPERVISOR_EVENT_DROPPED, 3),
+            ]
+        );
+        // The delivery count was reset.
+        let mut ctx = Context::new(SimTime::from_secs(16), ProcessId(0));
+        sup.on_deliver(&mut ctx, hb(5));
+        assert_eq!(sup.child_mut().checkpoint().unwrap(), 1u64.to_le_bytes());
+    }
+
+    #[test]
+    fn warm_falls_back_to_cold_without_a_checkpoint() {
+        let mut sup = SupervisorLayer::new(
+            Amnesiac(Cell::new()),
+            &crash_plan(1, 2),
+            RestartMode::Warm,
+            DetRng::seed_from(2),
+        );
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
+        sup.on_start(&mut ctx);
+        let start_timers = timers(&ctx.take_actions());
+        let mut ctx = Context::new(SimTime::from_secs(1), ProcessId(0));
+        sup.on_timer(&mut ctx, start_timers[0].1);
+        let mut ctx = Context::new(SimTime::from_secs(3), ProcessId(0));
+        sup.on_timer(&mut ctx, SUP_RESTART);
+        let events = app_events(&ctx.take_actions());
+        assert_eq!(events[0].0, SUPERVISOR_EVENT_RECOVERED_COLD);
+    }
+
+    #[test]
+    fn failed_attempts_back_off_exponentially() {
+        let mut sup = SupervisorLayer::new(Cell::new(), &crash_plan(1, 4), RestartMode::Warm, DetRng::seed_from(3))
+            .with_backoff(SimDuration::from_millis(100))
+            .with_forced_failures(3);
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
+        sup.on_start(&mut ctx);
+        let start_timers = timers(&ctx.take_actions());
+        let mut ctx = Context::new(SimTime::from_secs(1), ProcessId(0));
+        sup.on_timer(&mut ctx, start_timers[0].1);
+        ctx.take_actions();
+
+        // Attempts 1–3 fail with doubling backoff: 100, 200, 400 ms.
+        let mut now = SimTime::from_secs(5);
+        let mut backoffs = Vec::new();
+        for attempt in 1..=3u64 {
+            let mut ctx = Context::new(now, ProcessId(0));
+            sup.on_timer(&mut ctx, SUP_RESTART);
+            let actions = ctx.take_actions();
+            assert_eq!(
+                app_events(&actions),
+                vec![(SUPERVISOR_EVENT_RESTART_FAILED, attempt)]
+            );
+            let t = timers(&actions);
+            assert_eq!(t.len(), 1);
+            backoffs.push(t[0].0);
+            now = now.saturating_add(t[0].0);
+        }
+        assert_eq!(
+            backoffs,
+            vec![
+                SimDuration::from_millis(100),
+                SimDuration::from_millis(200),
+                SimDuration::from_millis(400),
+            ]
+        );
+
+        // Attempt 4 succeeds; recovery time includes the backoff ladder.
+        let mut ctx = Context::new(now, ProcessId(0));
+        sup.on_timer(&mut ctx, SUP_RESTART);
+        let events = app_events(&ctx.take_actions());
+        assert_eq!(events[0].0, SUPERVISOR_EVENT_RECOVERED_WARM);
+        assert_eq!(events[0].1, 4_700_000, "4 s outage + 700 ms of backoff");
+        assert!(!sup.is_down());
+    }
+
+    #[test]
+    fn zero_success_probability_never_recovers() {
+        let mut sup = SupervisorLayer::new(Cell::new(), &crash_plan(1, 1), RestartMode::Cold, DetRng::seed_from(4))
+            .with_restart_success_prob(0.0);
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
+        sup.on_start(&mut ctx);
+        let start_timers = timers(&ctx.take_actions());
+        let mut ctx = Context::new(SimTime::from_secs(1), ProcessId(0));
+        sup.on_timer(&mut ctx, start_timers[0].1);
+        for k in 0..10 {
+            let mut ctx = Context::new(SimTime::from_secs(2 + k), ProcessId(0));
+            sup.on_timer(&mut ctx, SUP_RESTART);
+        }
+        assert!(sup.is_down());
+        assert_eq!(sup.restarts(), 0);
+    }
+
+    #[test]
+    fn transparent_while_up() {
+        let mut sup = SupervisorLayer::new(Cell::new(), &FaultPlan::new(), RestartMode::Warm, DetRng::seed_from(5));
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
+        sup.on_start(&mut ctx);
+        assert!(ctx.take_actions().is_empty());
+        sup.on_deliver(&mut ctx, hb(0));
+        sup.on_send(&mut ctx, hb(1));
+        let actions = ctx.take_actions();
+        assert!(actions.iter().any(|a| matches!(a, Action::Deliver(m) if m.seq == 0)));
+        assert!(actions.iter().any(|a| matches!(a, Action::Send(m) if m.seq == 1)));
+        assert!(!sup.is_down());
+        assert_eq!(sup.dropped_while_down(), 0);
+    }
+}

@@ -97,6 +97,28 @@ impl RunningStats {
         self.max
     }
 
+    /// The raw accumulator state `(n, mean, m2, min, max)`.
+    ///
+    /// Together with [`RunningStats::from_raw_parts`] this supports
+    /// bit-exact checkpoint/restore of a live accumulator: a restored
+    /// accumulator continues the observation stream exactly as the
+    /// original would have.
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.n, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from state captured by
+    /// [`RunningStats::raw_parts`].
+    pub fn from_raw_parts(n: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        Self {
+            n,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Merges another accumulator into this one (parallel Welford).
     pub fn merge(&mut self, other: &RunningStats) {
         if other.n == 0 {

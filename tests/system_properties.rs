@@ -1,5 +1,13 @@
 //! Property-based tests across the whole stack: random workloads through the
 //! full simulation must preserve the failure-detector invariants.
+//!
+//! `system_properties.proptest-regressions` (next to this file) holds the
+//! shrunk counterexamples proptest found in the past. Upstream proptest
+//! replays it automatically, but the replay depends on proptest's own RNG —
+//! under a different proptest implementation (or after a strategy change)
+//! the saved seed no longer reproduces the historical case. Each entry is
+//! therefore *also* pinned below as an explicit deterministic test
+//! (see [`pinned_regression_low_floor_heavy_loss`]), which runs everywhere.
 
 use fdqos::core::combinations::Combination;
 use fdqos::core::{MarginKind, PredictorKind};
@@ -51,6 +59,36 @@ fn run_system(
     let end = SimTime::from_secs(horizon_s);
     engine.run_until(end);
     (engine.into_event_log(), end, n)
+}
+
+/// The saved regression from `system_properties.proptest-regressions`,
+/// pinned verbatim: `seed = 799, mttc_s = 30, ttr_s = 5,
+/// loss = 0.07982319648074791, floor = 1.0`. A 1 ms delay floor with ~8%
+/// loss once produced a detection-time sample that broke the
+/// `T_D ≤ TTR + 1.5·MTTC + slack` bound. Kept as a plain test so the case
+/// runs on every `cargo test`, independent of proptest's replay machinery.
+#[test]
+fn pinned_regression_low_floor_heavy_loss() {
+    let (seed, mttc_s, ttr_s, loss, floor) = (799, 30, 5, 0.07982319648074791, 1.0);
+    let (log, end, n) = run_system(seed, mttc_s, ttr_s, loss, floor, 400);
+    for d in 0..n as u32 {
+        let m = extract_metrics(&log, d, end);
+        assert!(m.undetected_crashes <= m.total_crashes);
+        assert_eq!(
+            m.detection_times_ms.len() + m.undetected_crashes,
+            m.total_crashes
+        );
+        for &td in &m.detection_times_ms {
+            assert!(td >= 0.0 && td.is_finite());
+            assert!(
+                td <= (ttr_s as f64 + mttc_s as f64 * 1.5 + 2.0) * 1_000.0,
+                "detector {d}: T_D = {td} ms"
+            );
+        }
+        if let Some(pa) = m.query_accuracy() {
+            assert!((0.0..=1.0).contains(&pa));
+        }
+    }
 }
 
 proptest! {
