@@ -1,0 +1,95 @@
+//! Scaling micro-costs: the hierarchical timer wheel against the binary
+//! heap at small and large pending-set sizes, and the `SourceBank`'s
+//! batched observation path against looping independent `DetectorBank`s.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fd_core::{DetectorBank, HeartbeatObs, SourceBank};
+use fd_sim::{EventQueue, SimDuration, SimTime, TimerWheel};
+
+/// A near-periodic deadline workload with `pending` timers in flight: each
+/// pop reschedules one period ahead with a small deterministic stagger —
+/// the steady state of a many-source monitor.
+fn churn_wheel(pending: u64, rounds: u64) -> u64 {
+    let mut w = TimerWheel::new();
+    let period = SimDuration::from_secs(1);
+    for i in 0..pending {
+        w.push(SimTime::ZERO + SimDuration::from_micros(i * 997 % 1_000_000), i);
+    }
+    let mut acc = 0;
+    for _ in 0..rounds {
+        let (at, src) = w.pop().expect("wheel never drains");
+        acc ^= at.as_micros().wrapping_add(src);
+        w.push(at + period, src);
+    }
+    acc
+}
+
+fn churn_heap(pending: u64, rounds: u64) -> u64 {
+    let mut q = EventQueue::new();
+    let period = SimDuration::from_secs(1);
+    for i in 0..pending {
+        q.push(SimTime::ZERO + SimDuration::from_micros(i * 997 % 1_000_000), i);
+    }
+    let mut acc = 0;
+    for _ in 0..rounds {
+        let (at, src) = q.pop().expect("queue never drains");
+        acc ^= at.as_micros().wrapping_add(src);
+        q.push(at + period, src);
+    }
+    acc
+}
+
+fn bench_timer_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timer_backends");
+    for pending in [1_000u64, 100_000] {
+        let rounds = 4 * pending;
+        group.bench_function(format!("wheel_churn_{pending}_pending"), |b| {
+            b.iter(|| black_box(churn_wheel(pending, rounds)));
+        });
+        group.bench_function(format!("heap_churn_{pending}_pending"), |b| {
+            b.iter(|| black_box(churn_heap(pending, rounds)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_source_bank_batch(c: &mut Criterion) {
+    const SOURCES: usize = 256;
+    let eta = SimDuration::from_secs(1);
+    let arrival = |seq: u64| SimTime::ZERO + eta * seq + SimDuration::from_millis(200);
+
+    let mut group = c.benchmark_group("source_bank");
+    group.sample_size(10);
+    group.bench_function("observe_all_256_sources_cycle", |b| {
+        let mut bank = SourceBank::paper_grid(eta, SOURCES);
+        let mut batch = Vec::with_capacity(SOURCES);
+        let mut seq = 0u64;
+        b.iter(|| {
+            batch.clear();
+            for s in 0..SOURCES {
+                batch.push(HeartbeatObs {
+                    source: s as u32,
+                    seq,
+                    arrival: arrival(seq),
+                });
+            }
+            black_box(bank.observe_all(&batch));
+            seq += 1;
+        });
+    });
+    group.bench_function("looped_detector_banks_256_cycle", |b| {
+        let mut banks: Vec<DetectorBank> =
+            (0..SOURCES).map(|_| DetectorBank::paper_grid(eta)).collect();
+        let mut seq = 0u64;
+        b.iter(|| {
+            for bank in &mut banks {
+                black_box(bank.observe_heartbeat(seq, arrival(seq)));
+            }
+            seq += 1;
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_timer_backends, bench_source_bank_batch);
+criterion_main!(benches);

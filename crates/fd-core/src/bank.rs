@@ -130,10 +130,12 @@ pub struct BankTransition {
 
 /// Per-distinct-predictor shared margin state: the error-stream-driven
 /// cores, allocated only when some combination actually reads them.
+/// (Shared with [`crate::source_bank::SourceBank`], which replicates this
+/// layout per source.)
 #[derive(Debug, Clone, Default)]
-struct ErrorCores {
-    jac: Option<JacCore>,
-    rto: Option<RtoCore>,
+pub(crate) struct ErrorCores {
+    pub(crate) jac: Option<JacCore>,
+    pub(crate) rto: Option<RtoCore>,
 }
 
 /// The shared-computation, enum-dispatch engine running many

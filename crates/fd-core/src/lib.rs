@@ -19,6 +19,9 @@
 //! * [`bank`] — the shared-computation [`DetectorBank`]: all 30
 //!   combinations behind one batched engine, each distinct predictor
 //!   updated once per heartbeat and the margin cores shared;
+//! * [`source_bank`] — the many-source [`SourceBank`]: N sources × M
+//!   combinations in struct-of-arrays layout with contiguous per-combo
+//!   deadline arrays and a batch heartbeat path;
 //! * [`combinations`] — the registry of the paper's 30 predictor × margin
 //!   combinations;
 //! * [`nfd`] — the Chen–Toueg–Aguilera NFD-E baseline the paper extends.
@@ -50,9 +53,11 @@ pub mod nfd;
 pub mod predictor;
 pub mod pull;
 pub mod snapshot;
+pub mod source_bank;
 
 pub use bank::{BankTransition, DetectorBank, PredictorState};
 pub use snapshot::{BankSnapshot, SnapshotError};
+pub use source_bank::{HeartbeatObs, SourceBank, SourceTransition};
 pub use combinations::{all_combinations, Combination, MarginKind, PredictorKind};
 pub use detector::{FailureDetector, FdOutput, FdTransition};
 pub use margin::{

@@ -1,0 +1,870 @@
+//! The many-source detector engine: N heartbeat sources × M combinations
+//! behind one struct-of-arrays state machine.
+//!
+//! [`DetectorBank`](crate::bank::DetectorBank) made the 30-combination step
+//! cheap for **one** source. A large-scale monitor watches millions of
+//! sources, and allocating a `DetectorBank` per source brings back exactly
+//! the overheads the bank removed — scattered allocations, per-object
+//! bookkeeping, and a virtual boundary per source in the hot loop.
+//!
+//! [`SourceBank`] is the same shared-computation engine with the source
+//! dimension folded into the arrays:
+//!
+//! * predictor and margin-core state is laid out **source-major**
+//!   (`state[source * P + p]`), so one heartbeat touches one contiguous
+//!   stripe of `P` distinct predictors;
+//! * deadlines are laid out **combo-major** — one contiguous `u64` array
+//!   per combination (`deadlines[combo * N + source]`, `u64::MAX` = none) —
+//!   so a full freshness sweep ([`check_all_at`](SourceBank::check_all_at))
+//!   is M linear array scans, not N×M virtual calls;
+//! * each source carries an amortized **freshest-deadline cache**
+//!   (`min_deadline[source]` = a lower bound on its earliest pending
+//!   non-suspecting deadline), so the per-source check
+//!   ([`check_source_at`](SourceBank::check_source_at)) is O(1) until a
+//!   deadline can actually have expired;
+//! * [`observe_all`](SourceBank::observe_all) consumes a whole batch of
+//!   heartbeats in one call, so a cycle over 1M sources is a linear sweep
+//!   over the batch rather than 1M independent call trees.
+//!
+//! The per-heartbeat arithmetic is **bit-identical** to `DetectorBank`
+//! (which is itself bit-identical to the boxed single-detector path): the
+//! operations happen in the same order on the same values. The only
+//! intentional deviation is bookkeeping, not math — the bank re-calls
+//! `predict()` to compute each error while the source bank reuses the
+//! cached post-observation forecast, which is the same pure value.
+
+use fd_sim::{SimDuration, SimTime};
+
+use crate::bank::{ErrorCores, PredictorState};
+use crate::combinations::{Combination, MarginKind, PredictorKind};
+use crate::detector::FdTransition;
+use crate::margin::{CiCore, JacCore, RtoCore};
+
+/// `highest_seq` sentinel for "no fresh heartbeat seen yet". Sequence
+/// numbers can never reach it: `eta * u64::MAX` overflows virtual time
+/// (and panics) long before.
+const SEQ_NONE: u64 = u64::MAX;
+
+/// `deadlines` sentinel for "no freshness point armed".
+const NO_DEADLINE: u64 = u64::MAX;
+
+/// Heartbeats per block in the batched observe path. Sized so the block
+/// scratch (`OBS_BLOCK × M` deadlines ≈ 15 KiB for the paper grid) stays
+/// L1-resident while each combination's deadline row is written in runs
+/// of up to `OBS_BLOCK` nearby slots instead of one isolated slot per
+/// heartbeat.
+const OBS_BLOCK: usize = 64;
+
+/// One heartbeat arrival, addressed to a source, for the batch API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatObs {
+    /// The monitored source the heartbeat came from.
+    pub source: u32,
+    /// The heartbeat sequence number.
+    pub seq: u64,
+    /// Arrival time at the monitor.
+    pub arrival: SimTime,
+}
+
+/// A suspect/trust edge of one (source, combination) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceTransition {
+    /// The monitored source.
+    pub source: u32,
+    /// Index of the combination (position in the slice the bank was built
+    /// from).
+    pub combo: u32,
+    /// The edge.
+    pub transition: FdTransition,
+}
+
+/// The N-source × M-combination struct-of-arrays detector engine.
+///
+/// ```
+/// use fd_core::source_bank::{HeartbeatObs, SourceBank};
+/// use fd_sim::{SimDuration, SimTime};
+///
+/// let eta = SimDuration::from_secs(1);
+/// let mut bank = SourceBank::paper_grid(eta, 100);
+/// assert_eq!(bank.sources(), 100);
+/// assert_eq!(bank.len(), 30);
+///
+/// // One batch delivers heartbeat m_0 from every source.
+/// let batch: Vec<HeartbeatObs> = (0..100)
+///     .map(|s| HeartbeatObs {
+///         source: s,
+///         seq: 0,
+///         arrival: SimTime::from_millis(200),
+///     })
+///     .collect();
+/// assert_eq!(bank.observe_all(&batch), 100);
+///
+/// // Nothing arrives for a long time: every pair starts suspecting.
+/// let fired = bank.check_all_at(SimTime::from_secs(60)).len();
+/// assert_eq!(fired, 100 * 30);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SourceBank {
+    eta: SimDuration,
+    combos: Vec<Combination>,
+    /// `pred_of_combo[i]` = distinct-predictor index for combination `i`.
+    pred_of_combo: Vec<usize>,
+    n_sources: usize,
+    /// Number of distinct predictors per source (5 for the paper grid).
+    n_pred: usize,
+    /// Words per combination in the `suspecting` bitmap.
+    words: usize,
+    /// Source-major: `predictors[source * n_pred + p]`.
+    predictors: Vec<PredictorState>,
+    /// Source-major: the φ/k-independent error cores per distinct
+    /// predictor.
+    error_cores: Vec<ErrorCores>,
+    /// One shared Welford core per source (serves every `SM_CI(γ)`).
+    ci: Vec<CiCore>,
+    /// Source-major: cached post-observation forecast,
+    /// `predictions[source * n_pred + p]`. Initialized to the fresh
+    /// predictor's forecast so the first error term matches the bank.
+    predictions: Vec<f64>,
+    /// Combo-major: `deadlines[combo * n_sources + source]`, microseconds,
+    /// [`NO_DEADLINE`] when unarmed. One contiguous array per combination.
+    deadlines: Vec<u64>,
+    /// Combo-major bitmap: bit `source` of combination `combo` lives at
+    /// word `combo * words + source / 64`.
+    suspecting: Vec<u64>,
+    /// Per source: highest fresh sequence seen ([`SEQ_NONE`] = none).
+    highest_seq: Vec<u64>,
+    /// Per source: lower bound on the earliest pending deadline among
+    /// non-suspecting combinations (the amortized freshest-deadline
+    /// cache). `u64::MAX` when nothing is pending.
+    min_deadline: Vec<u64>,
+    heartbeats: u64,
+    stale_heartbeats: u64,
+    transitions: Vec<SourceTransition>,
+    /// Block scratch for [`observe_all`](Self::observe_all): deadline per
+    /// (block slot, combo), `blk_dl[i * M + idx]`.
+    blk_dl: Vec<u64>,
+    /// Block scratch: whether block slot `i` carried a fresh heartbeat.
+    blk_fresh: Vec<bool>,
+    /// Block scratch: `EndSuspect` edges as (block slot, combo) pairs.
+    blk_edges: Vec<(u32, u32)>,
+}
+
+impl SourceBank {
+    /// Builds a bank over `n_sources` sources, each running the given
+    /// combinations with heartbeat period `eta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta` is zero or `n_sources` exceeds `u32` range.
+    pub fn new(combos: &[Combination], eta: SimDuration, n_sources: usize) -> Self {
+        assert!(!eta.is_zero(), "heartbeat period must be positive");
+        assert!(
+            u32::try_from(n_sources).is_ok(),
+            "source count must fit in u32"
+        );
+        // Dedup distinct predictors exactly like DetectorBank::new, so
+        // combination indices map to the same shared state.
+        let mut kinds: Vec<PredictorKind> = Vec::new();
+        let mut pred_of_combo = Vec::with_capacity(combos.len());
+        for combo in combos {
+            let p_idx = match kinds.iter().position(|k| *k == combo.predictor) {
+                Some(i) => i,
+                None => {
+                    kinds.push(combo.predictor);
+                    kinds.len() - 1
+                }
+            };
+            pred_of_combo.push(p_idx);
+        }
+        let n_pred = kinds.len();
+        let mut core_template = vec![ErrorCores::default(); n_pred];
+        for (combo, &p_idx) in combos.iter().zip(&pred_of_combo) {
+            match combo.margin {
+                MarginKind::Ci { .. } => {}
+                MarginKind::Jac { .. } => {
+                    core_template[p_idx]
+                        .jac
+                        .get_or_insert_with(|| JacCore::new(0.25));
+                }
+                MarginKind::Rto { .. } => {
+                    core_template[p_idx].rto.get_or_insert_with(RtoCore::new);
+                }
+            }
+        }
+        // One freshly built predictor per kind seeds both the replicated
+        // state and the initial forecast cache (a fresh predictor's
+        // forecast is kind-dependent but source-independent).
+        let predictor_template: Vec<PredictorState> = kinds
+            .iter()
+            .map(|&k| PredictorState::from_kind(k))
+            .collect();
+        let prediction_template: Vec<f64> =
+            predictor_template.iter().map(|p| p.predict()).collect();
+
+        let mut predictors = Vec::with_capacity(n_sources * n_pred);
+        let mut error_cores = Vec::with_capacity(n_sources * n_pred);
+        let mut predictions = Vec::with_capacity(n_sources * n_pred);
+        for _ in 0..n_sources {
+            predictors.extend(predictor_template.iter().cloned());
+            error_cores.extend(core_template.iter().cloned());
+            predictions.extend_from_slice(&prediction_template);
+        }
+        let words = n_sources.div_ceil(64);
+        Self {
+            eta,
+            pred_of_combo,
+            n_sources,
+            n_pred,
+            words,
+            predictors,
+            error_cores,
+            ci: vec![CiCore::new(); n_sources],
+            predictions,
+            deadlines: vec![NO_DEADLINE; combos.len() * n_sources],
+            suspecting: vec![0u64; combos.len() * words],
+            highest_seq: vec![SEQ_NONE; n_sources],
+            min_deadline: vec![u64::MAX; n_sources],
+            heartbeats: 0,
+            stale_heartbeats: 0,
+            transitions: Vec::new(),
+            blk_dl: vec![0; OBS_BLOCK * combos.len()],
+            blk_fresh: vec![false; OBS_BLOCK],
+            blk_edges: Vec::new(),
+            combos: combos.to_vec(),
+        }
+    }
+
+    /// Builds the bank over the paper's full 30-combination grid.
+    pub fn paper_grid(eta: SimDuration, n_sources: usize) -> Self {
+        Self::new(&crate::combinations::all_combinations(), eta, n_sources)
+    }
+
+    /// Number of combinations per source.
+    pub fn len(&self) -> usize {
+        self.combos.len()
+    }
+
+    /// `true` if the bank has no combinations.
+    pub fn is_empty(&self) -> bool {
+        self.combos.is_empty()
+    }
+
+    /// Number of monitored sources.
+    pub fn sources(&self) -> usize {
+        self.n_sources
+    }
+
+    /// The heartbeat period η (shared by all sources).
+    pub fn eta(&self) -> SimDuration {
+        self.eta
+    }
+
+    /// The combinations, in index order.
+    pub fn combos(&self) -> &[Combination] {
+        &self.combos
+    }
+
+    /// Number of distinct predictor state machines per source.
+    pub fn distinct_predictor_count(&self) -> usize {
+        self.n_pred
+    }
+
+    /// Heartbeats observed so far (fresh + stale), across all sources.
+    pub fn heartbeats(&self) -> u64 {
+        self.heartbeats
+    }
+
+    /// Heartbeats that arrived out of order (did not advance freshness).
+    pub fn stale_heartbeats(&self) -> u64 {
+        self.stale_heartbeats
+    }
+
+    /// The next freshness point `τ_{k+1}` of `(source, combo)`.
+    pub fn next_deadline(&self, source: u32, combo: usize) -> Option<SimTime> {
+        let us = self.deadlines[combo * self.n_sources + source as usize];
+        (us != NO_DEADLINE).then(|| SimTime::from_micros(us))
+    }
+
+    /// `true` while combination `combo` suspects `source`.
+    pub fn is_suspecting(&self, source: u32, combo: usize) -> bool {
+        let s = source as usize;
+        self.suspecting[combo * self.words + s / 64] & (1u64 << (s % 64)) != 0
+    }
+
+    /// The earliest pending deadline of `source` over its non-suspecting
+    /// combinations — the instant its next check can possibly fire
+    /// (`None` when nothing is pending).
+    pub fn next_wakeup(&self, source: u32) -> Option<SimTime> {
+        let us = self.min_deadline[source as usize];
+        (us != u64::MAX).then(|| SimTime::from_micros(us))
+    }
+
+    /// The current forecast feeding `(source, combo)`, in milliseconds.
+    pub fn predicted_delay_ms(&self, source: u32, combo: usize) -> f64 {
+        self.predictions[source as usize * self.n_pred + self.pred_of_combo[combo]]
+    }
+
+    /// The current safety margin of `(source, combo)`, in milliseconds.
+    pub fn margin_ms(&self, source: u32, combo: usize) -> f64 {
+        let s = source as usize;
+        let p_idx = self.pred_of_combo[combo];
+        match self.combos[combo].margin {
+            MarginKind::Ci { gamma } => self.ci[s].margin(gamma),
+            MarginKind::Jac { phi } => self.error_cores[s * self.n_pred + p_idx]
+                .jac
+                .expect("JacCore allocated for Jac combo")
+                .margin(phi),
+            MarginKind::Rto { k } => self.error_cores[s * self.n_pred + p_idx]
+                .rto
+                .expect("RtoCore allocated for Rto combo")
+                .margin(k),
+        }
+    }
+
+    /// The current time-out component `δ = pred + sm` of `(source, combo)`.
+    pub fn current_timeout_ms(&self, source: u32, combo: usize) -> f64 {
+        self.predicted_delay_ms(source, combo) + self.margin_ms(source, combo)
+    }
+
+    /// The transitions produced by the most recent observe/check call.
+    ///
+    /// Ordered by `(source slot in the call, combination index)`: a batch
+    /// yields transitions in batch order, [`check_all_at`] in ascending
+    /// `(source, combo)` order.
+    ///
+    /// [`check_all_at`]: Self::check_all_at
+    pub fn transitions(&self) -> &[SourceTransition] {
+        &self.transitions
+    }
+
+    /// Handles one heartbeat from `source`, exactly like
+    /// [`DetectorBank::observe_heartbeat`] on that source's private bank.
+    ///
+    /// Returns `true` if the heartbeat was fresh. `EndSuspect` edges land
+    /// in [`transitions`](Self::transitions).
+    ///
+    /// [`DetectorBank::observe_heartbeat`]:
+    ///     crate::bank::DetectorBank::observe_heartbeat
+    pub fn observe_heartbeat(&mut self, source: u32, seq: u64, arrival: SimTime) -> bool {
+        self.transitions.clear();
+        self.observe_inner(source, seq, arrival)
+    }
+
+    /// Consumes a whole batch of heartbeats in arrival order — the
+    /// linear-sweep cycle path. Returns the number of fresh heartbeats.
+    ///
+    /// Equivalent to calling [`observe_heartbeat`] per element, except
+    /// that [`transitions`](Self::transitions) accumulates the edges of
+    /// the whole batch (in batch order).
+    ///
+    /// [`observe_heartbeat`]: Self::observe_heartbeat
+    pub fn observe_all(&mut self, batch: &[HeartbeatObs]) -> usize {
+        self.transitions.clear();
+        let mut fresh = 0usize;
+        for block in batch.chunks(OBS_BLOCK) {
+            fresh += self.observe_block(block);
+        }
+        fresh
+    }
+
+    /// One cache-blocked slice of the batch. Phase A walks the block
+    /// source-major — predictor stripes, margin cores and the resulting
+    /// deadlines, captured into the L1-resident block scratch. Phase B
+    /// walks it combo-major, so each combination's contiguous deadline
+    /// row and suspicion words are written in one run per block instead
+    /// of one strided slot per heartbeat. The per-pair arithmetic is the
+    /// same operations in the same order as [`observe_inner`], so the
+    /// resulting state is bit-identical to the per-heartbeat path.
+    fn observe_block(&mut self, block: &[HeartbeatObs]) -> usize {
+        let m = self.combos.len();
+        let mut fresh_count = 0usize;
+        for (i, obs) in block.iter().enumerate() {
+            let s = obs.source as usize;
+            assert!(s < self.n_sources, "source {} out of range", obs.source);
+            self.heartbeats += 1;
+
+            let sigma = SimTime::ZERO + self.eta * obs.seq;
+            let delay_ms = obs
+                .arrival
+                .checked_duration_since(sigma)
+                .map_or(0.0, |d| d.as_millis_f64());
+
+            let base = s * self.n_pred;
+            for p in 0..self.n_pred {
+                let err = delay_ms - self.predictions[base + p];
+                let predictor = &mut self.predictors[base + p];
+                predictor.observe(delay_ms);
+                let cores = &mut self.error_cores[base + p];
+                if let Some(jac) = cores.jac.as_mut() {
+                    jac.update(err);
+                }
+                if let Some(rto) = cores.rto.as_mut() {
+                    rto.update(err);
+                }
+                self.predictions[base + p] = predictor.predict();
+            }
+            self.ci[s].update(delay_ms);
+
+            let fresh = self.highest_seq[s] == SEQ_NONE || obs.seq > self.highest_seq[s];
+            self.blk_fresh[i] = fresh;
+            if !fresh {
+                self.stale_heartbeats += 1;
+                continue;
+            }
+            fresh_count += 1;
+            self.highest_seq[s] = obs.seq;
+
+            let sigma_next = SimTime::ZERO + self.eta * (obs.seq + 1);
+            let mut min_dl = u64::MAX;
+            for idx in 0..m {
+                let p_idx = self.pred_of_combo[idx];
+                let margin = match self.combos[idx].margin {
+                    MarginKind::Ci { gamma } => self.ci[s].margin(gamma),
+                    MarginKind::Jac { phi } => self.error_cores[base + p_idx]
+                        .jac
+                        .expect("JacCore allocated for Jac combo")
+                        .margin(phi),
+                    MarginKind::Rto { k } => self.error_cores[base + p_idx]
+                        .rto
+                        .expect("RtoCore allocated for Rto combo")
+                        .margin(k),
+                };
+                let timeout_ms = self.predictions[base + p_idx] + margin;
+                let delta = SimDuration::from_millis_f64(timeout_ms.max(0.0));
+                let dl = (sigma_next + delta).as_micros();
+                self.blk_dl[i * m + idx] = dl;
+                min_dl = min_dl.min(dl);
+            }
+            // A later fresh heartbeat from the same source overwrites, as
+            // in the per-heartbeat path.
+            self.min_deadline[s] = min_dl;
+        }
+
+        self.blk_edges.clear();
+        for idx in 0..m {
+            let dl_base = idx * self.n_sources;
+            let w_base = idx * self.words;
+            for (i, obs) in block.iter().enumerate() {
+                if !self.blk_fresh[i] {
+                    continue;
+                }
+                let s = obs.source as usize;
+                self.deadlines[dl_base + s] = self.blk_dl[i * m + idx];
+                let w = w_base + s / 64;
+                let bit = 1u64 << (s % 64);
+                if self.suspecting[w] & bit != 0 {
+                    self.suspecting[w] &= !bit;
+                    self.blk_edges.push((i as u32, idx as u32));
+                }
+            }
+        }
+
+        // Re-establish the per-heartbeat reporting order: each batch
+        // element's EndSuspect edges grouped together, in combo order.
+        self.blk_edges.sort_unstable();
+        for &(i, idx) in &self.blk_edges {
+            self.transitions.push(SourceTransition {
+                source: block[i as usize].source,
+                combo: idx,
+                transition: FdTransition::EndSuspect,
+            });
+        }
+        fresh_count
+    }
+
+    fn observe_inner(&mut self, source: u32, seq: u64, arrival: SimTime) -> bool {
+        let s = source as usize;
+        assert!(s < self.n_sources, "source {source} out of range");
+        self.heartbeats += 1;
+
+        // Observed transmission delay, clamped exactly like the bank.
+        let sigma = SimTime::ZERO + self.eta * seq;
+        let delay_ms = arrival
+            .checked_duration_since(sigma)
+            .map_or(0.0, |d| d.as_millis_f64());
+
+        // This source's stripe of distinct predictors: one error, one
+        // observe, one error-core advance each. The error term reuses the
+        // cached post-observation forecast — `predict()` is pure, so the
+        // cache holds the exact value the bank would recompute.
+        let base = s * self.n_pred;
+        for p in 0..self.n_pred {
+            let err = delay_ms - self.predictions[base + p];
+            let predictor = &mut self.predictors[base + p];
+            predictor.observe(delay_ms);
+            let cores = &mut self.error_cores[base + p];
+            if let Some(jac) = cores.jac.as_mut() {
+                jac.update(err);
+            }
+            if let Some(rto) = cores.rto.as_mut() {
+                rto.update(err);
+            }
+            self.predictions[base + p] = predictor.predict();
+        }
+        self.ci[s].update(delay_ms);
+
+        let fresh = self.highest_seq[s] == SEQ_NONE || seq > self.highest_seq[s];
+        if !fresh {
+            self.stale_heartbeats += 1;
+            return false;
+        }
+        self.highest_seq[s] = seq;
+
+        // Fan out: M freshness points, suspicion edges, and the refreshed
+        // freshest-deadline cache, one tight loop.
+        let sigma_next = SimTime::ZERO + self.eta * (seq + 1);
+        let mut min_dl = u64::MAX;
+        let word = s / 64;
+        let bit = 1u64 << (s % 64);
+        for idx in 0..self.combos.len() {
+            let p_idx = self.pred_of_combo[idx];
+            let margin = match self.combos[idx].margin {
+                MarginKind::Ci { gamma } => self.ci[s].margin(gamma),
+                MarginKind::Jac { phi } => self.error_cores[base + p_idx]
+                    .jac
+                    .expect("JacCore allocated for Jac combo")
+                    .margin(phi),
+                MarginKind::Rto { k } => self.error_cores[base + p_idx]
+                    .rto
+                    .expect("RtoCore allocated for Rto combo")
+                    .margin(k),
+            };
+            let timeout_ms = self.predictions[base + p_idx] + margin;
+            let delta = SimDuration::from_millis_f64(timeout_ms.max(0.0));
+            let dl = (sigma_next + delta).as_micros();
+            self.deadlines[idx * self.n_sources + s] = dl;
+            min_dl = min_dl.min(dl);
+            let w = idx * self.words + word;
+            if self.suspecting[w] & bit != 0 {
+                self.suspecting[w] &= !bit;
+                self.transitions.push(SourceTransition {
+                    source,
+                    combo: idx as u32,
+                    transition: FdTransition::EndSuspect,
+                });
+            }
+        }
+        self.min_deadline[s] = min_dl;
+        true
+    }
+
+    /// Evaluates the freshness condition of every combination of `source`
+    /// at `now` — the per-source deadline-timer path.
+    ///
+    /// O(1) while `now` is before the source's cached freshest deadline;
+    /// scans the source's M combinations only when something can actually
+    /// have expired. Returns the `StartSuspect` edges fired, in
+    /// combination-index order.
+    pub fn check_source_at(&mut self, source: u32, now: SimTime) -> &[SourceTransition] {
+        self.transitions.clear();
+        self.check_source_inner(source, now);
+        &self.transitions
+    }
+
+    fn check_source_inner(&mut self, source: u32, now: SimTime) {
+        let s = source as usize;
+        assert!(s < self.n_sources, "source {source} out of range");
+        let now_us = now.as_micros();
+        if now_us < self.min_deadline[s] {
+            return;
+        }
+        let word = s / 64;
+        let bit = 1u64 << (s % 64);
+        let mut min_dl = u64::MAX;
+        for idx in 0..self.combos.len() {
+            let w = idx * self.words + word;
+            if self.suspecting[w] & bit != 0 {
+                continue;
+            }
+            let dl = self.deadlines[idx * self.n_sources + s];
+            if dl == NO_DEADLINE {
+                continue;
+            }
+            if now_us >= dl {
+                self.suspecting[w] |= bit;
+                self.transitions.push(SourceTransition {
+                    source,
+                    combo: idx as u32,
+                    transition: FdTransition::StartSuspect,
+                });
+            } else {
+                min_dl = min_dl.min(dl);
+            }
+        }
+        self.min_deadline[s] = min_dl;
+    }
+
+    /// Evaluates the freshness condition of **every** (source, combo) pair
+    /// at `now`: M contiguous array sweeps, the batch analog of calling
+    /// [`DetectorBank::check_at`] on every source.
+    ///
+    /// Returns the `StartSuspect` edges fired, in ascending
+    /// `(source, combo)` order — identical to checking each source's
+    /// private bank in source order.
+    ///
+    /// [`DetectorBank::check_at`]: crate::bank::DetectorBank::check_at
+    pub fn check_all_at(&mut self, now: SimTime) -> &[SourceTransition] {
+        self.transitions.clear();
+        let now_us = now.as_micros();
+        let n = self.n_sources;
+        for idx in 0..self.combos.len() {
+            let deadlines = &self.deadlines[idx * n..(idx + 1) * n];
+            let words = &mut self.suspecting[idx * self.words..(idx + 1) * self.words];
+            for (s, &dl) in deadlines.iter().enumerate() {
+                if now_us < dl || dl == NO_DEADLINE {
+                    continue;
+                }
+                let bit = 1u64 << (s % 64);
+                if words[s / 64] & bit != 0 {
+                    continue;
+                }
+                words[s / 64] |= bit;
+                self.transitions.push(SourceTransition {
+                    source: s as u32,
+                    combo: idx as u32,
+                    transition: FdTransition::StartSuspect,
+                });
+            }
+        }
+        // Report source-major like a per-source loop over DetectorBanks
+        // would, and refresh the cache of every source that fired.
+        self.transitions
+            .sort_unstable_by_key(|t| (t.source, t.combo));
+        let mut i = 0;
+        while i < self.transitions.len() {
+            let s = self.transitions[i].source as usize;
+            while i < self.transitions.len() && self.transitions[i].source as usize == s {
+                i += 1;
+            }
+            self.refresh_min_deadline(s);
+        }
+        &self.transitions
+    }
+
+    /// Recomputes `min_deadline[s]` exactly (min pending deadline over
+    /// non-suspecting combinations).
+    fn refresh_min_deadline(&mut self, s: usize) {
+        let word = s / 64;
+        let bit = 1u64 << (s % 64);
+        let mut min_dl = u64::MAX;
+        for idx in 0..self.combos.len() {
+            if self.suspecting[idx * self.words + word] & bit != 0 {
+                continue;
+            }
+            let dl = self.deadlines[idx * self.n_sources + s];
+            if dl != NO_DEADLINE {
+                min_dl = min_dl.min(dl);
+            }
+        }
+        self.min_deadline[s] = min_dl;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bank::DetectorBank;
+    use crate::combinations::all_combinations;
+
+    fn eta() -> SimDuration {
+        SimDuration::from_secs(1)
+    }
+
+    fn arrival(seq: u64, delay_ms: u64) -> SimTime {
+        SimTime::ZERO + eta() * seq + SimDuration::from_millis(delay_ms)
+    }
+
+    /// Deterministic per-source delay pattern with enough spread to drive
+    /// suspicion edges on some sources and not others.
+    fn delay_for(source: u32, seq: u64) -> u64 {
+        150 + u64::from(source) * 17 + (seq * (53 + u64::from(source))) % 130
+    }
+
+    #[test]
+    fn paper_grid_shape() {
+        let bank = SourceBank::paper_grid(eta(), 12);
+        assert_eq!(bank.len(), 30);
+        assert_eq!(bank.sources(), 12);
+        assert_eq!(bank.distinct_predictor_count(), 5);
+        assert!(!bank.is_empty());
+        assert_eq!(bank.eta(), eta());
+        assert_eq!(bank.next_wakeup(3), None);
+    }
+
+    /// The core equivalence claim: a SourceBank over N sources is
+    /// bit-identical to N private DetectorBanks — deadlines, margins,
+    /// forecasts, suspicion flags and transition sequences — through a
+    /// schedule with skips (suspicion edges), stale heartbeats and
+    /// periodic full checks.
+    #[test]
+    fn matches_independent_detector_banks() {
+        let combos = all_combinations();
+        let n: u32 = 7;
+        let mut source_bank = SourceBank::new(&combos, eta(), n as usize);
+        let mut banks: Vec<DetectorBank> =
+            (0..n).map(|_| DetectorBank::new(&combos, eta())).collect();
+
+        for seq in 0..40u64 {
+            for source in 0..n {
+                // Source 2 goes silent for a stretch; source 5 replays a
+                // stale heartbeat every 8th step.
+                if source == 2 && (10..20).contains(&seq) {
+                    continue;
+                }
+                let (use_seq, at) = if source == 5 && seq % 8 == 7 && seq > 0 {
+                    (seq - 1, arrival(seq, delay_for(source, seq)))
+                } else {
+                    (seq, arrival(seq, delay_for(source, seq)))
+                };
+                // Check-then-observe, like the monitor's event loop.
+                let a = banks[source as usize].check_at(at).to_vec();
+                let b = source_bank.check_source_at(source, at).to_vec();
+                assert_eq!(a.len(), b.len(), "check count s{source} q{seq}");
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.combo as u32, y.combo);
+                    assert_eq!(x.transition, y.transition);
+                    assert_eq!(y.source, source);
+                }
+                let fresh_a = banks[source as usize].observe_heartbeat(use_seq, at);
+                let ends_a: Vec<usize> = banks[source as usize]
+                    .transitions()
+                    .iter()
+                    .map(|t| t.combo)
+                    .collect();
+                let fresh_b = source_bank.observe_heartbeat(source, use_seq, at);
+                let ends_b: Vec<usize> = source_bank
+                    .transitions()
+                    .iter()
+                    .map(|t| t.combo as usize)
+                    .collect();
+                assert_eq!(fresh_a, fresh_b, "freshness s{source} q{seq}");
+                assert_eq!(ends_a, ends_b, "EndSuspect s{source} q{seq}");
+            }
+            for source in 0..n {
+                let bank = &banks[source as usize];
+                for idx in 0..combos.len() {
+                    assert_eq!(
+                        bank.next_deadline(idx),
+                        source_bank.next_deadline(source, idx),
+                        "deadline s{source} q{seq} c{idx}"
+                    );
+                    assert_eq!(
+                        bank.margin_ms(idx).to_bits(),
+                        source_bank.margin_ms(source, idx).to_bits(),
+                        "margin s{source} q{seq} c{idx}"
+                    );
+                    assert_eq!(
+                        bank.predicted_delay_ms(idx).to_bits(),
+                        source_bank.predicted_delay_ms(source, idx).to_bits(),
+                    );
+                    assert_eq!(bank.is_suspecting(idx), source_bank.is_suspecting(source, idx));
+                }
+            }
+        }
+        let total: u64 = banks.iter().map(|b| b.heartbeats()).sum();
+        assert_eq!(source_bank.heartbeats(), total);
+        let stale: u64 = banks.iter().map(|b| b.stale_heartbeats()).sum();
+        assert_eq!(source_bank.stale_heartbeats(), stale);
+    }
+
+    /// `observe_all` is the same machine as per-heartbeat calls: identical
+    /// state, with the batch's transitions concatenated in batch order.
+    #[test]
+    fn batch_observe_equals_looped_observe() {
+        let n = 9usize;
+        let mut batched = SourceBank::paper_grid(eta(), n);
+        let mut looped = SourceBank::paper_grid(eta(), n);
+
+        for seq in 0..25u64 {
+            let batch: Vec<HeartbeatObs> = (0..n as u32)
+                .map(|source| HeartbeatObs {
+                    source,
+                    seq,
+                    arrival: arrival(seq, delay_for(source, seq)),
+                })
+                .collect();
+            let fresh = batched.observe_all(&batch);
+            let mut loop_fresh = 0;
+            let mut loop_edges = Vec::new();
+            for obs in &batch {
+                if looped.observe_heartbeat(obs.source, obs.seq, obs.arrival) {
+                    loop_fresh += 1;
+                }
+                loop_edges.extend_from_slice(looped.transitions());
+            }
+            assert_eq!(fresh, loop_fresh);
+            assert_eq!(batched.transitions(), &loop_edges[..]);
+        }
+        for source in 0..n as u32 {
+            for idx in 0..30 {
+                assert_eq!(
+                    batched.next_deadline(source, idx),
+                    looped.next_deadline(source, idx)
+                );
+                assert_eq!(
+                    batched.margin_ms(source, idx).to_bits(),
+                    looped.margin_ms(source, idx).to_bits()
+                );
+            }
+        }
+    }
+
+    /// `check_all_at` fires the same edges as per-source checks, reported
+    /// source-major.
+    #[test]
+    fn sweep_check_matches_per_source_checks() {
+        let n = 6usize;
+        let mut swept = SourceBank::paper_grid(eta(), n);
+        let mut stepped = SourceBank::paper_grid(eta(), n);
+        for source in 0..n as u32 {
+            // Sources 0..3 heartbeat once; the rest never do.
+            if source < 3 {
+                swept.observe_heartbeat(source, 0, arrival(0, delay_for(source, 0)));
+                stepped.observe_heartbeat(source, 0, arrival(0, delay_for(source, 0)));
+            }
+        }
+        let late = SimTime::from_secs(90);
+        let fired = swept.check_all_at(late).to_vec();
+        let mut expected = Vec::new();
+        for source in 0..n as u32 {
+            expected.extend_from_slice(stepped.check_source_at(source, late));
+        }
+        assert_eq!(fired, expected);
+        // Only the three heartbeating sources had armed deadlines.
+        assert_eq!(fired.len(), 3 * 30);
+        assert!((0..3u32).all(|s| swept.is_suspecting(s, 0)));
+        assert!((3..6u32).all(|s| !swept.is_suspecting(s, 0)));
+        // Idempotent while suspecting.
+        assert!(swept.check_all_at(SimTime::from_secs(91)).is_empty());
+    }
+
+    /// The freshest-deadline cache answers early checks in O(1) without
+    /// touching per-combo state, and `next_wakeup` exposes the earliest
+    /// instant a check can fire.
+    #[test]
+    fn min_deadline_cache_gates_checks() {
+        let mut bank = SourceBank::paper_grid(eta(), 3);
+        bank.observe_heartbeat(1, 0, arrival(0, 200));
+        let wakeup = bank.next_wakeup(1).expect("armed after heartbeat");
+        assert!(bank
+            .check_source_at(1, wakeup - SimDuration::from_micros(1))
+            .is_empty());
+        // At the wakeup instant at least one combination fires.
+        assert!(!bank.check_source_at(1, wakeup).is_empty());
+        // Sources without heartbeats never fire.
+        assert!(bank.check_source_at(0, SimTime::from_secs(900)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "heartbeat period must be positive")]
+    fn zero_eta_rejected() {
+        let _ = SourceBank::new(&all_combinations(), SimDuration::ZERO, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_source_rejected() {
+        let mut bank = SourceBank::paper_grid(eta(), 2);
+        bank.observe_heartbeat(2, 0, SimTime::from_millis(100));
+    }
+}

@@ -1,0 +1,116 @@
+//! Scaling baseline for the many-source monitor: runs the sharded
+//! engine across source counts and the 1000-source cycle benchmark, and
+//! writes `BENCH_scale.json`.
+//!
+//! ```text
+//! scale [--smoke] [--sources 1k,10k,100k] [--cycles N] [--shards N]
+//!       [--seed N] [--out PATH]
+//! ```
+//!
+//! `--sources` accepts `1k` / `10k` / `100k` / `1M` style counts
+//! (comma-separated). `--smoke` is the CI configuration: a small
+//! population, a shard-invariance assertion (1 vs 3 shards must produce
+//! identical fingerprints), and no file written.
+
+use fd_experiments::scale::{
+    cycle_benchmark, render_json, run_scale, run_scale_row, PR1_CYCLE_BASELINE_MS,
+};
+
+fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Parses `1000`, `1k`, `10K`, `1m`, `1M` style source counts.
+fn parse_count(s: &str) -> Option<usize> {
+    let t = s.trim();
+    let (digits, mult) = match t.chars().last() {
+        Some('k' | 'K') => (&t[..t.len() - 1], 1_000),
+        Some('m' | 'M') => (&t[..t.len() - 1], 1_000_000),
+        _ => (t, 1),
+    };
+    digits.parse::<usize>().ok().map(|n| n * mult)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed = arg_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42u64);
+
+    if smoke {
+        run_smoke(seed);
+        return;
+    }
+
+    let counts: Vec<usize> = match arg_value(&args, "--sources") {
+        Some(list) => list
+            .split(',')
+            .map(|s| parse_count(s).unwrap_or_else(|| panic!("bad source count: {s}")))
+            .collect(),
+        None => vec![1_000, 10_000, 100_000],
+    };
+    let cycles = arg_value(&args, "--cycles")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10u64);
+    let shards = arg_value(&args, "--shards")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    let out = arg_value(&args, "--out").unwrap_or("BENCH_scale.json");
+
+    println!("scale: sources={counts:?} cycles={cycles} shards={shards} seed={seed}");
+    let rows = run_scale(&counts, cycles, shards, seed);
+    for r in &rows {
+        println!(
+            "  {:>9} sources: {:>10.1} ms wall, {:>8.1} cycles/s, {:>7.3} µs/source/cycle, \
+             {} hb, {} events, rss {} KiB",
+            r.sources,
+            r.wall_ms,
+            r.cycles_per_sec,
+            r.us_per_source_cycle,
+            r.heartbeats,
+            r.events,
+            r.peak_rss_kb.unwrap_or(0),
+        );
+    }
+
+    println!("cycle benchmark (1000 sources × 30 combos, PR 1 methodology):");
+    let bench = cycle_benchmark(1_000, 64, 50);
+    println!(
+        "  DetectorBank loop: {:.3} ms/cycle   SourceBank batch: {:.3} ms/cycle   \
+         speedup {:.2}×   (PR 1 baseline {PR1_CYCLE_BASELINE_MS:.1} ms)",
+        bench.detector_bank_ms, bench.source_bank_ms, bench.speedup,
+    );
+
+    let doc = render_json(&rows, &bench, shards, seed);
+    std::fs::write(out, &doc).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+}
+
+/// CI gate: small population, shard invariance asserted, nothing written.
+fn run_smoke(seed: u64) {
+    println!("scale --smoke: 192 sources × 4 cycles, shard invariance 1 vs 3");
+    let a = run_scale_row(192, 4, 1, seed);
+    let b = run_scale_row(192, 4, 3, seed);
+    assert_eq!(
+        a.fingerprint, b.fingerprint,
+        "shard-count invariance violated: {:016x} vs {:016x}",
+        a.fingerprint, b.fingerprint
+    );
+    assert_eq!(a.heartbeats, b.heartbeats);
+    assert!(a.heartbeats > 0);
+    let bench = cycle_benchmark(64, 8, 4);
+    assert!(bench.source_bank_ms > 0.0 && bench.detector_bank_ms > 0.0);
+    println!(
+        "  ok: fingerprint {:016x}, {} heartbeats, {} events; \
+         cycle bench {:.3} ms (bank loop) vs {:.3} ms (batch)",
+        a.fingerprint, a.heartbeats, a.events, bench.detector_bank_ms, bench.source_bank_ms,
+    );
+}

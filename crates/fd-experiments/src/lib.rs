@@ -22,6 +22,9 @@
 //! * [`chaos_qos`] — the same grid under injected faults (monitor stalls,
 //!   clock steps, duplication, corruption, rate jitter, monitor crashes with
 //!   warm/cold restart), reporting QoS degradation against the baseline;
+//! * [`scale`] — the many-source scaling experiment: sharded-engine
+//!   throughput per source count plus the 1000-source cycle benchmark
+//!   (written to `BENCH_scale.json` by the `scale` binary);
 //! * [`report`] — figure/table text rendering.
 //!
 //! Binaries under `src/bin/` regenerate each table and figure; see
@@ -35,6 +38,7 @@ pub mod layers;
 pub mod pull_layers;
 pub mod qos;
 pub mod report;
+pub mod scale;
 
 pub use accuracy::{
     arima_selection_experiment, predictor_accuracy_experiment, AccuracyRow, AccuracyTable,
@@ -51,3 +55,4 @@ pub use qos::{
     ExperimentResults, Metric,
 };
 pub use report::FigureTable;
+pub use scale::{cycle_benchmark, run_scale, CycleBench, ScaleRow};

@@ -219,7 +219,14 @@ fn run_single_with_link(
     crash_rng: fd_sim::DetRng,
 ) -> (EventLog, SimTime, Vec<String>) {
     let labels = monitor.labels();
-    let mut engine = SimEngine::new();
+    // Pre-size from the configured workload: a handful of in-flight
+    // deliveries/timers per detector, and roughly one sent + one received
+    // + a few detector edges recorded per heartbeat cycle.
+    let cycles = usize::try_from(params.num_cycles).unwrap_or(usize::MAX);
+    let mut engine = SimEngine::with_capacity(
+        4 * (labels.len() + 1),
+        cycles.saturating_mul(4).min(1 << 22),
+    );
     engine.add_process(Process::new(ProcessId(0)).with_layer(monitor));
     engine.add_process(
         Process::new(ProcessId(1))

@@ -48,10 +48,19 @@ pub struct Context {
 impl Context {
     /// Creates a context for one callback invocation.
     pub fn new(now: SimTime, process: ProcessId) -> Self {
+        Self::with_actions(now, process, Vec::new())
+    }
+
+    /// Creates a context that records into a recycled (empty) buffer, so
+    /// per-callback hot paths reuse one allocation instead of growing a
+    /// fresh `Vec` every invocation. Pair with
+    /// [`take_actions`](Self::take_actions), which hands the buffer back.
+    pub fn with_actions(now: SimTime, process: ProcessId, actions: Vec<Action>) -> Self {
+        debug_assert!(actions.is_empty(), "recycled action buffer not drained");
         Self {
             now,
             process,
-            actions: Vec::new(),
+            actions,
         }
     }
 

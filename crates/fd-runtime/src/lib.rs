@@ -14,6 +14,9 @@
 //!   a deterministic [`fd_sim`] event loop;
 //! * [`RealEngine`] runs the *same* processes in threads, exchanging real
 //!   UDP datagrams (heartbeat wire format from [`fd_net::wire`]);
+//! * [`ShardedEngine`] is the many-source scale path: compact per-shard
+//!   event loops (timer wheel + [`fd_core::SourceBank`]) across worker
+//!   threads, with a deterministic shard-count-invariant log merge;
 //! * [`clock`] models per-process clock offset/drift and provides the
 //!   NTP-style offset estimator that justifies the paper's synchronised-clock
 //!   assumption;
@@ -33,6 +36,7 @@ pub mod multiplexer;
 pub mod ntp;
 pub mod process;
 pub mod real_engine;
+pub mod sharded;
 pub mod sim_engine;
 pub mod supervisor;
 
@@ -44,6 +48,7 @@ pub use multiplexer::MultiplexerLayer;
 pub use ntp::{NtpClientLayer, NtpSample, NtpServerLayer};
 pub use process::Process;
 pub use real_engine::{RealEngine, RealEngineConfig};
+pub use sharded::{MonitorEvent, ShardedConfig, ShardedEngine, ShardedReport};
 pub use sim_engine::SimEngine;
 pub use supervisor::{Recoverable, RestartMode, SupervisorLayer};
 

@@ -8,6 +8,8 @@
 //! Timer requests and event emissions bubble out to the engine as
 //! [`Effect`]s.
 
+use std::collections::VecDeque;
+
 use fd_sim::{SimDuration, SimTime};
 use fd_stat::{EventKind, ProcessId};
 
@@ -36,6 +38,12 @@ pub enum Effect {
 pub struct Process {
     id: ProcessId,
     layers: Vec<Box<dyn Layer>>,
+    /// Recycled action buffer handed to each [`Context`]: callbacks swap
+    /// it out, drain it, and hand it back, so steady-state routing does
+    /// not allocate.
+    scratch: Vec<Action>,
+    /// Recycled intra-process dispatch queue (FIFO).
+    jobs: VecDeque<Job>,
 }
 
 impl std::fmt::Debug for Process {
@@ -60,6 +68,8 @@ impl Process {
         Self {
             id,
             layers: Vec::new(),
+            scratch: Vec::new(),
+            jobs: VecDeque::new(),
         }
     }
 
@@ -90,9 +100,12 @@ impl Process {
     pub fn start(&mut self, now: SimTime) -> Vec<Effect> {
         let mut effects = Vec::new();
         for i in 0..self.layers.len() {
-            let mut ctx = Context::new(now, self.id);
+            let mut actions = std::mem::take(&mut self.scratch);
+            let mut ctx = Context::with_actions(now, self.id, actions);
             self.layers[i].on_start(&mut ctx);
-            self.route(i, ctx.take_actions(), now, &mut effects);
+            actions = ctx.take_actions();
+            self.route(i, &mut actions, now, &mut effects);
+            self.scratch = actions;
         }
         effects
     }
@@ -104,9 +117,12 @@ impl Process {
         if self.layers.is_empty() {
             return effects;
         }
-        let mut ctx = Context::new(now, self.id);
+        let mut actions = std::mem::take(&mut self.scratch);
+        let mut ctx = Context::with_actions(now, self.id, actions);
         self.layers[0].on_deliver(&mut ctx, msg);
-        self.route(0, ctx.take_actions(), now, &mut effects);
+        actions = ctx.take_actions();
+        self.route(0, &mut actions, now, &mut effects);
+        self.scratch = actions;
         effects
     }
 
@@ -116,68 +132,73 @@ impl Process {
         if layer >= self.layers.len() {
             return effects;
         }
-        let mut ctx = Context::new(now, self.id);
+        let mut actions = std::mem::take(&mut self.scratch);
+        let mut ctx = Context::with_actions(now, self.id, actions);
         self.layers[layer].on_timer(&mut ctx, id);
-        self.route(layer, ctx.take_actions(), now, &mut effects);
+        actions = ctx.take_actions();
+        self.route(layer, &mut actions, now, &mut effects);
+        self.scratch = actions;
         effects
     }
 
     /// Routes actions produced by `origin_layer` until the intra-process
-    /// queue drains, accumulating engine-visible effects.
+    /// queue drains, accumulating engine-visible effects. `actions` is
+    /// drained and reused as the buffer for every nested callback, so the
+    /// steady state allocates nothing.
     fn route(
         &mut self,
         origin_layer: usize,
-        actions: Vec<Action>,
+        actions: &mut Vec<Action>,
         now: SimTime,
         effects: &mut Vec<Effect>,
     ) {
-        let mut jobs: Vec<Job> = Vec::new();
-        self.enqueue(origin_layer, actions, now, effects, &mut jobs);
-        // Depth-first-ish processing keeps per-message ordering intuitive.
-        while !jobs.is_empty() {
-            let job = jobs.remove(0);
-            match job {
+        debug_assert!(self.jobs.is_empty(), "dispatch queue leaked jobs");
+        let layer_count = self.layers.len();
+        Self::enqueue(layer_count, origin_layer, actions, effects, &mut self.jobs);
+        // FIFO processing keeps per-message ordering intuitive.
+        while let Some(job) = self.jobs.pop_front() {
+            let mut ctx = Context::with_actions(now, self.id, std::mem::take(actions));
+            let layer = match job {
                 Job::SendVia { layer, msg } => {
-                    let mut ctx = Context::new(now, self.id);
                     self.layers[layer].on_send(&mut ctx, msg);
-                    self.enqueue(layer, ctx.take_actions(), now, effects, &mut jobs);
+                    layer
                 }
                 Job::DeliverVia { layer, msg } => {
-                    let mut ctx = Context::new(now, self.id);
                     self.layers[layer].on_deliver(&mut ctx, msg);
-                    self.enqueue(layer, ctx.take_actions(), now, effects, &mut jobs);
+                    layer
                 }
-            }
+            };
+            *actions = ctx.take_actions();
+            Self::enqueue(layer_count, layer, actions, effects, &mut self.jobs);
         }
     }
 
-    /// Converts one layer's actions into jobs for adjacent layers or
-    /// engine effects.
+    /// Converts one layer's drained actions into jobs for adjacent layers
+    /// or engine effects.
     fn enqueue(
-        &mut self,
+        layer_count: usize,
         layer: usize,
-        actions: Vec<Action>,
-        _now: SimTime,
+        actions: &mut Vec<Action>,
         effects: &mut Vec<Effect>,
-        jobs: &mut Vec<Job>,
+        jobs: &mut VecDeque<Job>,
     ) {
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 Action::Send(msg) => {
                     if layer == 0 {
                         effects.push(Effect::ToNetwork(msg));
                     } else {
-                        jobs.push(Job::SendVia {
+                        jobs.push_back(Job::SendVia {
                             layer: layer - 1,
                             msg,
                         });
                     }
                 }
                 Action::Deliver(msg) => {
-                    if layer + 1 >= self.layers.len() {
+                    if layer + 1 >= layer_count {
                         // Above the top layer: consumed by the application.
                     } else {
-                        jobs.push(Job::DeliverVia {
+                        jobs.push_back(Job::DeliverVia {
                             layer: layer + 1,
                             msg,
                         });

@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 
 use fd_net::LinkModel;
-use fd_sim::{SimTime, Simulator};
+use fd_sim::{QueueBackend, SimTime, Simulator};
 use fd_stat::{EventLog, ProcessId};
 
 use crate::clock::ClockModel;
@@ -62,12 +62,21 @@ impl Default for SimEngine {
 impl SimEngine {
     /// Creates an empty engine at time zero.
     pub fn new() -> Self {
+        Self::with_capacity(0, 0)
+    }
+
+    /// Creates an empty engine with storage pre-sized for the expected
+    /// load: `pending_events` in-flight deliveries/timers at any instant
+    /// and `log_events` recorded NekoStat events over the whole run.
+    /// Callers that know their workload (heartbeat count × detectors)
+    /// reserve once instead of reallocating through the hot path.
+    pub fn with_capacity(pending_events: usize, log_events: usize) -> Self {
         Self {
-            sim: Simulator::new(),
+            sim: Simulator::with_backend_and_capacity(QueueBackend::Heap, pending_events),
             processes: Vec::new(),
             clocks: Vec::new(),
             links: HashMap::new(),
-            log: EventLog::new(),
+            log: EventLog::with_capacity(log_events),
             started: false,
             dropped_unrouted: 0,
         }

@@ -31,19 +31,77 @@
 pub mod queue;
 pub mod rng;
 pub mod time;
+pub mod wheel;
 
 pub use queue::EventQueue;
 pub use rng::{DetRng, SeedTree};
 pub use time::{SimDuration, SimTime};
+pub use wheel::TimerWheel;
 
-/// A minimal discrete-event run loop: a virtual clock plus an [`EventQueue`].
+/// Which pending-event structure a [`Simulator`] runs on.
+///
+/// Both provide identical semantics — pops sorted by `(time, insertion
+/// order)` — so simulation results are bit-identical either way; only the
+/// complexity profile differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueBackend {
+    /// Binary-heap [`EventQueue`]: O(log n) push/pop, the conservative
+    /// default.
+    #[default]
+    Heap,
+    /// Hierarchical [`TimerWheel`]: O(1) amortized push/fire, built for the
+    /// near-periodic deadline workloads of many-source monitors.
+    Wheel,
+}
+
+/// The backend-dispatched pending-event set of a [`Simulator`].
+#[derive(Debug, Clone)]
+enum Pending<E> {
+    Heap(EventQueue<E>),
+    Wheel(TimerWheel<E>),
+}
+
+impl<E> Pending<E> {
+    fn push(&mut self, at: SimTime, event: E) {
+        match self {
+            Pending::Heap(q) => q.push(at, event),
+            Pending::Wheel(w) => w.push(at, event),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        match self {
+            Pending::Heap(q) => q.pop(),
+            Pending::Wheel(w) => w.pop(),
+        }
+    }
+
+    // `&mut` even on the heap path: the wheel may cascade slots to locate
+    // the minimum.
+    fn peek_time(&mut self) -> Option<SimTime> {
+        match self {
+            Pending::Heap(q) => q.peek_time(),
+            Pending::Wheel(w) => w.peek_time(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Pending::Heap(q) => q.len(),
+            Pending::Wheel(w) => w.len(),
+        }
+    }
+}
+
+/// A minimal discrete-event run loop: a virtual clock plus a pending-event
+/// queue (binary heap or hierarchical timer wheel, see [`QueueBackend`]).
 ///
 /// Higher layers (the `fd-runtime` engine) drive this by scheduling events
 /// and repeatedly calling [`Simulator::next_event`], which advances the clock
 /// to the timestamp of the popped event.
 #[derive(Debug, Clone)]
 pub struct Simulator<E> {
-    queue: EventQueue<E>,
+    queue: Pending<E>,
     now: SimTime,
     processed: u64,
 }
@@ -55,10 +113,33 @@ impl<E> Default for Simulator<E> {
 }
 
 impl<E> Simulator<E> {
-    /// Creates an empty simulator with the clock at [`SimTime::ZERO`].
+    /// Creates an empty simulator with the clock at [`SimTime::ZERO`],
+    /// running on the default heap backend.
     pub fn new() -> Self {
+        Self::with_backend(QueueBackend::Heap)
+    }
+
+    /// Creates an empty simulator on the chosen queue backend.
+    pub fn with_backend(backend: QueueBackend) -> Self {
         Self {
-            queue: EventQueue::new(),
+            queue: match backend {
+                QueueBackend::Heap => Pending::Heap(EventQueue::new()),
+                QueueBackend::Wheel => Pending::Wheel(TimerWheel::new()),
+            },
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Creates an empty simulator on the chosen backend with space reserved
+    /// for `capacity` pending events (engines pre-size this from their
+    /// configured source count rather than growing through the hot path).
+    pub fn with_backend_and_capacity(backend: QueueBackend, capacity: usize) -> Self {
+        Self {
+            queue: match backend {
+                QueueBackend::Heap => Pending::Heap(EventQueue::with_capacity(capacity)),
+                QueueBackend::Wheel => Pending::Wheel(TimerWheel::with_capacity(capacity)),
+            },
             now: SimTime::ZERO,
             processed: 0,
         }
@@ -203,5 +284,42 @@ mod tests {
         sim.next_event();
         assert!(sim.next_event_before(SimTime::from_secs(1)).is_none());
         assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    /// The same schedule driven through both backends produces identical
+    /// event sequences, clocks and horizon behaviour.
+    fn exercise(backend: QueueBackend) -> Vec<(u64, u32)> {
+        let mut sim = Simulator::with_backend(backend);
+        let mut out = Vec::new();
+        for i in 0..40u32 {
+            sim.schedule_at(SimTime::from_millis(u64::from((i * 7) % 13)), i);
+        }
+        while let Some((at, e)) = sim.next_event_before(SimTime::from_millis(6)) {
+            out.push((at.as_micros(), e));
+            // Reschedule some events past the horizon.
+            if e % 5 == 0 {
+                sim.schedule_in(SimDuration::from_millis(10), e + 1000);
+            }
+        }
+        while let Some((at, e)) = sim.next_event() {
+            out.push((at.as_micros(), e));
+        }
+        out.push((sim.now().as_micros(), sim.processed() as u32));
+        out
+    }
+
+    #[test]
+    fn wheel_backend_is_bit_identical_to_heap_backend() {
+        assert_eq!(exercise(QueueBackend::Heap), exercise(QueueBackend::Wheel));
+    }
+
+    #[test]
+    fn with_capacity_constructors_behave_identically() {
+        for backend in [QueueBackend::Heap, QueueBackend::Wheel] {
+            let mut sim = Simulator::with_backend_and_capacity(backend, 1024);
+            sim.schedule_at(SimTime::from_secs(1), "x");
+            assert_eq!(sim.pending(), 1);
+            assert_eq!(sim.next_event(), Some((SimTime::from_secs(1), "x")));
+        }
     }
 }

@@ -1,0 +1,480 @@
+//! A hierarchical timer wheel with the same stable `(time, seq)` FIFO
+//! semantics as [`EventQueue`](crate::EventQueue).
+//!
+//! Failure-detector workloads are the timer wheel's best case: heartbeat
+//! periods and freshness deadlines are near-periodic, so pending timers
+//! cluster a few wheel levels above the cursor and inserts/fires are O(1)
+//! amortized instead of the heap's O(log n) — the difference that matters
+//! once millions of per-source deadlines are pending at once.
+//!
+//! # Layout
+//!
+//! Six levels of 64 slots each, with a level-0 tick of **1 µs** (the
+//! [`SimTime`] resolution). Level `l` spans `64^(l+1)` µs ahead of the
+//! cursor, so the wheel covers `64^6 µs ≈ 19.1 hours`; entries farther out
+//! than that go to a sorted overflow list and are re-threaded onto the wheel
+//! as the cursor approaches. An entry due at tick `t` lives at level
+//! `⌊log64(t − cursor)⌋`, slot `(t >> 6l) & 63`; per-level occupancy
+//! bitmaps make "next occupied slot" one `trailing_zeros`.
+//!
+//! Advancing the cursor to the earliest pending slot either yields events
+//! (level 0, where a slot maps to exactly one tick) or **cascades** a
+//! higher-level slot: its entries are redistributed to strictly lower
+//! levels, preserving their relative insertion order so the FIFO guarantee
+//! survives arbitrary push patterns.
+//!
+//! Events that become due (tick ≤ cursor) sit in a small `due` buffer
+//! ordered by `(time, seq)`; the buffer, when non-empty, always holds the
+//! global minimum, which is what makes `peek`/`pop` exact.
+
+use crate::time::SimTime;
+
+const BITS: u32 = 6;
+const SLOTS: usize = 1 << BITS; // 64
+const LEVELS: usize = 6;
+/// Ticks covered by the wheel proper; anything farther out overflows.
+const CAPACITY: u64 = 1 << (BITS * LEVELS as u32); // 64^6 µs ≈ 19.1 h
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> Entry<E> {
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Level<E> {
+    /// Bit `s` set ⇔ `slots[s]` is non-empty.
+    occupied: u64,
+    slots: [Vec<Entry<E>>; SLOTS],
+}
+
+impl<E> Level<E> {
+    fn new() -> Self {
+        Self {
+            occupied: 0,
+            slots: std::array::from_fn(|_| Vec::new()),
+        }
+    }
+}
+
+/// A hierarchical timer wheel, drop-in alternative to
+/// [`EventQueue`](crate::EventQueue): identical pop order, including FIFO
+/// ties at equal timestamps.
+///
+/// The one API difference is that [`peek_time`](TimerWheel::peek_time) takes
+/// `&mut self`, because finding the minimum may cascade higher-level slots
+/// down; [`crate::Simulator`] absorbs this behind its unchanged interface.
+///
+/// ```
+/// use fd_sim::{SimTime, TimerWheel};
+/// let mut w = TimerWheel::new();
+/// w.push(SimTime::from_millis(7), "late");
+/// w.push(SimTime::from_millis(3), "early");
+/// assert_eq!(w.pop(), Some((SimTime::from_millis(3), "early")));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimerWheel<E> {
+    levels: Vec<Level<E>>,
+    /// The wheel's notion of "now", in ticks (µs). Entries at or before the
+    /// cursor live in `due`; entries after it live on the wheel levels.
+    cursor: u64,
+    /// Due entries in **descending** `(time, seq)` order, so the global
+    /// minimum pops from the back in O(1).
+    due: Vec<Entry<E>>,
+    /// Entries beyond the wheel horizon, ascending `(time, seq)` order.
+    overflow: Vec<Entry<E>>,
+    next_seq: u64,
+    len: usize,
+}
+
+impl<E> Default for TimerWheel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> TimerWheel<E> {
+    /// Creates an empty wheel with the cursor at time zero.
+    pub fn new() -> Self {
+        Self {
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            cursor: 0,
+            due: Vec::new(),
+            overflow: Vec::new(),
+            next_seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Creates an empty wheel; `capacity` is accepted for API parity with
+    /// [`EventQueue::with_capacity`](crate::EventQueue::with_capacity) (slot
+    /// vectors grow on demand, so there is nothing useful to pre-size).
+    pub fn with_capacity(_capacity: usize) -> Self {
+        Self::new()
+    }
+
+    /// Inserts `event` with timestamp `at`.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.place(Entry { at, seq, event });
+        self.len += 1;
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.ensure_due();
+        let e = self.due.pop()?;
+        self.len -= 1;
+        Some((e.at, e.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    ///
+    /// Takes `&mut self`: locating the minimum may cascade wheel slots (a
+    /// pure state refinement — the set of pending events is unchanged).
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.ensure_due();
+        self.due.last().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Discards all pending events. The cursor keeps its position, matching
+    /// the semantics of clearing a queue mid-run.
+    pub fn clear(&mut self) {
+        for level in &mut self.levels {
+            level.occupied = 0;
+            for slot in &mut level.slots {
+                slot.clear();
+            }
+        }
+        self.due.clear();
+        self.overflow.clear();
+        self.len = 0;
+    }
+
+    /// Routes an entry to the due buffer, a wheel slot, or overflow. Does
+    /// not touch `len` (used by both `push` and cascading).
+    fn place(&mut self, entry: Entry<E>) {
+        let tick = entry.at.as_micros();
+        if tick <= self.cursor {
+            // Already due: binary-insert into the descending due buffer.
+            let key = entry.key();
+            let idx = self.due.partition_point(|e| e.key() > key);
+            self.due.insert(idx, entry);
+        } else if tick - self.cursor >= CAPACITY {
+            let key = entry.key();
+            let idx = self.overflow.partition_point(|e| e.key() < key);
+            self.overflow.insert(idx, entry);
+        } else {
+            let delta = tick - self.cursor;
+            let level = ((63 - delta.leading_zeros()) / BITS) as usize;
+            let slot = ((tick >> (BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+            self.levels[level].slots[slot].push(entry);
+            self.levels[level].occupied |= 1 << slot;
+        }
+    }
+
+    /// The next occupied slot of `level` in cursor-circular order, with the
+    /// absolute tick at which that slot's range begins (its cascade point).
+    fn next_expiry_at_level(&self, level: usize) -> Option<(u64, usize)> {
+        let occupied = self.levels[level].occupied;
+        if occupied == 0 {
+            return None;
+        }
+        let shift = BITS * level as u32;
+        let cur_slot = ((self.cursor >> shift) & (SLOTS as u64 - 1)) as u32;
+        // Window start: cursor with the low (level+1)·6 bits cleared.
+        let top = self.cursor >> (shift + BITS) << (shift + BITS);
+        // Slots strictly ahead of the cursor come first…
+        let ahead = if cur_slot == 63 {
+            0
+        } else {
+            occupied & (!0u64 << (cur_slot + 1))
+        };
+        if ahead != 0 {
+            let slot = ahead.trailing_zeros() as usize;
+            return Some((top + ((slot as u64) << shift), slot));
+        }
+        // …then the wrap-around: slots at or before the cursor hold entries
+        // of the *next* window (same-window ones would sit at a lower level).
+        let slot = occupied.trailing_zeros() as usize;
+        Some((
+            top + (1u64 << (shift + BITS)) + ((slot as u64) << shift),
+            slot,
+        ))
+    }
+
+    /// Advances the cursor until the earliest pending events sit in `due`
+    /// (or the wheel is empty). Maintains the invariant that a non-empty
+    /// `due` buffer holds the global minimum.
+    fn ensure_due(&mut self) {
+        while self.due.is_empty() {
+            // Per-level minima, computed against the CURRENT cursor. They
+            // must all be taken before the cursor moves: once it sits at the
+            // winning slot's range start, recomputation would classify that
+            // slot as wrapped-around and misfile it a full window late.
+            let mut per_level: [Option<(u64, usize)>; LEVELS] = [None; LEVELS];
+            let mut best: Option<u64> = None;
+            for level in 0..LEVELS {
+                per_level[level] = self.next_expiry_at_level(level);
+                if let Some((expiry, _)) = per_level[level] {
+                    if best.is_none_or(|b| expiry < b) {
+                        best = Some(expiry);
+                    }
+                }
+            }
+            let overflow_head = self.overflow.first().map(|e| e.at.as_micros());
+            let expiry = match (best, overflow_head) {
+                (None, None) => return,
+                // Pull overflow even on a tie: an overflow entry may carry a
+                // smaller seq than a wheel entry at the same tick.
+                (Some(expiry), Some(head)) if head <= expiry => {
+                    self.pull_overflow();
+                    continue;
+                }
+                (None, Some(_)) => {
+                    self.pull_overflow();
+                    continue;
+                }
+                (Some(expiry), _) => expiry,
+            };
+            self.cursor = expiry;
+            // Cascade EVERY slot whose range starts at this expiry, highest
+            // level first: with ties across levels, skipping one would leave
+            // an occupied slot whose range the cursor has already entered.
+            // Cascaded entries land strictly lower (tick == expiry → due),
+            // so one top-down pass settles everything due at this tick; a
+            // level-0 slot maps to exactly one tick, and `place` merges its
+            // entries FIFO with any the cascades already put in `due`.
+            for level in (0..LEVELS).rev() {
+                if let Some((e, slot)) = per_level[level] {
+                    if e == expiry {
+                        let entries = std::mem::take(&mut self.levels[level].slots[slot]);
+                        self.levels[level].occupied &= !(1 << slot);
+                        for entry in entries {
+                            self.place(entry);
+                        }
+                    }
+                }
+            }
+            // `due` may still be empty if `expiry` was only a cascade point.
+        }
+    }
+
+    /// Moves the cursor close enough to the overflow head that it fits on
+    /// the wheel, then re-threads every overflow entry now in range.
+    fn pull_overflow(&mut self) {
+        let head = self.overflow[0].at.as_micros();
+        self.cursor = self.cursor.max(head.saturating_sub(CAPACITY - 1));
+        let in_range = self
+            .overflow
+            .partition_point(|e| e.at.as_micros() - self.cursor < CAPACITY);
+        for entry in self.overflow.drain(..in_range).collect::<Vec<_>>() {
+            self.place(entry);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_order_is_by_time() {
+        let mut w = TimerWheel::new();
+        w.push(SimTime::from_millis(5), 5);
+        w.push(SimTime::from_millis(1), 1);
+        w.push(SimTime::from_millis(3), 3);
+        let out: Vec<_> = std::iter::from_fn(|| w.pop()).map(|(_, e)| e).collect();
+        assert_eq!(out, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut w = TimerWheel::new();
+        let t = SimTime::from_secs(1);
+        w.push(t, "first");
+        w.push(t, "second");
+        w.push(t, "third");
+        assert_eq!(w.pop().unwrap().1, "first");
+        assert_eq!(w.pop().unwrap().1, "second");
+        assert_eq!(w.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut w = TimerWheel::new();
+        w.push(SimTime::from_secs(9), ());
+        assert_eq!(w.peek_time(), Some(SimTime::from_secs(9)));
+        assert_eq!(w.len(), 1);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_sorted() {
+        let mut w = TimerWheel::new();
+        w.push(SimTime::from_secs(10), 10);
+        w.push(SimTime::from_secs(2), 2);
+        assert_eq!(w.pop().unwrap().1, 2);
+        w.push(SimTime::from_secs(5), 5);
+        w.push(SimTime::from_secs(3), 3);
+        let out: Vec<_> = std::iter::from_fn(|| w.pop()).map(|(_, e)| e).collect();
+        assert_eq!(out, vec![3, 5, 10]);
+    }
+
+    #[test]
+    fn push_at_popped_time_pops_after_earlier_inserts() {
+        let mut w = TimerWheel::new();
+        w.push(SimTime::from_secs(1), "a");
+        assert_eq!(w.pop().unwrap().1, "a");
+        // Cursor is now at 1 s; same-instant pushes are still accepted and
+        // come out FIFO, exactly like the heap queue.
+        w.push(SimTime::from_secs(1), "b");
+        w.push(SimTime::from_secs(1), "c");
+        assert_eq!(w.pop().unwrap().1, "b");
+        assert_eq!(w.pop().unwrap().1, "c");
+    }
+
+    #[test]
+    fn clear_empties_the_wheel() {
+        let mut w = TimerWheel::new();
+        for i in 0..100 {
+            w.push(SimTime::from_secs(i), i);
+        }
+        w.pop();
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.pop(), None);
+        assert_eq!(w.peek_time(), None);
+    }
+
+    #[test]
+    fn spans_every_wheel_level() {
+        // One event per level: 1 µs (level 0) through ~17 h (level 5).
+        let mut w = TimerWheel::new();
+        let ticks: Vec<u64> = (0..LEVELS).map(|l| 3 << (BITS * l as u32)).collect();
+        for (i, &t) in ticks.iter().enumerate().rev() {
+            w.push(SimTime::from_micros(t), i);
+        }
+        let out: Vec<_> = std::iter::from_fn(|| w.pop())
+            .map(|(at, e)| (at.as_micros(), e))
+            .collect();
+        let expect: Vec<_> = ticks.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn overflow_beyond_the_horizon_still_pops_in_order() {
+        let mut w = TimerWheel::new();
+        let far = CAPACITY + 123; // > 19 h: lands in overflow
+        w.push(SimTime::from_micros(far), "far");
+        w.push(SimTime::from_micros(far + 1), "farther");
+        w.push(SimTime::from_micros(500), "near");
+        assert_eq!(w.pop().unwrap().1, "near");
+        assert_eq!(w.pop().unwrap().1, "far");
+        assert_eq!(w.pop().unwrap().1, "farther");
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn periodic_heartbeat_pattern_near_level_boundaries() {
+        // η = 1 s heartbeats with deadlines straddling the level-2/level-3
+        // boundary (64^3 µs ≈ 262 ms): the wheel's intended workload.
+        let mut w = TimerWheel::new();
+        let mut expected = Vec::new();
+        for k in 0..200u64 {
+            let hb = SimTime::from_secs(k);
+            let deadline = hb + crate::SimDuration::from_micros(262_143 + (k % 3));
+            w.push(hb, (k, "hb"));
+            w.push(deadline, (k, "deadline"));
+            expected.push((hb, (k, "hb")));
+            expected.push((deadline, (k, "deadline")));
+        }
+        expected.sort_by_key(|&(at, _)| at);
+        let out: Vec<_> = std::iter::from_fn(|| w.pop()).collect();
+        assert_eq!(out, expected);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::EventQueue;
+    use proptest::prelude::*;
+
+    /// Drives the wheel and the heap queue through the same schedule of
+    /// pushes (possibly at already-reached times) and pops, asserting
+    /// identical results at every step — including FIFO order at equal
+    /// timestamps. `ops`: Some(t) pushes at time t (scaled to stress several
+    /// wheel levels), None pops once.
+    fn equivalent_under(ops: Vec<Option<u64>>, scale: u64) {
+        let mut wheel = TimerWheel::new();
+        let mut heap = EventQueue::new();
+        let mut pushed = 0u64;
+        let mut floor = 0u64; // last popped time: pushes must not precede it
+        for op in ops {
+            match op {
+                Some(t) => {
+                    let at = SimTime::from_micros(floor + t * scale);
+                    wheel.push(at, pushed);
+                    heap.push(at, pushed);
+                    pushed += 1;
+                }
+                None => {
+                    let got = wheel.pop();
+                    assert_eq!(got, heap.pop());
+                    if let Some((at, _)) = got {
+                        floor = at.as_micros();
+                    }
+                }
+            }
+            assert_eq!(wheel.len(), heap.len());
+        }
+        loop {
+            assert_eq!(wheel.peek_time(), heap.peek_time());
+            let got = wheel.pop();
+            assert_eq!(got, heap.pop());
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
+    proptest! {
+        /// Dense schedules: many ties and near-cursor pushes.
+        #[test]
+        fn wheel_matches_heap_dense(
+            ops in proptest::collection::vec(
+                proptest::option::weighted(0.7, 0u64..50), 0..300)
+        ) {
+            equivalent_under(ops, 1);
+        }
+
+        /// Sparse schedules: offsets up to ~51 s exercise levels 0–4 and
+        /// cascading.
+        #[test]
+        fn wheel_matches_heap_across_levels(
+            ops in proptest::collection::vec(
+                proptest::option::weighted(0.7, 0u64..50_000), 0..200)
+        ) {
+            equivalent_under(ops, 1_031); // prime scale: avoids slot aliasing
+        }
+    }
+}

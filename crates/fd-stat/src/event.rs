@@ -117,6 +117,15 @@ impl EventLog {
         Self::default()
     }
 
+    /// Creates an empty log with room for `capacity` events, so engines
+    /// that know their workload (e.g. heartbeats × cycles) record without
+    /// reallocating through the run.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            events: Vec::with_capacity(capacity),
+        }
+    }
+
     /// Appends an event.
     ///
     /// # Panics
@@ -184,18 +193,24 @@ impl EventLog {
         let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
         writeln!(out, "time_us,process,kind,arg")?;
         for e in &self.events {
-            let (kind, arg) = match e.kind {
-                EventKind::Sent { seq } => ("sent".to_owned(), seq),
-                EventKind::Received { seq } => ("received".to_owned(), seq),
-                EventKind::StartSuspect { detector } => {
-                    ("start_suspect".to_owned(), u64::from(detector))
+            // Static labels — no per-row String allocation; the app code
+            // is streamed straight into the writer.
+            let (kind, arg): (&str, u64) = match e.kind {
+                EventKind::Sent { seq } => ("sent", seq),
+                EventKind::Received { seq } => ("received", seq),
+                EventKind::StartSuspect { detector } => ("start_suspect", u64::from(detector)),
+                EventKind::EndSuspect { detector } => ("end_suspect", u64::from(detector)),
+                EventKind::Crash => ("crash", 0),
+                EventKind::Restore => ("restore", 0),
+                EventKind::App { code, value } => {
+                    writeln!(
+                        out,
+                        "{},{},app{code},{value}",
+                        e.at.as_micros(),
+                        e.process.0
+                    )?;
+                    continue;
                 }
-                EventKind::EndSuspect { detector } => {
-                    ("end_suspect".to_owned(), u64::from(detector))
-                }
-                EventKind::Crash => ("crash".to_owned(), 0),
-                EventKind::Restore => ("restore".to_owned(), 0),
-                EventKind::App { code, value } => (format!("app{code}"), value),
             };
             writeln!(out, "{},{},{kind},{arg}", e.at.as_micros(), e.process.0)?;
         }
