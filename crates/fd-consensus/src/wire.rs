@@ -1,6 +1,11 @@
 //! Encoding of the consensus protocol messages as `Data` payloads.
+//!
+//! Length and tag validation go through the shared [`fd_net::framing`]
+//! helpers, so a corrupt or foreign payload is classified exactly like a
+//! corrupt heartbeat datagram or a malformed fd-serve query frame.
 
 use bytes::{Buf, BufMut};
+use fd_net::framing::{self, FrameError};
 
 /// A consensus protocol message. `round` is the rotating-coordinator round;
 /// `ts` is the round in which the carried estimate was last adopted.
@@ -78,22 +83,30 @@ impl ConsensusMsg {
     }
 
     /// Decodes a payload; `None` for anything malformed (e.g. traffic from
-    /// another protocol sharing the link).
-    pub fn decode(mut data: &[u8]) -> Option<ConsensusMsg> {
-        if data.is_empty() {
-            return None;
-        }
+    /// another protocol sharing the link). [`ConsensusMsg::classify`] is
+    /// the same check with the rejection reason preserved.
+    pub fn decode(data: &[u8]) -> Option<ConsensusMsg> {
+        ConsensusMsg::classify(data).ok()
+    }
+
+    /// Decodes a payload, reporting *why* a malformed one was rejected in
+    /// the shared [`FrameError`] taxonomy — what transports count.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Truncated`] for short payloads, [`FrameError::BadTag`]
+    /// for an unknown message tag.
+    pub fn classify(mut data: &[u8]) -> Result<ConsensusMsg, FrameError> {
+        framing::need(data, 1)?;
         let tag = data.get_u8();
         let need = match tag {
             TAG_ESTIMATE => 24,
             TAG_PROPOSE => 16,
             TAG_ACK | TAG_NACK | TAG_DECIDE => 8,
-            _ => return None,
+            found => return Err(FrameError::BadTag { found }),
         };
-        if data.remaining() < need {
-            return None;
-        }
-        Some(match tag {
+        framing::need(data, need)?;
+        Ok(match tag {
             TAG_ESTIMATE => ConsensusMsg::Estimate {
                 round: data.get_u64(),
                 value: data.get_u64(),
@@ -114,6 +127,27 @@ impl ConsensusMsg {
             },
             _ => unreachable!("tag validated above"),
         })
+    }
+}
+
+#[cfg(test)]
+mod classify_tests {
+    use super::*;
+
+    #[test]
+    fn rejection_reasons_are_typed() {
+        assert_eq!(
+            ConsensusMsg::classify(&[]),
+            Err(FrameError::Truncated { len: 0, need: 1 })
+        );
+        assert_eq!(
+            ConsensusMsg::classify(&[99, 0, 0]),
+            Err(FrameError::BadTag { found: 99 })
+        );
+        assert_eq!(
+            ConsensusMsg::classify(&[TAG_ESTIMATE, 1, 2]),
+            Err(FrameError::Truncated { len: 2, need: 24 })
+        );
     }
 }
 

@@ -291,6 +291,24 @@ impl SourceBank {
         self.suspecting[combo * self.words + s / 64] & (1u64 << (s % 64)) != 0
     }
 
+    /// Words per combination row of the suspicion bitmap
+    /// (`ceil(sources / 64)`).
+    pub fn words_per_combo(&self) -> usize {
+        self.words
+    }
+
+    /// The raw combo-major suspicion bitmap: `len() × words_per_combo()`
+    /// words, where bit `s % 64` of word
+    /// `combo * words_per_combo() + s / 64` is set while combination
+    /// `combo` suspects source `s`.
+    ///
+    /// This is the snapshot-export surface of the serving plane: a
+    /// publisher copies these words into a `SuspectView` buffer without
+    /// touching any per-combo detector state.
+    pub fn suspect_words(&self) -> &[u64] {
+        &self.suspecting
+    }
+
     /// The earliest pending deadline of `source` over its non-suspecting
     /// combinations — the instant its next check can possibly fire
     /// (`None` when nothing is pending).
@@ -853,6 +871,29 @@ mod tests {
         assert!(!bank.check_source_at(1, wakeup).is_empty());
         // Sources without heartbeats never fire.
         assert!(bank.check_source_at(0, SimTime::from_secs(900)).is_empty());
+    }
+
+    /// The exported bitmap words agree bit-for-bit with `is_suspecting`.
+    #[test]
+    fn suspect_words_mirror_is_suspecting() {
+        let n = 70usize; // spans two words per combo
+        let mut bank = SourceBank::paper_grid(eta(), n);
+        assert_eq!(bank.words_per_combo(), 2);
+        assert_eq!(bank.suspect_words().len(), 30 * 2);
+        for source in 0..n as u32 {
+            if source % 3 != 0 {
+                bank.observe_heartbeat(source, 0, arrival(0, delay_for(source, 0)));
+            }
+        }
+        bank.check_all_at(SimTime::from_secs(120));
+        let words = bank.suspect_words().to_vec();
+        for combo in 0..30 {
+            for source in 0..n as u32 {
+                let s = source as usize;
+                let bit = words[combo * 2 + s / 64] & (1u64 << (s % 64)) != 0;
+                assert_eq!(bit, bank.is_suspecting(source, combo), "s{source} c{combo}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Serving-plane benchmark: runs the sharded monitor with the fd-serve
+//! publication hook, hammers the UDP query server from load threads, and
+//! writes `BENCH_serve.json` (queries/sec, latency percentiles, snapshot
+//! staleness).
+//!
+//! ```text
+//! serve [--smoke] [--sources 1k,100k] [--cycles N] [--shards N]
+//!       [--threads N] [--seed N] [--out PATH]
+//! ```
+//!
+//! `--sources` accepts `1k` / `100k` / `1M` style counts
+//! (comma-separated). `--smoke` is the CI configuration: the seqlock
+//! torn-read race, a small end-to-end run asserting at least one
+//! published epoch, and malformed-frame rejection — nothing written.
+
+use fd_experiments::serve::{render_json, run_serve, run_smoke};
+
+fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Parses `1000`, `1k`, `10K`, `1m`, `1M` style source counts.
+fn parse_count(s: &str) -> Option<usize> {
+    let t = s.trim();
+    let (digits, mult) = match t.chars().last() {
+        Some('k' | 'K') => (&t[..t.len() - 1], 1_000),
+        Some('m' | 'M') => (&t[..t.len() - 1], 1_000_000),
+        _ => (t, 1),
+    };
+    digits.parse::<usize>().ok().map(|n| n * mult)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed = arg_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42u64);
+
+    if smoke {
+        println!("serve --smoke: seqlock race, end-to-end epoch, malformed rejection");
+        run_smoke(seed);
+        println!("  ok");
+        return;
+    }
+
+    let counts: Vec<usize> = match arg_value(&args, "--sources") {
+        Some(list) => list
+            .split(',')
+            .map(|s| parse_count(s).unwrap_or_else(|| panic!("bad source count: {s}")))
+            .collect(),
+        None => vec![1_000, 100_000],
+    };
+    let cycles = arg_value(&args, "--cycles")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10u64);
+    let shards = arg_value(&args, "--shards")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    let threads = arg_value(&args, "--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4usize);
+    let out = arg_value(&args, "--out").unwrap_or("BENCH_serve.json");
+
+    println!(
+        "serve: sources={counts:?} cycles={cycles} shards={shards} threads={threads} seed={seed}"
+    );
+    let rows = run_serve(&counts, cycles, shards, seed, threads);
+    for r in &rows {
+        println!(
+            "  {:>9} sources: {:>9.0} q/s, p50 {:>6.0} µs, p99 {:>7.0} µs, \
+             staleness {:>8.2} ms mean / {:>8.2} ms max ({:.2} / {:.2} epochs), \
+             {} epochs, {} torn retries",
+            r.sources,
+            r.qps,
+            r.p50_us,
+            r.p99_us,
+            r.staleness_mean_ms,
+            r.staleness_max_ms,
+            r.epoch_lag_mean,
+            r.epoch_lag_max,
+            r.epochs_published,
+            r.torn_retries,
+        );
+    }
+
+    let doc = render_json(&rows, shards, seed);
+    std::fs::write(out, &doc).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+}

@@ -39,6 +39,7 @@ pub mod pull_layers;
 pub mod qos;
 pub mod report;
 pub mod scale;
+pub mod serve;
 
 pub use accuracy::{
     arima_selection_experiment, predictor_accuracy_experiment, AccuracyRow, AccuracyTable,
@@ -56,3 +57,4 @@ pub use qos::{
 };
 pub use report::FigureTable;
 pub use scale::{cycle_benchmark, run_scale, CycleBench, ScaleRow};
+pub use serve::{run_serve, run_serve_row, torn_read_check, ServeRow, TornCheck};

@@ -1,0 +1,484 @@
+//! The serving-plane experiment: how fast, and how stale, is the
+//! suspect-query plane while the sharded engine monitors a large grid?
+//!
+//! The `serve` binary drives a [`ShardedEngine`] run with the fd-serve
+//! publication hook attached, stands up the UDP query server on
+//! loopback, and hammers it from load-generator threads issuing point
+//! (and periodic bulk range) queries. Recorded per source count, into
+//! `BENCH_serve.json` at the repo root:
+//!
+//! * **throughput** — answered queries per second across all load
+//!   threads;
+//! * **latency** — p50/p99 of the client-observed round trip, measured
+//!   through the mergeable [`LogHistogram`] so per-thread recordings
+//!   combine without precision games;
+//! * **staleness** — wall-clock age of the served snapshot (every
+//!   `PointResp` carries it) and its translation into publication
+//!   epochs, i.e. how many publish intervals behind the live engine a
+//!   served answer was.
+//!
+//! The smoke configuration ([`run_smoke`]) is the CI gate: it asserts at
+//! least one epoch was published, that the seqlock never *served* a torn
+//! snapshot under a deliberate writer/reader race, and that garbage
+//! frames are counted and dropped rather than crashing the server.
+
+use std::net::UdpSocket;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fd_runtime::sharded::{partition, ShardedConfig, ShardedEngine};
+use fd_serve::wire::FLAG_PUBLISHED;
+use fd_serve::{EnginePublisher, Response, ServeClient, ServeConfig, ServeServer, SuspectView};
+use fd_sim::{SimDuration, SimTime};
+use fd_stat::LogHistogram;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One row of the serving benchmark: a monitored grid at one source
+/// count with the query plane under load.
+#[derive(Debug, Clone)]
+pub struct ServeRow {
+    /// Monitored sources.
+    pub sources: usize,
+    /// Heartbeat cycles simulated per source.
+    pub cycles: u64,
+    /// Engine shards (= view segments).
+    pub shards: usize,
+    /// Load-generator threads.
+    pub query_threads: usize,
+    /// Publication epochs across all segments.
+    pub epochs_published: u64,
+    /// Point queries answered.
+    pub point_queries: u64,
+    /// Range queries answered.
+    pub range_queries: u64,
+    /// Client-side receive timeouts (unanswered within 250 ms).
+    pub timeouts: u64,
+    /// Answered queries per second, all threads combined.
+    pub qps: f64,
+    /// Median query round trip, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile query round trip, microseconds.
+    pub p99_us: f64,
+    /// Mean wall-clock age of served snapshots, milliseconds.
+    pub staleness_mean_ms: f64,
+    /// Worst wall-clock age of a served snapshot, milliseconds.
+    pub staleness_max_ms: f64,
+    /// Mean staleness in publication epochs of one segment.
+    pub epoch_lag_mean: f64,
+    /// Worst staleness in publication epochs of one segment.
+    pub epoch_lag_max: f64,
+    /// Seqlock read retries (torn epochs detected and re-read — never
+    /// served).
+    pub torn_retries: u64,
+    /// Malformed frames counted and dropped by the server.
+    pub malformed: u64,
+    /// Wall time of the monitored run, milliseconds.
+    pub engine_wall_ms: f64,
+}
+
+/// Per-load-thread accumulator, merged after the run.
+struct ThreadOut {
+    hist: LogHistogram,
+    points: u64,
+    ranges: u64,
+    timeouts: u64,
+    stale_sum_us: f64,
+    stale_samples: u64,
+    stale_max_us: u64,
+}
+
+fn query_loop(
+    addr: std::net::SocketAddr,
+    sources: usize,
+    combos: usize,
+    seed: u64,
+    done: &AtomicBool,
+) -> ThreadOut {
+    let mut client =
+        ServeClient::connect(addr, Duration::from_millis(250)).expect("connect load client");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = ThreadOut {
+        hist: LogHistogram::latency_micros(),
+        points: 0,
+        ranges: 0,
+        timeouts: 0,
+        stale_sum_us: 0.0,
+        stale_samples: 0,
+        stale_max_us: 0,
+    };
+    let mut i = 0u64;
+    while !done.load(Ordering::Acquire) {
+        i += 1;
+        let source = (rng.gen::<u32>() as usize % sources) as u32;
+        let combo = (rng.gen::<u32>() as usize % combos) as u16;
+        let t0 = Instant::now();
+        // Every 64th request is a bulk range read; the rest are points.
+        let resp = if i % 64 == 0 {
+            client.range(combo, source, 16)
+        } else {
+            client.point(source, combo)
+        };
+        match resp {
+            Ok(Response::PointResp { flags, age_us, .. }) => {
+                out.hist.push(t0.elapsed().as_secs_f64() * 1e6);
+                out.points += 1;
+                if flags & FLAG_PUBLISHED != 0 {
+                    out.stale_sum_us += age_us as f64;
+                    out.stale_samples += 1;
+                    out.stale_max_us = out.stale_max_us.max(age_us);
+                }
+            }
+            Ok(Response::RangeResp { .. }) => {
+                out.hist.push(t0.elapsed().as_secs_f64() * 1e6);
+                out.ranges += 1;
+            }
+            Ok(_) => {}
+            Err(_) => out.timeouts += 1,
+        }
+    }
+    out
+}
+
+/// Runs the monitored grid at one source count with the query plane
+/// under load and reports throughput, latency and staleness.
+pub fn run_serve_row(
+    sources: usize,
+    cycles: u64,
+    shards: usize,
+    seed: u64,
+    query_threads: usize,
+) -> ServeRow {
+    let mut config = ShardedConfig::paper_grid(sources, cycles, seed);
+    config.shards = shards.max(1);
+    // Lively enough that suspicion state actually changes between epochs.
+    config.loss = 0.02;
+    config.spike_prob = 0.02;
+    let every = SimDuration::from_millis(500); // η/2: two epochs per cycle
+    let blocks = partition(config.sources, config.shards);
+    let combos = config.combos.len();
+
+    let view = SuspectView::new(combos, &blocks);
+    let publisher = EnginePublisher::new(&view);
+    let server = ServeServer::start(
+        Arc::clone(&view),
+        ServeConfig {
+            workers: query_threads.clamp(2, 8),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind serve server");
+    let addr = server.local_addr();
+    let engine = ShardedEngine::new(config);
+    let done = AtomicBool::new(false);
+    let threads = query_threads.max(1);
+
+    let query_started = Instant::now();
+    let (report, outs) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let done = &done;
+                s.spawn(move || query_loop(addr, sources, combos, seed ^ (t as u64) << 32, done))
+            })
+            .collect();
+        let report = engine.run_published(every, &publisher);
+        done.store(true, Ordering::Release);
+        let outs: Vec<ThreadOut> = handles
+            .into_iter()
+            .map(|h| h.join().expect("load thread panicked"))
+            .collect();
+        (report, outs)
+    });
+    let query_wall = query_started.elapsed().as_secs_f64();
+
+    let mut hist = LogHistogram::latency_micros();
+    let (mut points, mut ranges, mut timeouts) = (0u64, 0u64, 0u64);
+    let (mut stale_sum_us, mut stale_samples, mut stale_max_us) = (0.0f64, 0u64, 0u64);
+    for out in outs {
+        hist.merge(&out.hist);
+        points += out.points;
+        ranges += out.ranges;
+        timeouts += out.timeouts;
+        stale_sum_us += out.stale_sum_us;
+        stale_samples += out.stale_samples;
+        stale_max_us = stale_max_us.max(out.stale_max_us);
+    }
+    let epochs_published: u64 = (0..view.segments()).map(|s| view.epoch(s)).sum();
+    let engine_wall = report.wall.as_secs_f64();
+    // Wall-clock publication rate of one segment: how many epochs of lag
+    // a given snapshot age corresponds to.
+    let seg_rate = if engine_wall > 0.0 && view.segments() > 0 {
+        epochs_published as f64 / view.segments() as f64 / engine_wall
+    } else {
+        0.0
+    };
+    let stale_mean_us = if stale_samples > 0 {
+        stale_sum_us / stale_samples as f64
+    } else {
+        0.0
+    };
+    let answered = points + ranges;
+    ServeRow {
+        sources,
+        cycles,
+        shards: report.shards,
+        query_threads: threads,
+        epochs_published,
+        point_queries: points,
+        range_queries: ranges,
+        timeouts,
+        qps: if query_wall > 0.0 {
+            answered as f64 / query_wall
+        } else {
+            0.0
+        },
+        p50_us: hist.quantile(0.50).unwrap_or(0.0),
+        p99_us: hist.quantile(0.99).unwrap_or(0.0),
+        staleness_mean_ms: stale_mean_us / 1e3,
+        staleness_max_ms: stale_max_us as f64 / 1e3,
+        epoch_lag_mean: stale_mean_us * 1e-6 * seg_rate,
+        epoch_lag_max: stale_max_us as f64 * 1e-6 * seg_rate,
+        torn_retries: view.torn_retries(),
+        malformed: server.stats().malformed.load(Ordering::Relaxed),
+        engine_wall_ms: engine_wall * 1e3,
+    }
+}
+
+/// Runs the serving benchmark over several source counts.
+pub fn run_serve(
+    counts: &[usize],
+    cycles: u64,
+    shards: usize,
+    seed: u64,
+    query_threads: usize,
+) -> Vec<ServeRow> {
+    counts
+        .iter()
+        .map(|&n| run_serve_row(n, cycles, shards, seed, query_threads))
+        .collect()
+}
+
+/// The result of the deliberate writer/reader seqlock race.
+#[derive(Debug, Clone, Copy)]
+pub struct TornCheck {
+    /// Validated reads that were *not* a uniform single-epoch snapshot —
+    /// must be zero (a nonzero count is a seqlock bug).
+    pub torn_served: u64,
+    /// Validated reads performed.
+    pub reads: u64,
+    /// Reads the seqlock detected as racing and retried (the mechanism
+    /// working; expected nonzero under this race).
+    pub retries: u64,
+    /// Epochs published by the racing writer.
+    pub epochs: u64,
+}
+
+/// Races one publishing writer against `readers` validating reader
+/// threads over a 256-source single-combo view. Each epoch's bitmap is a
+/// uniform pattern keyed to the epoch's parity, so *any* blend of two
+/// epochs — torn words within a snapshot, or words from an epoch other
+/// than the validated one — is detectable in the reader.
+pub fn torn_read_check(epochs: u64, readers: usize) -> TornCheck {
+    const WORDS: usize = 4; // 256 sources, one combination
+    const PAT_ODD: u64 = 0x5555_5555_5555_5555;
+    const PAT_EVEN: u64 = 0xAAAA_AAAA_AAAA_AAAA;
+    let view = SuspectView::new(1, &[(0, WORDS * 64)]);
+    let stop = AtomicBool::new(false);
+    let torn = AtomicU64::new(0);
+    let reads = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..readers.max(1) {
+            let (view, stop, torn, reads) = (&view, &stop, &torn, &reads);
+            s.spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    let Some(r) = view.range(0, 0, WORDS) else {
+                        continue;
+                    };
+                    reads.fetch_add(1, Ordering::Relaxed);
+                    let expect = if r.epoch % 2 == 0 { PAT_EVEN } else { PAT_ODD };
+                    if r.words.len() != WORDS || r.words.iter().any(|&w| w != expect) {
+                        torn.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        let mut writer = view.writer(0);
+        for e in 1..=epochs {
+            let pat = if e % 2 == 0 { PAT_EVEN } else { PAT_ODD };
+            writer.publish_words(&[pat; WORDS], SimTime::from_micros(e));
+        }
+        // Under a loaded scheduler the publish loop can finish before a
+        // reader thread ever runs; the final epoch stays published, so
+        // wait for each reader to validate at least one read before
+        // stopping (the race window is over, but the check "a validated
+        // read is never torn" still needs validated reads to exist).
+        while reads.load(Ordering::Relaxed) < readers.max(1) as u64 {
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Release);
+    });
+    TornCheck {
+        torn_served: torn.load(Ordering::Relaxed),
+        reads: reads.load(Ordering::Relaxed),
+        retries: view.torn_retries(),
+        epochs,
+    }
+}
+
+/// Counts how many garbage datagrams a live server rejects (polling its
+/// malformed counter until it reaches `frames` or the deadline passes).
+pub fn malformed_frame_check(frames: usize) -> u64 {
+    let view = SuspectView::new(1, &[(0, 64)]);
+    let server =
+        ServeServer::start(Arc::clone(&view), ServeConfig::default()).expect("bind serve server");
+    let socket = UdpSocket::bind("127.0.0.1:0").expect("bind garbage source");
+    for i in 0..frames {
+        // A mix of empty, short and wrong-magic frames.
+        let garbage: Vec<u8> = match i % 3 {
+            0 => Vec::new(),
+            1 => vec![0xDE, 0xAD],
+            _ => vec![0xFF; 32],
+        };
+        socket
+            .send_to(&garbage, server.local_addr())
+            .expect("send garbage");
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let seen = server.stats().malformed.load(Ordering::Relaxed);
+        if seen >= frames as u64 || Instant::now() > deadline {
+            return seen;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The CI smoke gate: seqlock integrity under a deliberate race, at
+/// least one published epoch end-to-end, and malformed-frame rejection.
+///
+/// # Panics
+///
+/// Panics (failing the CI job) if any gate is violated.
+pub fn run_smoke(seed: u64) {
+    let tear = torn_read_check(2_000, 4);
+    assert_eq!(
+        tear.torn_served, 0,
+        "seqlock served a torn snapshot ({} of {} reads)",
+        tear.torn_served, tear.reads
+    );
+    assert!(tear.reads > 0, "readers never observed a published epoch");
+    println!(
+        "  seqlock race: {} reads over {} epochs, {} retries, 0 torn served",
+        tear.reads, tear.epochs, tear.retries
+    );
+
+    let row = run_serve_row(256, 4, 2, seed, 2);
+    assert!(
+        row.epochs_published >= 1,
+        "no epoch reached the serving plane"
+    );
+    assert!(
+        row.point_queries + row.range_queries > 0,
+        "load generator got no answers"
+    );
+    println!(
+        "  end-to-end: {} epochs, {} answers ({:.0} q/s), p50 {:.0} µs, staleness mean {:.2} ms",
+        row.epochs_published,
+        row.point_queries + row.range_queries,
+        row.qps,
+        row.p50_us,
+        row.staleness_mean_ms
+    );
+
+    let rejected = malformed_frame_check(9);
+    assert!(
+        rejected >= 9,
+        "server counted {rejected}/9 malformed frames"
+    );
+    println!("  malformed frames: {rejected}/9 counted and dropped");
+}
+
+/// Renders the benchmark as the `BENCH_serve.json` document (hand-rolled
+/// JSON: the workspace deliberately carries no JSON dependency).
+pub fn render_json(rows: &[ServeRow], shards_requested: usize, seed: u64) -> String {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"serve\",\n");
+    out.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    out.push_str(&format!("  \"shards_requested\": {shards_requested},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str("  \"grid_combos\": 30,\n");
+    out.push_str("  \"publish_interval_ms\": 500,\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"sources\": {}, \"cycles\": {}, \"shards\": {}, \"query_threads\": {}, \
+             \"epochs_published\": {}, \"point_queries\": {}, \"range_queries\": {}, \
+             \"timeouts\": {}, \"qps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+             \"staleness_mean_ms\": {:.3}, \"staleness_max_ms\": {:.3}, \
+             \"epoch_lag_mean\": {:.4}, \"epoch_lag_max\": {:.4}, \"torn_retries\": {}, \
+             \"malformed\": {}, \"engine_wall_ms\": {:.3}}}{}\n",
+            r.sources,
+            r.cycles,
+            r.shards,
+            r.query_threads,
+            r.epochs_published,
+            r.point_queries,
+            r.range_queries,
+            r.timeouts,
+            r.qps,
+            r.p50_us,
+            r.p99_us,
+            r.staleness_mean_ms,
+            r.staleness_max_ms,
+            r.epoch_lag_mean,
+            r.epoch_lag_max,
+            r.torn_retries,
+            r.malformed,
+            r.engine_wall_ms,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torn_read_check_is_clean() {
+        let tear = torn_read_check(300, 2);
+        assert_eq!(tear.torn_served, 0);
+        assert!(tear.reads > 0);
+    }
+
+    #[test]
+    fn serve_row_answers_queries_end_to_end() {
+        let row = run_serve_row(128, 3, 2, 7, 1);
+        assert!(row.epochs_published >= 2, "two segments × final publish");
+        assert!(row.point_queries > 0);
+        assert!(row.p50_us >= 0.0);
+        assert_eq!(row.shards, 2);
+    }
+
+    #[test]
+    fn malformed_frames_reach_the_counter() {
+        assert!(malformed_frame_check(3) >= 3);
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough() {
+        let rows = vec![run_serve_row(64, 2, 1, 3, 1)];
+        let doc = render_json(&rows, 1, 3);
+        assert!(doc.starts_with('{') && doc.trim_end().ends_with('}'));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert!(doc.contains("\"qps\""));
+        assert!(doc.contains("\"epoch_lag_mean\""));
+    }
+}

@@ -1,0 +1,179 @@
+//! Shared frame codec helpers: the one place that knows how a datagram
+//! header is validated.
+//!
+//! Three wire protocols live in this workspace — the heartbeat format
+//! ([`crate::wire`]), the consensus payloads (`fd-consensus`), and the
+//! suspect-query plane (`fd-serve`). All of them face the same hostile
+//! input: truncated datagrams, foreign traffic with the wrong magic tag,
+//! frames from a future protocol version, and unknown message tags. This
+//! module centralises those checks so corrupt-frame handling is uniform:
+//! every codec rejects with the same [`FrameError`] taxonomy, and every
+//! engine counts rejects the same way `Heartbeat::decode` corruption is
+//! counted and dropped.
+
+use bytes::{Buf, BufMut};
+
+/// Why a frame was rejected. One taxonomy for every codec in the
+/// workspace, so transports can count corruption uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The frame is shorter than the bytes the decoder needs next.
+    Truncated {
+        /// Bytes actually present.
+        len: usize,
+        /// Bytes the decoder needed.
+        need: usize,
+    },
+    /// The magic tag does not match the protocol's.
+    BadMagic {
+        /// The tag found.
+        found: u32,
+    },
+    /// The version is not supported.
+    BadVersion {
+        /// The version found.
+        found: u8,
+    },
+    /// The message tag is not one the protocol defines.
+    BadTag {
+        /// The tag found.
+        found: u8,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { len, need } => {
+                write!(f, "frame truncated: {len} bytes, need {need}")
+            }
+            FrameError::BadMagic { found } => write!(f, "bad magic tag {found:#010x}"),
+            FrameError::BadVersion { found } => write!(f, "unsupported wire version {found}"),
+            FrameError::BadTag { found } => write!(f, "unknown message tag {found}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Size of the common `magic(4) + version(1)` header prefix.
+pub const HEADER_SIZE: usize = 5;
+
+/// Checks that `data` still holds at least `need` bytes.
+///
+/// # Errors
+///
+/// Returns [`FrameError::Truncated`] when it does not.
+pub fn need(data: &[u8], need: usize) -> Result<(), FrameError> {
+    if data.remaining() < need {
+        Err(FrameError::Truncated {
+            len: data.remaining(),
+            need,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// Writes the common `magic + version` header prefix.
+pub fn put_header(buf: &mut impl BufMut, magic: u32, version: u8) {
+    buf.put_u32(magic);
+    buf.put_u8(version);
+}
+
+/// Consumes and validates the `magic + version` header prefix.
+///
+/// # Errors
+///
+/// Returns [`FrameError::Truncated`], [`FrameError::BadMagic`] or
+/// [`FrameError::BadVersion`] — checked in that order, so a corrupt
+/// header is always attributed to the first field that disagrees.
+pub fn take_header(data: &mut &[u8], magic: u32, version: u8) -> Result<(), FrameError> {
+    need(data, HEADER_SIZE)?;
+    let found = data.get_u32();
+    if found != magic {
+        return Err(FrameError::BadMagic { found });
+    }
+    let found = data.get_u8();
+    if found != version {
+        return Err(FrameError::BadVersion { found });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAGIC: u32 = 0xABCD_0123;
+
+    fn header() -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_header(&mut buf, MAGIC, 2);
+        buf
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let buf = header();
+        assert_eq!(buf.len(), HEADER_SIZE);
+        let mut data = &buf[..];
+        take_header(&mut data, MAGIC, 2).unwrap();
+        assert!(data.is_empty());
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let buf = header();
+        let mut data = &buf[..3];
+        assert_eq!(
+            take_header(&mut data, MAGIC, 2),
+            Err(FrameError::Truncated {
+                len: 3,
+                need: HEADER_SIZE
+            })
+        );
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let mut buf = header();
+        buf[0] ^= 0xff;
+        let mut data = &buf[..];
+        assert!(matches!(
+            take_header(&mut data, MAGIC, 2),
+            Err(FrameError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let buf = header();
+        let mut data = &buf[..];
+        assert_eq!(
+            take_header(&mut data, MAGIC, 9),
+            Err(FrameError::BadVersion { found: 2 })
+        );
+    }
+
+    #[test]
+    fn need_checks_remaining() {
+        assert!(need(&[1, 2, 3], 3).is_ok());
+        assert_eq!(
+            need(&[1, 2, 3], 4),
+            Err(FrameError::Truncated { len: 3, need: 4 })
+        );
+        assert!(need(&[], 0).is_ok());
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = FrameError::Truncated { len: 1, need: 8 };
+        assert!(e.to_string().contains("truncated"));
+        assert!(FrameError::BadMagic { found: 7 }.to_string().contains("magic"));
+        assert!(FrameError::BadVersion { found: 7 }
+            .to_string()
+            .contains("version"));
+        assert!(FrameError::BadTag { found: 7 }.to_string().contains("tag"));
+    }
+}

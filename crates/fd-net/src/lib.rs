@@ -15,10 +15,14 @@
 //!   [`profile::WanProfile::italy_japan`] matching Table 4;
 //! * **delay traces** ([`trace`]) — record, persist, replay and characterise
 //!   observed one-way delays (regenerates Table 4);
-//! * the **heartbeat wire format** ([`wire`]) used by the real-UDP engine.
+//! * the **heartbeat wire format** ([`wire`]) used by the real-UDP engine,
+//!   built on the shared **frame codec helpers** ([`framing`]) that every
+//!   wire protocol in the workspace (heartbeats, consensus payloads, the
+//!   fd-serve query plane) validates and rejects frames with.
 
 pub mod calibrate;
 pub mod delay;
+pub mod framing;
 pub mod link;
 pub mod loss;
 pub mod profile;
@@ -26,6 +30,7 @@ pub mod trace;
 pub mod wire;
 
 pub use calibrate::{calibrate_profile, CalibrationDiagnostics};
+pub use framing::FrameError;
 pub use delay::{
     Ar1JitterDelay, CompositeDelay, CongestionEpochDelay, ConstantDelay, DelayComponent,
     DelayModel, DriftDelay, ShiftedGammaDelay, SpikeDelay, TruncatedNormalDelay, UniformDelay,

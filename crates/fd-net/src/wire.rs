@@ -9,10 +9,12 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use fd_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
+use crate::framing::{self, FrameError};
+
 /// Magic tag identifying fdqos heartbeats (`"FDQS"`).
-const MAGIC: u32 = 0x4644_5153;
+pub const MAGIC: u32 = 0x4644_5153;
 /// Current wire version.
-const VERSION: u8 = 1;
+pub const VERSION: u8 = 1;
 /// Encoded size in bytes: magic(4) + version(1) + sender(2) + seq(8) + ts(8).
 pub const HEARTBEAT_WIRE_SIZE: usize = 23;
 
@@ -27,42 +29,10 @@ pub struct Heartbeat {
     pub sent_at: SimTime,
 }
 
-/// Errors decoding a heartbeat datagram.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum WireError {
-    /// The datagram is shorter than [`HEARTBEAT_WIRE_SIZE`].
-    Truncated {
-        /// Bytes actually present.
-        len: usize,
-    },
-    /// The magic tag does not match.
-    BadMagic {
-        /// The tag found.
-        found: u32,
-    },
-    /// The version is not supported.
-    BadVersion {
-        /// The version found.
-        found: u8,
-    },
-}
-
-impl std::fmt::Display for WireError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            WireError::Truncated { len } => {
-                write!(
-                    f,
-                    "datagram truncated: {len} bytes, need {HEARTBEAT_WIRE_SIZE}"
-                )
-            }
-            WireError::BadMagic { found } => write!(f, "bad magic tag {found:#010x}"),
-            WireError::BadVersion { found } => write!(f, "unsupported wire version {found}"),
-        }
-    }
-}
-
-impl std::error::Error for WireError {}
+/// Errors decoding a heartbeat datagram — the shared [`FrameError`]
+/// taxonomy of [`crate::framing`], which every codec in the workspace
+/// rejects with.
+pub type WireError = FrameError;
 
 impl Heartbeat {
     /// Creates a heartbeat.
@@ -77,8 +47,7 @@ impl Heartbeat {
     /// Encodes into a fresh buffer.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(HEARTBEAT_WIRE_SIZE);
-        buf.put_u32(MAGIC);
-        buf.put_u8(VERSION);
+        framing::put_header(&mut buf, MAGIC, VERSION);
         buf.put_u16(self.sender);
         buf.put_u64(self.seq);
         buf.put_u64(self.sent_at.as_micros());
@@ -92,17 +61,8 @@ impl Heartbeat {
     /// Returns a [`WireError`] if the datagram is truncated, carries the
     /// wrong magic tag, or an unsupported version.
     pub fn decode(mut data: &[u8]) -> Result<Heartbeat, WireError> {
-        if data.len() < HEARTBEAT_WIRE_SIZE {
-            return Err(WireError::Truncated { len: data.len() });
-        }
-        let magic = data.get_u32();
-        if magic != MAGIC {
-            return Err(WireError::BadMagic { found: magic });
-        }
-        let version = data.get_u8();
-        if version != VERSION {
-            return Err(WireError::BadVersion { found: version });
-        }
+        framing::need(data, HEARTBEAT_WIRE_SIZE)?;
+        framing::take_header(&mut data, MAGIC, VERSION)?;
         let sender = data.get_u16();
         let seq = data.get_u64();
         let sent_at = SimTime::from_micros(data.get_u64());
@@ -131,7 +91,13 @@ mod tests {
         let hb = Heartbeat::new(1, 2, SimTime::from_secs(3));
         let bytes = hb.encode();
         let err = Heartbeat::decode(&bytes[..10]).unwrap_err();
-        assert_eq!(err, WireError::Truncated { len: 10 });
+        assert_eq!(
+            err,
+            WireError::Truncated {
+                len: 10,
+                need: HEARTBEAT_WIRE_SIZE
+            }
+        );
         assert!(err.to_string().contains("truncated"));
     }
 

@@ -48,7 +48,7 @@ pub use multiplexer::MultiplexerLayer;
 pub use ntp::{NtpClientLayer, NtpSample, NtpServerLayer};
 pub use process::Process;
 pub use real_engine::{RealEngine, RealEngineConfig};
-pub use sharded::{MonitorEvent, ShardedConfig, ShardedEngine, ShardedReport};
+pub use sharded::{MonitorEvent, ShardPublisher, ShardedConfig, ShardedEngine, ShardedReport};
 pub use sim_engine::SimEngine;
 pub use supervisor::{Recoverable, RestartMode, SupervisorLayer};
 

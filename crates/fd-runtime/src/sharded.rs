@@ -107,6 +107,35 @@ pub struct MonitorEvent {
     pub transition: FdTransition,
 }
 
+/// A sink for periodic in-run publication of each shard's live suspicion
+/// state — the hook the serving plane (`fd-serve`) attaches to.
+///
+/// The engine calls [`publish`](ShardPublisher::publish) from the shard's
+/// **worker thread**, strictly after the events at the publication instant
+/// have been processed, so the bank passed in is exactly the shard's
+/// state at virtual time `now`. Implementations own any cross-thread
+/// hand-off (fd-serve's `SuspectView` copies the bitmap words into a
+/// seqlock-published buffer); the engine itself shares nothing between
+/// shards and never blocks on the sink.
+pub trait ShardPublisher: Sync {
+    /// Publishes the state of shard `shard` (owning global sources
+    /// `start .. start + bank.sources()`) as of virtual time `now`.
+    fn publish(&self, shard: usize, start: usize, bank: &SourceBank, now: SimTime);
+}
+
+/// The contiguous block partition [`ShardedEngine::run`] uses: `(start,
+/// len)` per shard, after clamping the shard count to the source count.
+/// Exposed so a serving-plane view can be laid out to match the engine's
+/// shards exactly.
+pub fn partition(sources: usize, shards: usize) -> Vec<(usize, usize)> {
+    let shards = shards.clamp(1, sources.max(1));
+    let q = sources / shards;
+    let r = sources % shards;
+    (0..shards)
+        .map(|s| (s * q + s.min(r), q + usize::from(s < r)))
+        .collect()
+}
+
 /// The result of a sharded run: the merged event log plus counters.
 #[derive(Debug, Clone)]
 pub struct ShardedReport {
@@ -189,27 +218,45 @@ impl ShardedEngine {
     /// Runs the configured workload across `config.shards` worker threads
     /// and merges the per-shard logs deterministically.
     pub fn run(&self) -> ShardedReport {
-        let cfg = &self.config;
-        let shards = cfg.shards.min(cfg.sources);
-        let started = Instant::now();
+        self.run_inner(None)
+    }
 
-        // Contiguous block partition: shard s owns [start, start + len).
-        let q = cfg.sources / shards;
-        let r = cfg.sources % shards;
-        let block = |s: usize| -> (usize, usize) {
-            let start = s * q + s.min(r);
-            (start, q + usize::from(s < r))
-        };
+    /// Like [`run`](Self::run), publishing each shard's live state to
+    /// `publisher` every `every` of **virtual** time (and once more at
+    /// quiescence, so the final state is always visible).
+    ///
+    /// Publication is pure observation: the merged log, fingerprint and
+    /// counters are bit-identical to [`run`](Self::run) for the same
+    /// configuration (the publisher sees state, it cannot change it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn run_published(
+        &self,
+        every: SimDuration,
+        publisher: &dyn ShardPublisher,
+    ) -> ShardedReport {
+        assert!(!every.is_zero(), "publish interval must be positive");
+        self.run_inner(Some((every, publisher)))
+    }
+
+    fn run_inner(&self, publish: Option<(SimDuration, &dyn ShardPublisher)>) -> ShardedReport {
+        let cfg = &self.config;
+        let blocks = partition(cfg.sources, cfg.shards);
+        let shards = blocks.len();
+        let started = Instant::now();
 
         let mut outs: Vec<ShardOut> = Vec::with_capacity(shards);
         if shards == 1 {
-            outs.push(run_shard(cfg, 0, cfg.sources));
+            outs.push(run_shard(cfg, 0, 0, cfg.sources, publish));
         } else {
             thread::scope(|scope| {
-                let handles: Vec<_> = (0..shards)
-                    .map(|s| {
-                        let (start, len) = block(s);
-                        scope.spawn(move || run_shard(cfg, start, len))
+                let handles: Vec<_> = blocks
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &(start, len))| {
+                        scope.spawn(move || run_shard(cfg, s, start, len, publish))
                     })
                     .collect();
                 for h in handles {
@@ -316,8 +363,16 @@ const WHEEL_MIN_SOURCES: usize = 16_384;
 
 /// Runs one shard to quiescence: a compact event loop over this shard's
 /// block of the source bank, on the queue backend that is fastest for
-/// the shard's size.
-fn run_shard(cfg: &ShardedConfig, start: usize, len: usize) -> ShardOut {
+/// the shard's size. With a publisher attached, the shard additionally
+/// publishes its bank every `every` of virtual time — a read-only hook
+/// after event processing, so the simulation itself is unchanged.
+fn run_shard(
+    cfg: &ShardedConfig,
+    shard: usize,
+    start: usize,
+    len: usize,
+    publish: Option<(SimDuration, &dyn ShardPublisher)>,
+) -> ShardOut {
     let backend = if len >= WHEEL_MIN_SOURCES {
         QueueBackend::Wheel
     } else {
@@ -352,11 +407,18 @@ fn run_shard(cfg: &ShardedConfig, start: usize, len: usize) -> ShardOut {
         }
     }
 
+    // Next virtual instant at (or after) which the shard publishes. The
+    // comparison below is one branch per event when no publisher is
+    // attached — the whole cost of the serving hook on the hot path.
+    let mut next_pub = publish.map(|(every, _)| SimTime::ZERO + every);
+    let mut last_at = SimTime::ZERO;
+
     // Drain to quiescence rather than to a time horizon: each source sends
     // at most `cycles` heartbeats, and once a source's combos have all
     // fired their final deadline nothing re-arms, so the loop terminates —
     // and every drawn heartbeat is accounted for as delivered or lost.
     while let Some((at, ev)) = sim.next_event() {
+        last_at = at;
         match ev {
             Ev::Arrival { local, seq } => {
                 heartbeats += 1;
@@ -401,6 +463,25 @@ fn run_shard(cfg: &ShardedConfig, start: usize, len: usize) -> ShardOut {
                 arm(&mut sim, &bank, local, at, &mut armed);
             }
         }
+        if let Some(due) = next_pub {
+            if at >= due {
+                let (every, publisher) = publish.expect("next_pub set only with a publisher");
+                publisher.publish(shard, start, &bank, at);
+                // Skip over publication instants the event stream jumped
+                // past: the next due time is strictly after `at`.
+                let mut due = due;
+                while due <= at {
+                    due = due + every;
+                }
+                next_pub = Some(due);
+            }
+        }
+    }
+
+    // Final publication at quiescence so the served view always converges
+    // to the bank's terminal state.
+    if let Some((_, publisher)) = publish {
+        publisher.publish(shard, start, &bank, last_at);
     }
 
     ShardOut {
@@ -552,6 +633,67 @@ mod tests {
         other.seed = 43;
         let c = ShardedEngine::new(other).run();
         assert_ne!(a.fingerprint, c.fingerprint, "seed had no effect");
+    }
+
+    /// Counting publisher: tallies calls and remembers the last virtual
+    /// time and suspicion population per shard.
+    struct CountingPublisher {
+        calls: std::sync::atomic::AtomicU64,
+        last_at: std::sync::atomic::AtomicU64,
+    }
+
+    impl ShardPublisher for CountingPublisher {
+        fn publish(&self, _shard: usize, _start: usize, bank: &SourceBank, now: SimTime) {
+            use std::sync::atomic::Ordering;
+            assert!(bank.sources() > 0);
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            self.last_at.fetch_max(now.as_micros(), Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn publish_hook_observes_without_changing_the_run() {
+        use std::sync::atomic::Ordering;
+        let baseline = ShardedEngine::new(busy_config(24, 3)).run();
+        let publisher = CountingPublisher {
+            calls: std::sync::atomic::AtomicU64::new(0),
+            last_at: std::sync::atomic::AtomicU64::new(0),
+        };
+        let published = ShardedEngine::new(busy_config(24, 3))
+            .run_published(SimDuration::from_millis(500), &publisher);
+        // Observation only: the run itself is bit-identical.
+        assert_eq!(baseline.fingerprint, published.fingerprint);
+        assert_eq!(baseline.events, published.events);
+        // Every shard published at least once per elapsed half-second plus
+        // the final quiescent publication.
+        let calls = publisher.calls.load(Ordering::Relaxed);
+        assert!(calls >= 3, "only {calls} publications across 3 shards");
+        assert!(publisher.last_at.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn partition_is_contiguous_and_complete() {
+        for (sources, shards) in [(10, 3), (24, 1), (7, 7), (5, 16), (1_000, 8)] {
+            let blocks = partition(sources, shards);
+            assert_eq!(blocks.len(), shards.min(sources));
+            let mut next = 0usize;
+            for &(start, len) in &blocks {
+                assert_eq!(start, next, "gap in partition {sources}/{shards}");
+                assert!(len > 0);
+                next = start + len;
+            }
+            assert_eq!(next, sources);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "publish interval must be positive")]
+    fn zero_publish_interval_rejected() {
+        struct Nop;
+        impl ShardPublisher for Nop {
+            fn publish(&self, _: usize, _: usize, _: &SourceBank, _: SimTime) {}
+        }
+        let _ = ShardedEngine::new(busy_config(4, 1)).run_published(SimDuration::ZERO, &Nop);
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Client side of the serving plane: a blocking UDP query client and the
+//! bridge that feeds a [`ShardedEngine`](fd_runtime::ShardedEngine)'s
+//! publish hook into a [`SuspectView`].
+
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use fd_core::SourceBank;
+use fd_runtime::ShardPublisher;
+use fd_sim::SimTime;
+
+use crate::view::{SegmentWriter, SuspectView};
+use crate::wire::{Request, Response};
+
+/// A blocking UDP client for the serving plane. One socket, sequential
+/// request/response; spin up one client per load-generator thread.
+pub struct ServeClient {
+    socket: UdpSocket,
+    server: SocketAddr,
+    next_token: u32,
+    buf: Box<[u8; 65_536]>,
+}
+
+impl std::fmt::Debug for ServeClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeClient")
+            .field("server", &self.server)
+            .finish()
+    }
+}
+
+impl ServeClient {
+    /// Connects (binds an ephemeral local port) to a server with the
+    /// given receive timeout.
+    pub fn connect(server: impl ToSocketAddrs, timeout: Duration) -> io::Result<ServeClient> {
+        let server = server
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no server address"))?;
+        let socket = UdpSocket::bind("127.0.0.1:0")?;
+        socket.set_read_timeout(Some(timeout))?;
+        Ok(ServeClient {
+            socket,
+            server,
+            next_token: 1,
+            buf: Box::new([0u8; 65_536]),
+        })
+    }
+
+    fn token(&mut self) -> u32 {
+        let t = self.next_token;
+        self.next_token = self.next_token.wrapping_add(1).max(1);
+        t
+    }
+
+    /// Sends a request and waits for the response carrying its token,
+    /// discarding unrelated frames (e.g. late answers to a timed-out
+    /// earlier query, or subscription pushes).
+    fn roundtrip(&mut self, req: Request) -> io::Result<Response> {
+        let token = req.token();
+        self.socket.send_to(&req.encode(), self.server)?;
+        loop {
+            let (len, _) = self.socket.recv_from(&mut self.buf[..])?;
+            match Response::decode(&self.buf[..len]) {
+                Ok(resp) if resp.token() == token => return Ok(resp),
+                _ => continue,
+            }
+        }
+    }
+
+    /// Point query: the latest published suspicion bit of
+    /// `(source, combo)`.
+    pub fn point(&mut self, source: u32, combo: u16) -> io::Result<Response> {
+        let token = self.token();
+        self.roundtrip(Request::Point {
+            token,
+            source,
+            combo,
+        })
+    }
+
+    /// Bulk query: up to `max_words` bitmap words of `combo` from the
+    /// word containing `first_source`.
+    pub fn range(&mut self, combo: u16, first_source: u32, max_words: u16) -> io::Result<Response> {
+        let token = self.token();
+        self.roundtrip(Request::Range {
+            token,
+            combo,
+            first_source,
+            max_words,
+        })
+    }
+
+    /// One-shot delta query on a segment.
+    pub fn delta_since(&mut self, segment: u16, since_epoch: u64) -> io::Result<Response> {
+        let token = self.token();
+        self.roundtrip(Request::DeltaSince {
+            token,
+            segment,
+            since_epoch,
+        })
+    }
+
+    /// Registers a standing delta subscription on `segment`; pushes
+    /// arrive via [`recv_push`](Self::recv_push). Fire-and-forget (UDP).
+    pub fn subscribe(&mut self, segment: u16, since_epoch: u64) -> io::Result<()> {
+        let token = self.token();
+        self.socket.send_to(
+            &Request::Subscribe {
+                token,
+                segment,
+                since_epoch,
+            }
+            .encode(),
+            self.server,
+        )?;
+        Ok(())
+    }
+
+    /// Cancels a subscription.
+    pub fn unsubscribe(&mut self, segment: u16) -> io::Result<()> {
+        let token = self.token();
+        self.socket.send_to(
+            &Request::Unsubscribe { token, segment }.encode(),
+            self.server,
+        )?;
+        Ok(())
+    }
+
+    /// Waits for the next subscription push (a `DeltaResp` or `Resync`
+    /// frame), or times out with the socket's read timeout.
+    pub fn recv_push(&mut self) -> io::Result<Response> {
+        loop {
+            let (len, _) = self.socket.recv_from(&mut self.buf[..])?;
+            match Response::decode(&self.buf[..len]) {
+                Ok(resp @ (Response::DeltaResp { .. } | Response::Resync { .. })) => {
+                    return Ok(resp)
+                }
+                _ => continue,
+            }
+        }
+    }
+}
+
+/// Adapts a [`SuspectView`] to the sharded engine's
+/// [`ShardPublisher`] hook: shard `i` publishes into segment `i`.
+///
+/// The hook takes `&self` from concurrent shard threads, so each
+/// segment's writer sits behind its own mutex — uncontended in practice,
+/// because exactly one shard thread ever touches each segment.
+pub struct EnginePublisher {
+    view: std::sync::Arc<SuspectView>,
+    writers: Vec<Mutex<SegmentWriter>>,
+}
+
+impl std::fmt::Debug for EnginePublisher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnginePublisher")
+            .field("segments", &self.writers.len())
+            .finish()
+    }
+}
+
+impl EnginePublisher {
+    /// Claims every segment writer of `view`. The view's partition must
+    /// match the engine's (same source count, same shard count — build
+    /// both from [`fd_runtime::sharded::partition`]).
+    pub fn new(view: &std::sync::Arc<SuspectView>) -> EnginePublisher {
+        EnginePublisher {
+            view: std::sync::Arc::clone(view),
+            writers: (0..view.segments())
+                .map(|seg| Mutex::new(view.writer(seg)))
+                .collect(),
+        }
+    }
+}
+
+impl ShardPublisher for EnginePublisher {
+    fn publish(&self, shard: usize, start: usize, bank: &SourceBank, now: SimTime) {
+        debug_assert_eq!(
+            self.view.segment_block(shard).0,
+            start,
+            "engine partition diverged from the view's"
+        );
+        let mut writer = self.writers[shard].lock().expect("segment writer poisoned");
+        writer.publish(bank, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServeConfig, ServeServer};
+    use std::sync::Arc;
+
+    #[test]
+    fn client_queries_a_live_server_over_loopback() {
+        let view = SuspectView::new(2, &[(0, 64)]);
+        let mut w = view.writer(0);
+        w.publish_words(&[0b100, 0], SimTime::from_secs(3));
+        let server = ServeServer::start(Arc::clone(&view), ServeConfig::default()).expect("bind");
+        let mut client =
+            ServeClient::connect(server.local_addr(), Duration::from_secs(5)).expect("connect");
+
+        match client.point(2, 0).expect("point") {
+            Response::PointResp { epoch, flags, .. } => {
+                assert_eq!(epoch, 1);
+                assert_eq!(flags & crate::wire::FLAG_SUSPECTING, crate::wire::FLAG_SUSPECTING);
+            }
+            other => panic!("expected point response, got {other:?}"),
+        }
+        match client.range(0, 0, 4).expect("range") {
+            Response::RangeResp { words, .. } => assert_eq!(words, vec![0b100]),
+            other => panic!("expected range response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subscription_pushes_deltas_and_resyncs_laggards() {
+        let view = SuspectView::new(1, &[(0, 64)]);
+        let mut w = view.writer(0);
+        w.publish_words(&[1], SimTime::from_secs(1));
+        let server = ServeServer::start(
+            Arc::clone(&view),
+            ServeConfig {
+                max_sub_lag: 4,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("bind");
+        let mut client =
+            ServeClient::connect(server.local_addr(), Duration::from_secs(5)).expect("connect");
+        client.subscribe(0, 0).expect("subscribe");
+
+        // The pusher delivers the catch-up delta for epoch 1.
+        match client.recv_push().expect("push") {
+            Response::DeltaResp {
+                to_epoch, changes, ..
+            } => {
+                assert_eq!(to_epoch, 1);
+                assert_eq!(changes, vec![(0, 1)]);
+            }
+            other => panic!("expected delta push, got {other:?}"),
+        }
+
+        // New epochs keep flowing.
+        w.publish_words(&[3], SimTime::from_secs(2));
+        match client.recv_push().expect("push") {
+            Response::DeltaResp {
+                from_epoch,
+                to_epoch,
+                changes,
+                ..
+            } => {
+                assert_eq!((from_epoch, to_epoch), (1, 2));
+                assert_eq!(changes, vec![(0, 3)]);
+            }
+            other => panic!("expected delta push, got {other:?}"),
+        }
+        client.unsubscribe(0).expect("unsubscribe");
+    }
+}

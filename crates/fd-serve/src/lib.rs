@@ -1,0 +1,42 @@
+//! The suspect-query serving plane: who the monitor suspects, answerable
+//! at wire speed, without touching the monitoring hot path.
+//!
+//! The paper evaluates a failure detector's QoS from the *monitor's* own
+//! point of view; a deployed detector has a second audience — every
+//! application thread and remote peer asking "do you currently suspect
+//! p?". At the million-source scale of the sharded engine that question
+//! cannot be answered by poking the engine itself: the observe path is
+//! the latency-critical resource the whole design protects. This crate
+//! decouples the two:
+//!
+//! * [`SuspectView`] ([`view`]) — an epoch-versioned, seqlock-style
+//!   double-buffered publication of the per-shard N×30 suspect bitmaps.
+//!   Engine shards publish at a configured interval (writers never
+//!   wait); any number of query threads read wait-free, retrying only a
+//!   read that raced *two* publications. A served answer carries its
+//!   epoch, the publishing shard's virtual time, and a wall-clock age —
+//!   so staleness is measurable, not anecdotal.
+//! * [`wire`] — a compact binary protocol (point query, bulk range,
+//!   delta-since-epoch, subscriptions) on the shared [`fd_net::framing`]
+//!   header, with heartbeat-style count-and-drop handling of malformed
+//!   frames.
+//! * [`ServeServer`] ([`server`]) — a std-only nonblocking-UDP thread
+//!   pool answering queries against the view, with bounded per-subscriber
+//!   backpressure (lag beyond a configured bound ⇒ one `Resync`, drop).
+//! * [`ServeClient`] / [`EnginePublisher`] ([`client`]) — the blocking
+//!   query client used by load generators, and the bridge that plugs a
+//!   view into [`fd_runtime::ShardedEngine::run_published`].
+//!
+//! The `serve` binary in `fd-experiments` drives a 100k-source grid
+//! against this stack and records queries/sec, latency percentiles and
+//! snapshot staleness to `BENCH_serve.json`.
+
+pub mod client;
+pub mod server;
+pub mod view;
+pub mod wire;
+
+pub use client::{EnginePublisher, ServeClient};
+pub use server::{respond, ServeConfig, ServeServer, ServeStats};
+pub use view::{DeltaRead, PointRead, RangeRead, SegmentWriter, SuspectView, WordDelta};
+pub use wire::{Request, Response};

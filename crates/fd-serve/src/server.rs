@@ -1,0 +1,573 @@
+//! The UDP query server: a small thread pool answering serving-plane
+//! frames against a [`SuspectView`], std-only and allocation-light.
+//!
+//! # Design
+//!
+//! * **Nonblocking shared socket.** All worker threads `recv_from` the
+//!   same nonblocking socket (kernel load-balances wakeups); a worker
+//!   that finds the queue empty parks briefly. No async runtime, no
+//!   epoll dependency — just `std::net`, because the workspace carries
+//!   no I/O framework and the protocol is strictly request/response.
+//! * **Queries never lock.** Point and range answers go through the
+//!   seqlock view — a query cannot block a shard publication and
+//!   publications cannot block queries. Only the subscription control
+//!   plane (subscribe/unsubscribe) takes a mutex.
+//! * **Malformed frames are counted, not fatal.** The same policy as
+//!   `Heartbeat::decode` on the heartbeat plane: a frame that fails to
+//!   decode increments [`ServeStats::malformed`] and is dropped without
+//!   a reply (replying to garbage invites reflection abuse).
+//! * **Bounded subscriber backpressure.** A pusher thread walks the
+//!   subscription table at the publish cadence and sends each subscriber
+//!   the delta since its acknowledged epoch. A subscriber whose lag
+//!   exceeds [`ServeConfig::max_sub_lag`] epochs — or whose window left
+//!   the delta ring — gets one `Resync` frame and is dropped: a slow
+//!   client costs one table entry and one frame, never unbounded queueing.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::view::{DeltaRead, SuspectView};
+use crate::wire::{
+    Request, Response, ERR_BAD_SEGMENT, ERR_OUT_OF_RANGE, FLAG_PUBLISHED, FLAG_SUSPECTING,
+};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServeServer::local_addr`]).
+    pub addr: String,
+    /// Worker threads answering queries.
+    pub workers: usize,
+    /// Epochs a subscriber may fall behind before it is resynced and
+    /// dropped.
+    pub max_sub_lag: u64,
+    /// Pusher poll interval.
+    pub push_interval: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            max_sub_lag: 16,
+            push_interval: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Serving-plane counters, all monotone, safe to read at any time.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Point queries answered.
+    pub served_point: AtomicU64,
+    /// Range queries answered.
+    pub served_range: AtomicU64,
+    /// One-shot delta queries answered.
+    pub served_delta: AtomicU64,
+    /// Frames that failed to decode (counted and dropped, like corrupted
+    /// heartbeats).
+    pub malformed: AtomicU64,
+    /// Well-formed but unanswerable requests (`Err` replies).
+    pub errors: AtomicU64,
+    /// Delta frames pushed to subscribers.
+    pub subs_pushed: AtomicU64,
+    /// Subscribers dropped for exceeding the lag bound or losing their
+    /// delta window.
+    pub subs_dropped: AtomicU64,
+}
+
+impl ServeStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+struct SubState {
+    /// Last epoch the subscriber has been sent (it holds this epoch's
+    /// bitmap once deltas are applied).
+    acked_epoch: u64,
+}
+
+/// The running query server. Dropping it stops and joins all threads.
+pub struct ServeServer {
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServeStats>,
+    local_addr: SocketAddr,
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// Answers one well-formed datagram against the view. Pure with respect
+/// to sockets — this is the whole request path, exposed so tests can
+/// drive the server logic without UDP. Returns `None` for malformed
+/// frames (after counting them) and for requests that take no reply.
+pub fn respond(view: &SuspectView, stats: &ServeStats, data: &[u8]) -> Option<Vec<u8>> {
+    let req = match Request::decode(data) {
+        Ok(req) => req,
+        Err(_) => {
+            ServeStats::bump(&stats.malformed);
+            return None;
+        }
+    };
+    let resp = match req {
+        Request::Point {
+            token,
+            source,
+            combo,
+        } => {
+            if source as usize >= view.sources() || combo as usize >= view.combos() {
+                ServeStats::bump(&stats.errors);
+                Response::Err {
+                    token,
+                    code: ERR_OUT_OF_RANGE,
+                }
+            } else {
+                ServeStats::bump(&stats.served_point);
+                match view.point(source, u32::from(combo)) {
+                    Some(ans) => Response::PointResp {
+                        token,
+                        epoch: ans.epoch,
+                        flags: FLAG_PUBLISHED
+                            | if ans.suspecting { FLAG_SUSPECTING } else { 0 },
+                        age_us: ans.age_us,
+                    },
+                    // Not yet published: answer "fresh, not suspecting,
+                    // unpublished" rather than erroring — the grid warms
+                    // up segment by segment.
+                    None => Response::PointResp {
+                        token,
+                        epoch: 0,
+                        flags: 0,
+                        age_us: 0,
+                    },
+                }
+            }
+        }
+        Request::Range {
+            token,
+            combo,
+            first_source,
+            max_words,
+        } => {
+            let seg = view.segment_of(first_source);
+            match seg.and_then(|_| {
+                view.range(u32::from(combo), first_source, usize::from(max_words.max(1)))
+            }) {
+                Some(ans) => {
+                    ServeStats::bump(&stats.served_range);
+                    Response::RangeResp {
+                        token,
+                        segment: seg.unwrap_or(0) as u16,
+                        epoch: ans.epoch,
+                        combo,
+                        first_word_source: ans.first_source,
+                        words: ans.words,
+                    }
+                }
+                None => {
+                    ServeStats::bump(&stats.errors);
+                    Response::Err {
+                        token,
+                        code: ERR_OUT_OF_RANGE,
+                    }
+                }
+            }
+        }
+        Request::DeltaSince {
+            token,
+            segment,
+            since_epoch,
+        } => match view.delta_since(usize::from(segment), since_epoch) {
+            Some(DeltaRead::Changes {
+                from_epoch,
+                to_epoch,
+                changes,
+            }) => {
+                ServeStats::bump(&stats.served_delta);
+                Response::DeltaResp {
+                    token,
+                    segment,
+                    from_epoch,
+                    to_epoch,
+                    changes: changes.into_iter().map(|d| (d.index, d.value)).collect(),
+                }
+            }
+            Some(DeltaRead::Resync { current_epoch }) => {
+                ServeStats::bump(&stats.served_delta);
+                Response::Resync {
+                    token,
+                    segment,
+                    current_epoch,
+                }
+            }
+            None => {
+                ServeStats::bump(&stats.errors);
+                Response::Err {
+                    token,
+                    code: if usize::from(segment) < view.segments() {
+                        ERR_OUT_OF_RANGE // segment exists but unpublished
+                    } else {
+                        ERR_BAD_SEGMENT
+                    },
+                }
+            }
+        },
+        // Subscription management is handled by the worker loop (it needs
+        // the sender address); through the pure path they take no reply.
+        Request::Subscribe { .. } | Request::Unsubscribe { .. } => return None,
+    };
+    Some(resp.encode())
+}
+
+impl ServeServer {
+    /// Binds the socket and starts the worker and pusher threads.
+    pub fn start(view: Arc<SuspectView>, cfg: ServeConfig) -> io::Result<ServeServer> {
+        let socket = UdpSocket::bind(&cfg.addr)?;
+        socket.set_nonblocking(true)?;
+        let local_addr = socket.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServeStats::default());
+        let subs: Arc<Mutex<HashMap<(SocketAddr, u16), SubState>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+
+        let mut handles = Vec::new();
+        for worker in 0..cfg.workers.max(1) {
+            let socket = socket.try_clone()?;
+            let view = Arc::clone(&view);
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            let subs = Arc::clone(&subs);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("fd-serve-worker-{worker}"))
+                    .spawn(move || worker_loop(&socket, &view, &stop, &stats, &subs))
+                    .expect("spawn serve worker"),
+            );
+        }
+        {
+            let socket = socket.try_clone()?;
+            let view = Arc::clone(&view);
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            let max_lag = cfg.max_sub_lag;
+            let interval = cfg.push_interval;
+            handles.push(
+                std::thread::Builder::new()
+                    .name("fd-serve-pusher".to_string())
+                    .spawn(move || pusher_loop(&socket, &view, &stop, &stats, &subs, max_lag, interval))
+                    .expect("spawn serve pusher"),
+            );
+        }
+        Ok(ServeServer {
+            stop,
+            stats,
+            local_addr,
+            handles,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The live counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Stops and joins all threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServeServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(
+    socket: &UdpSocket,
+    view: &SuspectView,
+    stop: &AtomicBool,
+    stats: &ServeStats,
+    subs: &Mutex<HashMap<(SocketAddr, u16), SubState>>,
+) {
+    let mut buf = [0u8; 65_536];
+    while !stop.load(Ordering::Acquire) {
+        let (len, peer) = match socket.recv_from(&mut buf) {
+            Ok(pair) => pair,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(200));
+                continue;
+            }
+            Err(_) => continue,
+        };
+        let data = &buf[..len];
+        // Subscription management needs the peer address, so it is
+        // handled here; everything else goes through the pure path.
+        match Request::decode(data) {
+            Ok(Request::Subscribe {
+                token,
+                segment,
+                since_epoch,
+            }) => {
+                if usize::from(segment) >= view.segments() {
+                    ServeStats::bump(&stats.errors);
+                    let _ = socket.send_to(
+                        &Response::Err {
+                            token,
+                            code: ERR_BAD_SEGMENT,
+                        }
+                        .encode(),
+                        peer,
+                    );
+                    continue;
+                }
+                subs.lock().expect("subs poisoned").insert(
+                    (peer, segment),
+                    SubState {
+                        acked_epoch: since_epoch,
+                    },
+                );
+            }
+            Ok(Request::Unsubscribe { segment, .. }) => {
+                subs.lock().expect("subs poisoned").remove(&(peer, segment));
+            }
+            _ => {
+                if let Some(reply) = respond(view, stats, data) {
+                    let _ = socket.send_to(&reply, peer);
+                }
+            }
+        }
+    }
+}
+
+fn pusher_loop(
+    socket: &UdpSocket,
+    view: &SuspectView,
+    stop: &AtomicBool,
+    stats: &ServeStats,
+    subs: &Mutex<HashMap<(SocketAddr, u16), SubState>>,
+    max_lag: u64,
+    interval: Duration,
+) {
+    while !stop.load(Ordering::Acquire) {
+        std::thread::sleep(interval);
+        let mut table = subs.lock().expect("subs poisoned");
+        let mut dropped: Vec<(SocketAddr, u16)> = Vec::new();
+        for (&(peer, segment), state) in table.iter_mut() {
+            let current = view.epoch(segment as usize);
+            if current <= state.acked_epoch {
+                continue;
+            }
+            let lagging = current - state.acked_epoch > max_lag;
+            let delta = if lagging {
+                Some(DeltaRead::Resync {
+                    current_epoch: current,
+                })
+            } else {
+                view.delta_since(usize::from(segment), state.acked_epoch)
+            };
+            match delta {
+                Some(DeltaRead::Changes {
+                    from_epoch,
+                    to_epoch,
+                    changes,
+                }) => {
+                    let frame = Response::DeltaResp {
+                        token: 0,
+                        segment,
+                        from_epoch,
+                        to_epoch,
+                        changes: changes.into_iter().map(|d| (d.index, d.value)).collect(),
+                    };
+                    let _ = socket.send_to(&frame.encode(), peer);
+                    ServeStats::bump(&stats.subs_pushed);
+                    state.acked_epoch = to_epoch;
+                }
+                Some(DeltaRead::Resync { current_epoch }) => {
+                    // Backpressure: one Resync frame, then the entry is
+                    // gone — a dead client cannot grow server state.
+                    let _ = socket.send_to(
+                        &Response::Resync {
+                            token: 0,
+                            segment,
+                            current_epoch,
+                        }
+                        .encode(),
+                        peer,
+                    );
+                    ServeStats::bump(&stats.subs_dropped);
+                    dropped.push((peer, segment));
+                }
+                None => {}
+            }
+        }
+        for key in dropped {
+            table.remove(&key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_sim::SimTime;
+
+    fn view_with_one_epoch() -> Arc<SuspectView> {
+        let view = SuspectView::new(2, &[(0, 64), (64, 64)]);
+        let mut w0 = view.writer(0);
+        let mut w1 = view.writer(1);
+        w0.publish_words(&[0b101, 0b1], SimTime::from_secs(1));
+        w1.publish_words(&[0, 0b10], SimTime::from_secs(1));
+        view
+    }
+
+    #[test]
+    fn respond_answers_point_and_range() {
+        let view = view_with_one_epoch();
+        let stats = ServeStats::default();
+        let req = Request::Point {
+            token: 5,
+            source: 2,
+            combo: 0,
+        }
+        .encode();
+        let reply = respond(&view, &stats, &req).expect("reply");
+        match Response::decode(&reply).unwrap() {
+            Response::PointResp {
+                token,
+                epoch,
+                flags,
+                ..
+            } => {
+                assert_eq!(token, 5);
+                assert_eq!(epoch, 1);
+                assert_eq!(flags & FLAG_SUSPECTING, FLAG_SUSPECTING);
+                assert_eq!(flags & FLAG_PUBLISHED, FLAG_PUBLISHED);
+            }
+            other => panic!("expected point response, got {other:?}"),
+        }
+        let req = Request::Range {
+            token: 6,
+            combo: 1,
+            first_source: 64,
+            max_words: 4,
+        }
+        .encode();
+        let reply = respond(&view, &stats, &req).expect("reply");
+        match Response::decode(&reply).unwrap() {
+            Response::RangeResp {
+                segment,
+                words,
+                first_word_source,
+                ..
+            } => {
+                assert_eq!(segment, 1);
+                assert_eq!(first_word_source, 64);
+                assert_eq!(words, vec![0b10]);
+            }
+            other => panic!("expected range response, got {other:?}"),
+        }
+        assert_eq!(stats.served_point.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.served_range.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn malformed_frames_are_counted_and_dropped() {
+        let view = view_with_one_epoch();
+        let stats = ServeStats::default();
+        assert!(respond(&view, &stats, b"garbage frame").is_none());
+        assert!(respond(&view, &stats, &[]).is_none());
+        // Correct prefix, unknown tag.
+        let mut bad = Request::Point {
+            token: 0,
+            source: 0,
+            combo: 0,
+        }
+        .encode();
+        bad[5] = 77;
+        assert!(respond(&view, &stats, &bad).is_none());
+        assert_eq!(stats.malformed.load(Ordering::Relaxed), 3);
+        assert_eq!(stats.served_point.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn out_of_range_point_is_an_error_reply() {
+        let view = view_with_one_epoch();
+        let stats = ServeStats::default();
+        let req = Request::Point {
+            token: 9,
+            source: 500,
+            combo: 0,
+        }
+        .encode();
+        let reply = respond(&view, &stats, &req).expect("reply");
+        assert_eq!(
+            Response::decode(&reply).unwrap(),
+            Response::Err {
+                token: 9,
+                code: ERR_OUT_OF_RANGE
+            }
+        );
+        assert_eq!(stats.errors.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn delta_since_served_over_the_wire_path() {
+        let view = SuspectView::new(1, &[(0, 64)]);
+        let mut w = view.writer(0);
+        w.publish_words(&[1], SimTime::from_secs(1));
+        w.publish_words(&[3], SimTime::from_secs(2));
+        let stats = ServeStats::default();
+        let req = Request::DeltaSince {
+            token: 1,
+            segment: 0,
+            since_epoch: 1,
+        }
+        .encode();
+        let reply = respond(&view, &stats, &req).expect("reply");
+        assert_eq!(
+            Response::decode(&reply).unwrap(),
+            Response::DeltaResp {
+                token: 1,
+                segment: 0,
+                from_epoch: 1,
+                to_epoch: 2,
+                changes: vec![(0, 3)],
+            }
+        );
+    }
+
+    #[test]
+    fn unpublished_view_point_is_flagged_unpublished() {
+        let view = SuspectView::new(2, &[(0, 64)]);
+        let stats = ServeStats::default();
+        let req = Request::Point {
+            token: 2,
+            source: 1,
+            combo: 1,
+        }
+        .encode();
+        let reply = respond(&view, &stats, &req).expect("reply");
+        match Response::decode(&reply).unwrap() {
+            Response::PointResp { epoch, flags, .. } => {
+                assert_eq!(epoch, 0);
+                assert_eq!(flags, 0);
+            }
+            other => panic!("expected point response, got {other:?}"),
+        }
+    }
+}

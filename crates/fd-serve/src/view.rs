@@ -1,0 +1,664 @@
+//! The published suspicion state: an epoch-versioned, seqlock-style
+//! double-buffered view of the N×M suspect bitmaps.
+//!
+//! # Why a seqlock
+//!
+//! The paper's accuracy metric `P_A` is defined over *queries*: a client
+//! asks "do you suspect p right now?". At a million sources × 30
+//! combinations the answer lives in ~4 MiB of bitmap; a lock around it
+//! would serialise every query against every shard publication, and an
+//! RCU-style fresh-allocation-per-epoch would churn megabytes per publish
+//! interval. A seqlock gives the two properties the serving plane needs:
+//!
+//! * **writers never wait** — a shard publishes by bumping a sequence
+//!   word, memcpy-ing its bitmap into the inactive buffer and bumping
+//!   again; the observe hot path never blocks on readers;
+//! * **readers are wait-free in the common case** — a query reads the
+//!   sequence word, the bits, and the sequence word again; only a reader
+//!   that raced *two* publications (its snapshot buffer got recycled
+//!   mid-read) retries. Readers never write shared state, so any number
+//!   of query threads scale without contention.
+//!
+//! Double-buffering is what keeps retries rare: the writer copies into
+//! the buffer *not* currently published, so one publication during a read
+//! leaves the read buffer intact — a reader only observes a torn epoch if
+//! it is delayed across two full publish intervals.
+//!
+//! # Epoch and staleness semantics
+//!
+//! Every segment (one per engine shard) carries a monotonically
+//! increasing **epoch**, starting at 1 for the first publication
+//! (epoch 0 means "nothing published yet"). A validated read is
+//! guaranteed to observe the bitmap of exactly one epoch — never a blend
+//! of two — along with the virtual time the publishing shard had reached
+//! and the wall-clock instant of publication. **Staleness** of an answer
+//! is therefore well defined: the age of its epoch at serve time. The
+//! view serves the *latest published* state, which trails the engine's
+//! live state by at most one publish interval plus the read race window.
+//!
+//! All word storage is `AtomicU64` with relaxed element ordering;
+//! publication ordering comes from the acquire/release pair on the
+//! sequence word (plus an acquire fence before re-validation), so torn
+//! *words* are impossible and torn *epochs* are detected and retried.
+
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use fd_core::SourceBank;
+use fd_sim::SimTime;
+
+/// How many epochs of per-word deltas each segment retains for
+/// delta-since-epoch queries and subscriptions.
+pub const DELTA_RING: usize = 64;
+
+/// One word-level change of a publication: `words[index] = value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WordDelta {
+    /// Index into the segment's combo-major word array
+    /// (`combo * words_per_combo + word`).
+    pub index: u32,
+    /// The new value of that word.
+    pub value: u64,
+}
+
+/// The changes of one published epoch, kept in the segment's delta ring.
+#[derive(Debug, Clone)]
+struct DeltaEntry {
+    epoch: u64,
+    changes: Vec<WordDelta>,
+}
+
+/// Per-buffer publication metadata, read under the same seqlock
+/// validation as the words.
+struct BufMeta {
+    /// Virtual time the publishing shard had reached, microseconds.
+    virtual_us: AtomicU64,
+    /// Wall-clock publication instant, nanoseconds since view creation.
+    wall_nanos: AtomicU64,
+}
+
+/// One shard's slice of the view: a private seqlock over its own
+/// double-buffered bitmap.
+struct Segment {
+    /// First global source id of the segment.
+    start: usize,
+    /// Sources in the segment.
+    len: usize,
+    /// Words per combination row (`ceil(len / 64)`).
+    words: usize,
+    /// The seqlock word: `2 × epoch` after a publication; never odd (the
+    /// double buffer removes the odd "write in progress" state — a
+    /// publication becomes visible atomically with the bump).
+    seq: AtomicU64,
+    /// The two bitmap buffers, `combos × words` words each. Epoch `e`
+    /// lives in buffer `e & 1`.
+    bufs: [Box<[AtomicU64]>; 2],
+    meta: [BufMeta; 2],
+    /// Guards the single-writer invariant: `writer()` hands out one
+    /// [`SegmentWriter`] per segment.
+    writer_taken: AtomicBool,
+    /// Ring of the last [`DELTA_RING`] publications' changed words.
+    /// Mutex-guarded — the delta path is the control plane, not the
+    /// wait-free query path.
+    deltas: Mutex<Vec<DeltaEntry>>,
+}
+
+/// A validated point read: one `(source, combo)` bit at one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointRead {
+    /// Epoch the answer is from (≥ 1).
+    pub epoch: u64,
+    /// The suspicion bit.
+    pub suspecting: bool,
+    /// Virtual time the publishing shard had reached.
+    pub published_at: SimTime,
+    /// Age of the epoch at read time, microseconds of wall clock.
+    pub age_us: u64,
+}
+
+/// A validated bulk read: a run of bitmap words of one combination
+/// within one segment, all from the same epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeRead {
+    /// Epoch the words are from (≥ 1).
+    pub epoch: u64,
+    /// Global id of the first source covered (64-aligned within the
+    /// segment).
+    pub first_source: u32,
+    /// The bitmap words; bit `i` of word `j` is source
+    /// `first_source + 64 j + i` (bits beyond the segment end are zero).
+    pub words: Vec<u64>,
+    /// Virtual time the publishing shard had reached.
+    pub published_at: SimTime,
+    /// Age of the epoch at read time, microseconds of wall clock.
+    pub age_us: u64,
+}
+
+/// A delta answer: the word changes between two epochs of one segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaRead {
+    /// The requested window is retained: applying `changes` (in order) to
+    /// the `from_epoch` bitmap yields the `to_epoch` bitmap.
+    Changes {
+        /// The epoch the client claimed to hold.
+        from_epoch: u64,
+        /// The epoch the changes lead to (the segment's current epoch).
+        to_epoch: u64,
+        /// Word changes, oldest epoch first, deduplicated to the last
+        /// write per word.
+        changes: Vec<WordDelta>,
+    },
+    /// The window left the delta ring (client too far behind) — it must
+    /// re-snapshot via range reads.
+    Resync {
+        /// The segment's current epoch.
+        current_epoch: u64,
+    },
+}
+
+/// The epoch-versioned published view of every shard's suspect bitmaps.
+///
+/// Created once per serving deployment with the engine's exact shard
+/// partition; shards write through [`SegmentWriter`]s, any number of
+/// threads read through `&self`.
+pub struct SuspectView {
+    combos: usize,
+    sources: usize,
+    segs: Vec<Segment>,
+    /// Wall base for publication timestamps.
+    epoch0: Instant,
+    /// Validated-read retries across all readers (a retry is a detected
+    /// torn epoch that was re-read — never served).
+    torn_retries: AtomicU64,
+}
+
+impl std::fmt::Debug for SuspectView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SuspectView")
+            .field("sources", &self.sources)
+            .field("combos", &self.combos)
+            .field("segments", &self.segs.len())
+            .finish()
+    }
+}
+
+impl SuspectView {
+    /// Builds a view over `combos` combinations with one segment per
+    /// `(start, len)` partition block — use
+    /// [`fd_runtime::sharded::partition`] to match a [`ShardedEngine`]'s
+    /// layout exactly.
+    ///
+    /// [`ShardedEngine`]: fd_runtime::ShardedEngine
+    ///
+    /// # Panics
+    ///
+    /// Panics if `combos` is zero, the partition is empty or
+    /// non-contiguous from 0, or a block is empty.
+    pub fn new(combos: usize, partition: &[(usize, usize)]) -> Arc<SuspectView> {
+        assert!(combos > 0, "need at least one combination");
+        assert!(!partition.is_empty(), "need at least one segment");
+        let mut next = 0usize;
+        let segs: Vec<Segment> = partition
+            .iter()
+            .map(|&(start, len)| {
+                assert_eq!(start, next, "partition must be contiguous from 0");
+                assert!(len > 0, "empty partition block");
+                next = start + len;
+                let words = len.div_ceil(64);
+                let mk_buf = || -> Box<[AtomicU64]> {
+                    (0..combos * words).map(|_| AtomicU64::new(0)).collect()
+                };
+                let mk_meta = || BufMeta {
+                    virtual_us: AtomicU64::new(0),
+                    wall_nanos: AtomicU64::new(0),
+                };
+                Segment {
+                    start,
+                    len,
+                    words,
+                    seq: AtomicU64::new(0),
+                    bufs: [mk_buf(), mk_buf()],
+                    meta: [mk_meta(), mk_meta()],
+                    writer_taken: AtomicBool::new(false),
+                    deltas: Mutex::new(Vec::with_capacity(DELTA_RING)),
+                }
+            })
+            .collect();
+        Arc::new(SuspectView {
+            combos,
+            sources: next,
+            segs,
+            epoch0: Instant::now(),
+            torn_retries: AtomicU64::new(0),
+        })
+    }
+
+    /// Builds a view matching a [`ShardedEngine`](fd_runtime::ShardedEngine)
+    /// over `sources` sources split across `shards` shards.
+    pub fn for_engine(combos: usize, sources: usize, shards: usize) -> Arc<SuspectView> {
+        Self::new(combos, &fd_runtime::sharded::partition(sources, shards))
+    }
+
+    /// Total monitored sources across all segments.
+    pub fn sources(&self) -> usize {
+        self.sources
+    }
+
+    /// Combinations per source.
+    pub fn combos(&self) -> usize {
+        self.combos
+    }
+
+    /// Number of segments (engine shards).
+    pub fn segments(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// The `(start, len)` block of segment `seg`.
+    pub fn segment_block(&self, seg: usize) -> (usize, usize) {
+        (self.segs[seg].start, self.segs[seg].len)
+    }
+
+    /// The current epoch of segment `seg` (0 = nothing published yet).
+    pub fn epoch(&self, seg: usize) -> u64 {
+        self.segs[seg].seq.load(Ordering::Acquire) / 2
+    }
+
+    /// Detected-and-retried torn reads across all readers since creation.
+    /// A retry is the seqlock working as designed — the torn snapshot was
+    /// discarded, never served.
+    pub fn torn_retries(&self) -> u64 {
+        self.torn_retries.load(Ordering::Relaxed)
+    }
+
+    /// The segment owning global source `source`, or `None` out of range.
+    pub fn segment_of(&self, source: u32) -> Option<usize> {
+        let s = source as usize;
+        if s >= self.sources {
+            return None;
+        }
+        // Blocks are contiguous and sorted: first block starting after s,
+        // minus one.
+        let idx = self.segs.partition_point(|seg| seg.start <= s);
+        Some(idx - 1)
+    }
+
+    /// Claims the single writer handle of segment `seg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment's writer was already claimed (the seqlock is
+    /// single-writer per segment; one engine shard owns one segment).
+    pub fn writer(self: &Arc<Self>, seg: usize) -> SegmentWriter {
+        assert!(seg < self.segs.len(), "segment {seg} out of range");
+        assert!(
+            !self.segs[seg].writer_taken.swap(true, Ordering::AcqRel),
+            "segment {seg} writer already claimed"
+        );
+        SegmentWriter {
+            view: Arc::clone(self),
+            seg,
+        }
+    }
+
+    /// Wait-free point query: the suspicion bit of `(source, combo)` at
+    /// the latest published epoch. `None` while the owning segment has
+    /// not published, or for an out-of-range pair.
+    pub fn point(&self, source: u32, combo: u32) -> Option<PointRead> {
+        if combo as usize >= self.combos {
+            return None;
+        }
+        let seg = &self.segs[self.segment_of(source)?];
+        let local = source as usize - seg.start;
+        let widx = combo as usize * seg.words + local / 64;
+        let bit = 1u64 << (local % 64);
+        loop {
+            let s0 = seg.seq.load(Ordering::Acquire);
+            if s0 == 0 {
+                return None;
+            }
+            let epoch = s0 / 2;
+            let b = (epoch & 1) as usize;
+            let word = seg.bufs[b][widx].load(Ordering::Relaxed);
+            let virtual_us = seg.meta[b].virtual_us.load(Ordering::Relaxed);
+            let wall_nanos = seg.meta[b].wall_nanos.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            if seg.seq.load(Ordering::Relaxed) == s0 {
+                return Some(PointRead {
+                    epoch,
+                    suspecting: word & bit != 0,
+                    published_at: SimTime::from_micros(virtual_us),
+                    age_us: self.age_us(wall_nanos),
+                });
+            }
+            self.torn_retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Wait-free bulk query: up to `max_words` bitmap words of `combo`
+    /// starting at the word containing `first_source`, clipped to the
+    /// segment owning `first_source`. All words are validated against one
+    /// epoch — a mixed-epoch result is impossible.
+    pub fn range(&self, combo: u32, first_source: u32, max_words: usize) -> Option<RangeRead> {
+        if combo as usize >= self.combos || max_words == 0 {
+            return None;
+        }
+        let seg = &self.segs[self.segment_of(first_source)?];
+        let local = first_source as usize - seg.start;
+        let w0 = local / 64;
+        let n = max_words.min(seg.words - w0);
+        let base = combo as usize * seg.words + w0;
+        let mut words = vec![0u64; n];
+        loop {
+            let s0 = seg.seq.load(Ordering::Acquire);
+            if s0 == 0 {
+                return None;
+            }
+            let epoch = s0 / 2;
+            let b = (epoch & 1) as usize;
+            for (i, w) in words.iter_mut().enumerate() {
+                *w = seg.bufs[b][base + i].load(Ordering::Relaxed);
+            }
+            let virtual_us = seg.meta[b].virtual_us.load(Ordering::Relaxed);
+            let wall_nanos = seg.meta[b].wall_nanos.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            if seg.seq.load(Ordering::Relaxed) == s0 {
+                return Some(RangeRead {
+                    epoch,
+                    first_source: (seg.start + w0 * 64) as u32,
+                    words,
+                    published_at: SimTime::from_micros(virtual_us),
+                    age_us: self.age_us(wall_nanos),
+                });
+            }
+            self.torn_retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The word changes of segment `seg` since `from_epoch` (exclusive),
+    /// deduplicated to the last write per word, or
+    /// [`DeltaRead::Resync`] if the window left the delta ring.
+    pub fn delta_since(&self, seg: usize, from_epoch: u64) -> Option<DeltaRead> {
+        let segment = self.segs.get(seg)?;
+        let current = segment.seq.load(Ordering::Acquire) / 2;
+        if current == 0 {
+            return None;
+        }
+        if from_epoch >= current {
+            return Some(DeltaRead::Changes {
+                from_epoch,
+                to_epoch: current,
+                changes: Vec::new(),
+            });
+        }
+        let ring = segment.deltas.lock().expect("delta ring poisoned");
+        let oldest = ring.first().map_or(u64::MAX, |e| e.epoch);
+        if from_epoch + 1 < oldest {
+            return Some(DeltaRead::Resync {
+                current_epoch: current,
+            });
+        }
+        // Concatenate the retained epochs in order; last write per word
+        // wins, so dedup by index keeping the latest.
+        let mut latest: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        let mut order: Vec<u32> = Vec::new();
+        for entry in ring.iter().filter(|e| e.epoch > from_epoch) {
+            for d in &entry.changes {
+                if latest.insert(d.index, d.value).is_none() {
+                    order.push(d.index);
+                }
+            }
+        }
+        Some(DeltaRead::Changes {
+            from_epoch,
+            to_epoch: current,
+            changes: order
+                .into_iter()
+                .map(|index| WordDelta {
+                    index,
+                    value: latest[&index],
+                })
+                .collect(),
+        })
+    }
+
+    fn age_us(&self, wall_nanos: u64) -> u64 {
+        let now = self.epoch0.elapsed().as_nanos() as u64;
+        now.saturating_sub(wall_nanos) / 1_000
+    }
+}
+
+/// The exclusive writer handle of one segment: the engine shard's side of
+/// the seqlock.
+pub struct SegmentWriter {
+    view: Arc<SuspectView>,
+    seg: usize,
+}
+
+impl std::fmt::Debug for SegmentWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentWriter")
+            .field("segment", &self.seg)
+            .finish()
+    }
+}
+
+impl SegmentWriter {
+    /// The segment this writer owns.
+    pub fn segment(&self) -> usize {
+        self.seg
+    }
+
+    /// Publishes a shard bank's current suspicion bitmap as the next
+    /// epoch. Returns the epoch published.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank's shape (sources, combinations) does not match
+    /// the segment.
+    pub fn publish(&mut self, bank: &SourceBank, now: SimTime) -> u64 {
+        let seg = &self.view.segs[self.seg];
+        assert_eq!(bank.sources(), seg.len, "bank/segment source mismatch");
+        assert_eq!(bank.len(), self.view.combos, "bank/segment combo mismatch");
+        debug_assert_eq!(bank.words_per_combo(), seg.words);
+        self.publish_words(bank.suspect_words(), now)
+    }
+
+    /// Publishes raw combo-major bitmap words (`combos × words` of them)
+    /// as the next epoch. The building block behind
+    /// [`publish`](Self::publish); public so non-bank producers (event-log
+    /// replay, tests flipping patterns) can drive a view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` has the wrong length.
+    pub fn publish_words(&mut self, words: &[u64], now: SimTime) -> u64 {
+        let seg = &self.view.segs[self.seg];
+        assert_eq!(
+            words.len(),
+            self.view.combos * seg.words,
+            "bitmap word count mismatch"
+        );
+        let epoch = seg.seq.load(Ordering::Relaxed) / 2 + 1;
+        let dst = &seg.bufs[(epoch & 1) as usize];
+        // The buffer being replaced currently holds epoch-1 (published) —
+        // no wait: that is the *other* buffer. This one holds epoch-2;
+        // the published buffer is what deltas diff against.
+        let published = &seg.bufs[((epoch + 1) & 1) as usize];
+        let mut changes = Vec::new();
+        for (i, &w) in words.iter().enumerate() {
+            // For epoch 1 `published` is the all-zero init buffer, so the
+            // first delta is exactly the set bits — "since empty".
+            if w != published[i].load(Ordering::Relaxed) {
+                changes.push(WordDelta {
+                    index: i as u32,
+                    value: w,
+                });
+            }
+            dst[i].store(w, Ordering::Relaxed);
+        }
+        let m = &seg.meta[(epoch & 1) as usize];
+        m.virtual_us.store(now.as_micros(), Ordering::Relaxed);
+        m.wall_nanos
+            .store(self.view.epoch0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        // The release store is the publication point: everything above
+        // happens-before any reader that observes the new sequence.
+        seg.seq.store(epoch * 2, Ordering::Release);
+
+        let mut ring = seg.deltas.lock().expect("delta ring poisoned");
+        if ring.len() == DELTA_RING {
+            ring.remove(0);
+        }
+        ring.push(DeltaEntry { epoch, changes });
+        epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::combinations::all_combinations;
+    use fd_sim::SimDuration;
+
+    fn two_segment_view() -> Arc<SuspectView> {
+        SuspectView::new(30, &[(0, 70), (70, 58)])
+    }
+
+    #[test]
+    fn unpublished_view_answers_none() {
+        let view = two_segment_view();
+        assert_eq!(view.sources(), 128);
+        assert_eq!(view.segments(), 2);
+        assert_eq!(view.epoch(0), 0);
+        assert!(view.point(5, 3).is_none());
+        assert!(view.range(5, 3, 4).is_none());
+        assert!(view.delta_since(0, 0).is_none());
+    }
+
+    #[test]
+    fn out_of_range_queries_answer_none() {
+        let view = two_segment_view();
+        assert!(view.point(128, 0).is_none());
+        assert!(view.point(0, 30).is_none());
+        assert!(view.segment_of(128).is_none());
+        assert_eq!(view.segment_of(69), Some(0));
+        assert_eq!(view.segment_of(70), Some(1));
+    }
+
+    #[test]
+    fn published_bank_state_is_served_exactly() {
+        let eta = SimDuration::from_secs(1);
+        let combos = all_combinations();
+        let view = SuspectView::new(combos.len(), &[(0, 40)]);
+        let mut writer = view.writer(0);
+        let mut bank = SourceBank::new(&combos, eta, 40);
+        for s in 0..30u32 {
+            bank.observe_heartbeat(s, 0, SimTime::from_millis(200 + u64::from(s)));
+        }
+        bank.check_all_at(SimTime::from_secs(90));
+        let epoch = writer.publish(&bank, SimTime::from_secs(90));
+        assert_eq!(epoch, 1);
+        assert_eq!(view.epoch(0), 1);
+        for s in 0..40u32 {
+            for c in 0..combos.len() as u32 {
+                let ans = view.point(s, c).expect("published");
+                assert_eq!(ans.epoch, 1);
+                assert_eq!(ans.suspecting, bank.is_suspecting(s, c as usize), "s{s} c{c}");
+                assert_eq!(ans.published_at, SimTime::from_secs(90));
+            }
+        }
+    }
+
+    #[test]
+    fn range_read_covers_whole_segment_words() {
+        let view = SuspectView::new(2, &[(0, 130)]); // 3 words per combo
+        let mut writer = view.writer(0);
+        let words = vec![0xAA, 0xBB, 0x3, 0x11, 0x22, 0x0];
+        writer.publish_words(&words, SimTime::from_secs(1));
+        let r = view.range(0, 0, 8).expect("published");
+        assert_eq!(r.words, &[0xAA, 0xBB, 0x3]);
+        assert_eq!(r.first_source, 0);
+        let r = view.range(1, 64, 8).expect("published");
+        assert_eq!(r.words, &[0x22, 0x0]);
+        assert_eq!(r.first_source, 64);
+    }
+
+    #[test]
+    fn epochs_alternate_buffers_and_stay_consistent() {
+        let view = SuspectView::new(1, &[(0, 64)]);
+        let mut writer = view.writer(0);
+        for e in 1..=10u64 {
+            let pattern = if e % 2 == 0 { 0xAAAA } else { 0x5555 };
+            assert_eq!(writer.publish_words(&[pattern], SimTime::from_secs(e)), e);
+            let r = view.range(0, 0, 1).unwrap();
+            assert_eq!(r.epoch, e);
+            assert_eq!(r.words[0], pattern);
+        }
+    }
+
+    #[test]
+    fn delta_since_reconstructs_current_bitmap() {
+        let view = SuspectView::new(2, &[(0, 128)]); // 2 words per combo
+        let mut writer = view.writer(0);
+        writer.publish_words(&[1, 0, 0, 8], SimTime::from_secs(1));
+        writer.publish_words(&[1, 2, 0, 8], SimTime::from_secs(2));
+        writer.publish_words(&[5, 2, 0, 0], SimTime::from_secs(3));
+        // From epoch 1: changes of epochs 2 and 3.
+        let DeltaRead::Changes {
+            from_epoch,
+            to_epoch,
+            changes,
+        } = view.delta_since(0, 1).unwrap()
+        else {
+            panic!("expected retained window");
+        };
+        assert_eq!((from_epoch, to_epoch), (1, 3));
+        let mut words = [1u64, 0, 0, 8]; // epoch 1 held by the client
+        for d in &changes {
+            words[d.index as usize] = d.value;
+        }
+        assert_eq!(words, [5, 2, 0, 0]);
+        // Up to date: empty changes.
+        let DeltaRead::Changes { changes, .. } = view.delta_since(0, 3).unwrap() else {
+            panic!("expected empty window");
+        };
+        assert!(changes.is_empty());
+    }
+
+    #[test]
+    fn delta_window_expires_to_resync() {
+        let view = SuspectView::new(1, &[(0, 64)]);
+        let mut writer = view.writer(0);
+        for e in 0..(DELTA_RING as u64 + 5) {
+            writer.publish_words(&[e], SimTime::from_secs(e + 1));
+        }
+        match view.delta_since(0, 1).unwrap() {
+            DeltaRead::Resync { current_epoch } => {
+                assert_eq!(current_epoch, DELTA_RING as u64 + 5);
+            }
+            other => panic!("expected resync, got {other:?}"),
+        }
+        // A recent window is still retained.
+        assert!(matches!(
+            view.delta_since(0, DELTA_RING as u64),
+            Some(DeltaRead::Changes { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "writer already claimed")]
+    fn second_writer_rejected() {
+        let view = two_segment_view();
+        let _w1 = view.writer(0);
+        let _w2 = view.writer(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "word count mismatch")]
+    fn wrong_word_count_rejected() {
+        let view = SuspectView::new(2, &[(0, 64)]);
+        let mut writer = view.writer(0);
+        writer.publish_words(&[0; 3], SimTime::ZERO);
+    }
+}

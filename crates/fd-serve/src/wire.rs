@@ -1,0 +1,528 @@
+//! The serving-plane wire protocol: compact binary query/response frames
+//! over UDP, built on the shared [`fd_net::framing`] header helpers.
+//!
+//! Every frame is `magic(4) version(1) tag(1) token(4) body`. The magic
+//! distinguishes query traffic from heartbeat traffic (`"FDSV"` vs the
+//! heartbeat plane's `"FDQS"`); the `token` is an opaque client value
+//! echoed verbatim in the response, so a client firing pipelined queries
+//! over one socket can match answers to requests (and clock per-query
+//! latency) without sequencing assumptions.
+//!
+//! Malformed frames decode to a typed [`FrameError`] and are *counted and
+//! dropped* by the server — the same policy `Heartbeat::decode` applies
+//! to corrupted heartbeats: a hostile or buggy client must not be able to
+//! crash or stall the serving plane.
+
+use bytes::{Buf, BufMut};
+use fd_net::framing::{self, FrameError};
+
+/// Frame magic: `"FDSV"`.
+pub const MAGIC: u32 = 0x4644_5356;
+/// Protocol version.
+pub const VERSION: u8 = 1;
+
+/// Bytes of the fixed prefix shared by every frame: framing header plus
+/// tag and token.
+pub const PREFIX_SIZE: usize = framing::HEADER_SIZE + 1 + 4;
+
+const TAG_POINT: u8 = 1;
+const TAG_RANGE: u8 = 2;
+const TAG_DELTA_SINCE: u8 = 3;
+const TAG_SUBSCRIBE: u8 = 4;
+const TAG_UNSUBSCRIBE: u8 = 5;
+
+const TAG_POINT_RESP: u8 = 128;
+const TAG_RANGE_RESP: u8 = 129;
+const TAG_DELTA_RESP: u8 = 130;
+const TAG_RESYNC: u8 = 131;
+const TAG_ERR: u8 = 132;
+
+/// [`PointResp`](Response::PointResp) flag: the queried bit is set.
+pub const FLAG_SUSPECTING: u8 = 0b01;
+/// [`PointResp`](Response::PointResp) flag: the owning segment has
+/// published at least once (clear ⇒ `suspecting` is a placeholder).
+pub const FLAG_PUBLISHED: u8 = 0b10;
+
+/// [`Err`](Response::Err) code: source or combination out of range.
+pub const ERR_OUT_OF_RANGE: u8 = 1;
+/// [`Err`](Response::Err) code: unknown segment.
+pub const ERR_BAD_SEGMENT: u8 = 2;
+
+/// A client → server query frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// "Do you suspect `source` under combination `combo` right now?"
+    Point { token: u32, source: u32, combo: u16 },
+    /// Bulk read: up to `max_words` bitmap words of `combo` starting at
+    /// the word containing `first_source` (clipped to one segment).
+    Range {
+        token: u32,
+        combo: u16,
+        first_source: u32,
+        max_words: u16,
+    },
+    /// One-shot delta: the word changes of `segment` since `since_epoch`.
+    DeltaSince {
+        token: u32,
+        segment: u16,
+        since_epoch: u64,
+    },
+    /// Standing delta subscription on `segment`, starting from
+    /// `since_epoch`; pushes arrive as [`Response::DeltaResp`] frames.
+    Subscribe {
+        token: u32,
+        segment: u16,
+        since_epoch: u64,
+    },
+    /// Cancels the sender's subscription on `segment`.
+    Unsubscribe { token: u32, segment: u16 },
+}
+
+/// A server → client answer or push frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to [`Request::Point`].
+    PointResp {
+        token: u32,
+        /// Epoch of the answer (0 with [`FLAG_PUBLISHED`] clear).
+        epoch: u64,
+        /// [`FLAG_SUSPECTING`] | [`FLAG_PUBLISHED`].
+        flags: u8,
+        /// Wall-clock age of the served snapshot, microseconds.
+        age_us: u64,
+    },
+    /// Answer to [`Request::Range`].
+    RangeResp {
+        token: u32,
+        segment: u16,
+        epoch: u64,
+        combo: u16,
+        /// Global id of the first source covered by `words[0]` bit 0.
+        first_word_source: u32,
+        words: Vec<u64>,
+    },
+    /// Answer to [`Request::DeltaSince`], and the push frame of a
+    /// subscription. Applying `changes` in order to the `from_epoch`
+    /// bitmap yields the `to_epoch` bitmap.
+    DeltaResp {
+        token: u32,
+        segment: u16,
+        from_epoch: u64,
+        to_epoch: u64,
+        /// `(word_index, new_value)` pairs, word index combo-major.
+        changes: Vec<(u32, u64)>,
+    },
+    /// The requested delta window is gone (client too far behind) — the
+    /// client must re-snapshot with range queries. Also ends a
+    /// subscription that exceeded the server's lag bound.
+    Resync {
+        token: u32,
+        segment: u16,
+        current_epoch: u64,
+    },
+    /// The request was well-formed but unanswerable.
+    Err { token: u32, code: u8 },
+}
+
+fn put_prefix(buf: &mut Vec<u8>, tag: u8, token: u32) {
+    framing::put_header(buf, MAGIC, VERSION);
+    buf.put_u8(tag);
+    buf.put_u32(token);
+}
+
+impl Request {
+    /// The echo token of the request.
+    pub fn token(&self) -> u32 {
+        match *self {
+            Request::Point { token, .. }
+            | Request::Range { token, .. }
+            | Request::DeltaSince { token, .. }
+            | Request::Subscribe { token, .. }
+            | Request::Unsubscribe { token, .. } => token,
+        }
+    }
+
+    /// Encodes the request into a datagram.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(PREFIX_SIZE + 16);
+        match *self {
+            Request::Point {
+                token,
+                source,
+                combo,
+            } => {
+                put_prefix(&mut buf, TAG_POINT, token);
+                buf.put_u32(source);
+                buf.put_u16(combo);
+            }
+            Request::Range {
+                token,
+                combo,
+                first_source,
+                max_words,
+            } => {
+                put_prefix(&mut buf, TAG_RANGE, token);
+                buf.put_u16(combo);
+                buf.put_u32(first_source);
+                buf.put_u16(max_words);
+            }
+            Request::DeltaSince {
+                token,
+                segment,
+                since_epoch,
+            } => {
+                put_prefix(&mut buf, TAG_DELTA_SINCE, token);
+                buf.put_u16(segment);
+                buf.put_u64(since_epoch);
+            }
+            Request::Subscribe {
+                token,
+                segment,
+                since_epoch,
+            } => {
+                put_prefix(&mut buf, TAG_SUBSCRIBE, token);
+                buf.put_u16(segment);
+                buf.put_u64(since_epoch);
+            }
+            Request::Unsubscribe { token, segment } => {
+                put_prefix(&mut buf, TAG_UNSUBSCRIBE, token);
+                buf.put_u16(segment);
+            }
+        }
+        buf
+    }
+
+    /// Decodes a datagram into a request, rejecting bad magic/version,
+    /// unknown tags and truncated bodies with a typed [`FrameError`].
+    pub fn decode(mut data: &[u8]) -> Result<Request, FrameError> {
+        framing::need(data, PREFIX_SIZE)?;
+        framing::take_header(&mut data, MAGIC, VERSION)?;
+        let tag = data.get_u8();
+        let token = data.get_u32();
+        let body = |n: usize| framing::need(data, n);
+        match tag {
+            TAG_POINT => {
+                body(6)?;
+                Ok(Request::Point {
+                    token,
+                    source: data.get_u32(),
+                    combo: data.get_u16(),
+                })
+            }
+            TAG_RANGE => {
+                body(8)?;
+                Ok(Request::Range {
+                    token,
+                    combo: data.get_u16(),
+                    first_source: data.get_u32(),
+                    max_words: data.get_u16(),
+                })
+            }
+            TAG_DELTA_SINCE => {
+                body(10)?;
+                Ok(Request::DeltaSince {
+                    token,
+                    segment: data.get_u16(),
+                    since_epoch: data.get_u64(),
+                })
+            }
+            TAG_SUBSCRIBE => {
+                body(10)?;
+                Ok(Request::Subscribe {
+                    token,
+                    segment: data.get_u16(),
+                    since_epoch: data.get_u64(),
+                })
+            }
+            TAG_UNSUBSCRIBE => {
+                body(2)?;
+                Ok(Request::Unsubscribe {
+                    token,
+                    segment: data.get_u16(),
+                })
+            }
+            found => Err(FrameError::BadTag { found }),
+        }
+    }
+}
+
+impl Response {
+    /// The echoed request token.
+    pub fn token(&self) -> u32 {
+        match *self {
+            Response::PointResp { token, .. }
+            | Response::RangeResp { token, .. }
+            | Response::DeltaResp { token, .. }
+            | Response::Resync { token, .. }
+            | Response::Err { token, .. } => token,
+        }
+    }
+
+    /// Encodes the response into a datagram.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(PREFIX_SIZE + 32);
+        match *self {
+            Response::PointResp {
+                token,
+                epoch,
+                flags,
+                age_us,
+            } => {
+                put_prefix(&mut buf, TAG_POINT_RESP, token);
+                buf.put_u64(epoch);
+                buf.put_u8(flags);
+                buf.put_u64(age_us);
+            }
+            Response::RangeResp {
+                token,
+                segment,
+                epoch,
+                combo,
+                first_word_source,
+                ref words,
+            } => {
+                put_prefix(&mut buf, TAG_RANGE_RESP, token);
+                buf.put_u16(segment);
+                buf.put_u64(epoch);
+                buf.put_u16(combo);
+                buf.put_u32(first_word_source);
+                buf.put_u16(words.len() as u16);
+                for &w in words {
+                    buf.put_u64(w);
+                }
+            }
+            Response::DeltaResp {
+                token,
+                segment,
+                from_epoch,
+                to_epoch,
+                ref changes,
+            } => {
+                put_prefix(&mut buf, TAG_DELTA_RESP, token);
+                buf.put_u16(segment);
+                buf.put_u64(from_epoch);
+                buf.put_u64(to_epoch);
+                buf.put_u16(changes.len() as u16);
+                for &(index, value) in changes {
+                    buf.put_u32(index);
+                    buf.put_u64(value);
+                }
+            }
+            Response::Resync {
+                token,
+                segment,
+                current_epoch,
+            } => {
+                put_prefix(&mut buf, TAG_RESYNC, token);
+                buf.put_u16(segment);
+                buf.put_u64(current_epoch);
+            }
+            Response::Err { token, code } => {
+                put_prefix(&mut buf, TAG_ERR, token);
+                buf.put_u8(code);
+            }
+        }
+        buf
+    }
+
+    /// Decodes a datagram into a response.
+    pub fn decode(mut data: &[u8]) -> Result<Response, FrameError> {
+        framing::need(data, PREFIX_SIZE)?;
+        framing::take_header(&mut data, MAGIC, VERSION)?;
+        let tag = data.get_u8();
+        let token = data.get_u32();
+        match tag {
+            TAG_POINT_RESP => {
+                framing::need(data, 17)?;
+                Ok(Response::PointResp {
+                    token,
+                    epoch: data.get_u64(),
+                    flags: data.get_u8(),
+                    age_us: data.get_u64(),
+                })
+            }
+            TAG_RANGE_RESP => {
+                framing::need(data, 16)?;
+                let segment = data.get_u16();
+                let epoch = data.get_u64();
+                let combo = data.get_u16();
+                let first_word_source = data.get_u32();
+                framing::need(data, 2)?;
+                let n = data.get_u16() as usize;
+                framing::need(data, n * 8)?;
+                let words = (0..n).map(|_| data.get_u64()).collect();
+                Ok(Response::RangeResp {
+                    token,
+                    segment,
+                    epoch,
+                    combo,
+                    first_word_source,
+                    words,
+                })
+            }
+            TAG_DELTA_RESP => {
+                framing::need(data, 18)?;
+                let segment = data.get_u16();
+                let from_epoch = data.get_u64();
+                let to_epoch = data.get_u64();
+                framing::need(data, 2)?;
+                let n = data.get_u16() as usize;
+                framing::need(data, n * 12)?;
+                let changes = (0..n).map(|_| (data.get_u32(), data.get_u64())).collect();
+                Ok(Response::DeltaResp {
+                    token,
+                    segment,
+                    from_epoch,
+                    to_epoch,
+                    changes,
+                })
+            }
+            TAG_RESYNC => {
+                framing::need(data, 10)?;
+                Ok(Response::Resync {
+                    token,
+                    segment: data.get_u16(),
+                    current_epoch: data.get_u64(),
+                })
+            }
+            TAG_ERR => {
+                framing::need(data, 1)?;
+                Ok(Response::Err {
+                    token,
+                    code: data.get_u8(),
+                })
+            }
+            found => Err(FrameError::BadTag { found }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Point {
+                token: 7,
+                source: 123_456,
+                combo: 29,
+            },
+            Request::Range {
+                token: 8,
+                combo: 3,
+                first_source: 64,
+                max_words: 16,
+            },
+            Request::DeltaSince {
+                token: 9,
+                segment: 2,
+                since_epoch: 41,
+            },
+            Request::Subscribe {
+                token: 10,
+                segment: 0,
+                since_epoch: 0,
+            },
+            Request::Unsubscribe {
+                token: 11,
+                segment: 1,
+            },
+        ];
+        for req in reqs {
+            let bytes = req.encode();
+            assert_eq!(Request::decode(&bytes), Ok(req), "{req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::PointResp {
+                token: 7,
+                epoch: 12,
+                flags: FLAG_SUSPECTING | FLAG_PUBLISHED,
+                age_us: 1500,
+            },
+            Response::RangeResp {
+                token: 8,
+                segment: 1,
+                epoch: 12,
+                combo: 3,
+                first_word_source: 64,
+                words: vec![0xAA, 0, u64::MAX],
+            },
+            Response::DeltaResp {
+                token: 9,
+                segment: 2,
+                from_epoch: 10,
+                to_epoch: 12,
+                changes: vec![(5, 0xF0), (901, 1)],
+            },
+            Response::Resync {
+                token: 10,
+                segment: 2,
+                current_epoch: 99,
+            },
+            Response::Err {
+                token: 11,
+                code: ERR_OUT_OF_RANGE,
+            },
+        ];
+        for resp in resps {
+            let bytes = resp.encode();
+            assert_eq!(Response::decode(&bytes), Ok(resp.clone()), "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_typed_rejections() {
+        // Too short for even the prefix.
+        assert_eq!(
+            Request::decode(&[1, 2, 3]),
+            Err(FrameError::Truncated {
+                len: 3,
+                need: PREFIX_SIZE
+            })
+        );
+        // Heartbeat-plane magic is not query-plane magic.
+        let mut hb = Vec::new();
+        framing::put_header(&mut hb, fd_net::wire::MAGIC, 1);
+        hb.extend_from_slice(&[TAG_POINT, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(
+            Request::decode(&hb),
+            Err(FrameError::BadMagic {
+                found: fd_net::wire::MAGIC
+            })
+        );
+        // Unknown tag.
+        let mut bad = Vec::new();
+        put_prefix(&mut bad, 42, 0);
+        bad.extend_from_slice(&[0; 8]);
+        assert_eq!(Request::decode(&bad), Err(FrameError::BadTag { found: 42 }));
+        // Truncated body: a Point request missing its combo.
+        let mut short = Request::Point {
+            token: 1,
+            source: 2,
+            combo: 3,
+        }
+        .encode();
+        short.truncate(short.len() - 2);
+        assert_eq!(
+            Request::decode(&short),
+            Err(FrameError::Truncated { len: 4, need: 6 })
+        );
+        // Version bump is rejected.
+        let mut wrong_ver = Request::Unsubscribe {
+            token: 0,
+            segment: 0,
+        }
+        .encode();
+        wrong_ver[4] = 2;
+        assert_eq!(
+            Request::decode(&wrong_ver),
+            Err(FrameError::BadVersion { found: 2 })
+        );
+    }
+}

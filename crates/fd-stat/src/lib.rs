@@ -24,5 +24,6 @@ pub mod summary;
 pub use event::{Event, EventKind, EventLog, ProcessId};
 pub use metrics::{extract_metrics, FdStatHandler, QosMetrics, QosReport, SuspicionEpisode};
 pub use summary::{
-    autocorrelation, mean_squared_error, ConfidenceInterval, Histogram, RunningStats, Summary,
+    autocorrelation, mean_squared_error, ConfidenceInterval, Histogram, LogHistogram,
+    RunningStats, Summary,
 };

@@ -416,6 +416,181 @@ impl Extend<f64> for Histogram {
     }
 }
 
+/// Mergeable fixed-bin **log-scale** histogram over `[lo, hi)`.
+///
+/// Built for latency-style distributions spanning orders of magnitude:
+/// bin boundaries grow geometrically, so relative resolution is constant
+/// (each bin is `(hi/lo)^(1/bins)` wider than its predecessor) and a p99
+/// read out of 64 bins is as sharp at 100 µs as at 100 ms.
+///
+/// Unlike [`Summary`], which sorts a raw sample vector, a `LogHistogram`
+/// is O(1) per observation, O(bins) per quantile, and **mergeable**:
+/// accumulators filled on different threads (e.g. fd-serve's query-load
+/// workers) combine by adding counts, and merging is associative and
+/// order-independent — `(a ⊕ b) ⊕ c = a ⊕ (b ⊕ c)` exactly, because the
+/// state is integer counts.
+///
+/// Observations below `lo` (including zero and negatives) land in an
+/// underflow counter, observations at or above `hi` in an overflow
+/// counter; both participate in quantiles as `lo` / `hi` so no
+/// observation is silently dropped.
+///
+/// ```
+/// use fd_stat::LogHistogram;
+/// let mut h = LogHistogram::new(1.0, 1e6, 60);
+/// h.extend([3.0, 30.0, 300.0, 3e3, 3e4, 3e5]);
+/// let p50 = h.quantile(0.5).unwrap();
+/// assert!(p50 > 100.0 && p50 < 3_000.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    lo: f64,
+    hi: f64,
+    /// Cached `ln(lo)` and `1 / ln(hi/lo)` so `push` is two flops.
+    ln_lo: f64,
+    inv_ln_span: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl LogHistogram {
+    /// Creates a histogram with `bins` geometric bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo <= 0`, `lo >= hi`, or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo > 0.0, "log histogram needs a positive lower bound");
+        assert!(lo < hi, "invalid log histogram range [{lo}, {hi})");
+        assert!(bins > 0, "log histogram needs at least one bin");
+        Self {
+            lo,
+            hi,
+            ln_lo: lo.ln(),
+            inv_ln_span: 1.0 / (hi / lo).ln(),
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// A 64-bin histogram over `[1 µs, 10 s)` in microseconds — the
+    /// configuration fd-serve uses for query latency and staleness, fixed
+    /// here so independently created accumulators always merge.
+    pub fn latency_micros() -> Self {
+        Self::new(1.0, 1e7, 64)
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        if !(x >= self.lo) {
+            // NaN compares false and is counted as underflow, not lost.
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let pos = (x.ln() - self.ln_lo) * self.inv_ln_span * self.bins.len() as f64;
+            let last = self.bins.len() - 1;
+            self.bins[(pos as usize).min(last)] += 1;
+        }
+    }
+
+    /// `true` if `other` has the identical bin layout, i.e. can be merged.
+    pub fn compatible(&self, other: &LogHistogram) -> bool {
+        self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len()
+    }
+
+    /// Adds another accumulator's counts into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin layouts differ.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert!(
+            self.compatible(other),
+            "merging incompatible log histograms: [{}, {})×{} vs [{}, {})×{}",
+            self.lo,
+            self.hi,
+            self.bins.len(),
+            other.lo,
+            other.hi,
+            other.bins.len()
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
+    /// Total observations including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below `lo` (or NaN).
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The `[lo, hi)` bounds of bin `i` (geometric).
+    pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
+        let r = (self.hi / self.lo).powf(1.0 / self.bins.len() as f64);
+        (self.lo * r.powi(i as i32), self.lo * r.powi(i as i32 + 1))
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), log-interpolated inside the
+    /// containing bin. `None` when empty. Underflow reads as `lo`,
+    /// overflow as `hi` — quantiles never pretend out-of-range mass does
+    /// not exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        // 1-based rank of the target observation, clamped into [1, total].
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        if rank <= self.underflow {
+            return Some(self.lo);
+        }
+        let mut seen = self.underflow;
+        for (i, &c) in self.bins.iter().enumerate() {
+            if rank <= seen + c {
+                let (b_lo, b_hi) = self.bin_bounds(i);
+                // Position of the target inside the bin, in (0, 1].
+                let frac = (rank - seen) as f64 / c as f64;
+                return Some(b_lo * (b_hi / b_lo).powf(frac));
+            }
+            seen += c;
+        }
+        Some(self.hi)
+    }
+}
+
+impl Extend<f64> for LogHistogram {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
 /// Sample autocorrelation of a series at lags `0..=max_lag` (`out[0] == 1`).
 ///
 /// This is the diagnostic behind the link-model calibration: the lag-1
@@ -574,6 +749,82 @@ mod tests {
     }
 
     #[test]
+    fn log_histogram_bins_and_quantiles() {
+        let mut h = LogHistogram::new(1.0, 1000.0, 3);
+        // Bin bounds: [1, 10), [10, 100), [100, 1000).
+        h.extend([2.0, 5.0, 20.0, 50.0, 200.0, 0.5, 5000.0]);
+        assert_eq!(h.counts(), &[2, 2, 1]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 7);
+        let (b_lo, b_hi) = h.bin_bounds(1);
+        assert!((b_lo - 10.0).abs() < 1e-9 && (b_hi - 100.0).abs() < 1e-9);
+        // Extremes resolve to the range bounds.
+        assert_eq!(h.quantile(0.0).unwrap(), 1.0); // rank 1 = the underflow
+        assert_eq!(h.quantile(1.0).unwrap(), 1000.0); // rank 7 = the overflow
+        // The median (rank 4) is the 2nd observation of bin 1.
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50 >= 10.0 && p50 < 100.0, "p50 = {p50}");
+    }
+
+    #[test]
+    fn log_histogram_quantile_tracks_exact_percentile() {
+        // Dense histogram: quantiles must agree with exact sorting within
+        // one bin's relative width.
+        let xs: Vec<f64> = (1..=500).map(|i| (i as f64) * (i as f64)).collect();
+        let mut h = LogHistogram::new(1.0, 1e6, 240);
+        h.extend(xs.iter().copied());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let exact = Summary::percentile(&xs, q * 100.0).unwrap();
+            let approx = h.quantile(q).unwrap();
+            let rel = (approx / exact).ln().abs();
+            assert!(rel < 0.06, "q={q}: approx {approx} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn log_histogram_merge_is_associative_and_matches_whole() {
+        let xs: Vec<f64> = (0..600).map(|i| 1.5f64.powi(i % 40) + i as f64).collect();
+        let mk = |slice: &[f64]| {
+            let mut h = LogHistogram::latency_micros();
+            h.extend(slice.iter().copied());
+            h
+        };
+        let (a, rest) = xs.split_at(100);
+        let (b, c) = rest.split_at(250);
+        // (a ⊕ b) ⊕ c
+        let mut left = mk(a);
+        left.merge(&mk(b));
+        left.merge(&mk(c));
+        // a ⊕ (b ⊕ c)
+        let mut right_tail = mk(b);
+        right_tail.merge(&mk(c));
+        let mut right = mk(a);
+        right.merge(&right_tail);
+        assert_eq!(left, right, "merge is not associative");
+        assert_eq!(left, mk(&xs), "merged parts differ from the whole");
+        assert_eq!(left.total(), xs.len() as u64);
+    }
+
+    #[test]
+    fn log_histogram_empty_and_nan() {
+        let mut h = LogHistogram::new(1.0, 100.0, 4);
+        assert_eq!(h.quantile(0.5), None);
+        h.push(f64::NAN);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.quantile(0.5), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn log_histogram_incompatible_merge_rejected() {
+        let mut a = LogHistogram::new(1.0, 100.0, 4);
+        let b = LogHistogram::new(1.0, 100.0, 8);
+        a.merge(&b);
+    }
+
+    #[test]
     fn autocorrelation_of_iid_noise_decays() {
         // A pseudo-random but deterministic sequence.
         let xs: Vec<f64> = (0..5_000u64)
@@ -665,6 +916,29 @@ mod proptests {
             let mut h = Histogram::new(0.0, 100.0, 10);
             h.extend(xs.iter().copied());
             prop_assert_eq!(h.total(), xs.len() as u64);
+        }
+
+        /// LogHistogram conserves count, merges split == whole at any split
+        /// point, and its quantiles are monotone.
+        #[test]
+        fn log_histogram_merge_any_split(
+            xs in proptest::collection::vec(1e-3f64..1e9, 1..200),
+            split_frac in 0.0f64..1.0,
+        ) {
+            let split = ((xs.len() as f64 * split_frac) as usize).min(xs.len());
+            let mut a = LogHistogram::latency_micros();
+            a.extend(xs[..split].iter().copied());
+            let mut b = LogHistogram::latency_micros();
+            b.extend(xs[split..].iter().copied());
+            a.merge(&b);
+            let mut whole = LogHistogram::latency_micros();
+            whole.extend(xs.iter().copied());
+            prop_assert_eq!(&a, &whole);
+            prop_assert_eq!(a.total(), xs.len() as u64);
+            let p25 = whole.quantile(0.25).unwrap();
+            let p50 = whole.quantile(0.5).unwrap();
+            let p99 = whole.quantile(0.99).unwrap();
+            prop_assert!(p25 <= p50 && p50 <= p99);
         }
 
         /// msqerr is non-negative and zero iff series match on the prefix.

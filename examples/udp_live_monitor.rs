@@ -1,17 +1,24 @@
 //! Run the *same* layers on a real network: a monitored process heartbeats
 //! over localhost UDP while a monitor runs three failure detectors on the
 //! live datagram stream (the Neko promise — identical code, real transport).
+//! The resulting suspicion state is then exposed through the fd-serve
+//! query plane: the run's suspect/trust edges are published into a
+//! `SuspectView`, a UDP query server fronts it, and a client asks it the
+//! paper's query — "do you suspect p?" — for each detector.
 //!
 //! ```text
 //! cargo run --example udp_live_monitor
 //! ```
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use fdqos::core::combinations::Combination;
 use fdqos::core::{MarginKind, PredictorKind};
 use fdqos::experiments::{HeartbeaterLayer, MonitorLayer};
 use fdqos::runtime::{Process, ProcessId, RealEngine, RealEngineConfig};
+use fdqos::serve::wire::{FLAG_PUBLISHED, FLAG_SUSPECTING};
+use fdqos::serve::{Response, ServeClient, ServeConfig, ServeServer, SuspectView};
 use fdqos::sim::{SimDuration, SimTime};
 use fdqos::stat::{extract_metrics, EventKind};
 
@@ -63,5 +70,45 @@ fn main() -> std::io::Result<()> {
         );
     }
     println!("\n(no crashes were injected: every suspicion above is a mistake)");
+
+    // Expose the live suspicion state through the serving plane: replay
+    // the run's suspect/trust edges into a 1-source × 3-combo view
+    // (publishing an epoch per edge), then query it over UDP like any
+    // external client would.
+    let view = SuspectView::new(labels.len(), &[(0, 1)]);
+    let mut writer = view.writer(0);
+    let mut words = vec![0u64; labels.len()]; // one word per combo row
+    writer.publish_words(&words, SimTime::ZERO);
+    for e in log.iter() {
+        match e.kind {
+            EventKind::StartSuspect { detector } if (detector as usize) < words.len() => {
+                words[detector as usize] = 1;
+            }
+            EventKind::EndSuspect { detector } if (detector as usize) < words.len() => {
+                words[detector as usize] = 0;
+            }
+            _ => continue,
+        }
+        writer.publish_words(&words, e.at);
+    }
+    let server = ServeServer::start(Arc::clone(&view), ServeConfig::default())?;
+    let mut client = ServeClient::connect(server.local_addr(), Duration::from_secs(2))?;
+    println!(
+        "\nserving plane at {} ({} epochs published — one per suspicion edge):",
+        server.local_addr(),
+        view.epoch(0)
+    );
+    for (idx, label) in labels.iter().enumerate() {
+        if let Response::PointResp { flags, epoch, .. } = client.point(0, idx as u16)? {
+            let answer = if flags & FLAG_PUBLISHED == 0 {
+                "unpublished"
+            } else if flags & FLAG_SUSPECTING != 0 {
+                "SUSPECTED"
+            } else {
+                "trusted"
+            };
+            println!("{label:<28} query → {answer} (epoch {epoch})");
+        }
+    }
     Ok(())
 }

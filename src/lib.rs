@@ -5,5 +5,6 @@ pub use fd_core as core;
 pub use fd_experiments as experiments;
 pub use fd_net as net;
 pub use fd_runtime as runtime;
+pub use fd_serve as serve;
 pub use fd_sim as sim;
 pub use fd_stat as stat;

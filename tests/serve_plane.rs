@@ -1,0 +1,240 @@
+//! Tier-1 tests of the suspect-query serving plane, asserting the two
+//! properties the design rests on:
+//!
+//! 1. **snapshot integrity** — a validated seqlock read is always a
+//!    uniform single-epoch snapshot, even under a deliberate
+//!    writer/reader race (torn reads are detected and retried, never
+//!    served);
+//! 2. **answer fidelity** — a point query served through the full wire
+//!    path (`Request` encode → server `respond` → `Response` decode)
+//!    equals `SourceBank::is_suspecting` at the published epoch, for
+//!    arbitrary heartbeat schedules.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use fdqos::core::SourceBank;
+use fdqos::runtime::sharded::partition;
+use fdqos::serve::wire::{FLAG_PUBLISHED, FLAG_SUSPECTING};
+use fdqos::serve::{
+    respond, DeltaRead, EnginePublisher, Request, Response, ServeStats, SuspectView,
+};
+use fdqos::sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+const PAT_ODD: u64 = 0x5555_5555_5555_5555;
+const PAT_EVEN: u64 = 0xAAAA_AAAA_AAAA_AAAA;
+
+/// One writer flips the whole 256-source bitmap between two patterns
+/// keyed to the epoch's parity; concurrent readers assert every
+/// *validated* read is one pattern, whole — any blend of epochs (a torn
+/// read escaping the seqlock) trips the counter.
+#[test]
+fn concurrent_readers_never_observe_a_torn_snapshot() {
+    const WORDS: usize = 4;
+    const EPOCHS: u64 = 2_000;
+    let view = SuspectView::new(1, &[(0, WORDS * 64)]);
+    let stop = AtomicBool::new(false);
+    let torn = AtomicU64::new(0);
+    let reads = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let (view, stop, torn, reads) = (&view, &stop, &torn, &reads);
+            s.spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    // Mix point and range reads: both must validate.
+                    if let Some(r) = view.range(0, 0, WORDS) {
+                        reads.fetch_add(1, Ordering::Relaxed);
+                        let expect = if r.epoch % 2 == 0 { PAT_EVEN } else { PAT_ODD };
+                        if r.words.iter().any(|&w| w != expect) {
+                            torn.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    if let Some(p) = view.point(129, 0) {
+                        reads.fetch_add(1, Ordering::Relaxed);
+                        // Source 129 is bit 1 of word 2: set under
+                        // PAT_EVEN (…1010), clear under PAT_ODD (…0101).
+                        if p.suspecting != (p.epoch % 2 == 0) {
+                            torn.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+        let mut writer = view.writer(0);
+        for e in 1..=EPOCHS {
+            let pat = if e % 2 == 0 { PAT_EVEN } else { PAT_ODD };
+            writer.publish_words(&[pat; WORDS], SimTime::from_micros(e));
+        }
+        // The final epoch stays published, so on a loaded scheduler wait
+        // for the readers to validate some reads before stopping them.
+        while reads.load(Ordering::Relaxed) < 8 {
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Release);
+    });
+    assert_eq!(
+        torn.load(Ordering::Relaxed),
+        0,
+        "a torn snapshot escaped seqlock validation ({} reads, {} retries)",
+        reads.load(Ordering::Relaxed),
+        view.torn_retries()
+    );
+    assert!(reads.load(Ordering::Relaxed) > 0, "readers never ran");
+}
+
+/// Replays a delta subscription stream against range snapshots: applying
+/// the word changes to the epoch-N bitmap must reproduce the epoch-M
+/// bitmap exactly.
+#[test]
+fn delta_stream_reconstructs_later_epochs() {
+    let view = SuspectView::new(2, &[(0, 128)]); // 2 words per combo
+    let mut writer = view.writer(0);
+    let epochs: Vec<[u64; 4]> = vec![
+        [0b1, 0, 0, 0],
+        [0b1, 0b10, 0, 0b100],
+        [0b11, 0b10, 0, 0b100],
+        [0b11, 0, 0b1000, 0b100],
+    ];
+    writer.publish_words(&epochs[0], SimTime::from_secs(1));
+    let mut held = epochs[0];
+    let held_epoch = 1u64;
+    for (i, words) in epochs.iter().enumerate().skip(1) {
+        writer.publish_words(words, SimTime::from_secs(1 + i as u64));
+    }
+    match view.delta_since(0, held_epoch).expect("published") {
+        DeltaRead::Changes {
+            from_epoch,
+            to_epoch,
+            changes,
+        } => {
+            assert_eq!((from_epoch, to_epoch), (1, 4));
+            for d in changes {
+                held[d.index as usize] = d.value;
+            }
+            assert_eq!(held, epochs[3]);
+        }
+        DeltaRead::Resync { .. } => panic!("window of 3 epochs should be retained"),
+    }
+}
+
+/// Drives a bank through an arbitrary heartbeat schedule, publishes it,
+/// and checks every (source, combo) point answer served through the full
+/// wire path against `SourceBank::is_suspecting` — the serving plane
+/// must be a faithful snapshot of the monitor, bit for bit.
+fn assert_served_equals_bank(delays_ms: &[u16], check_at_s: u64) {
+    const SOURCES: usize = 16;
+    let eta = SimDuration::from_secs(1);
+    let mut bank = SourceBank::paper_grid(eta, SOURCES);
+    let combos = bank.len();
+    let mut seqs = [0u64; SOURCES];
+    for (i, &d) in delays_ms.iter().enumerate() {
+        let source = (i % SOURCES) as u32;
+        let seq = seqs[source as usize];
+        seqs[source as usize] += 1;
+        let arrival = SimTime::ZERO + eta * seq + SimDuration::from_millis(u64::from(d));
+        bank.observe_heartbeat(source, seq, arrival);
+    }
+    let now = SimTime::from_secs(check_at_s);
+    bank.check_all_at(now);
+
+    let view = SuspectView::new(combos, &[(0, SOURCES)]);
+    let mut writer = view.writer(0);
+    writer.publish(&bank, now);
+
+    let stats = ServeStats::default();
+    for source in 0..SOURCES as u32 {
+        for combo in 0..combos as u16 {
+            let frame = Request::Point {
+                token: 1,
+                source,
+                combo,
+            }
+            .encode();
+            let reply = respond(&view, &stats, &frame).expect("point reply");
+            match Response::decode(&reply).expect("decodable reply") {
+                Response::PointResp { flags, epoch, .. } => {
+                    assert_eq!(epoch, 1);
+                    assert_ne!(flags & FLAG_PUBLISHED, 0);
+                    assert_eq!(
+                        flags & FLAG_SUSPECTING != 0,
+                        bank.is_suspecting(source, usize::from(combo)),
+                        "served bit diverged from the bank at s{source} c{combo}"
+                    );
+                }
+                other => panic!("expected point response, got {other:?}"),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The differential oracle over random schedules: serving plane ==
+    /// `is_suspecting` at the published epoch, for every grid cell.
+    #[test]
+    fn served_point_matches_is_suspecting(
+        delays_ms in proptest::collection::vec(50u16..3_000, 1..96),
+        check_at_s in 1u64..40,
+    ) {
+        assert_served_equals_bank(&delays_ms, check_at_s);
+    }
+}
+
+/// The pinned hand case: a mixed quiet/spiky schedule checked mid-run
+/// (runs even where the proptest RNG differs).
+#[test]
+fn pinned_served_point_differential() {
+    let delays: Vec<u16> = (0..64)
+        .map(|i| if i % 7 == 0 { 2_800 } else { 120 + (i as u16 % 40) })
+        .collect();
+    assert_served_equals_bank(&delays, 12);
+}
+
+/// The engine-facing bridge: a view laid out by `partition` accepts each
+/// shard's bank through the `ShardPublisher` hook and serves its bits.
+#[test]
+fn engine_publisher_bridges_sharded_banks() {
+    use fdqos::runtime::ShardPublisher;
+    const SOURCES: usize = 40;
+    let eta = SimDuration::from_secs(1);
+    let blocks = partition(SOURCES, 3);
+    let combos = SourceBank::paper_grid(eta, 1).len();
+    let view = SuspectView::new(combos, &blocks);
+    let publisher = EnginePublisher::new(&view);
+
+    let now = SimTime::from_secs(30);
+    let mut banks: Vec<SourceBank> = Vec::new();
+    for (shard, &(start, len)) in blocks.iter().enumerate() {
+        let mut bank = SourceBank::paper_grid(eta, len);
+        for local in 0..len as u32 {
+            // Shard-dependent liveness: even shards keep sources fresh.
+            let arrival = if shard % 2 == 0 {
+                now - SimDuration::from_millis(300)
+            } else {
+                SimTime::from_millis(200)
+            };
+            bank.observe_heartbeat(local, 0, arrival);
+        }
+        bank.check_all_at(now);
+        publisher.publish(shard, start, &bank, now);
+        banks.push(bank);
+    }
+    for (shard, &(start, len)) in blocks.iter().enumerate() {
+        for local in 0..len as u32 {
+            for combo in 0..combos as u32 {
+                let ans = view
+                    .point(start as u32 + local, combo)
+                    .expect("all segments published");
+                assert_eq!(ans.epoch, 1);
+                assert_eq!(
+                    ans.suspecting,
+                    banks[shard].is_suspecting(local, combo as usize),
+                    "shard {shard} local {local} combo {combo}"
+                );
+            }
+        }
+    }
+    let _ = Arc::clone(&view);
+}
