@@ -126,9 +126,14 @@ pub trait ShardPublisher: Sync {
 /// The contiguous block partition [`ShardedEngine::run`] uses: `(start,
 /// len)` per shard, after clamping the shard count to the source count.
 /// Exposed so a serving-plane view can be laid out to match the engine's
-/// shards exactly.
+/// shards exactly. Every returned block is non-empty; zero sources yield
+/// an empty partition (there is nothing to shard), never a zero-length
+/// block.
 pub fn partition(sources: usize, shards: usize) -> Vec<(usize, usize)> {
-    let shards = shards.clamp(1, sources.max(1));
+    if sources == 0 {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, sources);
     let q = sources / shards;
     let r = sources % shards;
     (0..shards)
@@ -673,6 +678,8 @@ mod tests {
 
     #[test]
     fn partition_is_contiguous_and_complete() {
+        // Zero sources: nothing to shard, no degenerate (0, 0) block.
+        assert!(partition(0, 4).is_empty());
         for (sources, shards) in [(10, 3), (24, 1), (7, 7), (5, 16), (1_000, 8)] {
             let blocks = partition(sources, shards);
             assert_eq!(blocks.len(), shards.min(sources));

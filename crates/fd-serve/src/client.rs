@@ -82,7 +82,10 @@ impl ServeClient {
     }
 
     /// Bulk query: up to `max_words` bitmap words of `combo` from the
-    /// word containing `first_source`.
+    /// word containing `first_source`. The server clamps `max_words` to
+    /// [`crate::wire::MAX_RANGE_WORDS`] so the reply fits one UDP
+    /// datagram; page a larger snapshot by advancing `first_source` past
+    /// the words received.
     pub fn range(&mut self, combo: u16, first_source: u32, max_words: u16) -> io::Result<Response> {
         let token = self.token();
         self.roundtrip(Request::Range {

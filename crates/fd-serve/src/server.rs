@@ -22,6 +22,11 @@
 //!   exceeds [`ServeConfig::max_sub_lag`] epochs — or whose window left
 //!   the delta ring — gets one `Resync` frame and is dropped: a slow
 //!   client costs one table entry and one frame, never unbounded queueing.
+//!   The table itself is bounded too: entries come from unauthenticated
+//!   UDP peers, so subscribes beyond [`ServeConfig::max_subs`] are
+//!   rejected with [`ERR_SUB_LIMIT`], and an entry claiming an epoch
+//!   *ahead* of its segment (which would otherwise never be pushed,
+//!   never lag, and never age out) is dropped on the next pusher pass.
 
 use std::collections::HashMap;
 use std::io;
@@ -33,7 +38,8 @@ use std::time::Duration;
 
 use crate::view::{DeltaRead, SuspectView};
 use crate::wire::{
-    Request, Response, ERR_BAD_SEGMENT, ERR_OUT_OF_RANGE, FLAG_PUBLISHED, FLAG_SUSPECTING,
+    Request, Response, ERR_BAD_SEGMENT, ERR_OUT_OF_RANGE, ERR_SUB_LIMIT, FLAG_PUBLISHED,
+    FLAG_SUSPECTING, MAX_RANGE_WORDS,
 };
 
 /// Server tuning knobs.
@@ -47,6 +53,12 @@ pub struct ServeConfig {
     /// Epochs a subscriber may fall behind before it is resynced and
     /// dropped.
     pub max_sub_lag: u64,
+    /// Hard cap on concurrent subscription-table entries. Subscriptions
+    /// arrive from unauthenticated (and spoofable) UDP peers, so without
+    /// a cap the table — and the pusher's per-interval walk over it —
+    /// grows without bound. A subscribe beyond the cap is answered with
+    /// [`ERR_SUB_LIMIT`].
+    pub max_subs: usize,
     /// Pusher poll interval.
     pub push_interval: Duration,
 }
@@ -57,6 +69,7 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 2,
             max_sub_lag: 16,
+            max_subs: 4_096,
             push_interval: Duration::from_millis(1),
         }
     }
@@ -156,9 +169,11 @@ pub fn respond(view: &SuspectView, stats: &ServeStats, data: &[u8]) -> Option<Ve
             max_words,
         } => {
             let seg = view.segment_of(first_source);
-            match seg.and_then(|_| {
-                view.range(u32::from(combo), first_source, usize::from(max_words.max(1)))
-            }) {
+            // Clamp to what fits one UDP datagram: a 65 535-word reply
+            // would be rejected by the kernel with EMSGSIZE and the
+            // client would see only a timeout on a well-formed request.
+            let words = usize::from(max_words.max(1)).min(MAX_RANGE_WORDS);
+            match seg.and_then(|_| view.range(u32::from(combo), first_source, words)) {
                 Some(ans) => {
                     ServeStats::bump(&stats.served_range);
                     Response::RangeResp {
@@ -243,10 +258,11 @@ impl ServeServer {
             let stop = Arc::clone(&stop);
             let stats = Arc::clone(&stats);
             let subs = Arc::clone(&subs);
+            let max_subs = cfg.max_subs;
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("fd-serve-worker-{worker}"))
-                    .spawn(move || worker_loop(&socket, &view, &stop, &stats, &subs))
+                    .spawn(move || worker_loop(&socket, &view, &stop, &stats, &subs, max_subs))
                     .expect("spawn serve worker"),
             );
         }
@@ -303,6 +319,7 @@ fn worker_loop(
     stop: &AtomicBool,
     stats: &ServeStats,
     subs: &Mutex<HashMap<(SocketAddr, u16), SubState>>,
+    max_subs: usize,
 ) {
     let mut buf = [0u8; 65_536];
     while !stop.load(Ordering::Acquire) {
@@ -335,7 +352,25 @@ fn worker_loop(
                     );
                     continue;
                 }
-                subs.lock().expect("subs poisoned").insert(
+                let mut table = subs.lock().expect("subs poisoned");
+                // Capacity check: re-subscribing an existing key is always
+                // allowed (it only updates the epoch), but a *new* entry
+                // beyond the cap is rejected — the table is fed by
+                // unauthenticated datagrams and must not grow unbounded.
+                if table.len() >= max_subs && !table.contains_key(&(peer, segment)) {
+                    drop(table);
+                    ServeStats::bump(&stats.errors);
+                    let _ = socket.send_to(
+                        &Response::Err {
+                            token,
+                            code: ERR_SUB_LIMIT,
+                        }
+                        .encode(),
+                        peer,
+                    );
+                    continue;
+                }
+                table.insert(
                     (peer, segment),
                     SubState {
                         acked_epoch: since_epoch,
@@ -369,7 +404,16 @@ fn pusher_loop(
         let mut dropped: Vec<(SocketAddr, u16)> = Vec::new();
         for (&(peer, segment), state) in table.iter_mut() {
             let current = view.epoch(segment as usize);
-            if current <= state.acked_epoch {
+            if state.acked_epoch > current {
+                // A claimed epoch ahead of the segment can only come from
+                // a bogus (or spoofed) since_epoch: it would never be
+                // pushed, never lag, and so never leave the table. Drop
+                // it silently — there is nothing meaningful to resync to.
+                ServeStats::bump(&stats.subs_dropped);
+                dropped.push((peer, segment));
+                continue;
+            }
+            if current == state.acked_epoch {
                 continue;
             }
             let lagging = current - state.acked_epoch > max_lag;
@@ -549,6 +593,113 @@ mod tests {
                 changes: vec![(0, 3)],
             }
         );
+    }
+
+    #[test]
+    fn oversized_range_request_is_clamped_to_one_datagram() {
+        // 600k sources ⇒ 9 375 words per combo, past MAX_RANGE_WORDS; an
+        // unclamped reply (~75 KB) would exceed the UDP payload limit and
+        // die in the kernel with EMSGSIZE.
+        const SOURCES: usize = 600_000;
+        let view = SuspectView::new(1, &[(0, SOURCES)]);
+        let mut w = view.writer(0);
+        w.publish_words(&vec![u64::MAX; SOURCES.div_ceil(64)], SimTime::from_secs(1));
+        let stats = ServeStats::default();
+        let req = Request::Range {
+            token: 1,
+            combo: 0,
+            first_source: 0,
+            max_words: u16::MAX,
+        }
+        .encode();
+        let reply = respond(&view, &stats, &req).expect("reply");
+        assert!(
+            reply.len() <= 65_507,
+            "reply would not fit a UDP datagram: {} bytes",
+            reply.len()
+        );
+        match Response::decode(&reply).unwrap() {
+            Response::RangeResp { words, .. } => assert_eq!(words.len(), MAX_RANGE_WORDS),
+            other => panic!("expected range response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subscription_table_is_bounded() {
+        let view = view_with_one_epoch(); // two segments, one epoch each
+        let server = ServeServer::start(
+            Arc::clone(&view),
+            ServeConfig {
+                max_subs: 1,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("bind");
+        let sock = UdpSocket::bind("127.0.0.1:0").expect("bind client");
+        sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut buf = [0u8; 65_536];
+        // The first subscribe fits the table: the pusher delivers epoch 1.
+        sock.send_to(
+            &Request::Subscribe {
+                token: 1,
+                segment: 0,
+                since_epoch: 0,
+            }
+            .encode(),
+            server.local_addr(),
+        )
+        .unwrap();
+        let (len, _) = sock.recv_from(&mut buf).expect("first push");
+        assert!(matches!(
+            Response::decode(&buf[..len]).unwrap(),
+            Response::DeltaResp { segment: 0, .. }
+        ));
+        // A second, new-key subscribe beyond the cap is rejected.
+        sock.send_to(
+            &Request::Subscribe {
+                token: 2,
+                segment: 1,
+                since_epoch: 0,
+            }
+            .encode(),
+            server.local_addr(),
+        )
+        .unwrap();
+        let (len, _) = sock.recv_from(&mut buf).expect("rejection");
+        assert_eq!(
+            Response::decode(&buf[..len]).unwrap(),
+            Response::Err {
+                token: 2,
+                code: ERR_SUB_LIMIT
+            }
+        );
+    }
+
+    #[test]
+    fn ahead_of_epoch_subscription_is_dropped() {
+        let view = view_with_one_epoch(); // current epoch is 1
+        let server =
+            ServeServer::start(Arc::clone(&view), ServeConfig::default()).expect("bind");
+        let sock = UdpSocket::bind("127.0.0.1:0").expect("bind client");
+        sock.send_to(
+            &Request::Subscribe {
+                token: 1,
+                segment: 0,
+                since_epoch: 999,
+            }
+            .encode(),
+            server.local_addr(),
+        )
+        .unwrap();
+        // The pusher notices the bogus claimed epoch and evicts the entry.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.stats().subs_dropped.load(Ordering::Relaxed) == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "ahead-of-epoch subscription never dropped"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
     }
 
     #[test]

@@ -37,9 +37,14 @@
 //! live state by at most one publish interval plus the read race window.
 //!
 //! All word storage is `AtomicU64` with relaxed element ordering;
-//! publication ordering comes from the acquire/release pair on the
-//! sequence word (plus an acquire fence before re-validation), so torn
-//! *words* are impossible and torn *epochs* are detected and retried.
+//! publication ordering comes from a release fence ahead of each epoch's
+//! word stores, the release store of the sequence word after them, and
+//! the readers' acquire fence before re-validation — so torn *words* are
+//! impossible and torn *epochs* are detected and retried. The leading
+//! fence is load-bearing: without it the relaxed word stores of epoch
+//! `e+2` could become visible before the epoch-`e+1` sequence store, and
+//! a reader still validating against epoch `e` would serve a mixed-epoch
+//! snapshot (see [`SegmentWriter::publish_words`]).
 
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -400,10 +405,14 @@ impl SuspectView {
             });
         }
         // Concatenate the retained epochs in order; last write per word
-        // wins, so dedup by index keeping the latest.
+        // wins, so dedup by index keeping the latest. Entries newer than
+        // `current` are excluded: the writer fills the ring before bumping
+        // seq, so the ring can briefly hold an epoch not yet published —
+        // including it would hand the client changes beyond the `to_epoch`
+        // it acks.
         let mut latest: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
         let mut order: Vec<u32> = Vec::new();
-        for entry in ring.iter().filter(|e| e.epoch > from_epoch) {
+        for entry in ring.iter().filter(|e| e.epoch > from_epoch && e.epoch <= current) {
             for d in &entry.changes {
                 if latest.insert(d.index, d.value).is_none() {
                     order.push(d.index);
@@ -486,6 +495,16 @@ impl SegmentWriter {
         // no wait: that is the *other* buffer. This one holds epoch-2;
         // the published buffer is what deltas diff against.
         let published = &seg.bufs[((epoch + 1) & 1) as usize];
+        // Release fence, paired fence-to-fence with the readers' acquire
+        // fence. A release *store* of seq only orders the stores before
+        // it; this epoch's relaxed word stores come *after* the previous
+        // epoch's seq store and could otherwise become visible ahead of
+        // it. The fence guarantees that a reader observing any of this
+        // epoch's word writes before its acquire fence also sees every
+        // store sequenced before this fence — in particular the previous
+        // seq bump — so its re-validation load cannot still return the
+        // two-epochs-old sequence and pass a mixed-epoch snapshot.
+        fence(Ordering::Release);
         let mut changes = Vec::new();
         for (i, &w) in words.iter().enumerate() {
             // For epoch 1 `published` is the all-zero init buffer, so the
@@ -502,15 +521,23 @@ impl SegmentWriter {
         m.virtual_us.store(now.as_micros(), Ordering::Relaxed);
         m.wall_nanos
             .store(self.view.epoch0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        // The ring entry goes in *before* the seq bump: `delta_since`
+        // reports `to_epoch = seq/2`, so a ring that lagged seq would let
+        // a client ack an epoch whose changes it never received — and
+        // deltas filter on `epoch > from_epoch`, so those words would
+        // never be re-sent. With this order the ring may briefly run
+        // *ahead* of seq instead, which `delta_since` handles by ignoring
+        // entries newer than the epoch it reports.
+        {
+            let mut ring = seg.deltas.lock().expect("delta ring poisoned");
+            if ring.len() == DELTA_RING {
+                ring.remove(0);
+            }
+            ring.push(DeltaEntry { epoch, changes });
+        }
         // The release store is the publication point: everything above
         // happens-before any reader that observes the new sequence.
         seg.seq.store(epoch * 2, Ordering::Release);
-
-        let mut ring = seg.deltas.lock().expect("delta ring poisoned");
-        if ring.len() == DELTA_RING {
-            ring.remove(0);
-        }
-        ring.push(DeltaEntry { epoch, changes });
         epoch
     }
 }

@@ -47,6 +47,17 @@ pub const FLAG_PUBLISHED: u8 = 0b10;
 pub const ERR_OUT_OF_RANGE: u8 = 1;
 /// [`Err`](Response::Err) code: unknown segment.
 pub const ERR_BAD_SEGMENT: u8 = 2;
+/// [`Err`](Response::Err) code: the server's subscription table is full.
+pub const ERR_SUB_LIMIT: u8 = 3;
+
+/// Server-side cap on [`Request::Range`] `max_words`. The wire field is
+/// `u16`, but a 65 535-word reply would be ~524 KB — far past the
+/// ~65 507-byte UDP payload limit, so `send_to` would fail with
+/// `EMSGSIZE` and the client would see only a timeout. 8 000 words is
+/// 64 000 bytes of bitmap plus the fixed `RangeResp` header, safely
+/// inside one datagram; servers clamp larger requests to this bound and
+/// clients page by advancing `first_source` past the words received.
+pub const MAX_RANGE_WORDS: usize = 8_000;
 
 /// A client → server query frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
