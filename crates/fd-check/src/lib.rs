@@ -1,0 +1,75 @@
+//! fd-check: an in-repo concurrency model checker and fuzzing toolkit.
+//!
+//! crates.io is unreachable in the environments this repo targets, so
+//! loom and miri are not available — yet PR 4 shipped a real
+//! memory-ordering bug (mixed-epoch seqlock snapshots on weakly-ordered
+//! hardware) that only a human review caught. This crate is the
+//! mechanical replacement for that review: a small, dependency-free,
+//! loom-style model checker plus the fuzzing primitives used by the
+//! repo's invariant-fuzz campaign.
+//!
+//! # The model checker ([`model`], [`sync`], [`thread`])
+//!
+//! Test code builds its data structures out of the shim types in
+//! [`sync`] (`AtomicU64`, `AtomicUsize`, `AtomicBool`, `Mutex`,
+//! `fence`) — drop-in signatures for their `std::sync` counterparts —
+//! and runs under [`model`], which executes the closure many times,
+//! enumerating thread interleavings. Outside a [`model`] run the shims
+//! pass straight through to `std`, so a crate compiled against them
+//! (e.g. `fd-serve` with its `check` feature) behaves identically in
+//! ordinary tests.
+//!
+//! ## Memory model: PSO-style store buffering
+//!
+//! Sequentially-consistent interleaving alone cannot represent the PR-4
+//! bug class, so the checker gives every modeled thread a FIFO *store
+//! buffer* and makes buffer→memory commits explicit scheduler
+//! transitions:
+//!
+//! * `Relaxed`/`Release` stores enter the writer's buffer; any thread's
+//!   loads see only *committed* memory (with store-to-load forwarding
+//!   of the loader's own newest pending store).
+//! * Pending stores to **different** locations may commit out of order
+//!   (that is the PSO relaxation that reorders epoch `e+2`'s word
+//!   stores ahead of the epoch `e+1` seq store); same-location stores
+//!   commit in program order.
+//! * A `Release` **store** commits only from the buffer head — every
+//!   program-order-earlier store commits first.
+//! * A `Release`/`SeqCst` **fence** seals a barrier group: stores
+//!   buffered after the fence cannot commit before any store buffered
+//!   ahead of it.
+//! * RMWs and `SeqCst` stores flush the issuing thread's buffer and act
+//!   directly on committed memory.
+//! * `Mutex` lock is an acquire on committed state; unlock buffers a
+//!   release of the lock word, so a critical section becomes visible
+//!   only after everything sequenced before it.
+//!
+//! This is deliberately *weaker* than x86-TSO where it matters (store
+//! reordering to distinct locations) and *stronger* than C11 where it
+//! does not (loads are not reordered), which is exactly enough to
+//! express — and therefore regress-test — the seqlock fence bug.
+//!
+//! ## Schedule exploration
+//!
+//! Scheduling is cooperative: threads run one at a time and hand
+//! control back at every shim operation. The explorer does DFS over the
+//! choice tree with a CHESS-style bounded number of *preemptions*
+//! (switching away from a runnable thread; commits and blocked-thread
+//! switches are free), then optionally tops up with seeded random
+//! schedules past the DFS budget. Every DFS execution is a distinct
+//! interleaving; a violated invariant panics with the event trace of
+//! the failing schedule, which is fully deterministic and replayable.
+//!
+//! # The fuzzer ([`fuzz`])
+//!
+//! [`fuzz::SplitMix64`] (the repo-standard seeding PRNG),
+//! [`fuzz::Mutator`] (structure-aware byte mutations: bit flips,
+//! interesting values, truncate/extend/splice) and corpus helpers used
+//! by the wire-protocol fuzz tests under `tests/`.
+
+pub mod fuzz;
+mod sched;
+pub mod sync;
+pub mod thread;
+
+pub use sched::{model, model_with, Config, Report};

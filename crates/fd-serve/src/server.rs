@@ -31,8 +31,9 @@
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use crate::sync::{AtomicBool, AtomicU64, Mutex, Ordering};
 use std::thread::JoinHandle;
 use std::time::Duration;
 

@@ -46,9 +46,10 @@
 //! a reader still validating against epoch `e` would serve a mixed-epoch
 //! snapshot (see [`SegmentWriter::publish_words`]).
 
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
+
+use crate::sync::{fence, AtomicBool, AtomicU64, Mutex, Ordering};
 
 use fd_core::SourceBank;
 use fd_sim::SimTime;

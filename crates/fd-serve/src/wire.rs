@@ -360,7 +360,7 @@ impl Response {
                 let first_word_source = data.get_u32();
                 framing::need(data, 2)?;
                 let n = data.get_u16() as usize;
-                framing::need(data, n * 8)?;
+                framing::need_counted(data, n, 8)?;
                 let words = (0..n).map(|_| data.get_u64()).collect();
                 Ok(Response::RangeResp {
                     token,
@@ -378,7 +378,7 @@ impl Response {
                 let to_epoch = data.get_u64();
                 framing::need(data, 2)?;
                 let n = data.get_u16() as usize;
-                framing::need(data, n * 12)?;
+                framing::need_counted(data, n, 12)?;
                 let changes = (0..n).map(|_| (data.get_u32(), data.get_u64())).collect();
                 Ok(Response::DeltaResp {
                     token,

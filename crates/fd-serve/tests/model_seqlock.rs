@@ -1,0 +1,226 @@
+//! Model-checked interleaving tests of the seqlock `SuspectView` —
+//! the three invariants from the PR-4 review, explored mechanically
+//! under fd-check's store-buffer memory model.
+//!
+//! Compiled only with `--features check`, which routes the view's
+//! atomics, fences and the delta-ring mutex through `fd_check::sync`.
+//! The code under test is the exact shipped source of `view.rs`; the
+//! shims pass through to `std` outside a model run, so enabling the
+//! feature does not change any other test's behavior.
+//!
+//! Each closure runs thousands of times under distinct schedules,
+//! including schedules where the writer's relaxed stores commit to
+//! memory out of program order — the reordering the `publish_words`
+//! release fence exists to prevent. `scripts/check-mutants.sh` asserts
+//! that reverting that fence (or the ring-before-seq publication
+//! order) makes this suite fail.
+#![cfg(feature = "check")]
+
+use std::sync::Arc;
+
+use fd_check::{model_with, thread, Config};
+use fd_serve::view::{DeltaRead, SuspectView};
+use fd_sim::SimTime;
+
+/// Invariant 1 (PR-4 review): a validated read never observes a
+/// mixed-epoch snapshot. The writer publishes epochs whose every word
+/// *is* the epoch number, so any blend of two epochs — e.g. epoch
+/// `e+2`'s words committing ahead of the epoch `e+1` seq store while a
+/// reader validates against epoch `e` — is immediately visible.
+///
+/// The acceptance bar: at least 10 000 distinct interleavings of the
+/// writer/reader pair (or full exhaustion of the bounded space).
+#[test]
+fn no_validated_mixed_epoch_snapshot() {
+    let report = model_with(
+        Config {
+            preemption_bound: 2,
+            dfs_schedules: 15_000,
+            random_schedules: 500,
+            ..Config::default()
+        },
+        || {
+            // 1 combo × 128 sources = 2 words per epoch.
+            let view = SuspectView::new(1, &[(0, 128)]);
+            let mut writer = view.writer(0);
+            let w = thread::spawn_named("writer", move || {
+                for k in 1..=3u64 {
+                    writer.publish_words(&[k, k], SimTime::from_secs(k));
+                }
+            });
+            let v = Arc::clone(&view);
+            let r = thread::spawn_named("reader", move || {
+                for _ in 0..2 {
+                    if let Some(read) = v.range(0, 0, 2) {
+                        for (i, word) in read.words.iter().enumerate() {
+                            assert_eq!(
+                                *word, read.epoch,
+                                "mixed-epoch snapshot: word {i} is {word} but the \
+                                 validated epoch is {}",
+                                read.epoch
+                            );
+                        }
+                        assert_eq!(
+                            read.published_at,
+                            SimTime::from_secs(read.epoch),
+                            "mixed-epoch metadata: published_at disagrees with epoch {}",
+                            read.epoch
+                        );
+                    }
+                }
+            });
+            w.join().unwrap();
+            r.join().unwrap();
+        },
+    );
+    assert!(
+        report.dfs_explored >= 10_000 || report.exhausted,
+        "exploration too shallow: {report:?}"
+    );
+}
+
+/// Invariant 2 (PR-4 review): a client can never ack an epoch whose
+/// word deltas it was not sent. The writer publishes epochs whose
+/// single word equals the epoch, so replaying `delta_since(0)` onto an
+/// all-zero bitmap must reconstruct exactly the `to_epoch` it acks —
+/// if the ring lagged the seq store, the reconstruction would be stuck
+/// one epoch behind the ack.
+#[test]
+fn no_ack_of_an_epoch_with_unsent_deltas() {
+    model_with(
+        Config {
+            preemption_bound: 2,
+            dfs_schedules: 10_000,
+            random_schedules: 500,
+            ..Config::default()
+        },
+        || {
+            let view = SuspectView::new(1, &[(0, 64)]);
+            let mut writer = view.writer(0);
+            let w = thread::spawn_named("writer", move || {
+                for k in 1..=3u64 {
+                    writer.publish_words(&[k], SimTime::from_secs(k));
+                }
+            });
+            let v = Arc::clone(&view);
+            let r = thread::spawn_named("reader", move || {
+                for _ in 0..2 {
+                    match v.delta_since(0, 0) {
+                        Some(DeltaRead::Changes {
+                            to_epoch, changes, ..
+                        }) => {
+                            let mut word = 0u64;
+                            for d in &changes {
+                                assert_eq!(d.index, 0);
+                                word = d.value;
+                            }
+                            assert_eq!(
+                                word, to_epoch,
+                                "acked epoch {to_epoch} but its word deltas were unsent \
+                                 (reconstruction reached {word})"
+                            );
+                        }
+                        Some(DeltaRead::Resync { .. }) => {
+                            panic!(
+                                "3 epochs cannot overflow a {}-deep ring",
+                                fd_serve::view::DELTA_RING
+                            )
+                        }
+                        None => {}
+                    }
+                }
+            });
+            w.join().unwrap();
+            r.join().unwrap();
+        },
+    );
+}
+
+/// Invariant 3 (PR-4 review): a subscriber that falls back to a
+/// resync (full range re-read) never loses a set bit. The writer
+/// publishes epoch `k` as the single bit `1 << k`, so the snapshot a
+/// resync returns must contain exactly its own epoch's bit — a stale
+/// or mixed snapshot would drop the bit the acked epoch set — and the
+/// resync can never move the subscriber backwards past deltas it
+/// already applied.
+#[test]
+fn subscriber_resync_never_loses_a_set_bit() {
+    model_with(
+        Config {
+            preemption_bound: 2,
+            dfs_schedules: 10_000,
+            random_schedules: 500,
+            ..Config::default()
+        },
+        || {
+            let view = SuspectView::new(1, &[(0, 64)]);
+            let mut writer = view.writer(0);
+            let w = thread::spawn_named("writer", move || {
+                for k in 1..=3u64 {
+                    writer.publish_words(&[1 << k], SimTime::from_secs(k));
+                }
+            });
+            let v = Arc::clone(&view);
+            let r = thread::spawn_named("reader", move || {
+                // Catch up via the delta path first, like a live
+                // subscriber...
+                let delta_epoch = match v.delta_since(0, 0) {
+                    Some(DeltaRead::Changes { to_epoch, .. }) => to_epoch,
+                    _ => 0,
+                };
+                // ...then resync with a full snapshot, like a laggard
+                // kicked by the pusher.
+                if let Some(read) = v.range(0, 0, 1) {
+                    assert!(
+                        read.epoch >= delta_epoch,
+                        "resync moved the subscriber backwards: had epoch \
+                         {delta_epoch}, snapshot is epoch {}",
+                        read.epoch
+                    );
+                    assert_eq!(
+                        read.words[0],
+                        1u64 << read.epoch,
+                        "resync snapshot of epoch {} lost its set bit",
+                        read.epoch
+                    );
+                }
+            });
+            w.join().unwrap();
+            r.join().unwrap();
+        },
+    );
+}
+
+/// The single-writer guard holds under every interleaving: exactly one
+/// of two racing `writer()` claims wins, whichever order the schedule
+/// runs them in.
+#[test]
+fn writer_claim_is_exclusive_under_all_schedules() {
+    model_with(
+        Config {
+            preemption_bound: 2,
+            dfs_schedules: 2_000,
+            ..Config::default()
+        },
+        || {
+            let view = SuspectView::new(1, &[(0, 64)]);
+            let claim = |name: &'static str| {
+                let v = Arc::clone(&view);
+                thread::spawn_named(name, move || {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        std::mem::forget(v.writer(0));
+                    }))
+                    .is_ok()
+                })
+            };
+            let a = claim("claim-a");
+            let b = claim("claim-b");
+            let won_a = a.join().unwrap();
+            let won_b = b.join().unwrap();
+            assert!(
+                won_a ^ won_b,
+                "exactly one writer claim must win (a: {won_a}, b: {won_b})"
+            );
+        },
+    );
+}

@@ -394,6 +394,56 @@ mod tests {
     }
 
     #[test]
+    fn capacity_boundary_is_exact() {
+        // The last on-wheel tick is cursor + CAPACITY - 1; one more µs
+        // must route to overflow, and both must pop in global order.
+        let mut w = TimerWheel::new();
+        w.push(SimTime::from_micros(CAPACITY - 1), "last-on-wheel");
+        w.push(SimTime::from_micros(CAPACITY), "first-overflow");
+        w.push(SimTime::from_micros(CAPACITY + 1), "second-overflow");
+        assert_eq!(w.peek_time(), Some(SimTime::from_micros(CAPACITY - 1)));
+        assert_eq!(w.pop().unwrap().1, "last-on-wheel");
+        assert_eq!(w.pop().unwrap().1, "first-overflow");
+        assert_eq!(w.pop().unwrap().1, "second-overflow");
+        assert!(w.is_empty());
+
+        // Ties across the boundary: an overflow entry at the same tick as
+        // an on-wheel entry pushed later must still come out FIFO.
+        let mut w = TimerWheel::new();
+        w.push(SimTime::from_micros(2 * CAPACITY), "a"); // overflow now
+        w.push(SimTime::from_micros(CAPACITY + 5), "kick"); // also overflow
+        assert_eq!(w.pop().unwrap().1, "kick"); // cursor ≈ CAPACITY+5
+        w.push(SimTime::from_micros(2 * CAPACITY), "b"); // on-wheel now
+        assert_eq!(w.pop().unwrap().1, "a");
+        assert_eq!(w.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn rearm_at_full_span_walks_many_horizons() {
+        // A timer that re-arms itself CAPACITY-1 µs ahead on every fire —
+        // the worst legal stride — must fire reliably as the cursor walks
+        // horizon after horizon, interleaved with a near timer that
+        // re-arms right next to the cursor.
+        let mut w = TimerWheel::new();
+        w.push(SimTime::from_micros(CAPACITY - 1), ("far", 0u64));
+        w.push(SimTime::from_micros(7), ("near", 0u64));
+        let mut fired = Vec::new();
+        while let Some((at, (kind, n))) = w.pop() {
+            fired.push((at.as_micros(), kind, n));
+            if n < 5 {
+                let stride = if kind == "far" { CAPACITY - 1 } else { 7 };
+                w.push(at + crate::SimDuration::from_micros(stride), (kind, n + 1));
+            }
+        }
+        assert_eq!(fired.len(), 12);
+        let mut sorted = fired.clone();
+        sorted.sort();
+        assert_eq!(fired, sorted, "re-armed timers fired out of order");
+        // The 6th far firing sits 6 whole horizons out.
+        assert_eq!(fired.last().unwrap().0, 6 * (CAPACITY - 1));
+    }
+
+    #[test]
     fn periodic_heartbeat_pattern_near_level_boundaries() {
         // η = 1 s heartbeats with deadlines straddling the level-2/level-3
         // boundary (64^3 µs ≈ 262 ms): the wheel's intended workload.
@@ -475,6 +525,33 @@ mod proptests {
                 proptest::option::weighted(0.7, 0u64..50_000), 0..200)
         ) {
             equivalent_under(ops, 1_031); // prime scale: avoids slot aliasing
+        }
+
+        /// Every push lands within ±8 ticks of the level-6 overflow
+        /// horizon (cursor + CAPACITY), so the on-wheel/overflow routing
+        /// decision and the overflow pull-back path are hit on nearly
+        /// every operation.
+        #[test]
+        fn wheel_matches_heap_at_the_overflow_horizon(
+            ops in proptest::collection::vec(
+                proptest::option::weighted(0.7, 0u64..16), 0..120)
+        ) {
+            let straddled = ops
+                .into_iter()
+                .map(|op| op.map(|t| CAPACITY - 8 + t))
+                .collect();
+            equivalent_under(straddled, 1);
+        }
+
+        /// Full-span re-arms: offsets up to ~2×CAPACITY, so pops routinely
+        /// leave the cursor a whole horizon behind the next event and
+        /// pushes alternate between the top wheel level and overflow.
+        #[test]
+        fn wheel_matches_heap_on_full_span_rearm(
+            ops in proptest::collection::vec(
+                proptest::option::weighted(0.6, 0u64..50), 0..100)
+        ) {
+            equivalent_under(ops, CAPACITY / 24 + 7); // ≈2×CAPACITY max
         }
     }
 }

@@ -575,7 +575,10 @@ impl LogHistogram {
                 let (b_lo, b_hi) = self.bin_bounds(i);
                 // Position of the target inside the bin, in (0, 1].
                 let frac = (rank - seen) as f64 / c as f64;
-                return Some(b_lo * (b_hi / b_lo).powf(frac));
+                // bin_bounds reconstructs the geometric edges with powi,
+                // so the top bin's upper edge can overshoot `hi` by a few
+                // ulps; clamp so answers stay in the documented [lo, hi].
+                return Some((b_lo * (b_hi / b_lo).powf(frac)).clamp(self.lo, self.hi));
             }
             seen += c;
         }

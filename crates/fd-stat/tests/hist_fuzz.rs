@@ -1,0 +1,144 @@
+//! Invariant-fuzz campaign over [`LogHistogram`]: the mergeable
+//! accumulator fd-serve's query-load workers fill in parallel. Merging
+//! is the operation that must be *exact* — the serve benchmark's
+//! latency percentiles are computed from a tree of merges, so any
+//! non-associativity or lost count would skew published numbers in a
+//! way no unit example would catch.
+//!
+//! The campaign feeds seeded hostile floats (`f64::from_bits` of raw
+//! PRNG output: NaNs, infinities, subnormals, negatives) alongside
+//! in-range values, then checks the algebra on every round.
+
+use fd_check::fuzz::SplitMix64;
+use fd_stat::LogHistogram;
+
+const ROUNDS: usize = 300;
+
+/// A histogram filled with `n` seeded observations: ~half drawn
+/// log-uniform across (and a little beyond) the bin range, half raw
+/// bit-pattern floats — every special value f64 has.
+fn fill(h: &mut LogHistogram, rng: &mut SplitMix64, n: usize) {
+    for _ in 0..n {
+        let x = if rng.one_in(2) {
+            // log-uniform over [lo/10, hi*10): exercises underflow,
+            // every bin, and overflow.
+            let u = rng.below(1 << 20) as f64 / (1 << 20) as f64;
+            0.1 * 10f64.powf(u * 8.0)
+        } else {
+            f64::from_bits(rng.next())
+        };
+        h.push(x);
+    }
+}
+
+/// Merge is exact: associative, commutative, and count-conserving, for
+/// arbitrary fill patterns — because the merged state is integer
+/// counts, not floats. `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)` must hold
+/// bit-for-bit, not approximately.
+#[test]
+fn merge_is_associative_commutative_and_conserving() {
+    let mut rng = SplitMix64::new(0xfd5_4157);
+    for round in 0..ROUNDS {
+        let mut parts = [
+            LogHistogram::latency_micros(),
+            LogHistogram::latency_micros(),
+            LogHistogram::latency_micros(),
+        ];
+        let mut totals = 0;
+        for h in &mut parts {
+            let n = rng.below(200) as usize;
+            fill(h, &mut rng, n);
+            totals += h.total();
+        }
+        let [a, b, c] = parts;
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "merge not associative (round {round})");
+
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab, ba, "merge not commutative (round {round})");
+
+        assert_eq!(
+            ab_c.total(),
+            totals,
+            "merge lost or invented observations (round {round})"
+        );
+    }
+}
+
+/// Sharded fill equals sequential fill: a stream split across k worker
+/// accumulators and merged back is indistinguishable from one
+/// accumulator seeing the whole stream — the property that lets
+/// fd-serve's per-thread histograms be summed at the end of a run.
+#[test]
+fn sharded_fill_matches_sequential_fill() {
+    let mut rng = SplitMix64::new(0xfd5_5ade);
+    for round in 0..ROUNDS {
+        let shards = 1 + rng.below(7) as usize;
+        let n = rng.below(400) as usize;
+        let stream: Vec<f64> = (0..n)
+            .map(|_| {
+                if rng.one_in(3) {
+                    f64::from_bits(rng.next())
+                } else {
+                    rng.below(20_000_000) as f64 / 2.0
+                }
+            })
+            .collect();
+
+        let mut sequential = LogHistogram::latency_micros();
+        sequential.extend(stream.iter().copied());
+
+        let mut workers = vec![LogHistogram::latency_micros(); shards];
+        for (i, &x) in stream.iter().enumerate() {
+            workers[i % shards].push(x);
+        }
+        let mut merged = LogHistogram::latency_micros();
+        for w in &workers {
+            merged.merge(w);
+        }
+        assert_eq!(
+            merged, sequential,
+            "{shards}-way sharded fill diverged (round {round}, n {n})"
+        );
+    }
+}
+
+/// Push is total and quantiles stay sane under hostile input: NaN and
+/// negatives count as underflow (never dropped, never a panic), totals
+/// are conserved, and the quantile function is monotone with every
+/// answer inside `[lo, hi]`.
+#[test]
+fn hostile_floats_never_panic_and_quantiles_stay_monotone() {
+    let mut rng = SplitMix64::new(0xfd5_0ddf);
+    for round in 0..ROUNDS {
+        let mut h = LogHistogram::latency_micros();
+        let n = 1 + rng.below(300);
+        for _ in 0..n {
+            h.push(f64::from_bits(rng.next()));
+        }
+        assert_eq!(h.total(), n, "hostile pushes dropped (round {round})");
+
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = h
+                .quantile(f64::from(i) / 20.0)
+                .expect("non-empty histogram");
+            assert!(
+                q >= prev && (1.0..=1e7).contains(&q),
+                "quantile not monotone-in-range: q({}) = {q} after {prev} (round {round})",
+                f64::from(i) / 20.0
+            );
+            prev = q;
+        }
+    }
+}

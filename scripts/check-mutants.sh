@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Mutation guard for the fd-check model suite.
+#
+# A model checker that always passes proves nothing: the suite is only
+# trustworthy if breaking the code it guards makes it fail. This script
+# re-introduces the two ordering bugs the PR-4 review centered on —
+# each as a minimal source mutation of `publish_words` — and asserts
+# that `cargo test -p fd-serve --features check` fails deterministically
+# under each one, then passes again once the source is restored.
+#
+# Mutants:
+#   fence  — delete the leading release fence, so a later epoch's
+#            relaxed word stores may become visible before the previous
+#            epoch's seq release store (mixed-epoch snapshots).
+#   ring   — bump seq before filling the delta ring, so a client can
+#            ack an epoch whose word deltas were never sent.
+#
+# Run from the repo root: scripts/check-mutants.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+VIEW=crates/fd-serve/src/view.rs
+
+if ! git diff --quiet -- "$VIEW"; then
+    echo "check-mutants: $VIEW has uncommitted changes; refusing to mutate" >&2
+    exit 2
+fi
+
+restore() { git checkout -- "$VIEW"; }
+trap restore EXIT
+
+run_suite() {
+    FD_CHECK_BUDGET_MS="${FD_CHECK_BUDGET_MS:-60000}" \
+        cargo test -q -p fd-serve --features check --test model_seqlock "$@"
+}
+
+mutate() {
+    python3 - "$1" <<'EOF'
+import pathlib, sys
+
+view = pathlib.Path("crates/fd-serve/src/view.rs")
+src = view.read_text()
+
+RING = """        {
+            let mut ring = seg.deltas.lock().expect("delta ring poisoned");
+            if ring.len() == DELTA_RING {
+                ring.remove(0);
+            }
+            ring.push(DeltaEntry { epoch, changes });
+        }
+        // The release store is the publication point: everything above
+        // happens-before any reader that observes the new sequence.
+        seg.seq.store(epoch * 2, Ordering::Release);"""
+
+MUTANTS = {
+    # Revert the release fence that orders this epoch's word stores
+    # after the previous epoch's seq store.
+    "fence": (
+        "        fence(Ordering::Release);",
+        "        if false { fence(Ordering::Release); } // MUTANT",
+    ),
+    # Publish seq before the delta ring holds the epoch's changes.
+    "ring": (
+        RING,
+        "        seg.seq.store(epoch * 2, Ordering::Release); // MUTANT\n"
+        + "\n".join(RING.splitlines()[:7]),
+    ),
+}
+
+before, after = MUTANTS[sys.argv[1]]
+assert src.count(before) == 1, f"mutation site for {sys.argv[1]!r} not found exactly once"
+view.write_text(src.replace(before, after, 1))
+EOF
+}
+
+echo "== baseline: model suite must pass on pristine source"
+run_suite
+
+for mutant in fence ring; do
+    echo "== mutant '$mutant': model suite must FAIL"
+    mutate "$mutant"
+    if run_suite >/tmp/check-mutants-$mutant.log 2>&1; then
+        echo "check-mutants: mutant '$mutant' SURVIVED — the model suite is not sensitive to it" >&2
+        exit 1
+    fi
+    echo "   killed (see /tmp/check-mutants-$mutant.log)"
+    restore
+done
+
+echo "== restored: model suite must pass again"
+run_suite
+echo "check-mutants: all mutants killed"
