@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Point cargo at the offline stub crates when the registry is unreachable.
+# Usage:  . scripts/offline-stubs/setup.sh   (or copy the config below)
+#
+# Creates an isolated CARGO_HOME so the normal cargo config (and any real
+# registry mirrors) stay untouched.
+set -e
+FDH="${FDH:-/tmp/fdh}"
+mkdir -p "$FDH"
+cat > "$FDH/config.toml" <<CFG
+[source.crates-io]
+replace-with = "offline-stubs"
+
+[source.offline-stubs]
+directory = "$(cd "$(dirname "$0")/vendor" && pwd)"
+
+[net]
+offline = true
+CFG
+export CARGO_HOME="$FDH"
+echo "CARGO_HOME=$FDH (offline stub sources active)"

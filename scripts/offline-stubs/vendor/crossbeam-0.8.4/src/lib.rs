@@ -1,0 +1,1 @@
+//! Offline stand-in for `crossbeam` (declared but unused by this workspace).

@@ -1,0 +1,562 @@
+//! Minimal API stand-in for `proptest` 1.x (network-isolated builds).
+//!
+//! Implements the subset this workspace uses: the `proptest!` macro with an
+//! optional `#![proptest_config(...)]` header, integer/float range
+//! strategies, `collection::vec`, `option::weighted`, `bool::ANY`,
+//! `any::<T>()`, `Just`, `prop_map`, `prop_oneof!`, and the
+//! `prop_assert*` family returning `TestCaseError`.
+//!
+//! No shrinking: each test runs `cases` deterministic random inputs seeded
+//! from the test's name, and a failure reports the case index so the run
+//! can be reproduced (the seed derivation is fixed).
+
+/// Deterministic generator backing all strategies (splitmix64).
+#[derive(Debug, Clone)]
+pub struct StubRng {
+    state: u64,
+}
+
+impl StubRng {
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) as f64))
+    }
+}
+
+pub mod test_runner {
+    /// Test-case failure carrying a message; `prop_assert!` produces it and
+    /// helper functions can return it through `?`.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self(msg.into())
+        }
+
+        /// Mirror of the real crate's `TestCaseError::Fail` constructor
+        /// surface (`reject` is treated as failure here).
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Runner configuration; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_shrink_iters: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real default is 256; trimmed for offline debug-build runs
+            // while keeping enough cases to exercise the properties.
+            Self::with_cases(64)
+        }
+    }
+}
+
+pub mod strategy {
+    use super::StubRng;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A value generator. No shrinking; `generate` must be deterministic in
+    /// the RNG stream.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut StubRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, _whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let s = self;
+            BoxedStrategy(Rc::new(move |rng| s.generate(rng)))
+        }
+    }
+
+    /// Type-erased strategy (used by `prop_oneof!`).
+    #[derive(Clone)]
+    pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut StubRng) -> V>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut StubRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// Weighted union of same-valued strategies.
+    pub struct Union<V> {
+        pub arms: Vec<(u32, BoxedStrategy<V>)>,
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut StubRng) -> V {
+            let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            let mut pick = rng.below(total.max(1));
+            for (w, s) in &self.arms {
+                if pick < u64::from(*w) {
+                    return s.generate(rng);
+                }
+                pick -= u64::from(*w);
+            }
+            self.arms.last().expect("empty prop_oneof").1.generate(rng)
+        }
+    }
+
+    /// Constant strategy.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StubRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StubRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StubRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 consecutive candidates");
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StubRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StubRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StubRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut StubRng) -> f32 {
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut StubRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::StubRng;
+    use std::marker::PhantomData;
+
+    /// `any::<T>()` support for the primitive types the workspace fuzzes.
+    pub struct Any<T>(PhantomData<T>);
+
+    pub fn any<T>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StubRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut StubRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StubRng) -> f64 {
+            // Finite floats across a wide magnitude range.
+            let m = rng.unit_f64() * 2.0 - 1.0;
+            let e = rng.below(613) as i32 - 306;
+            m * 10f64.powi(e)
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::StubRng;
+    use std::ops::Range;
+
+    /// Size specification: an exact count or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StubRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo).max(1) as u64;
+            let n = self.size.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::StubRng;
+
+    pub struct Weighted<S> {
+        p_some: f64,
+        inner: S,
+    }
+
+    pub fn weighted<S: Strategy>(p_some: f64, inner: S) -> Weighted<S> {
+        Weighted { p_some, inner }
+    }
+
+    impl<S: Strategy> Strategy for Weighted<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StubRng) -> Option<S::Value> {
+            if rng.unit_f64() < self.p_some {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::StubRng;
+
+    /// Uniform boolean strategy (`proptest::bool::ANY`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut StubRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Seed derivation for a named test: FNV-1a over the name.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg); $($rest)*);
+    };
+    (@munch ($cfg:expr);) => {};
+    (@munch ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __pt_cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __pt_rng = $crate::StubRng::new($crate::seed_for(concat!(
+                module_path!(), "::", stringify!($name)
+            )));
+            for __pt_case in 0..__pt_cfg.cases {
+                $(
+                    let __pt_gen = $crate::strategy::Strategy::generate(&($strat), &mut __pt_rng);
+                    let $pat = __pt_gen;
+                )+
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                if let Err(e) = result {
+                    panic!(
+                        "proptest case {}/{} of {} failed: {}",
+                        __pt_case + 1, __pt_cfg.cases, stringify!($name), e
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@munch ($cfg); $($rest)*);
+    };
+    (@munch ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident : $ty:ty),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@munch ($cfg);
+            $(#[$meta])*
+            fn $name($($arg in $crate::arbitrary::any::<$ty>()),+) $body
+            $($rest)*
+        );
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($a), stringify!($b), a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{} ({:?} vs {:?})", format!($($fmt)*), a, b
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($a), stringify!($b), a
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            // No rejection machinery: treat an unmet assumption as a pass
+            // for this case.
+            return Ok(());
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union {
+            arms: vec![
+                $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+            ],
+        }
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union {
+            arms: vec![
+                $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+            ],
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::collection;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+    /// The real prelude exposes the `prop` module alias.
+    pub mod prop {
+        pub use crate::{bool, collection, option};
+    }
+}

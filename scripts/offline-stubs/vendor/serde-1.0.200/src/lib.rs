@@ -1,0 +1,24 @@
+//! Minimal API stand-in for `serde` 1.x (network-isolated builds).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config/report types
+//! but serializes exclusively through hand-rolled writers, so the traits
+//! here are markers and the derive macros are no-ops.
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+pub trait Serializer {}
+
+pub trait Deserializer<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod ser {
+    pub use crate::{Serialize, Serializer};
+}
+
+pub mod de {
+    pub use crate::{Deserialize, Deserializer};
+}
