@@ -56,6 +56,24 @@ pub fn integrate_one_step(diff_forecast: f64, recent_levels: &[f64], d: usize) -
     acc
 }
 
+/// One step of the streaming difference operator: the `d`-differenced value
+/// of `level` given the last `d` observed levels (most recent last).
+///
+/// `z = Σ_{k=0..d} (-1)^k C(d,k) x_{t-k}` — the same expansion
+/// [`Differencer::push`] applies; extracted so slim inline lag storage
+/// (see `ArimaState`) shares the arithmetic bit for bit.
+pub(crate) fn diff_step(d: usize, recent: &[f64], level: f64) -> f64 {
+    let mut z = level;
+    let mut binom: f64 = 1.0;
+    let n = recent.len();
+    for k in 1..=d {
+        binom = binom * (d - k + 1) as f64 / k as f64;
+        let sign = if k % 2 == 1 { -1.0 } else { 1.0 };
+        z += sign * binom * recent[n - k];
+    }
+    z
+}
+
 /// Streaming differencer: feeds levels in, emits the `d`-times-differenced
 /// value once enough history has accumulated, and integrates forecasts back
 /// to the level scale.
@@ -90,15 +108,7 @@ impl Differencer {
             self.recent.push(level);
             return None;
         }
-        // z = Σ_{k=0..d} (-1)^k C(d,k) x_{t-k}
-        let mut z = level;
-        let mut binom: f64 = 1.0;
-        let n = self.recent.len();
-        for k in 1..=self.d {
-            binom = binom * (self.d - k + 1) as f64 / k as f64;
-            let sign = if k % 2 == 1 { -1.0 } else { 1.0 };
-            z += sign * binom * self.recent[n - k];
-        }
+        let z = diff_step(self.d, &self.recent, level);
         self.recent.remove(0);
         self.recent.push(level);
         Some(z)

@@ -19,15 +19,17 @@ const WINDOW_FACTOR: usize = 8;
 /// paper's natural cold-start behaviour.
 #[derive(Debug, Clone)]
 pub struct OnlineArima {
-    spec: ArimaSpec,
-    refit_every: usize,
+    refit_every: u32,
+    max_window: u32,
     window: Vec<f64>,
-    max_window: usize,
-    model: Option<ArimaModel>,
+    /// Boxed: a fitted model is ~90 B of coefficients, but most forecasters
+    /// in a million-source monitor never reach their first fit — the
+    /// indirection keeps the unfitted forecaster small.
+    model: Option<Box<ArimaModel>>,
     state: ArimaState,
-    observed: usize,
-    refits: usize,
-    failed_fits: usize,
+    observed: u64,
+    refits: u32,
+    failed_fits: u32,
 }
 
 impl OnlineArima {
@@ -36,14 +38,15 @@ impl OnlineArima {
     ///
     /// # Panics
     ///
-    /// Panics if `refit_every` is zero.
+    /// Panics if `refit_every` is zero or does not fit in `u32`.
     pub fn new(spec: ArimaSpec, refit_every: usize) -> Self {
         assert!(refit_every > 0, "refit_every must be positive");
+        let refit_every = u32::try_from(refit_every).expect("refit_every fits u32");
+        let max_window = (WINDOW_FACTOR * refit_every as usize).max(spec.min_series_len());
         Self {
-            spec,
             refit_every,
+            max_window: u32::try_from(max_window).expect("fit window fits u32"),
             window: Vec::new(),
-            max_window: (WINDOW_FACTOR * refit_every).max(spec.min_series_len()),
             model: None,
             state: ArimaState::new(spec),
             observed: 0,
@@ -52,35 +55,53 @@ impl OnlineArima {
         }
     }
 
-    /// The model order.
+    /// The model order (held by the streaming state; not duplicated here).
     pub fn spec(&self) -> ArimaSpec {
-        self.spec
+        self.state.spec()
     }
 
     /// Observations consumed so far.
     pub fn observed(&self) -> usize {
-        self.observed
+        self.observed as usize
     }
 
     /// Successful refits performed so far.
     pub fn refits(&self) -> usize {
-        self.refits
+        self.refits as usize
     }
 
     /// Fit attempts that failed (model kept from before).
     pub fn failed_fits(&self) -> usize {
-        self.failed_fits
+        self.failed_fits as usize
     }
 
     /// The current fitted model, if any.
     pub fn model(&self) -> Option<&ArimaModel> {
-        self.model.as_ref()
+        self.model.as_deref()
     }
 
     /// Consumes one observation.
     pub fn observe(&mut self, value: f64) {
-        if self.window.len() == self.max_window {
+        let max_window = self.max_window as usize;
+        if self.window.len() == max_window {
             self.window.remove(0);
+        } else if self.window.len() == self.window.capacity() {
+            // Grow in measured steps instead of `push`'s doubling: a cold
+            // forecaster (a handful of observations) keeps a right-sized
+            // buffer instead of rounding up to the next power of two. The
+            // small +2 steps after the initial ramp matter at monitor scale:
+            // a short run parks most windows at 10 slots (one 80-byte
+            // allocation per source) rather than overshooting to 12.
+            let cap = self.window.capacity();
+            let grow = if cap < 8 {
+                4
+            } else if cap < 16 {
+                2
+            } else {
+                cap / 2
+            }
+            .min(max_window - cap);
+            self.window.reserve_exact(grow);
         }
         self.window.push(value);
         self.observed += 1;
@@ -89,20 +110,22 @@ impl OnlineArima {
         // large enough. "Large enough" is more than the bare algebraic
         // minimum: coefficient estimates from a few dozen points are
         // unstable enough to be worse than the LAST fallback.
-        let first_fit_at = self.spec.min_series_len().max(self.refit_every.min(300));
-        let due = self.observed.is_multiple_of(self.refit_every)
+        let refit_every = self.refit_every as u64;
+        let spec = self.state.spec();
+        let first_fit_at = spec.min_series_len().max((self.refit_every as usize).min(300));
+        let due = self.observed.is_multiple_of(refit_every)
             || (self.model.is_none() && self.window.len() == first_fit_at);
         if due && self.window.len() >= first_fit_at {
-            match ArimaModel::fit(&self.window, self.spec) {
+            match ArimaModel::fit(&self.window, spec) {
                 Ok(m) => {
-                    self.model = Some(m);
+                    self.model = Some(Box::new(m));
                     self.refits += 1;
                 }
                 Err(_) => self.failed_fits += 1,
             }
         }
 
-        self.state.observe(value, self.model.as_ref());
+        self.state.observe(value, self.model.as_deref());
     }
 
     /// The one-step forecast of the next observation.
@@ -110,7 +133,9 @@ impl OnlineArima {
     /// Falls back to the last observation before the first fit, and to 0.0
     /// if nothing has been observed at all.
     pub fn predict_next(&self) -> f64 {
-        self.state.predict_next(self.model.as_ref()).unwrap_or(0.0)
+        self.state
+            .predict_next(self.model.as_deref())
+            .unwrap_or(0.0)
     }
 
     /// Captures the complete streaming state as plain data.
@@ -122,10 +147,10 @@ impl OnlineArima {
         let (diff_recent, recent_z, recent_innov, pending_diff_forecast, last_level) =
             self.state.raw_parts();
         ArimaSnapshot {
-            spec: self.spec,
-            refit_every: self.refit_every,
+            spec: self.state.spec(),
+            refit_every: self.refit_every as usize,
             window: self.window.clone(),
-            model: self.model.as_ref().map(|m| {
+            model: self.model.as_deref().map(|m| {
                 (
                     m.intercept(),
                     m.phi().to_vec(),
@@ -138,9 +163,9 @@ impl OnlineArima {
             recent_innov,
             pending_diff_forecast,
             last_level,
-            observed: self.observed,
-            refits: self.refits,
-            failed_fits: self.failed_fits,
+            observed: self.observed as usize,
+            refits: self.refits as usize,
+            failed_fits: self.failed_fits as usize,
         }
     }
 
@@ -150,7 +175,8 @@ impl OnlineArima {
     /// refit interval, oversized fit window, coefficient/order mismatch, or
     /// histories longer than the spec allows).
     pub fn from_snapshot(s: ArimaSnapshot) -> Option<OnlineArima> {
-        if s.refit_every == 0 {
+        let refit_every = u32::try_from(s.refit_every).ok()?;
+        if refit_every == 0 {
             return None;
         }
         let max_window = (WINDOW_FACTOR * s.refit_every).max(s.spec.min_series_len());
@@ -158,9 +184,9 @@ impl OnlineArima {
             return None;
         }
         let model = match s.model {
-            Some((intercept, phi, psi, sigma2)) => {
-                Some(ArimaModel::from_parts(s.spec, intercept, phi, psi, sigma2)?)
-            }
+            Some((intercept, phi, psi, sigma2)) => Some(Box::new(ArimaModel::from_parts(
+                s.spec, intercept, phi, psi, sigma2,
+            )?)),
             None => None,
         };
         let state = ArimaState::from_raw_parts(
@@ -172,15 +198,14 @@ impl OnlineArima {
             s.last_level,
         )?;
         Some(OnlineArima {
-            spec: s.spec,
-            refit_every: s.refit_every,
+            refit_every,
+            max_window: u32::try_from(max_window).ok()?,
             window: s.window,
-            max_window,
             model,
             state,
-            observed: s.observed,
-            refits: s.refits,
-            failed_fits: s.failed_fits,
+            observed: s.observed as u64,
+            refits: s.refits as u32,
+            failed_fits: s.failed_fits as u32,
         })
     }
 }
@@ -296,7 +321,7 @@ mod tests {
         for i in 0..10_000 {
             f.observe(i as f64 % 17.0);
         }
-        assert!(f.window.len() <= f.max_window);
+        assert!(f.window.len() <= f.max_window as usize);
         assert_eq!(f.observed(), 10_000);
     }
 

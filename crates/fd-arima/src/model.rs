@@ -22,7 +22,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::ar::{ar_residuals, fit_ar_yule_walker};
-use crate::diff::{difference, Differencer};
+use crate::diff::{diff_step, difference};
 use crate::linalg::least_squares;
 
 /// The order triple `(p, d, q)` of an ARIMA model.
@@ -440,91 +440,289 @@ fn css_refine(z: &[f64], spec: ArimaSpec, start_beta: Vec<f64>) -> Vec<f64> {
     best
 }
 
+/// Lag histories of a streaming forecast recursion. The paper's orders are
+/// tiny (`p, q ≤ 4`, `d ≤ 2`), so the common case stores every history
+/// inline — a monitor tracking a million sources pays zero heap allocations
+/// per forecaster. Exotic orders spill to heap deques with identical
+/// semantics.
+///
+/// All histories are most recent **last**; `z`/`innov` are FIFO rings
+/// trimmed to `p.max(1)` / `q.max(1)` lags, `diff` holds the last `d`
+/// levels for the streaming differencer.
+#[derive(Debug, Clone)]
+enum LagStore {
+    Inline {
+        z: [f64; 4],
+        innov: [f64; 4],
+        diff: [f64; 2],
+        z_len: u8,
+        innov_len: u8,
+        diff_len: u8,
+    },
+    Heap(Box<HeapLags>),
+}
+
+/// Heap spill for exotic orders. Boxed so the enum is sized by the inline
+/// arm (the only one a paper-grid monitor ever instantiates) instead of the
+/// three-deque spill nobody allocates.
+#[derive(Debug, Clone)]
+struct HeapLags {
+    z: VecDeque<f64>,
+    innov: VecDeque<f64>,
+    diff: Vec<f64>,
+}
+
+impl LagStore {
+    const INLINE_LAGS: usize = 4;
+    const INLINE_DIFF: usize = 2;
+
+    fn new(spec: ArimaSpec) -> Self {
+        if spec.p.max(1) <= Self::INLINE_LAGS
+            && spec.q.max(1) <= Self::INLINE_LAGS
+            && spec.d <= Self::INLINE_DIFF
+        {
+            LagStore::Inline {
+                z: [0.0; 4],
+                innov: [0.0; 4],
+                diff: [0.0; 2],
+                z_len: 0,
+                innov_len: 0,
+                diff_len: 0,
+            }
+        } else {
+            LagStore::Heap(Box::new(HeapLags {
+                z: VecDeque::with_capacity(spec.p + 1),
+                innov: VecDeque::with_capacity(spec.q + 1),
+                diff: Vec::with_capacity(spec.d),
+            }))
+        }
+    }
+
+    /// Streaming difference: push a level, get the `d`-differenced value
+    /// once `d` previous levels exist. Same arithmetic as
+    /// [`Differencer::push`] (shared via `diff_step`).
+    fn push_level(&mut self, d: usize, level: f64) -> Option<f64> {
+        if d == 0 {
+            return Some(level);
+        }
+        match self {
+            LagStore::Inline { diff, diff_len, .. } => {
+                let len = *diff_len as usize;
+                if len < d {
+                    diff[len] = level;
+                    *diff_len += 1;
+                    return None;
+                }
+                let z = diff_step(d, &diff[..d], level);
+                diff.copy_within(1..d, 0);
+                diff[d - 1] = level;
+                Some(z)
+            }
+            LagStore::Heap(h) => {
+                if h.diff.len() < d {
+                    h.diff.push(level);
+                    return None;
+                }
+                let z = diff_step(d, &h.diff, level);
+                h.diff.remove(0);
+                h.diff.push(level);
+                Some(z)
+            }
+        }
+    }
+
+    /// Appends to a FIFO history capped at `cap` lags (drops the oldest).
+    /// Trimming before the push leaves the same contents as the
+    /// push-then-trim a `VecDeque` would do.
+    fn push_capped(buf: &mut [f64; 4], len: &mut u8, cap: usize, value: f64) {
+        let n = *len as usize;
+        if n == cap {
+            buf.copy_within(1..n, 0);
+            buf[n - 1] = value;
+        } else {
+            buf[n] = value;
+            *len += 1;
+        }
+    }
+
+    fn push_z(&mut self, cap: usize, value: f64) {
+        match self {
+            LagStore::Inline { z, z_len, .. } => Self::push_capped(z, z_len, cap, value),
+            LagStore::Heap(h) => {
+                h.z.push_back(value);
+                if h.z.len() > cap {
+                    h.z.pop_front();
+                }
+            }
+        }
+    }
+
+    fn push_innov(&mut self, cap: usize, value: f64) {
+        match self {
+            LagStore::Inline { innov, innov_len, .. } => {
+                Self::push_capped(innov, innov_len, cap, value)
+            }
+            LagStore::Heap(h) => {
+                h.innov.push_back(value);
+                if h.innov.len() > cap {
+                    h.innov.pop_front();
+                }
+            }
+        }
+    }
+
+    fn clear_innov(&mut self) {
+        match self {
+            LagStore::Inline { innov_len, .. } => *innov_len = 0,
+            LagStore::Heap(h) => h.innov.clear(),
+        }
+    }
+
+    fn diff_recent(&self) -> &[f64] {
+        match self {
+            LagStore::Inline { diff, diff_len, .. } => &diff[..*diff_len as usize],
+            LagStore::Heap(h) => &h.diff,
+        }
+    }
+
+    /// Runs `f` over the contiguous `(recent_z, recent_innov)` views.
+    fn with_slices<R>(&self, f: impl FnOnce(&[f64], &[f64]) -> R) -> R {
+        match self {
+            LagStore::Inline {
+                z,
+                innov,
+                z_len,
+                innov_len,
+                ..
+            } => f(&z[..*z_len as usize], &innov[..*innov_len as usize]),
+            LagStore::Heap(h) => {
+                // VecDeque slices: make contiguous views without realloc
+                // churn on the hot path.
+                let (za, zb) = h.z.as_slices();
+                let (ia, ib) = h.innov.as_slices();
+                let zvec: Vec<f64>;
+                let zs: &[f64] = if zb.is_empty() {
+                    za
+                } else {
+                    zvec = h.z.iter().copied().collect();
+                    &zvec
+                };
+                let ivec: Vec<f64>;
+                let is: &[f64] = if ib.is_empty() {
+                    ia
+                } else {
+                    ivec = h.innov.iter().copied().collect();
+                    &ivec
+                };
+                f(zs, is)
+            }
+        }
+    }
+}
+
 /// Streaming forecast state: tracks the differenced history, innovations and
 /// the pending one-step forecast. Shared by [`ArimaModel::one_step_forecasts`]
 /// and [`crate::OnlineArima`].
+///
+/// A monitor tracking a million sources holds one of these per forecaster,
+/// so the layout is deliberately compact: the orders live in three bytes
+/// (rather than a 24-byte [`ArimaSpec`]) and the two optional `f64`s are
+/// flag + value pairs instead of 16-byte `Option<f64>`s. The public API is
+/// unchanged — [`ArimaState::spec`] reconstructs the spec on demand.
 #[derive(Debug, Clone)]
 pub struct ArimaState {
-    spec: ArimaSpec,
-    differencer: Differencer,
-    recent_z: VecDeque<f64>,
-    recent_innov: VecDeque<f64>,
-    pending_diff_forecast: Option<f64>,
-    last_level: Option<f64>,
+    p: u8,
+    d: u8,
+    q: u8,
+    has_pending: bool,
+    has_last: bool,
+    lags: LagStore,
+    /// Valid only when `has_pending`.
+    pending_diff_forecast: f64,
+    /// Valid only when `has_last`.
+    last_level: f64,
+}
+
+fn order_u8(n: usize, what: &str) -> u8 {
+    u8::try_from(n).unwrap_or_else(|_| panic!("ARIMA {what} order {n} exceeds 255"))
 }
 
 impl ArimaState {
     /// Creates empty state for the given spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any order exceeds 255 (far beyond any fittable model).
     pub fn new(spec: ArimaSpec) -> Self {
         Self {
-            spec,
-            differencer: Differencer::new(spec.d),
-            recent_z: VecDeque::with_capacity(spec.p + 1),
-            recent_innov: VecDeque::with_capacity(spec.q + 1),
-            pending_diff_forecast: None,
-            last_level: None,
+            p: order_u8(spec.p, "AR"),
+            d: order_u8(spec.d, "differencing"),
+            q: order_u8(spec.q, "MA"),
+            has_pending: false,
+            has_last: false,
+            lags: LagStore::new(spec),
+            pending_diff_forecast: 0.0,
+            last_level: 0.0,
         }
+    }
+
+    /// The order specification this state was created for.
+    pub fn spec(&self) -> ArimaSpec {
+        ArimaSpec::new(usize::from(self.p), usize::from(self.d), usize::from(self.q))
     }
 
     /// Consumes a new level observation, updating the innovation history
     /// against the forecast previously made by `model`.
     pub fn observe(&mut self, level: f64, model: Option<&ArimaModel>) {
-        if let Some(z) = self.differencer.push(level) {
-            let mut innovation = match self.pending_diff_forecast {
-                Some(zf) => z - zf,
-                None => 0.0,
+        if let Some(z) = self.lags.push_level(usize::from(self.d), level) {
+            let mut innovation = if self.has_pending {
+                z - self.pending_diff_forecast
+            } else {
+                0.0
             };
             // Safety valve: an insane innovation indicates a corrupted model
             // or state; reset the recursion rather than propagate it.
             if !innovation.is_finite() || innovation.abs() > 1e9 {
-                self.recent_innov.clear();
+                self.lags.clear_innov();
                 innovation = 0.0;
             }
-            self.recent_innov.push_back(innovation);
-            if self.recent_innov.len() > self.spec.q.max(1) {
-                self.recent_innov.pop_front();
-            }
-            self.recent_z.push_back(z);
-            if self.recent_z.len() > self.spec.p.max(1) {
-                self.recent_z.pop_front();
-            }
+            self.lags.push_innov(usize::from(self.q).max(1), innovation);
+            self.lags.push_z(usize::from(self.p).max(1), z);
         }
-        self.last_level = Some(level);
-        self.pending_diff_forecast = model.and_then(|m| {
-            let (za, zb) = self.recent_z.as_slices();
-            let (ia, ib) = self.recent_innov.as_slices();
-            // VecDeque slices: make contiguous views without realloc churn.
-            let zvec: Vec<f64>;
-            let zs: &[f64] = if zb.is_empty() {
-                za
-            } else {
-                zvec = self.recent_z.iter().copied().collect();
-                &zvec
-            };
-            let ivec: Vec<f64>;
-            let is: &[f64] = if ib.is_empty() {
-                ia
-            } else {
-                ivec = self.recent_innov.iter().copied().collect();
-                &ivec
-            };
-            m.forecast_diff(zs, is)
-        });
+        self.last_level = level;
+        self.has_last = true;
+        let pending = model.and_then(|m| self.lags.with_slices(|zs, is| m.forecast_diff(zs, is)));
+        self.has_pending = pending.is_some();
+        self.pending_diff_forecast = pending.unwrap_or(0.0);
     }
 
     /// The one-step level forecast from the current state, or `None` during
     /// warm-up. The caller supplies `model` purely to decide the fallback;
     /// the forecast itself was computed at the last `observe`.
     pub fn predict_next(&self, _model: Option<&ArimaModel>) -> Option<f64> {
-        match self.pending_diff_forecast {
-            Some(zf) => self.differencer.integrate(zf).or(self.last_level),
-            None => self.last_level,
+        let last = self.has_last.then_some(self.last_level);
+        if self.has_pending {
+            self.integrate(self.pending_diff_forecast).or(last)
+        } else {
+            last
         }
+    }
+
+    /// Maps a differenced-scale forecast back to the level scale, or `None`
+    /// until `d` levels have been observed. Same arithmetic as
+    /// [`Differencer::integrate`].
+    fn integrate(&self, diff_forecast: f64) -> Option<f64> {
+        let d = usize::from(self.d);
+        let recent = self.lags.diff_recent();
+        if recent.len() < d {
+            return None;
+        }
+        Some(crate::diff::integrate_one_step(diff_forecast, recent, d))
     }
 
     /// The last observed level, if any.
     pub fn last_level(&self) -> Option<f64> {
-        self.last_level
+        self.has_last.then_some(self.last_level)
     }
 
     /// The complete streaming state as plain data:
@@ -534,12 +732,13 @@ impl ArimaState {
     /// Together with [`ArimaState::from_raw_parts`] this supports bit-exact
     /// checkpoint/restore of a live forecast recursion.
     pub fn raw_parts(&self) -> (Vec<f64>, Vec<f64>, Vec<f64>, Option<f64>, Option<f64>) {
+        let (zs, is) = self.lags.with_slices(|zs, is| (zs.to_vec(), is.to_vec()));
         (
-            self.differencer.recent().to_vec(),
-            self.recent_z.iter().copied().collect(),
-            self.recent_innov.iter().copied().collect(),
-            self.pending_diff_forecast,
-            self.last_level,
+            self.lags.diff_recent().to_vec(),
+            zs,
+            is,
+            self.has_pending.then_some(self.pending_diff_forecast),
+            self.has_last.then_some(self.last_level),
         )
     }
 
@@ -555,17 +754,44 @@ impl ArimaState {
         pending_diff_forecast: Option<f64>,
         last_level: Option<f64>,
     ) -> Option<ArimaState> {
-        if recent_z.len() > spec.p.max(1) || recent_innov.len() > spec.q.max(1) {
+        if recent_z.len() > spec.p.max(1)
+            || recent_innov.len() > spec.q.max(1)
+            || diff_recent.len() > spec.d
+        {
             return None;
         }
-        let differencer = Differencer::from_recent(spec.d, diff_recent)?;
+        let mut lags = LagStore::new(spec);
+        match &mut lags {
+            LagStore::Inline {
+                z,
+                innov,
+                diff,
+                z_len,
+                innov_len,
+                diff_len,
+            } => {
+                z[..recent_z.len()].copy_from_slice(&recent_z);
+                *z_len = recent_z.len() as u8;
+                innov[..recent_innov.len()].copy_from_slice(&recent_innov);
+                *innov_len = recent_innov.len() as u8;
+                diff[..diff_recent.len()].copy_from_slice(&diff_recent);
+                *diff_len = diff_recent.len() as u8;
+            }
+            LagStore::Heap(h) => {
+                h.z.extend(recent_z);
+                h.innov.extend(recent_innov);
+                h.diff.extend(diff_recent);
+            }
+        }
         Some(ArimaState {
-            spec,
-            differencer,
-            recent_z: recent_z.into(),
-            recent_innov: recent_innov.into(),
-            pending_diff_forecast,
-            last_level,
+            p: order_u8(spec.p, "AR"),
+            d: order_u8(spec.d, "differencing"),
+            q: order_u8(spec.q, "MA"),
+            has_pending: pending_diff_forecast.is_some(),
+            has_last: last_level.is_some(),
+            lags,
+            pending_diff_forecast: pending_diff_forecast.unwrap_or(0.0),
+            last_level: last_level.unwrap_or(0.0),
         })
     }
 }

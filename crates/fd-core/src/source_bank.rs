@@ -10,12 +10,23 @@
 //! [`SourceBank`] is the same shared-computation engine with the source
 //! dimension folded into the arrays:
 //!
-//! * predictor and margin-core state is laid out **source-major**
-//!   (`state[source * P + p]`), so one heartbeat touches one contiguous
-//!   stripe of `P` distinct predictors;
-//! * deadlines are laid out **combo-major** — one contiguous `u64` array
-//!   per combination (`deadlines[combo * N + source]`, `u64::MAX` = none) —
-//!   so a full freshness sweep ([`check_all_at`](SourceBank::check_all_at))
+//! * forecaster state is laid out as **columns** — one [`PredCol`] per
+//!   distinct predictor, each holding only the bytes that predictor kind
+//!   actually needs per source (8 B for `LAST`/`MEAN`/`LPF` instead of a
+//!   328-byte uniform enum slot), with the window-mean rings packed into
+//!   one shared arena;
+//! * the Welford core of `SM_CI` and the error cores of `SM_JAC`/`SM_RTO`
+//!   are columns too, and their construction-time constants (α, the RTO
+//!   gain) are hoisted out of the per-source state;
+//! * every heartbeat touches every predictor column and the Welford core
+//!   exactly once, so the Welford count doubles as the per-source
+//!   observation count — `MEAN`, `WINMEAN` and `LPF` carry no counter of
+//!   their own;
+//! * deadlines are laid out **combo-major** — one contiguous `u32` array
+//!   per combination (`deadlines[combo * N + source]`, `u32::MAX` = none;
+//!   armed freshness points are asserted inside the ~71.6-virtual-minute
+//!   µs horizon, the same clock the streaming QoS accumulator uses) — so
+//!   a full freshness sweep ([`check_all_at`](SourceBank::check_all_at))
 //!   is M linear array scans, not N×M virtual calls;
 //! * each source carries an amortized **freshest-deadline cache**
 //!   (`min_deadline[source]` = a lower bound on its earliest pending
@@ -28,28 +39,39 @@
 //!
 //! The per-heartbeat arithmetic is **bit-identical** to `DetectorBank`
 //! (which is itself bit-identical to the boxed single-detector path): the
-//! operations happen in the same order on the same values. The only
-//! intentional deviation is bookkeeping, not math — the bank re-calls
-//! `predict()` to compute each error while the source bank reuses the
-//! cached post-observation forecast, which is the same pure value.
+//! operations happen in the same order on the same values. `predict()` is
+//! pure, so recomputing the pre-observation forecast for the error term
+//! yields exactly the value the bank reads from its cache, and the
+//! post-observation forecasts live in a per-call scratch stripe instead of
+//! an N×P cache.
 
+use fd_arima::ArimaSpec;
 use fd_sim::{SimDuration, SimTime};
+use fd_stat::EventSink;
 
-use crate::bank::{ErrorCores, PredictorState};
 use crate::combinations::{Combination, MarginKind, PredictorKind};
 use crate::detector::FdTransition;
-use crate::margin::{CiCore, JacCore, RtoCore};
+use crate::predictor::{ArimaPredictor, Predictor};
 
-/// `highest_seq` sentinel for "no fresh heartbeat seen yet". Sequence
-/// numbers can never reach it: `eta * u64::MAX` overflows virtual time
-/// (and panics) long before.
-const SEQ_NONE: u64 = u64::MAX;
+/// `highest_seq` sentinel for "no fresh heartbeat seen yet". Stored
+/// sequence numbers are asserted below it; a sequence that far along would
+/// overflow the deadline horizon first for any realistic η.
+const SEQ_NONE: u32 = u32::MAX;
 
 /// `deadlines` sentinel for "no freshness point armed".
-const NO_DEADLINE: u64 = u64::MAX;
+const NO_DEADLINE: u32 = u32::MAX;
+
+/// Shared `SM_JAC` gain: the paper's α = 1/4, the value `DetectorBank`
+/// hands `JacCore::new`. Hoisting it lets the bank keep one smoothed-|err|
+/// column per predictor instead of (α, base) pairs per source.
+const JAC_ALPHA: f64 = 0.25;
+
+/// Shared `SM_RTO` mean gain (deviation gain `2 × RTO_GAIN`), as in
+/// `RtoCore::new`.
+const RTO_GAIN: f64 = 0.125;
 
 /// Heartbeats per block in the batched observe path. Sized so the block
-/// scratch (`OBS_BLOCK × M` deadlines ≈ 15 KiB for the paper grid) stays
+/// scratch (`OBS_BLOCK × M` deadlines ≈ 7.5 KiB for the paper grid) stays
 /// L1-resident while each combination's deadline row is written in runs
 /// of up to `OBS_BLOCK` nearby slots instead of one isolated slot per
 /// heartbeat.
@@ -76,6 +98,186 @@ pub struct SourceTransition {
     pub combo: u32,
     /// The edge.
     pub transition: FdTransition,
+}
+
+/// Per-source state of one distinct predictor, as parallel columns indexed
+/// by source. Each variant stores only what its forecast function needs;
+/// the shared observation count (the Welford count in [`CiCol`]) supplies
+/// `n` where the scalar predictors kept their own.
+#[derive(Debug, Clone)]
+enum PredCol {
+    /// `LAST`: forecast = most recent delay (0 before the first — the
+    /// initial value, so no primed flag is needed).
+    Last { last: Vec<f64> },
+    /// `MEAN`: running mean of all observed delays.
+    Mean { mean: Vec<f64> },
+    /// `WINMEAN(cap)`: mean of the last `cap` delays. The per-source rings
+    /// live in one arena, `ring[s * cap..][..cap]`, written cyclically at
+    /// `n % cap`.
+    WinMean {
+        cap: usize,
+        sum: Vec<f64>,
+        ring: Vec<f64>,
+    },
+    /// `LPF(β)`: exponential smoothing; β is per-kind, not per-source.
+    Lpf { beta: f64, pred: Vec<f64> },
+    /// `ARIMA`: the full streaming forecaster per source.
+    Arima(Vec<ArimaPredictor>),
+}
+
+impl PredCol {
+    fn new(kind: PredictorKind, n_sources: usize) -> Self {
+        match kind {
+            PredictorKind::Last => PredCol::Last {
+                last: vec![0.0; n_sources],
+            },
+            PredictorKind::Mean => PredCol::Mean {
+                mean: vec![0.0; n_sources],
+            },
+            PredictorKind::WinMean { window } => {
+                assert!(window > 0, "window capacity must be positive");
+                PredCol::WinMean {
+                    cap: window,
+                    sum: vec![0.0; n_sources],
+                    ring: vec![0.0; n_sources * window],
+                }
+            }
+            PredictorKind::Lpf { beta } => {
+                assert!(beta > 0.0 && beta <= 1.0, "beta out of (0, 1]: {beta}");
+                PredCol::Lpf {
+                    beta,
+                    pred: vec![0.0; n_sources],
+                }
+            }
+            PredictorKind::Arima {
+                p,
+                d,
+                q,
+                refit_every,
+            } => PredCol::Arima(vec![
+                ArimaPredictor::new(ArimaSpec::new(p, d, q), refit_every);
+                n_sources
+            ]),
+        }
+    }
+
+    /// The current forecast for source `s` after `n_obs` observations —
+    /// pure, bit-identical to `PredictorState::predict` on the same
+    /// history.
+    fn predict(&self, s: usize, n_obs: u32) -> f64 {
+        match self {
+            PredCol::Last { last } => last[s],
+            PredCol::Mean { mean } => mean[s],
+            PredCol::WinMean { cap, sum, .. } => {
+                let len = (n_obs as usize).min(*cap);
+                if len == 0 {
+                    0.0
+                } else {
+                    sum[s] / len as f64
+                }
+            }
+            PredCol::Lpf { pred, .. } => pred[s],
+            PredCol::Arima(col) => col[s].predict(),
+        }
+    }
+
+    /// Consumes one delay observation for source `s`, its `n_before`-th
+    /// (0-based). Same operations in the same order as the scalar
+    /// predictors.
+    fn observe(&mut self, s: usize, delay_ms: f64, n_before: u32) {
+        match self {
+            PredCol::Last { last } => last[s] = delay_ms,
+            PredCol::Mean { mean } => {
+                mean[s] += (delay_ms - mean[s]) / f64::from(n_before + 1);
+            }
+            PredCol::WinMean { cap, sum, ring } => {
+                // `sum -= oldest` before `sum += new`, exactly like the
+                // deque path pops before pushing.
+                let pos = s * *cap + n_before as usize % *cap;
+                if n_before as usize >= *cap {
+                    sum[s] -= ring[pos];
+                }
+                ring[pos] = delay_ms;
+                sum[s] += delay_ms;
+            }
+            PredCol::Lpf { beta, pred } => {
+                if n_before == 0 {
+                    pred[s] = delay_ms;
+                } else {
+                    pred[s] += *beta * (delay_ms - pred[s]);
+                }
+            }
+            PredCol::Arima(col) => col[s].observe(delay_ms),
+        }
+    }
+}
+
+/// The shared-γ Welford core of `SM_CI`, one slot per source: the running
+/// count/mean/M2 plus the cached `σ̂` and `sqrt(1 + 1/n + dev²/ssd)`
+/// factors (which depend on the *last* observation and so cannot be
+/// recomputed from the moments alone). Same recurrences as
+/// `RunningStats::push` + `CiCore::update`; min/max are dropped because no
+/// margin reads them.
+#[derive(Debug, Clone)]
+struct CiCol {
+    /// Observation count — also the bank-wide per-source observation
+    /// count feeding [`PredCol`].
+    n: Vec<u32>,
+    mean: Vec<f64>,
+    m2: Vec<f64>,
+    sigma: Vec<f64>,
+    inner_sqrt: Vec<f64>,
+}
+
+impl CiCol {
+    fn new(n_sources: usize) -> Self {
+        Self {
+            n: vec![0; n_sources],
+            mean: vec![0.0; n_sources],
+            m2: vec![0.0; n_sources],
+            sigma: vec![0.0; n_sources],
+            inner_sqrt: vec![0.0; n_sources],
+        }
+    }
+
+    fn update(&mut self, s: usize, obs_ms: f64) {
+        let n = self.n[s] + 1;
+        self.n[s] = n;
+        let delta = obs_ms - self.mean[s];
+        self.mean[s] += delta / f64::from(n);
+        self.m2[s] += delta * (obs_ms - self.mean[s]);
+        if n < 2 {
+            self.sigma[s] = 0.0;
+            self.inner_sqrt[s] = 0.0;
+            return;
+        }
+        let dev = obs_ms - self.mean[s];
+        let ssd = self.m2[s];
+        let inner = 1.0 + 1.0 / f64::from(n) + if ssd > 0.0 { dev * dev / ssd } else { 0.0 };
+        self.sigma[s] = (self.m2[s] / f64::from(n - 1)).sqrt();
+        self.inner_sqrt[s] = inner.sqrt();
+    }
+
+    fn margin(&self, s: usize, gamma: f64) -> f64 {
+        // Left-associated exactly like `CiCore::margin`.
+        gamma * self.sigma[s] * self.inner_sqrt[s]
+    }
+}
+
+/// Per-source `SM_RTO` error core (gain hoisted to [`RTO_GAIN`]).
+#[derive(Debug, Clone)]
+struct RtoCol {
+    mu: Vec<f64>,
+    dev: Vec<f64>,
+}
+
+/// Narrows an armed freshness point to the u32 µs deadline clock.
+fn deadline32(us: u64) -> u32 {
+    assert!(
+        us < u64::from(NO_DEADLINE),
+        "freshness point {us} µs beyond the ~71.6-virtual-minute u32 horizon"
+    );
+    us as u32
 }
 
 /// The N-source × M-combination struct-of-arrays detector engine.
@@ -114,35 +316,40 @@ pub struct SourceBank {
     n_pred: usize,
     /// Words per combination in the `suspecting` bitmap.
     words: usize,
-    /// Source-major: `predictors[source * n_pred + p]`.
-    predictors: Vec<PredictorState>,
-    /// Source-major: the φ/k-independent error cores per distinct
-    /// predictor.
-    error_cores: Vec<ErrorCores>,
-    /// One shared Welford core per source (serves every `SM_CI(γ)`).
-    ci: Vec<CiCore>,
-    /// Source-major: cached post-observation forecast,
-    /// `predictions[source * n_pred + p]`. Initialized to the fresh
-    /// predictor's forecast so the first error term matches the bank.
-    predictions: Vec<f64>,
+    /// One column of per-source forecaster state per distinct predictor.
+    cols: Vec<PredCol>,
+    /// `jac[p]` = the per-source smoothed-|error| column of predictor
+    /// `p`'s `SM_JAC` core, present only when some combination needs it.
+    jac: Vec<Option<Vec<f64>>>,
+    /// `rto[p]` = predictor `p`'s `SM_RTO` core columns, ditto.
+    rto: Vec<Option<RtoCol>>,
+    /// One shared Welford core per source (serves every `SM_CI(γ)`); its
+    /// count is also the per-source observation count.
+    ci: CiCol,
+    /// Post-observation forecast of each distinct predictor for the source
+    /// currently being observed — scratch for the combo fan-out.
+    pred_scratch: Vec<f64>,
     /// Combo-major: `deadlines[combo * n_sources + source]`, microseconds,
     /// [`NO_DEADLINE`] when unarmed. One contiguous array per combination.
-    deadlines: Vec<u64>,
+    deadlines: Vec<u32>,
     /// Combo-major bitmap: bit `source` of combination `combo` lives at
     /// word `combo * words + source / 64`.
     suspecting: Vec<u64>,
     /// Per source: highest fresh sequence seen ([`SEQ_NONE`] = none).
-    highest_seq: Vec<u64>,
+    highest_seq: Vec<u32>,
     /// Per source: lower bound on the earliest pending deadline among
     /// non-suspecting combinations (the amortized freshest-deadline
-    /// cache). `u64::MAX` when nothing is pending.
-    min_deadline: Vec<u64>,
+    /// cache). [`NO_DEADLINE`] when nothing is pending.
+    min_deadline: Vec<u32>,
     heartbeats: u64,
     stale_heartbeats: u64,
     transitions: Vec<SourceTransition>,
+    /// Scratch for the lane-swept full scan: fired `(source, combo)`
+    /// pairs, sorted source-major before reporting.
+    scan_fired: Vec<(u32, u32)>,
     /// Block scratch for [`observe_all`](Self::observe_all): deadline per
     /// (block slot, combo), `blk_dl[i * M + idx]`.
-    blk_dl: Vec<u64>,
+    blk_dl: Vec<u32>,
     /// Block scratch: whether block slot `i` carried a fresh heartbeat.
     blk_fresh: Vec<bool>,
     /// Block scratch: `EndSuspect` edges as (block slot, combo) pairs.
@@ -177,38 +384,26 @@ impl SourceBank {
             pred_of_combo.push(p_idx);
         }
         let n_pred = kinds.len();
-        let mut core_template = vec![ErrorCores::default(); n_pred];
+        let mut jac: Vec<Option<Vec<f64>>> = vec![None; n_pred];
+        let mut rto: Vec<Option<RtoCol>> = vec![None; n_pred];
         for (combo, &p_idx) in combos.iter().zip(&pred_of_combo) {
             match combo.margin {
                 MarginKind::Ci { .. } => {}
                 MarginKind::Jac { .. } => {
-                    core_template[p_idx]
-                        .jac
-                        .get_or_insert_with(|| JacCore::new(0.25));
+                    jac[p_idx].get_or_insert_with(|| vec![0.0; n_sources]);
                 }
                 MarginKind::Rto { .. } => {
-                    core_template[p_idx].rto.get_or_insert_with(RtoCore::new);
+                    rto[p_idx].get_or_insert_with(|| RtoCol {
+                        mu: vec![0.0; n_sources],
+                        dev: vec![0.0; n_sources],
+                    });
                 }
             }
         }
-        // One freshly built predictor per kind seeds both the replicated
-        // state and the initial forecast cache (a fresh predictor's
-        // forecast is kind-dependent but source-independent).
-        let predictor_template: Vec<PredictorState> = kinds
+        let cols: Vec<PredCol> = kinds
             .iter()
-            .map(|&k| PredictorState::from_kind(k))
+            .map(|&k| PredCol::new(k, n_sources))
             .collect();
-        let prediction_template: Vec<f64> =
-            predictor_template.iter().map(|p| p.predict()).collect();
-
-        let mut predictors = Vec::with_capacity(n_sources * n_pred);
-        let mut error_cores = Vec::with_capacity(n_sources * n_pred);
-        let mut predictions = Vec::with_capacity(n_sources * n_pred);
-        for _ in 0..n_sources {
-            predictors.extend(predictor_template.iter().cloned());
-            error_cores.extend(core_template.iter().cloned());
-            predictions.extend_from_slice(&prediction_template);
-        }
         let words = n_sources.div_ceil(64);
         Self {
             eta,
@@ -216,17 +411,19 @@ impl SourceBank {
             n_sources,
             n_pred,
             words,
-            predictors,
-            error_cores,
-            ci: vec![CiCore::new(); n_sources],
-            predictions,
+            cols,
+            jac,
+            rto,
+            ci: CiCol::new(n_sources),
+            pred_scratch: vec![0.0; n_pred],
             deadlines: vec![NO_DEADLINE; combos.len() * n_sources],
             suspecting: vec![0u64; combos.len() * words],
             highest_seq: vec![SEQ_NONE; n_sources],
-            min_deadline: vec![u64::MAX; n_sources],
+            min_deadline: vec![NO_DEADLINE; n_sources],
             heartbeats: 0,
             stale_heartbeats: 0,
             transitions: Vec::new(),
+            scan_fired: Vec::new(),
             blk_dl: vec![0; OBS_BLOCK * combos.len()],
             blk_fresh: vec![false; OBS_BLOCK],
             blk_edges: Vec::new(),
@@ -282,7 +479,7 @@ impl SourceBank {
     /// The next freshness point `τ_{k+1}` of `(source, combo)`.
     pub fn next_deadline(&self, source: u32, combo: usize) -> Option<SimTime> {
         let us = self.deadlines[combo * self.n_sources + source as usize];
-        (us != NO_DEADLINE).then(|| SimTime::from_micros(us))
+        (us != NO_DEADLINE).then(|| SimTime::from_micros(u64::from(us)))
     }
 
     /// `true` while combination `combo` suspects `source`.
@@ -314,28 +511,36 @@ impl SourceBank {
     /// (`None` when nothing is pending).
     pub fn next_wakeup(&self, source: u32) -> Option<SimTime> {
         let us = self.min_deadline[source as usize];
-        (us != u64::MAX).then(|| SimTime::from_micros(us))
+        (us != NO_DEADLINE).then(|| SimTime::from_micros(u64::from(us)))
     }
 
     /// The current forecast feeding `(source, combo)`, in milliseconds.
     pub fn predicted_delay_ms(&self, source: u32, combo: usize) -> f64 {
-        self.predictions[source as usize * self.n_pred + self.pred_of_combo[combo]]
+        let s = source as usize;
+        self.cols[self.pred_of_combo[combo]].predict(s, self.ci.n[s])
     }
 
     /// The current safety margin of `(source, combo)`, in milliseconds.
     pub fn margin_ms(&self, source: u32, combo: usize) -> f64 {
-        let s = source as usize;
+        self.margin_of(source as usize, combo)
+    }
+
+    fn margin_of(&self, s: usize, combo: usize) -> f64 {
         let p_idx = self.pred_of_combo[combo];
         match self.combos[combo].margin {
-            MarginKind::Ci { gamma } => self.ci[s].margin(gamma),
-            MarginKind::Jac { phi } => self.error_cores[s * self.n_pred + p_idx]
-                .jac
-                .expect("JacCore allocated for Jac combo")
-                .margin(phi),
-            MarginKind::Rto { k } => self.error_cores[s * self.n_pred + p_idx]
-                .rto
-                .expect("RtoCore allocated for Rto combo")
-                .margin(k),
+            MarginKind::Ci { gamma } => self.ci.margin(s, gamma),
+            MarginKind::Jac { phi } => {
+                let base = self.jac[p_idx]
+                    .as_ref()
+                    .expect("Jac column allocated for Jac combo");
+                phi * base[s]
+            }
+            MarginKind::Rto { k } => {
+                let col = self.rto[p_idx]
+                    .as_ref()
+                    .expect("Rto column allocated for Rto combo");
+                (col.mu[s] + k * col.dev[s]).max(0.0)
+            }
         }
     }
 
@@ -385,8 +590,32 @@ impl SourceBank {
         fresh
     }
 
+    /// Feeds one observed delay to a source's predictor columns, error
+    /// cores and the shared Welford core, leaving each distinct
+    /// predictor's post-observation forecast in `pred_scratch`. The same
+    /// operations in the same order as the per-source bank: error against
+    /// the pre-observation forecast, observe, error-core advance,
+    /// forecast refresh.
+    fn advance_source(&mut self, s: usize, delay_ms: f64) {
+        let n_before = self.ci.n[s];
+        for (p, col) in self.cols.iter_mut().enumerate() {
+            let err = delay_ms - col.predict(s, n_before);
+            col.observe(s, delay_ms, n_before);
+            if let Some(base) = self.jac[p].as_mut() {
+                base[s] += JAC_ALPHA * (err.abs() - base[s]);
+            }
+            if let Some(rto) = self.rto[p].as_mut() {
+                let mu = rto.mu[s];
+                rto.dev[s] += 2.0 * RTO_GAIN * ((err - mu).abs() - rto.dev[s]);
+                rto.mu[s] = mu + RTO_GAIN * (err - mu);
+            }
+            self.pred_scratch[p] = col.predict(s, n_before + 1);
+        }
+        self.ci.update(s, delay_ms);
+    }
+
     /// One cache-blocked slice of the batch. Phase A walks the block
-    /// source-major — predictor stripes, margin cores and the resulting
+    /// source-major — predictor columns, margin cores and the resulting
     /// deadlines, captured into the L1-resident block scratch. Phase B
     /// walks it combo-major, so each combination's contiguous deadline
     /// row and suspicion words are written in one run per block instead
@@ -407,49 +636,31 @@ impl SourceBank {
                 .checked_duration_since(sigma)
                 .map_or(0.0, |d| d.as_millis_f64());
 
-            let base = s * self.n_pred;
-            for p in 0..self.n_pred {
-                let err = delay_ms - self.predictions[base + p];
-                let predictor = &mut self.predictors[base + p];
-                predictor.observe(delay_ms);
-                let cores = &mut self.error_cores[base + p];
-                if let Some(jac) = cores.jac.as_mut() {
-                    jac.update(err);
-                }
-                if let Some(rto) = cores.rto.as_mut() {
-                    rto.update(err);
-                }
-                self.predictions[base + p] = predictor.predict();
-            }
-            self.ci[s].update(delay_ms);
+            self.advance_source(s, delay_ms);
 
-            let fresh = self.highest_seq[s] == SEQ_NONE || obs.seq > self.highest_seq[s];
+            let hs = self.highest_seq[s];
+            let fresh = hs == SEQ_NONE || obs.seq > u64::from(hs);
             self.blk_fresh[i] = fresh;
             if !fresh {
                 self.stale_heartbeats += 1;
                 continue;
             }
             fresh_count += 1;
-            self.highest_seq[s] = obs.seq;
+            assert!(
+                obs.seq < u64::from(SEQ_NONE),
+                "sequence {} exceeds the u32 freshness horizon",
+                obs.seq
+            );
+            self.highest_seq[s] = obs.seq as u32;
 
             let sigma_next = SimTime::ZERO + self.eta * (obs.seq + 1);
-            let mut min_dl = u64::MAX;
+            let mut min_dl = NO_DEADLINE;
             for idx in 0..m {
                 let p_idx = self.pred_of_combo[idx];
-                let margin = match self.combos[idx].margin {
-                    MarginKind::Ci { gamma } => self.ci[s].margin(gamma),
-                    MarginKind::Jac { phi } => self.error_cores[base + p_idx]
-                        .jac
-                        .expect("JacCore allocated for Jac combo")
-                        .margin(phi),
-                    MarginKind::Rto { k } => self.error_cores[base + p_idx]
-                        .rto
-                        .expect("RtoCore allocated for Rto combo")
-                        .margin(k),
-                };
-                let timeout_ms = self.predictions[base + p_idx] + margin;
+                let margin = self.margin_of(s, idx);
+                let timeout_ms = self.pred_scratch[p_idx] + margin;
                 let delta = SimDuration::from_millis_f64(timeout_ms.max(0.0));
-                let dl = (sigma_next + delta).as_micros();
+                let dl = deadline32((sigma_next + delta).as_micros());
                 self.blk_dl[i * m + idx] = dl;
                 min_dl = min_dl.min(dl);
             }
@@ -501,55 +712,32 @@ impl SourceBank {
             .checked_duration_since(sigma)
             .map_or(0.0, |d| d.as_millis_f64());
 
-        // This source's stripe of distinct predictors: one error, one
-        // observe, one error-core advance each. The error term reuses the
-        // cached post-observation forecast — `predict()` is pure, so the
-        // cache holds the exact value the bank would recompute.
-        let base = s * self.n_pred;
-        for p in 0..self.n_pred {
-            let err = delay_ms - self.predictions[base + p];
-            let predictor = &mut self.predictors[base + p];
-            predictor.observe(delay_ms);
-            let cores = &mut self.error_cores[base + p];
-            if let Some(jac) = cores.jac.as_mut() {
-                jac.update(err);
-            }
-            if let Some(rto) = cores.rto.as_mut() {
-                rto.update(err);
-            }
-            self.predictions[base + p] = predictor.predict();
-        }
-        self.ci[s].update(delay_ms);
+        self.advance_source(s, delay_ms);
 
-        let fresh = self.highest_seq[s] == SEQ_NONE || seq > self.highest_seq[s];
+        let hs = self.highest_seq[s];
+        let fresh = hs == SEQ_NONE || seq > u64::from(hs);
         if !fresh {
             self.stale_heartbeats += 1;
             return false;
         }
-        self.highest_seq[s] = seq;
+        assert!(
+            seq < u64::from(SEQ_NONE),
+            "sequence {seq} exceeds the u32 freshness horizon"
+        );
+        self.highest_seq[s] = seq as u32;
 
         // Fan out: M freshness points, suspicion edges, and the refreshed
         // freshest-deadline cache, one tight loop.
         let sigma_next = SimTime::ZERO + self.eta * (seq + 1);
-        let mut min_dl = u64::MAX;
+        let mut min_dl = NO_DEADLINE;
         let word = s / 64;
         let bit = 1u64 << (s % 64);
         for idx in 0..self.combos.len() {
             let p_idx = self.pred_of_combo[idx];
-            let margin = match self.combos[idx].margin {
-                MarginKind::Ci { gamma } => self.ci[s].margin(gamma),
-                MarginKind::Jac { phi } => self.error_cores[base + p_idx]
-                    .jac
-                    .expect("JacCore allocated for Jac combo")
-                    .margin(phi),
-                MarginKind::Rto { k } => self.error_cores[base + p_idx]
-                    .rto
-                    .expect("RtoCore allocated for Rto combo")
-                    .margin(k),
-            };
-            let timeout_ms = self.predictions[base + p_idx] + margin;
+            let margin = self.margin_of(s, idx);
+            let timeout_ms = self.pred_scratch[p_idx] + margin;
             let delta = SimDuration::from_millis_f64(timeout_ms.max(0.0));
-            let dl = (sigma_next + delta).as_micros();
+            let dl = deadline32((sigma_next + delta).as_micros());
             self.deadlines[idx * self.n_sources + s] = dl;
             min_dl = min_dl.min(dl);
             let w = idx * self.words + word;
@@ -583,12 +771,12 @@ impl SourceBank {
         let s = source as usize;
         assert!(s < self.n_sources, "source {source} out of range");
         let now_us = now.as_micros();
-        if now_us < self.min_deadline[s] {
+        if now_us < u64::from(self.min_deadline[s]) {
             return;
         }
         let word = s / 64;
         let bit = 1u64 << (s % 64);
-        let mut min_dl = u64::MAX;
+        let mut min_dl = NO_DEADLINE;
         for idx in 0..self.combos.len() {
             let w = idx * self.words + word;
             if self.suspecting[w] & bit != 0 {
@@ -598,7 +786,7 @@ impl SourceBank {
             if dl == NO_DEADLINE {
                 continue;
             }
-            if now_us >= dl {
+            if now_us >= u64::from(dl) {
                 self.suspecting[w] |= bit;
                 self.transitions.push(SourceTransition {
                     source,
@@ -622,8 +810,110 @@ impl SourceBank {
     ///
     /// [`DetectorBank::check_at`]: crate::bank::DetectorBank::check_at
     pub fn check_all_at(&mut self, now: SimTime) -> &[SourceTransition] {
+        self.sweep_deadlines(now);
         self.transitions.clear();
-        let now_us = now.as_micros();
+        for i in 0..self.scan_fired.len() {
+            let (source, combo) = self.scan_fired[i];
+            self.transitions.push(SourceTransition {
+                source,
+                combo,
+                transition: FdTransition::StartSuspect,
+            });
+        }
+        &self.transitions
+    }
+
+    /// Clamps a scan instant onto the u32 deadline clock. Armed deadlines
+    /// are strictly below [`NO_DEADLINE`] (asserted at arming), so a scan
+    /// at or past `u32::MAX − 1` µs compares identically to one at the
+    /// horizon while unarmed pairs can never fire.
+    fn scan_now32(now: SimTime) -> u32 {
+        now.as_micros().min(u64::from(NO_DEADLINE) - 1) as u32
+    }
+
+    /// Lane-swept core of the full freshness sweep. Each combination's
+    /// contiguous deadline row is walked in 64-source lanes paired with
+    /// the single suspicion word covering them: an inner branch-free loop
+    /// builds a `due` bitmask (`NO_DEADLINE` can never fire because the
+    /// scan instant is clamped below it), newly fired lanes are
+    /// `due & !word`, and the word absorbs them with one OR. Only words
+    /// with new fires pay any per-source work. Fired pairs land in
+    /// `scan_fired`, sorted source-major (the per-source `DetectorBank`
+    /// reporting order), and each fired source's freshest-deadline cache
+    /// is refreshed.
+    fn sweep_deadlines(&mut self, now: SimTime) {
+        self.scan_fired.clear();
+        let now_us = Self::scan_now32(now);
+        let n = self.n_sources;
+        let wpc = self.words;
+        let scan = &mut self.scan_fired;
+        let all_deadlines = &self.deadlines;
+        let all_words = &mut self.suspecting;
+        for idx in 0..self.combos.len() {
+            let deadlines = &all_deadlines[idx * n..(idx + 1) * n];
+            let words = &mut all_words[idx * wpc..(idx + 1) * wpc];
+            let mut chunks = deadlines.chunks_exact(64);
+            let mut w = 0usize;
+            for lanes in chunks.by_ref() {
+                // Two 32-lane halves: building a u32 mask from u32
+                // compares keeps the mask element the same width as the
+                // data, which is the shape LLVM turns into packed
+                // compare + movemask.
+                let mut lo = 0u32;
+                for (lane, &dl) in lanes[..32].iter().enumerate() {
+                    lo |= u32::from(dl <= now_us) << lane;
+                }
+                let mut hi = 0u32;
+                for (lane, &dl) in lanes[32..].iter().enumerate() {
+                    hi |= u32::from(dl <= now_us) << lane;
+                }
+                let due = u64::from(lo) | (u64::from(hi) << 32);
+                let mut fired = due & !words[w];
+                if fired != 0 {
+                    words[w] |= fired;
+                    let base = (w * 64) as u32;
+                    while fired != 0 {
+                        scan.push((base + fired.trailing_zeros(), idx as u32));
+                        fired &= fired - 1;
+                    }
+                }
+                w += 1;
+            }
+            let rem = chunks.remainder();
+            if !rem.is_empty() {
+                let mut due = 0u64;
+                for (lane, &dl) in rem.iter().enumerate() {
+                    due |= u64::from(dl <= now_us) << lane;
+                }
+                let mut fired = due & !words[w];
+                if fired != 0 {
+                    words[w] |= fired;
+                    let base = (w * 64) as u32;
+                    while fired != 0 {
+                        scan.push((base + fired.trailing_zeros(), idx as u32));
+                        fired &= fired - 1;
+                    }
+                }
+            }
+        }
+        self.scan_fired.sort_unstable();
+        let mut i = 0;
+        while i < self.scan_fired.len() {
+            let s = self.scan_fired[i].0 as usize;
+            while i < self.scan_fired.len() && self.scan_fired[i].0 as usize == s {
+                i += 1;
+            }
+            self.refresh_min_deadline(s);
+        }
+    }
+
+    /// The pre-lane scalar full sweep, kept verbatim as the reference for
+    /// the lane path's differential tests and before/after benchmarks.
+    /// Semantically identical to [`check_all_at`](Self::check_all_at).
+    #[doc(hidden)]
+    pub fn check_all_at_scalar(&mut self, now: SimTime) -> &[SourceTransition] {
+        self.transitions.clear();
+        let now_us = Self::scan_now32(now);
         let n = self.n_sources;
         for idx in 0..self.combos.len() {
             let deadlines = &self.deadlines[idx * n..(idx + 1) * n];
@@ -659,12 +949,79 @@ impl SourceBank {
         &self.transitions
     }
 
+    /// [`check_all_at`](Self::check_all_at), but the `StartSuspect` edges
+    /// are emitted straight into `sink` (stamped `now`) instead of being
+    /// buffered in [`transitions`](Self::transitions). Returns the number
+    /// of edges fired.
+    pub fn check_all_into<S: EventSink>(&mut self, now: SimTime, sink: &mut S) -> usize {
+        self.sweep_deadlines(now);
+        for &(source, combo) in &self.scan_fired {
+            sink.start_suspect(now, source, combo);
+        }
+        self.scan_fired.len()
+    }
+
+    /// [`check_source_at`](Self::check_source_at), emitting straight into
+    /// `sink`. Returns the number of edges fired.
+    pub fn check_source_into<S: EventSink>(
+        &mut self,
+        source: u32,
+        now: SimTime,
+        sink: &mut S,
+    ) -> usize {
+        self.transitions.clear();
+        self.check_source_inner(source, now);
+        for t in &self.transitions {
+            sink.start_suspect(now, t.source, t.combo);
+        }
+        self.transitions.len()
+    }
+
+    /// [`observe_heartbeat`](Self::observe_heartbeat), emitting the
+    /// `EndSuspect` edges straight into `sink` (stamped `arrival`).
+    /// Returns `true` if the heartbeat was fresh.
+    pub fn observe_heartbeat_into<S: EventSink>(
+        &mut self,
+        source: u32,
+        seq: u64,
+        arrival: SimTime,
+        sink: &mut S,
+    ) -> bool {
+        let fresh = self.observe_heartbeat(source, seq, arrival);
+        for t in &self.transitions {
+            sink.end_suspect(arrival, t.source, t.combo);
+        }
+        fresh
+    }
+
+    /// [`observe_all`](Self::observe_all), emitting each heartbeat's
+    /// `EndSuspect` edges straight into `sink` stamped with that
+    /// heartbeat's arrival time. Returns the number of fresh heartbeats.
+    pub fn observe_all_into<S: EventSink>(
+        &mut self,
+        batch: &[HeartbeatObs],
+        sink: &mut S,
+    ) -> usize {
+        self.transitions.clear();
+        let mut fresh = 0usize;
+        for block in batch.chunks(OBS_BLOCK) {
+            fresh += self.observe_block(block);
+            // blk_edges still holds this block's (slot, combo) edges in
+            // reporting order; the slot recovers the per-edge arrival.
+            for &(i, idx) in &self.blk_edges {
+                let obs = &block[i as usize];
+                sink.end_suspect(obs.arrival, obs.source, idx);
+            }
+        }
+        fresh
+    }
+
     /// Recomputes `min_deadline[s]` exactly (min pending deadline over
     /// non-suspecting combinations).
     fn refresh_min_deadline(&mut self, s: usize) {
         let word = s / 64;
         let bit = 1u64 << (s % 64);
-        let mut min_dl = u64::MAX;
+        let mut min_dl = NO_DEADLINE;
         for idx in 0..self.combos.len() {
             if self.suspecting[idx * self.words + word] & bit != 0 {
                 continue;
@@ -894,6 +1251,128 @@ mod tests {
                 assert_eq!(bit, bank.is_suspecting(source, combo), "s{source} c{combo}");
             }
         }
+    }
+
+    /// The lane-swept full scan fires the same edges and leaves the same
+    /// state as the scalar reference sweep, including across partial
+    /// trailing words and repeated sweeps.
+    #[test]
+    fn lane_sweep_matches_scalar_sweep() {
+        for n in [1usize, 63, 64, 65, 130] {
+            let mut lane = SourceBank::paper_grid(eta(), n);
+            let mut scalar = SourceBank::paper_grid(eta(), n);
+            for seq in 0..4u64 {
+                for source in 0..n as u32 {
+                    // A ragged subset heartbeats each cycle so deadlines
+                    // and suspicion flags diverge across sources.
+                    if (u64::from(source) + seq) % 3 != 0 {
+                        let at = arrival(seq, delay_for(source, seq));
+                        lane.observe_heartbeat(source, seq, at);
+                        scalar.observe_heartbeat(source, seq, at);
+                    }
+                }
+                // Sweep at a time that catches some but not all deadlines.
+                let mid = SimTime::ZERO + eta() * (seq + 1) + SimDuration::from_millis(400);
+                let fired = lane.check_all_at(mid).to_vec();
+                let expected = scalar.check_all_at_scalar(mid).to_vec();
+                assert_eq!(fired, expected, "n={n} seq={seq}");
+            }
+            let late = SimTime::from_secs(900);
+            assert_eq!(
+                lane.check_all_at(late).to_vec(),
+                scalar.check_all_at_scalar(late).to_vec(),
+                "n={n} late sweep"
+            );
+            for source in 0..n as u32 {
+                assert_eq!(lane.next_wakeup(source), scalar.next_wakeup(source));
+                for idx in 0..30 {
+                    assert_eq!(
+                        lane.is_suspecting(source, idx),
+                        scalar.is_suspecting(source, idx),
+                        "s{source} c{idx}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The sink-emission variants report exactly the buffered transitions,
+    /// stamped with the right instants.
+    #[test]
+    fn sink_paths_mirror_buffered_paths() {
+        use fd_stat::RetainedKind;
+
+        let n = 5usize;
+        let mut sunk = SourceBank::paper_grid(eta(), n);
+        let mut buffered = SourceBank::paper_grid(eta(), n);
+        let mut sink = fd_stat::RetainSink::new();
+
+        for source in 0..n as u32 {
+            let at = arrival(0, delay_for(source, 0));
+            assert_eq!(
+                sunk.observe_heartbeat_into(source, 0, at, &mut sink),
+                buffered.observe_heartbeat(source, 0, at)
+            );
+        }
+        let late = SimTime::from_secs(60);
+        let fired = sunk.check_all_into(late, &mut sink);
+        assert_eq!(fired, buffered.check_all_at(late).len());
+        let starts: Vec<_> = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, RetainedKind::StartSuspect(_)))
+            .collect();
+        assert_eq!(starts.len(), fired);
+        assert!(starts.iter().all(|e| e.at == late));
+        assert_eq!(
+            starts
+                .iter()
+                .map(|e| {
+                    let RetainedKind::StartSuspect(c) = e.kind else {
+                        unreachable!()
+                    };
+                    (e.source, c)
+                })
+                .collect::<Vec<_>>(),
+            buffered
+                .transitions()
+                .iter()
+                .map(|t| (t.source, t.combo))
+                .collect::<Vec<_>>()
+        );
+
+        // Fresh heartbeats now clear the suspicions: EndSuspect edges
+        // arrive through the sink stamped with each arrival.
+        let mut sink2 = fd_stat::RetainSink::new();
+        let batch: Vec<HeartbeatObs> = (0..n as u32)
+            .map(|source| HeartbeatObs {
+                source,
+                seq: 70, // past the sweep instant
+                arrival: late + SimDuration::from_millis(100 + u64::from(source)),
+            })
+            .collect();
+        assert_eq!(
+            sunk.observe_all_into(&batch, &mut sink2),
+            buffered.observe_all(&batch)
+        );
+        let ends: Vec<_> = sink2
+            .events()
+            .iter()
+            .map(|e| {
+                let RetainedKind::EndSuspect(c) = e.kind else {
+                    panic!("only EndSuspect expected, got {:?}", e.kind)
+                };
+                (e.source, c, e.at)
+            })
+            .collect();
+        assert_eq!(
+            ends,
+            buffered
+                .transitions()
+                .iter()
+                .map(|t| (t.source, t.combo, batch[t.source as usize].arrival))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

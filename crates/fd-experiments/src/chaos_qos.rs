@@ -28,7 +28,7 @@ use fd_runtime::{
     SupervisorLayer,
 };
 use fd_sim::{SeedTree, SimDuration, SimTime};
-use fd_stat::{extract_metrics, EventKind, EventLog, QosMetrics};
+use fd_stat::{accumulate_metrics, EventKind, EventLog, QosMetrics};
 
 use crate::config::ExperimentParams;
 use crate::layers::{HeartbeaterLayer, MonitorLayer, SimCrashLayer};
@@ -373,8 +373,13 @@ pub fn run_chaos_qos(params: &ExperimentParams, schedule: &ChaosSchedule) -> Cha
 
         let log = engine.into_event_log();
         counters.merge(&ChaosCounters::from_log(&log));
-        for (idx, pool) in pooled.iter_mut().enumerate() {
-            pool.merge(&extract_metrics(&log, idx as u32, run_end));
+        // One streaming pass folds every detector's metrics at once,
+        // bit-identical to per-detector extraction.
+        for (pool, m) in pooled
+            .iter_mut()
+            .zip(accumulate_metrics(&log, labels.len(), run_end))
+        {
+            pool.merge(&m);
         }
     }
 

@@ -11,7 +11,7 @@ use fd_core::{all_combinations, nfd, Combination};
 use fd_net::WanProfile;
 use fd_runtime::{Process, ProcessId, SimEngine};
 use fd_sim::{SeedTree, SimTime};
-use fd_stat::{extract_metrics, EventLog, QosMetrics, QosReport};
+use fd_stat::{accumulate_metrics, EventLog, QosMetrics, QosReport};
 use serde::{Deserialize, Serialize};
 
 use crate::config::ExperimentParams;
@@ -260,8 +260,14 @@ pub fn run_qos_experiment_on_trace(
     let mut pooled = vec![QosMetrics::default(); n_detectors];
     for run_idx in 0..params.runs {
         let (log, run_end, _) = run_qos_single_with_link(params, trace.replay_link()?, run_idx);
-        for (idx, pool) in pooled.iter_mut().enumerate() {
-            pool.merge(&extract_metrics(&log, idx as u32, run_end));
+        // One streaming pass over the log folds all detectors at once —
+        // bit-identical to per-detector extraction (asserted in debug
+        // builds and by the stream_differential tier-1 test).
+        for (pool, m) in pooled
+            .iter_mut()
+            .zip(accumulate_metrics(&log, n_detectors, run_end))
+        {
+            pool.merge(&m);
         }
     }
     Ok(ExperimentResults {
@@ -286,9 +292,7 @@ pub fn run_qos_experiment(profile: &WanProfile, params: &ExperimentParams) -> Ex
             let params = params.clone();
             std::thread::spawn(move || {
                 let (log, run_end, _) = run_qos_single(&profile, &params, run_idx);
-                (0..n_detectors)
-                    .map(|idx| extract_metrics(&log, idx as u32, run_end))
-                    .collect::<Vec<QosMetrics>>()
+                accumulate_metrics(&log, n_detectors, run_end)
             })
         })
         .collect();
@@ -426,7 +430,7 @@ mod tests {
         }
         // Crash schedules differ per run, so pooled counts exceed one run's.
         let (log, run_end, _) = run_qos_single_with_link(&params, trace.replay_link().unwrap(), 0);
-        let single = extract_metrics(&log, 0, run_end);
+        let single = fd_stat::extract_metrics(&log, 0, run_end);
         assert!(results.metrics[0].total_crashes > single.total_crashes);
     }
 

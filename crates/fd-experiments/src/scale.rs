@@ -28,22 +28,33 @@ use fd_sim::{SimDuration, SimTime};
 pub const PR1_CYCLE_BASELINE_MS: f64 = 15.0;
 
 /// One row of the scaling table: a full sharded run at one source count.
+///
+/// The run uses the streaming path (no event retention): edges fold into
+/// the shard-invariant digest and per-combo QoS roll-ups as they are
+/// emitted, so peak memory is the engine state, not the log.
 #[derive(Debug, Clone)]
 pub struct ScaleRow {
     /// Monitored sources.
     pub sources: usize,
     /// Heartbeat cycles simulated per source.
     pub cycles: u64,
-    /// Worker shards used.
+    /// Worker shards used (clamped to the source count).
     pub shards: usize,
+    /// OS threads the run executed on — one per shard (a single shard
+    /// runs inline on the calling thread, still one thread).
+    pub threads: usize,
     /// Heartbeats delivered.
     pub heartbeats: u64,
     /// Heartbeats dropped by the loss model.
     pub lost: u64,
-    /// Suspect/trust edges in the merged log.
-    pub events: usize,
-    /// Merged-log fingerprint (shard-count invariant).
-    pub fingerprint: u64,
+    /// Suspect/trust edges emitted (streamed, not retained).
+    pub events: u64,
+    /// Suspicion episodes folded into the QoS roll-ups (closed + open),
+    /// summed over the grid.
+    pub mistakes: u64,
+    /// Order-independent streaming digest of the emitted edge tuples
+    /// (shard-count invariant).
+    pub digest: u64,
     /// Wall-clock time of the run, milliseconds.
     pub wall_ms: f64,
     /// Full monitoring cycles (all sources) per wall-clock second.
@@ -51,8 +62,12 @@ pub struct ScaleRow {
     /// Wall-clock microseconds per source per cycle.
     pub us_per_source_cycle: f64,
     /// Peak resident set size after the run, KiB (`VmHWM`), if the
-    /// platform exposes it.
+    /// platform exposes it. Honest only when the row ran in its own
+    /// process (`VmHWM` is a process-lifetime high-water mark); the
+    /// `scale` binary isolates rows in child processes for this reason.
     pub peak_rss_kb: Option<u64>,
+    /// `peak_rss_kb` scaled to bytes per monitored source.
+    pub rss_per_source_bytes: Option<f64>,
 }
 
 /// The two-way 1000-source cycle measurement.
@@ -71,6 +86,69 @@ pub struct CycleBench {
     pub source_bank_ms: f64,
     /// `detector_bank_ms / source_bank_ms`.
     pub speedup: f64,
+}
+
+/// The deadline-sweep before/after measurement: the lane-swept
+/// (bitmask, autovectorizable) full freshness scan against the retired
+/// scalar loop, on identical banks.
+#[derive(Debug, Clone)]
+pub struct SweepBench {
+    /// Sources in the bank (× the 30-combination grid).
+    pub sources: usize,
+    /// Sweeps averaged over.
+    pub sweeps: u64,
+    /// Mean lane-swept scan time, milliseconds ([`SourceBank::check_all_at`]).
+    pub lane_ms: f64,
+    /// Mean scalar scan time, milliseconds (`check_all_at_scalar`).
+    pub scalar_ms: f64,
+    /// `scalar_ms / lane_ms`.
+    pub speedup: f64,
+}
+
+/// Measures the steady-state full freshness sweep — the no-fire scan
+/// over every (source, combo) deadline that dominates idle monitor
+/// cycles — through the lane-swept path and the retired scalar loop.
+/// Both banks are primed with one delivered heartbeat per source so
+/// every deadline is armed, and swept at an instant before any fires.
+pub fn sweep_benchmark(sources: usize, sweeps: u64) -> SweepBench {
+    let eta = SimDuration::from_secs(1);
+    let at = SimTime::ZERO + SimDuration::from_millis(200);
+    let mut lane = SourceBank::paper_grid(eta, sources);
+    let mut scalar = SourceBank::paper_grid(eta, sources);
+    let batch: Vec<HeartbeatObs> = (0..sources as u32)
+        .map(|source| HeartbeatObs {
+            source,
+            seq: 0,
+            arrival: at,
+        })
+        .collect();
+    lane.observe_all(&batch);
+    scalar.observe_all(&batch);
+    // 300 ms: strictly before every armed deadline (η + margin past the
+    // 200 ms arrivals), so both paths do pure scanning work.
+    let scan_at = SimTime::ZERO + SimDuration::from_millis(300);
+    assert!(lane.check_all_at(scan_at).is_empty(), "sweep fired early");
+    assert!(scalar.check_all_at_scalar(scan_at).is_empty());
+
+    let started = Instant::now();
+    for _ in 0..sweeps {
+        std::hint::black_box(lane.check_all_at(scan_at).len());
+    }
+    let lane_ms = started.elapsed().as_secs_f64() * 1e3 / sweeps as f64;
+
+    let started = Instant::now();
+    for _ in 0..sweeps {
+        std::hint::black_box(scalar.check_all_at_scalar(scan_at).len());
+    }
+    let scalar_ms = started.elapsed().as_secs_f64() * 1e3 / sweeps as f64;
+
+    SweepBench {
+        sources,
+        sweeps,
+        lane_ms,
+        scalar_ms,
+        speedup: scalar_ms / lane_ms,
+    }
 }
 
 /// Peak resident set size of this process in KiB, from `/proc` (`None`
@@ -96,18 +174,26 @@ pub fn run_scale_row(sources: usize, cycles: u64, shards: usize, seed: u64) -> S
     let report = ShardedEngine::new(config).run();
     let wall_ms = report.wall.as_secs_f64() * 1e3;
     let source_cycles = sources as f64 * cycles as f64;
+    let peak = peak_rss_kb();
     ScaleRow {
         sources,
         cycles,
         shards: report.shards,
+        threads: report.shards,
         heartbeats: report.heartbeats,
         lost: report.lost,
-        events: report.events.len(),
-        fingerprint: report.fingerprint,
+        events: report.start_suspects + report.end_suspects,
+        mistakes: report
+            .qos
+            .iter()
+            .map(|s| s.mistakes + s.open_mistakes)
+            .sum(),
+        digest: report.digest,
         wall_ms,
         cycles_per_sec: cycles as f64 / (wall_ms / 1e3),
         us_per_source_cycle: wall_ms * 1e3 / source_cycles,
-        peak_rss_kb: peak_rss_kb(),
+        peak_rss_kb: peak,
+        rss_per_source_bytes: peak.map(|kb| kb as f64 * 1024.0 / sources as f64),
     }
 }
 
@@ -181,11 +267,41 @@ fn fill_batch(batch: &mut Vec<HeartbeatObs>, sources: usize, seq: u64, at: SimTi
     }));
 }
 
+/// Renders one scaling row as a single-line JSON object (no trailing
+/// comma/newline). The `scale` binary's child processes emit exactly
+/// this line, so the parent can splice rows without re-parsing them.
+pub fn render_row_json(r: &ScaleRow) -> String {
+    format!(
+        "{{\"sources\": {}, \"cycles\": {}, \"shards\": {}, \"threads\": {}, \
+         \"heartbeats\": {}, \"lost\": {}, \"events\": {}, \"mistakes\": {}, \
+         \"digest\": \"{:016x}\", \"wall_ms\": {:.3}, \"cycles_per_sec\": {:.3}, \
+         \"us_per_source_cycle\": {:.3}, \"peak_rss_kb\": {}, \"rss_per_source_bytes\": {}}}",
+        r.sources,
+        r.cycles,
+        r.shards,
+        r.threads,
+        r.heartbeats,
+        r.lost,
+        r.events,
+        r.mistakes,
+        r.digest,
+        r.wall_ms,
+        r.cycles_per_sec,
+        r.us_per_source_cycle,
+        r.peak_rss_kb
+            .map_or_else(|| "null".to_owned(), |v| v.to_string()),
+        r.rss_per_source_bytes
+            .map_or_else(|| "null".to_owned(), |v| format!("{v:.1}")),
+    )
+}
+
 /// Renders the benchmark as the `BENCH_scale.json` document (hand-rolled
-/// JSON: the workspace deliberately carries no JSON dependency).
-pub fn render_json(
-    rows: &[ScaleRow],
+/// JSON: the workspace deliberately carries no JSON dependency), from
+/// pre-rendered row lines ([`render_row_json`]).
+pub fn render_json_from_rows(
+    row_jsons: &[String],
     bench: &CycleBench,
+    sweep: &SweepBench,
     shards_requested: usize,
     seed: u64,
 ) -> String {
@@ -200,25 +316,10 @@ pub fn render_json(
     out.push_str(&format!("  \"seed\": {seed},\n"));
     out.push_str("  \"grid_combos\": 30,\n");
     out.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"sources\": {}, \"cycles\": {}, \"shards\": {}, \"heartbeats\": {}, \
-             \"lost\": {}, \"events\": {}, \"fingerprint\": \"{:016x}\", \"wall_ms\": {:.3}, \
-             \"cycles_per_sec\": {:.3}, \"us_per_source_cycle\": {:.3}, \"peak_rss_kb\": {}}}{}\n",
-            r.sources,
-            r.cycles,
-            r.shards,
-            r.heartbeats,
-            r.lost,
-            r.events,
-            r.fingerprint,
-            r.wall_ms,
-            r.cycles_per_sec,
-            r.us_per_source_cycle,
-            r.peak_rss_kb
-                .map_or_else(|| "null".to_owned(), |v| v.to_string()),
-            if i + 1 == rows.len() { "" } else { "," },
-        ));
+    for (i, row) in row_jsons.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(row);
+        out.push_str(if i + 1 == row_jsons.len() { "\n" } else { ",\n" });
     }
     out.push_str("  ],\n");
     out.push_str("  \"cycle_benchmark\": {\n");
@@ -240,8 +341,27 @@ pub fn render_json(
     out.push_str(&format!(
         "    \"pr1_baseline_ms\": {PR1_CYCLE_BASELINE_MS:.1}\n"
     ));
+    out.push_str("  },\n");
+    out.push_str("  \"deadline_sweep\": {\n");
+    out.push_str(&format!("    \"sources\": {},\n", sweep.sources));
+    out.push_str(&format!("    \"sweeps\": {},\n", sweep.sweeps));
+    out.push_str(&format!("    \"lane_ms\": {:.4},\n", sweep.lane_ms));
+    out.push_str(&format!("    \"scalar_ms\": {:.4},\n", sweep.scalar_ms));
+    out.push_str(&format!("    \"speedup\": {:.3}\n", sweep.speedup));
     out.push_str("  }\n}\n");
     out
+}
+
+/// [`render_json_from_rows`] over in-process rows.
+pub fn render_json(
+    rows: &[ScaleRow],
+    bench: &CycleBench,
+    sweep: &SweepBench,
+    shards_requested: usize,
+    seed: u64,
+) -> String {
+    let row_jsons: Vec<String> = rows.iter().map(render_row_json).collect();
+    render_json_from_rows(&row_jsons, bench, sweep, shards_requested, seed)
 }
 
 #[cfg(test)]
@@ -252,9 +372,20 @@ mod tests {
     fn scale_row_accounts_for_every_heartbeat() {
         let row = run_scale_row(64, 4, 2, 9);
         assert_eq!(row.heartbeats + row.lost, 64 * 4);
+        assert_eq!(row.threads, row.shards);
         assert!(row.wall_ms > 0.0);
         assert!(row.us_per_source_cycle > 0.0);
         assert!(row.cycles_per_sec > 0.0);
+    }
+
+    #[test]
+    fn scale_rows_are_shard_invariant() {
+        let one = run_scale_row(96, 4, 1, 7);
+        let three = run_scale_row(96, 4, 3, 7);
+        assert_eq!(one.digest, three.digest, "digest diverged across shards");
+        assert_eq!(one.events, three.events);
+        assert_eq!(one.mistakes, three.mistakes);
+        assert!(one.events > 0, "workload emitted no edges");
     }
 
     #[test]
@@ -271,13 +402,25 @@ mod tests {
     fn json_document_is_well_formed_enough() {
         let rows = vec![run_scale_row(16, 2, 1, 1)];
         let bench = cycle_benchmark(8, 2, 1);
-        let doc = render_json(&rows, &bench, 1, 1);
+        let sweep = sweep_benchmark(64, 2);
+        let doc = render_json(&rows, &bench, &sweep, 1, 1);
         assert!(doc.starts_with('{') && doc.trim_end().ends_with('}'));
-        assert_eq!(doc.matches("\"sources\"").count(), 2);
+        assert_eq!(doc.matches("\"sources\"").count(), 3);
         assert!(doc.contains("\"pr1_baseline_ms\": 15.0"));
+        assert!(doc.contains("\"threads\""));
+        assert!(doc.contains("\"rss_per_source_bytes\""));
+        assert!(doc.contains("\"deadline_sweep\""));
         // Balanced braces (no serde_json to parse it for us).
         let open = doc.matches('{').count();
         let close = doc.matches('}').count();
         assert_eq!(open, close);
+    }
+
+    #[test]
+    fn sweep_benchmark_measures_both_paths() {
+        let sweep = sweep_benchmark(256, 4);
+        assert!(sweep.lane_ms > 0.0);
+        assert!(sweep.scalar_ms > 0.0);
+        assert!(sweep.speedup.is_finite());
     }
 }

@@ -1,0 +1,128 @@
+//! Order-independent streaming digest over event tuples.
+//!
+//! The sharded engine proves shard-count invariance by checksumming its
+//! event stream. The retained-log fingerprint hashed the *merged, sorted*
+//! log — which requires keeping every event. [`StreamDigest`] replaces it
+//! with three running words a shard can fold into as it emits: each tuple
+//! is hashed independently (FNV-1a) and combined with commutative
+//! operations (wrapping sum, XOR, count), so the digest of a run is the
+//! same whatever order shards emit in and however the population is
+//! partitioned — no retention, no merge, no sort.
+//!
+//! The combination is weaker than hashing the sorted stream (an adversary
+//! could craft colliding multisets), but as a *determinism witness* it has
+//! exactly the right property: two runs emit the same digest iff they emit
+//! the same multiset of tuples, up to 64-bit collisions — and the tuples
+//! embed (time, global source, per-source sequence), which totally orders
+//! each source's stream.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Commutative multiset digest: fold tuples in any order on any shard,
+/// [`merge`](Self::merge) the partials, read one [`value`](Self::value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamDigest {
+    sum: u64,
+    xor: u64,
+    count: u64,
+}
+
+impl StreamDigest {
+    /// An empty digest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one tuple, presented as its canonical byte encoding. Callers
+    /// must use a self-delimiting (e.g. fixed-width) encoding so distinct
+    /// tuples have distinct byte strings.
+    pub fn fold_bytes(&mut self, bytes: &[u8]) {
+        let h = fnv1a(FNV_OFFSET, bytes);
+        self.sum = self.sum.wrapping_add(h);
+        self.xor ^= h;
+        self.count += 1;
+    }
+
+    /// Number of tuples folded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Combines another digest's tuples into this one. Exactly commutative
+    /// and associative.
+    pub fn merge(&mut self, other: &StreamDigest) {
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.xor ^= other.xor;
+        self.count += other.count;
+    }
+
+    /// The digest value: an FNV-1a chain over the three state words.
+    pub fn value(&self) -> u64 {
+        let mut h = fnv1a(FNV_OFFSET, &self.sum.to_le_bytes());
+        h = fnv1a(h, &self.xor.to_le_bytes());
+        fnv1a(h, &self.count.to_le_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_independent() {
+        let tuples: Vec<[u8; 8]> = (0u64..100).map(|i| (i * 7 + 3).to_le_bytes()).collect();
+        let mut fwd = StreamDigest::new();
+        for t in &tuples {
+            fwd.fold_bytes(t);
+        }
+        let mut rev = StreamDigest::new();
+        for t in tuples.iter().rev() {
+            rev.fold_bytes(t);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.value(), rev.value());
+        assert_eq!(fwd.count(), 100);
+    }
+
+    #[test]
+    fn merge_equals_sequential_fold() {
+        let mut whole = StreamDigest::new();
+        let mut left = StreamDigest::new();
+        let mut right = StreamDigest::new();
+        for i in 0u64..50 {
+            whole.fold_bytes(&i.to_le_bytes());
+            if i % 2 == 0 {
+                left.fold_bytes(&i.to_le_bytes());
+            } else {
+                right.fold_bytes(&i.to_le_bytes());
+            }
+        }
+        let mut merged = left;
+        merged.merge(&right);
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn sensitive_to_content_and_multiplicity() {
+        let mut a = StreamDigest::new();
+        a.fold_bytes(&1u64.to_le_bytes());
+        let mut b = StreamDigest::new();
+        b.fold_bytes(&2u64.to_le_bytes());
+        assert_ne!(a.value(), b.value());
+        // Duplicates change the digest (multiset, not set).
+        let mut twice = a;
+        twice.fold_bytes(&1u64.to_le_bytes());
+        assert_ne!(twice.value(), a.value());
+        // Empty digest is distinct from any non-empty one.
+        assert_ne!(StreamDigest::new().value(), a.value());
+    }
+}

@@ -16,7 +16,8 @@
 //!   UDP datagrams (heartbeat wire format from [`fd_net::wire`]);
 //! * [`ShardedEngine`] is the many-source scale path: compact per-shard
 //!   event loops (timer wheel + [`fd_core::SourceBank`]) across worker
-//!   threads, with a deterministic shard-count-invariant log merge;
+//!   threads, folding QoS metrics online and proving shard-count
+//!   invariance with an order-independent [`StreamDigest`];
 //! * [`clock`] models per-process clock offset/drift and provides the
 //!   NTP-style offset estimator that justifies the paper's synchronised-clock
 //!   assumption;
@@ -30,6 +31,7 @@
 
 pub mod chaos;
 pub mod clock;
+pub mod digest;
 pub mod layer;
 pub mod message;
 pub mod multiplexer;
@@ -42,6 +44,7 @@ pub mod supervisor;
 
 pub use chaos::{ChaosLayer, ChaosLink, FaultEvent, FaultKind, FaultPlan};
 pub use clock::{estimate_ntp_offset, ClockModel};
+pub use digest::StreamDigest;
 pub use layer::{Action, BatchedLayer, Context, Layer, TimerId};
 pub use message::{Message, MessageKind};
 pub use multiplexer::MultiplexerLayer;

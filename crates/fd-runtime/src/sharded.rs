@@ -32,9 +32,16 @@
 //!
 //! Each monitor event is therefore emitted at a (virtual time, global
 //! source, per-source sequence) coordinate that no amount of resharding
-//! can change. The merge rule sorts per-shard logs by exactly that key,
-//! which makes the merged log — and its fingerprint — **bit-identical for
-//! any shard count** (proven by test: 1, 2, 5 and 8 shards).
+//! can change. Instead of retaining and merge-sorting the logs to prove
+//! it, each shard folds every emission into a [`StreamDigest`] keyed by
+//! exactly that coordinate; the order-independent combination makes the
+//! merged digest **bit-identical for any shard count** (proven by test:
+//! 1, 2, 5 and 8 shards) without keeping a single event. QoS metrics
+//! stream the same way: each shard folds its edges into a
+//! [`QosAccumulator`], and the integer-µs [`QosSummary`] merge is exact,
+//! so the per-combo roll-ups are shard-count invariant too. The full
+//! retained log (and its classical fingerprint) stays available behind
+//! [`ShardedConfig::retain_events`] for debugging and differential tests.
 
 use std::thread;
 use std::time::Instant;
@@ -43,6 +50,9 @@ use fd_core::combinations::{all_combinations, Combination};
 use fd_core::detector::FdTransition;
 use fd_core::source_bank::SourceBank;
 use fd_sim::{DetRng, QueueBackend, SimDuration, SimTime, Simulator};
+use fd_stat::{EventSink, QosAccumulator, QosSummary};
+
+use crate::digest::StreamDigest;
 
 /// Configuration of a sharded many-source run.
 #[derive(Debug, Clone)]
@@ -70,6 +80,12 @@ pub struct ShardedConfig {
     pub spike_prob: f64,
     /// Multiplier applied to the delay on a spike.
     pub spike_factor: f64,
+    /// Retain every monitor event and compute the classical merged-log
+    /// fingerprint. Off by default: the streaming digest and QoS
+    /// summaries make retention unnecessary, and at 10⁶ sources the log
+    /// dominates peak memory. Opt in for debugging and differential
+    /// tests.
+    pub retain_events: bool,
     /// The detector combinations every source runs.
     pub combos: Vec<Combination>,
 }
@@ -89,6 +105,7 @@ impl ShardedConfig {
             jitter_ms: 50.0,
             spike_prob: 0.01,
             spike_factor: 40.0,
+            retain_events: false,
             combos: all_combinations(),
         }
     }
@@ -141,20 +158,31 @@ pub fn partition(sources: usize, shards: usize) -> Vec<(usize, usize)> {
         .collect()
 }
 
-/// The result of a sharded run: the merged event log plus counters.
+/// The result of a sharded run: streaming digest and QoS roll-ups, plus
+/// the retained merged log when [`ShardedConfig::retain_events`] is on.
 #[derive(Debug, Clone)]
 pub struct ShardedReport {
-    /// FNV-1a fingerprint of the merged event log (shard-count invariant).
+    /// Order-independent streaming digest over every `(time, global
+    /// source, per-source seq, combo, edge)` tuple. Shard-count invariant
+    /// and computed on every run, retained or not.
+    pub digest: u64,
+    /// Per-combination QoS roll-ups folded online by the shards and
+    /// merged exactly (integer-µs algebra) — shard-count invariant
+    /// bit for bit. Indexed like `config.combos`.
+    pub qos: Vec<QosSummary>,
+    /// FNV-1a fingerprint of the merged, sorted event log. Only computed
+    /// when `retain_events` is set; `0` otherwise.
     pub fingerprint: u64,
     /// Merged monitor events, sorted by `(time, source, per-source seq)`.
+    /// Empty unless `retain_events` is set.
     pub events: Vec<MonitorEvent>,
     /// Heartbeats delivered (arrival events processed).
     pub heartbeats: u64,
     /// Heartbeats dropped by the loss model.
     pub lost: u64,
-    /// `StartSuspect` edges in the merged log.
+    /// `StartSuspect` edges emitted (counted at the shards).
     pub start_suspects: u64,
-    /// `EndSuspect` edges in the merged log.
+    /// `EndSuspect` edges emitted (counted at the shards).
     pub end_suspects: u64,
     /// Shard count the run actually used.
     pub shards: usize,
@@ -166,18 +194,117 @@ pub struct ShardedReport {
 /// stack — just the two things a monitor reacts to.
 #[derive(Debug, Clone, Copy)]
 enum Ev {
-    /// Heartbeat `seq` from a (shard-local) source arrives.
-    Arrival { local: u32, seq: u64 },
+    /// Heartbeat `seq` from a (shard-local) source arrives. The sequence is
+    /// carried as `u32` to keep the event at 12 bytes — two of these sit in
+    /// the timer wheel per source, so the width is paid a million times
+    /// over. The bank's own u32 microsecond horizon caps any run far below
+    /// 2^32 heartbeats per source (see [`seq32`]).
+    Arrival { local: u32, seq: u32 },
     /// A deadline timer for a (shard-local) source fires.
     Deadline { local: u32 },
 }
 
-/// What one shard hands back for merging. `events[i].1` is the emitting
-/// source's private emission counter — the shard-invariant tie-breaker.
+/// Narrows a per-source heartbeat sequence for in-flight storage in [`Ev`].
+fn seq32(seq: u64) -> u32 {
+    u32::try_from(seq).expect("heartbeat seq exceeds u32 (beyond the simulable horizon)")
+}
+
+/// What one shard hands back for merging. `events` is non-empty only
+/// under `retain_events`; `events[i].1` is the emitting source's private
+/// emission counter — the shard-invariant tie-breaker.
 struct ShardOut {
     events: Vec<(MonitorEvent, u32)>,
+    digest: StreamDigest,
+    qos: Vec<QosSummary>,
     heartbeats: u64,
     lost: u64,
+    start_suspects: u64,
+    end_suspects: u64,
+}
+
+/// Per-shard event receiver: stamps every suspect/trust edge with the
+/// emitting source's private emission counter, folds the stamped tuple
+/// into the shard's [`StreamDigest`] and [`QosAccumulator`], and (under
+/// `retain_events`) also keeps it for the merged log.
+///
+/// The accumulator is fed **shard-local** source indices (its state
+/// arrays are sized to the shard block); the digest and retained log use
+/// **global** ids, which is what makes them reshard-invariant.
+struct ShardRec {
+    start: u32,
+    emitted: Vec<u32>,
+    digest: StreamDigest,
+    acc: QosAccumulator,
+    retained: Option<Vec<(MonitorEvent, u32)>>,
+    start_suspects: u64,
+    end_suspects: u64,
+}
+
+impl ShardRec {
+    fn new(start: usize, len: usize, n_combos: usize, retain: bool) -> Self {
+        Self {
+            start: start as u32,
+            emitted: vec![0; len],
+            digest: StreamDigest::new(),
+            acc: QosAccumulator::summary(len, n_combos),
+            retained: retain.then(Vec::new),
+            start_suspects: 0,
+            end_suspects: 0,
+        }
+    }
+
+    fn edge(&mut self, at: SimTime, local: u32, combo: u32, transition: FdTransition) {
+        let l = local as usize;
+        let seq = self.emitted[l];
+        self.emitted[l] = seq + 1;
+        let source = self.start + local;
+        let is_start = transition == FdTransition::StartSuspect;
+        // The shard-invariant coordinate of this edge, fixed-width LE:
+        // (virtual µs, global source, per-source seq, combo, edge kind).
+        let mut tuple = [0u8; 21];
+        tuple[..8].copy_from_slice(&at.as_micros().to_le_bytes());
+        tuple[8..12].copy_from_slice(&source.to_le_bytes());
+        tuple[12..16].copy_from_slice(&seq.to_le_bytes());
+        tuple[16..20].copy_from_slice(&combo.to_le_bytes());
+        tuple[20] = u8::from(is_start);
+        self.digest.fold_bytes(&tuple);
+        if is_start {
+            self.start_suspects += 1;
+        } else {
+            self.end_suspects += 1;
+        }
+        if let Some(events) = &mut self.retained {
+            events.push((
+                MonitorEvent {
+                    at,
+                    source,
+                    combo,
+                    transition,
+                },
+                seq,
+            ));
+        }
+    }
+}
+
+impl EventSink for ShardRec {
+    fn start_suspect(&mut self, at: SimTime, local: u32, combo: u32) {
+        self.edge(at, local, combo, FdTransition::StartSuspect);
+        self.acc.start_suspect(at, local, combo);
+    }
+
+    fn end_suspect(&mut self, at: SimTime, local: u32, combo: u32) {
+        self.edge(at, local, combo, FdTransition::EndSuspect);
+        self.acc.end_suspect(at, local, combo);
+    }
+
+    fn crash(&mut self, at: SimTime, local: u32) {
+        self.acc.crash(at, local);
+    }
+
+    fn restore(&mut self, at: SimTime, local: u32) {
+        self.acc.restore(at, local);
+    }
 }
 
 /// The sharded engine itself: validated config + `run()`.
@@ -272,39 +399,53 @@ impl ShardedEngine {
 
         let mut heartbeats = 0;
         let mut lost = 0;
+        let mut start_suspects = 0;
+        let mut end_suspects = 0;
+        let mut digest = StreamDigest::new();
+        let mut qos: Vec<QosSummary> = vec![QosSummary::new(); cfg.combos.len()];
         let total: usize = outs.iter().map(|o| o.events.len()).sum();
         let mut merged: Vec<(MonitorEvent, u32)> = Vec::with_capacity(total);
         for out in outs {
             heartbeats += out.heartbeats;
             lost += out.lost;
+            start_suspects += out.start_suspects;
+            end_suspects += out.end_suspects;
+            digest.merge(&out.digest);
+            for (acc, shard) in qos.iter_mut().zip(&out.qos) {
+                acc.merge(shard);
+            }
             merged.extend(out.events);
         }
-        // The deterministic merge rule: (virtual time, global source,
-        // per-source emission seq) — unique and independent of sharding.
-        merged.sort_unstable_by_key(|(e, seq)| (e.at, e.source, *seq));
 
-        let mut fingerprint: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut start_suspects = 0;
-        let mut end_suspects = 0;
-        let events: Vec<MonitorEvent> = merged
-            .into_iter()
-            .map(|(e, _)| {
-                match e.transition {
-                    FdTransition::StartSuspect => start_suspects += 1,
-                    FdTransition::EndSuspect => end_suspects += 1,
-                }
-                fnv1a(&mut fingerprint, &e.at.as_micros().to_le_bytes());
-                fnv1a(&mut fingerprint, &e.source.to_le_bytes());
-                fnv1a(&mut fingerprint, &e.combo.to_le_bytes());
-                fnv1a(
-                    &mut fingerprint,
-                    &[u8::from(e.transition == FdTransition::StartSuspect)],
-                );
-                e
-            })
-            .collect();
+        // The retained path: merge-sort the per-shard logs by (virtual
+        // time, global source, per-source emission seq) — unique and
+        // independent of sharding — and fingerprint the result. Skipped
+        // entirely (fingerprint 0, no events) unless retention is on.
+        let mut fingerprint: u64 = 0;
+        let events: Vec<MonitorEvent> = if cfg.retain_events {
+            merged.sort_unstable_by_key(|(e, seq)| (e.at, e.source, *seq));
+            fingerprint = 0xcbf2_9ce4_8422_2325;
+            merged
+                .into_iter()
+                .map(|(e, _)| {
+                    fnv1a(&mut fingerprint, &e.at.as_micros().to_le_bytes());
+                    fnv1a(&mut fingerprint, &e.source.to_le_bytes());
+                    fnv1a(&mut fingerprint, &e.combo.to_le_bytes());
+                    fnv1a(
+                        &mut fingerprint,
+                        &[u8::from(e.transition == FdTransition::StartSuspect)],
+                    );
+                    e
+                })
+                .collect()
+        } else {
+            debug_assert!(merged.is_empty());
+            Vec::new()
+        };
 
         ShardedReport {
+            digest: digest.value(),
+            qos,
             fingerprint,
             events,
             heartbeats,
@@ -390,11 +531,10 @@ fn run_shard(
             rng: DetRng::seed_from(source_seed(cfg.seed, g as u32)),
         })
         .collect();
-    // Earliest outstanding deadline timer per source (µs, MAX = none).
-    let mut armed: Vec<u64> = vec![u64::MAX; len];
-    // Per-source emission counter: the merge tie-breaker.
-    let mut emitted: Vec<u32> = vec![0; len];
-    let mut events: Vec<(MonitorEvent, u32)> = Vec::new();
+    // Earliest outstanding deadline timer per source (µs on the bank's
+    // u32 deadline clock, MAX = none).
+    let mut armed: Vec<u32> = vec![u32::MAX; len];
+    let mut rec = ShardRec::new(start, len, cfg.combos.len(), cfg.retain_events);
     let mut heartbeats = 0u64;
     let mut lost = 0u64;
 
@@ -406,7 +546,7 @@ fn run_shard(
                 at,
                 Ev::Arrival {
                     local: local as u32,
-                    seq,
+                    seq: seq32(seq),
                 },
             );
         }
@@ -431,40 +571,27 @@ fn run_shard(
                 // Check-then-observe, like the monitor's event loop: a
                 // deadline that elapsed strictly before this arrival must
                 // fire first. O(1) when nothing is due.
-                record(
-                    bank.check_source_at(local, at),
-                    start,
-                    at,
-                    &mut emitted,
-                    &mut events,
-                );
-                bank.observe_heartbeat(local, seq, at);
-                record(bank.transitions(), start, at, &mut emitted, &mut events);
+                bank.check_source_into(local, at, &mut rec);
+                bank.observe_heartbeat_into(local, u64::from(seq), at, &mut rec);
                 arm(&mut sim, &bank, local, at, &mut armed);
                 if let Some((next_seq, next_at)) =
-                    next_arrival(cfg, &mut models[l], seq + 1, at, &mut lost)
+                    next_arrival(cfg, &mut models[l], u64::from(seq) + 1, at, &mut lost)
                 {
                     sim.schedule_at(
                         next_at,
                         Ev::Arrival {
                             local,
-                            seq: next_seq,
+                            seq: seq32(next_seq),
                         },
                     );
                 }
             }
             Ev::Deadline { local } => {
                 let l = local as usize;
-                if armed[l] == at.as_micros() {
-                    armed[l] = u64::MAX;
+                if u64::from(armed[l]) == at.as_micros() {
+                    armed[l] = u32::MAX;
                 }
-                record(
-                    bank.check_source_at(local, at),
-                    start,
-                    at,
-                    &mut emitted,
-                    &mut events,
-                );
+                bank.check_source_into(local, at, &mut rec);
                 arm(&mut sim, &bank, local, at, &mut armed);
             }
         }
@@ -489,10 +616,18 @@ fn run_shard(
         publisher.publish(shard, start, &bank, last_at);
     }
 
+    // The shard's roll-up closes at its own last processed instant. This
+    // is reshard-invariant because the workload injects no crashes: with
+    // no crash state pending, an accumulator's finish depends only on the
+    // edges already folded, never on how late the close lands.
     ShardOut {
-        events,
+        events: rec.retained.take().unwrap_or_default(),
+        digest: rec.digest,
+        qos: rec.acc.finish_summaries(last_at),
         heartbeats,
         lost,
+        start_suspects: rec.start_suspects,
+        end_suspects: rec.end_suspects,
     }
 }
 
@@ -532,40 +667,17 @@ fn arm(
     bank: &SourceBank,
     local: u32,
     now: SimTime,
-    armed: &mut [u64],
+    armed: &mut [u32],
 ) {
     let l = local as usize;
     if let Some(wakeup) = bank.next_wakeup(local) {
         let fire_at = wakeup.max(now);
-        if fire_at.as_micros() < armed[l] {
+        let fire_us = fire_at.as_micros();
+        // `fire_us < armed[l] <= u32::MAX`, so the narrowing is exact.
+        if fire_us < u64::from(armed[l]) {
             sim.schedule_at(fire_at, Ev::Deadline { local });
-            armed[l] = fire_at.as_micros();
+            armed[l] = fire_us as u32;
         }
-    }
-}
-
-/// Appends a batch of bank transitions to the shard log, stamping each
-/// with the emitting source's private emission counter.
-fn record(
-    transitions: &[fd_core::source_bank::SourceTransition],
-    start: usize,
-    at: SimTime,
-    emitted: &mut [u32],
-    events: &mut Vec<(MonitorEvent, u32)>,
-) {
-    for t in transitions {
-        let l = t.source as usize;
-        let seq = emitted[l];
-        emitted[l] += 1;
-        events.push((
-            MonitorEvent {
-                at,
-                source: (start + l) as u32,
-                combo: t.combo,
-                transition: t.transition,
-            },
-            seq,
-        ));
     }
 }
 
@@ -576,9 +688,11 @@ mod tests {
     fn busy_config(sources: usize, shards: usize) -> ShardedConfig {
         let mut cfg = ShardedConfig::paper_grid(sources, 8, 42);
         cfg.shards = shards;
-        // Lively fault model so the log actually contains edges.
+        // Lively fault model so the log actually contains edges; retain
+        // the log so tests can inspect it.
         cfg.loss = 0.08;
         cfg.spike_prob = 0.06;
+        cfg.retain_events = true;
         cfg
     }
 
@@ -610,8 +724,9 @@ mod tests {
     }
 
     /// The acceptance criterion: sharded and single-threaded execution
-    /// produce bit-identical merged logs for the same seed, for every
-    /// shard count (including one that divides the sources unevenly).
+    /// produce bit-identical merged logs, digests and QoS roll-ups for
+    /// the same seed, for every shard count (including one that divides
+    /// the sources unevenly).
     #[test]
     fn shard_count_does_not_change_the_merged_log() {
         let baseline = ShardedEngine::new(busy_config(24, 1)).run();
@@ -623,10 +738,87 @@ mod tests {
                 baseline.fingerprint, sharded.fingerprint,
                 "fingerprint diverged at {shards} shards"
             );
+            assert_eq!(
+                baseline.digest, sharded.digest,
+                "streaming digest diverged at {shards} shards"
+            );
+            assert_eq!(
+                baseline.qos, sharded.qos,
+                "QoS roll-ups diverged at {shards} shards"
+            );
             assert_eq!(baseline.events, sharded.events);
             assert_eq!(baseline.heartbeats, sharded.heartbeats);
             assert_eq!(baseline.lost, sharded.lost);
         }
+    }
+
+    /// The streaming path stands on its own: with retention off the
+    /// report carries no events and no fingerprint, yet the digest and
+    /// the QoS roll-ups are still shard-count invariant — and identical
+    /// to what the retained run computes.
+    #[test]
+    fn streaming_results_survive_without_retention() {
+        let retained = ShardedEngine::new(busy_config(24, 3)).run();
+        let mut lean = busy_config(24, 1);
+        lean.retain_events = false;
+        let baseline = ShardedEngine::new(lean).run();
+        assert!(baseline.events.is_empty());
+        assert_eq!(baseline.fingerprint, 0);
+        assert_eq!(baseline.digest, retained.digest);
+        assert_eq!(baseline.qos, retained.qos);
+        assert_eq!(baseline.start_suspects, retained.start_suspects);
+        assert_eq!(baseline.end_suspects, retained.end_suspects);
+        for shards in [2usize, 5, 8] {
+            let mut cfg = busy_config(24, shards);
+            cfg.retain_events = false;
+            let sharded = ShardedEngine::new(cfg).run();
+            assert_eq!(baseline.digest, sharded.digest);
+            assert_eq!(baseline.qos, sharded.qos);
+        }
+    }
+
+    /// The engine's online QoS roll-ups equal a from-scratch replay of
+    /// the retained merged log through a fresh accumulator, bit for bit.
+    #[test]
+    fn online_qos_matches_retained_log_replay() {
+        let cfg = busy_config(24, 3);
+        let n_combos = cfg.combos.len();
+        let report = ShardedEngine::new(cfg).run();
+        assert!(!report.events.is_empty());
+        let mut acc = QosAccumulator::summary(24, n_combos);
+        let mut last_at = SimTime::ZERO;
+        for e in &report.events {
+            last_at = e.at;
+            match e.transition {
+                FdTransition::StartSuspect => acc.start_suspect(e.at, e.source, e.combo),
+                FdTransition::EndSuspect => acc.end_suspect(e.at, e.source, e.combo),
+            }
+        }
+        assert_eq!(acc.finish_summaries(last_at), report.qos);
+        let edges: u64 = report.qos.iter().map(|s| s.mistakes + s.open_mistakes).sum();
+        assert!(edges > 0, "roll-ups recorded no suspicion episodes");
+    }
+
+    #[test]
+    fn digest_counts_every_edge() {
+        let report = ShardedEngine::new(busy_config(16, 2)).run();
+        // Rebuild the digest from the retained log; it must match the one
+        // the shards folded online.
+        let mut digest = StreamDigest::new();
+        let mut emitted = vec![0u32; 16];
+        for e in &report.events {
+            let seq = emitted[e.source as usize];
+            emitted[e.source as usize] = seq + 1;
+            let mut tuple = [0u8; 21];
+            tuple[..8].copy_from_slice(&e.at.as_micros().to_le_bytes());
+            tuple[8..12].copy_from_slice(&e.source.to_le_bytes());
+            tuple[12..16].copy_from_slice(&seq.to_le_bytes());
+            tuple[16..20].copy_from_slice(&e.combo.to_le_bytes());
+            tuple[20] = u8::from(e.transition == FdTransition::StartSuspect);
+            digest.fold_bytes(&tuple);
+        }
+        assert_eq!(digest.count(), report.events.len() as u64);
+        assert_eq!(digest.value(), report.digest);
     }
 
     #[test]

@@ -7,10 +7,15 @@ use crate::time::SimTime;
 
 /// One pending entry: ordering is (time, insertion sequence), so events at
 /// equal times pop in insertion order regardless of heap internals.
+///
+/// The sequence is 32-bit on purpose: a million-source monitor keeps two
+/// pending timers per source, so entry size is the dominant memory term.
+/// Pushing more than `u32::MAX` events through one queue panics (see
+/// [`EventQueue::push`]) rather than silently break FIFO ties.
 #[derive(Debug, Clone)]
 struct Entry<E> {
     at: SimTime,
-    seq: u64,
+    seq: u32,
     event: E,
 }
 
@@ -50,7 +55,7 @@ impl<E> Ord for Entry<E> {
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    next_seq: u64,
+    next_seq: u32,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -77,9 +82,15 @@ impl<E> EventQueue<E> {
     }
 
     /// Inserts `event` with timestamp `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics after `u32::MAX` lifetime pushes — far beyond any simulation
+    /// this crate drives (the detector state machines already cap runs at a
+    /// ~71.6-virtual-minute `u32` microsecond horizon).
     pub fn push(&mut self, at: SimTime, event: E) {
         let seq = self.next_seq;
-        self.next_seq += 1;
+        self.next_seq = seq.checked_add(1).expect("event queue seq overflow");
         self.heap.push(Entry { at, seq, event });
     }
 

@@ -11,8 +11,10 @@ use rand::{Rng, RngCore, SeedableRng};
 
 /// A deterministic random-number generator seeded explicitly.
 ///
-/// Thin wrapper around [`rand::rngs::SmallRng`] that remembers its seed so
-/// experiment reports can record it.
+/// Thin wrapper around [`rand::rngs::SmallRng`]. It deliberately does *not*
+/// retain its seed: a monitor holds one generator per source, so every field
+/// here is paid a million times over. Experiments record the root seed (and
+/// [`SeedTree`] labels) instead — that is enough to reconstruct any stream.
 ///
 /// ```
 /// use fd_sim::DetRng;
@@ -23,7 +25,6 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    seed: u64,
     inner: SmallRng,
 }
 
@@ -31,14 +32,8 @@ impl DetRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
         Self {
-            seed,
             inner: SmallRng::seed_from_u64(seed),
         }
-    }
-
-    /// The seed this generator was created with.
-    pub fn seed(&self) -> u64 {
-        self.seed
     }
 
     /// Samples a standard-normal variate via Box–Muller.
@@ -146,8 +141,8 @@ impl RngCore for DetRng {
 /// ```
 /// use fd_sim::SeedTree;
 /// let tree = SeedTree::new(7);
-/// assert_eq!(tree.rng("delay").seed(), SeedTree::new(7).rng("delay").seed());
-/// assert_ne!(tree.rng("delay").seed(), tree.rng("loss").seed());
+/// assert_eq!(tree.child_seed("delay"), SeedTree::new(7).child_seed("delay"));
+/// assert_ne!(tree.child_seed("delay"), tree.child_seed("loss"));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SeedTree {

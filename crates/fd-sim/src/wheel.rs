@@ -35,15 +35,20 @@ const LEVELS: usize = 6;
 /// Ticks covered by the wheel proper; anything farther out overflows.
 const CAPACITY: u64 = 1 << (BITS * LEVELS as u32); // 64^6 µs ≈ 19.1 h
 
+/// One pending entry. The insertion sequence is 32-bit, mirroring
+/// [`EventQueue`](crate::EventQueue): with an 8-byte timestamp and the
+/// engines' 12-byte events this keeps the entry at 24 bytes — and the wheel
+/// holds two entries per monitored source, so at a million sources every
+/// entry byte is a megabyte.
 #[derive(Debug, Clone)]
 struct Entry<E> {
     at: SimTime,
-    seq: u64,
+    seq: u32,
     event: E,
 }
 
 impl<E> Entry<E> {
-    fn key(&self) -> (SimTime, u64) {
+    fn key(&self) -> (SimTime, u32) {
         (self.at, self.seq)
     }
 }
@@ -90,7 +95,7 @@ pub struct TimerWheel<E> {
     due: Vec<Entry<E>>,
     /// Entries beyond the wheel horizon, ascending `(time, seq)` order.
     overflow: Vec<Entry<E>>,
-    next_seq: u64,
+    next_seq: u32,
     len: usize,
 }
 
@@ -121,9 +126,14 @@ impl<E> TimerWheel<E> {
     }
 
     /// Inserts `event` with timestamp `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics after `u32::MAX` lifetime pushes, same as
+    /// [`EventQueue::push`](crate::EventQueue::push).
     pub fn push(&mut self, at: SimTime, event: E) {
         let seq = self.next_seq;
-        self.next_seq += 1;
+        self.next_seq = seq.checked_add(1).expect("timer wheel seq overflow");
         self.place(Entry { at, seq, event });
         self.len += 1;
     }
@@ -232,9 +242,9 @@ impl<E> TimerWheel<E> {
             // slot as wrapped-around and misfile it a full window late.
             let mut per_level: [Option<(u64, usize)>; LEVELS] = [None; LEVELS];
             let mut best: Option<u64> = None;
-            for level in 0..LEVELS {
-                per_level[level] = self.next_expiry_at_level(level);
-                if let Some((expiry, _)) = per_level[level] {
+            for (level, min) in per_level.iter_mut().enumerate() {
+                *min = self.next_expiry_at_level(level);
+                if let Some((expiry, _)) = *min {
                     if best.is_none_or(|b| expiry < b) {
                         best = Some(expiry);
                     }

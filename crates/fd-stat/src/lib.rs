@@ -19,10 +19,15 @@
 
 pub mod event;
 pub mod metrics;
+pub mod sink;
 pub mod summary;
 
 pub use event::{Event, EventKind, EventLog, ProcessId};
 pub use metrics::{extract_metrics, FdStatHandler, QosMetrics, QosReport, SuspicionEpisode};
+pub use sink::{
+    accumulate_metrics, AccumulateSink, EventSink, QosAccumulator, QosSummary, RetainSink,
+    RetainedEvent, RetainedKind,
+};
 pub use summary::{
     autocorrelation, mean_squared_error, ConfidenceInterval, Histogram, LogHistogram,
     RunningStats, Summary,

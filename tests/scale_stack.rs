@@ -5,7 +5,10 @@
 //!    same simulation driven through both backends is bit-identical;
 //! 2. the `SourceBank` (structure-of-arrays, N sources × 30 combos) agrees
 //!    with per-source `DetectorBank`s on every observable;
-//! 3. the sharded engine's merged log is independent of the shard count.
+//! 3. the sharded engine's merged log, streaming digest and online QoS
+//!    roll-ups are independent of the shard count — at tier-1 scale with
+//!    the retained log cross-checked, and at 1k/10k sources on the pure
+//!    streaming path (no retention).
 
 use fdqos::core::{DetectorBank, HeartbeatObs, SourceBank};
 use fdqos::runtime::{ShardedConfig, ShardedEngine};
@@ -118,6 +121,7 @@ fn sharded_engine_is_invariant_under_shard_count() {
         cfg.shards = shards;
         cfg.loss = 0.08;
         cfg.spike_prob = 0.06;
+        cfg.retain_events = true;
         cfg
     };
     let baseline = ShardedEngine::new(config(1)).run();
@@ -131,8 +135,50 @@ fn sharded_engine_is_invariant_under_shard_count() {
             baseline.fingerprint, sharded.fingerprint,
             "merged-log fingerprint diverged at {shards} shards"
         );
+        assert_eq!(
+            baseline.digest, sharded.digest,
+            "streaming digest diverged at {shards} shards"
+        );
+        assert_eq!(
+            baseline.qos, sharded.qos,
+            "online QoS roll-ups diverged at {shards} shards"
+        );
         assert_eq!(baseline.events, sharded.events);
         assert_eq!(baseline.heartbeats, sharded.heartbeats);
         assert_eq!(baseline.lost, sharded.lost);
+    }
+}
+
+/// The acceptance criterion at scale: on the streaming path (nothing
+/// retained) the digest and QoS roll-ups are bit-identical across shard
+/// counts 1, 2 and 8 at 1k and 10k sources.
+#[test]
+fn streaming_digest_is_shard_invariant_at_scale() {
+    for sources in [1_000usize, 10_000] {
+        let config = |shards: usize| {
+            let mut cfg = ShardedConfig::paper_grid(sources, 3, 2024);
+            cfg.shards = shards;
+            cfg.loss = 0.03;
+            cfg.spike_prob = 0.03;
+            cfg
+        };
+        let baseline = ShardedEngine::new(config(1)).run();
+        assert!(baseline.events.is_empty(), "scale path must not retain");
+        assert!(
+            baseline.start_suspects > 0,
+            "{sources} sources: no suspicion activity to digest"
+        );
+        for shards in [2usize, 8] {
+            let sharded = ShardedEngine::new(config(shards)).run();
+            assert_eq!(
+                baseline.digest, sharded.digest,
+                "digest diverged at {sources} sources, {shards} shards"
+            );
+            assert_eq!(
+                baseline.qos, sharded.qos,
+                "QoS roll-ups diverged at {sources} sources, {shards} shards"
+            );
+            assert_eq!(baseline.heartbeats, sharded.heartbeats);
+        }
     }
 }

@@ -13,32 +13,46 @@
 //! across a boundary the design says is private.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use fd_check::fuzz::SplitMix64;
 use fdqos::core::SourceBank;
 use fdqos::runtime::sharded::partition;
-use fdqos::runtime::{ShardPublisher, ShardedConfig, ShardedEngine, ShardedReport};
+use fdqos::runtime::{ShardPublisher, ShardedConfig, ShardedEngine, ShardedReport, StreamDigest};
 use fdqos::sim::{SimDuration, SimTime};
 
 /// A publisher that only observes: counts callbacks and folds every
-/// published bitmap word into a hash, so the engine's "publication is
-/// pure observation" claim is exercised by a callback that actually
-/// reads the bank — without perturbing the run.
+/// published snapshot into an order-independent [`StreamDigest`] (the
+/// same multiset digest the engine uses for its event stream — shards
+/// publish concurrently, so the observation order is nondeterministic
+/// even when the observations themselves are not). The engine's
+/// "publication is pure observation" claim is thus exercised by a
+/// callback that actually reads the bank — without perturbing the run.
 #[derive(Default)]
 struct ObservingPublisher {
     publishes: AtomicU64,
-    digest: AtomicU64,
+    digest: Mutex<StreamDigest>,
+}
+
+impl ObservingPublisher {
+    fn digest_value(&self) -> u64 {
+        self.digest.lock().unwrap().value()
+    }
 }
 
 impl ShardPublisher for ObservingPublisher {
     fn publish(&self, shard: usize, start: usize, bank: &SourceBank, now: SimTime) {
         self.publishes.fetch_add(1, Ordering::Relaxed);
-        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (shard as u64) << 32 ^ start as u64;
-        for &w in bank.suspect_words() {
-            h = (h ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+        // One snapshot = one digest tuple: (shard, start, now, words...).
+        let words = bank.suspect_words();
+        let mut tuple = Vec::with_capacity(24 + words.len() * 8);
+        tuple.extend_from_slice(&(shard as u64).to_le_bytes());
+        tuple.extend_from_slice(&(start as u64).to_le_bytes());
+        tuple.extend_from_slice(&now.as_micros().to_le_bytes());
+        for &w in words {
+            tuple.extend_from_slice(&w.to_le_bytes());
         }
-        h = (h ^ now.as_micros()).wrapping_mul(0x0000_0100_0000_01b3);
-        self.digest.fetch_xor(h, Ordering::Relaxed);
+        self.digest.lock().unwrap().fold_bytes(&tuple);
     }
 }
 
@@ -51,11 +65,16 @@ fn grid(rng: &mut SplitMix64) -> ShardedConfig {
     // Wiggle the WAN so suspect/trust edge density varies per round.
     cfg.loss = [0.0, 0.01, 0.08][rng.below(3) as usize];
     cfg.spike_prob = [0.0, 0.02, 0.10][rng.below(3) as usize];
+    // Retain the log so the fuzz compares full event streams, not just
+    // the streaming digest.
+    cfg.retain_events = true;
     cfg
 }
 
 fn assert_same_run(a: &ShardedReport, b: &ShardedReport, what: &str) {
     assert_eq!(a.fingerprint, b.fingerprint, "{what}: fingerprint diverged");
+    assert_eq!(a.digest, b.digest, "{what}: streaming digest diverged");
+    assert_eq!(a.qos, b.qos, "{what}: online QoS roll-ups diverged");
     assert_eq!(a.events, b.events, "{what}: merged event log diverged");
     assert_eq!(
         (a.heartbeats, a.lost, a.start_suspects, a.end_suspects),
@@ -132,8 +151,8 @@ fn pause_point_placement_never_leaks_into_the_run() {
         assert_same_run(&a, &b, &format!("round {round}, {fast:?} vs {slow:?}"));
         assert_same_run(&a, &a2, &format!("round {round}, repeat of {fast:?}"));
         assert_eq!(
-            pa.digest.load(Ordering::Relaxed),
-            pa2.digest.load(Ordering::Relaxed),
+            pa.digest_value(),
+            pa2.digest_value(),
             "round {round}: publisher observations not reproducible"
         );
         assert!(
