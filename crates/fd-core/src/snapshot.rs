@@ -325,7 +325,7 @@ impl BankSnapshot {
     }
 }
 
-fn write_arima(w: &mut Writer, a: &ArimaSnapshot) {
+pub(crate) fn write_arima(w: &mut Writer, a: &ArimaSnapshot) {
     w.u64(a.spec.p as u64);
     w.u64(a.spec.d as u64);
     w.u64(a.spec.q as u64);
@@ -351,10 +351,15 @@ fn write_arima(w: &mut Writer, a: &ArimaSnapshot) {
     w.u64(a.failed_fits as u64);
 }
 
-fn read_arima(r: &mut Reader<'_>) -> Result<ArimaSnapshot, SnapshotError> {
+pub(crate) fn read_arima(r: &mut Reader<'_>) -> Result<ArimaSnapshot, SnapshotError> {
     let p = r.len()?;
     let d = r.len()?;
     let q = r.len()?;
+    // `ArimaState` stores orders in a byte each and panics past 255; a
+    // corrupted snapshot must surface as a decode error instead.
+    if p > 255 || d > 255 || q > 255 {
+        return Err(SnapshotError::Invalid("arima order"));
+    }
     let spec = ArimaSpec::new(p, d, q);
     let refit_every = r.len()?;
     let window = r.vec_f64()?;
@@ -385,33 +390,51 @@ fn read_arima(r: &mut Reader<'_>) -> Result<ArimaSnapshot, SnapshotError> {
     })
 }
 
-struct Writer {
-    buf: Vec<u8>,
+/// Little-endian byte writer shared by the bank snapshot formats
+/// (`FDBK` for [`BankSnapshot`], `FDSB` for the
+/// [`SourceBank`](crate::source_bank::SourceBank) image).
+pub(crate) struct Writer {
+    pub(crate) buf: Vec<u8>,
 }
 
 impl Writer {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self { buf: Vec::new() }
     }
-    fn bytes(&mut self, b: &[u8]) {
+    pub(crate) fn bytes(&mut self, b: &[u8]) {
         self.buf.extend_from_slice(b);
     }
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn f64(&mut self, v: f64) {
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub(crate) fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
-    fn vec_f64(&mut self, v: &[f64]) {
+    pub(crate) fn vec_f64(&mut self, v: &[f64]) {
         self.u64(v.len() as u64);
         for &x in v {
             self.f64(x);
         }
     }
-    fn opt_u64(&mut self, v: Option<u64>) {
+    pub(crate) fn vec_u32(&mut self, v: &[u32]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.u32(x);
+        }
+    }
+    pub(crate) fn vec_u64(&mut self, v: &[u64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.u64(x);
+        }
+    }
+    pub(crate) fn opt_u64(&mut self, v: Option<u64>) {
         match v {
             Some(x) => {
                 self.u8(1);
@@ -420,7 +443,7 @@ impl Writer {
             None => self.u8(0),
         }
     }
-    fn opt_f64(&mut self, v: Option<f64>) {
+    pub(crate) fn opt_f64(&mut self, v: Option<f64>) {
         match v {
             Some(x) => {
                 self.u8(1);
@@ -431,19 +454,21 @@ impl Writer {
     }
 }
 
-struct Reader<'a> {
+/// The matching never-panicking reader: truncation, corruption and
+/// length-claim overflows all surface as [`SnapshotError`].
+pub(crate) struct Reader<'a> {
     data: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(data: &'a [u8]) -> Self {
+    pub(crate) fn new(data: &'a [u8]) -> Self {
         Self { data, pos: 0 }
     }
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.data.len() - self.pos
     }
-    fn bytes(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+    pub(crate) fn bytes(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
         if self.remaining() < n {
             return Err(SnapshotError::Truncated);
         }
@@ -451,21 +476,25 @@ impl<'a> Reader<'a> {
         self.pos += n;
         Ok(out)
     }
-    fn u8(&mut self) -> Result<u8, SnapshotError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, SnapshotError> {
         Ok(self.bytes(1)?[0])
     }
-    fn u64(&mut self) -> Result<u64, SnapshotError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, SnapshotError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+    pub(crate) fn u64(&mut self) -> Result<u64, SnapshotError> {
         let b = self.bytes(8)?;
         Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
     }
-    fn f64(&mut self) -> Result<f64, SnapshotError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, SnapshotError> {
         Ok(f64::from_bits(self.u64()?))
     }
     /// A u64 that must fit in usize (lengths, counters).
-    fn len(&mut self) -> Result<usize, SnapshotError> {
+    pub(crate) fn len(&mut self) -> Result<usize, SnapshotError> {
         usize::try_from(self.u64()?).map_err(|_| SnapshotError::Invalid("length overflows usize"))
     }
-    fn vec_f64(&mut self) -> Result<Vec<f64>, SnapshotError> {
+    pub(crate) fn vec_f64(&mut self) -> Result<Vec<f64>, SnapshotError> {
         let n = self.len()?;
         // A length claim beyond the bytes actually present is corruption;
         // reject before allocating.
@@ -478,14 +507,36 @@ impl<'a> Reader<'a> {
         }
         Ok(out)
     }
-    fn opt_u64(&mut self) -> Result<Option<u64>, SnapshotError> {
+    pub(crate) fn vec_u32(&mut self) -> Result<Vec<u32>, SnapshotError> {
+        let n = self.len()?;
+        if n > self.remaining() / 4 {
+            return Err(SnapshotError::Truncated);
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u32()?);
+        }
+        Ok(out)
+    }
+    pub(crate) fn vec_u64(&mut self) -> Result<Vec<u64>, SnapshotError> {
+        let n = self.len()?;
+        if n > self.remaining() / 8 {
+            return Err(SnapshotError::Truncated);
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u64()?);
+        }
+        Ok(out)
+    }
+    pub(crate) fn opt_u64(&mut self) -> Result<Option<u64>, SnapshotError> {
         match self.u8()? {
             0 => Ok(None),
             1 => Ok(Some(self.u64()?)),
             t => Err(SnapshotError::BadTag(t)),
         }
     }
-    fn opt_f64(&mut self) -> Result<Option<f64>, SnapshotError> {
+    pub(crate) fn opt_f64(&mut self) -> Result<Option<f64>, SnapshotError> {
         match self.u8()? {
             0 => Ok(None),
             1 => Ok(Some(self.f64()?)),

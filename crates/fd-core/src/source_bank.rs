@@ -1035,6 +1035,279 @@ impl SourceBank {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot/restore: the warm-restart image of the whole bank.
+// ---------------------------------------------------------------------------
+
+/// Magic of the [`SourceBank`] snapshot format (the many-source sibling of
+/// `FDBK`, the per-source [`BankSnapshot`](crate::snapshot::BankSnapshot)).
+const SB_MAGIC: &[u8; 4] = b"FDSB";
+const SB_VERSION: u8 = 1;
+
+const SB_TAG_LAST: u8 = 0;
+const SB_TAG_MEAN: u8 = 1;
+const SB_TAG_WINMEAN: u8 = 2;
+const SB_TAG_LPF: u8 = 3;
+const SB_TAG_ARIMA: u8 = 4;
+
+use crate::snapshot::{read_arima, write_arima, Reader, SnapshotError, Writer};
+
+impl SourceBank {
+    /// Serializes the bank's complete mutable state — every predictor
+    /// column (including full per-source ARIMA windows and models), the
+    /// shared Welford core, the error cores, the combo-major deadline
+    /// arrays, the suspicion bitmaps, freshness counters and the
+    /// freshest-deadline cache — as a versioned little-endian byte image
+    /// (`FDSB`, every `f64` via [`f64::to_bits`]).
+    ///
+    /// A bank restored from these bytes continues the heartbeat stream
+    /// **bit-identically**: same forecasts, same deadlines, same edges.
+    /// Per-call scratch (transition buffers, sweep/block scratch) is not
+    /// state and is not stored.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(SB_MAGIC);
+        w.u8(SB_VERSION);
+        w.u64(self.eta.as_micros());
+        w.u64(self.n_sources as u64);
+        w.u64(self.combos.len() as u64);
+        w.u64(self.n_pred as u64);
+        for col in &self.cols {
+            match col {
+                PredCol::Last { last } => {
+                    w.u8(SB_TAG_LAST);
+                    w.vec_f64(last);
+                }
+                PredCol::Mean { mean } => {
+                    w.u8(SB_TAG_MEAN);
+                    w.vec_f64(mean);
+                }
+                PredCol::WinMean { cap, sum, ring } => {
+                    w.u8(SB_TAG_WINMEAN);
+                    w.u64(*cap as u64);
+                    w.vec_f64(sum);
+                    w.vec_f64(ring);
+                }
+                PredCol::Lpf { beta, pred } => {
+                    w.u8(SB_TAG_LPF);
+                    w.f64(*beta);
+                    w.vec_f64(pred);
+                }
+                PredCol::Arima(col) => {
+                    w.u8(SB_TAG_ARIMA);
+                    w.u64(col.len() as u64);
+                    for p in col {
+                        write_arima(&mut w, &p.snapshot());
+                    }
+                }
+            }
+        }
+        for jac in &self.jac {
+            match jac {
+                Some(base) => {
+                    w.u8(1);
+                    w.vec_f64(base);
+                }
+                None => w.u8(0),
+            }
+        }
+        for rto in &self.rto {
+            match rto {
+                Some(col) => {
+                    w.u8(1);
+                    w.vec_f64(&col.mu);
+                    w.vec_f64(&col.dev);
+                }
+                None => w.u8(0),
+            }
+        }
+        w.vec_u32(&self.ci.n);
+        w.vec_f64(&self.ci.mean);
+        w.vec_f64(&self.ci.m2);
+        w.vec_f64(&self.ci.sigma);
+        w.vec_f64(&self.ci.inner_sqrt);
+        w.vec_u32(&self.deadlines);
+        w.vec_u64(&self.suspecting);
+        w.vec_u32(&self.highest_seq);
+        w.vec_u32(&self.min_deadline);
+        w.u64(self.heartbeats);
+        w.u64(self.stale_heartbeats);
+        w.buf
+    }
+
+    /// Restores the state serialized by [`snapshot_bytes`] into this bank.
+    ///
+    /// The bank must have the **same shape** as the snapshotted one (η,
+    /// source count, combination grid — configuration is validated, not
+    /// stored): construct it with the same [`SourceBank::new`] arguments,
+    /// then restore. Never panics on malformed input; truncated,
+    /// corrupted, version-skewed or wrong-shape bytes yield a
+    /// [`SnapshotError`] and leave the bank unspecified but safe (restore
+    /// again, or discard it).
+    ///
+    /// [`snapshot_bytes`]: Self::snapshot_bytes
+    pub fn restore_bytes(&mut self, data: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = Reader::new(data);
+        if r.bytes(4)? != SB_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.u8()?;
+        if version != SB_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        if r.u64()? != self.eta.as_micros() {
+            return Err(SnapshotError::Mismatch("eta"));
+        }
+        if r.len()? != self.n_sources {
+            return Err(SnapshotError::Mismatch("source count"));
+        }
+        if r.len()? != self.combos.len() {
+            return Err(SnapshotError::Mismatch("combination count"));
+        }
+        if r.len()? != self.n_pred {
+            return Err(SnapshotError::Mismatch("predictor count"));
+        }
+        let n = self.n_sources;
+        let expect = |v: &[f64]| -> Result<(), SnapshotError> {
+            if v.len() == n {
+                Ok(())
+            } else {
+                Err(SnapshotError::Mismatch("column length"))
+            }
+        };
+        for col in &mut self.cols {
+            let tag = r.u8()?;
+            match (tag, &mut *col) {
+                (SB_TAG_LAST, PredCol::Last { last }) => {
+                    let v = r.vec_f64()?;
+                    expect(&v)?;
+                    *last = v;
+                }
+                (SB_TAG_MEAN, PredCol::Mean { mean }) => {
+                    let v = r.vec_f64()?;
+                    expect(&v)?;
+                    *mean = v;
+                }
+                (SB_TAG_WINMEAN, PredCol::WinMean { cap, sum, ring }) => {
+                    if r.len()? != *cap {
+                        return Err(SnapshotError::Mismatch("window capacity"));
+                    }
+                    let s = r.vec_f64()?;
+                    expect(&s)?;
+                    let rg = r.vec_f64()?;
+                    if rg.len() != n * *cap {
+                        return Err(SnapshotError::Mismatch("ring length"));
+                    }
+                    *sum = s;
+                    *ring = rg;
+                }
+                (SB_TAG_LPF, PredCol::Lpf { beta, pred }) => {
+                    if r.f64()?.to_bits() != beta.to_bits() {
+                        return Err(SnapshotError::Mismatch("lpf beta"));
+                    }
+                    let v = r.vec_f64()?;
+                    expect(&v)?;
+                    *pred = v;
+                }
+                (SB_TAG_ARIMA, PredCol::Arima(col)) => {
+                    if r.len()? != n {
+                        return Err(SnapshotError::Mismatch("arima column length"));
+                    }
+                    let mut restored = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let snap = read_arima(&mut r)?;
+                        restored.push(
+                            ArimaPredictor::from_snapshot(snap)
+                                .ok_or(SnapshotError::Invalid("arima state"))?,
+                        );
+                    }
+                    *col = restored;
+                }
+                (SB_TAG_LAST | SB_TAG_MEAN | SB_TAG_WINMEAN | SB_TAG_LPF | SB_TAG_ARIMA, _) => {
+                    return Err(SnapshotError::Mismatch("predictor kind"));
+                }
+                (t, _) => return Err(SnapshotError::BadTag(t)),
+            }
+        }
+        for jac in &mut self.jac {
+            match (r.u8()?, &mut *jac) {
+                (1, Some(base)) => {
+                    let v = r.vec_f64()?;
+                    expect(&v)?;
+                    *base = v;
+                }
+                (0, None) => {}
+                (0 | 1, _) => return Err(SnapshotError::Mismatch("jac core layout")),
+                (t, _) => return Err(SnapshotError::BadTag(t)),
+            }
+        }
+        for rto in &mut self.rto {
+            match (r.u8()?, &mut *rto) {
+                (1, Some(col)) => {
+                    let mu = r.vec_f64()?;
+                    expect(&mu)?;
+                    let dev = r.vec_f64()?;
+                    expect(&dev)?;
+                    col.mu = mu;
+                    col.dev = dev;
+                }
+                (0, None) => {}
+                (0 | 1, _) => return Err(SnapshotError::Mismatch("rto core layout")),
+                (t, _) => return Err(SnapshotError::BadTag(t)),
+            }
+        }
+        let ci_n = r.vec_u32()?;
+        if ci_n.len() != n {
+            return Err(SnapshotError::Mismatch("welford length"));
+        }
+        let ci_mean = r.vec_f64()?;
+        expect(&ci_mean)?;
+        let ci_m2 = r.vec_f64()?;
+        expect(&ci_m2)?;
+        let ci_sigma = r.vec_f64()?;
+        expect(&ci_sigma)?;
+        let ci_inner = r.vec_f64()?;
+        expect(&ci_inner)?;
+        let deadlines = r.vec_u32()?;
+        if deadlines.len() != self.combos.len() * n {
+            return Err(SnapshotError::Mismatch("deadline array length"));
+        }
+        let suspecting = r.vec_u64()?;
+        if suspecting.len() != self.combos.len() * self.words {
+            return Err(SnapshotError::Mismatch("suspicion bitmap length"));
+        }
+        let highest_seq = r.vec_u32()?;
+        if highest_seq.len() != n {
+            return Err(SnapshotError::Mismatch("freshness length"));
+        }
+        let min_deadline = r.vec_u32()?;
+        if min_deadline.len() != n {
+            return Err(SnapshotError::Mismatch("deadline cache length"));
+        }
+        let heartbeats = r.u64()?;
+        let stale_heartbeats = r.u64()?;
+        if r.remaining() > 0 {
+            return Err(SnapshotError::TrailingBytes(r.remaining()));
+        }
+        self.ci.n = ci_n;
+        self.ci.mean = ci_mean;
+        self.ci.m2 = ci_m2;
+        self.ci.sigma = ci_sigma;
+        self.ci.inner_sqrt = ci_inner;
+        self.deadlines = deadlines;
+        self.suspecting = suspecting;
+        self.highest_seq = highest_seq;
+        self.min_deadline = min_deadline;
+        self.heartbeats = heartbeats;
+        self.stale_heartbeats = stale_heartbeats;
+        // Scratch is per-call, not state — but stale transitions from the
+        // pre-restore life must not leak into the next report.
+        self.transitions.clear();
+        self.scan_fired.clear();
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1386,5 +1659,151 @@ mod tests {
     fn out_of_range_source_rejected() {
         let mut bank = SourceBank::paper_grid(eta(), 2);
         bank.observe_heartbeat(2, 0, SimTime::from_millis(100));
+    }
+
+    /// A mid-stream bank, with live suspicions and armed deadlines, for the
+    /// snapshot tests.
+    fn warm_bank(n: usize, cycles: u64) -> SourceBank {
+        let mut bank = SourceBank::paper_grid(eta(), n);
+        for seq in 0..cycles {
+            for source in 0..n as u32 {
+                // A ragged subset heartbeats so suspicions accumulate.
+                if (u64::from(source) + seq) % 4 != 0 {
+                    bank.observe_heartbeat(source, seq, arrival(seq, delay_for(source, seq)));
+                }
+            }
+            let mid = SimTime::ZERO + eta() * (seq + 1) + SimDuration::from_millis(350);
+            bank.check_all_at(mid);
+        }
+        bank
+    }
+
+    /// The snapshot acceptance criterion: a restored bank continues the
+    /// stream bit-identically to the bank it was taken from — same
+    /// observables immediately, same edges, forecasts and deadlines after
+    /// more traffic.
+    #[test]
+    fn snapshot_restore_continues_bit_identically() {
+        let n = 7usize;
+        let cut = 20u64;
+        let mut original = warm_bank(n, cut);
+        let bytes = original.snapshot_bytes();
+        let mut restored = SourceBank::paper_grid(eta(), n);
+        restored.restore_bytes(&bytes).expect("restore");
+
+        assert_eq!(restored.heartbeats(), original.heartbeats());
+        assert_eq!(restored.stale_heartbeats(), original.stale_heartbeats());
+        for source in 0..n as u32 {
+            assert_eq!(restored.next_wakeup(source), original.next_wakeup(source));
+            for idx in 0..30 {
+                assert_eq!(
+                    restored.next_deadline(source, idx),
+                    original.next_deadline(source, idx)
+                );
+                assert_eq!(
+                    restored.is_suspecting(source, idx),
+                    original.is_suspecting(source, idx)
+                );
+                assert_eq!(
+                    restored.predicted_delay_ms(source, idx).to_bits(),
+                    original.predicted_delay_ms(source, idx).to_bits()
+                );
+                assert_eq!(
+                    restored.margin_ms(source, idx).to_bits(),
+                    original.margin_ms(source, idx).to_bits()
+                );
+            }
+        }
+
+        // Continue both banks through further cycles, including checks;
+        // every edge and every observable must stay identical.
+        for seq in cut..cut + 15 {
+            for source in 0..n as u32 {
+                let at = arrival(seq, delay_for(source, seq));
+                let a = original.check_source_at(source, at).to_vec();
+                let b = restored.check_source_at(source, at).to_vec();
+                assert_eq!(a, b, "check diverged s{source} q{seq}");
+                original.observe_heartbeat(source, seq, at);
+                let ea = original.transitions().to_vec();
+                restored.observe_heartbeat(source, seq, at);
+                assert_eq!(
+                    ea,
+                    restored.transitions(),
+                    "edges diverged s{source} q{seq}"
+                );
+            }
+        }
+        assert_eq!(
+            original.snapshot_bytes(),
+            restored.snapshot_bytes(),
+            "post-restore trajectories diverged"
+        );
+    }
+
+    #[test]
+    fn snapshot_truncation_and_corruption_never_panic() {
+        let bytes = warm_bank(3, 12).snapshot_bytes();
+        for cut in 0..bytes.len().min(600) {
+            let err = SourceBank::paper_grid(eta(), 3)
+                .restore_bytes(&bytes[..cut])
+                .unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Truncated | SnapshotError::BadMagic),
+                "cut={cut}: {err:?}"
+            );
+        }
+        // Tail cuts (past the cheap prefix) and single-byte flips: never a
+        // panic, always an error or a clean decode.
+        for cut in (0..bytes.len()).rev().take(200) {
+            assert!(SourceBank::paper_grid(eta(), 3)
+                .restore_bytes(&bytes[..cut])
+                .is_err());
+        }
+        for i in (0..bytes.len()).step_by(7) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xA5;
+            let _ = SourceBank::paper_grid(eta(), 3).restore_bytes(&bad);
+        }
+    }
+
+    #[test]
+    fn snapshot_shape_mismatches_rejected() {
+        let bytes = warm_bank(4, 10).snapshot_bytes();
+        // Wrong source count.
+        assert_eq!(
+            SourceBank::paper_grid(eta(), 5)
+                .restore_bytes(&bytes)
+                .unwrap_err(),
+            SnapshotError::Mismatch("source count")
+        );
+        // Wrong eta.
+        assert_eq!(
+            SourceBank::paper_grid(SimDuration::from_secs(2), 4)
+                .restore_bytes(&bytes)
+                .unwrap_err(),
+            SnapshotError::Mismatch("eta")
+        );
+        // Version skew.
+        let mut skewed = bytes.clone();
+        skewed[4] = 99;
+        assert_eq!(
+            SourceBank::paper_grid(eta(), 4)
+                .restore_bytes(&skewed)
+                .unwrap_err(),
+            SnapshotError::UnsupportedVersion(99)
+        );
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(
+            SourceBank::paper_grid(eta(), 4)
+                .restore_bytes(&long)
+                .unwrap_err(),
+            SnapshotError::TrailingBytes(1)
+        );
+        // A healthy restore still works after all the failures above.
+        let mut ok = SourceBank::paper_grid(eta(), 4);
+        ok.restore_bytes(&bytes).expect("clean restore");
+        assert_eq!(ok.snapshot_bytes(), bytes);
     }
 }

@@ -1,0 +1,159 @@
+//! Shard-chaos recovery benchmark: crashes shards mid-run at scale,
+//! attributes the QoS cost (ΔT_D, ΔP_A) and serving-plane availability
+//! to warm vs cold recovery, and writes `BENCH_chaos.json`.
+//!
+//! ```text
+//! chaos_scale [--smoke] [--sources 10k,100k] [--cycles N]
+//!             [--shards N | --threads N] [--seed N] [--out PATH]
+//! ```
+//!
+//! `--smoke` is the CI configuration: a small population scaled to the
+//! thread count, with the experiment's two invariants asserted — a warm
+//! restart is digest-bit-identical to the unfaulted baseline (ΔT_D and
+//! ΔP_A exactly zero), and a dead shard degrades exactly its own segment
+//! while the survivors keep answering. Nothing is written in smoke mode.
+
+use fd_experiments::chaos_scale::{render_json, run_chaos_row};
+
+fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Parses `1000`, `10k`, `100K`, `1m`, `1M` style source counts.
+fn parse_count(s: &str) -> Option<usize> {
+    let t = s.trim();
+    let (digits, mult) = match t.chars().last() {
+        Some('k' | 'K') => (&t[..t.len() - 1], 1_000),
+        Some('m' | 'M') => (&t[..t.len() - 1], 1_000_000),
+        _ => (t, 1),
+    };
+    digits.parse::<usize>().ok().map(|n| n * mult)
+}
+
+fn print_row(row: &fd_experiments::chaos_scale::ChaosScaleRow) {
+    eprintln!(
+        "  {:>9} sources ({} shards): baseline T_D {:>9.1} µs, P_A {:.7}",
+        row.sources, row.shards, row.baseline.mean_td_us, row.baseline.pa,
+    );
+    for v in [&row.warm, &row.cold, &row.dead] {
+        eprintln!(
+            "    {:<8} ΔT_D {:>+9.1} µs  ΔP_A {:>+12.9}  {} crash(es), {} warm / {} cold \
+             restores, {} replayed, {} dead, availability {:.4}",
+            v.name,
+            v.mean_td_us - row.baseline.mean_td_us,
+            v.pa - row.baseline.pa,
+            v.shard_crashes,
+            v.warm_restores,
+            v.cold_restores,
+            v.replayed_events,
+            v.dead_shards,
+            v.query_availability(),
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed = arg_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42u64);
+    let cycles = arg_value(&args, "--cycles")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8u64);
+    let shards = arg_value(&args, "--threads")
+        .or_else(|| arg_value(&args, "--shards"))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+
+    if args.iter().any(|a| a == "--smoke") {
+        run_smoke(seed, shards);
+        return;
+    }
+
+    let counts: Vec<usize> = match arg_value(&args, "--sources") {
+        Some(list) => list
+            .split(',')
+            .map(|s| parse_count(s).unwrap_or_else(|| panic!("bad source count: {s}")))
+            .collect(),
+        None => vec![10_000, 100_000],
+    };
+    let out = arg_value(&args, "--out").unwrap_or("BENCH_chaos.json");
+
+    println!("chaos_scale: sources={counts:?} cycles={cycles} threads={shards} seed={seed}");
+    let rows: Vec<_> = counts
+        .iter()
+        .map(|&n| {
+            let row = run_chaos_row(n, cycles, shards, seed);
+            print_row(&row);
+            assert_eq!(
+                row.warm.digest, row.baseline.digest,
+                "warm recovery diverged from the baseline at {n} sources"
+            );
+            row
+        })
+        .collect();
+
+    let doc = render_json(&rows, cycles, shards, seed);
+    std::fs::write(out, &doc).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+}
+
+/// CI gate: warm bit-identity, cold divergence and single-segment
+/// degradation asserted on a small population; nothing written.
+fn run_smoke(seed: u64, threads: usize) {
+    let shards = threads.max(2);
+    let sources = 128 * shards;
+    println!(
+        "chaos_scale --smoke: {sources} sources × 6 cycles over {shards} shards, \
+         warm bit-identity + dead-shard degradation asserted"
+    );
+    let row = run_chaos_row(sources, 6, shards, seed);
+    print_row(&row);
+    assert_eq!(
+        row.warm.digest, row.baseline.digest,
+        "warm restart not bit-identical: {:016x} vs {:016x}",
+        row.warm.digest, row.baseline.digest
+    );
+    assert_eq!(row.delta_td_warm_us, 0.0, "warm recovery moved T_D");
+    assert_eq!(row.delta_pa_warm, 0.0, "warm recovery moved P_A");
+    assert!(
+        row.warm.shard_crashes >= 2 * row.shards as u64,
+        "plan under-fired"
+    );
+    assert_ne!(
+        row.cold.digest, row.baseline.digest,
+        "cold restart unexpectedly bit-identical"
+    );
+    assert_eq!(
+        row.dead.dead_shards, 1,
+        "dead variant lost the wrong shard count"
+    );
+    assert_eq!(
+        row.dead.degraded_segments, 1,
+        "degradation did not reach the view"
+    );
+    assert!(
+        row.dead.surviving_sources < sources,
+        "dead shard's block still counted as surviving"
+    );
+    assert!(
+        row.baseline.detections > 0,
+        "no detection work to attribute"
+    );
+    println!(
+        "  ok: digest {:016x}, ΔT_D cold {:+.1} µs, ΔP_A cold {:+.9}, \
+         {} warm restores ({} events replayed)",
+        row.baseline.digest,
+        row.delta_td_cold_us,
+        row.delta_pa_cold,
+        row.warm.warm_restores,
+        row.warm.replayed_events,
+    );
+}

@@ -1,0 +1,458 @@
+//! The shard-chaos scaling experiment: what shard crashes cost at
+//! 10k/100k sources, and how much of that cost warm recovery buys back.
+//!
+//! Four variants run the identical workload (same seed, same source-crash
+//! schedule, same per-shard fault plan where supervision is on), so every
+//! delta is attributable to the recovery policy alone:
+//!
+//! * **baseline** — no shard faults, no supervision: the reference
+//!   digest, detection times and accuracy.
+//! * **warm** — every shard is crashed mid-run (plus seeded chaos) and
+//!   restarted warm from its checkpoint. The engine's restart path is
+//!   bit-identical, so ΔT_D and ΔP_A must be exactly zero — the paid
+//!   cost is wall clock (backoff + replay), not QoS.
+//! * **cold** — the same faults, restarts rebuilt with fresh detector
+//!   state: the detectors lose their delay history and the QoS moves.
+//! * **dead** — one shard is crashed with a zero restart budget: its
+//!   segment degrades (stale-with-bound serving), the survivors' QoS is
+//!   untouched.
+//!
+//! Every variant publishes into an in-process [`SuspectView`] with a
+//! sampler thread doing point queries throughout the run, so the serving
+//! plane's availability under chaos is measured, not assumed. The
+//! `chaos_scale` binary writes the table to `BENCH_chaos.json`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use fd_runtime::sharded::{partition, ShardedConfig, ShardedEngine};
+use fd_runtime::{RestartMode, ShardFault, ShardFaultKind, SourceCrashPlan, SupervisionConfig};
+use fd_serve::{EnginePublisher, SuspectView};
+
+/// What one variant of the workload measured.
+#[derive(Debug, Clone)]
+pub struct VariantOutcome {
+    /// Variant name: `baseline`, `warm`, `cold` or `dead`.
+    pub name: &'static str,
+    /// Order-independent streaming digest of the merged run (survivors
+    /// only when shards died).
+    pub digest: u64,
+    /// Wall-clock time of the run, milliseconds.
+    pub wall_ms: f64,
+    /// Source crashes folded into the merged QoS roll-up, summed over
+    /// the 30-combination grid.
+    pub crashes: u64,
+    /// Detected source crashes, summed over the grid.
+    pub detections: u64,
+    /// Undetected source crashes, summed over the grid.
+    pub undetected: u64,
+    /// Mean detection time over all detections, microseconds.
+    pub mean_td_us: f64,
+    /// Query-accuracy estimate: 1 − wrongful-suspicion time over the
+    /// surviving sources × combinations × nominal horizon.
+    pub pa: f64,
+    /// Shard worker panics contained by the supervisor.
+    pub shard_crashes: u64,
+    /// Restarts restored warm from a checkpoint.
+    pub warm_restores: u64,
+    /// Restarts rebuilt cold.
+    pub cold_restores: u64,
+    /// Events replayed across all warm restores.
+    pub replayed_events: u64,
+    /// Shards that exhausted their restart budget.
+    pub dead_shards: u64,
+    /// Sources still contributing to the merged report (total minus dead
+    /// shards' blocks).
+    pub surviving_sources: usize,
+    /// View segments left marked degraded after the run.
+    pub degraded_segments: u64,
+    /// Point queries the sampler issued during the run.
+    pub queries: u64,
+    /// Queries answered from a healthy published segment.
+    pub fresh_answers: u64,
+    /// Queries answered stale-with-bound from a degraded segment.
+    pub degraded_answers: u64,
+    /// Queries against a segment that had not published yet.
+    pub unpublished_answers: u64,
+}
+
+impl VariantOutcome {
+    /// Served answers (fresh + degraded) over all queries: the
+    /// degradation-aware plane answers even for dead shards, so this
+    /// only drops below 1 during warmup.
+    pub fn query_availability(&self) -> f64 {
+        if self.queries == 0 {
+            return 1.0;
+        }
+        (self.fresh_answers + self.degraded_answers) as f64 / self.queries as f64
+    }
+}
+
+/// One row of the chaos table: all four variants at one source count,
+/// with the warm/cold QoS deltas against the baseline.
+#[derive(Debug, Clone)]
+pub struct ChaosScaleRow {
+    /// Monitored sources.
+    pub sources: usize,
+    /// Heartbeat cycles per source.
+    pub cycles: u64,
+    /// Worker shards (clamped to the source count).
+    pub shards: usize,
+    /// Root seed shared by every variant.
+    pub seed: u64,
+    pub baseline: VariantOutcome,
+    pub warm: VariantOutcome,
+    pub cold: VariantOutcome,
+    pub dead: VariantOutcome,
+    /// `warm.mean_td_us − baseline.mean_td_us` (zero by construction).
+    pub delta_td_warm_us: f64,
+    /// `cold.mean_td_us − baseline.mean_td_us`.
+    pub delta_td_cold_us: f64,
+    /// `warm.pa − baseline.pa` (zero by construction).
+    pub delta_pa_warm: f64,
+    /// `cold.pa − baseline.pa`.
+    pub delta_pa_cold: f64,
+}
+
+/// The deterministic per-shard fault plan every supervised variant runs:
+/// one plain crash and one checkpoint-then-kill per shard, early enough
+/// to fire at any population this experiment uses.
+pub fn fault_plan(shards: usize) -> Vec<ShardFault> {
+    let mut faults = Vec::with_capacity(2 * shards);
+    for s in 0..shards {
+        faults.push(ShardFault {
+            shard: s,
+            after_events: 60 + 13 * s as u64,
+            kind: ShardFaultKind::Crash,
+        });
+        faults.push(ShardFault {
+            shard: s,
+            after_events: 160 + 17 * s as u64,
+            kind: ShardFaultKind::CheckpointThenCrash,
+        });
+    }
+    faults
+}
+
+/// The shared workload configuration: paper-grid WAN defaults plus a
+/// seeded source-crash schedule, so the QoS roll-ups carry real T_D
+/// samples for recovery to move.
+fn workload(sources: usize, cycles: u64, shards: usize, seed: u64) -> ShardedConfig {
+    assert!(
+        cycles >= 4,
+        "chaos_scale needs >= 4 cycles for the crash window"
+    );
+    let mut cfg = ShardedConfig::paper_grid(sources, cycles, seed);
+    cfg.shards = shards.max(1);
+    cfg.loss = 0.02;
+    cfg.source_crashes = Some(SourceCrashPlan {
+        frac: 0.25,
+        down_cycles: 2,
+    });
+    cfg
+}
+
+/// The sampler's query counts: `(fresh, degraded, unpublished)`.
+type SampleCounts = (u64, u64, u64);
+
+/// Queries the view from a second thread for the whole duration of a
+/// run, walking sources in a fixed multiplicative stride so samples
+/// spread across every segment.
+fn sample_queries(
+    view: &Arc<SuspectView>,
+    stop: &Arc<AtomicBool>,
+) -> std::thread::JoinHandle<SampleCounts> {
+    let view = Arc::clone(view);
+    let stop = Arc::clone(stop);
+    std::thread::spawn(move || {
+        let (mut fresh, mut degraded, mut unpublished) = (0u64, 0u64, 0u64);
+        let sources = view.sources() as u64;
+        let combos = view.combos() as u64;
+        let mut i = 0u64;
+        while !stop.load(Ordering::Acquire) {
+            let source = (i.wrapping_mul(2_654_435_761)) % sources;
+            let combo = i % combos;
+            match view.point(source as u32, combo as u32) {
+                Some(ans) if ans.degraded => degraded += 1,
+                Some(_) => fresh += 1,
+                None => unpublished += 1,
+            }
+            i += 1;
+            if i.is_multiple_of(64) {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+        }
+        (fresh, degraded, unpublished)
+    })
+}
+
+/// Runs one variant: the workload, published into a fresh view, under
+/// the given supervision policy (none = unsupervised baseline), with the
+/// query sampler alongside.
+fn run_variant(
+    name: &'static str,
+    cfg: &ShardedConfig,
+    sup: Option<&SupervisionConfig>,
+) -> VariantOutcome {
+    let combos = cfg.combos.len();
+    let view = SuspectView::for_engine(combos, cfg.sources, cfg.shards);
+    let publisher = EnginePublisher::new(&view);
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler = sample_queries(&view, &stop);
+
+    let engine = ShardedEngine::new(cfg.clone());
+    let every = cfg.eta;
+    let report = match sup {
+        None => engine.run_published(every, &publisher),
+        Some(sup) => engine.run_supervised_published(sup, every, &publisher),
+    };
+
+    stop.store(true, Ordering::Release);
+    let (fresh, degraded, unpublished) = sampler.join().expect("sampler panicked");
+
+    let crashes: u64 = report.qos.iter().map(|s| s.crashes).sum();
+    let detections: u64 = report.qos.iter().map(|s| s.detections).sum();
+    let undetected: u64 = report.qos.iter().map(|s| s.undetected).sum();
+    let td_sum_us: u64 = report.qos.iter().map(|s| s.td_sum_us).sum();
+    let tm_sum_us: u64 = report.qos.iter().map(|s| s.tm_sum_us).sum();
+    let dead_shards = report.shard_status.iter().filter(|s| s.dead).count() as u64;
+    let surviving_sources: usize = if report.shard_status.is_empty() {
+        cfg.sources
+    } else {
+        report
+            .shard_status
+            .iter()
+            .filter(|s| !s.dead)
+            .map(|s| s.len)
+            .sum()
+    };
+    let horizon_us = cfg.cycles * cfg.eta.as_micros();
+    let monitored_us = (surviving_sources * combos) as f64 * horizon_us as f64;
+    let degraded_segments = (0..view.segments())
+        .filter(|&seg| view.segment_degraded(seg))
+        .count() as u64;
+
+    VariantOutcome {
+        name,
+        digest: report.digest,
+        wall_ms: report.wall.as_secs_f64() * 1e3,
+        crashes,
+        detections,
+        undetected,
+        mean_td_us: if detections == 0 {
+            0.0
+        } else {
+            td_sum_us as f64 / detections as f64
+        },
+        pa: if monitored_us == 0.0 {
+            1.0
+        } else {
+            1.0 - tm_sum_us as f64 / monitored_us
+        },
+        shard_crashes: report
+            .shard_status
+            .iter()
+            .map(|s| u64::from(s.crashes))
+            .sum(),
+        warm_restores: report
+            .shard_status
+            .iter()
+            .map(|s| u64::from(s.warm_restores))
+            .sum(),
+        cold_restores: report
+            .shard_status
+            .iter()
+            .map(|s| u64::from(s.cold_restores))
+            .sum(),
+        replayed_events: report.shard_status.iter().map(|s| s.replayed_events).sum(),
+        dead_shards,
+        surviving_sources,
+        degraded_segments,
+        queries: fresh + degraded + unpublished,
+        fresh_answers: fresh,
+        degraded_answers: degraded,
+        unpublished_answers: unpublished,
+    }
+}
+
+/// Runs the four variants at one source count and computes the deltas.
+pub fn run_chaos_row(sources: usize, cycles: u64, shards: usize, seed: u64) -> ChaosScaleRow {
+    let cfg = workload(sources, cycles, shards, seed);
+    let actual_shards = partition(cfg.sources, cfg.shards).len();
+    let faults = fault_plan(actual_shards);
+    // Budget: the deterministic plan's two panics per shard, plus every
+    // seeded fault in case the stream piles onto one shard.
+    let extra = 2 * actual_shards;
+    let budget = (2 + extra) as u32;
+
+    let mut warm_sup =
+        SupervisionConfig::with_restart(RestartMode::Warm).seeded_chaos(seed, actual_shards, extra);
+    warm_sup.faults.extend(faults.iter().copied());
+    warm_sup.max_restarts = budget;
+    warm_sup.checkpoint_every_events = 5_000;
+
+    let mut cold_sup = warm_sup.clone();
+    cold_sup.restart = RestartMode::Cold;
+
+    // Dead: one crash on the last shard, zero restart budget — the
+    // shard dies at its first fault and its segment degrades.
+    let mut dead_sup = SupervisionConfig::with_restart(RestartMode::Warm);
+    dead_sup.max_restarts = 0;
+    dead_sup.faults = vec![ShardFault {
+        shard: actual_shards - 1,
+        after_events: 60,
+        kind: ShardFaultKind::Crash,
+    }];
+
+    let baseline = run_variant("baseline", &cfg, None);
+    let warm = run_variant("warm", &cfg, Some(&warm_sup));
+    let cold = run_variant("cold", &cfg, Some(&cold_sup));
+    let dead = run_variant("dead", &cfg, Some(&dead_sup));
+
+    ChaosScaleRow {
+        sources,
+        cycles,
+        shards: actual_shards,
+        seed,
+        delta_td_warm_us: warm.mean_td_us - baseline.mean_td_us,
+        delta_td_cold_us: cold.mean_td_us - baseline.mean_td_us,
+        delta_pa_warm: warm.pa - baseline.pa,
+        delta_pa_cold: cold.pa - baseline.pa,
+        baseline,
+        warm,
+        cold,
+        dead,
+    }
+}
+
+/// Renders one variant as a JSON object (hand-rolled: the workspace
+/// carries no JSON dependency).
+pub fn render_variant_json(v: &VariantOutcome) -> String {
+    format!(
+        "{{\"digest\": \"{:016x}\", \"wall_ms\": {:.3}, \"crashes\": {}, \
+         \"detections\": {}, \"undetected\": {}, \"mean_td_us\": {:.1}, \
+         \"pa\": {:.9}, \"shard_crashes\": {}, \"warm_restores\": {}, \
+         \"cold_restores\": {}, \"replayed_events\": {}, \"dead_shards\": {}, \
+         \"surviving_sources\": {}, \"degraded_segments\": {}, \"queries\": {}, \
+         \"fresh_answers\": {}, \"degraded_answers\": {}, \
+         \"unpublished_answers\": {}, \"query_availability\": {:.6}}}",
+        v.digest,
+        v.wall_ms,
+        v.crashes,
+        v.detections,
+        v.undetected,
+        v.mean_td_us,
+        v.pa,
+        v.shard_crashes,
+        v.warm_restores,
+        v.cold_restores,
+        v.replayed_events,
+        v.dead_shards,
+        v.surviving_sources,
+        v.degraded_segments,
+        v.queries,
+        v.fresh_answers,
+        v.degraded_answers,
+        v.unpublished_answers,
+        v.query_availability(),
+    )
+}
+
+/// Renders one row (all four variants plus deltas) as a JSON object.
+pub fn render_row_json(r: &ChaosScaleRow) -> String {
+    format!(
+        "{{\"sources\": {}, \"cycles\": {}, \"shards\": {},\n      \
+         \"baseline\": {},\n      \"warm\": {},\n      \"cold\": {},\n      \
+         \"dead\": {},\n      \
+         \"delta\": {{\"warm_td_us\": {:.3}, \"cold_td_us\": {:.3}, \
+         \"warm_pa\": {:.9}, \"cold_pa\": {:.9}}}}}",
+        r.sources,
+        r.cycles,
+        r.shards,
+        render_variant_json(&r.baseline),
+        render_variant_json(&r.warm),
+        render_variant_json(&r.cold),
+        render_variant_json(&r.dead),
+        r.delta_td_warm_us,
+        r.delta_td_cold_us,
+        r.delta_pa_warm,
+        r.delta_pa_cold,
+    )
+}
+
+/// Renders the `BENCH_chaos.json` document.
+pub fn render_json(rows: &[ChaosScaleRow], cycles: u64, shards: usize, seed: u64) -> String {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"chaos_scale\",\n");
+    out.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    out.push_str(&format!("  \"shards_requested\": {shards},\n"));
+    out.push_str(&format!("  \"cycles\": {cycles},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str("  \"grid_combos\": 30,\n");
+    out.push_str("  \"source_crash_frac\": 0.25,\n");
+    out.push_str("  \"source_down_cycles\": 2,\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&render_row_json(row));
+        out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_recovery_is_free_and_cold_is_not() {
+        let row = run_chaos_row(96, 6, 2, 11);
+        // Warm restarts replay to the identical timeline: no QoS cost.
+        assert_eq!(row.warm.digest, row.baseline.digest);
+        assert_eq!(row.delta_td_warm_us, 0.0);
+        assert_eq!(row.delta_pa_warm, 0.0);
+        assert!(row.warm.shard_crashes >= 4, "plan fires twice per shard");
+        assert!(row.warm.warm_restores == row.warm.shard_crashes);
+        // Cold restarts lose detector memory: the run itself diverges.
+        assert_ne!(row.cold.digest, row.baseline.digest);
+        assert!(row.cold.cold_restores > 0);
+        // The workload generated real detection work to attribute.
+        assert!(row.baseline.crashes > 0);
+        assert!(row.baseline.detections > 0);
+        assert!(row.baseline.pa > 0.0 && row.baseline.pa <= 1.0);
+    }
+
+    #[test]
+    fn dead_variant_degrades_exactly_one_segment() {
+        let row = run_chaos_row(96, 6, 2, 13);
+        assert_eq!(row.dead.dead_shards, 1);
+        assert_eq!(row.dead.degraded_segments, 1);
+        assert_eq!(row.dead.surviving_sources, 48);
+        // Survivors keep folding: the merged report still carries QoS.
+        assert!(row.dead.crashes > 0);
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough() {
+        let row = run_chaos_row(64, 4, 2, 5);
+        let doc = render_json(&[row], 4, 2, 5);
+        assert!(doc.starts_with('{') && doc.trim_end().ends_with('}'));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        for key in [
+            "\"bench\": \"chaos_scale\"",
+            "\"baseline\"",
+            "\"warm\"",
+            "\"cold\"",
+            "\"dead\"",
+            "\"warm_td_us\"",
+            "\"query_availability\"",
+        ] {
+            assert!(doc.contains(key), "missing {key} in {doc}");
+        }
+    }
+}

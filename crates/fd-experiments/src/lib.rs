@@ -25,6 +25,9 @@
 //! * [`scale`] — the many-source scaling experiment: sharded-engine
 //!   throughput per source count plus the 1000-source cycle benchmark
 //!   (written to `BENCH_scale.json` by the `scale` binary);
+//! * [`chaos_scale`] — shard-crash recovery at scale: warm vs cold
+//!   restarts vs a dead shard, QoS deltas and serving-plane availability
+//!   (written to `BENCH_chaos.json` by the `chaos_scale` binary);
 //! * [`report`] — figure/table text rendering.
 //!
 //! Binaries under `src/bin/` regenerate each table and figure; see
@@ -46,6 +49,7 @@ pub fn real_rng_enabled() -> bool {
 
 pub mod accuracy;
 pub mod chaos_qos;
+pub mod chaos_scale;
 pub mod config;
 pub mod configurator;
 pub mod layers;
@@ -61,6 +65,7 @@ pub use accuracy::{
 pub use chaos_qos::{
     run_chaos_qos, schedule_matrix, ChaosCounters, ChaosRunReport, ChaosSchedule,
 };
+pub use chaos_scale::{run_chaos_row, ChaosScaleRow, VariantOutcome};
 pub use config::{AccuracyParams, ExperimentParams};
 pub use configurator::{configure_nfd, ConfiguredDetector, DetectorConfig, QosRequirements};
 pub use layers::{HeartbeaterLayer, MonitorLayer, SimCrashLayer};

@@ -51,8 +51,11 @@ pub use multiplexer::MultiplexerLayer;
 pub use ntp::{NtpClientLayer, NtpSample, NtpServerLayer};
 pub use process::Process;
 pub use real_engine::{RealEngine, RealEngineConfig};
-pub use sharded::{MonitorEvent, ShardPublisher, ShardedConfig, ShardedEngine, ShardedReport};
+pub use sharded::{
+    MonitorEvent, ShardFault, ShardFaultKind, ShardPublisher, ShardStatus, ShardedConfig,
+    ShardedEngine, ShardedReport, SourceCrashPlan, SupervisionConfig,
+};
 pub use sim_engine::SimEngine;
-pub use supervisor::{Recoverable, RestartMode, SupervisorLayer};
+pub use supervisor::{backoff_us, Recoverable, RestartMode, SupervisorLayer, MAX_BACKOFF_US};
 
 pub use fd_stat::ProcessId;

@@ -43,8 +43,9 @@
 //! retained log (and its classical fingerprint) stays available behind
 //! [`ShardedConfig::retain_events`] for debugging and differential tests.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use fd_core::combinations::{all_combinations, Combination};
 use fd_core::detector::FdTransition;
@@ -53,6 +54,7 @@ use fd_sim::{DetRng, QueueBackend, SimDuration, SimTime, Simulator};
 use fd_stat::{EventSink, QosAccumulator, QosSummary};
 
 use crate::digest::StreamDigest;
+use crate::supervisor::{backoff_us, RestartMode};
 
 /// Configuration of a sharded many-source run.
 #[derive(Debug, Clone)]
@@ -88,6 +90,27 @@ pub struct ShardedConfig {
     pub retain_events: bool,
     /// The detector combinations every source runs.
     pub combos: Vec<Combination>,
+    /// Optional deterministic source-crash injection: a seeded fraction
+    /// of sources crash once mid-run and stay silent for a fixed number
+    /// of cycles. `None` (the default) injects nothing and leaves every
+    /// existing digest untouched. The crash fate of a source is a
+    /// function of the root seed and its **global** id only — like its
+    /// delay stream — so runs stay shard-count invariant.
+    pub source_crashes: Option<SourceCrashPlan>,
+}
+
+/// Deterministic source-crash schedule for [`ShardedConfig`]. Crashing
+/// sources give the QoS roll-ups real detection samples (T_D) and
+/// undetected-crash counts — the numbers warm-vs-cold recovery moves.
+#[derive(Debug, Clone, Copy)]
+pub struct SourceCrashPlan {
+    /// Fraction of sources that crash (seeded selection in `[0, 1]`).
+    pub frac: f64,
+    /// Heartbeat cycles a crashed source stays down (≥ 1). The window
+    /// always closes before the run's final cycle, so every crash is
+    /// classified (detected or undetected) strictly before quiescence —
+    /// which is what keeps the per-shard QoS close reshard-invariant.
+    pub down_cycles: u64,
 }
 
 impl ShardedConfig {
@@ -107,6 +130,7 @@ impl ShardedConfig {
             spike_factor: 40.0,
             retain_events: false,
             combos: all_combinations(),
+            source_crashes: None,
         }
     }
 }
@@ -138,6 +162,12 @@ pub trait ShardPublisher: Sync {
     /// Publishes the state of shard `shard` (owning global sources
     /// `start .. start + bank.sources()`) as of virtual time `now`.
     fn publish(&self, shard: usize, start: usize, bank: &SourceBank, now: SimTime);
+
+    /// Called once when a supervised shard exhausts its restart budget
+    /// and is declared dead: the block `start .. start + len` will
+    /// receive no further publications this run, so its served state is
+    /// stale from here on. Default: ignore.
+    fn mark_degraded(&self, _shard: usize, _start: usize, _len: usize) {}
 }
 
 /// The contiguous block partition [`ShardedEngine::run`] uses: `(start,
@@ -188,6 +218,10 @@ pub struct ShardedReport {
     pub shards: usize,
     /// Wall-clock duration of the parallel section (spawn → merge done).
     pub wall: std::time::Duration,
+    /// Per-shard supervision outcomes. Empty on unsupervised runs; one
+    /// row per shard (dead or alive) under
+    /// [`ShardedEngine::run_supervised`].
+    pub shard_status: Vec<ShardStatus>,
 }
 
 /// Compact per-shard simulation event: no message payloads, no layer
@@ -202,6 +236,12 @@ enum Ev {
     Arrival { local: u32, seq: u32 },
     /// A deadline timer for a (shard-local) source fires.
     Deadline { local: u32 },
+    /// A (shard-local) source crashes: it stops sending and the QoS
+    /// accumulator opens its crash window.
+    Crash { local: u32 },
+    /// A crashed source comes back; the accumulator classifies the crash
+    /// (detected or undetected) at this instant.
+    Restore { local: u32 },
 }
 
 /// Narrows a per-source heartbeat sequence for in-flight storage in [`Ev`].
@@ -339,6 +379,17 @@ impl ShardedEngine {
             u32::try_from(config.sources).is_ok(),
             "source count must fit in u32"
         );
+        if let Some(plan) = &config.source_crashes {
+            assert!(
+                (0.0..=1.0).contains(&plan.frac),
+                "crash fraction must be in [0, 1]"
+            );
+            assert!(plan.down_cycles >= 1, "crash window must span a cycle");
+            assert!(
+                config.cycles >= plan.down_cycles + 2,
+                "crash window must close before the run ends"
+            );
+        }
         Self { config }
     }
 
@@ -350,7 +401,7 @@ impl ShardedEngine {
     /// Runs the configured workload across `config.shards` worker threads
     /// and merges the per-shard logs deterministically.
     pub fn run(&self) -> ShardedReport {
-        self.run_inner(None)
+        self.run_inner(None, None)
     }
 
     /// Like [`run`](Self::run), publishing each shard's live state to
@@ -370,31 +421,98 @@ impl ShardedEngine {
         publisher: &dyn ShardPublisher,
     ) -> ShardedReport {
         assert!(!every.is_zero(), "publish interval must be positive");
-        self.run_inner(Some((every, publisher)))
+        self.run_inner(Some((every, publisher)), None)
     }
 
-    fn run_inner(&self, publish: Option<(SimDuration, &dyn ShardPublisher)>) -> ShardedReport {
+    /// Like [`run`](Self::run), under shard supervision: worker panics
+    /// are contained per shard with `catch_unwind`, the plan's faults are
+    /// injected, crashed shards restart warm or cold from periodic
+    /// checkpoints under a clamped exponential backoff, and a shard that
+    /// exhausts its restart budget goes dead — surviving shards keep
+    /// folding, the dead block is excluded from the merged report, and
+    /// its row in [`ShardedReport::shard_status`] carries the partial
+    /// contribution from its last checkpoint.
+    pub fn run_supervised(&self, sup: &SupervisionConfig) -> ShardedReport {
+        self.run_inner(None, Some(sup))
+    }
+
+    /// Supervision and periodic publication combined — the full serving
+    /// stack under chaos. A dead shard's block is reported to the
+    /// publisher via [`ShardPublisher::mark_degraded`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn run_supervised_published(
+        &self,
+        sup: &SupervisionConfig,
+        every: SimDuration,
+        publisher: &dyn ShardPublisher,
+    ) -> ShardedReport {
+        assert!(!every.is_zero(), "publish interval must be positive");
+        self.run_inner(Some((every, publisher)), Some(sup))
+    }
+
+    fn run_inner(
+        &self,
+        publish: Option<(SimDuration, &dyn ShardPublisher)>,
+        sup: Option<&SupervisionConfig>,
+    ) -> ShardedReport {
         let cfg = &self.config;
         let blocks = partition(cfg.sources, cfg.shards);
         let shards = blocks.len();
         let started = Instant::now();
 
         let mut outs: Vec<ShardOut> = Vec::with_capacity(shards);
-        if shards == 1 {
-            outs.push(run_shard(cfg, 0, 0, cfg.sources, publish));
-        } else {
-            thread::scope(|scope| {
-                let handles: Vec<_> = blocks
-                    .iter()
-                    .enumerate()
-                    .map(|(s, &(start, len))| {
-                        scope.spawn(move || run_shard(cfg, s, start, len, publish))
-                    })
-                    .collect();
-                for h in handles {
-                    outs.push(h.join().expect("shard worker panicked"));
+        let mut shard_status: Vec<ShardStatus> = Vec::new();
+        match sup {
+            None => {
+                if shards == 1 {
+                    outs.push(run_shard(cfg, 0, 0, cfg.sources, publish));
+                } else {
+                    thread::scope(|scope| {
+                        let handles: Vec<_> = blocks
+                            .iter()
+                            .enumerate()
+                            .map(|(s, &(start, len))| {
+                                scope.spawn(move || run_shard(cfg, s, start, len, publish))
+                            })
+                            .collect();
+                        for h in handles {
+                            outs.push(h.join().expect("shard worker panicked"));
+                        }
+                    });
                 }
-            });
+            }
+            Some(sup) => {
+                let mut results: Vec<(Option<ShardOut>, ShardStatus)> =
+                    Vec::with_capacity(shards);
+                if shards == 1 {
+                    results.push(run_shard_supervised(cfg, sup, 0, 0, cfg.sources, publish));
+                } else {
+                    thread::scope(|scope| {
+                        let handles: Vec<_> = blocks
+                            .iter()
+                            .enumerate()
+                            .map(|(s, &(start, len))| {
+                                scope.spawn(move || {
+                                    run_shard_supervised(cfg, sup, s, start, len, publish)
+                                })
+                            })
+                            .collect();
+                        for h in handles {
+                            // Worker panics are contained inside the
+                            // supervisor; a panic escaping here is a bug
+                            // in the supervisor itself.
+                            results.push(h.join().expect("shard supervisor panicked"));
+                        }
+                    });
+                }
+                for (out, st) in results {
+                    shard_status.push(st);
+                    outs.extend(out);
+                }
+            }
         }
 
         let mut heartbeats = 0;
@@ -454,6 +572,7 @@ impl ShardedEngine {
             end_suspects,
             shards,
             wall: started.elapsed(),
+            shard_status,
         }
     }
 }
@@ -474,6 +593,31 @@ fn source_seed(seed: u64, global: u32) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// Tag mixed into the root seed for the crash-fate stream, so whether a
+/// source crashes never correlates with its delay/loss stream.
+const CRASH_STREAM_TAG: u64 = 0xc4a5_0b5e_55ed_c0de;
+
+/// The crash window of a global source under the config's plan:
+/// heartbeat sequences `[crash, resume)` are never sent, the crash event
+/// fires at `η · crash` and the restore at `η · resume`. `None` when no
+/// plan is set or this source does not participate. Like the delay
+/// stream, the window is a function of `(seed, global id)` only.
+fn crash_window(cfg: &ShardedConfig, global: u32) -> Option<(u64, u64)> {
+    let plan = cfg.source_crashes?;
+    let h = source_seed(cfg.seed ^ CRASH_STREAM_TAG, global);
+    let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    if u >= plan.frac {
+        return None;
+    }
+    // `cycles >= down_cycles + 2` (validated), so span >= 1 and the
+    // window [c, c + down) satisfies 1 <= c and c + down <= cycles - 1:
+    // at least one heartbeat is drawn after the restore, and the restore
+    // instant precedes the final nominal send.
+    let span = cfg.cycles - plan.down_cycles - 1;
+    let c = 1 + source_seed(h, global) % span;
+    Some((c, c + plan.down_cycles))
 }
 
 /// Per-source heartbeat model: loss, delay, spikes — one private stream.
@@ -507,77 +651,312 @@ impl SourceModel {
 /// invisible in the results — it only moves the crossover cost.
 const WHEEL_MIN_SOURCES: usize = 16_384;
 
-/// Runs one shard to quiescence: a compact event loop over this shard's
-/// block of the source bank, on the queue backend that is fastest for
-/// the shard's size. With a publisher attached, the shard additionally
-/// publishes its bank every `every` of virtual time — a read-only hook
-/// after event processing, so the simulation itself is unchanged.
-fn run_shard(
-    cfg: &ShardedConfig,
+/// A between-events checkpoint of one [`ShardWorker`]: everything needed
+/// to rebuild the worker and resume bit-identically (warm) or with the
+/// detector's memory wiped (cold). Deadline timers are deliberately
+/// absent — they are re-derived from the restored bank's own per-source
+/// wakeups, and any superseded timers the original run still carried
+/// were provably no-op checks.
+struct ShardCheckpoint {
+    /// Versioned [`SourceBank::snapshot_bytes`] image.
+    bank: Vec<u8>,
+    /// Per-source delay/loss RNG streams, mid-stream.
+    models: Vec<DetRng>,
+    /// In-flight heartbeat per source: `(seq, arrival µs)`.
+    pending: Vec<Option<(u32, u64)>>,
+    /// Crash-window phase per source: 0 = crash pending, 1 = down
+    /// (restore pending), 2 = closed or no window.
+    crash_phase: Vec<u8>,
+    /// Per-source emission counters (digest tie-breakers).
+    emitted: Vec<u32>,
+    digest: StreamDigest,
+    acc: QosAccumulator,
+    retained: Option<Vec<(MonitorEvent, u32)>>,
+    start_suspects: u64,
+    end_suspects: u64,
+    heartbeats: u64,
+    lost: u64,
+    last_at_us: u64,
+    next_pub_us: Option<u64>,
+    events_done: u64,
+}
+
+/// One shard's event loop, opened up as a struct so a supervisor can
+/// step it in bounded slices, checkpoint it between events, and rebuild
+/// it after a contained panic. [`run_shard`] drives it straight to
+/// quiescence — the unsupervised fast path is the same code.
+struct ShardWorker<'a> {
+    cfg: &'a ShardedConfig,
     shard: usize,
     start: usize,
-    len: usize,
-    publish: Option<(SimDuration, &dyn ShardPublisher)>,
-) -> ShardOut {
-    let backend = if len >= WHEEL_MIN_SOURCES {
-        QueueBackend::Wheel
-    } else {
-        QueueBackend::Heap
-    };
-    let mut sim: Simulator<Ev> = Simulator::with_backend_and_capacity(backend, len * 2);
-    let mut bank = SourceBank::new(&cfg.combos, cfg.eta, len);
-    let mut models: Vec<SourceModel> = (start..start + len)
-        .map(|g| SourceModel {
-            rng: DetRng::seed_from(source_seed(cfg.seed, g as u32)),
-        })
-        .collect();
-    // Earliest outstanding deadline timer per source (µs on the bank's
-    // u32 deadline clock, MAX = none).
-    let mut armed: Vec<u32> = vec![u32::MAX; len];
-    let mut rec = ShardRec::new(start, len, cfg.combos.len(), cfg.retain_events);
-    let mut heartbeats = 0u64;
-    let mut lost = 0u64;
+    publish: Option<(SimDuration, &'a dyn ShardPublisher)>,
+    sim: Simulator<Ev>,
+    bank: SourceBank,
+    models: Vec<SourceModel>,
+    /// Earliest outstanding deadline timer per source (µs on the bank's
+    /// u32 deadline clock, MAX = none).
+    armed: Vec<u32>,
+    /// The one in-flight arrival per source, mirrored out of the queue
+    /// so a checkpoint can re-create the event population exactly.
+    pending: Vec<Option<(u32, u64)>>,
+    /// Per-source crash windows (`None` = never crashes).
+    windows: Vec<Option<(u64, u64)>>,
+    /// See [`ShardCheckpoint::crash_phase`].
+    crash_phase: Vec<u8>,
+    rec: ShardRec,
+    heartbeats: u64,
+    lost: u64,
+    last_at: SimTime,
+    next_pub: Option<SimTime>,
+    /// Events processed by this worker incarnation's logical timeline
+    /// (rewinds to the checkpoint value on restore).
+    events_done: u64,
+}
 
-    // First kept heartbeat of every source.
-    for local in 0..len {
-        if let Some((seq, at)) = next_arrival(cfg, &mut models[local], 0, SimTime::ZERO, &mut lost)
-        {
-            sim.schedule_at(
-                at,
-                Ev::Arrival {
-                    local: local as u32,
-                    seq: seq32(seq),
-                },
-            );
+fn us_time(us: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_micros(us)
+}
+
+impl<'a> ShardWorker<'a> {
+    fn backend(len: usize) -> QueueBackend {
+        if len >= WHEEL_MIN_SOURCES {
+            QueueBackend::Wheel
+        } else {
+            QueueBackend::Heap
         }
     }
 
-    // Next virtual instant at (or after) which the shard publishes. The
-    // comparison below is one branch per event when no publisher is
-    // attached — the whole cost of the serving hook on the hot path.
-    let mut next_pub = publish.map(|(every, _)| SimTime::ZERO + every);
-    let mut last_at = SimTime::ZERO;
+    fn new(
+        cfg: &'a ShardedConfig,
+        shard: usize,
+        start: usize,
+        len: usize,
+        publish: Option<(SimDuration, &'a dyn ShardPublisher)>,
+    ) -> Self {
+        let mut sim: Simulator<Ev> =
+            Simulator::with_backend_and_capacity(Self::backend(len), len * 2);
+        let bank = SourceBank::new(&cfg.combos, cfg.eta, len);
+        let mut models: Vec<SourceModel> = (start..start + len)
+            .map(|g| SourceModel {
+                rng: DetRng::seed_from(source_seed(cfg.seed, g as u32)),
+            })
+            .collect();
+        let windows: Vec<Option<(u64, u64)>> = (0..len)
+            .map(|l| crash_window(cfg, (start + l) as u32))
+            .collect();
+        let mut crash_phase = vec![2u8; len];
+        let mut pending: Vec<Option<(u32, u64)>> = vec![None; len];
+        let mut lost = 0u64;
 
-    // Drain to quiescence rather than to a time horizon: each source sends
-    // at most `cycles` heartbeats, and once a source's combos have all
-    // fired their final deadline nothing re-arms, so the loop terminates —
-    // and every drawn heartbeat is accounted for as delivered or lost.
-    while let Some((at, ev)) = sim.next_event() {
-        last_at = at;
+        // First kept heartbeat of every source, plus its crash window's
+        // two events when it has one.
+        for local in 0..len {
+            if let Some((c, r)) = windows[local] {
+                crash_phase[local] = 0;
+                sim.schedule_at(SimTime::ZERO + cfg.eta * c, Ev::Crash {
+                    local: local as u32,
+                });
+                sim.schedule_at(SimTime::ZERO + cfg.eta * r, Ev::Restore {
+                    local: local as u32,
+                });
+            }
+            if let Some((seq, at)) = next_arrival(
+                cfg,
+                &mut models[local],
+                windows[local],
+                0,
+                SimTime::ZERO,
+                &mut lost,
+            ) {
+                pending[local] = Some((seq32(seq), at.as_micros()));
+                sim.schedule_at(
+                    at,
+                    Ev::Arrival {
+                        local: local as u32,
+                        seq: seq32(seq),
+                    },
+                );
+            }
+        }
+
+        Self {
+            cfg,
+            shard,
+            start,
+            publish,
+            sim,
+            bank,
+            models,
+            armed: vec![u32::MAX; len],
+            pending,
+            windows,
+            crash_phase,
+            rec: ShardRec::new(start, len, cfg.combos.len(), cfg.retain_events),
+            heartbeats: 0,
+            lost,
+            last_at: SimTime::ZERO,
+            // Next virtual instant at (or after) which the shard
+            // publishes. The comparison in `step` is one branch per event
+            // when no publisher is attached — the whole cost of the
+            // serving hook on the hot path.
+            next_pub: publish.map(|(every, _)| SimTime::ZERO + every),
+            events_done: 0,
+        }
+    }
+
+    /// Captures a consistent between-events image of this worker.
+    fn checkpoint(&self) -> ShardCheckpoint {
+        ShardCheckpoint {
+            bank: self.bank.snapshot_bytes(),
+            models: self.models.iter().map(|m| m.rng.clone()).collect(),
+            pending: self.pending.clone(),
+            crash_phase: self.crash_phase.clone(),
+            emitted: self.rec.emitted.clone(),
+            digest: self.rec.digest,
+            acc: self.rec.acc.clone(),
+            retained: self.rec.retained.clone(),
+            start_suspects: self.rec.start_suspects,
+            end_suspects: self.rec.end_suspects,
+            heartbeats: self.heartbeats,
+            lost: self.lost,
+            last_at_us: self.last_at.as_micros(),
+            next_pub_us: self.next_pub.map(|t| t.as_micros()),
+            events_done: self.events_done,
+        }
+    }
+
+    /// Rebuilds a worker from a checkpoint. Warm restores the bank's
+    /// detector state byte-exact and re-arms each source's deadline at
+    /// `max(wakeup, checkpoint instant)` — the same effective check
+    /// instants the uninterrupted run would have hit (stale superseded
+    /// timers it carried were no-op checks). Cold starts the bank fresh:
+    /// the environment (RNG streams, in-flight heartbeats, crash phases,
+    /// sink-side accumulator) survives, the detector's memory does not.
+    fn restore(
+        cfg: &'a ShardedConfig,
+        shard: usize,
+        start: usize,
+        len: usize,
+        publish: Option<(SimDuration, &'a dyn ShardPublisher)>,
+        ckpt: &ShardCheckpoint,
+        mode: RestartMode,
+    ) -> Self {
+        let mut sim: Simulator<Ev> =
+            Simulator::with_backend_and_capacity(Self::backend(len), len * 2);
+        let mut bank = SourceBank::new(&cfg.combos, cfg.eta, len);
+        let warm = mode == RestartMode::Warm;
+        if warm {
+            bank.restore_bytes(&ckpt.bank)
+                .expect("checkpoint bank image must round-trip");
+        }
+        let last_at = us_time(ckpt.last_at_us);
+        let windows: Vec<Option<(u64, u64)>> = (0..len)
+            .map(|l| crash_window(cfg, (start + l) as u32))
+            .collect();
+        let mut armed: Vec<u32> = vec![u32::MAX; len];
+
+        // Re-create the in-flight event population: pending arrivals at
+        // their exact stored instants, crash/restore events per phase.
+        // Everything unprocessed at the checkpoint lies at or after
+        // `last_at`, so nothing lands in the past.
+        for (local, &window) in windows.iter().enumerate() {
+            if let Some((seq, at_us)) = ckpt.pending[local] {
+                sim.schedule_at(us_time(at_us), Ev::Arrival {
+                    local: local as u32,
+                    seq,
+                });
+            }
+            match ckpt.crash_phase[local] {
+                0 => {
+                    let (c, r) = window.expect("phase-0 source has a crash window");
+                    sim.schedule_at(SimTime::ZERO + cfg.eta * c, Ev::Crash {
+                        local: local as u32,
+                    });
+                    sim.schedule_at(SimTime::ZERO + cfg.eta * r, Ev::Restore {
+                        local: local as u32,
+                    });
+                }
+                1 => {
+                    let (_, r) = window.expect("phase-1 source has a crash window");
+                    sim.schedule_at(SimTime::ZERO + cfg.eta * r, Ev::Restore {
+                        local: local as u32,
+                    });
+                }
+                _ => {}
+            }
+        }
+        if warm {
+            for local in 0..len as u32 {
+                arm(&mut sim, &bank, local, last_at, &mut armed);
+            }
+        }
+
+        Self {
+            cfg,
+            shard,
+            start,
+            publish,
+            sim,
+            bank,
+            models: ckpt
+                .models
+                .iter()
+                .map(|rng| SourceModel { rng: rng.clone() })
+                .collect(),
+            armed,
+            pending: ckpt.pending.clone(),
+            windows,
+            crash_phase: ckpt.crash_phase.clone(),
+            rec: ShardRec {
+                start: start as u32,
+                emitted: ckpt.emitted.clone(),
+                digest: ckpt.digest,
+                acc: ckpt.acc.clone(),
+                retained: ckpt.retained.clone(),
+                start_suspects: ckpt.start_suspects,
+                end_suspects: ckpt.end_suspects,
+            },
+            heartbeats: ckpt.heartbeats,
+            lost: ckpt.lost,
+            last_at,
+            next_pub: ckpt.next_pub_us.map(us_time),
+            events_done: ckpt.events_done,
+        }
+    }
+
+    /// Processes one simulation event; `false` at quiescence. A run
+    /// drains to quiescence rather than to a time horizon: each source
+    /// sends at most `cycles` heartbeats, and once a source's combos have
+    /// all fired their final deadline nothing re-arms, so the loop
+    /// terminates — and every drawn heartbeat is accounted for as
+    /// delivered or lost.
+    fn step(&mut self) -> bool {
+        let Some((at, ev)) = self.sim.next_event() else {
+            return false;
+        };
+        self.last_at = at;
         match ev {
             Ev::Arrival { local, seq } => {
-                heartbeats += 1;
+                self.heartbeats += 1;
                 let l = local as usize;
+                self.pending[l] = None;
                 // Check-then-observe, like the monitor's event loop: a
                 // deadline that elapsed strictly before this arrival must
                 // fire first. O(1) when nothing is due.
-                bank.check_source_into(local, at, &mut rec);
-                bank.observe_heartbeat_into(local, u64::from(seq), at, &mut rec);
-                arm(&mut sim, &bank, local, at, &mut armed);
-                if let Some((next_seq, next_at)) =
-                    next_arrival(cfg, &mut models[l], u64::from(seq) + 1, at, &mut lost)
-                {
-                    sim.schedule_at(
+                self.bank.check_source_into(local, at, &mut self.rec);
+                self.bank
+                    .observe_heartbeat_into(local, u64::from(seq), at, &mut self.rec);
+                arm(&mut self.sim, &self.bank, local, at, &mut self.armed);
+                if let Some((next_seq, next_at)) = next_arrival(
+                    self.cfg,
+                    &mut self.models[l],
+                    self.windows[l],
+                    u64::from(seq) + 1,
+                    at,
+                    &mut self.lost,
+                ) {
+                    self.pending[l] = Some((seq32(next_seq), next_at.as_micros()));
+                    self.sim.schedule_at(
                         next_at,
                         Ev::Arrival {
                             local,
@@ -588,62 +967,367 @@ fn run_shard(
             }
             Ev::Deadline { local } => {
                 let l = local as usize;
-                if u64::from(armed[l]) == at.as_micros() {
-                    armed[l] = u32::MAX;
+                if u64::from(self.armed[l]) == at.as_micros() {
+                    self.armed[l] = u32::MAX;
                 }
-                bank.check_source_into(local, at, &mut rec);
-                arm(&mut sim, &bank, local, at, &mut armed);
+                self.bank.check_source_into(local, at, &mut self.rec);
+                arm(&mut self.sim, &self.bank, local, at, &mut self.armed);
+            }
+            Ev::Crash { local } => {
+                self.crash_phase[local as usize] = 1;
+                self.rec.crash(at, local);
+            }
+            Ev::Restore { local } => {
+                self.crash_phase[local as usize] = 2;
+                self.rec.restore(at, local);
             }
         }
-        if let Some(due) = next_pub {
+        self.events_done += 1;
+        if let Some(due) = self.next_pub {
             if at >= due {
-                let (every, publisher) = publish.expect("next_pub set only with a publisher");
-                publisher.publish(shard, start, &bank, at);
+                let (every, publisher) =
+                    self.publish.expect("next_pub set only with a publisher");
+                publisher.publish(self.shard, self.start, &self.bank, at);
                 // Skip over publication instants the event stream jumped
                 // past: the next due time is strictly after `at`.
                 let mut due = due;
                 while due <= at {
-                    due = due + every;
+                    due += every;
                 }
-                next_pub = Some(due);
+                self.next_pub = Some(due);
             }
+        }
+        true
+    }
+
+    /// Closes the quiescent shard: final publication, QoS close, output.
+    ///
+    /// The roll-up closes at the shard's own last processed instant.
+    /// This is reshard-invariant even with injected source crashes: every
+    /// crash window closes (its restore event is processed) strictly
+    /// before quiescence, and with no crash state pending an
+    /// accumulator's finish depends only on the edges already folded,
+    /// never on how late the close lands.
+    fn finish(self) -> ShardOut {
+        // Final publication at quiescence so the served view always
+        // converges to the bank's terminal state.
+        if let Some((_, publisher)) = self.publish {
+            publisher.publish(self.shard, self.start, &self.bank, self.last_at);
+        }
+        let mut rec = self.rec;
+        ShardOut {
+            events: rec.retained.take().unwrap_or_default(),
+            digest: rec.digest,
+            qos: rec.acc.finish_summaries(self.last_at),
+            heartbeats: self.heartbeats,
+            lost: self.lost,
+            start_suspects: rec.start_suspects,
+            end_suspects: rec.end_suspects,
+        }
+    }
+}
+
+/// Runs one shard straight to quiescence: a compact event loop over this
+/// shard's block of the source bank, on the queue backend that is
+/// fastest for the shard's size. With a publisher attached, the shard
+/// additionally publishes its bank every `every` of virtual time — a
+/// read-only hook after event processing, so the simulation itself is
+/// unchanged.
+fn run_shard(
+    cfg: &ShardedConfig,
+    shard: usize,
+    start: usize,
+    len: usize,
+    publish: Option<(SimDuration, &dyn ShardPublisher)>,
+) -> ShardOut {
+    let mut worker = ShardWorker::new(cfg, shard, start, len, publish);
+    while worker.step() {}
+    worker.finish()
+}
+
+/// A fault injected at the shard plane by the supervisor's chaos plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFaultKind {
+    /// The worker panics mid-run; the supervisor contains it with
+    /// `catch_unwind` and restarts from the last checkpoint.
+    Crash,
+    /// The worker stalls for this much wall-clock time, then continues.
+    /// Results are bit-identical — only wall time grows.
+    Stall {
+        /// Stall length, wall-clock microseconds.
+        wall_micros: u64,
+    },
+    /// The worker checkpoints and then panics — the best case for a warm
+    /// restart (zero replay).
+    CheckpointThenCrash,
+}
+
+/// One scheduled shard-plane fault: fires on `shard` once its processed
+/// event count reaches `after_events`.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardFault {
+    /// The shard it hits.
+    pub shard: usize,
+    /// Processed-event threshold that triggers it.
+    pub after_events: u64,
+    /// What happens.
+    pub kind: ShardFaultKind,
+}
+
+/// Supervision policy for [`ShardedEngine::run_supervised`].
+#[derive(Debug, Clone)]
+pub struct SupervisionConfig {
+    /// Checkpoint cadence in processed events. `0` keeps only the
+    /// initial (pre-first-event) checkpoint, making every warm restart
+    /// replay the whole shard.
+    pub checkpoint_every_events: u64,
+    /// Restarts allowed per shard before it is declared dead and its
+    /// segment degraded.
+    pub max_restarts: u32,
+    /// Base of the wall-clock exponential restart backoff, microseconds.
+    pub backoff_base_us: u64,
+    /// Clamp on the computed backoff, microseconds.
+    pub max_backoff_us: u64,
+    /// Warm (from checkpoint) or cold (fresh detector state) restarts.
+    pub restart: RestartMode,
+    /// The scheduled faults.
+    pub faults: Vec<ShardFault>,
+}
+
+impl SupervisionConfig {
+    /// A fault-free policy with test-friendly defaults: checkpoint every
+    /// 10 000 events, 3 restarts, 200 µs base backoff clamped at 50 ms.
+    pub fn with_restart(restart: RestartMode) -> Self {
+        Self {
+            checkpoint_every_events: 10_000,
+            max_restarts: 3,
+            backoff_base_us: 200,
+            max_backoff_us: 50_000,
+            restart,
+            faults: Vec::new(),
         }
     }
 
-    // Final publication at quiescence so the served view always converges
-    // to the bank's terminal state.
-    if let Some((_, publisher)) = publish {
-        publisher.publish(shard, start, &bank, last_at);
+    /// Appends `count` seeded chaos faults spread across `shards` —
+    /// crashes, short stalls and checkpoint-then-kill, all derived from
+    /// `seed` alone so a chaos run is reproducible.
+    pub fn seeded_chaos(mut self, seed: u64, shards: usize, count: usize) -> Self {
+        for i in 0..count {
+            let h = source_seed(seed ^ 0x5eed_fa01_7c4a_05ed, i as u32);
+            let kind = match h % 3 {
+                0 => ShardFaultKind::Crash,
+                1 => ShardFaultKind::Stall {
+                    wall_micros: 500 + (h >> 2) % 2_000,
+                },
+                _ => ShardFaultKind::CheckpointThenCrash,
+            };
+            self.faults.push(ShardFault {
+                shard: ((h >> 8) as usize) % shards.max(1),
+                after_events: 200 + (h >> 16) % 4_000,
+                kind,
+            });
+        }
+        self
     }
+}
 
-    // The shard's roll-up closes at its own last processed instant. This
-    // is reshard-invariant because the workload injects no crashes: with
-    // no crash state pending, an accumulator's finish depends only on the
-    // edges already folded, never on how late the close lands.
-    ShardOut {
-        events: rec.retained.take().unwrap_or_default(),
-        digest: rec.digest,
-        qos: rec.acc.finish_summaries(last_at),
-        heartbeats,
-        lost,
-        start_suspects: rec.start_suspects,
-        end_suspects: rec.end_suspects,
+/// What supervision observed on one shard: fault counts, restart kinds,
+/// replay cost, and the shard's own digest/QoS contribution (partial —
+/// as of the last checkpoint — when the shard died).
+#[derive(Debug, Clone)]
+pub struct ShardStatus {
+    /// Shard index.
+    pub shard: usize,
+    /// First global source id of the shard's block.
+    pub start: usize,
+    /// Block length.
+    pub len: usize,
+    /// Faults from the plan that fired (all kinds).
+    pub faults_hit: u32,
+    /// Contained worker panics (injected or real).
+    pub crashes: u32,
+    /// Injected stalls ridden out.
+    pub stalls: u32,
+    /// Restarts restored warm from a checkpoint.
+    pub warm_restores: u32,
+    /// Restarts rebuilt cold.
+    pub cold_restores: u32,
+    /// Events re-processed across all restores (crash-point count minus
+    /// checkpoint count, summed).
+    pub replayed_events: u64,
+    /// Events the shard processed on its final (surviving) timeline.
+    pub events: u64,
+    /// The shard exhausted its restart budget; its block is degraded and
+    /// excluded from the merged report.
+    pub dead: bool,
+    /// The shard's own streaming digest (checkpoint-partial if dead).
+    pub digest: u64,
+    /// The shard's own QoS roll-up (checkpoint-partial if dead).
+    pub qos: Vec<QosSummary>,
+}
+
+/// Runs one shard under supervision: bounded event slices between
+/// checkpoint/fault boundaries, `catch_unwind` containment, seeded fault
+/// injection, warm/cold restarts under a clamped exponential backoff and
+/// a restart budget, and degradation (dead shard, partial results) when
+/// the budget runs out.
+fn run_shard_supervised(
+    cfg: &ShardedConfig,
+    sup: &SupervisionConfig,
+    shard: usize,
+    start: usize,
+    len: usize,
+    publish: Option<(SimDuration, &dyn ShardPublisher)>,
+) -> (Option<ShardOut>, ShardStatus) {
+    let mut faults: Vec<ShardFault> = sup
+        .faults
+        .iter()
+        .copied()
+        .filter(|f| f.shard == shard)
+        .collect();
+    faults.sort_by_key(|f| f.after_events);
+
+    let mut status = ShardStatus {
+        shard,
+        start,
+        len,
+        faults_hit: 0,
+        crashes: 0,
+        stalls: 0,
+        warm_restores: 0,
+        cold_restores: 0,
+        replayed_events: 0,
+        events: 0,
+        dead: false,
+        digest: 0,
+        qos: Vec::new(),
+    };
+
+    let mut worker = ShardWorker::new(cfg, shard, start, len, publish);
+    // A restart needs a consistent state to rebuild from even if the
+    // first slice panics, so every shard checkpoints before its first
+    // event.
+    let mut ckpt: Option<ShardCheckpoint> = Some(worker.checkpoint());
+    let mut fault_cursor = 0usize;
+    let mut restarts = 0u32;
+
+    loop {
+        let slice = catch_unwind(AssertUnwindSafe(|| {
+            loop {
+                // Fire every fault due at the current progress point.
+                // The cursor lives outside the unwind scope, so a fault
+                // that panics is consumed and cannot re-fire after the
+                // restart rewinds the event counter.
+                while let Some(f) = faults.get(fault_cursor).copied() {
+                    if f.after_events > worker.events_done {
+                        break;
+                    }
+                    fault_cursor += 1;
+                    status.faults_hit += 1;
+                    match f.kind {
+                        ShardFaultKind::Stall { wall_micros } => {
+                            status.stalls += 1;
+                            thread::sleep(Duration::from_micros(wall_micros));
+                        }
+                        ShardFaultKind::Crash => {
+                            panic!("injected shard fault: crash");
+                        }
+                        ShardFaultKind::CheckpointThenCrash => {
+                            ckpt = Some(worker.checkpoint());
+                            panic!("injected shard fault: checkpoint-then-crash");
+                        }
+                    }
+                }
+                let next_fault = faults
+                    .get(fault_cursor)
+                    .map_or(u64::MAX, |f| f.after_events);
+                let next_ckpt = worker
+                    .events_done
+                    .checked_div(sup.checkpoint_every_events)
+                    .map_or(u64::MAX, |q| (q + 1) * sup.checkpoint_every_events);
+                let boundary = next_fault.min(next_ckpt);
+                while worker.events_done < boundary {
+                    if !worker.step() {
+                        return;
+                    }
+                }
+                if worker.events_done == next_ckpt {
+                    ckpt = Some(worker.checkpoint());
+                }
+            }
+        }));
+
+        match slice {
+            Ok(()) => {
+                // Quiescent.
+                status.events = worker.events_done;
+                let out = worker.finish();
+                status.digest = out.digest.value();
+                status.qos = out.qos.clone();
+                return (Some(out), status);
+            }
+            Err(_) => {
+                status.crashes += 1;
+                restarts += 1;
+                let cp = ckpt
+                    .as_ref()
+                    .expect("supervised shard always holds a checkpoint");
+                if restarts > sup.max_restarts {
+                    // Budget exhausted: the shard dies. Its last
+                    // checkpoint is a consistent partial contribution;
+                    // the merged report excludes it, and the serving
+                    // plane is told the block is degraded.
+                    status.dead = true;
+                    status.events = cp.events_done;
+                    status.digest = cp.digest.value();
+                    status.qos = cp.acc.clone().finish_summaries(us_time(cp.last_at_us));
+                    if let Some((_, publisher)) = publish {
+                        publisher.mark_degraded(shard, start, len);
+                    }
+                    return (None, status);
+                }
+                // The panicked incarnation is discarded wholesale — its
+                // counters are still readable (updated only between
+                // events), which is how replay cost is measured.
+                status.replayed_events += worker.events_done.saturating_sub(cp.events_done);
+                match sup.restart {
+                    RestartMode::Warm => status.warm_restores += 1,
+                    RestartMode::Cold => status.cold_restores += 1,
+                }
+                thread::sleep(Duration::from_micros(backoff_us(
+                    sup.backoff_base_us,
+                    restarts,
+                    sup.max_backoff_us,
+                )));
+                worker = ShardWorker::restore(cfg, shard, start, len, publish, cp, sup.restart);
+            }
+        }
     }
 }
 
 /// Finds the next non-lost heartbeat of a source from `from_seq` on,
-/// counting losses. Arrival times are clamped to `now` so the per-source
-/// chain never schedules into the past (a spiked predecessor can outlast
-/// its successor's nominal arrival).
+/// counting losses. Sequences inside the source's crash window are
+/// skipped without a draw and without counting as lost — a crashed
+/// source sends nothing, so there is nothing for the network to drop.
+/// Arrival times are clamped to `now` so the per-source chain never
+/// schedules into the past (a spiked predecessor can outlast its
+/// successor's nominal arrival).
 fn next_arrival(
     cfg: &ShardedConfig,
     model: &mut SourceModel,
+    window: Option<(u64, u64)>,
     from_seq: u64,
     now: SimTime,
     lost: &mut u64,
 ) -> Option<(u64, SimTime)> {
     let mut seq = from_seq;
     while seq < cfg.cycles {
+        if let Some((c, r)) = window {
+            if seq >= c && seq < r {
+                seq += 1;
+                continue;
+            }
+        }
         match model.draw(cfg) {
             Some(delay) => {
                 let nominal = SimTime::ZERO + cfg.eta * seq + delay;
@@ -906,6 +1590,262 @@ mod tests {
     fn zero_sources_rejected() {
         let mut cfg = ShardedConfig::paper_grid(1, 1, 0);
         cfg.sources = 0;
+        let _ = ShardedEngine::new(cfg);
+    }
+
+    /// `busy_config` plus injected source crashes: a third of the sources
+    /// die for two cycles mid-run, so the QoS roll-ups carry real
+    /// detections.
+    fn crashy_config(sources: usize, shards: usize) -> ShardedConfig {
+        let mut cfg = busy_config(sources, shards);
+        cfg.source_crashes = Some(SourceCrashPlan {
+            frac: 0.4,
+            down_cycles: 2,
+        });
+        cfg
+    }
+
+    #[test]
+    fn source_crashes_yield_detections_and_stay_reshard_invariant() {
+        let baseline = ShardedEngine::new(crashy_config(24, 1)).run();
+        let crashes: u64 = baseline.qos.iter().map(|s| s.crashes).sum();
+        let detections: u64 = baseline.qos.iter().map(|s| s.detections).sum();
+        assert!(crashes > 0, "crash plan never fired");
+        assert!(detections > 0, "no crash was ever detected");
+        let td: u64 = baseline.qos.iter().map(|s| s.td_sum_us).sum();
+        assert!(td > 0, "detections recorded no detection time");
+        for shards in [2usize, 5, 8] {
+            let sharded = ShardedEngine::new(crashy_config(24, shards)).run();
+            assert_eq!(baseline.digest, sharded.digest, "digest at {shards} shards");
+            assert_eq!(baseline.qos, sharded.qos, "QoS at {shards} shards");
+            assert_eq!(baseline.events, sharded.events);
+            assert_eq!(baseline.heartbeats, sharded.heartbeats);
+            assert_eq!(baseline.lost, sharded.lost);
+        }
+        // A crash-free config is untouched by the plan machinery.
+        let plain = ShardedEngine::new(busy_config(24, 1)).run();
+        assert_eq!(
+            plain.qos.iter().map(|s| s.crashes).sum::<u64>(),
+            0,
+            "crashes leaked into a plan-free run"
+        );
+    }
+
+    #[test]
+    fn supervised_run_without_faults_matches_plain_run() {
+        for mode in [RestartMode::Warm, RestartMode::Cold] {
+            let plain = ShardedEngine::new(crashy_config(24, 3)).run();
+            let mut sup = SupervisionConfig::with_restart(mode);
+            sup.checkpoint_every_events = 64;
+            let supervised = ShardedEngine::new(crashy_config(24, 3)).run_supervised(&sup);
+            assert_eq!(plain.digest, supervised.digest);
+            assert_eq!(plain.qos, supervised.qos);
+            assert_eq!(plain.events, supervised.events);
+            assert_eq!(supervised.shard_status.len(), 3);
+            for st in &supervised.shard_status {
+                assert!(!st.dead);
+                assert_eq!(st.crashes, 0);
+                assert_eq!(st.faults_hit, 0);
+            }
+        }
+    }
+
+    /// The tentpole acceptance criterion: warm restarts after injected
+    /// worker crashes are digest-bit-identical to an uninterrupted run,
+    /// across 1, 2 and 8 shards — including replay from a mid-run
+    /// checkpoint and the zero-replay checkpoint-then-kill case.
+    #[test]
+    fn warm_restart_is_bit_identical_across_shard_counts() {
+        for shards in [1usize, 2, 8] {
+            let plain = ShardedEngine::new(crashy_config(24, shards)).run();
+            let mut sup = SupervisionConfig::with_restart(RestartMode::Warm);
+            sup.checkpoint_every_events = 64;
+            sup.backoff_base_us = 50;
+            sup.max_restarts = 8;
+            // Even the smallest shard (24 sources over 8 shards) processes
+            // ~100 events, so both thresholds always fire.
+            for (i, shard) in (0..shards).enumerate() {
+                sup.faults.push(ShardFault {
+                    shard,
+                    after_events: 20 + 7 * i as u64,
+                    kind: ShardFaultKind::Crash,
+                });
+                sup.faults.push(ShardFault {
+                    shard,
+                    after_events: 60 + 4 * i as u64,
+                    kind: ShardFaultKind::CheckpointThenCrash,
+                });
+            }
+            let chaotic = ShardedEngine::new(crashy_config(24, shards)).run_supervised(&sup);
+            assert_eq!(
+                plain.digest, chaotic.digest,
+                "warm restart diverged at {shards} shards"
+            );
+            assert_eq!(plain.qos, chaotic.qos, "QoS diverged at {shards} shards");
+            assert_eq!(plain.events, chaotic.events);
+            assert_eq!(plain.heartbeats, chaotic.heartbeats);
+            assert_eq!(plain.lost, chaotic.lost);
+            let crashes: u32 = chaotic.shard_status.iter().map(|s| s.crashes).sum();
+            let warm: u32 = chaotic.shard_status.iter().map(|s| s.warm_restores).sum();
+            assert_eq!(crashes, 2 * shards as u32, "every injected crash fires");
+            assert_eq!(warm, crashes, "every crash warm-restored");
+            assert!(
+                chaotic.shard_status.iter().any(|s| s.replayed_events > 0),
+                "mid-slice crashes must replay"
+            );
+        }
+    }
+
+    #[test]
+    fn cold_restart_loses_detector_memory_and_diverges() {
+        let plain = ShardedEngine::new(crashy_config(24, 2)).run();
+        let mut sup = SupervisionConfig::with_restart(RestartMode::Cold);
+        sup.checkpoint_every_events = 128;
+        sup.backoff_base_us = 50;
+        sup.faults.push(ShardFault {
+            shard: 0,
+            after_events: 400,
+            kind: ShardFaultKind::Crash,
+        });
+        let cold = ShardedEngine::new(crashy_config(24, 2)).run_supervised(&sup);
+        assert_eq!(cold.shard_status[0].cold_restores, 1);
+        assert_ne!(
+            plain.digest, cold.digest,
+            "a cold restart mid-run must change the edge stream"
+        );
+    }
+
+    #[test]
+    fn stall_fault_only_costs_wall_time() {
+        let plain = ShardedEngine::new(crashy_config(24, 2)).run();
+        let mut sup = SupervisionConfig::with_restart(RestartMode::Warm);
+        sup.faults.push(ShardFault {
+            shard: 1,
+            after_events: 200,
+            kind: ShardFaultKind::Stall { wall_micros: 2_000 },
+        });
+        let stalled = ShardedEngine::new(crashy_config(24, 2)).run_supervised(&sup);
+        assert_eq!(plain.digest, stalled.digest);
+        assert_eq!(plain.qos, stalled.qos);
+        assert_eq!(stalled.shard_status[1].stalls, 1);
+        assert_eq!(stalled.shard_status[1].crashes, 0);
+    }
+
+    /// The degraded-mode acceptance criterion: a shard that exhausts its
+    /// restart budget dies, and the surviving shards' digest and QoS
+    /// contributions are exactly what they are in a fault-free run.
+    #[test]
+    fn dead_shard_leaves_survivors_untouched() {
+        let sup_clean = SupervisionConfig::with_restart(RestartMode::Warm);
+        let clean = ShardedEngine::new(crashy_config(24, 3)).run_supervised(&sup_clean);
+
+        let mut sup = SupervisionConfig::with_restart(RestartMode::Warm);
+        sup.max_restarts = 0;
+        sup.faults.push(ShardFault {
+            shard: 1,
+            after_events: 250,
+            kind: ShardFaultKind::Crash,
+        });
+        let degraded = ShardedEngine::new(crashy_config(24, 3)).run_supervised(&sup);
+
+        assert!(degraded.shard_status[1].dead);
+        assert!(!degraded.shard_status[0].dead);
+        assert!(!degraded.shard_status[2].dead);
+        for s in [0usize, 2] {
+            assert_eq!(
+                clean.shard_status[s].digest, degraded.shard_status[s].digest,
+                "survivor {s} digest changed"
+            );
+            assert_eq!(
+                clean.shard_status[s].qos, degraded.shard_status[s].qos,
+                "survivor {s} QoS changed"
+            );
+        }
+        // The merged report is exactly the survivors' merge: rebuild it
+        // from the per-shard rows.
+        let mut qos: Vec<QosSummary> = vec![QosSummary::new(); clean.qos.len()];
+        for s in [0usize, 2] {
+            for (acc, shard) in qos.iter_mut().zip(&degraded.shard_status[s].qos) {
+                acc.merge(shard);
+            }
+        }
+        assert_eq!(degraded.qos, qos);
+        // The dead shard's partial (checkpoint-time) digest is recorded
+        // but excluded from the merge.
+        assert_ne!(degraded.digest, clean.digest);
+    }
+
+    /// Publishers learn about dead shards exactly once.
+    #[test]
+    fn dead_shard_marks_its_segment_degraded() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        struct DegradedCounter {
+            publishes: AtomicU64,
+            degraded: AtomicU64,
+            degraded_start_len: AtomicU64,
+        }
+        impl ShardPublisher for DegradedCounter {
+            fn publish(&self, _: usize, _: usize, _: &SourceBank, _: SimTime) {
+                self.publishes.fetch_add(1, Ordering::Relaxed);
+            }
+            fn mark_degraded(&self, _shard: usize, start: usize, len: usize) {
+                self.degraded.fetch_add(1, Ordering::Relaxed);
+                self.degraded_start_len
+                    .store(((start as u64) << 32) | len as u64, Ordering::Relaxed);
+            }
+        }
+        let publisher = DegradedCounter {
+            publishes: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            degraded_start_len: AtomicU64::new(0),
+        };
+        let mut sup = SupervisionConfig::with_restart(RestartMode::Warm);
+        sup.max_restarts = 0;
+        sup.faults.push(ShardFault {
+            shard: 2,
+            after_events: 100,
+            kind: ShardFaultKind::Crash,
+        });
+        let report = ShardedEngine::new(crashy_config(24, 3)).run_supervised_published(
+            &sup,
+            SimDuration::from_millis(500),
+            &publisher,
+        );
+        assert!(report.shard_status[2].dead);
+        assert_eq!(publisher.degraded.load(Ordering::Relaxed), 1);
+        let packed = publisher.degraded_start_len.load(Ordering::Relaxed);
+        assert_eq!((packed >> 32) as usize, report.shard_status[2].start);
+        assert_eq!((packed & 0xffff_ffff) as usize, report.shard_status[2].len);
+        assert!(publisher.publishes.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn seeded_chaos_plan_is_reproducible_and_survivable() {
+        let sup = SupervisionConfig::with_restart(RestartMode::Warm).seeded_chaos(9, 3, 4);
+        let again = SupervisionConfig::with_restart(RestartMode::Warm).seeded_chaos(9, 3, 4);
+        assert_eq!(sup.faults.len(), 4);
+        for (a, b) in sup.faults.iter().zip(&again.faults) {
+            assert_eq!((a.shard, a.after_events, a.kind), (b.shard, b.after_events, b.kind));
+        }
+        let mut sup = sup;
+        sup.max_restarts = 8;
+        sup.checkpoint_every_events = 64;
+        sup.backoff_base_us = 50;
+        let plain = ShardedEngine::new(crashy_config(24, 3)).run();
+        let chaotic = ShardedEngine::new(crashy_config(24, 3)).run_supervised(&sup);
+        assert!(chaotic.shard_status.iter().all(|s| !s.dead));
+        assert_eq!(plain.digest, chaotic.digest);
+        assert_eq!(plain.qos, chaotic.qos);
+    }
+
+    #[test]
+    #[should_panic(expected = "crash window must close")]
+    fn crash_window_wider_than_run_rejected() {
+        let mut cfg = ShardedConfig::paper_grid(4, 3, 1);
+        cfg.source_crashes = Some(SourceCrashPlan {
+            frac: 0.5,
+            down_cycles: 2,
+        });
         let _ = ShardedEngine::new(cfg);
     }
 }

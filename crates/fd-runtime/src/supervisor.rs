@@ -83,8 +83,28 @@ const SUP_TIMER_NS: u64 = 1 << 62;
 const SUP_RESTART: u64 = SUP_TIMER_NS | (1 << 61);
 /// Largest timer id the supervised child may use.
 const SUP_CHILD_MAX: u64 = SUP_TIMER_NS - 1;
-/// Exponential backoff stops doubling after this many failed attempts.
-const MAX_BACKOFF_DOUBLINGS: u32 = 16;
+/// Hard ceiling on any computed restart backoff (60 s): the point of the
+/// exponential ladder is to stop hammering a broken child, not to push the
+/// next attempt past the simulation horizon.
+pub const MAX_BACKOFF_US: u64 = 60_000_000;
+
+/// Exponential restart backoff in microseconds for 1-based `attempt`:
+/// `base_us · 2^(attempt-1)`, clamped to `max_us`.
+///
+/// Total over the whole input domain — the doubling count saturates, the
+/// shift is checked (a shift of 64+ would be UB-adjacent `1 << n` wrap on
+/// some paths, so it collapses to `u64::MAX` instead), and the multiply
+/// saturates. Shared by [`SupervisorLayer`] and the shard-plane supervisor
+/// in [`crate::sharded`].
+pub fn backoff_us(base_us: u64, attempt: u32, max_us: u64) -> u64 {
+    let doublings = attempt.saturating_sub(1);
+    let factor = if doublings >= 64 {
+        u64::MAX
+    } else {
+        1_u64.checked_shl(doublings).unwrap_or(u64::MAX)
+    };
+    base_us.saturating_mul(factor).min(max_us)
+}
 
 /// Wraps a [`Recoverable`] layer and executes the scheduled crashes of a
 /// [`FaultPlan`], restarting the child with exponential backoff.
@@ -237,11 +257,7 @@ impl SupervisorLayer {
                 code: SUPERVISOR_EVENT_RESTART_FAILED,
                 value: u64::from(self.attempt),
             });
-            let doublings = (self.attempt - 1).min(MAX_BACKOFF_DOUBLINGS);
-            let backoff = self
-                .backoff_base
-                .as_micros()
-                .saturating_mul(1_u64 << doublings);
+            let backoff = backoff_us(self.backoff_base.as_micros(), self.attempt, MAX_BACKOFF_US);
             ctx.set_timer(SimDuration::from_micros(backoff), SUP_RESTART);
             return;
         }
@@ -602,5 +618,36 @@ mod tests {
         assert!(actions.iter().any(|a| matches!(a, Action::Send(m) if m.seq == 1)));
         assert!(!sup.is_down());
         assert_eq!(sup.dropped_while_down(), 0);
+    }
+
+    /// `backoff_us` at and past every overflow boundary: the shift count,
+    /// the multiply, and the clamp each saturate instead of wrapping.
+    #[test]
+    fn backoff_arithmetic_saturates_at_the_boundaries() {
+        // The plain ladder below the clamp.
+        assert_eq!(backoff_us(100, 0, u64::MAX), 100);
+        assert_eq!(backoff_us(100, 1, u64::MAX), 100);
+        assert_eq!(backoff_us(100, 2, u64::MAX), 200);
+        assert_eq!(backoff_us(100, 11, u64::MAX), 102_400);
+        // Attempt 64 wants 2^63: the last representable factor.
+        assert_eq!(backoff_us(1, 64, u64::MAX), 1 << 63);
+        // Attempt 65 wants 2^64 — shift boundary; must saturate, not wrap
+        // to a factor of 0 or 1.
+        assert_eq!(backoff_us(1, 65, u64::MAX), u64::MAX);
+        assert_eq!(backoff_us(1, u32::MAX, u64::MAX), u64::MAX);
+        // Multiply overflow with a modest attempt count.
+        assert_eq!(backoff_us(u64::MAX / 2, 3, u64::MAX), u64::MAX);
+        assert_eq!(backoff_us(u64::MAX, 1, u64::MAX), u64::MAX);
+        // The explicit clamp dominates everything above it.
+        assert_eq!(backoff_us(100, 2, 150), 150);
+        assert_eq!(
+            backoff_us(u64::MAX, u32::MAX, MAX_BACKOFF_US),
+            MAX_BACKOFF_US
+        );
+        assert_eq!(backoff_us(0, u32::MAX, MAX_BACKOFF_US), 0);
+        // The layer's own ladder: base 100 ms crosses the 60 s ceiling at
+        // attempt 11 (102.4 s) and stays pinned there.
+        assert_eq!(backoff_us(100_000, 10, MAX_BACKOFF_US), 51_200_000);
+        assert_eq!(backoff_us(100_000, 11, MAX_BACKOFF_US), MAX_BACKOFF_US);
     }
 }

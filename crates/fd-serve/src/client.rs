@@ -5,20 +5,65 @@
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use fd_core::SourceBank;
-use fd_runtime::ShardPublisher;
+use fd_runtime::{backoff_us, ShardPublisher};
 use fd_sim::SimTime;
 
 use crate::view::{SegmentWriter, SuspectView};
 use crate::wire::{Request, Response};
 
+/// Retry/failover policy of a [`ServeClient`] query: attempts rotate
+/// across the configured server addresses with jittered exponential
+/// backoff between them, all bounded by one overall per-query deadline
+/// budget. The exponential ladder reuses the shard supervisor's
+/// overflow-audited [`backoff_us`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum send attempts per query, including the first (≥ 1;
+    /// 1 = no retry).
+    pub attempts: u32,
+    /// Base backoff before the second attempt; doubles per retry.
+    pub base_backoff: Duration,
+    /// Clamp on the exponential backoff.
+    pub max_backoff: Duration,
+    /// Overall wall-clock budget per query, covering every attempt,
+    /// backoff and failover. A query never blocks its caller longer than
+    /// roughly this (one attempt's receive wait is truncated to fit).
+    pub deadline: Duration,
+    /// Seed of the deterministic jitter stream (half-jitter: each pause
+    /// is 50–100 % of the exponential value, decorrelating clients that
+    /// fail over together).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 4,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(250),
+            deadline: Duration::from_secs(5),
+            jitter_seed: 0x5eed_c11e_47f0_1a2b,
+        }
+    }
+}
+
 /// A blocking UDP client for the serving plane. One socket, sequential
 /// request/response; spin up one client per load-generator thread.
+///
+/// A client built with [`connect_with`](Self::connect_with) holds several
+/// server addresses: a failed attempt rotates to the next address, so a
+/// degraded or unreachable server costs one attempt timeout, not the
+/// query.
 pub struct ServeClient {
     socket: UdpSocket,
-    server: SocketAddr,
+    servers: Vec<SocketAddr>,
+    current: usize,
+    policy: RetryPolicy,
+    attempt_timeout: Duration,
+    jitter: u64,
     next_token: u32,
     buf: Box<[u8; 65_536]>,
 }
@@ -26,24 +71,60 @@ pub struct ServeClient {
 impl std::fmt::Debug for ServeClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServeClient")
-            .field("server", &self.server)
+            .field("servers", &self.servers)
+            .field("attempts", &self.policy.attempts)
             .finish()
     }
 }
 
 impl ServeClient {
     /// Connects (binds an ephemeral local port) to a server with the
-    /// given receive timeout.
+    /// given receive timeout. Single address, no retry — the historical
+    /// behaviour; use [`connect_with`](Self::connect_with) for retry and
+    /// failover.
     pub fn connect(server: impl ToSocketAddrs, timeout: Duration) -> io::Result<ServeClient> {
-        let server = server
-            .to_socket_addrs()?
-            .next()
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no server address"))?;
+        Self::connect_with(
+            server,
+            timeout,
+            RetryPolicy {
+                attempts: 1,
+                // One attempt: the budget only needs to cover it.
+                deadline: timeout.saturating_mul(2),
+                ..RetryPolicy::default()
+            },
+        )
+    }
+
+    /// Connects to one or more servers (tried in order, rotating on
+    /// failure) with a per-attempt receive timeout and a retry policy.
+    pub fn connect_with(
+        servers: impl ToSocketAddrs,
+        attempt_timeout: Duration,
+        policy: RetryPolicy,
+    ) -> io::Result<ServeClient> {
+        let servers: Vec<SocketAddr> = servers.to_socket_addrs()?.collect();
+        if servers.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "no server address",
+            ));
+        }
+        if policy.attempts == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "retry policy needs at least one attempt",
+            ));
+        }
         let socket = UdpSocket::bind("127.0.0.1:0")?;
-        socket.set_read_timeout(Some(timeout))?;
+        socket.set_read_timeout(Some(attempt_timeout))?;
+        let jitter = policy.jitter_seed;
         Ok(ServeClient {
             socket,
-            server,
+            servers,
+            current: 0,
+            policy,
+            attempt_timeout,
+            jitter,
             next_token: 1,
             buf: Box::new([0u8; 65_536]),
         })
@@ -55,17 +136,97 @@ impl ServeClient {
         t
     }
 
+    /// One splitmix64 draw in `[0, span)` (0 for an empty span).
+    fn jitter_draw(&mut self, span: u64) -> u64 {
+        self.jitter = self.jitter.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.jitter;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        if span == 0 {
+            0
+        } else {
+            z % span
+        }
+    }
+
+    /// The jittered pause before retry number `retry` (1-based):
+    /// 50–100 % of the clamped exponential value.
+    fn retry_backoff(&mut self, retry: u32) -> Duration {
+        let full = backoff_us(
+            self.policy.base_backoff.as_micros() as u64,
+            retry,
+            self.policy.max_backoff.as_micros() as u64,
+        );
+        Duration::from_micros(full / 2 + self.jitter_draw(full / 2 + 1))
+    }
+
     /// Sends a request and waits for the response carrying its token,
     /// discarding unrelated frames (e.g. late answers to a timed-out
-    /// earlier query, or subscription pushes).
+    /// earlier query, or subscription pushes). A failed attempt fails
+    /// over to the next server address and retries with jittered
+    /// exponential backoff, all inside the policy's deadline budget.
     fn roundtrip(&mut self, req: Request) -> io::Result<Response> {
         let token = req.token();
-        self.socket.send_to(&req.encode(), self.server)?;
+        let started = Instant::now();
+        let mut last_err: Option<io::Error> = None;
+        for attempt in 1..=self.policy.attempts {
+            if attempt > 1 {
+                // Failover: the address that just failed goes to the back
+                // of the rotation for this and subsequent queries.
+                self.current = (self.current + 1) % self.servers.len();
+                let pause = self.retry_backoff(attempt - 1);
+                let remaining = self.policy.deadline.saturating_sub(started.elapsed());
+                if remaining.is_zero() {
+                    break;
+                }
+                std::thread::sleep(pause.min(remaining));
+            }
+            let remaining = self.policy.deadline.saturating_sub(started.elapsed());
+            if remaining.is_zero() {
+                break;
+            }
+            match self.attempt_once(&req, token, remaining) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::TimedOut, "query deadline budget exhausted")
+        }))
+    }
+
+    /// One send/receive attempt against the current server, its receive
+    /// wait truncated to the remaining deadline budget.
+    fn attempt_once(
+        &mut self,
+        req: &Request,
+        token: u32,
+        remaining: Duration,
+    ) -> io::Result<Response> {
+        let server = self.servers[self.current];
+        let wait = self
+            .attempt_timeout
+            .min(remaining)
+            .max(Duration::from_millis(1));
+        self.socket.set_read_timeout(Some(wait))?;
+        self.socket.send_to(&req.encode(), server)?;
+        let deadline = Instant::now() + wait;
         loop {
             let (len, _) = self.socket.recv_from(&mut self.buf[..])?;
             match Response::decode(&self.buf[..len]) {
                 Ok(resp) if resp.token() == token => return Ok(resp),
-                _ => continue,
+                _ => {
+                    // Unrelated frame: keep draining, but do not let a
+                    // chatty socket extend the attempt past its window.
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "attempt window exhausted",
+                        ));
+                    }
+                    continue;
+                }
             }
         }
     }
@@ -117,7 +278,7 @@ impl ServeClient {
                 since_epoch,
             }
             .encode(),
-            self.server,
+            self.servers[self.current],
         )?;
         Ok(())
     }
@@ -127,14 +288,17 @@ impl ServeClient {
         let token = self.token();
         self.socket.send_to(
             &Request::Unsubscribe { token, segment }.encode(),
-            self.server,
+            self.servers[self.current],
         )?;
         Ok(())
     }
 
     /// Waits for the next subscription push (a `DeltaResp` or `Resync`
-    /// frame), or times out with the socket's read timeout.
+    /// frame), or times out with the per-attempt receive timeout.
     pub fn recv_push(&mut self) -> io::Result<Response> {
+        // `roundtrip` may have shortened the socket timeout to fit a
+        // deadline budget; pushes wait the full configured window.
+        self.socket.set_read_timeout(Some(self.attempt_timeout))?;
         loop {
             let (len, _) = self.socket.recv_from(&mut self.buf[..])?;
             match Response::decode(&self.buf[..len]) {
@@ -190,6 +354,15 @@ impl ShardPublisher for EnginePublisher {
         let mut writer = self.writers[shard].lock().expect("segment writer poisoned");
         writer.publish(bank, now);
     }
+
+    fn mark_degraded(&self, shard: usize, start: usize, _len: usize) {
+        debug_assert_eq!(
+            self.view.segment_block(shard).0,
+            start,
+            "engine partition diverged from the view's"
+        );
+        self.view.mark_degraded(shard);
+    }
 }
 
 #[cfg(test)]
@@ -210,7 +383,10 @@ mod tests {
         match client.point(2, 0).expect("point") {
             Response::PointResp { epoch, flags, .. } => {
                 assert_eq!(epoch, 1);
-                assert_eq!(flags & crate::wire::FLAG_SUSPECTING, crate::wire::FLAG_SUSPECTING);
+                assert_eq!(
+                    flags & crate::wire::FLAG_SUSPECTING,
+                    crate::wire::FLAG_SUSPECTING
+                );
             }
             other => panic!("expected point response, got {other:?}"),
         }
@@ -218,6 +394,79 @@ mod tests {
             Response::RangeResp { words, .. } => assert_eq!(words, vec![0b100]),
             other => panic!("expected range response, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn retry_fails_over_from_a_dead_server_within_the_deadline_budget() {
+        let view = SuspectView::new(1, &[(0, 64)]);
+        let mut w = view.writer(0);
+        w.publish_words(&[0b10], SimTime::from_secs(1));
+        // A "degraded" server: bound but never answering. The client's
+        // first attempt lands here and must burn only one attempt window.
+        let dead = UdpSocket::bind("127.0.0.1:0").expect("bind dead server");
+        let dead_addr = dead.local_addr().unwrap();
+        let live = ServeServer::start(Arc::clone(&view), ServeConfig::default()).expect("bind");
+        let budget = Duration::from_secs(10);
+        let mut client = ServeClient::connect_with(
+            &[dead_addr, live.local_addr()][..],
+            Duration::from_millis(150),
+            RetryPolicy {
+                attempts: 3,
+                base_backoff: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(40),
+                deadline: budget,
+                ..RetryPolicy::default()
+            },
+        )
+        .expect("connect");
+        let started = std::time::Instant::now();
+        match client.point(1, 0).expect("failover answers") {
+            Response::PointResp { epoch, flags, .. } => {
+                assert_eq!(epoch, 1);
+                assert_eq!(
+                    flags & crate::wire::FLAG_SUSPECTING,
+                    crate::wire::FLAG_SUSPECTING
+                );
+            }
+            other => panic!("expected point response, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < budget,
+            "query blew its deadline budget: {:?}",
+            started.elapsed()
+        );
+        // The failed address rotated to the back: the next query goes
+        // straight to the live server, no retry needed.
+        let started = std::time::Instant::now();
+        client.point(1, 0).expect("second query served directly");
+        assert!(started.elapsed() < Duration::from_millis(150));
+    }
+
+    #[test]
+    fn deadline_budget_bounds_a_query_against_only_dead_servers() {
+        let dead_a = UdpSocket::bind("127.0.0.1:0").expect("bind");
+        let dead_b = UdpSocket::bind("127.0.0.1:0").expect("bind");
+        let mut client = ServeClient::connect_with(
+            &[dead_a.local_addr().unwrap(), dead_b.local_addr().unwrap()][..],
+            Duration::from_millis(80),
+            RetryPolicy {
+                attempts: 32,
+                base_backoff: Duration::from_millis(10),
+                max_backoff: Duration::from_millis(50),
+                deadline: Duration::from_millis(250),
+                ..RetryPolicy::default()
+            },
+        )
+        .expect("connect");
+        let started = std::time::Instant::now();
+        assert!(client.point(0, 0).is_err(), "no server could answer");
+        // The budget, not attempts × timeout (32 × 80 ms ≈ 2.6 s), bounds
+        // the caller's wait; allow generous slack for a loaded machine.
+        assert!(
+            started.elapsed() < Duration::from_millis(1500),
+            "deadline budget not enforced: {:?}",
+            started.elapsed()
+        );
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub(crate) mod sync {
     pub use fd_check::sync::{fence, AtomicBool, AtomicU64, Mutex, Ordering};
 }
 
-pub use client::{EnginePublisher, ServeClient};
+pub use client::{EnginePublisher, RetryPolicy, ServeClient};
 pub use server::{respond, ServeConfig, ServeServer, ServeStats};
 pub use view::{DeltaRead, PointRead, RangeRead, SegmentWriter, SuspectView, WordDelta};
 pub use wire::{Request, Response};

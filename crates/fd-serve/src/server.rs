@@ -40,8 +40,22 @@ use std::time::Duration;
 use crate::view::{DeltaRead, SuspectView};
 use crate::wire::{
     Request, Response, ERR_BAD_SEGMENT, ERR_OUT_OF_RANGE, ERR_SUB_LIMIT, FLAG_PUBLISHED,
-    FLAG_SUSPECTING, MAX_RANGE_WORDS,
+    FLAG_SEGMENT_DEGRADED, FLAG_SUSPECTING, MAX_RANGE_WORDS,
 };
+
+/// Consecutive-receive-error cap for a worker thread, mirroring the real
+/// engine's monitor loop: transient socket errors (e.g. ICMP
+/// port-unreachable surfacing as `ECONNREFUSED` on some platforms) are
+/// counted and absorbed; only a persistently broken socket — this many
+/// errors back to back with not one successful receive between them —
+/// ends the worker.
+const MAX_CONSECUTIVE_RECV_ERRORS: u32 = 100;
+
+/// Whether a worker should give up after `consecutive` back-to-back
+/// receive errors.
+fn recv_errors_exhausted(consecutive: u32) -> bool {
+    consecutive > MAX_CONSECUTIVE_RECV_ERRORS
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -88,6 +102,9 @@ pub struct ServeStats {
     /// Frames that failed to decode (counted and dropped, like corrupted
     /// heartbeats).
     pub malformed: AtomicU64,
+    /// Socket receive errors absorbed by worker threads (transient, not
+    /// fatal unless [`MAX_CONSECUTIVE_RECV_ERRORS`] arrive back to back).
+    pub socket_errors: AtomicU64,
     /// Well-formed but unanswerable requests (`Err` replies).
     pub errors: AtomicU64,
     /// Delta frames pushed to subscribers.
@@ -148,16 +165,30 @@ pub fn respond(view: &SuspectView, stats: &ServeStats, data: &[u8]) -> Option<Ve
                         token,
                         epoch: ans.epoch,
                         flags: FLAG_PUBLISHED
-                            | if ans.suspecting { FLAG_SUSPECTING } else { 0 },
+                            | if ans.suspecting { FLAG_SUSPECTING } else { 0 }
+                            | if ans.degraded {
+                                FLAG_SEGMENT_DEGRADED
+                            } else {
+                                0
+                            },
                         age_us: ans.age_us,
                     },
                     // Not yet published: answer "fresh, not suspecting,
                     // unpublished" rather than erroring — the grid warms
-                    // up segment by segment.
+                    // up segment by segment. A segment that died before
+                    // its first publication still reports degraded, so
+                    // the client can tell "warming up" from "gone".
                     None => Response::PointResp {
                         token,
                         epoch: 0,
-                        flags: 0,
+                        flags: if view
+                            .segment_of(source)
+                            .is_some_and(|seg| view.segment_degraded(seg))
+                        {
+                            FLAG_SEGMENT_DEGRADED
+                        } else {
+                            0
+                        },
                         age_us: 0,
                     },
                 }
@@ -182,6 +213,13 @@ pub fn respond(view: &SuspectView, stats: &ServeStats, data: &[u8]) -> Option<Ve
                         segment: seg.unwrap_or(0) as u16,
                         epoch: ans.epoch,
                         combo,
+                        flags: FLAG_PUBLISHED
+                            | if ans.degraded {
+                                FLAG_SEGMENT_DEGRADED
+                            } else {
+                                0
+                            },
+                        age_us: ans.age_us,
                         first_word_source: ans.first_source,
                         words: ans.words,
                     }
@@ -323,14 +361,34 @@ fn worker_loop(
     max_subs: usize,
 ) {
     let mut buf = [0u8; 65_536];
+    let mut consecutive_recv_errors = 0u32;
     while !stop.load(Ordering::Acquire) {
         let (len, peer) = match socket.recv_from(&mut buf) {
-            Ok(pair) => pair,
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+            Ok(pair) => {
+                consecutive_recv_errors = 0;
+                pair
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                consecutive_recv_errors = 0;
                 std::thread::sleep(Duration::from_micros(200));
                 continue;
             }
-            Err(_) => continue,
+            Err(_) => {
+                // A transient receive error must not kill the worker —
+                // the same policy as the real engine's monitor loop. Count
+                // it, back off briefly, and only a persistently broken
+                // socket (the consecutive cap, with no successful receive
+                // in between) ends the worker.
+                ServeStats::bump(&stats.socket_errors);
+                consecutive_recv_errors += 1;
+                if recv_errors_exhausted(consecutive_recv_errors) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
         };
         let data = &buf[..len];
         // Subscription management needs the peer address, so it is
@@ -701,6 +759,105 @@ mod tests {
             );
             std::thread::sleep(Duration::from_millis(2));
         }
+    }
+
+    #[test]
+    fn degraded_segment_answers_carry_the_degraded_flag() {
+        let view = view_with_one_epoch();
+        view.mark_degraded(0); // segment 0 = sources 0..64
+        let stats = ServeStats::default();
+        let reply = respond(
+            &view,
+            &stats,
+            &Request::Point {
+                token: 1,
+                source: 2,
+                combo: 0,
+            }
+            .encode(),
+        )
+        .expect("reply");
+        match Response::decode(&reply).unwrap() {
+            Response::PointResp { epoch, flags, .. } => {
+                // Stale-with-bound, not silence: the frozen epoch's bit
+                // still arrives, flagged degraded.
+                assert_eq!(epoch, 1);
+                assert_eq!(flags & FLAG_PUBLISHED, FLAG_PUBLISHED);
+                assert_eq!(flags & FLAG_SUSPECTING, FLAG_SUSPECTING);
+                assert_eq!(flags & FLAG_SEGMENT_DEGRADED, FLAG_SEGMENT_DEGRADED);
+            }
+            other => panic!("expected point response, got {other:?}"),
+        }
+        let reply = respond(
+            &view,
+            &stats,
+            &Request::Range {
+                token: 2,
+                combo: 0,
+                first_source: 0,
+                max_words: 4,
+            }
+            .encode(),
+        )
+        .expect("reply");
+        match Response::decode(&reply).unwrap() {
+            Response::RangeResp { flags, words, .. } => {
+                assert_eq!(flags & FLAG_SEGMENT_DEGRADED, FLAG_SEGMENT_DEGRADED);
+                assert_eq!(words, vec![0b101]);
+            }
+            other => panic!("expected range response, got {other:?}"),
+        }
+        // The healthy segment is served without the flag.
+        let reply = respond(
+            &view,
+            &stats,
+            &Request::Point {
+                token: 3,
+                source: 64,
+                combo: 1,
+            }
+            .encode(),
+        )
+        .expect("reply");
+        match Response::decode(&reply).unwrap() {
+            Response::PointResp { flags, .. } => {
+                assert_eq!(flags & FLAG_SEGMENT_DEGRADED, 0);
+            }
+            other => panic!("expected point response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degraded_before_first_publication_is_distinguishable_from_warmup() {
+        let view = SuspectView::new(1, &[(0, 64)]);
+        view.mark_degraded(0);
+        let stats = ServeStats::default();
+        let reply = respond(
+            &view,
+            &stats,
+            &Request::Point {
+                token: 4,
+                source: 0,
+                combo: 0,
+            }
+            .encode(),
+        )
+        .expect("reply");
+        match Response::decode(&reply).unwrap() {
+            Response::PointResp { epoch, flags, .. } => {
+                assert_eq!(epoch, 0);
+                assert_eq!(flags, FLAG_SEGMENT_DEGRADED);
+            }
+            other => panic!("expected point response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recv_error_cap_matches_the_real_engine_policy() {
+        assert!(!recv_errors_exhausted(0));
+        assert!(!recv_errors_exhausted(1));
+        assert!(!recv_errors_exhausted(MAX_CONSECUTIVE_RECV_ERRORS));
+        assert!(recv_errors_exhausted(MAX_CONSECUTIVE_RECV_ERRORS + 1));
     }
 
     #[test]

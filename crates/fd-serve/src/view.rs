@@ -108,6 +108,13 @@ struct Segment {
     /// Mutex-guarded — the delta path is the control plane, not the
     /// wait-free query path.
     deltas: Mutex<Vec<DeltaEntry>>,
+    /// Degradation marker: 0 = healthy; otherwise `1 + epoch`, where
+    /// `epoch` is the segment's last published epoch at the instant the
+    /// shard supervisor declared the owning shard dead. Not part of the
+    /// seqlock: it is an independent monotone health signal, so readers
+    /// load it relaxed — the contract is "the bits you got are real but
+    /// frozen at `epoch`, and `age_us` bounds how stale they are".
+    degraded: AtomicU64,
 }
 
 /// A validated point read: one `(source, combo)` bit at one epoch.
@@ -117,6 +124,10 @@ pub struct PointRead {
     pub epoch: u64,
     /// The suspicion bit.
     pub suspecting: bool,
+    /// The owning segment is degraded: its publishing shard was declared
+    /// dead, so this answer cannot get fresher than `epoch` until the
+    /// segment publishes again.
+    pub degraded: bool,
     /// Virtual time the publishing shard had reached.
     pub published_at: SimTime,
     /// Age of the epoch at read time, microseconds of wall clock.
@@ -135,6 +146,10 @@ pub struct RangeRead {
     /// The bitmap words; bit `i` of word `j` is source
     /// `first_source + 64 j + i` (bits beyond the segment end are zero).
     pub words: Vec<u64>,
+    /// The owning segment is degraded: its publishing shard was declared
+    /// dead, so these words cannot get fresher than `epoch` until the
+    /// segment publishes again.
+    pub degraded: bool,
     /// Virtual time the publishing shard had reached.
     pub published_at: SimTime,
     /// Age of the epoch at read time, microseconds of wall clock.
@@ -228,6 +243,7 @@ impl SuspectView {
                     meta: [mk_meta(), mk_meta()],
                     writer_taken: AtomicBool::new(false),
                     deltas: Mutex::new(Vec::with_capacity(DELTA_RING)),
+                    degraded: AtomicU64::new(0),
                 }
             })
             .collect();
@@ -276,6 +292,36 @@ impl SuspectView {
     /// discarded, never served.
     pub fn torn_retries(&self) -> u64 {
         self.torn_retries.load(Ordering::Relaxed)
+    }
+
+    /// Marks segment `seg` degraded: its publishing shard has been
+    /// declared dead (restart budget exhausted), so the segment's state
+    /// is frozen at its last published epoch. Readers keep getting that
+    /// epoch's bits — stale with a measurable bound (`age_us`) — instead
+    /// of silence. Returns the epoch the segment is frozen at (0 if it
+    /// never published).
+    ///
+    /// A later publication (a warm-restarted shard coming back) clears
+    /// the mark.
+    pub fn mark_degraded(&self, seg: usize) -> u64 {
+        let segment = &self.segs[seg];
+        let epoch = segment.seq.load(Ordering::Acquire) / 2;
+        segment.degraded.store(epoch + 1, Ordering::Release);
+        epoch
+    }
+
+    /// Whether segment `seg` is currently marked degraded.
+    pub fn segment_degraded(&self, seg: usize) -> bool {
+        self.segs[seg].degraded.load(Ordering::Relaxed) != 0
+    }
+
+    /// The epoch segment `seg` was frozen at when it was marked degraded,
+    /// or `None` while the segment is healthy.
+    pub fn degraded_since(&self, seg: usize) -> Option<u64> {
+        match self.segs[seg].degraded.load(Ordering::Relaxed) {
+            0 => None,
+            stamp => Some(stamp - 1),
+        }
     }
 
     /// The segment owning global source `source`, or `None` out of range.
@@ -334,6 +380,7 @@ impl SuspectView {
                 return Some(PointRead {
                     epoch,
                     suspecting: word & bit != 0,
+                    degraded: seg.degraded.load(Ordering::Relaxed) != 0,
                     published_at: SimTime::from_micros(virtual_us),
                     age_us: self.age_us(wall_nanos),
                 });
@@ -374,6 +421,7 @@ impl SuspectView {
                     epoch,
                     first_source: (seg.start + w0 * 64) as u32,
                     words,
+                    degraded: seg.degraded.load(Ordering::Relaxed) != 0,
                     published_at: SimTime::from_micros(virtual_us),
                     age_us: self.age_us(wall_nanos),
                 });
@@ -539,6 +587,10 @@ impl SegmentWriter {
         // The release store is the publication point: everything above
         // happens-before any reader that observes the new sequence.
         seg.seq.store(epoch * 2, Ordering::Release);
+        // A publication supersedes any degradation mark: the shard is
+        // demonstrably alive again (e.g. warm-restarted), so readers stop
+        // seeing the frozen-state flag.
+        seg.degraded.store(0, Ordering::Relaxed);
         epoch
     }
 }
@@ -672,6 +724,46 @@ mod tests {
             view.delta_since(0, DELTA_RING as u64),
             Some(DeltaRead::Changes { .. })
         ));
+    }
+
+    #[test]
+    fn degraded_mark_freezes_reads_and_is_cleared_by_publication() {
+        let view = SuspectView::new(1, &[(0, 64)]);
+        let mut writer = view.writer(0);
+        writer.publish_words(&[0b101], SimTime::from_secs(1));
+        assert!(!view.segment_degraded(0));
+        assert_eq!(view.degraded_since(0), None);
+        assert!(!view.point(0, 0).unwrap().degraded);
+
+        // The supervisor declares the shard dead: answers keep flowing,
+        // frozen at epoch 1, flagged degraded.
+        assert_eq!(view.mark_degraded(0), 1);
+        assert!(view.segment_degraded(0));
+        assert_eq!(view.degraded_since(0), Some(1));
+        let p = view.point(2, 0).expect("still served");
+        assert!(p.degraded);
+        assert!(p.suspecting);
+        assert_eq!(p.epoch, 1);
+        let r = view.range(0, 0, 1).expect("still served");
+        assert!(r.degraded);
+        assert_eq!(r.words, &[0b101]);
+
+        // A fresh publication (warm restart) clears the mark.
+        writer.publish_words(&[0b1], SimTime::from_secs(2));
+        assert!(!view.segment_degraded(0));
+        assert!(!view.point(0, 0).unwrap().degraded);
+    }
+
+    #[test]
+    fn degraded_unpublished_segment_still_answers_none() {
+        let view = two_segment_view();
+        assert_eq!(view.mark_degraded(1), 0);
+        assert!(view.segment_degraded(1));
+        assert_eq!(view.degraded_since(1), Some(0));
+        // Nothing was ever published: there is no frozen state to serve.
+        assert!(view.point(70, 0).is_none());
+        // The healthy segment is unaffected.
+        assert!(!view.segment_degraded(0));
     }
 
     #[test]

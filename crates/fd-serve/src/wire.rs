@@ -42,6 +42,13 @@ pub const FLAG_SUSPECTING: u8 = 0b01;
 /// [`PointResp`](Response::PointResp) flag: the owning segment has
 /// published at least once (clear ⇒ `suspecting` is a placeholder).
 pub const FLAG_PUBLISHED: u8 = 0b10;
+/// [`PointResp`](Response::PointResp) / [`RangeResp`](Response::RangeResp)
+/// flag: the owning segment is **degraded** — its publishing shard was
+/// declared dead by the supervisor after exhausting its restart budget.
+/// The answer is real but frozen at the segment's last published epoch;
+/// `age_us` bounds its staleness. Readers get stale-with-bound answers
+/// instead of silence.
+pub const FLAG_SEGMENT_DEGRADED: u8 = 0b100;
 
 /// [`Err`](Response::Err) code: source or combination out of range.
 pub const ERR_OUT_OF_RANGE: u8 = 1;
@@ -108,6 +115,11 @@ pub enum Response {
         segment: u16,
         epoch: u64,
         combo: u16,
+        /// [`FLAG_PUBLISHED`] | [`FLAG_SEGMENT_DEGRADED`].
+        flags: u8,
+        /// Wall-clock age of the served snapshot, microseconds — the
+        /// staleness bound of a degraded answer.
+        age_us: u64,
         /// Global id of the first source covered by `words[0]` bit 0.
         first_word_source: u32,
         words: Vec<u64>,
@@ -289,6 +301,8 @@ impl Response {
                 segment,
                 epoch,
                 combo,
+                flags,
+                age_us,
                 first_word_source,
                 ref words,
             } => {
@@ -296,6 +310,8 @@ impl Response {
                 buf.put_u16(segment);
                 buf.put_u64(epoch);
                 buf.put_u16(combo);
+                buf.put_u8(flags);
+                buf.put_u64(age_us);
                 buf.put_u32(first_word_source);
                 buf.put_u16(words.len() as u16);
                 for &w in words {
@@ -353,10 +369,12 @@ impl Response {
                 })
             }
             TAG_RANGE_RESP => {
-                framing::need(data, 16)?;
+                framing::need(data, 25)?;
                 let segment = data.get_u16();
                 let epoch = data.get_u64();
                 let combo = data.get_u16();
+                let flags = data.get_u8();
+                let age_us = data.get_u64();
                 let first_word_source = data.get_u32();
                 framing::need(data, 2)?;
                 let n = data.get_u16() as usize;
@@ -367,6 +385,8 @@ impl Response {
                     segment,
                     epoch,
                     combo,
+                    flags,
+                    age_us,
                     first_word_source,
                     words,
                 })
@@ -461,6 +481,8 @@ mod tests {
                 segment: 1,
                 epoch: 12,
                 combo: 3,
+                flags: FLAG_PUBLISHED | FLAG_SEGMENT_DEGRADED,
+                age_us: 2750,
                 first_word_source: 64,
                 words: vec![0xAA, 0, u64::MAX],
             },

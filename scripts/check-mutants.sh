@@ -1,45 +1,61 @@
 #!/usr/bin/env bash
-# Mutation guard for the fd-check model suite.
+# Mutation guard for the model suite and the shard-recovery invariant.
 #
-# A model checker that always passes proves nothing: the suite is only
-# trustworthy if breaking the code it guards makes it fail. This script
-# re-introduces the two ordering bugs the PR-4 review centered on —
-# each as a minimal source mutation of `publish_words` — and asserts
-# that `cargo test -p fd-serve --features check` fails deterministically
-# under each one, then passes again once the source is restored.
+# A model checker that always passes proves nothing: the suites are only
+# trustworthy if breaking the code they guard makes them fail. This script
+# re-introduces known bugs — each as a minimal source mutation — and
+# asserts that the guarding suite fails deterministically under each one,
+# then passes again once the source is restored.
 #
 # Mutants:
-#   fence  — delete the leading release fence, so a later epoch's
-#            relaxed word stores may become visible before the previous
-#            epoch's seq release store (mixed-epoch snapshots).
-#   ring   — bump seq before filling the delta ring, so a client can
-#            ack an epoch whose word deltas were never sent.
+#   fence  — (view.rs) delete the leading release fence, so a later
+#            epoch's relaxed word stores may become visible before the
+#            previous epoch's seq release store (mixed-epoch snapshots).
+#            Killed by the fd-check model suite.
+#   ring   — (view.rs) bump seq before filling the delta ring, so a
+#            client can ack an epoch whose word deltas were never sent.
+#            Killed by the fd-check model suite.
+#   warm   — (sharded.rs) sabotage the warm restart path: the supervisor
+#            still replays from the checkpoint position, but the bank's
+#            snapshot image is never restored, so a "warm" shard comes
+#            back with amnesiac detectors. Killed by the digest-identity
+#            test `warm_restart_is_bit_identical_across_shard_counts`.
 #
 # Run from the repo root: scripts/check-mutants.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 VIEW=crates/fd-serve/src/view.rs
+SHARDED=crates/fd-runtime/src/sharded.rs
 
-if ! git diff --quiet -- "$VIEW"; then
-    echo "check-mutants: $VIEW has uncommitted changes; refusing to mutate" >&2
+if ! git diff --quiet -- "$VIEW" "$SHARDED"; then
+    echo "check-mutants: $VIEW or $SHARDED has uncommitted changes; refusing to mutate" >&2
     exit 2
 fi
 
-restore() { git checkout -- "$VIEW"; }
+restore() { git checkout -- "$VIEW" "$SHARDED"; }
 trap restore EXIT
 
-run_suite() {
+run_model_suite() {
     FD_CHECK_BUDGET_MS="${FD_CHECK_BUDGET_MS:-60000}" \
         cargo test -q -p fd-serve --features check --test model_seqlock "$@"
+}
+
+run_warm_suite() {
+    cargo test -q -p fd-runtime warm_restart_is_bit_identical_across_shard_counts
+}
+
+# The suite that must kill each mutant (and must pass on pristine source).
+suite_for() {
+    case "$1" in
+        warm) run_warm_suite ;;
+        *) run_model_suite ;;
+    esac
 }
 
 mutate() {
     python3 - "$1" <<'EOF'
 import pathlib, sys
-
-view = pathlib.Path("crates/fd-serve/src/view.rs")
-src = view.read_text()
 
 RING = """        {
             let mut ring = seg.deltas.lock().expect("delta ring poisoned");
@@ -52,41 +68,60 @@ RING = """        {
         // happens-before any reader that observes the new sequence.
         seg.seq.store(epoch * 2, Ordering::Release);"""
 
+WARM = """        let warm = mode == RestartMode::Warm;
+        if warm {
+            bank.restore_bytes(&ckpt.bank)
+                .expect("checkpoint bank image must round-trip");
+        }"""
+
 MUTANTS = {
     # Revert the release fence that orders this epoch's word stores
     # after the previous epoch's seq store.
     "fence": (
+        "crates/fd-serve/src/view.rs",
         "        fence(Ordering::Release);",
         "        if false { fence(Ordering::Release); } // MUTANT",
     ),
     # Publish seq before the delta ring holds the epoch's changes.
     "ring": (
+        "crates/fd-serve/src/view.rs",
         RING,
         "        seg.seq.store(epoch * 2, Ordering::Release); // MUTANT\n"
         + "\n".join(RING.splitlines()[:7]),
     ),
+    # Warm restart that forgets to restore the bank image: replay still
+    # runs, but the detectors start from scratch — digests must diverge.
+    "warm": (
+        "crates/fd-runtime/src/sharded.rs",
+        WARM,
+        WARM.replace("if warm {", "if warm && false { // MUTANT", 1),
+    ),
 }
 
-before, after = MUTANTS[sys.argv[1]]
-assert src.count(before) == 1, f"mutation site for {sys.argv[1]!r} not found exactly once"
+path, before, after = MUTANTS[sys.argv[1]]
+view = pathlib.Path(path)
+src = view.read_text()
+assert src.count(before) == 1, f"mutation site for {sys.argv[1]!r} not found exactly once in {path}"
 view.write_text(src.replace(before, after, 1))
 EOF
 }
 
-echo "== baseline: model suite must pass on pristine source"
-run_suite
+echo "== baseline: guarding suites must pass on pristine source"
+run_model_suite
+run_warm_suite
 
-for mutant in fence ring; do
-    echo "== mutant '$mutant': model suite must FAIL"
+for mutant in fence ring warm; do
+    echo "== mutant '$mutant': guarding suite must FAIL"
     mutate "$mutant"
-    if run_suite >/tmp/check-mutants-$mutant.log 2>&1; then
-        echo "check-mutants: mutant '$mutant' SURVIVED — the model suite is not sensitive to it" >&2
+    if suite_for "$mutant" >/tmp/check-mutants-$mutant.log 2>&1; then
+        echo "check-mutants: mutant '$mutant' SURVIVED — the suite is not sensitive to it" >&2
         exit 1
     fi
     echo "   killed (see /tmp/check-mutants-$mutant.log)"
     restore
 done
 
-echo "== restored: model suite must pass again"
-run_suite
+echo "== restored: guarding suites must pass again"
+run_model_suite
+run_warm_suite
 echo "check-mutants: all mutants killed"

@@ -13,6 +13,7 @@
 use fdqos::core::{DetectorBank, HeartbeatObs, SourceBank};
 use fdqos::runtime::{ShardedConfig, ShardedEngine};
 use fdqos::sim::{QueueBackend, SimDuration, SimTime, Simulator};
+use proptest::prelude::*;
 
 /// A deterministic pseudo-delay for heartbeat `seq` of source `s`, in µs:
 /// mostly ~100–160 ms with an occasional large spike, so detectors see both
@@ -146,6 +147,102 @@ fn sharded_engine_is_invariant_under_shard_count() {
         assert_eq!(baseline.events, sharded.events);
         assert_eq!(baseline.heartbeats, sharded.heartbeats);
         assert_eq!(baseline.lost, sharded.lost);
+    }
+}
+
+/// One 64-bit mix per (seed, source, seq) decision point, so the loss and
+/// crash schedules below are deterministic functions of the proptest draw.
+fn mix64(seed: u64, s: u64, seq: u64) -> u64 {
+    let mut z =
+        seed ^ s.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seq.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Drives `bank` through cycles `[from, to)` of a lossy schedule with
+/// crash windows: each (source, seq) heartbeat is dropped with probability
+/// `loss_num/128`, and source `s` is silent for `down` whole cycles out of
+/// every `period` (its crash window, staggered per source). Deadline
+/// sweeps run mid-cycle so suspicion edges fire on both sides of the cut.
+/// Returns every edge observed, for cross-bank comparison.
+fn drive_bank_lossy(
+    bank: &mut SourceBank,
+    eta: SimDuration,
+    from: u64,
+    to: u64,
+    seed: u64,
+    loss_num: u64,
+    period: u64,
+    down: u64,
+) -> Vec<(u64, fdqos::core::SourceTransition)> {
+    let sources = bank.sources() as u32;
+    let mut edges = Vec::new();
+    for seq in from..to {
+        for s in 0..sources {
+            let crashed = (seq + u64::from(s)) % period < down;
+            let lost = mix64(seed, u64::from(s), seq) % 128 < loss_num;
+            if crashed || lost {
+                continue;
+            }
+            let jitter = mix64(seed ^ 0xA5A5, u64::from(s), seq) % 400_000;
+            let at = SimTime::ZERO + eta * seq + SimDuration::from_micros(100_000 + jitter);
+            for t in bank.check_source_at(s, at) {
+                edges.push((at.as_micros(), *t));
+            }
+            bank.observe_heartbeat(s, seq, at);
+            for t in bank.transitions() {
+                edges.push((at.as_micros(), *t));
+            }
+        }
+        let mid = SimTime::ZERO + eta * (seq + 1) + SimDuration::from_millis(700);
+        for t in bank.check_all_at(mid) {
+            edges.push((mid.as_micros(), *t));
+        }
+    }
+    edges
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The warm-restart contract the shard supervisor relies on, as a
+    /// property: a `SourceBank` snapshot taken at *any* cycle boundary of
+    /// a lossy workload with crashing sources restores into a fresh bank
+    /// that continues the stream bit-identically — same suspicion edges,
+    /// same re-serialized image after more traffic.
+    #[test]
+    fn source_bank_snapshot_roundtrip_is_bit_identical_under_loss_and_crashes(
+        seed in 0u64..(1u64 << 48),
+        sources in 2usize..10,
+        cut in 2u64..20,
+        tail in 3u64..12,
+        loss_num in 0u64..48,
+        period in 3u64..8,
+    ) {
+        let eta = SimDuration::from_secs(1);
+        let down = period / 2; // crash windows cover ~half a period
+        let mut original = SourceBank::paper_grid(eta, sources);
+        drive_bank_lossy(&mut original, eta, 0, cut, seed, loss_num, period, down);
+
+        let bytes = original.snapshot_bytes();
+        let mut restored = SourceBank::paper_grid(eta, sources);
+        restored.restore_bytes(&bytes).expect("restore of a fresh snapshot");
+        prop_assert_eq!(restored.heartbeats(), original.heartbeats());
+        prop_assert_eq!(
+            restored.snapshot_bytes(),
+            bytes,
+            "re-snapshot of a restored bank must reproduce the image"
+        );
+
+        let ea = drive_bank_lossy(&mut original, eta, cut, cut + tail, seed, loss_num, period, down);
+        let eb = drive_bank_lossy(&mut restored, eta, cut, cut + tail, seed, loss_num, period, down);
+        prop_assert_eq!(ea, eb, "suspicion edges diverged after restore");
+        prop_assert_eq!(
+            original.snapshot_bytes(),
+            restored.snapshot_bytes(),
+            "post-restore trajectories diverged"
+        );
     }
 }
 

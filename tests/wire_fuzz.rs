@@ -151,8 +151,10 @@ fn run_campaign(seed: u64) -> (u64, u64, u64) {
                 // Snapshot age is wall-clock and legitimately varies
                 // between runs; zero it before fingerprinting so the
                 // replay-determinism check sees only protocol content.
-                if let Response::PointResp { ref mut age_us, .. } = decoded {
-                    *age_us = 0;
+                match decoded {
+                    Response::PointResp { ref mut age_us, .. }
+                    | Response::RangeResp { ref mut age_us, .. } => *age_us = 0,
+                    _ => {}
                 }
                 fp.eat(&decoded.encode());
             }
