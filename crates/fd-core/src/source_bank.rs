@@ -77,6 +77,30 @@ const RTO_GAIN: f64 = 0.125;
 /// heartbeat.
 const OBS_BLOCK: usize = 64;
 
+/// Below this source count [`SourceBank::observe_all`] runs the scalar
+/// per-heartbeat path: the blocked two-phase walk only pays for its block
+/// bookkeeping once combination rows outgrow the small-bank regime where
+/// everything is cache-resident anyway. Measured with
+/// `scale --crossover` (see EXPERIMENTS.md): the blocked walk is
+/// 0.71–0.98× the scalar loop at 256–12 288 sources and only reaches
+/// parity around 16 384, which is also where the sharded engine's
+/// per-shard queue backend flips from heap to wheel.
+const OBS_SCALAR_CROSSOVER: usize = 16_384;
+
+/// A fully-set dirty bitmap covering `n_words` suspicion words, with the
+/// unused tail bits of the last word kept clear so set-bit iteration never
+/// names a word index past the suspicion array.
+fn all_dirty(n_words: usize) -> Vec<u64> {
+    let mut v = vec![u64::MAX; n_words.div_ceil(64)];
+    if let Some(last) = v.last_mut() {
+        let rem = n_words % 64;
+        if rem != 0 {
+            *last = (1u64 << rem) - 1;
+        }
+    }
+    v
+}
+
 /// One heartbeat arrival, addressed to a source, for the batch API.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HeartbeatObs {
@@ -335,6 +359,11 @@ pub struct SourceBank {
     /// Combo-major bitmap: bit `source` of combination `combo` lives at
     /// word `combo * words + source / 64`.
     suspecting: Vec<u64>,
+    /// Word-granular dirty bitmap over [`suspecting`](Self::suspecting):
+    /// bit `w % 64` of word `w / 64` is set when suspicion word `w` may
+    /// have changed since the last [`clear_dirty`](Self::clear_dirty).
+    /// Fresh and freshly-restored banks report every word dirty.
+    dirty: Vec<u64>,
     /// Per source: highest fresh sequence seen ([`SEQ_NONE`] = none).
     highest_seq: Vec<u32>,
     /// Per source: lower bound on the earliest pending deadline among
@@ -418,6 +447,7 @@ impl SourceBank {
             pred_scratch: vec![0.0; n_pred],
             deadlines: vec![NO_DEADLINE; combos.len() * n_sources],
             suspecting: vec![0u64; combos.len() * words],
+            dirty: all_dirty(combos.len() * words),
             highest_seq: vec![SEQ_NONE; n_sources],
             min_deadline: vec![NO_DEADLINE; n_sources],
             heartbeats: 0,
@@ -506,6 +536,23 @@ impl SourceBank {
         &self.suspecting
     }
 
+    /// Word-granular dirty bitmap over [`suspect_words`](Self::suspect_words):
+    /// bit `w % 64` of word `w / 64` is set when suspicion word `w` may have
+    /// changed since the last [`clear_dirty`](Self::clear_dirty). Fresh and
+    /// freshly-restored banks report every word dirty, so an incremental
+    /// publisher's first publication after construction or a warm restart is
+    /// always a full one.
+    pub fn dirty_words(&self) -> &[u64] {
+        &self.dirty
+    }
+
+    /// Resets the dirty bitmap. An incremental publisher calls this right
+    /// after consuming [`dirty_words`](Self::dirty_words) for a
+    /// publication; every suspicion mutation from then on re-marks its word.
+    pub fn clear_dirty(&mut self) {
+        self.dirty.fill(0);
+    }
+
     /// The earliest pending deadline of `source` over its non-suspecting
     /// combinations — the instant its next check can possibly fire
     /// (`None` when nothing is pending).
@@ -582,6 +629,24 @@ impl SourceBank {
     ///
     /// [`observe_heartbeat`]: Self::observe_heartbeat
     pub fn observe_all(&mut self, batch: &[HeartbeatObs]) -> usize {
+        if self.n_sources < OBS_SCALAR_CROSSOVER {
+            self.transitions.clear();
+            let mut fresh = 0usize;
+            for obs in batch {
+                fresh += usize::from(self.observe_inner(obs.source, obs.seq, obs.arrival));
+            }
+            return fresh;
+        }
+        self.observe_all_blocked(batch)
+    }
+
+    /// The cache-blocked batch path, unconditionally — [`observe_all`]
+    /// dispatches here above the scalar crossover. Exposed so differential
+    /// tests and benchmarks can pin the path regardless of bank size.
+    ///
+    /// [`observe_all`]: Self::observe_all
+    #[doc(hidden)]
+    pub fn observe_all_blocked(&mut self, batch: &[HeartbeatObs]) -> usize {
         self.transitions.clear();
         let mut fresh = 0usize;
         for block in batch.chunks(OBS_BLOCK) {
@@ -683,6 +748,7 @@ impl SourceBank {
                 let bit = 1u64 << (s % 64);
                 if self.suspecting[w] & bit != 0 {
                     self.suspecting[w] &= !bit;
+                    self.dirty[w / 64] |= 1u64 << (w % 64);
                     self.blk_edges.push((i as u32, idx as u32));
                 }
             }
@@ -743,6 +809,7 @@ impl SourceBank {
             let w = idx * self.words + word;
             if self.suspecting[w] & bit != 0 {
                 self.suspecting[w] &= !bit;
+                self.dirty[w / 64] |= 1u64 << (w % 64);
                 self.transitions.push(SourceTransition {
                     source,
                     combo: idx as u32,
@@ -788,6 +855,7 @@ impl SourceBank {
             }
             if now_us >= u64::from(dl) {
                 self.suspecting[w] |= bit;
+                self.dirty[w / 64] |= 1u64 << (w % 64);
                 self.transitions.push(SourceTransition {
                     source,
                     combo: idx as u32,
@@ -849,6 +917,7 @@ impl SourceBank {
         let scan = &mut self.scan_fired;
         let all_deadlines = &self.deadlines;
         let all_words = &mut self.suspecting;
+        let dirty = &mut self.dirty;
         for idx in 0..self.combos.len() {
             let deadlines = &all_deadlines[idx * n..(idx + 1) * n];
             let words = &mut all_words[idx * wpc..(idx + 1) * wpc];
@@ -871,6 +940,8 @@ impl SourceBank {
                 let mut fired = due & !words[w];
                 if fired != 0 {
                     words[w] |= fired;
+                    let gw = idx * wpc + w;
+                    dirty[gw / 64] |= 1u64 << (gw % 64);
                     let base = (w * 64) as u32;
                     while fired != 0 {
                         scan.push((base + fired.trailing_zeros(), idx as u32));
@@ -888,6 +959,8 @@ impl SourceBank {
                 let mut fired = due & !words[w];
                 if fired != 0 {
                     words[w] |= fired;
+                    let gw = idx * wpc + w;
+                    dirty[gw / 64] |= 1u64 << (gw % 64);
                     let base = (w * 64) as u32;
                     while fired != 0 {
                         scan.push((base + fired.trailing_zeros(), idx as u32));
@@ -927,6 +1000,8 @@ impl SourceBank {
                     continue;
                 }
                 words[s / 64] |= bit;
+                let gw = idx * self.words + s / 64;
+                self.dirty[gw / 64] |= 1u64 << (gw % 64);
                 self.transitions.push(SourceTransition {
                     source: s as u32,
                     combo: idx as u32,
@@ -1002,6 +1077,18 @@ impl SourceBank {
         batch: &[HeartbeatObs],
         sink: &mut S,
     ) -> usize {
+        if self.n_sources < OBS_SCALAR_CROSSOVER {
+            let mut fresh = 0usize;
+            for obs in batch {
+                self.transitions.clear();
+                fresh += usize::from(self.observe_inner(obs.source, obs.seq, obs.arrival));
+                for t in &self.transitions {
+                    sink.end_suspect(obs.arrival, t.source, t.combo);
+                }
+            }
+            self.transitions.clear();
+            return fresh;
+        }
         self.transitions.clear();
         let mut fresh = 0usize;
         for block in batch.chunks(OBS_BLOCK) {
@@ -1304,6 +1391,11 @@ impl SourceBank {
         // pre-restore life must not leak into the next report.
         self.transitions.clear();
         self.scan_fired.clear();
+        // A restored bank cannot know which words changed relative to an
+        // incremental publisher's last publication, so the next publish
+        // must treat every word as dirty (warm-restart safety: the dirty
+        // set must stay a superset of the words that actually changed).
+        self.dirty = all_dirty(self.suspecting.len());
         Ok(())
     }
 }
@@ -1455,6 +1547,119 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The blocked batch path is the same machine as the scalar one even
+    /// when the bank is below the dispatch crossover: force both paths on
+    /// mirrored banks and compare the full snapshot plus edge streams.
+    #[test]
+    fn blocked_and_scalar_batch_paths_are_bit_identical() {
+        let n = 9usize;
+        let mut blocked = SourceBank::paper_grid(eta(), n);
+        let mut scalar = SourceBank::paper_grid(eta(), n);
+        assert!(n < OBS_SCALAR_CROSSOVER, "test relies on scalar dispatch");
+        for seq in 0..25u64 {
+            // Source 4 skips a beat mid-run so suspicion edges fire.
+            let batch: Vec<HeartbeatObs> = (0..n as u32)
+                .filter(|&s| !(s == 4 && (8..12).contains(&seq)))
+                .map(|source| HeartbeatObs {
+                    source,
+                    seq,
+                    arrival: arrival(seq, delay_for(source, seq)),
+                })
+                .collect();
+            let check_at = arrival(seq, 400);
+            let fired_b = blocked.check_all_at(check_at).to_vec();
+            let fired_s = scalar.check_all_at(check_at).to_vec();
+            assert_eq!(fired_b, fired_s);
+            assert_eq!(
+                blocked.observe_all_blocked(&batch),
+                scalar.observe_all(&batch)
+            );
+            assert_eq!(blocked.transitions(), scalar.transitions());
+            assert_eq!(blocked.dirty_words(), scalar.dirty_words());
+        }
+        assert_eq!(blocked.snapshot_bytes(), scalar.snapshot_bytes());
+    }
+
+    /// Dirty words track exactly the suspicion words that change between
+    /// publications, and never miss one: replaying any mutation sequence,
+    /// the dirty set names a superset of the words that differ from the
+    /// last `clear_dirty` checkpoint.
+    #[test]
+    fn dirty_words_cover_every_suspicion_change() {
+        let n = 70usize; // two bitmap words per combo
+        let mut bank = SourceBank::paper_grid(eta(), n);
+        // A fresh bank is fully dirty (first publish must be full).
+        let total_words = bank.len() * bank.words_per_combo();
+        let set_bits: u32 = bank.dirty_words().iter().map(|w| w.count_ones()).sum();
+        assert_eq!(set_bits as usize, total_words);
+
+        let checkpoint = |b: &SourceBank| b.suspect_words().to_vec();
+        let verify = |b: &SourceBank, before: &[u64]| {
+            for (w, (&now, &then)) in
+                b.suspect_words().iter().zip(before).enumerate()
+            {
+                if now != then {
+                    assert!(
+                        b.dirty_words()[w / 64] & (1u64 << (w % 64)) != 0,
+                        "word {w} changed but was not marked dirty"
+                    );
+                }
+            }
+        };
+
+        bank.clear_dirty();
+        assert!(bank.dirty_words().iter().all(|&w| w == 0));
+        let mut before = checkpoint(&bank);
+
+        // Heartbeats arm deadlines; a long silence then fires suspicions
+        // through the lane sweep, the scalar sweep and per-source checks.
+        for seq in 0..3u64 {
+            let batch: Vec<HeartbeatObs> = (0..n as u32)
+                .map(|source| HeartbeatObs {
+                    source,
+                    seq,
+                    arrival: arrival(seq, delay_for(source, seq)),
+                })
+                .collect();
+            bank.observe_all(&batch);
+        }
+        verify(&bank, &before);
+
+        bank.clear_dirty();
+        before = checkpoint(&bank);
+        let late = SimTime::from_secs(120);
+        assert!(!bank.check_all_at(late).is_empty(), "sweep fired nothing");
+        verify(&bank, &before);
+        let changed: usize = bank
+            .suspect_words()
+            .iter()
+            .zip(&before)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(changed > 0);
+
+        // Fresh heartbeats clear suspicion again: EndSuspect edges via the
+        // batch path must mark their words too.
+        bank.clear_dirty();
+        before = checkpoint(&bank);
+        let batch: Vec<HeartbeatObs> = (0..n as u32)
+            .map(|source| HeartbeatObs {
+                source,
+                seq: 200,
+                arrival: late + SimDuration::from_millis(u64::from(source)),
+            })
+            .collect();
+        assert!(bank.observe_all(&batch) > 0);
+        verify(&bank, &before);
+
+        // A restored bank is fully dirty again.
+        let snap = bank.snapshot_bytes();
+        bank.clear_dirty();
+        bank.restore_bytes(&snap).expect("restore");
+        let set_bits: u32 = bank.dirty_words().iter().map(|w| w.count_ones()).sum();
+        assert_eq!(set_bits as usize, total_words);
     }
 
     /// `check_all_at` fires the same edges as per-source checks, reported

@@ -1,0 +1,215 @@
+//! Regenerates the pinned wire-fuzz seed corpus in
+//! `tests/corpus/wire/` from the *current* codec, so a deliberate
+//! layout change re-stamps every seed in one command instead of a
+//! by-hand hexdump session:
+//!
+//! ```text
+//! cargo run -p fd-experiments --bin gen_wire_corpus
+//! ```
+//!
+//! `req_*`/`resp_*` seeds are produced by the real encoders (the fuzz
+//! campaign asserts they decode as named); the hostile shapes
+//! (`bad_*`, `zero_len`, `truncated_body`) and the counted-body liar
+//! seeds are byte-surgery on valid frames, each checked here to still
+//! be rejected the way the regression tests expect.
+
+use std::fs;
+use std::path::Path;
+
+use fd_net::framing::FrameError;
+use fd_serve::wire::{ERR_OUT_OF_RANGE, FLAG_PUBLISHED, FLAG_SUSPECTING, MAGIC, VERSION};
+use fd_serve::{Request, Response};
+
+/// magic u32 + version u8 + tag u8 + token u32.
+const PREFIX: usize = 10;
+
+fn main() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus/wire");
+    fs::create_dir_all(&dir).expect("create corpus dir");
+
+    // -- request seeds (one per tag, accepted by Request::decode),
+    //    then response seeds (one per tag, accepted by Response::decode)
+    let mut seeds: Vec<(&str, Vec<u8>)> = vec![
+        (
+            "req_point",
+            Request::Point {
+                token: 0x0102_0304,
+                source: 5,
+                combo: 2,
+            }
+            .encode(),
+        ),
+        (
+            "req_range",
+            Request::Range {
+                token: 0x0a0b_0c0d,
+                combo: 0,
+                first_source: 0,
+                max_words: 4,
+            }
+            .encode(),
+        ),
+        (
+            "req_range_huge",
+            Request::Range {
+                token: 7,
+                combo: 1,
+                first_source: 64,
+                max_words: u16::MAX,
+            }
+            .encode(),
+        ),
+        (
+            "req_delta_since",
+            Request::DeltaSince {
+                token: 42,
+                segment: 0,
+                since_epoch: 1,
+            }
+            .encode(),
+        ),
+        (
+            "req_subscribe",
+            Request::Subscribe {
+                token: 43,
+                segment: 0,
+                since_epoch: 0,
+            }
+            .encode(),
+        ),
+        (
+            "req_unsubscribe",
+            Request::Unsubscribe {
+                token: 44,
+                segment: 0,
+            }
+            .encode(),
+        ),
+        ("req_info", Request::Info { token: 45 }.encode()),
+        (
+            "resp_point",
+            Response::PointResp {
+                token: 1,
+                epoch: 9,
+                flags: FLAG_SUSPECTING | FLAG_PUBLISHED,
+                age_us: 1_500,
+                hops: 1,
+            }
+            .encode(),
+        ),
+    ];
+    let range = Response::RangeResp {
+        token: 2,
+        segment: 0,
+        epoch: 9,
+        combo: 1,
+        flags: FLAG_PUBLISHED,
+        age_us: 2_750,
+        hops: 2,
+        first_word_source: 64,
+        words: vec![0xAAAA, 0x5555],
+    };
+    seeds.push(("resp_range", range.encode()));
+    let delta = Response::DeltaResp {
+        token: 3,
+        segment: 1,
+        from_epoch: 1,
+        to_epoch: 3,
+        virtual_us: 2_000_000,
+        age_us: 310,
+        hops: 1,
+        changes: vec![(0, 0xFF)],
+    };
+    seeds.push(("resp_delta", delta.encode()));
+    seeds.push((
+        "resp_resync",
+        Response::Resync {
+            token: 4,
+            segment: 0,
+            current_epoch: 12,
+        }
+        .encode(),
+    ));
+    seeds.push((
+        "resp_err",
+        Response::Err {
+            token: 5,
+            code: ERR_OUT_OF_RANGE,
+        }
+        .encode(),
+    ));
+    seeds.push((
+        "resp_info",
+        Response::InfoResp {
+            token: 6,
+            sources: 128,
+            combos: 2,
+            seg_lens: vec![64, 64],
+        }
+        .encode(),
+    ));
+
+    // -- counted-body liars: valid frame, count field patched to claim
+    //    far more elements than the datagram carries ---------------------
+    // RangeResp fixed body: segment 2 + epoch 8 + combo 2 + flags 1 +
+    // age 8 + hops 1 + first_word_source 4 = 26, count next.
+    let mut liar = range.encode();
+    liar[PREFIX + 26..PREFIX + 28].copy_from_slice(&u16::MAX.to_be_bytes());
+    seeds.push(("resp_range_liar", liar));
+    // DeltaResp fixed body: segment 2 + from 8 + to 8 + virtual 8 +
+    // age 8 + hops 1 = 35, count next.
+    let mut liar = delta.encode();
+    liar[PREFIX + 35..PREFIX + 37].copy_from_slice(&u16::MAX.to_be_bytes());
+    seeds.push(("resp_delta_liar", liar));
+
+    // -- hostile shapes: rejected by both decoders ----------------------
+    let valid = Request::Point {
+        token: 0,
+        source: 0,
+        combo: 0,
+    }
+    .encode();
+    let mut bad_magic = valid.clone();
+    bad_magic[..4].copy_from_slice(b"FDQS");
+    seeds.push(("bad_magic", bad_magic));
+    let mut bad_version = valid.clone();
+    bad_version[4] = VERSION + 8;
+    seeds.push(("bad_version", bad_version));
+    let mut bad_tag = Vec::new();
+    bad_tag.extend_from_slice(&MAGIC.to_be_bytes());
+    bad_tag.push(VERSION);
+    bad_tag.push(0x4D); // a tag neither codec knows
+    bad_tag.extend_from_slice(&[0, 0, 0, 0]);
+    seeds.push(("bad_tag", bad_tag));
+    seeds.push(("zero_len", Vec::new()));
+    seeds.push(("truncated_body", valid[..PREFIX + 2].to_vec()));
+
+    // Re-check every seed decodes (or refuses) exactly as its name
+    // promises before touching the files.
+    for (name, bytes) in &seeds {
+        let req = Request::decode(bytes);
+        let resp = Response::decode(bytes);
+        if name.starts_with("req_") {
+            assert!(req.is_ok(), "{name} must decode as a request: {req:?}");
+        } else if name.starts_with("resp_") && !name.ends_with("_liar") {
+            assert!(resp.is_ok(), "{name} must decode as a response: {resp:?}");
+        } else if name.ends_with("_liar") {
+            assert!(
+                matches!(resp, Err(FrameError::Truncated { .. })),
+                "{name} must be rejected as truncated: {resp:?}"
+            );
+        } else {
+            assert!(
+                req.is_err() && resp.is_err(),
+                "{name} must be rejected by both decoders"
+            );
+        }
+    }
+
+    for (name, bytes) in &seeds {
+        let path = dir.join(format!("{name}.bin"));
+        fs::write(&path, bytes).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        println!("{:>22}  {} bytes", format!("{name}.bin"), bytes.len());
+    }
+    println!("corpus: {} seeds -> {}", seeds.len(), dir.display());
+}

@@ -5,12 +5,17 @@
 //! ```text
 //! scale [--smoke] [--sources 1k,10k,100k,1M] [--cycles N]
 //!       [--shards N | --threads N] [--seed N] [--out PATH] [--no-isolate]
+//!       [--crossover]
 //! ```
 //!
 //! `--sources` accepts `1k` / `10k` / `100k` / `1M` style counts
 //! (comma-separated). `--smoke` is the CI configuration: a small
 //! population, a shard-invariance assertion (the streaming digest over
 //! 1, 2 and 3 shards must be identical), and no file written.
+//! `--crossover` times the scalar and cache-blocked `observe_all` bodies
+//! at each `--sources` count (default 256..16k) and prints the table
+//! behind fd-core's `OBS_SCALAR_CROSSOVER` dispatch constant — nothing
+//! written.
 //!
 //! Each row runs in a **child process** by default: peak RSS comes from
 //! `VmHWM`, a process-lifetime high-water mark, so rows sharing a
@@ -18,8 +23,8 @@
 //! (and the hidden `--one-row` child mode) run in-process.
 
 use fd_experiments::scale::{
-    cycle_benchmark, render_json_from_rows, render_row_json, run_scale_row, sweep_benchmark,
-    PR1_CYCLE_BASELINE_MS,
+    crossover_benchmark, cycle_benchmark, render_json_from_rows, render_row_json, run_scale_row,
+    sweep_benchmark, PR1_CYCLE_BASELINE_MS,
 };
 
 fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -120,6 +125,28 @@ fn main() {
                 .map(|n| n.get())
                 .unwrap_or(1)
         });
+
+    if args.iter().any(|a| a == "--crossover") {
+        // Locate the scalar-vs-blocked observe_all dispatch point: the
+        // measurement behind fd-core's OBS_SCALAR_CROSSOVER constant.
+        let counts: Vec<usize> = match arg_value(&args, "--sources") {
+            Some(list) => list
+                .split(',')
+                .map(|s| parse_count(s).unwrap_or_else(|| panic!("bad source count: {s}")))
+                .collect(),
+            None => vec![256, 1_024, 4_096, 16_384],
+        };
+        println!("observe_all dispatch crossover (scalar loop vs cache-blocked walk):");
+        for n in counts {
+            let b = crossover_benchmark(n, 16, 24);
+            println!(
+                "  {:>7} sources: scalar {:>8.4} ms/cycle   blocked {:>8.4} ms/cycle   \
+                 blocked speedup {:.2}×",
+                b.sources, b.scalar_ms, b.blocked_ms, b.blocked_speedup,
+            );
+        }
+        return;
+    }
 
     if args.iter().any(|a| a == "--one-row") {
         let sources = arg_value(&args, "--sources")

@@ -1,19 +1,27 @@
 //! Serving-plane benchmark: runs the sharded monitor with the fd-serve
-//! publication hook, hammers the UDP query server from load threads, and
-//! writes `BENCH_serve.json` (queries/sec, latency percentiles, snapshot
-//! staleness).
+//! publication hook under the churn-adaptive cadence, hammers the UDP
+//! query server from load threads, drives a two-level relay tree with a
+//! large simulated subscriber population, and writes `BENCH_serve.json`
+//! (queries/sec, latency percentiles, snapshot staleness, relay fan-out
+//! and per-hop age).
 //!
 //! ```text
-//! serve [--smoke] [--sources 1k,100k] [--cycles N] [--shards N]
+//! serve [--smoke] [--sources 1k,10k,100k] [--cycles N] [--shards N]
 //!       [--threads N] [--seed N] [--out PATH]
+//!       [--publish-min-ms N] [--publish-max-ms N] [--churn N]
+//!       [--relay-sources N] [--relay-subs N]
 //! ```
 //!
 //! `--sources` accepts `1k` / `100k` / `1M` style counts
-//! (comma-separated). `--smoke` is the CI configuration: the seqlock
-//! torn-read race, a small end-to-end run asserting at least one
-//! published epoch, and malformed-frame rejection — nothing written.
+//! (comma-separated). `--relay-subs 0` skips the relay-tree row.
+//! `--smoke` is the CI configuration: the seqlock torn-read race, a
+//! small end-to-end run asserting at least one published epoch and a
+//! bounded staleness mean, a two-level relay parity/hop/age gate, and
+//! malformed-frame rejection — nothing written.
 
-use fd_experiments::serve::{render_json, run_serve, run_smoke};
+use fd_experiments::serve::{default_cadence, render_json, run_relay_row, run_serve, run_smoke};
+use fd_runtime::sharded::PublishCadence;
+use fd_sim::SimDuration;
 
 fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter()
@@ -41,7 +49,10 @@ fn main() {
         .unwrap_or(42u64);
 
     if smoke {
-        println!("serve --smoke: seqlock race, end-to-end epoch, malformed rejection");
+        println!(
+            "serve --smoke: seqlock race, end-to-end staleness bound, relay chain, \
+             malformed rejection"
+        );
         run_smoke(seed);
         println!("  ok");
         return;
@@ -52,7 +63,7 @@ fn main() {
             .split(',')
             .map(|s| parse_count(s).unwrap_or_else(|| panic!("bad source count: {s}")))
             .collect(),
-        None => vec![1_000, 100_000],
+        None => vec![1_000, 10_000, 100_000],
     };
     let cycles = arg_value(&args, "--cycles")
         .and_then(|v| v.parse().ok())
@@ -68,11 +79,34 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(4usize);
     let out = arg_value(&args, "--out").unwrap_or("BENCH_serve.json");
+    let default = default_cadence();
+    let publish_min = arg_value(&args, "--publish-min-ms")
+        .and_then(|v| v.parse().ok())
+        .map(SimDuration::from_millis)
+        .unwrap_or(default.min);
+    let publish_max = arg_value(&args, "--publish-max-ms")
+        .and_then(|v| v.parse().ok())
+        .map(SimDuration::from_millis)
+        .unwrap_or(default.max);
+    let churn = arg_value(&args, "--churn")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default.churn_threshold);
+    let cadence = PublishCadence::adaptive(publish_min, publish_max, churn);
+    let relay_sources = arg_value(&args, "--relay-sources")
+        .and_then(parse_count)
+        .unwrap_or(4_096);
+    let relay_subs = arg_value(&args, "--relay-subs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000usize);
 
     println!(
-        "serve: sources={counts:?} cycles={cycles} shards={shards} threads={threads} seed={seed}"
+        "serve: sources={counts:?} cycles={cycles} shards={shards} threads={threads} \
+         seed={seed} cadence={}..{}ms/{} edges",
+        cadence.min.as_micros() / 1_000,
+        cadence.max.as_micros() / 1_000,
+        cadence.churn_threshold,
     );
-    let rows = run_serve(&counts, cycles, shards, seed, threads);
+    let rows = run_serve(&counts, cycles, shards, seed, threads, cadence);
     for r in &rows {
         println!(
             "  {:>9} sources: {:>9.0} q/s, p50 {:>6.0} µs, p99 {:>7.0} µs, \
@@ -91,7 +125,33 @@ fn main() {
         );
     }
 
-    let doc = render_json(&rows, shards, seed);
+    let relay_rows = if relay_subs > 0 {
+        println!(
+            "relay tree: {relay_sources} sources, {relay_subs} subscribers over 2 levels"
+        );
+        let row = run_relay_row(relay_sources, cycles.min(8), shards.min(2), seed, relay_subs);
+        println!(
+            "  {} relays, {} / {} subscribers registered ({} retained), \
+             {} pushes, {} deltas applied, {} catch-ups",
+            row.relays,
+            row.subscribers_registered,
+            row.subscribers_target,
+            row.subscribers_retained,
+            row.pushes_to_subscribers,
+            row.deltas_applied,
+            row.catch_ups,
+        );
+        println!(
+            "  age by level (ms): mean {:?}, max {:?}; per-hop penalty {:.3} ms, \
+             max hops {}",
+            row.age_mean_ms, row.age_max_ms, row.hop_penalty_mean_ms, row.max_hops_seen,
+        );
+        vec![row]
+    } else {
+        Vec::new()
+    };
+
+    let doc = render_json(&rows, &relay_rows, shards, seed, cadence);
     std::fs::write(out, &doc).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     println!("wrote {out}");
 }

@@ -258,6 +258,74 @@ pub fn cycle_benchmark(sources: usize, warmup_cycles: u64, measured_cycles: u64)
     }
 }
 
+/// The scalar-vs-blocked batch dispatch measurement at one bank size:
+/// the per-heartbeat scalar loop against the cache-blocked two-phase
+/// walk, on identically warmed banks. `observe_all` dispatches between
+/// exactly these two paths on `OBS_SCALAR_CROSSOVER`, so this is the
+/// measurement that justifies (or indicts) the constant.
+#[derive(Debug, Clone)]
+pub struct CrossoverBench {
+    /// Sources per cycle.
+    pub sources: usize,
+    /// Measured cycles averaged over.
+    pub measured_cycles: u64,
+    /// Mean cycle time of the scalar per-heartbeat loop, milliseconds.
+    pub scalar_ms: f64,
+    /// Mean cycle time of the cache-blocked path, milliseconds.
+    pub blocked_ms: f64,
+    /// `scalar_ms / blocked_ms` — above 1.0 the blocked path wins.
+    pub blocked_speedup: f64,
+}
+
+/// Measures both `observe_all` bodies — the scalar per-heartbeat loop
+/// and the cache-blocked two-phase walk — at one bank size, with the
+/// cycle-benchmark warmup and arrival pattern. The scalar side is the
+/// public [`SourceBank::observe_heartbeat`] in a loop, which is the
+/// dispatch's small-bank body modulo a free `transitions.clear()` per
+/// call (the workload is churn-free, so the cleared vec is empty).
+pub fn crossover_benchmark(sources: usize, warmup_cycles: u64, measured_cycles: u64) -> CrossoverBench {
+    let eta = SimDuration::from_secs(1);
+    let arrival = |seq: u64| SimTime::ZERO + eta * seq + SimDuration::from_millis(200);
+
+    let mut scalar = SourceBank::paper_grid(eta, sources);
+    let mut blocked = SourceBank::paper_grid(eta, sources);
+    let mut batch: Vec<HeartbeatObs> = Vec::with_capacity(sources);
+    let mut seq = 0u64;
+    while seq < warmup_cycles {
+        fill_batch(&mut batch, sources, seq, arrival(seq));
+        blocked.observe_all_blocked(&batch);
+        for obs in &batch {
+            scalar.observe_heartbeat(obs.source, obs.seq, obs.arrival);
+        }
+        seq += 1;
+    }
+
+    let scalar_start = seq;
+    let started = Instant::now();
+    for seq in scalar_start..scalar_start + measured_cycles {
+        fill_batch(&mut batch, sources, seq, arrival(seq));
+        for obs in &batch {
+            std::hint::black_box(scalar.observe_heartbeat(obs.source, obs.seq, obs.arrival));
+        }
+    }
+    let scalar_ms = started.elapsed().as_secs_f64() * 1e3 / measured_cycles as f64;
+
+    let started = Instant::now();
+    for seq in scalar_start..scalar_start + measured_cycles {
+        fill_batch(&mut batch, sources, seq, arrival(seq));
+        std::hint::black_box(blocked.observe_all_blocked(&batch));
+    }
+    let blocked_ms = started.elapsed().as_secs_f64() * 1e3 / measured_cycles as f64;
+
+    CrossoverBench {
+        sources,
+        measured_cycles,
+        scalar_ms,
+        blocked_ms,
+        blocked_speedup: scalar_ms / blocked_ms,
+    }
+}
+
 fn fill_batch(batch: &mut Vec<HeartbeatObs>, sources: usize, seq: u64, at: SimTime) {
     batch.clear();
     batch.extend((0..sources as u32).map(|source| HeartbeatObs {
@@ -386,6 +454,15 @@ mod tests {
         assert_eq!(one.events, three.events);
         assert_eq!(one.mistakes, three.mistakes);
         assert!(one.events > 0, "workload emitted no edges");
+    }
+
+    #[test]
+    fn crossover_benchmark_times_both_paths() {
+        let bench = crossover_benchmark(48, 4, 2);
+        assert_eq!(bench.sources, 48);
+        assert!(bench.scalar_ms > 0.0);
+        assert!(bench.blocked_ms > 0.0);
+        assert!(bench.blocked_speedup.is_finite());
     }
 
     #[test]

@@ -15,21 +15,33 @@
 //! * **staleness** — wall-clock age of the served snapshot (every
 //!   `PointResp` carries it) and its translation into publication
 //!   epochs, i.e. how many publish intervals behind the live engine a
-//!   served answer was.
+//!   served answer was. Publication runs under the churn-adaptive
+//!   [`PublishCadence`] (see [`default_cadence`]), which incremental
+//!   dirty-word publishing makes affordable at every population;
+//! * **relay fan-out** ([`run_relay_row`]) — a two-level relay tree
+//!   (origin → mid relays → leaf relays, each leaf carrying a slice of a
+//!   ≥100k simulated subscriber population) with per-level served age,
+//!   per-hop age penalty, and delta/catch-up accounting.
 //!
 //! The smoke configuration ([`run_smoke`]) is the CI gate: it asserts at
-//! least one epoch was published, that the seqlock never *served* a torn
-//! snapshot under a deliberate writer/reader race, and that garbage
-//! frames are counted and dropped rather than crashing the server.
+//! least one epoch was published with a bounded staleness mean, that the
+//! seqlock never *served* a torn snapshot under a deliberate
+//! writer/reader race, that a two-level relay chain serves the origin's
+//! bits verbatim with exact hop counts and monotone accumulated age, and
+//! that garbage frames are counted and dropped rather than crashing the
+//! server.
 
 use std::net::UdpSocket;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use fd_runtime::sharded::{partition, ShardedConfig, ShardedEngine};
+use fd_runtime::sharded::{partition, PublishCadence, ShardedConfig, ShardedEngine};
 use fd_serve::wire::FLAG_PUBLISHED;
-use fd_serve::{EnginePublisher, Response, ServeClient, ServeConfig, ServeServer, SuspectView};
+use fd_serve::{
+    EnginePublisher, Relay, RelayConfig, Response, ServeClient, ServeConfig, ServeServer,
+    SuspectView,
+};
 use fd_sim::{SimDuration, SimTime};
 use fd_stat::LogHistogram;
 use rand::rngs::SmallRng;
@@ -115,7 +127,7 @@ fn query_loop(
         let combo = (rng.gen::<u32>() as usize % combos) as u16;
         let t0 = Instant::now();
         // Every 64th request is a bulk range read; the rest are points.
-        let resp = if i % 64 == 0 {
+        let resp = if i.is_multiple_of(64) {
             client.range(combo, source, 16)
         } else {
             client.point(source, combo)
@@ -141,6 +153,19 @@ fn query_loop(
     out
 }
 
+/// The benchmark's default publication cadence: publish as soon as 16
+/// suspicion edges accumulate (with a 1 ms virtual floor), back off
+/// toward the old fixed 500 ms interval when quiescent. Incremental
+/// dirty-word publication makes the frequent publishes affordable; the
+/// churn trigger is what flattens the staleness-vs-sources curve.
+pub fn default_cadence() -> PublishCadence {
+    PublishCadence::adaptive(
+        SimDuration::from_millis(1),
+        SimDuration::from_millis(500),
+        16,
+    )
+}
+
 /// Runs the monitored grid at one source count with the query plane
 /// under load and reports throughput, latency and staleness.
 pub fn run_serve_row(
@@ -149,13 +174,13 @@ pub fn run_serve_row(
     shards: usize,
     seed: u64,
     query_threads: usize,
+    cadence: PublishCadence,
 ) -> ServeRow {
     let mut config = ShardedConfig::paper_grid(sources, cycles, seed);
     config.shards = shards.max(1);
     // Lively enough that suspicion state actually changes between epochs.
     config.loss = 0.02;
     config.spike_prob = 0.02;
-    let every = SimDuration::from_millis(500); // η/2: two epochs per cycle
     let blocks = partition(config.sources, config.shards);
     let combos = config.combos.len();
 
@@ -182,7 +207,7 @@ pub fn run_serve_row(
                 s.spawn(move || query_loop(addr, sources, combos, seed ^ (t as u64) << 32, done))
             })
             .collect();
-        let report = engine.run_published(every, &publisher);
+        let report = engine.run_published_with(cadence, &publisher);
         done.store(true, Ordering::Release);
         let outs: Vec<ThreadOut> = handles
             .into_iter()
@@ -252,11 +277,269 @@ pub fn run_serve(
     shards: usize,
     seed: u64,
     query_threads: usize,
+    cadence: PublishCadence,
 ) -> Vec<ServeRow> {
     counts
         .iter()
-        .map(|&n| run_serve_row(n, cycles, shards, seed, query_threads))
+        .map(|&n| run_serve_row(n, cycles, shards, seed, query_threads, cadence))
         .collect()
+}
+
+/// One row of the relay fan-out benchmark: a monitored grid served
+/// through a k-ary relay tree with a large simulated subscriber
+/// population on the leaves.
+#[derive(Debug, Clone)]
+pub struct RelayRow {
+    /// Monitored sources.
+    pub sources: usize,
+    /// Heartbeat cycles simulated per source.
+    pub cycles: u64,
+    /// Engine shards (= view segments).
+    pub shards: usize,
+    /// Relay levels below the origin (leaf answers carry this many hops).
+    pub levels: usize,
+    /// Total relay nodes in the tree.
+    pub relays: usize,
+    /// Logical subscribers the run tried to register on the leaves.
+    pub subscribers_target: usize,
+    /// Subscription-table entries actually registered before the run.
+    pub subscribers_registered: usize,
+    /// Entries still registered when the run finished.
+    pub subscribers_retained: usize,
+    /// Delta frames the leaf pushers sent to subscribers.
+    pub pushes_to_subscribers: u64,
+    /// Upstream delta pushes applied in-order across all relays.
+    pub deltas_applied: u64,
+    /// Control-plane catch-ups across all relays (lost pushes, resyncs).
+    pub catch_ups: u64,
+    /// Staleness samples taken per tree level during the run.
+    pub age_samples: u64,
+    /// Mean served snapshot age per level (index 0 = origin), ms.
+    pub age_mean_ms: Vec<f64>,
+    /// Worst served snapshot age per level, ms.
+    pub age_max_ms: Vec<f64>,
+    /// Mean extra age per relay hop (leaf mean minus origin mean, over
+    /// the level count), ms.
+    pub hop_penalty_mean_ms: f64,
+    /// Highest hop count observed in a leaf answer.
+    pub max_hops_seen: u8,
+    /// Wall time of the monitored run, milliseconds.
+    pub engine_wall_ms: f64,
+}
+
+/// Per-level staleness accumulator for the relay sampler.
+#[derive(Default, Clone, Copy)]
+struct AgeAcc {
+    sum_us: f64,
+    max_us: u64,
+    samples: u64,
+    max_hops: u8,
+}
+
+/// Drives the monitored grid through an origin server and a two-level
+/// relay tree (origin → 2 relays → 4 leaves), registers `subscribers`
+/// logical subscriptions across the leaves (token-keyed, so a handful
+/// of sockets carry tens of thousands of subscriptions each), and
+/// samples served snapshot age at every tree level while the engine
+/// runs.
+pub fn run_relay_row(
+    sources: usize,
+    cycles: u64,
+    shards: usize,
+    seed: u64,
+    subscribers: usize,
+) -> RelayRow {
+    const LEVELS: usize = 2;
+    const L1: usize = 2;
+    const LEAVES: usize = 4;
+
+    let mut config = ShardedConfig::paper_grid(sources, cycles, seed);
+    config.shards = shards.max(1);
+    config.loss = 0.02;
+    config.spike_prob = 0.02;
+    let blocks = partition(config.sources, config.shards);
+    let combos = config.combos.len();
+    let segments = blocks.len();
+
+    let view = SuspectView::new(combos, &blocks);
+    let publisher = EnginePublisher::new(&view);
+    let engine = ShardedEngine::new(config);
+    let origin = ServeServer::start(Arc::clone(&view), ServeConfig::default())
+        .expect("bind origin server");
+
+    let relay_cfg = |leaf: bool| RelayConfig {
+        serve: ServeConfig {
+            workers: 2,
+            // Leaves hold the big subscriber table and must never drop a
+            // laggard mid-run (the point is counting them, not acking).
+            max_subs: if leaf { subscribers + 64 } else { 64 },
+            max_sub_lag: if leaf { 1 << 40 } else { 16 },
+            // Interior hops push promptly; leaves batch the fan-out.
+            push_interval: Duration::from_millis(if leaf { 50 } else { 1 }),
+            ..ServeConfig::default()
+        },
+        push_timeout: Duration::from_millis(25),
+        ..RelayConfig::default()
+    };
+    let mid: Vec<Relay> = (0..L1)
+        .map(|_| Relay::start(origin.local_addr(), relay_cfg(false)).expect("start relay"))
+        .collect();
+    let leaves: Vec<Relay> = (0..LEAVES)
+        .map(|i| Relay::start(mid[i % L1].local_addr(), relay_cfg(true)).expect("start leaf"))
+        .collect();
+
+    // Register the subscriber population: `per_leaf` tokens per leaf,
+    // striped over a few client sockets. Subscribes are idempotent
+    // (token-keyed replace), so lost datagrams heal by resending the
+    // whole stripe until the table reaches the target.
+    let per_leaf = subscribers.div_ceil(LEAVES.max(1)).max(1);
+    let mut reg_clients: Vec<Vec<ServeClient>> = leaves
+        .iter()
+        .map(|leaf| {
+            (0..4)
+                .map(|_| {
+                    ServeClient::connect(leaf.local_addr(), Duration::from_millis(100))
+                        .expect("connect registration client")
+                })
+                .collect()
+        })
+        .collect();
+    let mut registered = 0usize;
+    for _round in 0..12 {
+        for (li, clients) in reg_clients.iter_mut().enumerate() {
+            if leaves[li].server().subscriber_count() >= per_leaf {
+                continue;
+            }
+            let stripes = clients.len();
+            for (ci, client) in clients.iter_mut().enumerate() {
+                let mut sent = 0u32;
+                let mut token = ci;
+                while token < per_leaf {
+                    let segment = (token % segments) as u16;
+                    let _ = client.subscribe_as(token as u32, segment, 0);
+                    token += stripes;
+                    sent += 1;
+                    // Pace the burst so the leaf's receive buffer keeps up.
+                    if sent.is_multiple_of(2_048) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        registered = leaves
+            .iter()
+            .map(|l| l.server().subscriber_count())
+            .sum();
+        if registered >= per_leaf * LEAVES {
+            break;
+        }
+    }
+
+    // Sample staleness at one node of each level, leaf-first so a
+    // sampling instant can only understate (never inflate) the per-hop
+    // penalty the row reports.
+    let done = AtomicBool::new(false);
+    let sample_addrs = [
+        origin.local_addr(),
+        mid[0].local_addr(),
+        leaves[0].local_addr(),
+    ];
+    let (report, accs) = std::thread::scope(|s| {
+        let sampler = s.spawn(|| {
+            let mut clients: Vec<ServeClient> = sample_addrs
+                .iter()
+                .map(|&a| {
+                    ServeClient::connect(a, Duration::from_millis(100)).expect("connect sampler")
+                })
+                .collect();
+            let mut accs = [AgeAcc::default(); LEVELS + 1];
+            let mut i = 0u32;
+            loop {
+                let finished = done.load(Ordering::Acquire);
+                i = i.wrapping_add(1);
+                let source = (i.wrapping_mul(2_654_435_761) as usize % sources) as u32;
+                for (level, client) in clients.iter_mut().enumerate().rev() {
+                    if let Ok(Response::PointResp {
+                        flags,
+                        age_us,
+                        hops,
+                        ..
+                    }) = client.point(source, 0)
+                    {
+                        if flags & FLAG_PUBLISHED != 0 {
+                            let acc = &mut accs[level];
+                            acc.sum_us += age_us as f64;
+                            acc.max_us = acc.max_us.max(age_us);
+                            acc.samples += 1;
+                            acc.max_hops = acc.max_hops.max(hops);
+                        }
+                    }
+                }
+                if finished {
+                    return accs;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+        let report = engine.run_published_with(default_cadence(), &publisher);
+        // Let the final publication ripple to the leaves before the
+        // sampler takes its last pass.
+        std::thread::sleep(Duration::from_millis(150));
+        done.store(true, Ordering::Release);
+        let accs = sampler.join().expect("sampler panicked");
+        (report, accs)
+    });
+
+    let retained: usize = leaves
+        .iter()
+        .map(|l| l.server().subscriber_count())
+        .sum();
+    let pushes: u64 = leaves
+        .iter()
+        .map(|l| l.server().stats().subs_pushed.load(Ordering::Relaxed))
+        .sum();
+    let all_relays = mid.iter().chain(leaves.iter());
+    let (mut deltas_applied, mut catch_ups) = (0u64, 0u64);
+    for r in all_relays {
+        deltas_applied += r.stats().deltas_applied.load(Ordering::Relaxed);
+        catch_ups += r.stats().catch_ups.load(Ordering::Relaxed);
+    }
+    let age_mean_ms: Vec<f64> = accs
+        .iter()
+        .map(|a| {
+            if a.samples > 0 {
+                a.sum_us / a.samples as f64 / 1e3
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let age_max_ms: Vec<f64> = accs.iter().map(|a| a.max_us as f64 / 1e3).collect();
+    let hop_penalty_mean_ms = if accs[0].samples > 0 && accs[LEVELS].samples > 0 {
+        (age_mean_ms[LEVELS] - age_mean_ms[0]) / LEVELS as f64
+    } else {
+        0.0
+    };
+    RelayRow {
+        sources,
+        cycles,
+        shards: report.shards,
+        levels: LEVELS,
+        relays: L1 + LEAVES,
+        subscribers_target: subscribers,
+        subscribers_registered: registered,
+        subscribers_retained: retained,
+        pushes_to_subscribers: pushes,
+        deltas_applied,
+        catch_ups,
+        age_samples: accs.iter().map(|a| a.samples).sum(),
+        age_mean_ms,
+        age_max_ms,
+        hop_penalty_mean_ms,
+        max_hops_seen: accs[LEVELS].max_hops,
+        engine_wall_ms: report.wall.as_secs_f64() * 1e3,
+    }
 }
 
 /// The result of the deliberate writer/reader seqlock race.
@@ -354,8 +637,88 @@ pub fn malformed_frame_check(frames: usize) -> u64 {
     }
 }
 
+/// Checks a two-level relay chain against its origin: every point
+/// answer through the chain must match the origin bit for bit, leaf
+/// answers must carry the hop count of their depth, and snapshot age
+/// queried origin → relay → leaf (in that order, on frozen state) must
+/// be monotone — accumulated age is never lost at a hop.
+///
+/// Returns (sources × combos checked, leaf age in µs).
+pub fn relay_chain_check() -> (usize, u64) {
+    const SOURCES: usize = 192;
+    let view = SuspectView::new(2, &[(0, 96), (96, 96)]);
+    let mut w0 = view.writer(0);
+    let mut w1 = view.writer(1);
+    w0.publish_words(&[0x5a5a, 0x11, 0xfee1, 0x2], SimTime::from_secs(1));
+    w1.publish_words(&[0x33cc, 0x7, 0x0, 0x9], SimTime::from_secs(1));
+    let origin =
+        ServeServer::start(Arc::clone(&view), ServeConfig::default()).expect("bind origin");
+    let fast = RelayConfig {
+        push_timeout: Duration::from_millis(20),
+        ..RelayConfig::default()
+    };
+    let r1 = Relay::start(origin.local_addr(), fast.clone()).expect("start relay 1");
+    let r2 = Relay::start(r1.local_addr(), fast).expect("start relay 2");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while (0..2).any(|s| r2.view().epoch(s) < 1) {
+        assert!(
+            Instant::now() < deadline,
+            "leaf relay never converged on the origin state"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let mut clients: Vec<ServeClient> = [origin.local_addr(), r1.local_addr(), r2.local_addr()]
+        .iter()
+        .map(|&a| ServeClient::connect(a, Duration::from_secs(5)).expect("connect"))
+        .collect();
+    let mut checked = 0usize;
+    for source in 0..SOURCES as u32 {
+        for combo in 0..2u16 {
+            let mut bits = Vec::with_capacity(3);
+            for (level, client) in clients.iter_mut().enumerate() {
+                match client.point(source, combo).expect("point") {
+                    Response::PointResp { flags, hops, .. } => {
+                        assert_eq!(
+                            usize::from(hops),
+                            level,
+                            "hop count wrong at level {level} (s{source} c{combo})"
+                        );
+                        bits.push(flags & fd_serve::wire::FLAG_SUSPECTING != 0);
+                    }
+                    other => panic!("expected point response, got {other:?}"),
+                }
+            }
+            assert!(
+                bits.windows(2).all(|w| w[0] == w[1]),
+                "relayed answer diverged from the origin at s{source} c{combo}: {bits:?}"
+            );
+            checked += 1;
+        }
+    }
+
+    // Monotone accumulated age: the state is frozen, so querying in
+    // origin → relay → leaf order (with a pause that dwarfs the per-hop
+    // transit loss) must observe non-decreasing ages.
+    let mut ages = [0u64; 3];
+    for (level, client) in clients.iter_mut().enumerate() {
+        match client.point(0, 0).expect("point") {
+            Response::PointResp { age_us, .. } => ages[level] = age_us,
+            other => panic!("expected point response, got {other:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(
+        ages[0] <= ages[1] && ages[1] <= ages[2],
+        "accumulated age lost at a relay hop: {ages:?}"
+    );
+    (checked, ages[2])
+}
+
 /// The CI smoke gate: seqlock integrity under a deliberate race, at
-/// least one published epoch end-to-end, and malformed-frame rejection.
+/// least one published epoch end-to-end with bounded staleness under
+/// the adaptive cadence, bit-for-bit fidelity and hop/age accounting
+/// through a two-level relay chain, and malformed-frame rejection.
 ///
 /// # Panics
 ///
@@ -373,7 +736,7 @@ pub fn run_smoke(seed: u64) {
         tear.reads, tear.epochs, tear.retries
     );
 
-    let row = run_serve_row(256, 4, 2, seed, 2);
+    let row = run_serve_row(256, 4, 2, seed, 2, default_cadence());
     assert!(
         row.epochs_published >= 1,
         "no epoch reached the serving plane"
@@ -382,6 +745,15 @@ pub fn run_smoke(seed: u64) {
         row.point_queries + row.range_queries > 0,
         "load generator got no answers"
     );
+    // The staleness cliff guard: under the churn-driven cadence a served
+    // answer's age is bounded by the publish floor plus scheduling
+    // noise, not by a fixed 500 ms interval. The bound is generous for
+    // loaded CI machines but far below the cliff it guards against.
+    assert!(
+        row.staleness_mean_ms < 250.0,
+        "adaptive cadence lost the staleness bound: mean {:.2} ms",
+        row.staleness_mean_ms
+    );
     println!(
         "  end-to-end: {} epochs, {} answers ({:.0} q/s), p50 {:.0} µs, staleness mean {:.2} ms",
         row.epochs_published,
@@ -389,6 +761,12 @@ pub fn run_smoke(seed: u64) {
         row.qps,
         row.p50_us,
         row.staleness_mean_ms
+    );
+
+    let (parity_checked, leaf_age_us) = relay_chain_check();
+    println!(
+        "  relay chain: {parity_checked} point answers bit-identical through 2 hops, \
+         age monotone (leaf {leaf_age_us} µs)"
     );
 
     let rejected = malformed_frame_check(9);
@@ -401,7 +779,13 @@ pub fn run_smoke(seed: u64) {
 
 /// Renders the benchmark as the `BENCH_serve.json` document (hand-rolled
 /// JSON: the workspace deliberately carries no JSON dependency).
-pub fn render_json(rows: &[ServeRow], shards_requested: usize, seed: u64) -> String {
+pub fn render_json(
+    rows: &[ServeRow],
+    relay_rows: &[RelayRow],
+    shards_requested: usize,
+    seed: u64,
+    cadence: PublishCadence,
+) -> String {
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -412,7 +796,12 @@ pub fn render_json(rows: &[ServeRow], shards_requested: usize, seed: u64) -> Str
     out.push_str(&format!("  \"shards_requested\": {shards_requested},\n"));
     out.push_str(&format!("  \"seed\": {seed},\n"));
     out.push_str("  \"grid_combos\": 30,\n");
-    out.push_str("  \"publish_interval_ms\": 500,\n");
+    out.push_str(&format!(
+        "  \"publish_cadence\": {{\"min_ms\": {}, \"max_ms\": {}, \"churn_threshold\": {}}},\n",
+        cadence.min.as_micros() / 1_000,
+        cadence.max.as_micros() / 1_000,
+        cadence.churn_threshold,
+    ));
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
@@ -443,6 +832,40 @@ pub fn render_json(rows: &[ServeRow], shards_requested: usize, seed: u64) -> Str
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"relay_rows\": [\n");
+    let fmt_vec = |v: &[f64]| {
+        let items: Vec<String> = v.iter().map(|x| format!("{x:.3}")).collect();
+        format!("[{}]", items.join(", "))
+    };
+    for (i, r) in relay_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"sources\": {}, \"cycles\": {}, \"shards\": {}, \"levels\": {}, \
+             \"relays\": {}, \"subscribers_target\": {}, \"subscribers_registered\": {}, \
+             \"subscribers_retained\": {}, \"pushes_to_subscribers\": {}, \
+             \"deltas_applied\": {}, \"catch_ups\": {}, \"age_samples\": {}, \
+             \"age_mean_ms\": {}, \"age_max_ms\": {}, \"hop_penalty_mean_ms\": {:.3}, \
+             \"max_hops_seen\": {}, \"engine_wall_ms\": {:.3}}}{}\n",
+            r.sources,
+            r.cycles,
+            r.shards,
+            r.levels,
+            r.relays,
+            r.subscribers_target,
+            r.subscribers_registered,
+            r.subscribers_retained,
+            r.pushes_to_subscribers,
+            r.deltas_applied,
+            r.catch_ups,
+            r.age_samples,
+            fmt_vec(&r.age_mean_ms),
+            fmt_vec(&r.age_max_ms),
+            r.hop_penalty_mean_ms,
+            r.max_hops_seen,
+            r.engine_wall_ms,
+            if i + 1 == relay_rows.len() { "" } else { "," },
+        ));
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -460,7 +883,7 @@ mod tests {
 
     #[test]
     fn serve_row_answers_queries_end_to_end() {
-        let row = run_serve_row(128, 3, 2, 7, 1);
+        let row = run_serve_row(128, 3, 2, 7, 1, default_cadence());
         assert!(row.epochs_published >= 2, "two segments × final publish");
         assert!(row.point_queries > 0);
         assert!(row.p50_us >= 0.0);
@@ -473,12 +896,36 @@ mod tests {
     }
 
     #[test]
+    fn relay_chain_serves_the_origin_bits() {
+        let (checked, _) = relay_chain_check();
+        assert_eq!(checked, 192 * 2);
+    }
+
+    #[test]
+    fn relay_row_registers_and_samples() {
+        // Tiny population: the full 100k run is the benchmark's job.
+        let row = run_relay_row(128, 3, 2, 7, 400);
+        assert_eq!(row.levels, 2);
+        assert_eq!(row.relays, 6);
+        assert!(
+            row.subscribers_registered >= 400,
+            "registered only {} of 400 subscriptions",
+            row.subscribers_registered
+        );
+        assert!(row.engine_wall_ms > 0.0);
+    }
+
+    #[test]
     fn json_document_is_well_formed_enough() {
-        let rows = vec![run_serve_row(64, 2, 1, 3, 1)];
-        let doc = render_json(&rows, 1, 3);
+        let rows = vec![run_serve_row(64, 2, 1, 3, 1, default_cadence())];
+        let relay_rows = vec![run_relay_row(64, 2, 1, 3, 32)];
+        let doc = render_json(&rows, &relay_rows, 1, 3, default_cadence());
         assert!(doc.starts_with('{') && doc.trim_end().ends_with('}'));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert!(doc.contains("\"qps\""));
         assert!(doc.contains("\"epoch_lag_mean\""));
+        assert!(doc.contains("\"publish_cadence\""));
+        assert!(doc.contains("\"relay_rows\""));
+        assert!(doc.contains("\"hop_penalty_mean_ms\""));
     }
 }

@@ -52,8 +52,8 @@ pub use ntp::{NtpClientLayer, NtpSample, NtpServerLayer};
 pub use process::Process;
 pub use real_engine::{RealEngine, RealEngineConfig};
 pub use sharded::{
-    MonitorEvent, ShardFault, ShardFaultKind, ShardPublisher, ShardStatus, ShardedConfig,
-    ShardedEngine, ShardedReport, SourceCrashPlan, SupervisionConfig,
+    MonitorEvent, PublishCadence, ShardFault, ShardFaultKind, ShardPublisher, ShardStatus,
+    ShardedConfig, ShardedEngine, ShardedReport, SourceCrashPlan, SupervisionConfig,
 };
 pub use sim_engine::SimEngine;
 pub use supervisor::{backoff_us, Recoverable, RestartMode, SupervisorLayer, MAX_BACKOFF_US};

@@ -170,6 +170,66 @@ pub trait ShardPublisher: Sync {
     fn mark_degraded(&self, _shard: usize, _start: usize, _len: usize) {}
 }
 
+/// The publish-pacing policy of a shard: either a fixed virtual-time
+/// timer or a churn-driven controller between a floor and a ceiling.
+///
+/// Under the adaptive policy a shard publishes as soon as the suspicion
+/// edges recorded since its last publication reach `churn_threshold` —
+/// but never more often than once per `min` of virtual time — and
+/// otherwise on a deadline that doubles from `min` toward `max` while
+/// the shard is quiescent, snapping back to `min` whenever churn
+/// triggers. Staleness is then bounded by churn latency (edges force a
+/// publish) rather than a global timer, so it stays flat in source
+/// count, while a quiet shard converges to one publish per `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublishCadence {
+    /// Floor on the time between publications, and the initial deadline
+    /// interval. Must be positive.
+    pub min: SimDuration,
+    /// Ceiling the quiescent deadline backs off toward. `min == max`
+    /// pins the deadline grid.
+    pub max: SimDuration,
+    /// Suspicion edges (start + end transitions) since the last
+    /// publication that force an immediate publish. `u64::MAX` disables
+    /// the churn trigger.
+    pub churn_threshold: u64,
+}
+
+impl PublishCadence {
+    /// The fixed timer: publish every `every` of virtual time on a
+    /// fixed grid anchored at the run start, never early.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn fixed(every: SimDuration) -> Self {
+        assert!(!every.is_zero(), "publish interval must be positive");
+        Self {
+            min: every,
+            max: every,
+            churn_threshold: u64::MAX,
+        }
+    }
+
+    /// A churn-driven cadence: publish once `churn_threshold` edges
+    /// accumulate (rate-limited to one publish per `min`), back off
+    /// toward `max` when quiet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is zero, `max < min`, or the threshold is zero.
+    pub fn adaptive(min: SimDuration, max: SimDuration, churn_threshold: u64) -> Self {
+        assert!(!min.is_zero(), "publish interval must be positive");
+        assert!(max >= min, "cadence ceiling must be at least the floor");
+        assert!(churn_threshold > 0, "churn threshold must be positive");
+        Self {
+            min,
+            max,
+            churn_threshold,
+        }
+    }
+}
+
 /// The contiguous block partition [`ShardedEngine::run`] uses: `(start,
 /// len)` per shard, after clamping the shard count to the source count.
 /// Exposed so a serving-plane view can be laid out to match the engine's
@@ -420,8 +480,21 @@ impl ShardedEngine {
         every: SimDuration,
         publisher: &dyn ShardPublisher,
     ) -> ShardedReport {
-        assert!(!every.is_zero(), "publish interval must be positive");
-        self.run_inner(Some((every, publisher)), None)
+        self.run_inner(Some((PublishCadence::fixed(every), publisher)), None)
+    }
+
+    /// Like [`run_published`](Self::run_published) with a full
+    /// [`PublishCadence`]: the churn-driven adaptive controller, or
+    /// [`PublishCadence::fixed`] for the plain timer.
+    ///
+    /// Publication stays pure observation — results are bit-identical to
+    /// [`run`](Self::run) whatever the cadence.
+    pub fn run_published_with(
+        &self,
+        cadence: PublishCadence,
+        publisher: &dyn ShardPublisher,
+    ) -> ShardedReport {
+        self.run_inner(Some((cadence, publisher)), None)
     }
 
     /// Like [`run`](Self::run), under shard supervision: worker panics
@@ -449,13 +522,23 @@ impl ShardedEngine {
         every: SimDuration,
         publisher: &dyn ShardPublisher,
     ) -> ShardedReport {
-        assert!(!every.is_zero(), "publish interval must be positive");
-        self.run_inner(Some((every, publisher)), Some(sup))
+        self.run_inner(Some((PublishCadence::fixed(every), publisher)), Some(sup))
+    }
+
+    /// Supervision plus a full [`PublishCadence`] — see
+    /// [`run_published_with`](Self::run_published_with).
+    pub fn run_supervised_published_with(
+        &self,
+        sup: &SupervisionConfig,
+        cadence: PublishCadence,
+        publisher: &dyn ShardPublisher,
+    ) -> ShardedReport {
+        self.run_inner(Some((cadence, publisher)), Some(sup))
     }
 
     fn run_inner(
         &self,
-        publish: Option<(SimDuration, &dyn ShardPublisher)>,
+        publish: Option<(PublishCadence, &dyn ShardPublisher)>,
         sup: Option<&SupervisionConfig>,
     ) -> ShardedReport {
         let cfg = &self.config;
@@ -678,6 +761,9 @@ struct ShardCheckpoint {
     lost: u64,
     last_at_us: u64,
     next_pub_us: Option<u64>,
+    last_pub_us: u64,
+    pub_interval_us: u64,
+    edges_at_pub: u64,
     events_done: u64,
 }
 
@@ -689,7 +775,7 @@ struct ShardWorker<'a> {
     cfg: &'a ShardedConfig,
     shard: usize,
     start: usize,
-    publish: Option<(SimDuration, &'a dyn ShardPublisher)>,
+    publish: Option<(PublishCadence, &'a dyn ShardPublisher)>,
     sim: Simulator<Ev>,
     bank: SourceBank,
     models: Vec<SourceModel>,
@@ -708,6 +794,13 @@ struct ShardWorker<'a> {
     lost: u64,
     last_at: SimTime,
     next_pub: Option<SimTime>,
+    /// Virtual instant of the last publication (`ZERO` before the
+    /// first) — the churn rate limiter's reference point.
+    last_pub: SimTime,
+    /// The cadence controller's current deadline interval.
+    pub_interval: SimDuration,
+    /// Suspicion-edge count (start + end) as of the last publication.
+    edges_at_pub: u64,
     /// Events processed by this worker incarnation's logical timeline
     /// (rewinds to the checkpoint value on restore).
     events_done: u64,
@@ -731,7 +824,7 @@ impl<'a> ShardWorker<'a> {
         shard: usize,
         start: usize,
         len: usize,
-        publish: Option<(SimDuration, &'a dyn ShardPublisher)>,
+        publish: Option<(PublishCadence, &'a dyn ShardPublisher)>,
     ) -> Self {
         let mut sim: Simulator<Ev> =
             Simulator::with_backend_and_capacity(Self::backend(len), len * 2);
@@ -799,7 +892,10 @@ impl<'a> ShardWorker<'a> {
             // publishes. The comparison in `step` is one branch per event
             // when no publisher is attached — the whole cost of the
             // serving hook on the hot path.
-            next_pub: publish.map(|(every, _)| SimTime::ZERO + every),
+            next_pub: publish.map(|(cad, _)| SimTime::ZERO + cad.min),
+            last_pub: SimTime::ZERO,
+            pub_interval: publish.map_or(SimDuration::ZERO, |(cad, _)| cad.min),
+            edges_at_pub: 0,
             events_done: 0,
         }
     }
@@ -821,6 +917,9 @@ impl<'a> ShardWorker<'a> {
             lost: self.lost,
             last_at_us: self.last_at.as_micros(),
             next_pub_us: self.next_pub.map(|t| t.as_micros()),
+            last_pub_us: self.last_pub.as_micros(),
+            pub_interval_us: self.pub_interval.as_micros(),
+            edges_at_pub: self.edges_at_pub,
             events_done: self.events_done,
         }
     }
@@ -837,7 +936,7 @@ impl<'a> ShardWorker<'a> {
         shard: usize,
         start: usize,
         len: usize,
-        publish: Option<(SimDuration, &'a dyn ShardPublisher)>,
+        publish: Option<(PublishCadence, &'a dyn ShardPublisher)>,
         ckpt: &ShardCheckpoint,
         mode: RestartMode,
     ) -> Self {
@@ -920,6 +1019,9 @@ impl<'a> ShardWorker<'a> {
             lost: ckpt.lost,
             last_at,
             next_pub: ckpt.next_pub_us.map(us_time),
+            last_pub: us_time(ckpt.last_pub_us),
+            pub_interval: SimDuration::from_micros(ckpt.pub_interval_us),
+            edges_at_pub: ckpt.edges_at_pub,
             events_done: ckpt.events_done,
         }
     }
@@ -984,15 +1086,41 @@ impl<'a> ShardWorker<'a> {
         }
         self.events_done += 1;
         if let Some(due) = self.next_pub {
-            if at >= due {
-                let (every, publisher) =
-                    self.publish.expect("next_pub set only with a publisher");
+            let (cad, publisher) =
+                self.publish.expect("next_pub set only with a publisher");
+            let edges = self.rec.start_suspects + self.rec.end_suspects;
+            let edges_since = edges - self.edges_at_pub;
+            // Churn trigger: enough suspicion edges accumulated since the
+            // last publication, rate-limited to one publish per `min`.
+            let churned =
+                edges_since >= cad.churn_threshold && at >= self.last_pub + cad.min;
+            if at >= due || churned {
                 publisher.publish(self.shard, self.start, &self.bank, at);
+                // The publisher consumed (a superset of) the dirty words;
+                // from here the bitmap need only cover new changes.
+                self.bank.clear_dirty();
+                self.last_pub = at;
+                self.edges_at_pub = edges;
+                self.pub_interval = if churned {
+                    // Churn beat the deadline: snap the controller back
+                    // to its floor while the shard is busy.
+                    cad.min
+                } else if edges_since == 0 {
+                    // Quiescent deadline: back off toward the ceiling.
+                    SimDuration::from_micros(
+                        self.pub_interval.as_micros().saturating_mul(2),
+                    )
+                    .min(cad.max)
+                } else {
+                    self.pub_interval
+                };
                 // Skip over publication instants the event stream jumped
-                // past: the next due time is strictly after `at`.
-                let mut due = due;
+                // past: the next due time is strictly after `at`. A
+                // churn-triggered publish re-anchors the grid at `at`,
+                // which is what keeps a fixed cadence's grid untouched.
+                let mut due = if churned && at < due { at } else { due };
                 while due <= at {
-                    due += every;
+                    due += self.pub_interval;
                 }
                 self.next_pub = Some(due);
             }
@@ -1038,7 +1166,7 @@ fn run_shard(
     shard: usize,
     start: usize,
     len: usize,
-    publish: Option<(SimDuration, &dyn ShardPublisher)>,
+    publish: Option<(PublishCadence, &dyn ShardPublisher)>,
 ) -> ShardOut {
     let mut worker = ShardWorker::new(cfg, shard, start, len, publish);
     while worker.step() {}
@@ -1177,7 +1305,7 @@ fn run_shard_supervised(
     shard: usize,
     start: usize,
     len: usize,
-    publish: Option<(SimDuration, &dyn ShardPublisher)>,
+    publish: Option<(PublishCadence, &dyn ShardPublisher)>,
 ) -> (Option<ShardOut>, ShardStatus) {
     let mut faults: Vec<ShardFault> = sup
         .faults
@@ -1550,6 +1678,99 @@ mod tests {
         let calls = publisher.calls.load(Ordering::Relaxed);
         assert!(calls >= 3, "only {calls} publications across 3 shards");
         assert!(publisher.last_at.load(Ordering::Relaxed) > 0);
+    }
+
+    /// The churn-driven cadence publishes strictly more often than the
+    /// deadline grid on a lively workload (edges trip the threshold
+    /// before the timer), and is still pure observation.
+    #[test]
+    fn adaptive_cadence_publishes_on_churn_and_stays_observation_only() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let baseline = ShardedEngine::new(busy_config(24, 3)).run();
+        let fixed = CountingPublisher {
+            calls: AtomicU64::new(0),
+            last_at: AtomicU64::new(0),
+        };
+        ShardedEngine::new(busy_config(24, 3))
+            .run_published(SimDuration::from_millis(500), &fixed);
+        let adaptive = CountingPublisher {
+            calls: AtomicU64::new(0),
+            last_at: AtomicU64::new(0),
+        };
+        let report = ShardedEngine::new(busy_config(24, 3)).run_published_with(
+            PublishCadence::adaptive(
+                SimDuration::from_millis(1),
+                SimDuration::from_millis(500),
+                4,
+            ),
+            &adaptive,
+        );
+        assert_eq!(baseline.fingerprint, report.fingerprint);
+        assert_eq!(baseline.events, report.events);
+        assert!(
+            adaptive.calls.load(Ordering::Relaxed) > fixed.calls.load(Ordering::Relaxed),
+            "churn trigger never beat the 500 ms deadline grid"
+        );
+    }
+
+    /// With no suspicion churn at all, the adaptive deadline backs off
+    /// toward its ceiling: far fewer publications than a fixed timer at
+    /// the same floor interval.
+    #[test]
+    fn adaptive_cadence_backs_off_when_quiescent() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let mut quiet = busy_config(24, 2);
+        quiet.loss = 0.0;
+        quiet.spike_prob = 0.0;
+        let fixed = CountingPublisher {
+            calls: AtomicU64::new(0),
+            last_at: AtomicU64::new(0),
+        };
+        ShardedEngine::new(quiet.clone()).run_published(SimDuration::from_millis(1), &fixed);
+        let adaptive = CountingPublisher {
+            calls: AtomicU64::new(0),
+            last_at: AtomicU64::new(0),
+        };
+        ShardedEngine::new(quiet).run_published_with(
+            PublishCadence::adaptive(
+                SimDuration::from_millis(1),
+                SimDuration::from_millis(2_000),
+                64,
+            ),
+            &adaptive,
+        );
+        let fixed_calls = fixed.calls.load(Ordering::Relaxed);
+        let adaptive_calls = adaptive.calls.load(Ordering::Relaxed);
+        assert!(
+            adaptive_calls * 4 <= fixed_calls,
+            "backoff never engaged: {adaptive_calls} adaptive vs {fixed_calls} fixed"
+        );
+    }
+
+    /// Supervision composes with the adaptive cadence: warm restarts
+    /// restore the cadence controller from the checkpoint and the run's
+    /// results stay bit-identical to the unsupervised engine.
+    #[test]
+    fn adaptive_cadence_survives_supervised_restarts() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let baseline = ShardedEngine::new(busy_config(24, 3)).run();
+        let publisher = CountingPublisher {
+            calls: AtomicU64::new(0),
+            last_at: AtomicU64::new(0),
+        };
+        let sup = SupervisionConfig::with_restart(RestartMode::Warm).seeded_chaos(7, 3, 4);
+        let report = ShardedEngine::new(busy_config(24, 3)).run_supervised_published_with(
+            &sup,
+            PublishCadence::adaptive(
+                SimDuration::from_millis(1),
+                SimDuration::from_millis(500),
+                8,
+            ),
+            &publisher,
+        );
+        assert_eq!(baseline.digest, report.digest);
+        assert_eq!(baseline.qos, report.qos);
+        assert!(publisher.calls.load(Ordering::Relaxed) >= 3);
     }
 
     #[test]

@@ -269,8 +269,18 @@ impl ServeClient {
 
     /// Registers a standing delta subscription on `segment`; pushes
     /// arrive via [`recv_push`](Self::recv_push). Fire-and-forget (UDP).
-    pub fn subscribe(&mut self, segment: u16, since_epoch: u64) -> io::Result<()> {
+    /// Returns the subscription token the server will echo in pushes.
+    pub fn subscribe(&mut self, segment: u16, since_epoch: u64) -> io::Result<u32> {
         let token = self.token();
+        self.subscribe_as(token, segment, since_epoch)?;
+        Ok(token)
+    }
+
+    /// Like [`subscribe`](Self::subscribe) with a caller-chosen token.
+    /// The server keys subscriptions by `(peer, segment, token)`, so a
+    /// re-send with the same token *replaces* the entry (idempotent
+    /// registration) and one socket can hold many logical subscribers.
+    pub fn subscribe_as(&mut self, token: u32, segment: u16, since_epoch: u64) -> io::Result<()> {
         self.socket.send_to(
             &Request::Subscribe {
                 token,
@@ -281,6 +291,12 @@ impl ServeClient {
             self.servers[self.current],
         )?;
         Ok(())
+    }
+
+    /// Queries the shape of the served view (sources, combos, segments).
+    pub fn info(&mut self) -> io::Result<Response> {
+        let token = self.token();
+        self.roundtrip(Request::Info { token })
     }
 
     /// Cancels a subscription.
@@ -352,7 +368,11 @@ impl ShardPublisher for EnginePublisher {
             "engine partition diverged from the view's"
         );
         let mut writer = self.writers[shard].lock().expect("segment writer poisoned");
-        writer.publish(bank, now);
+        // Incremental: only the bank's dirty words are copied and
+        // diffed. The engine clears the bitmap after this hook returns,
+        // so the dirty set always covers everything since the previous
+        // publication (and a restarted shard's bank starts all-dirty).
+        writer.publish_dirty(bank, now);
     }
 
     fn mark_degraded(&self, shard: usize, start: usize, _len: usize) {

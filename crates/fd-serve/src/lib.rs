@@ -11,27 +11,36 @@
 //!
 //! * [`SuspectView`] ([`view`]) — an epoch-versioned, seqlock-style
 //!   double-buffered publication of the per-shard N×30 suspect bitmaps.
-//!   Engine shards publish at a configured interval (writers never
-//!   wait); any number of query threads read wait-free, retrying only a
-//!   read that raced *two* publications. A served answer carries its
-//!   epoch, the publishing shard's virtual time, and a wall-clock age —
-//!   so staleness is measurable, not anecdotal.
+//!   Engine shards publish incrementally — a dirty-word cover bounds the
+//!   rewrite, per-epoch deltas are exact by construction — under a
+//!   churn-adaptive cadence (writers never wait); any number of query
+//!   threads read wait-free, retrying only a read that raced *two*
+//!   publications. A served answer carries its epoch, the publishing
+//!   shard's virtual time, a wall-clock age, and a relay hop count — so
+//!   staleness is measurable, not anecdotal, at any fan-out depth.
 //! * [`wire`] — a compact binary protocol (point query, bulk range,
-//!   delta-since-epoch, subscriptions) on the shared [`fd_net::framing`]
-//!   header, with heartbeat-style count-and-drop handling of malformed
-//!   frames.
+//!   delta-since-epoch, subscriptions, view-layout info) on the shared
+//!   [`fd_net::framing`] header, with heartbeat-style count-and-drop
+//!   handling of malformed frames.
 //! * [`ServeServer`] ([`server`]) — a std-only nonblocking-UDP thread
 //!   pool answering queries against the view, with bounded per-subscriber
 //!   backpressure (lag beyond a configured bound ⇒ one `Resync`, drop).
+//! * [`Relay`] ([`relay`]) — a fan-out node: subscribes upstream like any
+//!   client, maintains a full replica view from the delta stream
+//!   (reconciling stale pushes via catch-up, never a silently wrong
+//!   replica), and re-serves it through an embedded [`ServeServer`] so
+//!   k-ary relay trees carry ≥100k subscribers with per-hop age
+//!   accounting.
 //! * [`ServeClient`] / [`EnginePublisher`] ([`client`]) — the blocking
-//!   query client used by load generators, and the bridge that plugs a
-//!   view into [`fd_runtime::ShardedEngine::run_published`].
+//!   query client used by load generators and relays, and the bridge that
+//!   plugs a view into [`fd_runtime::ShardedEngine::run_published`].
 //!
 //! The `serve` binary in `fd-experiments` drives a 100k-source grid
-//! against this stack and records queries/sec, latency percentiles and
-//! snapshot staleness to `BENCH_serve.json`.
+//! against this stack and records queries/sec, latency percentiles,
+//! snapshot staleness and relay-tree fan-out rows to `BENCH_serve.json`.
 
 pub mod client;
+pub mod relay;
 pub mod server;
 pub mod view;
 pub mod wire;
@@ -56,6 +65,7 @@ pub(crate) mod sync {
 }
 
 pub use client::{EnginePublisher, RetryPolicy, ServeClient};
+pub use relay::{Relay, RelayConfig, RelayStats};
 pub use server::{respond, ServeConfig, ServeServer, ServeStats};
 pub use view::{DeltaRead, PointRead, RangeRead, SegmentWriter, SuspectView, WordDelta};
 pub use wire::{Request, Response};

@@ -1,0 +1,573 @@
+//! A relay node of the serve-plane fan-out tree: subscribes upstream
+//! (to the origin server or to another relay), reconstructs a full
+//! [`SuspectView`] replica from delta pushes, and re-serves
+//! point/range/delta/subscribe downstream through an ordinary
+//! [`ServeServer`]. k-ary trees of relays turn one publisher into
+//! ≥100k-subscriber fan-out without the origin pusher walking a
+//! 100k-entry table.
+//!
+//! # Staleness accounting contract
+//!
+//! Every answer a relay serves carries an **honest accumulated age**:
+//! the upstream push stamps the epoch's `virtual_us` (the publishing
+//! shard's virtual instant — identical at every depth, so virtual
+//! timestamps never drift), its wall `age_us` at send time, and its
+//! `hops`. The relay republishes the replica with `base_age_us` set to
+//! that upstream age and `hops + 1`; a downstream read then reports
+//! `base_age_us` plus the replica's own local age. The per-hop error is
+//! only the network transit of the push frame itself (microseconds on a
+//! LAN), which is unmeasurable without synchronized clocks and bounded
+//! in practice by the upstream push interval.
+//!
+//! # Sync protocol
+//!
+//! Two upstream sockets, deliberately split:
+//!
+//! * the **push** socket holds one standing subscription per segment
+//!   (token = segment index, so a re-subscribe *replaces* rather than
+//!   stacks) and only ever receives;
+//! * the **control** socket does request/response catch-up (info,
+//!   one-shot deltas, range paging) so a catch-up roundtrip can never
+//!   eat a concurrent push off the push socket's queue.
+//!
+//! A push whose `from_epoch` does not match the replica (a lost or
+//! reordered UDP frame) triggers a control-plane catch-up: first a
+//! one-shot delta from the epoch the replica holds, and only if that
+//! window already left the upstream delta ring a paged full-range
+//! snapshot — the replica is **never** silently wrong, it either
+//! applies a delta chain rooted at its own epoch or rebuilds from a
+//! consistent snapshot.
+
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use fd_sim::SimTime;
+
+use crate::client::{RetryPolicy, ServeClient};
+use crate::server::{ServeConfig, ServeServer};
+use crate::sync::{AtomicBool, AtomicU64, Ordering};
+use crate::view::{SegmentWriter, SuspectView};
+use crate::wire::{Response, MAX_RANGE_WORDS};
+
+/// Relay tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RelayConfig {
+    /// Downstream server configuration (bind address, workers, pusher).
+    pub serve: ServeConfig,
+    /// Push-socket receive window. On expiry the relay re-subscribes
+    /// every segment (idempotent by token), healing lost subscribe
+    /// datagrams and upstream pusher drops.
+    pub push_timeout: Duration,
+    /// Control-socket per-attempt roundtrip timeout.
+    pub ctl_timeout: Duration,
+    /// Bounded attempts per catch-up (delta chain or snapshot + delta
+    /// reconcile) before the relay gives up until the next push.
+    pub resync_attempts: u32,
+}
+
+impl Default for RelayConfig {
+    fn default() -> RelayConfig {
+        RelayConfig {
+            serve: ServeConfig::default(),
+            push_timeout: Duration::from_millis(100),
+            ctl_timeout: Duration::from_secs(2),
+            resync_attempts: 8,
+        }
+    }
+}
+
+/// Relay sync counters, all monotone.
+#[derive(Debug, Default)]
+pub struct RelayStats {
+    /// Delta pushes applied in-order to the replica.
+    pub deltas_applied: AtomicU64,
+    /// Pushes whose `from_epoch` missed the replica's epoch (lost or
+    /// reordered frames) — each one triggers a control-plane catch-up.
+    pub stale_pushes: AtomicU64,
+    /// Control-plane catch-ups started (stale push, upstream `Resync`,
+    /// or push-window timeout with lag).
+    pub catch_ups: AtomicU64,
+    /// Full range-paged snapshots (the delta window had left the
+    /// upstream ring).
+    pub snapshots: AtomicU64,
+    /// Push-socket receive windows that expired without a frame.
+    pub push_timeouts: AtomicU64,
+}
+
+/// One segment's replica state inside the sync thread.
+struct SegReplica {
+    writer: SegmentWriter,
+    /// Shadow bitmap, combo-major, exactly the segment's buffer layout.
+    shadow: Vec<u64>,
+    /// Epoch the shadow holds (0 = nothing applied yet).
+    applied: u64,
+}
+
+/// A running relay: downstream [`ServeServer`] plus the upstream sync
+/// thread. Dropping it stops and joins everything.
+pub struct Relay {
+    server: ServeServer,
+    view: Arc<SuspectView>,
+    stats: Arc<RelayStats>,
+    stop: Arc<AtomicBool>,
+    sync_handle: Option<JoinHandle<()>>,
+}
+
+impl Relay {
+    /// Connects to `upstream`, bootstraps the replica layout from an
+    /// `Info` query, starts the downstream server and the sync thread.
+    pub fn start(upstream: impl ToSocketAddrs, cfg: RelayConfig) -> io::Result<Relay> {
+        let upstreams: Vec<SocketAddr> = upstream.to_socket_addrs()?.collect();
+        if upstreams.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "no upstream address",
+            ));
+        }
+        let mut ctl = ServeClient::connect_with(
+            &upstreams[..],
+            cfg.ctl_timeout,
+            RetryPolicy::default(),
+        )?;
+        let (sources, combos, seg_lens) = match ctl.info()? {
+            Response::InfoResp {
+                sources,
+                combos,
+                seg_lens,
+                ..
+            } => (sources as usize, usize::from(combos), seg_lens),
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected info reply: {other:?}"),
+                ))
+            }
+        };
+        // Rebuild the upstream's exact segment layout so word indices in
+        // delta frames line up — assuming the engine partition here would
+        // silently corrupt replicas of custom layouts.
+        let mut blocks: Vec<(usize, usize)> = Vec::with_capacity(seg_lens.len());
+        let mut start = 0usize;
+        for len in seg_lens {
+            blocks.push((start, len as usize));
+            start += len as usize;
+        }
+        if start != sources || blocks.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "upstream segment layout does not cover its sources",
+            ));
+        }
+        let view = SuspectView::new(combos, &blocks);
+        let replicas: Vec<SegReplica> = (0..view.segments())
+            .map(|seg| {
+                let (_, len) = view.segment_block(seg);
+                SegReplica {
+                    writer: view.writer(seg),
+                    shadow: vec![0u64; combos * len.div_ceil(64)],
+                    applied: 0,
+                }
+            })
+            .collect();
+        let server = ServeServer::start(Arc::clone(&view), cfg.serve.clone())?;
+        let push = ServeClient::connect(&upstreams[..], cfg.push_timeout)?;
+
+        let stats = Arc::new(RelayStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let sync_handle = {
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            let view = Arc::clone(&view);
+            let attempts = cfg.resync_attempts.max(1);
+            std::thread::Builder::new()
+                .name("fd-serve-relay-sync".to_string())
+                .spawn(move || sync_loop(ctl, push, &view, replicas, &stop, &stats, attempts))
+                .expect("spawn relay sync thread")
+        };
+        Ok(Relay {
+            server,
+            view,
+            stats,
+            stop,
+            sync_handle: Some(sync_handle),
+        })
+    }
+
+    /// The downstream serving address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// The replica view (for direct in-process reads in tests/benches).
+    pub fn view(&self) -> &Arc<SuspectView> {
+        &self.view
+    }
+
+    /// The downstream server (its stats and subscription table).
+    pub fn server(&self) -> &ServeServer {
+        &self.server
+    }
+
+    /// The sync counters.
+    pub fn stats(&self) -> &RelayStats {
+        &self.stats
+    }
+
+    /// Stops and joins the sync thread and the downstream server.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.sync_handle.take() {
+            let _ = h.join();
+        }
+        self.server.shutdown();
+    }
+}
+
+impl Drop for Relay {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Applies `changes` to the shadow and republishes the replica
+/// incrementally with accumulated age and hop count.
+fn apply_changes(
+    rep: &mut SegReplica,
+    changes: &[(u32, u64)],
+    to_epoch: u64,
+    virtual_us: u64,
+    age_us: u64,
+    hops: u8,
+) {
+    let mut touched: Vec<u32> = Vec::with_capacity(changes.len());
+    for &(index, value) in changes {
+        if let Some(w) = rep.shadow.get_mut(index as usize) {
+            *w = value;
+            touched.push(index);
+        }
+    }
+    rep.applied = to_epoch;
+    rep.writer.publish_replica_changes(
+        &rep.shadow,
+        &touched,
+        SimTime::from_micros(virtual_us),
+        age_us,
+        hops.saturating_add(1),
+    );
+}
+
+/// Control-plane catch-up for one segment: a one-shot delta rooted at
+/// the replica's epoch, falling back to a paged full-range snapshot
+/// (plus a reconciling delta for the stamp) when the window left the
+/// upstream ring. Returns `true` once the replica is current.
+fn catch_up(
+    ctl: &mut ServeClient,
+    rep: &mut SegReplica,
+    seg: usize,
+    block: (usize, usize),
+    combos: usize,
+    attempts: u32,
+    stats: &RelayStats,
+) -> bool {
+    bump(&stats.catch_ups);
+    for _ in 0..attempts {
+        match ctl.delta_since(seg as u16, rep.applied) {
+            Ok(Response::DeltaResp {
+                from_epoch,
+                to_epoch,
+                virtual_us,
+                age_us,
+                hops,
+                changes,
+                ..
+            }) if from_epoch == rep.applied => {
+                // Rooted at what we hold: applying lands us on to_epoch.
+                // A snapshot immediately before this (`applied` freshly
+                // rebuilt) publishes full; otherwise incrementally.
+                let full = rep.applied == 0;
+                apply_changes(rep, &changes, to_epoch, virtual_us, age_us, hops);
+                if full {
+                    rep.writer.publish_replica_full(
+                        &rep.shadow,
+                        SimTime::from_micros(virtual_us),
+                        age_us,
+                        hops.saturating_add(1),
+                    );
+                }
+                return true;
+            }
+            Ok(Response::Resync { .. }) | Ok(Response::DeltaResp { .. }) => {
+                // Window gone (or the upstream moved underneath the
+                // roundtrip): rebuild from a consistent snapshot, then
+                // loop to reconcile and stamp via the delta path.
+                bump(&stats.snapshots);
+                match snapshot(ctl, rep, block, combos) {
+                    Ok(epoch) => {
+                        rep.applied = epoch;
+                        // Publish the snapshot now? Not yet — the next
+                        // loop iteration fetches the (possibly empty)
+                        // delta from `epoch`, which carries the stamp.
+                        continue;
+                    }
+                    Err(_) => continue,
+                }
+            }
+            // Upstream segment unpublished (or unreachable): nothing to
+            // catch up to; the standing subscription covers the future.
+            Ok(_) | Err(_) => return false,
+        }
+    }
+    false
+}
+
+/// Pages the segment's full bitmap (every combo) through range queries
+/// at one consistent epoch; fails if the epoch moves mid-snapshot.
+fn snapshot(
+    ctl: &mut ServeClient,
+    rep: &mut SegReplica,
+    (start, len): (usize, usize),
+    combos: usize,
+) -> io::Result<u64> {
+    let words_per = len.div_ceil(64);
+    let mut epoch_seen: Option<u64> = None;
+    let inconsistent = || io::Error::new(io::ErrorKind::InvalidData, "snapshot epoch moved");
+    for combo in 0..combos {
+        let mut w = 0usize;
+        while w < words_per {
+            let first = (start + w * 64) as u32;
+            let ask = (words_per - w).min(MAX_RANGE_WORDS) as u16;
+            match ctl.range(combo as u16, first, ask)? {
+                Response::RangeResp {
+                    epoch,
+                    first_word_source,
+                    words,
+                    ..
+                } => {
+                    if *epoch_seen.get_or_insert(epoch) != epoch {
+                        return Err(inconsistent());
+                    }
+                    if first_word_source != first || words.is_empty() {
+                        return Err(inconsistent());
+                    }
+                    let dst = combo * words_per + w;
+                    let n = words.len().min(words_per - w);
+                    rep.shadow[dst..dst + n].copy_from_slice(&words[..n]);
+                    w += n;
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected range reply: {other:?}"),
+                    ))
+                }
+            }
+        }
+    }
+    epoch_seen.ok_or_else(inconsistent)
+}
+
+fn sync_loop(
+    mut ctl: ServeClient,
+    mut push: ServeClient,
+    view: &SuspectView,
+    mut replicas: Vec<SegReplica>,
+    stop: &AtomicBool,
+    stats: &RelayStats,
+    attempts: u32,
+) {
+    let combos = view.combos();
+    let blocks: Vec<(usize, usize)> = (0..view.segments())
+        .map(|s| view.segment_block(s))
+        .collect();
+    let subscribe_all = |push: &mut ServeClient, replicas: &[SegReplica]| {
+        for (s, rep) in replicas.iter().enumerate() {
+            // Token = segment index: a re-send replaces the entry, so
+            // the keepalive below can never stack duplicates.
+            let _ = push.subscribe_as(s as u32, s as u16, rep.applied);
+        }
+    };
+    subscribe_all(&mut push, &replicas);
+    while !stop.load(Ordering::Acquire) {
+        match push.recv_push() {
+            Ok(Response::DeltaResp {
+                segment,
+                from_epoch,
+                to_epoch,
+                virtual_us,
+                age_us,
+                hops,
+                changes,
+                ..
+            }) => {
+                let s = usize::from(segment);
+                let Some(rep) = replicas.get_mut(s) else {
+                    continue;
+                };
+                if from_epoch == rep.applied {
+                    apply_changes(rep, &changes, to_epoch, virtual_us, age_us, hops);
+                    bump(&stats.deltas_applied);
+                } else if to_epoch > rep.applied {
+                    // A push got lost or reordered; the chain is broken,
+                    // so rebuild through the control plane and re-root
+                    // the subscription at what we now hold.
+                    bump(&stats.stale_pushes);
+                    catch_up(&mut ctl, rep, s, blocks[s], combos, attempts, stats);
+                    let _ = push.subscribe_as(s as u32, segment, rep.applied);
+                }
+                // to_epoch <= applied: duplicate/stale frame, ignore.
+            }
+            Ok(Response::Resync { segment, .. }) => {
+                // The upstream pusher dropped us as a laggard. Catch up
+                // and re-subscribe (the drop removed the table entry).
+                let s = usize::from(segment);
+                if let Some(rep) = replicas.get_mut(s) {
+                    catch_up(&mut ctl, rep, s, blocks[s], combos, attempts, stats);
+                    let _ = push.subscribe_as(s as u32, segment, rep.applied);
+                }
+            }
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Quiet window: refresh every subscription (idempotent)
+                // so a lost subscribe frame or an upstream restart heals
+                // within one push window.
+                bump(&stats.push_timeouts);
+                subscribe_all(&mut push, &replicas);
+            }
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    /// Origin view (2 segments) → relay → client queries answer
+    /// bit-for-bit with hop accounting.
+    #[test]
+    fn relay_replicates_and_serves_with_hop_accounting() {
+        let view = SuspectView::new(2, &[(0, 64), (64, 66)]);
+        let mut w0 = view.writer(0);
+        let mut w1 = view.writer(1);
+        w0.publish_words(&[0b101, 0], SimTime::from_secs(1));
+        w1.publish_words(&[0b11, 0, 0, 1], SimTime::from_secs(1));
+        let origin = ServeServer::start(Arc::clone(&view), ServeConfig::default()).expect("bind");
+        let mut relay = Relay::start(
+            origin.local_addr(),
+            RelayConfig {
+                push_timeout: Duration::from_millis(20),
+                ..RelayConfig::default()
+            },
+        )
+        .expect("relay");
+
+        // Wait for the replica to converge on both segments.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while relay.view().epoch(0) < 1 || relay.view().epoch(1) < 1 {
+            assert!(Instant::now() < deadline, "relay never caught up");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        let mut client =
+            ServeClient::connect(relay.local_addr(), Duration::from_secs(5)).expect("connect");
+        // Bit-for-bit parity with the origin, one extra hop.
+        for (source, combo, expect) in [(0u32, 0u16, true), (1, 0, false), (2, 0, true)] {
+            match client.point(source, combo).expect("point") {
+                Response::PointResp { flags, hops, .. } => {
+                    assert_eq!(
+                        flags & crate::wire::FLAG_SUSPECTING != 0,
+                        expect,
+                        "source {source} combo {combo}"
+                    );
+                    assert_eq!(hops, 1, "relay answers are one hop deep");
+                }
+                other => panic!("expected point response, got {other:?}"),
+            }
+        }
+        match client.range(0, 64, 4).expect("range") {
+            Response::RangeResp { words, hops, .. } => {
+                assert_eq!(words, vec![0b11, 0]);
+                assert_eq!(hops, 1);
+            }
+            other => panic!("expected range response, got {other:?}"),
+        }
+
+        // New epochs flow through: publish a change at the origin and
+        // watch the relay converge to the same bits.
+        w0.publish_words(&[0b111, 1], SimTime::from_secs(2));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while relay.view().epoch(0) < 2 {
+            assert!(Instant::now() < deadline, "delta push never applied");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        match client.point(1, 0).expect("point") {
+            Response::PointResp { flags, epoch, .. } => {
+                assert_ne!(flags & crate::wire::FLAG_SUSPECTING, 0);
+                assert_eq!(epoch, 2);
+            }
+            other => panic!("expected point response, got {other:?}"),
+        }
+        relay.shutdown();
+    }
+
+    /// A two-level chain accumulates hops and never loses bits.
+    #[test]
+    fn two_level_relay_chain_accumulates_hops() {
+        let view = SuspectView::new(1, &[(0, 100)]);
+        let mut w = view.writer(0);
+        w.publish_words(&[0xF0F0, 1], SimTime::from_secs(1));
+        let origin = ServeServer::start(Arc::clone(&view), ServeConfig::default()).expect("bind");
+        let mut r1 = Relay::start(
+            origin.local_addr(),
+            RelayConfig {
+                push_timeout: Duration::from_millis(20),
+                ..RelayConfig::default()
+            },
+        )
+        .expect("relay 1");
+        let mut r2 = Relay::start(
+            r1.local_addr(),
+            RelayConfig {
+                push_timeout: Duration::from_millis(20),
+                ..RelayConfig::default()
+            },
+        )
+        .expect("relay 2");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while r2.view().epoch(0) < 1 {
+            assert!(Instant::now() < deadline, "2-hop replica never caught up");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let mut client =
+            ServeClient::connect(r2.local_addr(), Duration::from_secs(5)).expect("connect");
+        match client.range(0, 0, 4).expect("range") {
+            Response::RangeResp {
+                words,
+                hops,
+                epoch,
+                ..
+            } => {
+                assert_eq!(words, vec![0xF0F0, 1]);
+                assert_eq!(hops, 2, "two relay hops");
+                assert_eq!(epoch, 1);
+            }
+            other => panic!("expected range response, got {other:?}"),
+        }
+        r2.shutdown();
+        r1.shutdown();
+    }
+}

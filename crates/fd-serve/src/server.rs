@@ -37,7 +37,7 @@ use crate::sync::{AtomicBool, AtomicU64, Mutex, Ordering};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::view::{DeltaRead, SuspectView};
+use crate::view::{DeltaRead, PublicationMeta, SuspectView};
 use crate::wire::{
     Request, Response, ERR_BAD_SEGMENT, ERR_OUT_OF_RANGE, ERR_SUB_LIMIT, FLAG_PUBLISHED,
     FLAG_SEGMENT_DEGRADED, FLAG_SUSPECTING, MAX_RANGE_WORDS,
@@ -112,6 +112,8 @@ pub struct ServeStats {
     /// Subscribers dropped for exceeding the lag bound or losing their
     /// delta window.
     pub subs_dropped: AtomicU64,
+    /// Info queries answered.
+    pub served_info: AtomicU64,
 }
 
 impl ServeStats {
@@ -119,6 +121,13 @@ impl ServeStats {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 }
+
+/// Subscription-table key: one standing subscription per `(peer,
+/// segment, token)`. The token lets one socket carry many logical
+/// subscribers (a relay's downstream fan-out, a load generator), and a
+/// re-subscribe with the same token replaces the entry instead of
+/// stacking a duplicate.
+type SubKey = (SocketAddr, u16, u32);
 
 struct SubState {
     /// Last epoch the subscriber has been sent (it holds this epoch's
@@ -130,8 +139,35 @@ struct SubState {
 pub struct ServeServer {
     stop: Arc<AtomicBool>,
     stats: Arc<ServeStats>,
+    subs: Arc<Mutex<HashMap<SubKey, SubState>>>,
     local_addr: SocketAddr,
     handles: Vec<JoinHandle<()>>,
+}
+
+/// Reads the delta since `since_epoch` together with the publication
+/// meta of the epoch the answer refers to, retrying when a publication
+/// lands between the two reads so the stamp matches the epoch exactly.
+/// After the retry budget (a pathological publish storm) the freshest
+/// meta is used.
+fn delta_with_meta(
+    view: &SuspectView,
+    seg: usize,
+    since_epoch: u64,
+) -> Option<(DeltaRead, PublicationMeta)> {
+    let mut delta = view.delta_since(seg, since_epoch)?;
+    for _ in 0..64 {
+        let meta = view.publication_meta(seg)?;
+        let to = match delta {
+            DeltaRead::Changes { to_epoch, .. } => to_epoch,
+            DeltaRead::Resync { current_epoch } => current_epoch,
+        };
+        if meta.epoch == to {
+            return Some((delta, meta));
+        }
+        delta = view.delta_since(seg, since_epoch)?;
+    }
+    let meta = view.publication_meta(seg)?;
+    Some((delta, meta))
 }
 
 /// Answers one well-formed datagram against the view. Pure with respect
@@ -172,6 +208,7 @@ pub fn respond(view: &SuspectView, stats: &ServeStats, data: &[u8]) -> Option<Ve
                                 0
                             },
                         age_us: ans.age_us,
+                        hops: ans.hops,
                     },
                     // Not yet published: answer "fresh, not suspecting,
                     // unpublished" rather than erroring — the grid warms
@@ -190,6 +227,7 @@ pub fn respond(view: &SuspectView, stats: &ServeStats, data: &[u8]) -> Option<Ve
                             0
                         },
                         age_us: 0,
+                        hops: 0,
                     },
                 }
             }
@@ -220,6 +258,7 @@ pub fn respond(view: &SuspectView, stats: &ServeStats, data: &[u8]) -> Option<Ve
                                 0
                             },
                         age_us: ans.age_us,
+                        hops: ans.hops,
                         first_word_source: ans.first_source,
                         words: ans.words,
                     }
@@ -237,22 +276,28 @@ pub fn respond(view: &SuspectView, stats: &ServeStats, data: &[u8]) -> Option<Ve
             token,
             segment,
             since_epoch,
-        } => match view.delta_since(usize::from(segment), since_epoch) {
-            Some(DeltaRead::Changes {
-                from_epoch,
-                to_epoch,
-                changes,
-            }) => {
+        } => match delta_with_meta(view, usize::from(segment), since_epoch) {
+            Some((
+                DeltaRead::Changes {
+                    from_epoch,
+                    to_epoch,
+                    changes,
+                },
+                meta,
+            )) => {
                 ServeStats::bump(&stats.served_delta);
                 Response::DeltaResp {
                     token,
                     segment,
                     from_epoch,
                     to_epoch,
+                    virtual_us: meta.published_at.as_micros(),
+                    age_us: meta.age_us,
+                    hops: meta.hops,
                     changes: changes.into_iter().map(|d| (d.index, d.value)).collect(),
                 }
             }
-            Some(DeltaRead::Resync { current_epoch }) => {
+            Some((DeltaRead::Resync { current_epoch }, _)) => {
                 ServeStats::bump(&stats.served_delta);
                 Response::Resync {
                     token,
@@ -272,6 +317,17 @@ pub fn respond(view: &SuspectView, stats: &ServeStats, data: &[u8]) -> Option<Ve
                 }
             }
         },
+        Request::Info { token } => {
+            ServeStats::bump(&stats.served_info);
+            Response::InfoResp {
+                token,
+                sources: view.sources() as u64,
+                combos: view.combos() as u16,
+                seg_lens: (0..view.segments())
+                    .map(|seg| view.segment_block(seg).1 as u32)
+                    .collect(),
+            }
+        }
         // Subscription management is handled by the worker loop (it needs
         // the sender address); through the pure path they take no reply.
         Request::Subscribe { .. } | Request::Unsubscribe { .. } => return None,
@@ -287,8 +343,7 @@ impl ServeServer {
         let local_addr = socket.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServeStats::default());
-        let subs: Arc<Mutex<HashMap<(SocketAddr, u16), SubState>>> =
-            Arc::new(Mutex::new(HashMap::new()));
+        let subs: Arc<Mutex<HashMap<SubKey, SubState>>> = Arc::new(Mutex::new(HashMap::new()));
 
         let mut handles = Vec::new();
         for worker in 0..cfg.workers.max(1) {
@@ -310,6 +365,7 @@ impl ServeServer {
             let view = Arc::clone(&view);
             let stop = Arc::clone(&stop);
             let stats = Arc::clone(&stats);
+            let subs = Arc::clone(&subs);
             let max_lag = cfg.max_sub_lag;
             let interval = cfg.push_interval;
             handles.push(
@@ -322,9 +378,17 @@ impl ServeServer {
         Ok(ServeServer {
             stop,
             stats,
+            subs,
             local_addr,
             handles,
         })
+    }
+
+    /// Live subscription-table entries — one per `(peer, segment,
+    /// token)`. A registration probe: a subscriber that resends its
+    /// subscribe until this count reflects it is durably registered.
+    pub fn subscriber_count(&self) -> usize {
+        self.subs.lock().expect("subs poisoned").len()
     }
 
     /// The bound address (resolves port 0).
@@ -357,7 +421,7 @@ fn worker_loop(
     view: &SuspectView,
     stop: &AtomicBool,
     stats: &ServeStats,
-    subs: &Mutex<HashMap<(SocketAddr, u16), SubState>>,
+    subs: &Mutex<HashMap<SubKey, SubState>>,
     max_subs: usize,
 ) {
     let mut buf = [0u8; 65_536];
@@ -416,7 +480,7 @@ fn worker_loop(
                 // allowed (it only updates the epoch), but a *new* entry
                 // beyond the cap is rejected — the table is fed by
                 // unauthenticated datagrams and must not grow unbounded.
-                if table.len() >= max_subs && !table.contains_key(&(peer, segment)) {
+                if table.len() >= max_subs && !table.contains_key(&(peer, segment, token)) {
                     drop(table);
                     ServeStats::bump(&stats.errors);
                     let _ = socket.send_to(
@@ -430,14 +494,17 @@ fn worker_loop(
                     continue;
                 }
                 table.insert(
-                    (peer, segment),
+                    (peer, segment, token),
                     SubState {
                         acked_epoch: since_epoch,
                     },
                 );
             }
             Ok(Request::Unsubscribe { segment, .. }) => {
-                subs.lock().expect("subs poisoned").remove(&(peer, segment));
+                // Every token the peer holds on the segment goes.
+                subs.lock()
+                    .expect("subs poisoned")
+                    .retain(|&(p, s, _), _| !(p == peer && s == segment));
             }
             _ => {
                 if let Some(reply) = respond(view, stats, data) {
@@ -453,15 +520,15 @@ fn pusher_loop(
     view: &SuspectView,
     stop: &AtomicBool,
     stats: &ServeStats,
-    subs: &Mutex<HashMap<(SocketAddr, u16), SubState>>,
+    subs: &Mutex<HashMap<SubKey, SubState>>,
     max_lag: u64,
     interval: Duration,
 ) {
     while !stop.load(Ordering::Acquire) {
         std::thread::sleep(interval);
         let mut table = subs.lock().expect("subs poisoned");
-        let mut dropped: Vec<(SocketAddr, u16)> = Vec::new();
-        for (&(peer, segment), state) in table.iter_mut() {
+        let mut dropped: Vec<SubKey> = Vec::new();
+        for (&(peer, segment, token), state) in table.iter_mut() {
             let current = view.epoch(segment as usize);
             if state.acked_epoch > current {
                 // A claimed epoch ahead of the segment can only come from
@@ -469,53 +536,60 @@ fn pusher_loop(
                 // pushed, never lag, and so never leave the table. Drop
                 // it silently — there is nothing meaningful to resync to.
                 ServeStats::bump(&stats.subs_dropped);
-                dropped.push((peer, segment));
+                dropped.push((peer, segment, token));
                 continue;
             }
             if current == state.acked_epoch {
                 continue;
             }
-            let lagging = current - state.acked_epoch > max_lag;
-            let delta = if lagging {
-                Some(DeltaRead::Resync {
-                    current_epoch: current,
-                })
+            // Backpressure: a lagging (or ring-evicted) subscriber gets
+            // one Resync frame, then the entry is gone — a dead client
+            // cannot grow server state.
+            let mut resync_at: Option<u64> = None;
+            if current - state.acked_epoch > max_lag {
+                resync_at = Some(current);
             } else {
-                view.delta_since(usize::from(segment), state.acked_epoch)
-            };
-            match delta {
-                Some(DeltaRead::Changes {
-                    from_epoch,
-                    to_epoch,
-                    changes,
-                }) => {
-                    let frame = Response::DeltaResp {
-                        token: 0,
-                        segment,
-                        from_epoch,
-                        to_epoch,
-                        changes: changes.into_iter().map(|d| (d.index, d.value)).collect(),
-                    };
-                    let _ = socket.send_to(&frame.encode(), peer);
-                    ServeStats::bump(&stats.subs_pushed);
-                    state.acked_epoch = to_epoch;
-                }
-                Some(DeltaRead::Resync { current_epoch }) => {
-                    // Backpressure: one Resync frame, then the entry is
-                    // gone — a dead client cannot grow server state.
-                    let _ = socket.send_to(
-                        &Response::Resync {
-                            token: 0,
+                match delta_with_meta(view, usize::from(segment), state.acked_epoch) {
+                    Some((
+                        DeltaRead::Changes {
+                            from_epoch,
+                            to_epoch,
+                            changes,
+                        },
+                        meta,
+                    )) => {
+                        let frame = Response::DeltaResp {
+                            token,
                             segment,
-                            current_epoch,
-                        }
-                        .encode(),
-                        peer,
-                    );
-                    ServeStats::bump(&stats.subs_dropped);
-                    dropped.push((peer, segment));
+                            from_epoch,
+                            to_epoch,
+                            virtual_us: meta.published_at.as_micros(),
+                            age_us: meta.age_us,
+                            hops: meta.hops,
+                            changes: changes.into_iter().map(|d| (d.index, d.value)).collect(),
+                        };
+                        let _ = socket.send_to(&frame.encode(), peer);
+                        ServeStats::bump(&stats.subs_pushed);
+                        state.acked_epoch = to_epoch;
+                    }
+                    Some((DeltaRead::Resync { current_epoch }, _)) => {
+                        resync_at = Some(current_epoch);
+                    }
+                    None => {}
                 }
-                None => {}
+            }
+            if let Some(current_epoch) = resync_at {
+                let _ = socket.send_to(
+                    &Response::Resync {
+                        token,
+                        segment,
+                        current_epoch,
+                    }
+                    .encode(),
+                    peer,
+                );
+                ServeStats::bump(&stats.subs_dropped);
+                dropped.push((peer, segment, token));
             }
         }
         for key in dropped {
@@ -642,16 +716,45 @@ mod tests {
         }
         .encode();
         let reply = respond(&view, &stats, &req).expect("reply");
+        match Response::decode(&reply).unwrap() {
+            Response::DeltaResp {
+                token,
+                segment,
+                from_epoch,
+                to_epoch,
+                virtual_us,
+                hops,
+                changes,
+                ..
+            } => {
+                assert_eq!(token, 1);
+                assert_eq!(segment, 0);
+                assert_eq!(from_epoch, 1);
+                assert_eq!(to_epoch, 2);
+                // Stamped with epoch 2's publication instant, origin depth.
+                assert_eq!(virtual_us, 2_000_000);
+                assert_eq!(hops, 0);
+                assert_eq!(changes, vec![(0, 3)]);
+            }
+            other => panic!("expected delta response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn info_describes_the_served_view() {
+        let view = view_with_one_epoch();
+        let stats = ServeStats::default();
+        let reply = respond(&view, &stats, &Request::Info { token: 3 }.encode()).expect("reply");
         assert_eq!(
             Response::decode(&reply).unwrap(),
-            Response::DeltaResp {
-                token: 1,
-                segment: 0,
-                from_epoch: 1,
-                to_epoch: 2,
-                changes: vec![(0, 3)],
+            Response::InfoResp {
+                token: 3,
+                sources: 128,
+                combos: 2,
+                seg_lens: vec![64, 64],
             }
         );
+        assert_eq!(stats.served_info.load(Ordering::Relaxed), 1);
     }
 
     #[test]

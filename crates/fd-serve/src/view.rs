@@ -82,6 +82,12 @@ struct BufMeta {
     virtual_us: AtomicU64,
     /// Wall-clock publication instant, nanoseconds since view creation.
     wall_nanos: AtomicU64,
+    /// Staleness already accumulated upstream at publication time,
+    /// microseconds. Zero at an origin view; a relay stamps the upstream
+    /// answer's `age_us` here so served ages accumulate per hop.
+    base_age_us: AtomicU64,
+    /// Relay hops between the origin engine and this view (0 = origin).
+    hops: AtomicU64,
 }
 
 /// One shard's slice of the view: a private seqlock over its own
@@ -130,8 +136,13 @@ pub struct PointRead {
     pub degraded: bool,
     /// Virtual time the publishing shard had reached.
     pub published_at: SimTime,
-    /// Age of the epoch at read time, microseconds of wall clock.
+    /// Age of the epoch at read time, microseconds of wall clock —
+    /// including any staleness accumulated upstream when the answer is
+    /// served through relays.
     pub age_us: u64,
+    /// Relay hops between the origin engine and the serving view
+    /// (0 = answered by the origin).
+    pub hops: u8,
 }
 
 /// A validated bulk read: a run of bitmap words of one combination
@@ -152,8 +163,13 @@ pub struct RangeRead {
     pub degraded: bool,
     /// Virtual time the publishing shard had reached.
     pub published_at: SimTime,
-    /// Age of the epoch at read time, microseconds of wall clock.
+    /// Age of the epoch at read time, microseconds of wall clock —
+    /// including any staleness accumulated upstream when the answer is
+    /// served through relays.
     pub age_us: u64,
+    /// Relay hops between the origin engine and the serving view
+    /// (0 = answered by the origin).
+    pub hops: u8,
 }
 
 /// A delta answer: the word changes between two epochs of one segment.
@@ -176,6 +192,22 @@ pub enum DeltaRead {
         /// The segment's current epoch.
         current_epoch: u64,
     },
+}
+
+/// A validated read of one segment's current publication metadata —
+/// what a delta push must carry so a downstream replica can reconstruct
+/// the buffer metadata of the epoch it applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublicationMeta {
+    /// The segment's current epoch (≥ 1).
+    pub epoch: u64,
+    /// Virtual time the publishing shard had reached.
+    pub published_at: SimTime,
+    /// Age of the epoch at read time, microseconds of wall clock,
+    /// including upstream accumulation.
+    pub age_us: u64,
+    /// Relay hops between the origin engine and this view (0 = origin).
+    pub hops: u8,
 }
 
 /// The epoch-versioned published view of every shard's suspect bitmaps.
@@ -233,6 +265,8 @@ impl SuspectView {
                 let mk_meta = || BufMeta {
                     virtual_us: AtomicU64::new(0),
                     wall_nanos: AtomicU64::new(0),
+                    base_age_us: AtomicU64::new(0),
+                    hops: AtomicU64::new(0),
                 };
                 Segment {
                     start,
@@ -351,6 +385,7 @@ impl SuspectView {
         SegmentWriter {
             view: Arc::clone(self),
             seg,
+            prev_changed: Vec::new(),
         }
     }
 
@@ -375,6 +410,8 @@ impl SuspectView {
             let word = seg.bufs[b][widx].load(Ordering::Relaxed);
             let virtual_us = seg.meta[b].virtual_us.load(Ordering::Relaxed);
             let wall_nanos = seg.meta[b].wall_nanos.load(Ordering::Relaxed);
+            let base_age_us = seg.meta[b].base_age_us.load(Ordering::Relaxed);
+            let hops = seg.meta[b].hops.load(Ordering::Relaxed);
             fence(Ordering::Acquire);
             if seg.seq.load(Ordering::Relaxed) == s0 {
                 return Some(PointRead {
@@ -382,7 +419,8 @@ impl SuspectView {
                     suspecting: word & bit != 0,
                     degraded: seg.degraded.load(Ordering::Relaxed) != 0,
                     published_at: SimTime::from_micros(virtual_us),
-                    age_us: self.age_us(wall_nanos),
+                    age_us: base_age_us.saturating_add(self.age_us(wall_nanos)),
+                    hops: hops.min(u64::from(u8::MAX)) as u8,
                 });
             }
             self.torn_retries.fetch_add(1, Ordering::Relaxed);
@@ -415,6 +453,8 @@ impl SuspectView {
             }
             let virtual_us = seg.meta[b].virtual_us.load(Ordering::Relaxed);
             let wall_nanos = seg.meta[b].wall_nanos.load(Ordering::Relaxed);
+            let base_age_us = seg.meta[b].base_age_us.load(Ordering::Relaxed);
+            let hops = seg.meta[b].hops.load(Ordering::Relaxed);
             fence(Ordering::Acquire);
             if seg.seq.load(Ordering::Relaxed) == s0 {
                 return Some(RangeRead {
@@ -423,7 +463,8 @@ impl SuspectView {
                     words,
                     degraded: seg.degraded.load(Ordering::Relaxed) != 0,
                     published_at: SimTime::from_micros(virtual_us),
-                    age_us: self.age_us(wall_nanos),
+                    age_us: base_age_us.saturating_add(self.age_us(wall_nanos)),
+                    hops: hops.min(u64::from(u8::MAX)) as u8,
                 });
             }
             self.torn_retries.fetch_add(1, Ordering::Relaxed);
@@ -481,10 +522,51 @@ impl SuspectView {
         })
     }
 
+    /// Validated read of segment `seg`'s current publication metadata
+    /// (`None` while nothing is published). This is what a delta push
+    /// carries downstream so a relay can stamp its replica publication
+    /// with honest per-hop staleness.
+    pub fn publication_meta(&self, seg: usize) -> Option<PublicationMeta> {
+        let segment = self.segs.get(seg)?;
+        loop {
+            let s0 = segment.seq.load(Ordering::Acquire);
+            if s0 == 0 {
+                return None;
+            }
+            let epoch = s0 / 2;
+            let b = (epoch & 1) as usize;
+            let virtual_us = segment.meta[b].virtual_us.load(Ordering::Relaxed);
+            let wall_nanos = segment.meta[b].wall_nanos.load(Ordering::Relaxed);
+            let base_age_us = segment.meta[b].base_age_us.load(Ordering::Relaxed);
+            let hops = segment.meta[b].hops.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            if segment.seq.load(Ordering::Relaxed) == s0 {
+                return Some(PublicationMeta {
+                    epoch,
+                    published_at: SimTime::from_micros(virtual_us),
+                    age_us: base_age_us.saturating_add(self.age_us(wall_nanos)),
+                    hops: hops.min(u64::from(u8::MAX)) as u8,
+                });
+            }
+            self.torn_retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     fn age_us(&self, wall_nanos: u64) -> u64 {
         let now = self.epoch0.elapsed().as_nanos() as u64;
         now.saturating_sub(wall_nanos) / 1_000
     }
+}
+
+/// Which words a publication must consider rewriting — see
+/// [`SegmentWriter::publish_words_dirty`] for the covering contract.
+enum Cover<'a> {
+    /// Every word: the full-snapshot / resync path.
+    All,
+    /// A word-index bitmap (bit `w % 64` of element `w / 64`).
+    DirtyBits(&'a [u64]),
+    /// An ascending, deduplicated list of word indices.
+    Indices(&'a [u32]),
 }
 
 /// The exclusive writer handle of one segment: the engine shard's side of
@@ -492,6 +574,14 @@ impl SuspectView {
 pub struct SegmentWriter {
     view: Arc<SuspectView>,
     seg: usize,
+    /// Word indices changed by this writer's previous publication
+    /// (ascending). An incremental publication writes into the buffer
+    /// that is one epoch *behind* the published one, so it must rewrite
+    /// the previous epoch's changes on top of the caller's dirty set to
+    /// bring that buffer current — see [`publish_words_dirty`].
+    ///
+    /// [`publish_words_dirty`]: Self::publish_words_dirty
+    prev_changed: Vec<u32>,
 }
 
 impl std::fmt::Debug for SegmentWriter {
@@ -509,22 +599,41 @@ impl SegmentWriter {
     }
 
     /// Publishes a shard bank's current suspicion bitmap as the next
-    /// epoch. Returns the epoch published.
+    /// epoch, rewriting every word — the full-snapshot / resync path.
+    /// Returns the epoch published.
     ///
     /// # Panics
     ///
     /// Panics if the bank's shape (sources, combinations) does not match
     /// the segment.
     pub fn publish(&mut self, bank: &SourceBank, now: SimTime) -> u64 {
+        self.assert_bank_shape(bank);
+        self.publish_words(bank.suspect_words(), now)
+    }
+
+    /// Publishes a shard bank's current suspicion bitmap as the next
+    /// epoch, touching only the words the bank reports dirty (plus the
+    /// previous epoch's changes) — the steady-state incremental path.
+    /// The caller clears the bank's dirty bitmap *after* this returns
+    /// (see [`SourceBank::clear_dirty`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank's shape does not match the segment.
+    pub fn publish_dirty(&mut self, bank: &SourceBank, now: SimTime) -> u64 {
+        self.assert_bank_shape(bank);
+        self.publish_words_dirty(bank.suspect_words(), bank.dirty_words(), now)
+    }
+
+    fn assert_bank_shape(&self, bank: &SourceBank) {
         let seg = &self.view.segs[self.seg];
         assert_eq!(bank.sources(), seg.len, "bank/segment source mismatch");
         assert_eq!(bank.len(), self.view.combos, "bank/segment combo mismatch");
         debug_assert_eq!(bank.words_per_combo(), seg.words);
-        self.publish_words(bank.suspect_words(), now)
     }
 
     /// Publishes raw combo-major bitmap words (`combos × words` of them)
-    /// as the next epoch. The building block behind
+    /// as the next epoch, rewriting every word. The building block behind
     /// [`publish`](Self::publish); public so non-bank producers (event-log
     /// replay, tests flipping patterns) can drive a view.
     ///
@@ -532,6 +641,84 @@ impl SegmentWriter {
     ///
     /// Panics if `words` has the wrong length.
     pub fn publish_words(&mut self, words: &[u64], now: SimTime) -> u64 {
+        self.publish_inner(words, Cover::All, now, 0, 0)
+    }
+
+    /// Publishes `words` as the next epoch, rewriting only the words
+    /// named by `dirty` (bit `w % 64` of `dirty[w / 64]`) plus the
+    /// previous publication's changes.
+    ///
+    /// **Covering contract:** `dirty` must name every word of `words`
+    /// that differs from this writer's *previous* `words` argument — a
+    /// superset is fine (extra words cost a compare each), a miss is not:
+    /// an unmarked changed word would go stale in the published buffer
+    /// and silently wrong answers would follow. [`SourceBank`] maintains
+    /// exactly this contract via its dirty bitmap (all-dirty when fresh
+    /// or restored). The delta ring receives the exact change set either
+    /// way, so `delta_since` semantics are identical to a full publish.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` or `dirty` has the wrong length, or `dirty`
+    /// names a word index out of range.
+    pub fn publish_words_dirty(&mut self, words: &[u64], dirty: &[u64], now: SimTime) -> u64 {
+        self.publish_inner(words, Cover::DirtyBits(dirty), now, 0, 0)
+    }
+
+    /// Publishes a replica reconstruction as the next epoch, rewriting
+    /// only the word indices in `touched` (any order, duplicates fine)
+    /// plus the previous publication's changes. `base_age_us` and `hops`
+    /// stamp the upstream staleness already accumulated when the source
+    /// epoch was fetched, so answers served from this view carry
+    /// `base_age_us + local age` and `hops` — the per-hop accounting
+    /// contract of the relay tree.
+    ///
+    /// The covering contract of [`publish_words_dirty`] applies to
+    /// `touched`.
+    ///
+    /// [`publish_words_dirty`]: Self::publish_words_dirty
+    pub fn publish_replica_changes(
+        &mut self,
+        words: &[u64],
+        touched: &[u32],
+        now: SimTime,
+        base_age_us: u64,
+        hops: u8,
+    ) -> u64 {
+        let mut idx: Vec<u32> = touched.to_vec();
+        idx.sort_unstable();
+        idx.dedup();
+        self.publish_inner(words, Cover::Indices(&idx), now, base_age_us, hops)
+    }
+
+    /// Publishes a replica reconstruction as the next epoch, rewriting
+    /// every word — the relay's resync path. Staleness stamping as in
+    /// [`publish_replica_changes`](Self::publish_replica_changes).
+    pub fn publish_replica_full(
+        &mut self,
+        words: &[u64],
+        now: SimTime,
+        base_age_us: u64,
+        hops: u8,
+    ) -> u64 {
+        self.publish_inner(words, Cover::All, now, base_age_us, hops)
+    }
+
+    /// The single publication path. Epoch `e+1` is written into the
+    /// buffer holding epoch `e-1`, so an incremental cover must rewrite
+    /// the union of the caller's dirty set (⊇ words changed `e → e+1`)
+    /// and the previous publication's changes (words changed `e-1 → e`);
+    /// every other word already holds its epoch-`e+1` value. The change
+    /// set recorded in the delta ring is computed against the *published*
+    /// buffer (epoch `e`), so it is exact regardless of cover.
+    fn publish_inner(
+        &mut self,
+        words: &[u64],
+        cover: Cover<'_>,
+        now: SimTime,
+        base_age_us: u64,
+        hops: u8,
+    ) -> u64 {
         let seg = &self.view.segs[self.seg];
         assert_eq!(
             words.len(),
@@ -554,8 +741,16 @@ impl SegmentWriter {
         // seq bump — so its re-validation load cannot still return the
         // two-epochs-old sequence and pass a mixed-epoch snapshot.
         fence(Ordering::Release);
-        let mut changes = Vec::new();
-        for (i, &w) in words.iter().enumerate() {
+        // Diff-and-store one word: the change set entry (vs the published
+        // epoch) and the store into the in-progress buffer.
+        fn apply(
+            i: usize,
+            words: &[u64],
+            dst: &[AtomicU64],
+            published: &[AtomicU64],
+            changes: &mut Vec<WordDelta>,
+        ) {
+            let w = words[i];
             // For epoch 1 `published` is the all-zero init buffer, so the
             // first delta is exactly the set bits — "since empty".
             if w != published[i].load(Ordering::Relaxed) {
@@ -566,10 +761,56 @@ impl SegmentWriter {
             }
             dst[i].store(w, Ordering::Relaxed);
         }
+        let mut changes = Vec::new();
+        match cover {
+            Cover::All => {
+                for i in 0..words.len() {
+                    apply(i, words, dst, published, &mut changes);
+                }
+            }
+            Cover::DirtyBits(dirty) => {
+                assert_eq!(
+                    dirty.len(),
+                    words.len().div_ceil(64),
+                    "dirty bitmap length mismatch"
+                );
+                let mut cand: Vec<u32> = Vec::with_capacity(self.prev_changed.len() + 16);
+                cand.extend_from_slice(&self.prev_changed);
+                for (bw, &bits) in dirty.iter().enumerate() {
+                    let mut bits = bits;
+                    while bits != 0 {
+                        let i = (bw * 64) as u32 + bits.trailing_zeros();
+                        assert!((i as usize) < words.len(), "dirty word {i} out of range");
+                        cand.push(i);
+                        bits &= bits - 1;
+                    }
+                }
+                cand.sort_unstable();
+                cand.dedup();
+                for &i in &cand {
+                    apply(i as usize, words, dst, published, &mut changes);
+                }
+            }
+            Cover::Indices(touched) => {
+                let mut cand: Vec<u32> =
+                    Vec::with_capacity(self.prev_changed.len() + touched.len());
+                cand.extend_from_slice(&self.prev_changed);
+                cand.extend_from_slice(touched);
+                cand.sort_unstable();
+                cand.dedup();
+                for &i in &cand {
+                    assert!((i as usize) < words.len(), "touched word {i} out of range");
+                    apply(i as usize, words, dst, published, &mut changes);
+                }
+            }
+        }
+        let new_prev: Vec<u32> = changes.iter().map(|d| d.index).collect();
         let m = &seg.meta[(epoch & 1) as usize];
         m.virtual_us.store(now.as_micros(), Ordering::Relaxed);
         m.wall_nanos
             .store(self.view.epoch0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        m.base_age_us.store(base_age_us, Ordering::Relaxed);
+        m.hops.store(u64::from(hops), Ordering::Relaxed);
         // The ring entry goes in *before* the seq bump: `delta_since`
         // reports `to_epoch = seq/2`, so a ring that lagged seq would let
         // a client ack an epoch whose changes it never received — and
@@ -591,6 +832,7 @@ impl SegmentWriter {
         // demonstrably alive again (e.g. warm-restarted), so readers stop
         // seeing the frozen-state flag.
         seg.degraded.store(0, Ordering::Relaxed);
+        self.prev_changed = new_prev;
         epoch
     }
 }
@@ -780,5 +1022,108 @@ mod tests {
         let view = SuspectView::new(2, &[(0, 64)]);
         let mut writer = view.writer(0);
         writer.publish_words(&[0; 3], SimTime::ZERO);
+    }
+
+    /// A sequence of incremental publications serves exactly what full
+    /// publications of the same states serve — words, epochs and deltas.
+    #[test]
+    fn incremental_publish_matches_full_publish() {
+        let n_words = 4usize;
+        let full = SuspectView::new(2, &[(0, 128)]);
+        let inc = SuspectView::new(2, &[(0, 128)]);
+        let mut wf = full.writer(0);
+        let mut wi = inc.writer(0);
+        let mut words = vec![0u64; n_words];
+        let mut dirty = vec![u64::MAX >> (64 - n_words)]; // fresh: all dirty
+        // Deterministic word churn: each step flips a couple of words and
+        // marks exactly those dirty.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for step in 1..=(DELTA_RING as u64 + 20) {
+            if step > 1 {
+                dirty[0] = 0;
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let a = (state >> 7) as usize % n_words;
+                let b = (state >> 23) as usize % n_words;
+                words[a] ^= 1u64 << (state % 64);
+                words[b] ^= 1u64 << ((state >> 13) % 64);
+                dirty[0] |= (1u64 << a) | (1u64 << b);
+            }
+            let t = SimTime::from_millis(step);
+            assert_eq!(wf.publish_words(&words, t), step);
+            assert_eq!(wi.publish_words_dirty(&words, &dirty, t), step);
+            for combo in 0..2u32 {
+                let rf = full.range(combo, 0, n_words).unwrap();
+                let ri = inc.range(combo, 0, n_words).unwrap();
+                assert_eq!(rf.words, ri.words, "step {step} combo {combo}");
+                assert_eq!(rf.epoch, ri.epoch);
+            }
+            // The delta rings carry identical change sets.
+            let from = step.saturating_sub(3);
+            match (full.delta_since(0, from), inc.delta_since(0, from)) {
+                (
+                    Some(DeltaRead::Changes { changes: cf, .. }),
+                    Some(DeltaRead::Changes { changes: ci, .. }),
+                ) => assert_eq!(cf, ci, "step {step}"),
+                (a, b) => panic!("delta mismatch at {step}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    /// A dirty set that *over*-covers (extra unchanged words) produces no
+    /// spurious delta entries; the recorded changes stay exact.
+    #[test]
+    fn over_covering_dirty_set_keeps_deltas_exact() {
+        let view = SuspectView::new(1, &[(0, 256)]); // 4 words
+        let mut w = view.writer(0);
+        w.publish_words_dirty(&[1, 2, 3, 4], &[0b1111], SimTime::from_secs(1));
+        // Only word 2 changes, but every word is marked dirty.
+        w.publish_words_dirty(&[1, 2, 9, 4], &[0b1111], SimTime::from_secs(2));
+        let DeltaRead::Changes { changes, .. } = view.delta_since(0, 1).unwrap() else {
+            panic!("expected retained window");
+        };
+        assert_eq!(changes, vec![WordDelta { index: 2, value: 9 }]);
+    }
+
+    /// Replica publications stamp upstream staleness: served ages start
+    /// from the base and the hop count is carried verbatim.
+    #[test]
+    fn replica_publish_accumulates_age_and_hops() {
+        let view = SuspectView::new(1, &[(0, 64)]);
+        let mut w = view.writer(0);
+        w.publish_replica_full(&[0b10], SimTime::from_secs(4), 7_000, 2);
+        let p = view.point(1, 0).expect("published");
+        assert!(p.suspecting);
+        assert_eq!(p.hops, 2);
+        assert!(p.age_us >= 7_000, "age {} lost the upstream base", p.age_us);
+        let r = view.range(0, 0, 1).expect("published");
+        assert_eq!(r.hops, 2);
+        assert!(r.age_us >= 7_000);
+        let meta = view.publication_meta(0).expect("published");
+        assert_eq!(meta.epoch, 1);
+        assert_eq!(meta.hops, 2);
+        assert!(meta.age_us >= 7_000);
+        assert_eq!(meta.published_at, SimTime::from_secs(4));
+
+        // Incremental replica updates keep accounting per publication.
+        w.publish_replica_changes(&[0b11], &[0], SimTime::from_secs(5), 3_000, 2);
+        let p = view.point(0, 0).expect("published");
+        assert_eq!(p.epoch, 2);
+        assert!(p.age_us >= 3_000 && p.age_us < 7_000 + 1_000_000);
+        // Origin publications reset the stamps.
+        w.publish_words(&[0b1], SimTime::from_secs(6));
+        let p = view.point(0, 0).expect("published");
+        assert_eq!(p.hops, 0);
+        assert!(p.age_us < 5_000_000);
+    }
+
+    /// An origin view's answers report hop zero and base-free ages.
+    #[test]
+    fn origin_answers_report_zero_hops() {
+        let view = SuspectView::new(1, &[(0, 64)]);
+        let mut w = view.writer(0);
+        w.publish_words(&[1], SimTime::from_secs(1));
+        assert_eq!(view.point(0, 0).unwrap().hops, 0);
+        assert_eq!(view.publication_meta(0).unwrap().hops, 0);
+        assert!(view.publication_meta(1).is_none());
     }
 }

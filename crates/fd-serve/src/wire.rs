@@ -30,12 +30,14 @@ const TAG_RANGE: u8 = 2;
 const TAG_DELTA_SINCE: u8 = 3;
 const TAG_SUBSCRIBE: u8 = 4;
 const TAG_UNSUBSCRIBE: u8 = 5;
+const TAG_INFO: u8 = 6;
 
 const TAG_POINT_RESP: u8 = 128;
 const TAG_RANGE_RESP: u8 = 129;
 const TAG_DELTA_RESP: u8 = 130;
 const TAG_RESYNC: u8 = 131;
 const TAG_ERR: u8 = 132;
+const TAG_INFO_RESP: u8 = 133;
 
 /// [`PointResp`](Response::PointResp) flag: the queried bit is set.
 pub const FLAG_SUSPECTING: u8 = 0b01;
@@ -92,8 +94,11 @@ pub enum Request {
         segment: u16,
         since_epoch: u64,
     },
-    /// Cancels the sender's subscription on `segment`.
+    /// Cancels the sender's subscriptions on `segment` (every token).
     Unsubscribe { token: u32, segment: u16 },
+    /// "Describe the view you serve": source count, combination count
+    /// and segment layout. A relay bootstraps its replica from this.
+    Info { token: u32 },
 }
 
 /// A server → client answer or push frame.
@@ -106,8 +111,12 @@ pub enum Response {
         epoch: u64,
         /// [`FLAG_SUSPECTING`] | [`FLAG_PUBLISHED`].
         flags: u8,
-        /// Wall-clock age of the served snapshot, microseconds.
+        /// Wall-clock age of the served snapshot, microseconds —
+        /// accumulated across every relay hop the answer crossed.
         age_us: u64,
+        /// Relay hops between the publishing engine and the answering
+        /// server (0 = origin).
+        hops: u8,
     },
     /// Answer to [`Request::Range`].
     RangeResp {
@@ -118,8 +127,10 @@ pub enum Response {
         /// [`FLAG_PUBLISHED`] | [`FLAG_SEGMENT_DEGRADED`].
         flags: u8,
         /// Wall-clock age of the served snapshot, microseconds — the
-        /// staleness bound of a degraded answer.
+        /// staleness bound of a degraded answer, accumulated per hop.
         age_us: u64,
+        /// Relay hops between publisher and answerer (0 = origin).
+        hops: u8,
         /// Global id of the first source covered by `words[0]` bit 0.
         first_word_source: u32,
         words: Vec<u64>,
@@ -132,6 +143,16 @@ pub enum Response {
         segment: u16,
         from_epoch: u64,
         to_epoch: u64,
+        /// Virtual publication instant of `to_epoch`, microseconds — a
+        /// relay republishes its replica at this same virtual time, so
+        /// virtual timestamps never drift across hops.
+        virtual_us: u64,
+        /// Wall-clock age of `to_epoch` at send time, microseconds,
+        /// accumulated across hops: a relay adds its own replica age on
+        /// top of this base when it re-serves.
+        age_us: u64,
+        /// Relay hops between publisher and sender (0 = origin).
+        hops: u8,
         /// `(word_index, new_value)` pairs, word index combo-major.
         changes: Vec<(u32, u64)>,
     },
@@ -145,6 +166,19 @@ pub enum Response {
     },
     /// The request was well-formed but unanswerable.
     Err { token: u32, code: u8 },
+    /// Answer to [`Request::Info`]: the shape of the served view.
+    InfoResp {
+        token: u32,
+        /// Total sources the view covers.
+        sources: u64,
+        /// Combination count.
+        combos: u16,
+        /// Per-segment source counts, in segment order (segments are
+        /// contiguous from source 0, so lengths determine the layout).
+        /// A relay rebuilds its replica from these rather than assuming
+        /// the engine partition — custom layouts replicate exactly.
+        seg_lens: Vec<u32>,
+    },
 }
 
 fn put_prefix(buf: &mut Vec<u8>, tag: u8, token: u32) {
@@ -161,7 +195,8 @@ impl Request {
             | Request::Range { token, .. }
             | Request::DeltaSince { token, .. }
             | Request::Subscribe { token, .. }
-            | Request::Unsubscribe { token, .. } => token,
+            | Request::Unsubscribe { token, .. }
+            | Request::Info { token } => token,
         }
     }
 
@@ -210,6 +245,9 @@ impl Request {
             Request::Unsubscribe { token, segment } => {
                 put_prefix(&mut buf, TAG_UNSUBSCRIBE, token);
                 buf.put_u16(segment);
+            }
+            Request::Info { token } => {
+                put_prefix(&mut buf, TAG_INFO, token);
             }
         }
         buf
@@ -264,6 +302,7 @@ impl Request {
                     segment: data.get_u16(),
                 })
             }
+            TAG_INFO => Ok(Request::Info { token }),
             found => Err(FrameError::BadTag { found }),
         }
     }
@@ -277,7 +316,8 @@ impl Response {
             | Response::RangeResp { token, .. }
             | Response::DeltaResp { token, .. }
             | Response::Resync { token, .. }
-            | Response::Err { token, .. } => token,
+            | Response::Err { token, .. }
+            | Response::InfoResp { token, .. } => token,
         }
     }
 
@@ -290,11 +330,13 @@ impl Response {
                 epoch,
                 flags,
                 age_us,
+                hops,
             } => {
                 put_prefix(&mut buf, TAG_POINT_RESP, token);
                 buf.put_u64(epoch);
                 buf.put_u8(flags);
                 buf.put_u64(age_us);
+                buf.put_u8(hops);
             }
             Response::RangeResp {
                 token,
@@ -303,6 +345,7 @@ impl Response {
                 combo,
                 flags,
                 age_us,
+                hops,
                 first_word_source,
                 ref words,
             } => {
@@ -312,6 +355,7 @@ impl Response {
                 buf.put_u16(combo);
                 buf.put_u8(flags);
                 buf.put_u64(age_us);
+                buf.put_u8(hops);
                 buf.put_u32(first_word_source);
                 buf.put_u16(words.len() as u16);
                 for &w in words {
@@ -323,12 +367,18 @@ impl Response {
                 segment,
                 from_epoch,
                 to_epoch,
+                virtual_us,
+                age_us,
+                hops,
                 ref changes,
             } => {
                 put_prefix(&mut buf, TAG_DELTA_RESP, token);
                 buf.put_u16(segment);
                 buf.put_u64(from_epoch);
                 buf.put_u64(to_epoch);
+                buf.put_u64(virtual_us);
+                buf.put_u64(age_us);
+                buf.put_u8(hops);
                 buf.put_u16(changes.len() as u16);
                 for &(index, value) in changes {
                     buf.put_u32(index);
@@ -348,6 +398,20 @@ impl Response {
                 put_prefix(&mut buf, TAG_ERR, token);
                 buf.put_u8(code);
             }
+            Response::InfoResp {
+                token,
+                sources,
+                combos,
+                ref seg_lens,
+            } => {
+                put_prefix(&mut buf, TAG_INFO_RESP, token);
+                buf.put_u64(sources);
+                buf.put_u16(combos);
+                buf.put_u16(seg_lens.len() as u16);
+                for &len in seg_lens {
+                    buf.put_u32(len);
+                }
+            }
         }
         buf
     }
@@ -360,21 +424,23 @@ impl Response {
         let token = data.get_u32();
         match tag {
             TAG_POINT_RESP => {
-                framing::need(data, 17)?;
+                framing::need(data, 18)?;
                 Ok(Response::PointResp {
                     token,
                     epoch: data.get_u64(),
                     flags: data.get_u8(),
                     age_us: data.get_u64(),
+                    hops: data.get_u8(),
                 })
             }
             TAG_RANGE_RESP => {
-                framing::need(data, 25)?;
+                framing::need(data, 26)?;
                 let segment = data.get_u16();
                 let epoch = data.get_u64();
                 let combo = data.get_u16();
                 let flags = data.get_u8();
                 let age_us = data.get_u64();
+                let hops = data.get_u8();
                 let first_word_source = data.get_u32();
                 framing::need(data, 2)?;
                 let n = data.get_u16() as usize;
@@ -387,15 +453,19 @@ impl Response {
                     combo,
                     flags,
                     age_us,
+                    hops,
                     first_word_source,
                     words,
                 })
             }
             TAG_DELTA_RESP => {
-                framing::need(data, 18)?;
+                framing::need(data, 35)?;
                 let segment = data.get_u16();
                 let from_epoch = data.get_u64();
                 let to_epoch = data.get_u64();
+                let virtual_us = data.get_u64();
+                let age_us = data.get_u64();
+                let hops = data.get_u8();
                 framing::need(data, 2)?;
                 let n = data.get_u16() as usize;
                 framing::need_counted(data, n, 12)?;
@@ -405,6 +475,9 @@ impl Response {
                     segment,
                     from_epoch,
                     to_epoch,
+                    virtual_us,
+                    age_us,
+                    hops,
                     changes,
                 })
             }
@@ -421,6 +494,20 @@ impl Response {
                 Ok(Response::Err {
                     token,
                     code: data.get_u8(),
+                })
+            }
+            TAG_INFO_RESP => {
+                framing::need(data, 12)?;
+                let sources = data.get_u64();
+                let combos = data.get_u16();
+                let segments = usize::from(data.get_u16());
+                framing::need(data, segments * 4)?;
+                let seg_lens = (0..segments).map(|_| data.get_u32()).collect();
+                Ok(Response::InfoResp {
+                    token,
+                    sources,
+                    combos,
+                    seg_lens,
                 })
             }
             found => Err(FrameError::BadTag { found }),
@@ -460,6 +547,7 @@ mod tests {
                 token: 11,
                 segment: 1,
             },
+            Request::Info { token: 12 },
         ];
         for req in reqs {
             let bytes = req.encode();
@@ -475,6 +563,7 @@ mod tests {
                 epoch: 12,
                 flags: FLAG_SUSPECTING | FLAG_PUBLISHED,
                 age_us: 1500,
+                hops: 2,
             },
             Response::RangeResp {
                 token: 8,
@@ -483,6 +572,7 @@ mod tests {
                 combo: 3,
                 flags: FLAG_PUBLISHED | FLAG_SEGMENT_DEGRADED,
                 age_us: 2750,
+                hops: 1,
                 first_word_source: 64,
                 words: vec![0xAA, 0, u64::MAX],
             },
@@ -491,6 +581,9 @@ mod tests {
                 segment: 2,
                 from_epoch: 10,
                 to_epoch: 12,
+                virtual_us: 777_000,
+                age_us: 431,
+                hops: 3,
                 changes: vec![(5, 0xF0), (901, 1)],
             },
             Response::Resync {
@@ -501,6 +594,12 @@ mod tests {
             Response::Err {
                 token: 11,
                 code: ERR_OUT_OF_RANGE,
+            },
+            Response::InfoResp {
+                token: 12,
+                sources: 1_000_000,
+                combos: 29,
+                seg_lens: (0..64).map(|s| 15_625 + s).collect(),
             },
         ];
         for resp in resps {

@@ -15,6 +15,11 @@
 #   ring   — (view.rs) bump seq before filling the delta ring, so a
 #            client can ack an epoch whose word deltas were never sent.
 #            Killed by the fd-check model suite.
+#   dirty  — (view.rs) sabotage incremental-publish dirty tracking: drop
+#            the previous publication's changes from the rewrite cover,
+#            so the epoch written two buffers ago leaks a stale word into
+#            the new epoch. Killed by the incremental-publish equivalence
+#            invariant in the fd-check model suite.
 #   warm   — (sharded.rs) sabotage the warm restart path: the supervisor
 #            still replays from the checkpoint position, but the bank's
 #            snapshot image is never restored, so a "warm" shard comes
@@ -89,6 +94,16 @@ MUTANTS = {
         "        seg.seq.store(epoch * 2, Ordering::Release); // MUTANT\n"
         + "\n".join(RING.splitlines()[:7]),
     ),
+    # Incremental publish that forgets the previous epoch's changes:
+    # the buffer being written still holds the state from two epochs
+    # ago, so a word changed last epoch but clean this epoch goes stale.
+    "dirty": (
+        "crates/fd-serve/src/view.rs",
+        "                let mut cand: Vec<u32> = Vec::with_capacity(self.prev_changed.len() + 16);\n"
+        + "                cand.extend_from_slice(&self.prev_changed);",
+        "                let mut cand: Vec<u32> = Vec::with_capacity(self.prev_changed.len() + 16);\n"
+        + "                // MUTANT: previous publication's changes dropped from the cover",
+    ),
     # Warm restart that forgets to restore the bank image: replay still
     # runs, but the detectors start from scratch — digests must diverge.
     "warm": (
@@ -110,7 +125,7 @@ echo "== baseline: guarding suites must pass on pristine source"
 run_model_suite
 run_warm_suite
 
-for mutant in fence ring warm; do
+for mutant in fence ring dirty warm; do
     echo "== mutant '$mutant': guarding suite must FAIL"
     mutate "$mutant"
     if suite_for "$mutant" >/tmp/check-mutants-$mutant.log 2>&1; then

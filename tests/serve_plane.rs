@@ -192,6 +192,152 @@ fn pinned_served_point_differential() {
     assert_served_equals_bank(&delays, 12);
 }
 
+/// Delta-ring wraparound under adaptive cadence: a churn-driven
+/// publisher burns through epochs far faster than a lagging subscriber
+/// polls, so the 64-epoch delta window is routinely gone. The contract
+/// under test: a stale `delta_since` is answered with a *flagged*
+/// `Resync` — never a delta chain rooted anywhere but the requested
+/// epoch — and a replica maintained by apply-or-resnapshot converges to
+/// the published bitmap bit for bit.
+#[test]
+fn lagging_subscriber_is_resynced_across_ring_wraparound_under_adaptive_cadence() {
+    use fdqos::runtime::sharded::{PublishCadence, ShardedConfig, ShardedEngine};
+
+    let mut config = ShardedConfig::paper_grid(192, 8, 11);
+    config.shards = 2;
+    config.loss = 0.05;
+    config.spike_prob = 0.05;
+    let blocks = partition(config.sources, config.shards);
+    let combos = config.combos.len();
+    let view = SuspectView::new(combos, &blocks);
+    let publisher = EnginePublisher::new(&view);
+    let engine = ShardedEngine::new(config);
+
+    // Aggressive churn trigger: publish on every 4 suspicion edges with
+    // a 1 ms virtual floor — thousands of epochs across an 8-cycle run.
+    let cadence = PublishCadence::adaptive(
+        SimDuration::from_millis(1),
+        SimDuration::from_millis(500),
+        4,
+    );
+
+    let seg = 0usize;
+    let (_, len) = (blocks[seg].0, blocks[seg].1);
+    let words_per = combos * len.div_ceil(64);
+    let done = AtomicBool::new(false);
+    let resyncs = AtomicU64::new(0);
+    let applied = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        let reader = s.spawn(|| {
+            // A deliberately slow subscriber: sleeps between polls so the
+            // adaptive publisher laps the delta ring repeatedly.
+            let mut replica = vec![0u64; words_per];
+            let mut held = 0u64;
+            loop {
+                let finished = done.load(Ordering::Acquire);
+                match view.delta_since(seg, held) {
+                    Some(DeltaRead::Changes {
+                        from_epoch,
+                        to_epoch,
+                        changes,
+                    }) => {
+                        assert_eq!(
+                            from_epoch, held,
+                            "delta chain rooted at an epoch the subscriber does not hold"
+                        );
+                        for d in changes {
+                            replica[d.index as usize] = d.value;
+                        }
+                        held = to_epoch;
+                        applied.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Some(DeltaRead::Resync { current_epoch }) => {
+                        // Window gone: the only legal recovery is a full
+                        // snapshot — take it one combo at a time at one
+                        // consistent epoch.
+                        resyncs.fetch_add(1, Ordering::Relaxed);
+                        let words = len.div_ceil(64);
+                        let mut epoch_seen = None;
+                        let mut ok = true;
+                        for combo in 0..combos {
+                            let r = view
+                                .range(combo as u32, blocks[seg].0 as u32, words)
+                                .expect("published segment readable");
+                            if *epoch_seen.get_or_insert(r.epoch) != r.epoch {
+                                ok = false; // writer raced the page walk
+                                break;
+                            }
+                            replica[combo * words..combo * words + r.words.len()]
+                                .copy_from_slice(&r.words);
+                        }
+                        if ok {
+                            held = epoch_seen.unwrap_or(current_epoch);
+                        }
+                    }
+                    None => {}
+                }
+                if finished {
+                    return (replica, held);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        });
+        engine.run_published_with(cadence, &publisher);
+        done.store(true, Ordering::Release);
+        let (mut replica, mut held) = reader.join().expect("reader panicked");
+
+        // The run must actually have lapped the 64-epoch ring...
+        let current = view.epoch(seg);
+        assert!(
+            current > 100,
+            "adaptive cadence published only {current} epochs; churn trigger dead?"
+        );
+        // ...and a subscriber still holding a pre-wraparound epoch gets a
+        // flagged resync, never a silently mis-rooted delta.
+        match view.delta_since(seg, 1).expect("published") {
+            DeltaRead::Resync { current_epoch } => assert_eq!(current_epoch, current),
+            DeltaRead::Changes { .. } => {
+                panic!("64-entry ring claimed a delta chain across {current} epochs")
+            }
+        }
+
+        // Quiesced now: one final catch-up, after which the replica must
+        // equal the served bitmap exactly.
+        match view.delta_since(seg, held).expect("published") {
+            DeltaRead::Changes { to_epoch, changes, .. } => {
+                for d in changes {
+                    replica[d.index as usize] = d.value;
+                }
+                held = to_epoch;
+            }
+            DeltaRead::Resync { .. } => {
+                let words = len.div_ceil(64);
+                for combo in 0..combos {
+                    let r = view
+                        .range(combo as u32, blocks[seg].0 as u32, words)
+                        .expect("published");
+                    replica[combo * words..combo * words + r.words.len()]
+                        .copy_from_slice(&r.words);
+                    held = r.epoch;
+                }
+            }
+        }
+        assert_eq!(held, current, "replica not at the head epoch");
+        let words = len.div_ceil(64);
+        for combo in 0..combos {
+            let r = view
+                .range(combo as u32, blocks[seg].0 as u32, words)
+                .expect("published");
+            assert_eq!(
+                &replica[combo * words..combo * words + r.words.len()],
+                &r.words[..],
+                "replica diverged from the published bitmap at combo {combo}"
+            );
+        }
+    });
+}
+
 /// The engine-facing bridge: a view laid out by `partition` accepts each
 /// shard's bank through the `ShardPublisher` hook and serves its bits.
 #[test]

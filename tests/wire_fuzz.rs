@@ -153,7 +153,8 @@ fn run_campaign(seed: u64) -> (u64, u64, u64) {
                 // replay-determinism check sees only protocol content.
                 match decoded {
                     Response::PointResp { ref mut age_us, .. }
-                    | Response::RangeResp { ref mut age_us, .. } => *age_us = 0,
+                    | Response::RangeResp { ref mut age_us, .. }
+                    | Response::DeltaResp { ref mut age_us, .. } => *age_us = 0,
                     _ => {}
                 }
                 fp.eat(&decoded.encode());
