@@ -1,0 +1,78 @@
+//! Regenerates the consensus-message seeds of the wire-fuzz corpus in
+//! `tests/corpus/wire/` from the *current* codec:
+//!
+//! ```text
+//! cargo run -p fd-consensus --bin gen_consensus_corpus
+//! ```
+//!
+//! One `cons_*` seed per protocol tag, produced by the real encoder
+//! (the fuzz campaign asserts they classify as named), plus the two
+//! hostile shapes the [`ConsensusMsg::classify`] taxonomy rejects:
+//! a truncated `Estimate` body and an unknown tag. The generator lives
+//! here rather than in `gen_wire_corpus` because fd-consensus depends
+//! on fd-experiments — the serve-corpus generator cannot name
+//! [`ConsensusMsg`] without a dependency cycle.
+
+use std::fs;
+use std::path::Path;
+
+use fd_consensus::ConsensusMsg;
+use fd_net::framing::FrameError;
+
+fn main() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus/wire");
+    fs::create_dir_all(&dir).expect("create corpus dir");
+
+    let mut seeds: Vec<(&str, Vec<u8>)> = vec![
+        (
+            "cons_estimate",
+            ConsensusMsg::Estimate {
+                round: 3,
+                value: 0x0102_0304_0506_0708,
+                ts: 1,
+            }
+            .encode(),
+        ),
+        (
+            "cons_propose",
+            ConsensusMsg::Propose {
+                round: 9,
+                value: 0xDEC1_DE00,
+            }
+            .encode(),
+        ),
+        ("cons_ack", ConsensusMsg::Ack { round: 11 }.encode()),
+        ("cons_nack", ConsensusMsg::Nack { round: 4 }.encode()),
+        ("cons_decide", ConsensusMsg::Decide { value: u64::MAX }.encode()),
+    ];
+
+    // Hostile shapes: byte-surgery on a valid frame, checked below to be
+    // rejected with the typed reason the regression tests pin.
+    let mut truncated = seeds[0].1.clone();
+    truncated.truncate(9); // tag + one of the three u64 fields
+    seeds.push(("cons_truncated", truncated));
+    let mut bad_tag = seeds[1].1.clone();
+    bad_tag[0] = 0xC5; // outside 1..=5
+    seeds.push(("cons_bad_tag", bad_tag));
+
+    for (name, bytes) in &seeds {
+        let classified = ConsensusMsg::classify(bytes);
+        match *name {
+            "cons_truncated" => assert!(
+                matches!(classified, Err(FrameError::Truncated { .. })),
+                "{name}: expected Truncated, got {classified:?}"
+            ),
+            "cons_bad_tag" => assert!(
+                matches!(classified, Err(FrameError::BadTag { found: 0xC5 })),
+                "{name}: expected BadTag, got {classified:?}"
+            ),
+            _ => {
+                let msg = classified.unwrap_or_else(|e| panic!("{name}: rejected: {e}"));
+                assert_eq!(msg.encode(), *bytes, "{name}: round-trip changed bytes");
+            }
+        }
+        let path = dir.join(format!("{name}.bin"));
+        fs::write(&path, bytes).expect("write seed");
+        println!("wrote {} ({} bytes)", path.display(), bytes.len());
+    }
+}

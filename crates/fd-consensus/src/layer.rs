@@ -1,6 +1,7 @@
 //! The consensus protocol as a runtime layer.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use fd_core::{Combination, FailureDetector};
 use fd_runtime::{Context, Layer, Message, MessageKind, ProcessId, TimerId};
@@ -12,8 +13,81 @@ use crate::wire::ConsensusMsg;
 
 const TIMER_TICK: TimerId = 0;
 const TIMER_START: TimerId = 1;
+// Timer-ID audit: fd-runtime's wrapping layers (ChaosLayer bit 63,
+// SupervisorLayer bit 62) namespace child timers by high bits, so a
+// consensus layer wrapped by fabric-level chaos must keep its IDs clear of
+// [`fd_runtime::RESERVED_TIMER_BITS`]. Checked at compile time here and
+// debug-asserted at every arm site below.
+const _: () = assert!(
+    TIMER_TICK & fd_runtime::RESERVED_TIMER_BITS == 0
+        && TIMER_START & fd_runtime::RESERVED_TIMER_BITS == 0,
+    "consensus timer IDs collide with the chaos/supervisor namespaces"
+);
 /// How many extra Decide floods a decided process performs on later ticks.
 const DECIDE_REBROADCASTS: u32 = 3;
+
+/// Checks a timer ID stays out of the reserved wrapper namespaces before
+/// arming it — a debug-build guard mirroring the wrappers' own asserts, so
+/// a future timer added here cannot silently shadow a chaos or supervisor
+/// timer when the layer runs wrapped.
+fn set_guarded_timer(ctx: &mut Context, delay: SimDuration, id: TimerId) {
+    debug_assert!(
+        id & fd_runtime::RESERVED_TIMER_BITS == 0,
+        "consensus timer {id:#x} collides with the reserved wrapper bits"
+    );
+    ctx.set_timer(delay, id);
+}
+
+/// An external suspicion oracle for the coordinator check: the fabric's
+/// monitor-of-monitors suspect view, a recorded suspicion schedule in a
+/// replay, or any other Ω-style source. When installed (see
+/// [`ConsensusLayer::with_trust_input`]) it replaces the layer's internal
+/// per-peer failure detectors for *coordinator demotion*; heartbeats still
+/// feed the internal detectors so their QoS remains observable.
+pub trait TrustInput: Send + Sync {
+    /// Is `peer` suspected at `now`?
+    fn suspects(&self, peer: ProcessId, now: SimTime) -> bool;
+}
+
+/// A pre-recorded suspicion schedule: per-peer lists of
+/// `(transition time, suspected)` edges, queried by binary search. The
+/// fabric uses this to drive ratification runs from the global tier's
+/// *measured* monitor-suspicion transitions, so consensus sees exactly the
+/// T_D the detector bank delivered.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduledTrust {
+    edges: BTreeMap<ProcessId, Vec<(SimTime, bool)>>,
+}
+
+impl ScheduledTrust {
+    /// An empty schedule: everyone trusted forever.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a suspicion edge for `peer`. Edges must be pushed in
+    /// nondecreasing time order per peer.
+    pub fn push(&mut self, peer: ProcessId, at: SimTime, suspected: bool) {
+        let edges = self.edges.entry(peer).or_default();
+        debug_assert!(
+            edges.last().is_none_or(|&(t, _)| t <= at),
+            "trust edges must be pushed in time order"
+        );
+        edges.push((at, suspected));
+    }
+}
+
+impl TrustInput for ScheduledTrust {
+    fn suspects(&self, peer: ProcessId, now: SimTime) -> bool {
+        let Some(edges) = self.edges.get(&peer) else {
+            return false;
+        };
+        match edges.partition_point(|&(t, _)| t <= now) {
+            0 => false,
+            i => edges[i - 1].1,
+        }
+    }
+}
 
 /// A participant in rotating-coordinator consensus.
 ///
@@ -41,6 +115,7 @@ pub struct ConsensusLayer {
     round_deadline: Option<SimTime>,
 
     fds: BTreeMap<ProcessId, FailureDetector>,
+    trust: Option<Arc<dyn TrustInput>>,
     tick: SimDuration,
     round_timeout: SimDuration,
     start_delay: SimDuration,
@@ -104,6 +179,7 @@ impl ConsensusLayer {
             adopted: false,
             round_deadline: None,
             fds,
+            trust: None,
             start_delay: SimDuration::ZERO,
             started: false,
             tick: SimDuration::from_millis(100),
@@ -130,6 +206,17 @@ impl ConsensusLayer {
     /// the failure detectors warm up before the first round).
     pub fn with_start_delay(mut self, delay: SimDuration) -> Self {
         self.start_delay = delay;
+        self
+    }
+
+    /// Installs an external [`TrustInput`] as the coordinator-suspicion
+    /// oracle. The fabric wires its monitor-of-monitors suspect view in
+    /// here, so leader demotion inherits the *fabric* detector's T_D/P_A
+    /// instead of re-deriving suspicion from this layer's own heartbeat
+    /// stream. Internal detectors keep consuming heartbeats (their QoS
+    /// stays observable) but no longer drive round rotation.
+    pub fn with_trust_input(mut self, trust: Arc<dyn TrustInput>) -> Self {
+        self.trust = Some(trust);
         self
     }
 
@@ -312,7 +399,7 @@ impl ConsensusLayer {
             if self.decide_floods_left > 0 {
                 self.decide_floods_left -= 1;
                 self.broadcast(ctx, ConsensusMsg::Decide { value });
-                ctx.set_timer(self.tick, TIMER_TICK);
+                set_guarded_timer(ctx, self.tick, TIMER_TICK);
             }
             // Once the floods are spent, the layer goes quiet.
             return;
@@ -324,8 +411,11 @@ impl ConsensusLayer {
         }
 
         let coord = self.coordinator(self.round);
-        let coord_suspected =
-            coord != self.me && self.fds.get(&coord).is_some_and(|fd| fd.is_suspecting());
+        let coord_suspected = coord != self.me
+            && match &self.trust {
+                Some(trust) => trust.suspects(coord, now),
+                None => self.fds.get(&coord).is_some_and(|fd| fd.is_suspecting()),
+            };
         let timed_out = self.round_deadline.is_some_and(|d| now >= d);
 
         if coord_suspected || timed_out {
@@ -350,7 +440,7 @@ impl ConsensusLayer {
             }
         }
 
-        ctx.set_timer(self.tick, TIMER_TICK);
+        set_guarded_timer(ctx, self.tick, TIMER_TICK);
     }
 }
 
@@ -363,7 +453,7 @@ impl ConsensusLayer {
             value: 0,
         });
         self.send_estimate(ctx);
-        ctx.set_timer(self.tick, TIMER_TICK);
+        set_guarded_timer(ctx, self.tick, TIMER_TICK);
     }
 }
 
@@ -372,7 +462,7 @@ impl Layer for ConsensusLayer {
         if self.start_delay.is_zero() {
             self.start_protocol(ctx);
         } else {
-            ctx.set_timer(self.start_delay, TIMER_START);
+            set_guarded_timer(ctx, self.start_delay, TIMER_START);
         }
     }
 
@@ -668,6 +758,72 @@ mod tests {
             1,
             combo(),
             SimDuration::from_secs(1),
+        );
+    }
+
+    #[test]
+    fn scheduled_trust_answers_by_latest_edge() {
+        let mut sched = ScheduledTrust::new();
+        sched.push(ProcessId(0), SimTime::from_secs(5), true);
+        sched.push(ProcessId(0), SimTime::from_secs(9), false);
+        assert!(!sched.suspects(ProcessId(0), SimTime::from_secs(4)));
+        assert!(sched.suspects(ProcessId(0), SimTime::from_secs(5)));
+        assert!(sched.suspects(ProcessId(0), SimTime::from_secs(8)));
+        assert!(!sched.suspects(ProcessId(0), SimTime::from_secs(9)));
+        assert!(!sched.suspects(ProcessId(1), SimTime::from_secs(100)));
+    }
+
+    /// The external oracle drives round rotation where the internal
+    /// detectors (which never saw a heartbeat, let alone a timeout)
+    /// would keep round 0's coordinator trusted.
+    #[test]
+    fn trust_input_demotes_suspected_coordinator() {
+        let mut sched = ScheduledTrust::new();
+        sched.push(ProcessId(0), SimTime::ZERO, true);
+        let mut trusted = layer(1, 3, 5);
+        let mut untrusted = layer(1, 3, 5).with_trust_input(Arc::new(sched));
+        for l in [&mut trusted, &mut untrusted] {
+            let mut ctx = Context::new(SimTime::ZERO, ProcessId(1));
+            l.on_start(&mut ctx);
+            drain(&mut ctx);
+            let mut ctx = Context::new(SimTime::from_millis(100), ProcessId(1));
+            l.on_tick(&mut ctx);
+        }
+        assert_eq!(trusted.round(), 0, "no oracle, no suspicion yet");
+        assert_eq!(untrusted.round(), 1, "oracle demotes the coordinator");
+    }
+
+    /// The audit the fabric depends on: a consensus layer wrapped by
+    /// process-level chaos arms timers that pass the wrapper's namespace
+    /// assertion (IDs clear of bits 63/62) and fire back through intact.
+    #[test]
+    fn chaos_wrapped_consensus_timers_do_not_collide() {
+        use fd_runtime::{Action, ChaosLayer, FaultPlan};
+        let mut wrapped = ChaosLayer::new(layer(1, 3, 7), FaultPlan::new());
+        let mut ctx = Context::new(SimTime::ZERO, ProcessId(1));
+        wrapped.on_start(&mut ctx);
+        let timers: Vec<TimerId> = drain(&mut ctx)
+            .into_iter()
+            .filter_map(|a| match a {
+                Action::SetTimer { id, .. } => Some(id),
+                _ => None,
+            })
+            .collect();
+        assert!(!timers.is_empty(), "start must arm the protocol tick");
+        for id in &timers {
+            assert_eq!(
+                id & fd_runtime::RESERVED_TIMER_BITS,
+                0,
+                "timer {id:#x} escaped into a wrapper namespace"
+            );
+        }
+        // And the fire routes back to the child: the tick triggers the
+        // estimate retransmission of round 0.
+        let mut ctx = Context::new(SimTime::from_millis(100), ProcessId(1));
+        wrapped.on_timer(&mut ctx, timers[0]);
+        assert!(
+            !sent_consensus(&drain(&mut ctx)).is_empty(),
+            "wrapped tick must reach the consensus layer"
         );
     }
 }

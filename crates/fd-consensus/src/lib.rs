@@ -36,6 +36,6 @@ pub mod metrics;
 pub mod wire;
 
 pub use experiment::{run_consensus_experiment, ConsensusOutcome, ConsensusSetup};
-pub use layer::ConsensusLayer;
+pub use layer::{ConsensusLayer, ScheduledTrust, TrustInput};
 pub use metrics::{decided_values, decision_latencies, APP_DECIDED, APP_ROUND};
 pub use wire::ConsensusMsg;

@@ -17,7 +17,9 @@ use std::fs;
 use std::path::Path;
 
 use fd_net::framing::FrameError;
-use fd_serve::wire::{ERR_OUT_OF_RANGE, FLAG_PUBLISHED, FLAG_SUSPECTING, MAGIC, VERSION};
+use fd_serve::wire::{
+    ERR_OUT_OF_RANGE, FLAG_PUBLISHED, FLAG_SEGMENT_DEGRADED, FLAG_SUSPECTING, MAGIC, VERSION,
+};
 use fd_serve::{Request, Response};
 
 /// magic u32 + version u8 + tag u8 + token u32.
@@ -118,9 +120,26 @@ fn main() {
         virtual_us: 2_000_000,
         age_us: 310,
         hops: 1,
+        flags: 0,
         changes: vec![(0, 0xFF)],
     };
     seeds.push(("resp_delta", delta.encode()));
+    // The pure health-transition push: no epoch movement, flag only.
+    seeds.push((
+        "resp_delta_degraded",
+        Response::DeltaResp {
+            token: 3,
+            segment: 1,
+            from_epoch: 3,
+            to_epoch: 3,
+            virtual_us: 2_000_000,
+            age_us: 310,
+            hops: 0,
+            flags: FLAG_SEGMENT_DEGRADED,
+            changes: Vec::new(),
+        }
+        .encode(),
+    ));
     seeds.push((
         "resp_resync",
         Response::Resync {
@@ -157,9 +176,9 @@ fn main() {
     liar[PREFIX + 26..PREFIX + 28].copy_from_slice(&u16::MAX.to_be_bytes());
     seeds.push(("resp_range_liar", liar));
     // DeltaResp fixed body: segment 2 + from 8 + to 8 + virtual 8 +
-    // age 8 + hops 1 = 35, count next.
+    // age 8 + hops 1 + flags 1 = 36, count next.
     let mut liar = delta.encode();
-    liar[PREFIX + 35..PREFIX + 37].copy_from_slice(&u16::MAX.to_be_bytes());
+    liar[PREFIX + 36..PREFIX + 38].copy_from_slice(&u16::MAX.to_be_bytes());
     seeds.push(("resp_delta_liar", liar));
 
     // -- hostile shapes: rejected by both decoders ----------------------

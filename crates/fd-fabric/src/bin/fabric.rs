@@ -1,0 +1,74 @@
+//! The fabric experiment binary.
+//!
+//! * `fabric` — full bench: election rows over 3/5/8 regions × the
+//!   global-combo sweep × both fan-in disciplines, plus the
+//!   crash/partition/heal chaos row, written to `BENCH_fabric.json`;
+//! * `fabric --smoke` — the CI gate: 3 regions, one monitor crash,
+//!   asserts detection, heal, and a deterministic digest.
+
+use std::time::Instant;
+
+use fd_fabric::experiment::{global_combos, render_json, run_chaos_row, run_fabric_row, run_smoke};
+use fd_runtime::fabric::FanIn;
+
+const SEED: u64 = 0xFA_B0_05;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        println!("fabric --smoke: 3 regions, leader-monitor crash at 12 s");
+        run_smoke(SEED);
+        println!("fabric --smoke: OK");
+        return;
+    }
+
+    let started = Instant::now();
+    let mut rows = Vec::new();
+    for &n in &[3usize, 5, 8] {
+        for &combo in &global_combos() {
+            rows.push(run_fabric_row(n, 64, combo, FanIn::Hierarchical, SEED));
+            let r = rows.last().expect("just pushed");
+            println!(
+                "regions={n} combo={} fan_in={} monitor_td_ms={:?} demote_ms={:?} \
+                 spurious={} decision_ms={:?} [{:.0} ms]",
+                r.combo, r.fan_in, r.monitor_td_ms, r.demote_latency_ms, r.spurious_demotions,
+                r.decision_latency_ms, r.wall_ms
+            );
+        }
+    }
+    // One gossip row per region count at the reference combo: same
+    // diagnosis, redundant fan-in.
+    for &n in &[3usize, 5, 8] {
+        rows.push(run_fabric_row(
+            n,
+            64,
+            global_combos()[0],
+            FanIn::Gossip { fanout: 2 },
+            SEED,
+        ));
+        let r = rows.last().expect("just pushed");
+        println!(
+            "regions={n} combo={} fan_in={} monitor_td_ms={:?} demote_ms={:?} [{:.0} ms]",
+            r.combo, r.fan_in, r.monitor_td_ms, r.demote_latency_ms, r.wall_ms
+        );
+    }
+
+    println!("chaos row: crash monitor 1, partition region 2, heal, serve through relay");
+    let chaos = run_chaos_row(SEED);
+    println!(
+        "  detect_ms={:?} degraded_via_relay={} healed_via_relay={} partition_dropped={}",
+        chaos.detect_ms, chaos.degraded_via_relay, chaos.healed_via_relay, chaos.partition_dropped
+    );
+    assert!(
+        chaos.degraded_via_relay && chaos.healed_via_relay,
+        "the chaos row must serve the degraded block through the relay and heal it"
+    );
+
+    let doc = render_json(&rows, &chaos, SEED);
+    std::fs::write("BENCH_fabric.json", &doc).expect("write BENCH_fabric.json");
+    println!(
+        "wrote BENCH_fabric.json ({} rows + chaos row) in {:.1} s",
+        rows.len(),
+        started.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,314 @@
+//! Leader election over the fabric's monitor-suspicion view.
+//!
+//! Two consumers of the global tier's diagnosis close the paper's
+//! QoS-of-upper-layers loop at the fabric level:
+//!
+//! * an **Ω oracle**: the leader at any instant is the lowest-numbered
+//!   monitor the global tier does not suspect. Its trajectory is a pure
+//!   fold over the measured [`MonitorTransition`] stream, so demotion
+//!   latency after a leader crash *is* the global detector's `T_D`, and
+//!   every demotion of a live leader is a spurious demotion — the
+//!   election-flavoured reading of the detector's `P_A`;
+//! * a **consensus ratification**: the surviving monitors run the
+//!   rotating-coordinator protocol with their coordinator-suspicion
+//!   driven by a [`ScheduledTrust`] oracle replaying the *measured*
+//!   transitions, so the decision latency under a leader crash inherits
+//!   the fabric detector's timing rather than an idealised one.
+
+use std::sync::Arc;
+
+use fd_consensus::{ConsensusLayer, ScheduledTrust};
+use fd_core::Combination;
+use fd_experiments::{HeartbeaterLayer, SimCrashLayer};
+use fd_net::WanProfile;
+use fd_runtime::fabric::{FabricChaosPlan, FabricFaultKind};
+use fd_runtime::{Process, ProcessId, SimEngine};
+use fd_sim::{SeedTree, SimDuration, SimTime};
+
+use crate::global::MonitorTransition;
+
+/// What the Ω fold and the ratification run measured.
+#[derive(Debug, Clone)]
+pub struct ElectionOutcome {
+    /// Leader changes, time-ordered, starting with the initial leader at
+    /// time zero.
+    pub trajectory: Vec<(SimTime, u16)>,
+    /// Crash → Ω demotes the crashed leader, if a leader crash was
+    /// scheduled and the demotion happened.
+    pub demote_latency: Option<SimDuration>,
+    /// Leader changes away from a monitor that was alive at the time.
+    pub spurious_demotions: u64,
+    /// Crash → every surviving participant decided, through the
+    /// trust-driven consensus ratification (if it was run).
+    pub decision_latency: Option<SimDuration>,
+    /// All ratification deciders agreed (vacuously true when not run).
+    pub agreement: bool,
+    /// Participants that decided in the ratification run.
+    pub deciders: usize,
+}
+
+/// Folds Ω over the measured transitions: leader = lowest unsuspected
+/// monitor (falling back to monitor 0 if all are suspected).
+pub fn omega_trajectory(n: usize, transitions: &[MonitorTransition]) -> Vec<(SimTime, u16)> {
+    let mut suspected = vec![false; n];
+    let leader_of = |suspected: &[bool]| -> u16 {
+        suspected.iter().position(|s| !s).unwrap_or(0) as u16
+    };
+    let mut trajectory = vec![(SimTime::ZERO, leader_of(&suspected))];
+    for tr in transitions {
+        if usize::from(tr.region) >= n {
+            continue;
+        }
+        suspected[usize::from(tr.region)] = tr.suspected;
+        let leader = leader_of(&suspected);
+        if leader != trajectory.last().expect("seeded").1 {
+            trajectory.push((tr.at, leader));
+        }
+    }
+    trajectory
+}
+
+/// The first scheduled monitor crash in the plan, if any.
+fn leader_crash(plan: &FabricChaosPlan) -> Option<(u16, SimTime)> {
+    plan.faults
+        .iter()
+        .filter(|f| matches!(f.kind, FabricFaultKind::MonitorCrash { .. }))
+        .map(|f| (f.region, SimTime::ZERO + f.at))
+        .next()
+}
+
+/// Runs the Ω fold and (when a leader crash is scheduled) the consensus
+/// ratification, both against the *measured* transition stream.
+///
+/// `horizon` bounds the ratification simulation; `profile` is the link
+/// model between the monitors (the regional uplink class).
+pub fn elect(
+    n: usize,
+    transitions: &[MonitorTransition],
+    plan: &FabricChaosPlan,
+    fd_combo: Combination,
+    eta: SimDuration,
+    profile: &WanProfile,
+    horizon: SimDuration,
+    seed: u64,
+) -> ElectionOutcome {
+    let trajectory = omega_trajectory(n, transitions);
+    let crash = leader_crash(plan);
+
+    // Spurious demotions: the leader was *demoted* — the change was
+    // triggered by suspecting the sitting leader — while it was alive. A
+    // change because a lower-ranked monitor regained trust is a
+    // promotion, not a demotion of the old leader.
+    let mut spurious = 0u64;
+    {
+        let mut suspected = vec![false; n];
+        let leader_of =
+            |suspected: &[bool]| suspected.iter().position(|s| !s).unwrap_or(0) as u16;
+        let mut leader = leader_of(&suspected);
+        for tr in transitions {
+            if usize::from(tr.region) >= n {
+                continue;
+            }
+            suspected[usize::from(tr.region)] = tr.suspected;
+            let next = leader_of(&suspected);
+            if next != leader
+                && tr.suspected
+                && tr.region == leader
+                && !plan.monitor_down(leader, tr.at - SimTime::ZERO)
+            {
+                spurious += 1;
+            }
+            leader = next;
+        }
+    }
+
+    // Demotion latency: first leader change off the crashed monitor at or
+    // after the crash — provided it actually led going in.
+    let demote_latency = crash.and_then(|(region, at)| {
+        let led_before = trajectory
+            .iter()
+            .filter(|&&(t, _)| t <= at)
+            .last()
+            .is_some_and(|&(_, l)| l == region);
+        if !led_before {
+            return None;
+        }
+        trajectory
+            .iter()
+            .find(|&&(t, l)| t >= at && l != region)
+            .map(|&(t, _)| t - at)
+    });
+
+    // Consensus ratification under the measured trust oracle.
+    let (decision_latency, agreement, deciders) = match crash {
+        Some((region, at)) if n >= 2 => {
+            let outcome = ratify(n, transitions, region, at, fd_combo, eta, profile, horizon, seed);
+            let latency = outcome
+                .last_decision()
+                .and_then(|t| t.checked_duration_since(at));
+            (latency, outcome.agreement(), outcome.deciders())
+        }
+        _ => (None, true, 0),
+    };
+
+    ElectionOutcome {
+        trajectory,
+        demote_latency,
+        spurious_demotions: spurious,
+        decision_latency,
+        agreement,
+        deciders,
+    }
+}
+
+/// One rotating-coordinator run among the monitors: the crashed leader
+/// goes down at its fabric crash instant, the protocol starts at that
+/// same instant (heartbeats warm the in-layer detectors from time zero),
+/// and coordinator suspicion comes from the measured transitions.
+#[allow(clippy::too_many_arguments)]
+fn ratify(
+    n: usize,
+    transitions: &[MonitorTransition],
+    crash_region: u16,
+    crash_at: SimTime,
+    fd_combo: Combination,
+    eta: SimDuration,
+    profile: &WanProfile,
+    horizon: SimDuration,
+    seed: u64,
+) -> fd_consensus::ConsensusOutcome {
+    let seeds = SeedTree::new(seed).subtree("fabric-ratify");
+    let peers: Vec<ProcessId> = (0..n as u16).map(ProcessId).collect();
+    let initial_values: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+
+    let mut trust = ScheduledTrust::new();
+    for tr in transitions {
+        trust.push(ProcessId(tr.region), tr.at, tr.suspected);
+    }
+    let trust: Arc<ScheduledTrust> = Arc::new(trust);
+
+    let mut engine = SimEngine::new();
+    for &me in &peers {
+        let mut proc = Process::new(me);
+        if me == ProcessId(crash_region) {
+            proc = proc.with_layer(SimCrashLayer::once_at(crash_at - SimTime::ZERO, None));
+        }
+        for &other in &peers {
+            if other != me {
+                proc = proc.with_layer(HeartbeaterLayer::new(other, eta));
+            }
+        }
+        proc = proc.with_layer(
+            ConsensusLayer::new(
+                me,
+                peers.clone(),
+                initial_values[usize::from(me.0)],
+                fd_combo,
+                eta,
+            )
+            .with_start_delay(crash_at - SimTime::ZERO)
+            .with_trust_input(Arc::clone(&trust) as Arc<dyn fd_consensus::TrustInput>),
+        );
+        engine.add_process(proc);
+    }
+    for &a in &peers {
+        for &b in &peers {
+            if a != b {
+                let label = format!("link-{}-{}", a.0, b.0);
+                engine.set_link(a, b, profile.link(seeds.rng(&label)));
+            }
+        }
+    }
+    engine.run_until(SimTime::ZERO + horizon);
+    let log = engine.into_event_log();
+    fd_consensus::ConsensusOutcome {
+        decisions: fd_consensus::decided_values(&log),
+        latencies: fd_consensus::decision_latencies(&log),
+        rounds: fd_consensus::metrics::max_rounds(&log),
+        initial_values,
+        messages_sent: 0,
+        log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::{MarginKind, PredictorKind};
+    use fd_runtime::fabric::FabricFault;
+
+    fn tr(at_s: u64, region: u16, suspected: bool) -> MonitorTransition {
+        MonitorTransition {
+            at: SimTime::from_secs(at_s),
+            region,
+            suspected,
+        }
+    }
+
+    #[test]
+    fn omega_tracks_the_lowest_unsuspected_monitor() {
+        let transitions = vec![tr(5, 0, true), tr(9, 1, true), tr(12, 0, false)];
+        let trajectory = omega_trajectory(3, &transitions);
+        assert_eq!(
+            trajectory,
+            vec![
+                (SimTime::ZERO, 0),
+                (SimTime::from_secs(5), 1),
+                (SimTime::from_secs(9), 2),
+                (SimTime::from_secs(12), 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn crashed_leader_demotion_is_not_spurious_but_live_demotion_is() {
+        let plan = FabricChaosPlan {
+            faults: vec![FabricFault {
+                at: SimDuration::from_secs(4),
+                region: 0,
+                kind: FabricFaultKind::MonitorCrash {
+                    heal_after: Some(SimDuration::from_secs(20)),
+                },
+            }],
+        };
+        // Demotion at 6 s: leader 0 is down (real). Demotion at 10 s:
+        // leader 1 is alive (spurious). Recovery at 12 s back to 1.
+        let transitions = vec![tr(6, 0, true), tr(10, 1, true), tr(12, 1, false)];
+        let combo = Combination::new(PredictorKind::Last, MarginKind::Jac { phi: 2.0 });
+        let out = elect(
+            3,
+            &transitions,
+            &plan,
+            combo,
+            SimDuration::from_secs(1),
+            &WanProfile::italy_japan(),
+            SimDuration::from_secs(60),
+            7,
+        );
+        assert_eq!(out.demote_latency, Some(SimDuration::from_secs(2)));
+        assert_eq!(out.spurious_demotions, 1, "{:?}", out.trajectory);
+        // The ratification decides among the survivors and agrees.
+        assert!(out.deciders >= 2, "only {} deciders", out.deciders);
+        assert!(out.agreement);
+        let decision = out.decision_latency.expect("ratification decided");
+        assert!(decision < SimDuration::from_secs(20), "decided in {decision}");
+    }
+
+    #[test]
+    fn clean_run_has_no_demote_latency_and_no_ratification() {
+        let out = elect(
+            3,
+            &[],
+            &FabricChaosPlan::none(),
+            Combination::new(PredictorKind::Last, MarginKind::Jac { phi: 2.0 }),
+            SimDuration::from_secs(1),
+            &WanProfile::italy_japan(),
+            SimDuration::from_secs(30),
+            3,
+        );
+        assert_eq!(out.demote_latency, None);
+        assert_eq!(out.decision_latency, None);
+        assert_eq!(out.spurious_demotions, 0);
+        assert_eq!(out.trajectory, vec![(SimTime::ZERO, 0)]);
+    }
+}

@@ -1,0 +1,570 @@
+//! The fabric experiment: election QoS as a function of detector QoS,
+//! plus the crash/partition/heal chaos row served end-to-end.
+//!
+//! The `fabric` binary produces `BENCH_fabric.json`:
+//!
+//! * **election rows** — for several region counts × global detector
+//!   combinations, the fabric runs with a scheduled leader-monitor crash
+//!   and heal; each row reports the regional reference FD's measured
+//!   `T_D`/`P_A` over its sources, the global tier's monitor-level
+//!   `T_D`/`P_A`, Ω demotion latency, spurious-demotion count, and the
+//!   trust-driven consensus ratification latency — the fabric-level
+//!   reading of the paper's "FD QoS drives upper-layer QoS" relation;
+//! * **the chaos row** — crash one monitor, partition another region,
+//!   heal both, and serve the whole fabric through a real origin server
+//!   *and a relay*: the crashed monitor's block must be answered with
+//!   `FLAG_SEGMENT_DEGRADED` through the relay while it is down, and
+//!   come back clean after the heal.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fd_core::{Combination, MarginKind, PredictorKind};
+use fd_runtime::fabric::{FabricChaosPlan, FabricTopology, FanIn};
+use fd_runtime::StreamDigest;
+use fd_serve::wire::FLAG_SEGMENT_DEGRADED;
+use fd_serve::{Relay, RelayConfig, Response, ServeClient, ServeConfig, ServeServer, SuspectView};
+use fd_sim::{SimDuration, SimTime};
+
+use crate::election::elect;
+use crate::global::{run_global, GlobalOutcome};
+use crate::region::{run_region, RegionRun, REF_COMBO};
+
+/// The paper-recommended reference detector the regions run.
+pub fn reference_combo() -> Combination {
+    Combination::new(PredictorKind::Last, MarginKind::Jac { phi: 2.0 })
+}
+
+/// The global detector combinations the election rows sweep: the
+/// reference margin and a conservative one, same predictor — the axis
+/// the demotion latency moves along.
+pub fn global_combos() -> Vec<Combination> {
+    vec![
+        Combination::new(PredictorKind::Last, MarginKind::Jac { phi: 2.0 }),
+        Combination::new(PredictorKind::Last, MarginKind::Ci { gamma: 3.31 }),
+    ]
+}
+
+/// One election row of `BENCH_fabric.json`.
+#[derive(Debug, Clone)]
+pub struct FabricRow {
+    /// Regions in the fabric.
+    pub regions: usize,
+    /// Sources per region.
+    pub sources_per_region: usize,
+    /// Global (monitor-level) detector combination label.
+    pub combo: String,
+    /// Fan-in discipline (`"hierarchical"` or `"gossip"`).
+    pub fan_in: String,
+    /// Regional reference FD over region 0's sources: mean `T_D`, ms.
+    pub regional_td_ms: Option<f64>,
+    /// Regional reference FD: query accuracy `P_A`.
+    pub regional_pa: Option<f64>,
+    /// Global tier over the monitors: mean monitor-crash `T_D`, ms.
+    pub monitor_td_ms: Option<f64>,
+    /// Global tier: monitor-level query accuracy `P_A`.
+    pub monitor_pa: Option<f64>,
+    /// Monitor crashes injected / detected by the global tier.
+    pub monitor_crashes: u64,
+    /// Detected monitor crashes.
+    pub monitor_detections: u64,
+    /// Ω demotion latency after the leader-monitor crash, ms.
+    pub demote_latency_ms: Option<f64>,
+    /// Demotions of a live leader across the run.
+    pub spurious_demotions: u64,
+    /// Spurious demotions per virtual hour.
+    pub spurious_per_hour: f64,
+    /// Trust-driven consensus ratification latency after the crash, ms.
+    pub decision_latency_ms: Option<f64>,
+    /// Ratification deciders (survivors that decided).
+    pub deciders: usize,
+    /// All deciders agreed.
+    pub agreement: bool,
+    /// Summary frames emitted / lost on the WAN.
+    pub frames_emitted: u64,
+    /// Frames lost to link loss.
+    pub frames_lost: u64,
+    /// Fabric determinism digest.
+    pub digest: u64,
+    /// Wall time of the row, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Order-independent digest of a whole fabric run: regional digests plus
+/// the global tier's transition stream and WAN accounting.
+pub fn fabric_digest(runs: &[RegionRun], global: &GlobalOutcome) -> u64 {
+    let mut d = StreamDigest::new();
+    for run in runs {
+        d.fold_bytes(&run.digest.to_le_bytes());
+        d.fold_bytes(&u64::from(run.region).to_le_bytes());
+        d.fold_bytes(&run.suppressed.to_le_bytes());
+    }
+    for tr in &global.transitions {
+        let mut buf = [0u8; 11];
+        buf[..8].copy_from_slice(&tr.at.as_micros().to_le_bytes());
+        buf[8..10].copy_from_slice(&tr.region.to_le_bytes());
+        buf[10] = u8::from(tr.suspected);
+        d.fold_bytes(&buf);
+    }
+    d.fold_bytes(&global.frames_emitted.to_le_bytes());
+    d.fold_bytes(&global.frames_lost.to_le_bytes());
+    d.fold_bytes(&global.partition_dropped.to_le_bytes());
+    d.value()
+}
+
+/// The leader-crash chaos schedule the election rows use: the leader
+/// monitor (region 0) crashes at `crash_at` and heals `down_for` later.
+fn leader_crash_plan(crash_at: SimDuration, down_for: SimDuration) -> FabricChaosPlan {
+    let mut plan = FabricChaosPlan::none();
+    plan.faults.push(fd_runtime::fabric::FabricFault {
+        at: crash_at,
+        region: 0,
+        kind: fd_runtime::fabric::FabricFaultKind::MonitorCrash {
+            heal_after: Some(down_for),
+        },
+    });
+    plan
+}
+
+/// Runs the whole fabric once: regions, global tier, election.
+fn run_fabric(
+    topo: &FabricTopology,
+    plan: &FabricChaosPlan,
+    global_combo: Combination,
+) -> (Vec<RegionRun>, GlobalOutcome, crate::election::ElectionOutcome) {
+    let combos = vec![reference_combo()];
+    let runs: Vec<RegionRun> = (0..topo.regions.len())
+        .map(|r| run_region(topo, r, plan, &combos))
+        .collect();
+    let global = run_global(topo, &runs, plan, global_combo);
+    // The election consumes only in-horizon transitions: past the horizon
+    // every monitor stops emitting, so the detectors' trailing suspicions
+    // are measurement-window artifacts, not demotions anyone would act on.
+    let in_horizon: Vec<_> = global
+        .transitions
+        .iter()
+        .filter(|tr| tr.at <= SimTime::ZERO + topo.horizon)
+        .cloned()
+        .collect();
+    let election = elect(
+        topo.regions.len(),
+        &in_horizon,
+        plan,
+        global_combo,
+        topo.summary_every,
+        &topo.regions[0].profile,
+        topo.horizon + topo.summary_every * 8,
+        topo.seed,
+    );
+    (runs, global, election)
+}
+
+/// Runs one election row: `n` regions, a leader-monitor crash mid-run,
+/// and the election QoS attributed to the measured detector QoS.
+pub fn run_fabric_row(
+    n: usize,
+    sources_per_region: usize,
+    global_combo: Combination,
+    fan_in: FanIn,
+    seed: u64,
+) -> FabricRow {
+    let started = Instant::now();
+    let horizon = SimDuration::from_secs(75);
+    let mut topo = FabricTopology::symmetric(n, sources_per_region, 2, horizon, seed);
+    topo.fan_in = fan_in;
+    let mut plan = leader_crash_plan(SimDuration::from_secs(30), SimDuration::from_secs(20));
+    // A short pre-crash partition of the leader region: the monitor is
+    // alive, so the global tier's suspicion of it is a *mistake* and the
+    // resulting demotion is *spurious* — the row measures both against
+    // the detector's P_A instead of reporting structural zeros.
+    plan.faults.push(fd_runtime::fabric::FabricFault {
+        at: SimDuration::from_secs(10),
+        region: 0,
+        kind: fd_runtime::fabric::FabricFaultKind::Partition {
+            duration: SimDuration::from_secs(3),
+        },
+    });
+    plan.sort();
+
+    let (runs, global, election) = run_fabric(&topo, &plan, global_combo);
+    let regional = &runs[0].qos[REF_COMBO];
+    let hours = topo.horizon.as_secs_f64() / 3_600.0;
+
+    FabricRow {
+        regions: n,
+        sources_per_region,
+        combo: global_combo.label(),
+        fan_in: match fan_in {
+            FanIn::Hierarchical => "hierarchical".into(),
+            FanIn::Gossip { fanout } => format!("gossip-{fanout}"),
+        },
+        regional_td_ms: regional.mean_td_ms(),
+        regional_pa: regional.query_accuracy(),
+        monitor_td_ms: global.monitor_qos.mean_td_ms(),
+        monitor_pa: global.monitor_qos.query_accuracy(),
+        monitor_crashes: global.monitor_qos.crashes,
+        monitor_detections: global.monitor_qos.detections,
+        demote_latency_ms: election.demote_latency.map(|d| d.as_millis_f64()),
+        spurious_demotions: election.spurious_demotions,
+        spurious_per_hour: election.spurious_demotions as f64 / hours,
+        decision_latency_ms: election.decision_latency.map(|d| d.as_millis_f64()),
+        deciders: election.deciders,
+        agreement: election.agreement,
+        frames_emitted: global.frames_emitted,
+        frames_lost: global.frames_lost,
+        digest: fabric_digest(&runs, &global),
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// The chaos row: crash/partition/heal served end-to-end through a relay.
+#[derive(Debug, Clone)]
+pub struct ChaosRow {
+    /// Regions in the fabric.
+    pub regions: usize,
+    /// The crashed monitor.
+    pub crash_region: u16,
+    /// Crash instant, seconds.
+    pub crash_at_s: u64,
+    /// Global-tier diagnosis latency (crash → suspicion), ms.
+    pub detect_ms: Option<f64>,
+    /// Heal observed (suspicion dropped after the monitor came back).
+    pub heal_observed: bool,
+    /// The crashed block was served with `FLAG_SEGMENT_DEGRADED`
+    /// **through the relay** while the monitor was down.
+    pub degraded_via_relay: bool,
+    /// The block came back clean through the relay after the heal.
+    pub healed_via_relay: bool,
+    /// Emissions dropped by the region partition.
+    pub partition_dropped: u64,
+    /// Frames lost to WAN loss.
+    pub frames_lost: u64,
+    /// Monitor-level mistakes (spurious suspicions, e.g. the partition).
+    pub monitor_mistakes: u64,
+    /// Fabric determinism digest.
+    pub digest: u64,
+    /// Wall time of the row, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Polls `probe` until it returns true or the deadline passes.
+fn wait_for(deadline: Duration, mut probe: impl FnMut() -> bool) -> bool {
+    let until = Instant::now() + deadline;
+    loop {
+        if probe() {
+            return true;
+        }
+        if Instant::now() > until {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Runs the canonical crash/partition/heal scenario and serves the
+/// diagnosed fabric through an origin server and a relay, replaying the
+/// virtual timeline into a live [`SuspectView`] in two acts: up to the
+/// moment the global tier diagnoses the crash (the relay must then serve
+/// the block degraded), and through the heal (the relay must clear it).
+pub fn run_chaos_row(seed: u64) -> ChaosRow {
+    let started = Instant::now();
+    const N: usize = 3;
+    const SOURCES: usize = 64;
+    let crash_at = SimDuration::from_secs(15);
+    let down_for = SimDuration::from_secs(20);
+    let topo = FabricTopology::symmetric(N, SOURCES, 2, SimDuration::from_secs(60), seed);
+    let plan = FabricChaosPlan::crash_partition_heal(
+        1,
+        crash_at,
+        down_for,
+        2,
+        SimDuration::from_secs(40),
+        SimDuration::from_secs(8),
+    );
+    let (runs, global, _) = run_fabric(&topo, &plan, reference_combo());
+    let digest = fabric_digest(&runs, &global);
+
+    let crash = SimTime::ZERO + crash_at;
+    let detected = global.first_suspected_after(1, crash);
+    let heal_observed = detected
+        .is_some_and(|d| global.first_trusted_after(1, d + SimDuration::from_micros(1)).is_some());
+
+    // -- Serve the diagnosed fabric through origin + relay ---------------
+    let blocks: Vec<(usize, usize)> = (0..N).map(|r| topo.block(r)).collect();
+    let view = SuspectView::new(1, &blocks);
+    let mut writers: Vec<_> = (0..N).map(|r| view.writer(r)).collect();
+    let origin =
+        ServeServer::start(Arc::clone(&view), ServeConfig::default()).expect("bind origin");
+    let relay = Relay::start(
+        origin.local_addr(),
+        RelayConfig {
+            push_timeout: Duration::from_millis(25),
+            serve: ServeConfig {
+                push_interval: Duration::from_millis(5),
+                ..ServeConfig::default()
+            },
+            ..RelayConfig::default()
+        },
+    )
+    .expect("start relay");
+
+    // The virtual timeline as view operations: publications on arrival,
+    // degradation marks on suspicion edges. Capped at the horizon: past
+    // it every monitor stops emitting, so the detectors' trailing
+    // suspicions are measurement-window artifacts with no publication
+    // left to clear them.
+    let horizon_us = topo.horizon.as_micros();
+    enum Op {
+        Publish(usize, Vec<u64>),
+        MarkDegraded(usize),
+    }
+    let mut ops: Vec<(u64, u8, Op)> = Vec::new();
+    for a in global.arrivals.iter().filter(|a| a.fresh) {
+        let r = usize::from(a.frame.region);
+        ops.push((a.at.as_micros(), 0, Op::Publish(r, a.frame.words.clone())));
+    }
+    for tr in global.transitions.iter().filter(|t| t.suspected) {
+        ops.push((tr.at.as_micros(), 1, Op::MarkDegraded(usize::from(tr.region))));
+    }
+    ops.retain(|(us, _, _)| *us <= horizon_us);
+    ops.sort_by_key(|(us, class, _)| (*us, *class));
+
+    let apply_until = |ops: &mut std::vec::IntoIter<(u64, u8, Op)>,
+                           writers: &mut Vec<fd_serve::SegmentWriter>,
+                           cutoff_us: u64| {
+        // Peekable-free drain: ops is consumed in order, the caller holds
+        // the iterator across calls.
+        let remaining: Vec<_> = ops.collect();
+        let mut rest = Vec::new();
+        for (us, class, op) in remaining {
+            if us > cutoff_us {
+                rest.push((us, class, op));
+                continue;
+            }
+            match op {
+                Op::Publish(r, words) => {
+                    writers[r].publish_words(&words, SimTime::from_micros(us));
+                }
+                Op::MarkDegraded(r) => {
+                    view.mark_degraded(r);
+                }
+            }
+        }
+        rest.into_iter()
+    };
+
+    let mut it = ops.into_iter();
+    let (mut degraded_via_relay, mut healed_via_relay) = (false, false);
+    if let Some(td) = detected {
+        // Act one: the world up to (and including) the diagnosis.
+        it = apply_until(&mut it, &mut writers, td.as_micros());
+        let probe_source = (blocks[1].0 + 1) as u32;
+        degraded_via_relay = wait_for(Duration::from_secs(10), || {
+            relay.view().segment_degraded(1)
+        }) && {
+            let mut client = ServeClient::connect(relay.local_addr(), Duration::from_millis(250))
+                .expect("connect relay client");
+            wait_for(Duration::from_secs(5), || {
+                matches!(
+                    client.point(probe_source, 0),
+                    Ok(Response::PointResp { flags, .. }) if flags & FLAG_SEGMENT_DEGRADED != 0
+                )
+            })
+        };
+
+        // Act two: the heal — publications resume and clear the mark.
+        let _ = apply_until(&mut it, &mut writers, u64::MAX);
+        healed_via_relay = wait_for(Duration::from_secs(10), || {
+            !relay.view().segment_degraded(1)
+        }) && {
+            let mut client = ServeClient::connect(relay.local_addr(), Duration::from_millis(250))
+                .expect("connect relay client");
+            wait_for(Duration::from_secs(5), || {
+                matches!(
+                    client.point(probe_source, 0),
+                    Ok(Response::PointResp { flags, .. }) if flags & FLAG_SEGMENT_DEGRADED == 0
+                )
+            })
+        };
+    }
+    // Keep the relay's upstream accounting observable (and the borrow
+    // checker honest about the servers outliving the probes).
+    let _deltas = relay.stats().deltas_applied.load(Ordering::Relaxed);
+
+    ChaosRow {
+        regions: N,
+        crash_region: 1,
+        crash_at_s: crash_at.as_micros() / 1_000_000,
+        detect_ms: detected.map(|d| (d - crash).as_millis_f64()),
+        heal_observed,
+        degraded_via_relay,
+        healed_via_relay,
+        partition_dropped: global.partition_dropped,
+        frames_lost: global.frames_lost,
+        monitor_mistakes: global.monitor_qos.mistakes + global.monitor_qos.open_mistakes,
+        digest,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// The CI smoke gate: a 3-region fabric with one monitor crash must
+/// diagnose the crash, observe the heal, and replay bit-identically.
+///
+/// # Panics
+///
+/// Panics (failing the CI job) if any gate is violated.
+pub fn run_smoke(seed: u64) {
+    let topo = FabricTopology::symmetric(3, 64, 2, SimDuration::from_secs(40), seed);
+    let plan = leader_crash_plan(SimDuration::from_secs(12), SimDuration::from_secs(14));
+    let (runs, global, election) = run_fabric(&topo, &plan, reference_combo());
+
+    let crash = SimTime::from_secs(12);
+    let detected = global
+        .first_suspected_after(0, crash)
+        .expect("global tier never diagnosed the monitor crash");
+    let detect_latency = detected - crash;
+    assert!(
+        detect_latency < SimDuration::from_secs(15),
+        "diagnosis took {detect_latency}"
+    );
+    let trusted = global
+        .first_trusted_after(0, detected)
+        .expect("heal never observed: the monitor stayed suspected");
+    assert!(trusted >= SimTime::from_secs(26), "trusted at {trusted}?");
+    assert_eq!(global.monitor_qos.crashes, 1);
+    assert_eq!(global.monitor_qos.detections, 1);
+    println!(
+        "  diagnosis: crash at 12 s detected in {detect_latency}, heal observed at {trusted}"
+    );
+
+    let demote = election
+        .demote_latency
+        .expect("leader crash did not demote the leader");
+    assert!(election.agreement, "ratification deciders disagreed");
+    assert!(election.deciders >= 2, "ratification never decided");
+    println!(
+        "  election: demoted in {demote}, {} spurious demotion(s), ratified by {} in {:?} ms",
+        election.spurious_demotions,
+        election.deciders,
+        election.decision_latency.map(|d| d.as_millis_f64()),
+    );
+
+    let digest = fabric_digest(&runs, &global);
+    let (runs2, global2, _) = run_fabric(&topo, &plan, reference_combo());
+    let digest2 = fabric_digest(&runs2, &global2);
+    assert_eq!(digest, digest2, "fabric replay diverged");
+    println!("  digest: {digest:#018x} stable across replay");
+}
+
+/// Renders `BENCH_fabric.json` (hand-rolled: the workspace carries no
+/// JSON dependency).
+pub fn render_json(rows: &[FabricRow], chaos: &ChaosRow, seed: u64) -> String {
+    let fmt_opt = |v: Option<f64>| match v {
+        Some(x) => format!("{x:.3}"),
+        None => "null".into(),
+    };
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"fabric\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!(
+        "  \"reference_combo\": \"{}\",\n",
+        reference_combo().label()
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"regions\": {}, \"sources_per_region\": {}, \"combo\": \"{}\", \
+             \"fan_in\": \"{}\", \"regional_td_ms\": {}, \"regional_pa\": {}, \
+             \"monitor_td_ms\": {}, \"monitor_pa\": {}, \"monitor_crashes\": {}, \
+             \"monitor_detections\": {}, \"demote_latency_ms\": {}, \
+             \"spurious_demotions\": {}, \"spurious_per_hour\": {:.3}, \
+             \"decision_latency_ms\": {}, \"deciders\": {}, \"agreement\": {}, \
+             \"frames_emitted\": {}, \"frames_lost\": {}, \"digest\": {}, \
+             \"wall_ms\": {:.3}}}{}\n",
+            r.regions,
+            r.sources_per_region,
+            r.combo,
+            r.fan_in,
+            fmt_opt(r.regional_td_ms),
+            fmt_opt(r.regional_pa),
+            fmt_opt(r.monitor_td_ms),
+            fmt_opt(r.monitor_pa),
+            r.monitor_crashes,
+            r.monitor_detections,
+            fmt_opt(r.demote_latency_ms),
+            r.spurious_demotions,
+            r.spurious_per_hour,
+            fmt_opt(r.decision_latency_ms),
+            r.deciders,
+            r.agreement,
+            r.frames_emitted,
+            r.frames_lost,
+            r.digest,
+            r.wall_ms,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"chaos_row\": {{\"regions\": {}, \"crash_region\": {}, \"crash_at_s\": {}, \
+         \"detect_ms\": {}, \"heal_observed\": {}, \"degraded_via_relay\": {}, \
+         \"healed_via_relay\": {}, \"partition_dropped\": {}, \"frames_lost\": {}, \
+         \"monitor_mistakes\": {}, \"digest\": {}, \"wall_ms\": {:.3}}}\n",
+        chaos.regions,
+        chaos.crash_region,
+        chaos.crash_at_s,
+        fmt_opt(chaos.detect_ms),
+        chaos.heal_observed,
+        chaos.degraded_via_relay,
+        chaos.healed_via_relay,
+        chaos.partition_dropped,
+        chaos.frames_lost,
+        chaos.monitor_mistakes,
+        chaos.digest,
+        chaos.wall_ms,
+    ));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fabric_row_measures_election_and_detector_qos() {
+        let row = run_fabric_row(3, 64, reference_combo(), FanIn::Hierarchical, 17);
+        assert_eq!(row.monitor_crashes, 1);
+        assert_eq!(row.monitor_detections, 1);
+        let demote = row.demote_latency_ms.expect("leader demoted");
+        assert!(demote > 0.0 && demote < 15_000.0, "demote {demote} ms");
+        assert!(row.agreement);
+        assert!(row.deciders >= 2);
+        assert!(row.regional_td_ms.is_some(), "regional T_D unmeasured");
+        assert!(row.frames_emitted > 0);
+    }
+
+    #[test]
+    fn chaos_row_serves_the_degraded_block_through_the_relay() {
+        let row = run_chaos_row(23);
+        assert!(row.detect_ms.is_some(), "crash undiagnosed");
+        assert!(row.heal_observed, "heal unobserved");
+        assert!(row.degraded_via_relay, "degraded flag never crossed the relay");
+        assert!(row.healed_via_relay, "heal never crossed the relay");
+        assert!(row.partition_dropped > 0);
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough() {
+        let rows = vec![run_fabric_row(3, 64, reference_combo(), FanIn::Hierarchical, 29)];
+        let chaos = run_chaos_row(29);
+        let doc = render_json(&rows, &chaos, 29);
+        assert!(doc.starts_with('{') && doc.trim_end().ends_with('}'));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert!(doc.contains("\"demote_latency_ms\""));
+        assert!(doc.contains("\"chaos_row\""));
+        assert!(doc.contains("\"degraded_via_relay\": true"));
+    }
+}

@@ -1,0 +1,436 @@
+//! The global tier: a detector bank over the *monitors themselves*.
+//!
+//! Each region's summary trace crosses its calibrated WAN uplink (losing
+//! and delaying frames exactly like heartbeats), a partitioned region's
+//! emissions are dropped wholesale, and every arrival does double duty:
+//! its payload joins the [`FabricView`] CRDT, and its *arrival* is a
+//! monitor-level heartbeat feeding one [`FailureDetector`] per region —
+//! the same predictor + margin machinery the regions run over their
+//! sources, one level up. A crashed or partitioned monitor is therefore
+//! diagnosed with the same QoS vocabulary: the global tier's `T_D` is the
+//! monitor-crash detection time, its mistakes are spurious suspicions of
+//! live monitors (a partition looks exactly like a crash until it heals).
+
+use fd_core::{Combination, FailureDetector};
+use fd_net::{LinkModel, SummaryFrame};
+use fd_runtime::fabric::{FabricChaosPlan, FabricFaultKind, FabricTopology, FanIn};
+use fd_sim::{SeedTree, SimDuration, SimTime};
+use fd_stat::{EventSink, QosAccumulator, QosSummary};
+
+use crate::region::RegionRun;
+use crate::summary::FabricView;
+
+/// One suspicion edge of the global tier's detector bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorTransition {
+    /// When the edge fired.
+    pub at: SimTime,
+    /// The monitor (region) it concerns.
+    pub region: u16,
+    /// `true` = started suspecting, `false` = stopped.
+    pub suspected: bool,
+}
+
+/// One delivered summary frame, as seen by the global tier.
+#[derive(Debug, Clone)]
+pub struct Arrival {
+    /// Arrival instant (emission + WAN delay).
+    pub at: SimTime,
+    /// The frame.
+    pub frame: SummaryFrame,
+    /// Whether it advanced the [`FabricView`] (`false` = duplicate or
+    /// stale copy, absorbed idempotently).
+    pub fresh: bool,
+}
+
+/// What the global tier concluded about the fabric's monitors.
+#[derive(Debug, Clone)]
+pub struct GlobalOutcome {
+    /// Monitor-level QoS roll-up (detector = `combo`, heartbeat = summary
+    /// arrival): `T_D` here is monitor-crash detection time, mistakes are
+    /// spurious suspicions of live monitors.
+    pub monitor_qos: QosSummary,
+    /// Every suspicion edge, time-ordered — the Ω/election input.
+    pub transitions: Vec<MonitorTransition>,
+    /// Every delivered frame, time-ordered.
+    pub arrivals: Vec<Arrival>,
+    /// Frames the regions emitted.
+    pub frames_emitted: u64,
+    /// Copies lost to WAN loss (any leg of any path).
+    pub frames_lost: u64,
+    /// Emissions dropped because the region was partitioned.
+    pub partition_dropped: u64,
+    /// Delivered copies that did not advance the view (gossip redundancy
+    /// or reordering, absorbed idempotently).
+    pub duplicates: u64,
+    /// The converged view at the end of the run.
+    pub view: FabricView,
+    /// Instant accounting stops (`horizon` + drain grace).
+    pub run_end: SimTime,
+}
+
+impl GlobalOutcome {
+    /// First instant at or after `t0` the tier started suspecting
+    /// `region`, if any — the monitor-crash diagnosis latency probe.
+    pub fn first_suspected_after(&self, region: u16, t0: SimTime) -> Option<SimTime> {
+        self.transitions
+            .iter()
+            .find(|tr| tr.region == region && tr.suspected && tr.at >= t0)
+            .map(|tr| tr.at)
+    }
+
+    /// First instant at or after `t0` the tier stopped suspecting
+    /// `region` — the heal-observed probe.
+    pub fn first_trusted_after(&self, region: u16, t0: SimTime) -> Option<SimTime> {
+        self.transitions
+            .iter()
+            .find(|tr| tr.region == region && !tr.suspected && tr.at >= t0)
+            .map(|tr| tr.at)
+    }
+}
+
+/// One deliverable copy of an emitted frame, pre-WAN.
+struct Emission {
+    emit_us: u64,
+    region: u16,
+    frame: SummaryFrame,
+}
+
+/// The time-ordered event stream the diagnosis loop walks. The class
+/// breaks ties at one instant: crashes open before frames land, checks
+/// run after arrivals (an arrival at the deadline instant wins), restores
+/// classify last.
+enum Ev {
+    Crash(u16),
+    Arrive(Arrival),
+    Check,
+    Restore(u16),
+}
+
+fn class(ev: &Ev) -> u8 {
+    match ev {
+        Ev::Crash(_) => 0,
+        Ev::Arrive(_) => 1,
+        Ev::Check => 2,
+        Ev::Restore(_) => 3,
+    }
+}
+
+/// Runs the global tier over the regions' traces: WAN delivery under the
+/// chaos plan, CRDT fan-in, and the monitor-of-monitors detector bank.
+/// Deterministic in `(topology, traces, plan, combo)`.
+pub fn run_global(
+    topo: &FabricTopology,
+    runs: &[RegionRun],
+    plan: &FabricChaosPlan,
+    combo: Combination,
+) -> GlobalOutcome {
+    let n = topo.regions.len();
+    assert_eq!(runs.len(), n, "one RegionRun per region");
+    let eta = topo.summary_every;
+    let seeds = SeedTree::new(topo.seed).subtree("fabric-wan");
+    let run_end = SimTime::ZERO + topo.horizon + eta * 4;
+
+    // -- WAN delivery: every emission crosses its path(s) ----------------
+    let mut uplinks: Vec<LinkModel> = (0..n)
+        .map(|r| topo.regions[r].profile.link(seeds.rng(&format!("uplink-{r}"))))
+        .collect();
+    let mut emissions: Vec<Emission> = Vec::new();
+    for run in runs {
+        for frame in &run.trace {
+            emissions.push(Emission {
+                emit_us: frame.virtual_us,
+                region: run.region,
+                frame: frame.clone(),
+            });
+        }
+    }
+    emissions.sort_by_key(|e| (e.emit_us, e.region));
+
+    let mut frames_emitted = 0u64;
+    let mut frames_lost = 0u64;
+    let mut partition_dropped = 0u64;
+    let mut deliveries: Vec<(u64, SummaryFrame)> = Vec::new();
+    // Gossip relay paths get dedicated two-leg links so the draw order
+    // stays deterministic whatever the delays do.
+    let mut relay_links: std::collections::BTreeMap<(u16, usize), (LinkModel, LinkModel)> =
+        std::collections::BTreeMap::new();
+    let mut gossip_rngs: Vec<fd_sim::DetRng> = (0..n)
+        .map(|r| seeds.rng(&format!("gossip-{r}")))
+        .collect();
+
+    for e in &emissions {
+        frames_emitted += 1;
+        let off = SimDuration::from_micros(e.emit_us);
+        if plan.partitioned(e.region, off) {
+            partition_dropped += 1;
+            continue;
+        }
+        let t_emit = SimTime::from_micros(e.emit_us);
+        // Direct uplink copy.
+        let tx = uplinks[usize::from(e.region)].transmit(t_emit);
+        match tx.delay() {
+            Some(d) => deliveries.push(((t_emit + d).as_micros(), e.frame.clone())),
+            None => frames_lost += 1,
+        }
+        // Redundant gossip copies: relay through a seeded peer, one WAN
+        // leg to the peer and one up. A peer that is itself partitioned
+        // when the copy reaches it drops the relay.
+        if let FanIn::Gossip { fanout } = topo.fan_in {
+            for _ in 1..fanout.max(1) {
+                if n < 2 {
+                    break;
+                }
+                let draw = gossip_rngs[usize::from(e.region)].uniform(0.0, (n - 1) as f64);
+                let mut peer = draw as usize;
+                if peer >= usize::from(e.region) {
+                    peer += 1; // skip self
+                }
+                let peer = peer.min(n - 1) as u16;
+                let (leg1, leg2) = relay_links.entry((e.region, usize::from(peer))).or_insert_with(|| {
+                    let label = format!("relay-{}-{}", e.region, peer);
+                    (
+                        topo.regions[usize::from(e.region)]
+                            .profile
+                            .link(seeds.rng(&format!("{label}-a"))),
+                        topo.regions[usize::from(peer)]
+                            .profile
+                            .link(seeds.rng(&format!("{label}-b"))),
+                    )
+                });
+                let Some(d1) = leg1.transmit(t_emit).delay() else {
+                    frames_lost += 1;
+                    continue;
+                };
+                let t_peer = t_emit + d1;
+                if plan.partitioned(peer, t_peer - SimTime::ZERO) {
+                    partition_dropped += 1;
+                    continue;
+                }
+                let Some(d2) = leg2.transmit(t_peer).delay() else {
+                    frames_lost += 1;
+                    continue;
+                };
+                let mut relayed = e.frame.clone();
+                relayed.origin = peer;
+                deliveries.push(((t_peer + d2).as_micros(), relayed));
+            }
+        }
+    }
+    deliveries.sort_by(|a, b| {
+        (a.0, a.1.region, a.1.seq, a.1.origin).cmp(&(b.0, b.1.region, b.1.seq, b.1.origin))
+    });
+
+    // -- The diagnosis loop: detectors + CRDT + QoS accumulator ----------
+    let mut events: Vec<(u64, Ev)> = Vec::new();
+    for fault in &plan.faults {
+        if let FabricFaultKind::MonitorCrash { heal_after } = fault.kind {
+            let crash_us = fault.at.as_micros();
+            events.push((crash_us, Ev::Crash(fault.region)));
+            // An unhealed monitor is classified at run end (the paper's
+            // accumulator needs a restore to close the crash window).
+            let restore_us = match heal_after {
+                Some(d) => crash_us + d.as_micros(),
+                None => run_end.as_micros() - 1,
+            };
+            events.push((restore_us.min(run_end.as_micros() - 1), Ev::Restore(fault.region)));
+        }
+    }
+    for (at_us, frame) in deliveries {
+        events.push((
+            at_us,
+            Ev::Arrive(Arrival {
+                at: SimTime::from_micros(at_us),
+                frame,
+                fresh: false,
+            }),
+        ));
+    }
+    // Fine enough that detection latency differences between margin
+    // families survive the grid (η/4 quantized every combo to the same
+    // tick in early runs).
+    let check_step = (eta.as_micros() / 16).max(1);
+    let mut t = check_step;
+    while t <= run_end.as_micros() {
+        events.push((t, Ev::Check));
+        t += check_step;
+    }
+    events.sort_by_key(|(us, ev)| (*us, class(ev)));
+
+    let mut fds: Vec<FailureDetector> = (0..n).map(|_| combo.build(eta)).collect();
+    let mut last_seq: Vec<u64> = vec![0; n];
+    let mut acc = QosAccumulator::summary(n, 1);
+    let mut view = FabricView::new();
+    let mut transitions = Vec::new();
+    let mut arrivals = Vec::new();
+    let mut duplicates = 0u64;
+
+    for (us, ev) in events {
+        let now = SimTime::from_micros(us);
+        match ev {
+            Ev::Crash(r) => acc.crash(now, u32::from(r)),
+            Ev::Restore(r) => acc.restore(now, u32::from(r)),
+            Ev::Check => {
+                for (r, fd) in fds.iter_mut().enumerate() {
+                    if let Some(tr) = fd.check(now) {
+                        let suspected = tr == fd_core::FdTransition::StartSuspect;
+                        if suspected {
+                            acc.start_suspect(now, r as u32, 0);
+                        } else {
+                            acc.end_suspect(now, r as u32, 0);
+                        }
+                        transitions.push(MonitorTransition {
+                            at: now,
+                            region: r as u16,
+                            suspected,
+                        });
+                    }
+                }
+            }
+            Ev::Arrive(mut arrival) => {
+                let r = usize::from(arrival.frame.region);
+                let seq = arrival.frame.seq;
+                arrival.fresh = view.absorb(arrival.frame.clone());
+                if !arrival.fresh {
+                    duplicates += 1;
+                }
+                if r < n && seq > last_seq[r] {
+                    last_seq[r] = seq;
+                    if let Some(tr) = fds[r].on_heartbeat(seq, now) {
+                        let suspected = tr == fd_core::FdTransition::StartSuspect;
+                        if suspected {
+                            acc.start_suspect(now, r as u32, 0);
+                        } else {
+                            acc.end_suspect(now, r as u32, 0);
+                        }
+                        transitions.push(MonitorTransition {
+                            at: now,
+                            region: r as u16,
+                            suspected,
+                        });
+                    }
+                }
+                arrivals.push(arrival);
+            }
+        }
+    }
+
+    let mut summaries = acc.finish_summaries(run_end);
+    let monitor_qos = summaries.pop().expect("one combo accumulated");
+    GlobalOutcome {
+        monitor_qos,
+        transitions,
+        arrivals,
+        frames_emitted,
+        frames_lost,
+        partition_dropped,
+        duplicates,
+        view,
+        run_end,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::run_region;
+    use fd_core::{MarginKind, PredictorKind};
+
+    fn ref_combo() -> Combination {
+        Combination::new(PredictorKind::Last, MarginKind::Jac { phi: 2.0 })
+    }
+
+    fn run_fabric(
+        n: usize,
+        horizon_s: u64,
+        seed: u64,
+        plan: &FabricChaosPlan,
+    ) -> (FabricTopology, Vec<RegionRun>, GlobalOutcome) {
+        let topo = FabricTopology::symmetric(n, 64, 1, SimDuration::from_secs(horizon_s), seed);
+        let combos = vec![ref_combo()];
+        let runs: Vec<RegionRun> = (0..n).map(|r| run_region(&topo, r, plan, &combos)).collect();
+        let global = run_global(&topo, &runs, plan, ref_combo());
+        (topo, runs, global)
+    }
+
+    #[test]
+    fn clean_fabric_converges_and_stays_mostly_trusted() {
+        let (_, _, g) = run_fabric(3, 30, 5, &FabricChaosPlan::none());
+        assert_eq!(g.view.regions(), 3);
+        assert!(g.frames_emitted >= 85, "emitted {}", g.frames_emitted);
+        assert_eq!(g.partition_dropped, 0);
+        assert_eq!(g.monitor_qos.crashes, 0);
+        // Every suspicion of a live monitor is a (completed or open) mistake.
+        let spurious = g.transitions.iter().filter(|t| t.suspected).count() as u64;
+        assert_eq!(
+            g.monitor_qos.mistakes + g.monitor_qos.open_mistakes,
+            spurious
+        );
+    }
+
+    #[test]
+    fn monitor_crash_is_detected_and_heal_observed() {
+        let plan = FabricChaosPlan::crash_partition_heal(
+            1,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(10),
+            2,
+            SimDuration::from_secs(35),
+            SimDuration::from_secs(5),
+        );
+        let (_, runs, g) = run_fabric(3, 50, 9, &plan);
+        assert!(runs[1].suppressed >= 9, "crash window suppressed frames");
+        let crash = SimTime::from_secs(10);
+        let detected = g
+            .first_suspected_after(1, crash)
+            .expect("global tier never suspected the crashed monitor");
+        assert!(detected < SimTime::from_secs(20), "detected at {detected}");
+        let trusted = g
+            .first_trusted_after(1, detected)
+            .expect("heal never observed");
+        assert!(trusted > SimTime::from_secs(20), "trusted at {trusted}");
+        assert_eq!(g.monitor_qos.crashes, 1);
+        assert_eq!(g.monitor_qos.detections, 1);
+        // The partitioned region is alive: any suspicion of it is a mistake.
+        assert!(g.partition_dropped > 0);
+    }
+
+    #[test]
+    fn gossip_fan_in_is_idempotent_and_converges_to_the_same_view() {
+        let plan = FabricChaosPlan::none();
+        let mut topo = FabricTopology::symmetric(3, 64, 1, SimDuration::from_secs(25), 13);
+        let combos = vec![ref_combo()];
+        let runs: Vec<RegionRun> =
+            (0..3).map(|r| run_region(&topo, r, &plan, &combos)).collect();
+        let hier = run_global(&topo, &runs, &plan, ref_combo());
+        topo.fan_in = FanIn::Gossip { fanout: 3 };
+        let gossip = run_global(&topo, &runs, &plan, ref_combo());
+        // Redundant paths deliver duplicates; the CRDT absorbs them and
+        // both disciplines converge to the same suspicion content. Only
+        // `origin` (the forwarding peer) may differ between the two.
+        assert!(gossip.duplicates > 0, "gossip produced no redundancy");
+        let content = |v: &crate::summary::FabricView| -> Vec<_> {
+            v.frames()
+                .map(|f| (f.region, f.seq, f.virtual_us, f.suspects, f.words.clone()))
+                .collect()
+        };
+        assert_eq!(content(&gossip.view), content(&hier.view));
+    }
+
+    #[test]
+    fn global_run_is_deterministic() {
+        let plan = FabricChaosPlan::crash_partition_heal(
+            0,
+            SimDuration::from_secs(8),
+            SimDuration::from_secs(6),
+            1,
+            SimDuration::from_secs(20),
+            SimDuration::from_secs(4),
+        );
+        let (_, _, a) = run_fabric(3, 30, 21, &plan);
+        let (_, _, b) = run_fabric(3, 30, 21, &plan);
+        assert_eq!(a.transitions, b.transitions);
+        assert_eq!(a.frames_lost, b.frames_lost);
+        assert_eq!(a.monitor_qos, b.monitor_qos);
+    }
+}

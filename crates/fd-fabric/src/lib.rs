@@ -1,0 +1,42 @@
+//! # fd-fabric — the federated multi-monitor WAN tier
+//!
+//! The paper measures one monitor watching many sources over one WAN
+//! path. This crate federates that design: **N regional monitors** (each
+//! a supervised [`fd_runtime::sharded::ShardedEngine`] over a contiguous
+//! block of the global source space) exchange compact suspect summaries
+//! over `fd-net`'s calibrated WAN links, and a **global tier** runs a
+//! failure-detector bank *over the monitors themselves* — a summary
+//! frame's arrival is the monitor's heartbeat, so a crashed or
+//! partitioned monitor is diagnosed with exactly the same QoS machinery
+//! (`T_D`, `T_M`, `T_MR`, `P_A`) the paper applies to sources.
+//!
+//! The layers, bottom to top:
+//!
+//! * [`region`] — one regional monitor: sharded engine, warm-restart
+//!   supervision, and its suspicion state sampled into
+//!   [`fd_net::SummaryFrame`]s on the fabric cadence grid;
+//! * [`summary`] — the [`FabricView`] join-semilattice every receiver
+//!   folds frames into: per-region max under a total order, so gossip
+//!   redundancy and WAN reordering are provably harmless;
+//! * [`global`] — WAN delivery (hierarchical push or gossip fan-in) and
+//!   the monitor-level detector bank plus QoS accounting;
+//! * [`election`] — the Ω/leader-election consumer and the trust-driven
+//!   consensus ratification that turn the global tier's diagnosis into
+//!   election-time QoS;
+//! * [`experiment`] — the `BENCH_fabric.json` rows and the
+//!   crash/partition/heal chaos scenario served end-to-end (origin *and*
+//!   relay) with `FLAG_SEGMENT_DEGRADED`.
+
+pub mod election;
+pub mod experiment;
+pub mod global;
+pub mod region;
+pub mod summary;
+
+pub use election::{elect, omega_trajectory, ElectionOutcome};
+pub use experiment::{
+    fabric_digest, reference_combo, run_chaos_row, run_fabric_row, run_smoke, ChaosRow, FabricRow,
+};
+pub use global::{run_global, Arrival, GlobalOutcome, MonitorTransition};
+pub use region::{run_region, RegionRun, REF_COMBO};
+pub use summary::{frame_order, FabricView};

@@ -1,0 +1,230 @@
+//! One regional monitor: a supervised [`ShardedEngine`] over the region's
+//! contiguous source block, with its live suspicion state sampled into
+//! [`SummaryFrame`]s on the fabric's cadence grid.
+//!
+//! The engine publishes each shard's state through a recording
+//! [`ShardPublisher`]; after the run the publications are folded onto the
+//! cadence grid, so summary `k` carries the union of every shard's latest
+//! published bitmap at virtual time `k · summary_every` — exactly what a
+//! live monitor would have pushed at that instant. A monitor-crash window
+//! from the chaos plan suppresses the frames inside it (the process is
+//! down, nothing is emitted); a heal resumes emission from the same
+//! engine state, i.e. a warm restart.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use fd_core::{Combination, SourceBank};
+use fd_net::SummaryFrame;
+use fd_runtime::fabric::{FabricChaosPlan, FabricTopology};
+use fd_runtime::sharded::{ShardPublisher, ShardedConfig, ShardedEngine, SupervisionConfig};
+use fd_runtime::supervisor::RestartMode;
+use fd_sim::{SimDuration, SimTime};
+use fd_stat::QosSummary;
+
+/// The combination index whose bitmap rides in the summary frames (the
+/// region's *reference detector*). Index 0 of the configured combos.
+pub const REF_COMBO: usize = 0;
+
+/// What one regional monitor produced: its summary trace on the cadence
+/// grid, its own measured FD QoS, and its determinism digest.
+#[derive(Debug, Clone)]
+pub struct RegionRun {
+    /// Region index within the topology.
+    pub region: u16,
+    /// First global source id of the region's block.
+    pub start: u32,
+    /// Sources in the block.
+    pub len: u32,
+    /// Summary frames in cadence order (`seq` = grid index, 1-based).
+    /// Ticks inside a monitor-crash window are absent.
+    pub trace: Vec<SummaryFrame>,
+    /// Cadence ticks suppressed because the monitor was down.
+    pub suppressed: u64,
+    /// The regional FD bank's per-combination QoS roll-up — the measured
+    /// `T_D`/`P_A` the fabric rows attribute election time to.
+    pub qos: Vec<QosSummary>,
+    /// Shard-count-invariant digest of the regional run.
+    pub digest: u64,
+    /// Region-local `(start, len)` blocks of shards that died under
+    /// supervision (their bits are stale from death onward).
+    pub dead_blocks: Vec<(usize, usize)>,
+}
+
+/// Records every shard publication for post-run folding onto the cadence
+/// grid. `publish` runs on the shard worker threads; the mutex is the
+/// whole cross-thread protocol (publication is rare relative to events).
+#[derive(Default)]
+struct Recorder {
+    /// `(at_us, shard, suspecting region-local source ids)`.
+    pubs: Mutex<Vec<(u64, usize, Vec<u32>)>>,
+    dead: Mutex<Vec<(usize, usize)>>,
+}
+
+impl ShardPublisher for Recorder {
+    fn publish(&self, shard: usize, start: usize, bank: &SourceBank, now: SimTime) {
+        let mut suspecting = Vec::new();
+        for i in 0..bank.sources() as u32 {
+            if bank.is_suspecting(i, REF_COMBO) {
+                suspecting.push(start as u32 + i);
+            }
+        }
+        self.pubs
+            .lock()
+            .expect("recorder poisoned")
+            .push((now.as_micros(), shard, suspecting));
+    }
+
+    fn mark_degraded(&self, _shard: usize, start: usize, len: usize) {
+        self.dead
+            .lock()
+            .expect("recorder poisoned")
+            .push((start, len));
+    }
+}
+
+/// Default source-crash injection for fabric regions: a seeded 10% of the
+/// block crashes once mid-run, long enough down that the reference
+/// detector's `T_D` gets real samples.
+fn default_source_crashes(cycles: u64) -> fd_runtime::sharded::SourceCrashPlan {
+    fd_runtime::sharded::SourceCrashPlan {
+        frac: 0.1,
+        down_cycles: (cycles / 4).max(1),
+    }
+}
+
+/// Runs region `r` of the topology and samples its summary trace.
+///
+/// `combos[REF_COMBO]` is the reference detector whose bitmap the frames
+/// carry; the whole list is measured so the row can report the regional
+/// FD's QoS. Deterministic in `(topology.seed, r)` — shard count does not
+/// change the trace.
+pub fn run_region(
+    topo: &FabricTopology,
+    r: usize,
+    plan: &FabricChaosPlan,
+    combos: &[Combination],
+) -> RegionRun {
+    let spec = &topo.regions[r];
+    let (gstart, len) = topo.block(r);
+    let every = topo.summary_every;
+    assert!(!every.is_zero(), "summary cadence must be positive");
+    let cycles = topo.horizon.as_micros() / every.as_micros();
+
+    let mut config = ShardedConfig::paper_grid(len, cycles, topo.seed ^ (r as u64) << 17);
+    config.shards = spec.shards.max(1);
+    config.combos = combos.to_vec();
+    config.source_crashes = Some(default_source_crashes(cycles));
+
+    let recorder = Recorder::default();
+    let engine = ShardedEngine::new(config);
+    let sup = SupervisionConfig::with_restart(RestartMode::Warm);
+    let report = engine.run_supervised_published(&sup, every, &recorder);
+
+    let mut pubs = recorder.pubs.into_inner().expect("recorder poisoned");
+    pubs.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    let dead_blocks = recorder.dead.into_inner().expect("recorder poisoned");
+
+    // Fold the publication stream onto the cadence grid: at tick k the
+    // frame carries each shard's latest publication at or before k·every.
+    let words_len = len.div_ceil(64);
+    let mut latest: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
+    let mut next_pub = 0usize;
+    let mut trace = Vec::new();
+    let mut suppressed = 0u64;
+    for k in 1..=cycles {
+        let t_us = k * every.as_micros();
+        while next_pub < pubs.len() && pubs[next_pub].0 <= t_us {
+            let (_, shard, ref suspecting) = pubs[next_pub];
+            latest.insert(shard, suspecting.clone());
+            next_pub += 1;
+        }
+        if plan.monitor_down(r as u16, SimDuration::from_micros(t_us)) {
+            suppressed += 1;
+            continue;
+        }
+        let mut words = vec![0u64; words_len];
+        for suspecting in latest.values() {
+            for &s in suspecting {
+                words[s as usize / 64] |= 1 << (s % 64);
+            }
+        }
+        let suspects = words.iter().map(|w| w.count_ones()).sum();
+        trace.push(SummaryFrame {
+            region: r as u16,
+            origin: r as u16,
+            seq: k,
+            virtual_us: t_us,
+            start: gstart as u32,
+            len: len as u32,
+            suspects,
+            words,
+        });
+    }
+
+    RegionRun {
+        region: r as u16,
+        start: gstart as u32,
+        len: len as u32,
+        trace,
+        suppressed,
+        qos: report.qos,
+        digest: report.digest,
+        dead_blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::{MarginKind, PredictorKind};
+    use fd_runtime::fabric::FabricChaosPlan;
+
+    fn ref_combo() -> Vec<Combination> {
+        vec![Combination::new(
+            PredictorKind::Last,
+            MarginKind::Jac { phi: 2.0 },
+        )]
+    }
+
+    #[test]
+    fn trace_covers_the_grid_and_is_deterministic() {
+        let topo = FabricTopology::symmetric(2, 96, 2, SimDuration::from_secs(20), 11);
+        let a = run_region(&topo, 1, &FabricChaosPlan::none(), &ref_combo());
+        let b = run_region(&topo, 1, &FabricChaosPlan::none(), &ref_combo());
+        assert_eq!(a.trace.len(), 20);
+        assert_eq!(a.suppressed, 0);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.start, 96);
+        // The grid is 1-based and monotone.
+        for (i, f) in a.trace.iter().enumerate() {
+            assert_eq!(f.seq, i as u64 + 1);
+            assert_eq!(f.virtual_us, (i as u64 + 1) * 1_000_000);
+        }
+        // Injected source crashes give the reference detector real samples.
+        assert!(a.qos[REF_COMBO].crashes > 0);
+    }
+
+    #[test]
+    fn crash_window_suppresses_frames_and_heal_resumes() {
+        let topo = FabricTopology::symmetric(1, 64, 1, SimDuration::from_secs(20), 3);
+        let plan = FabricChaosPlan::crash_partition_heal(
+            0,
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(6),
+            0,
+            SimDuration::from_secs(15),
+            SimDuration::from_secs(2),
+        );
+        let run = run_region(&topo, 0, &plan, &ref_combo());
+        // Ticks 5..=10 fall in the crash window.
+        assert_eq!(run.suppressed, 6);
+        assert!(run.trace.iter().all(|f| !(5..=10).contains(&f.seq)));
+        // Emission resumes after the heal with the same monotone seqs.
+        assert!(run.trace.iter().any(|f| f.seq > 10));
+        // A partition does not suppress emission (frames are lost on the
+        // WAN instead, which is the global tier's business).
+        assert!(run.trace.iter().any(|f| (15..=17).contains(&f.seq)));
+    }
+}

@@ -1,0 +1,223 @@
+//! The fabric's merged suspicion state: a join-semilattice over
+//! [`SummaryFrame`]s.
+//!
+//! Every regional monitor publishes *state*, not deltas: its latest
+//! summary frame carries the whole per-source suspicion bitmap plus a
+//! monotone sequence number. The global tier (and, under gossip fan-in,
+//! every peer region) folds incoming frames with [`FabricView::absorb`],
+//! which keeps the per-region **maximum** under a total order on frames.
+//! Max over a total order is exactly commutative, associative and
+//! idempotent, so redelivery, reordering and redundant gossip paths can
+//! change *when* the view converges but never *what* it converges to —
+//! the property the proptests at the bottom pin down.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+use fd_net::SummaryFrame;
+
+/// The total order [`FabricView::absorb`] maximises under.
+///
+/// `(seq, virtual_us)` is the real freshness key — a producer never reuses
+/// a sequence number with different content. The remaining fields extend
+/// the comparison to a total order over *arbitrary* (even adversarial or
+/// corrupted) frames, so the merge stays associative no matter what the
+/// network delivers: two distinct frames never compare equal.
+pub fn frame_order(a: &SummaryFrame, b: &SummaryFrame) -> Ordering {
+    let key = |f: &SummaryFrame| {
+        (
+            f.seq,
+            f.virtual_us,
+            f.suspects,
+            f.start,
+            f.len,
+            f.origin,
+            f.region,
+        )
+    };
+    key(a).cmp(&key(b)).then_with(|| a.words.cmp(&b.words))
+}
+
+/// A receiver's merged view of every region's latest summary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FabricView {
+    latest: BTreeMap<u16, SummaryFrame>,
+}
+
+impl FabricView {
+    /// An empty view (the bottom of the lattice).
+    pub fn new() -> FabricView {
+        FabricView::default()
+    }
+
+    /// Folds one frame in, keeping the per-region maximum under
+    /// [`frame_order`]. Returns `true` if the frame advanced the view —
+    /// `false` means it was a duplicate or stale copy (redundant gossip
+    /// path, WAN reordering) and the view is unchanged.
+    pub fn absorb(&mut self, frame: SummaryFrame) -> bool {
+        match self.latest.get(&frame.region) {
+            Some(held) if frame_order(&frame, held) != Ordering::Greater => false,
+            _ => {
+                self.latest.insert(frame.region, frame);
+                true
+            }
+        }
+    }
+
+    /// Joins another whole view in (frame-wise [`absorb`](Self::absorb)).
+    pub fn merge(&mut self, other: &FabricView) {
+        for frame in other.latest.values() {
+            self.absorb(frame.clone());
+        }
+    }
+
+    /// The latest frame absorbed for `region`, if any.
+    pub fn region(&self, region: u16) -> Option<&SummaryFrame> {
+        self.latest.get(&region)
+    }
+
+    /// Number of regions the view has heard from.
+    pub fn regions(&self) -> usize {
+        self.latest.len()
+    }
+
+    /// Iterates the held frames in region order.
+    pub fn frames(&self) -> impl Iterator<Item = &SummaryFrame> {
+        self.latest.values()
+    }
+
+    /// Total suspected sources across all held frames.
+    pub fn total_suspects(&self) -> u64 {
+        self.latest.values().map(|f| u64::from(f.suspects)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(region: u16, seq: u64, words: Vec<u64>) -> SummaryFrame {
+        let suspects = words.iter().map(|w| w.count_ones()).sum();
+        SummaryFrame {
+            region,
+            origin: region,
+            seq,
+            virtual_us: seq * 1_000_000,
+            start: u32::from(region) * 64,
+            len: 64,
+            suspects,
+            words,
+        }
+    }
+
+    #[test]
+    fn absorb_keeps_the_freshest_frame_per_region() {
+        let mut view = FabricView::new();
+        assert!(view.absorb(frame(0, 1, vec![0b11])));
+        assert!(view.absorb(frame(1, 5, vec![0])));
+        // A stale copy of region 0 changes nothing.
+        assert!(!view.absorb(frame(0, 1, vec![0b11])));
+        // A fresher one replaces it.
+        assert!(view.absorb(frame(0, 2, vec![0b1])));
+        assert_eq!(view.region(0).unwrap().seq, 2);
+        assert_eq!(view.regions(), 2);
+        assert_eq!(view.total_suspects(), 1);
+    }
+
+    #[test]
+    fn gossip_duplicates_are_idempotent() {
+        let f = frame(3, 9, vec![0xFF]);
+        let mut a = FabricView::new();
+        a.absorb(f.clone());
+        let snapshot = a.clone();
+        for _ in 0..4 {
+            assert!(!a.absorb(f.clone()));
+        }
+        assert_eq!(a, snapshot);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Arbitrary frames over a handful of regions, with collisions in
+    /// every field — the adversarial inputs the total order must absorb.
+    fn arb_frame() -> impl Strategy<Value = SummaryFrame> {
+        (
+            0u16..4,
+            0u16..4,
+            0u64..6,
+            0u64..4,
+            0u32..3,
+            proptest::collection::vec(any::<u64>(), 0..3),
+        )
+            .prop_map(|(region, origin, seq, virtual_us, suspects, words)| SummaryFrame {
+                region,
+                origin,
+                seq,
+                virtual_us,
+                start: u32::from(region) * 64,
+                len: 64,
+                suspects,
+                words,
+            })
+    }
+
+    fn view_of(frames: &[SummaryFrame]) -> FabricView {
+        let mut v = FabricView::new();
+        for f in frames {
+            v.absorb(f.clone());
+        }
+        v
+    }
+
+    proptest! {
+        // Mirrors fd-stat's `summary_merge_is_exactly_commutative_and_
+        // associative`: the state is compared bit for bit, not through
+        // an epsilon or a canonicalisation pass.
+        #[test]
+        fn merge_is_commutative_and_associative(
+            a in proptest::collection::vec(arb_frame(), 0..8),
+            b in proptest::collection::vec(arb_frame(), 0..8),
+            c in proptest::collection::vec(arb_frame(), 0..8),
+        ) {
+            let (va, vb, vc) = (view_of(&a), view_of(&b), view_of(&c));
+
+            let mut ab = va.clone();
+            ab.merge(&vb);
+            let mut ba = vb.clone();
+            ba.merge(&va);
+            prop_assert_eq!(&ab, &ba, "merge must be commutative");
+
+            let mut ab_c = ab;
+            ab_c.merge(&vc);
+            let mut bc = vb.clone();
+            bc.merge(&vc);
+            let mut a_bc = va.clone();
+            a_bc.merge(&bc);
+            prop_assert_eq!(ab_c, a_bc, "merge must be associative");
+        }
+
+        #[test]
+        fn merge_is_idempotent(
+            a in proptest::collection::vec(arb_frame(), 0..10),
+        ) {
+            let va = view_of(&a);
+            let mut twice = va.clone();
+            twice.merge(&va);
+            prop_assert_eq!(twice, va, "merging a view into itself must be a no-op");
+        }
+
+        #[test]
+        fn absorb_order_cannot_change_the_converged_view(
+            frames in proptest::collection::vec(arb_frame(), 0..10),
+        ) {
+            let forward = view_of(&frames);
+            let mut reversed: Vec<_> = frames.clone();
+            reversed.reverse();
+            prop_assert_eq!(forward, view_of(&reversed));
+        }
+    }
+}

@@ -26,6 +26,7 @@ pub mod framing;
 pub mod link;
 pub mod loss;
 pub mod profile;
+pub mod summary;
 pub mod trace;
 pub mod wire;
 
@@ -38,5 +39,6 @@ pub use delay::{
 pub use link::{LinkModel, LinkStats, Transmission};
 pub use loss::{BernoulliLoss, GilbertElliottLoss, LossModel, NoLoss};
 pub use profile::WanProfile;
+pub use summary::{SummaryFrame, SUMMARY_MAGIC, SUMMARY_VERSION};
 pub use trace::{DelayTrace, EmptyTraceError, LinkCharacteristics, TraceReplayDelay, TraceReplayLoss};
 pub use wire::{Heartbeat, WireError};

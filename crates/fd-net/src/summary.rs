@@ -1,0 +1,188 @@
+//! The suspect-summary wire format: how a regional monitor's compact
+//! suspicion digest crosses the WAN to its gossip peers and the global
+//! tier.
+//!
+//! A summary frame is to the fabric what a heartbeat is to a detector: its
+//! *arrival* is the liveness signal the monitor-of-monitors tier feeds to a
+//! detector bank, and its *payload* is the region's whole suspicion state —
+//! the per-source bitmap under the region's reference detector, a monotone
+//! publication sequence number, and the virtual instant the bits were
+//! current. The payload is deliberately state-based (the full bitmap, not a
+//! delta): merged as a join-semilattice keyed on `(seq, virtual_us)`,
+//! redelivery and reordering under gossip fan-in cannot change the merged
+//! view, and a single lost frame costs one cadence of freshness, never
+//! consistency.
+//!
+//! Layout (big-endian), on the shared [`crate::framing`] header:
+//!
+//! ```text
+//! magic "FDSM"(4) version(1) region(2) origin(2) seq(8) virtual_us(8)
+//! start(4) len(4) suspects(4) word_count(2) words(8 × word_count)
+//! ```
+//!
+//! `origin` is the region that *relayed* the frame (== `region` on the
+//! first hop); gossip keeps it so a receiver can account redundancy
+//! without affecting the merge.
+
+use bytes::{Buf, BufMut};
+
+use crate::framing::{self, FrameError};
+
+/// Magic tag identifying suspect-summary frames (`"FDSM"`).
+pub const SUMMARY_MAGIC: u32 = 0x4644_534D;
+/// Current summary wire version.
+pub const SUMMARY_VERSION: u8 = 1;
+/// Fixed body size after the header: region(2) + origin(2) + seq(8) +
+/// virtual_us(8) + start(4) + len(4) + suspects(4) + word_count(2).
+pub const SUMMARY_FIXED_BODY: usize = 34;
+
+/// A decoded suspect-summary frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SummaryFrame {
+    /// Region whose suspicion state this is.
+    pub region: u16,
+    /// Region that sent this copy (differs from `region` under gossip).
+    pub origin: u16,
+    /// Monotone publication sequence of the producing monitor.
+    pub seq: u64,
+    /// Virtual instant the bitmap was current at the producer.
+    pub virtual_us: u64,
+    /// First global source id of the region's block.
+    pub start: u32,
+    /// Sources in the block (bitmap is `len.div_ceil(64)` words).
+    pub len: u32,
+    /// Popcount of the bitmap — carried so a receiver can account
+    /// suspicion load without touching the words.
+    pub suspects: u32,
+    /// The suspicion bitmap under the region's reference detector.
+    pub words: Vec<u64>,
+}
+
+impl SummaryFrame {
+    /// Encodes into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf =
+            Vec::with_capacity(framing::HEADER_SIZE + SUMMARY_FIXED_BODY + 8 * self.words.len());
+        framing::put_header(&mut buf, SUMMARY_MAGIC, SUMMARY_VERSION);
+        buf.put_u16(self.region);
+        buf.put_u16(self.origin);
+        buf.put_u64(self.seq);
+        buf.put_u64(self.virtual_us);
+        buf.put_u32(self.start);
+        buf.put_u32(self.len);
+        buf.put_u32(self.suspects);
+        buf.put_u16(self.words.len() as u16);
+        for &w in &self.words {
+            buf.put_u64(w);
+        }
+        buf
+    }
+
+    /// Decodes a received datagram.
+    ///
+    /// # Errors
+    ///
+    /// Returns the shared [`FrameError`] taxonomy: truncation (including a
+    /// lying word count), foreign magic, or an unsupported version. Total
+    /// over arbitrary bytes — never panics, never over-reads.
+    pub fn decode(mut data: &[u8]) -> Result<SummaryFrame, FrameError> {
+        framing::take_header(&mut data, SUMMARY_MAGIC, SUMMARY_VERSION)?;
+        framing::need(data, SUMMARY_FIXED_BODY)?;
+        let region = data.get_u16();
+        let origin = data.get_u16();
+        let seq = data.get_u64();
+        let virtual_us = data.get_u64();
+        let start = data.get_u32();
+        let len = data.get_u32();
+        let suspects = data.get_u32();
+        let n = data.get_u16() as usize;
+        framing::need_counted(data, n, 8)?;
+        let words = (0..n).map(|_| data.get_u64()).collect();
+        Ok(SummaryFrame {
+            region,
+            origin,
+            seq,
+            virtual_us,
+            start,
+            len,
+            suspects,
+            words,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> SummaryFrame {
+        SummaryFrame {
+            region: 2,
+            origin: 5,
+            seq: 91,
+            virtual_us: 31_000_000,
+            start: 256,
+            len: 130,
+            suspects: 3,
+            words: vec![0b101, 0, 0b1],
+        }
+    }
+
+    #[test]
+    fn roundtrips() {
+        let f = frame();
+        assert_eq!(SummaryFrame::decode(&f.encode()), Ok(f));
+    }
+
+    #[test]
+    fn empty_bitmap_roundtrips() {
+        let f = SummaryFrame {
+            words: Vec::new(),
+            suspects: 0,
+            ..frame()
+        };
+        assert_eq!(SummaryFrame::decode(&f.encode()), Ok(f));
+    }
+
+    #[test]
+    fn rejects_foreign_magic_and_future_version() {
+        let mut bytes = frame().encode();
+        bytes[..4].copy_from_slice(b"FDQS");
+        assert_eq!(
+            SummaryFrame::decode(&bytes),
+            Err(FrameError::BadMagic {
+                found: u32::from_be_bytes(*b"FDQS")
+            })
+        );
+        let mut bytes = frame().encode();
+        bytes[4] = SUMMARY_VERSION + 1;
+        assert_eq!(
+            SummaryFrame::decode(&bytes),
+            Err(FrameError::BadVersion {
+                found: SUMMARY_VERSION + 1
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_every_truncation_point() {
+        let bytes = frame().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                SummaryFrame::decode(&bytes[..cut]).is_err(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn lying_word_count_is_truncation_not_a_panic() {
+        let mut bytes = frame().encode();
+        let off = framing::HEADER_SIZE + SUMMARY_FIXED_BODY - 2;
+        bytes[off..off + 2].copy_from_slice(&u16::MAX.to_be_bytes());
+        assert!(matches!(
+            SummaryFrame::decode(&bytes),
+            Err(FrameError::Truncated { .. })
+        ));
+    }
+}

@@ -188,6 +188,10 @@ impl FaultPlan {
 /// belong to the wrapper, everything below passes through to the wrapped
 /// layer untouched.
 const CHAOS_TIMER_NS: u64 = 1 << 63;
+const _: () = assert!(
+    CHAOS_TIMER_NS & crate::layer::RESERVED_TIMER_BITS == CHAOS_TIMER_NS,
+    "chaos namespace must live inside the reserved wrapper bits"
+);
 /// The stall-end timer (inside the chaos namespace).
 const CHAOS_STALL_END: u64 = CHAOS_TIMER_NS | (1 << 62);
 /// Largest timer id a wrapped layer may use.

@@ -1,0 +1,250 @@
+//! Fabric topology and chaos surface: the *shape* of a federated
+//! multi-monitor deployment, kept in fd-runtime so every consumer (the
+//! fd-fabric tier itself, experiments, tests) agrees on one vocabulary.
+//!
+//! A fabric is N **regional monitors**, each watching a contiguous block of
+//! sources with its own WAN link profile toward the global tier, plus a
+//! fan-in discipline (hierarchical push by default, gossip optionally) and a
+//! chaos plan over *monitors* — crash one, partition a region off the WAN,
+//! heal it. The mechanics (running the regional `ShardedEngine`s, delivering
+//! summaries over `fd-net` links, diagnosing monitor crashes) live in the
+//! `fd-fabric` crate; this module is only the declarative surface, the same
+//! way [`crate::chaos::FaultPlan`] declares process-level faults.
+
+use fd_net::WanProfile;
+use fd_sim::SimDuration;
+
+/// One regional monitor: how many sources it watches, how many shards it
+/// runs them on, and the WAN link its summaries cross to reach the global
+/// tier (and its gossip peers).
+#[derive(Debug, Clone)]
+pub struct RegionSpec {
+    /// Sources in this region's contiguous block.
+    pub sources: usize,
+    /// Shards the regional `ShardedEngine` spreads the block over.
+    pub shards: usize,
+    /// Calibrated delay/loss profile of the region's WAN uplink.
+    pub profile: WanProfile,
+}
+
+impl RegionSpec {
+    /// A region on the paper's calibrated Italy–Japan WAN path.
+    pub fn wan(sources: usize, shards: usize) -> RegionSpec {
+        RegionSpec {
+            sources,
+            shards,
+            profile: WanProfile::italy_japan(),
+        }
+    }
+}
+
+/// How regional suspect summaries reach the global tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FanIn {
+    /// Every region pushes its summary straight to the global tier each
+    /// cadence tick — one hop, lowest latency, no redundancy.
+    Hierarchical,
+    /// Each cadence tick every region forwards its merged view of *all*
+    /// regions to `fanout` seeded-random targets (peers or the global
+    /// tier). Redundant paths ride out partitions; summary merge is a
+    /// join-semilattice so delivery order cannot change the result.
+    Gossip {
+        /// Targets per region per tick.
+        fanout: usize,
+    },
+}
+
+/// What a fabric-level fault does to a monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricFaultKind {
+    /// The regional monitor process dies: summary publication stops
+    /// entirely until `heal_after` (if any) restarts it warm.
+    MonitorCrash {
+        /// Restart the monitor this long after the crash; `None` = stays
+        /// down for the rest of the run.
+        heal_after: Option<SimDuration>,
+    },
+    /// The region keeps running but is cut off the WAN: every frame it
+    /// emits during the window is lost. Heals by itself when the window
+    /// ends.
+    Partition {
+        /// Window length.
+        duration: SimDuration,
+    },
+}
+
+/// One fault against one region at one virtual instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricFault {
+    /// Virtual time offset from run start.
+    pub at: SimDuration,
+    /// Target region index.
+    pub region: u16,
+    /// What happens to it.
+    pub kind: FabricFaultKind,
+}
+
+/// A chaos schedule over the fabric, sorted by injection time.
+#[derive(Debug, Clone, Default)]
+pub struct FabricChaosPlan {
+    /// The faults, sorted by `at` (ties broken by region).
+    pub faults: Vec<FabricFault>,
+}
+
+impl FabricChaosPlan {
+    /// No faults: the clean baseline.
+    pub fn none() -> FabricChaosPlan {
+        FabricChaosPlan { faults: Vec::new() }
+    }
+
+    /// The canonical acceptance scenario: crash `crash_region` at
+    /// `crash_at` and heal it `down_for` later, and partition
+    /// `partition_region` for `partition_for` starting at `partition_at`.
+    pub fn crash_partition_heal(
+        crash_region: u16,
+        crash_at: SimDuration,
+        down_for: SimDuration,
+        partition_region: u16,
+        partition_at: SimDuration,
+        partition_for: SimDuration,
+    ) -> FabricChaosPlan {
+        let mut plan = FabricChaosPlan {
+            faults: vec![
+                FabricFault {
+                    at: crash_at,
+                    region: crash_region,
+                    kind: FabricFaultKind::MonitorCrash {
+                        heal_after: Some(down_for),
+                    },
+                },
+                FabricFault {
+                    at: partition_at,
+                    region: partition_region,
+                    kind: FabricFaultKind::Partition {
+                        duration: partition_for,
+                    },
+                },
+            ],
+        };
+        plan.sort();
+        plan
+    }
+
+    /// Sorts faults by (time, region) so injection order is deterministic.
+    pub fn sort(&mut self) {
+        self.faults
+            .sort_by_key(|f| (f.at.as_micros(), f.region));
+    }
+
+    /// Is `region`'s monitor down (crashed, not yet healed) at offset `t`?
+    pub fn monitor_down(&self, region: u16, t: SimDuration) -> bool {
+        self.faults.iter().any(|f| {
+            f.region == region
+                && match f.kind {
+                    FabricFaultKind::MonitorCrash { heal_after } => {
+                        t >= f.at
+                            && heal_after.is_none_or(|d| t < f.at + d)
+                    }
+                    FabricFaultKind::Partition { .. } => false,
+                }
+        })
+    }
+
+    /// Is `region` cut off the WAN (partitioned) at offset `t`?
+    pub fn partitioned(&self, region: u16, t: SimDuration) -> bool {
+        self.faults.iter().any(|f| {
+            f.region == region
+                && match f.kind {
+                    FabricFaultKind::Partition { duration } => t >= f.at && t < f.at + duration,
+                    FabricFaultKind::MonitorCrash { .. } => false,
+                }
+        })
+    }
+}
+
+/// The declarative shape of one fabric run.
+#[derive(Debug, Clone)]
+pub struct FabricTopology {
+    /// The regional monitors; region `r` watches the contiguous block
+    /// starting at the sum of earlier regions' `sources`.
+    pub regions: Vec<RegionSpec>,
+    /// Regional summary cadence — the monitor-level heartbeat period the
+    /// global tier's detector bank runs on.
+    pub summary_every: SimDuration,
+    /// Fan-in discipline for summaries.
+    pub fan_in: FanIn,
+    /// Virtual run length.
+    pub horizon: SimDuration,
+    /// Root seed: every link, gossip choice and regional engine derives
+    /// its stream from this.
+    pub seed: u64,
+}
+
+impl FabricTopology {
+    /// A symmetric fabric: `n` identical WAN regions of `sources_each`
+    /// sources on `shards_each` shards, hierarchical fan-in, 1 s summary
+    /// cadence.
+    pub fn symmetric(
+        n: usize,
+        sources_each: usize,
+        shards_each: usize,
+        horizon: SimDuration,
+        seed: u64,
+    ) -> FabricTopology {
+        FabricTopology {
+            regions: (0..n)
+                .map(|_| RegionSpec::wan(sources_each, shards_each))
+                .collect(),
+            summary_every: SimDuration::from_secs(1),
+            fan_in: FanIn::Hierarchical,
+            horizon,
+            seed,
+        }
+    }
+
+    /// Total sources across all regions.
+    pub fn total_sources(&self) -> usize {
+        self.regions.iter().map(|r| r.sources).sum()
+    }
+
+    /// The contiguous `(start, len)` block of region `r`.
+    pub fn block(&self, r: usize) -> (usize, usize) {
+        let start = self.regions[..r].iter().map(|s| s.sources).sum();
+        (start, self.regions[r].sources)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_are_contiguous_and_cover_all_sources() {
+        let topo = FabricTopology::symmetric(3, 128, 2, SimDuration::from_secs(60), 7);
+        assert_eq!(topo.total_sources(), 384);
+        assert_eq!(topo.block(0), (0, 128));
+        assert_eq!(topo.block(1), (128, 128));
+        assert_eq!(topo.block(2), (256, 128));
+    }
+
+    #[test]
+    fn chaos_plan_windows_answer_down_and_partitioned() {
+        let plan = FabricChaosPlan::crash_partition_heal(
+            1,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(5),
+            2,
+            SimDuration::from_secs(20),
+            SimDuration::from_secs(4),
+        );
+        assert!(!plan.monitor_down(1, SimDuration::from_secs(9)));
+        assert!(plan.monitor_down(1, SimDuration::from_secs(10)));
+        assert!(plan.monitor_down(1, SimDuration::from_secs(14)));
+        assert!(!plan.monitor_down(1, SimDuration::from_secs(15)));
+        assert!(!plan.partitioned(1, SimDuration::from_secs(12)));
+        assert!(plan.partitioned(2, SimDuration::from_secs(21)));
+        assert!(!plan.partitioned(2, SimDuration::from_secs(24)));
+        // The partitioned monitor is alive the whole time.
+        assert!(!plan.monitor_down(2, SimDuration::from_secs(21)));
+    }
+}

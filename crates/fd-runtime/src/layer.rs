@@ -16,6 +16,15 @@ use crate::message::Message;
 /// Identifies one timer of one layer (layer-chosen namespace).
 pub type TimerId = u64;
 
+/// Timer-ID bits claimed by fd-runtime's *wrapping* layers: bit 63 by
+/// [`crate::ChaosLayer`], bit 62 by [`crate::SupervisorLayer`]. A layer that
+/// may be wrapped (directly or via fabric-level chaos) must keep every timer
+/// ID it sets clear of this mask — both wrappers `debug_assert` the child's
+/// IDs on the way through, and child layers can assert their own constants
+/// against this mask at compile time so a collision is a build error, not a
+/// mis-routed timer at runtime.
+pub const RESERVED_TIMER_BITS: u64 = (1 << 63) | (1 << 62);
+
 /// An effect requested by a layer while handling a callback.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Action {

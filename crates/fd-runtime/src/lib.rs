@@ -32,6 +32,7 @@
 pub mod chaos;
 pub mod clock;
 pub mod digest;
+pub mod fabric;
 pub mod layer;
 pub mod message;
 pub mod multiplexer;
@@ -45,7 +46,10 @@ pub mod supervisor;
 pub use chaos::{ChaosLayer, ChaosLink, FaultEvent, FaultKind, FaultPlan};
 pub use clock::{estimate_ntp_offset, ClockModel};
 pub use digest::StreamDigest;
-pub use layer::{Action, BatchedLayer, Context, Layer, TimerId};
+pub use fabric::{
+    FabricChaosPlan, FabricFault, FabricFaultKind, FabricTopology, FanIn, RegionSpec,
+};
+pub use layer::{Action, BatchedLayer, Context, Layer, TimerId, RESERVED_TIMER_BITS};
 pub use message::{Message, MessageKind};
 pub use multiplexer::MultiplexerLayer;
 pub use ntp::{NtpClientLayer, NtpSample, NtpServerLayer};

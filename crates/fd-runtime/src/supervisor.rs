@@ -79,6 +79,10 @@ pub enum RestartMode {
 /// Timer-id namespace claimed by the supervisor (bit 62; bit 63 stays free
 /// for an enclosing [`crate::ChaosLayer`]).
 const SUP_TIMER_NS: u64 = 1 << 62;
+const _: () = assert!(
+    SUP_TIMER_NS & crate::layer::RESERVED_TIMER_BITS == SUP_TIMER_NS,
+    "supervisor namespace must live inside the reserved wrapper bits"
+);
 /// The restart-attempt timer.
 const SUP_RESTART: u64 = SUP_TIMER_NS | (1 << 61);
 /// Largest timer id the supervised child may use.

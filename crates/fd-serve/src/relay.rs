@@ -50,7 +50,7 @@ use crate::client::{RetryPolicy, ServeClient};
 use crate::server::{ServeConfig, ServeServer};
 use crate::sync::{AtomicBool, AtomicU64, Ordering};
 use crate::view::{SegmentWriter, SuspectView};
-use crate::wire::{Response, MAX_RANGE_WORDS};
+use crate::wire::{Response, FLAG_SEGMENT_DEGRADED, MAX_RANGE_WORDS};
 
 /// Relay tuning knobs.
 #[derive(Debug, Clone)]
@@ -95,6 +95,9 @@ pub struct RelayStats {
     pub snapshots: AtomicU64,
     /// Push-socket receive windows that expired without a frame.
     pub push_timeouts: AtomicU64,
+    /// Upstream frames that marked a replica segment degraded (flag set
+    /// on a delta/snapshot while the replica was healthy).
+    pub degraded_marked: AtomicU64,
 }
 
 /// One segment's replica state inside the sync thread.
@@ -264,10 +267,21 @@ fn apply_changes(
     );
 }
 
+/// Folds an upstream frame's health flags into the replica view: a set
+/// `FLAG_SEGMENT_DEGRADED` marks the segment (publication already cleared
+/// any stale mark while applying, so a clear needs no action here).
+fn mark_health(view: &SuspectView, seg: usize, flags: u8, stats: &RelayStats) {
+    if flags & FLAG_SEGMENT_DEGRADED != 0 && !view.segment_degraded(seg) {
+        view.mark_degraded(seg);
+        bump(&stats.degraded_marked);
+    }
+}
+
 /// Control-plane catch-up for one segment: a one-shot delta rooted at
 /// the replica's epoch, falling back to a paged full-range snapshot
 /// (plus a reconciling delta for the stamp) when the window left the
 /// upstream ring. Returns `true` once the replica is current.
+#[allow(clippy::too_many_arguments)]
 fn catch_up(
     ctl: &mut ServeClient,
     rep: &mut SegReplica,
@@ -276,6 +290,7 @@ fn catch_up(
     combos: usize,
     attempts: u32,
     stats: &RelayStats,
+    view: &SuspectView,
 ) -> bool {
     bump(&stats.catch_ups);
     for _ in 0..attempts {
@@ -286,6 +301,7 @@ fn catch_up(
                 virtual_us,
                 age_us,
                 hops,
+                flags,
                 changes,
                 ..
             }) if from_epoch == rep.applied => {
@@ -302,6 +318,7 @@ fn catch_up(
                         hops.saturating_add(1),
                     );
                 }
+                mark_health(view, seg, flags, stats);
                 return true;
             }
             Ok(Response::Resync { .. }) | Ok(Response::DeltaResp { .. }) => {
@@ -404,6 +421,7 @@ fn sync_loop(
                 virtual_us,
                 age_us,
                 hops,
+                flags,
                 changes,
                 ..
             }) => {
@@ -411,16 +429,24 @@ fn sync_loop(
                 let Some(rep) = replicas.get_mut(s) else {
                     continue;
                 };
-                if from_epoch == rep.applied {
+                if from_epoch == rep.applied && to_epoch == from_epoch {
+                    // Pure health-transition push: the origin has no new
+                    // epoch (a dead shard publishes nothing), only a
+                    // flag. Mark without republishing — a publish would
+                    // clear the very mark we are applying.
+                    mark_health(view, s, flags, stats);
+                } else if from_epoch == rep.applied {
                     apply_changes(rep, &changes, to_epoch, virtual_us, age_us, hops);
                     bump(&stats.deltas_applied);
+                    mark_health(view, s, flags, stats);
                 } else if to_epoch > rep.applied {
                     // A push got lost or reordered; the chain is broken,
                     // so rebuild through the control plane and re-root
                     // the subscription at what we now hold.
                     bump(&stats.stale_pushes);
-                    catch_up(&mut ctl, rep, s, blocks[s], combos, attempts, stats);
+                    catch_up(&mut ctl, rep, s, blocks[s], combos, attempts, stats, view);
                     let _ = push.subscribe_as(s as u32, segment, rep.applied);
+                    mark_health(view, s, flags, stats);
                 }
                 // to_epoch <= applied: duplicate/stale frame, ignore.
             }
@@ -429,7 +455,7 @@ fn sync_loop(
                 // and re-subscribe (the drop removed the table entry).
                 let s = usize::from(segment);
                 if let Some(rep) = replicas.get_mut(s) {
-                    catch_up(&mut ctl, rep, s, blocks[s], combos, attempts, stats);
+                    catch_up(&mut ctl, rep, s, blocks[s], combos, attempts, stats, view);
                     let _ = push.subscribe_as(s as u32, segment, rep.applied);
                 }
             }
@@ -518,6 +544,75 @@ mod tests {
             Response::PointResp { flags, epoch, .. } => {
                 assert_ne!(flags & crate::wire::FLAG_SUSPECTING, 0);
                 assert_eq!(epoch, 2);
+            }
+            other => panic!("expected point response, got {other:?}"),
+        }
+        relay.shutdown();
+    }
+
+    /// A degraded origin segment is not re-served healthy by a relay:
+    /// the health transition rides the push channel even though the dead
+    /// segment publishes no new epoch, and the mark clears once the
+    /// origin heals by republishing.
+    #[test]
+    fn relay_propagates_degradation_and_heal() {
+        let view = SuspectView::new(1, &[(0, 64), (64, 64)]);
+        let mut w0 = view.writer(0);
+        let mut w1 = view.writer(1);
+        w0.publish_words(&[0b1], SimTime::from_secs(1));
+        w1.publish_words(&[0b10], SimTime::from_secs(1));
+        let origin = ServeServer::start(Arc::clone(&view), ServeConfig::default()).expect("bind");
+        let mut relay = Relay::start(
+            origin.local_addr(),
+            RelayConfig {
+                push_timeout: Duration::from_millis(20),
+                ..RelayConfig::default()
+            },
+        )
+        .expect("relay");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while relay.view().epoch(0) < 1 || relay.view().epoch(1) < 1 {
+            assert!(Instant::now() < deadline, "relay never caught up");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        // The origin's segment 1 goes degraded with no further epochs —
+        // exactly what a dead shard looks like to the serve plane.
+        view.mark_degraded(1);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !relay.view().segment_degraded(1) {
+            assert!(Instant::now() < deadline, "degradation never reached the relay");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(
+            !relay.view().segment_degraded(0),
+            "healthy segment must stay unflagged"
+        );
+        assert!(relay.stats().degraded_marked.load(Ordering::Relaxed) >= 1);
+        let mut client =
+            ServeClient::connect(relay.local_addr(), Duration::from_secs(5)).expect("connect");
+        match client.point(64, 0).expect("point") {
+            Response::PointResp { flags, .. } => {
+                assert_ne!(
+                    flags & crate::wire::FLAG_SEGMENT_DEGRADED,
+                    0,
+                    "relayed answer for the degraded block must carry the flag"
+                );
+            }
+            other => panic!("expected point response, got {other:?}"),
+        }
+
+        // Heal: the origin republishes the segment, which clears its own
+        // mark; the epoch push (flags clear) clears the replica's too.
+        w1.publish_words(&[0b10], SimTime::from_secs(2));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while relay.view().segment_degraded(1) {
+            assert!(Instant::now() < deadline, "heal never reached the relay");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        match client.point(64, 0).expect("point") {
+            Response::PointResp { flags, .. } => {
+                assert_eq!(flags & crate::wire::FLAG_SEGMENT_DEGRADED, 0);
             }
             other => panic!("expected point response, got {other:?}"),
         }

@@ -133,6 +133,10 @@ struct SubState {
     /// Last epoch the subscriber has been sent (it holds this epoch's
     /// bitmap once deltas are applied).
     acked_epoch: u64,
+    /// Whether the last frame sent carried `FLAG_SEGMENT_DEGRADED`, so a
+    /// health *transition* with no new epoch (a dead shard stops
+    /// publishing) still produces one push.
+    pushed_degraded: bool,
 }
 
 /// The running query server. Dropping it stops and joins all threads.
@@ -149,6 +153,15 @@ pub struct ServeServer {
 /// lands between the two reads so the stamp matches the epoch exactly.
 /// After the retry budget (a pathological publish storm) the freshest
 /// meta is used.
+/// Current health flags of `segment` for a delta/push frame.
+fn segment_flags(view: &SuspectView, segment: u16) -> u8 {
+    if view.segment_degraded(usize::from(segment)) {
+        FLAG_SEGMENT_DEGRADED
+    } else {
+        0
+    }
+}
+
 fn delta_with_meta(
     view: &SuspectView,
     seg: usize,
@@ -294,6 +307,7 @@ pub fn respond(view: &SuspectView, stats: &ServeStats, data: &[u8]) -> Option<Ve
                     virtual_us: meta.published_at.as_micros(),
                     age_us: meta.age_us,
                     hops: meta.hops,
+                    flags: segment_flags(view, segment),
                     changes: changes.into_iter().map(|d| (d.index, d.value)).collect(),
                 }
             }
@@ -497,6 +511,10 @@ fn worker_loop(
                     (peer, segment, token),
                     SubState {
                         acked_epoch: since_epoch,
+                        // Treat the subscriber as not-yet-told: if the
+                        // segment is degraded right now, the first pusher
+                        // sweep sends the transition frame.
+                        pushed_degraded: false,
                     },
                 );
             }
@@ -539,7 +557,30 @@ fn pusher_loop(
                 dropped.push((peer, segment, token));
                 continue;
             }
+            let degraded = view.segment_degraded(usize::from(segment));
             if current == state.acked_epoch {
+                // No new epoch, but the segment's health may have
+                // transitioned (a dead shard publishes nothing, so
+                // degradation can only travel as its own push). Send an
+                // empty flagged delta; healing always republishes, so the
+                // clear rides a normal epoch push.
+                if degraded != state.pushed_degraded {
+                    let meta = view.publication_meta(usize::from(segment));
+                    let frame = Response::DeltaResp {
+                        token,
+                        segment,
+                        from_epoch: current,
+                        to_epoch: current,
+                        virtual_us: meta.as_ref().map_or(0, |m| m.published_at.as_micros()),
+                        age_us: meta.as_ref().map_or(0, |m| m.age_us),
+                        hops: meta.as_ref().map_or(0, |m| m.hops),
+                        flags: if degraded { FLAG_SEGMENT_DEGRADED } else { 0 },
+                        changes: Vec::new(),
+                    };
+                    let _ = socket.send_to(&frame.encode(), peer);
+                    ServeStats::bump(&stats.subs_pushed);
+                    state.pushed_degraded = degraded;
+                }
                 continue;
             }
             // Backpressure: a lagging (or ring-evicted) subscriber gets
@@ -566,11 +607,13 @@ fn pusher_loop(
                             virtual_us: meta.published_at.as_micros(),
                             age_us: meta.age_us,
                             hops: meta.hops,
+                            flags: if degraded { FLAG_SEGMENT_DEGRADED } else { 0 },
                             changes: changes.into_iter().map(|d| (d.index, d.value)).collect(),
                         };
                         let _ = socket.send_to(&frame.encode(), peer);
                         ServeStats::bump(&stats.subs_pushed);
                         state.acked_epoch = to_epoch;
+                        state.pushed_degraded = degraded;
                     }
                     Some((DeltaRead::Resync { current_epoch }, _)) => {
                         resync_at = Some(current_epoch);

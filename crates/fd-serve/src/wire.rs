@@ -153,6 +153,13 @@ pub enum Response {
         age_us: u64,
         /// Relay hops between publisher and sender (0 = origin).
         hops: u8,
+        /// Segment-health flags ([`FLAG_SEGMENT_DEGRADED`]), so a relay
+        /// replicating from the delta stream learns the origin marked the
+        /// segment degraded — a dead shard publishes no further epochs, so
+        /// health must ride the push channel itself. A flagged frame with
+        /// `from_epoch == to_epoch` and no changes is a pure
+        /// health-transition push.
+        flags: u8,
         /// `(word_index, new_value)` pairs, word index combo-major.
         changes: Vec<(u32, u64)>,
     },
@@ -370,6 +377,7 @@ impl Response {
                 virtual_us,
                 age_us,
                 hops,
+                flags,
                 ref changes,
             } => {
                 put_prefix(&mut buf, TAG_DELTA_RESP, token);
@@ -379,6 +387,7 @@ impl Response {
                 buf.put_u64(virtual_us);
                 buf.put_u64(age_us);
                 buf.put_u8(hops);
+                buf.put_u8(flags);
                 buf.put_u16(changes.len() as u16);
                 for &(index, value) in changes {
                     buf.put_u32(index);
@@ -459,13 +468,14 @@ impl Response {
                 })
             }
             TAG_DELTA_RESP => {
-                framing::need(data, 35)?;
+                framing::need(data, 36)?;
                 let segment = data.get_u16();
                 let from_epoch = data.get_u64();
                 let to_epoch = data.get_u64();
                 let virtual_us = data.get_u64();
                 let age_us = data.get_u64();
                 let hops = data.get_u8();
+                let flags = data.get_u8();
                 framing::need(data, 2)?;
                 let n = data.get_u16() as usize;
                 framing::need_counted(data, n, 12)?;
@@ -478,6 +488,7 @@ impl Response {
                     virtual_us,
                     age_us,
                     hops,
+                    flags,
                     changes,
                 })
             }
@@ -584,6 +595,7 @@ mod tests {
                 virtual_us: 777_000,
                 age_us: 431,
                 hops: 3,
+                flags: FLAG_SEGMENT_DEGRADED,
                 changes: vec![(5, 0xF0), (901, 1)],
             },
             Response::Resync {

@@ -3,6 +3,7 @@ pub use fd_arima as arima;
 pub use fd_consensus as consensus;
 pub use fd_core as core;
 pub use fd_experiments as experiments;
+pub use fd_fabric as fabric;
 pub use fd_net as net;
 pub use fd_runtime as runtime;
 pub use fd_serve as serve;

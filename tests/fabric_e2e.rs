@@ -1,0 +1,146 @@
+//! End-to-end fabric scenario through the public `fdqos` facade: a
+//! 3-region federated monitor survives the canonical
+//! crash → partition → heal chaos schedule, the global tier diagnoses
+//! the crashed monitor with the same QoS machinery the regions apply to
+//! sources, the Ω consumer demotes the crashed leader (and only real
+//! demotions count against it), and the whole pipeline replays
+//! bit-identically.
+//!
+//! The serve-plane half of the same scenario — the diagnosed block
+//! crossing an origin server *and a relay* flagged
+//! `FLAG_SEGMENT_DEGRADED` — runs in
+//! `fd-fabric`'s `chaos_row_serves_the_degraded_block_through_the_relay`
+//! unit test and in the `fabric` binary's chaos row; this test pins the
+//! virtual-time story end to end without sockets.
+
+use fdqos::fabric::{elect, fabric_digest, reference_combo, run_global, run_region};
+use fdqos::runtime::fabric::{FabricChaosPlan, FabricTopology};
+use fdqos::sim::{SimDuration, SimTime};
+
+fn run(
+    seed: u64,
+) -> (
+    Vec<fdqos::fabric::RegionRun>,
+    fdqos::fabric::GlobalOutcome,
+    fdqos::fabric::ElectionOutcome,
+    FabricChaosPlan,
+    FabricTopology,
+) {
+    let topo = FabricTopology::symmetric(3, 64, 2, SimDuration::from_secs(55), seed);
+    // Crash the leader monitor (region 0) at 14 s for 18 s; partition
+    // region 2 at 38 s for 6 s.
+    let plan = FabricChaosPlan::crash_partition_heal(
+        0,
+        SimDuration::from_secs(14),
+        SimDuration::from_secs(18),
+        2,
+        SimDuration::from_secs(38),
+        SimDuration::from_secs(6),
+    );
+    let combos = vec![reference_combo()];
+    let runs: Vec<_> = (0..3).map(|r| run_region(&topo, r, &plan, &combos)).collect();
+    let global = run_global(&topo, &runs, &plan, reference_combo());
+    let election = elect(
+        3,
+        &global.transitions,
+        &plan,
+        reference_combo(),
+        topo.summary_every,
+        &topo.regions[0].profile,
+        topo.horizon + topo.summary_every * 8,
+        seed,
+    );
+    (runs, global, election, plan, topo)
+}
+
+#[test]
+fn federated_fabric_diagnoses_demotes_and_replays_identically() {
+    let (runs, global, election, _, _) = run(41);
+
+    // Regional tier: every region produced a trace and measured real
+    // detector QoS over its own sources (crashes are injected per-region).
+    for run in &runs {
+        assert!(!run.trace.is_empty(), "region {} emitted nothing", run.region);
+        assert!(
+            run.qos[fdqos::fabric::REF_COMBO].crashes > 0,
+            "region {} measured no source crashes",
+            run.region
+        );
+    }
+    // The crashed monitor's emission was suppressed while it was down.
+    assert!(runs[0].suppressed >= 16, "crash window barely suppressed");
+
+    // Global tier: the crash is diagnosed, the heal observed, and the
+    // QoS accounting sees exactly one monitor crash, detected.
+    let crash = SimTime::from_secs(14);
+    let detected = global
+        .first_suspected_after(0, crash)
+        .expect("monitor crash undiagnosed");
+    assert!(
+        detected < SimTime::from_secs(26),
+        "diagnosis too slow: {detected}"
+    );
+    let trusted = global
+        .first_trusted_after(0, detected)
+        .expect("heal unobserved");
+    assert!(trusted >= SimTime::from_secs(32), "trusted at {trusted}?");
+    assert_eq!(global.monitor_qos.crashes, 1);
+    assert_eq!(global.monitor_qos.detections, 1);
+    // The partitioned region dropped frames at the WAN but never died.
+    assert!(global.partition_dropped > 0);
+
+    // Election consumer: the crashed leader was demoted, within the
+    // diagnosis latency plus one cadence tick, and the ratification run
+    // (trust replayed from the *measured* transitions) decided among the
+    // survivors and agreed.
+    let demote = election.demote_latency.expect("leader never demoted");
+    assert!(
+        demote <= (detected - crash) + SimDuration::from_secs(1),
+        "demotion ({demote}) lags the diagnosis ({})",
+        detected - crash
+    );
+    assert!(election.agreement, "ratification disagreed");
+    assert!(election.deciders >= 2, "only {} deciders", election.deciders);
+    assert!(
+        election.decision_latency.is_some(),
+        "ratification never decided"
+    );
+
+    // Determinism: the whole pipeline replays bit-identically.
+    let (runs2, global2, election2, _, _) = run(41);
+    assert_eq!(fabric_digest(&runs, &global), fabric_digest(&runs2, &global2));
+    assert_eq!(election.trajectory, election2.trajectory);
+}
+
+#[test]
+fn clean_fabric_elects_monitor_zero_and_never_demotes_it_for_long() {
+    let topo = FabricTopology::symmetric(3, 64, 2, SimDuration::from_secs(45), 43);
+    let plan = FabricChaosPlan::none();
+    let combos = vec![reference_combo()];
+    let runs: Vec<_> = (0..3).map(|r| run_region(&topo, r, &plan, &combos)).collect();
+    let global = run_global(&topo, &runs, &plan, reference_combo());
+    let election = elect(
+        3,
+        &global.transitions,
+        &plan,
+        reference_combo(),
+        topo.summary_every,
+        &topo.regions[0].profile,
+        topo.horizon,
+        43,
+    );
+    assert_eq!(election.demote_latency, None);
+    assert_eq!(election.decision_latency, None);
+    assert_eq!(
+        election.trajectory.first(),
+        Some(&(SimTime::ZERO, 0)),
+        "Ω must seed with monitor 0"
+    );
+    // Any demotion in a clean run is by definition spurious — and bounded
+    // by the global detector's mistake count.
+    assert!(
+        election.spurious_demotions
+            <= global.monitor_qos.mistakes + global.monitor_qos.open_mistakes,
+        "more spurious demotions than detector mistakes"
+    );
+}

@@ -1,13 +1,14 @@
 //! The wire-protocol leg of the invariant-fuzz campaign: mutational
-//! fuzzing of the fd-net framing layer and the fd-serve query plane,
-//! with `SourceBank::is_suspecting` as the semantic oracle.
+//! fuzzing of the fd-net framing layer, the fd-serve query plane and
+//! the fd-consensus message codec, with `SourceBank::is_suspecting` as
+//! the semantic oracle.
 //!
 //! Three properties, each over thousands of structure-aware mutants of
 //! the seed corpus in `tests/corpus/wire/`:
 //!
 //! 1. **totality** — `Request::decode`, `Response::decode`,
-//!    `Heartbeat::decode` and the full server `respond` path never
-//!    panic on any input, however mangled;
+//!    `Heartbeat::decode`, `ConsensusMsg::classify` and the full server
+//!    `respond` path never panic on any input, however mangled;
 //! 2. **canonical round-trip** — any mutant that still decodes
 //!    re-encodes to a frame that decodes to the same value;
 //! 3. **oracle fidelity** — a mutant that still decodes as an
@@ -24,6 +25,7 @@
 use std::path::Path;
 
 use fd_check::fuzz::{load_corpus, Mutator, SplitMix64};
+use fdqos::consensus::ConsensusMsg;
 use fdqos::core::SourceBank;
 use fdqos::net::wire::Heartbeat;
 use fdqos::serve::wire::FLAG_SUSPECTING;
@@ -38,7 +40,7 @@ fn corpus() -> Vec<(String, Vec<u8>)> {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/wire");
     let corpus = load_corpus(&dir);
     assert!(
-        corpus.len() >= 18,
+        corpus.len() >= 25,
         "wire corpus missing or pruned: {} entries in {}",
         corpus.len(),
         dir.display()
@@ -88,10 +90,10 @@ impl Fingerprint {
 /// One full campaign pass: mutate every corpus entry, drive the three
 /// decoders and the server, fingerprint every outcome. Panics anywhere
 /// in here are the bugs the campaign exists to catch.
-fn run_campaign(seed: u64) -> (u64, u64, u64) {
+fn run_campaign(seed: u64) -> (u64, u64, u64, u64) {
     let (view, bank, stats) = oracle_pair(seed);
     let mut fp = Fingerprint::new();
-    let (mut decoded_ok, mut answered) = (0u64, 0u64);
+    let (mut decoded_ok, mut answered, mut consensus_ok) = (0u64, 0u64, 0u64);
     let mut mutator = Mutator::new(seed);
     for (name, bytes) in corpus() {
         let mut frame = bytes.clone();
@@ -115,6 +117,30 @@ fn run_campaign(seed: u64) -> (u64, u64, u64) {
             }
             match Response::decode(&frame) {
                 Ok(resp) => fp.eat(&resp.encode()),
+                Err(e) => fp.eat(e.to_string().as_bytes()),
+            }
+            // The consensus codec is total too, its infallible decoder
+            // agrees with the classifying one, and anything it accepts
+            // survives a canonical round-trip.
+            let classified = ConsensusMsg::classify(&frame);
+            assert_eq!(
+                ConsensusMsg::decode(&frame),
+                classified.ok(),
+                "decode and classify disagree ({})",
+                ctx()
+            );
+            match classified {
+                Ok(msg) => {
+                    consensus_ok += 1;
+                    let reenc = msg.encode();
+                    fp.eat(&reenc);
+                    assert_eq!(
+                        ConsensusMsg::classify(&reenc),
+                        Ok(msg),
+                        "round-trip changed a consensus message ({})",
+                        ctx()
+                    );
+                }
                 Err(e) => fp.eat(e.to_string().as_bytes()),
             }
             let req = match Request::decode(&frame) {
@@ -186,7 +212,7 @@ fn run_campaign(seed: u64) -> (u64, u64, u64) {
             }
         }
     }
-    (fp.0, decoded_ok, answered)
+    (fp.0, decoded_ok, answered, consensus_ok)
 }
 
 /// The campaign proper: no decoder or server panic across ~7 000
@@ -194,7 +220,7 @@ fn run_campaign(seed: u64) -> (u64, u64, u64) {
 /// and reject paths of every decoder.
 #[test]
 fn mutated_corpus_never_breaks_decoders_or_server() {
-    let (_, decoded_ok, answered) = run_campaign(CAMPAIGN_SEED);
+    let (_, decoded_ok, answered, consensus_ok) = run_campaign(CAMPAIGN_SEED);
     assert!(
         decoded_ok > 100,
         "mutation walk never reaches the accept path ({decoded_ok} decodes)"
@@ -202,6 +228,10 @@ fn mutated_corpus_never_breaks_decoders_or_server() {
     assert!(
         answered >= 10,
         "mutation walk never produced an in-range point query ({answered} answers)"
+    );
+    assert!(
+        consensus_ok > 100,
+        "mutation walk never reaches the consensus accept path ({consensus_ok} decodes)"
     );
 }
 
@@ -300,9 +330,11 @@ fn campaign_replay_is_deterministic() {
 }
 
 /// The pinned corpus decodes exactly as named: `req_*`/`resp_*` seeds
-/// are accepted by their decoder, the hostile shapes are rejected by
-/// both — so a codec change that silently widens or narrows the
-/// accepted language fails here, not in production.
+/// are accepted by their decoder, `cons_*` seeds by the consensus codec
+/// (and *only* by it — they must not alias a serve frame), the hostile
+/// shapes are rejected by everything — so a codec change that silently
+/// widens or narrows the accepted language fails here, not in
+/// production.
 #[test]
 fn corpus_seeds_decode_as_named() {
     for (name, bytes) in corpus() {
@@ -313,6 +345,17 @@ fn corpus_seeds_decode_as_named() {
                 assert!(req.is_ok(), "{name}: request seed rejected: {req:?}");
             } else if stem.starts_with("resp_") && !stem.ends_with("_liar") {
                 assert!(resp.is_ok(), "{name}: response seed rejected: {resp:?}");
+            } else if stem.starts_with("cons_") {
+                let cons = ConsensusMsg::classify(&bytes);
+                if stem.starts_with("cons_truncated") || stem.starts_with("cons_bad_tag") {
+                    assert!(cons.is_err(), "{name}: hostile consensus seed accepted");
+                } else {
+                    assert!(cons.is_ok(), "{name}: consensus seed rejected: {cons:?}");
+                }
+                assert!(
+                    req.is_err() && resp.is_err(),
+                    "{name}: consensus seed aliases a serve frame (req {req:?}, resp {resp:?})"
+                );
             } else {
                 assert!(
                     req.is_err() && resp.is_err(),
@@ -321,6 +364,38 @@ fn corpus_seeds_decode_as_named() {
             }
         }
     }
+}
+
+/// The hostile consensus seeds are rejected with the *typed* reason the
+/// `FrameError` taxonomy promises — truncation reported as `Truncated`
+/// (not `BadTag` or a silent `None`), an unknown tag as `BadTag` — so
+/// transport-side rejection counters keep attributing drops correctly.
+#[test]
+fn consensus_seeds_reject_with_typed_reasons() {
+    use fdqos::net::framing::FrameError;
+
+    let corpus = corpus();
+    let find = |stem: &str| {
+        &corpus
+            .iter()
+            .find(|(name, _)| name == &format!("{stem}.bin"))
+            .unwrap_or_else(|| panic!("{stem} seed present"))
+            .1
+    };
+    assert!(
+        matches!(
+            ConsensusMsg::classify(find("cons_truncated")),
+            Err(FrameError::Truncated { .. })
+        ),
+        "truncated estimate not classified as Truncated"
+    );
+    assert!(
+        matches!(
+            ConsensusMsg::classify(find("cons_bad_tag")),
+            Err(FrameError::BadTag { .. })
+        ),
+        "unknown tag not classified as BadTag"
+    );
 }
 
 /// Regression (found by an early campaign run): a `RangeResp`/`DeltaResp`
