@@ -112,7 +112,9 @@ impl OnlineArima {
         // unstable enough to be worse than the LAST fallback.
         let refit_every = self.refit_every as u64;
         let spec = self.state.spec();
-        let first_fit_at = spec.min_series_len().max((self.refit_every as usize).min(300));
+        let first_fit_at = spec
+            .min_series_len()
+            .max((self.refit_every as usize).min(300));
         let due = self.observed.is_multiple_of(refit_every)
             || (self.model.is_none() && self.window.len() == first_fit_at);
         if due && self.window.len() >= first_fit_at {
@@ -359,7 +361,10 @@ mod tests {
             let x = 120.0 + 15.0 * rng.standard_normal();
             f.observe(x);
             restored.observe(x);
-            assert_eq!(f.predict_next().to_bits(), restored.predict_next().to_bits());
+            assert_eq!(
+                f.predict_next().to_bits(),
+                restored.predict_next().to_bits()
+            );
         }
         assert_eq!(f.refits(), restored.refits());
         assert_eq!(f.observed(), restored.observed());

@@ -559,9 +559,9 @@ impl LagStore {
 
     fn push_innov(&mut self, cap: usize, value: f64) {
         match self {
-            LagStore::Inline { innov, innov_len, .. } => {
-                Self::push_capped(innov, innov_len, cap, value)
-            }
+            LagStore::Inline {
+                innov, innov_len, ..
+            } => Self::push_capped(innov, innov_len, cap, value),
             LagStore::Heap(h) => {
                 h.innov.push_back(value);
                 if h.innov.len() > cap {
@@ -668,7 +668,11 @@ impl ArimaState {
 
     /// The order specification this state was created for.
     pub fn spec(&self) -> ArimaSpec {
-        ArimaSpec::new(usize::from(self.p), usize::from(self.d), usize::from(self.q))
+        ArimaSpec::new(
+            usize::from(self.p),
+            usize::from(self.d),
+            usize::from(self.q),
+        )
     }
 
     /// Consumes a new level observation, updating the innovation history

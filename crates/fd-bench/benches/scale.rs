@@ -13,7 +13,10 @@ fn churn_wheel(pending: u64, rounds: u64) -> u64 {
     let mut w = TimerWheel::new();
     let period = SimDuration::from_secs(1);
     for i in 0..pending {
-        w.push(SimTime::ZERO + SimDuration::from_micros(i * 997 % 1_000_000), i);
+        w.push(
+            SimTime::ZERO + SimDuration::from_micros(i * 997 % 1_000_000),
+            i,
+        );
     }
     let mut acc = 0;
     for _ in 0..rounds {
@@ -28,7 +31,10 @@ fn churn_heap(pending: u64, rounds: u64) -> u64 {
     let mut q = EventQueue::new();
     let period = SimDuration::from_secs(1);
     for i in 0..pending {
-        q.push(SimTime::ZERO + SimDuration::from_micros(i * 997 % 1_000_000), i);
+        q.push(
+            SimTime::ZERO + SimDuration::from_micros(i * 997 % 1_000_000),
+            i,
+        );
     }
     let mut acc = 0;
     for _ in 0..rounds {
@@ -78,8 +84,9 @@ fn bench_source_bank_batch(c: &mut Criterion) {
         });
     });
     group.bench_function("looped_detector_banks_256_cycle", |b| {
-        let mut banks: Vec<DetectorBank> =
-            (0..SOURCES).map(|_| DetectorBank::paper_grid(eta)).collect();
+        let mut banks: Vec<DetectorBank> = (0..SOURCES)
+            .map(|_| DetectorBank::paper_grid(eta))
+            .collect();
         let mut seq = 0u64;
         b.iter(|| {
             for bank in &mut banks {

@@ -43,7 +43,10 @@ fn main() {
         ),
         ("cons_ack", ConsensusMsg::Ack { round: 11 }.encode()),
         ("cons_nack", ConsensusMsg::Nack { round: 4 }.encode()),
-        ("cons_decide", ConsensusMsg::Decide { value: u64::MAX }.encode()),
+        (
+            "cons_decide",
+            ConsensusMsg::Decide { value: u64::MAX }.encode(),
+        ),
     ];
 
     // Hostile shapes: byte-surgery on a valid frame, checked below to be

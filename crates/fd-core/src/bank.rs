@@ -33,7 +33,9 @@ use fd_sim::{SimDuration, SimTime};
 use crate::combinations::{Combination, MarginKind, PredictorKind};
 use crate::detector::FdTransition;
 use crate::margin::{CiCore, JacCore, RtoCore};
-use crate::predictor::{ArimaPredictor, Last, Lpf, Mean, Predictor, WinMean};
+use crate::predictor::{
+    AdaptiveWindow, ArimaPredictor, Last, Lpf, Mean, MlPredictor, PhiAccrual, Predictor, WinMean,
+};
 use crate::snapshot::{BankSnapshot, PredictorSnapshot, SnapshotError};
 
 /// Enum-dispatched predictor state, mirroring [`PredictorKind`].
@@ -56,6 +58,12 @@ pub enum PredictorState {
     Lpf(Lpf),
     /// `ARIMA(p,d,q)` with periodic refit.
     Arima(ArimaPredictor),
+    /// `PHI(N,φ*)` with the two-phase flap lifecycle.
+    Phi(PhiAccrual),
+    /// `ADWIN(N,K)` adaptive μ+Kσ window.
+    Adw(AdaptiveWindow),
+    /// `ML(p,r)` online-trained model.
+    Ml(MlPredictor),
 }
 
 impl PredictorState {
@@ -72,17 +80,33 @@ impl PredictorState {
                 q,
                 refit_every,
             } => PredictorState::Arima(ArimaPredictor::new(ArimaSpec::new(p, d, q), refit_every)),
+            PredictorKind::PhiAccrual {
+                window,
+                threshold,
+                two_phase,
+            } => PredictorState::Phi(PhiAccrual::new(window, threshold, two_phase)),
+            PredictorKind::AdaptiveWindow { window, k } => {
+                PredictorState::Adw(AdaptiveWindow::new(window, k))
+            }
+            PredictorKind::MlPredictor { lags, rate } => {
+                PredictorState::Ml(MlPredictor::new(lags, rate))
+            }
         }
     }
 
-    /// Consumes one delay observation.
-    pub fn observe(&mut self, delay_ms: f64) {
+    /// Consumes one delay observation together with the sequence gap that
+    /// preceded it (0 for in-order and stale heartbeats; only the
+    /// lifecycle-aware φ-accrual predictor reads the gap).
+    pub fn observe(&mut self, delay_ms: f64, gap: u64) {
         match self {
             PredictorState::Last(p) => p.observe(delay_ms),
             PredictorState::Mean(p) => p.observe(delay_ms),
             PredictorState::WinMean(p) => p.observe(delay_ms),
             PredictorState::Lpf(p) => p.observe(delay_ms),
             PredictorState::Arima(p) => p.observe(delay_ms),
+            PredictorState::Phi(p) => p.observe_gap(delay_ms, gap),
+            PredictorState::Adw(p) => p.observe(delay_ms),
+            PredictorState::Ml(p) => p.observe(delay_ms),
         }
     }
 
@@ -94,6 +118,9 @@ impl PredictorState {
             PredictorState::WinMean(p) => p.predict(),
             PredictorState::Lpf(p) => p.predict(),
             PredictorState::Arima(p) => p.predict(),
+            PredictorState::Phi(p) => p.predict(),
+            PredictorState::Adw(p) => p.predict(),
+            PredictorState::Ml(p) => p.predict(),
         }
     }
 
@@ -105,6 +132,9 @@ impl PredictorState {
             PredictorState::WinMean(p) => p.observations(),
             PredictorState::Lpf(p) => p.observations(),
             PredictorState::Arima(p) => p.observations(),
+            PredictorState::Phi(p) => p.observations(),
+            PredictorState::Adw(p) => p.observations(),
+            PredictorState::Ml(p) => p.observations(),
         }
     }
 
@@ -357,11 +387,19 @@ impl DetectorBank {
             .checked_duration_since(sigma)
             .map_or(0.0, |d| d.as_millis_f64());
 
+        // The sequence gap this heartbeat closes (0 for stale deliveries),
+        // computed against the pre-update freshness bookkeeping exactly
+        // like the boxed path.
+        let gap = match self.highest_seq {
+            Some(h) if seq > h => seq - h - 1,
+            _ => 0,
+        };
+
         // Each DISTINCT predictor: one error, one observe (ARIMA refits
         // once here, not once per margin variant), one error-core advance.
         for (p_idx, predictor) in self.predictors.iter_mut().enumerate() {
             let err = delay_ms - predictor.predict();
-            predictor.observe(delay_ms);
+            predictor.observe(delay_ms, gap);
             let cores = &mut self.error_cores[p_idx];
             if let Some(jac) = cores.jac.as_mut() {
                 jac.update(err);
@@ -472,6 +510,35 @@ impl DetectorBank {
                     PredictorSnapshot::Lpf { beta, pred, n }
                 }
                 PredictorState::Arima(p) => PredictorSnapshot::Arima(p.snapshot()),
+                PredictorState::Phi(p) => {
+                    let (ring, pos, len, sum, sumsq, start_left, flaps, mean_up, up_len, n) =
+                        p.raw_parts();
+                    PredictorSnapshot::Phi {
+                        ring,
+                        pos,
+                        len,
+                        sum,
+                        sumsq,
+                        start_left,
+                        flaps,
+                        mean_up,
+                        up_len,
+                        n,
+                    }
+                }
+                PredictorState::Adw(p) => {
+                    let (ring, sum, sumsq, n) = p.raw_parts();
+                    PredictorSnapshot::Adw {
+                        ring,
+                        sum,
+                        sumsq,
+                        n,
+                    }
+                }
+                PredictorState::Ml(p) => {
+                    let (w, hist, n) = p.raw_parts();
+                    PredictorSnapshot::Ml { w, hist, n }
+                }
             })
             .collect();
         let error_cores = self
@@ -606,6 +673,66 @@ fn restore_predictor(
             ArimaPredictor::from_snapshot(a.clone())
                 .map(PredictorState::Arima)
                 .ok_or(SnapshotError::Invalid("arima state"))
+        }
+        (
+            PredictorState::Phi(cur),
+            PredictorSnapshot::Phi {
+                ring,
+                pos,
+                len,
+                sum,
+                sumsq,
+                start_left,
+                flaps,
+                mean_up,
+                up_len,
+                n,
+            },
+        ) => {
+            if cur.window() != ring.len() {
+                return Err(SnapshotError::Mismatch("phi window"));
+            }
+            PhiAccrual::from_raw_parts(
+                cur.window(),
+                cur.threshold(),
+                cur.two_phase(),
+                ring.clone(),
+                *pos,
+                *len,
+                *sum,
+                *sumsq,
+                *start_left,
+                *flaps,
+                *mean_up,
+                *up_len,
+                *n,
+            )
+            .map(PredictorState::Phi)
+            .ok_or(SnapshotError::Invalid("phi state"))
+        }
+        (
+            PredictorState::Adw(cur),
+            PredictorSnapshot::Adw {
+                ring,
+                sum,
+                sumsq,
+                n,
+            },
+        ) => {
+            if cur.window() != ring.len() {
+                return Err(SnapshotError::Mismatch("adaptive window"));
+            }
+            AdaptiveWindow::from_raw_parts(cur.window(), cur.k(), ring.clone(), *sum, *sumsq, *n)
+                .map(PredictorState::Adw)
+                .ok_or(SnapshotError::Invalid("adaptive-window state"))
+        }
+        (PredictorState::Ml(cur), PredictorSnapshot::Ml { w, hist, n }) => {
+            if cur.lags() != hist.len() {
+                return Err(SnapshotError::Mismatch("ml lags"));
+            }
+            MlPredictor::from_raw_parts(cur.lags(), cur.rate(), w.clone(), hist.clone(), *n)
+                .map(PredictorState::Ml)
+                .ok_or(SnapshotError::Invalid("ml state"))
         }
         _ => Err(SnapshotError::Mismatch("predictor kind")),
     }

@@ -11,7 +11,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::detector::FailureDetector;
 use crate::margin::{ConfidenceMargin, JacobsonMargin, RtoMargin, SafetyMargin};
-use crate::predictor::{ArimaPredictor, Last, Lpf, Mean, Predictor, WinMean};
+use crate::predictor::{
+    AdaptiveWindow, ArimaPredictor, Last, Lpf, Mean, MlPredictor, PhiAccrual, Predictor, WinMean,
+};
 
 /// Which predictor a combination uses.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -40,6 +42,32 @@ pub enum PredictorKind {
         q: usize,
         /// Refit period (`N_Arima`).
         refit_every: usize,
+    },
+    /// `PHI(window, threshold)` — φ-accrual timeout with the two-phase
+    /// stable/start lifecycle (`PHI-S` when `two_phase` is off).
+    PhiAccrual {
+        /// Window size `N` of recent delays.
+        window: usize,
+        /// Suspicion threshold φ*.
+        threshold: f64,
+        /// Enables flap-triggered cold restarts with a Weibull-gated
+        /// start phase.
+        two_phase: bool,
+    },
+    /// `ADWIN(window, k)` — adaptive μ+Kσ over a ring of recent delays.
+    AdaptiveWindow {
+        /// Window size `N`.
+        window: usize,
+        /// Deviation multiplier `K`.
+        k: f64,
+    },
+    /// `ML(lags, rate)` — tiny online-trained model (normalized LMS over
+    /// the last `lags` delays plus a bias).
+    MlPredictor {
+        /// Autoregressive inputs.
+        lags: usize,
+        /// Learning rate.
+        rate: f64,
     },
 }
 
@@ -74,6 +102,13 @@ impl PredictorKind {
                 q,
                 refit_every,
             } => Box::new(ArimaPredictor::new(ArimaSpec::new(p, d, q), refit_every)),
+            PredictorKind::PhiAccrual {
+                window,
+                threshold,
+                two_phase,
+            } => Box::new(PhiAccrual::new(window, threshold, two_phase)),
+            PredictorKind::AdaptiveWindow { window, k } => Box::new(AdaptiveWindow::new(window, k)),
+            PredictorKind::MlPredictor { lags, rate } => Box::new(MlPredictor::new(lags, rate)),
         }
     }
 
@@ -96,6 +131,36 @@ impl PredictorKind {
             PredictorKind::Mean,
             PredictorKind::WinMean { window: 10 },
         ]
+    }
+
+    /// The four extended-grid predictor instances beyond the paper's five:
+    /// two-phase φ-accrual, its stable-only control, adaptive μ+Kσ and the
+    /// online-trained model.
+    pub fn extended_set() -> Vec<PredictorKind> {
+        vec![
+            PredictorKind::PhiAccrual {
+                window: 16,
+                threshold: 1.0,
+                two_phase: true,
+            },
+            PredictorKind::PhiAccrual {
+                window: 16,
+                threshold: 1.0,
+                two_phase: false,
+            },
+            PredictorKind::AdaptiveWindow { window: 16, k: 2.0 },
+            PredictorKind::MlPredictor { lags: 4, rate: 0.5 },
+        ]
+    }
+
+    /// Every predictor kind the test pyramid must cover: the paper set
+    /// plus the extended set. New families **must** be appended here — the
+    /// differential, snapshot, digest and fuzz suites all iterate this
+    /// enumerator, so a kind missing from it silently skips the pyramid.
+    pub fn all_for_test() -> Vec<PredictorKind> {
+        let mut kinds = Self::paper_set();
+        kinds.extend(Self::extended_set());
+        kinds
     }
 }
 
@@ -231,6 +296,19 @@ pub fn all_combinations() -> Vec<Combination> {
     combos
 }
 
+/// The extended grid: the paper's 30 combinations followed by the four
+/// new-family predictors crossed with the same six margins (54 total),
+/// margins varying fastest throughout.
+pub fn extended_combinations() -> Vec<Combination> {
+    let mut combos = all_combinations();
+    for predictor in PredictorKind::extended_set() {
+        for margin in MarginKind::paper_set() {
+            combos.push(Combination::new(predictor, margin));
+        }
+    }
+    combos
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +350,34 @@ mod tests {
         assert_eq!(c.label(), "ARIMA(2,1,1)+SM_CI(3.31)");
         let c2 = Combination::new(PredictorKind::Last, MarginKind::Jac { phi: 4.0 });
         assert_eq!(c2.label(), "LAST+SM_JAC(4)");
+    }
+
+    #[test]
+    fn extended_grid_appends_the_new_families() {
+        let combos = extended_combinations();
+        assert_eq!(combos.len(), 54, "30 paper + 4 families × 6 margins");
+        assert_eq!(&combos[..30], &all_combinations()[..]);
+        let mut labels: Vec<String> = combos.iter().map(|c| c.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 54, "labels must stay distinct");
+    }
+
+    #[test]
+    fn all_for_test_covers_paper_and_extended_sets() {
+        let kinds = PredictorKind::all_for_test();
+        assert_eq!(kinds.len(), 9);
+        for k in PredictorKind::paper_set() {
+            assert!(kinds.contains(&k), "paper kind missing: {}", k.label());
+        }
+        for k in PredictorKind::extended_set() {
+            assert!(kinds.contains(&k), "extended kind missing: {}", k.label());
+        }
+        let labels: Vec<String> = kinds.iter().map(|k| k.label()).collect();
+        assert!(labels.contains(&"PHI(16,1)".to_owned()));
+        assert!(labels.contains(&"PHI-S(16,1)".to_owned()));
+        assert!(labels.contains(&"ADWIN(16,2)".to_owned()));
+        assert!(labels.contains(&"ML(4,0.5)".to_owned()));
     }
 
     #[test]

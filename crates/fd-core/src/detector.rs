@@ -208,10 +208,19 @@ impl FailureDetector {
             .checked_duration_since(sigma)
             .map_or(0.0, |d| d.as_millis_f64());
 
+        // The sequence gap this heartbeat closes: how many expected
+        // heartbeats never arrived between the freshest seen and this one.
+        // Stale (reordered) deliveries close no gap.
+        let gap = match self.highest_seq {
+            Some(h) if seq > h => seq - h - 1,
+            None => 0, // first heartbeat: nothing was expected before it
+            _ => 0,    // stale
+        };
+
         // err_k = obs_n − pred_k uses the prediction that was in force
         // before this observation.
         let err = delay_ms - self.predictor.predict();
-        self.predictor.observe(delay_ms);
+        self.predictor.observe_gap(delay_ms, gap);
         self.margin.update(delay_ms, err);
 
         let fresh = self.highest_seq.is_none_or(|h| seq > h);

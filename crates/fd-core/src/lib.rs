@@ -56,14 +56,18 @@ pub mod snapshot;
 pub mod source_bank;
 
 pub use bank::{BankTransition, DetectorBank, PredictorState};
-pub use snapshot::{BankSnapshot, SnapshotError};
-pub use source_bank::{HeartbeatObs, SourceBank, SourceTransition};
-pub use combinations::{all_combinations, Combination, MarginKind, PredictorKind};
+pub use combinations::{
+    all_combinations, extended_combinations, Combination, MarginKind, PredictorKind,
+};
 pub use detector::{FailureDetector, FdOutput, FdTransition};
 pub use margin::{
     CiCore, ConfidenceMargin, ConstantMargin, JacCore, JacobsonMargin, RtoCore, RtoMargin,
     SafetyMargin,
 };
 pub use nfd::nfd_e;
-pub use predictor::{ArimaPredictor, Last, Lpf, Mean, Predictor, WinMean};
+pub use predictor::{
+    AdaptiveWindow, ArimaPredictor, Last, Lpf, Mean, MlPredictor, PhiAccrual, Predictor, WinMean,
+};
 pub use pull::PullFailureDetector;
+pub use snapshot::{BankSnapshot, SnapshotError};
+pub use source_bank::{HeartbeatObs, SourceBank, SourceTransition};

@@ -28,6 +28,18 @@ pub trait Predictor: Send {
     /// Consumes the delay of a newly received heartbeat.
     fn observe(&mut self, delay_ms: f64);
 
+    /// Consumes the delay of a newly received heartbeat together with the
+    /// sequence gap that preceded it: `gap` is the number of expected
+    /// heartbeats that never arrived between the previously freshest
+    /// heartbeat and this one (0 for in-order and stale deliveries).
+    ///
+    /// Lifecycle-aware predictors (φ-accrual) override this to detect
+    /// flapping; every other predictor ignores the gap.
+    fn observe_gap(&mut self, delay_ms: f64, gap: u64) {
+        let _ = gap;
+        self.observe(delay_ms);
+    }
+
     /// Forecasts the delay of the next heartbeat.
     fn predict(&self) -> f64;
 
@@ -42,6 +54,9 @@ impl<T: Predictor + ?Sized> Predictor for Box<T> {
     fn observe(&mut self, delay_ms: f64) {
         (**self).observe(delay_ms)
     }
+    fn observe_gap(&mut self, delay_ms: f64, gap: u64) {
+        (**self).observe_gap(delay_ms, gap)
+    }
     fn predict(&self) -> f64 {
         (**self).predict()
     }
@@ -50,6 +65,23 @@ impl<T: Predictor + ?Sized> Predictor for Box<T> {
     }
     fn observations(&self) -> u64 {
         (**self).observations()
+    }
+}
+
+/// Ceiling on a sanitized delay observation, in milliseconds (~66 minutes —
+/// comfortably above the `SourceBank` deadline horizon, so no in-pipeline
+/// delay ever hits it; only hostile direct feeds do).
+pub(crate) const MAX_DELAY_MS: f64 = 4.0e6;
+
+/// Clamps a delay observation into `[0, MAX_DELAY_MS]`; NaN and ±∞ map
+/// to 0.0. The new-family predictors (φ-accrual, μ+Kσ, ML) sanitize every
+/// input through this, so their internal state stays finite under hostile
+/// floats; the paper's five predictors are left bit-for-bit unchanged.
+pub(crate) fn sanitize_delay(delay_ms: f64) -> f64 {
+    if delay_ms.is_finite() {
+        delay_ms.clamp(0.0, MAX_DELAY_MS)
+    } else {
+        0.0
     }
 }
 
@@ -371,6 +403,537 @@ impl Predictor for ArimaPredictor {
     }
 }
 
+/// Flap trigger: a sequence gap of at least this many missing heartbeats
+/// counts as a down/up transition of the source (losses are i.i.d. and
+/// rarely run this long; crash windows always do).
+pub const PHI_FLAP_GAP_MIN: u64 = 3;
+
+/// Mean-uptime scale (in heartbeats) that maps flap history onto the
+/// Weibull shape parameter `k`: sources whose mean uptime is well below
+/// the scale look flappy (`k → 0.5`, heavy tail, long re-admission);
+/// sources well above it look stable (`k → 2.0`, light tail, short
+/// re-admission).
+pub const PHI_WEIBULL_SCALE: f64 = 8.0;
+
+/// Re-admission quantile: the start phase lasts until the Weibull survival
+/// of another flap drops below this.
+const PHI_READMIT_Q: f64 = 0.1;
+
+/// Weibull scale parameter of the re-admission gate, in heartbeats.
+const PHI_START_LAMBDA: f64 = 4.0;
+
+/// `PHI(N,φ*)`: φ-accrual timeout over a window of the last `N` delays,
+/// with a **two-phase stable/start lifecycle** for flapping sources.
+///
+/// The accrual model is the exponential-tail form: suspicion level
+/// `φ(t) = −log10 P(delay > t)` under `delay ~ Exp(1/μ)` scaled by the
+/// window's dispersion, which closes to the timeout
+///
+/// ```text
+/// t_φ = μ + φ*·ln(10)·σ
+/// ```
+///
+/// where `μ`, `σ` are the sample mean/standard deviation of the window.
+/// **Defined degenerate behavior** (the NaN/∞ audit): a window of one
+/// sample or of identical samples has `σ = 0`, so `t_φ = μ` exactly —
+/// never NaN; negative variance from float cancellation is clamped to 0.
+///
+/// The lifecycle (SNIPPETS.md snippet 3, made executable): a sequence gap
+/// of ≥ [`PHI_FLAP_GAP_MIN`] heartbeats is a *flap*. On a flap the window
+/// is **cold-restarted** (the pre-crash delay distribution is stale) and
+/// the predictor enters a *start phase* whose length is Weibull-gated on
+/// the source's flap history — flappier sources (short mean uptimes) serve
+/// longer start phases. During the start phase the dispersion is floored
+/// at `μ` (a CV ≥ 1 prior), so the freshly re-admitted source is not
+/// suspected on the first post-recovery jitter; once `start_left` drains,
+/// the stable phase trusts the window's own `σ` again.
+///
+/// With `two_phase = false` the lifecycle is disabled entirely (the
+/// stable-phase-only variant the flapping chaos test compares against).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhiAccrual {
+    ring: Vec<f64>,
+    cap: usize,
+    pos: usize,
+    len: usize,
+    sum: f64,
+    sumsq: f64,
+    threshold: f64,
+    two_phase: bool,
+    start_left: u32,
+    flaps: u64,
+    mean_up: f64,
+    up_len: u64,
+    n: u64,
+}
+
+impl PhiAccrual {
+    /// Creates the predictor with window size `window` and suspicion
+    /// threshold `threshold` (φ*); `two_phase` enables the flap lifecycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `threshold` is not finite-positive.
+    pub fn new(window: usize, threshold: f64, two_phase: bool) -> Self {
+        assert!(window > 0, "phi window must be positive");
+        assert!(
+            threshold.is_finite() && threshold > 0.0,
+            "phi threshold out of range: {threshold}"
+        );
+        Self {
+            ring: vec![0.0; window],
+            cap: window,
+            pos: 0,
+            len: 0,
+            sum: 0.0,
+            sumsq: 0.0,
+            threshold,
+            two_phase,
+            start_left: 0,
+            flaps: 0,
+            mean_up: 0.0,
+            up_len: 0,
+            n: 0,
+        }
+    }
+
+    /// The configured window size.
+    pub fn window(&self) -> usize {
+        self.cap
+    }
+
+    /// The suspicion threshold φ*.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Whether the two-phase flap lifecycle is enabled.
+    pub fn two_phase(&self) -> bool {
+        self.two_phase
+    }
+
+    /// Remaining start-phase observations (0 in the stable phase).
+    pub fn start_left(&self) -> u32 {
+        self.start_left
+    }
+
+    /// Number of flaps (gap-triggered cold restarts) seen so far.
+    pub fn flaps(&self) -> u64 {
+        self.flaps
+    }
+
+    /// Start-phase length for the *next* flap, Weibull-gated on the flap
+    /// history: `⌈λ·(−ln q)^(1/k)⌉` with shape
+    /// `k = clamp(mean_uptime / scale, 0.5, 2.0)`. A source with no flap
+    /// history yet is treated as maximally flappy (`k = 0.5`).
+    fn start_len(&self) -> u32 {
+        let k = (self.mean_up / PHI_WEIBULL_SCALE).clamp(0.5, 2.0);
+        let beats = PHI_START_LAMBDA * (-(PHI_READMIT_Q.ln())).powf(1.0 / k);
+        beats.ceil() as u32
+    }
+
+    /// The full state, for checkpoint/restore:
+    /// `(ring, pos, len, sum, sumsq, start_left, flaps, mean_up, up_len, n)`.
+    /// Configuration (`window`, `threshold`, `two_phase`) travels
+    /// separately as part of the predictor kind.
+    #[allow(clippy::type_complexity)]
+    pub fn raw_parts(&self) -> (Vec<f64>, u32, u32, f64, f64, u32, u64, f64, u64, u64) {
+        (
+            self.ring.clone(),
+            self.pos as u32,
+            self.len as u32,
+            self.sum,
+            self.sumsq,
+            self.start_left,
+            self.flaps,
+            self.mean_up,
+            self.up_len,
+            self.n,
+        )
+    }
+
+    /// Rebuilds the predictor from [`PhiAccrual::raw_parts`] output plus
+    /// its configuration, or `None` for state unreachable by observation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts(
+        window: usize,
+        threshold: f64,
+        two_phase: bool,
+        ring: Vec<f64>,
+        pos: u32,
+        len: u32,
+        sum: f64,
+        sumsq: f64,
+        start_left: u32,
+        flaps: u64,
+        mean_up: f64,
+        up_len: u64,
+        n: u64,
+    ) -> Option<Self> {
+        if window == 0
+            || !(threshold.is_finite() && threshold > 0.0)
+            || ring.len() != window
+            || pos as usize >= window
+            || len as usize > window
+        {
+            return None;
+        }
+        Some(Self {
+            ring,
+            cap: window,
+            pos: pos as usize,
+            len: len as usize,
+            sum,
+            sumsq,
+            threshold,
+            two_phase,
+            start_left,
+            flaps,
+            mean_up,
+            up_len,
+            n,
+        })
+    }
+}
+
+impl Predictor for PhiAccrual {
+    fn observe(&mut self, delay_ms: f64) {
+        self.observe_gap(delay_ms, 0);
+    }
+    fn observe_gap(&mut self, delay_ms: f64, gap: u64) {
+        let d = sanitize_delay(delay_ms);
+        if self.two_phase && gap >= PHI_FLAP_GAP_MIN && self.n > 0 {
+            // Flap: fold the finished uptime into the history, cold-restart
+            // the window (the pre-crash distribution is stale) and serve a
+            // Weibull-gated start phase.
+            self.flaps += 1;
+            self.mean_up += (self.up_len as f64 - self.mean_up) / self.flaps as f64;
+            self.up_len = 0;
+            self.len = 0;
+            self.pos = 0;
+            self.sum = 0.0;
+            self.sumsq = 0.0;
+            self.start_left = self.start_len();
+        }
+        if self.len == self.cap {
+            let old = self.ring[self.pos];
+            self.sum -= old;
+            self.sumsq -= old * old;
+        } else {
+            self.len += 1;
+        }
+        self.ring[self.pos] = d;
+        self.sum += d;
+        self.sumsq += d * d;
+        self.pos = (self.pos + 1) % self.cap;
+        if self.start_left > 0 {
+            self.start_left -= 1;
+        }
+        self.up_len += 1;
+        self.n += 1;
+    }
+    fn predict(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        let mu = self.sum / self.len as f64;
+        let sigma = if self.len < 2 {
+            0.0
+        } else {
+            let var = (self.sumsq - self.sum * self.sum / self.len as f64) / (self.len - 1) as f64;
+            var.max(0.0).sqrt()
+        };
+        // Start phase: dispersion floored at μ (CV ≥ 1 prior), so a window
+        // cold-restarted after a flap does not collapse to t_φ ≈ μ.
+        let spread = if self.start_left > 0 {
+            sigma.max(mu)
+        } else {
+            sigma
+        };
+        mu + self.threshold * std::f64::consts::LN_10 * spread
+    }
+    fn name(&self) -> String {
+        if self.two_phase {
+            format!("PHI({},{})", self.cap, self.threshold)
+        } else {
+            format!("PHI-S({},{})", self.cap, self.threshold)
+        }
+    }
+    fn observations(&self) -> u64 {
+        self.n
+    }
+}
+
+/// `ADWIN(N,K)`: adaptive μ+Kσ timeout over a ring of the last `N` delays
+/// (SNIPPETS.md snippets 1–2): forecast `μ + K·σ` of the window.
+///
+/// **Defined degenerate behavior** (the NaN/∞ audit): with a single sample
+/// the forecast is that sample (`σ` undefined ⇒ treated as 0); an empty
+/// window forecasts 0.0 like every other predictor; negative variance from
+/// float cancellation clamps to 0. Inputs are sanitized through
+/// [`sanitize_delay`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveWindow {
+    ring: Vec<f64>,
+    cap: usize,
+    k: f64,
+    sum: f64,
+    sumsq: f64,
+    n: u64,
+}
+
+impl AdaptiveWindow {
+    /// Creates the predictor with window size `window` and deviation
+    /// multiplier `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `k` is not finite-nonnegative.
+    pub fn new(window: usize, k: f64) -> Self {
+        assert!(window > 0, "adaptive window must be positive");
+        assert!(k.is_finite() && k >= 0.0, "adaptive K out of range: {k}");
+        Self {
+            ring: vec![0.0; window],
+            cap: window,
+            k,
+            sum: 0.0,
+            sumsq: 0.0,
+            n: 0,
+        }
+    }
+
+    /// The configured window size.
+    pub fn window(&self) -> usize {
+        self.cap
+    }
+
+    /// The deviation multiplier K.
+    pub fn k(&self) -> f64 {
+        self.k
+    }
+
+    /// The full state `(ring, sum, sumsq, n)` for checkpoint/restore;
+    /// configuration travels as part of the predictor kind.
+    pub fn raw_parts(&self) -> (Vec<f64>, f64, f64, u64) {
+        (self.ring.clone(), self.sum, self.sumsq, self.n)
+    }
+
+    /// Rebuilds the predictor from [`AdaptiveWindow::raw_parts`] output
+    /// plus its configuration, or `None` for unreachable state.
+    pub fn from_raw_parts(
+        window: usize,
+        k: f64,
+        ring: Vec<f64>,
+        sum: f64,
+        sumsq: f64,
+        n: u64,
+    ) -> Option<Self> {
+        if window == 0 || !(k.is_finite() && k >= 0.0) || ring.len() != window {
+            return None;
+        }
+        Some(Self {
+            ring,
+            cap: window,
+            k,
+            sum,
+            sumsq,
+            n,
+        })
+    }
+}
+
+impl Predictor for AdaptiveWindow {
+    fn observe(&mut self, delay_ms: f64) {
+        let d = sanitize_delay(delay_ms);
+        let idx = (self.n % self.cap as u64) as usize;
+        if self.n >= self.cap as u64 {
+            let old = self.ring[idx];
+            self.sum -= old;
+            self.sumsq -= old * old;
+        }
+        self.ring[idx] = d;
+        self.sum += d;
+        self.sumsq += d * d;
+        self.n += 1;
+    }
+    fn predict(&self) -> f64 {
+        let len = self.n.min(self.cap as u64) as usize;
+        if len == 0 {
+            return 0.0;
+        }
+        let mu = self.sum / len as f64;
+        if len < 2 {
+            return mu; // single sample: σ undefined, documented as 0
+        }
+        let var = (self.sumsq - self.sum * self.sum / len as f64) / (len - 1) as f64;
+        mu + self.k * var.max(0.0).sqrt()
+    }
+    fn name(&self) -> String {
+        format!("ADWIN({},{})", self.cap, self.k)
+    }
+    fn observations(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Weight magnitude ceiling of the online model: a single hostile update
+/// cannot launch the weights to ±∞.
+const ML_W_CLAMP: f64 = 1.0e4;
+
+/// Forecast ceiling of the online model, matching the sanitized input
+/// ceiling [`MAX_DELAY_MS`].
+pub(crate) const ML_PRED_CLAMP: f64 = MAX_DELAY_MS;
+
+/// Regularizer of the normalized update denominator.
+const ML_EPS: f64 = 1.0e-6;
+
+/// Predicts the next delay from the model weights and the lag ring.
+/// `hist[(n-1-j) % lags]` is the j-th most recent delay. Shared verbatim by
+/// the scalar predictor and the `SourceBank` column arenas, so the two
+/// paths are bit-identical by construction.
+pub(crate) fn ml_raw_predict(w: &[f64], hist: &[f64], lags: usize, n: u64) -> f64 {
+    let mut y = w[lags]; // bias term
+    for (j, wj) in w.iter().enumerate().take(lags) {
+        let idx = ((n - 1 - j as u64) % lags as u64) as usize;
+        y += wj * hist[idx];
+    }
+    y
+}
+
+/// One normalized-LMS update step followed by the ring push; the shared
+/// core of [`MlPredictor::observe`] and the `SourceBank` ML column.
+pub(crate) fn ml_observe_core(w: &mut [f64], hist: &mut [f64], lags: usize, n: u64, d: f64) {
+    if n >= lags as u64 {
+        let yhat = ml_raw_predict(w, hist, lags, n);
+        let err = d - yhat;
+        let mut norm = 1.0 + ML_EPS;
+        for j in 0..lags {
+            let idx = ((n - 1 - j as u64) % lags as u64) as usize;
+            norm += hist[idx] * hist[idx];
+        }
+        let g = (w[lags + 1] * err) / norm;
+        for (j, wj) in w.iter_mut().enumerate().take(lags) {
+            let idx = ((n - 1 - j as u64) % lags as u64) as usize;
+            *wj += g * hist[idx];
+        }
+        w[lags] += g;
+        for wj in w.iter_mut().take(lags + 1) {
+            // Total under hostile floats: clamp magnitudes, reset NaN.
+            *wj = if wj.is_finite() {
+                wj.clamp(-ML_W_CLAMP, ML_W_CLAMP)
+            } else {
+                0.0
+            };
+        }
+    }
+    hist[(n % lags as u64) as usize] = d;
+}
+
+/// `ML(p,r)`: a tiny online-trained model — normalized LMS over the last
+/// `p` delays plus a bias, learning rate `r` (the Li & Marin direction,
+/// with no new dependencies).
+///
+/// Until `p` delays exist the forecast falls back to `LAST`; afterwards it
+/// is the clamped linear model output. **Defined degenerate behavior**
+/// (the NaN/∞ audit): inputs are sanitized through [`sanitize_delay`],
+/// weights are magnitude-clamped per update and any non-finite weight is
+/// reset to 0, so the model state and forecast stay finite under hostile
+/// float sequences.
+///
+/// The weight vector layout is `[w_0 … w_{p-1}, bias, rate]` — the rate
+/// rides in the arena so the column path shares one buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlPredictor {
+    lags: usize,
+    w: Vec<f64>,
+    hist: Vec<f64>,
+    n: u64,
+}
+
+impl MlPredictor {
+    /// Creates the model with `lags` autoregressive inputs and the given
+    /// learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lags` is zero or `rate` is not in `(0, 2]`.
+    pub fn new(lags: usize, rate: f64) -> Self {
+        assert!(lags > 0, "ml lags must be positive");
+        assert!(
+            rate.is_finite() && rate > 0.0 && rate <= 2.0,
+            "ml rate out of (0, 2]: {rate}"
+        );
+        let mut w = vec![0.0; lags + 2];
+        w[lags + 1] = rate;
+        Self {
+            lags,
+            w,
+            hist: vec![0.0; lags],
+            n: 0,
+        }
+    }
+
+    /// The number of autoregressive inputs.
+    pub fn lags(&self) -> usize {
+        self.lags
+    }
+
+    /// The learning rate.
+    pub fn rate(&self) -> f64 {
+        self.w[self.lags + 1]
+    }
+
+    /// The full state `(weights incl. bias and rate, lag ring, n)` for
+    /// checkpoint/restore.
+    pub fn raw_parts(&self) -> (Vec<f64>, Vec<f64>, u64) {
+        (self.w.clone(), self.hist.clone(), self.n)
+    }
+
+    /// Rebuilds the model from [`MlPredictor::raw_parts`] output plus its
+    /// configuration, or `None` for unreachable state.
+    pub fn from_raw_parts(
+        lags: usize,
+        rate: f64,
+        w: Vec<f64>,
+        hist: Vec<f64>,
+        n: u64,
+    ) -> Option<Self> {
+        if lags == 0
+            || !(rate.is_finite() && rate > 0.0 && rate <= 2.0)
+            || w.len() != lags + 2
+            || hist.len() != lags
+            || w[lags + 1] != rate
+        {
+            return None;
+        }
+        Some(Self { lags, w, hist, n })
+    }
+}
+
+impl Predictor for MlPredictor {
+    fn observe(&mut self, delay_ms: f64) {
+        let d = sanitize_delay(delay_ms);
+        ml_observe_core(&mut self.w, &mut self.hist, self.lags, self.n, d);
+        self.n += 1;
+    }
+    fn predict(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        if self.n < self.lags as u64 {
+            // LAST fallback while the lag ring fills.
+            return self.hist[((self.n - 1) % self.lags as u64) as usize];
+        }
+        ml_raw_predict(&self.w, &self.hist, self.lags, self.n).clamp(0.0, ML_PRED_CLAMP)
+    }
+    fn name(&self) -> String {
+        format!("ML({},{})", self.lags, self.rate())
+    }
+    fn observations(&self) -> u64 {
+        self.n
+    }
+}
+
 /// Runs a predictor over a delay series, returning the one-step forecasts:
 /// `out[t]` is the prediction of `series[t]` made before observing it.
 ///
@@ -497,6 +1060,195 @@ mod tests {
         let series = [1.0, 2.0, 3.0];
         let preds = one_step_predictions(&mut p, &series);
         assert_eq!(preds, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn phi_zero_variance_window_predicts_mu_exactly() {
+        let mut p = PhiAccrual::new(8, 1.0, true);
+        assert_eq!(p.predict(), 0.0);
+        p.observe(200.0);
+        // One sample: σ treated as 0, t_φ = μ — defined, not NaN.
+        assert_eq!(p.predict(), 200.0);
+        for _ in 0..20 {
+            p.observe(200.0);
+        }
+        // Identical samples: σ = 0, still exactly μ.
+        assert_eq!(p.predict(), 200.0);
+        assert_eq!(p.name(), "PHI(8,1)");
+    }
+
+    #[test]
+    fn phi_timeout_grows_with_dispersion_and_threshold() {
+        let feed = |thr: f64| {
+            let mut p = PhiAccrual::new(8, thr, true);
+            for x in [100.0, 300.0, 100.0, 300.0, 100.0, 300.0] {
+                p.observe(x);
+            }
+            p.predict()
+        };
+        let lo = feed(1.0);
+        let hi = feed(2.0);
+        assert!(lo > 200.0, "dispersion must push t_φ above μ: {lo}");
+        assert!(hi > lo, "higher φ* must mean a longer timeout");
+    }
+
+    #[test]
+    fn phi_flap_cold_restarts_window_and_serves_start_phase() {
+        let mut p = PhiAccrual::new(16, 1.0, true);
+        for _ in 0..16 {
+            p.observe(100.0);
+        }
+        assert_eq!(p.flaps(), 0);
+        assert_eq!(p.start_left(), 0);
+        // The source comes back after a 10-heartbeat silence: flap.
+        p.observe_gap(150.0, 10);
+        assert_eq!(p.flaps(), 1);
+        assert!(p.start_left() > 0, "start phase must be armed");
+        // Window was cold-restarted: forecast reflects only the new sample,
+        // with the start-phase σ-floor on top (σ := μ while starting).
+        let mu = 150.0;
+        let floored = mu + 1.0 * std::f64::consts::LN_10 * mu;
+        assert!((p.predict() - floored).abs() < 1e-9, "got {}", p.predict());
+        // The stable-only variant never flaps.
+        let mut s = PhiAccrual::new(16, 1.0, false);
+        for _ in 0..16 {
+            s.observe(100.0);
+        }
+        s.observe_gap(150.0, 10);
+        assert_eq!(s.flaps(), 0);
+        assert_eq!(s.name(), "PHI-S(16,1)");
+    }
+
+    #[test]
+    fn phi_weibull_gate_serves_flappy_sources_longer() {
+        // A chronically flapping source (short uptimes) must be gated
+        // longer than a source with long stable uptimes.
+        let start_after = |up: u64| {
+            let mut p = PhiAccrual::new(16, 1.0, true);
+            // Two full up/down cycles establish the uptime history.
+            for _ in 0..2 {
+                for _ in 0..up {
+                    p.observe(100.0);
+                }
+                p.observe_gap(100.0, 10);
+            }
+            p.start_left()
+        };
+        let flappy = start_after(2);
+        let stable = start_after(64);
+        assert!(
+            flappy > stable,
+            "flappy gate {flappy} must exceed stable gate {stable}"
+        );
+    }
+
+    #[test]
+    fn adaptive_window_mu_plus_k_sigma() {
+        let mut p = AdaptiveWindow::new(4, 2.0);
+        assert_eq!(p.predict(), 0.0);
+        p.observe(100.0);
+        // Single sample: documented behavior is μ (σ treated as 0).
+        assert_eq!(p.predict(), 100.0);
+        p.observe(200.0);
+        // μ = 150, sample σ = √((100-150)² + (200-150)²) / √1 = 70.71…
+        let sigma = 5000.0f64.sqrt();
+        assert!((p.predict() - (150.0 + 2.0 * sigma)).abs() < 1e-9);
+        // Eviction: push two more, then two that displace the first pair.
+        for x in [200.0, 100.0, 200.0, 100.0] {
+            p.observe(x);
+        }
+        assert!((p.predict() - (150.0 + 2.0 * (10000.0f64 / 3.0).sqrt())).abs() < 1e-9);
+        assert_eq!(p.name(), "ADWIN(4,2)");
+        assert_eq!(p.observations(), 6);
+    }
+
+    #[test]
+    fn ml_last_fallback_then_learns_constant_series() {
+        let mut p = MlPredictor::new(4, 0.5);
+        assert_eq!(p.predict(), 0.0);
+        p.observe(120.0);
+        assert_eq!(p.predict(), 120.0, "LAST fallback while the ring fills");
+        for _ in 0..400 {
+            p.observe(100.0);
+        }
+        let err = (p.predict() - 100.0).abs();
+        assert!(err < 5.0, "NLMS must converge on a constant series: {err}");
+        assert_eq!(p.name(), "ML(4,0.5)");
+    }
+
+    #[test]
+    fn new_predictors_survive_hostile_floats() {
+        let hostile = [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MAX,
+            -f64::MAX,
+            f64::MIN_POSITIVE,
+            -0.0,
+            1.0e308,
+            -1.0e308,
+            4.9e-324,
+        ];
+        let mut preds: Vec<Box<dyn Predictor>> = vec![
+            Box::new(PhiAccrual::new(4, 1.0, true)),
+            Box::new(PhiAccrual::new(4, 1.0, false)),
+            Box::new(AdaptiveWindow::new(4, 2.0)),
+            Box::new(MlPredictor::new(3, 0.5)),
+        ];
+        for p in &mut preds {
+            for (i, &x) in hostile.iter().cycle().take(64).enumerate() {
+                p.observe_gap(x, (i % 7) as u64);
+                let y = p.predict();
+                assert!(y.is_finite(), "{} poisoned: {y}", p.name());
+                assert!(y >= 0.0, "{} forecast negative: {y}", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn new_predictor_raw_parts_round_trip() {
+        let mut phi = PhiAccrual::new(6, 1.5, true);
+        let mut adw = AdaptiveWindow::new(5, 1.0);
+        let mut ml = MlPredictor::new(3, 0.25);
+        for i in 0..23u64 {
+            let d = 100.0 + (i * 37 % 90) as f64;
+            let gap = if i == 11 { 5 } else { 0 };
+            phi.observe_gap(d, gap);
+            adw.observe_gap(d, gap);
+            ml.observe_gap(d, gap);
+        }
+        let (ring, pos, len, sum, sumsq, sl, fl, mu, ul, n) = phi.raw_parts();
+        let phi2 =
+            PhiAccrual::from_raw_parts(6, 1.5, true, ring, pos, len, sum, sumsq, sl, fl, mu, ul, n)
+                .expect("phi state is reachable");
+        assert_eq!(phi, phi2);
+        let (ring, sum, sumsq, n) = adw.raw_parts();
+        let adw2 = AdaptiveWindow::from_raw_parts(5, 1.0, ring, sum, sumsq, n)
+            .expect("adw state is reachable");
+        assert_eq!(adw, adw2);
+        let (w, hist, n) = ml.raw_parts();
+        let ml2 = MlPredictor::from_raw_parts(3, 0.25, w, hist, n).expect("ml state is reachable");
+        assert_eq!(ml, ml2);
+        // Shape violations are rejected, not accepted silently.
+        assert!(PhiAccrual::from_raw_parts(
+            6,
+            1.5,
+            true,
+            vec![0.0; 5],
+            0,
+            0,
+            0.0,
+            0.0,
+            0,
+            0,
+            0.0,
+            0,
+            0
+        )
+        .is_none());
+        assert!(AdaptiveWindow::from_raw_parts(5, 1.0, vec![0.0; 4], 0.0, 0.0, 0).is_none());
+        assert!(MlPredictor::from_raw_parts(3, 0.25, vec![0.0; 2], vec![0.0; 3], 0).is_none());
     }
 
     #[test]

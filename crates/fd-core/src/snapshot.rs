@@ -91,6 +91,29 @@ pub(crate) enum PredictorSnapshot {
         n: u64,
     },
     Arima(ArimaSnapshot),
+    Phi {
+        ring: Vec<f64>,
+        pos: u32,
+        len: u32,
+        sum: f64,
+        sumsq: f64,
+        start_left: u32,
+        flaps: u64,
+        mean_up: f64,
+        up_len: u64,
+        n: u64,
+    },
+    Adw {
+        ring: Vec<f64>,
+        sum: f64,
+        sumsq: f64,
+        n: u64,
+    },
+    Ml {
+        w: Vec<f64>,
+        hist: Vec<f64>,
+        n: u64,
+    },
 }
 
 /// A complete, restorable image of a
@@ -118,13 +141,20 @@ pub struct BankSnapshot {
 }
 
 const MAGIC: &[u8; 4] = b"FDBK";
-const VERSION: u8 = 1;
+/// Version 2 added the new-family predictor tags (φ-accrual, adaptive
+/// window, ML). The body layout of version 1 is unchanged — its tags 0–4
+/// decode exactly as before — so v1 bytes restore bit-identically.
+const VERSION: u8 = 2;
+const OLDEST_READABLE_VERSION: u8 = 1;
 
 const TAG_LAST: u8 = 0;
 const TAG_MEAN: u8 = 1;
 const TAG_WINMEAN: u8 = 2;
 const TAG_LPF: u8 = 3;
 const TAG_ARIMA: u8 = 4;
+const TAG_PHI: u8 = 5;
+const TAG_ADW: u8 = 6;
+const TAG_ML: u8 = 7;
 
 impl BankSnapshot {
     /// Heartbeats the snapshotted bank had observed (fresh + stale).
@@ -179,6 +209,52 @@ impl BankSnapshot {
                     w.u8(TAG_ARIMA);
                     write_arima(&mut w, a);
                 }
+                PredictorSnapshot::Phi {
+                    ring,
+                    pos,
+                    len,
+                    sum,
+                    sumsq,
+                    start_left,
+                    flaps,
+                    mean_up,
+                    up_len,
+                    n,
+                } => {
+                    w.u8(TAG_PHI);
+                    w.vec_f64(ring);
+                    w.u32(*pos);
+                    w.u32(*len);
+                    w.f64(*sum);
+                    w.f64(*sumsq);
+                    w.u32(*start_left);
+                    w.u64(*flaps);
+                    w.f64(*mean_up);
+                    w.u64(*up_len);
+                    w.u64(*n);
+                }
+                PredictorSnapshot::Adw {
+                    ring,
+                    sum,
+                    sumsq,
+                    n,
+                } => {
+                    w.u8(TAG_ADW);
+                    w.vec_f64(ring);
+                    w.f64(*sum);
+                    w.f64(*sumsq);
+                    w.u64(*n);
+                }
+                PredictorSnapshot::Ml {
+                    w: weights,
+                    hist,
+                    n,
+                } => {
+                    w.u8(TAG_ML);
+                    w.vec_f64(weights);
+                    w.vec_f64(hist);
+                    w.u64(*n);
+                }
             }
         }
         let (n, mean, m2, min, max) = self.ci.0.raw_parts();
@@ -231,7 +307,7 @@ impl BankSnapshot {
             return Err(SnapshotError::BadMagic);
         }
         let version = r.u8()?;
-        if version != VERSION {
+        if !(OLDEST_READABLE_VERSION..=VERSION).contains(&version) {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
         let eta_us = r.u64()?;
@@ -261,6 +337,41 @@ impl BankSnapshot {
                     n: r.u64()?,
                 },
                 TAG_ARIMA => PredictorSnapshot::Arima(read_arima(&mut r)?),
+                TAG_PHI => {
+                    let ring = r.vec_f64()?;
+                    let pos = r.u32()?;
+                    let len = r.u32()?;
+                    let sum = r.f64()?;
+                    let sumsq = r.f64()?;
+                    let start_left = r.u32()?;
+                    let flaps = r.u64()?;
+                    let mean_up = r.f64()?;
+                    let up_len = r.u64()?;
+                    let n = r.u64()?;
+                    PredictorSnapshot::Phi {
+                        ring,
+                        pos,
+                        len,
+                        sum,
+                        sumsq,
+                        start_left,
+                        flaps,
+                        mean_up,
+                        up_len,
+                        n,
+                    }
+                }
+                TAG_ADW => PredictorSnapshot::Adw {
+                    ring: r.vec_f64()?,
+                    sum: r.f64()?,
+                    sumsq: r.f64()?,
+                    n: r.u64()?,
+                },
+                TAG_ML => PredictorSnapshot::Ml {
+                    w: r.vec_f64()?,
+                    hist: r.vec_f64()?,
+                    n: r.u64()?,
+                },
                 t => return Err(SnapshotError::BadTag(t)),
             });
         }
@@ -579,10 +690,7 @@ mod tests {
         for cut in 0..bytes.len() {
             let err = BankSnapshot::from_bytes(&bytes[..cut]).unwrap_err();
             assert!(
-                matches!(
-                    err,
-                    SnapshotError::Truncated | SnapshotError::BadMagic
-                ),
+                matches!(err, SnapshotError::Truncated | SnapshotError::BadMagic),
                 "cut={cut}: {err:?}"
             );
         }
@@ -619,6 +727,51 @@ mod tests {
             BankSnapshot::from_bytes(&bytes).unwrap_err(),
             SnapshotError::UnsupportedVersion(99)
         );
+    }
+
+    #[test]
+    fn version1_bytes_still_decode_bit_identically() {
+        // A paper-grid bank uses only tags 0–4, whose encoding is unchanged
+        // since version 1 — rewriting the version byte reconstructs the
+        // exact image a v1 encoder produced.
+        let snap = sample_bank().snapshot();
+        let mut v1 = snap.to_bytes();
+        assert_eq!(v1[4], 2, "current version is 2");
+        v1[4] = 1;
+        let back = BankSnapshot::from_bytes(&v1).expect("v1 bytes must decode");
+        assert_eq!(back, snap, "v1 decode must be bit-identical to v2");
+        let mut bank = DetectorBank::new(&all_combinations(), SimDuration::from_secs(1));
+        bank.restore(&back).expect("v1 image must restore");
+        assert_eq!(bank.snapshot().to_bytes()[5..], v1[5..]);
+    }
+
+    #[test]
+    fn extended_grid_snapshot_round_trips() {
+        let eta = SimDuration::from_secs(1);
+        let mut bank = DetectorBank::new(&crate::combinations::extended_combinations(), eta);
+        for seq in 0..40u64 {
+            // A gap at seq 20 arms the φ lifecycle so non-trivial state
+            // crosses the wire.
+            if (20..25).contains(&seq) {
+                continue;
+            }
+            let delay = 180 + (seq * 53) % 90;
+            let at = SimTime::ZERO + eta * seq + SimDuration::from_millis(delay);
+            bank.observe_heartbeat(seq, at);
+        }
+        let snap = bank.snapshot();
+        let bytes = snap.to_bytes();
+        let back = BankSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(snap, back);
+        let mut restored = DetectorBank::new(&crate::combinations::extended_combinations(), eta);
+        restored
+            .restore(&back)
+            .expect("extended image must restore");
+        assert_eq!(restored.snapshot().to_bytes(), bytes);
+        // Malformed new-version bytes are rejected totally, not panicking.
+        for cut in 0..bytes.len() {
+            let _ = BankSnapshot::from_bytes(&bytes[..cut]);
+        }
     }
 
     #[test]

@@ -51,7 +51,10 @@ use fd_stat::EventSink;
 
 use crate::combinations::{Combination, MarginKind, PredictorKind};
 use crate::detector::FdTransition;
-use crate::predictor::{ArimaPredictor, Predictor};
+use crate::predictor::{
+    ml_observe_core, ml_raw_predict, sanitize_delay, AdaptiveWindow, ArimaPredictor, MlPredictor,
+    PhiAccrual, Predictor, ML_PRED_CLAMP,
+};
 
 /// `highest_seq` sentinel for "no fresh heartbeat seen yet". Stored
 /// sequence numbers are asserted below it; a sequence that far along would
@@ -147,6 +150,33 @@ enum PredCol {
     Lpf { beta: f64, pred: Vec<f64> },
     /// `ARIMA`: the full streaming forecaster per source.
     Arima(Vec<ArimaPredictor>),
+    /// `PHI`: the full φ-accrual lifecycle per source. The stable/start
+    /// state machine (flap counters, Weibull gate, cold-restarted window)
+    /// does not columnize any better than ARIMA's model state, so this is
+    /// the same vec-of-scalar shape — and bit-identical by construction.
+    Phi(Vec<PhiAccrual>),
+    /// `ADWIN(cap, k)`: ring arena (`ring[s * cap..][..cap]`, written at
+    /// `n % cap`) plus running sum and sum-of-squares columns; the shared
+    /// observation count supplies `n` exactly as for `WINMEAN`.
+    Adw {
+        cap: usize,
+        k: f64,
+        sum: Vec<f64>,
+        sumsq: Vec<f64>,
+        ring: Vec<f64>,
+    },
+    /// `ML(lags, rate)`: normalized-LMS weight arena
+    /// (`w[s * (lags + 2)..][..lags + 2]`, the per-source
+    /// `[w_0 … w_{lags-1}, bias, rate]` layout of the scalar model) and
+    /// lag-ring arena (`hist[s * lags..][..lags]`). Both paths call the
+    /// same `ml_raw_predict`/`ml_observe_core`, so they are bit-identical
+    /// by construction.
+    Ml {
+        lags: usize,
+        rate: f64,
+        w: Vec<f64>,
+        hist: Vec<f64>,
+    },
 }
 
 impl PredCol {
@@ -179,9 +209,45 @@ impl PredCol {
                 q,
                 refit_every,
             } => PredCol::Arima(vec![
-                ArimaPredictor::new(ArimaSpec::new(p, d, q), refit_every);
+                ArimaPredictor::new(
+                    ArimaSpec::new(p, d, q),
+                    refit_every
+                );
                 n_sources
             ]),
+            PredictorKind::PhiAccrual {
+                window,
+                threshold,
+                two_phase,
+            } => PredCol::Phi(vec![
+                PhiAccrual::new(window, threshold, two_phase);
+                n_sources
+            ]),
+            PredictorKind::AdaptiveWindow { window, k } => {
+                // Mirror the scalar constructor's validation.
+                let probe = AdaptiveWindow::new(window, k);
+                PredCol::Adw {
+                    cap: probe.window(),
+                    k: probe.k(),
+                    sum: vec![0.0; n_sources],
+                    sumsq: vec![0.0; n_sources],
+                    ring: vec![0.0; n_sources * window],
+                }
+            }
+            PredictorKind::MlPredictor { lags, rate } => {
+                let probe = MlPredictor::new(lags, rate);
+                let stride = lags + 2;
+                let mut w = vec![0.0; n_sources * stride];
+                for s in 0..n_sources {
+                    w[s * stride + lags + 1] = rate;
+                }
+                PredCol::Ml {
+                    lags: probe.lags(),
+                    rate: probe.rate(),
+                    w,
+                    hist: vec![0.0; n_sources * lags],
+                }
+            }
         }
     }
 
@@ -202,13 +268,42 @@ impl PredCol {
             }
             PredCol::Lpf { pred, .. } => pred[s],
             PredCol::Arima(col) => col[s].predict(),
+            PredCol::Phi(col) => col[s].predict(),
+            PredCol::Adw {
+                cap, k, sum, sumsq, ..
+            } => {
+                let len = (n_obs as usize).min(*cap);
+                if len == 0 {
+                    return 0.0;
+                }
+                let mu = sum[s] / len as f64;
+                if len < 2 {
+                    return mu; // single sample: σ undefined, treated as 0
+                }
+                let var = (sumsq[s] - sum[s] * sum[s] / len as f64) / (len - 1) as f64;
+                mu + *k * var.max(0.0).sqrt()
+            }
+            PredCol::Ml { lags, w, hist, .. } => {
+                let n = u64::from(n_obs);
+                if n == 0 {
+                    return 0.0;
+                }
+                let hist_s = &hist[s * *lags..][..*lags];
+                if n < *lags as u64 {
+                    // LAST fallback while the lag ring fills.
+                    return hist_s[((n - 1) % *lags as u64) as usize];
+                }
+                let w_s = &w[s * (*lags + 2)..][..*lags + 2];
+                ml_raw_predict(w_s, hist_s, *lags, n).clamp(0.0, ML_PRED_CLAMP)
+            }
         }
     }
 
     /// Consumes one delay observation for source `s`, its `n_before`-th
-    /// (0-based). Same operations in the same order as the scalar
-    /// predictors.
-    fn observe(&mut self, s: usize, delay_ms: f64, n_before: u32) {
+    /// (0-based), carrying the heartbeat's sequence `gap` (missing
+    /// heartbeats before it; only the φ lifecycle reads it). Same
+    /// operations in the same order as the scalar predictors.
+    fn observe(&mut self, s: usize, delay_ms: f64, n_before: u32, gap: u64) {
         match self {
             PredCol::Last { last } => last[s] = delay_ms,
             PredCol::Mean { mean } => {
@@ -232,6 +327,31 @@ impl PredCol {
                 }
             }
             PredCol::Arima(col) => col[s].observe(delay_ms),
+            PredCol::Phi(col) => col[s].observe_gap(delay_ms, gap),
+            PredCol::Adw {
+                cap,
+                sum,
+                sumsq,
+                ring,
+                ..
+            } => {
+                let d = sanitize_delay(delay_ms);
+                let idx = s * *cap + n_before as usize % *cap;
+                if n_before as usize >= *cap {
+                    let old = ring[idx];
+                    sum[s] -= old;
+                    sumsq[s] -= old * old;
+                }
+                ring[idx] = d;
+                sum[s] += d;
+                sumsq[s] += d * d;
+            }
+            PredCol::Ml { lags, w, hist, .. } => {
+                let d = sanitize_delay(delay_ms);
+                let w_s = &mut w[s * (*lags + 2)..][..*lags + 2];
+                let hist_s = &mut hist[s * *lags..][..*lags];
+                ml_observe_core(w_s, hist_s, *lags, u64::from(n_before), d);
+            }
         }
     }
 }
@@ -383,6 +503,12 @@ pub struct SourceBank {
     blk_fresh: Vec<bool>,
     /// Block scratch: `EndSuspect` edges as (block slot, combo) pairs.
     blk_edges: Vec<(u32, u32)>,
+    /// Impact-FD plane: per-source impact weights (`None` = every source
+    /// weighs 1). Sanitized at [`set_impact_weights`](Self::set_impact_weights).
+    impact_weights: Option<Vec<f64>>,
+    /// Cached Σ of the impact weights (`n_sources` when unweighted), the
+    /// ceiling of [`impact_trust`](Self::impact_trust).
+    impact_total: f64,
 }
 
 impl SourceBank {
@@ -429,10 +555,7 @@ impl SourceBank {
                 }
             }
         }
-        let cols: Vec<PredCol> = kinds
-            .iter()
-            .map(|&k| PredCol::new(k, n_sources))
-            .collect();
+        let cols: Vec<PredCol> = kinds.iter().map(|&k| PredCol::new(k, n_sources)).collect();
         let words = n_sources.div_ceil(64);
         Self {
             eta,
@@ -457,6 +580,8 @@ impl SourceBank {
             blk_dl: vec![0; OBS_BLOCK * combos.len()],
             blk_fresh: vec![false; OBS_BLOCK],
             blk_edges: Vec::new(),
+            impact_weights: None,
+            impact_total: n_sources as f64,
             combos: combos.to_vec(),
         }
     }
@@ -551,6 +676,87 @@ impl SourceBank {
     /// publication; every suspicion mutation from then on re-marks its word.
     pub fn clear_dirty(&mut self) {
         self.dirty.fill(0);
+    }
+
+    // -----------------------------------------------------------------
+    // Impact-FD plane: weighted trust over the suspicion bitmaps.
+    // -----------------------------------------------------------------
+
+    /// Assigns each source an impact weight for the Impact-FD plane
+    /// (Rossetto et al.'s flexible failure detector, PAPERS.md): the
+    /// bank's [`impact_trust`](Self::impact_trust) of a combination is
+    /// the summed weight of the sources it does **not** suspect, and an
+    /// application accepts the system state while the trust stays at or
+    /// above its acceptable margin.
+    ///
+    /// Weights are sanitized — a non-finite or negative entry contributes
+    /// 0 — so the trust value is always finite. Without weights every
+    /// source weighs 1 and the trust is simply `sources() − |suspected|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != self.sources()`.
+    pub fn set_impact_weights(&mut self, weights: &[f64]) {
+        assert_eq!(
+            weights.len(),
+            self.n_sources,
+            "impact weights must cover every source"
+        );
+        let w: Vec<f64> = weights
+            .iter()
+            .map(|&x| if x.is_finite() && x >= 0.0 { x } else { 0.0 })
+            .collect();
+        self.impact_total = w.iter().sum();
+        self.impact_weights = Some(w);
+    }
+
+    /// Drops the impact weights, returning to the unweighted plane
+    /// (every source weighs 1).
+    pub fn clear_impact_weights(&mut self) {
+        self.impact_weights = None;
+        self.impact_total = self.n_sources as f64;
+    }
+
+    /// The current per-source impact weights, if set.
+    pub fn impact_weights(&self) -> Option<&[f64]> {
+        self.impact_weights.as_deref()
+    }
+
+    /// The trust ceiling: Σ of the impact weights (`sources()` when
+    /// unweighted).
+    pub fn impact_total(&self) -> f64 {
+        self.impact_total
+    }
+
+    /// The Impact-FD trust value of combination `combo`: the summed
+    /// impact weight of the sources it currently trusts — a weighted
+    /// popcount over the combination's suspicion words, reusing the
+    /// bitmaps the serving plane already publishes.
+    pub fn impact_trust(&self, combo: usize) -> f64 {
+        let words = &self.suspecting[combo * self.words..(combo + 1) * self.words];
+        match &self.impact_weights {
+            None => {
+                let suspected: u32 = words.iter().map(|w| w.count_ones()).sum();
+                self.impact_total - f64::from(suspected)
+            }
+            Some(wts) => {
+                let mut lost = 0.0;
+                for (wi, &word) in words.iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        lost += wts[wi * 64 + bits.trailing_zeros() as usize];
+                        bits &= bits - 1;
+                    }
+                }
+                self.impact_total - lost
+            }
+        }
+    }
+
+    /// `true` while combination `combo`'s trust is at or above the
+    /// application's acceptable margin `threshold`.
+    pub fn impact_accepts(&self, combo: usize, threshold: f64) -> bool {
+        self.impact_trust(combo) >= threshold
     }
 
     /// The earliest pending deadline of `source` over its non-suspecting
@@ -660,12 +866,13 @@ impl SourceBank {
     /// predictor's post-observation forecast in `pred_scratch`. The same
     /// operations in the same order as the per-source bank: error against
     /// the pre-observation forecast, observe, error-core advance,
-    /// forecast refresh.
-    fn advance_source(&mut self, s: usize, delay_ms: f64) {
+    /// forecast refresh. `gap` is the heartbeat's sequence gap (missing
+    /// heartbeats before it), consumed by the φ lifecycle only.
+    fn advance_source(&mut self, s: usize, delay_ms: f64, gap: u64) {
         let n_before = self.ci.n[s];
         for (p, col) in self.cols.iter_mut().enumerate() {
             let err = delay_ms - col.predict(s, n_before);
-            col.observe(s, delay_ms, n_before);
+            col.observe(s, delay_ms, n_before, gap);
             if let Some(base) = self.jac[p].as_mut() {
                 base[s] += JAC_ALPHA * (err.abs() - base[s]);
             }
@@ -701,9 +908,16 @@ impl SourceBank {
                 .checked_duration_since(sigma)
                 .map_or(0.0, |d| d.as_millis_f64());
 
-            self.advance_source(s, delay_ms);
-
+            // Sequence gap against the pre-update freshness bookkeeping,
+            // exactly like `DetectorBank::observe_heartbeat`.
             let hs = self.highest_seq[s];
+            let gap = if hs != SEQ_NONE && obs.seq > u64::from(hs) {
+                obs.seq - u64::from(hs) - 1
+            } else {
+                0
+            };
+            self.advance_source(s, delay_ms, gap);
+
             let fresh = hs == SEQ_NONE || obs.seq > u64::from(hs);
             self.blk_fresh[i] = fresh;
             if !fresh {
@@ -778,9 +992,16 @@ impl SourceBank {
             .checked_duration_since(sigma)
             .map_or(0.0, |d| d.as_millis_f64());
 
-        self.advance_source(s, delay_ms);
-
+        // Sequence gap against the pre-update freshness bookkeeping,
+        // exactly like `DetectorBank::observe_heartbeat`.
         let hs = self.highest_seq[s];
+        let gap = if hs != SEQ_NONE && seq > u64::from(hs) {
+            seq - u64::from(hs) - 1
+        } else {
+            0
+        };
+        self.advance_source(s, delay_ms, gap);
+
         let fresh = hs == SEQ_NONE || seq > u64::from(hs);
         if !fresh {
             self.stale_heartbeats += 1;
@@ -1129,13 +1350,21 @@ impl SourceBank {
 /// Magic of the [`SourceBank`] snapshot format (the many-source sibling of
 /// `FDBK`, the per-source [`BankSnapshot`](crate::snapshot::BankSnapshot)).
 const SB_MAGIC: &[u8; 4] = b"FDSB";
-const SB_VERSION: u8 = 1;
+/// Current format version. v2 = v1 plus the new-family predictor column
+/// tags and a trailing Impact-FD weight section; v1 images (written
+/// before the extended families existed) still restore bit-identically.
+const SB_VERSION: u8 = 2;
+/// Oldest version [`SourceBank::restore_bytes`] still accepts.
+const SB_OLDEST_READABLE_VERSION: u8 = 1;
 
 const SB_TAG_LAST: u8 = 0;
 const SB_TAG_MEAN: u8 = 1;
 const SB_TAG_WINMEAN: u8 = 2;
 const SB_TAG_LPF: u8 = 3;
 const SB_TAG_ARIMA: u8 = 4;
+const SB_TAG_PHI: u8 = 5;
+const SB_TAG_ADW: u8 = 6;
+const SB_TAG_ML: u8 = 7;
 
 use crate::snapshot::{read_arima, write_arima, Reader, SnapshotError, Writer};
 
@@ -1187,6 +1416,50 @@ impl SourceBank {
                         write_arima(&mut w, &p.snapshot());
                     }
                 }
+                PredCol::Phi(col) => {
+                    w.u8(SB_TAG_PHI);
+                    w.u64(col.len() as u64);
+                    for p in col {
+                        let (ring, pos, len, sum, sumsq, start_left, flaps, mean_up, up_len, n) =
+                            p.raw_parts();
+                        w.vec_f64(&ring);
+                        w.u32(pos);
+                        w.u32(len);
+                        w.f64(sum);
+                        w.f64(sumsq);
+                        w.u32(start_left);
+                        w.u64(flaps);
+                        w.f64(mean_up);
+                        w.u64(up_len);
+                        w.u64(n);
+                    }
+                }
+                PredCol::Adw {
+                    cap,
+                    k,
+                    sum,
+                    sumsq,
+                    ring,
+                } => {
+                    w.u8(SB_TAG_ADW);
+                    w.u64(*cap as u64);
+                    w.f64(*k);
+                    w.vec_f64(sum);
+                    w.vec_f64(sumsq);
+                    w.vec_f64(ring);
+                }
+                PredCol::Ml {
+                    lags,
+                    rate,
+                    w: weights,
+                    hist,
+                } => {
+                    w.u8(SB_TAG_ML);
+                    w.u64(*lags as u64);
+                    w.f64(*rate);
+                    w.vec_f64(weights);
+                    w.vec_f64(hist);
+                }
             }
         }
         for jac in &self.jac {
@@ -1219,6 +1492,15 @@ impl SourceBank {
         w.vec_u32(&self.min_deadline);
         w.u64(self.heartbeats);
         w.u64(self.stale_heartbeats);
+        // v2 tail: the Impact-FD weight section. A v1 image is exactly a
+        // v2 image of an old-grid bank with this flag byte removed.
+        match &self.impact_weights {
+            Some(weights) => {
+                w.u8(1);
+                w.vec_f64(weights);
+            }
+            None => w.u8(0),
+        }
         w.buf
     }
 
@@ -1239,7 +1521,7 @@ impl SourceBank {
             return Err(SnapshotError::BadMagic);
         }
         let version = r.u8()?;
-        if version != SB_VERSION {
+        if !(SB_OLDEST_READABLE_VERSION..=SB_VERSION).contains(&version) {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
         if r.u64()? != self.eta.as_micros() {
@@ -1310,7 +1592,110 @@ impl SourceBank {
                     }
                     *col = restored;
                 }
-                (SB_TAG_LAST | SB_TAG_MEAN | SB_TAG_WINMEAN | SB_TAG_LPF | SB_TAG_ARIMA, _) => {
+                (SB_TAG_PHI, PredCol::Phi(col)) => {
+                    if r.len()? != n {
+                        return Err(SnapshotError::Mismatch("phi column length"));
+                    }
+                    let mut restored = Vec::with_capacity(n);
+                    for cur in col.iter() {
+                        let ring = r.vec_f64()?;
+                        let pos = r.u32()?;
+                        let len = r.u32()?;
+                        let sum = r.f64()?;
+                        let sumsq = r.f64()?;
+                        let start_left = r.u32()?;
+                        let flaps = r.u64()?;
+                        let mean_up = r.f64()?;
+                        let up_len = r.u64()?;
+                        let n_obs = r.u64()?;
+                        restored.push(
+                            PhiAccrual::from_raw_parts(
+                                cur.window(),
+                                cur.threshold(),
+                                cur.two_phase(),
+                                ring,
+                                pos,
+                                len,
+                                sum,
+                                sumsq,
+                                start_left,
+                                flaps,
+                                mean_up,
+                                up_len,
+                                n_obs,
+                            )
+                            .ok_or(SnapshotError::Invalid("phi state"))?,
+                        );
+                    }
+                    *col = restored;
+                }
+                (
+                    SB_TAG_ADW,
+                    PredCol::Adw {
+                        cap,
+                        k,
+                        sum,
+                        sumsq,
+                        ring,
+                    },
+                ) => {
+                    if r.len()? != *cap {
+                        return Err(SnapshotError::Mismatch("adaptive window capacity"));
+                    }
+                    if r.f64()?.to_bits() != k.to_bits() {
+                        return Err(SnapshotError::Mismatch("adaptive k"));
+                    }
+                    let sv = r.vec_f64()?;
+                    expect(&sv)?;
+                    let sq = r.vec_f64()?;
+                    expect(&sq)?;
+                    let rg = r.vec_f64()?;
+                    if rg.len() != n * *cap {
+                        return Err(SnapshotError::Mismatch("adaptive ring length"));
+                    }
+                    *sum = sv;
+                    *sumsq = sq;
+                    *ring = rg;
+                }
+                (
+                    SB_TAG_ML,
+                    PredCol::Ml {
+                        lags,
+                        rate,
+                        w: weights,
+                        hist,
+                    },
+                ) => {
+                    if r.len()? != *lags {
+                        return Err(SnapshotError::Mismatch("ml lags"));
+                    }
+                    if r.f64()?.to_bits() != rate.to_bits() {
+                        return Err(SnapshotError::Mismatch("ml rate"));
+                    }
+                    let stride = *lags + 2;
+                    let wv = r.vec_f64()?;
+                    if wv.len() != n * stride {
+                        return Err(SnapshotError::Mismatch("ml weight arena length"));
+                    }
+                    let hv = r.vec_f64()?;
+                    if hv.len() != n * *lags {
+                        return Err(SnapshotError::Mismatch("ml history arena length"));
+                    }
+                    // The per-source rate slot is configuration riding in
+                    // the arena: it must match the bank's.
+                    for s in 0..n {
+                        if wv[s * stride + stride - 1].to_bits() != rate.to_bits() {
+                            return Err(SnapshotError::Invalid("ml state"));
+                        }
+                    }
+                    *weights = wv;
+                    *hist = hv;
+                }
+                (
+                    SB_TAG_LAST | SB_TAG_MEAN | SB_TAG_WINMEAN | SB_TAG_LPF | SB_TAG_ARIMA
+                    | SB_TAG_PHI | SB_TAG_ADW | SB_TAG_ML,
+                    _,
+                ) => {
                     return Err(SnapshotError::Mismatch("predictor kind"));
                 }
                 (t, _) => return Err(SnapshotError::BadTag(t)),
@@ -1363,6 +1748,18 @@ impl SourceBank {
         if suspecting.len() != self.combos.len() * self.words {
             return Err(SnapshotError::Mismatch("suspicion bitmap length"));
         }
+        // Bits past the last source are unreachable by observation; a
+        // corrupt image must not smuggle them in (the Impact-FD weighted
+        // popcount walks every set bit of a combination's row).
+        let tail = n % 64;
+        if tail != 0 && self.words > 0 {
+            let ghost = !((1u64 << tail) - 1);
+            for c in 0..self.combos.len() {
+                if suspecting[(c + 1) * self.words - 1] & ghost != 0 {
+                    return Err(SnapshotError::Invalid("suspicion tail bits"));
+                }
+            }
+        }
         let highest_seq = r.vec_u32()?;
         if highest_seq.len() != n {
             return Err(SnapshotError::Mismatch("freshness length"));
@@ -1373,6 +1770,23 @@ impl SourceBank {
         }
         let heartbeats = r.u64()?;
         let stale_heartbeats = r.u64()?;
+        // v1 images end here; v2 appends the Impact-FD weight section.
+        let impact_weights = if version >= 2 {
+            match r.u8()? {
+                0 => None,
+                1 => {
+                    let v = r.vec_f64()?;
+                    expect(&v)?;
+                    if v.iter().any(|x| !x.is_finite() || *x < 0.0) {
+                        return Err(SnapshotError::Invalid("impact weights"));
+                    }
+                    Some(v)
+                }
+                t => return Err(SnapshotError::BadTag(t)),
+            }
+        } else {
+            None
+        };
         if r.remaining() > 0 {
             return Err(SnapshotError::TrailingBytes(r.remaining()));
         }
@@ -1387,6 +1801,10 @@ impl SourceBank {
         self.min_deadline = min_deadline;
         self.heartbeats = heartbeats;
         self.stale_heartbeats = stale_heartbeats;
+        self.impact_total = impact_weights
+            .as_ref()
+            .map_or(self.n_sources as f64, |w| w.iter().sum());
+        self.impact_weights = impact_weights;
         // Scratch is per-call, not state — but stale transitions from the
         // pre-restore life must not leak into the next report.
         self.transitions.clear();
@@ -1497,7 +1915,10 @@ mod tests {
                         bank.predicted_delay_ms(idx).to_bits(),
                         source_bank.predicted_delay_ms(source, idx).to_bits(),
                     );
-                    assert_eq!(bank.is_suspecting(idx), source_bank.is_suspecting(source, idx));
+                    assert_eq!(
+                        bank.is_suspecting(idx),
+                        source_bank.is_suspecting(source, idx)
+                    );
                 }
             }
         }
@@ -1597,9 +2018,7 @@ mod tests {
 
         let checkpoint = |b: &SourceBank| b.suspect_words().to_vec();
         let verify = |b: &SourceBank, before: &[u64]| {
-            for (w, (&now, &then)) in
-                b.suspect_words().iter().zip(before).enumerate()
-            {
+            for (w, (&now, &then)) in b.suspect_words().iter().zip(before).enumerate() {
                 if now != then {
                     assert!(
                         b.dirty_words()[w / 64] & (1u64 << (w % 64)) != 0,
@@ -2010,5 +2429,261 @@ mod tests {
         let mut ok = SourceBank::paper_grid(eta(), 4);
         ok.restore_bytes(&bytes).expect("clean restore");
         assert_eq!(ok.snapshot_bytes(), bytes);
+    }
+
+    /// The bit-identity claim extended to the new families: over the
+    /// 54-combination extended grid — φ-accrual (both lifecycles),
+    /// adaptive μ+Kσ and the online model — a SourceBank matches N
+    /// private DetectorBanks through a schedule whose silences are long
+    /// enough to trip the φ flap lifecycle.
+    #[test]
+    fn extended_grid_matches_independent_detector_banks() {
+        let combos = crate::combinations::extended_combinations();
+        let n: u32 = 6;
+        let mut source_bank = SourceBank::new(&combos, eta(), n as usize);
+        let mut banks: Vec<DetectorBank> =
+            (0..n).map(|_| DetectorBank::new(&combos, eta())).collect();
+
+        for seq in 0..45u64 {
+            for source in 0..n {
+                // Source 1 flaps twice (gaps of 6 and 5 — both past
+                // PHI_FLAP_GAP_MIN); source 3 flaps once; source 5
+                // replays a stale heartbeat every 9th step (gap 0 path).
+                if source == 1 && ((10..16).contains(&seq) || (28..33).contains(&seq)) {
+                    continue;
+                }
+                if source == 3 && (20..24).contains(&seq) {
+                    continue;
+                }
+                let use_seq = if source == 5 && seq % 9 == 8 {
+                    seq - 1
+                } else {
+                    seq
+                };
+                let at = arrival(seq, delay_for(source, seq));
+                let a = banks[source as usize].check_at(at).to_vec();
+                let b = source_bank.check_source_at(source, at).to_vec();
+                assert_eq!(a.len(), b.len(), "check count s{source} q{seq}");
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.combo as u32, y.combo);
+                    assert_eq!(x.transition, y.transition);
+                }
+                let fresh_a = banks[source as usize].observe_heartbeat(use_seq, at);
+                let ends_a: Vec<usize> = banks[source as usize]
+                    .transitions()
+                    .iter()
+                    .map(|t| t.combo)
+                    .collect();
+                let fresh_b = source_bank.observe_heartbeat(source, use_seq, at);
+                let ends_b: Vec<usize> = source_bank
+                    .transitions()
+                    .iter()
+                    .map(|t| t.combo as usize)
+                    .collect();
+                assert_eq!(fresh_a, fresh_b, "freshness s{source} q{seq}");
+                assert_eq!(ends_a, ends_b, "EndSuspect s{source} q{seq}");
+            }
+            for source in 0..n {
+                let bank = &banks[source as usize];
+                for idx in 0..combos.len() {
+                    assert_eq!(
+                        bank.next_deadline(idx),
+                        source_bank.next_deadline(source, idx),
+                        "deadline s{source} q{seq} c{idx}"
+                    );
+                    assert_eq!(
+                        bank.predicted_delay_ms(idx).to_bits(),
+                        source_bank.predicted_delay_ms(source, idx).to_bits(),
+                        "forecast s{source} q{seq} c{idx}"
+                    );
+                    assert_eq!(
+                        bank.margin_ms(idx).to_bits(),
+                        source_bank.margin_ms(source, idx).to_bits(),
+                        "margin s{source} q{seq} c{idx}"
+                    );
+                    assert_eq!(
+                        bank.is_suspecting(idx),
+                        source_bank.is_suspecting(source, idx)
+                    );
+                }
+            }
+        }
+    }
+
+    /// The blocked batch path carries the gap signal exactly like the
+    /// scalar path: with new-family combos and flap-length silences in
+    /// the schedule, both paths stay bit-identical.
+    #[test]
+    fn blocked_path_threads_the_gap_signal() {
+        let combos = crate::combinations::extended_combinations();
+        let n = 8usize;
+        let mut blocked = SourceBank::new(&combos, eta(), n);
+        let mut scalar = SourceBank::new(&combos, eta(), n);
+        for seq in 0..30u64 {
+            let batch: Vec<HeartbeatObs> = (0..n as u32)
+                .filter(|&s| !(s == 2 && (6..11).contains(&seq)))
+                .filter(|&s| !(s == 7 && (15..21).contains(&seq)))
+                .map(|source| HeartbeatObs {
+                    source,
+                    seq,
+                    arrival: arrival(seq, delay_for(source, seq)),
+                })
+                .collect();
+            let check_at = arrival(seq, 700);
+            assert_eq!(
+                blocked.check_all_at(check_at).to_vec(),
+                scalar.check_all_at(check_at).to_vec()
+            );
+            assert_eq!(
+                blocked.observe_all_blocked(&batch),
+                scalar.observe_all(&batch)
+            );
+            assert_eq!(blocked.transitions(), scalar.transitions());
+        }
+        assert_eq!(blocked.snapshot_bytes(), scalar.snapshot_bytes());
+    }
+
+    /// The Impact-FD plane: trust is the weighted complement of the
+    /// suspicion bitmap, weights are sanitized, and the unweighted
+    /// default counts sources.
+    #[test]
+    fn impact_trust_is_weighted_popcount_complement() {
+        let mut bank = SourceBank::paper_grid(eta(), 5);
+        for s in 0..5u32 {
+            bank.observe_heartbeat(s, 0, arrival(0, 150 + u64::from(s)));
+        }
+        // Unweighted: every source weighs 1.
+        assert_eq!(bank.impact_total(), 5.0);
+        assert_eq!(bank.impact_trust(0), 5.0);
+        assert!(bank.impact_accepts(0, 5.0));
+
+        // Nothing arrives: every pair suspects, trust collapses to 0.
+        bank.check_all_at(SimTime::from_secs(60));
+        assert_eq!(bank.impact_trust(0), 0.0);
+        assert!(!bank.impact_accepts(0, 1.0));
+
+        // Weighted plane; NaN and negative entries contribute 0.
+        bank.set_impact_weights(&[4.0, 1.0, f64::NAN, -3.0, 0.5]);
+        assert_eq!(bank.impact_weights().unwrap(), &[4.0, 1.0, 0.0, 0.0, 0.5]);
+        assert_eq!(bank.impact_total(), 5.5);
+        assert_eq!(bank.impact_trust(0), 0.0);
+
+        // Sources 0 and 2 recover: combo 0 trusts weight 4.0 + 0.0.
+        bank.observe_heartbeat(0, 1, arrival(1, 150));
+        bank.observe_heartbeat(2, 1, arrival(1, 152));
+        assert_eq!(bank.impact_trust(0), 4.0);
+        assert!(bank.impact_accepts(0, 4.0));
+        assert!(!bank.impact_accepts(0, 4.5));
+
+        bank.clear_impact_weights();
+        assert_eq!(bank.impact_trust(0), 2.0);
+        assert_eq!(bank.impact_total(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "impact weights must cover every source")]
+    fn impact_weights_must_match_source_count() {
+        SourceBank::paper_grid(eta(), 3).set_impact_weights(&[1.0, 2.0]);
+    }
+
+    /// FDSB v1 backward compatibility: a v1 image (written before the
+    /// extended families and the impact tail existed) restores
+    /// bit-identically, and malformed v2 tails are rejected totally.
+    #[test]
+    fn snapshot_v1_bytes_still_restore_bit_identically() {
+        let original = warm_bank(5, 14);
+        let v2 = original.snapshot_bytes();
+        assert_eq!(v2[4], 2, "current format version");
+        assert_eq!(*v2.last().unwrap(), 0, "weightless tail is one flag byte");
+
+        // For the old predictor tags the v2 body is byte-identical to v1
+        // plus the impact tail, so rewriting the version byte and
+        // dropping the tail reconstructs a genuine v1 image.
+        let mut v1 = v2[..v2.len() - 1].to_vec();
+        v1[4] = 1;
+        let mut restored = SourceBank::paper_grid(eta(), 5);
+        restored.restore_bytes(&v1).expect("v1 restore");
+        assert_eq!(restored.snapshot_bytes(), v2, "v1 state ≠ v2 state");
+        assert_eq!(restored.impact_weights(), None);
+
+        // A bad impact flag byte in a v2 image errors, never panics.
+        let mut bad_flag = v2.clone();
+        *bad_flag.last_mut().unwrap() = 9;
+        assert_eq!(
+            SourceBank::paper_grid(eta(), 5)
+                .restore_bytes(&bad_flag)
+                .unwrap_err(),
+            SnapshotError::BadTag(9)
+        );
+
+        // Weights round-trip; a NaN smuggled into the weight section is
+        // rejected as invalid rather than poisoning the trust value.
+        let mut weighted = warm_bank(5, 14);
+        weighted.set_impact_weights(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let wb = weighted.snapshot_bytes();
+        let mut back = SourceBank::paper_grid(eta(), 5);
+        back.restore_bytes(&wb).expect("weighted restore");
+        assert_eq!(back.impact_weights().unwrap(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(back.impact_total(), 15.0);
+        let mut nan = wb.clone();
+        let off = nan.len() - 8; // last weight's 8 little-endian bytes
+        nan[off..].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert_eq!(
+            SourceBank::paper_grid(eta(), 5)
+                .restore_bytes(&nan)
+                .unwrap_err(),
+            SnapshotError::Invalid("impact weights")
+        );
+    }
+
+    /// The extended grid's snapshot round-trips exactly — φ lifecycle
+    /// state (mid-start-phase), ADWIN sums and the ML arenas all survive
+    /// — and truncating the image anywhere never panics.
+    #[test]
+    fn extended_grid_snapshot_round_trips() {
+        let combos = crate::combinations::extended_combinations();
+        let n = 4usize;
+        let mut original = SourceBank::new(&combos, eta(), n);
+        original.set_impact_weights(&[2.0, 1.0, 1.0, 0.5]);
+        for seq in 0..26u64 {
+            for source in 0..n as u32 {
+                // Source 2's silence trips the φ flap machinery so the
+                // snapshot carries live start-phase state.
+                if source == 2 && (12..17).contains(&seq) {
+                    continue;
+                }
+                original.observe_heartbeat(source, seq, arrival(seq, delay_for(source, seq)));
+            }
+            let mid = SimTime::ZERO + eta() * (seq + 1) + SimDuration::from_millis(400);
+            original.check_all_at(mid);
+        }
+        let bytes = original.snapshot_bytes();
+        let mut restored = SourceBank::new(&combos, eta(), n);
+        restored.restore_bytes(&bytes).expect("restore");
+        assert_eq!(restored.snapshot_bytes(), bytes);
+        assert_eq!(restored.impact_weights(), original.impact_weights());
+
+        // Continue both; the trajectories must not diverge.
+        for seq in 26..36u64 {
+            for source in 0..n as u32 {
+                let at = arrival(seq, delay_for(source, seq));
+                original.observe_heartbeat(source, seq, at);
+                let ea = original.transitions().to_vec();
+                restored.observe_heartbeat(source, seq, at);
+                assert_eq!(ea, restored.transitions(), "s{source} q{seq}");
+            }
+        }
+        assert_eq!(original.snapshot_bytes(), restored.snapshot_bytes());
+
+        // Totality: any truncation errors cleanly.
+        for cut in (0..bytes.len()).step_by(61) {
+            assert!(SourceBank::new(&combos, eta(), n)
+                .restore_bytes(&bytes[..cut])
+                .is_err());
+        }
+        // Kind mismatch: the paper grid cannot absorb an extended image.
+        assert!(SourceBank::paper_grid(eta(), n)
+            .restore_bytes(&bytes)
+            .is_err());
     }
 }

@@ -4,20 +4,42 @@
 //! schedules — the refactor is behaviour-preserving by construction.
 
 use fd_core::bank::DetectorBank;
-use fd_core::{all_combinations, Combination, FailureDetector, FdTransition, MarginKind, PredictorKind};
+use fd_core::{
+    all_combinations, Combination, FailureDetector, FdTransition, MarginKind, PredictorKind,
+};
 use fd_sim::{SimDuration, SimTime};
 use proptest::prelude::*;
 
-/// The combination set under test: the paper's full 30-grid plus a
-/// short-refit ARIMA (so the fitted-model path is exercised within short
-/// schedules) and an `SM_RTO` extension combination.
+/// The combination set under test: the paper's full 30-grid, every
+/// registry family not already in it (`PredictorKind::all_for_test`
+/// brings in φ-accrual in both lifecycles, the adaptive μ+Kσ window and
+/// the online model) under two adaptive margins each, plus a short-refit
+/// ARIMA (so the fitted-model path is exercised within short schedules)
+/// and an `SM_RTO` extension combination. The schedules' crash windows
+/// are longer than `PHI_FLAP_GAP_MIN`, so the φ flap lifecycle crosses
+/// the differential too.
 fn combos_under_test() -> Vec<Combination> {
     let mut combos = all_combinations();
+    for kind in PredictorKind::all_for_test() {
+        if combos.iter().any(|c| c.predictor == kind) {
+            continue;
+        }
+        combos.push(Combination::new(kind, MarginKind::Jac { phi: 1.0 }));
+        combos.push(Combination::new(kind, MarginKind::Ci { gamma: 2.0 }));
+    }
     combos.push(Combination::new(
-        PredictorKind::Arima { p: 2, d: 1, q: 1, refit_every: 25 },
+        PredictorKind::Arima {
+            p: 2,
+            d: 1,
+            q: 1,
+            refit_every: 25,
+        },
         MarginKind::Ci { gamma: 2.0 },
     ));
-    combos.push(Combination::new(PredictorKind::Last, MarginKind::Rto { k: 4.0 }));
+    combos.push(Combination::new(
+        PredictorKind::Last,
+        MarginKind::Rto { k: 4.0 },
+    ));
     combos
 }
 
@@ -78,7 +100,13 @@ fn run_differential(schedule: &Schedule, check_jitter_ms: u32) -> Result<(), Tes
             for (idx, fd) in boxed.iter_mut().enumerate() {
                 let a = fd.check(arrival);
                 let b = bank.check_one(idx, arrival);
-                prop_assert_eq!(a, b, "pre-arrival check mismatch: step {}, combo {}", i, idx);
+                prop_assert_eq!(
+                    a,
+                    b,
+                    "pre-arrival check mismatch: step {}, combo {}",
+                    i,
+                    idx
+                );
             }
             let boxed_ends: Vec<usize> = boxed
                 .iter_mut()

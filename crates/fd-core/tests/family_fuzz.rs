@@ -1,0 +1,163 @@
+//! Structure-aware fuzz over the new detector families: random
+//! delay/gap sequences — including hostile floats — drive the φ-accrual
+//! lifecycle, the adaptive window, the online model and the Impact-FD
+//! weight plane, asserting the documented totality invariants (forecasts
+//! stay finite and non-negative, state round-trips, restore never
+//! panics).
+
+use fd_core::combinations::extended_combinations;
+use fd_core::{AdaptiveWindow, MlPredictor, PhiAccrual, Predictor, SourceBank};
+use fd_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// One fuzz step: an observed delay (possibly hostile) and the sequence
+/// gap carried with it.
+type Step = (f64, u64);
+
+/// Delays drawn from realistic values plus the hostile-float corners the
+/// NaN/∞ audit documents.
+fn delay_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        12 => 0.0f64..5_000.0,
+        1 => Just(f64::NAN),
+        1 => Just(f64::INFINITY),
+        1 => Just(f64::NEG_INFINITY),
+        1 => Just(-250.0),
+        1 => Just(1.0e300),
+        1 => Just(f64::MIN_POSITIVE),
+    ]
+}
+
+/// Gaps weighted towards 0 (in-order traffic) with enough mass past the
+/// flap trigger to exercise the φ lifecycle.
+fn gap_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        8 => Just(0u64),
+        2 => 1u64..3,
+        3 => 3u64..40,
+    ]
+}
+
+fn steps_strategy() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec((delay_strategy(), gap_strategy()), 1..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// φ lifecycle invariants: under any delay/gap sequence the forecast
+    /// stays finite and non-negative, flaps only accumulate, the start
+    /// phase never exceeds the maximally-flappy gate length, and the
+    /// full state survives a raw-parts round trip bit-identically.
+    #[test]
+    fn phi_lifecycle_is_total(steps in steps_strategy()) {
+        // ⌈λ·(−ln q)^(1/k)⌉ at the flappiest shape k = 0.5.
+        let max_start = (4.0f64 * (-(0.1f64.ln())).powf(2.0)).ceil() as u32;
+        let mut p = PhiAccrual::new(8, 1.0, true);
+        let mut last_flaps = 0u64;
+        for (i, &(delay, gap)) in steps.iter().enumerate() {
+            p.observe_gap(delay, gap);
+            let f = p.predict();
+            prop_assert!(f.is_finite() && f >= 0.0, "step {}: forecast {}", i, f);
+            prop_assert!(p.flaps() >= last_flaps);
+            prop_assert!(p.start_left() <= max_start, "start_left {}", p.start_left());
+            last_flaps = p.flaps();
+        }
+        prop_assert_eq!(p.observations(), steps.len() as u64);
+        let (ring, pos, len, sum, sumsq, start_left, flaps, mean_up, up_len, n) = p.raw_parts();
+        let rebuilt = PhiAccrual::from_raw_parts(
+            8, 1.0, true, ring, pos, len, sum, sumsq, start_left, flaps, mean_up, up_len, n,
+        ).expect("observable state must round-trip");
+        prop_assert_eq!(rebuilt.predict().to_bits(), p.predict().to_bits());
+    }
+
+    /// Adaptive-window and ML forecasts stay finite and non-negative
+    /// under hostile floats, and their raw-parts round-trip exactly.
+    #[test]
+    fn adaptive_and_ml_are_total(steps in steps_strategy()) {
+        let mut adw = AdaptiveWindow::new(8, 2.0);
+        let mut ml = MlPredictor::new(4, 0.5);
+        for (i, &(delay, _)) in steps.iter().enumerate() {
+            adw.observe(delay);
+            ml.observe(delay);
+            let fa = adw.predict();
+            let fm = ml.predict();
+            prop_assert!(fa.is_finite() && fa >= 0.0, "step {}: ADWIN {}", i, fa);
+            prop_assert!(fm.is_finite() && (0.0..=4.0e6).contains(&fm), "step {}: ML {}", i, fm);
+        }
+        let (ring, sum, sumsq, n) = adw.raw_parts();
+        let adw2 = AdaptiveWindow::from_raw_parts(8, 2.0, ring, sum, sumsq, n)
+            .expect("adaptive state must round-trip");
+        prop_assert_eq!(adw2.predict().to_bits(), adw.predict().to_bits());
+        let (w, hist, n) = ml.raw_parts();
+        let ml2 = MlPredictor::from_raw_parts(4, 0.5, w, hist, n)
+            .expect("ml state must round-trip");
+        prop_assert_eq!(ml2.predict().to_bits(), ml.predict().to_bits());
+    }
+
+    /// Impact-weight edge fuzz: arbitrary weight vectors (hostile floats
+    /// included) sanitize to a finite total, and the trust value of any
+    /// combination stays finite and inside `[0, total]` however the
+    /// suspicion bitmap is arranged.
+    #[test]
+    fn impact_plane_is_total(
+        raw in proptest::collection::vec(delay_strategy(), 5),
+        lost in proptest::collection::vec(any::<bool>(), 5),
+    ) {
+        let eta = SimDuration::from_secs(1);
+        let mut bank = SourceBank::new(&extended_combinations(), eta, 5);
+        bank.set_impact_weights(&raw);
+        let total = bank.impact_total();
+        prop_assert!(total.is_finite() && total >= 0.0);
+        // Heartbeat everyone, then silence the `lost` subset long enough
+        // to suspect it.
+        for s in 0..5u32 {
+            bank.observe_heartbeat(s, 0, SimTime::from_millis(200));
+        }
+        for s in 0..5u32 {
+            if !lost[s as usize] {
+                bank.observe_heartbeat(s, 1, SimTime::from_millis(1_200));
+            }
+        }
+        bank.check_all_at(SimTime::from_secs(90));
+        for combo in 0..bank.len() {
+            let trust = bank.impact_trust(combo);
+            prop_assert!(trust.is_finite(), "combo {} trust {}", combo, trust);
+            prop_assert!(trust >= -1.0e-9 && trust <= total + 1.0e-9);
+            prop_assert_eq!(bank.impact_accepts(combo, 0.0), trust >= 0.0);
+        }
+    }
+
+    /// FDSB v2 restore is total: flipping any byte of an extended-grid
+    /// image (φ mid-lifecycle, ML arenas, impact weights) either restores
+    /// cleanly or errors — never panics, never yields non-finite trust.
+    #[test]
+    fn extended_snapshot_restore_is_total(
+        flip_at in 0usize..10_000,
+        xor in 1u8..=255,
+    ) {
+        let eta = SimDuration::from_secs(1);
+        let combos = extended_combinations();
+        let mut bank = SourceBank::new(&combos, eta, 3);
+        bank.set_impact_weights(&[1.5, 2.5, 3.0]);
+        for seq in 0..12u64 {
+            for s in 0..3u32 {
+                // Source 1's silence trips a flap mid-image.
+                if s == 1 && (4..8).contains(&seq) {
+                    continue;
+                }
+                let at = SimTime::ZERO + eta * seq + SimDuration::from_millis(150 + u64::from(s));
+                bank.observe_heartbeat(s, seq, at);
+            }
+        }
+        let mut bytes = bank.snapshot_bytes();
+        let i = flip_at % bytes.len();
+        bytes[i] ^= xor;
+        let mut target = SourceBank::new(&combos, eta, 3);
+        if target.restore_bytes(&bytes).is_ok() {
+            for combo in 0..target.len() {
+                prop_assert!(target.impact_trust(combo).is_finite());
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Flapping-workload chaos test: a source that repeatedly crashes and
+//! recovers, with a jittery post-recovery transient, must not be wrongly
+//! suspected while it is up.
+//!
+//! The two-phase φ-accrual predictor cold-restarts its window on each flap
+//! (the pre-crash delay distribution is stale) and serves a Weibull-gated
+//! start phase whose dispersion is floored at μ, so the recovery transient
+//! is absorbed. The stable-phase-only variant keeps forecasting from the
+//! stale pre-crash window — tight timeouts that the transient blows
+//! through, one wrongful suspicion spike per flap.
+//!
+//! This test is also the designated killer of the `phi` mutant in
+//! `scripts/check-mutants.sh` (start-phase gating disabled): without the
+//! start phase the cold-restarted window has σ ≈ 0 and the timeout
+//! collapses onto the first post-recovery delay, so the transient's second
+//! beat becomes a wrongful suspicion and the zero-mistake assertion fails.
+
+use fd_core::bank::DetectorBank;
+use fd_core::{Combination, FdTransition, MarginKind, PredictorKind};
+use fd_sim::{SimDuration, SimTime};
+
+/// The flapping schedule: `None` = heartbeat suppressed (source down),
+/// `Some(delay_ms)` = delivered that long after its send time.
+fn flapping_schedule() -> Vec<Option<u64>> {
+    let mut schedule = Vec::new();
+    // Warm-up: 20 stable beats around 150 ms with mild jitter.
+    for i in 0..20u64 {
+        schedule.push(Some(140 + (i * 7) % 20));
+    }
+    for _ in 0..3 {
+        // Down window: 5 beats lost — past PHI_FLAP_GAP_MIN, so the
+        // resume is a flap.
+        for _ in 0..5 {
+            schedule.push(None);
+        }
+        // Recovery transient: the first beat lands near the old baseline,
+        // then delays oscillate hard before settling.
+        for &d in &[150, 450, 380, 300, 240, 200, 170, 160] {
+            schedule.push(Some(d));
+        }
+        // Stable stretch between flaps.
+        for i in 0..12u64 {
+            schedule.push(Some(145 + (i * 11) % 18));
+        }
+    }
+    schedule
+}
+
+/// Drives both φ lifecycles through the schedule and counts, per combo,
+/// the wrongful `StartSuspect` edges — those fired at a check instant
+/// immediately before a delivered heartbeat, i.e. premature timeouts on an
+/// up source (the paper's "mistakes").
+fn run_flapping(combos: &[Combination]) -> (Vec<u64>, Vec<u64>) {
+    let eta = SimDuration::from_millis(1_000);
+    let mut bank = DetectorBank::new(combos, eta);
+    let schedule = flapping_schedule();
+    let mut wrongful = vec![0u64; combos.len()];
+    let mut readmissions = vec![0u64; combos.len()];
+    let mut was_down = false;
+
+    for (i, cycle) in schedule.iter().enumerate() {
+        let seq = i as u64;
+        let sigma = SimTime::ZERO + eta * seq;
+        match cycle {
+            Some(delay_ms) => {
+                let arrival = sigma + SimDuration::from_millis(*delay_ms);
+                // Check-then-observe: any StartSuspect fired here expires
+                // strictly before the heartbeat that is about to arrive.
+                for (idx, w) in wrongful.iter_mut().enumerate() {
+                    if bank.check_one(idx, arrival) == Some(FdTransition::StartSuspect) {
+                        *w += 1;
+                    }
+                }
+                bank.observe_heartbeat(seq, arrival);
+                if was_down {
+                    for t in bank.transitions() {
+                        assert_eq!(t.transition, FdTransition::EndSuspect);
+                        readmissions[t.combo] += 1;
+                    }
+                }
+                was_down = false;
+            }
+            None => {
+                // The source is down; suspicions fired during the silence
+                // are correct, not mistakes.
+                let end = sigma + eta;
+                for idx in 0..combos.len() {
+                    bank.check_one(idx, end);
+                }
+                was_down = true;
+            }
+        }
+    }
+    (wrongful, readmissions)
+}
+
+#[test]
+fn two_phase_phi_absorbs_flapping_without_mistakes() {
+    let combos = vec![
+        Combination::new(
+            PredictorKind::PhiAccrual {
+                window: 16,
+                threshold: 1.0,
+                two_phase: true,
+            },
+            MarginKind::Jac { phi: 1.0 },
+        ),
+        Combination::new(
+            PredictorKind::PhiAccrual {
+                window: 16,
+                threshold: 1.0,
+                two_phase: false,
+            },
+            MarginKind::Jac { phi: 1.0 },
+        ),
+    ];
+    let (wrongful, readmissions) = run_flapping(&combos);
+    let (two_phase, stable_only) = (wrongful[0], wrongful[1]);
+
+    // The stable-phase-only variant forecasts the recovery transient from
+    // the stale pre-crash window: at least one wrongful suspicion per
+    // flap cycle.
+    assert!(
+        stable_only >= 3,
+        "stable-only variant should spike on every flap, saw {stable_only}"
+    );
+    // The cold-restarted, σ-floored start phase absorbs the transient
+    // entirely.
+    assert_eq!(
+        two_phase, 0,
+        "two-phase lifecycle wrongly suspected an up source {two_phase} times"
+    );
+    assert!(two_phase < stable_only);
+
+    // Both variants re-admit the recovered source on its first heartbeat
+    // after each down window (they suspected it while it was down, and
+    // the recovery beat ends the suspicion promptly).
+    assert_eq!(readmissions[0], 3, "two-phase re-admissions");
+    assert_eq!(readmissions[1], 3, "stable-only re-admissions");
+}
+
+/// The same flapping schedule through the `SourceBank` column path: the
+/// two-phase column must reproduce the scalar result exactly (zero
+/// wrongful suspicions) with the flap gaps carried through the batch API.
+#[test]
+fn source_bank_column_path_matches_flapping_result() {
+    let combos = vec![
+        Combination::new(
+            PredictorKind::PhiAccrual {
+                window: 16,
+                threshold: 1.0,
+                two_phase: true,
+            },
+            MarginKind::Jac { phi: 1.0 },
+        ),
+        Combination::new(
+            PredictorKind::PhiAccrual {
+                window: 16,
+                threshold: 1.0,
+                two_phase: false,
+            },
+            MarginKind::Jac { phi: 1.0 },
+        ),
+    ];
+    let eta = SimDuration::from_millis(1_000);
+    let mut scalar = DetectorBank::new(&combos, eta);
+    let mut bank = fd_core::SourceBank::new(&combos, eta, 1);
+    for (i, cycle) in flapping_schedule().iter().enumerate() {
+        let seq = i as u64;
+        let sigma = SimTime::ZERO + eta * seq;
+        let now = match cycle {
+            Some(delay_ms) => sigma + SimDuration::from_millis(*delay_ms),
+            None => sigma + eta,
+        };
+        let fired: Vec<u32> = bank
+            .check_source_at(0, now)
+            .iter()
+            .map(|t| t.combo)
+            .collect();
+        let scalar_fired: Vec<u32> = (0..combos.len())
+            .filter(|&idx| scalar.check_one(idx, now) == Some(FdTransition::StartSuspect))
+            .map(|idx| idx as u32)
+            .collect();
+        assert_eq!(scalar_fired, fired, "check diverged at step {i}");
+        if cycle.is_some() {
+            scalar.observe_heartbeat(seq, now);
+            bank.observe_heartbeat(0, seq, now);
+        }
+        for idx in 0..combos.len() {
+            assert_eq!(
+                scalar.predicted_delay_ms(idx).to_bits(),
+                bank.predicted_delay_ms(0, idx).to_bits(),
+                "forecast diverged at step {i} combo {idx}"
+            );
+            assert_eq!(scalar.is_suspecting(idx), bank.is_suspecting(0, idx));
+            assert_eq!(scalar.next_deadline(idx), bank.next_deadline(0, idx));
+        }
+    }
+}

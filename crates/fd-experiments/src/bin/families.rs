@@ -1,0 +1,175 @@
+//! Detector-families benchmark: runs the extended 54-combination grid
+//! (paper 30 + φ-accrual ×2, adaptive μ+Kσ, online model) at 1k and
+//! 100k sources, rolls QoS up per predictor family, adds the
+//! deterministic flapping-source and Impact-FD weight comparisons, and
+//! writes `BENCH_families.json`.
+//!
+//! ```text
+//! families [--smoke] [--sources 1k,100k] [--cycles N]
+//!          [--shards N | --threads N] [--seed N] [--out PATH]
+//! ```
+//!
+//! `--smoke` is the CI configuration: a small population with the
+//! experiment's invariants asserted — every family (new ones included)
+//! detects the injected crashes, the two-phase φ lifecycle rides out
+//! the flapping schedule with zero wrongful suspicions while the
+//! stable-only variant spikes on every flap, and the impact plane ranks
+//! a lost heavy source below three lost light ones. Nothing is written
+//! in smoke mode.
+
+use fd_experiments::families::{render_json, run_families, run_flapping, run_impact};
+
+fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Parses `1000`, `10k`, `100K`, `1m`, `1M` style source counts.
+fn parse_count(s: &str) -> Option<usize> {
+    let t = s.trim();
+    let (digits, mult) = match t.chars().last() {
+        Some('k' | 'K') => (&t[..t.len() - 1], 1_000),
+        Some('m' | 'M') => (&t[..t.len() - 1], 1_000_000),
+        _ => (t, 1),
+    };
+    digits.parse::<usize>().ok().map(|n| n * mult)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed = arg_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42u64);
+    let cycles = arg_value(&args, "--cycles")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8u64);
+    let shards = arg_value(&args, "--threads")
+        .or_else(|| arg_value(&args, "--shards"))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+
+    if args.iter().any(|a| a == "--smoke") {
+        run_smoke(seed, shards);
+        return;
+    }
+
+    let counts: Vec<usize> = match arg_value(&args, "--sources") {
+        Some(list) => list
+            .split(',')
+            .map(|s| parse_count(s).unwrap_or_else(|| panic!("bad source count: {s}")))
+            .collect(),
+        None => vec![1_000, 100_000],
+    };
+    let out = arg_value(&args, "--out").unwrap_or("BENCH_families.json");
+
+    println!("families: sources={counts:?} cycles={cycles} threads={shards} seed={seed}");
+    let bench = run_families(&counts, cycles, shards, seed);
+    for scale in &bench.scales {
+        eprintln!(
+            "  {:>9} sources ({} shards): digest {:016x}, {:.0} ms",
+            scale.sources, scale.shards, scale.digest, scale.wall_ms
+        );
+        for row in &scale.rows {
+            eprintln!(
+                "    {:<22} {} T_D {:>10.1} µs  P_A {:.7}  ({} det / {} crashes, {} mistakes)",
+                row.family,
+                if row.extended { "ext " } else { "base" },
+                row.mean_td_us,
+                row.pa,
+                row.detections,
+                row.crashes,
+                row.mistakes,
+            );
+        }
+    }
+    eprintln!(
+        "  flapping: two-phase {} vs stable-only {} wrongful suspicions over {} flaps",
+        bench.flapping.wrongful_two_phase,
+        bench.flapping.wrongful_stable_only,
+        bench.flapping.flap_cycles,
+    );
+    eprintln!(
+        "  impact: heavy lost {:.1} < three light lost {:.1} (total {:.1})",
+        bench.impact.trust_heavy_lost, bench.impact.trust_three_light_lost, bench.impact.total,
+    );
+
+    let doc = render_json(&bench, shards);
+    std::fs::write(out, &doc).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+}
+
+/// CI gate: full-grid coverage, the flapping story and the impact-weight
+/// ordering asserted on a small population; nothing written.
+fn run_smoke(seed: u64, threads: usize) {
+    let shards = threads.max(2);
+    let sources = 96 * shards;
+    println!(
+        "families --smoke: {sources} sources × 6 cycles over {shards} shards, \
+         54-combo grid + flapping + impact asserted"
+    );
+    let bench = run_families(&[sources], 6, shards, seed);
+    let scale = &bench.scales[0];
+    assert_eq!(scale.rows.len(), 9, "5 paper + 4 extended families");
+    assert_eq!(scale.rows.iter().filter(|r| r.extended).count(), 4);
+    for row in &scale.rows {
+        assert_eq!(row.combos, 6, "{}: six margins per family", row.family);
+        assert!(row.crashes > 0, "{}: crash plan never fired", row.family);
+        assert!(row.detections > 0, "{}: no crash detected", row.family);
+        assert!(
+            row.pa > 0.0 && row.pa <= 1.0,
+            "{}: pa {} out of range",
+            row.family,
+            row.pa
+        );
+    }
+    let f = &bench.flapping;
+    assert_eq!(
+        f.wrongful_two_phase, 0,
+        "two-phase φ wrongly suspected an up source"
+    );
+    assert!(
+        f.wrongful_stable_only >= f.flap_cycles,
+        "stable-only variant should spike on every flap"
+    );
+    assert_eq!(f.readmissions, f.flap_cycles, "missed re-admissions");
+    let im = &bench.impact;
+    assert!(
+        im.trust_heavy_lost < im.trust_three_light_lost,
+        "impact weights did not rank the heavy source above three light ones"
+    );
+    assert!(
+        im.unweighted_heavy_lost > im.unweighted_three_light_lost,
+        "unweighted popcount should order by count, not weight"
+    );
+    println!(
+        "  ok: digest {:016x}, flapping {} vs {}, impact {:.1} < {:.1}",
+        scale.digest,
+        f.wrongful_two_phase,
+        f.wrongful_stable_only,
+        im.trust_heavy_lost,
+        im.trust_three_light_lost,
+    );
+
+    // Shard invariance on the extended grid, while we are here: the
+    // digest must not move with the worker count.
+    let again = run_families(&[sources], 6, shards + 3, seed);
+    assert_eq!(
+        again.scales[0].digest, scale.digest,
+        "extended-grid digest moved with the shard count"
+    );
+    // The side measurements are deterministic end to end.
+    let f2 = run_flapping();
+    assert_eq!(f2.wrongful_stable_only, f.wrongful_stable_only);
+    let im2 = run_impact(16, 8.0);
+    assert_eq!(
+        im2.trust_heavy_lost.to_bits(),
+        im.trust_heavy_lost.to_bits()
+    );
+    println!("  ok: digest shard-invariant at {} shards", shards + 3);
+}

@@ -215,7 +215,10 @@ fn run_smoke(seed: u64, threads: usize) {
             a.digest, b.digest
         );
         assert_eq!(a.heartbeats, b.heartbeats);
-        assert_eq!(a.mistakes, b.mistakes, "QoS roll-up diverged at {shards} shards");
+        assert_eq!(
+            a.mistakes, b.mistakes,
+            "QoS roll-up diverged at {shards} shards"
+        );
     }
     assert!(a.heartbeats > 0);
     // And one row at the requested thread count (CI passes --threads 2).
@@ -226,7 +229,6 @@ fn run_smoke(seed: u64, threads: usize) {
     println!(
         "  ok: digest {:016x}, {} heartbeats, {} events, {} episodes; \
          cycle bench {:.3} ms (bank loop) vs {:.3} ms (batch)",
-        a.digest, a.heartbeats, a.events, a.mistakes, bench.detector_bank_ms,
-        bench.source_bank_ms,
+        a.digest, a.heartbeats, a.events, a.mistakes, bench.detector_bank_ms, bench.source_bank_ms,
     );
 }

@@ -126,10 +126,14 @@ fn main() {
     }
 
     let relay_rows = if relay_subs > 0 {
-        println!(
-            "relay tree: {relay_sources} sources, {relay_subs} subscribers over 2 levels"
+        println!("relay tree: {relay_sources} sources, {relay_subs} subscribers over 2 levels");
+        let row = run_relay_row(
+            relay_sources,
+            cycles.min(8),
+            shards.min(2),
+            seed,
+            relay_subs,
         );
-        let row = run_relay_row(relay_sources, cycles.min(8), shards.min(2), seed, relay_subs);
         println!(
             "  {} relays, {} / {} subscribers registered ({} retained), \
              {} pushes, {} deltas applied, {} catch-ups",

@@ -37,6 +37,13 @@ fn main() {
             PredictorKind::Lpf { beta } => format!("β = {beta}"),
             PredictorKind::WinMean { window } => format!("N = {window}"),
             PredictorKind::Last | PredictorKind::Mean => "—".to_owned(),
+            PredictorKind::PhiAccrual {
+                window,
+                threshold,
+                two_phase,
+            } => format!("N = {window}, φ* = {threshold}, two-phase = {two_phase}"),
+            PredictorKind::AdaptiveWindow { window, k } => format!("N = {window}, K = {k}"),
+            PredictorKind::MlPredictor { lags, rate } => format!("p = {lags}, r = {rate}"),
         };
         println!("{:<12} {params}", kind.label());
     }

@@ -64,9 +64,7 @@ impl ChaosSchedule {
 /// baseline plus one schedule per fault family. Fault instants are placed at
 /// fixed fractions of the horizon so every run length exercises every fault.
 pub fn schedule_matrix(horizon: SimDuration) -> Vec<ChaosSchedule> {
-    let frac = |num: u64, den: u64| {
-        SimDuration::from_micros(horizon.as_micros() * num / den)
-    };
+    let frac = |num: u64, den: u64| SimDuration::from_micros(horizon.as_micros() * num / den);
 
     let stalls = {
         let mut plan = FaultPlan::new();
@@ -514,8 +512,14 @@ mod tests {
     fn crash_schedules_report_recovery_times() {
         let params = smoke_params();
         let matrix = schedule_matrix(params.run_duration());
-        let warm = matrix.iter().find(|s| s.name == "monitor-crash-warm").unwrap();
-        let cold = matrix.iter().find(|s| s.name == "monitor-crash-cold").unwrap();
+        let warm = matrix
+            .iter()
+            .find(|s| s.name == "monitor-crash-warm")
+            .unwrap();
+        let cold = matrix
+            .iter()
+            .find(|s| s.name == "monitor-crash-cold")
+            .unwrap();
 
         let warm_report = run_chaos_qos(&params, warm);
         let cold_report = run_chaos_qos(&params, cold);

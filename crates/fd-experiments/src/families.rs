@@ -1,0 +1,523 @@
+//! The detector-families experiment: the extended 54-combination grid
+//! (the paper's 30 combos plus φ-accrual in both lifecycles, the
+//! adaptive μ+Kσ window and the online model, each under all six paper
+//! margins) run at 1k and 100k sources with a seeded source-crash
+//! schedule, rolled up per predictor family so the new families' T_D
+//! and P_A sit next to the paper baselines in one table.
+//!
+//! Two deterministic side measurements ride along:
+//!
+//! * **flapping** — the flapping-source schedule from the chaos suite,
+//!   driven directly: the two-phase φ lifecycle (cold restart + floored
+//!   start-phase dispersion) absorbs every recovery transient while the
+//!   stable-phase-only variant wrongly suspects the source on each flap.
+//! * **impact** — the Impact-FD weight plane: losing one high-impact
+//!   source costs more trust than losing three low-impact ones, which
+//!   the unweighted popcount inverts.
+//!
+//! The `families` binary writes the table to `BENCH_families.json`.
+
+use fd_core::bank::DetectorBank;
+use fd_core::combinations::{all_combinations, extended_combinations};
+use fd_core::{Combination, FdTransition, MarginKind, PredictorKind, SourceBank};
+use fd_runtime::{ShardedConfig, ShardedEngine, SourceCrashPlan};
+use fd_sim::{SimDuration, SimTime};
+
+/// One family's QoS roll-up at one scale: the six margin combinations of
+/// a single predictor, aggregated.
+#[derive(Debug, Clone)]
+pub struct FamilyRow {
+    /// Monitored sources.
+    pub sources: usize,
+    /// Predictor-family label (e.g. `ARIMA(2,1,1)`, `PHI(16,1)`).
+    pub family: String,
+    /// True for the four new families, false for the paper's five.
+    pub extended: bool,
+    /// Combinations aggregated into this row (six margins per family).
+    pub combos: usize,
+    /// Source crashes folded in, summed over the family's combos.
+    pub crashes: u64,
+    /// Detected crashes, summed over the family's combos.
+    pub detections: u64,
+    /// Undetected crashes.
+    pub undetected: u64,
+    /// Completed wrongful-suspicion episodes.
+    pub mistakes: u64,
+    /// Mean detection time over all of the family's detections, µs.
+    pub mean_td_us: f64,
+    /// Query accuracy: 1 − wrongful-suspicion time over the family's
+    /// sources × combos × nominal horizon.
+    pub pa: f64,
+}
+
+/// One full extended-grid run at one source count.
+#[derive(Debug, Clone)]
+pub struct FamiliesScale {
+    /// Monitored sources.
+    pub sources: usize,
+    /// Worker shards the run used.
+    pub shards: usize,
+    /// Order-independent streaming digest of the run.
+    pub digest: u64,
+    /// Wall-clock time of the run, milliseconds.
+    pub wall_ms: f64,
+    /// Heartbeats delivered.
+    pub heartbeats: u64,
+    /// One row per predictor family, paper families first.
+    pub rows: Vec<FamilyRow>,
+}
+
+/// The deterministic flapping comparison: wrongful suspicions on an up
+/// source, two-phase vs stable-phase-only φ, over three flap cycles.
+#[derive(Debug, Clone)]
+pub struct FlappingOutcome {
+    /// Flap cycles in the schedule (down window + recovery transient).
+    pub flap_cycles: u64,
+    /// Heartbeat slots in the schedule (delivered or suppressed).
+    pub schedule_len: usize,
+    /// Wrongful `StartSuspect` edges from the two-phase lifecycle.
+    pub wrongful_two_phase: u64,
+    /// Wrongful `StartSuspect` edges from the stable-only variant.
+    pub wrongful_stable_only: u64,
+    /// Post-recovery re-admissions (identical for both variants).
+    pub readmissions: u64,
+}
+
+/// The Impact-FD weight-plane comparison: one heavy source lost vs three
+/// light sources lost, trust under the weighted and unweighted planes.
+#[derive(Debug, Clone)]
+pub struct ImpactOutcome {
+    /// Sources in the bank.
+    pub sources: usize,
+    /// Weight of the one heavy source (light sources weigh 1).
+    pub heavy_weight: f64,
+    /// Weighted trust total when every source is trusted.
+    pub total: f64,
+    /// Weighted trust after the heavy source alone is suspected.
+    pub trust_heavy_lost: f64,
+    /// Weighted trust after three light sources are suspected.
+    pub trust_three_light_lost: f64,
+    /// Unweighted trust (plain popcount complement) for the same two
+    /// scenarios — the ordering the weight plane corrects.
+    pub unweighted_heavy_lost: f64,
+    pub unweighted_three_light_lost: f64,
+}
+
+/// The whole benchmark document's worth of measurements.
+#[derive(Debug, Clone)]
+pub struct FamiliesBench {
+    pub cycles: u64,
+    pub seed: u64,
+    pub scales: Vec<FamiliesScale>,
+    pub flapping: FlappingOutcome,
+    pub impact: ImpactOutcome,
+}
+
+/// The shared workload: extended grid over paper-grid WAN defaults plus
+/// a seeded source-crash schedule, so every family accumulates real
+/// detection-time samples.
+fn workload(sources: usize, cycles: u64, shards: usize, seed: u64) -> ShardedConfig {
+    let mut cfg = ShardedConfig::paper_grid(sources, cycles, seed);
+    cfg.shards = shards.max(1);
+    cfg.combos = extended_combinations();
+    cfg.loss = 0.02;
+    cfg.spike_prob = 0.02;
+    cfg.source_crashes = Some(SourceCrashPlan {
+        frac: 0.25,
+        down_cycles: 2,
+    });
+    cfg
+}
+
+/// Runs the extended grid at one source count and rolls the 54 per-combo
+/// QoS summaries up into one row per predictor family.
+pub fn run_families_scale(sources: usize, cycles: u64, shards: usize, seed: u64) -> FamiliesScale {
+    let cfg = workload(sources, cycles, shards, seed);
+    let combos = cfg.combos.clone();
+    let paper_len = all_combinations().len();
+    let horizon_us = cfg.cycles * cfg.eta.as_micros();
+    let report = ShardedEngine::new(cfg).run();
+    assert_eq!(report.qos.len(), combos.len(), "one QoS row per combo");
+
+    let mut rows: Vec<FamilyRow> = Vec::new();
+    for (idx, combo) in combos.iter().enumerate() {
+        let family = combo.predictor.label();
+        let q = &report.qos[idx];
+        let row = match rows.iter_mut().find(|r| r.family == family) {
+            Some(row) => row,
+            None => {
+                rows.push(FamilyRow {
+                    sources,
+                    family,
+                    extended: idx >= paper_len,
+                    combos: 0,
+                    crashes: 0,
+                    detections: 0,
+                    undetected: 0,
+                    mistakes: 0,
+                    mean_td_us: 0.0,
+                    pa: 1.0,
+                });
+                rows.last_mut().expect("just pushed")
+            }
+        };
+        row.combos += 1;
+        row.crashes += q.crashes;
+        row.detections += q.detections;
+        row.undetected += q.undetected;
+        row.mistakes += q.mistakes;
+        // Abuse the two f64 fields as µs accumulators until the family
+        // is complete; finalised below.
+        row.mean_td_us += q.td_sum_us as f64;
+        row.pa += q.tm_sum_us as f64;
+    }
+    for row in &mut rows {
+        let td_sum = row.mean_td_us;
+        let tm_sum = row.pa - 1.0;
+        row.mean_td_us = if row.detections == 0 {
+            0.0
+        } else {
+            td_sum / row.detections as f64
+        };
+        let monitored_us = (sources * row.combos) as f64 * horizon_us as f64;
+        row.pa = if monitored_us == 0.0 {
+            1.0
+        } else {
+            1.0 - tm_sum / monitored_us
+        };
+    }
+
+    FamiliesScale {
+        sources,
+        shards: report.shards,
+        digest: report.digest,
+        wall_ms: report.wall.as_secs_f64() * 1e3,
+        heartbeats: report.heartbeats,
+        rows,
+    }
+}
+
+/// The flapping schedule the chaos suite uses: 20 warm beats, then three
+/// cycles of a 5-beat down window, a jittery recovery transient and a
+/// stable stretch. `None` = heartbeat suppressed.
+fn flapping_schedule() -> Vec<Option<u64>> {
+    let mut schedule = Vec::new();
+    for i in 0..20u64 {
+        schedule.push(Some(140 + (i * 7) % 20));
+    }
+    for _ in 0..3 {
+        for _ in 0..5 {
+            schedule.push(None);
+        }
+        for &d in &[150, 450, 380, 300, 240, 200, 170, 160] {
+            schedule.push(Some(d));
+        }
+        for i in 0..12u64 {
+            schedule.push(Some(145 + (i * 11) % 18));
+        }
+    }
+    schedule
+}
+
+/// Drives both φ lifecycles through the flapping schedule, counting
+/// wrongful `StartSuspect` edges (fired at a check instant immediately
+/// before a delivered heartbeat: premature timeouts on an up source).
+pub fn run_flapping() -> FlappingOutcome {
+    let combos = vec![
+        Combination::new(
+            PredictorKind::PhiAccrual {
+                window: 16,
+                threshold: 1.0,
+                two_phase: true,
+            },
+            MarginKind::Jac { phi: 1.0 },
+        ),
+        Combination::new(
+            PredictorKind::PhiAccrual {
+                window: 16,
+                threshold: 1.0,
+                two_phase: false,
+            },
+            MarginKind::Jac { phi: 1.0 },
+        ),
+    ];
+    let eta = SimDuration::from_millis(1_000);
+    let mut bank = DetectorBank::new(&combos, eta);
+    let schedule = flapping_schedule();
+    let mut wrongful = [0u64; 2];
+    let mut readmissions = [0u64; 2];
+    let mut was_down = false;
+
+    for (i, cycle) in schedule.iter().enumerate() {
+        let seq = i as u64;
+        let sigma = SimTime::ZERO + eta * seq;
+        match cycle {
+            Some(delay_ms) => {
+                let arrival = sigma + SimDuration::from_millis(*delay_ms);
+                for (idx, w) in wrongful.iter_mut().enumerate() {
+                    if bank.check_one(idx, arrival) == Some(FdTransition::StartSuspect) {
+                        *w += 1;
+                    }
+                }
+                bank.observe_heartbeat(seq, arrival);
+                if was_down {
+                    for t in bank.transitions() {
+                        readmissions[t.combo] += 1;
+                    }
+                }
+                was_down = false;
+            }
+            None => {
+                let end = sigma + eta;
+                for idx in 0..combos.len() {
+                    bank.check_one(idx, end);
+                }
+                was_down = true;
+            }
+        }
+    }
+    assert_eq!(
+        readmissions[0], readmissions[1],
+        "both lifecycles re-admit identically"
+    );
+    FlappingOutcome {
+        flap_cycles: 3,
+        schedule_len: schedule.len(),
+        wrongful_two_phase: wrongful[0],
+        wrongful_stable_only: wrongful[1],
+        readmissions: readmissions[0],
+    }
+}
+
+/// Runs one Impact-FD scenario: everyone heartbeats at seq 0, the `lost`
+/// sources go silent, everyone else heartbeats at seq 1, and the bank is
+/// checked after the lost sources' deadline but before the survivors'
+/// next one — exactly the `lost` set is suspected.
+fn impact_trust_after_losing(
+    combos: &[Combination],
+    sources: usize,
+    weights: Option<&[f64]>,
+    lost: &[u32],
+) -> f64 {
+    let eta = SimDuration::from_secs(1);
+    let mut bank = SourceBank::new(combos, eta, sources);
+    if let Some(w) = weights {
+        bank.set_impact_weights(w);
+    }
+    for s in 0..sources as u32 {
+        bank.observe_heartbeat(s, 0, SimTime::from_millis(200));
+    }
+    for s in 0..sources as u32 {
+        if !lost.contains(&s) {
+            bank.observe_heartbeat(s, 1, SimTime::from_millis(1_200));
+        }
+    }
+    bank.check_all_at(SimTime::from_millis(2_000));
+    for s in 0..sources as u32 {
+        assert_eq!(
+            bank.is_suspecting(s, 0),
+            lost.contains(&s),
+            "impact scenario must suspect exactly the lost set (source {s})"
+        );
+    }
+    bank.impact_trust(0)
+}
+
+/// The weight-plane comparison: source 0 carries `heavy_weight`, every
+/// other source weighs 1. Losing source 0 alone must cost more weighted
+/// trust than losing three light sources — the opposite of what the
+/// unweighted popcount reports.
+pub fn run_impact(sources: usize, heavy_weight: f64) -> ImpactOutcome {
+    assert!(sources >= 5, "need a heavy source plus three light ones");
+    let combos = vec![Combination::new(
+        PredictorKind::Last,
+        MarginKind::Jac { phi: 1.0 },
+    )];
+    let mut weights = vec![1.0; sources];
+    weights[0] = heavy_weight;
+    let total = heavy_weight + (sources - 1) as f64;
+
+    let heavy = impact_trust_after_losing(&combos, sources, Some(&weights), &[0]);
+    let light = impact_trust_after_losing(&combos, sources, Some(&weights), &[1, 2, 3]);
+    let u_heavy = impact_trust_after_losing(&combos, sources, None, &[0]);
+    let u_light = impact_trust_after_losing(&combos, sources, None, &[1, 2, 3]);
+
+    ImpactOutcome {
+        sources,
+        heavy_weight,
+        total,
+        trust_heavy_lost: heavy,
+        trust_three_light_lost: light,
+        unweighted_heavy_lost: u_heavy,
+        unweighted_three_light_lost: u_light,
+    }
+}
+
+/// Runs the whole benchmark: the extended grid at each source count plus
+/// the two deterministic side measurements.
+pub fn run_families(counts: &[usize], cycles: u64, shards: usize, seed: u64) -> FamiliesBench {
+    FamiliesBench {
+        cycles,
+        seed,
+        scales: counts
+            .iter()
+            .map(|&n| run_families_scale(n, cycles, shards, seed))
+            .collect(),
+        flapping: run_flapping(),
+        impact: run_impact(16, 8.0),
+    }
+}
+
+/// Renders one family row as a JSON object (hand-rolled: the workspace
+/// carries no JSON dependency).
+pub fn render_family_json(r: &FamilyRow) -> String {
+    format!(
+        "{{\"sources\": {}, \"family\": \"{}\", \"extended\": {}, \"combos\": {}, \
+         \"crashes\": {}, \"detections\": {}, \"undetected\": {}, \"mistakes\": {}, \
+         \"mean_td_us\": {:.1}, \"pa\": {:.9}}}",
+        r.sources,
+        r.family,
+        r.extended,
+        r.combos,
+        r.crashes,
+        r.detections,
+        r.undetected,
+        r.mistakes,
+        r.mean_td_us,
+        r.pa,
+    )
+}
+
+/// Renders the `BENCH_families.json` document.
+pub fn render_json(bench: &FamiliesBench, shards: usize) -> String {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"families\",\n");
+    out.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    out.push_str(&format!("  \"shards_requested\": {shards},\n"));
+    out.push_str(&format!("  \"cycles\": {},\n", bench.cycles));
+    out.push_str(&format!("  \"seed\": {},\n", bench.seed));
+    out.push_str("  \"grid_combos\": 54,\n");
+    out.push_str("  \"paper_combos\": 30,\n");
+    out.push_str("  \"source_crash_frac\": 0.25,\n");
+    out.push_str("  \"source_down_cycles\": 2,\n");
+    out.push_str("  \"runs\": [\n");
+    for (i, scale) in bench.scales.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"sources\": {}, \"shards\": {}, \"digest\": \"{:016x}\", \
+             \"wall_ms\": {:.3}, \"heartbeats\": {}}}{}\n",
+            scale.sources,
+            scale.shards,
+            scale.digest,
+            scale.wall_ms,
+            scale.heartbeats,
+            if i + 1 == bench.scales.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"rows\": [\n");
+    let total_rows: usize = bench.scales.iter().map(|s| s.rows.len()).sum();
+    let mut emitted = 0usize;
+    for scale in &bench.scales {
+        for row in &scale.rows {
+            emitted += 1;
+            out.push_str("    ");
+            out.push_str(&render_family_json(row));
+            out.push_str(if emitted == total_rows { "\n" } else { ",\n" });
+        }
+    }
+    out.push_str("  ],\n");
+    let f = &bench.flapping;
+    out.push_str(&format!(
+        "  \"flapping\": {{\"flap_cycles\": {}, \"schedule_len\": {}, \
+         \"wrongful_two_phase\": {}, \"wrongful_stable_only\": {}, \
+         \"readmissions\": {}}},\n",
+        f.flap_cycles, f.schedule_len, f.wrongful_two_phase, f.wrongful_stable_only, f.readmissions,
+    ));
+    let im = &bench.impact;
+    out.push_str(&format!(
+        "  \"impact\": {{\"sources\": {}, \"heavy_weight\": {:.1}, \"total\": {:.1}, \
+         \"trust_heavy_lost\": {:.1}, \"trust_three_light_lost\": {:.1}, \
+         \"unweighted_heavy_lost\": {:.1}, \"unweighted_three_light_lost\": {:.1}}}\n",
+        im.sources,
+        im.heavy_weight,
+        im.total,
+        im.trust_heavy_lost,
+        im.trust_three_light_lost,
+        im.unweighted_heavy_lost,
+        im.unweighted_three_light_lost,
+    ));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_roll_up_covers_the_whole_grid() {
+        let scale = run_families_scale(120, 6, 2, 7);
+        assert_eq!(scale.rows.len(), 9, "5 paper + 4 extended families");
+        assert_eq!(scale.rows.iter().map(|r| r.combos).sum::<usize>(), 54);
+        assert_eq!(scale.rows.iter().filter(|r| r.extended).count(), 4);
+        for row in &scale.rows {
+            assert_eq!(row.combos, 6, "{}: six margins per family", row.family);
+            assert!(row.crashes > 0, "{}: crash plan fired", row.family);
+            assert!(row.detections > 0, "{}: crashes detected", row.family);
+            assert!(
+                row.pa > 0.0 && row.pa <= 1.0,
+                "{}: pa {} out of range",
+                row.family,
+                row.pa
+            );
+            assert!(row.mean_td_us > 0.0, "{}: no detection time", row.family);
+        }
+        // The crash plan is family-independent: every family saw the
+        // same crashes.
+        let crashes = scale.rows[0].crashes;
+        assert!(scale.rows.iter().all(|r| r.crashes == crashes));
+    }
+
+    #[test]
+    fn flapping_and_impact_tell_their_stories() {
+        let f = run_flapping();
+        assert_eq!(f.wrongful_two_phase, 0);
+        assert!(f.wrongful_stable_only >= f.flap_cycles);
+        assert_eq!(f.readmissions, f.flap_cycles);
+
+        let im = run_impact(16, 8.0);
+        // Weighted: the heavy source dwarfs three light ones.
+        assert!(im.trust_heavy_lost < im.trust_three_light_lost);
+        // Unweighted: the ordering inverts — three lost beats one lost.
+        assert!(im.unweighted_heavy_lost > im.unweighted_three_light_lost);
+        assert!((im.total - im.trust_heavy_lost - im.heavy_weight).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough() {
+        let bench = FamiliesBench {
+            cycles: 6,
+            seed: 7,
+            scales: vec![run_families_scale(96, 6, 2, 7)],
+            flapping: run_flapping(),
+            impact: run_impact(16, 8.0),
+        };
+        let doc = render_json(&bench, 2);
+        assert!(doc.starts_with('{') && doc.trim_end().ends_with('}'));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        for key in [
+            "\"bench\": \"families\"",
+            "\"flapping\"",
+            "\"impact\"",
+            "\"wrongful_two_phase\"",
+            "\"extended\": true",
+            "\"extended\": false",
+        ] {
+            assert!(doc.contains(key), "missing {key}");
+        }
+    }
+}

@@ -866,9 +866,7 @@ mod tests {
     /// checkpoint and keeps detecting afterwards.
     #[test]
     fn supervised_monitor_recovers_warm_and_keeps_detecting() {
-        use fd_runtime::supervisor::{
-            SUPERVISOR_EVENT_CRASH, SUPERVISOR_EVENT_RECOVERED_WARM,
-        };
+        use fd_runtime::supervisor::{SUPERVISOR_EVENT_CRASH, SUPERVISOR_EVENT_RECOVERED_WARM};
         use fd_runtime::{FaultKind, FaultPlan, RestartMode, SupervisorLayer};
         let eta = SimDuration::from_secs(1);
         let combos = fd_core::all_combinations();

@@ -28,6 +28,10 @@
 //! * [`chaos_scale`] — shard-crash recovery at scale: warm vs cold
 //!   restarts vs a dead shard, QoS deltas and serving-plane availability
 //!   (written to `BENCH_chaos.json` by the `chaos_scale` binary);
+//! * [`families`] — the extended 54-combination grid (φ-accrual, adaptive
+//!   μ+Kσ, online model, Impact-FD weights) rolled up per predictor
+//!   family, plus the flapping-source and impact-weight comparisons
+//!   (written to `BENCH_families.json` by the `families` binary);
 //! * [`report`] — figure/table text rendering.
 //!
 //! Binaries under `src/bin/` regenerate each table and figure; see
@@ -52,6 +56,7 @@ pub mod chaos_qos;
 pub mod chaos_scale;
 pub mod config;
 pub mod configurator;
+pub mod families;
 pub mod layers;
 pub mod pull_layers;
 pub mod qos;
@@ -62,12 +67,14 @@ pub mod serve;
 pub use accuracy::{
     arima_selection_experiment, predictor_accuracy_experiment, AccuracyRow, AccuracyTable,
 };
-pub use chaos_qos::{
-    run_chaos_qos, schedule_matrix, ChaosCounters, ChaosRunReport, ChaosSchedule,
-};
+pub use chaos_qos::{run_chaos_qos, schedule_matrix, ChaosCounters, ChaosRunReport, ChaosSchedule};
 pub use chaos_scale::{run_chaos_row, ChaosScaleRow, VariantOutcome};
 pub use config::{AccuracyParams, ExperimentParams};
 pub use configurator::{configure_nfd, ConfiguredDetector, DetectorConfig, QosRequirements};
+pub use families::{
+    run_families, run_families_scale, run_flapping, run_impact, FamiliesBench, FamiliesScale,
+    FamilyRow, FlappingOutcome, ImpactOutcome,
+};
 pub use layers::{HeartbeaterLayer, MonitorLayer, SimCrashLayer};
 pub use pull_layers::{PullMonitorLayer, ResponderLayer};
 pub use qos::{

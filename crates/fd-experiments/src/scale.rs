@@ -214,7 +214,9 @@ pub fn cycle_benchmark(sources: usize, warmup_cycles: u64, measured_cycles: u64)
 
     // Path A: one private DetectorBank per source, looped — exactly the
     // `bank_1000_sources_cycle` methodology.
-    let mut banks: Vec<DetectorBank> = (0..sources).map(|_| DetectorBank::paper_grid(eta)).collect();
+    let mut banks: Vec<DetectorBank> = (0..sources)
+        .map(|_| DetectorBank::paper_grid(eta))
+        .collect();
     let mut seq = 0u64;
     while seq < warmup_cycles {
         for bank in &mut banks {
@@ -283,7 +285,11 @@ pub struct CrossoverBench {
 /// public [`SourceBank::observe_heartbeat`] in a loop, which is the
 /// dispatch's small-bank body modulo a free `transitions.clear()` per
 /// call (the workload is churn-free, so the cleared vec is empty).
-pub fn crossover_benchmark(sources: usize, warmup_cycles: u64, measured_cycles: u64) -> CrossoverBench {
+pub fn crossover_benchmark(
+    sources: usize,
+    warmup_cycles: u64,
+    measured_cycles: u64,
+) -> CrossoverBench {
     let eta = SimDuration::from_secs(1);
     let arrival = |seq: u64| SimTime::ZERO + eta * seq + SimDuration::from_millis(200);
 
@@ -387,12 +393,19 @@ pub fn render_json_from_rows(
     for (i, row) in row_jsons.iter().enumerate() {
         out.push_str("    ");
         out.push_str(row);
-        out.push_str(if i + 1 == row_jsons.len() { "\n" } else { ",\n" });
+        out.push_str(if i + 1 == row_jsons.len() {
+            "\n"
+        } else {
+            ",\n"
+        });
     }
     out.push_str("  ],\n");
     out.push_str("  \"cycle_benchmark\": {\n");
     out.push_str(&format!("    \"sources\": {},\n", bench.sources));
-    out.push_str(&format!("    \"warmup_cycles\": {},\n", bench.warmup_cycles));
+    out.push_str(&format!(
+        "    \"warmup_cycles\": {},\n",
+        bench.warmup_cycles
+    ));
     out.push_str(&format!(
         "    \"measured_cycles\": {},\n",
         bench.measured_cycles

@@ -364,8 +364,8 @@ pub fn run_relay_row(
     let view = SuspectView::new(combos, &blocks);
     let publisher = EnginePublisher::new(&view);
     let engine = ShardedEngine::new(config);
-    let origin = ServeServer::start(Arc::clone(&view), ServeConfig::default())
-        .expect("bind origin server");
+    let origin =
+        ServeServer::start(Arc::clone(&view), ServeConfig::default()).expect("bind origin server");
 
     let relay_cfg = |leaf: bool| RelayConfig {
         serve: ServeConfig {
@@ -427,10 +427,7 @@ pub fn run_relay_row(
             }
         }
         std::thread::sleep(Duration::from_millis(30));
-        registered = leaves
-            .iter()
-            .map(|l| l.server().subscriber_count())
-            .sum();
+        registered = leaves.iter().map(|l| l.server().subscriber_count()).sum();
         if registered >= per_leaf * LEAVES {
             break;
         }
@@ -491,10 +488,7 @@ pub fn run_relay_row(
         (report, accs)
     });
 
-    let retained: usize = leaves
-        .iter()
-        .map(|l| l.server().subscriber_count())
-        .sum();
+    let retained: usize = leaves.iter().map(|l| l.server().subscriber_count()).sum();
     let pushes: u64 = leaves
         .iter()
         .map(|l| l.server().stats().subs_pushed.load(Ordering::Relaxed))

@@ -31,8 +31,13 @@ fn main() {
             println!(
                 "regions={n} combo={} fan_in={} monitor_td_ms={:?} demote_ms={:?} \
                  spurious={} decision_ms={:?} [{:.0} ms]",
-                r.combo, r.fan_in, r.monitor_td_ms, r.demote_latency_ms, r.spurious_demotions,
-                r.decision_latency_ms, r.wall_ms
+                r.combo,
+                r.fan_in,
+                r.monitor_td_ms,
+                r.demote_latency_ms,
+                r.spurious_demotions,
+                r.decision_latency_ms,
+                r.wall_ms
             );
         }
     }

@@ -51,9 +51,8 @@ pub struct ElectionOutcome {
 /// monitor (falling back to monitor 0 if all are suspected).
 pub fn omega_trajectory(n: usize, transitions: &[MonitorTransition]) -> Vec<(SimTime, u16)> {
     let mut suspected = vec![false; n];
-    let leader_of = |suspected: &[bool]| -> u16 {
-        suspected.iter().position(|s| !s).unwrap_or(0) as u16
-    };
+    let leader_of =
+        |suspected: &[bool]| -> u16 { suspected.iter().position(|s| !s).unwrap_or(0) as u16 };
     let mut trajectory = vec![(SimTime::ZERO, leader_of(&suspected))];
     for tr in transitions {
         if usize::from(tr.region) >= n {
@@ -102,8 +101,7 @@ pub fn elect(
     let mut spurious = 0u64;
     {
         let mut suspected = vec![false; n];
-        let leader_of =
-            |suspected: &[bool]| suspected.iter().position(|s| !s).unwrap_or(0) as u16;
+        let leader_of = |suspected: &[bool]| suspected.iter().position(|s| !s).unwrap_or(0) as u16;
         let mut leader = leader_of(&suspected);
         for tr in transitions {
             if usize::from(tr.region) >= n {
@@ -142,7 +140,17 @@ pub fn elect(
     // Consensus ratification under the measured trust oracle.
     let (decision_latency, agreement, deciders) = match crash {
         Some((region, at)) if n >= 2 => {
-            let outcome = ratify(n, transitions, region, at, fd_combo, eta, profile, horizon, seed);
+            let outcome = ratify(
+                n,
+                transitions,
+                region,
+                at,
+                fd_combo,
+                eta,
+                profile,
+                horizon,
+                seed,
+            );
             let latency = outcome
                 .last_decision()
                 .and_then(|t| t.checked_duration_since(at));
@@ -291,7 +299,10 @@ mod tests {
         assert!(out.deciders >= 2, "only {} deciders", out.deciders);
         assert!(out.agreement);
         let decision = out.decision_latency.expect("ratification decided");
-        assert!(decision < SimDuration::from_secs(20), "decided in {decision}");
+        assert!(
+            decision < SimDuration::from_secs(20),
+            "decided in {decision}"
+        );
     }
 
     #[test]

@@ -132,7 +132,11 @@ fn run_fabric(
     topo: &FabricTopology,
     plan: &FabricChaosPlan,
     global_combo: Combination,
-) -> (Vec<RegionRun>, GlobalOutcome, crate::election::ElectionOutcome) {
+) -> (
+    Vec<RegionRun>,
+    GlobalOutcome,
+    crate::election::ElectionOutcome,
+) {
     let combos = vec![reference_combo()];
     let runs: Vec<RegionRun> = (0..topo.regions.len())
         .map(|r| run_region(topo, r, plan, &combos))
@@ -287,8 +291,11 @@ pub fn run_chaos_row(seed: u64) -> ChaosRow {
 
     let crash = SimTime::ZERO + crash_at;
     let detected = global.first_suspected_after(1, crash);
-    let heal_observed = detected
-        .is_some_and(|d| global.first_trusted_after(1, d + SimDuration::from_micros(1)).is_some());
+    let heal_observed = detected.is_some_and(|d| {
+        global
+            .first_trusted_after(1, d + SimDuration::from_micros(1))
+            .is_some()
+    });
 
     // -- Serve the diagnosed fabric through origin + relay ---------------
     let blocks: Vec<(usize, usize)> = (0..N).map(|r| topo.block(r)).collect();
@@ -325,14 +332,18 @@ pub fn run_chaos_row(seed: u64) -> ChaosRow {
         ops.push((a.at.as_micros(), 0, Op::Publish(r, a.frame.words.clone())));
     }
     for tr in global.transitions.iter().filter(|t| t.suspected) {
-        ops.push((tr.at.as_micros(), 1, Op::MarkDegraded(usize::from(tr.region))));
+        ops.push((
+            tr.at.as_micros(),
+            1,
+            Op::MarkDegraded(usize::from(tr.region)),
+        ));
     }
     ops.retain(|(us, _, _)| *us <= horizon_us);
     ops.sort_by_key(|(us, class, _)| (*us, *class));
 
     let apply_until = |ops: &mut std::vec::IntoIter<(u64, u8, Op)>,
-                           writers: &mut Vec<fd_serve::SegmentWriter>,
-                           cutoff_us: u64| {
+                       writers: &mut Vec<fd_serve::SegmentWriter>,
+                       cutoff_us: u64| {
         // Peekable-free drain: ops is consumed in order, the caller holds
         // the iterator across calls.
         let remaining: Vec<_> = ops.collect();
@@ -360,18 +371,18 @@ pub fn run_chaos_row(seed: u64) -> ChaosRow {
         // Act one: the world up to (and including) the diagnosis.
         it = apply_until(&mut it, &mut writers, td.as_micros());
         let probe_source = (blocks[1].0 + 1) as u32;
-        degraded_via_relay = wait_for(Duration::from_secs(10), || {
-            relay.view().segment_degraded(1)
-        }) && {
-            let mut client = ServeClient::connect(relay.local_addr(), Duration::from_millis(250))
-                .expect("connect relay client");
-            wait_for(Duration::from_secs(5), || {
-                matches!(
-                    client.point(probe_source, 0),
-                    Ok(Response::PointResp { flags, .. }) if flags & FLAG_SEGMENT_DEGRADED != 0
-                )
-            })
-        };
+        degraded_via_relay = wait_for(Duration::from_secs(10), || relay.view().segment_degraded(1))
+            && {
+                let mut client =
+                    ServeClient::connect(relay.local_addr(), Duration::from_millis(250))
+                        .expect("connect relay client");
+                wait_for(Duration::from_secs(5), || {
+                    matches!(
+                        client.point(probe_source, 0),
+                        Ok(Response::PointResp { flags, .. }) if flags & FLAG_SEGMENT_DEGRADED != 0
+                    )
+                })
+            };
 
         // Act two: the heal — publications resume and clear the mark.
         let _ = apply_until(&mut it, &mut writers, u64::MAX);
@@ -434,9 +445,7 @@ pub fn run_smoke(seed: u64) {
     assert!(trusted >= SimTime::from_secs(26), "trusted at {trusted}?");
     assert_eq!(global.monitor_qos.crashes, 1);
     assert_eq!(global.monitor_qos.detections, 1);
-    println!(
-        "  diagnosis: crash at 12 s detected in {detect_latency}, heal observed at {trusted}"
-    );
+    println!("  diagnosis: crash at 12 s detected in {detect_latency}, heal observed at {trusted}");
 
     let demote = election
         .demote_latency
@@ -551,14 +560,23 @@ mod tests {
         let row = run_chaos_row(23);
         assert!(row.detect_ms.is_some(), "crash undiagnosed");
         assert!(row.heal_observed, "heal unobserved");
-        assert!(row.degraded_via_relay, "degraded flag never crossed the relay");
+        assert!(
+            row.degraded_via_relay,
+            "degraded flag never crossed the relay"
+        );
         assert!(row.healed_via_relay, "heal never crossed the relay");
         assert!(row.partition_dropped > 0);
     }
 
     #[test]
     fn json_document_is_well_formed_enough() {
-        let rows = vec![run_fabric_row(3, 64, reference_combo(), FanIn::Hierarchical, 29)];
+        let rows = vec![run_fabric_row(
+            3,
+            64,
+            reference_combo(),
+            FanIn::Hierarchical,
+            29,
+        )];
         let chaos = run_chaos_row(29);
         let doc = render_json(&rows, &chaos, 29);
         assert!(doc.starts_with('{') && doc.trim_end().ends_with('}'));

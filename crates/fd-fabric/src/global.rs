@@ -133,7 +133,11 @@ pub fn run_global(
 
     // -- WAN delivery: every emission crosses its path(s) ----------------
     let mut uplinks: Vec<LinkModel> = (0..n)
-        .map(|r| topo.regions[r].profile.link(seeds.rng(&format!("uplink-{r}"))))
+        .map(|r| {
+            topo.regions[r]
+                .profile
+                .link(seeds.rng(&format!("uplink-{r}")))
+        })
         .collect();
     let mut emissions: Vec<Emission> = Vec::new();
     for run in runs {
@@ -155,9 +159,8 @@ pub fn run_global(
     // stays deterministic whatever the delays do.
     let mut relay_links: std::collections::BTreeMap<(u16, usize), (LinkModel, LinkModel)> =
         std::collections::BTreeMap::new();
-    let mut gossip_rngs: Vec<fd_sim::DetRng> = (0..n)
-        .map(|r| seeds.rng(&format!("gossip-{r}")))
-        .collect();
+    let mut gossip_rngs: Vec<fd_sim::DetRng> =
+        (0..n).map(|r| seeds.rng(&format!("gossip-{r}"))).collect();
 
     for e in &emissions {
         frames_emitted += 1;
@@ -187,17 +190,19 @@ pub fn run_global(
                     peer += 1; // skip self
                 }
                 let peer = peer.min(n - 1) as u16;
-                let (leg1, leg2) = relay_links.entry((e.region, usize::from(peer))).or_insert_with(|| {
-                    let label = format!("relay-{}-{}", e.region, peer);
-                    (
-                        topo.regions[usize::from(e.region)]
-                            .profile
-                            .link(seeds.rng(&format!("{label}-a"))),
-                        topo.regions[usize::from(peer)]
-                            .profile
-                            .link(seeds.rng(&format!("{label}-b"))),
-                    )
-                });
+                let (leg1, leg2) = relay_links
+                    .entry((e.region, usize::from(peer)))
+                    .or_insert_with(|| {
+                        let label = format!("relay-{}-{}", e.region, peer);
+                        (
+                            topo.regions[usize::from(e.region)]
+                                .profile
+                                .link(seeds.rng(&format!("{label}-a"))),
+                            topo.regions[usize::from(peer)]
+                                .profile
+                                .link(seeds.rng(&format!("{label}-b"))),
+                        )
+                    });
                 let Some(d1) = leg1.transmit(t_emit).delay() else {
                     frames_lost += 1;
                     continue;
@@ -233,7 +238,10 @@ pub fn run_global(
                 Some(d) => crash_us + d.as_micros(),
                 None => run_end.as_micros() - 1,
             };
-            events.push((restore_us.min(run_end.as_micros() - 1), Ev::Restore(fault.region)));
+            events.push((
+                restore_us.min(run_end.as_micros() - 1),
+                Ev::Restore(fault.region),
+            ));
         }
     }
     for (at_us, frame) in deliveries {
@@ -348,7 +356,9 @@ mod tests {
     ) -> (FabricTopology, Vec<RegionRun>, GlobalOutcome) {
         let topo = FabricTopology::symmetric(n, 64, 1, SimDuration::from_secs(horizon_s), seed);
         let combos = vec![ref_combo()];
-        let runs: Vec<RegionRun> = (0..n).map(|r| run_region(&topo, r, plan, &combos)).collect();
+        let runs: Vec<RegionRun> = (0..n)
+            .map(|r| run_region(&topo, r, plan, &combos))
+            .collect();
         let global = run_global(&topo, &runs, plan, ref_combo());
         (topo, runs, global)
     }
@@ -400,8 +410,9 @@ mod tests {
         let plan = FabricChaosPlan::none();
         let mut topo = FabricTopology::symmetric(3, 64, 1, SimDuration::from_secs(25), 13);
         let combos = vec![ref_combo()];
-        let runs: Vec<RegionRun> =
-            (0..3).map(|r| run_region(&topo, r, &plan, &combos)).collect();
+        let runs: Vec<RegionRun> = (0..3)
+            .map(|r| run_region(&topo, r, &plan, &combos))
+            .collect();
         let hier = run_global(&topo, &runs, &plan, ref_combo());
         topo.fan_in = FanIn::Gossip { fanout: 3 };
         let gossip = run_global(&topo, &runs, &plan, ref_combo());

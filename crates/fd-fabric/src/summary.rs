@@ -153,16 +153,18 @@ mod proptests {
             0u32..3,
             proptest::collection::vec(any::<u64>(), 0..3),
         )
-            .prop_map(|(region, origin, seq, virtual_us, suspects, words)| SummaryFrame {
-                region,
-                origin,
-                seq,
-                virtual_us,
-                start: u32::from(region) * 64,
-                len: 64,
-                suspects,
-                words,
-            })
+            .prop_map(
+                |(region, origin, seq, virtual_us, suspects, words)| SummaryFrame {
+                    region,
+                    origin,
+                    seq,
+                    virtual_us,
+                    start: u32::from(region) * 64,
+                    len: 64,
+                    suspects,
+                    words,
+                },
+            )
     }
 
     fn view_of(frames: &[SummaryFrame]) -> FabricView {

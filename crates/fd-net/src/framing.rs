@@ -190,7 +190,9 @@ mod tests {
     fn errors_display() {
         let e = FrameError::Truncated { len: 1, need: 8 };
         assert!(e.to_string().contains("truncated"));
-        assert!(FrameError::BadMagic { found: 7 }.to_string().contains("magic"));
+        assert!(FrameError::BadMagic { found: 7 }
+            .to_string()
+            .contains("magic"));
         assert!(FrameError::BadVersion { found: 7 }
             .to_string()
             .contains("version"));

@@ -31,14 +31,16 @@ pub mod trace;
 pub mod wire;
 
 pub use calibrate::{calibrate_profile, CalibrationDiagnostics};
-pub use framing::FrameError;
 pub use delay::{
     Ar1JitterDelay, CompositeDelay, CongestionEpochDelay, ConstantDelay, DelayComponent,
     DelayModel, DriftDelay, ShiftedGammaDelay, SpikeDelay, TruncatedNormalDelay, UniformDelay,
 };
+pub use framing::FrameError;
 pub use link::{LinkModel, LinkStats, Transmission};
 pub use loss::{BernoulliLoss, GilbertElliottLoss, LossModel, NoLoss};
 pub use profile::WanProfile;
 pub use summary::{SummaryFrame, SUMMARY_MAGIC, SUMMARY_VERSION};
-pub use trace::{DelayTrace, EmptyTraceError, LinkCharacteristics, TraceReplayDelay, TraceReplayLoss};
+pub use trace::{
+    DelayTrace, EmptyTraceError, LinkCharacteristics, TraceReplayDelay, TraceReplayLoss,
+};
 pub use wire::{Heartbeat, WireError};

@@ -527,6 +527,9 @@ mod tests {
         t.push_lost(0);
         t.push_lost(1);
         assert_eq!(t.replay_link().unwrap_err(), EmptyTraceError);
-        assert_eq!(DelayTrace::new().replay_link().unwrap_err(), EmptyTraceError);
+        assert_eq!(
+            DelayTrace::new().replay_link().unwrap_err(),
+            EmptyTraceError
+        );
     }
 }

@@ -141,7 +141,12 @@ impl FaultPlan {
     /// # Panics
     ///
     /// Panics if `menu` is empty or `mean_gap` is zero.
-    pub fn random(seed: u64, horizon: SimDuration, menu: &[FaultKind], mean_gap: SimDuration) -> Self {
+    pub fn random(
+        seed: u64,
+        horizon: SimDuration,
+        menu: &[FaultKind],
+        mean_gap: SimDuration,
+    ) -> Self {
         assert!(!menu.is_empty(), "fault menu must not be empty");
         assert!(!mean_gap.is_zero(), "mean fault gap must be positive");
         let mut rng = DetRng::seed_from(seed);
@@ -525,7 +530,9 @@ impl Layer for ChaosLink {
         for (k, ev) in self.plan.events().iter().enumerate() {
             if matches!(
                 ev.kind,
-                FaultKind::Duplicate { .. } | FaultKind::Corrupt { .. } | FaultKind::RateJitter { .. }
+                FaultKind::Duplicate { .. }
+                    | FaultKind::Corrupt { .. }
+                    | FaultKind::RateJitter { .. }
             ) {
                 ctx.set_timer(ev.at, k as u64);
             }
@@ -616,9 +623,13 @@ impl Layer for ChaosLink {
                 duration,
                 probability,
             } => {
-                self.corrupt_until = Some((now.saturating_add(duration), probability.clamp(0.0, 1.0)));
+                self.corrupt_until =
+                    Some((now.saturating_add(duration), probability.clamp(0.0, 1.0)));
             }
-            FaultKind::RateJitter { duration, max_extra } => {
+            FaultKind::RateJitter {
+                duration,
+                max_extra,
+            } => {
                 self.jitter_until = Some((now.saturating_add(duration), max_extra));
             }
             FaultKind::Stall { .. } | FaultKind::ClockStep { .. } | FaultKind::Crash { .. } => {}
@@ -661,7 +672,11 @@ mod tests {
     }
     impl Layer for Recorder {
         fn on_deliver(&mut self, ctx: &mut Context, msg: Message) {
-            self.tape.lock().unwrap().deliveries.push((msg.seq, ctx.now()));
+            self.tape
+                .lock()
+                .unwrap()
+                .deliveries
+                .push((msg.seq, ctx.now()));
             ctx.deliver(msg);
         }
         fn on_timer(&mut self, ctx: &mut Context, id: TimerId) {
@@ -753,9 +768,9 @@ mod tests {
         let actions = ctx.take_actions();
         let ends = timer_delays(&actions);
         assert_eq!(ends, vec![(SimDuration::from_secs(2), CHAOS_STALL_END)]);
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::Emit(EventKind::App { code, .. }) if *code == CHAOS_EVENT_STALL)));
+        assert!(actions.iter().any(
+            |a| matches!(a, Action::Emit(EventKind::App { code, .. }) if *code == CHAOS_EVENT_STALL)
+        ));
 
         // Frozen: deliveries and child timers are held, sends are held too.
         let mut ctx = Context::new(SimTime::from_millis(1_500), ProcessId(0));
@@ -827,8 +842,12 @@ mod tests {
         chaos.on_timer(&mut ctx, 9);
         let actions = ctx.take_actions();
         // Delivery passes up, send passes down.
-        assert!(actions.iter().any(|a| matches!(a, Action::Deliver(m) if m.seq == 1)));
-        assert!(actions.iter().any(|a| matches!(a, Action::Send(m) if m.seq == 2)));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Deliver(m) if m.seq == 1)));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Send(m) if m.seq == 2)));
         assert_eq!(rec.deliveries(), vec![(1, SimTime::from_secs(5))]);
         assert_eq!(rec.ticks(), vec![(9, SimTime::from_secs(5))]);
         assert_eq!(chaos.name(), "chaos");
@@ -906,7 +925,10 @@ mod tests {
             delivered + link.decode_failed() + link.corrupted_dropped(),
             200
         );
-        assert!(link.decode_failed() > 0, "some flips must hit magic/version");
+        assert!(
+            link.decode_failed() > 0,
+            "some flips must hit magic/version"
+        );
         assert!(
             link.corrupted_dropped() > 0,
             "some flips must hit unprotected fields"
@@ -943,7 +965,9 @@ mod tests {
         let mut ctx = Context::new(SimTime::from_secs(2), ProcessId(1));
         link.on_timer(&mut ctx, resend[0].1);
         let actions = ctx.take_actions();
-        assert!(actions.iter().any(|a| matches!(a, Action::Send(m) if m.seq == 3)));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Send(m) if m.seq == 3)));
         // The same timer firing twice does not resurrect the message.
         let mut ctx = Context::new(SimTime::from_secs(3), ProcessId(1));
         link.on_timer(&mut ctx, resend[0].1);

@@ -132,8 +132,7 @@ impl FabricChaosPlan {
 
     /// Sorts faults by (time, region) so injection order is deterministic.
     pub fn sort(&mut self) {
-        self.faults
-            .sort_by_key(|f| (f.at.as_micros(), f.region));
+        self.faults.sort_by_key(|f| (f.at.as_micros(), f.region));
     }
 
     /// Is `region`'s monitor down (crashed, not yet healed) at offset `t`?
@@ -142,8 +141,7 @@ impl FabricChaosPlan {
             f.region == region
                 && match f.kind {
                     FabricFaultKind::MonitorCrash { heal_after } => {
-                        t >= f.at
-                            && heal_after.is_none_or(|d| t < f.at + d)
+                        t >= f.at && heal_after.is_none_or(|d| t < f.at + d)
                     }
                     FabricFaultKind::Partition { .. } => false,
                 }

@@ -568,8 +568,7 @@ impl ShardedEngine {
                 }
             }
             Some(sup) => {
-                let mut results: Vec<(Option<ShardOut>, ShardStatus)> =
-                    Vec::with_capacity(shards);
+                let mut results: Vec<(Option<ShardOut>, ShardStatus)> = Vec::with_capacity(shards);
                 if shards == 1 {
                     results.push(run_shard_supervised(cfg, sup, 0, 0, cfg.sources, publish));
                 } else {
@@ -846,12 +845,18 @@ impl<'a> ShardWorker<'a> {
         for local in 0..len {
             if let Some((c, r)) = windows[local] {
                 crash_phase[local] = 0;
-                sim.schedule_at(SimTime::ZERO + cfg.eta * c, Ev::Crash {
-                    local: local as u32,
-                });
-                sim.schedule_at(SimTime::ZERO + cfg.eta * r, Ev::Restore {
-                    local: local as u32,
-                });
+                sim.schedule_at(
+                    SimTime::ZERO + cfg.eta * c,
+                    Ev::Crash {
+                        local: local as u32,
+                    },
+                );
+                sim.schedule_at(
+                    SimTime::ZERO + cfg.eta * r,
+                    Ev::Restore {
+                        local: local as u32,
+                    },
+                );
             }
             if let Some((seq, at)) = next_arrival(
                 cfg,
@@ -960,26 +965,38 @@ impl<'a> ShardWorker<'a> {
         // `last_at`, so nothing lands in the past.
         for (local, &window) in windows.iter().enumerate() {
             if let Some((seq, at_us)) = ckpt.pending[local] {
-                sim.schedule_at(us_time(at_us), Ev::Arrival {
-                    local: local as u32,
-                    seq,
-                });
+                sim.schedule_at(
+                    us_time(at_us),
+                    Ev::Arrival {
+                        local: local as u32,
+                        seq,
+                    },
+                );
             }
             match ckpt.crash_phase[local] {
                 0 => {
                     let (c, r) = window.expect("phase-0 source has a crash window");
-                    sim.schedule_at(SimTime::ZERO + cfg.eta * c, Ev::Crash {
-                        local: local as u32,
-                    });
-                    sim.schedule_at(SimTime::ZERO + cfg.eta * r, Ev::Restore {
-                        local: local as u32,
-                    });
+                    sim.schedule_at(
+                        SimTime::ZERO + cfg.eta * c,
+                        Ev::Crash {
+                            local: local as u32,
+                        },
+                    );
+                    sim.schedule_at(
+                        SimTime::ZERO + cfg.eta * r,
+                        Ev::Restore {
+                            local: local as u32,
+                        },
+                    );
                 }
                 1 => {
                     let (_, r) = window.expect("phase-1 source has a crash window");
-                    sim.schedule_at(SimTime::ZERO + cfg.eta * r, Ev::Restore {
-                        local: local as u32,
-                    });
+                    sim.schedule_at(
+                        SimTime::ZERO + cfg.eta * r,
+                        Ev::Restore {
+                            local: local as u32,
+                        },
+                    );
                 }
                 _ => {}
             }
@@ -1086,14 +1103,12 @@ impl<'a> ShardWorker<'a> {
         }
         self.events_done += 1;
         if let Some(due) = self.next_pub {
-            let (cad, publisher) =
-                self.publish.expect("next_pub set only with a publisher");
+            let (cad, publisher) = self.publish.expect("next_pub set only with a publisher");
             let edges = self.rec.start_suspects + self.rec.end_suspects;
             let edges_since = edges - self.edges_at_pub;
             // Churn trigger: enough suspicion edges accumulated since the
             // last publication, rate-limited to one publish per `min`.
-            let churned =
-                edges_since >= cad.churn_threshold && at >= self.last_pub + cad.min;
+            let churned = edges_since >= cad.churn_threshold && at >= self.last_pub + cad.min;
             if at >= due || churned {
                 publisher.publish(self.shard, self.start, &self.bank, at);
                 // The publisher consumed (a superset of) the dirty words;
@@ -1107,10 +1122,8 @@ impl<'a> ShardWorker<'a> {
                     cad.min
                 } else if edges_since == 0 {
                     // Quiescent deadline: back off toward the ceiling.
-                    SimDuration::from_micros(
-                        self.pub_interval.as_micros().saturating_mul(2),
-                    )
-                    .min(cad.max)
+                    SimDuration::from_micros(self.pub_interval.as_micros().saturating_mul(2))
+                        .min(cad.max)
                 } else {
                     self.pub_interval
                 };
@@ -1474,13 +1487,7 @@ fn next_arrival(
 /// the earliest outstanding timer. Past-due wakeups fire immediately
 /// (scheduled at `now`); superseded timers stay queued and resolve as
 /// cheap no-op checks.
-fn arm(
-    sim: &mut Simulator<Ev>,
-    bank: &SourceBank,
-    local: u32,
-    now: SimTime,
-    armed: &mut [u32],
-) {
+fn arm(sim: &mut Simulator<Ev>, bank: &SourceBank, local: u32, now: SimTime, armed: &mut [u32]) {
     let l = local as usize;
     if let Some(wakeup) = bank.next_wakeup(local) {
         let fire_at = wakeup.max(now);
@@ -1607,7 +1614,11 @@ mod tests {
             }
         }
         assert_eq!(acc.finish_summaries(last_at), report.qos);
-        let edges: u64 = report.qos.iter().map(|s| s.mistakes + s.open_mistakes).sum();
+        let edges: u64 = report
+            .qos
+            .iter()
+            .map(|s| s.mistakes + s.open_mistakes)
+            .sum();
         assert!(edges > 0, "roll-ups recorded no suspicion episodes");
     }
 
@@ -1691,8 +1702,7 @@ mod tests {
             calls: AtomicU64::new(0),
             last_at: AtomicU64::new(0),
         };
-        ShardedEngine::new(busy_config(24, 3))
-            .run_published(SimDuration::from_millis(500), &fixed);
+        ShardedEngine::new(busy_config(24, 3)).run_published(SimDuration::from_millis(500), &fixed);
         let adaptive = CountingPublisher {
             calls: AtomicU64::new(0),
             last_at: AtomicU64::new(0),
@@ -2046,7 +2056,10 @@ mod tests {
         let again = SupervisionConfig::with_restart(RestartMode::Warm).seeded_chaos(9, 3, 4);
         assert_eq!(sup.faults.len(), 4);
         for (a, b) in sup.faults.iter().zip(&again.faults) {
-            assert_eq!((a.shard, a.after_events, a.kind), (b.shard, b.after_events, b.kind));
+            assert_eq!(
+                (a.shard, a.after_events, a.kind),
+                (b.shard, b.after_events, b.kind)
+            );
         }
         let mut sup = sup;
         sup.max_restarts = 8;

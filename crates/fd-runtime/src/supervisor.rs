@@ -145,7 +145,12 @@ impl SupervisorLayer {
     /// Supervises `child` under the crash schedule of `plan` (its
     /// [`FaultKind::Crash`](crate::chaos::FaultKind::Crash) entries; all
     /// other fault kinds are ignored here).
-    pub fn new(child: impl Recoverable + 'static, plan: &FaultPlan, mode: RestartMode, rng: DetRng) -> Self {
+    pub fn new(
+        child: impl Recoverable + 'static,
+        plan: &FaultPlan,
+        mode: RestartMode,
+        rng: DetRng,
+    ) -> Self {
         Self {
             child: Box::new(child),
             crashes: plan.crash_events(),
@@ -217,7 +222,11 @@ impl SupervisorLayer {
 
     /// Runs one child callback and replays its actions into the parent
     /// context, validating the timer namespace.
-    fn with_child(&mut self, ctx: &mut Context, f: impl FnOnce(&mut dyn Recoverable, &mut Context)) {
+    fn with_child(
+        &mut self,
+        ctx: &mut Context,
+        f: impl FnOnce(&mut dyn Recoverable, &mut Context),
+    ) {
         let mut child_ctx = Context::new(ctx.now(), ctx.process());
         f(&mut *self.child, &mut child_ctx);
         for action in child_ctx.take_actions() {
@@ -453,7 +462,8 @@ mod tests {
     /// Drives one crash/outage/restart cycle and returns the recovery
     /// events.
     fn run_cycle(mode: RestartMode) -> (SupervisorLayer, Vec<(u32, u64)>) {
-        let mut sup = SupervisorLayer::new(Cell::new(), &crash_plan(10, 5), mode, DetRng::seed_from(1));
+        let mut sup =
+            SupervisorLayer::new(Cell::new(), &crash_plan(10, 5), mode, DetRng::seed_from(1));
         let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
         sup.on_start(&mut ctx);
         let start_timers = timers(&ctx.take_actions());
@@ -548,9 +558,14 @@ mod tests {
 
     #[test]
     fn failed_attempts_back_off_exponentially() {
-        let mut sup = SupervisorLayer::new(Cell::new(), &crash_plan(1, 4), RestartMode::Warm, DetRng::seed_from(3))
-            .with_backoff(SimDuration::from_millis(100))
-            .with_forced_failures(3);
+        let mut sup = SupervisorLayer::new(
+            Cell::new(),
+            &crash_plan(1, 4),
+            RestartMode::Warm,
+            DetRng::seed_from(3),
+        )
+        .with_backoff(SimDuration::from_millis(100))
+        .with_forced_failures(3);
         let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
         sup.on_start(&mut ctx);
         let start_timers = timers(&ctx.take_actions());
@@ -594,8 +609,13 @@ mod tests {
 
     #[test]
     fn zero_success_probability_never_recovers() {
-        let mut sup = SupervisorLayer::new(Cell::new(), &crash_plan(1, 1), RestartMode::Cold, DetRng::seed_from(4))
-            .with_restart_success_prob(0.0);
+        let mut sup = SupervisorLayer::new(
+            Cell::new(),
+            &crash_plan(1, 1),
+            RestartMode::Cold,
+            DetRng::seed_from(4),
+        )
+        .with_restart_success_prob(0.0);
         let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
         sup.on_start(&mut ctx);
         let start_timers = timers(&ctx.take_actions());
@@ -611,15 +631,24 @@ mod tests {
 
     #[test]
     fn transparent_while_up() {
-        let mut sup = SupervisorLayer::new(Cell::new(), &FaultPlan::new(), RestartMode::Warm, DetRng::seed_from(5));
+        let mut sup = SupervisorLayer::new(
+            Cell::new(),
+            &FaultPlan::new(),
+            RestartMode::Warm,
+            DetRng::seed_from(5),
+        );
         let mut ctx = Context::new(SimTime::ZERO, ProcessId(0));
         sup.on_start(&mut ctx);
         assert!(ctx.take_actions().is_empty());
         sup.on_deliver(&mut ctx, hb(0));
         sup.on_send(&mut ctx, hb(1));
         let actions = ctx.take_actions();
-        assert!(actions.iter().any(|a| matches!(a, Action::Deliver(m) if m.seq == 0)));
-        assert!(actions.iter().any(|a| matches!(a, Action::Send(m) if m.seq == 1)));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Deliver(m) if m.seq == 0)));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Send(m) if m.seq == 1)));
         assert!(!sup.is_down());
         assert_eq!(sup.dropped_while_down(), 0);
     }

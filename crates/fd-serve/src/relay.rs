@@ -130,11 +130,8 @@ impl Relay {
                 "no upstream address",
             ));
         }
-        let mut ctl = ServeClient::connect_with(
-            &upstreams[..],
-            cfg.ctl_timeout,
-            RetryPolicy::default(),
-        )?;
+        let mut ctl =
+            ServeClient::connect_with(&upstreams[..], cfg.ctl_timeout, RetryPolicy::default())?;
         let (sources, combos, seg_lens) = match ctl.info()? {
             Response::InfoResp {
                 sources,
@@ -461,8 +458,7 @@ fn sync_loop(
             }
             Ok(_) => {}
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 // Quiet window: refresh every subscription (idempotent)
                 // so a lost subscribe frame or an upstream restart heals
@@ -581,7 +577,10 @@ mod tests {
         view.mark_degraded(1);
         let deadline = Instant::now() + Duration::from_secs(10);
         while !relay.view().segment_degraded(1) {
-            assert!(Instant::now() < deadline, "degradation never reached the relay");
+            assert!(
+                Instant::now() < deadline,
+                "degradation never reached the relay"
+            );
             std::thread::sleep(Duration::from_millis(2));
         }
         assert!(
@@ -651,10 +650,7 @@ mod tests {
             ServeClient::connect(r2.local_addr(), Duration::from_secs(5)).expect("connect");
         match client.range(0, 0, 4).expect("range") {
             Response::RangeResp {
-                words,
-                hops,
-                epoch,
-                ..
+                words, hops, epoch, ..
             } => {
                 assert_eq!(words, vec![0xF0F0, 1]);
                 assert_eq!(hops, 2, "two relay hops");

@@ -385,7 +385,9 @@ impl ServeServer {
             handles.push(
                 std::thread::Builder::new()
                     .name("fd-serve-pusher".to_string())
-                    .spawn(move || pusher_loop(&socket, &view, &stop, &stats, &subs, max_lag, interval))
+                    .spawn(move || {
+                        pusher_loop(&socket, &view, &stop, &stats, &subs, max_lag, interval)
+                    })
                     .expect("spawn serve pusher"),
             );
         }
@@ -883,8 +885,7 @@ mod tests {
     #[test]
     fn ahead_of_epoch_subscription_is_dropped() {
         let view = view_with_one_epoch(); // current epoch is 1
-        let server =
-            ServeServer::start(Arc::clone(&view), ServeConfig::default()).expect("bind");
+        let server = ServeServer::start(Arc::clone(&view), ServeConfig::default()).expect("bind");
         let sock = UdpSocket::bind("127.0.0.1:0").expect("bind client");
         sock.send_to(
             &Request::Subscribe {

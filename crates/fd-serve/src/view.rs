@@ -502,7 +502,10 @@ impl SuspectView {
         // it acks.
         let mut latest: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
         let mut order: Vec<u32> = Vec::new();
-        for entry in ring.iter().filter(|e| e.epoch > from_epoch && e.epoch <= current) {
+        for entry in ring
+            .iter()
+            .filter(|e| e.epoch > from_epoch && e.epoch <= current)
+        {
             for d in &entry.changes {
                 if latest.insert(d.index, d.value).is_none() {
                     order.push(d.index);
@@ -807,8 +810,10 @@ impl SegmentWriter {
         let new_prev: Vec<u32> = changes.iter().map(|d| d.index).collect();
         let m = &seg.meta[(epoch & 1) as usize];
         m.virtual_us.store(now.as_micros(), Ordering::Relaxed);
-        m.wall_nanos
-            .store(self.view.epoch0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        m.wall_nanos.store(
+            self.view.epoch0.elapsed().as_nanos() as u64,
+            Ordering::Relaxed,
+        );
         m.base_age_us.store(base_age_us, Ordering::Relaxed);
         m.hops.store(u64::from(hops), Ordering::Relaxed);
         // The ring entry goes in *before* the seq bump: `delta_since`
@@ -886,7 +891,11 @@ mod tests {
             for c in 0..combos.len() as u32 {
                 let ans = view.point(s, c).expect("published");
                 assert_eq!(ans.epoch, 1);
-                assert_eq!(ans.suspecting, bank.is_suspecting(s, c as usize), "s{s} c{c}");
+                assert_eq!(
+                    ans.suspecting,
+                    bank.is_suspecting(s, c as usize),
+                    "s{s} c{c}"
+                );
                 assert_eq!(ans.published_at, SimTime::from_secs(90));
             }
         }
@@ -1035,8 +1044,8 @@ mod tests {
         let mut wi = inc.writer(0);
         let mut words = vec![0u64; n_words];
         let mut dirty = vec![u64::MAX >> (64 - n_words)]; // fresh: all dirty
-        // Deterministic word churn: each step flips a couple of words and
-        // marks exactly those dirty.
+                                                          // Deterministic word churn: each step flips a couple of words and
+                                                          // marks exactly those dirty.
         let mut state = 0x9e37_79b9_7f4a_7c15u64;
         for step in 1..=(DELTA_RING as u64 + 20) {
             if step > 1 {

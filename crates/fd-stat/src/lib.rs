@@ -29,6 +29,6 @@ pub use sink::{
     RetainedEvent, RetainedKind,
 };
 pub use summary::{
-    autocorrelation, mean_squared_error, ConfidenceInterval, Histogram, LogHistogram,
-    RunningStats, Summary,
+    autocorrelation, mean_squared_error, ConfidenceInterval, Histogram, LogHistogram, RunningStats,
+    Summary,
 };

@@ -180,8 +180,7 @@ impl QosSummary {
 
     /// Mean detection time in ms, if any crash was detected.
     pub fn mean_td_ms(&self) -> Option<f64> {
-        (self.detections > 0)
-            .then(|| self.td_sum_us as f64 / 1_000.0 / self.detections as f64)
+        (self.detections > 0).then(|| self.td_sum_us as f64 / 1_000.0 / self.detections as f64)
     }
 
     /// Largest detection time in ms, if any crash was detected.
@@ -196,8 +195,7 @@ impl QosSummary {
 
     /// Mean mistake recurrence in ms, if any recurrence was sampled.
     pub fn mean_tmr_ms(&self) -> Option<f64> {
-        (self.recurrences > 0)
-            .then(|| self.tmr_sum_us as f64 / 1_000.0 / self.recurrences as f64)
+        (self.recurrences > 0).then(|| self.tmr_sum_us as f64 / 1_000.0 / self.recurrences as f64)
     }
 
     /// Query accuracy `P_A = (T̄_MR − T̄_M)/T̄_MR`, with the same edge rules
@@ -309,7 +307,11 @@ pub struct QosAccumulator {
 impl QosAccumulator {
     /// Accumulator producing full per-sample [`QosMetrics`] vectors.
     pub fn full(n_sources: usize, n_combos: usize) -> Self {
-        Self::with_mode(n_sources, n_combos, Mode::Full(vec![QosMetrics::default(); n_combos]))
+        Self::with_mode(
+            n_sources,
+            n_combos,
+            Mode::Full(vec![QosMetrics::default(); n_combos]),
+        )
     }
 
     /// Accumulator producing constant-size [`QosSummary`] roll-ups.
@@ -352,7 +354,10 @@ impl QosAccumulator {
 
     #[inline]
     fn pair(&self, source: u32, combo: u32) -> usize {
-        debug_assert!((source as usize) < self.n_sources, "source {source} out of range");
+        debug_assert!(
+            (source as usize) < self.n_sources,
+            "source {source} out of range"
+        );
         assert!(
             (combo as usize) < self.n_combos,
             "combo {combo} out of range (n_combos = {})",
@@ -741,9 +746,7 @@ impl RetainSink {
         let mut handlers: HashMap<u32, Vec<FdStatHandler>> = HashMap::new();
         let fresh = |_: &u32| (0..n_combos as u32).map(FdStatHandler::new).collect();
         for e in &self.events {
-            let hs = handlers
-                .entry(e.source)
-                .or_insert_with_key(fresh);
+            let hs = handlers.entry(e.source).or_insert_with_key(fresh);
             match e.kind {
                 RetainedKind::StartSuspect(c) => hs[c as usize].on_event(&Event::new(
                     e.at,

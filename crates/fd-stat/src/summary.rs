@@ -765,7 +765,7 @@ mod tests {
         // Extremes resolve to the range bounds.
         assert_eq!(h.quantile(0.0).unwrap(), 1.0); // rank 1 = the underflow
         assert_eq!(h.quantile(1.0).unwrap(), 1000.0); // rank 7 = the overflow
-        // The median (rank 4) is the 2nd observation of bin 1.
+                                                      // The median (rank 4) is the 2nd observation of bin 1.
         let p50 = h.quantile(0.5).unwrap();
         assert!(p50 >= 10.0 && p50 < 100.0, "p50 = {p50}");
     }

@@ -25,6 +25,11 @@
 #            snapshot image is never restored, so a "warm" shard comes
 #            back with amnesiac detectors. Killed by the digest-identity
 #            test `warm_restart_is_bit_identical_across_shard_counts`.
+#   phi    — (predictor.rs) disable the φ-accrual start phase on a flap:
+#            the window still cold-restarts but start_left is forced to
+#            zero, so the σ-floored start timeout never applies and the
+#            recovery transient's second beat is wrongly suspected.
+#            Killed by the flapping-chaos suite's zero-mistake assertion.
 #
 # Run from the repo root: scripts/check-mutants.sh
 set -euo pipefail
@@ -32,13 +37,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 VIEW=crates/fd-serve/src/view.rs
 SHARDED=crates/fd-runtime/src/sharded.rs
+PRED=crates/fd-core/src/predictor.rs
 
-if ! git diff --quiet -- "$VIEW" "$SHARDED"; then
-    echo "check-mutants: $VIEW or $SHARDED has uncommitted changes; refusing to mutate" >&2
+if ! git diff --quiet -- "$VIEW" "$SHARDED" "$PRED"; then
+    echo "check-mutants: $VIEW, $SHARDED or $PRED has uncommitted changes; refusing to mutate" >&2
     exit 2
 fi
 
-restore() { git checkout -- "$VIEW" "$SHARDED"; }
+restore() { git checkout -- "$VIEW" "$SHARDED" "$PRED"; }
 trap restore EXIT
 
 run_model_suite() {
@@ -50,10 +56,15 @@ run_warm_suite() {
     cargo test -q -p fd-runtime warm_restart_is_bit_identical_across_shard_counts
 }
 
+run_phi_suite() {
+    cargo test -q -p fd-core --test flapping_chaos
+}
+
 # The suite that must kill each mutant (and must pass on pristine source).
 suite_for() {
     case "$1" in
         warm) run_warm_suite ;;
+        phi) run_phi_suite ;;
         *) run_model_suite ;;
     esac
 }
@@ -111,6 +122,15 @@ MUTANTS = {
         WARM,
         WARM.replace("if warm {", "if warm && false { // MUTANT", 1),
     ),
+    # φ-accrual flap with the start phase disabled: the cold-restarted
+    # window has σ ≈ 0, the timeout collapses onto the first
+    # post-recovery delay, and the transient's second beat becomes a
+    # wrongful suspicion.
+    "phi": (
+        "crates/fd-core/src/predictor.rs",
+        "            self.start_left = self.start_len();",
+        "            self.start_left = 0; // MUTANT",
+    ),
 }
 
 path, before, after = MUTANTS[sys.argv[1]]
@@ -124,8 +144,9 @@ EOF
 echo "== baseline: guarding suites must pass on pristine source"
 run_model_suite
 run_warm_suite
+run_phi_suite
 
-for mutant in fence ring dirty warm; do
+for mutant in fence ring dirty warm phi; do
     echo "== mutant '$mutant': guarding suite must FAIL"
     mutate "$mutant"
     if suite_for "$mutant" >/tmp/check-mutants-$mutant.log 2>&1; then
@@ -139,4 +160,5 @@ done
 echo "== restored: guarding suites must pass again"
 run_model_suite
 run_warm_suite
+run_phi_suite
 echo "check-mutants: all mutants killed"

@@ -38,7 +38,9 @@ fn run(
         SimDuration::from_secs(6),
     );
     let combos = vec![reference_combo()];
-    let runs: Vec<_> = (0..3).map(|r| run_region(&topo, r, &plan, &combos)).collect();
+    let runs: Vec<_> = (0..3)
+        .map(|r| run_region(&topo, r, &plan, &combos))
+        .collect();
     let global = run_global(&topo, &runs, &plan, reference_combo());
     let election = elect(
         3,
@@ -60,7 +62,11 @@ fn federated_fabric_diagnoses_demotes_and_replays_identically() {
     // Regional tier: every region produced a trace and measured real
     // detector QoS over its own sources (crashes are injected per-region).
     for run in &runs {
-        assert!(!run.trace.is_empty(), "region {} emitted nothing", run.region);
+        assert!(
+            !run.trace.is_empty(),
+            "region {} emitted nothing",
+            run.region
+        );
         assert!(
             run.qos[fdqos::fabric::REF_COMBO].crashes > 0,
             "region {} measured no source crashes",
@@ -100,7 +106,11 @@ fn federated_fabric_diagnoses_demotes_and_replays_identically() {
         detected - crash
     );
     assert!(election.agreement, "ratification disagreed");
-    assert!(election.deciders >= 2, "only {} deciders", election.deciders);
+    assert!(
+        election.deciders >= 2,
+        "only {} deciders",
+        election.deciders
+    );
     assert!(
         election.decision_latency.is_some(),
         "ratification never decided"
@@ -108,7 +118,10 @@ fn federated_fabric_diagnoses_demotes_and_replays_identically() {
 
     // Determinism: the whole pipeline replays bit-identically.
     let (runs2, global2, election2, _, _) = run(41);
-    assert_eq!(fabric_digest(&runs, &global), fabric_digest(&runs2, &global2));
+    assert_eq!(
+        fabric_digest(&runs, &global),
+        fabric_digest(&runs2, &global2)
+    );
     assert_eq!(election.trajectory, election2.trajectory);
 }
 
@@ -117,7 +130,9 @@ fn clean_fabric_elects_monitor_zero_and_never_demotes_it_for_long() {
     let topo = FabricTopology::symmetric(3, 64, 2, SimDuration::from_secs(45), 43);
     let plan = FabricChaosPlan::none();
     let combos = vec![reference_combo()];
-    let runs: Vec<_> = (0..3).map(|r| run_region(&topo, r, &plan, &combos)).collect();
+    let runs: Vec<_> = (0..3)
+        .map(|r| run_region(&topo, r, &plan, &combos))
+        .collect();
     let global = run_global(&topo, &runs, &plan, reference_combo());
     let election = elect(
         3,

@@ -61,8 +61,9 @@ fn source_bank_agrees_with_independent_detector_banks() {
     const CYCLES: u64 = 40;
     let eta = SimDuration::from_secs(1);
     let mut bank = SourceBank::paper_grid(eta, SOURCES as usize);
-    let mut singles: Vec<DetectorBank> =
-        (0..SOURCES).map(|_| DetectorBank::paper_grid(eta)).collect();
+    let mut singles: Vec<DetectorBank> = (0..SOURCES)
+        .map(|_| DetectorBank::paper_grid(eta))
+        .collect();
     assert_eq!(bank.combos().len(), 30, "the paper grid is 30 combinations");
 
     for seq in 0..CYCLES {
@@ -150,6 +151,74 @@ fn sharded_engine_is_invariant_under_shard_count() {
     }
 }
 
+/// Every family in the registry — the paper's five plus φ-accrual (both
+/// lifecycles), the adaptive μ+Kσ window and the online model, via
+/// `PredictorKind::all_for_test()` — agrees between the SourceBank column
+/// path and per-source DetectorBanks, through a schedule whose silences
+/// are long enough to trip the φ flap lifecycle.
+#[test]
+fn source_bank_agrees_on_every_registry_family() {
+    use fdqos::core::{Combination, MarginKind, PredictorKind};
+    const SOURCES: u32 = 3;
+    const CYCLES: u64 = 36;
+    let combos: Vec<Combination> = PredictorKind::all_for_test()
+        .into_iter()
+        .flat_map(|k| {
+            [
+                Combination::new(k, MarginKind::Jac { phi: 1.0 }),
+                Combination::new(k, MarginKind::Ci { gamma: 2.0 }),
+            ]
+        })
+        .collect();
+    assert_eq!(combos.len(), 18, "9 registry families × 2 margins");
+    let eta = SimDuration::from_secs(1);
+    let mut bank = SourceBank::new(&combos, eta, SOURCES as usize);
+    let mut singles: Vec<DetectorBank> = (0..SOURCES)
+        .map(|_| DetectorBank::new(&combos, eta))
+        .collect();
+
+    for seq in 0..CYCLES {
+        let mid = SimTime::ZERO + eta * seq + SimDuration::from_millis(900);
+        bank.check_all_at(mid);
+        for (s, single) in singles.iter_mut().enumerate() {
+            single.check_at(mid);
+            // Source 1 goes silent for 5 cycles mid-run (a flap) and
+            // source 2 loses every 7th beat (sub-flap gaps).
+            if s == 1 && (12..17).contains(&seq) {
+                continue;
+            }
+            if s == 2 && seq % 7 == 3 {
+                continue;
+            }
+            let at = SimTime::ZERO + eta * seq + SimDuration::from_micros(delay_us(s as u64, seq));
+            single.observe_heartbeat(seq, at);
+            bank.observe_heartbeat(s as u32, seq, at);
+        }
+    }
+
+    for s in 0..SOURCES {
+        let single = &singles[s as usize];
+        for c in 0..combos.len() {
+            assert_eq!(
+                bank.next_deadline(s, c),
+                single.next_deadline(c),
+                "deadline diverged at source {s} combo {c}"
+            );
+            assert_eq!(bank.is_suspecting(s, c), single.is_suspecting(c));
+            assert_eq!(
+                bank.predicted_delay_ms(s, c).to_bits(),
+                single.predicted_delay_ms(c).to_bits(),
+                "prediction diverged at source {s} combo {c}"
+            );
+            assert_eq!(
+                bank.margin_ms(s, c).to_bits(),
+                single.margin_ms(c).to_bits(),
+                "margin diverged at source {s} combo {c}"
+            );
+        }
+    }
+}
+
 /// One 64-bit mix per (seed, source, seq) decision point, so the loss and
 /// crash schedules below are deterministic functions of the proptest draw.
 fn mix64(seed: u64, s: u64, seq: u64) -> u64 {
@@ -219,14 +288,28 @@ proptest! {
         tail in 3u64..12,
         loss_num in 0u64..48,
         period in 3u64..8,
+        extended in any::<bool>(),
     ) {
         let eta = SimDuration::from_secs(1);
         let down = period / 2; // crash windows cover ~half a period
-        let mut original = SourceBank::paper_grid(eta, sources);
+        // Half the cases run the extended grid, so the φ lifecycle, the
+        // adaptive window, the ML arenas and the impact tail all cross
+        // the snapshot cut (crash windows several cycles long trip the
+        // flap machinery on both sides of it).
+        let combos = if extended {
+            fdqos::core::extended_combinations()
+        } else {
+            fdqos::core::all_combinations()
+        };
+        let mut original = SourceBank::new(&combos, eta, sources);
+        if extended {
+            let weights: Vec<f64> = (0..sources).map(|s| 1.0 + s as f64 * 0.5).collect();
+            original.set_impact_weights(&weights);
+        }
         drive_bank_lossy(&mut original, eta, 0, cut, seed, loss_num, period, down);
 
         let bytes = original.snapshot_bytes();
-        let mut restored = SourceBank::paper_grid(eta, sources);
+        let mut restored = SourceBank::new(&combos, eta, sources);
         restored.restore_bytes(&bytes).expect("restore of a fresh snapshot");
         prop_assert_eq!(restored.heartbeats(), original.heartbeats());
         prop_assert_eq!(
@@ -277,5 +360,43 @@ fn streaming_digest_is_shard_invariant_at_scale() {
             );
             assert_eq!(baseline.heartbeats, sharded.heartbeats);
         }
+    }
+}
+
+/// Shard invariance on the 54-combination extended grid: the streaming
+/// digest and QoS roll-ups are shard-count independent with the new
+/// families in the mix, under loss and a source-crash plan long enough to
+/// trip the φ flap lifecycle inside every shard.
+#[test]
+fn streaming_digest_is_shard_invariant_on_the_extended_grid() {
+    let config = |shards: usize| {
+        let mut cfg = ShardedConfig::paper_grid(600, 5, 77);
+        cfg.combos = fdqos::core::extended_combinations();
+        cfg.shards = shards;
+        cfg.loss = 0.05;
+        cfg.spike_prob = 0.05;
+        cfg.source_crashes = Some(fdqos::runtime::SourceCrashPlan {
+            frac: 0.2,
+            down_cycles: 3,
+        });
+        cfg
+    };
+    let baseline = ShardedEngine::new(config(1)).run();
+    assert_eq!(baseline.qos.len(), 54, "extended grid rolls up 54 combos");
+    assert!(
+        baseline.start_suspects > 0,
+        "no suspicion activity on the extended grid"
+    );
+    for shards in [2usize, 5] {
+        let sharded = ShardedEngine::new(config(shards)).run();
+        assert_eq!(
+            baseline.digest, sharded.digest,
+            "digest diverged at {shards} shards on the extended grid"
+        );
+        assert_eq!(
+            baseline.qos, sharded.qos,
+            "QoS roll-ups diverged at {shards} shards on the extended grid"
+        );
+        assert_eq!(baseline.heartbeats, sharded.heartbeats);
     }
 }

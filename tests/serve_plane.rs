@@ -187,7 +187,13 @@ proptest! {
 #[test]
 fn pinned_served_point_differential() {
     let delays: Vec<u16> = (0..64)
-        .map(|i| if i % 7 == 0 { 2_800 } else { 120 + (i as u16 % 40) })
+        .map(|i| {
+            if i % 7 == 0 {
+                2_800
+            } else {
+                120 + (i as u16 % 40)
+            }
+        })
         .collect();
     assert_served_equals_bank(&delays, 12);
 }
@@ -305,7 +311,9 @@ fn lagging_subscriber_is_resynced_across_ring_wraparound_under_adaptive_cadence(
         // Quiesced now: one final catch-up, after which the replica must
         // equal the served bitmap exactly.
         match view.delta_since(seg, held).expect("published") {
-            DeltaRead::Changes { to_epoch, changes, .. } => {
+            DeltaRead::Changes {
+                to_epoch, changes, ..
+            } => {
                 for d in changes {
                     replica[d.index as usize] = d.value;
                 }
@@ -317,8 +325,7 @@ fn lagging_subscriber_is_resynced_across_ring_wraparound_under_adaptive_cadence(
                     let r = view
                         .range(combo as u32, blocks[seg].0 as u32, words)
                         .expect("published");
-                    replica[combo * words..combo * words + r.words.len()]
-                        .copy_from_slice(&r.words);
+                    replica[combo * words..combo * words + r.words.len()].copy_from_slice(&r.words);
                     held = r.epoch;
                 }
             }

@@ -168,7 +168,10 @@ fn engine_online_rollups_match_full_fidelity_replay() {
                 sum.recurrences, recurrences,
                 "{ctx}: combo {combo} recurrences"
             );
-            assert_eq!(sum.crashes, full.total_crashes as u64, "{ctx}: combo {combo}");
+            assert_eq!(
+                sum.crashes, full.total_crashes as u64,
+                "{ctx}: combo {combo}"
+            );
             assert_eq!(
                 [sum.td_sum_us, sum.td_min_us, sum.td_max_us],
                 td,
